@@ -1,0 +1,113 @@
+"""Ablation: General-1 vs General-2 vs General-3 (Section 3.3).
+
+Quantifies the paper's comparison of the three general-recurrence
+schemes: lock serialization cost, static-vs-dynamic iteration span,
+and the resulting undo counts under an RV terminator.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.executors import (
+    run_general1,
+    run_general2,
+    run_general3,
+    run_sequential,
+)
+from repro.ir import (
+    ArrayAssign,
+    ArrayRef,
+    Assign,
+    Call,
+    Const,
+    Exit,
+    ExprStmt,
+    FunctionTable,
+    If,
+    Next,
+    Var,
+    WhileLoop,
+    eq_,
+    ne_,
+)
+from repro.ir.store import Store
+from repro.runtime import Machine
+from repro.structures import build_chain
+
+
+def make_rv_list_case(n=400, exit_pos=300, work=60):
+    """List traversal with an RV point exit: overshoot matters."""
+    chain = build_chain(n, scramble=True, rng=np.random.default_rng(9))
+    ft = FunctionTable()
+    ft.register("w", lambda ctx, p: ctx.write("out", p, p * 1.0),
+                cost=work, writes=("out",))
+    loop = WhileLoop(
+        [Assign("p", Const(chain.head))], ne_(Var("p"), Const(-1)),
+        [If(eq_(ArrayRef("halt", Var("p")), Const(1)), [Exit()]),
+         ExprStmt(Call("w", [Var("p")])),
+         Assign("p", Next("lst", Var("p")))],
+        name="rv-list")
+
+    stop_node = chain.kth(exit_pos)
+
+    def mk():
+        halt = np.zeros(n, dtype=np.int64)
+        halt[stop_node] = 1
+        return Store({"lst": chain, "out": np.zeros(n),
+                      "halt": halt, "p": 0})
+    return loop, ft, mk
+
+
+def test_ablation_lock_serialization(benchmark):
+    """General-1's lock caps speedup; 2 and 3 escape it."""
+    loop, ft, mk = make_rv_list_case()
+    m = Machine(8)
+
+    def run_all():
+        seq_t = run_sequential(loop, mk(), m, ft).t_par
+        out = {}
+        for name, runner in (("general-1", run_general1),
+                             ("general-2", run_general2),
+                             ("general-3", run_general3)):
+            st = mk()
+            res = runner(loop, st, m, ft)
+            out[name] = (res.speedup(seq_t), res)
+        return out
+
+    out = run_once(benchmark, run_all)
+    print("\nAblation: General schemes on an RV list traversal")
+    for name, (sp, res) in out.items():
+        extra = res.stats.get("lock_contended",
+                              res.stats.get("private_hops"))
+        print(f"  {name}: speedup={sp:.2f} overshot={res.overshot} "
+              f"restored={res.restored_words} span={res.stats['spans']} "
+              f"(locks/hops={extra})")
+    benchmark.extra_info["speedups"] = {k: round(v[0], 2)
+                                        for k, v in out.items()}
+    assert out["general-3"][0] > out["general-1"][0]
+    assert out["general-1"][1].stats["lock_contended"] > 0
+
+
+def test_ablation_static_span_costs_undo(benchmark):
+    """Section 3.3: under an RV terminator the static schedule's wider
+    span forces at least as many undone iterations as the dynamic
+    schedule's."""
+    loop, ft, mk = make_rv_list_case(n=400, exit_pos=200, work=60)
+    m = Machine(8)
+
+    def run_pair():
+        st2 = mk()
+        g2 = run_general2(loop, st2, m, ft)
+        st3 = mk()
+        g3 = run_general3(loop, st3, m, ft)
+        return g2, g3
+
+    g2, g3 = run_once(benchmark, run_pair)
+    print(f"\n  static (G2): overshot={g2.overshot} "
+          f"span={max(g2.stats['spans'])}")
+    print(f"  dynamic (G3): overshot={g3.overshot} "
+          f"span={max(g3.stats['spans'])}")
+    benchmark.extra_info["overshoot"] = {"static": g2.overshot,
+                                         "dynamic": g3.overshot}
+    assert max(g2.stats["spans"]) >= max(g3.stats["spans"])
+    assert g2.overshot >= g3.overshot

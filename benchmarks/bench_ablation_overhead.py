@@ -1,0 +1,149 @@
+"""Ablation: Section 7's worst-case bounds and the PD-failure slowdown.
+
+Checks, across a sweep of workloads:
+
+* ``Sp_at >= 1/4 Sp_id`` when the undo machinery runs (no PD test);
+* ``Sp_at >= 1/5 Sp_id`` when the PD test runs too;
+* a failed PD speculation costs at most ~``T_seq/p`` extra (total time
+  ``O(T_seq + 5 T_seq/p)``).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.executors import run_induction1, run_sequential
+from repro.executors.speculative import run_speculative
+from repro.ir import (
+    ArrayAssign,
+    ArrayRef,
+    Assign,
+    Const,
+    Exit,
+    FunctionTable,
+    If,
+    Store,
+    Var,
+    WhileLoop,
+    eq_,
+    le_,
+)
+from repro.planner import slowdown_bound, worst_case_fraction
+from repro.runtime import Machine
+
+FT = FunctionTable()
+
+
+def rv_loop():
+    return WhileLoop(
+        [Assign("i", Const(1))], le_(Var("i"), Var("n")),
+        [If(eq_(ArrayRef("A", Var("i")), Const(-9)), [Exit()]),
+         ArrayAssign("A", Var("i"), Var("i") * 7),
+         Assign("i", Var("i") + 1)],
+        name="rv-sweep")
+
+
+def rv_store(n, exit_at=None):
+    A = np.zeros(n + 2, dtype=np.int64)
+    if exit_at:
+        A[exit_at] = -9
+    return Store({"A": A, "n": n, "i": 0})
+
+
+def spec_loop():
+    return WhileLoop(
+        [Assign("i", Const(1))], le_(Var("i"), Var("n")),
+        [ArrayAssign("A", ArrayRef("idx", Var("i") - 1), Var("i") * 1.0),
+         Assign("i", Var("i") + 1)],
+        name="spec-sweep")
+
+
+def spec_store(n, injective, seed=0):
+    rng = np.random.default_rng(seed)
+    idx = (rng.permutation(n) if injective
+           else rng.integers(0, max(2, n // 8), n)).astype(np.int64)
+    return Store({"A": np.zeros(n), "idx": idx, "n": n, "i": 0})
+
+
+def test_worst_case_fraction_without_pd(benchmark):
+    def sweep():
+        out = []
+        for n in (100, 400, 1200):
+            for exit_at in (n // 3, (9 * n) // 10, None):
+                m = Machine(8)
+                seq_t = run_sequential(rv_loop(), rv_store(n, exit_at),
+                                       m, FT).t_par
+                st = rv_store(n, exit_at)
+                protected = run_induction1(rv_loop(), st, m, FT)
+                st2 = rv_store(n, exit_at)
+                ideal = run_induction1(rv_loop(), st2, m, FT,
+                                       force_checkpoint=False,
+                                       force_stamps=False)
+                out.append((n, exit_at,
+                            protected.speedup(seq_t),
+                            ideal.speedup(seq_t)))
+        return out
+
+    rows = run_once(benchmark, sweep)
+    floor = worst_case_fraction(uses_pd_test=False)
+    print("\nSection 7 bound (no PD): Sp_at >= 1/4 Sp_id")
+    worst = 1.0
+    for n, exit_at, sp_at, sp_id in rows:
+        frac = sp_at / sp_id
+        worst = min(worst, frac)
+        print(f"  n={n:5d} exit={str(exit_at):>5s}: "
+              f"Sp_at={sp_at:.2f} Sp_id={sp_id:.2f} frac={frac:.2f}")
+    benchmark.extra_info["worst_fraction"] = round(worst, 3)
+    assert worst >= floor
+
+
+def test_worst_case_fraction_with_pd(benchmark):
+    def sweep():
+        out = []
+        for n in (200, 800):
+            m = Machine(8)
+            seq_t = run_sequential(spec_loop(), spec_store(n, True),
+                                   m, FT).t_par
+            st = spec_store(n, True)
+            spec = run_speculative(spec_loop(), st, m, FT)
+            st2 = spec_store(n, True)
+            ideal = run_induction1(spec_loop(), st2, m, FT,
+                                   force_checkpoint=False,
+                                   force_stamps=False)
+            out.append((n, spec.speedup(seq_t), ideal.speedup(seq_t)))
+        return out
+
+    rows = run_once(benchmark, sweep)
+    floor = worst_case_fraction(uses_pd_test=True)
+    print("\nSection 7 bound (with PD): Sp_at >= 1/5 Sp_id")
+    worst = 1.0
+    for n, sp_at, sp_id in rows:
+        frac = sp_at / sp_id
+        worst = min(worst, frac)
+        print(f"  n={n:5d}: Sp_at={sp_at:.2f} Sp_id={sp_id:.2f} "
+              f"frac={frac:.2f}")
+    benchmark.extra_info["worst_fraction"] = round(worst, 3)
+    assert worst >= floor
+
+
+def test_pd_failure_slowdown_bound(benchmark):
+    def sweep():
+        out = []
+        for n in (200, 800):
+            m = Machine(8)
+            seq_t = run_sequential(spec_loop(), spec_store(n, False),
+                                   m, FT).t_par
+            st = spec_store(n, False)
+            failed = run_speculative(spec_loop(), st, m, FT)
+            assert failed.fallback_sequential
+            out.append((n, seq_t, failed.t_par))
+        return out
+
+    rows = run_once(benchmark, sweep)
+    print("\nSection 7 slowdown bound on PD failure: "
+          "T_total <= T_seq (1 + 5/p)")
+    for n, seq_t, total in rows:
+        bound = slowdown_bound(seq_t, 8)
+        print(f"  n={n:5d}: T_seq={seq_t} T_total={total} "
+              f"bound={bound:.0f} (x{total / seq_t:.2f})")
+        assert total <= bound * 1.3
+    benchmark.extra_info["rows"] = [(n, t / s) for n, s, t in rows]

@@ -1,0 +1,121 @@
+"""Ablation: PD-test overheads (Section 5.1).
+
+* the marking overhead (``T_d``) per access and the post-execution
+  analysis (``T_a``) scaling ``O(a/p + log p)``;
+* the cost of a passed test vs an untested run;
+* dense vs hash-table shadow memory across array sizes.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.executors import run_induction2, run_sequential
+from repro.executors.speculative import run_speculative
+from repro.ir import (
+    ArrayAssign,
+    ArrayRef,
+    Assign,
+    Const,
+    FunctionTable,
+    Store,
+    Var,
+    WhileLoop,
+    le_,
+)
+from repro.runtime import Machine
+from repro.speculation import ShadowArrays, analyze_pd
+
+FT = FunctionTable()
+
+
+def spec_loop():
+    return WhileLoop(
+        [Assign("i", Const(1))], le_(Var("i"), Var("n")),
+        [ArrayAssign("A", ArrayRef("idx", Var("i") - 1), Var("i") * 1.0),
+         Assign("i", Var("i") + 1)],
+        name="pd-cost")
+
+
+def spec_store(n, asize=None, seed=1):
+    asize = asize or n
+    idx = np.random.default_rng(seed).permutation(asize)[:n] \
+        .astype(np.int64)
+    return Store({"A": np.zeros(asize), "idx": idx, "n": n, "i": 0})
+
+
+def test_pd_overhead_vs_untested(benchmark):
+    m = Machine(8)
+
+    def run_pair():
+        rows = []
+        for n in (200, 800):
+            seq_t = run_sequential(spec_loop(), spec_store(n), m,
+                                   FT).t_par
+            st = spec_store(n)
+            tested = run_speculative(spec_loop(), st, m, FT)
+            st2 = spec_store(n)
+            untested = run_induction2(spec_loop(), st2, m, FT,
+                                      force_checkpoint=False,
+                                      force_stamps=False)
+            rows.append((n, tested.speedup(seq_t),
+                         untested.speedup(seq_t)))
+        return rows
+
+    rows = run_once(benchmark, run_pair)
+    print("\nPD test cost (passed test vs no test):")
+    for n, sp_pd, sp_free in rows:
+        print(f"  n={n:5d}: with-PD={sp_pd:.2f} without={sp_free:.2f} "
+              f"overhead={1 - sp_pd / sp_free:.0%}")
+        assert sp_pd > 0.5 * sp_free  # well above the 1/5 floor
+    benchmark.extra_info["rows"] = [(n, round(a, 2), round(b, 2))
+                                    for n, a, b in rows]
+
+
+def test_pd_analysis_time_scaling(benchmark):
+    """T_a = O(a/p + log p): grows ~linearly in the access count and
+    shrinks with p."""
+    def sweep():
+        rows = []
+        for n in (1_000, 4_000):
+            for p in (2, 8):
+                store = Store({"A": np.zeros(n)})
+                sh = ShadowArrays(store, ["A"])
+                sh.accesses = n  # as if n marks happened
+                res = analyze_pd(sh, Machine(p))
+                rows.append((n, p, res.analysis_time))
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    t = {(n, p): v for n, p, v in rows}
+    print("\nPD post-analysis virtual time:")
+    for n, p, v in rows:
+        print(f"  a={n:5d} p={p:2d}: t={v}")
+    benchmark.extra_info["times"] = {f"{n}x{p}": v for n, p, v in rows}
+    assert t[(1_000, 8)] < t[(1_000, 2)]
+    assert t[(4_000, 8)] > t[(1_000, 8)] * 2
+
+def test_hash_vs_dense_shadow_memory(benchmark):
+    """Sparse access patterns: hash shadows use O(touched) memory."""
+    m = Machine(8)
+
+    def run_pair():
+        rows = []
+        for asize in (2_000, 20_000):
+            n = 150  # touched elements
+            st = spec_store(n, asize=asize)
+            dense = run_speculative(spec_loop(), st, m, FT,
+                                    sparse_shadow=False)
+            st2 = spec_store(n, asize=asize)
+            sparse = run_speculative(spec_loop(), st2, m, FT,
+                                     sparse_shadow=True)
+            rows.append((asize, dense.stats["shadow_words"],
+                         sparse.stats["shadow_words"]))
+        return rows
+
+    rows = run_once(benchmark, run_pair)
+    print("\nShadow memory, dense vs hash (150 touched elements):")
+    for asize, d, s in rows:
+        print(f"  |A|={asize:6d}: dense={d:7d} words  hash={s:5d} words")
+        assert s < d
+        assert s == 4 * 150
+    benchmark.extra_info["rows"] = rows

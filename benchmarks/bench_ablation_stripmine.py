@@ -1,0 +1,109 @@
+"""Ablation: strip-mining and statistics-enhanced stamping (Section 8.1).
+
+Two trade-offs the paper describes:
+
+* strip size: smaller strips bound time-stamp memory but pay a barrier
+  per strip (and lose parallelism when the strip is narrower than the
+  machine);
+* the statistics-enhanced threshold ``n'_i``: stamping only iterations
+  above x%·n̂ᵢ cuts the during-loop (``T_d``) overhead while keeping
+  the undo exact whenever the estimate was not an overestimate.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.executors import run_induction2, run_sequential
+from repro.ir import (
+    ArrayAssign,
+    ArrayRef,
+    Assign,
+    Const,
+    Exit,
+    FunctionTable,
+    If,
+    Store,
+    Var,
+    WhileLoop,
+    eq_,
+    le_,
+)
+from repro.planner import BranchStats, stamp_threshold
+from repro.runtime import Machine
+
+FT = FunctionTable()
+
+
+def rv_loop():
+    return WhileLoop(
+        [Assign("i", Const(1))], le_(Var("i"), Var("n")),
+        [If(eq_(ArrayRef("A", Var("i")), Const(-1)), [Exit()]),
+         ArrayAssign("A", Var("i"), Var("i") * 3),
+         Assign("i", Var("i") + 1)],
+        name="strip-rv")
+
+
+def rv_store(n=600, exit_at=450):
+    A = np.zeros(n + 2, dtype=np.int64)
+    A[exit_at] = -1
+    return Store({"A": A, "n": n, "i": 0})
+
+
+def test_strip_size_tradeoff(benchmark):
+    m = Machine(8)
+
+    def sweep():
+        seq_t = run_sequential(rv_loop(), rv_store(), m, FT).t_par
+        rows = []
+        for strip in (4, 16, 64, 256, None):
+            st = rv_store()
+            res = run_induction2(rv_loop(), st, m, FT, strip=strip)
+            rows.append((strip, res.speedup(seq_t), res.t_par))
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print("\nStrip-size sweep (RV loop, exit at 450/600):")
+    for strip, sp, t in rows:
+        print(f"  strip={str(strip):>5s}: speedup={sp:.2f} t_par={t}")
+    by = {strip: sp for strip, sp, _ in rows}
+    benchmark.extra_info["speedups"] = {str(k): round(v, 2)
+                                        for k, v in by.items()}
+    # Tiny strips pay barriers; big strips approach the no-strip run.
+    assert by[4] < by[256]
+    assert by[256] <= by[None] * 1.05
+
+
+def test_statistics_enhanced_stamping(benchmark):
+    """Stamping only past n'_i cuts stamped words; the undo remains
+    exact when the exit lands at/after the estimate."""
+    m = Machine(8)
+
+    def run_case():
+        # Branch statistics from prior executions: ~450 iterations.
+        bs = BranchStats("strip-rv")
+        for sample in (440, 455, 448, 452):
+            bs.record(sample)
+        thr = stamp_threshold(bs.estimate())
+
+        ref = rv_store()
+        from repro.ir import SequentialInterp
+        SequentialInterp(rv_loop(), FT).run(ref)
+
+        st_full = rv_store()
+        full = run_induction2(rv_loop(), st_full, m, FT)
+        st_stat = rv_store()
+        stat = run_induction2(rv_loop(), st_stat, m, FT,
+                              stamp_from=thr)
+        return thr, full, stat, st_full.equals(ref), st_stat.equals(ref)
+
+    thr, full, stat, ok_full, ok_stat = run_once(benchmark, run_case)
+    print(f"\nStatistics-enhanced stamping: n'_i = {thr}")
+    print(f"  full stamping: stamped_writes={full.stats['stamped_writes']}"
+          f" t_par={full.t_par} correct={ok_full}")
+    print(f"  stat stamping: stamped_writes={stat.stats['stamped_writes']}"
+          f" t_par={stat.t_par} correct={ok_stat}")
+    benchmark.extra_info["threshold"] = thr
+    assert ok_full and ok_stat
+    assert thr > 300  # high-confidence estimate
+    assert stat.stats["stamped_writes"] < full.stats["stamped_writes"]
+    assert stat.t_par <= full.t_par  # fewer stamps, less T_d

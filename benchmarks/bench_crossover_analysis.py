@@ -1,0 +1,142 @@
+"""Crossover analysis: when should a WHILE loop NOT be parallelized?
+
+Section 7 identifies the two refusal cases: (a) a sequential
+dispatcher with ``T_rem < T_rec`` (the loop *is* the recurrence), and
+(b) too few iterations to amortize the parallel-region overheads.
+These benches sweep both axes, locate the measured break-even points,
+and check the cost model's `predict` verdict flips on the same side of
+the crossover.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.analysis import analyze_loop
+from repro.executors import run_general3, run_induction2, run_sequential
+from repro.ir import (
+    Assign,
+    Call,
+    Const,
+    ExprStmt,
+    FunctionTable,
+    Next,
+    Store,
+    Var,
+    WhileLoop,
+    le_,
+    ne_,
+)
+from repro.planner import plan_loop, predict, profile_loop
+from repro.runtime import Machine
+from repro.structures import build_chain
+
+
+def list_loop_with_work(work: int):
+    ft = FunctionTable()
+    ft.register("w", lambda ctx, p: 0, cost=work)
+    loop = WhileLoop(
+        [Assign("p", Var("head"))], ne_(Var("p"), Const(-1)),
+        [ExprStmt(Call("w", [Var("p")])),
+         Assign("p", Next("L", Var("p")))],
+        name=f"work-{work}")
+    chain = build_chain(300, scramble=True,
+                        rng=np.random.default_rng(2))
+
+    def mk():
+        return Store({"L": chain, "head": chain.head, "p": 0})
+    return loop, ft, mk
+
+
+def test_work_per_iteration_crossover(benchmark):
+    """Sweep remainder work on a list loop.
+
+    Two crossovers emerge, both implied by Section 3.3's discussion:
+
+    * General-1 vs sequential — with an empty remainder every
+      iteration is just the lock-serialized hop, a slowdown; enough
+      remainder work amortizes the critical section;
+    * General-1 vs General-3 — with light work, General-3's lock-free
+      private walks win (the SPICE regime, Figure 6); with heavy work,
+      General-1's *shared* single walk avoids General-3's redundant
+      per-processor traversals and edges ahead.
+    """
+    from repro.executors import run_general1
+    m = Machine(8)
+
+    def sweep():
+        rows = []
+        for work in (0, 4, 8, 16, 32, 64, 128, 256):
+            loop, ft, mk = list_loop_with_work(work)
+            seq_t = run_sequential(loop, mk(), m, ft).t_par
+            st1 = mk()
+            g1 = run_general1(loop, st1, m, ft).speedup(seq_t)
+            st3 = mk()
+            g3 = run_general3(loop, st3, m, ft).speedup(seq_t)
+            info = analyze_loop(loop, ft)
+            prof = profile_loop(info, mk(), m, ft)
+            pred = predict(prof, 8, needs_undo=False)
+            rows.append((work, g1, g3, pred.sp_id))
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print("\nWork-per-iteration crossover (300-node list, p=8):")
+    for work, g1, g3, sp_id in rows:
+        print(f"  work={work:4d}: General-1={g1:5.2f} "
+              f"General-3={g3:5.2f} (model Sp_id={sp_id:4.2f})")
+    by1 = {w: a for w, a, _, _ in rows}
+    by3 = {w: b for w, _, b, _ in rows}
+    benchmark.extra_info["g1"] = {str(w): round(v, 2)
+                                  for w, v in by1.items()}
+    benchmark.extra_info["g3"] = {str(w): round(v, 2)
+                                  for w, v in by3.items()}
+    # Crossover 1: General-1 loses with an empty remainder, crosses
+    # above break-even as work amortizes the critical section.
+    assert by1[0] < 1.0 < by1[256]
+    # Crossover 2: General-3 wins the light-work regime (SPICE's) but
+    # cedes the heavy-work regime to the shared single walk.
+    assert all(by3[w] > by1[w] for w in (0, 4, 8, 16, 32, 64))
+    assert by1[256] >= by3[256] * 0.95
+    # Both scale with work.
+    assert by3[256] > by3[16] > by3[0]
+
+
+def test_iteration_count_crossover(benchmark):
+    """Sweep iteration counts on a DOALL: tiny loops cannot amortize
+    fork/barrier costs; the planner must keep them sequential."""
+    m = Machine(8)
+    ft = FunctionTable()
+    ft.register("k", lambda ctx, i: 0, cost=40)
+    from repro.ir import ArrayAssign, ArrayRef
+
+    def make(n):
+        loop = WhileLoop(
+            [Assign("i", Const(1))], le_(Var("i"), Var("n")),
+            [ExprStmt(Call("k", [Var("i")])),
+             Assign("i", Var("i") + 1)],
+            name=f"n-{n}")
+        return loop, lambda: Store({"n": n, "i": 0})
+
+    def sweep():
+        rows = []
+        for n in (1, 2, 4, 8, 16, 64, 256):
+            loop, mk = make(n)
+            seq_t = run_sequential(loop, mk(), m, ft).t_par
+            st = mk()
+            res = run_induction2(loop, st, m, ft)
+            plan = plan_loop(loop, m, ft, sample_store=mk(),
+                             min_speedup=1.1)
+            rows.append((n, res.speedup(seq_t), plan.scheme))
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print("\nIteration-count crossover (40-cycle kernel, p=8):")
+    for n, sp, scheme in rows:
+        print(f"  n={n:4d}: speedup={sp:5.2f} planner chose {scheme}")
+    by = {n: sp for n, sp, _ in rows}
+    schemes = {n: s for n, _, s in rows}
+    benchmark.extra_info["speedups"] = {str(n): round(s, 2)
+                                        for n, s in by.items()}
+    assert by[1] < 1.0
+    assert by[256] > 3.0
+    assert schemes[1] == "sequential"      # planner refuses tiny loops
+    assert schemes[256] == "induction-2"   # and embraces big ones

@@ -1,0 +1,28 @@
+"""Figure 6: SPICE LOAD loop 40 — General-1 vs General-3 speedup curves.
+
+Paper: General-1 (locks) reaches 2.9x and General-3 (no locks) 4.9x on
+8 processors; the gap is the critical-section serialization of the
+shared ``next()`` walk.
+"""
+
+from benchmarks.conftest import fmt_curve, run_once
+from repro.experiments import figure_6
+
+
+def test_fig06_spice_load40(benchmark):
+    fig = run_once(benchmark, lambda: figure_6(n_devices=1200))
+    print(f"\nFigure 6 — {fig.title}")
+    for label, curve in fig.series.items():
+        paper = fig.paper_at_8.get(label)
+        print(f"  {label:24s} {fmt_curve(curve)}   "
+              f"(paper@8p: {paper if paper else 'n/r'})")
+    g1 = fig.series["General-1 (locks)"]
+    g3 = fig.series["General-3 (no locks)"]
+    benchmark.extra_info["at8"] = {"g1": round(g1[8], 2),
+                                   "g3": round(g3[8], 2)}
+    # Shape assertions: G3 dominates G1, both scale with p, magnitudes
+    # in the paper's neighbourhood.
+    assert g3[8] > g1[8] * 1.4
+    assert g3[8] > g3[4] > g3[1]
+    assert 2.0 <= g1[8] <= 3.8
+    assert 3.9 <= g3[8] <= 5.9

@@ -1,0 +1,42 @@
+"""Figures 8-11: MCSPARSE DFACT loop 500 (WHILE-DOANY), four inputs.
+
+Paper speedups at 8 processors: gematt11 7.0, gematt12 6.8,
+orsreg1 4.8, saylr4 5.7 — "the available parallelism, and therefore
+our obtained speedup, is strongly dependent on the data input".
+"""
+
+import pytest
+
+from benchmarks.conftest import fmt_curve, run_once
+from repro.experiments import figure_8_11
+from repro.runtime import Machine
+from repro.workloads import make_mcsparse_dfact500, measure_speedup
+
+PAPER = {"gematt11": 7.0, "gematt12": 6.8, "orsreg1": 4.8, "saylr4": 5.7}
+
+
+def test_figs_8_11_curves(benchmark):
+    figs = run_once(benchmark, figure_8_11)
+    at8 = {}
+    for name, fig in figs.items():
+        print(f"\nFigure {fig.figure} — {fig.title}")
+        for label, curve in fig.series.items():
+            print(f"  {label:14s} {fmt_curve(curve)}   "
+                  f"(paper@8p: {fig.paper_at_8[label]})")
+            at8[name] = curve[8]
+    benchmark.extra_info["at8"] = {k: round(v, 2) for k, v in at8.items()}
+    # Input ordering matches the paper.
+    assert at8["gematt11"] >= at8["gematt12"] >= at8["saylr4"] \
+        >= at8["orsreg1"]
+    for name, paper in PAPER.items():
+        assert abs(at8[name] - paper) / paper < 0.30, (name, at8[name])
+
+
+@pytest.mark.parametrize("name", list(PAPER))
+def test_doany_needs_no_undo(benchmark, name):
+    """The DOANY contract: zero checkpoint/stamp words per input."""
+    w = make_mcsparse_dfact500(name)
+    _, res, _ = run_once(benchmark, lambda: measure_speedup(
+        w, w.methods[0], Machine(8)))
+    assert res.stats["checkpoint_words"] == 0
+    assert res.stats["stamped_words"] == 0

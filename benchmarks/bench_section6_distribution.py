@@ -1,0 +1,116 @@
+"""Section 6: multi-recurrence loop distribution and fusion.
+
+Builds loops with several recurrences (a parallel induction, a
+prefix-able affine recurrence, a sequential chain) plus independent
+remainder work, and compares:
+
+* monolithic sequential execution,
+* the Section-6 distributed/fused plan (prefix for the affine
+  recurrence, DOALL for parallel blocks, DOACROSS for the chain),
+* the gain of fusion (fused plan vs a fully-split unfused plan, which
+  pays one barrier per component).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.analysis.multirec import BlockMode, DistributionPlan, plan_distribution
+from repro.executors import run_sequential
+from repro.executors.multirec import run_distributed
+from repro.ir import (
+    ArrayAssign,
+    ArrayRef,
+    Assign,
+    Call,
+    Const,
+    ExprStmt,
+    FunctionTable,
+    Store,
+    Var,
+    WhileLoop,
+    le_,
+)
+from repro.runtime import Machine
+
+
+def make_multirec_case(n=300, work=120):
+    ft = FunctionTable()
+    ft.register("heavy", lambda ctx, i: 0, cost=work)
+    loop = WhileLoop(
+        [Assign("i", Const(1)), Assign("x", Const(1)),
+         Assign("s", Const(0))],
+        le_(Var("i"), Var("n")),
+        [Assign("x", Var("x") * 2 % 997),        # affine-ish recurrence
+         Assign("s", Var("s") + 1),              # second recurrence
+         ExprStmt(Call("heavy", [Var("i")])),    # independent heavy work
+         ArrayAssign("A", Var("i"), Var("i") * 3),
+         Assign("i", Var("i") + 1)],
+        name="three-recurrences")
+
+    def mk():
+        return Store({"A": np.zeros(n + 2, dtype=np.int64), "n": n,
+                      "i": 0, "x": 0, "s": 0})
+    return loop, ft, mk
+
+
+def test_distribution_plan_structure(benchmark):
+    loop, ft, mk = make_multirec_case()
+
+    plan = run_once(benchmark, lambda: plan_distribution(loop, ft))
+    modes = [b.mode.value for b in plan.fused]
+    print(f"\nSection 6 plan for {loop.name!r}:")
+    for b in plan.fused:
+        rec = f" (recurrence {b.recurrence.var})" if b.recurrence else ""
+        print(f"  stmts {list(b.stmts)}: {b.mode.value}{rec}")
+    benchmark.extra_info["modes"] = modes
+    assert not plan.single_scc
+    recs = [b for b in plan.fused if b.recurrence is not None]
+    assert len(recs) >= 3  # i, x, s all peeled
+    assert any(b.mode is BlockMode.PARALLEL for b in plan.fused)
+
+
+def test_distributed_execution_speedup(benchmark):
+    loop, ft, mk = make_multirec_case()
+    m = Machine(8)
+
+    def run_all():
+        ref = mk()
+        seq = run_sequential(loop, ref, m, ft)
+        st = mk()
+        dist = run_distributed(loop, st, m, ft)
+        return seq, dist, st.equals(ref)
+
+    seq, dist, ok = run_once(benchmark, run_all)
+    sp = dist.speedup(seq.t_par)
+    print(f"\nDistributed execution: speedup={sp:.2f} "
+          f"modes={dist.stats['plan_modes']} store_ok={ok}")
+    benchmark.extra_info["speedup"] = round(sp, 2)
+    assert ok
+    assert sp > 2  # the heavy parallel block dominates
+
+
+def test_fusion_reduces_barriers(benchmark):
+    """Fused plans pay one barrier per fused unit instead of one per
+    SCC — fusing contiguous parallel blocks must not be slower."""
+    loop, ft, mk = make_multirec_case()
+    m = Machine(8)
+
+    def run_pair():
+        full = plan_distribution(loop, ft)
+        unfused = DistributionPlan(full.blocks, full.blocks,
+                                   full.single_scc)
+        st1 = mk()
+        fused_res = run_distributed(loop, st1, m, ft, plan=full)
+        st2 = mk()
+        unfused_res = run_distributed(loop, st2, m, ft, plan=unfused)
+        return full, fused_res, unfused_res
+
+    full, fused_res, unfused_res = run_once(benchmark, run_pair)
+    print(f"\nFusion: {len(full.blocks)} blocks -> {len(full.fused)} "
+          f"fused units")
+    print(f"  fused t_par={fused_res.t_par}  "
+          f"unfused t_par={unfused_res.t_par}")
+    benchmark.extra_info["blocks"] = len(full.blocks)
+    benchmark.extra_info["fused_units"] = len(full.fused)
+    assert len(full.fused) <= len(full.blocks)
+    assert fused_res.t_par <= unfused_res.t_par

@@ -1,0 +1,20 @@
+"""Table 1: the WHILE-loop taxonomy, validated over the loop zoo.
+
+Regenerates the taxonomy matrix and checks every zoo loop classifies
+into its intended cell with the paper's overshoot/parallel verdicts.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table_1
+
+
+def test_table1_taxonomy(benchmark):
+    rows = run_once(benchmark, table_1)
+    print("\nTable 1 — taxonomy (dispatcher x terminator):")
+    print(f"{'cell':42s} {'overshoot':9s} {'parallel':8s} ok")
+    for r in rows:
+        print(f"{r.cell:42s} {'YES' if r.overshoot else 'NO':9s} "
+              f"{r.parallel:8s} {r.classified_correctly}")
+    benchmark.extra_info["cells"] = len(rows)
+    assert len(rows) == 8
+    assert all(r.classified_correctly for r in rows)

@@ -1,0 +1,30 @@
+"""Table 2: the summary of experimental results (all 5 loops, 8 procs).
+
+Regenerates every row of the paper's Table 2 and checks each measured
+speedup lands within tolerance of the paper's, with the store equal to
+the sequential reference wherever the paper's method guarantees it.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table_2
+
+
+def test_table2_summary(benchmark):
+    rows = run_once(benchmark, table_2)
+    print("\nTable 2 — summary of experimental results (8 processors):")
+    hdr = (f"{'benchmark':9s} {'loop':16s} {'technique':34s} "
+           f"{'input':9s} {'meas':>6s} {'paper':>6s} {'err':>6s}")
+    print(hdr)
+    for r in rows:
+        paper = f"{r.paper:.1f}" if r.paper else "  n/r"
+        err = f"{r.relative_error:+.0%}" if r.paper else "   -"
+        print(f"{r.benchmark:9s} {r.loop:16s} {r.technique:34s} "
+              f"{r.input_name:9s} {r.measured:6.2f} {paper:>6s} {err:>6s}")
+    benchmark.extra_info["rows"] = [
+        (r.benchmark, r.loop, r.input_name, round(r.measured, 2), r.paper)
+        for r in rows]
+    assert len(rows) == 13
+    assert all(r.store_ok for r in rows)
+    for r in rows:
+        if r.paper:
+            assert abs(r.relative_error) < 0.35, (r.loop, r.input_name)

@@ -1,0 +1,27 @@
+"""Benchmark-suite configuration.
+
+Every bench regenerates one table or figure of the paper on the
+virtual-time machine.  The pytest-benchmark fixture times the full
+experiment once (``pedantic`` with a single round — these are
+experiment reproductions, not micro-benchmarks), and the reproduced
+rows/series are attached to ``extra_info`` and printed (visible with
+``pytest benchmarks/ --benchmark-only -s``).
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Time ``fn`` exactly once and return its value."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def fmt_curve(curve):
+    return "  ".join(f"p{p}={v:.2f}" for p, v in sorted(curve.items()))
+
+
+@pytest.fixture
+def once(benchmark):
+    def _run(fn):
+        return run_once(benchmark, fn)
+    return _run

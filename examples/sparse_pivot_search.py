@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Sparse-matrix pivot searches — the MA28 and MCSPARSE scenarios.
+
+Two flavours of the same irregular loop, parallelized differently:
+
+* **MA28 (sequential consistency required)**: the scan loop runs as a
+  speculative DOALL with backups and time-stamps, and the pivot is
+  selected afterwards by a time-stamp-ordered min-reduction — the
+  parallel program picks *exactly* the pivot sequential MA28 would.
+* **MCSPARSE (order-insensitive)**: the fused WHILE-DOANY search needs
+  no undo machinery at all; any acceptable pivot will do.
+
+Run:  python examples/sparse_pivot_search.py
+"""
+
+from repro.executors import run_sequential
+from repro.runtime import Machine
+from repro.workloads import (
+    make_ma28_loop,
+    make_mcsparse_dfact500,
+    measure_speedup,
+    select_pivot,
+)
+
+
+def ma28_demo() -> None:
+    print("=" * 64)
+    print("MA28 MA30AD: sequentially consistent pivot scan")
+    print("=" * 64)
+    machine = Machine(8)
+    for input_name in ("gematt11", "orsreg1"):
+        for loop_no in (270, 320):
+            w = make_ma28_loop(input_name, loop_no)
+            # Sequential reference pivot.
+            ref = w.make_store()
+            seq = run_sequential(w.loop, ref, machine, w.funcs)
+            pivot_seq, _ = select_pivot(ref, seq.n_iters, machine)
+            # Parallel scan + time-stamp-ordered reduction.
+            st = w.make_store()
+            res = w.methods[0].runner(w.loop, st, machine, w.funcs)
+            pivot_par, t_red = select_pivot(st, res.n_iters, machine)
+            sp = res.speedup(seq.t_par)
+            print(f"  {input_name:9s} loop {loop_no}: "
+                  f"speedup={sp:4.2f}x "
+                  f"(paper {w.paper_speedups[w.methods[0].label]}), "
+                  f"pivot par={pivot_par} seq={pivot_seq} "
+                  f"{'CONSISTENT' if pivot_par == pivot_seq else 'BUG'}")
+
+
+def mcsparse_demo() -> None:
+    print()
+    print("=" * 64)
+    print("MCSPARSE DFACT: WHILE-DOANY pivot search (no undo needed)")
+    print("=" * 64)
+    machine = Machine(8)
+    for input_name in ("gematt11", "gematt12", "orsreg1", "saylr4"):
+        w = make_mcsparse_dfact500(input_name)
+        sp, res, _ = measure_speedup(w, w.methods[0], machine)
+        st = w.make_store()
+        w.methods[0].runner(w.loop, st, machine, w.funcs)
+        print(f"  {input_name:9s}: speedup={sp:4.2f}x "
+              f"(paper {w.paper_speedups[w.methods[0].label]}), "
+              f"searched {res.n_iters} candidates, "
+              f"pivot row {st['pivot']} "
+              f"(Markowitz cost {st['pivot_cost']})")
+    print("\n  checkpoint words used: 0, time-stamps used: 0 — the "
+          "DOANY contract")
+
+
+if __name__ == "__main__":
+    ma28_demo()
+    mcsparse_demo()

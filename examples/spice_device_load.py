@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""SPICE device-list loading — the paper's Figure 6 scenario.
+
+A circuit simulator keeps its capacitor models on a linked list built
+by incremental insertion; the LOAD phase walks the list and stamps
+each device into the matrix.  The walk is a *general recurrence* (a
+pointer chase), so current compilers run it sequentially; the paper's
+General-1/2/3 schemes overlap the per-device work with the chase.
+
+This example builds the workload, runs all three schemes plus the
+Wu-Lewis loop-distribution baseline across 1..8 virtual processors,
+and prints the Figure-6-style comparison.
+
+Run:  python examples/spice_device_load.py
+"""
+
+from repro.executors import run_sequential
+from repro.executors.distribution import run_loop_distribution
+from repro.runtime import Machine
+from repro.workloads import Method, make_spice_load40, speedup_curve
+
+
+def main() -> None:
+    workload = make_spice_load40(n_devices=1500)
+    print(f"workload: {workload.description}\n")
+
+    machine = Machine(8)
+    t_seq = workload.sequential_time(machine)
+    print(f"sequential time: {t_seq} virtual cycles "
+          f"({len(list(workload.make_store()['devlist']))} devices)\n")
+
+    methods = list(workload.methods) + [
+        Method("Wu-Lewis distribution", run_loop_distribution)]
+
+    print(f"{'method':28s} " + "  ".join(f"p={p}" for p in
+                                         (1, 2, 4, 8)))
+    for method in methods:
+        curve = speedup_curve(workload, method, (1, 2, 4, 8))
+        row = "  ".join(f"{curve[p]:4.2f}" for p in (1, 2, 4, 8))
+        paper = workload.paper_speedups.get(method.label)
+        note = f"   (paper@8p: {paper})" if paper else ""
+        print(f"{method.label:28s} {row}{note}")
+
+    print("\nwhy General-1 trails: every next() hop passes through a "
+          "critical section;")
+    print("why General-3 wins: no locks, each processor catches up "
+          "privately, and the")
+    print("dynamic schedule keeps the in-flight iteration span narrow.")
+
+
+if __name__ == "__main__":
+    main()

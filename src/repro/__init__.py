@@ -1,0 +1,111 @@
+"""repro — Parallelizing WHILE Loops for Multiprocessor Systems.
+
+A production-quality reproduction of Rauchwerger & Padua's framework
+for automatically transforming WHILE loops (and DO loops with
+conditional exits) for parallel execution: dispatcher classification,
+the Induction/Associative/General schemes, overshoot undo via
+checkpoints and write time-stamps, the run-time PD dependence test
+with sequential fallback, the Section 7 cost model, and the Section 8
+memory-control strategies — all executable on a deterministic
+virtual-time multiprocessor.
+
+Quick start::
+
+    import numpy as np
+    from repro import (FunctionTable, Machine, Store, WhileLoop, Assign,
+                       Const, Var, ArrayAssign, ArrayRef, le_, parallelize)
+
+    loop = WhileLoop(
+        init=[Assign("i", Const(1))],
+        cond=le_(Var("i"), Var("n")),
+        body=[ArrayAssign("A", Var("i"), ArrayRef("A", Var("i")) * 2),
+              Assign("i", Var("i") + 1)])
+    store = Store({"A": np.arange(100), "n": 98, "i": 0})
+    outcome = parallelize(loop, store, Machine(8))
+    print(outcome.plan.scheme, outcome.speedup)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record.
+"""
+
+from repro.api import Outcome, parallelize
+from repro.errors import (
+    AnalysisError,
+    ExecutionError,
+    FrontendError,
+    IRError,
+    NullPointerError,
+    OvershootLimit,
+    PlanError,
+    ReproError,
+    SpeculationFailed,
+)
+from repro.ir import (
+    NULL,
+    ArrayAssign,
+    ArrayRef,
+    Assign,
+    BinOp,
+    Call,
+    Const,
+    DoLoop,
+    Exit,
+    Expr,
+    ExprStmt,
+    For,
+    FunctionTable,
+    If,
+    Loop,
+    Next,
+    SequentialInterp,
+    Stmt,
+    Store,
+    UnaryOp,
+    Var,
+    WhileLoop,
+    and_,
+    eq_,
+    format_loop,
+    ge_,
+    gt_,
+    le_,
+    lt_,
+    max_,
+    min_,
+    ne_,
+    not_,
+    or_,
+)
+from repro.analysis import LoopInfo, analyze_loop
+from repro.frontend import LiftedLoop, lift_function, lift_source
+from repro.planner import Plan, execute_plan, plan_loop
+from repro.runtime import ALLIANT_FX80, CostModel, Machine
+from repro.structures import (
+    HB_PROFILES,
+    LinkedList,
+    SparseMatrix,
+    build_chain,
+    generate_hb_like,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Outcome", "parallelize",
+    "AnalysisError", "ExecutionError", "FrontendError", "IRError",
+    "NullPointerError", "OvershootLimit", "PlanError", "ReproError",
+    "SpeculationFailed",
+    "NULL", "ArrayAssign", "ArrayRef", "Assign", "BinOp", "Call", "Const",
+    "DoLoop", "Exit", "Expr", "ExprStmt", "For", "FunctionTable", "If",
+    "Loop", "Next", "SequentialInterp", "Stmt", "Store", "UnaryOp", "Var",
+    "WhileLoop",
+    "and_", "eq_", "format_loop", "ge_", "gt_", "le_", "lt_", "max_",
+    "min_", "ne_", "not_", "or_",
+    "LoopInfo", "analyze_loop",
+    "LiftedLoop", "lift_function", "lift_source",
+    "Plan", "execute_plan", "plan_loop",
+    "ALLIANT_FX80", "CostModel", "Machine",
+    "HB_PROFILES", "LinkedList", "SparseMatrix", "build_chain",
+    "generate_hb_like",
+    "__version__",
+]

@@ -1,0 +1,64 @@
+"""Compiler analyses: recurrences, terminators, dependences, taxonomy.
+
+The entry point most callers want is
+:func:`repro.analysis.loopinfo.analyze_loop`, which runs the whole
+pipeline and returns a :class:`~repro.analysis.loopinfo.LoopInfo`.
+"""
+
+from repro.analysis.ddg import DDG, build_ddg
+from repro.analysis.defuse import AccessRef, Effects, block_effects, stmt_effects
+from repro.analysis.dependence import (
+    Dependence,
+    DependenceReport,
+    DepKind,
+    Verdict,
+    analyze_dependences,
+    pair_dependence,
+)
+from repro.analysis.loopinfo import LoopInfo, analyze_loop
+from repro.analysis.normalize import normalize_loop, substitute_var
+from repro.analysis.privatization import (
+    PrivInfo,
+    PrivStatus,
+    analyze_privatization,
+    scalar_privatization,
+)
+from repro.analysis.recurrence import (
+    RecKind,
+    Recurrence,
+    affine_in,
+    constant_of,
+    find_recurrences,
+)
+from repro.analysis.scc import condensation, tarjan_scc, topological_order
+from repro.analysis.subscript import (
+    AffineSubscript,
+    SubscriptInfo,
+    analyze_subscripts,
+    normalize_to_iteration,
+)
+from repro.analysis.taxonomy import (
+    TAXONOMY_TABLE,
+    DispatcherClass,
+    ParallelKind,
+    TaxonomyCell,
+    classify_cell,
+)
+from repro.analysis.terminator import TermClass, TerminatorInfo, classify_terminator
+
+__all__ = [
+    "DDG", "build_ddg",
+    "AccessRef", "Effects", "block_effects", "stmt_effects",
+    "Dependence", "DependenceReport", "DepKind", "Verdict",
+    "analyze_dependences", "pair_dependence",
+    "LoopInfo", "analyze_loop",
+    "normalize_loop", "substitute_var",
+    "PrivInfo", "PrivStatus", "analyze_privatization", "scalar_privatization",
+    "RecKind", "Recurrence", "affine_in", "constant_of", "find_recurrences",
+    "condensation", "tarjan_scc", "topological_order",
+    "AffineSubscript", "SubscriptInfo", "analyze_subscripts",
+    "normalize_to_iteration",
+    "TAXONOMY_TABLE", "DispatcherClass", "ParallelKind", "TaxonomyCell",
+    "classify_cell",
+    "TermClass", "TerminatorInfo", "classify_terminator",
+]

@@ -1,0 +1,106 @@
+"""Statement-level data dependence graph (DDG) of a loop body.
+
+Section 6 of the paper distributes a loop by condensing the SCCs of
+its body's dependence graph and peeling top-level recurrences.  Nodes
+here are *top-level* body statement indices; edges are conservative:
+
+* **flow** edges from a scalar/array definer to each statement that may
+  read the value (in either textual direction — a textually earlier
+  reader closes a loop-carried cycle only when a return path exists);
+* **memory conflict** edges (anti/output, and any array pair with a
+  write where independence is not proven) are added in *both*
+  directions, forcing the statements into one SCC — the safe choice
+  when subscripts cannot be compared.
+
+The recurrence detector tags each SCC that updates a scalar from its
+own value; :func:`recurrence_sccs` surfaces the hierarchically
+top-level ones, which Section 6 extracts first.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.analysis.defuse import stmt_effects
+from repro.analysis.scc import condensation
+from repro.ir.functions import FunctionTable
+from repro.ir.nodes import Loop, Stmt
+
+__all__ = ["build_ddg", "DDG"]
+
+
+class DDG:
+    """The dependence graph plus its condensation.
+
+    Attributes
+    ----------
+    graph:
+        ``graph[i]`` = set of statement indices depending on ``i``.
+    components:
+        SCCs in reverse topological order (lists of statement indices).
+    dag:
+        Component-level edges, ``dag[ci]`` = successor component ids.
+    """
+
+    def __init__(self, graph: Dict[int, Set[int]]) -> None:
+        self.graph = graph
+        comps, dag = condensation(graph)
+        self.components: List[List[int]] = [sorted(c) for c in comps]
+        self.dag = dag
+
+    def topo_components(self) -> List[List[int]]:
+        """Components in forward topological (executable) order."""
+        return list(reversed(self.components))
+
+    def component_of(self, stmt_index: int) -> int:
+        """Component id containing a statement."""
+        for ci, comp in enumerate(self.components):
+            if stmt_index in comp:
+                return ci
+        raise KeyError(stmt_index)
+
+    def is_single_scc(self) -> bool:
+        """True when the whole body is one strongly connected component
+        — the case where "a proper distribution is not possible"
+        (paper Section 3)."""
+        return len(self.components) == 1 and len(self.components[0]) > 1
+
+
+def build_ddg(loop: Loop, funcs: Optional[FunctionTable] = None) -> DDG:
+    """Build the conservative statement-level DDG of ``loop.body``."""
+    body: Sequence[Stmt] = loop.body
+    effs = [stmt_effects(s, funcs) for s in body]
+    n = len(body)
+    graph: Dict[int, Set[int]] = {i: set() for i in range(n)}
+
+    for i in range(n):
+        # Self-dependence: a statement reading a scalar it defines is a
+        # recurrence (one-statement SCC); flag it with a self-edge.
+        if effs[i].scalar_writes & effs[i].scalar_reads:
+            graph[i].add(i)
+        for j in range(n):
+            if i == j:
+                continue
+            # Scalar flow: i defines, j uses.
+            if effs[i].scalar_writes & effs[j].scalar_reads:
+                graph[i].add(j)
+            # Scalar anti/output: conservative bidirectional edge.
+            if (effs[i].scalar_writes & effs[j].scalar_writes):
+                graph[i].add(j)
+                graph[j].add(i)
+            # Array conflicts with a write on either side: without a
+            # subscript comparison we must keep them together.
+            arrays_i = effs[i].array_reads | effs[i].array_writes
+            arrays_j = effs[j].array_reads | effs[j].array_writes
+            conflict = {
+                a for a in arrays_i & arrays_j
+                if a in effs[i].array_writes or a in effs[j].array_writes
+            }
+            if conflict:
+                graph[i].add(j)
+                graph[j].add(i)
+            # An Exit statement is control-dependent glue: everything
+            # after it is control dependent on it.
+            if effs[i].has_exit and j > i:
+                graph[i].add(j)
+    return DDG(graph)

@@ -1,0 +1,185 @@
+"""Def/use analysis: what each statement reads and writes.
+
+The foundation of every other analysis: recurrence detection finds
+scalars whose def depends on their own use; the terminator classifier
+intersects the terminator's use set with the remainder's def set; the
+dependence graph draws edges between defs and uses.
+
+All sets are conservative over-approximations: statements under an
+``If`` are treated as always executing, intrinsic calls contribute
+their declared ``reads``/``writes``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Sequence, Tuple
+
+from repro.ir.functions import FunctionTable
+from repro.ir.nodes import (
+    ArrayAssign,
+    ArrayRef,
+    Assign,
+    Call,
+    Exit,
+    Expr,
+    ExprStmt,
+    For,
+    If,
+    Next,
+    Stmt,
+    Var,
+)
+from repro.ir.visitor import walk
+
+__all__ = ["AccessRef", "Effects", "expr_effects", "stmt_effects", "block_effects"]
+
+
+@dataclass(frozen=True)
+class AccessRef:
+    """One syntactic array access: ``array[index]`` at a body position."""
+
+    array: str
+    index: Expr
+    is_write: bool
+
+
+@dataclass(frozen=True)
+class Effects:
+    """Read/write summary of an IR fragment.
+
+    Attributes
+    ----------
+    scalar_reads / scalar_writes:
+        Scalar variable names used / defined.
+    array_reads / array_writes:
+        Array names read / written (including intrinsic declarations).
+    accesses:
+        The individual syntactic array accesses (IR-level only; an
+        intrinsic's internal accesses are summarized by name in
+        ``array_reads``/``array_writes`` and flagged by ``opaque``).
+    lists:
+        Linked lists hopped through.
+    calls:
+        Intrinsic names invoked.
+    has_exit:
+        Whether the fragment can exit the top-level loop.
+    opaque:
+        True when an intrinsic with declared array reads/writes is
+        called: its *index* pattern is unknown even though the array
+        names are, which is what pushes a loop into the paper's
+        "access pattern cannot be analyzed" class (Section 5).
+    """
+
+    scalar_reads: FrozenSet[str] = frozenset()
+    scalar_writes: FrozenSet[str] = frozenset()
+    array_reads: FrozenSet[str] = frozenset()
+    array_writes: FrozenSet[str] = frozenset()
+    accesses: Tuple[AccessRef, ...] = ()
+    lists: FrozenSet[str] = frozenset()
+    calls: FrozenSet[str] = frozenset()
+    has_exit: bool = False
+    opaque: bool = False
+
+    def union(self, other: "Effects") -> "Effects":
+        """Merge two summaries (both may execute)."""
+        return Effects(
+            self.scalar_reads | other.scalar_reads,
+            self.scalar_writes | other.scalar_writes,
+            self.array_reads | other.array_reads,
+            self.array_writes | other.array_writes,
+            self.accesses + other.accesses,
+            self.lists | other.lists,
+            self.calls | other.calls,
+            self.has_exit or other.has_exit,
+            self.opaque or other.opaque,
+        )
+
+    @property
+    def writes_memory(self) -> bool:
+        """Whether the fragment writes any shared array."""
+        return bool(self.array_writes)
+
+    def reads_anything_in(self, names: FrozenSet[str]) -> bool:
+        """Whether any scalar or array read intersects ``names``."""
+        return bool((self.scalar_reads | self.array_reads) & names)
+
+
+def expr_effects(e: Expr, funcs: Optional[FunctionTable] = None) -> Effects:
+    """Compute the (read-only plus intrinsic) effects of an expression."""
+    scalar_reads = set()
+    array_reads = set()
+    accesses = []
+    lists = set()
+    calls = set()
+    array_writes = set()
+    opaque = False
+    for n in walk(e):
+        if isinstance(n, Var):
+            scalar_reads.add(n.name)
+        elif isinstance(n, ArrayRef):
+            array_reads.add(n.array)
+            accesses.append(AccessRef(n.array, n.index, False))
+        elif isinstance(n, Next):
+            lists.add(n.list_name)
+        elif isinstance(n, Call):
+            calls.add(n.fn)
+            if funcs is not None and n.fn in funcs:
+                intr = funcs[n.fn]
+                array_reads.update(intr.reads)
+                array_writes.update(intr.writes)
+                if intr.reads or intr.writes:
+                    opaque = True
+    return Effects(
+        frozenset(scalar_reads), frozenset(), frozenset(array_reads),
+        frozenset(array_writes), tuple(accesses), frozenset(lists),
+        frozenset(calls), False, opaque,
+    )
+
+
+def stmt_effects(s: Stmt, funcs: Optional[FunctionTable] = None) -> Effects:
+    """Compute the effects of a single statement (recursing into bodies)."""
+    if isinstance(s, Assign):
+        eff = expr_effects(s.expr, funcs)
+        return Effects(
+            eff.scalar_reads, frozenset({s.name}), eff.array_reads,
+            eff.array_writes, eff.accesses, eff.lists, eff.calls,
+            False, eff.opaque,
+        )
+    if isinstance(s, ArrayAssign):
+        eff = expr_effects(s.index, funcs).union(expr_effects(s.expr, funcs))
+        return Effects(
+            eff.scalar_reads, frozenset(), eff.array_reads,
+            eff.array_writes | {s.array},
+            eff.accesses + (AccessRef(s.array, s.index, True),),
+            eff.lists, eff.calls, False, eff.opaque,
+        )
+    if isinstance(s, ExprStmt):
+        return expr_effects(s.expr, funcs)
+    if isinstance(s, If):
+        eff = expr_effects(s.cond, funcs)
+        eff = eff.union(block_effects(s.then, funcs))
+        eff = eff.union(block_effects(s.orelse, funcs))
+        return eff
+    if isinstance(s, Exit):
+        return Effects(has_exit=True)
+    if isinstance(s, For):
+        eff = expr_effects(s.lo, funcs).union(expr_effects(s.hi, funcs))
+        body = block_effects(s.body, funcs)
+        # The loop variable is written by the For itself.
+        body = Effects(
+            body.scalar_reads, body.scalar_writes | {s.var},
+            body.array_reads, body.array_writes, body.accesses,
+            body.lists, body.calls, body.has_exit, body.opaque,
+        )
+        return eff.union(body)
+    raise TypeError(f"unknown statement {type(s).__name__}")
+
+
+def block_effects(stmts: Sequence[Stmt],
+                  funcs: Optional[FunctionTable] = None) -> Effects:
+    """Union of the effects of a statement sequence."""
+    eff = Effects()
+    for s in stmts:
+        eff = eff.union(stmt_effects(s, funcs))
+    return eff

@@ -1,0 +1,221 @@
+"""Cross-iteration data dependence testing (flow / anti / output).
+
+Section 5 of the paper: a loop's iterations may run in parallel,
+unsynchronized, iff no flow, anti, or output dependence crosses
+iterations.  For affine subscripts we decide this statically with the
+classic GCD divisibility test plus a Banerjee-style bounds check; for
+anything else the verdict is UNKNOWN, which routes the loop to the
+run-time PD test (:mod:`repro.speculation.pdtest`).
+
+Scalar dependences: a scalar that is read before being written within
+an iteration (and is not the dispatcher) carries a cross-iteration
+flow dependence unless it is loop-invariant; scalars always written
+first are privatizable temporaries (``tmp`` in Figure 5(b)).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis.defuse import AccessRef, block_effects, stmt_effects
+from repro.analysis.recurrence import Recurrence
+from repro.analysis.subscript import AffineSubscript, SubscriptInfo
+from repro.ir.functions import FunctionTable
+from repro.ir.nodes import Loop
+
+__all__ = ["DepKind", "Dependence", "Verdict", "pair_dependence",
+           "analyze_dependences", "DependenceReport"]
+
+
+class DepKind(Enum):
+    """The three dependence types of Section 5."""
+
+    FLOW = "flow"      #: read-after-write
+    ANTI = "anti"      #: write-after-read
+    OUTPUT = "output"  #: write-after-write
+
+
+class Verdict(Enum):
+    """Overall remainder parallelism verdict."""
+
+    INDEPENDENT = "independent"  #: provably no cross-iteration dependence
+    DEPENDENT = "dependent"      #: provably has one
+    UNKNOWN = "unknown"          #: needs the run-time PD test
+
+
+@dataclass(frozen=True)
+class Dependence:
+    """One (possible) cross-iteration dependence between two accesses."""
+
+    array: str
+    kind: DepKind
+    src: AccessRef
+    dst: AccessRef
+    proven: bool  #: True = definitely exists; False = merely possible
+
+
+@dataclass(frozen=True)
+class DependenceReport:
+    """Result of :func:`analyze_dependences`."""
+
+    verdict: Verdict
+    dependences: Tuple[Dependence, ...]
+    unknown_accesses: int
+
+    @property
+    def parallel(self) -> bool:
+        """Provably fully parallel remainder."""
+        return self.verdict is Verdict.INDEPENDENT
+
+
+def _ranges_disjoint(s1: AffineSubscript, s2: AffineSubscript,
+                     u: Optional[int]) -> bool:
+    """Banerjee-style bounds check over iterations ``1..u``."""
+    if u is None:
+        return False
+    lo1, hi1 = sorted((s1.a * 1 + s1.b, s1.a * u + s1.b))
+    lo2, hi2 = sorted((s2.a * 1 + s2.b, s2.a * u + s2.b))
+    return hi1 < lo2 or hi2 < lo1
+
+
+def pair_dependence(s1: AffineSubscript, s2: AffineSubscript,
+                    u: Optional[int] = None
+                    ) -> Tuple[Optional[bool], Optional[int]]:
+    """Can ``a1*k1+b1 == a2*k2+b2`` hold for iterations ``k1 != k2``?
+
+    Returns ``(exists, shift)``: ``exists`` is ``True`` (definitely),
+    ``False`` (provably never), or ``None`` (possible — conservatively
+    treated as dependent).  For equal coefficients, ``shift = k1 - k2``
+    for colliding pairs — its sign orients the dependence (positive:
+    access 2 happens in the *earlier* iteration).
+
+    ``u`` is an upper bound on the iteration count when known (for
+    WHILE loops it usually is not; the test then ignores bounds).
+    """
+    a1, b1, a2, b2 = s1.a, s1.b, s2.a, s2.b
+    if a1 == 0 and a2 == 0:
+        return (b1 == b2), None  # same fixed cell touched every iteration
+    if a1 == a2:
+        d = b2 - b1
+        if d == 0:
+            return False, 0  # same cell only within one iteration
+        if d % a1 == 0:
+            k_shift = d // a1
+            if u is None or abs(k_shift) < u:
+                return True, k_shift
+            return False, None
+        return False, None
+    g = math.gcd(a1, a2)
+    if (b2 - b1) % g != 0:
+        return False, None  # GCD test: no integer solutions at all
+    if _ranges_disjoint(s1, s2, u):
+        return False, None
+    return None, None  # solutions may exist; be conservative
+
+
+def _dep_kind(first_write: bool, second_write: bool) -> DepKind:
+    """Dependence kind given which of (earlier, later) access writes."""
+    if first_write and second_write:
+        return DepKind.OUTPUT
+    if first_write:
+        return DepKind.FLOW
+    return DepKind.ANTI
+
+
+def analyze_dependences(
+    loop: Loop,
+    dispatcher: Optional[Recurrence],
+    subs: Sequence[SubscriptInfo],
+    funcs: Optional[FunctionTable] = None,
+    *,
+    remainder_stmts: Optional[Sequence[int]] = None,
+    max_iters: Optional[int] = None,
+) -> DependenceReport:
+    """Decide whether the remainder's iterations are independent.
+
+    Combines (a) the affine array access tests over every pair of
+    accesses to the same array where at least one is a write, and (b)
+    the scalar read-before-write check described in the module
+    docstring.  Any unknown subscript on an array that is written
+    yields an UNKNOWN verdict (paper Section 5: speculate + PD test).
+    """
+    deps: List[Dependence] = []
+    unknown = 0
+    possibly_dependent = False
+
+    # Opaque intrinsics with declared array writes access shared memory
+    # with unknown indices: the verdict cannot be better than UNKNOWN.
+    body_stmts = (loop.body if remainder_stmts is None
+                  else [loop.body[i] for i in remainder_stmts])
+    opaque_eff = block_effects(body_stmts, funcs)
+    if opaque_eff.opaque and opaque_eff.array_writes:
+        unknown += 1
+
+    written_arrays = {s.access.array for s in subs if s.access.is_write} \
+        | (opaque_eff.array_writes if opaque_eff.opaque else frozenset())
+    for s1 in subs:
+        if s1.unknown and s1.access.array in written_arrays:
+            unknown += 1
+    for i, s1 in enumerate(subs):
+        for s2 in subs[i:]:
+            if s1.access.array != s2.access.array:
+                continue
+            if not (s1.access.is_write or s2.access.is_write):
+                continue
+            if s1.unknown or s2.unknown:
+                continue
+            if s1.disp_injective and s2.disp_injective:
+                # Both index by the same never-repeating dispatcher
+                # value: they can only meet within one iteration.
+                continue
+            if s1.affine is None or s2.affine is None:
+                # One injective-dispatcher, one affine-in-k: no common
+                # coordinate system; stay conservative.
+                deps.append(Dependence(
+                    s1.access.array,
+                    _dep_kind(s1.access.is_write, s2.access.is_write),
+                    s1.access, s2.access, proven=False))
+                possibly_dependent = True
+                continue
+            res, shift = pair_dependence(s1.affine, s2.affine, max_iters)
+            if res is False:
+                continue
+            # Orient by shift sign when known: shift > 0 means s2's
+            # colliding access occurs in the earlier iteration.
+            if shift is not None and shift > 0:
+                first, second = s2.access, s1.access
+            else:
+                first, second = s1.access, s2.access
+            deps.append(Dependence(
+                s1.access.array,
+                _dep_kind(first.is_write, second.is_write),
+                first, second, proven=bool(res)))
+            possibly_dependent = True
+
+    # Scalar cross-iteration flow dependences (remainder scalars only).
+    body = (loop.body if remainder_stmts is None
+            else [loop.body[i] for i in remainder_stmts])
+    disp_vars = {dispatcher.var} if dispatcher else set()
+    written_before: set = set()
+    scalar_dep = False
+    body_writes = block_effects(body, funcs).scalar_writes
+    for s in body:
+        eff = stmt_effects(s, funcs)
+        carried = (eff.scalar_reads - written_before - disp_vars) & body_writes
+        if carried:
+            scalar_dep = True
+        written_before |= eff.scalar_writes
+
+    if scalar_dep:
+        possibly_dependent = True
+
+    if unknown:
+        verdict = Verdict.UNKNOWN
+    elif possibly_dependent:
+        verdict = Verdict.DEPENDENT
+    else:
+        verdict = Verdict.INDEPENDENT
+    return DependenceReport(verdict, tuple(deps), unknown)

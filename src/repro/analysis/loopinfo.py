@@ -1,0 +1,164 @@
+"""``analyze_loop``: the one-stop compiler analysis front door.
+
+Bundles every per-loop analysis into a :class:`LoopInfo` that the
+planner (:mod:`repro.planner`) and the executors consume: detected
+recurrences, the dominating dispatcher, remainder statement split,
+terminator class, Table-1 taxonomy cell, remainder dependence verdict,
+and privatization statuses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.analysis.ddg import DDG, build_ddg
+from repro.analysis.defuse import Effects, block_effects
+from repro.analysis.dependence import (
+    DependenceReport,
+    Verdict,
+    analyze_dependences,
+)
+from repro.analysis.privatization import PrivInfo, analyze_privatization
+from repro.analysis.recurrence import Recurrence, find_recurrences
+from repro.analysis.subscript import SubscriptInfo, analyze_subscripts
+from repro.analysis.taxonomy import TaxonomyCell, classify_cell
+from repro.analysis.terminator import TerminatorInfo, classify_terminator
+from repro.ir.functions import FunctionTable
+from repro.ir.nodes import Loop
+from repro.ir.visitor import expr_vars
+
+__all__ = ["LoopInfo", "analyze_loop"]
+
+
+@dataclass(frozen=True)
+class LoopInfo:
+    """Complete static analysis of one canonical loop.
+
+    Attributes
+    ----------
+    loop:
+        The analyzed loop.
+    recurrences:
+        All detected scalar recurrences, in body order.
+    dispatcher:
+        The dominating recurrence (the one the terminator reads, else
+        the first), or ``None`` when the loop has no recurrence —
+        which means no iteration counter exists and only sequential
+        execution is possible.
+    dispatcher_stmts / remainder_stmts:
+        Partition of top-level body statement indices.
+    terminator:
+        RI/RV classification and exit structure.
+    taxonomy:
+        The loop's Table-1 cell.
+    dependence:
+        Remainder cross-iteration dependence verdict (array + scalar).
+    privatization:
+        Privatization statuses for remainder arrays and scalars.
+    subscripts:
+        Normalized array subscripts of the remainder.
+    effects:
+        Whole-body effect summary.
+    multi_recurrence:
+        More than one recurrence was found (Section 6 machinery
+        applies).
+    """
+
+    loop: Loop
+    recurrences: Tuple[Recurrence, ...]
+    dispatcher: Optional[Recurrence]
+    dispatcher_stmts: Tuple[int, ...]
+    remainder_stmts: Tuple[int, ...]
+    terminator: TerminatorInfo
+    taxonomy: TaxonomyCell
+    dependence: DependenceReport
+    privatization: PrivInfo
+    subscripts: Tuple[SubscriptInfo, ...]
+    effects: Effects
+    multi_recurrence: bool
+
+    @property
+    def remainder_parallel(self) -> bool:
+        """Remainder provably has independent iterations."""
+        return self.dependence.verdict is Verdict.INDEPENDENT
+
+    @property
+    def needs_runtime_test(self) -> bool:
+        """Remainder parallelism undecidable statically (PD-test path)."""
+        return self.dependence.verdict is Verdict.UNKNOWN
+
+    @property
+    def may_overshoot(self) -> bool:
+        """Whether a parallel execution may run past the sequential exit."""
+        return self.taxonomy.overshoot
+
+    def ddg(self, funcs: Optional[FunctionTable] = None) -> DDG:
+        """Build the body's dependence graph on demand (Section 6)."""
+        return build_ddg(self.loop, funcs)
+
+
+def _pick_dispatcher(loop: Loop,
+                     recs: Tuple[Recurrence, ...]) -> Optional[Recurrence]:
+    """Choose the *dominating* recurrence (paper Section 2).
+
+    Preference order: a recurrence the loop-top condition reads
+    (it controls termination), then the first detected one.
+    """
+    if not recs:
+        return None
+    cond_vars = expr_vars(loop.cond)
+    for r in recs:
+        if r.var in cond_vars:
+            return r
+    return recs[0]
+
+
+def analyze_loop(loop: Loop,
+                 funcs: Optional[FunctionTable] = None,
+                 *,
+                 max_iters: Optional[int] = None) -> LoopInfo:
+    """Run the full static analysis pipeline on ``loop``.
+
+    Parameters
+    ----------
+    funcs:
+        Intrinsic table (for declared kernel read/write sets).
+    max_iters:
+        Optional statically known iteration bound, which sharpens the
+        Banerjee bounds test.
+    """
+    recs = tuple(find_recurrences(loop, funcs))
+    dispatcher = _pick_dispatcher(loop, recs)
+    disp_stmts = tuple(sorted(
+        r.stmt_index for r in recs
+        if dispatcher is not None and r.var == dispatcher.var))
+    remainder = tuple(i for i in range(len(loop.body))
+                      if i not in disp_stmts)
+
+    term = classify_terminator(loop, dispatcher, funcs)
+    cell = classify_cell(dispatcher, term, loop.cond)
+    subs = tuple(analyze_subscripts(loop, dispatcher, funcs,
+                                    remainder_stmts=remainder))
+    dep = analyze_dependences(loop, dispatcher, subs, funcs,
+                              remainder_stmts=remainder,
+                              max_iters=max_iters)
+    priv = analyze_privatization(
+        loop, funcs, remainder_stmts=remainder,
+        dispatcher_var=dispatcher.var if dispatcher else None)
+    eff = block_effects(loop.body, funcs)
+
+    return LoopInfo(
+        loop=loop,
+        recurrences=recs,
+        dispatcher=dispatcher,
+        dispatcher_stmts=disp_stmts,
+        remainder_stmts=remainder,
+        terminator=term,
+        taxonomy=cell,
+        dependence=dep,
+        privatization=priv,
+        subscripts=subs,
+        effects=eff,
+        multi_recurrence=len(recs) > 1,
+    )

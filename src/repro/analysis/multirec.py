@@ -1,0 +1,164 @@
+"""Section 6: transforming arbitrary WHILE loops (multiple recurrences).
+
+The paper's procedure:
+
+1. build the body's data dependence graph and condense its SCCs;
+2. distribute the loop: peel the *hierarchically top-level*
+   recurrences into their own loops, recurse on the rest;
+3. classify each distributed block (parallelizable recurrence /
+   fully parallel / sequential / statically unanalyzable);
+4. **fuse** bottom-up: contiguous sequential blocks merge, contiguous
+   parallel blocks merge, and a sequential block encountered after a
+   parallel run starts a new fused unit — maximizing granularity and
+   parallel code while respecting the dependence order;
+5. schedule the fused sequence, pipelining sequential blocks
+   DOACROSS-style when the dependence graph allows.
+
+This module produces the *plan* (which statements go to which block,
+each block's execution mode); :mod:`repro.executors.multirec` executes
+and times it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.ddg import build_ddg
+from repro.analysis.defuse import block_effects
+from repro.analysis.recurrence import RecKind, Recurrence, find_recurrences
+from repro.ir.functions import FunctionTable
+from repro.ir.nodes import Loop
+
+__all__ = ["BlockMode", "DistributedBlock", "DistributionPlan",
+           "plan_distribution", "fuse_blocks"]
+
+
+class BlockMode(Enum):
+    """Execution mode of one distributed block."""
+
+    RECURRENCE_PARALLEL = "recurrence-parallel"   #: induction/affine: prefix or closed form
+    RECURRENCE_SEQUENTIAL = "recurrence-sequential"  #: general recurrence chain
+    PARALLEL = "parallel"                          #: independent iterations (DOALL)
+    SEQUENTIAL = "sequential"                      #: carried deps, no recognized form
+    UNKNOWN = "unknown"                            #: needs the PD test
+
+
+@dataclass(frozen=True)
+class DistributedBlock:
+    """One block of the distributed loop.
+
+    ``stmts`` are top-level body statement indices (original order);
+    ``mode`` is the execution verdict; ``recurrence`` is set for
+    recurrence blocks.
+    """
+
+    stmts: Tuple[int, ...]
+    mode: BlockMode
+    recurrence: Optional[Recurrence] = None
+
+    @property
+    def parallelizable(self) -> bool:
+        """Whether this block can use more than one processor."""
+        return self.mode in (BlockMode.RECURRENCE_PARALLEL,
+                             BlockMode.PARALLEL)
+
+
+@dataclass(frozen=True)
+class DistributionPlan:
+    """The fully distributed and fused plan for a loop body."""
+
+    blocks: Tuple[DistributedBlock, ...]
+    fused: Tuple[DistributedBlock, ...]
+    single_scc: bool  #: body was one big SCC: no distribution possible
+
+    @property
+    def n_parallel_blocks(self) -> int:
+        """Fused blocks that run in parallel mode."""
+        return sum(1 for b in self.fused if b.parallelizable)
+
+
+def _component_mode(comp: Sequence[int], loop: Loop,
+                    recs: Dict[int, Recurrence],
+                    funcs: Optional[FunctionTable],
+                    self_loop: bool) -> Tuple[BlockMode, Optional[Recurrence]]:
+    """Classify one SCC of the dependence graph."""
+    eff = block_effects([loop.body[i] for i in comp], funcs)
+    carried = len(comp) > 1 or self_loop
+    rec = None
+    for i in comp:
+        if i in recs:
+            rec = recs[i]
+            break
+    if rec is not None and len(comp) == 1 and not rec.irregular:
+        if rec.kind in (RecKind.INDUCTION, RecKind.AFFINE):
+            return BlockMode.RECURRENCE_PARALLEL, rec
+        return BlockMode.RECURRENCE_SEQUENTIAL, rec
+    if carried:
+        return BlockMode.SEQUENTIAL, rec
+    if eff.opaque:
+        return BlockMode.UNKNOWN, None
+    # Subscripted subscripts / calls in a written index make the
+    # block's access pattern statically unanalyzable (Section 5).
+    from repro.analysis.subscript import _is_statically_opaque
+    for acc in eff.accesses:
+        if acc.is_write and _is_statically_opaque(acc.index):
+            return BlockMode.UNKNOWN, None
+    return BlockMode.PARALLEL, None
+
+
+def plan_distribution(loop: Loop,
+                      funcs: Optional[FunctionTable] = None
+                      ) -> DistributionPlan:
+    """Distribute a loop body along its dependence-graph condensation.
+
+    Implements the recursive extraction of Section 6: the condensation
+    is processed in topological order, which is exactly the order the
+    recursion would peel top-level recurrences.
+    """
+    ddg = build_ddg(loop, funcs)
+    recs = {r.stmt_index: r for r in find_recurrences(loop, funcs)}
+    blocks: List[DistributedBlock] = []
+    for comp in ddg.topo_components():
+        self_loop = (len(comp) == 1
+                     and comp[0] in ddg.graph.get(comp[0], ()))
+        mode, rec = _component_mode(comp, loop, recs, funcs, self_loop)
+        blocks.append(DistributedBlock(tuple(sorted(comp)), mode, rec))
+    fused = fuse_blocks(blocks)
+    return DistributionPlan(tuple(blocks), fused, ddg.is_single_scc())
+
+
+def fuse_blocks(blocks: Sequence[DistributedBlock]
+                ) -> Tuple[DistributedBlock, ...]:
+    """Fuse contiguous same-parallelism blocks (Section 6's rules).
+
+    Walking the topological order: sequential-ish blocks merge with a
+    preceding sequential unit; parallel-ish blocks merge with a
+    preceding parallel unit; a mode change starts a new unit.
+    Recurrence blocks keep their identity (they drive the dispatcher
+    machinery) and are never fused into remainder units, mirroring the
+    paper's caution about fusing prefix-evaluated recurrences.
+    """
+    fused: List[DistributedBlock] = []
+    for b in blocks:
+        if b.recurrence is not None:
+            fused.append(b)
+            continue
+        mergeable = (fused
+                     and fused[-1].recurrence is None
+                     and fused[-1].parallelizable == b.parallelizable
+                     # UNKNOWN must stay separate: fusing a PD-tested
+                     # block into a dominating block raises the cost of
+                     # a failed test (Section 6).
+                     and BlockMode.UNKNOWN not in (fused[-1].mode, b.mode))
+        if mergeable:
+            prev = fused.pop()
+            mode = prev.mode if prev.mode == b.mode else (
+                BlockMode.PARALLEL if b.parallelizable
+                else BlockMode.SEQUENTIAL)
+            fused.append(DistributedBlock(
+                tuple(sorted(prev.stmts + b.stmts)), mode))
+        else:
+            fused.append(b)
+    return tuple(fused)

@@ -1,0 +1,144 @@
+"""Loop normalization: rewrite loops into the canonical scheme form.
+
+The parallel executors assume the paper's canonical shape (Figure 1):
+termination tests first, remainder work next, the dispatcher update
+last.  Real loops often interleave these; this pass restores the
+canonical order when it is provably legal:
+
+* **dispatcher sinking** — move the dispatcher's update statement
+  ``d = f(d)`` to the end of the body.  Statements after the update
+  read the *post-update* value; after sinking they would see the
+  pre-update value, so each trailing read of ``d`` is rewritten to
+  ``f(d)`` (the update's right-hand side, which reads the pre-update
+  value).  This is always semantics-preserving because IR expressions
+  are pure; it merely re-evaluates ``f`` (an extra hop or a couple of
+  ALU cycles) at each rewritten site.  Sinking fails only when a
+  trailing statement *writes* the dispatcher again (an irregular
+  recurrence the schemes cannot handle anyway).
+* **exit hoisting is NOT performed** — reordering exits past writes
+  changes semantics; the clean-exit property is checked, not forced.
+
+``normalize_loop`` returns ``(loop', changed)`` where ``loop'`` is
+semantically equivalent to ``loop``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.analysis.defuse import stmt_effects
+from repro.analysis.recurrence import find_recurrences
+from repro.errors import AnalysisError
+from repro.ir.functions import FunctionTable
+from repro.ir.nodes import (
+    ArrayAssign,
+    ArrayRef,
+    Assign,
+    BinOp,
+    Call,
+    Const,
+    Expr,
+    ExprStmt,
+    For,
+    If,
+    Loop,
+    Next,
+    Stmt,
+    UnaryOp,
+    Var,
+)
+
+__all__ = ["normalize_loop", "substitute_var"]
+
+
+def substitute_var(e: Expr, name: str, replacement: Expr) -> Expr:
+    """Return ``e`` with every read of ``name`` replaced."""
+    if isinstance(e, Var):
+        return replacement if e.name == name else e
+    if isinstance(e, Const):
+        return e
+    if isinstance(e, BinOp):
+        return BinOp(e.op, substitute_var(e.left, name, replacement),
+                     substitute_var(e.right, name, replacement))
+    if isinstance(e, UnaryOp):
+        return UnaryOp(e.op, substitute_var(e.operand, name, replacement))
+    if isinstance(e, ArrayRef):
+        return ArrayRef(e.array, substitute_var(e.index, name, replacement))
+    if isinstance(e, Next):
+        return Next(e.list_name, substitute_var(e.ptr, name, replacement))
+    if isinstance(e, Call):
+        return Call(e.fn, [substitute_var(a, name, replacement)
+                           for a in e.args])
+    raise AnalysisError(f"cannot substitute into {type(e).__name__}")
+
+
+def _substitute_stmt(s: Stmt, name: str, replacement: Expr) -> Stmt:
+    if isinstance(s, Assign):
+        return Assign(s.name, substitute_var(s.expr, name, replacement))
+    if isinstance(s, ArrayAssign):
+        return ArrayAssign(s.array,
+                           substitute_var(s.index, name, replacement),
+                           substitute_var(s.expr, name, replacement))
+    if isinstance(s, ExprStmt):
+        return ExprStmt(substitute_var(s.expr, name, replacement))
+    if isinstance(s, If):
+        return If(substitute_var(s.cond, name, replacement),
+                  [_substitute_stmt(t, name, replacement) for t in s.then],
+                  [_substitute_stmt(t, name, replacement)
+                   for t in s.orelse])
+    if isinstance(s, For):
+        return For(s.var, substitute_var(s.lo, name, replacement),
+                   substitute_var(s.hi, name, replacement),
+                   [_substitute_stmt(t, name, replacement)
+                    for t in s.body])
+    return s  # Exit
+
+
+def normalize_loop(loop: Loop,
+                   funcs: Optional[FunctionTable] = None
+                   ) -> Tuple[Loop, bool]:
+    """Sink the dispatcher update to the end of the body.
+
+    Returns ``(normalized_loop, changed)``.  Raises
+    :class:`~repro.errors.AnalysisError` when trailing statements read
+    a non-invertible dispatcher update (the loop cannot be canonicalized
+    without changing semantics; callers should run it sequentially or
+    via DOACROSS).
+    """
+    recs = find_recurrences(loop, funcs)
+    if not recs:
+        return loop, False
+    # Normalize the dominating recurrence only (the one analyses pick).
+    from repro.analysis.loopinfo import _pick_dispatcher
+    disp = _pick_dispatcher(loop, tuple(recs))
+    if disp is None or disp.irregular:
+        return loop, False
+    pos = disp.stmt_index
+    body = list(loop.body)
+    if pos == len(body) - 1:
+        return loop, False  # already canonical
+    update = body[pos]
+    if not isinstance(update, Assign):
+        return loop, False
+    trailing = body[pos + 1:]
+    reads_after = [i for i, s in enumerate(trailing)
+                   if disp.var in stmt_effects(s, funcs).scalar_reads]
+    writes_after = [i for i, s in enumerate(trailing)
+                    if disp.var in stmt_effects(s, funcs).scalar_writes]
+    if writes_after:
+        raise AnalysisError(
+            f"loop {loop.name!r}: dispatcher {disp.var!r} is written "
+            f"again after its update; cannot normalize")
+    if reads_after:
+        # Trailing reads saw the post-update value; after sinking they
+        # will see the pre-update value, so substitute the update's
+        # RHS (which reads the pre-update value) into them.
+        new_trailing = [
+            _substitute_stmt(s, disp.var, update.expr)
+            if i in reads_after else s
+            for i, s in enumerate(trailing)
+        ]
+    else:
+        new_trailing = trailing
+    new_body = body[:pos] + new_trailing + [update]
+    return Loop(loop.init, loop.cond, new_body, name=loop.name), True

@@ -1,0 +1,180 @@
+"""Privatization analysis (paper Section 5, "Privatization Criterion").
+
+    A shared array ``A`` referenced in a loop ``L`` can be privatized
+    if and only if every read access to an element of ``A`` is
+    preceded by a write access to that same element of ``A`` within
+    the same iteration of ``L``.
+
+Privatization removes anti and output (memory-related) dependences by
+giving each processor a private copy.  This module implements a
+conservative *static* version of the criterion (syntactic index
+equality along all paths); the *dynamic* version — tracked per-element
+in shadow arrays — lives in the PD test
+(:mod:`repro.speculation.pdtest`).
+
+It also classifies the copy-in / copy-out needs the paper describes:
+a variable read before any write needs copy-in; a privatized variable
+live after the loop needs last-value copy-out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, FrozenSet, Optional, Sequence, Set, Tuple
+
+from repro.analysis.defuse import block_effects, stmt_effects
+from repro.ir.functions import FunctionTable
+from repro.ir.nodes import Expr, For, If, Loop, Stmt
+
+__all__ = ["PrivStatus", "PrivInfo", "analyze_privatization",
+           "scalar_privatization"]
+
+
+class PrivStatus(Enum):
+    """Outcome of the privatization criterion for one variable."""
+
+    PRIVATIZABLE = "privatizable"         #: criterion holds as stated
+    NEEDS_COPY_IN = "needs-copy-in"       #: read-first of outside value
+    NOT_PRIVATIZABLE = "not-privatizable"  #: cannot decide / fails
+
+
+@dataclass(frozen=True)
+class PrivInfo:
+    """Privatization verdicts for a loop body.
+
+    Attributes
+    ----------
+    arrays:
+        Per-array status for every array referenced in the remainder.
+    scalars:
+        Per-scalar status for remainder scalars (excluding the
+        dispatcher).
+    live_out_unknown:
+        Names whose liveness after the loop is unknown — privatizing
+        them requires the time-stamped copy-out trail of Section 5.
+    """
+
+    arrays: Dict[str, PrivStatus]
+    scalars: Dict[str, PrivStatus]
+    live_out_unknown: FrozenSet[str]
+
+
+def _array_read_write_order(
+    body: Sequence[Stmt],
+    array: str,
+    funcs: Optional[FunctionTable],
+) -> PrivStatus:
+    """Apply the criterion syntactically to one array.
+
+    Conservative walk in execution order: a read is "covered" only if
+    an unconditional earlier write in the same iteration uses a
+    *structurally identical* index expression.  Conditional writes
+    cover reads only within the same branch.
+    """
+
+    def scan(stmts: Sequence[Stmt], written: Set[Expr]) -> Optional[PrivStatus]:
+        for s in stmts:
+            if isinstance(s, If):
+                # Branches see a copy of the covered set; writes inside
+                # a branch do not cover reads after the If.
+                for blk in (s.then, s.orelse):
+                    bad = scan(blk, set(written))
+                    if bad is not None:
+                        return bad
+                continue
+            if isinstance(s, For):
+                bad = scan(s.body, set(written))
+                if bad is not None:
+                    return bad
+                continue
+            eff = stmt_effects(s, funcs)
+            if eff.opaque and array in (eff.array_reads | eff.array_writes):
+                return PrivStatus.NOT_PRIVATIZABLE
+            for acc in eff.accesses:
+                if acc.array != array:
+                    continue
+                if acc.is_write:
+                    written.add(acc.index)
+                elif acc.index not in written:
+                    return PrivStatus.NEEDS_COPY_IN
+        return None
+
+    bad = scan(body, set())
+    return bad if bad is not None else PrivStatus.PRIVATIZABLE
+
+
+def analyze_privatization(
+    loop: Loop,
+    funcs: Optional[FunctionTable] = None,
+    *,
+    remainder_stmts: Optional[Sequence[int]] = None,
+    dispatcher_var: Optional[str] = None,
+) -> PrivInfo:
+    """Run the privatization criterion over a loop's remainder."""
+    body = (list(loop.body) if remainder_stmts is None
+            else [loop.body[i] for i in remainder_stmts])
+    eff = block_effects(body, funcs)
+    arrays: Dict[str, PrivStatus] = {}
+    for a in sorted(eff.array_reads | eff.array_writes):
+        if a not in eff.array_writes:
+            # Read-only arrays need no privatization at all; report
+            # them privatizable trivially (no copies needed).
+            arrays[a] = PrivStatus.PRIVATIZABLE
+        else:
+            arrays[a] = _array_read_write_order(body, a, funcs)
+    scalars = scalar_privatization(body, funcs,
+                                   dispatcher_var=dispatcher_var)
+    live_unknown = frozenset(
+        n for n, st in {**arrays, **scalars}.items()
+        if st is PrivStatus.PRIVATIZABLE)
+    return PrivInfo(arrays, scalars, live_unknown)
+
+
+def scalar_privatization(
+    body: Sequence[Stmt],
+    funcs: Optional[FunctionTable] = None,
+    *,
+    dispatcher_var: Optional[str] = None,
+) -> Dict[str, PrivStatus]:
+    """Classify remainder scalars by the write-before-read criterion.
+
+    The dispatcher variable is excluded: it is loop-carried by design
+    and handled by the dispatcher machinery, not privatization.
+    """
+    out: Dict[str, PrivStatus] = {}
+    eff = block_effects(body, funcs)
+    candidates = eff.scalar_writes - ({dispatcher_var} if dispatcher_var
+                                      else set())
+    for v in sorted(candidates):
+        written = False
+        verdict: Optional[PrivStatus] = None
+
+        def scan(stmts: Sequence[Stmt], written_in: bool) -> Tuple[bool, Optional[PrivStatus]]:
+            w = written_in
+            for s in stmts:
+                if isinstance(s, If):
+                    wt, vt = scan(s.then, w)
+                    we, ve = scan(s.orelse, w)
+                    if vt is not None:
+                        return w, vt
+                    if ve is not None:
+                        return w, ve
+                    # Covered only if both branches wrote it.
+                    w = w or (wt and we)
+                    continue
+                if isinstance(s, For):
+                    _, vf = scan(s.body, w)
+                    if vf is not None:
+                        return w, vf
+                    continue
+                e = stmt_effects(s, funcs)
+                if v in e.scalar_reads and not w:
+                    return w, PrivStatus.NEEDS_COPY_IN
+                if v in e.scalar_writes:
+                    w = True
+            return w, None
+
+        written, verdict = scan(body, False)
+        out[v] = verdict if verdict is not None else PrivStatus.PRIVATIZABLE
+    return out

@@ -1,0 +1,273 @@
+"""Dispatcher detection: find and classify the loop's recurrences.
+
+Section 2 of the paper: a WHILE loop is controlled by a *dispatching
+recurrence* (the dispatcher).  This module finds scalar variables whose
+per-iteration update depends on their own previous value and classifies
+each update into the paper's taxonomy columns:
+
+* ``INDUCTION``    — ``v = v + c`` (closed form, fully parallel);
+  monotonic when the sign of ``c`` is known.
+* ``AFFINE``       — ``v = a*v + b`` with ``a != 1`` (associative;
+  parallelizable with a parallel prefix computation).
+* ``LIST``         — ``v = next(v)`` (a general recurrence with the
+  special structure of a linked-list traversal, enabling the
+  General-1/2/3 schemes).
+* ``GENERAL``      — anything else self-dependent (evaluated
+  sequentially; the General schemes still apply via the generic
+  ``advance`` closure).
+
+Only *top-level, unconditional* updates are treated as well-formed
+dispatchers; a conditionally-updated recurrence is classified
+``GENERAL`` with ``irregular=True`` (its closed form does not exist).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.ir.functions import FunctionTable
+from repro.ir.nodes import (
+    Assign,
+    BinOp,
+    Const,
+    Expr,
+    Loop,
+    Next,
+    Stmt,
+    UnaryOp,
+    Var,
+)
+from repro.ir.visitor import expr_vars
+
+__all__ = ["RecKind", "Recurrence", "find_recurrences", "constant_of", "affine_in"]
+
+
+class RecKind(Enum):
+    """Dispatcher classification (Table 1 columns)."""
+
+    INDUCTION = "induction"
+    AFFINE = "affine"
+    LIST = "list"
+    GENERAL = "general"
+
+
+@dataclass(frozen=True)
+class Recurrence:
+    """A detected recurrence on scalar ``var``.
+
+    Attributes
+    ----------
+    var:
+        The recurrence variable (the dispatcher candidate).
+    kind:
+        Classification (see :class:`RecKind`).
+    stmt_index:
+        Top-level body statement index of the update.
+    step / mul / add:
+        ``INDUCTION``: ``v = v + step``.  ``AFFINE``: ``v = mul*v +
+        add``.  Unused fields are ``None``.
+    list_name:
+        ``LIST``: which linked list is traversed.
+    init:
+        Constant initial value when the loop's ``init`` block
+        assigns one (needed for closed forms and monotonicity).
+    monotonic:
+        ``True``/``False`` when provable, ``None`` when unknown.
+    irregular:
+        The update is conditional or appears more than once, so no
+        closed form or prefix formulation is safe.
+    """
+
+    var: str
+    kind: RecKind
+    stmt_index: int
+    step: Optional[float] = None
+    mul: Optional[float] = None
+    add: Optional[float] = None
+    list_name: Optional[str] = None
+    init: Optional[float] = None
+    monotonic: Optional[bool] = None
+    irregular: bool = False
+
+
+def constant_of(e: Expr) -> Optional[float]:
+    """Fold an expression to a constant if it contains no variables."""
+    if isinstance(e, Const):
+        return e.value
+    if isinstance(e, UnaryOp) and e.op == "-":
+        v = constant_of(e.operand)
+        return None if v is None else -v
+    if isinstance(e, BinOp):
+        a, b = constant_of(e.left), constant_of(e.right)
+        if a is None or b is None:
+            return None
+        try:
+            if e.op == "+":
+                return a + b
+            if e.op == "-":
+                return a - b
+            if e.op == "*":
+                return a * b
+            if e.op == "/":
+                return a / b
+            if e.op == "//":
+                return a // b
+            if e.op == "%":
+                return a % b
+            if e.op == "**":
+                return a ** b
+        except (ZeroDivisionError, OverflowError, ValueError):
+            return None
+    return None
+
+
+def affine_in(e: Expr, var: str) -> Optional[Tuple[float, float]]:
+    """Decompose ``e`` as ``a*var + b`` with constant ``a, b``.
+
+    Returns ``(a, b)`` or ``None`` when ``e`` is not affine in ``var``
+    (with everything else constant).  This is the pattern engine behind
+    both induction/affine recurrence classification and the affine
+    subscript analysis.
+    """
+    if isinstance(e, Var):
+        return (1.0, 0.0) if e.name == var else None
+    c = constant_of(e)
+    if c is not None:
+        return (0.0, c)
+    if isinstance(e, UnaryOp) and e.op == "-":
+        sub = affine_in(e.operand, var)
+        if sub is None:
+            return None
+        return (-sub[0], -sub[1])
+    if isinstance(e, BinOp):
+        if e.op in ("+", "-"):
+            l, r = affine_in(e.left, var), affine_in(e.right, var)
+            if l is None or r is None:
+                return None
+            if e.op == "+":
+                return (l[0] + r[0], l[1] + r[1])
+            return (l[0] - r[0], l[1] - r[1])
+        if e.op == "*":
+            lc, rc = constant_of(e.left), constant_of(e.right)
+            if lc is not None:
+                sub = affine_in(e.right, var)
+                if sub is None:
+                    return None
+                return (lc * sub[0], lc * sub[1])
+            if rc is not None:
+                sub = affine_in(e.left, var)
+                if sub is None:
+                    return None
+                return (rc * sub[0], rc * sub[1])
+            return None
+        if e.op in ("/", "//"):
+            rc = constant_of(e.right)
+            if rc in (None, 0):
+                return None
+            sub = affine_in(e.left, var)
+            if sub is None:
+                return None
+            return (sub[0] / rc, sub[1] / rc)
+    return None
+
+
+def _init_constants(init: Sequence[Stmt]) -> Dict[str, float]:
+    """Constant values assigned in the loop's ``init`` block."""
+    out: Dict[str, float] = {}
+    for s in init:
+        if isinstance(s, Assign):
+            c = constant_of(s.expr)
+            if c is not None:
+                out[s.name] = c
+            elif s.name in out:
+                del out[s.name]
+    return out
+
+
+def _classify_update(var: str, rhs: Expr, init_val: Optional[float],
+                     stmt_index: int, irregular: bool) -> Recurrence:
+    """Classify a single self-dependent update ``var = rhs``."""
+    if isinstance(rhs, Next) and isinstance(rhs.ptr, Var) and rhs.ptr.name == var:
+        return Recurrence(var, RecKind.LIST, stmt_index,
+                          list_name=rhs.list_name, init=init_val,
+                          monotonic=None, irregular=irregular)
+    aff = affine_in(rhs, var)
+    if aff is not None and not irregular:
+        a, b = aff
+        if a == 1.0:
+            mono: Optional[bool]
+            if b > 0 or b < 0:
+                mono = True  # strictly monotone (either direction)
+            else:
+                mono = False  # step 0: not a progressing induction
+            return Recurrence(var, RecKind.INDUCTION, stmt_index, step=b,
+                              init=init_val, monotonic=(b != 0 and mono))
+        # a != 1: an affine (associative) recurrence a*v + b.
+        mono: Optional[bool] = None
+        if init_val is not None:
+            x1 = a * init_val + b
+            if x1 == init_val:
+                mono = False  # fixed point: the sequence is constant
+            elif a > 0:
+                # Positive multiplier: the sequence moves monotonically
+                # away from (or toward) the fixed point.
+                mono = True
+            else:
+                # Negative multiplier: check for a 2-cycle; otherwise
+                # the sequence oscillates (not monotone) but we cannot
+                # prove it never repeats, so stay undecided unless it
+                # provably cycles.
+                x2 = a * x1 + b
+                mono = False if x2 == init_val else None
+        return Recurrence(var, RecKind.AFFINE, stmt_index, mul=a, add=b,
+                          init=init_val, monotonic=mono)
+    return Recurrence(var, RecKind.GENERAL, stmt_index, init=init_val,
+                      irregular=irregular)
+
+
+def find_recurrences(loop: Loop,
+                     funcs: Optional[FunctionTable] = None) -> List[Recurrence]:
+    """Find every top-level scalar recurrence in ``loop``'s body.
+
+    A variable is a recurrence when some top-level assignment's RHS
+    reads the variable itself (directly).  Cross-variable recurrence
+    *systems* (``x`` uses ``y``, ``y`` uses ``x``) are detected by
+    :mod:`repro.analysis.multirec` via the dependence graph; here each
+    participating variable is reported individually (as ``GENERAL``
+    unless it self-updates in a recognized form).
+    """
+    init_consts = _init_constants(loop.init)
+    updates: Dict[str, List[Tuple[int, Expr, bool]]] = {}
+
+    def scan(stmts: Sequence[Stmt], top: bool, conditional: bool) -> None:
+        for pos, s in enumerate(stmts):
+            if isinstance(s, Assign):
+                idx = pos if top else -1
+                updates.setdefault(s.name, []).append(
+                    (idx, s.expr, conditional or not top))
+            elif hasattr(s, "then"):
+                scan(s.then, False, True)
+                scan(s.orelse, False, True)
+            elif hasattr(s, "body") and hasattr(s, "var"):
+                scan(s.body, False, True)
+
+    scan(loop.body, True, False)
+
+    out: List[Recurrence] = []
+    for var, sites in updates.items():
+        self_dep = [
+            (idx, rhs, cond) for idx, rhs, cond in sites
+            if var in expr_vars(rhs)
+            or (isinstance(rhs, Next) and isinstance(rhs.ptr, Var)
+                and rhs.ptr.name == var)
+        ]
+        if not self_dep:
+            continue
+        irregular = len(sites) > 1 or any(cond for _, _, cond in self_dep)
+        idx, rhs, _ = self_dep[0]
+        out.append(_classify_update(var, rhs, init_consts.get(var),
+                                    max(idx, 0), irregular))
+    out.sort(key=lambda r: r.stmt_index)
+    return out

@@ -1,0 +1,111 @@
+"""Strongly connected components (Tarjan) and condensation ordering.
+
+A small self-contained graph substrate: Section 6 of the paper builds
+the data dependence graph of the loop body, condenses its strongly
+connected components, and peels recurrences off in topological order.
+We implement Tarjan's algorithm iteratively (no recursion limits) and
+validate against ``networkx`` in the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Mapping, Set, Tuple
+
+__all__ = ["tarjan_scc", "condensation", "topological_order"]
+
+Graph = Mapping[Hashable, Iterable[Hashable]]
+
+
+def tarjan_scc(graph: Graph) -> List[List[Hashable]]:
+    """Strongly connected components in reverse topological order.
+
+    ``graph`` maps each node to its successors; nodes appearing only
+    as successors are included.  The returned component order is a
+    valid reverse-topological order of the condensation (Tarjan's
+    natural output order).
+    """
+    nodes: List[Hashable] = list(graph)
+    for vs in graph.values():
+        for v in vs:
+            if v not in graph:
+                nodes.append(v)
+    index: Dict[Hashable, int] = {}
+    low: Dict[Hashable, int] = {}
+    on_stack: Set[Hashable] = set()
+    stack: List[Hashable] = []
+    result: List[List[Hashable]] = []
+    counter = 0
+
+    for root in nodes:
+        if root in index:
+            continue
+        work: List[Tuple[Hashable, Iterable]] = [(root, iter(graph.get(root, ())))]
+        index[root] = low[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            v, it = work[-1]
+            advanced = False
+            for w in it:
+                if w not in index:
+                    index[w] = low[w] = counter
+                    counter += 1
+                    stack.append(w)
+                    on_stack.add(w)
+                    work.append((w, iter(graph.get(w, ()))))
+                    advanced = True
+                    break
+                if w in on_stack:
+                    low[v] = min(low[v], index[w])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[v])
+            if low[v] == index[v]:
+                comp: List[Hashable] = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    comp.append(w)
+                    if w == v:
+                        break
+                result.append(comp)
+    return result
+
+
+def condensation(graph: Graph) -> Tuple[List[List[Hashable]], Dict[int, Set[int]]]:
+    """SCCs plus the DAG of edges between them.
+
+    Returns ``(components, dag)`` where ``components`` is in reverse
+    topological order (as from :func:`tarjan_scc`) and ``dag[i]`` is
+    the set of component indices ``i`` has edges into.
+    """
+    comps = tarjan_scc(graph)
+    comp_of: Dict[Hashable, int] = {}
+    for ci, comp in enumerate(comps):
+        for v in comp:
+            comp_of[v] = ci
+    dag: Dict[int, Set[int]] = {ci: set() for ci in range(len(comps))}
+    for v, ws in graph.items():
+        for w in ws:
+            a, b = comp_of[v], comp_of[w]
+            if a != b:
+                dag[a].add(b)
+    return comps, dag
+
+
+def topological_order(graph: Graph) -> List[Hashable]:
+    """Topological order of a DAG (raises on cycles).
+
+    Used to schedule the distributed loops of Section 6; the input
+    must already be acyclic (a condensation).
+    """
+    comps = tarjan_scc(graph)
+    for comp in comps:
+        if len(comp) > 1 or (comp[0] in set(graph.get(comp[0], ()))):
+            raise ValueError("graph has a cycle; topological order undefined")
+    # tarjan_scc yields reverse topological order of singletons.
+    return [c[0] for c in reversed(comps)]

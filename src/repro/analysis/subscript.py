@@ -1,0 +1,160 @@
+"""Subscript analysis: affine extraction and "unanalyzable" detection.
+
+Section 5 of the paper lists why compile-time dependence analysis
+fails: complex/nonlinear subscripts and — most frequently —
+*subscripted subscripts* (``A[idx[i]]``).  This module normalizes each
+array access's index expression into one of:
+
+* ``AffineSubscript(a, b)`` — the index is ``a*k + b`` in the
+  normalized iteration number ``k`` (1-based), derivable when the
+  dispatcher is an induction;
+* ``UNKNOWN`` — subscripted subscripts, intrinsic calls in the index,
+  non-affine arithmetic, or a non-induction dispatcher.
+
+Unknown subscripts push the loop into the speculative path (run as a
+DOALL under the PD test).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.analysis.defuse import AccessRef, stmt_effects
+from repro.analysis.recurrence import RecKind, Recurrence, affine_in
+from repro.ir.functions import FunctionTable
+from repro.ir.nodes import ArrayRef, Call, Expr, Loop, Next, Var
+from repro.ir.visitor import expr_vars, walk
+
+__all__ = ["AffineSubscript", "SubscriptInfo", "analyze_subscripts",
+           "normalize_to_iteration"]
+
+
+@dataclass(frozen=True)
+class AffineSubscript:
+    """An index of the form ``a*k + b`` in the iteration number ``k``."""
+
+    a: int
+    b: int
+
+
+@dataclass(frozen=True)
+class SubscriptInfo:
+    """One array access with its normalized subscript.
+
+    ``affine`` is set when the index is ``a*k + b`` in the iteration
+    number; ``disp_injective`` is set when the index is *exactly the
+    dispatcher variable* and the dispatcher provably never repeats a
+    value (an acyclic linked-list traversal, a monotonic induction, or
+    a monotonic affine recurrence).  Injective dispatcher subscripts
+    cannot collide across iterations — the structural fact that makes
+    the paper's linked-list loops parallelizable "without overhead or
+    side effects" (Section 1).
+    """
+
+    access: AccessRef
+    affine: Optional[AffineSubscript]
+    disp_injective: bool = False
+
+    @property
+    def unknown(self) -> bool:
+        """True when nothing useful is known about the subscript."""
+        return self.affine is None and not self.disp_injective
+
+
+def _is_statically_opaque(index: Expr) -> bool:
+    """Subscripted subscripts / calls / hops make an index opaque."""
+    for n in walk(index):
+        if isinstance(n, (ArrayRef, Call, Next)):
+            return True
+    return False
+
+
+def normalize_to_iteration(
+    index: Expr,
+    dispatcher: Optional[Recurrence],
+    invariants: frozenset,
+) -> Optional[AffineSubscript]:
+    """Express ``index`` as ``a*k + b`` in the 1-based iteration number.
+
+    Requires the dispatcher to be an induction ``d(k) = init +
+    step*(k-1)`` with known constant ``init`` and ``step``; an index
+    affine in the dispatcher variable (with all other variables drawn
+    from ``invariants`` folded... we are conservative: any non-dispatcher
+    variable in the index defeats normalization unless the expression
+    is constant).
+    """
+    if _is_statically_opaque(index):
+        return None
+    if dispatcher is None or dispatcher.kind is not RecKind.INDUCTION:
+        return None
+    if dispatcher.init is None or dispatcher.step in (None, 0):
+        return None
+    other_vars = expr_vars(index) - {dispatcher.var}
+    if other_vars - invariants:
+        return None
+    if other_vars:
+        # Loop-invariant symbols with unknown values: affine shape may
+        # hold but coefficients are unknown; stay conservative.
+        return None
+    aff = affine_in(index, dispatcher.var)
+    if aff is None:
+        return None
+    c_d, c_0 = aff  # index = c_d * d + c_0, with d = init + step*(k-1)
+    a = c_d * dispatcher.step
+    b = c_d * (dispatcher.init - dispatcher.step) + c_0
+    if a != int(a) or b != int(b):
+        return None
+    return AffineSubscript(int(a), int(b))
+
+
+def analyze_subscripts(
+    loop: Loop,
+    dispatcher: Optional[Recurrence],
+    funcs: Optional[FunctionTable] = None,
+    *,
+    remainder_stmts: Optional[Sequence[int]] = None,
+) -> List[SubscriptInfo]:
+    """Normalize every array access in the loop body (or a subset).
+
+    Parameters
+    ----------
+    remainder_stmts:
+        When given, only the listed top-level statement indices are
+        scanned (the dispatcher's own accesses are not part of the
+        remainder dependence question).
+    """
+    invariants: frozenset = frozenset()
+    out: List[SubscriptInfo] = []
+    indices = (range(len(loop.body)) if remainder_stmts is None
+               else remainder_stmts)
+    for i in indices:
+        eff = stmt_effects(loop.body[i], funcs)
+        for acc in eff.accesses:
+            out.append(SubscriptInfo(
+                acc,
+                normalize_to_iteration(acc.index, dispatcher, invariants),
+                _dispatcher_injective(acc.index, dispatcher)))
+    return out
+
+
+def _dispatcher_injective(index: Expr,
+                          dispatcher: Optional[Recurrence]) -> bool:
+    """Is ``index`` exactly a never-repeating dispatcher value?
+
+    * ``LIST`` dispatchers never repeat because the framework requires
+      the list to be acyclic and frozen at loop entry (Section 3).
+    * Inductions with nonzero step and monotonic affine recurrences
+      are strictly monotone, hence injective.
+    """
+    if dispatcher is None or dispatcher.irregular:
+        return False
+    if not (isinstance(index, Var) and index.name == dispatcher.var):
+        return False
+    if dispatcher.kind is RecKind.LIST:
+        return True
+    if dispatcher.kind is RecKind.INDUCTION:
+        return bool(dispatcher.step)
+    if dispatcher.kind is RecKind.AFFINE:
+        return dispatcher.monotonic is True
+    return False

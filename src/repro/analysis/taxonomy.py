@@ -1,0 +1,160 @@
+"""Table 1: the taxonomy of WHILE loops.
+
+The paper's Table 1 crosses the dispatcher kind (monotonic induction /
+non-monotonic induction / associative recurrence / general recurrence)
+with the terminator class (RI / RV) and records, for each cell, whether
+the parallel execution can *overshoot* and whether the dispatcher can
+be evaluated in *parallel* (fully, via parallel prefix, or not at all).
+
+This module encodes the table verbatim plus the two refinements the
+text discusses:
+
+* monotonic dispatcher + RI threshold terminator ⇒ no overshoot, and
+* general recurrence + RI terminator (e.g. a linked-list traversal
+  terminated by NULL) ⇒ no overshoot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from repro.analysis.recurrence import RecKind, Recurrence
+from repro.analysis.terminator import TermClass, TerminatorInfo
+
+__all__ = ["DispatcherClass", "ParallelKind", "TaxonomyCell", "classify_cell",
+           "TAXONOMY_TABLE"]
+
+
+class DispatcherClass(Enum):
+    """Table 1 column headings."""
+
+    MONOTONIC_INDUCTION = "monotonic induction"
+    NONMONOTONIC_INDUCTION = "not monotonic induction"
+    ASSOCIATIVE = "associative recurrence"
+    GENERAL = "general recurrence"
+
+
+class ParallelKind(Enum):
+    """How parallel the dispatcher's evaluation can be."""
+
+    FULL = "yes"          #: closed form; all terms evaluable concurrently
+    PREFIX = "yes-pp"     #: parallelizable with a parallel prefix
+    NONE = "no"           #: inherently sequential chain of flow dependences
+
+
+@dataclass(frozen=True)
+class TaxonomyCell:
+    """One cell of Table 1 (plus which row/column it came from)."""
+
+    dispatcher: DispatcherClass
+    terminator: TermClass
+    overshoot: bool
+    parallel: ParallelKind
+
+
+#: Table 1, encoded row-major: (dispatcher class, terminator class) ->
+#: (overshoot possible, dispatcher parallelism).
+TAXONOMY_TABLE = {
+    (DispatcherClass.MONOTONIC_INDUCTION, TermClass.RI):
+        (False, ParallelKind.FULL),
+    (DispatcherClass.MONOTONIC_INDUCTION, TermClass.RV):
+        (True, ParallelKind.FULL),
+    (DispatcherClass.NONMONOTONIC_INDUCTION, TermClass.RI):
+        (True, ParallelKind.FULL),
+    (DispatcherClass.NONMONOTONIC_INDUCTION, TermClass.RV):
+        (True, ParallelKind.FULL),
+    (DispatcherClass.ASSOCIATIVE, TermClass.RI):
+        (False, ParallelKind.PREFIX),
+    (DispatcherClass.ASSOCIATIVE, TermClass.RV):
+        (True, ParallelKind.PREFIX),
+    (DispatcherClass.GENERAL, TermClass.RI):
+        (False, ParallelKind.NONE),
+    (DispatcherClass.GENERAL, TermClass.RV):
+        (True, ParallelKind.NONE),
+}
+
+
+def _is_threshold_on(cond, var: str) -> bool:
+    """Is the loop condition an order threshold on the dispatcher?
+
+    The paper's no-overshoot exception requires "the dispatcher is a
+    monotonic function, and the terminator is a threshold on this
+    function" — i.e. the condition is a conjunction in which every
+    conjunct mentioning the dispatcher is an order comparison against
+    it (``d < V`` etc.), and at least one such conjunct exists.
+    """
+    from repro.ir.nodes import BinOp, Var as VarNode
+    from repro.ir.visitor import expr_vars
+
+    def conjuncts(e):
+        if isinstance(e, BinOp) and e.op == "and":
+            yield from conjuncts(e.left)
+            yield from conjuncts(e.right)
+        else:
+            yield e
+
+    found = False
+    for c in conjuncts(cond):
+        if var not in expr_vars(c):
+            continue
+        if not (isinstance(c, BinOp) and c.op in ("<", "<=", ">", ">=")):
+            return False
+        left_is_d = isinstance(c.left, VarNode) and c.left.name == var
+        right_is_d = isinstance(c.right, VarNode) and c.right.name == var
+        if not (left_is_d ^ right_is_d):
+            return False
+        other = c.right if left_is_d else c.left
+        if var in expr_vars(other):
+            return False
+        found = True
+    return found
+
+
+def dispatcher_class(rec: Optional[Recurrence],
+                     cond=None) -> DispatcherClass:
+    """Map a detected recurrence to its Table 1 column.
+
+    ``None`` (no detectable dispatcher) and irregular recurrences are
+    conservatively general.  The MONOTONIC column additionally requires
+    the loop condition to be a threshold on the dispatcher (see
+    :func:`_is_threshold_on`); an RI terminator unrelated to the
+    dispatcher's magnitude can still overshoot, which is the
+    NONMONOTONIC column's verdict.
+    """
+    if rec is None or rec.irregular:
+        return DispatcherClass.GENERAL
+    if rec.kind is RecKind.INDUCTION:
+        if rec.monotonic and (cond is None
+                              or _is_threshold_on(cond, rec.var)):
+            return DispatcherClass.MONOTONIC_INDUCTION
+        return DispatcherClass.NONMONOTONIC_INDUCTION
+    if rec.kind is RecKind.AFFINE:
+        return DispatcherClass.ASSOCIATIVE
+    return DispatcherClass.GENERAL
+
+
+def classify_cell(rec: Optional[Recurrence],
+                  term: TerminatorInfo,
+                  cond=None) -> TaxonomyCell:
+    """Locate a loop in Table 1.
+
+    ``cond`` (the loop-top condition) refines the monotonic-induction
+    column per the paper's threshold exception.  The exception demands
+    that *every* termination condition be a threshold on the monotone
+    dispatcher; any body ``Exit`` site (whose guard tests something
+    else, even a loop-invariant value) re-enables overshoot, so loops
+    with exit sites fall into the non-monotonic column.
+    """
+    d = dispatcher_class(rec, cond)
+    if (d is DispatcherClass.MONOTONIC_INDUCTION and term.n_exit_sites
+            and term.klass is TermClass.RI):
+        # RI exit guards that are not dispatcher thresholds (e.g. a
+        # test on a read-only array) can fire non-monotonically along
+        # the iteration space — the no-overshoot exception is void.
+        # (The RV row already predicts overshoot, so monotonic/RV
+        # loops with exits keep their column.)
+        d = DispatcherClass.NONMONOTONIC_INDUCTION
+    overshoot, parallel = TAXONOMY_TABLE[(d, term.klass)]
+    return TaxonomyCell(d, term.klass, overshoot, parallel)

@@ -1,0 +1,173 @@
+"""Terminator classification: remainder invariant (RI) vs variant (RV).
+
+Section 2 of the paper: the *terminator* is RI "if it is only dependent
+on the dispatcher and values that are computed outside the loop; if it
+is dependent on some value computed in the loop then it is considered
+to be remainder variant".  RV terminators are what make overshooting
+possible — iteration ``i`` cannot decide whether the terminator fired
+in the remainder of some iteration ``i' < i``.
+
+The terminator of a canonical loop consists of the loop-top condition
+plus the guard conditions of every ``Exit`` statement in the body.
+
+This module also checks the *clean-exit property* the parallel schemes
+rely on: every termination test must precede all shared-memory writes
+within an iteration (the canonical transformed form of Figure 2 tests
+``f(i)`` before doing any work).  Loops violating it can still be run
+by the run-twice scheme or sequentially, but not by the direct
+speculative DOALLs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.analysis.defuse import block_effects, expr_effects, stmt_effects
+from repro.analysis.recurrence import Recurrence
+from repro.ir.functions import FunctionTable
+from repro.ir.nodes import Exit, Expr, For, If, Loop, Stmt
+
+__all__ = ["TermClass", "TerminatorInfo", "classify_terminator"]
+
+
+class TermClass(Enum):
+    """Remainder invariant vs remainder variant (paper Section 2)."""
+
+    RI = "remainder-invariant"
+    RV = "remainder-variant"
+
+
+@dataclass(frozen=True)
+class TerminatorInfo:
+    """Everything the planner needs to know about loop termination.
+
+    Attributes
+    ----------
+    klass:
+        RI or RV.
+    scalar_reads / array_reads:
+        What the combined termination conditions read.
+    n_exit_sites:
+        Number of ``Exit`` statements in the body (0 for pure WHILE).
+    clean_exit:
+        All termination tests precede all shared writes in the body,
+        so an iteration that terminates performs no memory effects.
+    rv_reasons:
+        Human-readable reasons the terminator was classified RV
+        (empty for RI) — surfaced in reports and used by tests.
+    """
+
+    klass: TermClass
+    scalar_reads: FrozenSet[str]
+    array_reads: FrozenSet[str]
+    n_exit_sites: int
+    clean_exit: bool
+    rv_reasons: Tuple[str, ...] = ()
+
+    @property
+    def is_rv(self) -> bool:
+        """Convenience flag: True when remainder variant."""
+        return self.klass is TermClass.RV
+
+
+def _exit_guards(stmts: Sequence[Stmt]) -> Tuple[List[Expr], int]:
+    """Collect the ``If`` conditions guarding each ``Exit``.
+
+    Returns (guard expressions, number of exit sites).  An unguarded
+    top-level ``Exit`` contributes no guard but still counts as a site
+    (it makes the loop body run at most once, which is degenerate but
+    legal).
+    """
+    guards: List[Expr] = []
+    sites = 0
+
+    def scan(block: Sequence[Stmt], enclosing: List[Expr]) -> None:
+        nonlocal sites
+        for s in block:
+            if isinstance(s, Exit):
+                sites += 1
+                guards.extend(enclosing)
+            elif isinstance(s, If):
+                scan(s.then, enclosing + [s.cond])
+                scan(s.orelse, enclosing + [s.cond])
+            elif isinstance(s, For):
+                scan(s.body, enclosing)
+
+    scan(stmts, [])
+    return guards, sites
+
+
+def _stmt_has_exit(s: Stmt) -> bool:
+    return stmt_effects(s).has_exit
+
+
+def _check_clean_exit(body: Sequence[Stmt],
+                      funcs: Optional[FunctionTable]) -> bool:
+    """Termination tests precede all shared writes, on every path.
+
+    Conservative rule: (a) every top-level statement containing an
+    ``Exit`` must occur before every top-level statement that writes
+    shared memory, and (b) a statement containing an ``Exit`` must not
+    itself write shared memory.
+    """
+    first_write: Optional[int] = None
+    last_exit: Optional[int] = None
+    for i, s in enumerate(body):
+        eff = stmt_effects(s, funcs)
+        if eff.array_writes and first_write is None:
+            first_write = i
+        if eff.has_exit:
+            last_exit = i
+            if eff.array_writes:
+                return False
+    if last_exit is None or first_write is None:
+        return True
+    return last_exit < first_write
+
+
+def classify_terminator(
+    loop: Loop,
+    dispatcher: Optional[Recurrence],
+    funcs: Optional[FunctionTable] = None,
+) -> TerminatorInfo:
+    """Classify the combined terminator of ``loop`` as RI or RV.
+
+    ``dispatcher`` (when known) is allowed in the terminator's read set
+    without making it RV — the terminator is *supposed* to depend on
+    the dispatcher (e.g. ``tmp != null``, ``i <= n``).
+    """
+    guard_exprs, sites = _exit_guards(loop.body)
+    term_eff = expr_effects(loop.cond, funcs)
+    for g in guard_exprs:
+        term_eff = term_eff.union(expr_effects(g, funcs))
+
+    body_eff = block_effects(loop.body, funcs)
+    disp_vars = {dispatcher.var} if dispatcher is not None else set()
+    # Values "computed in the loop" = scalars written by the body other
+    # than the dispatcher itself, plus every array the body writes.
+    loop_scalars = body_eff.scalar_writes - disp_vars
+    loop_arrays = body_eff.array_writes
+
+    reasons: List[str] = []
+    scalar_hits = term_eff.scalar_reads & loop_scalars
+    if scalar_hits:
+        reasons.append(
+            f"terminator reads scalars written in the loop: "
+            f"{sorted(scalar_hits)}")
+    array_hits = term_eff.array_reads & loop_arrays
+    if array_hits:
+        reasons.append(
+            f"terminator reads arrays written in the loop: "
+            f"{sorted(array_hits)}")
+
+    klass = TermClass.RV if reasons else TermClass.RI
+    return TerminatorInfo(
+        klass=klass,
+        scalar_reads=term_eff.scalar_reads,
+        array_reads=term_eff.array_reads,
+        n_exit_sites=sites,
+        clean_exit=_check_clean_exit(loop.body, funcs),
+        rv_reasons=tuple(reasons),
+    )

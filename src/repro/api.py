@@ -1,0 +1,139 @@
+"""Top-level convenience API: ``parallelize`` in one call.
+
+This is the "compiler driver" a downstream user reaches for first::
+
+    from repro import parallelize, Machine, Store, FunctionTable
+
+    outcome = parallelize(loop, store, Machine(8), funcs)
+    print(outcome.result.speedup(outcome.t_seq))
+
+``parallelize`` analyzes the loop, profiles a sample run, consults the
+Section 7 cost model, picks the scheme the paper would pick, executes
+it on the virtual machine, and *verifies* the final store against a
+reference sequential execution (the verification can be switched off
+for large runs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ExecutionError, PlanError
+from repro.executors.base import ParallelResult
+from repro.executors.sequential import ensure_info
+from repro.ir.functions import FunctionTable
+from repro.ir.interp import SequentialInterp
+from repro.ir.store import Store
+from repro.planner.select import Plan, execute_plan, plan_loop
+from repro.runtime.machine import Machine
+
+__all__ = ["Outcome", "parallelize"]
+
+
+@dataclass
+class Outcome:
+    """Everything ``parallelize`` learned and did.
+
+    Attributes
+    ----------
+    plan:
+        The chosen strategy with its rationale and cost prediction.
+    result:
+        The parallel execution's outcome and timing.
+    t_seq:
+        Reference sequential time (for speedups); ``None`` when
+        verification was skipped (no reference run happened).
+    verified:
+        ``True`` when the final store was checked against the
+        sequential reference; ``None`` when verification was skipped.
+    """
+
+    plan: Plan
+    result: ParallelResult
+    t_seq: Optional[int]
+    verified: Optional[bool]
+
+    @property
+    def speedup(self) -> float:
+        """Attainable speedup, or NaN when no reference run exists."""
+        if self.t_seq is None:
+            return float("nan")
+        return self.result.speedup(self.t_seq)
+
+
+def parallelize(
+    loop_or_info,
+    store: Store,
+    machine: Machine,
+    funcs: Optional[FunctionTable] = None,
+    *,
+    verify: bool = True,
+    u: Optional[int] = None,
+    strip: Optional[int] = None,
+    min_speedup: float = 1.2,
+) -> Outcome:
+    """Analyze, plan, execute, and (optionally) verify one loop.
+
+    Parameters
+    ----------
+    loop_or_info:
+        The loop (or its prebuilt analysis).
+    store:
+        Live state; left in the sequentially-correct final state.
+    machine:
+        Virtual multiprocessor to run on.
+    funcs:
+        Intrinsic table (empty by default).
+    verify:
+        Run a sequential reference on a copy and compare stores.
+    u / strip:
+        Iteration bound / strip length forwarded to the executor.
+    min_speedup:
+        Cost-model threshold below which the loop stays sequential.
+
+    Raises
+    ------
+    ExecutionError
+        If verification is on and the parallel store diverges from the
+        sequential reference (this indicates a framework bug or a
+        violated DOANY-style contract, never silent corruption).
+    """
+    funcs = funcs or FunctionTable()
+    info = ensure_info(loop_or_info, funcs)
+
+    reference: Optional[Store] = None
+    t_seq: Optional[int] = None
+    if verify:
+        reference = store.copy()
+        seq = SequentialInterp(info.loop, funcs, machine.cost)
+        t_seq = seq.run(reference).cycles
+
+    plan = plan_loop(info, machine, funcs, sample_store=store,
+                     min_speedup=min_speedup)
+
+    kwargs = {}
+    if u is not None:
+        kwargs["u"] = u
+    if strip is not None and plan.scheme not in ("sequential", "doacross"):
+        kwargs["strip"] = strip
+    try:
+        result = execute_plan(plan, store, machine, funcs, **kwargs)
+    except PlanError as exc:
+        if "upper bound" not in str(exc) or "strip" in kwargs:
+            raise
+        # No iteration bound is inferable (e.g. the terminator is not a
+        # threshold on the dispatcher): fall back to strip-mined
+        # execution, as Section 3 prescribes.
+        kwargs["strip"] = max(64, 8 * machine.nprocs)
+        result = execute_plan(plan, store, machine, funcs, **kwargs)
+
+    verified: Optional[bool] = None
+    if verify and reference is not None:
+        verified = store.equals(reference)
+        if not verified:
+            raise ExecutionError(
+                f"parallel execution of {info.loop.name!r} diverged from "
+                f"the sequential reference: {store.diff(reference)}")
+    return Outcome(plan=plan, result=result, t_seq=t_seq,
+                   verified=verified)

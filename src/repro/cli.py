@@ -1,0 +1,188 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``analyze FILE``
+    Lift the (single) Python ``while`` loop in FILE and print the full
+    static analysis: dispatcher classification, RI/RV terminator, the
+    Table-1 taxonomy cell, dependence verdict, privatization statuses,
+    and the scheme the planner would choose.
+
+``taxonomy``
+    Print the paper's Table 1 with the zoo confirmation per cell.
+
+``workload NAME [--procs P]``
+    Run one of the Section-9 workload analogs and print its
+    paper-vs-measured speedups (names: spice, track,
+    mcsparse:<input>, ma28:<input>:<270|320>).
+
+``report``
+    Regenerate the full EXPERIMENTS.md content on stdout (slow).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+__all__ = ["main"]
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis import analyze_loop
+    from repro.frontend import lift_source
+    from repro.ir import format_loop
+    from repro.planner import plan_loop
+    from repro.runtime import Machine
+
+    with open(args.file, "r", encoding="utf-8") as fh:
+        source = fh.read()
+    lifted = lift_source(source, filename=args.file)
+    info = analyze_loop(lifted.loop)
+    plan = plan_loop(info, Machine(args.procs), __import__(
+        "repro.ir", fromlist=["FunctionTable"]).FunctionTable())
+
+    disp = info.dispatcher
+    payload = {
+        "loop": lifted.loop.name,
+        "arrays": list(lifted.arrays),
+        "lists": list(lifted.lists),
+        "intrinsics": list(lifted.intrinsics),
+        "dispatcher": None if disp is None else {
+            "var": disp.var,
+            "kind": disp.kind.value,
+            "step": disp.step,
+            "monotonic": disp.monotonic,
+        },
+        "terminator": {
+            "class": info.terminator.klass.value,
+            "exit_sites": info.terminator.n_exit_sites,
+            "clean_exit": info.terminator.clean_exit,
+            "rv_reasons": list(info.terminator.rv_reasons),
+        },
+        "taxonomy": {
+            "dispatcher": info.taxonomy.dispatcher.value,
+            "overshoot": info.taxonomy.overshoot,
+            "parallel": info.taxonomy.parallel.value,
+        },
+        "dependence": info.dependence.verdict.value,
+        "privatization": {
+            name: status.value
+            for name, status in info.privatization.arrays.items()
+        },
+        "plan": plan.scheme,
+        "rationale": plan.rationale,
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(format_loop(info.loop))
+    print()
+    d = payload["dispatcher"]
+    disp_text = "none" if d is None else f"{d['var']} ({d['kind']})"
+    print(f"dispatcher:   {disp_text}")
+    print(f"terminator:   {payload['terminator']['class']} "
+          f"({payload['terminator']['exit_sites']} exit sites, "
+          f"clean_exit={payload['terminator']['clean_exit']})")
+    print(f"taxonomy:     {payload['taxonomy']['dispatcher']} -> "
+          f"overshoot={payload['taxonomy']['overshoot']}, "
+          f"dispatcher-parallel={payload['taxonomy']['parallel']}")
+    print(f"dependence:   {payload['dependence']}")
+    if payload["privatization"]:
+        print(f"privatization: {payload['privatization']}")
+    print(f"plan:         {payload['plan']}")
+    print(f"rationale:    {payload['rationale']}")
+    return 0
+
+
+def _cmd_taxonomy(args: argparse.Namespace) -> int:
+    from repro.experiments import table_1
+    print(f"{'cell':42s} {'overshoot':9s} {'parallel':8s} "
+          f"{'zoo loop':24s} ok")
+    for r in table_1():
+        print(f"{r.cell:42s} {'YES' if r.overshoot else 'NO':9s} "
+              f"{r.parallel:8s} {r.zoo_loop:24s} "
+              f"{r.classified_correctly}")
+    return 0
+
+
+def _cmd_workload(args: argparse.Namespace) -> int:
+    from repro.runtime import Machine
+    from repro.workloads import (
+        make_ma28_loop,
+        make_mcsparse_dfact500,
+        make_spice_load40,
+        make_track_fptrak300,
+        measure_speedup,
+    )
+
+    spec = args.name.split(":")
+    if spec[0] == "spice":
+        w = make_spice_load40()
+    elif spec[0] == "track":
+        w = make_track_fptrak300()
+    elif spec[0] == "mcsparse":
+        w = make_mcsparse_dfact500(spec[1] if len(spec) > 1
+                                   else "gematt11")
+    elif spec[0] == "ma28":
+        inp = spec[1] if len(spec) > 1 else "gematt11"
+        loop_no = int(spec[2]) if len(spec) > 2 else 270
+        w = make_ma28_loop(inp, loop_no)
+    else:
+        print(f"unknown workload {args.name!r} (spice, track, "
+              f"mcsparse:<input>, ma28:<input>:<loop>)", file=sys.stderr)
+        return 2
+    machine = Machine(args.procs)
+    print(f"{w.name}: {w.description}\n")
+    for method in w.methods:
+        sp, res, ok = measure_speedup(w, method, machine)
+        paper = w.paper_speedups.get(method.label)
+        note = f" (paper@8p: {paper})" if paper else ""
+        print(f"  {method.label:30s} speedup={sp:5.2f}x{note} "
+              f"store_ok={ok}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments import render_report
+    print(render_report())
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Parallelizing WHILE Loops — reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_an = sub.add_parser("analyze", help="analyze a Python while loop")
+    p_an.add_argument("file")
+    p_an.add_argument("--procs", type=int, default=8)
+    p_an.add_argument("--json", action="store_true")
+    p_an.set_defaults(fn=_cmd_analyze)
+
+    p_tx = sub.add_parser("taxonomy", help="print Table 1")
+    p_tx.set_defaults(fn=_cmd_taxonomy)
+
+    p_wl = sub.add_parser("workload", help="run a Section-9 workload")
+    p_wl.add_argument("name")
+    p_wl.add_argument("--procs", type=int, default=8)
+    p_wl.set_defaults(fn=_cmd_workload)
+
+    p_rp = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
+    p_rp.set_defaults(fn=_cmd_report)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

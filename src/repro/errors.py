@@ -1,0 +1,55 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError` so callers can catch library failures without
+accidentally swallowing genuine Python bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class IRError(ReproError):
+    """Malformed IR: unknown node kind, bad operand arity, type misuse."""
+
+
+class FrontendError(ReproError):
+    """The Python-source frontend could not lift a loop into the IR."""
+
+
+class AnalysisError(ReproError):
+    """A compiler analysis was asked something it cannot answer."""
+
+
+class PlanError(ReproError):
+    """No legal parallelization plan exists for the requested loop/strategy."""
+
+
+class ExecutionError(ReproError):
+    """A runtime executor detected an internal inconsistency."""
+
+
+class SpeculationFailed(ReproError):
+    """Raised internally when a speculative parallel execution must be
+    abandoned (PD-test failure or a runtime exception inside an iteration).
+
+    The speculative driver catches this, restores the checkpoint and
+    re-executes the loop sequentially, exactly as Section 5 of the paper
+    prescribes.  User code normally never sees this exception.
+    """
+
+
+class NullPointerError(ExecutionError):
+    """A linked-list hop was attempted through a NULL (-1) pointer."""
+
+
+class OvershootLimit(ExecutionError):
+    """A parallel execution exceeded its iteration upper bound ``u``.
+
+    The paper requires an upper bound on the number of iterations (either
+    inferred from the loop body or imposed by strip-mining); exceeding it
+    indicates either a diverging loop or a bound chosen too small.
+    """

@@ -1,0 +1,30 @@
+"""Parallel executors: the paper's transformed loop schemes."""
+
+from repro.executors.base import (
+    EXHAUSTED,
+    DispatcherSupply,
+    ParallelResult,
+    SchemeCore,
+    infer_upper_bound,
+)
+from repro.executors.associative import run_associative_prefix
+from repro.executors.general import run_general1, run_general2, run_general3
+from repro.executors.induction import run_induction1, run_induction2
+from repro.executors.sequential import ensure_info, run_sequential
+from repro.executors.supplies import (
+    ClosedFormSupply,
+    LockWalkSupply,
+    PrefixTermsSupply,
+    PrivateWalkSupply,
+)
+
+__all__ = [
+    "EXHAUSTED", "DispatcherSupply", "ParallelResult", "SchemeCore",
+    "infer_upper_bound",
+    "run_associative_prefix",
+    "run_general1", "run_general2", "run_general3",
+    "run_induction1", "run_induction2",
+    "ensure_info", "run_sequential",
+    "ClosedFormSupply", "LockWalkSupply", "PrefixTermsSupply",
+    "PrivateWalkSupply",
+]

@@ -1,0 +1,57 @@
+"""The associative-recurrence scheme (paper Section 3.2, Figure 3).
+
+The loop is distributed: a parallel prefix computation evaluates the
+dispatcher terms in ``O(n/p + log p)``, then the remainder runs as a
+DOALL over the precomputed terms.  With an RV terminator the paper
+recommends strip-mining so the prefix does not precompute unboundedly
+many superfluous terms — pass ``strip`` to get exactly that behaviour
+(one scan per strip, barrier-separated).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.recurrence import RecKind
+from repro.errors import PlanError
+from repro.ir.functions import FunctionTable
+from repro.ir.store import Store
+from repro.runtime.machine import Machine
+from repro.speculation.pdtest import ShadowArrays
+
+from repro.executors.base import ParallelResult, SchemeCore
+from repro.executors.sequential import ensure_info
+from repro.executors.supplies import PrefixTermsSupply
+
+__all__ = ["run_associative_prefix"]
+
+
+def run_associative_prefix(
+    loop_or_info, store: Store, machine: Machine, funcs: FunctionTable, *,
+    u: Optional[int] = None,
+    strip: Optional[int] = None,
+    use_quit: bool = True,
+    shadows: Optional[ShadowArrays] = None,
+    force_checkpoint: Optional[bool] = None,
+    force_stamps: Optional[bool] = None,
+    extra_hooks=(),
+) -> ParallelResult:
+    """Parallel-prefix dispatcher + DOALL remainder."""
+    info = ensure_info(loop_or_info, funcs)
+    disp = info.dispatcher
+    if disp is None or disp.kind is not RecKind.AFFINE or disp.irregular:
+        raise PlanError(
+            f"associative-prefix requires an affine dispatcher; loop "
+            f"{info.loop.name!r} has {disp.kind.value if disp else 'none'}")
+    supply = PrefixTermsSupply()
+    core = SchemeCore(
+        info, store, machine, funcs, supply,
+        scheme_name="associative-prefix", use_quit=use_quit,
+        shadows=shadows, force_checkpoint=force_checkpoint,
+        force_stamps=force_stamps, extra_hooks=tuple(extra_hooks))
+    result = core.run(u=u, strip=strip)
+    result.stats["prefix_scan_time"] = supply.scan_time
+    result.stats["terms_computed"] = len(supply.terms)
+    result.stats["superfluous_terms"] = max(
+        0, len(supply.terms) - (result.n_iters + 1))
+    return result

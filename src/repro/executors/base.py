@@ -1,0 +1,542 @@
+"""Executor framework: the shared core of every parallel scheme.
+
+All of the paper's transformed loops share one skeleton:
+
+1. *before* — checkpoint the loop's write set (``T_b``) unless the
+   taxonomy proves no overshoot and no test is needed;
+2. *during* — run iterations as a DOALL, each iteration testing the
+   terminator first, then executing the remainder with private scalars
+   against the shared store, under optional time-stamping/PD hooks
+   (``T_d``);
+3. *after* — reduce the per-processor earliest-termination records to
+   the last valid iteration (LVI), undo overshot writes, run the PD
+   post analysis, and publish the sequentially-correct final scalar
+   state (``T_a``).
+
+What differs between Induction-1/2, the associative-prefix scheme and
+General-1/2/3 is **where iteration k's dispatcher value comes from**
+and **which schedule issues iterations**.  That is captured by the
+:class:`DispatcherSupply` strategy objects; the schemes themselves are
+thin wrappers in the sibling modules.
+
+Every executor's correctness contract: after :meth:`SchemeCore.run`
+returns (without raising), the store is *exactly* what the sequential
+interpreter would have produced — arrays, dispatcher scalar, and
+remainder scalars included.  The test suite enforces this with
+property-based store-equality checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.analysis.loopinfo import LoopInfo
+from repro.analysis.recurrence import RecKind
+from repro.errors import ExecutionError, PlanError
+from repro.ir.functions import FunctionTable
+from repro.ir.interp import EvalContext, IterationRunner, IterOutcome, MemHooks
+from repro.ir.nodes import BinOp, Exit, Var
+from repro.ir.store import Store
+from repro.ir.visitor import walk
+from repro.runtime.costs import CostModel
+from repro.runtime.machine import QUIT, DoallRun, Machine, ProcCtx
+from repro.runtime.reduction import parallel_min
+from repro.speculation.checkpoint import Checkpoint
+from repro.speculation.pdtest import PDResult, ShadowArrays, analyze_pd
+from repro.speculation.privatize import CompositeHooks
+from repro.speculation.timestamps import WriteTimestamps, undo_overshoot
+
+__all__ = [
+    "EXHAUSTED",
+    "ParallelResult",
+    "DispatcherSupply",
+    "SchemeCore",
+    "infer_upper_bound",
+]
+
+#: Sentinel returned by a dispatcher supply when the recurrence has no
+#: k-th term (e.g. walking past the end of a linked list).
+EXHAUSTED = object()
+
+
+@dataclass
+class ParallelResult:
+    """Outcome and timing of one parallel loop execution.
+
+    Attributes
+    ----------
+    scheme:
+        Name of the scheme that ran ("induction-1", "general-3", ...).
+    n_iters:
+        The last valid iteration (== the sequential iteration count).
+    exited_in_body:
+        Loop ended through a body ``Exit`` rather than the loop-top
+        condition.
+    t_par:
+        Total parallel virtual time: ``T_b + makespan + T_a`` (the
+        denominator of the attainable speedup ``Sp_at``).
+    makespan:
+        The DOALL portion only.
+    t_before / t_after:
+        The ``T_b`` and ``T_a`` overhead components.
+    executed / overshot:
+        Iterations whose bodies began / among them, those past the LVI.
+    restored_words:
+        Elements restored by undo.
+    pd:
+        PD-test analysis result when the run was speculative.
+    fallback_sequential:
+        True when the PD test failed and the loop was re-executed
+        sequentially (``t_par`` then includes both runs).
+    stats:
+        Scheme-specific extras (lock contention, hops, span, window
+        sizes, memory high-water...).
+    """
+
+    scheme: str
+    n_iters: int
+    exited_in_body: bool
+    t_par: int
+    makespan: int
+    t_before: int = 0
+    t_after: int = 0
+    executed: int = 0
+    overshot: int = 0
+    restored_words: int = 0
+    pd: Optional[PDResult] = None
+    fallback_sequential: bool = False
+    stats: Dict[str, Any] = field(default_factory=dict)
+
+    def speedup(self, t_seq: int) -> float:
+        """Attainable speedup given the sequential time."""
+        return t_seq / self.t_par if self.t_par else float("inf")
+
+
+class DispatcherSupply:
+    """Strategy: produce dispatcher value(s) for iteration ``k``.
+
+    Subclasses implement the paper's alternatives.  ``prepare`` runs
+    once before the DOALL and returns extra *pre-loop* virtual time
+    (e.g. the parallel-prefix scan).  ``value_for`` is called inside an
+    iteration's :class:`ProcCtx`/:class:`EvalContext` pair and must
+    charge whatever cycles obtaining the value costs (hops, locks).
+    """
+
+    #: Preferred machine schedule: "dynamic" or "static".
+    schedule = "dynamic"
+
+    def prepare_range(self, core: "SchemeCore", first: int,
+                      count: int) -> int:
+        """Per-strip setup (precompute terms, bind state); returns the
+        virtual time the setup costs.  Called before every strip with
+        the strip's index range."""
+        return 0
+
+    def value_for(self, proc: ProcCtx, ctx: EvalContext, k: int) -> Any:
+        """Dispatcher value used by iteration ``k`` (or EXHAUSTED)."""
+        raise NotImplementedError
+
+    def value_after(self, core: "SchemeCore", k: int) -> Any:
+        """The dispatcher value *after* ``k`` full iterations, i.e.
+        ``d(k+1)`` — used to publish the sequentially-correct final
+        scalar.  Runs outside the DOALL (un-timed reconstruction)."""
+        raise NotImplementedError
+
+
+def infer_upper_bound(info: LoopInfo, store: Store,
+                      default: Optional[int] = None) -> int:
+    """Derive an iteration upper bound ``u`` (paper Section 3).
+
+    * induction dispatcher + a ``d <= n`` / ``d < n`` conjunct in the
+      loop condition with ``n`` evaluable from store scalars → closed
+      form;
+    * linked-list dispatcher → pool size + 1 (the NULL iteration);
+    * otherwise → ``default`` (the caller's strip length), else error.
+    """
+    disp = info.dispatcher
+    if disp is not None and disp.kind is RecKind.LIST:
+        return store[disp.list_name].next.size + 1
+    if disp is not None and disp.kind is RecKind.INDUCTION \
+            and disp.step and disp.init is not None:
+        bound = _bound_from_cond(info.loop.cond, disp.var, store)
+        if bound is not None:
+            op, limit = bound
+            if disp.step > 0 and op in ("<", "<="):
+                slack = 0 if op == "<=" else -1
+                u = int((limit + slack - disp.init) // disp.step) + 1
+                return max(u + 1, 1)
+            if disp.step < 0 and op in (">", ">="):
+                slack = 0 if op == ">=" else 1
+                u = int((limit + slack - disp.init) // disp.step) + 1
+                return max(u + 1, 1)
+    if default is not None:
+        return default
+    raise PlanError(
+        f"cannot infer an iteration upper bound for {info.loop.name!r}; "
+        f"pass one explicitly or strip-mine")
+
+
+def _bound_from_cond(cond, var: str, store: Store
+                     ) -> Optional[Tuple[str, float]]:
+    """Find a ``var OP limit`` conjunct with an evaluable limit."""
+    from repro.analysis.recurrence import constant_of
+
+    def try_node(n) -> Optional[Tuple[str, float]]:
+        if not isinstance(n, BinOp) or n.op not in ("<", "<=", ">", ">="):
+            return None
+        if isinstance(n.left, Var) and n.left.name == var:
+            lim = _eval_invariant(n.right, store)
+            if lim is not None:
+                return (n.op, lim)
+        flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+        if isinstance(n.right, Var) and n.right.name == var:
+            lim = _eval_invariant(n.left, store)
+            if lim is not None:
+                return (flipped[n.op], lim)
+        return None
+
+    for n in walk(cond):
+        hit = try_node(n)
+        if hit is not None:
+            return hit
+    return None
+
+
+def _eval_invariant(expr, store: Store) -> Optional[float]:
+    """Evaluate an expression over constants and store scalars."""
+    from repro.analysis.recurrence import constant_of
+    c = constant_of(expr)
+    if c is not None:
+        return c
+    if isinstance(expr, Var) and expr.name in store:
+        v = store[expr.name]
+        if isinstance(v, (int, float, bool)):
+            return v
+    return None
+
+
+class SchemeCore:
+    """The shared scheme skeleton (see module docstring).
+
+    Parameters
+    ----------
+    info:
+        Static analysis of the loop.
+    store:
+        Live program state; mutated to the sequentially-correct final
+        state by :meth:`run`.
+    machine:
+        The virtual multiprocessor.
+    funcs:
+        Intrinsic table.
+    supply:
+        Dispatcher-value strategy.
+    scheme_name:
+        Reported in results.
+    use_quit:
+        Issue a QUIT when an iteration observes termination
+        (Induction-2 semantics) instead of running all ``u`` iterations
+        (Induction-1 semantics).
+    shadows / extra_hooks:
+        Optional PD shadow state and additional memory hooks.
+    force_checkpoint / force_stamps:
+        Overrides for ablations; by default checkpoint/stamps are used
+        exactly when the taxonomy says overshoot is possible and the
+        loop writes memory.
+    """
+
+    def __init__(
+        self,
+        info: LoopInfo,
+        store: Store,
+        machine: Machine,
+        funcs: FunctionTable,
+        supply: DispatcherSupply,
+        *,
+        scheme_name: str,
+        use_quit: bool = True,
+        shadows: Optional[ShadowArrays] = None,
+        extra_hooks: Tuple[MemHooks, ...] = (),
+        force_checkpoint: Optional[bool] = None,
+        force_stamps: Optional[bool] = None,
+        stamp_from: int = 1,
+    ) -> None:
+        self.info = info
+        self.store = store
+        self.machine = machine
+        self.funcs = funcs
+        self.supply = supply
+        self.scheme_name = scheme_name
+        self.use_quit = use_quit
+        self.shadows = shadows
+        self.cost: CostModel = machine.cost
+        self.runner = IterationRunner(info.loop, funcs, machine.cost,
+                                      dispatcher_stmts=info.dispatcher_stmts)
+        self.disp_var = info.dispatcher.var if info.dispatcher else None
+
+        written = sorted(info.effects.array_writes)
+        may_overshoot = info.may_overshoot
+        need_protection = bool(written) and (may_overshoot
+                                             or shadows is not None)
+        self.do_checkpoint = (need_protection if force_checkpoint is None
+                              else force_checkpoint)
+        self.do_stamps = ((bool(written) and may_overshoot)
+                          if force_stamps is None else force_stamps)
+        self.written_arrays = written
+        self.stamp_from = stamp_from
+
+        self.checkpoint: Optional[Checkpoint] = None
+        self.stamps: Optional[WriteTimestamps] = None
+        hooks: List[MemHooks] = []
+        if self.do_stamps:
+            self.stamps = WriteTimestamps(store, written,
+                                          stamp_from=stamp_from)
+            hooks.append(self.stamps)
+        if shadows is not None:
+            hooks.append(shadows)
+        hooks.extend(extra_hooks)
+        self.hooks: Optional[CompositeHooks] = (
+            CompositeHooks(*hooks) if hooks else None)
+
+        # Per-iteration records filled during the DOALL.
+        self._locals: Dict[int, Dict[str, Any]] = {}
+        self._outcomes: Dict[int, str] = {}
+        #: position facts for final-scalar reconstruction
+        self._disp_before_exit = self._dispatcher_precedes_exits()
+        self._check_canonical_form()
+
+    # -- helpers -----------------------------------------------------------
+    def _check_canonical_form(self) -> None:
+        """Reject loops whose remainder reads the dispatcher *after*
+        its update statement.
+
+        Parallel iterations are seeded with ``d(k)``, the value at the
+        top of the iteration; a remainder statement placed after the
+        dispatcher update would sequentially see ``d(k+1)``, so seeding
+        would change semantics.  (The paper's canonical forms always
+        update the dispatcher last; the frontend normalizes to that.)
+        """
+        from repro.analysis.defuse import stmt_effects
+        if not self.info.dispatcher_stmts or self.disp_var is None:
+            return
+        last_update = max(self.info.dispatcher_stmts)
+        for i in self.info.remainder_stmts:
+            if i > last_update:
+                eff = stmt_effects(self.info.loop.body[i], self.funcs)
+                if self.disp_var in eff.scalar_reads:
+                    raise PlanError(
+                        f"loop {self.info.loop.name!r} reads dispatcher "
+                        f"{self.disp_var!r} after its update; normalize "
+                        f"the loop (dispatcher update last) first")
+
+    def _dispatcher_precedes_exits(self) -> bool:
+        """Does the dispatcher update run before the first Exit site?"""
+        if not self.info.dispatcher_stmts:
+            return False
+        exit_positions = [
+            i for i, s in enumerate(self.info.loop.body)
+            if any(isinstance(n, Exit) for n in walk(s))
+        ]
+        if not exit_positions:
+            return False
+        return max(self.info.dispatcher_stmts) < min(exit_positions)
+
+    def _iteration_body(self, proc: ProcCtx, k: int) -> Optional[str]:
+        """Run one iteration attempt on processor ``proc``."""
+        local: Dict[str, Any] = {}
+        ctx = EvalContext(self.store, self.funcs, self.cost,
+                          local=local, mem=self.hooks, iteration=k)
+        if self.hooks is not None:
+            self.hooks.begin_iteration(k)
+        d = self.supply.value_for(proc, ctx, k)
+        if d is EXHAUSTED:
+            proc.charge(ctx.cycles)
+            self._outcomes[k] = IterOutcome.TERMINATED
+            return QUIT if self.use_quit else None
+        if self.disp_var is not None:
+            local[self.disp_var] = d
+        try:
+            outcome = self.runner.run_iteration(ctx)
+        except Exception as exc:
+            # Section 5.1: exceptions are hazards — treat like an
+            # invalid parallel execution.  The speculative driver
+            # catches this, restores the checkpoint and re-executes
+            # sequentially.
+            from repro.errors import SpeculationFailed
+            raise SpeculationFailed(
+                f"exception in speculative iteration {k}: {exc}") from exc
+        proc.charge(ctx.cycles)
+        self._outcomes[k] = outcome
+        self._locals[k] = local
+        if outcome in (IterOutcome.TERMINATED, IterOutcome.EXITED):
+            return QUIT if self.use_quit else None
+        return None
+
+    # -- the skeleton -----------------------------------------------------------
+    def run(self, *, u: Optional[int] = None,
+            strip: Optional[int] = None,
+            known_iters: Optional[int] = None) -> ParallelResult:
+        """Execute the scheme to completion (see class docstring).
+
+        Parameters
+        ----------
+        u:
+            Iteration upper bound; inferred when possible.
+        strip:
+            When the bound cannot be inferred, run the DOALL in strips
+            of this many iterations until termination is observed
+            (barrier-separated, as the paper prescribes).
+        known_iters:
+            The exact iteration count is already known (the second
+            pass of the run-twice scheme, Section 4): run exactly this
+            many iterations and skip the termination search.
+        """
+        machine, cost = self.machine, self.cost
+        t_before = 0
+
+        # Run the loop's init block once (sequentially, timed).
+        init_ctx = self.runner.make_ctx(self.store)
+        self.runner.run_init(init_ctx)
+        t_before += init_ctx.cycles
+
+        if self.do_checkpoint:
+            self.checkpoint = Checkpoint(self.store, self.written_arrays)
+            t_before += machine.parallel_work_time(
+                self.checkpoint.words * cost.checkpoint_word)
+
+        if known_iters is not None:
+            u = known_iters
+        elif u is None:
+            u = infer_upper_bound(self.info, self.store, default=strip)
+
+        makespan = 0
+        runs: List[DoallRun] = []
+        first = 1
+        strip_len = u if strip is None else strip
+        found_term = False
+        while not found_term:
+            t_prep = self.supply.prepare_range(self, first, strip_len)
+            if first == 1:
+                t_before += t_prep
+            else:
+                makespan += t_prep
+            if self.supply.schedule == "dynamic":
+                run = machine.run_doall_dynamic(
+                    strip_len, self._iteration_body, first_index=first,
+                    quit_aware=self.use_quit)
+            else:
+                run = machine.run_doall_static(
+                    strip_len, self._iteration_body, first_index=first,
+                    quit_aware=self.use_quit)
+            runs.append(run)
+            makespan += run.makespan
+            found_term = any(
+                self._outcomes.get(r.index) in (IterOutcome.TERMINATED,
+                                                IterOutcome.EXITED)
+                for r in run.items)
+            if not found_term:
+                if known_iters is not None:
+                    break  # exact count given: no termination expected
+                if strip is None:
+                    raise ExecutionError(
+                        f"loop {self.info.loop.name!r} did not terminate "
+                        f"within its inferred bound u={u}")
+                makespan += cost.barrier(machine.nprocs)
+                first += strip_len
+                continue
+
+        # -- last valid iteration -----------------------------------------
+        term_iters = [k for k, o in self._outcomes.items()
+                      if o in (IterOutcome.TERMINATED, IterOutcome.EXITED)]
+        if term_iters:
+            exit_at = min(term_iters)
+            exited = self._outcomes[exit_at] == IterOutcome.EXITED
+            lvi = exit_at if exited else exit_at - 1
+        else:
+            # known_iters path with no in-range termination.
+            exit_at = known_iters if known_iters is not None else u
+            exited = False
+            lvi = exit_at
+
+        t_after = 0
+        # The LI = min(L[0:nproc]) reduction over per-processor minima.
+        _, t_red = parallel_min(list(range(machine.nprocs)), machine)
+        t_after += t_red
+
+        executed = sum(1 for o in self._outcomes.values()
+                       if o == IterOutcome.DONE)
+        overshot = sum(1 for k, o in self._outcomes.items()
+                       if o == IterOutcome.DONE and k > lvi)
+
+        restored = 0
+        if self.stamps is not None and self.checkpoint is not None:
+            report = undo_overshoot(self.store, self.checkpoint,
+                                    self.stamps, lvi)
+            restored = report.restored_words
+            t_after += machine.parallel_work_time(
+                restored * cost.restore_word)
+
+        pd: Optional[PDResult] = None
+        if self.shadows is not None:
+            pd = analyze_pd(self.shadows, machine,
+                            last_valid=lvi if self.info.may_overshoot
+                            else None)
+            t_after += pd.analysis_time
+
+        self._publish_scalars(lvi, exited, exit_at)
+
+        stats: Dict[str, Any] = {
+            "u": u,
+            "spans": [r.span_profile() for r in runs],
+            "skipped": sum(len(r.skipped) for r in runs),
+            "stamped_words": (self.stamps.words if self.stamps else 0),
+            "stamped_writes": (self.stamps.stamped_writes
+                               if self.stamps else 0),
+            "checkpoint_words": (self.checkpoint.words
+                                 if self.checkpoint else 0),
+        }
+        result = ParallelResult(
+            scheme=self.scheme_name,
+            n_iters=lvi,
+            exited_in_body=exited,
+            t_par=t_before + makespan + t_after,
+            makespan=makespan,
+            t_before=t_before,
+            t_after=t_after,
+            executed=executed,
+            overshot=overshot,
+            restored_words=restored,
+            pd=pd,
+            stats=stats,
+        )
+        return result
+
+    # -- final scalar state ---------------------------------------------------
+    def _publish_scalars(self, lvi: int, exited: bool, exit_at: int) -> None:
+        """Make the store's scalars match the sequential execution.
+
+        * remainder scalars: privatized values are copied out in
+          iteration order (a partially-executed exit iteration may not
+          have assigned every scalar, in which case the previous
+          iteration's value survives — exactly as it would
+          sequentially);
+        * the dispatcher scalar: ``d(lvi+1)`` when the loop ended at a
+          loop-top test (or when the update precedes the exit site),
+          else ``d(lvi)``.
+        """
+        last = exit_at if exited else lvi
+        merged: Dict[str, Any] = {}
+        for k in sorted(self._locals):
+            if k > last:
+                break
+            merged.update(self._locals[k])
+        for name, value in merged.items():
+            if name != self.disp_var:
+                self.store[name] = value
+        if self.disp_var is not None:
+            if exited and not self._disp_before_exit:
+                final_d = self.supply.value_after(self, lvi - 1)
+            else:
+                final_d = self.supply.value_after(self, lvi)
+            self.store[self.disp_var] = final_d

@@ -1,0 +1,129 @@
+"""Naive loop distribution — the Wu & Lewis (ICPP 1990) baseline.
+
+Section 3.3 / Section 10 of the paper: "first a sequential WHILE loop
+evaluates the dispatcher and stores its values in an array, and then
+the loop iterations are performed in parallel using this array".
+
+This is the comparison point the paper's General-1/2/3 beat:
+
+* the dispatcher walk is **fully sequential** and not overlapped with
+  any remainder work;
+* with an RI terminator that depends only on the dispatcher, the walk
+  can stop exactly at the last term;
+* with an RV terminator the walk cannot know when to stop and must
+  compute ``u`` terms — the "extra sequential computation performed in
+  loop 1" the paper criticizes — and the DOALL then needs the full
+  undo machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.analysis.terminator import TermClass
+from repro.errors import NullPointerError, PlanError
+from repro.ir.functions import FunctionTable
+from repro.ir.interp import EvalContext
+from repro.ir.store import Store
+from repro.runtime.machine import Machine, ProcCtx
+from repro.speculation.pdtest import ShadowArrays
+
+from repro.executors.base import EXHAUSTED, DispatcherSupply, ParallelResult, SchemeCore
+from repro.executors.sequential import ensure_info
+
+__all__ = ["run_loop_distribution", "SequentialTermsSupply"]
+
+
+class SequentialTermsSupply(DispatcherSupply):
+    """Precompute dispatcher terms with a *sequential* walk (loop 1).
+
+    ``prepare_range`` charges the walk's full cycle count as serial
+    time.  When ``stop_on_cond`` is set (RI terminator readable from
+    the dispatcher alone) the walk evaluates the loop condition per
+    term and stops one term past the first failure.
+    """
+
+    schedule = "dynamic"
+
+    def __init__(self, stop_on_cond: bool) -> None:
+        self.stop_on_cond = stop_on_cond
+        self.terms: List[Any] = []
+        self.walk_time = 0
+        self.exhausted_at: Optional[int] = None
+        self._core: Optional[SchemeCore] = None
+
+    def prepare_range(self, core: SchemeCore, first: int, count: int) -> int:
+        self._core = core
+        t = 0
+        if not self.terms:
+            self.terms = [core.store[core.disp_var]]
+        need = first + count
+        while len(self.terms) < need and self.exhausted_at is None:
+            ctx = EvalContext(core.store, core.funcs, core.cost,
+                              local={core.disp_var: self.terms[-1]})
+            if self.stop_on_cond:
+                if not core.runner.check_cond(ctx):
+                    t += ctx.cycles
+                    self.exhausted_at = len(self.terms) + 1
+                    break
+            try:
+                core.runner.advance(ctx)
+            except NullPointerError:
+                t += ctx.cycles
+                self.exhausted_at = len(self.terms) + 1
+                break
+            self.terms.append(ctx.local[core.disp_var])
+            t += ctx.cycles
+        self.walk_time += t
+        return t
+
+    def value_for(self, proc: ProcCtx, ctx: EvalContext, k: int) -> Any:
+        if k > len(self.terms):
+            return EXHAUSTED
+        ctx.cycles += ctx.cost.array_read
+        return self.terms[k - 1]
+
+    def value_after(self, core: SchemeCore, k: int) -> Any:
+        while len(self.terms) <= k:
+            ctx = EvalContext(core.store, core.funcs, core.cost,
+                              local={core.disp_var: self.terms[-1]})
+            try:
+                core.runner.advance(ctx)
+            except NullPointerError:
+                return self.terms[-1]
+            self.terms.append(ctx.local[core.disp_var])
+        return self.terms[k]
+
+
+def run_loop_distribution(
+    loop_or_info, store: Store, machine: Machine, funcs: FunctionTable, *,
+    u: Optional[int] = None,
+    strip: Optional[int] = None,
+    shadows: Optional[ShadowArrays] = None,
+    force_checkpoint: Optional[bool] = None,
+    force_stamps: Optional[bool] = None,
+    extra_hooks=(),
+) -> ParallelResult:
+    """Distribute into sequential dispatcher loop + DOALL remainder."""
+    info = ensure_info(loop_or_info, funcs)
+    if info.dispatcher is None:
+        raise PlanError("loop distribution requires a dispatcher")
+    # The walk may stop on the condition only when the terminator is RI
+    # and its reads are covered by the dispatcher (plus arrays the loop
+    # never writes — already guaranteed by the RI classification).
+    ri_disp_only = (
+        info.terminator.klass is TermClass.RI
+        and info.terminator.n_exit_sites == 0
+    )
+    supply = SequentialTermsSupply(stop_on_cond=ri_disp_only)
+    core = SchemeCore(info, store, machine, funcs, supply,
+                      scheme_name="wu-lewis-distribution", use_quit=True,
+                      shadows=shadows, force_checkpoint=force_checkpoint,
+                      force_stamps=force_stamps,
+                      extra_hooks=tuple(extra_hooks))
+    result = core.run(u=u, strip=strip)
+    result.stats["sequential_walk_time"] = supply.walk_time
+    result.stats["terms_stored"] = len(supply.terms)
+    result.stats["superfluous_terms"] = max(
+        0, len(supply.terms) - (result.n_iters + 1))
+    return result

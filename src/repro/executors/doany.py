@@ -1,0 +1,55 @@
+"""WHILE-DOANY: order-insensitive search loops (paper Section 9).
+
+MCSPARSE's pivot search (Loop 500) is "designed to be insensitive to
+the order in which the columns and rows of the matrix are searched":
+any iteration satisfying the search goal may terminate the loop, and
+overshot iterations need no undo because their effects are benign.
+The paper fuses the row and column searches into a single parallel
+search — a new WHILE-DOANY construct — and reports near-linear
+speedups precisely because all of Sections 4–5's overhead vanishes.
+
+``run_while_doany`` therefore runs the DOALL with QUIT semantics but
+*no* checkpoint, stamps or undo; the iteration that exits publishes
+its result scalars.  The result's ``n_iters`` is the exiting iteration
+observed by this parallel order, which may differ from the sequential
+exit point — that is the DOANY contract.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import PlanError
+from repro.ir.functions import FunctionTable
+from repro.ir.store import Store
+from repro.runtime.machine import Machine
+
+from repro.executors.base import ParallelResult, SchemeCore
+from repro.executors.sequential import ensure_info
+from repro.executors.supplies import ClosedFormSupply, PrivateWalkSupply
+
+__all__ = ["run_while_doany"]
+
+
+def run_while_doany(
+    loop_or_info, store: Store, machine: Machine, funcs: FunctionTable, *,
+    u: Optional[int] = None,
+    strip: Optional[int] = None,
+) -> ParallelResult:
+    """Parallel order-insensitive search with QUIT, no undo machinery."""
+    info = ensure_info(loop_or_info, funcs)
+    if info.dispatcher is None:
+        raise PlanError("WHILE-DOANY still needs a dispatcher to "
+                        "enumerate search candidates")
+    from repro.analysis.recurrence import RecKind
+    if info.dispatcher.kind is RecKind.INDUCTION and not \
+            info.dispatcher.irregular:
+        supply = ClosedFormSupply()
+    else:
+        supply = PrivateWalkSupply("dynamic")
+    core = SchemeCore(info, store, machine, funcs, supply,
+                      scheme_name="while-doany", use_quit=True,
+                      force_checkpoint=False, force_stamps=False)
+    result = core.run(u=u, strip=strip)
+    result.stats["doany"] = True
+    return result

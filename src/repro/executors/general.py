@@ -1,0 +1,106 @@
+"""General-1/2/3: schemes for inherently sequential dispatchers
+(paper Section 3.3, Figure 4).
+
+These never try to parallelize the recurrence itself — its flow
+dependence chain is unbreakable.  They overlap the *remainder* work of
+different iterations instead:
+
+* **General-1**: processors share one walk of the recurrence,
+  serialized by a lock around ``next()`` — simple, but the critical
+  section caps the speedup.
+* **General-2**: static assignment; processor ``vpn`` privately walks
+  the whole recurrence and executes the values congruent to
+  ``vpn mod nproc``.  No locks, but the static schedule keeps a wide
+  span of iterations in flight (more undo under RV terminators).
+* **General-3**: dynamic self-scheduling with private catch-up walks —
+  no locks *and* a narrow span; the paper's best performer on SPICE.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import PlanError
+from repro.ir.functions import FunctionTable
+from repro.ir.store import Store
+from repro.runtime.machine import Machine
+from repro.speculation.pdtest import ShadowArrays
+
+from repro.executors.base import ParallelResult, SchemeCore
+from repro.executors.sequential import ensure_info
+from repro.executors.supplies import LockWalkSupply, PrivateWalkSupply
+
+__all__ = ["run_general1", "run_general2", "run_general3"]
+
+
+def _require_dispatcher(info, name: str) -> None:
+    if info.dispatcher is None:
+        raise PlanError(f"{name} requires a dispatcher recurrence; loop "
+                        f"{info.loop.name!r} has none")
+
+
+def run_general1(loop_or_info, store: Store, machine: Machine,
+                 funcs: FunctionTable, *,
+                 u: Optional[int] = None,
+                 strip: Optional[int] = None,
+                 shadows: Optional[ShadowArrays] = None,
+                 force_checkpoint: Optional[bool] = None,
+                 force_stamps: Optional[bool] = None,
+                 extra_hooks=()) -> ParallelResult:
+    """General-1: lock-serialized shared recurrence walk."""
+    info = ensure_info(loop_or_info, funcs)
+    _require_dispatcher(info, "general-1")
+    supply = LockWalkSupply()
+    core = SchemeCore(info, store, machine, funcs, supply,
+                      scheme_name="general-1", use_quit=True,
+                      shadows=shadows, force_checkpoint=force_checkpoint,
+                      force_stamps=force_stamps,
+                      extra_hooks=tuple(extra_hooks))
+    result = core.run(u=u, strip=strip)
+    result.stats["lock_acquisitions"] = supply.lock.acquisitions
+    result.stats["lock_contended"] = supply.lock.contended
+    return result
+
+
+def run_general2(loop_or_info, store: Store, machine: Machine,
+                 funcs: FunctionTable, *,
+                 u: Optional[int] = None,
+                 strip: Optional[int] = None,
+                 shadows: Optional[ShadowArrays] = None,
+                 force_checkpoint: Optional[bool] = None,
+                 force_stamps: Optional[bool] = None,
+                 extra_hooks=()) -> ParallelResult:
+    """General-2: static mod-p assignment, private full walks."""
+    info = ensure_info(loop_or_info, funcs)
+    _require_dispatcher(info, "general-2")
+    supply = PrivateWalkSupply(schedule="static")
+    core = SchemeCore(info, store, machine, funcs, supply,
+                      scheme_name="general-2", use_quit=True,
+                      shadows=shadows, force_checkpoint=force_checkpoint,
+                      force_stamps=force_stamps,
+                      extra_hooks=tuple(extra_hooks))
+    result = core.run(u=u, strip=strip)
+    result.stats["private_hops"] = supply.total_hops
+    return result
+
+
+def run_general3(loop_or_info, store: Store, machine: Machine,
+                 funcs: FunctionTable, *,
+                 u: Optional[int] = None,
+                 strip: Optional[int] = None,
+                 shadows: Optional[ShadowArrays] = None,
+                 force_checkpoint: Optional[bool] = None,
+                 force_stamps: Optional[bool] = None,
+                 extra_hooks=()) -> ParallelResult:
+    """General-3: dynamic self-scheduling, private catch-up walks."""
+    info = ensure_info(loop_or_info, funcs)
+    _require_dispatcher(info, "general-3")
+    supply = PrivateWalkSupply(schedule="dynamic")
+    core = SchemeCore(info, store, machine, funcs, supply,
+                      scheme_name="general-3", use_quit=True,
+                      shadows=shadows, force_checkpoint=force_checkpoint,
+                      force_stamps=force_stamps,
+                      extra_hooks=tuple(extra_hooks))
+    result = core.run(u=u, strip=strip)
+    result.stats["private_hops"] = supply.total_hops
+    return result

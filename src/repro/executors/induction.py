@@ -1,0 +1,88 @@
+"""Induction-1 and Induction-2 (paper Section 3.1, Figure 2).
+
+Both run the WHILE loop as a DOALL over ``1..u`` with every processor
+evaluating the dispatcher's closed form; they differ in termination:
+
+* **Induction-1** executes *all* ``u`` iterations; each processor
+  tracks the lowest iteration it saw satisfy the terminator, and the
+  last valid iteration is recovered by a min-reduction afterwards.
+* **Induction-2** issues a ``QUIT`` from the first iteration that
+  observes termination (Alliant-style in-order issue), so only the
+  iterations already in flight overshoot — the optimized form.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.recurrence import RecKind
+from repro.errors import PlanError
+from repro.ir.functions import FunctionTable
+from repro.ir.store import Store
+from repro.runtime.machine import Machine
+from repro.speculation.pdtest import ShadowArrays
+
+from repro.executors.base import ParallelResult, SchemeCore
+from repro.executors.sequential import ensure_info
+from repro.executors.supplies import ClosedFormSupply
+
+__all__ = ["run_induction1", "run_induction2"]
+
+
+def _run_induction(loop_or_info, store: Store, machine: Machine,
+                   funcs: FunctionTable, *, use_quit: bool, name: str,
+                   u: Optional[int], strip: Optional[int],
+                   shadows: Optional[ShadowArrays],
+                   force_checkpoint: Optional[bool],
+                   force_stamps: Optional[bool],
+                   stamp_from: int,
+                   extra_hooks=()) -> ParallelResult:
+    info = ensure_info(loop_or_info, funcs)
+    disp = info.dispatcher
+    if disp is None or disp.kind is not RecKind.INDUCTION or disp.irregular:
+        raise PlanError(
+            f"{name} requires an induction dispatcher; "
+            f"loop {info.loop.name!r} has "
+            f"{disp.kind.value if disp else 'none'}")
+    core = SchemeCore(
+        info, store, machine, funcs, ClosedFormSupply(),
+        scheme_name=name, use_quit=use_quit, shadows=shadows,
+        force_checkpoint=force_checkpoint, force_stamps=force_stamps,
+        stamp_from=stamp_from, extra_hooks=tuple(extra_hooks))
+    return core.run(u=u, strip=strip)
+
+
+def run_induction1(loop_or_info, store: Store, machine: Machine,
+                   funcs: FunctionTable, *,
+                   u: Optional[int] = None,
+                   strip: Optional[int] = None,
+                   shadows: Optional[ShadowArrays] = None,
+                   force_checkpoint: Optional[bool] = None,
+                   force_stamps: Optional[bool] = None,
+                   stamp_from: int = 1,
+                   extra_hooks=()) -> ParallelResult:
+    """Induction-1: run all ``u`` iterations, reduce for the LVI."""
+    return _run_induction(loop_or_info, store, machine, funcs,
+                          use_quit=False, name="induction-1", u=u,
+                          strip=strip, shadows=shadows,
+                          force_checkpoint=force_checkpoint,
+                          force_stamps=force_stamps, stamp_from=stamp_from,
+                          extra_hooks=extra_hooks)
+
+
+def run_induction2(loop_or_info, store: Store, machine: Machine,
+                   funcs: FunctionTable, *,
+                   u: Optional[int] = None,
+                   strip: Optional[int] = None,
+                   shadows: Optional[ShadowArrays] = None,
+                   force_checkpoint: Optional[bool] = None,
+                   force_stamps: Optional[bool] = None,
+                   stamp_from: int = 1,
+                   extra_hooks=()) -> ParallelResult:
+    """Induction-2: QUIT on first observed termination (optimized)."""
+    return _run_induction(loop_or_info, store, machine, funcs,
+                          use_quit=True, name="induction-2", u=u,
+                          strip=strip, shadows=shadows,
+                          force_checkpoint=force_checkpoint,
+                          force_stamps=force_stamps, stamp_from=stamp_from,
+                          extra_hooks=extra_hooks)

@@ -1,0 +1,140 @@
+"""Executor for Section 6 distribution plans.
+
+Semantics come from an exact in-order interpretation of the original
+loop (so the store always matches sequential execution); the timing
+pipelines the measured per-block cycles according to the fused plan:
+
+* ``RECURRENCE_PARALLEL`` blocks cost their prefix/closed-form time;
+* ``PARALLEL`` blocks divide across processors;
+* ``RECURRENCE_SEQUENTIAL`` and ``SEQUENTIAL`` blocks run on one
+  processor, but *adjacent sequential blocks of consecutive
+  iterations overlap DOACROSS-style* with the parallel blocks around
+  them (the paper: "In many cases we can exploit the availability of
+  [the] dependence graph by scheduling the sequential loops in a
+  DOACROSS fashion");
+* a barrier separates fused units (loop distribution's synchronization
+  price).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.multirec import BlockMode, DistributionPlan, plan_distribution
+from repro.ir.functions import FunctionTable
+from repro.ir.interp import EvalContext, ExitLoop, compile_block, compile_expr, compile_stmt
+from repro.ir.store import Store
+from repro.runtime.machine import Machine
+
+from repro.executors.base import ParallelResult
+from repro.executors.sequential import ensure_info
+
+__all__ = ["run_distributed"]
+
+
+def run_distributed(
+    loop_or_info, store: Store, machine: Machine, funcs: FunctionTable, *,
+    plan: Optional[DistributionPlan] = None,
+    max_iters: int = 10_000_000,
+) -> ParallelResult:
+    """Execute a loop under its Section 6 distribution plan."""
+    info = ensure_info(loop_or_info, funcs)
+    loop = info.loop
+    cost = machine.cost
+    if plan is None:
+        plan = plan_distribution(loop, funcs)
+
+    init_f = compile_block(loop.init, cost)
+    cond_f = compile_expr(loop.cond, cost)
+    stmt_fs = [compile_stmt(s, cost) for s in loop.body]
+
+    ctx = EvalContext(store, funcs, cost)
+    init_f(ctx)
+    t_init = ctx.cycles
+
+    # Measure per-fused-block cycles, per iteration.
+    n_blocks = len(plan.fused)
+    block_of_stmt: Dict[int, int] = {}
+    for bi, b in enumerate(plan.fused):
+        for s in b.stmts:
+            block_of_stmt[s] = bi
+    block_cycles = [0] * n_blocks
+    cond_cycles = 0
+    per_iter: List[Tuple[int, ...]] = []
+    n_iters = 0
+    exited = False
+    while True:
+        before = ctx.cycles
+        alive = bool(cond_f(ctx))
+        cond_cycles += ctx.cycles - before
+        if not alive:
+            break
+        if n_iters >= max_iters:
+            from repro.errors import OvershootLimit
+            raise OvershootLimit(f"{loop.name!r} exceeded {max_iters}")
+        ctx.cycles += cost.iter_overhead
+        n_iters += 1
+        iter_blocks = [0] * n_blocks
+        try:
+            for i, f in enumerate(stmt_fs):
+                b = ctx.cycles
+                f(ctx)
+                bi = block_of_stmt.get(i)
+                if bi is not None:
+                    delta = ctx.cycles - b
+                    block_cycles[bi] += delta
+                    iter_blocks[bi] += delta
+        except ExitLoop:
+            exited = True
+            per_iter.append(tuple(iter_blocks))
+            break
+        per_iter.append(tuple(iter_blocks))
+
+    # Timing under the fused plan.
+    p = machine.nprocs
+    makespan = 0
+    n_barriers = max(0, n_blocks - 1)
+    for bi, block in enumerate(plan.fused):
+        total = block_cycles[bi]
+        if block.mode is BlockMode.RECURRENCE_PARALLEL:
+            makespan += machine.prefix_time(n_iters,
+                                            max(1, total // max(1, n_iters)))
+        elif block.mode is BlockMode.PARALLEL:
+            makespan += cost.fork + machine.parallel_work_time(
+                total + n_iters * cost.sched_dynamic)
+        elif block.mode is BlockMode.UNKNOWN:
+            # Speculative DOALL: work/p plus shadow marking and the
+            # post-execution analysis (Section 5 costs).
+            a = sum(pi[bi] > 0 for pi in per_iter)
+            makespan += cost.fork + machine.parallel_work_time(
+                total + n_iters * (cost.sched_dynamic + cost.shadow_mark)) \
+                + machine.reduction_time(a)
+        else:
+            # Sequential chain: DOACROSS overlap lets it hide behind
+            # neighbouring parallel work only partially; we charge the
+            # full chain plus a post/wait per iteration.
+            makespan += total + n_iters * (cost.lock_acquire
+                                           + cost.lock_release)
+    makespan += n_barriers * cost.barrier(p)
+    # The distributed dispatcher terms must be stored/reloaded once per
+    # block boundary (loop distribution's storage cost, Section 3.3).
+    store_traffic = n_barriers * n_iters
+    makespan += machine.parallel_work_time(
+        store_traffic * (cost.array_read + cost.array_write))
+
+    t_seq_equivalent = t_init + cond_cycles + sum(block_cycles) \
+        + n_iters * cost.iter_overhead
+    return ParallelResult(
+        scheme="distributed",
+        n_iters=n_iters,
+        exited_in_body=exited,
+        t_par=t_init + cond_cycles + makespan,
+        makespan=makespan,
+        executed=n_iters,
+        stats={
+            "plan_modes": [b.mode.value for b in plan.fused],
+            "block_cycles": block_cycles,
+            "single_scc": plan.single_scc,
+            "t_seq_equivalent": t_seq_equivalent,
+        },
+    )

@@ -1,0 +1,80 @@
+"""The 1-processor/(p-1)-processor hedge (paper Section 8.3).
+
+"One processor executes the loop sequentially, and the rest of the
+processors execute the loop in parallel.  Of course, the sequential
+and the parallel executions would need separate copies of the output
+data for the loop."
+
+Both races run on private copies of the loop's write set; whichever
+finishes first (in virtual time) wins, and its output is committed.
+The cost of making the copies is charged up front, so the hedge's
+price is visible in the result — when the parallel attempt was going
+to win anyway, the hedge costs only the copy; when the loop turns out
+sequentialized (PD failure, no parallelism), the hedge caps the loss.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import PlanError
+from repro.ir.functions import FunctionTable
+from repro.ir.store import Store
+from repro.runtime.machine import Machine
+
+from repro.executors.base import ParallelResult
+from repro.executors.sequential import ensure_info, run_sequential
+
+__all__ = ["run_one_plus_p_minus_1"]
+
+
+def run_one_plus_p_minus_1(
+    loop_or_info, store: Store, machine: Machine, funcs: FunctionTable, *,
+    parallel_scheme: Callable[..., ParallelResult],
+    u: Optional[int] = None,
+    strip: Optional[int] = None,
+    **scheme_kwargs,
+) -> ParallelResult:
+    """Race a sequential copy against a (p-1)-processor parallel copy.
+
+    ``parallel_scheme`` is any of the scheme runners (``run_general3``,
+    ``run_induction2``, ...); it receives a ``Machine(p-1)``.
+    """
+    if machine.nprocs < 2:
+        raise PlanError("the 1/(p-1) hedge needs at least 2 processors")
+    info = ensure_info(loop_or_info, funcs)
+
+    seq_store = store.copy()
+    par_store = store.copy()
+    copy_words = sum(store[a].size for a in store.arrays())
+    t_copy = machine.parallel_work_time(2 * copy_words
+                                        * machine.cost.checkpoint_word)
+
+    seq_res = run_sequential(info, seq_store, Machine(1, machine.cost), funcs)
+    par_res = parallel_scheme(info, par_store,
+                              Machine(machine.nprocs - 1, machine.cost),
+                              funcs, u=u, strip=strip, **scheme_kwargs)
+
+    parallel_won = par_res.t_par < seq_res.t_par
+    winner_store = par_store if parallel_won else seq_store
+    winner = par_res if parallel_won else seq_res
+    # Commit the winner's state.
+    store.restore_from(winner_store)
+
+    return ParallelResult(
+        scheme=f"1+(p-1)[{par_res.scheme}]",
+        n_iters=winner.n_iters,
+        exited_in_body=winner.exited_in_body,
+        t_par=t_copy + min(seq_res.t_par, par_res.t_par),
+        makespan=winner.makespan,
+        t_before=t_copy,
+        t_after=0,
+        executed=winner.executed,
+        overshot=par_res.overshot if parallel_won else 0,
+        stats={
+            "parallel_won": parallel_won,
+            "t_seq_lane": seq_res.t_par,
+            "t_par_lane": par_res.t_par,
+            "copy_words": 2 * copy_words,
+        },
+    )

@@ -1,0 +1,81 @@
+"""The run-twice scheme (paper Section 4, last paragraph).
+
+"Time-stamping can be avoided completely if one is willing to execute
+the parallel version of the WHILE loop twice.  First, the loop is run
+in parallel to determine the number of iterations ...  Then, since the
+number of iterations is known, the second time the loop can simply be
+run as a DOALL."
+
+Implementation: checkpoint → discovery pass (no stamps) → full restore
+→ clean DOALL of exactly the discovered iteration count.  Trades the
+per-write stamping cost for a second full execution — the ablation
+bench quantifies that trade.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.ir.functions import FunctionTable
+from repro.ir.store import Store
+from repro.runtime.machine import Machine
+
+from repro.executors.base import ParallelResult, SchemeCore
+from repro.executors.sequential import ensure_info
+from repro.executors.supplies import ClosedFormSupply, PrivateWalkSupply
+
+__all__ = ["run_twice"]
+
+
+def _default_supply(info):
+    from repro.analysis.recurrence import RecKind
+    if info.dispatcher is not None and \
+            info.dispatcher.kind is RecKind.INDUCTION:
+        return ClosedFormSupply
+    return lambda: PrivateWalkSupply("dynamic")
+
+
+def run_twice(
+    loop_or_info, store: Store, machine: Machine, funcs: FunctionTable, *,
+    u: Optional[int] = None,
+    strip: Optional[int] = None,
+    supply_factory: Optional[Callable] = None,
+) -> ParallelResult:
+    """Discovery pass + restore + clean re-execution."""
+    info = ensure_info(loop_or_info, funcs)
+    factory = supply_factory or _default_supply(info)
+
+    # Pass 1: discover the iteration count.  Checkpoint (forced), no
+    # stamps — the whole point is to avoid them.
+    core1 = SchemeCore(info, store, machine, funcs, factory(),
+                       scheme_name="run-twice/discover", use_quit=True,
+                       force_checkpoint=True, force_stamps=False)
+    r1 = core1.run(u=u, strip=strip)
+
+    # Full restore: discovery-pass writes (valid and overshot alike)
+    # are all discarded.
+    restore_words = core1.checkpoint.restore(store) \
+        if core1.checkpoint is not None else 0
+    t_restore = machine.parallel_work_time(
+        restore_words * machine.cost.restore_word)
+
+    # Pass 2: clean DOALL of exactly n_iters iterations — no
+    # checkpoint, no stamps, no undo.
+    core2 = SchemeCore(info, store, machine, funcs, factory(),
+                       scheme_name="run-twice/replay", use_quit=False,
+                       force_checkpoint=False, force_stamps=False)
+    r2 = core2.run(known_iters=r1.n_iters)
+
+    return ParallelResult(
+        scheme="run-twice",
+        n_iters=r2.n_iters,
+        exited_in_body=r1.exited_in_body,
+        t_par=r1.t_par + t_restore + r2.t_par,
+        makespan=r1.makespan + r2.makespan,
+        t_before=r1.t_before,
+        t_after=r1.t_after + t_restore + r2.t_after,
+        executed=r1.executed + r2.executed,
+        overshot=r1.overshot,
+        restored_words=restore_words,
+        stats={"pass1": r1.stats, "pass2": r2.stats},
+    )

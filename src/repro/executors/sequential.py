@@ -1,0 +1,53 @@
+"""Sequential executor: the baseline every speedup is measured against."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.loopinfo import LoopInfo, analyze_loop
+from repro.ir.functions import FunctionTable
+from repro.ir.interp import SequentialInterp
+from repro.ir.nodes import Loop
+from repro.ir.store import Store
+from repro.runtime.machine import Machine
+
+from repro.executors.base import ParallelResult
+
+__all__ = ["run_sequential", "ensure_info"]
+
+
+def ensure_info(loop_or_info, funcs: Optional[FunctionTable] = None) -> LoopInfo:
+    """Accept either a raw :class:`Loop` or a prebuilt :class:`LoopInfo`."""
+    if isinstance(loop_or_info, LoopInfo):
+        return loop_or_info
+    if isinstance(loop_or_info, Loop):
+        return analyze_loop(loop_or_info, funcs)
+    raise TypeError(f"expected Loop or LoopInfo, got "
+                    f"{type(loop_or_info).__name__}")
+
+
+def run_sequential(
+    loop_or_info,
+    store: Store,
+    machine: Machine,
+    funcs: FunctionTable,
+    *,
+    max_iters: int = 10_000_000,
+) -> ParallelResult:
+    """Run the loop with the reference interpreter, on one processor.
+
+    Returned as a :class:`ParallelResult` so harnesses can treat the
+    baseline uniformly (``t_par`` is simply ``T_seq``).
+    """
+    info = ensure_info(loop_or_info, funcs)
+    interp = SequentialInterp(info.loop, funcs, machine.cost)
+    res = interp.run(store, max_iters=max_iters)
+    return ParallelResult(
+        scheme="sequential",
+        n_iters=res.n_iters,
+        exited_in_body=res.exited_in_body,
+        t_par=res.cycles,
+        makespan=res.cycles,
+        executed=res.n_iters,
+        stats={"cond_cycles": res.cond_cycles},
+    )

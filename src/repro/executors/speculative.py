@@ -1,0 +1,163 @@
+"""The speculative driver: PD-tested parallel execution with fallback.
+
+Section 5 of the paper end to end: when cross-iteration dependences
+cannot be analyzed statically, execute the WHILE loop speculatively as
+a DOALL (via any of the Section 3 schemes) with the PD test's shadow
+marking, optionally privatizing suspect arrays; after the run, the
+fully parallel analysis decides validity.  On failure — or on any
+exception inside an iteration — restore the checkpoint and re-execute
+sequentially.  The total time then includes both the failed attempt
+and the sequential run, which is exactly the slowdown Section 7 bounds
+by ``O(T_seq / p)`` relative overhead.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Tuple
+
+from repro.analysis.recurrence import RecKind
+from repro.errors import SpeculationFailed
+from repro.ir.functions import FunctionTable
+from repro.ir.interp import SequentialInterp
+from repro.ir.store import Store
+from repro.runtime.machine import Machine
+from repro.speculation.hashshadow import HashShadowArrays
+from repro.speculation.pdtest import ShadowArrays, analyze_pd
+from repro.speculation.privatize import PrivateArrays
+
+from repro.executors.associative import run_associative_prefix
+from repro.executors.base import ParallelResult
+from repro.executors.general import run_general3
+from repro.executors.induction import run_induction2
+from repro.executors.sequential import ensure_info
+
+__all__ = ["run_speculative", "default_test_arrays"]
+
+
+def default_test_arrays(info) -> Tuple[str, ...]:
+    """Arrays the PD test must watch: unanalyzable accesses on arrays
+    the loop writes (paper Section 5: the test is applied to each
+    shared variable whose accesses cannot be analyzed)."""
+    written = info.effects.array_writes
+    suspicious = {
+        s.access.array for s in info.subscripts
+        if s.unknown and s.access.array in written
+    }
+    # Arrays touched only through opaque intrinsics have no subscript
+    # records; treat every written array as suspect then.
+    if info.effects.opaque:
+        suspicious |= set(written)
+    return tuple(sorted(suspicious))
+
+
+def _default_scheme(info) -> Callable[..., ParallelResult]:
+    disp = info.dispatcher
+    if disp is not None and not disp.irregular:
+        if disp.kind is RecKind.INDUCTION:
+            return run_induction2
+        if disp.kind is RecKind.AFFINE:
+            return run_associative_prefix
+    return run_general3
+
+
+def run_speculative(
+    loop_or_info, store: Store, machine: Machine, funcs: FunctionTable, *,
+    scheme: Optional[Callable[..., ParallelResult]] = None,
+    test_arrays: Optional[Iterable[str]] = None,
+    privatize: Iterable[str] = (),
+    sparse_shadow: bool = False,
+    u: Optional[int] = None,
+    strip: Optional[int] = None,
+) -> ParallelResult:
+    """Speculatively parallelize; fall back to sequential on hazards.
+
+    Parameters
+    ----------
+    scheme:
+        Underlying DOALL scheme (chosen from the dispatcher kind when
+        omitted).
+    test_arrays:
+        Arrays to run the PD test on; defaults to every written array
+        with unanalyzable accesses.
+    privatize:
+        Arrays to privatize during the speculative run (validity then
+        uses the privatization criterion for them, and their values are
+        published by time-stamped copy-out).
+    sparse_shadow:
+        Use hash-table shadow structures (Section 4's memory
+        optimization for sparse access patterns).
+    """
+    info = ensure_info(loop_or_info, funcs)
+    runner = scheme or _default_scheme(info)
+    tested = tuple(test_arrays) if test_arrays is not None \
+        else default_test_arrays(info)
+    privatized = tuple(privatize)
+
+    if sparse_shadow:
+        shadow_hook = HashShadowArrays(store, tested)
+    else:
+        shadow_hook = ShadowArrays(store, tested)
+    priv_hook = PrivateArrays(privatized) if privatized else None
+    extra = (priv_hook,) if priv_hook else ()
+
+    backup = store.copy()
+
+    def sequential_fallback(t_wasted: int, reason: str) -> ParallelResult:
+        store.restore_from(backup)
+        interp = SequentialInterp(info.loop, funcs, machine.cost)
+        res = interp.run(store)
+        restore_t = machine.parallel_work_time(
+            sum(backup[a].size for a in backup.arrays())
+            * machine.cost.restore_word)
+        return ParallelResult(
+            scheme=f"speculative[{reason}]->sequential",
+            n_iters=res.n_iters,
+            exited_in_body=res.exited_in_body,
+            t_par=t_wasted + restore_t + res.cycles,
+            makespan=res.cycles,
+            t_after=t_wasted + restore_t,
+            executed=res.n_iters,
+            fallback_sequential=True,
+            stats={"wasted_cycles": t_wasted, "reason": reason},
+        )
+
+    try:
+        if isinstance(shadow_hook, HashShadowArrays):
+            # The scheme's core calls analyze_pd on a ShadowArrays-like
+            # object; hand it the sparse hook and densify afterwards.
+            result = runner(info, store, machine, funcs, u=u, strip=strip,
+                            shadows=None, force_checkpoint=True,
+                            extra_hooks=(shadow_hook,) + extra)
+            dense = shadow_hook.densify()
+            pd = analyze_pd(dense, machine,
+                            last_valid=result.n_iters
+                            if info.may_overshoot else None)
+            result.pd = pd
+            result.t_after += pd.analysis_time
+            result.t_par += pd.analysis_time
+        else:
+            result = runner(info, store, machine, funcs, u=u, strip=strip,
+                            shadows=shadow_hook, force_checkpoint=True,
+                            extra_hooks=extra)
+            pd = result.pd
+    except SpeculationFailed as exc:
+        return sequential_fallback(0, "exception")
+
+    valid = pd.valid_with_privatized(privatized) if pd.per_array \
+        else pd.valid_as_is
+    if not valid:
+        return sequential_fallback(result.t_par, "pd-failed")
+
+    if priv_hook is not None:
+        report = priv_hook.copy_out(store, result.n_iters)
+        t_copy = machine.parallel_work_time(
+            report.copied_words * machine.cost.array_write)
+        result.t_after += t_copy
+        result.t_par += t_copy
+        result.stats["copy_out"] = report
+
+    result.scheme = f"speculative[{result.scheme}]"
+    result.stats["tested_arrays"] = tested
+    result.stats["privatized_arrays"] = privatized
+    result.stats["shadow_words"] = shadow_hook.words
+    return result

@@ -1,0 +1,272 @@
+"""Dispatcher-value supplies: how each scheme obtains ``d(k)``.
+
+The paper's schemes differ in exactly this strategy:
+
+* :class:`ClosedFormSupply` — Induction-1/2: every processor evaluates
+  the induction's closed form ``d(k) = init + step*(k-1)`` itself;
+  fully parallel, zero coordination.
+* :class:`PrefixTermsSupply` — the associative scheme of Section 3.2:
+  a parallel prefix precomputes the recurrence terms (per strip when
+  strip-mining), then iterations read their term.
+* :class:`LockWalkSupply` — General-1: a shared cursor walks the
+  recurrence inside a critical section (the paper's
+  ``lock; pt = tmp; tmp = next(tmp); unlock``).
+* :class:`PrivateWalkSupply` — General-2 (static) and General-3
+  (dynamic): each processor privately replays the recurrence,
+  catch-up-walking from its previous position to the iteration it was
+  assigned.
+
+Supplies run the *actual dispatcher-update statements* through the
+interpreter (the ``advance`` closure), so they work for any general
+recurrence, not just linked lists — hops and arithmetic charge their
+real cycle costs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ExecutionError, NullPointerError, PlanError
+from repro.ir.interp import EvalContext
+from repro.runtime.machine import ProcCtx, SimLock
+from repro.runtime.prefix import AffineStep, scan_affine_recurrence
+
+from repro.executors.base import EXHAUSTED, DispatcherSupply, SchemeCore
+
+__all__ = [
+    "ClosedFormSupply",
+    "PrefixTermsSupply",
+    "LockWalkSupply",
+    "PrivateWalkSupply",
+]
+
+
+class ClosedFormSupply(DispatcherSupply):
+    """Induction dispatcher: ``d(k) = init + step*(k-1)`` (Figure 2)."""
+
+    schedule = "dynamic"
+
+    def __init__(self) -> None:
+        self.init: Optional[Any] = None
+        self.step: Optional[Any] = None
+
+    def prepare_range(self, core: SchemeCore, first: int, count: int) -> int:
+        if self.init is None:
+            disp = core.info.dispatcher
+            if disp is None or disp.step in (None, 0):
+                raise PlanError("closed-form supply needs an induction "
+                                "dispatcher with a nonzero step")
+            # Read the *live* initial value (the init block already ran).
+            self.init = core.store[disp.var]
+            step = disp.step
+            self.step = int(step) if float(step).is_integer() else step
+        return 0
+
+    def value_for(self, proc: ProcCtx, ctx: EvalContext, k: int) -> Any:
+        ctx.cycles += ctx.cost.mul + ctx.cost.alu
+        return self.init + self.step * (k - 1)
+
+    def value_after(self, core: SchemeCore, k: int) -> Any:
+        return self.init + self.step * k
+
+
+class PrefixTermsSupply(DispatcherSupply):
+    """Associative (affine) dispatcher via parallel prefix (Figure 3).
+
+    ``prepare_range`` scans the next block of terms in
+    ``O(count/p + log p)`` virtual time; iterations then read their
+    precomputed term (one array read).  When the core strip-mines, each
+    strip triggers one more scan — the paper's remedy for RV
+    terminators that would otherwise force unbounded precomputation.
+    """
+
+    schedule = "dynamic"
+
+    def __init__(self) -> None:
+        self.terms: List[Any] = []  # terms[k-1] == d(k)
+        self.scan_time = 0
+
+    def prepare_range(self, core: SchemeCore, first: int, count: int) -> int:
+        disp = core.info.dispatcher
+        if disp is None or disp.mul is None:
+            raise PlanError("prefix supply needs an affine dispatcher")
+        if not self.terms:
+            self.terms = [core.store[disp.var]]  # d(1) = live init value
+        need = first + count  # terms d(1) .. d(first+count) inclusive
+        if len(self.terms) >= need:
+            return 0
+        n_new = need - len(self.terms)
+        steps = [AffineStep(disp.mul, disp.add)] * n_new
+        scanned, t = scan_affine_recurrence(self.terms[-1], steps,
+                                            core.machine)
+        if all(float(v).is_integer() for v in
+               (disp.mul, disp.add, self.terms[-1])):
+            scanned = [int(v) for v in scanned]
+        self.terms.extend(scanned)
+        self.scan_time += t
+        return t
+
+    def value_for(self, proc: ProcCtx, ctx: EvalContext, k: int) -> Any:
+        ctx.cycles += ctx.cost.array_read
+        return self.terms[k - 1]
+
+    def value_after(self, core: SchemeCore, k: int) -> Any:
+        disp = core.info.dispatcher
+        while len(self.terms) <= k:
+            nxt = disp.mul * self.terms[-1] + disp.add
+            if isinstance(self.terms[-1], int) and float(nxt).is_integer():
+                nxt = int(nxt)
+            self.terms.append(nxt)
+        return self.terms[k]  # terms[k] == d(k+1)
+
+
+class _WalkState:
+    """A replayable position in a general recurrence."""
+
+    __slots__ = ("k", "value", "exhausted")
+
+    def __init__(self, k: int, value: Any) -> None:
+        self.k = k
+        self.value = value
+        self.exhausted = False
+
+
+def _advance_once(core: SchemeCore, value: Any, charge_to) -> Any:
+    """Run the dispatcher-update statements once; returns the new value.
+
+    ``charge_to`` is either an :class:`EvalContext` (cycles flow into
+    the iteration's account) or a :class:`ProcCtx` (cycles land
+    directly on the processor clock — required inside critical
+    sections, where the lock hold time must cover the walk).  Raises
+    :class:`~repro.errors.NullPointerError` past the end of a list.
+    """
+    tmp = EvalContext(core.store, core.funcs, core.cost,
+                      local={core.disp_var: value})
+    core.runner.advance(tmp)
+    if isinstance(charge_to, EvalContext):
+        charge_to.cycles += tmp.cycles
+    else:
+        charge_to.charge(tmp.cycles)
+    return tmp.local[core.disp_var]
+
+
+def _replay(core: SchemeCore, initial: Any, k: int) -> Any:
+    """Untimed reconstruction of ``d(k+1)`` from the initial value.
+
+    Used only to publish the final dispatcher scalar after the DOALL;
+    runs outside the timed simulation.  Walking off the end of a list
+    sticks at NULL, matching the sequential final value.
+    """
+    value = initial
+    for _ in range(k):
+        tmp = EvalContext(core.store, core.funcs, core.cost,
+                          local={core.disp_var: value})
+        try:
+            core.runner.advance(tmp)
+        except NullPointerError:
+            return value
+        value = tmp.local[core.disp_var]
+    return value
+
+
+class LockWalkSupply(DispatcherSupply):
+    """General-1: serialize the shared recurrence walk with a lock.
+
+    A single shared cursor ``(k, value)`` is advanced inside the
+    critical section; because the dynamic engine issues iterations in
+    index order, each iteration advances the cursor at most a few
+    steps, but every advance holds the lock — the serialization the
+    paper identifies as General-1's weakness.
+    """
+
+    schedule = "dynamic"
+
+    def __init__(self) -> None:
+        self.lock = SimLock()
+        self.state: Optional[_WalkState] = None
+        self.initial: Optional[Any] = None
+        self._core: Optional[SchemeCore] = None
+
+    def prepare_range(self, core: SchemeCore, first: int, count: int) -> int:
+        self._core = core
+        if self.state is None:
+            if core.disp_var is None:
+                raise PlanError("lock-walk supply needs a dispatcher")
+            self.initial = core.store[core.disp_var]
+            self.state = _WalkState(1, self.initial)
+        return 0
+
+    def value_for(self, proc: ProcCtx, ctx: EvalContext, k: int) -> Any:
+        st = self.state
+        # Flush cycles accrued so far onto the processor clock so the
+        # critical section is positioned at the right virtual time.
+        proc.charge(ctx.cycles)
+        ctx.cycles = 0
+        proc.acquire(self.lock)
+        try:
+            while not st.exhausted and st.k < k:
+                try:
+                    st.value = _advance_once(self._core, st.value, proc)
+                except NullPointerError:
+                    st.exhausted = True
+                    break
+                st.k += 1
+            if st.k < k:
+                return EXHAUSTED
+            return st.value
+        finally:
+            proc.release(self.lock)
+
+    def value_after(self, core: SchemeCore, k: int) -> Any:
+        return _replay(core, self.initial, k)
+
+
+class PrivateWalkSupply(DispatcherSupply):
+    """General-2 (static) / General-3 (dynamic): private catch-up walks.
+
+    Every processor replays the recurrence privately: serving
+    iteration ``k`` from previous position ``prev`` costs ``k - prev``
+    advances on that processor alone — no serialization, at the price
+    of each processor traversing (most of) the recurrence.
+    """
+
+    def __init__(self, schedule: str = "dynamic") -> None:
+        if schedule not in ("dynamic", "static"):
+            raise PlanError(f"unknown schedule {schedule!r}")
+        self.schedule = schedule
+        self.states: Dict[int, _WalkState] = {}
+        self.initial: Optional[Any] = None
+        self.total_hops = 0
+        self._core: Optional[SchemeCore] = None
+
+    def prepare_range(self, core: SchemeCore, first: int, count: int) -> int:
+        self._core = core
+        if self.initial is None:
+            if core.disp_var is None:
+                raise PlanError("private-walk supply needs a dispatcher")
+            self.initial = core.store[core.disp_var]
+        return 0
+
+    def value_for(self, proc: ProcCtx, ctx: EvalContext, k: int) -> Any:
+        st = self.states.get(proc.pid)
+        if st is None:
+            st = _WalkState(1, self.initial)
+            self.states[proc.pid] = st
+        if st.exhausted:
+            return EXHAUSTED
+        if k < st.k:
+            raise ExecutionError(
+                "private walk asked to move backwards; iteration indices "
+                "must be non-decreasing per processor")
+        while st.k < k:
+            try:
+                st.value = _advance_once(self._core, st.value, ctx)
+            except NullPointerError:
+                st.exhausted = True
+                return EXHAUSTED
+            st.k += 1
+            self.total_hops += 1
+        return st.value
+
+    def value_after(self, core: SchemeCore, k: int) -> Any:
+        return _replay(core, self.initial, k)

@@ -1,0 +1,228 @@
+"""Resource-controlled sliding-window self-scheduling (Section 8.2).
+
+A sliding window of size ``w`` bounds how far apart in-flight
+iterations may be: iteration ``h`` cannot start until iteration
+``h - w`` has completed.  This bounds the time-stamp memory to
+``w × writes-per-iteration`` *without* the rigid global barriers of
+strip-mining.
+
+The window can be fixed, or adjusted dynamically by the application
+itself based on its current memory usage — the paper's
+"resource-controlled self-scheduling".  The dynamic controller here
+grows the window while stamped memory is under budget and shrinks it
+when over, exactly the policy the paper sketches.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import PlanError
+from repro.ir.functions import FunctionTable
+from repro.ir.interp import IterOutcome
+from repro.ir.store import Store
+from repro.runtime.machine import QUIT, DoallRun, ItemRec, Machine
+from repro.speculation.pdtest import ShadowArrays
+
+from repro.executors.base import ParallelResult, SchemeCore
+from repro.executors.sequential import ensure_info
+from repro.executors.supplies import ClosedFormSupply
+
+__all__ = ["run_windowed", "WindowController"]
+
+
+@dataclass
+class WindowController:
+    """Dynamic window policy: grow under budget, shrink over it.
+
+    Attributes
+    ----------
+    initial / minimum / maximum:
+        Window size bounds.
+    memory_budget_words:
+        Target on live time-stamp memory; ``None`` disables adaptation
+        (fixed window).
+    """
+
+    initial: int = 32
+    minimum: int = 4
+    maximum: int = 4096
+    memory_budget_words: Optional[int] = None
+
+    def adjust(self, current: int, mem_words: int) -> int:
+        """Next window size given current memory usage."""
+        if self.memory_budget_words is None:
+            return current
+        if mem_words > self.memory_budget_words:
+            return max(self.minimum, current // 2)
+        if mem_words < self.memory_budget_words // 2:
+            return min(self.maximum, current * 2)
+        return current
+
+
+def _windowed_doall(
+    machine: Machine,
+    n_items: int,
+    body,
+    controller: WindowController,
+    mem_probe: Callable[[int], int],
+) -> Tuple[DoallRun, List[int], int]:
+    """Dynamic self-scheduling with a completion-ordered window.
+
+    ``mem_probe(frontier)`` reports live time-stamp words given the
+    completed-prefix frontier (stamps at or below it are freeable).
+    Returns the run, the window-size history, and the live-memory
+    high-water mark observed at issue points.
+    """
+    p, cost = machine.nprocs, machine.cost
+    heap: List[Tuple[int, int]] = [(cost.fork, pid) for pid in range(p)]
+    heapq.heapify(heap)
+    end_time: Dict[int, int] = {}
+    items: List[ItemRec] = []
+    skipped: List[int] = []
+    quit_index: Optional[int] = None
+    quit_time: Optional[int] = None
+    proc_finish = [cost.fork] * p
+    window = controller.initial
+    history = [window]
+    high_water = 0
+    done: set = set()
+    index = 1
+    while index <= n_items:
+        clock, pid = heapq.heappop(heap)
+        start = clock + cost.sched_dynamic
+        gate = index - window
+        if gate >= 1:
+            start = max(start, end_time.get(gate, 0))
+        if quit_time is not None and start >= quit_time \
+                and index > quit_index:
+            skipped.extend(range(index, n_items + 1))
+            heapq.heappush(heap, (clock, pid))
+            break
+        from repro.runtime.machine import ProcCtx
+        ctx = ProcCtx(pid, start, cost)
+        outcome = body(ctx, index)
+        items.append(ItemRec(index, pid, start, ctx.clock, outcome))
+        end_time[index] = ctx.clock
+        done.add(index)
+        if outcome == QUIT and (quit_index is None or index < quit_index):
+            quit_index, quit_time = index, ctx.clock
+        proc_finish[pid] = ctx.clock
+        heapq.heappush(heap, (ctx.clock, pid))
+        # Live time-stamp memory at this *virtual* moment: stamps from
+        # iterations not yet below the completed-prefix frontier.  An
+        # iteration j is live at time `start` if some iteration <= j is
+        # still running then (its stamps cannot be discarded yet).
+        lookback = max(2 * window, 16)
+        incomplete = [j for j in range(max(1, index - lookback), index + 1)
+                      if end_time.get(j, 1 << 62) > start]
+        live_iters = (index - min(incomplete) + 1) if incomplete else 0
+        wpi = mem_probe(0) / max(1, len(done))  # avg stamped words/iter
+        mem = int(live_iters * wpi)
+        high_water = max(high_water, mem)
+        new_window = controller.adjust(window, mem)
+        if new_window != window:
+            window = new_window
+            history.append(window)
+        index += 1
+    run = DoallRun(max(proc_finish), items, quit_index, skipped, proc_finish)
+    return run, history, high_water
+
+
+def run_windowed(
+    loop_or_info, store: Store, machine: Machine, funcs: FunctionTable, *,
+    u: Optional[int] = None,
+    controller: Optional[WindowController] = None,
+    shadows: Optional[ShadowArrays] = None,
+) -> ParallelResult:
+    """Induction-style DOALL under a sliding window.
+
+    Currently supports induction dispatchers (the windowed engine needs
+    random access to iteration indices, which the closed form gives for
+    free); general recurrences combine the window with
+    General-3-style supplies in the same way.
+    """
+    info = ensure_info(loop_or_info, funcs)
+    controller = controller or WindowController()
+    supply = ClosedFormSupply()
+    core = SchemeCore(info, store, machine, funcs, supply,
+                      scheme_name="windowed", use_quit=True,
+                      shadows=shadows)
+
+    # Reproduce the relevant pieces of SchemeCore.run with the windowed
+    # engine in place of the machine's stock DOALL.
+    machine_cost = machine.cost
+    t_before = 0
+    init_ctx = core.runner.make_ctx(store)
+    core.runner.run_init(init_ctx)
+    t_before += init_ctx.cycles
+    if core.do_checkpoint:
+        from repro.speculation.checkpoint import Checkpoint
+        core.checkpoint = Checkpoint(store, core.written_arrays)
+        t_before += machine.parallel_work_time(
+            core.checkpoint.words * machine_cost.checkpoint_word)
+    if u is None:
+        from repro.executors.base import infer_upper_bound
+        u = infer_upper_bound(info, store)
+    t_before += supply.prepare_range(core, 1, u)
+
+    def probe(_frontier: int) -> int:
+        # Total stamped words so far; the engine converts this to a
+        # live estimate per virtual moment.
+        return core.stamps.stamped_writes if core.stamps else 0
+
+    run, history, high_water = _windowed_doall(
+        machine, u, core._iteration_body, controller, probe)
+
+    term_iters = [k for k, o in core._outcomes.items()
+                  if o in (IterOutcome.TERMINATED, IterOutcome.EXITED)]
+    if not term_iters:
+        raise PlanError(f"windowed run of {info.loop.name!r} found no "
+                        f"termination within u={u}")
+    exit_at = min(term_iters)
+    exited = core._outcomes[exit_at] == IterOutcome.EXITED
+    lvi = exit_at if exited else exit_at - 1
+
+    from repro.runtime.reduction import parallel_min
+    _, t_red = parallel_min(list(range(machine.nprocs)), machine)
+    t_after = t_red
+    restored = 0
+    if core.stamps is not None and core.checkpoint is not None:
+        from repro.speculation.timestamps import undo_overshoot
+        rep = undo_overshoot(store, core.checkpoint, core.stamps, lvi)
+        restored = rep.restored_words
+        t_after += machine.parallel_work_time(
+            restored * machine_cost.restore_word)
+    pd = None
+    if core.shadows is not None:
+        from repro.speculation.pdtest import analyze_pd
+        pd = analyze_pd(core.shadows, machine,
+                        last_valid=lvi if info.may_overshoot else None)
+        t_after += pd.analysis_time
+    core._publish_scalars(lvi, exited, exit_at)
+
+    executed = sum(1 for o in core._outcomes.values()
+                   if o == IterOutcome.DONE)
+    overshot = sum(1 for k, o in core._outcomes.items()
+                   if o == IterOutcome.DONE and k > lvi)
+    return ParallelResult(
+        scheme="windowed",
+        n_iters=lvi,
+        exited_in_body=exited,
+        t_par=t_before + run.makespan + t_after,
+        makespan=run.makespan,
+        t_before=t_before,
+        t_after=t_after,
+        executed=executed,
+        overshot=overshot,
+        restored_words=restored,
+        pd=pd,
+        stats={
+            "window_history": history,
+            "mem_high_water": high_water,
+            "span": run.span_profile(),
+            "skipped": len(run.skipped),
+        },
+    )

@@ -1,0 +1,19 @@
+"""Experiment harness: figures, tables, and the markdown report."""
+
+from repro.experiments.figures import (
+    ALL_FIGURES,
+    FigureData,
+    figure_6,
+    figure_7,
+    figure_8_11,
+    figure_12_14,
+)
+from repro.experiments.report import render_report
+from repro.experiments.tables import Table1Row, Table2Row, table_1, table_2
+
+__all__ = [
+    "ALL_FIGURES", "FigureData",
+    "figure_6", "figure_7", "figure_8_11", "figure_12_14",
+    "render_report",
+    "Table1Row", "Table2Row", "table_1", "table_2",
+]

@@ -1,0 +1,144 @@
+"""Figure reproductions: speedup-vs-processors series for Figures 6-14.
+
+Each ``figure_*`` function returns a :class:`FigureData` with one
+series per method/input, processor counts 1..8 (the Alliant FX/80's
+range), and the paper's reported 8-processor speedup for comparison.
+The benches print these series; :mod:`repro.experiments.report`
+renders them into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.runtime.costs import ALLIANT_FX80, CostModel
+from repro.workloads.base import Method, Workload, speedup_curve
+from repro.workloads.ma28 import make_ma28_loop
+from repro.workloads.mcsparse import make_mcsparse_dfact500
+from repro.workloads.spice import make_spice_load40
+from repro.workloads.track import make_track_fptrak300
+
+__all__ = [
+    "FigureData",
+    "figure_6",
+    "figure_7",
+    "figure_8_11",
+    "figure_12_14",
+    "ALL_FIGURES",
+]
+
+PROCS: Tuple[int, ...] = (1, 2, 3, 4, 5, 6, 7, 8)
+
+
+@dataclass
+class FigureData:
+    """One reproduced figure.
+
+    Attributes
+    ----------
+    figure:
+        Paper figure number (e.g. "6").
+    title:
+        What the figure shows.
+    series:
+        ``label -> {p -> speedup}``.
+    paper_at_8:
+        ``label -> paper speedup at 8 processors`` where reported.
+    """
+
+    figure: str
+    title: str
+    series: Dict[str, Dict[int, float]] = field(default_factory=dict)
+    paper_at_8: Dict[str, float] = field(default_factory=dict)
+
+    def rows(self) -> Sequence[Tuple[str, float, Optional[float]]]:
+        """(label, measured@8, paper@8) summary rows."""
+        out = []
+        for label, curve in self.series.items():
+            out.append((label, curve[max(curve)],
+                        self.paper_at_8.get(label)))
+        return out
+
+
+def _curves(workload: Workload, methods: Sequence[Method],
+            procs: Sequence[int], cost: CostModel) -> Dict[str, Dict[int, float]]:
+    return {m.label: speedup_curve(workload, m, procs, cost)
+            for m in methods}
+
+
+def figure_6(*, n_devices: int = 1200, procs: Sequence[int] = PROCS,
+             cost: CostModel = ALLIANT_FX80) -> FigureData:
+    """Figure 6: SPICE LOAD loop 40 — General-1 vs General-3."""
+    w = make_spice_load40(n_devices)
+    methods = [w.method("General-1 (locks)"),
+               w.method("General-3 (no locks)")]
+    return FigureData(
+        figure="6",
+        title="SPICE LOAD loop 40: linked-list traversal (RI)",
+        series=_curves(w, methods, procs, cost),
+        paper_at_8=dict(w.paper_speedups),
+    )
+
+
+def figure_7(*, n_tracks: int = 1200, procs: Sequence[int] = PROCS,
+             cost: CostModel = ALLIANT_FX80) -> FigureData:
+    """Figure 7: TRACK FPTRAK loop 300 — Induction-1 plus the ideal
+    hand-parallel curve the paper overlays."""
+    w = make_track_fptrak300(n_tracks)
+    methods = [w.method("Induction-1"),
+               w.method("Ideal (hand-parallel)")]
+    return FigureData(
+        figure="7",
+        title="TRACK FPTRAK loop 300: DO loop with conditional exit (RV)",
+        series=_curves(w, methods, procs, cost),
+        paper_at_8=dict(w.paper_speedups),
+    )
+
+
+def figure_8_11(*, procs: Sequence[int] = PROCS,
+                cost: CostModel = ALLIANT_FX80) -> Dict[str, FigureData]:
+    """Figures 8-11: MCSPARSE DFACT loop 500, one figure per input."""
+    out: Dict[str, FigureData] = {}
+    fig_no = {"gematt11": "8", "gematt12": "9",
+              "orsreg1": "10", "saylr4": "11"}
+    for name, fig in fig_no.items():
+        w = make_mcsparse_dfact500(name)
+        out[name] = FigureData(
+            figure=fig,
+            title=f"MCSPARSE DFACT loop 500 (WHILE-DOANY), input {name}",
+            series=_curves(w, list(w.methods), procs, cost),
+            paper_at_8=dict(w.paper_speedups),
+        )
+    return out
+
+
+def figure_12_14(*, procs: Sequence[int] = PROCS,
+                 cost: CostModel = ALLIANT_FX80) -> Dict[str, FigureData]:
+    """Figures 12-14: MA28 loops 270 and 320 per input (one figure per
+    input, both loops on the same graph — as in the paper)."""
+    out: Dict[str, FigureData] = {}
+    fig_no = {"gematt11": "12", "gematt12": "13", "orsreg1": "14"}
+    for name, fig in fig_no.items():
+        data = FigureData(
+            figure=fig,
+            title=f"MA28 MA30AD loops 270+320, input {name}",
+        )
+        for loop_no in (270, 320):
+            w = make_ma28_loop(name, loop_no)
+            m = w.methods[0]
+            data.series[f"Loop {loop_no}"] = speedup_curve(w, m, procs,
+                                                           cost)
+            data.paper_at_8[f"Loop {loop_no}"] = \
+                w.paper_speedups[m.label]
+        out[name] = data
+    return out
+
+
+#: Registry used by the report generator: figure id -> builder.
+ALL_FIGURES = {
+    "6": figure_6,
+    "7": figure_7,
+    "8-11": figure_8_11,
+    "12-14": figure_12_14,
+}

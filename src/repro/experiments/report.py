@@ -1,0 +1,185 @@
+"""Render the full paper-vs-measured record (EXPERIMENTS.md content).
+
+``python -m repro.experiments.report`` regenerates the experiment
+record from scratch: Table 1, Table 2, and every figure's series.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.experiments.figures import (
+    FigureData,
+    figure_6,
+    figure_7,
+    figure_8_11,
+    figure_12_14,
+)
+from repro.experiments.tables import table_1, table_2
+
+__all__ = ["render_report", "main"]
+
+
+def _fmt_curve(curve: Dict[int, float]) -> str:
+    return "  ".join(f"{p}:{v:.2f}" for p, v in sorted(curve.items()))
+
+
+def _figure_block(fig: FigureData) -> List[str]:
+    lines = [f"### Figure {fig.figure} — {fig.title}", ""]
+    lines.append("| series | speedup vs processors (p:speedup) | "
+                 "measured @8p | paper @8p |")
+    lines.append("|---|---|---|---|")
+    for label, curve in fig.series.items():
+        at8 = curve[max(curve)]
+        paper = fig.paper_at_8.get(label)
+        paper_s = f"{paper:.1f}" if paper is not None else "n/r"
+        lines.append(f"| {label} | {_fmt_curve(curve)} | {at8:.2f} "
+                     f"| {paper_s} |")
+    lines.append("")
+    return lines
+
+
+def ablation_headlines() -> List[str]:
+    """Compact re-measurements of the claims the ablation benches
+    check in depth (Sections 3.3, 4, 7 and the Conclusion)."""
+    import numpy as np
+
+    from repro.executors import run_induction1, run_induction2, run_sequential
+    from repro.executors.speculative import run_speculative
+    from repro.ir import (ArrayAssign, ArrayRef, Assign, Const, Exit,
+                          FunctionTable, If, Store, Var, WhileLoop, eq_,
+                          le_)
+    from repro.planner import slowdown_bound, worst_case_fraction
+    from repro.runtime import ALLIANT_FX80, Machine
+
+    ft = FunctionTable()
+    lines: List[str] = ["", "## Ablation headlines", ""]
+
+    def rv_loop():
+        return WhileLoop(
+            [Assign("i", Const(1))], le_(Var("i"), Var("n")),
+            [If(eq_(ArrayRef("A", Var("i")), Const(-1)), [Exit()]),
+             ArrayAssign("A", Var("i"), Var("i") * 5),
+             Assign("i", Var("i") + 1)], name="abl-rv")
+
+    def rv_store(n=600, exit_at=450):
+        A = np.zeros(n + 2, dtype=np.int64)
+        A[exit_at] = -1
+        return Store({"A": A, "n": n, "i": 0})
+
+    m = Machine(8)
+    seq_t = run_sequential(rv_loop(), rv_store(), m, ft).t_par
+
+    # Induction-1 vs Induction-2 undo volumes (Section 3.1 QUIT).
+    r1 = run_induction1(rv_loop(), rv_store(), m, ft)
+    r2 = run_induction2(rv_loop(), rv_store(), m, ft)
+    lines.append(f"- **QUIT (Induction-2 vs -1)**: overshot iterations "
+                 f"undone {r1.overshot} -> {r2.overshot}; speedup "
+                 f"{r1.speedup(seq_t):.2f}x -> {r2.speedup(seq_t):.2f}x.")
+
+    # Section 7 floor: protected vs unprotected run.
+    ideal = run_induction1(rv_loop(), rv_store(), m, ft,
+                           force_checkpoint=False, force_stamps=False)
+    frac = r1.speedup(seq_t) / ideal.speedup(seq_t)
+    lines.append(f"- **Section 7 floor (no PD)**: Sp_at/Sp_id = "
+                 f"{frac:.2f} (bound {worst_case_fraction(False):.2f}).")
+
+    # PD failure slowdown vs the T_seq(1+5/p) bound.
+    loop = WhileLoop(
+        [Assign("i", Const(1))], le_(Var("i"), Var("n")),
+        [ArrayAssign("B", ArrayRef("idx", Var("i") - 1), Var("i")),
+         Assign("i", Var("i") + 1)], name="abl-pd")
+    idx = np.zeros(200, dtype=np.int64)  # everything collides
+
+    def pd_store():
+        return Store({"B": np.zeros(4, dtype=np.int64),
+                      "idx": idx.copy(), "n": 200, "i": 0})
+    pd_seq = run_sequential(loop, pd_store(), m, ft).t_par
+    failed = run_speculative(loop, pd_store(), m, ft)
+    lines.append(
+        f"- **PD-failure slowdown**: total/T_seq = "
+        f"{failed.t_par / pd_seq:.2f}x (bound "
+        f"{slowdown_bound(pd_seq, 8) / pd_seq:.2f}x); fallback produced "
+        f"the exact sequential state.")
+
+    # Hardware-assist gap closure (Conclusion).
+    hw = Machine(8, ALLIANT_FX80.scaled(timestamp_write=0,
+                                        checkpoint_word=0,
+                                        restore_word=0))
+    seq_hw = run_sequential(rv_loop(), rv_store(), hw, ft).t_par
+    sw_gap = 1 - r1.speedup(seq_t) / ideal.speedup(seq_t)
+    r_hw = run_induction1(rv_loop(), rv_store(), hw, ft)
+    ideal_hw = run_induction1(rv_loop(), rv_store(), hw, ft,
+                              force_checkpoint=False,
+                              force_stamps=False)
+    hw_gap = 1 - r_hw.speedup(seq_hw) / ideal_hw.speedup(seq_hw)
+    lines.append(f"- **Hardware-assisted speculation**: overhead gap to "
+                 f"the unprotected ideal shrinks {sw_gap:.1%} -> "
+                 f"{hw_gap:.1%} with free stamps/checkpoints.")
+    lines.append("")
+    lines.append("Full sweeps: `pytest benchmarks/ --benchmark-only -s` "
+                 "(`bench_ablation_*.py`, `bench_crossover_analysis.py`, "
+                 "`bench_mpp_extrapolation.py`).")
+    return lines
+
+
+def render_report() -> str:
+    """Build the full markdown report (slow: reruns every experiment)."""
+    lines: List[str] = [
+        "# EXPERIMENTS — paper vs. measured",
+        "",
+        "Regenerated by `python -m repro.experiments.report`.",
+        "All measurements run on the virtual-time multiprocessor",
+        "(`repro.runtime.Machine`, Alliant-flavoured cost model);",
+        "'paper' numbers are the speedups reported in Section 9 on the",
+        "8-processor Alliant FX/80. Absolute agreement is not expected",
+        "(synthetic workloads on a simulated machine); ordering and",
+        "rough magnitudes are the reproduction targets.",
+        "",
+        "## Table 1 — WHILE-loop taxonomy",
+        "",
+        "| cell | overshoot | dispatcher parallel | zoo loop | "
+        "classified correctly |",
+        "|---|---|---|---|---|",
+    ]
+    for row in table_1():
+        lines.append(
+            f"| {row.cell} | {'YES' if row.overshoot else 'NO'} | "
+            f"{row.parallel} | {row.zoo_loop} | "
+            f"{'yes' if row.classified_correctly else '**NO**'} |")
+
+    lines += [
+        "",
+        "## Table 2 — summary of experimental results (8 processors)",
+        "",
+        "| benchmark | loop | technique | input | measured | paper | "
+        "rel. err | store == sequential |",
+        "|---|---|---|---|---|---|---|---|",
+    ]
+    for row in table_2():
+        err = row.relative_error
+        err_s = f"{err:+.0%}" if err is not None else "n/a"
+        paper_s = f"{row.paper:.1f}" if row.paper else "n/r"
+        lines.append(
+            f"| {row.benchmark} | {row.loop} | {row.technique} | "
+            f"{row.input_name} | {row.measured:.2f} | {paper_s} | "
+            f"{err_s} | {'yes' if row.store_ok else '**NO**'} |")
+
+    lines += ["", "## Figures", ""]
+    lines += _figure_block(figure_6())
+    lines += _figure_block(figure_7())
+    for fig in figure_8_11().values():
+        lines += _figure_block(fig)
+    for fig in figure_12_14().values():
+        lines += _figure_block(fig)
+    lines += ablation_headlines()
+    return "\n".join(lines) + "\n"
+
+
+def main() -> None:
+    """CLI entry: print the report to stdout."""
+    print(render_report())
+
+
+if __name__ == "__main__":
+    main()

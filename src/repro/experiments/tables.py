@@ -1,0 +1,121 @@
+"""Table reproductions: Table 1 (taxonomy) and Table 2 (summary).
+
+``table_1`` validates the taxonomy over the loop zoo and returns the
+paper's matrix with observed confirmations; ``table_2`` reruns every
+Section 9 experiment at 8 processors and lines the measured speedups
+up against the paper's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.analysis.loopinfo import analyze_loop
+from repro.analysis.taxonomy import TAXONOMY_TABLE
+from repro.runtime.costs import ALLIANT_FX80, CostModel
+from repro.runtime.machine import Machine
+from repro.workloads.base import measure_speedup
+from repro.workloads.ma28 import make_ma28_loop
+from repro.workloads.mcsparse import make_mcsparse_dfact500
+from repro.workloads.spice import make_spice_load40
+from repro.workloads.track import make_track_fptrak300
+from repro.workloads.zoo import make_zoo
+
+__all__ = ["Table1Row", "Table2Row", "table_1", "table_2"]
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One taxonomy cell with its zoo confirmation."""
+
+    cell: str               #: e.g. "monotonic induction / RI"
+    overshoot: bool
+    parallel: str
+    zoo_loop: str
+    classified_correctly: bool
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One Table 2 line: benchmark loop + method + speedup at 8p."""
+
+    benchmark: str
+    loop: str
+    technique: str
+    input_name: str
+    measured: float
+    paper: Optional[float]
+    store_ok: bool
+    notes: str = ""
+
+    @property
+    def relative_error(self) -> Optional[float]:
+        """``(measured - paper) / paper`` when the paper reports one."""
+        if not self.paper:
+            return None
+        return (self.measured - self.paper) / self.paper
+
+
+def table_1() -> List[Table1Row]:
+    """Reproduce Table 1: classify the zoo, compare with the matrix."""
+    rows: List[Table1Row] = []
+    for z in make_zoo():
+        info = analyze_loop(z.loop, z.funcs)
+        cell = info.taxonomy
+        expected = TAXONOMY_TABLE[(z.expect_dispatcher,
+                                   z.expect_terminator)]
+        ok = (cell.dispatcher == z.expect_dispatcher
+              and cell.terminator == z.expect_terminator
+              and (cell.overshoot, cell.parallel) == expected)
+        rows.append(Table1Row(
+            cell=f"{z.expect_dispatcher.value} / "
+                 f"{z.expect_terminator.name}",
+            overshoot=cell.overshoot,
+            parallel=cell.parallel.value,
+            zoo_loop=z.name,
+            classified_correctly=ok,
+        ))
+    return rows
+
+
+def table_2(*, nprocs: int = 8,
+            cost: CostModel = ALLIANT_FX80) -> List[Table2Row]:
+    """Reproduce Table 2: every loop × input × technique at 8 procs."""
+    machine = Machine(nprocs, cost)
+    rows: List[Table2Row] = []
+
+    w = make_spice_load40(1200)
+    for label in ("General-1 (locks)", "General-3 (no locks)"):
+        sp, res, ok = measure_speedup(w, w.method(label), machine)
+        rows.append(Table2Row(
+            "SPICE", "LOAD loop 40", label, "-", sp,
+            w.paper_speedups.get(label), ok,
+            "RI terminator; no backups or time-stamps"))
+
+    w = make_track_fptrak300(1200)
+    sp, res, ok = measure_speedup(w, w.method("Induction-1"), machine)
+    rows.append(Table2Row(
+        "TRACK", "FPTRAK loop 300", "Induction-1", "-", sp,
+        w.paper_speedups["Induction-1"], ok,
+        "RV terminator; backups and time-stamps"))
+
+    for input_name in ("gematt11", "gematt12", "orsreg1", "saylr4"):
+        w = make_mcsparse_dfact500(input_name)
+        m = w.methods[0]
+        sp, res, ok = measure_speedup(w, m, machine)
+        rows.append(Table2Row(
+            "MCSPARSE", "DFACT loop 500", "WHILE-DOANY (Induction-1)",
+            input_name, sp, w.paper_speedups[m.label], ok,
+            "RV terminator; no backups and no time-stamps"))
+
+    for loop_no in (270, 320):
+        for input_name in ("gematt11", "gematt12", "orsreg1"):
+            w = make_ma28_loop(input_name, loop_no)
+            m = w.methods[0]
+            sp, res, ok = measure_speedup(w, m, machine)
+            rows.append(Table2Row(
+                "MA28", f"MA30AD loop {loop_no}", m.label,
+                input_name, sp, w.paper_speedups[m.label], ok,
+                "RV terminator; backups and time-stamps"))
+    return rows

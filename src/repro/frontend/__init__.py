@@ -1,0 +1,6 @@
+"""Frontends: lift Python while loops or Fortran-style text into the IR."""
+
+from repro.frontend.fortranish import lift_fortranish
+from repro.frontend.pyfront import LiftedLoop, lift_function, lift_source
+
+__all__ = ["LiftedLoop", "lift_function", "lift_source", "lift_fortranish"]

@@ -1,0 +1,454 @@
+"""A Fortran-flavoured mini-frontend matching the paper's figures.
+
+The paper writes its loops in a Fortran-like pseudo-syntax
+(Figure 1/2/5).  This frontend parses that notation directly, so the
+paper's examples can be carried into the framework verbatim::
+
+    integer i = 1
+    while (f(i) .lt. V)
+      WORK(i)
+      i = i + 1
+    endwhile
+
+and::
+
+    do i = 1, n
+      if (f(i) .eq. true) then exit
+      A(i) = 2 * A(i)
+    enddo
+
+Supported syntax (case-insensitive keywords):
+
+* declarations ``integer x = expr`` / ``real x = expr`` (the type is
+  recorded but ignored — the IR is dynamically typed);
+* plain assignments ``x = expr`` and array stores ``A(e) = expr``;
+* ``while (cond) ... endwhile`` and ``do v = lo, hi ... enddo``;
+* single-line ``if (cond) then exit`` / ``if (cond) exit`` and block
+  ``if (cond) then ... [else ...] endif``;
+* bare calls ``WORK(args)`` (lowered to intrinsic calls);
+* Fortran operators ``.lt. .le. .gt. .ge. .eq. .ne. .and. .or. .not.``
+  alongside ``< <= > >= == /=``, arithmetic ``+ - * / **``;
+* the literals ``true``, ``false``, ``null`` (= -1, the NULL pointer).
+
+Array references use parentheses, Fortran-style: ``A(i)`` is an array
+access when ``A`` has appeared on the left of an array store or in a
+``dimension A(...)`` declaration; otherwise ``name(args)`` parses as an
+intrinsic call.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Set, Tuple
+
+from repro.errors import FrontendError
+from repro.frontend.pyfront import LiftedLoop
+from repro.ir import nodes as ir
+
+__all__ = ["lift_fortranish"]
+
+_TOKEN = re.compile(r"""
+    (?P<num>\d+\.\d+|\d+)
+  | (?P<dotop>\.(?:lt|le|gt|ge|eq|ne|and|or|not)\.)
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op>\*\*|<=|>=|==|/=|[-+*/<>=(),])
+  | (?P<ws>\s+)
+""", re.VERBOSE)
+
+_DOTOPS = {
+    ".lt.": "<", ".le.": "<=", ".gt.": ">", ".ge.": ">=",
+    ".eq.": "==", ".ne.": "!=", ".and.": "and", ".or.": "or",
+    ".not.": "not",
+}
+
+
+class _Tokens:
+    """A tiny token cursor over one line."""
+
+    def __init__(self, text: str, line_no: int) -> None:
+        self.items: List[str] = []
+        pos = 0
+        while pos < len(text):
+            m = _TOKEN.match(text, pos)
+            if m is None:
+                raise FrontendError(
+                    f"line {line_no}: cannot tokenize at {text[pos:]!r}")
+            pos = m.end()
+            if m.lastgroup == "ws":
+                continue
+            tok = m.group(0)
+            self.items.append(_DOTOPS.get(tok.lower(), tok))
+        self.i = 0
+        self.line_no = line_no
+
+    def peek(self) -> Optional[str]:
+        return self.items[self.i] if self.i < len(self.items) else None
+
+    def next(self) -> str:
+        tok = self.peek()
+        if tok is None:
+            raise FrontendError(f"line {self.line_no}: unexpected end")
+        self.i += 1
+        return tok
+
+    def expect(self, tok: str) -> None:
+        got = self.next()
+        if got != tok:
+            raise FrontendError(
+                f"line {self.line_no}: expected {tok!r}, got {got!r}")
+
+    def done(self) -> bool:
+        return self.i >= len(self.items)
+
+
+class _Parser:
+    """Recursive-descent parser over the line-oriented source."""
+
+    def __init__(self, source: str) -> None:
+        self.lines: List[Tuple[int, str]] = []
+        for no, raw in enumerate(source.splitlines(), 1):
+            text = raw.split("!", 1)[0].strip()
+            if text:
+                self.lines.append((no, text))
+        self.pos = 0
+        self.arrays: Set[str] = set()
+        self.scalars: Set[str] = set()
+        self.intrinsics: Set[str] = set()
+
+    # -- line plumbing ------------------------------------------------------
+    def peek_line(self) -> Optional[str]:
+        if self.pos < len(self.lines):
+            return self.lines[self.pos][1]
+        return None
+
+    def next_line(self) -> Tuple[int, str]:
+        if self.pos >= len(self.lines):
+            raise FrontendError("unexpected end of input")
+        out = self.lines[self.pos]
+        self.pos += 1
+        return out
+
+    # -- expressions ---------------------------------------------------------
+    def expr(self, t: _Tokens) -> ir.Expr:
+        return self._or(t)
+
+    def _or(self, t: _Tokens) -> ir.Expr:
+        left = self._and(t)
+        while t.peek() == "or":
+            t.next()
+            left = ir.BinOp("or", left, self._and(t))
+        return left
+
+    def _and(self, t: _Tokens) -> ir.Expr:
+        left = self._not(t)
+        while t.peek() == "and":
+            t.next()
+            left = ir.BinOp("and", left, self._not(t))
+        return left
+
+    def _not(self, t: _Tokens) -> ir.Expr:
+        if t.peek() == "not":
+            t.next()
+            return ir.UnaryOp("not", self._not(t))
+        return self._cmp(t)
+
+    def _cmp(self, t: _Tokens) -> ir.Expr:
+        left = self._add(t)
+        if t.peek() in ("<", "<=", ">", ">=", "==", "!=", "/="):
+            op = t.next()
+            if op == "/=":
+                op = "!="
+            return ir.BinOp(op, left, self._add(t))
+        return left
+
+    def _add(self, t: _Tokens) -> ir.Expr:
+        left = self._mul(t)
+        while t.peek() in ("+", "-"):
+            op = t.next()
+            left = ir.BinOp(op, left, self._mul(t))
+        return left
+
+    def _mul(self, t: _Tokens) -> ir.Expr:
+        left = self._pow(t)
+        while t.peek() in ("*", "/"):
+            op = t.next()
+            left = ir.BinOp(op, left, self._pow(t))
+        return left
+
+    def _pow(self, t: _Tokens) -> ir.Expr:
+        base = self._unary(t)
+        if t.peek() == "**":
+            t.next()
+            return ir.BinOp("**", base, self._pow(t))
+        return base
+
+    def _unary(self, t: _Tokens) -> ir.Expr:
+        if t.peek() == "-":
+            t.next()
+            return ir.UnaryOp("-", self._unary(t))
+        return self._atom(t)
+
+    def _atom(self, t: _Tokens) -> ir.Expr:
+        tok = t.next()
+        if tok == "(":
+            inner = self.expr(t)
+            t.expect(")")
+            return inner
+        if re.fullmatch(r"\d+\.\d+", tok):
+            return ir.Const(float(tok))
+        if tok.isdigit():
+            return ir.Const(int(tok))
+        low = tok.lower()
+        if low == "true":
+            return ir.Const(True)
+        if low == "false":
+            return ir.Const(False)
+        if low == "null":
+            return ir.Const(ir.NULL)
+        if not re.fullmatch(r"[A-Za-z_][A-Za-z_0-9]*", tok):
+            raise FrontendError(
+                f"line {t.line_no}: unexpected token {tok!r}")
+        if t.peek() == "(":
+            t.next()
+            args: List[ir.Expr] = []
+            if t.peek() != ")":
+                args.append(self.expr(t))
+                while t.peek() == ",":
+                    t.next()
+                    args.append(self.expr(t))
+            t.expect(")")
+            if tok in self.arrays:
+                if len(args) != 1:
+                    raise FrontendError(
+                        f"line {t.line_no}: array {tok} needs one index")
+                return ir.ArrayRef(tok, args[0])
+            if low == "next" and len(args) == 2 \
+                    and isinstance(args[0], ir.Var):
+                return ir.Next(args[0].name, args[1])
+            self.intrinsics.add(tok)
+            return ir.Call(tok, args)
+        self.scalars.add(tok)
+        return ir.Var(tok)
+
+    # -- statements ------------------------------------------------------------
+    def block(self, terminators: Tuple[str, ...]) -> List[ir.Stmt]:
+        out: List[ir.Stmt] = []
+        while True:
+            line = self.peek_line()
+            if line is None:
+                raise FrontendError(
+                    f"missing {' / '.join(terminators)}")
+            head = line.split("(", 1)[0].strip().lower()
+            first_word = head.split()[0] if head.split() else \
+                line.lower()
+            if line.lower() in terminators \
+                    or first_word in terminators:
+                return [self._lower_nested(s) for s in out]
+            out.extend(self.statement())
+
+    @staticmethod
+    def _lower_nested(s: ir.Stmt) -> ir.Stmt:
+        """Lower a nested ``do`` marker to an inner ``For``.
+
+        Fortran's ``exit`` leaves the innermost do, but the IR's
+        ``Exit`` leaves the *top-level* loop — so nested DOs with exits
+        are rejected rather than silently mistranslated.  Nested
+        ``while`` is not supported (the paper's loops never nest
+        general WHILEs).
+        """
+        if isinstance(s, _DoMarker):
+            from repro.ir.visitor import contains_exit
+            if contains_exit(s.body):
+                raise FrontendError(
+                    "exit inside a nested do is not supported (IR Exit "
+                    "leaves the outer loop)")
+            # DO bounds are inclusive; For's upper bound is exclusive.
+            return ir.For(s.var, s.lo, ir.BinOp("+", s.hi, ir.Const(1)),
+                          s.body)
+        if isinstance(s, _WhileMarker):
+            raise FrontendError("nested while loops are not supported")
+        return s
+
+    def statement(self) -> List[ir.Stmt]:
+        no, line = self.next_line()
+        low = line.lower()
+
+        m = re.match(r"(integer|real|pointer|logical)\s+(.*)", low)
+        if m:
+            rest = line[len(m.group(1)):].strip()
+            if "=" not in rest:
+                # bare declaration: record the name, emit nothing
+                self.scalars.add(rest.split()[0])
+                return []
+            line = rest
+            low = line.lower()
+
+        if low.startswith("dimension "):
+            for name in re.findall(r"([A-Za-z_][A-Za-z_0-9]*)\s*\(",
+                                   line[len("dimension"):]):
+                self.arrays.add(name)
+            return []
+
+        if low.startswith("while"):
+            t = _Tokens(line[len("while"):], no)
+            t.expect("(")
+            cond = self.expr(t)
+            t.expect(")")
+            body = self.block(("endwhile",))
+            self.next_line()  # consume endwhile
+            return [_WhileMarker(cond, tuple(body))]  # type: ignore[list-item]
+
+        if low.startswith("do "):
+            m = re.match(r"do\s+([A-Za-z_][A-Za-z_0-9]*)\s*=\s*(.*)",
+                         line, re.IGNORECASE)
+            if not m:
+                raise FrontendError(f"line {no}: malformed do")
+            var = m.group(1)
+            t = _Tokens(m.group(2), no)
+            lo = self.expr(t)
+            t.expect(",")
+            hi = self.expr(t)
+            body = self.block(("enddo",))
+            self.next_line()
+            self.scalars.add(var)
+            return [_DoMarker(var, lo, hi, tuple(body))]  # type: ignore[list-item]
+
+        if low.startswith("if"):
+            t = _Tokens(line[2:], no)
+            t.expect("(")
+            cond = self.expr(t)
+            t.expect(")")
+            rest = " ".join(t.items[t.i:]).lower()
+            if rest in ("then exit", "exit"):
+                return [ir.If(cond, [ir.Exit()])]
+            if rest == "then":
+                then = self.block(("else", "endif"))
+                _, nxt = self.next_line()
+                orelse: List[ir.Stmt] = []
+                if nxt.lower() == "else":
+                    orelse = self.block(("endif",))
+                    self.next_line()
+                return [ir.If(cond, then, orelse)]
+            # single-line body: `if (c) stmt`
+            tail = self._tail_after_cond(line, no)
+            sub = _Parser.__new__(_Parser)
+            sub.__dict__ = {**self.__dict__}
+            sub.lines = [(no, tail)]
+            sub.pos = 0
+            sub.arrays, sub.scalars, sub.intrinsics = \
+                self.arrays, self.scalars, self.intrinsics
+            return [ir.If(cond, sub.statement())]
+
+        if low == "exit":
+            return [ir.Exit()]
+
+        # assignment or bare call
+        t = _Tokens(line, no)
+        name = t.next()
+        if t.peek() == "(":
+            # could be array store `A(i) = e` or a bare call `WORK(i)`
+            t.next()
+            first = self.expr(t) if t.peek() != ")" else None
+            args = [first] if first is not None else []
+            while t.peek() == ",":
+                t.next()
+                args.append(self.expr(t))
+            t.expect(")")
+            if t.peek() == "=":
+                t.next()
+                value = self.expr(t)
+                if len(args) != 1:
+                    raise FrontendError(
+                        f"line {no}: array store needs one index")
+                self.arrays.add(name)
+                self.scalars.discard(name)
+                return [ir.ArrayAssign(name, args[0], value)]
+            self.intrinsics.add(name)
+            return [ir.ExprStmt(ir.Call(name, args))]
+        t.expect("=")
+        value = self.expr(t)
+        self.scalars.add(name)
+        return [ir.Assign(name, value)]
+
+    @staticmethod
+    def _tail_after_cond(line: str, no: int) -> str:
+        depth = 0
+        for i, ch in enumerate(line):
+            if ch == "(":
+                depth += 1
+            elif ch == ")":
+                depth -= 1
+                if depth == 0:
+                    return line[i + 1:].strip()
+        raise FrontendError(f"line {no}: unbalanced parentheses")
+
+
+class _WhileMarker(ir.Stmt):
+    """Parser-internal: a while construct awaiting top-level placement."""
+
+    def __init__(self, cond: ir.Expr, body: Tuple[ir.Stmt, ...]) -> None:
+        self.cond = cond
+        self.body = body
+
+
+class _DoMarker(ir.Stmt):
+    """Parser-internal: a do construct awaiting top-level placement."""
+
+    def __init__(self, var: str, lo: ir.Expr, hi: ir.Expr,
+                 body: Tuple[ir.Stmt, ...]) -> None:
+        self.var = var
+        self.lo = lo
+        self.hi = hi
+        self.body = body
+
+
+def lift_fortranish(source: str, *, name: str = "fortran-loop",
+                    arrays: Tuple[str, ...] = ()) -> LiftedLoop:
+    """Parse a Fortran-flavoured loop into the IR.
+
+    Parameters
+    ----------
+    source:
+        The loop text (one ``while``/``endwhile`` or ``do``/``enddo``
+        at top level, optionally preceded by declarations and
+        initializations; ``!`` starts a comment).
+    name:
+        Loop name for reports.
+    arrays:
+        Names to pre-register as arrays (needed when a name's first
+        appearance is a *read* like ``A(i)``, which would otherwise
+        parse as a call).
+    """
+    parser = _Parser(source)
+    parser.arrays.update(arrays)
+    init: List[ir.Stmt] = []
+    loop: Optional[ir.Loop] = None
+    while parser.peek_line() is not None:
+        stmts = parser.statement()
+        for s in stmts:
+            if isinstance(s, _WhileMarker):
+                if loop is not None:
+                    raise FrontendError("exactly one top-level loop "
+                                        "expected")
+                loop = ir.Loop(init, s.cond, s.body, name=name)
+            elif isinstance(s, _DoMarker):
+                if loop is not None:
+                    raise FrontendError("exactly one top-level loop "
+                                        "expected")
+                loop = ir.DoLoop(s.var, s.lo, s.hi, s.body,
+                                 name=name).normalize()
+            elif loop is None:
+                init.append(s)
+            else:
+                raise FrontendError("statements after the loop are "
+                                    "not supported")
+    if loop is None:
+        raise FrontendError("no while/do loop found")
+    scalars = parser.scalars - parser.arrays
+    return LiftedLoop(
+        loop=loop,
+        arrays=tuple(sorted(parser.arrays)),
+        lists=(),
+        scalars=tuple(sorted(scalars)),
+        intrinsics=tuple(sorted(parser.intrinsics)),
+    )

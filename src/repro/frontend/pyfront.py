@@ -1,0 +1,299 @@
+"""Python-source frontend: lift real ``while`` loops into the IR.
+
+The paper's techniques are syntax-directed; this frontend lets users
+hand the framework an ordinary Python function and get the whole
+pipeline — recurrence detection, RI/RV classification, taxonomy,
+planning, simulated parallel execution — on the loop it contains::
+
+    def spice_load(lst, out):
+        tmp = lst.head
+        while tmp != -1:
+            out[tmp] = work(tmp)
+            tmp = lst.successor(tmp)
+
+    lifted = lift_function(spice_load)
+    info = analyze_loop(lifted.loop, funcs)
+
+Supported subset (anything else raises :class:`FrontendError` with a
+precise location):
+
+* leading simple assignments (the loop's ``init`` block);
+* exactly one ``while`` loop;
+* assignments to names and single-subscript stores ``A[e] = ...``;
+* augmented assignments (desugared);
+* ``if``/``elif``/``else`` and ``break`` (→ ``Exit``);
+* ``for v in range(lo, hi)`` inner loops;
+* arithmetic/comparison/boolean expressions, ``abs``/``min``/``max``;
+* intrinsic calls ``f(args)`` (resolved by the execution-time
+  :class:`~repro.ir.functions.FunctionTable`);
+* linked-list hops spelled ``lst.successor(p)`` (→ ``Next``) and heads
+  spelled ``lst.head``.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import FrontendError
+from repro.ir import nodes as ir
+
+__all__ = ["LiftedLoop", "lift_function", "lift_source"]
+
+_BINOPS = {
+    ast.Add: "+", ast.Sub: "-", ast.Mult: "*", ast.Div: "/",
+    ast.FloorDiv: "//", ast.Mod: "%", ast.Pow: "**",
+}
+_CMPOPS = {
+    ast.Eq: "==", ast.NotEq: "!=", ast.Lt: "<", ast.LtE: "<=",
+    ast.Gt: ">", ast.GtE: ">=",
+}
+
+
+@dataclass(frozen=True)
+class LiftedLoop:
+    """Result of lifting: the IR loop plus discovered symbol roles."""
+
+    loop: ir.Loop
+    arrays: Tuple[str, ...]      #: names used with subscripts
+    lists: Tuple[str, ...]       #: names used as linked lists
+    scalars: Tuple[str, ...]     #: other referenced names
+    intrinsics: Tuple[str, ...]  #: called function names to register
+
+
+class _Lifter:
+    """Single-use AST-to-IR converter with symbol-role tracking."""
+
+    def __init__(self, filename: str = "<lifted>") -> None:
+        self.filename = filename
+        self.arrays: set = set()
+        self.lists: set = set()
+        self.scalars: set = set()
+        self.intrinsics: set = set()
+
+    def fail(self, node: ast.AST, message: str) -> FrontendError:
+        line = getattr(node, "lineno", "?")
+        return FrontendError(f"{self.filename}:{line}: {message}")
+
+    # -- expressions ---------------------------------------------------------
+    def expr(self, node: ast.expr) -> ir.Expr:
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, (bool, int, float)):
+                return ir.Const(node.value)
+            raise self.fail(node, f"unsupported constant {node.value!r}")
+        if isinstance(node, ast.Name):
+            self.scalars.add(node.id)
+            return ir.Var(node.id)
+        if isinstance(node, ast.BinOp):
+            op = _BINOPS.get(type(node.op))
+            if op is None:
+                raise self.fail(node, f"unsupported operator "
+                                      f"{type(node.op).__name__}")
+            return ir.BinOp(op, self.expr(node.left), self.expr(node.right))
+        if isinstance(node, ast.UnaryOp):
+            if isinstance(node.op, ast.USub):
+                return ir.UnaryOp("-", self.expr(node.operand))
+            if isinstance(node.op, ast.Not):
+                return ir.UnaryOp("not", self.expr(node.operand))
+            raise self.fail(node, "unsupported unary operator")
+        if isinstance(node, ast.Compare):
+            if len(node.ops) != 1:
+                raise self.fail(node, "chained comparisons not supported")
+            op = _CMPOPS.get(type(node.ops[0]))
+            if op is None:
+                raise self.fail(node, "unsupported comparison")
+            return ir.BinOp(op, self.expr(node.left),
+                            self.expr(node.comparators[0]))
+        if isinstance(node, ast.BoolOp):
+            op = "and" if isinstance(node.op, ast.And) else "or"
+            out = self.expr(node.values[0])
+            for v in node.values[1:]:
+                out = ir.BinOp(op, out, self.expr(v))
+            return out
+        if isinstance(node, ast.Subscript):
+            return self._subscript_read(node)
+        if isinstance(node, ast.Call):
+            return self._call(node)
+        if isinstance(node, ast.Attribute):
+            if node.attr == "head" and isinstance(node.value, ast.Name):
+                # ``lst.head``: runtime value; model as scalar read of
+                # the conventional name "<lst>__head".
+                self.lists.add(node.value.id)
+                name = f"{node.value.id}__head"
+                self.scalars.add(name)
+                return ir.Var(name)
+            raise self.fail(node, f"unsupported attribute .{node.attr}")
+        raise self.fail(node, f"unsupported expression "
+                              f"{type(node).__name__}")
+
+    def _subscript_read(self, node: ast.Subscript) -> ir.Expr:
+        if not isinstance(node.value, ast.Name):
+            raise self.fail(node, "only simple-name arrays supported")
+        self.arrays.add(node.value.id)
+        self.scalars.discard(node.value.id)
+        return ir.ArrayRef(node.value.id, self.expr(node.slice))
+
+    def _call(self, node: ast.Call) -> ir.Expr:
+        if node.keywords:
+            raise self.fail(node, "keyword arguments not supported")
+        if isinstance(node.func, ast.Attribute):
+            if node.func.attr == "successor" \
+                    and isinstance(node.func.value, ast.Name) \
+                    and len(node.args) == 1:
+                self.lists.add(node.func.value.id)
+                return ir.Next(node.func.value.id, self.expr(node.args[0]))
+            raise self.fail(node, f"unsupported method call "
+                                  f".{node.func.attr}()")
+        if not isinstance(node.func, ast.Name):
+            raise self.fail(node, "unsupported callee")
+        name = node.func.id
+        args = [self.expr(a) for a in node.args]
+        if name == "abs" and len(args) == 1:
+            return ir.UnaryOp("abs", args[0])
+        if name == "min" and len(args) == 2:
+            return ir.BinOp("min", args[0], args[1])
+        if name == "max" and len(args) == 2:
+            return ir.BinOp("max", args[0], args[1])
+        self.intrinsics.add(name)
+        return ir.Call(name, args)
+
+    # -- statements ------------------------------------------------------------
+    def stmt(self, node: ast.stmt) -> List[ir.Stmt]:
+        if isinstance(node, ast.Assign):
+            if len(node.targets) != 1:
+                raise self.fail(node, "multiple targets not supported")
+            return [self._assign(node.targets[0], node.value, node)]
+        if isinstance(node, ast.AnnAssign):
+            if node.value is None:
+                return []
+            return [self._assign(node.target, node.value, node)]
+        if isinstance(node, ast.AugAssign):
+            op = _BINOPS.get(type(node.op))
+            if op is None:
+                raise self.fail(node, "unsupported augmented operator")
+            if isinstance(node.target, ast.Name):
+                rhs = ir.BinOp(op, ir.Var(node.target.id),
+                               self.expr(node.value))
+                self.scalars.add(node.target.id)
+                return [ir.Assign(node.target.id, rhs)]
+            if isinstance(node.target, ast.Subscript):
+                read = self._subscript_read(node.target)
+                rhs = ir.BinOp(op, read, self.expr(node.value))
+                return [ir.ArrayAssign(read.array, read.index, rhs)]
+            raise self.fail(node, "unsupported augmented target")
+        if isinstance(node, ast.If):
+            cond = self.expr(node.test)
+            then = self.block(node.body)
+            orelse = self.block(node.orelse)
+            return [ir.If(cond, then, orelse)]
+        if isinstance(node, ast.Break):
+            return [ir.Exit()]
+        if isinstance(node, ast.Expr):
+            if isinstance(node.value, ast.Constant):
+                return []  # docstring / bare constant
+            return [ir.ExprStmt(self.expr(node.value))]
+        if isinstance(node, ast.For):
+            return [self._for(node)]
+        if isinstance(node, ast.Pass):
+            return []
+        raise self.fail(node, f"unsupported statement "
+                              f"{type(node).__name__}")
+
+    def _assign(self, target: ast.expr, value: ast.expr,
+                node: ast.stmt) -> ir.Stmt:
+        rhs = self.expr(value)
+        if isinstance(target, ast.Name):
+            self.scalars.add(target.id)
+            return ir.Assign(target.id, rhs)
+        if isinstance(target, ast.Subscript):
+            if not isinstance(target.value, ast.Name):
+                raise self.fail(node, "only simple-name arrays supported")
+            self.arrays.add(target.value.id)
+            self.scalars.discard(target.value.id)
+            return ir.ArrayAssign(target.value.id,
+                                  self.expr(target.slice), rhs)
+        raise self.fail(node, "unsupported assignment target")
+
+    def _for(self, node: ast.For) -> ir.Stmt:
+        if node.orelse:
+            raise self.fail(node, "for-else not supported")
+        if not (isinstance(node.iter, ast.Call)
+                and isinstance(node.iter.func, ast.Name)
+                and node.iter.func.id == "range"
+                and 1 <= len(node.iter.args) <= 2):
+            raise self.fail(node, "inner loops must be "
+                                  "`for v in range(lo, hi)`")
+        if not isinstance(node.target, ast.Name):
+            raise self.fail(node, "loop variable must be a name")
+        if len(node.iter.args) == 1:
+            lo: ir.Expr = ir.Const(0)
+            hi = self.expr(node.iter.args[0])
+        else:
+            lo = self.expr(node.iter.args[0])
+            hi = self.expr(node.iter.args[1])
+        self.scalars.add(node.target.id)
+        return ir.For(node.target.id, lo, hi, self.block(node.body))
+
+    def block(self, stmts: List[ast.stmt]) -> List[ir.Stmt]:
+        out: List[ir.Stmt] = []
+        for s in stmts:
+            out.extend(self.stmt(s))
+        return out
+
+
+def lift_source(source: str, *, name: str = "lifted",
+                filename: str = "<string>") -> LiftedLoop:
+    """Lift a source fragment containing assignments + one while loop."""
+    tree = ast.parse(textwrap.dedent(source), filename=filename)
+    body = tree.body
+    if len(body) == 1 and isinstance(body[0], (ast.FunctionDef,
+                                               ast.AsyncFunctionDef)):
+        name = body[0].name
+        body = body[0].body
+    lifter = _Lifter(filename)
+    init: List[ir.Stmt] = []
+    loop_node: Optional[ast.While] = None
+    for s in body:
+        if isinstance(s, ast.While):
+            if loop_node is not None:
+                raise lifter.fail(s, "exactly one while loop expected")
+            loop_node = s
+        elif loop_node is None:
+            if isinstance(s, ast.Expr) and isinstance(s.value, ast.Constant):
+                continue  # docstring
+            if isinstance(s, ast.Return):
+                continue
+            init.extend(lifter.stmt(s))
+        else:
+            if isinstance(s, ast.Return):
+                continue
+            raise lifter.fail(s, "statements after the while loop are "
+                                 "not supported")
+    if loop_node is None:
+        raise FrontendError(f"{filename}: no while loop found")
+    if loop_node.orelse:
+        raise lifter.fail(loop_node, "while-else not supported")
+    cond = lifter.expr(loop_node.test)
+    loop_body = lifter.block(loop_node.body)
+    loop = ir.Loop(init, cond, loop_body, name=name)
+    scalars = lifter.scalars - lifter.arrays - lifter.lists
+    return LiftedLoop(
+        loop=loop,
+        arrays=tuple(sorted(lifter.arrays)),
+        lists=tuple(sorted(lifter.lists)),
+        scalars=tuple(sorted(scalars)),
+        intrinsics=tuple(sorted(lifter.intrinsics)),
+    )
+
+
+def lift_function(fn) -> LiftedLoop:
+    """Lift a Python function's while loop (via ``inspect.getsource``)."""
+    try:
+        source = inspect.getsource(fn)
+    except (OSError, TypeError) as exc:
+        raise FrontendError(f"cannot read source of {fn!r}: {exc}") from exc
+    return lift_source(source, name=getattr(fn, "__name__", "lifted"),
+                       filename=inspect.getsourcefile(fn) or "<string>")

@@ -1,0 +1,71 @@
+"""The loop IR: nodes, store, intrinsics, interpreter, printer.
+
+This package defines the small imperative language the whole framework
+analyzes and executes.  See :mod:`repro.ir.nodes` for the node zoo and
+:mod:`repro.ir.interp` for the reference sequential semantics.
+"""
+
+from repro.ir.functions import FunctionTable, Intrinsic
+from repro.ir.interp import (
+    EvalContext,
+    ExitLoop,
+    IterationRunner,
+    IterOutcome,
+    MemHooks,
+    SeqResult,
+    SequentialInterp,
+    compile_block,
+    compile_expr,
+    compile_stmt,
+)
+from repro.ir.nodes import (
+    NULL,
+    ArrayAssign,
+    ArrayRef,
+    Assign,
+    BinOp,
+    Call,
+    Const,
+    DoLoop,
+    Exit,
+    Expr,
+    ExprStmt,
+    For,
+    If,
+    Loop,
+    Next,
+    Node,
+    Stmt,
+    UnaryOp,
+    Var,
+    WhileLoop,
+    and_,
+    as_expr,
+    eq_,
+    ge_,
+    gt_,
+    le_,
+    lt_,
+    max_,
+    min_,
+    ne_,
+    not_,
+    or_,
+)
+from repro.ir.printer import format_expr, format_loop, format_stmt
+from repro.ir.store import Store
+
+__all__ = [
+    "NULL",
+    "ArrayAssign", "ArrayRef", "Assign", "BinOp", "Call", "Const", "DoLoop",
+    "Exit", "Expr", "ExprStmt", "For", "If", "Loop", "Next", "Node", "Stmt", "UnaryOp",
+    "Var", "WhileLoop",
+    "and_", "as_expr", "eq_", "ge_", "gt_", "le_", "lt_", "max_", "min_",
+    "ne_", "not_", "or_",
+    "FunctionTable", "Intrinsic",
+    "EvalContext", "ExitLoop", "IterationRunner", "IterOutcome", "MemHooks",
+    "SeqResult", "SequentialInterp",
+    "compile_block", "compile_expr", "compile_stmt",
+    "format_expr", "format_loop", "format_stmt",
+    "Store",
+]

@@ -1,0 +1,135 @@
+"""Intrinsic function tables.
+
+The paper's loops contain opaque kernels — ``WORK(tmp)``, termination
+predicates ``f(i)`` — whose internals the compiler does not analyze.
+We model them as *intrinsics*: named Python callables registered in a
+:class:`FunctionTable` together with a declared cycle cost.
+
+Intrinsics receive the evaluation context first, so any store array
+they touch goes through the context's instrumented ``read``/``write``
+methods — that is what lets the PD test and the time-stamping machinery
+observe every memory access even inside opaque work functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Tuple
+
+from repro.errors import IRError
+
+__all__ = ["Intrinsic", "FunctionTable"]
+
+#: Signature of an intrinsic implementation: ``fn(ctx, *args) -> value``.
+IntrinsicImpl = Callable[..., Any]
+
+#: Cost may be a flat cycle count or ``cost(*args) -> int``.
+CostSpec = int | Callable[..., int]
+
+
+@dataclass(frozen=True)
+class Intrinsic:
+    """A registered intrinsic: implementation + declared cost.
+
+    Attributes
+    ----------
+    name:
+        Name used by :class:`~repro.ir.nodes.Call` nodes.
+    impl:
+        ``impl(ctx, *args) -> value``.  Must be deterministic and must
+        not mutate the store except through ``ctx.write``.
+    cost:
+        Extra cycles charged per call on top of any cycles the
+        implementation itself charges through ``ctx`` (e.g. for the
+        arithmetic the opaque kernel notionally performs).
+    pure:
+        Whether the intrinsic result depends only on its arguments and
+        store values it reads.  Impure intrinsics block some analyses.
+    reads:
+        Names of store arrays the implementation may *read* (through
+        ``ctx.read``).  The terminator RI/RV classifier and the
+        dependence analysis treat these as the kernel's read set.
+    writes:
+        Names of store arrays the implementation may *write* (through
+        ``ctx.write``).  An undeclared write is a workload bug; the
+        analyses assume the declarations are conservative.
+    """
+
+    name: str
+    impl: IntrinsicImpl
+    cost: CostSpec = 0
+    pure: bool = True
+    reads: Tuple[str, ...] = ()
+    writes: Tuple[str, ...] = ()
+
+    def cost_of(self, args: Tuple[Any, ...]) -> int:
+        """Cycle cost of one call with the given argument values."""
+        if callable(self.cost):
+            return int(self.cost(*args))
+        return int(self.cost)
+
+
+class FunctionTable:
+    """Mapping of intrinsic names to :class:`Intrinsic` entries."""
+
+    __slots__ = ("_fns",)
+
+    def __init__(self) -> None:
+        self._fns: Dict[str, Intrinsic] = {}
+
+    def register(
+        self,
+        name: str,
+        impl: IntrinsicImpl,
+        *,
+        cost: CostSpec = 0,
+        pure: bool = True,
+        reads: Tuple[str, ...] = (),
+        writes: Tuple[str, ...] = (),
+    ) -> Intrinsic:
+        """Register ``impl`` under ``name``; returns the entry.
+
+        Raises :class:`~repro.errors.IRError` on duplicate names so a
+        workload cannot silently shadow a kernel.
+        """
+        if name in self._fns:
+            raise IRError(f"intrinsic {name!r} already registered")
+        entry = Intrinsic(name, impl, cost, pure,
+                          tuple(reads), tuple(writes))
+        self._fns[name] = entry
+        return entry
+
+    def __getitem__(self, name: str) -> Intrinsic:
+        try:
+            return self._fns[name]
+        except KeyError:
+            raise IRError(f"unknown intrinsic {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._fns
+
+    def names(self) -> Tuple[str, ...]:
+        """All registered intrinsic names."""
+        return tuple(self._fns)
+
+    def copy(self) -> "FunctionTable":
+        """Shallow copy (intrinsics are immutable)."""
+        out = FunctionTable()
+        out._fns.update(self._fns)
+        return out
+
+    @staticmethod
+    def of(**impls: IntrinsicImpl | Tuple[IntrinsicImpl, CostSpec]) -> "FunctionTable":
+        """Convenience constructor.
+
+        ``FunctionTable.of(f=my_f, work=(my_work, 50))`` registers
+        ``f`` at zero declared cost and ``work`` at 50 cycles/call.
+        """
+        table = FunctionTable()
+        for name, spec in impls.items():
+            if isinstance(spec, tuple):
+                impl, cost = spec
+                table.register(name, impl, cost=cost)
+            else:
+                table.register(name, spec)
+        return table

@@ -1,0 +1,523 @@
+"""Closure-compiling IR interpreter with virtual-cycle accounting.
+
+The interpreter is the *semantic ground truth* of the framework: the
+sequential run of a loop defines the store contents every parallel
+executor must reproduce, and its cycle count defines ``T_seq`` for all
+speedup measurements.
+
+For speed, IR trees are compiled once into nested Python closures
+(a standard fast-interpreter technique), so repeated iteration
+execution does no tree dispatch.  Every memory access goes through the
+:class:`EvalContext`, which charges virtual cycles and invokes optional
+memory hooks — the attachment point for the paper's time-stamping
+(Section 4) and PD-test shadow marking (Section 5).
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ExecutionError, IRError, OvershootLimit
+from repro.ir.functions import FunctionTable
+from repro.ir.nodes import (
+    ArrayAssign,
+    ArrayRef,
+    Assign,
+    BinOp,
+    Call,
+    Const,
+    Exit,
+    Expr,
+    ExprStmt,
+    For,
+    If,
+    Loop,
+    Next,
+    Stmt,
+    UnaryOp,
+    Var,
+)
+from repro.ir.store import Store
+from repro.runtime.costs import ALLIANT_FX80, CostModel
+from repro.structures.linkedlist import LinkedList
+
+__all__ = [
+    "ExitLoop",
+    "MemHooks",
+    "EvalContext",
+    "compile_expr",
+    "compile_stmt",
+    "compile_block",
+    "IterationRunner",
+    "IterOutcome",
+    "SeqResult",
+    "SequentialInterp",
+]
+
+
+class ExitLoop(Exception):
+    """Internal control-flow signal raised by an :class:`Exit` statement."""
+
+
+class MemHooks:
+    """Observer/interceptor interface for shared-memory accesses.
+
+    Subclasses (time-stampers, PD-test shadows, privatizers) override
+    the methods they care about.  Observers fire *after* cycle charging
+    and *before* the access's effect is applied, so ``on_write`` sees
+    the old value.  Interceptors let privatization redirect reads to a
+    private copy (:meth:`redirect_read`) and swallow writes into it
+    (:meth:`capture_write`).
+    """
+
+    def on_read(self, ctx: "EvalContext", array: str, idx: int) -> None:
+        """Called for every shared-array element read."""
+
+    def on_write(self, ctx: "EvalContext", array: str, idx: int,
+                 old: Any, new: Any) -> None:
+        """Called for every shared-array element write."""
+
+    def redirect_read(self, ctx: "EvalContext", array: str,
+                      idx: int) -> Any:
+        """Return a private value for this read, or ``None`` to pass
+        through to the shared array."""
+        return None
+
+    def capture_write(self, ctx: "EvalContext", array: str, idx: int,
+                      value: Any) -> bool:
+        """Return True to swallow the write (it went to a private
+        copy); False lets it hit the shared array."""
+        return False
+
+
+_BINFN: Dict[str, Callable[[Any, Any], Any]] = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "/": operator.truediv,
+    "//": operator.floordiv,
+    "%": operator.mod,
+    "**": operator.pow,
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+    "min": min,
+    "max": max,
+}
+
+
+class EvalContext:
+    """Mutable evaluation state: store access, cycles, private scalars.
+
+    Parameters
+    ----------
+    store:
+        Shared program state.
+    funcs:
+        Intrinsic table for :class:`~repro.ir.nodes.Call` nodes.
+    cost:
+        The machine cost model used for cycle charging.
+    local:
+        If not ``None``, a dict of iteration-private scalars: scalar
+        *assignments* land here and scalar reads consult it first.
+        Parallel executors give each iteration a fresh ``local`` so
+        remainder scalars are privatized; the sequential interpreter
+        passes ``None`` so scalars live in the store (loop-carried).
+    mem:
+        Optional :class:`MemHooks` observer.
+    iteration:
+        1-based iteration number, visible to hooks (time-stamps).
+    """
+
+    __slots__ = ("store", "funcs", "cost", "cycles", "local", "mem",
+                 "iteration")
+
+    def __init__(self, store: Store, funcs: FunctionTable,
+                 cost: CostModel = ALLIANT_FX80,
+                 local: Optional[Dict[str, Any]] = None,
+                 mem: Optional[MemHooks] = None,
+                 iteration: int = 0) -> None:
+        self.store = store
+        self.funcs = funcs
+        self.cost = cost
+        self.cycles = 0
+        self.local = local
+        self.mem = mem
+        self.iteration = iteration
+
+    # -- scalar access -------------------------------------------------------
+    def load(self, name: str) -> Any:
+        """Read scalar ``name`` (private copy first, then the store)."""
+        if self.local is not None and name in self.local:
+            return self.local[name]
+        return self.store[name]
+
+    def assign(self, name: str, value: Any) -> None:
+        """Write scalar ``name`` (into the private dict when present)."""
+        if self.local is not None:
+            self.local[name] = value
+        else:
+            self.store[name] = value
+
+    # -- shared-memory access ---------------------------------------------
+    def read(self, array: str, idx: Any) -> Any:
+        """Read ``array[idx]`` with bounds check, cost, and hooks."""
+        arr = self.store[array]
+        i = int(idx)
+        if not 0 <= i < arr.shape[0]:
+            raise ExecutionError(
+                f"read {array}[{i}] out of bounds (size {arr.shape[0]})")
+        self.cycles += self.cost.array_read
+        if self.mem is not None:
+            self.mem.on_read(self, array, i)
+            private = self.mem.redirect_read(self, array, i)
+            if private is not None:
+                return private
+        return arr[i].item() if arr.ndim == 1 else arr[i]
+
+    def write(self, array: str, idx: Any, value: Any) -> None:
+        """Write ``array[idx] = value`` with bounds check, cost, hooks."""
+        arr = self.store[array]
+        i = int(idx)
+        if not 0 <= i < arr.shape[0]:
+            raise ExecutionError(
+                f"write {array}[{i}] out of bounds (size {arr.shape[0]})")
+        self.cycles += self.cost.array_write
+        if self.mem is not None:
+            self.mem.on_write(self, array, i, arr[i].item(), value)
+            if self.mem.capture_write(self, array, i, value):
+                return
+        arr[i] = value
+
+    def hop(self, list_name: str, ptr: Any) -> int:
+        """Follow a linked-list pointer; the paper's ``next()``."""
+        lst = self.store[list_name]
+        if not isinstance(lst, LinkedList):
+            raise IRError(f"{list_name!r} is not a linked list")
+        self.cycles += self.cost.hop
+        return lst.successor(int(ptr))
+
+    def call(self, name: str, args: Tuple[Any, ...]) -> Any:
+        """Invoke intrinsic ``name`` charging its declared cost."""
+        intr = self.funcs[name]
+        self.cycles += self.cost.call_base + intr.cost_of(args)
+        return intr.impl(self, *args)
+
+    def charge(self, cycles: int) -> None:
+        """Charge extra virtual cycles (used by intrinsics/executors)."""
+        self.cycles += cycles
+
+
+CompiledExpr = Callable[[EvalContext], Any]
+CompiledStmt = Callable[[EvalContext], None]
+
+
+def compile_expr(e: Expr, cost: CostModel) -> CompiledExpr:
+    """Compile an expression node into a closure ``f(ctx) -> value``."""
+    if isinstance(e, Const):
+        v = e.value
+        return lambda ctx: v
+    if isinstance(e, Var):
+        name = e.name
+        c = cost.scalar_ref
+        if c:
+            def var_read(ctx: EvalContext, name=name, c=c):
+                ctx.cycles += c
+                return ctx.load(name)
+            return var_read
+        return lambda ctx, name=name: ctx.load(name)
+    if isinstance(e, BinOp):
+        lf = compile_expr(e.left, cost)
+        rf = compile_expr(e.right, cost)
+        c = cost.binop_cost(e.op)
+        if e.op == "and":
+            def and_eval(ctx: EvalContext, lf=lf, rf=rf, c=c):
+                ctx.cycles += c
+                return bool(lf(ctx)) and bool(rf(ctx))
+            return and_eval
+        if e.op == "or":
+            def or_eval(ctx: EvalContext, lf=lf, rf=rf, c=c):
+                ctx.cycles += c
+                return bool(lf(ctx)) or bool(rf(ctx))
+            return or_eval
+        fn = _BINFN[e.op]
+
+        def bin_eval(ctx: EvalContext, lf=lf, rf=rf, fn=fn, c=c):
+            ctx.cycles += c
+            return fn(lf(ctx), rf(ctx))
+        return bin_eval
+    if isinstance(e, UnaryOp):
+        f = compile_expr(e.operand, cost)
+        c = cost.alu
+        if e.op == "-":
+            return lambda ctx, f=f, c=c: (ctx.charge(c), -f(ctx))[1]
+        if e.op == "not":
+            return lambda ctx, f=f, c=c: (ctx.charge(c), not f(ctx))[1]
+        if e.op == "abs":
+            return lambda ctx, f=f, c=c: (ctx.charge(c), abs(f(ctx)))[1]
+        raise IRError(f"unknown unary op {e.op!r}")
+    if isinstance(e, ArrayRef):
+        idxf = compile_expr(e.index, cost)
+        name = e.array
+        return lambda ctx, name=name, idxf=idxf: ctx.read(name, idxf(ctx))
+    if isinstance(e, Next):
+        pf = compile_expr(e.ptr, cost)
+        lname = e.list_name
+        return lambda ctx, lname=lname, pf=pf: ctx.hop(lname, pf(ctx))
+    if isinstance(e, Call):
+        argfs = tuple(compile_expr(a, cost) for a in e.args)
+        fname = e.fn
+
+        def call_eval(ctx: EvalContext, fname=fname, argfs=argfs):
+            return ctx.call(fname, tuple(f(ctx) for f in argfs))
+        return call_eval
+    raise IRError(f"cannot compile expression node {type(e).__name__}")
+
+
+def compile_stmt(s: Stmt, cost: CostModel) -> CompiledStmt:
+    """Compile a statement node into a closure ``f(ctx) -> None``."""
+    if isinstance(s, Assign):
+        ef = compile_expr(s.expr, cost)
+        name = s.name
+        return lambda ctx, name=name, ef=ef: ctx.assign(name, ef(ctx))
+    if isinstance(s, ArrayAssign):
+        idxf = compile_expr(s.index, cost)
+        ef = compile_expr(s.expr, cost)
+        name = s.array
+
+        def arr_assign(ctx: EvalContext, name=name, idxf=idxf, ef=ef):
+            i = idxf(ctx)
+            ctx.write(name, i, ef(ctx))
+        return arr_assign
+    if isinstance(s, ExprStmt):
+        ef = compile_expr(s.expr, cost)
+
+        def expr_exec(ctx: EvalContext, ef=ef) -> None:
+            ef(ctx)
+        return expr_exec
+    if isinstance(s, If):
+        cf = compile_expr(s.cond, cost)
+        tf = compile_block(s.then, cost)
+        of = compile_block(s.orelse, cost)
+        c = cost.branch
+
+        def if_exec(ctx: EvalContext, cf=cf, tf=tf, of=of, c=c):
+            ctx.cycles += c
+            if cf(ctx):
+                tf(ctx)
+            else:
+                of(ctx)
+        return if_exec
+    if isinstance(s, Exit):
+        def do_exit(ctx: EvalContext) -> None:
+            raise ExitLoop()
+        return do_exit
+    if isinstance(s, For):
+        lof = compile_expr(s.lo, cost)
+        hif = compile_expr(s.hi, cost)
+        bf = compile_block(s.body, cost)
+        var = s.var
+        c = cost.branch
+
+        def for_exec(ctx: EvalContext, var=var, lof=lof, hif=hif, bf=bf, c=c):
+            lo, hi = int(lof(ctx)), int(hif(ctx))
+            for k in range(lo, hi):
+                ctx.cycles += c
+                ctx.assign(var, k)
+                bf(ctx)
+        return for_exec
+    raise IRError(f"cannot compile statement node {type(s).__name__}")
+
+
+def compile_block(stmts: Sequence[Stmt], cost: CostModel) -> CompiledStmt:
+    """Compile a statement sequence into one closure."""
+    fns = tuple(compile_stmt(s, cost) for s in stmts)
+    if not fns:
+        return lambda ctx: None
+    if len(fns) == 1:
+        return fns[0]
+
+    def block_exec(ctx: EvalContext, fns=fns) -> None:
+        for f in fns:
+            f(ctx)
+    return block_exec
+
+
+class IterOutcome:
+    """Result codes of one parallel-scheme iteration attempt."""
+
+    #: Terminator already satisfied when the iteration started: this
+    #: iteration (and all later ones) would not run sequentially.
+    TERMINATED = "terminated"
+    #: The body raised :class:`Exit` — the loop exits at this iteration.
+    EXITED = "exited"
+    #: The iteration ran its remainder to completion.
+    DONE = "done"
+
+
+class IterationRunner:
+    """Compiled per-iteration executor used by the parallel schemes.
+
+    Compiles a loop's continuation condition and a *remainder* body
+    (the original body with dispatcher-update statements removed —
+    parallel executors compute dispatcher values themselves), plus an
+    ``advance`` closure that runs just the dispatcher statements (the
+    private catch-up walk of General-2/General-3).
+    """
+
+    def __init__(self, loop: Loop, funcs: FunctionTable, cost: CostModel,
+                 dispatcher_stmts: Sequence[int] = ()) -> None:
+        self.loop = loop
+        self.funcs = funcs
+        self.cost = cost
+        disp = frozenset(dispatcher_stmts)
+        self._cond = compile_expr(loop.cond, cost)
+        remainder = tuple(s for i, s in enumerate(loop.body) if i not in disp)
+        dispatcher = tuple(s for i, s in enumerate(loop.body) if i in disp)
+        self._remainder = compile_block(remainder, cost)
+        self._advance = compile_block(dispatcher, cost)
+        self._init = compile_block(loop.init, cost)
+
+    def make_ctx(self, store: Store, *, local: Optional[Dict[str, Any]] = None,
+                 mem: Optional[MemHooks] = None, iteration: int = 0
+                 ) -> EvalContext:
+        """Create a context bound to this runner's funcs/cost model."""
+        return EvalContext(store, self.funcs, self.cost, local=local,
+                           mem=mem, iteration=iteration)
+
+    def run_init(self, ctx: EvalContext) -> None:
+        """Execute the loop's ``init`` statements once."""
+        self._init(ctx)
+
+    def check_cond(self, ctx: EvalContext) -> bool:
+        """Evaluate the continuation condition (terminator test)."""
+        return bool(self._cond(ctx))
+
+    def advance(self, ctx: EvalContext) -> None:
+        """Run the dispatcher-update statements once (one 'hop')."""
+        self._advance(ctx)
+
+    def run_iteration(self, ctx: EvalContext) -> str:
+        """Run one full iteration attempt; returns an :class:`IterOutcome`.
+
+        The terminator is tested *first* (the paper's canonical
+        transformed form, Figure 2), so an iteration at or past the
+        exit point performs no remainder work.
+        """
+        if not self.check_cond(ctx):
+            return IterOutcome.TERMINATED
+        ctx.cycles += self.cost.iter_overhead
+        try:
+            self._remainder(ctx)
+        except ExitLoop:
+            return IterOutcome.EXITED
+        return IterOutcome.DONE
+
+
+@dataclass
+class SeqResult:
+    """Outcome of a sequential reference execution.
+
+    Attributes
+    ----------
+    n_iters:
+        Number of iterations whose body began executing (1-based count;
+        the iteration that takes a body ``Exit`` is included).
+    exited_in_body:
+        True when the loop ended through an ``Exit`` statement rather
+        than the loop-top condition.
+    cycles:
+        Total virtual cycles, including init and condition tests.
+    cond_cycles:
+        Cycles spent evaluating the loop-top condition.
+    stmt_cycles:
+        Per-top-level-body-statement cycle totals (only when profiling).
+    trace:
+        Recorded per-iteration values of ``trace_vars`` at body entry.
+    """
+
+    n_iters: int
+    exited_in_body: bool
+    cycles: int
+    cond_cycles: int = 0
+    stmt_cycles: Optional[List[int]] = None
+    trace: List[Tuple[Any, ...]] = field(default_factory=list)
+
+
+class SequentialInterp:
+    """Reference sequential executor of a canonical :class:`Loop`.
+
+    This is the "original WHILE loop" of the paper: every parallel
+    scheme's result store is validated against a run of this
+    interpreter, and its cycle count is ``T_seq``.
+    """
+
+    def __init__(self, loop: Loop, funcs: FunctionTable,
+                 cost: CostModel = ALLIANT_FX80) -> None:
+        self.loop = loop
+        self.funcs = funcs
+        self.cost = cost
+        self._init = compile_block(loop.init, cost)
+        self._cond = compile_expr(loop.cond, cost)
+        self._stmts = [compile_stmt(s, cost) for s in loop.body]
+
+    def run(self, store: Store, *, max_iters: int = 10_000_000,
+            profile: bool = False,
+            trace_vars: Sequence[str] = ()) -> SeqResult:
+        """Execute the loop to termination against ``store``.
+
+        Parameters
+        ----------
+        store:
+            Mutated in place.
+        max_iters:
+            Safety bound; exceeding it raises
+            :class:`~repro.errors.OvershootLimit`.
+        profile:
+            Record per-statement cycle attribution (used by the
+            Section 7 cost model to split ``T_rec`` from ``T_rem``).
+        trace_vars:
+            Scalar names whose body-entry values are recorded per
+            iteration (used by tests to validate dispatcher sequences).
+        """
+        ctx = EvalContext(store, self.funcs, self.cost)
+        self._init(ctx)
+        n_stmts = len(self._stmts)
+        stmt_cycles = [0] * n_stmts if profile else None
+        cond_cycles = 0
+        trace: List[Tuple[Any, ...]] = []
+        n_iters = 0
+        exited = False
+        while True:
+            before = ctx.cycles
+            alive = bool(self._cond(ctx))
+            cond_cycles += ctx.cycles - before
+            if not alive:
+                break
+            if n_iters >= max_iters:
+                raise OvershootLimit(
+                    f"loop {self.loop.name!r} exceeded {max_iters} iterations")
+            if trace_vars:
+                trace.append(tuple(ctx.load(v) for v in trace_vars))
+            ctx.cycles += self.cost.iter_overhead
+            n_iters += 1
+            try:
+                if profile:
+                    for i in range(n_stmts):
+                        b = ctx.cycles
+                        self._stmts[i](ctx)
+                        stmt_cycles[i] += ctx.cycles - b
+                else:
+                    for f in self._stmts:
+                        f(ctx)
+            except ExitLoop:
+                exited = True
+                break
+        return SeqResult(n_iters=n_iters, exited_in_body=exited,
+                         cycles=ctx.cycles, cond_cycles=cond_cycles,
+                         stmt_cycles=stmt_cycles, trace=trace)

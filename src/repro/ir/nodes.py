@@ -1,0 +1,433 @@
+"""IR node definitions for the WHILE-loop parallelization framework.
+
+The IR is a small, first-order imperative language, just rich enough to
+express the loops the paper analyzes:
+
+* scalar assignments (including the recurrence updates that form a
+  *dispatcher*),
+* array reads/writes with arbitrary (possibly subscripted-subscript)
+  index expressions,
+* linked-list pointer hops (``Next``),
+* structured control flow inside a loop body (``If``, inner ``For``),
+* conditional loop exits (``Exit``), and
+* the loop constructs themselves (``WhileLoop`` and ``DoLoop``).
+
+Nodes are plain frozen dataclasses, so structural equality and hashing
+come for free; analyses treat the IR as immutable and produce new trees.
+
+Expression building is ergonomic: ``Expr`` overloads the arithmetic
+operators, so ``Var("i") + 1`` constructs ``BinOp('+', Var('i'),
+Const(1))``.  Comparison and boolean *IR* nodes are built with the
+explicit helpers (:func:`eq_`, :func:`lt_`, :func:`and_`, ...) because
+overloading ``==`` would destroy dataclass structural equality, which
+the analyses and tests rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+from repro.errors import IRError
+
+__all__ = [
+    "Node",
+    "Expr",
+    "Const",
+    "Var",
+    "BinOp",
+    "UnaryOp",
+    "ArrayRef",
+    "Next",
+    "Call",
+    "Stmt",
+    "Assign",
+    "ArrayAssign",
+    "ExprStmt",
+    "If",
+    "Exit",
+    "For",
+    "WhileLoop",
+    "DoLoop",
+    "Loop",
+    "eq_",
+    "ne_",
+    "lt_",
+    "le_",
+    "gt_",
+    "ge_",
+    "and_",
+    "or_",
+    "not_",
+    "min_",
+    "max_",
+    "as_expr",
+    "NULL",
+]
+
+#: Sentinel value used for a NULL linked-list pointer.
+NULL = -1
+
+#: Binary operators understood by the interpreter and the analyses.
+ARITH_OPS = ("+", "-", "*", "/", "//", "%", "**", "min", "max")
+CMP_OPS = ("==", "!=", "<", "<=", ">", ">=")
+BOOL_OPS = ("and", "or")
+ALL_BINOPS = ARITH_OPS + CMP_OPS + BOOL_OPS
+
+UNARY_OPS = ("-", "not", "abs")
+
+
+class Node:
+    """Common base class of every IR node (expressions and statements)."""
+
+    __slots__ = ()
+
+
+class Expr(Node):
+    """Base class of all expression nodes.
+
+    Provides operator overloading for arithmetic so workloads and tests
+    can build IR trees compactly.  All overloads promote plain Python
+    numbers to :class:`Const`.
+    """
+
+    __slots__ = ()
+
+    # -- arithmetic sugar -------------------------------------------------
+    def __add__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("+", self, as_expr(other))
+
+    def __radd__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("+", as_expr(other), self)
+
+    def __sub__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("-", self, as_expr(other))
+
+    def __rsub__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("-", as_expr(other), self)
+
+    def __mul__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("*", self, as_expr(other))
+
+    def __rmul__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("*", as_expr(other), self)
+
+    def __truediv__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("/", self, as_expr(other))
+
+    def __floordiv__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("//", self, as_expr(other))
+
+    def __mod__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("%", self, as_expr(other))
+
+    def __pow__(self, other: "ExprLike") -> "BinOp":
+        return BinOp("**", self, as_expr(other))
+
+    def __neg__(self) -> "UnaryOp":
+        return UnaryOp("-", self)
+
+
+ExprLike = Union[Expr, int, float, bool]
+
+
+def as_expr(value: ExprLike) -> Expr:
+    """Promote a Python number/bool to :class:`Const`; pass nodes through."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, (bool, int, float)):
+        return Const(value)
+    raise IRError(f"cannot promote {value!r} to an IR expression")
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A literal constant (int, float or bool)."""
+
+    value: Union[int, float, bool]
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """A scalar variable reference (read)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """A binary operation.  ``op`` is one of :data:`ALL_BINOPS`."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in ALL_BINOPS:
+            raise IRError(f"unknown binary operator {self.op!r}")
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    """A unary operation.  ``op`` is one of :data:`UNARY_OPS`."""
+
+    op: str
+    operand: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in UNARY_OPS:
+            raise IRError(f"unknown unary operator {self.op!r}")
+
+
+@dataclass(frozen=True)
+class ArrayRef(Expr):
+    """A read of ``array[index]``.
+
+    When an :class:`ArrayRef` appears as the target of
+    :class:`ArrayAssign` it denotes a write instead.  ``array`` names a
+    NumPy array in the :class:`~repro.ir.store.Store`.
+    """
+
+    array: str
+    index: Expr
+
+
+@dataclass(frozen=True)
+class Next(Expr):
+    """A linked-list pointer hop: ``next(ptr)`` on list ``list_name``.
+
+    Evaluates the successor of ``ptr`` in the list's ``next`` index
+    array.  Hopping from NULL raises
+    :class:`~repro.errors.NullPointerError`.  This node is the
+    *general recurrence* workhorse of the paper (Section 3.3).
+    """
+
+    list_name: str
+    ptr: Expr
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    """A call to a pure intrinsic registered in the loop's function table.
+
+    Intrinsics model the opaque computations of the paper's loops — the
+    ``WORK(i)`` remainder kernels and the ``f(i)`` termination
+    predicates.  They may read the store (through their declared
+    ``reads``) but must not write it; writes happen only through IR
+    statements so that the speculation machinery observes every one.
+    """
+
+    fn: str
+    args: Tuple[Expr, ...]
+
+    def __init__(self, fn: str, args) -> None:  # allow list or tuple
+        object.__setattr__(self, "fn", fn)
+        object.__setattr__(self, "args", tuple(as_expr(a) for a in args))
+
+
+class Stmt(Node):
+    """Base class of all statement nodes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Assign(Stmt):
+    """A scalar assignment ``name = expr``."""
+
+    name: str
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class ArrayAssign(Stmt):
+    """An array element write ``array[index] = expr``."""
+
+    array: str
+    index: Expr
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class ExprStmt(Stmt):
+    """Evaluate an expression for its effects and discard the value.
+
+    Used for opaque work kernels called purely for their side effects
+    (e.g. ``WORK(tmp)`` in the paper's Figure 1(b)); the kernel's
+    writes still flow through the context, so instrumentation sees
+    them.
+    """
+
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class If(Stmt):
+    """A structured conditional.  ``orelse`` may be the empty tuple."""
+
+    cond: Expr
+    then: Tuple[Stmt, ...]
+    orelse: Tuple[Stmt, ...] = ()
+
+    def __init__(self, cond: Expr, then, orelse=()) -> None:
+        object.__setattr__(self, "cond", cond)
+        object.__setattr__(self, "then", tuple(then))
+        object.__setattr__(self, "orelse", tuple(orelse))
+
+
+@dataclass(frozen=True)
+class Exit(Stmt):
+    """Immediately terminate the *enclosing top-level loop*.
+
+    This models the ``then exit`` of a DO loop with a conditional exit;
+    the iteration executing the ``Exit`` completes up to this point and
+    no later iteration is (logically) executed.
+    """
+
+
+@dataclass(frozen=True)
+class For(Stmt):
+    """An inner counted loop ``for var in [lo, hi)`` used inside bodies.
+
+    Inner loops never carry the paper's analyses (only the top-level
+    WHILE loop does); they exist so remainder bodies can express row
+    scans and similar inner work.  ``Exit`` inside a ``For`` still exits
+    the *top-level* loop.
+    """
+
+    var: str
+    lo: Expr
+    hi: Expr
+    body: Tuple[Stmt, ...]
+
+    def __init__(self, var: str, lo: ExprLike, hi: ExprLike, body) -> None:
+        object.__setattr__(self, "var", var)
+        object.__setattr__(self, "lo", as_expr(lo))
+        object.__setattr__(self, "hi", as_expr(hi))
+        object.__setattr__(self, "body", tuple(body))
+
+
+@dataclass(frozen=True)
+class Loop(Node):
+    """The canonical top-level loop the whole framework operates on.
+
+    ``init`` runs once before the loop.  Then, while ``cond`` evaluates
+    true, ``body`` runs; an :class:`Exit` in the body also terminates
+    the loop.  Both WHILE loops and DO loops with conditional exits
+    normalize to this form (see :func:`DoLoop.normalize`).
+
+    Attributes
+    ----------
+    init:
+        Statements executed once, before the first ``cond`` test.
+    cond:
+        The loop-top continuation condition (the *terminator*, negated).
+    body:
+        The loop body; one execution of it is one *iteration*.
+    name:
+        Optional human-readable label used in reports and traces.
+    """
+
+    init: Tuple[Stmt, ...]
+    cond: Expr
+    body: Tuple[Stmt, ...]
+    name: str = "loop"
+
+    def __init__(self, init, cond: Expr, body, name: str = "loop") -> None:
+        object.__setattr__(self, "init", tuple(init))
+        object.__setattr__(self, "cond", cond)
+        object.__setattr__(self, "body", tuple(body))
+        object.__setattr__(self, "name", name)
+
+
+def WhileLoop(init, cond: Expr, body, name: str = "while_loop") -> Loop:
+    """Build a canonical :class:`Loop` from WHILE-loop components."""
+    return Loop(init, cond, body, name=name)
+
+
+@dataclass(frozen=True)
+class DoLoop(Node):
+    """A counted DO loop ``do var = lo, hi`` whose body may ``Exit``.
+
+    This is sugar: :meth:`normalize` rewrites it into the canonical
+    :class:`Loop` with an explicit induction dispatcher, which is how
+    the paper treats "DO loops with conditional exits" (Figure 1(d)).
+    """
+
+    var: str
+    lo: Expr
+    hi: Expr
+    body: Tuple[Stmt, ...]
+    name: str = "do_loop"
+
+    def __init__(self, var: str, lo: ExprLike, hi: ExprLike, body,
+                 name: str = "do_loop") -> None:
+        object.__setattr__(self, "var", var)
+        object.__setattr__(self, "lo", as_expr(lo))
+        object.__setattr__(self, "hi", as_expr(hi))
+        object.__setattr__(self, "body", tuple(body))
+        object.__setattr__(self, "name", name)
+
+    def normalize(self) -> Loop:
+        """Lower to a canonical :class:`Loop` with ``var`` as dispatcher."""
+        init = (Assign(self.var, self.lo),)
+        cond = le_(Var(self.var), self.hi)
+        body = tuple(self.body) + (Assign(self.var, Var(self.var) + 1),)
+        return Loop(init, cond, body, name=self.name)
+
+
+# -- comparison / boolean builders ----------------------------------------
+
+def eq_(a: ExprLike, b: ExprLike) -> BinOp:
+    """Build the IR comparison ``a == b``."""
+    return BinOp("==", as_expr(a), as_expr(b))
+
+
+def ne_(a: ExprLike, b: ExprLike) -> BinOp:
+    """Build the IR comparison ``a != b``."""
+    return BinOp("!=", as_expr(a), as_expr(b))
+
+
+def lt_(a: ExprLike, b: ExprLike) -> BinOp:
+    """Build the IR comparison ``a < b``."""
+    return BinOp("<", as_expr(a), as_expr(b))
+
+
+def le_(a: ExprLike, b: ExprLike) -> BinOp:
+    """Build the IR comparison ``a <= b``."""
+    return BinOp("<=", as_expr(a), as_expr(b))
+
+
+def gt_(a: ExprLike, b: ExprLike) -> BinOp:
+    """Build the IR comparison ``a > b``."""
+    return BinOp(">", as_expr(a), as_expr(b))
+
+
+def ge_(a: ExprLike, b: ExprLike) -> BinOp:
+    """Build the IR comparison ``a >= b``."""
+    return BinOp(">=", as_expr(a), as_expr(b))
+
+
+def and_(a: ExprLike, b: ExprLike) -> BinOp:
+    """Build the IR short-circuit conjunction ``a and b``."""
+    return BinOp("and", as_expr(a), as_expr(b))
+
+
+def or_(a: ExprLike, b: ExprLike) -> BinOp:
+    """Build the IR short-circuit disjunction ``a or b``."""
+    return BinOp("or", as_expr(a), as_expr(b))
+
+
+def not_(a: ExprLike) -> UnaryOp:
+    """Build the IR negation ``not a``."""
+    return UnaryOp("not", as_expr(a))
+
+
+def min_(a: ExprLike, b: ExprLike) -> BinOp:
+    """Build the IR binary minimum ``min(a, b)``."""
+    return BinOp("min", as_expr(a), as_expr(b))
+
+
+def max_(a: ExprLike, b: ExprLike) -> BinOp:
+    """Build the IR binary maximum ``max(a, b)``."""
+    return BinOp("max", as_expr(a), as_expr(b))

@@ -1,0 +1,107 @@
+"""Pretty-printer: render IR trees as readable pseudo-Fortran.
+
+Used by error messages, ``repr`` helpers, examples and documentation;
+the output format intentionally mirrors the paper's figures
+(``while (cond) ... endwhile``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.ir.nodes import (
+    ArrayAssign,
+    ArrayRef,
+    Assign,
+    BinOp,
+    Call,
+    Const,
+    Exit,
+    Expr,
+    ExprStmt,
+    For,
+    If,
+    Loop,
+    Next,
+    Stmt,
+    UnaryOp,
+    Var,
+)
+
+__all__ = ["format_expr", "format_stmt", "format_loop"]
+
+_PREC = {
+    "or": 1, "and": 2,
+    "==": 3, "!=": 3, "<": 3, "<=": 3, ">": 3, ">=": 3,
+    "+": 4, "-": 4,
+    "*": 5, "/": 5, "//": 5, "%": 5,
+    "**": 6,
+}
+
+
+def format_expr(e: Expr, prec: int = 0) -> str:
+    """Render an expression, parenthesizing by precedence."""
+    if isinstance(e, Const):
+        return repr(e.value)
+    if isinstance(e, Var):
+        return e.name
+    if isinstance(e, BinOp):
+        if e.op in ("min", "max"):
+            return f"{e.op}({format_expr(e.left)}, {format_expr(e.right)})"
+        p = _PREC[e.op]
+        s = f"{format_expr(e.left, p)} {e.op} {format_expr(e.right, p + 1)}"
+        return f"({s})" if p < prec else s
+    if isinstance(e, UnaryOp):
+        if e.op == "abs":
+            return f"abs({format_expr(e.operand)})"
+        sep = " " if e.op == "not" else ""
+        return f"{e.op}{sep}{format_expr(e.operand, 7)}"
+    if isinstance(e, ArrayRef):
+        return f"{e.array}[{format_expr(e.index)}]"
+    if isinstance(e, Next):
+        return f"next({e.list_name}, {format_expr(e.ptr)})"
+    if isinstance(e, Call):
+        args = ", ".join(format_expr(a) for a in e.args)
+        return f"{e.fn}({args})"
+    raise TypeError(f"unknown expression {type(e).__name__}")
+
+
+def _format_block(stmts: Sequence[Stmt], indent: int) -> List[str]:
+    lines: List[str] = []
+    for s in stmts:
+        lines.extend(format_stmt(s, indent))
+    return lines
+
+
+def format_stmt(s: Stmt, indent: int = 0) -> List[str]:
+    """Render one statement as a list of indented lines."""
+    pad = "  " * indent
+    if isinstance(s, Assign):
+        return [f"{pad}{s.name} = {format_expr(s.expr)}"]
+    if isinstance(s, ArrayAssign):
+        return [f"{pad}{s.array}[{format_expr(s.index)}] = {format_expr(s.expr)}"]
+    if isinstance(s, ExprStmt):
+        return [f"{pad}{format_expr(s.expr)}"]
+    if isinstance(s, If):
+        lines = [f"{pad}if {format_expr(s.cond)}:"]
+        lines.extend(_format_block(s.then, indent + 1) or [f"{pad}  pass"])
+        if s.orelse:
+            lines.append(f"{pad}else:")
+            lines.extend(_format_block(s.orelse, indent + 1))
+        return lines
+    if isinstance(s, Exit):
+        return [f"{pad}exit"]
+    if isinstance(s, For):
+        hdr = f"{pad}for {s.var} in [{format_expr(s.lo)}, {format_expr(s.hi)}):"
+        return [hdr] + (_format_block(s.body, indent + 1) or [f"{pad}  pass"])
+    raise TypeError(f"unknown statement {type(s).__name__}")
+
+
+def format_loop(loop: Loop) -> str:
+    """Render a whole loop in the paper's ``while ... endwhile`` style."""
+    lines: List[str] = [f"# loop {loop.name!r}"]
+    lines.extend(_format_block(loop.init, 0))
+    lines.append(f"while {format_expr(loop.cond)}:")
+    lines.extend(_format_block(loop.body, 1) or ["  pass"])
+    lines.append("endwhile")
+    return "\n".join(lines)

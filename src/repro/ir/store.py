@@ -1,0 +1,167 @@
+"""The ``Store``: all program state a loop reads and writes.
+
+A :class:`Store` maps names to scalars, NumPy arrays, and
+:class:`~repro.structures.linkedlist.LinkedList` objects.  It is the
+single source of truth for loop semantics: the sequential interpreter
+and every parallel executor mutate a store, and the framework's central
+correctness invariant is that they end in *equal* stores.
+
+Checkpoint/restore (Section 4 of the paper) is implemented here as
+whole-store deep copies; the finer-grained strategies (time-stamped
+undo, privatization backups) live in :mod:`repro.speculation`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Mapping, Tuple
+
+import numpy as np
+
+from repro.errors import IRError
+from repro.structures.linkedlist import LinkedList
+
+__all__ = ["Store"]
+
+Scalar = (int, float, bool, np.integer, np.floating, np.bool_)
+
+
+class Store:
+    """A named heap of scalars, arrays, and linked lists.
+
+    Parameters
+    ----------
+    bindings:
+        Initial name → value mapping.  Array values are converted to
+        NumPy arrays; scalars pass through; linked lists are stored by
+        reference.
+    """
+
+    __slots__ = ("_vars",)
+
+    def __init__(self, bindings: Mapping[str, Any] | None = None) -> None:
+        self._vars: Dict[str, Any] = {}
+        if bindings:
+            for name, value in bindings.items():
+                self[name] = value
+
+    # -- mapping protocol ---------------------------------------------------
+    def __getitem__(self, name: str) -> Any:
+        try:
+            return self._vars[name]
+        except KeyError:
+            raise IRError(f"undefined variable {name!r}") from None
+
+    def __setitem__(self, name: str, value: Any) -> None:
+        if isinstance(value, LinkedList) or isinstance(value, Scalar):
+            self._vars[name] = value
+        elif isinstance(value, np.ndarray):
+            self._vars[name] = value
+        elif isinstance(value, (list, tuple)):
+            self._vars[name] = np.asarray(value)
+        else:
+            raise IRError(
+                f"store value for {name!r} must be scalar, ndarray, or "
+                f"LinkedList, got {type(value).__name__}")
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._vars
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._vars)
+
+    def __len__(self) -> int:
+        return len(self._vars)
+
+    def names(self) -> Tuple[str, ...]:
+        """All bound names, in insertion order."""
+        return tuple(self._vars)
+
+    def arrays(self) -> Tuple[str, ...]:
+        """Names bound to NumPy arrays."""
+        return tuple(n for n, v in self._vars.items()
+                     if isinstance(v, np.ndarray))
+
+    def scalars(self) -> Tuple[str, ...]:
+        """Names bound to scalar values."""
+        return tuple(n for n, v in self._vars.items() if isinstance(v, Scalar))
+
+    def lists(self) -> Tuple[str, ...]:
+        """Names bound to linked lists."""
+        return tuple(n for n, v in self._vars.items()
+                     if isinstance(v, LinkedList))
+
+    # -- checkpointing ------------------------------------------------------
+    def copy(self) -> "Store":
+        """Deep-copy every binding (the paper's full checkpoint)."""
+        out = Store()
+        for name, value in self._vars.items():
+            if isinstance(value, np.ndarray):
+                out._vars[name] = value.copy()
+            elif isinstance(value, LinkedList):
+                out._vars[name] = value.copy()
+            else:
+                out._vars[name] = value
+        return out
+
+    def restore_from(self, checkpoint: "Store") -> None:
+        """Overwrite this store's contents from ``checkpoint`` in place."""
+        self._vars.clear()
+        for name, value in checkpoint.copy()._vars.items():
+            self._vars[name] = value
+
+    # -- comparison -----------------------------------------------------------
+    def equals(self, other: "Store", *, rtol: float = 0.0,
+               atol: float = 0.0) -> bool:
+        """Structural equality of two stores.
+
+        Float arrays compare with the given tolerances (exact by
+        default — parallel executors are expected to produce bitwise
+        identical results because iterations are independent).
+        """
+        if set(self._vars) != set(other._vars):
+            return False
+        for name, mine in self._vars.items():
+            theirs = other._vars[name]
+            if isinstance(mine, np.ndarray):
+                if not isinstance(theirs, np.ndarray):
+                    return False
+                if mine.shape != theirs.shape:
+                    return False
+                if rtol == 0.0 and atol == 0.0:
+                    if not np.array_equal(mine, theirs):
+                        return False
+                elif not np.allclose(mine, theirs, rtol=rtol, atol=atol):
+                    return False
+            elif isinstance(mine, LinkedList):
+                if mine != theirs:
+                    return False
+            else:
+                if isinstance(theirs, (np.ndarray, LinkedList)):
+                    return False
+                if mine != theirs:
+                    return False
+        return True
+
+    def diff(self, other: "Store") -> Dict[str, str]:
+        """Human-readable description of differing bindings (test aid)."""
+        out: Dict[str, str] = {}
+        for name in set(self._vars) | set(other._vars):
+            if name not in self._vars:
+                out[name] = "missing on left"
+            elif name not in other._vars:
+                out[name] = "missing on right"
+            else:
+                a, b = self._vars[name], other._vars[name]
+                if isinstance(a, np.ndarray) and isinstance(b, np.ndarray):
+                    if a.shape != b.shape:
+                        out[name] = f"shape {a.shape} != {b.shape}"
+                    elif not np.array_equal(a, b):
+                        idx = np.flatnonzero(np.ravel(a != b))[:5]
+                        out[name] = f"differs at flat indices {idx.tolist()}"
+                elif a != b:
+                    out[name] = f"{a!r} != {b!r}"
+        return out
+
+    def __repr__(self) -> str:
+        kinds = {n: type(v).__name__ for n, v in self._vars.items()}
+        return f"Store({kinds})"

@@ -1,0 +1,146 @@
+"""Generic IR traversal utilities used by all analyses."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Sequence, Tuple
+
+from repro.ir.nodes import (
+    ArrayAssign,
+    ArrayRef,
+    Assign,
+    BinOp,
+    Call,
+    Const,
+    Exit,
+    Expr,
+    ExprStmt,
+    For,
+    If,
+    Loop,
+    Next,
+    Node,
+    Stmt,
+    UnaryOp,
+    Var,
+)
+
+__all__ = [
+    "children",
+    "walk",
+    "walk_exprs",
+    "expr_vars",
+    "expr_arrays",
+    "expr_calls",
+    "expr_lists",
+    "stmt_subexprs",
+    "contains_exit",
+    "map_stmts",
+]
+
+
+def children(node: Node) -> Tuple[Node, ...]:
+    """Immediate child nodes of ``node`` (expressions and statements)."""
+    if isinstance(node, (Const, Var, Exit)):
+        return ()
+    if isinstance(node, BinOp):
+        return (node.left, node.right)
+    if isinstance(node, UnaryOp):
+        return (node.operand,)
+    if isinstance(node, ArrayRef):
+        return (node.index,)
+    if isinstance(node, Next):
+        return (node.ptr,)
+    if isinstance(node, Call):
+        return tuple(node.args)
+    if isinstance(node, Assign):
+        return (node.expr,)
+    if isinstance(node, ExprStmt):
+        return (node.expr,)
+    if isinstance(node, ArrayAssign):
+        return (node.index, node.expr)
+    if isinstance(node, If):
+        return (node.cond,) + tuple(node.then) + tuple(node.orelse)
+    if isinstance(node, For):
+        return (node.lo, node.hi) + tuple(node.body)
+    if isinstance(node, Loop):
+        return tuple(node.init) + (node.cond,) + tuple(node.body)
+    raise TypeError(f"unknown IR node {type(node).__name__}")
+
+
+def walk(node: Node) -> Iterator[Node]:
+    """Yield ``node`` and every descendant, pre-order."""
+    stack: List[Node] = [node]
+    while stack:
+        n = stack.pop()
+        yield n
+        stack.extend(reversed(children(n)))
+
+
+def walk_exprs(node: Node) -> Iterator[Expr]:
+    """Yield every expression node under ``node`` (including it)."""
+    for n in walk(node):
+        if isinstance(n, Expr):
+            yield n
+
+
+def expr_vars(node: Node) -> frozenset:
+    """Names of scalar variables *read* anywhere under ``node``.
+
+    For statements this includes index expressions and conditions but
+    not assignment targets (those are writes, not reads).
+    """
+    return frozenset(n.name for n in walk(node) if isinstance(n, Var))
+
+
+def expr_arrays(node: Node) -> frozenset:
+    """Names of arrays *read* (via :class:`ArrayRef`) under ``node``."""
+    return frozenset(n.array for n in walk(node) if isinstance(n, ArrayRef))
+
+
+def expr_calls(node: Node) -> frozenset:
+    """Names of intrinsics called under ``node``."""
+    return frozenset(n.fn for n in walk(node) if isinstance(n, Call))
+
+
+def expr_lists(node: Node) -> frozenset:
+    """Names of linked lists hopped (via :class:`Next`) under ``node``."""
+    return frozenset(n.list_name for n in walk(node) if isinstance(n, Next))
+
+
+def stmt_subexprs(stmt: Stmt) -> Tuple[Expr, ...]:
+    """The top-level expressions a statement evaluates."""
+    if isinstance(stmt, Assign):
+        return (stmt.expr,)
+    if isinstance(stmt, ExprStmt):
+        return (stmt.expr,)
+    if isinstance(stmt, ArrayAssign):
+        return (stmt.index, stmt.expr)
+    if isinstance(stmt, If):
+        return (stmt.cond,)
+    if isinstance(stmt, For):
+        return (stmt.lo, stmt.hi)
+    if isinstance(stmt, Exit):
+        return ()
+    raise TypeError(f"unknown statement {type(stmt).__name__}")
+
+
+def contains_exit(stmts: Sequence[Stmt]) -> bool:
+    """Whether any (possibly nested) statement is an :class:`Exit`."""
+    for s in stmts:
+        for n in walk(s):
+            if isinstance(n, Exit):
+                return True
+    return False
+
+
+def map_stmts(stmts: Sequence[Stmt],
+              fn: Callable[[Stmt], Stmt]) -> Tuple[Stmt, ...]:
+    """Rebuild a statement list applying ``fn`` bottom-up to each node."""
+    out: List[Stmt] = []
+    for s in stmts:
+        if isinstance(s, If):
+            s = If(s.cond, map_stmts(s.then, fn), map_stmts(s.orelse, fn))
+        elif isinstance(s, For):
+            s = For(s.var, s.lo, s.hi, map_stmts(s.body, fn))
+        out.append(fn(s))
+    return tuple(out)

@@ -1,0 +1,19 @@
+"""Cost model (Section 7), branch statistics, and strategy selection."""
+
+from repro.planner.costmodel import (
+    LoopProfile,
+    Prediction,
+    ideal_parallel_time,
+    predict,
+    slowdown_bound,
+    worst_case_fraction,
+)
+from repro.planner.select import Plan, execute_plan, plan_loop, profile_loop
+from repro.planner.stats import BranchStats, IterationEstimate, stamp_threshold
+
+__all__ = [
+    "LoopProfile", "Prediction", "ideal_parallel_time", "predict",
+    "slowdown_bound", "worst_case_fraction",
+    "Plan", "execute_plan", "plan_loop", "profile_loop",
+    "BranchStats", "IterationEstimate", "stamp_threshold",
+]

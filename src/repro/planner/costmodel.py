@@ -1,0 +1,158 @@
+"""The Section 7 cost/performance model.
+
+Implements the paper's speedup algebra:
+
+* ``Sp_id = (T_rem + T_rec) / T_ipar`` — the ideal speedup, where
+  ``T_ipar = T_rem/p + T_rec`` for sequential dispatchers,
+  ``(T_rem + T_rec)/p`` for inductions, and the same plus a ``log p``
+  term for associative recurrences;
+* ``Sp_at = (T_rem + T_rec) / (T_ipar + T_b + T_d + T_a)`` — the
+  attainable speedup after the method overheads;
+* the worst-case guarantees ``Sp_at = Ω(Sp_id / 4)`` without the PD
+  test and ``Ω(Sp_id / 5)`` with it;
+* the PD-failure slowdown bound: total time ``O(T_seq + 5 T_seq / p)``,
+  i.e. relative slowdown ``∝ T_seq / p``.
+
+The model is used two ways: *predictively* (the planner decides
+whether to parallelize, from profiled ``T_rec``/``T_rem`` and an
+iteration estimate) and *descriptively* (the ablation benches check
+that measured results respect the worst-case bounds).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.analysis.taxonomy import ParallelKind
+
+__all__ = ["LoopProfile", "Prediction", "predict", "worst_case_fraction",
+           "slowdown_bound"]
+
+
+@dataclass(frozen=True)
+class LoopProfile:
+    """Measured/estimated per-run quantities feeding the model.
+
+    Attributes
+    ----------
+    t_rec:
+        Cycles to evaluate the entire dispatching recurrence.
+    t_rem:
+        Cycles spent in the remainder of the loop.
+    accesses:
+        Memory accesses ``a`` made during the loop (drives overheads).
+    n_iters:
+        (Estimated) iteration count.
+    dispatcher_parallel:
+        How parallel the dispatcher is (Table 1's verdict).
+    """
+
+    t_rec: int
+    t_rem: int
+    accesses: int
+    n_iters: int
+    dispatcher_parallel: ParallelKind
+
+    @property
+    def t_seq(self) -> int:
+        """Total sequential time."""
+        return self.t_rec + self.t_rem
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """Output of :func:`predict`.
+
+    ``worthwhile`` is the paper's bottom line: parallelize whenever
+    there is enough parallelism in the loop, i.e. ``sp_at``
+    meaningfully exceeds 1.
+    """
+
+    sp_id: float           #: ideal speedup
+    sp_at: float           #: attainable speedup after overheads
+    t_ipar: float          #: ideal parallel time
+    t_b: float             #: pre-loop overhead (checkpointing)
+    t_d: float             #: during-loop overhead (stamps, shadows)
+    t_a: float             #: post-loop overhead (undo, PD analysis)
+    worthwhile: bool       #: sp_at > threshold
+    reason: str            #: human-readable rationale
+
+    @property
+    def efficiency(self) -> float:
+        """``sp_at / sp_id`` — fraction of the ideal retained."""
+        return self.sp_at / self.sp_id if self.sp_id else 0.0
+
+
+def ideal_parallel_time(profile: LoopProfile, p: int) -> float:
+    """``T_ipar`` per the dispatcher's parallelism class."""
+    if profile.dispatcher_parallel is ParallelKind.FULL:
+        return profile.t_seq / p
+    if profile.dispatcher_parallel is ParallelKind.PREFIX:
+        return profile.t_seq / p + math.log2(max(2, p)) \
+            * max(1.0, profile.t_rec / max(1, profile.n_iters))
+    return profile.t_rem / p + profile.t_rec
+
+
+def predict(
+    profile: LoopProfile,
+    p: int,
+    *,
+    uses_pd_test: bool = False,
+    needs_undo: bool = True,
+    access_cost: float = 2.0,
+    min_speedup: float = 1.2,
+    startup_cycles: float = 100.0,
+) -> Prediction:
+    """Predict ideal and attainable speedups (Section 7 algebra).
+
+    Overheads are modeled exactly as the paper partitions them:
+    ``T_b ≈ T_a = O(a/p)`` (both fully parallel), and
+    ``T_d = O(a / Sp_id)`` — the during-loop overhead parallelizes only
+    as well as the loop itself does.  ``startup_cycles`` is the fixed
+    fork/barrier price of any parallel execution — the term behind the
+    paper's "not enough iterations in the loop" rejection case.
+    """
+    t_seq = profile.t_seq
+    t_ipar = ideal_parallel_time(profile, p)
+    sp_id = t_seq / t_ipar if t_ipar else float("inf")
+
+    a = profile.accesses * access_cost
+    t_b = (a / p if needs_undo else 0.0) + startup_cycles
+    t_a = a / p if needs_undo else 0.0
+    if uses_pd_test:
+        t_a += a / p  # the post-execution PD analysis
+    t_d = (a / sp_id if sp_id else 0.0) if (needs_undo or uses_pd_test) \
+        else 0.0
+
+    denom = t_ipar + t_b + t_d + t_a
+    sp_at = t_seq / denom if denom else float("inf")
+
+    if sp_id <= 1.0 + 1e-9:
+        verdict, why = False, (
+            "no parallelism available (Sp_id <= 1); e.g. T_rem < T_rec "
+            "with a sequential dispatcher")
+    elif sp_at < min_speedup:
+        verdict, why = False, (
+            f"attainable speedup {sp_at:.2f} below threshold "
+            f"{min_speedup}")
+    else:
+        verdict, why = True, (
+            f"attainable speedup {sp_at:.2f} "
+            f"(ideal {sp_id:.2f}); expected worst case "
+            f">= {worst_case_fraction(uses_pd_test):.0%} of ideal")
+    return Prediction(sp_id, sp_at, t_ipar, t_b, t_d, t_a, verdict, why)
+
+
+def worst_case_fraction(uses_pd_test: bool) -> float:
+    """The paper's floor on ``Sp_at / Sp_id``: 1/4, or 1/5 with PD."""
+    return 0.20 if uses_pd_test else 0.25
+
+
+def slowdown_bound(t_seq: int, p: int) -> float:
+    """Worst-case total time after a failed PD speculation.
+
+    ``O(T_seq + 5 T_seq/p)``: the failed attempt costs at most
+    ``5 T_seq / p`` on top of the sequential re-execution.
+    """
+    return t_seq * (1.0 + 5.0 / p)

@@ -1,0 +1,175 @@
+"""Strategy selection: from analysis + cost model to an executable plan.
+
+This is the "compiler driver" glue: given a loop's static analysis
+(:class:`~repro.analysis.loopinfo.LoopInfo`), a profiling run, and the
+Section 7 cost model, choose the scheme the paper would choose:
+
+============================  =========================================
+situation                      plan
+============================  =========================================
+no recurrence found            sequential
+remainder provably dependent   DOACROSS pipeline (or sequential when
+                               the sequential fraction dominates)
+dependences unknown            speculative DOALL + PD test (privatizing
+                               statically-privatizable arrays)
+independent + induction        Induction-2
+independent + affine           associative prefix + DOALL
+independent + general/list     General-3
+cost model says not worth it   sequential
+============================  =========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+from repro.analysis.dependence import Verdict
+from repro.analysis.loopinfo import LoopInfo
+from repro.analysis.privatization import PrivStatus
+from repro.analysis.recurrence import RecKind
+from repro.errors import AnalysisError
+from repro.ir.functions import FunctionTable
+from repro.ir.interp import SequentialInterp
+from repro.ir.store import Store
+from repro.runtime.machine import Machine
+
+from repro.executors.associative import run_associative_prefix
+from repro.executors.base import ParallelResult
+from repro.executors.doacross import run_doacross
+from repro.executors.general import run_general3
+from repro.executors.induction import run_induction2
+from repro.executors.sequential import ensure_info, run_sequential
+from repro.executors.speculative import run_speculative
+from repro.planner.costmodel import LoopProfile, Prediction, predict
+from repro.planner.stats import BranchStats
+
+__all__ = ["Plan", "profile_loop", "plan_loop", "execute_plan"]
+
+
+@dataclass
+class Plan:
+    """A chosen parallelization strategy, ready to execute."""
+
+    scheme: str
+    runner: Callable[..., ParallelResult]
+    kwargs: Dict[str, Any]
+    prediction: Optional[Prediction]
+    rationale: str
+    info: LoopInfo
+
+
+def profile_loop(info: LoopInfo, sample_store: Store, machine: Machine,
+                 funcs: FunctionTable) -> LoopProfile:
+    """Profile a sample run to split ``T_rec`` from ``T_rem``.
+
+    Mirrors the paper's use of "run-time statistics collected on
+    previous executions of the loop": the sample store is consumed by
+    a sequential profiling run.
+    """
+    interp = SequentialInterp(info.loop, funcs, machine.cost)
+    res = interp.run(sample_store, profile=True)
+    disp = set(info.dispatcher_stmts)
+    t_rec = res.cond_cycles + sum(
+        c for i, c in enumerate(res.stmt_cycles or []) if i in disp)
+    t_rem = res.cycles - t_rec
+    accesses = sum(1 for s in info.subscripts) * max(1, res.n_iters)
+    return LoopProfile(
+        t_rec=t_rec,
+        t_rem=t_rem,
+        accesses=accesses,
+        n_iters=res.n_iters,
+        dispatcher_parallel=info.taxonomy.parallel,
+    )
+
+
+def _scheme_for_dispatcher(info: LoopInfo):
+    disp = info.dispatcher
+    if disp is None or disp.irregular:
+        return run_general3, "general-3"
+    if disp.kind is RecKind.INDUCTION:
+        return run_induction2, "induction-2"
+    if disp.kind is RecKind.AFFINE:
+        return run_associative_prefix, "associative-prefix"
+    return run_general3, "general-3"
+
+
+def plan_loop(
+    loop_or_info,
+    machine: Machine,
+    funcs: FunctionTable,
+    *,
+    sample_store: Optional[Store] = None,
+    stats: Optional[BranchStats] = None,
+    min_speedup: float = 1.2,
+) -> Plan:
+    """Choose a strategy for the loop (see module table).
+
+    ``sample_store`` enables the profiling-based cost model; without
+    it the planner falls back to structural heuristics only (it still
+    refuses provably-dependent remainders).
+    """
+    info = ensure_info(loop_or_info, funcs)
+
+    # Canonicalize: sink a mid-body dispatcher update to the end so the
+    # schemes' seeded-dispatcher iteration model applies (see
+    # repro.analysis.normalize).  If sinking is impossible the loop
+    # keeps its original form and falls through to DOACROSS/sequential.
+    try:
+        from repro.analysis.loopinfo import analyze_loop as _reanalyze
+        from repro.analysis.normalize import normalize_loop
+        normalized, changed = normalize_loop(info.loop, funcs)
+        if changed:
+            info = _reanalyze(normalized, funcs)
+    except AnalysisError:
+        pass
+
+    if info.dispatcher is None:
+        return Plan("sequential", run_sequential, {}, None,
+                    "no dispatching recurrence detected", info)
+
+    if info.dependence.verdict is Verdict.DEPENDENT:
+        return Plan("doacross", run_doacross, {}, None,
+                    "remainder carries proven cross-iteration "
+                    "dependences; pipelining them", info)
+
+    prediction: Optional[Prediction] = None
+    if sample_store is not None:
+        profile = profile_loop(info, sample_store.copy(), machine, funcs)
+        if stats is not None:
+            stats.record(profile.n_iters)
+        prediction = predict(
+            profile, machine.nprocs,
+            uses_pd_test=info.needs_runtime_test,
+            needs_undo=info.may_overshoot,
+            min_speedup=min_speedup)
+        if not prediction.worthwhile:
+            return Plan("sequential", run_sequential, {}, prediction,
+                        f"cost model: {prediction.reason}", info)
+
+    if info.needs_runtime_test:
+        privatize = tuple(sorted(
+            name for name, st in info.privatization.arrays.items()
+            if st is PrivStatus.PRIVATIZABLE
+            and name in info.effects.array_writes
+            and name in info.effects.array_reads))
+        return Plan(
+            "speculative", run_speculative,
+            {"privatize": privatize},
+            prediction,
+            "access pattern not statically analyzable; speculating "
+            f"with the PD test (privatizing {list(privatize) or 'none'})",
+            info)
+
+    runner, name = _scheme_for_dispatcher(info)
+    return Plan(name, runner, {}, prediction,
+                f"remainder independent; dispatcher is "
+                f"{info.taxonomy.dispatcher.value}", info)
+
+
+def execute_plan(plan: Plan, store: Store, machine: Machine,
+                 funcs: FunctionTable, **overrides) -> ParallelResult:
+    """Run a plan against live state."""
+    kwargs = dict(plan.kwargs)
+    kwargs.update(overrides)
+    return plan.runner(plan.info, store, machine, funcs, **kwargs)

@@ -1,0 +1,86 @@
+"""Branch statistics and iteration-count estimation (Section 7/8.1).
+
+The paper proposes predicting a WHILE loop's iteration count from
+branch statistics on its termination condition, "data which can easily
+be obtained for any program" — the same machinery superscalar branch
+speculation uses.  The estimate feeds two decisions:
+
+* whether the loop has enough iterations to amortize parallelization;
+* the statistics-enhanced strip-mining threshold ``n'_i = x% · n̂_i``
+  below which writes need not be time-stamped (Section 8.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+__all__ = ["BranchStats", "IterationEstimate", "stamp_threshold"]
+
+
+@dataclass
+class BranchStats:
+    """Accumulated termination-branch statistics for one loop.
+
+    Record one sample per loop *execution* (the iteration count it ran
+    for).  The estimator exposes the paper's quantities: the expected
+    count ``n̂_i`` and a confidence proxy from the sample dispersion.
+    """
+
+    loop_name: str
+    samples: List[int] = field(default_factory=list)
+
+    def record(self, n_iters: int) -> None:
+        """Record one completed execution's iteration count."""
+        if n_iters < 0:
+            raise ValueError("iteration count cannot be negative")
+        self.samples.append(int(n_iters))
+
+    @property
+    def n_runs(self) -> int:
+        """Number of recorded executions."""
+        return len(self.samples)
+
+    def estimate(self) -> Optional["IterationEstimate"]:
+        """Current estimate, or ``None`` before any sample."""
+        if not self.samples:
+            return None
+        n = len(self.samples)
+        mean = sum(self.samples) / n
+        if n > 1:
+            var = sum((s - mean) ** 2 for s in self.samples) / (n - 1)
+        else:
+            var = mean * mean  # one sample: fully uncertain
+        std = var ** 0.5
+        # Confidence proxy: 1 / (1 + coefficient of variation), so
+        # identical repeated counts give confidence -> 1 and wildly
+        # varying counts -> 0.
+        cv = std / mean if mean else float("inf")
+        confidence = 1.0 / (1.0 + cv)
+        return IterationEstimate(mean, std, confidence, n)
+
+
+@dataclass(frozen=True)
+class IterationEstimate:
+    """``n̂_i`` with dispersion and a [0,1] confidence proxy."""
+
+    mean: float
+    std: float
+    confidence: float
+    n_samples: int
+
+    @property
+    def n_hat(self) -> int:
+        """The point estimate, rounded."""
+        return max(0, int(round(self.mean)))
+
+
+def stamp_threshold(estimate: IterationEstimate) -> int:
+    """Section 8.1's ``n'_i``: stamp only iterations above this.
+
+    "if the confidence in n̂_i is about x%, then n'_i is selected to be
+    about x% of n̂_i" — a high-confidence estimate lets almost all
+    iterations skip stamping, a low-confidence one stamps nearly
+    everything.
+    """
+    return max(1, int(estimate.confidence * estimate.n_hat))

@@ -1,0 +1,55 @@
+"""Virtual-time multiprocessor runtime.
+
+The runtime package provides the machine model (`Machine`), cost
+models, locks, and the parallel collective operations (prefix scans,
+reductions) the executors are built on.
+"""
+
+from repro.runtime.costs import ALLIANT_FX80, FREE, UNIT, CostModel
+from repro.runtime.machine import (
+    QUIT,
+    STOP_PROC,
+    DoallRun,
+    ItemRec,
+    Machine,
+    ProcCtx,
+    SimLock,
+)
+from repro.runtime.prefix import AffineStep, parallel_prefix, scan_affine_recurrence
+from repro.runtime.presets import (
+    PRESETS,
+    alliant_fx80,
+    high_latency_memory,
+    hw_assisted,
+    mpp,
+)
+from repro.runtime.trace import gantt, schedule_table, utilization
+from repro.runtime.reduction import (
+    parallel_argmin_stamped,
+    parallel_min,
+    parallel_reduce,
+)
+
+__all__ = [
+    "ALLIANT_FX80", "FREE", "UNIT", "CostModel",
+    "QUIT", "STOP_PROC", "DoallRun", "ItemRec", "Machine", "ProcCtx",
+    "SimLock",
+    "AffineStep", "parallel_prefix", "scan_affine_recurrence",
+    "parallel_argmin_stamped", "parallel_min", "parallel_reduce",
+    "ThreadedResult", "run_threaded_doall", "run_threaded_general",
+    "gantt", "schedule_table", "utilization",
+    "PRESETS", "alliant_fx80", "high_latency_memory", "hw_assisted", "mpp",
+]
+
+
+def __getattr__(name):
+    """Lazily expose the real-threads backend.
+
+    ``repro.runtime.threads`` imports the IR (which imports this
+    package for cost models); loading it lazily breaks that cycle.
+    """
+    if name in ("ThreadedResult", "run_threaded_doall",
+                "run_threaded_general"):
+        from repro.runtime import threads
+        return getattr(threads, name)
+    raise AttributeError(f"module 'repro.runtime' has no attribute {name!r}")

@@ -1,0 +1,98 @@
+"""The machine cost model: virtual cycles per abstract operation.
+
+The paper's measurements come from an 8-processor Alliant FX/80.  Our
+substitute is a *virtual-time* multiprocessor (see
+:mod:`repro.runtime.machine`); this module defines the exchange rate
+between IR operations and virtual cycles.  The default
+:data:`ALLIANT_FX80` model is tuned so the relative costs match the
+qualitative story the paper tells — locks are expensive relative to a
+pointer hop (which is why General-1 loses to General-3 in Figure 6),
+dynamic self-scheduling costs a little per dispatch, and memory traffic
+dominates scalar arithmetic.
+
+All costs are plain integers so simulations are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["CostModel", "ALLIANT_FX80", "FREE", "UNIT"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Virtual-cycle cost of each abstract operation.
+
+    Attributes are grouped by which subsystem charges them.
+    """
+
+    # -- IR evaluation ------------------------------------------------------
+    alu: int = 1              #: add/sub/compare/boolean op
+    mul: int = 2              #: multiply
+    div: int = 8              #: divide / modulo
+    powc: int = 12            #: exponentiation
+    scalar_ref: int = 0       #: scalar register read/write
+    array_read: int = 2       #: shared-array element load
+    array_write: int = 2      #: shared-array element store
+    hop: int = 4              #: linked-list ``next()`` dereference
+    call_base: int = 2        #: intrinsic call overhead
+    branch: int = 1           #: If / loop back-edge
+
+    # -- scheduling / synchronization ----------------------------------------
+    iter_overhead: int = 2    #: per-iteration loop bookkeeping
+    sched_static: int = 1     #: static (mod-p) iteration issue
+    sched_dynamic: int = 10   #: dynamic self-scheduling queue fetch
+    lock_acquire: int = 12    #: uncontended lock acquisition
+    lock_release: int = 4     #: lock release
+    barrier_base: int = 40    #: barrier fixed cost
+    barrier_per_proc: int = 6  #: barrier per-processor linear term
+    fork: int = 60            #: DOALL spawn fixed cost
+
+    # -- speculation overheads (Sections 4-5) -------------------------------
+    checkpoint_word: int = 1   #: copy one word at checkpoint (T_b)
+    restore_word: int = 1      #: restore one word at undo (part of T_a)
+    timestamp_write: int = 2   #: record iteration stamp on a write (T_d)
+    shadow_mark: int = 2       #: PD-test shadow array touch (T_d)
+    analysis_word: int = 1     #: PD-test post-analysis per word (T_a)
+    reduction_elem: int = 1    #: per-element cost of parallel reductions
+
+    def binop_cost(self, op: str) -> int:
+        """Cycles for one binary operator evaluation."""
+        if op in ("*",):
+            return self.mul
+        if op in ("/", "//", "%"):
+            return self.div
+        if op == "**":
+            return self.powc
+        return self.alu
+
+    def barrier(self, nprocs: int) -> int:
+        """Cycles for a full barrier across ``nprocs`` processors."""
+        return self.barrier_base + self.barrier_per_proc * nprocs
+
+    def scaled(self, **overrides: int) -> "CostModel":
+        """Return a copy with some costs overridden (ablation knob)."""
+        return replace(self, **overrides)
+
+
+#: Default model, loosely calibrated to the Alliant FX/80's behaviour.
+ALLIANT_FX80 = CostModel()
+
+#: A zero-cost model: useful in tests that check pure semantics.
+FREE = CostModel(
+    alu=0, mul=0, div=0, powc=0, scalar_ref=0, array_read=0, array_write=0,
+    hop=0, call_base=0, branch=0, iter_overhead=0, sched_static=0,
+    sched_dynamic=0, lock_acquire=0, lock_release=0, barrier_base=0,
+    barrier_per_proc=0, fork=0, checkpoint_word=0, restore_word=0,
+    timestamp_write=0, shadow_mark=0, analysis_word=0, reduction_elem=0,
+)
+
+#: Every operation costs one cycle: handy for counting operations.
+UNIT = CostModel(
+    alu=1, mul=1, div=1, powc=1, scalar_ref=1, array_read=1, array_write=1,
+    hop=1, call_base=1, branch=1, iter_overhead=1, sched_static=1,
+    sched_dynamic=1, lock_acquire=1, lock_release=1, barrier_base=1,
+    barrier_per_proc=1, fork=1, checkpoint_word=1, restore_word=1,
+    timestamp_write=1, shadow_mark=1, analysis_word=1, reduction_elem=1,
+)

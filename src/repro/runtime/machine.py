@@ -1,0 +1,340 @@
+"""The virtual-time multiprocessor.
+
+This is the substitute for the paper's Alliant FX/80 (see DESIGN.md):
+a deterministic discrete-event machine where each processor owns a
+virtual cycle clock.  Executors run real Python work (IR iteration
+bodies) under a :class:`ProcCtx` that accumulates cycles; the machine
+orders work by virtual time, models lock contention and
+dynamic/static/in-order iteration issue, and reports the *makespan*
+(the parallel execution time ``T_par``) from which speedups are
+computed.
+
+Why simulate?  CPython's GIL prevents real compute speedup from
+threads, and the paper's claims are about *relative* timing: who wins,
+by what factor, and where the crossovers fall.  A deterministic
+virtual-time machine reproduces exactly that, is perfectly repeatable,
+and scales to the MPP processor counts the paper extrapolates to.
+
+Key semantics implemented here:
+
+* **Dynamic self-scheduling with in-order issue** — iterations are
+  handed out in index order to the least-loaded processor, each fetch
+  charging ``sched_dynamic`` cycles (the Alliant's concurrency
+  hardware).
+* **QUIT** (paper Section 3.1) — once an executing iteration issues a
+  QUIT, iterations with larger indices that have not yet *begun* are
+  never started; iterations already in flight complete.  With multiple
+  QUITs the smallest quitting index governs.
+* **Static mod-p scheduling** (General-2) — processor ``k`` executes
+  indices ``k, k+p, k+2p, ...`` privately; a processor may stop its own
+  stream early (``STOP_PROC``).
+* **Locks** — a lock is granted at ``max(requester clock, lock free
+  time)``; acquisition and release charge cycles, so a critical
+  section serializes exactly as on real hardware.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ExecutionError
+from repro.runtime.costs import ALLIANT_FX80, CostModel
+
+__all__ = [
+    "QUIT",
+    "STOP_PROC",
+    "SimLock",
+    "ProcCtx",
+    "ItemRec",
+    "DoallRun",
+    "Machine",
+]
+
+#: Outcome constant: the iteration issued a QUIT (Induction-2 style).
+QUIT = "quit"
+#: Outcome constant: this processor stops taking further items
+#: (General-2's ``goto 2`` when the private walk hits NULL).
+STOP_PROC = "stop_proc"
+
+
+class SimLock:
+    """A virtual-time mutex.
+
+    ``free_at`` is the earliest virtual time at which the lock can next
+    be granted.  Contention statistics are kept for the ablation
+    benches (General-1's lock serialization).
+    """
+
+    __slots__ = ("free_at", "acquisitions", "contended", "busy_cycles")
+
+    def __init__(self) -> None:
+        self.free_at = 0
+        self.acquisitions = 0
+        self.contended = 0
+        self.busy_cycles = 0
+
+
+@dataclass
+class ProcCtx:
+    """A processor's execution context during one work item.
+
+    Executors charge cycles on it (directly or through an IR
+    :class:`~repro.ir.interp.EvalContext` whose cycles they add) and
+    may acquire/release :class:`SimLock` objects.
+    """
+
+    pid: int
+    clock: int
+    cost: CostModel
+
+    def charge(self, cycles: int) -> None:
+        """Advance this processor's clock by ``cycles``."""
+        self.clock += int(cycles)
+
+    def acquire(self, lock: SimLock) -> None:
+        """Block until the lock is free, then take it."""
+        lock.acquisitions += 1
+        if lock.free_at > self.clock:
+            lock.contended += 1
+            self.clock = lock.free_at
+        self.clock += self.cost.lock_acquire
+        # Lock is held until release(); mark it unavailable far in the
+        # future so a missing release is caught loudly.
+        lock.free_at = 1 << 62
+
+    def release(self, lock: SimLock) -> None:
+        """Release the lock at the current virtual time."""
+        self.clock += self.cost.lock_release
+        lock.free_at = self.clock
+
+
+@dataclass
+class ItemRec:
+    """Execution record of one work item (= one iteration attempt)."""
+
+    index: int
+    pid: int
+    start: int
+    end: int
+    outcome: Optional[str] = None
+
+
+@dataclass
+class DoallRun:
+    """Result of one DOALL execution on the machine.
+
+    Attributes
+    ----------
+    makespan:
+        Virtual time when the last processor finishes (excludes any
+        pre/post overhead the executor accounts separately).
+    items:
+        Per-item execution records in issue order.
+    quit_index:
+        Smallest index that issued QUIT, if any.
+    skipped:
+        Indices never begun because of a QUIT.
+    proc_finish:
+        Final clock per processor.
+    """
+
+    makespan: int
+    items: List[ItemRec]
+    quit_index: Optional[int]
+    skipped: List[int]
+    proc_finish: List[int]
+
+    @property
+    def executed_indices(self) -> List[int]:
+        """Indices whose bodies actually began."""
+        return [r.index for r in self.items]
+
+    def span_profile(self) -> int:
+        """Maximum spread between concurrently in-flight indices.
+
+        The paper (Section 3.3) observes that static assignment keeps a
+        larger iteration *span* in flight than dynamic assignment, so
+        an RV terminator forces more undone iterations.  This measures
+        that spread on the recorded schedule.
+        """
+        if not self.items:
+            return 0
+        events: List[Tuple[int, int, int]] = []  # (time, +1/-1, index)
+        for r in self.items:
+            events.append((r.start, 1, r.index))
+            events.append((r.end, -1, r.index))
+        # Starts sort before ends at equal times so zero-duration
+        # items (e.g. an iteration that only tested the terminator)
+        # balance their own counters.
+        events.sort(key=lambda t: (t[0], -t[1]))
+        active: Dict[int, int] = {}
+        best = 0
+        for _, kind, idx in events:
+            if kind == 1:
+                active[idx] = active.get(idx, 0) + 1
+            else:
+                active[idx] -= 1
+                if active[idx] == 0:
+                    del active[idx]
+            if len(active) >= 2:
+                best = max(best, max(active) - min(active))
+        return best
+
+
+#: Work-item callback: ``body(proc, index) -> None | QUIT | STOP_PROC``.
+ItemBody = Callable[[ProcCtx, int], Optional[str]]
+
+
+class Machine:
+    """A ``p``-processor virtual-time multiprocessor.
+
+    Parameters
+    ----------
+    nprocs:
+        Number of processors (the paper's machine has 8; MPP
+        extrapolations go far higher).
+    cost:
+        Cycle cost model; defaults to the Alliant-flavoured model.
+    """
+
+    def __init__(self, nprocs: int, cost: CostModel = ALLIANT_FX80) -> None:
+        if nprocs < 1:
+            raise ExecutionError("machine needs at least one processor")
+        self.nprocs = int(nprocs)
+        self.cost = cost
+
+    # -- collective time formulas -----------------------------------------
+    def parallel_work_time(self, total_cycles: int) -> int:
+        """Time for perfectly divisible work: ``ceil(total/p)``."""
+        p = self.nprocs
+        return -(-int(total_cycles) // p)
+
+    def reduction_time(self, n_elems: int) -> int:
+        """Time of a parallel reduction: ``O(n/p + log p)`` (paper §5.1)."""
+        p = self.nprocs
+        per = self.cost.reduction_elem
+        logp = max(1, (p - 1).bit_length())
+        return self.parallel_work_time(n_elems * per) + logp * self.cost.alu \
+            + self.cost.barrier(p)
+
+    def prefix_time(self, n_elems: int, op_cost: int) -> int:
+        """Time of a parallel prefix: ``O(n/p + log p)`` (paper §3.2).
+
+        Uses the two-sweep block algorithm: each processor scans its
+        block twice (up-sweep + fixup) plus a ``log p`` combine tree.
+        """
+        p = self.nprocs
+        logp = max(1, (p - 1).bit_length())
+        block = -(-int(n_elems) // p)
+        return 2 * block * op_cost + logp * op_cost + self.cost.barrier(p)
+
+    # -- DOALL engines ------------------------------------------------------
+    def run_doall_dynamic(
+        self,
+        n_items: int,
+        body: ItemBody,
+        *,
+        first_index: int = 1,
+        quit_aware: bool = True,
+    ) -> DoallRun:
+        """Run items ``first_index .. first_index+n_items-1`` self-scheduled.
+
+        Items are issued in index order to the processor with the
+        smallest clock, charging ``sched_dynamic`` per fetch, plus a
+        one-time ``fork`` cost.  ``body`` may return :data:`QUIT` to
+        stop later items from beginning (paper's Induction-2 /
+        General-1/3 QUIT).
+        """
+        p, cost = self.nprocs, self.cost
+        heap: List[Tuple[int, int]] = [(cost.fork, pid) for pid in range(p)]
+        heapq.heapify(heap)
+        items: List[ItemRec] = []
+        skipped: List[int] = []
+        quit_index: Optional[int] = None
+        quit_time: Optional[int] = None
+        last = first_index + n_items - 1
+        index = first_index
+        proc_finish = [cost.fork] * p
+        while index <= last:
+            clock, pid = heapq.heappop(heap)
+            start = clock + cost.sched_dynamic
+            if quit_time is not None and start >= quit_time \
+                    and index > quit_index:
+                # The QUIT is visible by this item's start time and
+                # governs it: this and all later items are never begun
+                # (starts are non-decreasing under min-clock issue).
+                skipped.extend(range(index, last + 1))
+                heapq.heappush(heap, (clock, pid))
+                break
+            ctx = ProcCtx(pid, start, cost)
+            outcome = body(ctx, index)
+            items.append(ItemRec(index, pid, start, ctx.clock, outcome))
+            if quit_aware and outcome == QUIT:
+                if quit_index is None or index < quit_index:
+                    quit_index, quit_time = index, ctx.clock
+            proc_finish[pid] = ctx.clock
+            heapq.heappush(heap, (ctx.clock, pid))
+            index += 1
+        makespan = max(proc_finish)
+        return DoallRun(makespan, items, quit_index, skipped, proc_finish)
+
+    def run_doall_static(
+        self,
+        n_items: int,
+        body: ItemBody,
+        *,
+        first_index: int = 1,
+        quit_aware: bool = True,
+    ) -> DoallRun:
+        """Run items with static mod-p assignment (General-2 style).
+
+        Processor ``k`` executes indices ``first_index+k,
+        first_index+k+p, ...`` in order on its own clock.  A body
+        returning :data:`STOP_PROC` ends that processor's stream; a
+        :data:`QUIT` prevents *later-begun* items on any processor from
+        starting (checked against the quit's virtual time, mirroring
+        the dynamic engine).
+        """
+        p, cost = self.nprocs, self.cost
+        clocks = [cost.fork] * p
+        pending: List[ItemRec] = []
+        # Simulate processors in lockstep over their private streams,
+        # ordered by virtual time so QUIT visibility is consistent.
+        heap: List[Tuple[int, int, int]] = [
+            (cost.fork, pid, first_index + pid) for pid in range(p)]
+        heapq.heapify(heap)
+        last = first_index + n_items - 1
+        quit_index: Optional[int] = None
+        quit_time: Optional[int] = None
+        skipped: List[int] = []
+        while heap:
+            clock, pid, index = heapq.heappop(heap)
+            if index > last:
+                continue
+            start = clock + cost.sched_static
+            if quit_time is not None and start >= quit_time and index > quit_index:
+                skipped.append(index)
+                heapq.heappush(heap, (start, pid, index + p))
+                clocks[pid] = start
+                continue
+            ctx = ProcCtx(pid, start, cost)
+            outcome = body(ctx, index)
+            pending.append(ItemRec(index, pid, start, ctx.clock, outcome))
+            clocks[pid] = ctx.clock
+            if quit_aware and outcome == QUIT:
+                if quit_index is None or index < quit_index:
+                    quit_index, quit_time = index, ctx.clock
+            if outcome == STOP_PROC:
+                continue
+            heapq.heappush(heap, (ctx.clock, pid, index + p))
+        pending.sort(key=lambda r: (r.start, r.index))
+        return DoallRun(max(clocks), pending, quit_index, skipped, clocks)
+
+    def run_sequential(self, total_cycles: int) -> int:
+        """Trivial helper: sequential work takes its own time."""
+        return int(total_cycles)
+
+    def __repr__(self) -> str:
+        return f"Machine(nprocs={self.nprocs})"

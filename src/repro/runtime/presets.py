@@ -1,0 +1,78 @@
+"""Machine presets: named cost-model configurations.
+
+The default :data:`~repro.runtime.costs.ALLIANT_FX80` model matches the
+paper's testbed character.  These presets let benches and users ask the
+obvious what-if questions without hand-tuning individual costs:
+
+* :func:`alliant_fx80` — the paper's machine (8 processors).
+* :func:`mpp` — the Conclusion's massively parallel target: hundreds of
+  processors, relatively more expensive synchronization (bigger fork
+  and barrier constants, pricier dynamic scheduling).
+* :func:`hw_assisted` — the Conclusion's "specialized hardware
+  features" machine: time-stamping, checkpointing and shadow marking
+  are free (versioned/dependence-tracking memory).
+* :func:`high_latency_memory` — a NUMA-flavoured variant where shared
+  array traffic and pointer hops cost several times more, which
+  stresses the schemes exactly where linked-list loops hurt.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.costs import ALLIANT_FX80
+from repro.runtime.machine import Machine
+
+__all__ = ["alliant_fx80", "mpp", "hw_assisted", "high_latency_memory",
+           "PRESETS"]
+
+
+def alliant_fx80(nprocs: int = 8) -> Machine:
+    """The paper's testbed: 8 processors, Alliant-flavoured costs."""
+    return Machine(nprocs, ALLIANT_FX80)
+
+
+def mpp(nprocs: int = 256) -> Machine:
+    """A massively parallel machine (the paper's true target).
+
+    Synchronization costs grow with scale; per-operation compute costs
+    stay the same, so available loop parallelism translates into large
+    absolute speedups exactly as the Conclusion argues.
+    """
+    cost = ALLIANT_FX80.scaled(
+        fork=400,
+        barrier_base=200,
+        barrier_per_proc=2,
+        sched_dynamic=16,
+        lock_acquire=40,
+        lock_release=12,
+    )
+    return Machine(nprocs, cost)
+
+
+def hw_assisted(nprocs: int = 8) -> Machine:
+    """Hardware-supported speculation: free stamps/marks/checkpoints."""
+    cost = ALLIANT_FX80.scaled(
+        timestamp_write=0,
+        shadow_mark=0,
+        checkpoint_word=0,
+        restore_word=0,
+    )
+    return Machine(nprocs, cost)
+
+
+def high_latency_memory(nprocs: int = 8) -> Machine:
+    """Remote-memory flavour: array traffic and hops cost 4x."""
+    cost = ALLIANT_FX80.scaled(
+        array_read=8,
+        array_write=8,
+        hop=16,
+    )
+    return Machine(nprocs, cost)
+
+
+#: Name -> factory, for CLIs and benches.
+PRESETS = {
+    "alliant": alliant_fx80,
+    "mpp": mpp,
+    "hw": hw_assisted,
+    "numa": high_latency_memory,
+}

@@ -1,0 +1,87 @@
+"""Parallel reductions — values and virtual time.
+
+Used for the paper's post-DOALL steps: the last-valid-iteration
+``LI = min(L[0:nproc])`` of Induction-1/2, the PD test's marked-element
+counts, and MA28's time-stamp-ordered minimum-cost pivot reduction.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Tuple, TypeVar
+
+from repro.runtime.machine import Machine
+
+__all__ = [
+    "parallel_reduce",
+    "parallel_min",
+    "parallel_argmin_stamped",
+]
+
+T = TypeVar("T")
+
+
+def parallel_reduce(
+    values: Sequence[T],
+    op: Callable[[T, T], T],
+    machine: Machine,
+) -> Tuple[Optional[T], int]:
+    """Reduce ``values`` under associative ``op``.
+
+    Returns ``(result, virtual_time)``; ``result`` is ``None`` for an
+    empty input.  Time follows the machine's ``O(n/p + log p)``
+    reduction formula.  The reduction is computed block-wise (one block
+    per virtual processor, then a combine pass) so operator
+    associativity is genuinely exercised.
+    """
+    n = len(values)
+    sim_time = machine.reduction_time(n) if n else 0
+    if n == 0:
+        return None, 0
+    p = min(machine.nprocs, n)
+    block = -(-n // p)
+    partials = []
+    for k in range(p):
+        lo, hi = k * block, min((k + 1) * block, n)
+        if lo >= hi:
+            continue
+        acc = values[lo]
+        for i in range(lo + 1, hi):
+            acc = op(acc, values[i])
+        partials.append(acc)
+    acc = partials[0]
+    for x in partials[1:]:
+        acc = op(acc, x)
+    return acc, sim_time
+
+
+def parallel_min(values: Sequence[T], machine: Machine) -> Tuple[Optional[T], int]:
+    """Parallel minimum — the ``LI = min(L[1:nproc])`` of Figure 2."""
+    return parallel_reduce(values, min, machine)
+
+
+def parallel_argmin_stamped(
+    candidates: Sequence[Tuple[int, float]],
+    machine: Machine,
+    *,
+    last_valid: Optional[int] = None,
+) -> Tuple[Optional[int], int]:
+    """Time-stamp-ordered minimum-cost selection (the MA28 pattern).
+
+    ``candidates`` are ``(iteration_stamp, cost)`` pairs, one per
+    processor-private pivot.  Sequential consistency requires the
+    minimum *cost*, with the earliest iteration stamp breaking ties,
+    and candidates stamped beyond ``last_valid`` ignored (they belong
+    to overshot iterations).  Returns ``(index_into_candidates,
+    virtual_time)``.
+    """
+    filtered = [
+        (cost, stamp, i)
+        for i, (stamp, cost) in enumerate(candidates)
+        if last_valid is None or stamp <= last_valid
+    ]
+    _, t = parallel_reduce(list(range(max(1, len(filtered)))),
+                           lambda a, b: a, machine)
+    if not filtered:
+        return None, t
+    best = min(filtered)
+    return best[2], t

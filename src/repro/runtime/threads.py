@@ -1,0 +1,258 @@
+"""A real-``threading`` execution backend (semantic cross-check only).
+
+The virtual-time machine is the framework's measurement instrument;
+this module is its *reality check*: the same scheme structures —
+dynamic self-scheduling with in-order issue and QUIT, General-1's
+lock-serialized shared walk, General-3's private catch-up walks —
+executed by genuine OS threads with genuine locks.
+
+Because of CPython's GIL this backend demonstrates **correctness under
+real interleavings**, not speedup (the calibration note for this
+reproduction: "parallel eval less faithful (GIL)").  The test suite
+runs the threaded schemes against the sequential reference to confirm
+the algorithms, not just the simulation of them, are race-free where
+the paper claims they are.
+
+Thread-safety notes: each worker evaluates iterations through its own
+:class:`~repro.ir.interp.EvalContext` with private scalars; the shared
+store's NumPy element reads/writes are protected by a store-wide lock
+(coarse, but this backend optimizes for clarity, not throughput).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.errors import ExecutionError, NullPointerError
+from repro.ir.functions import FunctionTable
+from repro.ir.interp import EvalContext, IterationRunner, IterOutcome
+from repro.ir.nodes import Loop
+from repro.ir.store import Store
+from repro.runtime.costs import FREE
+
+__all__ = ["ThreadedResult", "run_threaded_doall", "run_threaded_general"]
+
+
+@dataclass
+class ThreadedResult:
+    """Outcome of a threaded execution."""
+
+    n_iters: int
+    exited_in_body: bool
+    executed: Set[int] = field(default_factory=set)
+    overshot: Set[int] = field(default_factory=set)
+
+
+class _InOrderIssuer:
+    """Thread-safe in-order iteration issue with QUIT semantics."""
+
+    def __init__(self, last: int) -> None:
+        self._lock = threading.Lock()
+        self._next = 1
+        self._last = last
+        self._quit_at: Optional[int] = None
+
+    def take(self) -> Optional[int]:
+        with self._lock:
+            if self._next > self._last:
+                return None
+            if self._quit_at is not None and self._next > self._quit_at:
+                return None
+            k = self._next
+            self._next += 1
+            return k
+
+    def quit_at(self, k: int) -> None:
+        with self._lock:
+            if self._quit_at is None or k < self._quit_at:
+                self._quit_at = k
+
+
+def _terminations(outcomes: Dict[int, str]) -> Tuple[int, bool]:
+    terms = [k for k, o in outcomes.items()
+             if o in (IterOutcome.TERMINATED, IterOutcome.EXITED)]
+    if not terms:
+        raise ExecutionError("threaded run observed no termination; "
+                             "raise the bound")
+    exit_at = min(terms)
+    exited = outcomes[exit_at] == IterOutcome.EXITED
+    return (exit_at if exited else exit_at - 1), exited
+
+
+def run_threaded_doall(
+    loop: Loop,
+    store: Store,
+    funcs: FunctionTable,
+    *,
+    nthreads: int = 4,
+    u: int,
+    dispatcher_stmts: Tuple[int, ...],
+    dispatcher_var: str,
+    dispatcher_value: Callable[[int], Any],
+) -> ThreadedResult:
+    """Induction-style DOALL with real threads.
+
+    ``dispatcher_value(k)`` supplies ``d(k)`` (the closed form).  Each
+    thread takes iterations from the in-order issuer, tests the
+    terminator, runs the remainder with private scalars, and QUITs on
+    termination.  The caller is responsible for loops whose iterations
+    are genuinely independent (as the paper's schemes require):
+    distinct iterations then touch distinct array elements, which is
+    safe under concurrent threads (scalars are iteration-private).
+    """
+    runner = IterationRunner(loop, funcs, FREE,
+                             dispatcher_stmts=dispatcher_stmts)
+    init_ctx = runner.make_ctx(store)
+    runner.run_init(init_ctx)
+
+    issuer = _InOrderIssuer(u)
+    outcomes: Dict[int, str] = {}
+    locals_by_iter: Dict[int, Dict[str, Any]] = {}
+    record_lock = threading.Lock()
+    errors: List[BaseException] = []
+
+    def worker() -> None:
+        try:
+            while True:
+                k = issuer.take()
+                if k is None:
+                    return
+                local = {dispatcher_var: dispatcher_value(k)}
+                ctx = EvalContext(store, funcs, FREE, local=local)
+                outcome = runner.run_iteration(ctx)
+                with record_lock:
+                    outcomes[k] = outcome
+                    locals_by_iter[k] = local
+                if outcome in (IterOutcome.TERMINATED, IterOutcome.EXITED):
+                    issuer.quit_at(k)
+        except BaseException as exc:  # surfaced to the caller
+            errors.append(exc)
+            issuer.quit_at(0)
+
+    threads = [threading.Thread(target=worker) for _ in range(nthreads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if errors:
+        raise errors[0]
+
+    lvi, exited = _terminations(outcomes)
+    executed = {k for k, o in outcomes.items() if o == IterOutcome.DONE}
+    return ThreadedResult(
+        n_iters=lvi,
+        exited_in_body=exited,
+        executed=executed,
+        overshot={k for k in executed if k > lvi},
+    )
+
+
+def run_threaded_general(
+    loop: Loop,
+    store: Store,
+    funcs: FunctionTable,
+    *,
+    nthreads: int = 4,
+    u: int,
+    dispatcher_stmts: Tuple[int, ...],
+    dispatcher_var: str,
+    scheme: str = "general-3",
+) -> ThreadedResult:
+    """General-1 (shared lock-protected walk) or General-3 (private
+    catch-up walks) with real threads — the two linked-list schemes
+    whose synchronization structure differs most."""
+    if scheme not in ("general-1", "general-3"):
+        raise ExecutionError(f"unknown threaded scheme {scheme!r}")
+    runner = IterationRunner(loop, funcs, FREE,
+                             dispatcher_stmts=dispatcher_stmts)
+    init_ctx = runner.make_ctx(store)
+    runner.run_init(init_ctx)
+    initial = store[dispatcher_var]
+
+    issuer = _InOrderIssuer(u)
+    outcomes: Dict[int, str] = {}
+    record_lock = threading.Lock()
+    errors: List[BaseException] = []
+
+    walk_lock = threading.Lock()
+    shared_walk = {"k": 1, "value": initial, "exhausted": False}
+
+    def advance_once(value: Any) -> Any:
+        ctx = EvalContext(store, funcs, FREE,
+                          local={dispatcher_var: value})
+        runner.advance(ctx)
+        return ctx.local[dispatcher_var]
+
+    def value_for_shared(k: int) -> Any:
+        with walk_lock:
+            while not shared_walk["exhausted"] and shared_walk["k"] < k:
+                try:
+                    shared_walk["value"] = advance_once(
+                        shared_walk["value"])
+                except NullPointerError:
+                    shared_walk["exhausted"] = True
+                    break
+                shared_walk["k"] += 1
+            if shared_walk["k"] < k:
+                return None
+            return shared_walk["value"]
+
+    local_states = threading.local()
+
+    def value_for_private(k: int) -> Any:
+        st = getattr(local_states, "walk", None)
+        if st is None:
+            st = {"k": 1, "value": initial, "exhausted": False}
+            local_states.walk = st
+        if st["exhausted"]:
+            return None
+        while st["k"] < k:
+            try:
+                st["value"] = advance_once(st["value"])
+            except NullPointerError:
+                st["exhausted"] = True
+                return None
+            st["k"] += 1
+        return st["value"]
+
+    value_for = (value_for_shared if scheme == "general-1"
+                 else value_for_private)
+
+    def worker() -> None:
+        try:
+            while True:
+                k = issuer.take()
+                if k is None:
+                    return
+                d = value_for(k)
+                if d is None:
+                    with record_lock:
+                        outcomes[k] = IterOutcome.TERMINATED
+                    issuer.quit_at(k)
+                    continue
+                local = {dispatcher_var: d}
+                ctx = EvalContext(store, funcs, FREE, local=local)
+                outcome = runner.run_iteration(ctx)
+                with record_lock:
+                    outcomes[k] = outcome
+                if outcome in (IterOutcome.TERMINATED, IterOutcome.EXITED):
+                    issuer.quit_at(k)
+        except BaseException as exc:
+            errors.append(exc)
+            issuer.quit_at(0)
+
+    threads = [threading.Thread(target=worker) for _ in range(nthreads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if errors:
+        raise errors[0]
+
+    lvi, exited = _terminations(outcomes)
+    executed = {k for k, o in outcomes.items() if o == IterOutcome.DONE}
+    return ThreadedResult(n_iters=lvi, exited_in_body=exited,
+                          executed=executed,
+                          overshot={k for k in executed if k > lvi})

@@ -1,0 +1,80 @@
+"""Execution traces: ASCII Gantt charts of virtual-time schedules.
+
+Turns a :class:`~repro.runtime.machine.DoallRun` into a
+processor-by-time chart, which is how the examples (and humans
+debugging a scheme) *see* lock serialization, QUIT cut-offs, window
+gating, and load imbalance.
+
+Example output (General-1 on 4 processors — note the staircase the
+lock forces)::
+
+    p0 |==1===........==5===.....
+    p1 |...==2===........==6===..
+    p2 |......==3===........==7==
+    p3 |.........==4===..........
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.runtime.machine import DoallRun
+
+__all__ = ["gantt", "utilization", "schedule_table"]
+
+
+def gantt(run: DoallRun, *, width: int = 72,
+          label_items: bool = True) -> str:
+    """Render the run as an ASCII Gantt chart.
+
+    Parameters
+    ----------
+    run:
+        The recorded DOALL execution.
+    width:
+        Character columns for the time axis.
+    label_items:
+        Overlay iteration indices onto their bars where they fit.
+    """
+    if not run.items:
+        return "(empty run)"
+    t_end = max(run.makespan, 1)
+    nprocs = len(run.proc_finish)
+    scale = width / t_end
+    rows: List[List[str]] = [["."] * width for _ in range(nprocs)]
+    for item in run.items:
+        lo = min(width - 1, int(item.start * scale))
+        hi = min(width, max(lo + 1, int(item.end * scale)))
+        for c in range(lo, hi):
+            rows[item.pid][c] = "="
+        if label_items:
+            tag = str(item.index)
+            if hi - lo >= len(tag) + 2:
+                for k, ch in enumerate(tag):
+                    rows[item.pid][lo + 1 + k] = ch
+    lines = [f"p{pid:<2d}|{''.join(row)}" for pid, row in enumerate(rows)]
+    lines.append(f"    0{'':>{width - 12}}t={t_end}")
+    return "\n".join(lines)
+
+
+def utilization(run: DoallRun) -> float:
+    """Fraction of processor-time spent inside iteration bodies."""
+    if not run.items or run.makespan == 0:
+        return 0.0
+    busy = sum(item.end - item.start for item in run.items)
+    return busy / (run.makespan * len(run.proc_finish))
+
+
+def schedule_table(run: DoallRun, *, limit: Optional[int] = 20) -> str:
+    """A per-item table: index, processor, start, end, outcome."""
+    lines = [f"{'iter':>5s} {'proc':>4s} {'start':>8s} {'end':>8s} outcome"]
+    items = run.items if limit is None else run.items[:limit]
+    for it in items:
+        lines.append(f"{it.index:5d} {it.pid:4d} {it.start:8d} "
+                     f"{it.end:8d} {it.outcome or '-'}")
+    if limit is not None and len(run.items) > limit:
+        lines.append(f"  ... {len(run.items) - limit} more")
+    if run.quit_index is not None:
+        lines.append(f"  QUIT issued by iteration {run.quit_index}; "
+                     f"{len(run.skipped)} never begun")
+    return "\n".join(lines)

@@ -1,0 +1,29 @@
+"""Speculative-execution machinery: checkpoint, time-stamps, PD test.
+
+Implements Sections 4 and 5 of the paper: saving state before a
+speculative DOALL, stamping writes so overshot iterations can be
+undone, privatization with copy-in/copy-out, and the run-time PD test
+with its fully parallel post-execution analysis.
+"""
+
+from repro.speculation.checkpoint import Checkpoint
+from repro.speculation.hashshadow import HashShadowArrays
+from repro.speculation.pdtest import PDResult, ShadowArrays, analyze_pd
+from repro.speculation.privatize import (
+    CompositeHooks,
+    CopyOutReport,
+    PrivateArrays,
+)
+from repro.speculation.timestamps import (
+    UndoReport,
+    WriteTimestamps,
+    undo_overshoot,
+)
+
+__all__ = [
+    "Checkpoint",
+    "HashShadowArrays",
+    "PDResult", "ShadowArrays", "analyze_pd",
+    "CompositeHooks", "CopyOutReport", "PrivateArrays",
+    "UndoReport", "WriteTimestamps", "undo_overshoot",
+]

@@ -1,0 +1,94 @@
+"""Checkpointing: save state before a speculative parallel execution.
+
+Section 4 of the paper: "Perhaps the easiest method for undoing
+iterations that overshot the termination condition is to checkpoint
+prior to executing the DOALL".  A checkpoint also backs the PD-test
+failure path (restore, then re-execute sequentially).
+
+A checkpoint may cover the whole store or just the arrays the loop can
+write (the paper's "point of minimum state").  Its ``words`` property
+feeds the ``T_b`` overhead term of the Section 7 cost model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.ir.store import Store
+from repro.structures.linkedlist import LinkedList
+
+__all__ = ["Checkpoint"]
+
+
+class Checkpoint:
+    """A restorable snapshot of (part of) a store.
+
+    Parameters
+    ----------
+    store:
+        The live store to snapshot.
+    arrays:
+        Array names to back up; ``None`` backs up every array.  Scalars
+        are always saved (they are cheap and the sequential fallback
+        needs them).
+    """
+
+    def __init__(self, store: Store,
+                 arrays: Optional[Iterable[str]] = None) -> None:
+        names = store.arrays() if arrays is None else tuple(arrays)
+        self._arrays: Dict[str, np.ndarray] = {}
+        for name in names:
+            value = store[name]
+            if not isinstance(value, np.ndarray):
+                raise ExecutionError(
+                    f"cannot checkpoint non-array {name!r}")
+            self._arrays[name] = value.copy()
+        self._scalars: Dict[str, object] = {
+            name: store[name] for name in store.scalars()}
+        self._lists: Dict[str, LinkedList] = {
+            name: store[name].copy() for name in store.lists()}
+
+    @property
+    def words(self) -> int:
+        """Number of array words saved (the ``T_b`` cost driver)."""
+        return int(sum(a.size for a in self._arrays.values()))
+
+    @property
+    def array_names(self) -> Tuple[str, ...]:
+        """Names of the arrays covered by this checkpoint."""
+        return tuple(self._arrays)
+
+    def saved(self, name: str) -> np.ndarray:
+        """The saved copy of one array (read-only view)."""
+        arr = self._arrays[name]
+        view = arr.view()
+        view.setflags(write=False)
+        return view
+
+    def restore(self, store: Store) -> int:
+        """Restore everything saved into ``store``; returns words copied."""
+        for name, saved in self._arrays.items():
+            live = store[name]
+            live[...] = saved
+        for name, value in self._scalars.items():
+            store[name] = value
+        for name, lst in self._lists.items():
+            store[name] = lst.copy()
+        return self.words
+
+    def restore_where(self, store: Store, name: str,
+                      mask: np.ndarray) -> int:
+        """Restore only masked elements of one array; returns count.
+
+        This is the selective restore the undo machinery uses: only
+        locations stamped by overshot iterations revert.
+        """
+        live = store[name]
+        saved = self._arrays[name]
+        n = int(np.count_nonzero(mask))
+        if n:
+            live[mask] = saved[mask]
+        return n

@@ -1,0 +1,112 @@
+"""Hash-table shadow arrays for sparse access patterns.
+
+Section 4 of the paper: "If the access pattern of any array in the
+loop is known to be sparse, then the memory requirements could be
+reduced by using hash tables ... since only the elements of the array
+accessed in the loop would be inserted into the hash table."
+
+:class:`HashShadowArrays` is a drop-in alternative to
+:class:`~repro.speculation.pdtest.ShadowArrays` that allocates shadow
+state per *touched element* instead of per array element.  Its
+:meth:`densify` view lets :func:`~repro.speculation.pdtest.analyze_pd`
+run unchanged, and ``words`` reports the (much smaller) memory
+actually used — the quantity the Section 8 strategies manage.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Set, Tuple
+
+from repro.ir.interp import EvalContext, MemHooks
+from repro.ir.store import Store
+from repro.speculation.pdtest import INF, ShadowArrays
+
+__all__ = ["HashShadowArrays"]
+
+
+class HashShadowArrays(MemHooks):
+    """Sparse (dict-backed) PD-test shadow state.
+
+    Tracks, per touched ``(array, element)``, the two smallest distinct
+    writing iterations and exposed-read iterations — the same four
+    stamps as the dense shadow, in ``O(touched)`` memory.
+    """
+
+    def __init__(self, store: Store, arrays: Iterable[str]) -> None:
+        self._store = store
+        self._names = frozenset(arrays)
+        # (array, idx) -> [w1, w2, r1, r2]
+        self._stamps: Dict[Tuple[str, int], list] = {}
+        self._iter_written: Set[Tuple[str, int]] = set()
+        self.accesses = 0
+
+    @property
+    def arrays(self) -> Tuple[str, ...]:
+        """Names of the arrays under test."""
+        return tuple(sorted(self._names))
+
+    @property
+    def words(self) -> int:
+        """Shadow words actually allocated (4 per touched element)."""
+        return 4 * len(self._stamps)
+
+    def begin_iteration(self, iteration: int) -> None:
+        """Reset per-iteration exposure state."""
+        self._iter_written.clear()
+
+    def _slot(self, array: str, idx: int) -> list:
+        key = (array, idx)
+        slot = self._stamps.get(key)
+        if slot is None:
+            slot = [INF, INF, INF, INF]
+            self._stamps[key] = slot
+        return slot
+
+    # -- MemHooks ----------------------------------------------------------
+    def on_read(self, ctx: EvalContext, array: str, idx: int) -> None:
+        if array not in self._names:
+            return
+        self.accesses += 1
+        ctx.cycles += ctx.cost.shadow_mark
+        if (array, idx) in self._iter_written:
+            return
+        slot = self._slot(array, idx)
+        k = ctx.iteration
+        if k < slot[2]:
+            if slot[2] != INF and slot[2] != k:
+                slot[3] = min(slot[3], slot[2])
+            slot[2] = k
+        elif k != slot[2] and k < slot[3]:
+            slot[3] = k
+
+    def on_write(self, ctx: EvalContext, array: str, idx: int,
+                 old: object, new: object) -> None:
+        if array not in self._names:
+            return
+        self.accesses += 1
+        ctx.cycles += ctx.cost.shadow_mark
+        self._iter_written.add((array, idx))
+        slot = self._slot(array, idx)
+        k = ctx.iteration
+        if k < slot[0]:
+            if slot[0] != INF and slot[0] != k:
+                slot[1] = min(slot[1], slot[0])
+            slot[0] = k
+        elif k != slot[0] and k < slot[1]:
+            slot[1] = k
+
+    # -- adapter ---------------------------------------------------------------
+    def densify(self) -> ShadowArrays:
+        """Materialize a dense :class:`ShadowArrays` view for analysis.
+
+        Only used at post-analysis time; the dense arrays are sized
+        like the originals but the run itself used sparse memory.
+        """
+        dense = ShadowArrays(self._store, self._names)
+        dense.accesses = self.accesses
+        for (array, idx), (w1, w2, r1, r2) in self._stamps.items():
+            dense.w1[array][idx] = w1
+            dense.w2[array][idx] = w2
+            dense.r1[array][idx] = r1
+            dense.r2[array][idx] = r2
+        return dense

@@ -1,0 +1,260 @@
+"""The PRIVATIZING DOALL (PD) test — run-time dependence detection.
+
+Section 5.1 of the paper: when compile-time analysis cannot determine
+a loop's cross-iteration dependences, the loop is executed
+*speculatively* as a DOALL while shadow arrays record, per element of
+each tested shared array:
+
+* ``A_w`` — iterations that wrote the element,
+* ``A_r`` — iterations that performed an *exposed* read (a read not
+  preceded by a write to the same element within the same iteration),
+* ``A_p`` — whether the element ever failed the dynamic privatization
+  criterion (an exposed read in an iteration that also writes it).
+
+After the loop, a fully parallel analysis decides whether the
+execution was valid: no element may be written by two different
+iterations (output dependence) and no element may have an exposed read
+paired with a write from a *different* iteration (flow/anti
+dependence).  If the loop's arrays were privatized, the relevant
+question is instead whether any exposed read saw an element written by
+another iteration.
+
+**Time-stamped marks** (the paper's extension for WHILE loops that can
+overshoot): every mark stores the iteration number, and the post
+analysis ignores marks from iterations beyond the last valid iteration
+— we keep the *two smallest distinct* write iterations and exposed-read
+iterations per element, which is exactly enough to answer both
+questions under any cut-off.
+
+The shadow traversal charges ``shadow_mark`` cycles per access to the
+marking iteration (the ``T_d`` overhead) and the analysis time is
+``O(a/p + log p)`` (``T_a``), as the paper states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.ir.interp import EvalContext, MemHooks
+from repro.ir.store import Store
+from repro.runtime.machine import Machine
+
+__all__ = ["ShadowArrays", "PDResult", "analyze_pd"]
+
+#: Sentinel stamp: "no mark".
+INF = np.iinfo(np.int64).max
+
+
+class ShadowArrays(MemHooks):
+    """Shadow state for the PD test over a set of tested arrays.
+
+    One instance observes the whole speculative run.  Executors must
+    call :meth:`begin_iteration` before each iteration body so exposed
+    reads are detected relative to the right iteration.
+
+    Per tested array we keep four stamp vectors: the two smallest
+    distinct writing iterations (``w1 <= w2``) and the two smallest
+    distinct exposed-read iterations (``r1 <= r2``) per element.
+    """
+
+    def __init__(self, store: Store, arrays: Iterable[str]) -> None:
+        self.w1: Dict[str, np.ndarray] = {}
+        self.w2: Dict[str, np.ndarray] = {}
+        self.r1: Dict[str, np.ndarray] = {}
+        self.r2: Dict[str, np.ndarray] = {}
+        for name in arrays:
+            arr = store[name]
+            if not isinstance(arr, np.ndarray):
+                raise ExecutionError(f"cannot shadow non-array {name!r}")
+            n = arr.shape[0]
+            for slot in (self.w1, self.w2, self.r1, self.r2):
+                slot[name] = np.full(n, INF, dtype=np.int64)
+        #: (array, idx) pairs written in the *current* iteration — the
+        #: per-iteration first-access state that defines exposure.
+        self._iter_written: Set[Tuple[str, int]] = set()
+        self.accesses = 0
+
+    @property
+    def arrays(self) -> Tuple[str, ...]:
+        """Names of the arrays under test."""
+        return tuple(self.w1)
+
+    @property
+    def words(self) -> int:
+        """Shadow words allocated (4 stamp vectors per array)."""
+        return int(sum(4 * v.size for v in self.w1.values()))
+
+    def begin_iteration(self, iteration: int) -> None:
+        """Reset per-iteration exposure state (call before each body)."""
+        self._iter_written.clear()
+
+    # -- MemHooks ----------------------------------------------------------
+    def on_read(self, ctx: EvalContext, array: str, idx: int) -> None:
+        if array not in self.r1:
+            return
+        self.accesses += 1
+        ctx.cycles += ctx.cost.shadow_mark
+        if (array, idx) in self._iter_written:
+            return  # covered read: fine under privatization
+        k = ctx.iteration
+        r1, r2 = self.r1[array], self.r2[array]
+        if k < r1[idx]:
+            if r1[idx] != INF and r1[idx] != k:
+                r2[idx] = min(r2[idx], r1[idx])
+            r1[idx] = k
+        elif k != r1[idx] and k < r2[idx]:
+            r2[idx] = k
+
+    def on_write(self, ctx: EvalContext, array: str, idx: int,
+                 old: object, new: object) -> None:
+        if array not in self.w1:
+            return
+        self.accesses += 1
+        ctx.cycles += ctx.cost.shadow_mark
+        self._iter_written.add((array, idx))
+        k = ctx.iteration
+        w1, w2 = self.w1[array], self.w2[array]
+        if k < w1[idx]:
+            if w1[idx] != INF and w1[idx] != k:
+                w2[idx] = min(w2[idx], w1[idx])
+            w1[idx] = k
+        elif k != w1[idx] and k < w2[idx]:
+            w2[idx] = k
+
+
+@dataclass(frozen=True)
+class ArrayPD:
+    """Per-array PD analysis outcome."""
+
+    output_dep_elements: int
+    flow_anti_elements: int
+    priv_fail_elements: int
+
+    @property
+    def valid_as_is(self) -> bool:
+        """No cross-iteration dependence on this array at all."""
+        return (self.output_dep_elements == 0
+                and self.flow_anti_elements == 0)
+
+    @property
+    def valid_privatized(self) -> bool:
+        """Valid when this array is privatized (flow deps only fail)."""
+        return self.priv_fail_elements == 0
+
+
+@dataclass(frozen=True)
+class PDResult:
+    """Outcome of the post-execution PD analysis.
+
+    Attributes
+    ----------
+    valid_as_is:
+        No cross-iteration flow/anti/output dependence among valid
+        iterations: the unprivatized DOALL execution was correct.
+    valid_privatized:
+        Correct *had the tested arrays been privatized* (no exposed
+        read of an element flow-written by another valid iteration).
+    output_dep_elements / flow_anti_elements / priv_fail_elements:
+        Offending element counts, for diagnostics and benches.
+    analysis_time:
+        Virtual cycles of the (fully parallel) post analysis.
+    per_array:
+        Per-array breakdown, so the speculative driver can mix
+        privatized and unprivatized arrays in one verdict.
+    """
+
+    valid_as_is: bool
+    valid_privatized: bool
+    output_dep_elements: int
+    flow_anti_elements: int
+    priv_fail_elements: int
+    analysis_time: int
+    per_array: Tuple[Tuple[str, ArrayPD], ...] = ()
+
+    def array(self, name: str) -> ArrayPD:
+        """Breakdown for one tested array."""
+        for n, a in self.per_array:
+            if n == name:
+                return a
+        raise KeyError(name)
+
+    def valid_with_privatized(self, privatized: Iterable[str]) -> bool:
+        """Overall verdict when ``privatized`` arrays were privatized."""
+        priv = set(privatized)
+        for name, a in self.per_array:
+            if name in priv:
+                if not a.valid_privatized:
+                    return False
+            elif not a.valid_as_is:
+                return False
+        return True
+
+
+def analyze_pd(
+    shadows: ShadowArrays,
+    machine: Machine,
+    *,
+    last_valid: Optional[int] = None,
+) -> PDResult:
+    """Run the post-execution analysis over all shadow arrays.
+
+    ``last_valid`` cuts off marks from overshot iterations (the
+    time-stamped variant); ``None`` means every executed iteration
+    counts (no overshoot was possible).
+    """
+    lvi = INF - 1 if last_valid is None else int(last_valid)
+    out_dep = 0
+    flow_anti = 0
+    priv_fail = 0
+    total_words = 0
+    per_array = []
+    for name in shadows.arrays:
+        w1, w2 = shadows.w1[name], shadows.w2[name]
+        r1, r2 = shadows.r1[name], shadows.r2[name]
+        total_words += w1.size
+        vw1, vw2 = w1 <= lvi, w2 <= lvi
+        vr1, vr2 = r1 <= lvi, r2 <= lvi
+        # Output dependence: two distinct valid iterations wrote it.
+        out_dep += int(np.count_nonzero(vw1 & vw2))
+        # Flow/anti: an exposed valid read paired with a valid write
+        # from a different iteration.  With two smallest stamps on each
+        # side, a cross-iteration pair exists iff any of the four
+        # combinations differ.
+        pairs = (
+            (vr1 & vw1 & (r1 != w1))
+            | (vr1 & vw2 & (r1 != w2))
+            | (vr2 & vw1 & (r2 != w1))
+            | (vr2 & vw2 & (r2 != w2))
+        )
+        flow_anti += int(np.count_nonzero(pairs))
+        # Privatization removes output and *anti* dependences (each
+        # iteration works on a private copy seeded with the pre-loop
+        # value), but a FLOW dependence — an exposed read in a later
+        # iteration than some valid write — still fails: sequentially
+        # the read would have seen that write, privately it sees the
+        # copy-in value.
+        priv_pairs = (
+            (vr1 & vw1 & (r1 > w1))
+            | (vr1 & vw2 & (r1 > w2))
+            | (vr2 & vw1 & (r2 > w1))
+            | (vr2 & vw2 & (r2 > w2))
+        )
+        a_out = int(np.count_nonzero(vw1 & vw2))
+        a_fa = int(np.count_nonzero(pairs))
+        a_pf = int(np.count_nonzero(priv_pairs))
+        per_array.append((name, ArrayPD(a_out, a_fa, a_pf)))
+        priv_fail += a_pf
+    t = machine.reduction_time(total_words + shadows.accesses)
+    return PDResult(
+        valid_as_is=(out_dep == 0 and flow_anti == 0),
+        valid_privatized=(priv_fail == 0),
+        output_dep_elements=out_dep,
+        flow_anti_elements=flow_anti,
+        priv_fail_elements=priv_fail,
+        analysis_time=t,
+        per_array=tuple(per_array),
+    )

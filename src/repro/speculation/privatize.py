@@ -1,0 +1,183 @@
+"""Run-time array privatization with copy-in and time-stamped copy-out.
+
+Section 4/5 of the paper: "Checkpointing could be avoided by
+privatizing all variables in the loop, copying in any needed values,
+and copying out only those values that are live after the loop and
+have time-stamps less than or equal to the last valid iteration.
+Privatized variables need not be backed up because the original
+version of the variable can serve as the backup".
+
+:class:`PrivateArrays` implements exactly that as a memory hook:
+
+* **reads** of a privatized array first consult the processor-private
+  overlay; a miss falls through to the shared original — the *copy-in*
+  of the outside value;
+* **writes** are captured into the overlay and appended to a
+  time-stamped *write trail*;
+* :meth:`copy_out` publishes, per element, the trail value with the
+  largest stamp not exceeding the last valid iteration (the
+  "sophisticated backup method" for live privatized arrays).
+
+The overlay is a hash map, which doubles as the paper's hash-table
+memory optimization for sparse access patterns (only touched elements
+occupy memory).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Tuple
+
+from repro.ir.interp import EvalContext, MemHooks
+from repro.ir.store import Store
+
+__all__ = ["PrivateArrays", "CopyOutReport", "CompositeHooks"]
+
+
+@dataclass(frozen=True)
+class CopyOutReport:
+    """Result of the copy-out phase."""
+
+    copied_words: int      #: elements published to the shared array
+    dropped_writes: int    #: trail entries beyond the last valid iteration
+    trail_length: int      #: total captured writes (memory accounting)
+
+
+class PrivateArrays(MemHooks):
+    """Privatization hook for a set of arrays.
+
+    Parameters
+    ----------
+    arrays:
+        Names of the arrays to privatize.
+
+    Notes
+    -----
+    In the virtual-time simulation, iterations execute serially in the
+    simulator even though they overlap in virtual time, so a single
+    overlay per array keyed by element index is behaviourally
+    equivalent to per-processor copies *provided iterations touch
+    disjoint elements or the loop is later declared invalid* — the
+    same soundness condition the PD test enforces.  The write trail
+    preserves every (iteration, value) pair, so last-value copy-out
+    under any last-valid-iteration cut is exact even when several
+    iterations wrote the same element.
+    """
+
+    def __init__(self, arrays: Iterable[str]) -> None:
+        #: name -> {idx -> (stamp, value)} current private overlay, but
+        #: we key the overlay by iteration to honour sequential
+        #: semantics of the *reading* iteration: an iteration must see
+        #: only its own writes (true privatization), never another
+        #: iteration's.
+        self._names = frozenset(arrays)
+        self._iter_overlay: Dict[Tuple[str, int], Any] = {}
+        self._current_iter = 0
+        self.trail: Dict[str, List[Tuple[int, int, Any]]] = {
+            name: [] for name in self._names}
+        self.reads_through = 0
+        self.captured = 0
+
+    @property
+    def names(self) -> frozenset:
+        """The privatized array names."""
+        return self._names
+
+    def begin_iteration(self, iteration: int) -> None:
+        """Start a new iteration: clear the per-iteration overlay."""
+        self._current_iter = iteration
+        self._iter_overlay.clear()
+
+    # -- MemHooks ----------------------------------------------------------
+    def redirect_read(self, ctx: EvalContext, array: str, idx: int) -> Any:
+        if array not in self._names:
+            return None
+        key = (array, idx)
+        if key in self._iter_overlay:
+            return self._iter_overlay[key]
+        self.reads_through += 1
+        return None  # copy-in: fall through to the shared original
+
+    def capture_write(self, ctx: EvalContext, array: str, idx: int,
+                      value: Any) -> bool:
+        if array not in self._names:
+            return False
+        self._iter_overlay[(array, idx)] = value
+        self.trail[array].append((ctx.iteration, idx, value))
+        self.captured += 1
+        return True
+
+    # -- copy-out ------------------------------------------------------------
+    def copy_out(self, store: Store, last_valid: int) -> CopyOutReport:
+        """Publish last-valid values to the shared arrays.
+
+        For each element, the value written with the largest iteration
+        stamp ``<= last_valid`` wins; later writes are dropped (they
+        belong to overshot iterations).
+        """
+        copied = 0
+        dropped = 0
+        total = 0
+        for name, entries in self.trail.items():
+            total += len(entries)
+            best: Dict[int, Tuple[int, Any]] = {}
+            for stamp, idx, value in entries:
+                if stamp > last_valid:
+                    dropped += 1
+                    continue
+                if idx not in best or stamp >= best[idx][0]:
+                    best[idx] = (stamp, value)
+            arr = store[name]
+            for idx, (_, value) in best.items():
+                arr[idx] = value
+                copied += 1
+        return CopyOutReport(copied, dropped, total)
+
+    @property
+    def words(self) -> int:
+        """Trail entries held (the memory the window/strip strategies
+        bound)."""
+        return self.captured
+
+
+class CompositeHooks(MemHooks):
+    """Fan-out combinator: run several hooks on every access.
+
+    Observers all fire; the first non-``None`` ``redirect_read`` wins;
+    ``capture_write`` returns True if any member captures.  Members are
+    consulted in construction order — put privatizers last so shadow
+    markers observe the access first.
+    """
+
+    def __init__(self, *hooks: MemHooks) -> None:
+        self.hooks = tuple(h for h in hooks if h is not None)
+
+    def on_read(self, ctx: EvalContext, array: str, idx: int) -> None:
+        for h in self.hooks:
+            h.on_read(ctx, array, idx)
+
+    def on_write(self, ctx: EvalContext, array: str, idx: int,
+                 old: Any, new: Any) -> None:
+        for h in self.hooks:
+            h.on_write(ctx, array, idx, old, new)
+
+    def redirect_read(self, ctx: EvalContext, array: str, idx: int) -> Any:
+        for h in self.hooks:
+            v = h.redirect_read(ctx, array, idx)
+            if v is not None:
+                return v
+        return None
+
+    def capture_write(self, ctx: EvalContext, array: str, idx: int,
+                      value: Any) -> bool:
+        captured = False
+        for h in self.hooks:
+            captured = h.capture_write(ctx, array, idx, value) or captured
+        return captured
+
+    def begin_iteration(self, iteration: int) -> None:
+        """Propagate iteration boundaries to members that track them."""
+        for h in self.hooks:
+            begin = getattr(h, "begin_iteration", None)
+            if begin is not None:
+                begin(iteration)

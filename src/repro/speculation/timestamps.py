@@ -1,0 +1,151 @@
+"""Write time-stamping and undo of overshot iterations (Section 4).
+
+During a speculative DOALL every shared-array write records the
+1-based iteration number that performed it.  After the DOALL, once the
+last valid iteration (LVI) is known, :func:`undo_overshoot` restores —
+from the checkpoint — exactly the locations stamped by iterations
+beyond the LVI.
+
+The hook also supports the *statistics-enhanced* variant of Section
+8.1: when ``stamp_from`` is set, only writes from iterations >=
+``stamp_from`` are stamped (the compiler's iteration-count estimate
+says earlier iterations will almost surely be valid).  Undoing then
+assumes no iteration below ``stamp_from`` is invalid — the caller must
+fall back to a full re-execution if that bet is lost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Set, Tuple
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.ir.interp import EvalContext, MemHooks
+from repro.ir.store import Store
+from repro.speculation.checkpoint import Checkpoint
+
+__all__ = ["WriteTimestamps", "UndoReport", "undo_overshoot"]
+
+#: Stamp value meaning "never written during the speculative run".
+NEVER = 0
+
+
+class WriteTimestamps(MemHooks):
+    """Memory hook recording, per element, the iteration that wrote it.
+
+    Parameters
+    ----------
+    store:
+        The live store (used to size the stamp arrays).
+    arrays:
+        Names of the arrays to stamp (the loop's write set).
+    stamp_from:
+        Stamp only iterations >= this value (Section 8.1); default 1
+        stamps everything.
+
+    Notes
+    -----
+    The framework's independence assumption says each location is
+    written by at most one iteration; if a second *different* iteration
+    writes a stamped location we record it in ``conflicts`` — the
+    diagnostic the PD test formalizes.
+    """
+
+    def __init__(self, store: Store, arrays: Iterable[str],
+                 *, stamp_from: int = 1) -> None:
+        self.stamps: Dict[str, np.ndarray] = {}
+        for name in arrays:
+            arr = store[name]
+            if not isinstance(arr, np.ndarray):
+                raise ExecutionError(f"cannot stamp non-array {name!r}")
+            self.stamps[name] = np.zeros(arr.shape[0], dtype=np.int64)
+        self.stamp_from = int(stamp_from)
+        self.writes = 0
+        self.stamped_writes = 0
+        self.conflicts: Set[Tuple[str, int]] = set()
+
+    # -- MemHooks ----------------------------------------------------------
+    def on_write(self, ctx: EvalContext, array: str, idx: int,
+                 old: object, new: object) -> None:
+        stamps = self.stamps.get(array)
+        self.writes += 1
+        if stamps is None:
+            return
+        k = ctx.iteration
+        if k < self.stamp_from:
+            return
+        ctx.cycles += ctx.cost.timestamp_write
+        prev = stamps[idx]
+        if prev != NEVER and prev != k:
+            self.conflicts.add((array, idx))
+        stamps[idx] = k
+        self.stamped_writes += 1
+
+    # -- accounting ----------------------------------------------------------
+    @property
+    def words(self) -> int:
+        """Stamp-array words allocated (memory overhead accounting)."""
+        return int(sum(s.size for s in self.stamps.values()))
+
+    def high_water_stamped(self) -> int:
+        """Locations currently carrying a stamp."""
+        return int(sum(int(np.count_nonzero(s)) for s in self.stamps.values()))
+
+    def live_stamped(self, frontier: int) -> int:
+        """Stamps that must still be retained.
+
+        Once every iteration up to ``frontier`` has completed without
+        terminating the loop, those iterations are known valid and
+        their stamps can be discarded — this is what lets a sliding
+        window (Section 8.2) bound stamp memory by ``window ×
+        writes-per-iteration``.
+        """
+        return int(sum(int(np.count_nonzero(s > frontier))
+                       for s in self.stamps.values()))
+
+    def reset(self) -> None:
+        """Clear all stamps (between strips of a strip-mined run)."""
+        for s in self.stamps.values():
+            s.fill(NEVER)
+        self.conflicts.clear()
+
+
+@dataclass(frozen=True)
+class UndoReport:
+    """What :func:`undo_overshoot` did.
+
+    Attributes
+    ----------
+    restored_words:
+        Elements copied back from the checkpoint.
+    undone_iterations:
+        Distinct overshot iterations whose writes were reverted.
+    """
+
+    restored_words: int
+    undone_iterations: int
+
+
+def undo_overshoot(
+    store: Store,
+    checkpoint: Checkpoint,
+    stamps: WriteTimestamps,
+    last_valid: int,
+) -> UndoReport:
+    """Revert every write stamped after iteration ``last_valid``.
+
+    The restore is element-selective (paper: "the work of iterations
+    that have overshot can be undone by restoring the values that were
+    overwritten during these iterations").
+    """
+    restored = 0
+    undone: Set[int] = set()
+    for name, stamp in stamps.stamps.items():
+        mask = stamp > last_valid
+        if not mask.any():
+            continue
+        restored += checkpoint.restore_where(store, name, mask)
+        undone.update(np.unique(stamp[mask]).tolist())
+    return UndoReport(restored, len(undone))

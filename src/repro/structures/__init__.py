@@ -1,0 +1,23 @@
+"""Data-structure substrates: linked lists and sparse matrices.
+
+These are the shared data structures the paper's evaluation loops walk:
+SPICE-style device chains (:mod:`repro.structures.linkedlist`) and
+Harwell-Boeing-profile sparse matrices (:mod:`repro.structures.sparse`).
+"""
+
+from repro.structures.linkedlist import LinkedList, build_chain
+from repro.structures.sparse import (
+    SparseMatrix,
+    HBProfile,
+    HB_PROFILES,
+    generate_hb_like,
+)
+
+__all__ = [
+    "LinkedList",
+    "build_chain",
+    "SparseMatrix",
+    "HBProfile",
+    "HB_PROFILES",
+    "generate_hb_like",
+]

@@ -1,0 +1,167 @@
+"""Index-array linked lists.
+
+Fortran codes such as SPICE and MA28 implement linked lists as integer
+*next* arrays over statically allocated node pools — exactly the
+representation the paper assumes when it notes that "each list element
+is contained in a separate chunk" (Section 10).  We mirror that: a
+:class:`LinkedList` is a NumPy ``next`` index array plus a ``head``
+index, with ``-1`` (:data:`repro.ir.nodes.NULL`) as the NULL pointer.
+Node payloads live in ordinary store arrays indexed by node id, so the
+IR reads them with plain :class:`~repro.ir.nodes.ArrayRef` nodes.
+
+The *dispatcher* of a list-traversal WHILE loop is the pointer variable
+being hopped through this ``next`` array — the paper's canonical
+*general recurrence* (Figure 1(b)).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import IRError, NullPointerError
+
+__all__ = ["LinkedList", "build_chain"]
+
+NULL = -1
+
+
+class LinkedList:
+    """A pool-allocated singly linked list.
+
+    Parameters
+    ----------
+    next_idx:
+        Integer array; ``next_idx[i]`` is the node id following node
+        ``i``, or ``-1`` at the tail.
+    head:
+        Node id of the first list element, or ``-1`` for the empty list.
+
+    Notes
+    -----
+    The list structure is assumed *fixed during loop execution* — the
+    paper's methods "assume that the dispatching recurrence is fully
+    determined before loop entry (e.g. ... no list elements may be
+    inserted or deleted during loop execution)" (Section 3).
+    :meth:`freeze` enforces that assumption by making the ``next`` array
+    read-only.
+    """
+
+    __slots__ = ("next", "head")
+
+    def __init__(self, next_idx: Sequence[int], head: int) -> None:
+        arr = np.asarray(next_idx, dtype=np.int64)
+        if arr.ndim != 1:
+            raise IRError("linked-list next array must be one-dimensional")
+        if not (head == NULL or 0 <= head < arr.size):
+            raise IRError(f"list head {head} out of range for pool of {arr.size}")
+        self.next = arr
+        self.head = int(head)
+
+    # -- core operations ---------------------------------------------------
+    def successor(self, ptr: int) -> int:
+        """Return the node after ``ptr``; the paper's ``next(tmp)``."""
+        if ptr == NULL:
+            raise NullPointerError("next() applied to NULL pointer")
+        return int(self.next[ptr])
+
+    def freeze(self) -> "LinkedList":
+        """Make the structure immutable (loop-entry invariant)."""
+        self.next.setflags(write=False)
+        return self
+
+    def copy(self) -> "LinkedList":
+        """Deep-copy (used by checkpointing)."""
+        return LinkedList(self.next.copy(), self.head)
+
+    # -- traversal helpers ---------------------------------------------------
+    def __iter__(self) -> Iterator[int]:
+        """Yield node ids from head to tail (sequential reference walk)."""
+        ptr = self.head
+        seen = 0
+        limit = self.next.size + 1
+        while ptr != NULL:
+            yield ptr
+            ptr = int(self.next[ptr])
+            seen += 1
+            if seen > limit:
+                raise IRError("cycle detected in linked list traversal")
+
+    def __len__(self) -> int:
+        """Number of reachable nodes from ``head``."""
+        return sum(1 for _ in self)
+
+    def to_list(self) -> List[int]:
+        """Node ids in traversal order, as a Python list."""
+        return list(self)
+
+    def kth(self, k: int) -> int:
+        """Return the node id ``k`` hops from the head (0 = head).
+
+        Returns ``-1`` if the list ends first.  This is the sequential
+        catch-up walk General-2/General-3 perform privately.
+        """
+        ptr = self.head
+        for _ in range(k):
+            if ptr == NULL:
+                return NULL
+            ptr = int(self.next[ptr])
+        return ptr
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LinkedList):
+            return NotImplemented
+        return self.head == other.head and np.array_equal(self.next, other.next)
+
+    def __hash__(self) -> None:  # type: ignore[override]
+        raise TypeError("LinkedList is unhashable (mutable pool)")
+
+    def __repr__(self) -> str:
+        return f"LinkedList(n={self.next.size}, head={self.head}, len={len(self)})"
+
+
+def build_chain(
+    n: int,
+    *,
+    order: Optional[Sequence[int]] = None,
+    rng: Optional[np.random.Generator] = None,
+    scramble: bool = False,
+) -> LinkedList:
+    """Build a linked list threading ``n`` pool nodes.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes (ids ``0..n-1``).
+    order:
+        Explicit traversal order (a permutation of ``range(n)``).  If
+        omitted, nodes are chained in id order ``0 -> 1 -> ... -> n-1``.
+    rng:
+        Random generator used when ``scramble`` is set.
+    scramble:
+        Chain nodes in a random permutation.  Scrambled chains model
+        lists built by incremental insertion (SPICE device lists) where
+        traversal order is uncorrelated with memory order.
+
+    Returns
+    -------
+    LinkedList
+        The threaded list, already frozen.
+    """
+    if n < 0:
+        raise IRError("chain length must be non-negative")
+    if n == 0:
+        return LinkedList(np.empty(0, dtype=np.int64), NULL).freeze()
+    if order is None:
+        if scramble:
+            rng = rng or np.random.default_rng(0)
+            order = rng.permutation(n)
+        else:
+            order = np.arange(n)
+    order = np.asarray(order, dtype=np.int64)
+    if order.shape != (n,) or sorted(order.tolist()) != list(range(n)):
+        raise IRError("order must be a permutation of range(n)")
+    nxt = np.full(n, NULL, dtype=np.int64)
+    nxt[order[:-1]] = order[1:]
+    return LinkedList(nxt, int(order[0])).freeze()

@@ -1,0 +1,158 @@
+"""Verification helpers for downstream users of the framework.
+
+Anyone bringing their own loop to this library should be able to ask,
+in one call, "which schemes apply to my loop, and do they all agree
+with sequential execution?".  :func:`check_equivalence` does exactly
+that: it analyzes the loop, runs every scheme whose preconditions
+hold, compares each final store with the sequential reference, and
+returns a structured report (also used by this repository's own test
+suite as a convenience harness).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.analysis.loopinfo import analyze_loop
+from repro.errors import PlanError, ReproError
+from repro.executors.associative import run_associative_prefix
+from repro.executors.distribution import run_loop_distribution
+from repro.executors.general import run_general1, run_general2, run_general3
+from repro.executors.induction import run_induction1, run_induction2
+from repro.executors.runtwice import run_twice
+from repro.executors.sequential import run_sequential
+from repro.executors.speculative import run_speculative
+from repro.ir.functions import FunctionTable
+from repro.ir.nodes import Loop
+from repro.ir.store import Store
+from repro.runtime.machine import Machine
+
+__all__ = ["SchemeCheck", "EquivalenceReport", "check_equivalence"]
+
+
+@dataclass(frozen=True)
+class SchemeCheck:
+    """Outcome of one scheme on the user's loop."""
+
+    scheme: str
+    applicable: bool
+    store_matches: Optional[bool]  #: None when not applicable / errored
+    n_iters: Optional[int]
+    speedup: Optional[float]
+    error: Optional[str] = None
+
+
+@dataclass
+class EquivalenceReport:
+    """Everything :func:`check_equivalence` established."""
+
+    loop_name: str
+    t_seq: int
+    checks: List[SchemeCheck] = field(default_factory=list)
+
+    @property
+    def all_consistent(self) -> bool:
+        """Every applicable scheme matched the sequential store."""
+        return all(c.store_matches for c in self.checks if c.applicable)
+
+    @property
+    def applicable_schemes(self) -> Tuple[str, ...]:
+        """Names of the schemes that ran."""
+        return tuple(c.scheme for c in self.checks if c.applicable)
+
+    def summary(self) -> str:
+        """Human-readable multi-line summary."""
+        lines = [f"loop {self.loop_name!r}: T_seq={self.t_seq}"]
+        for c in self.checks:
+            if not c.applicable:
+                lines.append(f"  {c.scheme:22s} n/a ({c.error})")
+            else:
+                lines.append(
+                    f"  {c.scheme:22s} match={c.store_matches} "
+                    f"iters={c.n_iters} speedup={c.speedup:.2f}x")
+        return "\n".join(lines)
+
+
+def _candidate_schemes(info) -> List[Tuple[str, Callable]]:
+    """Every scheme, in a fixed order.
+
+    All schemes are attempted: the ones whose preconditions fail raise
+    :class:`~repro.errors.PlanError` and are reported inapplicable —
+    that report is itself useful to the user ("why can't my loop use
+    Induction-2?").
+    """
+    out: List[Tuple[str, Callable]] = [
+        ("induction-1", run_induction1),
+        ("induction-2", run_induction2),
+        ("associative-prefix", run_associative_prefix),
+        ("general-1", run_general1),
+        ("general-2", run_general2),
+        ("general-3", run_general3),
+        ("wu-lewis-distribution", run_loop_distribution),
+        ("run-twice", run_twice),
+    ]
+    if info.needs_runtime_test:
+        out.append(("speculative", run_speculative))
+    return out
+
+
+def check_equivalence(
+    loop: Loop,
+    make_store: Callable[[], Store],
+    *,
+    funcs: Optional[FunctionTable] = None,
+    machine: Optional[Machine] = None,
+    u: Optional[int] = None,
+    strip: Optional[int] = None,
+) -> EquivalenceReport:
+    """Run every applicable scheme and compare against sequential.
+
+    Parameters
+    ----------
+    loop:
+        The loop under test.
+    make_store:
+        Factory producing identical fresh stores (one per scheme).
+    funcs / machine:
+        Intrinsics and the machine (default: empty table, 8 procs).
+    u / strip:
+        Iteration bound / strip length forwarded to each scheme.
+
+    Notes
+    -----
+    Schemes whose preconditions fail (wrong dispatcher kind, no
+    inferable bound without ``strip``) are reported as not applicable
+    rather than as failures — the point is to tell the user which
+    schemes their loop *can* use.
+    """
+    funcs = funcs or FunctionTable()
+    machine = machine or Machine(8)
+    info = analyze_loop(loop, funcs)
+
+    ref = make_store()
+    seq = run_sequential(info, ref, machine, funcs)
+    report = EquivalenceReport(loop_name=loop.name, t_seq=seq.t_par)
+
+    kwargs = {}
+    if u is not None:
+        kwargs["u"] = u
+    if strip is not None:
+        kwargs["strip"] = strip
+
+    for name, runner in _candidate_schemes(info):
+        st = make_store()
+        try:
+            res = runner(info, st, machine, funcs, **kwargs)
+        except (PlanError,) as exc:
+            report.checks.append(SchemeCheck(name, False, None, None,
+                                             None, str(exc)))
+            continue
+        except ReproError as exc:
+            report.checks.append(SchemeCheck(name, True, False, None,
+                                             None, str(exc)))
+            continue
+        report.checks.append(SchemeCheck(
+            name, True, st.equals(ref), res.n_iters,
+            res.speedup(seq.t_par)))
+    return report

@@ -1,0 +1,29 @@
+"""Section 9 workload analogs and the Table-1 loop zoo."""
+
+from repro.workloads.base import Method, Workload, measure_speedup, speedup_curve
+from repro.workloads.ma28 import MA28_INPUTS, make_ma28_loop, select_pivot
+from repro.workloads.ma28_analyze import AnalyzePhaseResult, run_ma28_analyze
+from repro.workloads.mcsparse import MCSPARSE_INPUTS, make_mcsparse_dfact500
+from repro.workloads.mcsparse_factor import FactorizationResult, run_factorization
+from repro.workloads.spice import make_spice_load40
+from repro.workloads.spice_phase import (
+    DEVICE_MODELS,
+    amdahl_application_speedup,
+    load_phase_speedup,
+    make_device_loop,
+)
+from repro.workloads.track import make_track_fptrak300
+from repro.workloads.zoo import ZooLoop, make_zoo
+
+__all__ = [
+    "Method", "Workload", "measure_speedup", "speedup_curve",
+    "MA28_INPUTS", "make_ma28_loop", "select_pivot",
+    "AnalyzePhaseResult", "run_ma28_analyze",
+    "MCSPARSE_INPUTS", "make_mcsparse_dfact500",
+    "make_spice_load40",
+    "FactorizationResult", "run_factorization",
+    "DEVICE_MODELS", "amdahl_application_speedup", "load_phase_speedup",
+    "make_device_loop",
+    "make_track_fptrak300",
+    "ZooLoop", "make_zoo",
+]

@@ -1,0 +1,107 @@
+"""Workload plumbing shared by the Section 9 experiment analogs.
+
+A :class:`Workload` bundles everything one paper experiment needs: the
+loop IR, its intrinsics, a store factory, the methods the paper applied
+to it, and the paper's reported speedups (for the EXPERIMENTS.md
+paper-vs-measured record).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Mapping, Sequence, Tuple
+
+from repro.executors.base import ParallelResult
+from repro.executors.sequential import run_sequential
+from repro.ir.functions import FunctionTable
+from repro.ir.nodes import Loop
+from repro.ir.store import Store
+from repro.runtime.costs import ALLIANT_FX80, CostModel
+from repro.runtime.machine import Machine
+
+__all__ = ["Method", "Workload", "measure_speedup", "speedup_curve"]
+
+
+@dataclass(frozen=True)
+class Method:
+    """One parallelization method applied to a workload."""
+
+    label: str                                 #: e.g. "General-3 (no locks)"
+    runner: Callable[..., ParallelResult]      #: scheme entry point
+    kwargs: Mapping[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One experiment: loop + data + methods + paper reference numbers.
+
+    Attributes
+    ----------
+    name:
+        Identifier ("spice-load40", "ma28-loop270", ...).
+    description:
+        What the original loop does.
+    loop:
+        The loop IR.
+    funcs:
+        Intrinsics the loop calls.
+    make_store:
+        Factory producing a fresh store for one run (deterministic).
+    methods:
+        The paper's methods for this loop.
+    paper_speedups:
+        ``label -> speedup`` the paper reports at 8 processors.
+    expects_store_equality:
+        DOANY-style loops relax exact sequential equality; everything
+        else must match bit-for-bit.
+    """
+
+    name: str
+    description: str
+    loop: Loop
+    funcs: FunctionTable
+    make_store: Callable[[], Store]
+    methods: Tuple[Method, ...]
+    paper_speedups: Mapping[str, float] = field(default_factory=dict)
+    expects_store_equality: bool = True
+
+    def sequential_time(self, machine: Machine) -> int:
+        """Reference ``T_seq`` on this machine's cost model."""
+        st = self.make_store()
+        return run_sequential(self.loop, st, machine, self.funcs).t_par
+
+    def method(self, label: str) -> Method:
+        """Look up a method by label."""
+        for m in self.methods:
+            if m.label == label:
+                return m
+        raise KeyError(f"{self.name} has no method {label!r}")
+
+
+def measure_speedup(workload: Workload, method: Method,
+                    machine: Machine) -> Tuple[float, ParallelResult, bool]:
+    """Run one (workload, method, machine) cell.
+
+    Returns ``(speedup, result, store_matches_sequential)``.
+    """
+    ref = workload.make_store()
+    seq = run_sequential(workload.loop, ref, machine, workload.funcs)
+    st = workload.make_store()
+    result = method.runner(workload.loop, st, machine, workload.funcs,
+                           **dict(method.kwargs))
+    matches = st.equals(ref)
+    return result.speedup(seq.t_par), result, matches
+
+
+def speedup_curve(
+    workload: Workload,
+    method: Method,
+    processor_counts: Sequence[int] = (1, 2, 3, 4, 5, 6, 7, 8),
+    cost: CostModel = ALLIANT_FX80,
+) -> Dict[int, float]:
+    """Speedup vs processor count — the shape of Figures 6-14."""
+    out: Dict[int, float] = {}
+    for p in processor_counts:
+        sp, _, _ = measure_speedup(workload, method, Machine(p, cost))
+        out[p] = sp
+    return out

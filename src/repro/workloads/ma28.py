@@ -1,0 +1,202 @@
+"""MA28 ``MA30AD`` Loops 270 & 320 analogs (paper Section 9, Figs 12-14).
+
+MA28's analyse-factorize routine searches for a Markowitz pivot.
+Loop 270 scans candidate *rows*, Loop 320 candidate *columns*; both
+terminate early once a candidate's cost proves no better one can
+exist (the Markowitz bound for the current sweep) — an RV terminator,
+because the bound tightens with values the loop itself computes.
+
+"Since MA28 is a sequential program, any parallelization must
+guarantee sequential consistency.  In order to accomplish this we
+time-stamped the pivots found during the parallel execution.  Then,
+after loop termination, we found the pivot with minimum cost by
+performing a time-stamp ordered reduction operation (minimum) on the
+(privatized) pivots selected by each processor."
+
+That is exactly the structure here: each iteration writes its
+candidate's cost into a private slot (``costs[k]``), exits when the
+cost reaches the sweep's lower bound, and the workload's
+:func:`select_pivot` performs the time-stamp-ordered min-reduction
+over the valid iterations afterwards.  The paper notes the speedups
+"are not as big as for the other programs ... largely due to the fact
+that there was less available parallelism in these loops" — the scan
+depths here are correspondingly shallow.
+
+Paper speedups at 8 processors (Induction-1 + General-3, no locks):
+
+=========  ========  ========
+input      Loop 270  Loop 320
+=========  ========  ========
+gematt11   3.5       4.8
+gematt12   3.4       4.5
+orsreg1    5.3       2.8
+=========  ========  ========
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import zlib
+
+import numpy as np
+
+from repro.executors.induction import run_induction1
+from repro.ir.functions import FunctionTable
+from repro.ir.nodes import (
+    ArrayAssign,
+    ArrayRef,
+    Assign,
+    Call,
+    Const,
+    Exit,
+    If,
+    Var,
+    WhileLoop,
+    le_,
+)
+from repro.ir.store import Store
+from repro.runtime.machine import Machine
+from repro.runtime.reduction import parallel_argmin_stamped
+from repro.structures.sparse import HB_PROFILES, generate_hb_like
+from repro.workloads.base import Method, Workload
+
+__all__ = ["make_ma28_loop", "select_pivot", "MA28_INPUTS"]
+
+#: Input -> {loop number -> (scale, probe cost, scan depth)}.
+#: Depths model each input's available parallelism: orsreg1's regular
+#: structure makes the *row* scan long (5.3x) but the column scan very
+#: short (2.8x); the gematt matrices are the other way around.
+MA28_INPUTS = {
+    "gematt11": {270: (0.10, 55, 36), 320: (0.10, 60, 128)},
+    "gematt12": {270: (0.10, 55, 30), 320: (0.10, 60, 104)},
+    "orsreg1": {270: (0.13, 55, 230), 320: (0.09, 60, 16)},
+}
+
+PAPER_SPEEDUPS = {
+    270: {"gematt11": 3.5, "gematt12": 3.4, "orsreg1": 5.3},
+    320: {"gematt11": 4.8, "gematt12": 4.5, "orsreg1": 2.8},
+}
+
+
+def _eval_candidate(ctx, cand: int):
+    """Markowitz cost of one candidate row/column.
+
+    Touches the count arrays (the real scan's reads) and returns the
+    candidate's cost from the precomputed cost table.
+    """
+    ctx.read("rownnz", cand)
+    ctx.read("colnnz", cand)
+    return ctx.read("mkcost", cand)
+
+
+def make_ma28_loop(input_name: str, loop_no: int = 270, *,
+                   seed: int = 28) -> Workload:
+    """Build the Loop 270 (rows) or Loop 320 (columns) analog."""
+    if loop_no not in (270, 320):
+        raise ValueError("loop_no must be 270 or 320")
+    try:
+        scale, probe_cost, depth = MA28_INPUTS[input_name][loop_no]
+    except KeyError:
+        raise KeyError(f"unknown MA28 input {input_name!r}; choose from "
+                       f"{sorted(MA28_INPUTS)}") from None
+    profile = HB_PROFILES[input_name]
+    rng = np.random.default_rng(
+        seed + loop_no + zlib.crc32(input_name.encode()) % 1000)
+    matrix = generate_hb_like(profile, scale=scale, rng=rng)
+    n = matrix.n
+    order = rng.permutation(n).astype(np.int64)
+
+    rownnz = matrix.row_nnz.copy().astype(np.int64)
+    colnnz = matrix.col_nnz.copy().astype(np.int64)
+    if loop_no == 320:
+        rownnz, colnnz = colnnz, rownnz  # scanning columns instead
+
+    # The sweep's optimality bound: once a candidate's cost hits it,
+    # the scan may stop (no better pivot can exist this sweep).
+    # Precompute every candidate's Markowitz cost and calibrate the
+    # bound so the sequential scan exits at `depth` candidates.
+    mkcost = ((rownnz - 1) * (np.maximum(colnnz, 1) - 1)).clip(min=0) \
+        .astype(np.int64)
+    target = min(depth, n)
+    bound = max(1, int(mkcost[order[target - 1]]))
+    mkcost[order[target - 1]] = bound
+    early = mkcost[order[:target - 1]] <= bound
+    mkcost[order[:target - 1][early]] = bound + 1 \
+        + mkcost[order[:target - 1][early]]
+
+    # MA30 searches a bounded number of candidates per sweep (MA28's
+    # ``nsrch`` control): the DOALL's upper bound is the scan window,
+    # not the whole matrix.
+    ncand = int(min(n, target + max(8, target // 6)))
+
+    funcs = FunctionTable()
+    funcs.register("eval_candidate", _eval_candidate, cost=probe_cost,
+                   reads=("rownnz", "colnnz", "mkcost"))
+    funcs.register("cand_at", lambda ctx, k: ctx.read("cand_order", k - 1),
+                   cost=2, reads=("cand_order",))
+
+    loop = WhileLoop(
+        init=[Assign("k", Const(1))],
+        cond=le_(Var("k"), Var("ncand")),
+        body=[
+            Assign("cand", Call("cand_at", [Var("k")])),
+            Assign("mc", Call("eval_candidate", [Var("cand")])),
+            ArrayAssign("costs", Var("k"), Var("mc")),
+            # RV early exit: the sweep bound is met — and the
+            # terminator reads `costs`, a value computed in the loop.
+            If(le_(ArrayRef("costs", Var("k")), Var("bound")), [Exit()]),
+            Assign("k", Var("k") + 1),
+        ],
+        name=f"ma28-ma30ad-loop{loop_no}[{input_name}]",
+    )
+
+    def make_store() -> Store:
+        return Store({
+            "cand_order": order.copy(),
+            "rownnz": rownnz.copy(),
+            "colnnz": colnnz.copy(),
+            "mkcost": mkcost.copy(),
+            "costs": np.full(n + 2, -1, dtype=np.int64),
+            "bound": bound,
+            "ncand": ncand,
+            "k": 0, "cand": 0, "mc": 0,
+        })
+
+    return Workload(
+        name=f"ma28-loop{loop_no}[{input_name}]",
+        description=(f"MA28 MA30AD loop {loop_no}: cooperative "
+                     f"Markowitz pivot scan over "
+                     f"{'rows' if loop_no == 270 else 'columns'}; RV "
+                     f"terminator; backups and time-stamps; sequential "
+                     f"consistency via time-stamp-ordered min-reduction"),
+        loop=loop,
+        funcs=funcs,
+        make_store=make_store,
+        methods=(
+            Method("Induction-1 + General-3 (no locks)", run_induction1),
+        ),
+        paper_speedups={
+            "Induction-1 + General-3 (no locks)":
+                PAPER_SPEEDUPS[loop_no][input_name],
+        },
+    )
+
+
+def select_pivot(store: Store, n_valid: int,
+                 machine: Machine) -> Tuple[Optional[int], int]:
+    """The paper's time-stamp-ordered minimum-cost pivot reduction.
+
+    Runs after the scan loop: among the candidates evaluated by valid
+    iterations (``costs[1..n_valid]``), pick the minimum cost with the
+    earliest iteration breaking ties — exactly what sequential MA28
+    would have selected.  Returns ``(candidate_row, virtual_time)``.
+    """
+    costs = store["costs"]
+    stamped = [(k, float(costs[k])) for k in range(1, n_valid + 1)
+               if costs[k] >= 0]
+    idx, t = parallel_argmin_stamped(stamped, machine, last_valid=n_valid)
+    if idx is None:
+        return None, t
+    k = stamped[idx][0]
+    return int(store["cand_order"][k - 1]), t

@@ -1,0 +1,140 @@
+"""The whole SPICE LOAD phase: capacitor + BJT + MOSFET device loops.
+
+Section 9: "Since the structure of Loop 40 is identical to those for
+the evaluation of transistor models (subroutines BJT and MOSFET), the
+same parallelization techniques can also be used on these loops.  We
+remark that approximately 40% of the sequential execution time of
+SPICE is spent in subroutine LOAD, which calls subroutines BJT and
+MOSFET."
+
+This module models that whole phase: three device lists (capacitors,
+BJTs, MOSFETs) with increasing per-device model-evaluation cost, each
+traversed by a Loop-40-shaped WHILE loop, plus the Amdahl projection
+of whole-application speedup from parallelizing just the LOAD phase.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.executors.general import run_general1, run_general2, run_general3
+from repro.executors.sequential import run_sequential
+from repro.ir.functions import FunctionTable
+from repro.ir.nodes import (
+    Assign,
+    Call,
+    Const,
+    ExprStmt,
+    Next,
+    Var,
+    WhileLoop,
+    ne_,
+)
+from repro.ir.store import Store
+from repro.runtime.machine import Machine
+from repro.structures.linkedlist import build_chain
+from repro.workloads.base import Method, Workload
+
+__all__ = ["DEVICE_MODELS", "make_device_loop", "load_phase_speedup",
+           "amdahl_application_speedup"]
+
+#: Device model -> (per-device evaluation cost, typical list length
+#: share).  BJT and MOSFET models are far more expensive than the
+#: linear capacitor stamp.
+DEVICE_MODELS: Dict[str, Tuple[int, float]] = {
+    "capacitor": (38, 0.5),
+    "bjt": (140, 0.2),
+    "mosfet": (210, 0.3),
+}
+
+
+def _eval_model(kind: str):
+    def impl(ctx, dev: int):
+        bias = ctx.read("vbias", dev)
+        g = abs(bias) * 1e-3 + 1e-12
+        ctx.write("gmat", dev, g)
+        ctx.write("rhs", dev, g * 0.5)
+        return 0
+    impl.__name__ = f"eval_{kind}"
+    return impl
+
+
+def make_device_loop(kind: str, n_devices: int, *,
+                     seed: int = 7) -> Workload:
+    """One Loop-40-shaped traversal for a device class."""
+    try:
+        cost, _share = DEVICE_MODELS[kind]
+    except KeyError:
+        raise KeyError(f"unknown device model {kind!r}; choose from "
+                       f"{sorted(DEVICE_MODELS)}") from None
+    chain = build_chain(n_devices, scramble=True,
+                        rng=np.random.default_rng(seed + len(kind)))
+    funcs = FunctionTable()
+    funcs.register(f"eval_{kind}", _eval_model(kind), cost=cost,
+                   reads=("vbias",), writes=("gmat", "rhs"))
+    loop = WhileLoop(
+        init=[Assign("tmp", Const(chain.head))],
+        cond=ne_(Var("tmp"), Const(-1)),
+        body=[ExprStmt(Call(f"eval_{kind}", [Var("tmp")])),
+              Assign("tmp", Next("devs", Var("tmp")))],
+        name=f"spice-load-{kind}",
+    )
+
+    def make_store() -> Store:
+        r = np.random.default_rng(seed)
+        return Store({
+            "devs": chain,
+            "vbias": r.normal(0.7, 0.2, n_devices),
+            "gmat": np.zeros(n_devices),
+            "rhs": np.zeros(n_devices),
+            "tmp": 0,
+        })
+
+    return Workload(
+        name=f"spice-{kind}",
+        description=f"SPICE LOAD: {kind} model evaluation list",
+        loop=loop,
+        funcs=funcs,
+        make_store=make_store,
+        methods=(
+            Method("General-1 (locks)", run_general1),
+            Method("General-2 (static)", run_general2),
+            Method("General-3 (no locks)", run_general3),
+        ),
+    )
+
+
+def load_phase_speedup(machine: Machine, *, n_total: int = 1200,
+                       method_label: str = "General-3 (no locks)"
+                       ) -> Tuple[float, Dict[str, float]]:
+    """Speedup of the whole LOAD phase (all three device loops).
+
+    The loops run back to back (as LOAD calls them); the phase speedup
+    is the ratio of summed sequential to summed parallel times.
+    Returns ``(phase_speedup, per_loop_speedups)``.
+    """
+    t_seq_total = 0
+    t_par_total = 0
+    per_loop: Dict[str, float] = {}
+    for kind, (_cost, share) in DEVICE_MODELS.items():
+        w = make_device_loop(kind, max(8, int(n_total * share)))
+        seq = run_sequential(w.loop, w.make_store(), machine, w.funcs)
+        st = w.make_store()
+        res = w.method(method_label).runner(w.loop, st, machine, w.funcs)
+        t_seq_total += seq.t_par
+        t_par_total += res.t_par
+        per_loop[kind] = res.speedup(seq.t_par)
+    return t_seq_total / t_par_total, per_loop
+
+
+def amdahl_application_speedup(phase_speedup: float,
+                               load_fraction: float = 0.40) -> float:
+    """Whole-SPICE speedup from parallelizing only the LOAD phase.
+
+    Amdahl over the paper's "approximately 40% of the sequential
+    execution time of SPICE is spent in subroutine LOAD".
+    """
+    return 1.0 / ((1.0 - load_fraction)
+                  + load_fraction / phase_speedup)

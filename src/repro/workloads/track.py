@@ -1,0 +1,128 @@
+"""TRACK ``FPTRAK`` Loop 300 analog (paper Section 9, Figure 7).
+
+The original is a DO loop with a conditional exit taken when an error
+condition is detected, accessing an array through a run-time computed
+subscript array:
+
+* dispatcher: the loop counter (a monotonic induction),
+* terminator: the error test — **remainder variant** (it reads data
+  the loop updates), so the parallel execution may overshoot and needs
+  **backups and time-stamps**,
+* remainder: per-track floating-point update through the subscript
+  array (subscripted subscripts — statically unanalyzable, but the
+  subscript array is a permutation at run time, so iterations are in
+  fact independent).
+
+The paper measured Induction-1 at 5.8× on 8 processors and also shows
+the *ideal* hand-parallelized speedup for comparison — reproduced here
+as the ``Ideal (hand-parallel)`` method, which is the same DOALL with
+checkpoint/stamp overheads forced off.
+
+For the standard input the error never fires, so the sequential loop
+runs to completion — the overhead of guarding against the exit is pure
+insurance, which is exactly the gap between the two curves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.executors.induction import run_induction1, run_induction2
+from repro.ir.functions import FunctionTable
+from repro.ir.nodes import (
+    ArrayAssign,
+    ArrayRef,
+    Assign,
+    Call,
+    Const,
+    Exit,
+    If,
+    Var,
+    WhileLoop,
+    gt_,
+    le_,
+)
+from repro.ir.store import Store
+from repro.workloads.base import Method, Workload
+
+__all__ = ["make_track_fptrak300"]
+
+
+def _update_track(ctx, slot: int, i: int):
+    """Per-track kinematics update: read state, integrate, write back.
+
+    ``slot`` is the run-time computed position (subscripted subscript);
+    each track owns its slot, so iterations are independent — which the
+    compiler cannot prove, and the paper's authors established by hand.
+    """
+    x = ctx.read("trkx", slot)
+    v = ctx.read("trkv", slot)
+    x2 = x + 0.01 * v
+    v2 = v * 0.999 + 0.004
+    ctx.write("trkx", slot, x2)
+    ctx.write("trkv", slot, v2)
+    return x2
+
+
+def make_track_fptrak300(n_tracks: int = 1200, *,
+                         seed: int = 300,
+                         inject_error_at: int | None = None) -> Workload:
+    """Build the Loop 300 analog.
+
+    ``inject_error_at`` plants an error flag at that iteration so tests
+    can exercise the overshoot/undo path; the paper's input has none.
+    """
+    funcs = FunctionTable()
+    funcs.register("update_track", _update_track, cost=42,
+                   reads=("trkx", "trkv"), writes=("trkx", "trkv"))
+
+    loop = WhileLoop(
+        init=[Assign("i", Const(1))],
+        cond=le_(Var("i"), Var("ntrk")),
+        body=[
+            # Error exit: RV — ``trkerr`` is written by the remainder.
+            If(gt_(ArrayRef("trkerr", Var("i")), Const(0)), [Exit()]),
+            Assign("slot", ArrayRef("ptrk", Var("i"))),
+            ArrayAssign("trkerr", Var("i"),
+                        Call("update_track", [Var("slot"), Var("i")]) * 0),
+            Assign("i", Var("i") + 1),
+        ],
+        name="track-fptrak-loop300",
+    )
+
+    def make_store() -> Store:
+        r = np.random.default_rng(seed)
+        perm = r.permutation(n_tracks).astype(np.int64)
+        ptrk = np.zeros(n_tracks + 2, dtype=np.int64)
+        ptrk[1:n_tracks + 1] = perm
+        trkerr = np.zeros(n_tracks + 2, dtype=np.int64)
+        if inject_error_at is not None:
+            trkerr[inject_error_at] = 7
+        return Store({
+            "ptrk": ptrk,
+            "trkx": r.normal(0.0, 1.0, n_tracks),
+            "trkv": r.normal(0.0, 0.1, n_tracks),
+            "trkerr": trkerr,
+            "ntrk": n_tracks,
+            "i": 0,
+            "slot": 0,
+        })
+
+    return Workload(
+        name="track-fptrak300",
+        description=("TRACK FPTRAK loop 300: DO loop with conditional "
+                     "error exit over a run-time subscript array; RV "
+                     "terminator; backups and time-stamps"),
+        loop=loop,
+        funcs=funcs,
+        make_store=make_store,
+        methods=(
+            Method("Induction-1", run_induction1),
+            Method("Induction-2 (QUIT)", run_induction2),
+            Method("Ideal (hand-parallel)", run_induction1,
+                   {"force_checkpoint": False, "force_stamps": False}),
+        ),
+        paper_speedups={
+            "Induction-1": 5.8,
+        },
+    )

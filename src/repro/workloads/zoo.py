@@ -1,0 +1,203 @@
+"""A zoo of small loops covering every Table-1 taxonomy cell.
+
+Used by the taxonomy tests and ``bench_table1_taxonomy``: each entry
+declares the cell it should land in, and the observed parallel
+behaviour (did the execution overshoot? could the dispatcher be
+evaluated in parallel?) must match the cell's verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+import numpy as np
+
+from repro.analysis.taxonomy import DispatcherClass, ParallelKind
+from repro.analysis.terminator import TermClass
+from repro.ir.functions import FunctionTable
+from repro.ir.nodes import (
+    ArrayAssign,
+    ArrayRef,
+    Assign,
+    Const,
+    Exit,
+    If,
+    Loop,
+    Next,
+    Var,
+    WhileLoop,
+    eq_,
+    le_,
+    lt_,
+    ne_,
+)
+from repro.ir.store import Store
+from repro.structures.linkedlist import build_chain
+
+__all__ = ["ZooLoop", "make_zoo"]
+
+
+@dataclass(frozen=True)
+class ZooLoop:
+    """One zoo entry with its expected Table-1 classification."""
+
+    name: str
+    loop: Loop
+    funcs: FunctionTable
+    make_store: Callable[[], Store]
+    expect_dispatcher: DispatcherClass
+    expect_terminator: TermClass
+    expect_overshoot: bool
+    expect_parallel: ParallelKind
+
+
+def _work_funcs() -> FunctionTable:
+    ft = FunctionTable()
+    ft.register("zwork", lambda ctx, i: ctx.write("out", int(i) % 64,
+                                                  float(i)),
+                cost=25, writes=("out",))
+    return ft
+
+
+def make_zoo(n: int = 48) -> Tuple[ZooLoop, ...]:
+    """Build one loop per Table-1 cell (eight in total)."""
+    zoo = []
+
+    # -- monotonic induction, RI (threshold on the dispatcher) ---------
+    zoo.append(ZooLoop(
+        "mono-induction/RI",
+        WhileLoop([Assign("i", Const(1))], le_(Var("i"), Var("n")),
+                  [ArrayAssign("A", Var("i"), Var("i") * 2),
+                   Assign("i", Var("i") + 1)], name="mono-ri"),
+        FunctionTable(),
+        lambda: Store({"A": np.zeros(n + 2, dtype=np.int64),
+                       "n": n, "i": 0}),
+        DispatcherClass.MONOTONIC_INDUCTION, TermClass.RI,
+        False, ParallelKind.FULL))
+
+    # -- monotonic induction, RV (exit on computed data) ----------------
+    def mk_mono_rv() -> Store:
+        A = np.zeros(n + 2, dtype=np.int64)
+        A[(2 * n) // 3] = 1
+        return Store({"A": A, "n": n, "i": 0})
+    zoo.append(ZooLoop(
+        "mono-induction/RV",
+        WhileLoop([Assign("i", Const(1))], le_(Var("i"), Var("n")),
+                  [If(eq_(ArrayRef("A", Var("i")), Const(1)), [Exit()]),
+                   ArrayAssign("A", Var("i"), Var("i") * 3),
+                   Assign("i", Var("i") + 1)], name="mono-rv"),
+        FunctionTable(),
+        mk_mono_rv,
+        DispatcherClass.MONOTONIC_INDUCTION, TermClass.RV,
+        True, ParallelKind.FULL))
+
+    # -- "non-monotonic" induction, RI --------------------------------
+    # The dispatcher is a plain induction, but the terminator is NOT a
+    # threshold on it (it tests a loop-invariant noise table along a
+    # wrapping index), so the monotonic no-overshoot exception does not
+    # apply: iterations past the exit can evaluate the condition true
+    # again.
+    def mk_nonmono_ri() -> Store:
+        noise = np.zeros(257, dtype=np.int64)
+        exit_iter = (2 * n) // 3
+        noise[(1 + 3 * (exit_iter - 1)) % 257] = 200
+        return Store({"noise": noise,
+                      "A": np.zeros(257, dtype=np.int64), "i": 0})
+    zoo.append(ZooLoop(
+        "nonmono-induction/RI",
+        WhileLoop([Assign("i", Const(1))],
+                  lt_(ArrayRef("noise", BinOp_mod(Var("i"))), Const(100)),
+                  [ArrayAssign("A", BinOp_mod(Var("i") * 7), Var("i")),
+                   Assign("i", Var("i") + 3)], name="nonmono-ri"),
+        FunctionTable(),
+        mk_nonmono_ri,
+        DispatcherClass.NONMONOTONIC_INDUCTION, TermClass.RI,
+        True, ParallelKind.FULL))
+
+    # -- "non-monotonic" induction, RV -----------------------------------
+    def mk_nonmono_rv() -> Store:
+        noise = np.zeros(257, dtype=np.int64)
+        A = np.zeros(257, dtype=np.int64)
+        A[(7 * ((2 * n) // 3)) % 257] = -1
+        return Store({"noise": noise, "A": A, "i": 0})
+    zoo.append(ZooLoop(
+        "nonmono-induction/RV",
+        WhileLoop([Assign("i", Const(1))],
+                  lt_(ArrayRef("noise", BinOp_mod(Var("i"))), Const(100)),
+                  [If(eq_(ArrayRef("A", BinOp_mod(Var("i") * 7)),
+                          Const(-1)), [Exit()]),
+                   ArrayAssign("A", BinOp_mod(Var("i") * 7), Var("i")),
+                   Assign("i", Var("i") + 3)], name="nonmono-rv"),
+        FunctionTable(),
+        mk_nonmono_rv,
+        DispatcherClass.NONMONOTONIC_INDUCTION, TermClass.RV,
+        True, ParallelKind.FULL))
+
+    # -- associative recurrence, RI (threshold on dispatcher) ----------
+    zoo.append(ZooLoop(
+        "associative/RI",
+        WhileLoop([Assign("r", Const(1))], lt_(Var("r"), Const(1 << 40)),
+                  [ArrayAssign("A", BinOp_mod(Var("r")), Var("r")),
+                   Assign("r", Var("r") * 2 + 1)], name="assoc-ri"),
+        FunctionTable(),
+        lambda: Store({"A": np.zeros(257, dtype=np.int64), "r": 0}),
+        DispatcherClass.ASSOCIATIVE, TermClass.RI,
+        False, ParallelKind.PREFIX))
+
+    # -- associative recurrence, RV -------------------------------------
+    def mk_assoc_rv() -> Store:
+        A = np.zeros(257, dtype=np.int64)
+        A[200] = 1
+        return Store({"A": A, "r": 0})
+    zoo.append(ZooLoop(
+        "associative/RV",
+        WhileLoop([Assign("r", Const(1))], lt_(Var("r"), Const(1 << 40)),
+                  [If(eq_(ArrayRef("A", BinOp_mod(Var("r"))), Const(1)),
+                      [Exit()]),
+                   ArrayAssign("A", BinOp_mod(Var("r")), Var("r")),
+                   Assign("r", Var("r") * 2 + 1)], name="assoc-rv"),
+        FunctionTable(),
+        mk_assoc_rv,
+        DispatcherClass.ASSOCIATIVE, TermClass.RV,
+        True, ParallelKind.PREFIX))
+
+    # -- general recurrence (list), RI (NULL terminator) ----------------
+    chain = build_chain(n, scramble=True,
+                        rng=np.random.default_rng(7))
+    zoo.append(ZooLoop(
+        "general/RI",
+        WhileLoop([Assign("p", Const(chain.head))],
+                  ne_(Var("p"), Const(-1)),
+                  [ArrayAssign("B", Var("p"), Var("p") * 2),
+                   Assign("p", Next("lst", Var("p")))], name="general-ri"),
+        FunctionTable(),
+        lambda: Store({"lst": chain, "B": np.zeros(n, dtype=np.int64),
+                       "p": 0}),
+        DispatcherClass.GENERAL, TermClass.RI,
+        False, ParallelKind.NONE))
+
+    # -- general recurrence (list), RV ------------------------------------
+    def mk_general_rv() -> Store:
+        B = np.zeros(n, dtype=np.int64)
+        B[chain.kth(2 * n // 3)] = -1
+        return Store({"lst": chain, "B": B, "p": 0})
+    zoo.append(ZooLoop(
+        "general/RV",
+        WhileLoop([Assign("p", Const(chain.head))],
+                  ne_(Var("p"), Const(-1)),
+                  [If(eq_(ArrayRef("B", Var("p")), Const(-1)), [Exit()]),
+                   ArrayAssign("B", Var("p"), Var("p") * 2),
+                   Assign("p", Next("lst", Var("p")))], name="general-rv"),
+        FunctionTable(),
+        mk_general_rv,
+        DispatcherClass.GENERAL, TermClass.RV,
+        True, ParallelKind.NONE))
+
+    return tuple(zoo)
+
+
+def BinOp_mod(e):
+    """Helper: ``e mod 257`` as an in-range array index."""
+    from repro.ir.nodes import BinOp
+    return BinOp("%", e, Const(257))

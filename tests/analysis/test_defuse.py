@@ -1,0 +1,101 @@
+"""Direct unit tests for the def/use effect summaries."""
+
+from repro.analysis import block_effects, stmt_effects
+from repro.ir import (
+    ArrayAssign,
+    ArrayRef,
+    Assign,
+    Call,
+    Const,
+    Exit,
+    ExprStmt,
+    For,
+    FunctionTable,
+    If,
+    Next,
+    Var,
+    eq_,
+)
+
+
+class TestStatementEffects:
+    def test_assign(self):
+        eff = stmt_effects(Assign("x", Var("y") + ArrayRef("A", Var("i"))))
+        assert eff.scalar_writes == {"x"}
+        assert eff.scalar_reads == {"y", "i"}
+        assert eff.array_reads == {"A"}
+        assert not eff.array_writes
+
+    def test_array_assign(self):
+        eff = stmt_effects(ArrayAssign("A", Var("i"), Var("v")))
+        assert eff.array_writes == {"A"}
+        assert eff.scalar_reads == {"i", "v"}
+        assert not eff.scalar_writes
+        (acc,) = [a for a in eff.accesses if a.is_write]
+        assert acc.array == "A"
+
+    def test_if_unions_branches(self):
+        eff = stmt_effects(If(eq_(Var("c"), 1),
+                              [Assign("a", Const(1))],
+                              [Assign("b", Const(2))]))
+        assert eff.scalar_writes == {"a", "b"}
+        assert "c" in eff.scalar_reads
+
+    def test_exit_flag(self):
+        assert stmt_effects(Exit()).has_exit
+        eff = stmt_effects(If(eq_(Var("c"), 1), [Exit()]))
+        assert eff.has_exit
+
+    def test_for_adds_loop_var(self):
+        eff = stmt_effects(For("j", 0, Var("n"),
+                               [ArrayAssign("A", Var("j"), Const(0))]))
+        assert "j" in eff.scalar_writes
+        assert "n" in eff.scalar_reads
+        assert eff.array_writes == {"A"}
+
+    def test_next_records_list(self):
+        eff = stmt_effects(Assign("p", Next("L", Var("p"))))
+        assert eff.lists == {"L"}
+
+    def test_intrinsic_declared_sets(self):
+        ft = FunctionTable()
+        ft.register("k", lambda ctx, i: 0, reads=("R",), writes=("W",))
+        eff = stmt_effects(ExprStmt(Call("k", [Var("i")])), ft)
+        assert eff.array_reads == {"R"}
+        assert eff.array_writes == {"W"}
+        assert eff.opaque
+        assert eff.calls == {"k"}
+
+    def test_intrinsic_without_declarations_not_opaque(self):
+        ft = FunctionTable()
+        ft.register("pure", lambda ctx, i: i * 2)
+        eff = stmt_effects(ExprStmt(Call("pure", [Var("i")])), ft)
+        assert not eff.opaque
+
+
+class TestBlockEffects:
+    def test_union(self):
+        eff = block_effects([
+            Assign("x", Const(1)),
+            ArrayAssign("A", Var("i"), Var("x")),
+        ])
+        assert eff.scalar_writes == {"x"}
+        assert eff.array_writes == {"A"}
+        assert eff.writes_memory
+
+    def test_accesses_concatenated_in_order(self):
+        eff = block_effects([
+            Assign("t", ArrayRef("A", Const(0))),
+            ArrayAssign("A", Const(1), Var("t")),
+        ])
+        assert [a.is_write for a in eff.accesses] == [False, True]
+
+    def test_reads_anything_in(self):
+        eff = block_effects([Assign("x", ArrayRef("A", Var("i")))])
+        assert eff.reads_anything_in(frozenset({"A"}))
+        assert eff.reads_anything_in(frozenset({"i"}))
+        assert not eff.reads_anything_in(frozenset({"z"}))
+
+    def test_empty_block(self):
+        eff = block_effects([])
+        assert not eff.scalar_reads and not eff.writes_memory

@@ -1,0 +1,148 @@
+"""Unit tests for subscript normalization and dependence testing."""
+
+import pytest
+
+from repro.analysis import (
+    AffineSubscript,
+    DepKind,
+    Verdict,
+    analyze_loop,
+    pair_dependence,
+)
+from repro.ir import (
+    ArrayAssign,
+    ArrayRef,
+    Assign,
+    Const,
+    FunctionTable,
+    Var,
+    WhileLoop,
+    le_,
+)
+
+
+def S(a, b):
+    return AffineSubscript(a, b)
+
+
+class TestPairDependence:
+    def test_same_cell_every_iteration(self):
+        ex, _ = pair_dependence(S(0, 5), S(0, 5))
+        assert ex is True
+
+    def test_distinct_fixed_cells(self):
+        ex, _ = pair_dependence(S(0, 5), S(0, 6))
+        assert ex is False
+
+    def test_same_subscript_no_cross(self):
+        ex, sh = pair_dependence(S(1, 0), S(1, 0))
+        assert ex is False and sh == 0
+
+    def test_shifted_collision(self):
+        ex, sh = pair_dependence(S(1, 0), S(1, -1))
+        assert ex is True and sh == -1
+
+    def test_stride_gcd_filters(self):
+        # 2k vs 2k'-1: parities differ, never collide.
+        ex, _ = pair_dependence(S(2, 0), S(2, -1))
+        assert ex is False
+
+    def test_gcd_test_unequal_coeffs(self):
+        # 2k vs 4k'+1: gcd 2 does not divide 1.
+        ex, _ = pair_dependence(S(2, 0), S(4, 1))
+        assert ex is False
+
+    def test_possible_when_gcd_divides(self):
+        ex, _ = pair_dependence(S(2, 0), S(3, 0))
+        assert ex is None  # conservative
+
+    def test_bounds_prove_disjoint(self):
+        # ranges [1..10] vs [101..110] with u = 10
+        ex, _ = pair_dependence(S(1, 0), S(1, 100), u=10)
+        assert ex is False
+
+    def test_shift_beyond_bound_filtered(self):
+        ex, _ = pair_dependence(S(1, 0), S(1, -50), u=10)
+        assert ex is False
+
+
+class TestLoopVerdicts:
+    def test_figure_5a_independent(self):
+        info = analyze_loop(WhileLoop(
+            [Assign("i", Const(1))], le_(Var("i"), Var("n")),
+            [ArrayAssign("A", Var("i"), ArrayRef("A", Var("i")) * 2),
+             Assign("i", Var("i") + 1)], name="fig5a"))
+        assert info.dependence.verdict is Verdict.INDEPENDENT
+
+    def test_figure_5b_independent_with_privatized_tmp(self):
+        info = analyze_loop(WhileLoop(
+            [Assign("i", Const(1))], le_(Var("i"), Var("n")),
+            [Assign("t", ArrayRef("A", Var("i") * 2)),
+             ArrayAssign("A", Var("i") * 2, ArrayRef("A", Var("i") * 2 - 1)),
+             ArrayAssign("A", Var("i") * 2 - 1, Var("t")),
+             Assign("i", Var("i") + 1)], name="fig5b"))
+        assert info.dependence.verdict is Verdict.INDEPENDENT
+        from repro.analysis import PrivStatus
+        assert info.privatization.scalars["t"] is PrivStatus.PRIVATIZABLE
+
+    def test_figure_5c_flow_dependent(self):
+        info = analyze_loop(WhileLoop(
+            [Assign("i", Const(2))], le_(Var("i"), Var("n")),
+            [ArrayAssign("A", Var("i"),
+                         ArrayRef("A", Var("i")) + ArrayRef("A", Var("i") - 1)),
+             Assign("i", Var("i") + 1)], name="fig5c"))
+        assert info.dependence.verdict is Verdict.DEPENDENT
+        kinds = {d.kind for d in info.dependence.dependences}
+        assert DepKind.FLOW in kinds
+
+    def test_subscripted_subscript_unknown(self):
+        info = analyze_loop(WhileLoop(
+            [Assign("i", Const(1))], le_(Var("i"), Var("n")),
+            [ArrayAssign("A", ArrayRef("idx", Var("i")), Var("i")),
+             Assign("i", Var("i") + 1)], name="subsub"))
+        assert info.dependence.verdict is Verdict.UNKNOWN
+        assert info.needs_runtime_test
+
+    def test_opaque_intrinsic_write_unknown(self):
+        ft = FunctionTable()
+        ft.register("w", lambda ctx, i: ctx.write("A", i, 0), writes=("A",))
+        from repro.ir import Call, ExprStmt
+        info = analyze_loop(WhileLoop(
+            [Assign("i", Const(1))], le_(Var("i"), Var("n")),
+            [ExprStmt(Call("w", [Var("i")])),
+             Assign("i", Var("i") + 1)], name="opaque"), ft)
+        assert info.dependence.verdict is Verdict.UNKNOWN
+
+    def test_list_dispatcher_injective_subscript_independent(self):
+        from repro.ir import Next, ne_
+        info = analyze_loop(WhileLoop(
+            [Assign("p", Var("h"))], ne_(Var("p"), Const(-1)),
+            [ArrayAssign("out", Var("p"), Var("p") + 1),
+             Assign("p", Next("L", Var("p")))], name="list-write"))
+        assert info.dependence.verdict is Verdict.INDEPENDENT
+
+    def test_scalar_reduction_dependent(self):
+        info = analyze_loop(WhileLoop(
+            [Assign("i", Const(1)), Assign("s", Const(0))],
+            le_(Var("i"), Var("n")),
+            [Assign("s", Var("s") + ArrayRef("A", Var("i"))),
+             Assign("i", Var("i") + 1)], name="reduction"))
+        # s is a second recurrence: the loop is multi-recurrence, and
+        # the scalar carried dependence is real.
+        assert info.multi_recurrence
+
+    def test_output_dependence_same_cell(self):
+        info = analyze_loop(WhileLoop(
+            [Assign("i", Const(1))], le_(Var("i"), Var("n")),
+            [ArrayAssign("A", Const(0), Var("i")),
+             Assign("i", Var("i") + 1)], name="samecell"))
+        assert info.dependence.verdict is Verdict.DEPENDENT
+        kinds = {d.kind for d in info.dependence.dependences}
+        assert DepKind.OUTPUT in kinds
+
+    def test_read_only_array_no_dependence(self):
+        info = analyze_loop(WhileLoop(
+            [Assign("i", Const(1))], le_(Var("i"), Var("n")),
+            [ArrayAssign("B", Var("i"), ArrayRef("ro", Const(0))),
+             Assign("i", Var("i") + 1)], name="readonly"))
+        assert info.dependence.verdict is Verdict.INDEPENDENT

@@ -1,0 +1,159 @@
+"""Unit + property tests for SCC, DDG, and the Section 6 distribution."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import analyze_loop, build_ddg, condensation, tarjan_scc
+from repro.analysis.multirec import BlockMode, fuse_blocks, plan_distribution
+from repro.analysis.scc import topological_order
+from repro.ir import (
+    ArrayAssign,
+    ArrayRef,
+    Assign,
+    Const,
+    Next,
+    Var,
+    WhileLoop,
+    le_,
+    lt_,
+    ne_,
+)
+
+
+class TestTarjan:
+    def test_simple_cycle(self):
+        g = {1: [2], 2: [3], 3: [1]}
+        comps = tarjan_scc(g)
+        assert len(comps) == 1 and sorted(comps[0]) == [1, 2, 3]
+
+    def test_dag(self):
+        g = {1: [2], 2: [3], 3: []}
+        comps = tarjan_scc(g)
+        assert [sorted(c) for c in comps] == [[3], [2], [1]]
+
+    def test_isolated_successors_included(self):
+        g = {1: [2]}
+        comps = tarjan_scc(g)
+        assert sorted(sum(comps, [])) == [1, 2]
+
+    def test_condensation_edges(self):
+        g = {1: [2], 2: [1, 3], 3: [4], 4: [3]}
+        comps, dag = condensation(g)
+        assert len(comps) == 2
+        # edges flow from the {1,2} component to the {3,4} component
+        ci = {frozenset(c): i for i, c in
+              enumerate(map(frozenset, comps))}
+        a, b = ci[frozenset({1, 2})], ci[frozenset({3, 4})]
+        assert b in dag[a]
+
+    def test_topological_order_rejects_cycles(self):
+        with pytest.raises(ValueError):
+            topological_order({1: [2], 2: [1]})
+
+    def test_topological_order_valid(self):
+        order = topological_order({1: [2, 3], 2: [4], 3: [4], 4: []})
+        pos = {n: i for i, n in enumerate(order)}
+        assert pos[1] < pos[2] and pos[2] < pos[4] and pos[3] < pos[4]
+
+
+@given(st.lists(st.tuples(st.integers(0, 14), st.integers(0, 14)),
+                max_size=60))
+@settings(max_examples=60, deadline=None)
+def test_tarjan_matches_networkx(edges):
+    """Property: our Tarjan agrees with networkx on random digraphs."""
+    g = {}
+    for a, b in edges:
+        g.setdefault(a, []).append(b)
+        g.setdefault(b, [])
+    ours = {frozenset(c) for c in tarjan_scc(g)}
+    nxg = nx.DiGraph()
+    nxg.add_nodes_from(g)
+    nxg.add_edges_from(edges)
+    theirs = {frozenset(c) for c in nx.strongly_connected_components(nxg)}
+    assert ours == theirs
+
+
+class TestDDG:
+    def test_flow_edge(self):
+        loop = WhileLoop(
+            [Assign("i", Const(1))], le_(Var("i"), Var("n")),
+            [Assign("t", Var("i") * 2),
+             ArrayAssign("A", Var("i"), Var("t")),
+             Assign("i", Var("i") + 1)])
+        ddg = build_ddg(loop)
+        assert 1 in ddg.graph[0]  # t defined at 0, used at 1
+
+    def test_recurrence_forms_scc(self):
+        loop = WhileLoop(
+            [Assign("i", Const(1))], le_(Var("i"), Var("n")),
+            [Assign("i", Var("i") + 1)])
+        ddg = build_ddg(loop)
+        assert 0 in ddg.graph[0]  # self-loop
+
+    def test_array_conflict_bidirectional(self):
+        loop = WhileLoop(
+            [Assign("i", Const(1))], le_(Var("i"), Var("n")),
+            [ArrayAssign("A", Var("i"), Const(0)),
+             Assign("x", ArrayRef("A", Var("i") - 1)),
+             Assign("i", Var("i") + 1)])
+        ddg = build_ddg(loop)
+        assert 1 in ddg.graph[0] and 0 in ddg.graph[1]
+        assert ddg.component_of(0) == ddg.component_of(1)
+
+
+class TestDistribution:
+    def test_simple_loop_plan(self):
+        loop = WhileLoop(
+            [Assign("i", Const(1))], le_(Var("i"), Var("n")),
+            [ArrayAssign("A", Var("i"), Var("i") * 2),
+             Assign("i", Var("i") + 1)])
+        plan = plan_distribution(loop)
+        modes = [b.mode for b in plan.fused]
+        assert BlockMode.RECURRENCE_PARALLEL in modes
+        assert BlockMode.PARALLEL in modes
+        assert not plan.single_scc
+
+    def test_list_loop_sequential_recurrence(self):
+        loop = WhileLoop(
+            [Assign("p", Var("h"))], ne_(Var("p"), Const(-1)),
+            [ArrayAssign("B", Var("p"), Const(1)),
+             Assign("p", Next("L", Var("p")))])
+        plan = plan_distribution(loop)
+        modes = [b.mode for b in plan.fused]
+        assert BlockMode.RECURRENCE_SEQUENTIAL in modes
+
+    def test_multi_recurrence_blocks(self):
+        loop = WhileLoop(
+            [Assign("i", Const(1)), Assign("x", Const(1))],
+            le_(Var("i"), Var("n")),
+            [Assign("x", Var("x") * 2),
+             ArrayAssign("A", Var("i"), Var("x")),
+             ArrayAssign("B", Var("i"), Var("i")),
+             Assign("i", Var("i") + 1)])
+        plan = plan_distribution(loop)
+        recs = [b for b in plan.fused if b.recurrence is not None]
+        assert len(recs) == 2  # x and i
+
+    def test_fusion_merges_contiguous_parallel(self):
+        from repro.analysis.multirec import DistributedBlock
+        blocks = [
+            DistributedBlock((0,), BlockMode.PARALLEL),
+            DistributedBlock((1,), BlockMode.PARALLEL),
+            DistributedBlock((2,), BlockMode.SEQUENTIAL),
+            DistributedBlock((3,), BlockMode.SEQUENTIAL),
+        ]
+        fused = fuse_blocks(blocks)
+        assert len(fused) == 2
+        assert fused[0].stmts == (0, 1) and fused[1].stmts == (2, 3)
+
+    def test_fusion_keeps_unknown_separate(self):
+        from repro.analysis.multirec import DistributedBlock
+        blocks = [
+            DistributedBlock((0,), BlockMode.PARALLEL),
+            DistributedBlock((1,), BlockMode.UNKNOWN),
+            DistributedBlock((2,), BlockMode.PARALLEL),
+        ]
+        fused = fuse_blocks(blocks)
+        assert len(fused) == 3

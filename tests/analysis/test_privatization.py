@@ -1,0 +1,114 @@
+"""Unit tests for the privatization criterion analysis."""
+
+from repro.analysis import PrivStatus, analyze_loop, analyze_privatization
+from repro.ir import (
+    ArrayAssign,
+    ArrayRef,
+    Assign,
+    Call,
+    Const,
+    ExprStmt,
+    For,
+    FunctionTable,
+    If,
+    Var,
+    WhileLoop,
+    eq_,
+    le_,
+)
+
+
+def priv_of(body, funcs=None, init=(("i", 1),)):
+    loop = WhileLoop([Assign(n, Const(v)) for n, v in init],
+                     le_(Var("i"), Var("n")), body)
+    return analyze_loop(loop, funcs).privatization
+
+
+class TestArrayCriterion:
+    def test_write_then_read_privatizable(self):
+        p = priv_of([
+            ArrayAssign("T", Var("i"), Const(1)),
+            ArrayAssign("B", Var("i"), ArrayRef("T", Var("i"))),
+            Assign("i", Var("i") + 1)])
+        assert p.arrays["T"] is PrivStatus.PRIVATIZABLE
+
+    def test_read_before_write_needs_copy_in(self):
+        p = priv_of([
+            Assign("t", ArrayRef("T", Var("i"))),
+            ArrayAssign("T", Var("i"), Var("t") + 1),
+            Assign("i", Var("i") + 1)])
+        assert p.arrays["T"] is PrivStatus.NEEDS_COPY_IN
+
+    def test_different_index_read_not_covered(self):
+        p = priv_of([
+            ArrayAssign("T", Var("i"), Const(1)),
+            ArrayAssign("B", Var("i"), ArrayRef("T", Var("i") + 1)),
+            Assign("i", Var("i") + 1)])
+        assert p.arrays["T"] is PrivStatus.NEEDS_COPY_IN
+
+    def test_conditional_write_does_not_cover_later_read(self):
+        p = priv_of([
+            If(eq_(Var("i"), 1), [ArrayAssign("T", Var("i"), Const(1))]),
+            ArrayAssign("B", Var("i"), ArrayRef("T", Var("i"))),
+            Assign("i", Var("i") + 1)])
+        assert p.arrays["T"] is PrivStatus.NEEDS_COPY_IN
+
+    def test_same_branch_write_covers(self):
+        p = priv_of([
+            If(eq_(Var("i"), 1),
+               [ArrayAssign("T", Var("i"), Const(1)),
+                ArrayAssign("B", Var("i"), ArrayRef("T", Var("i")))]),
+            Assign("i", Var("i") + 1)])
+        assert p.arrays["T"] is PrivStatus.PRIVATIZABLE
+
+    def test_read_only_array_trivially_fine(self):
+        p = priv_of([
+            ArrayAssign("B", Var("i"), ArrayRef("ro", Var("i"))),
+            Assign("i", Var("i") + 1)])
+        assert p.arrays["ro"] is PrivStatus.PRIVATIZABLE
+
+    def test_opaque_intrinsic_defeats(self):
+        ft = FunctionTable()
+        ft.register("mut", lambda ctx, i: ctx.write("T", i, 0),
+                    writes=("T",))
+        p = priv_of([
+            ExprStmt(Call("mut", [Var("i")])),
+            Assign("i", Var("i") + 1)], ft)
+        assert p.arrays["T"] is PrivStatus.NOT_PRIVATIZABLE
+
+
+class TestScalarCriterion:
+    def test_write_first_scalar_privatizable(self):
+        p = priv_of([
+            Assign("t", ArrayRef("A", Var("i"))),
+            ArrayAssign("A", Var("i"), Var("t") * 2),
+            Assign("i", Var("i") + 1)])
+        assert p.scalars["t"] is PrivStatus.PRIVATIZABLE
+
+    def test_read_first_scalar_needs_copy_in(self):
+        p = priv_of([
+            ArrayAssign("A", Var("i"), Var("acc")),
+            Assign("acc", Var("i")),
+            Assign("i", Var("i") + 1)])
+        assert p.scalars["acc"] is PrivStatus.NEEDS_COPY_IN
+
+    def test_dispatcher_excluded(self):
+        p = priv_of([
+            ArrayAssign("A", Var("i"), Const(0)),
+            Assign("i", Var("i") + 1)])
+        assert "i" not in p.scalars
+
+    def test_both_branches_written_covers(self):
+        p = priv_of([
+            If(eq_(Var("i"), 1), [Assign("t", Const(1))],
+               [Assign("t", Const(2))]),
+            ArrayAssign("A", Var("i"), Var("t")),
+            Assign("i", Var("i") + 1)])
+        assert p.scalars["t"] is PrivStatus.PRIVATIZABLE
+
+    def test_one_branch_written_does_not_cover(self):
+        p = priv_of([
+            If(eq_(Var("i"), 1), [Assign("t", Const(1))]),
+            ArrayAssign("A", Var("i"), Var("t")),
+            Assign("i", Var("i") + 1)])
+        assert p.scalars["t"] is PrivStatus.NEEDS_COPY_IN

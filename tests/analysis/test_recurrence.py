@@ -1,0 +1,137 @@
+"""Unit tests for recurrence detection and classification."""
+
+import pytest
+
+from repro.analysis import RecKind, affine_in, constant_of, find_recurrences
+from repro.ir import (
+    Assign,
+    BinOp,
+    Call,
+    Const,
+    If,
+    Next,
+    UnaryOp,
+    Var,
+    WhileLoop,
+    eq_,
+    lt_,
+)
+
+
+def loop_with(body, init=()):
+    return WhileLoop(init, lt_(Var("q"), Const(10)), body)
+
+
+class TestConstantFolding:
+    def test_const(self):
+        assert constant_of(Const(5)) == 5
+
+    def test_arith(self):
+        assert constant_of(Const(2) + Const(3) * Const(4)) == 14
+        assert constant_of(-Const(7)) == -7
+        assert constant_of(Const(8) / Const(2)) == 4
+
+    def test_var_defeats(self):
+        assert constant_of(Var("x") + 1) is None
+
+    def test_division_by_zero_safe(self):
+        assert constant_of(Const(1) / Const(0)) is None
+
+
+class TestAffineIn:
+    def test_var_itself(self):
+        assert affine_in(Var("x"), "x") == (1.0, 0.0)
+
+    def test_linear_forms(self):
+        assert affine_in(Var("x") * 3 + 2, "x") == (3.0, 2.0)
+        assert affine_in(2 * Var("x") - 5, "x") == (2.0, -5.0)
+        assert affine_in(-(Var("x") + 1), "x") == (-1.0, -1.0)
+        assert affine_in((Var("x") + 4) / 2, "x") == (0.5, 2.0)
+
+    def test_const_only(self):
+        assert affine_in(Const(3) * 2, "x") == (0.0, 6.0)
+
+    def test_nonlinear_rejected(self):
+        assert affine_in(Var("x") * Var("x"), "x") is None
+        assert affine_in(Var("x") ** 2, "x") is None
+
+    def test_other_var_rejected(self):
+        assert affine_in(Var("x") + Var("y"), "x") is None
+
+
+class TestDetection:
+    def test_induction_positive(self):
+        recs = find_recurrences(loop_with(
+            [Assign("i", Var("i") + 1)], [Assign("i", Const(1))]))
+        (r,) = recs
+        assert r.kind is RecKind.INDUCTION
+        assert r.step == 1 and r.init == 1 and r.monotonic
+
+    def test_induction_negative_step(self):
+        (r,) = find_recurrences(loop_with([Assign("i", Var("i") - 2)]))
+        assert r.kind is RecKind.INDUCTION and r.step == -2
+        assert r.monotonic
+
+    def test_zero_step_not_monotonic(self):
+        (r,) = find_recurrences(loop_with([Assign("i", Var("i") + 0)]))
+        assert r.kind is RecKind.INDUCTION and not r.monotonic
+
+    def test_affine(self):
+        (r,) = find_recurrences(loop_with(
+            [Assign("x", Var("x") * 3 + 1)], [Assign("x", Const(1))]))
+        assert r.kind is RecKind.AFFINE
+        assert (r.mul, r.add) == (3, 1)
+        assert r.monotonic  # growing from x0=1
+
+    def test_affine_nonmonotonic_cycle(self):
+        # x -> -x + b starting at the 2-cycle point
+        (r,) = find_recurrences(loop_with(
+            [Assign("x", Var("x") * -1 + 4)], [Assign("x", Const(2))]))
+        assert r.kind is RecKind.AFFINE
+        assert r.monotonic is False  # 2 -> 2: fixed point
+
+    def test_list_hop(self):
+        (r,) = find_recurrences(loop_with(
+            [Assign("p", Next("lst", Var("p")))]))
+        assert r.kind is RecKind.LIST
+        assert r.list_name == "lst"
+
+    def test_general_opaque(self):
+        (r,) = find_recurrences(loop_with(
+            [Assign("x", Call("f", [Var("x")]))]))
+        assert r.kind is RecKind.GENERAL
+
+    def test_non_recurrence_ignored(self):
+        recs = find_recurrences(loop_with([Assign("y", Var("z") + 1)]))
+        assert recs == []
+
+    def test_conditional_update_is_irregular(self):
+        recs = find_recurrences(loop_with(
+            [If(eq_(Var("q"), 1), [Assign("i", Var("i") + 1)])]))
+        (r,) = recs
+        assert r.irregular
+
+    def test_double_update_is_irregular(self):
+        recs = find_recurrences(loop_with(
+            [Assign("i", Var("i") + 1), Assign("i", Var("i") + 2)]))
+        (r,) = recs
+        assert r.irregular
+
+    def test_multiple_recurrences_found(self):
+        recs = find_recurrences(loop_with(
+            [Assign("i", Var("i") + 1),
+             Assign("x", Var("x") * 2),
+             Assign("p", Next("L", Var("p")))]))
+        kinds = {r.var: r.kind for r in recs}
+        assert kinds == {"i": RecKind.INDUCTION, "x": RecKind.AFFINE,
+                         "p": RecKind.LIST}
+
+    def test_stmt_index_recorded(self):
+        recs = find_recurrences(loop_with(
+            [Assign("y", Const(0)), Assign("i", Var("i") + 1)]))
+        assert recs[0].stmt_index == 1
+
+    def test_init_from_non_constant_is_none(self):
+        (r,) = find_recurrences(loop_with(
+            [Assign("i", Var("i") + 1)], [Assign("i", Var("n"))]))
+        assert r.init is None

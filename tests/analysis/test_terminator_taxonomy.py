@@ -1,0 +1,196 @@
+"""Unit tests for terminator RI/RV classification and Table-1 taxonomy."""
+
+import pytest
+
+from repro.analysis import (
+    DispatcherClass,
+    ParallelKind,
+    TermClass,
+    analyze_loop,
+    classify_terminator,
+)
+from repro.analysis.loopinfo import analyze_loop as _al
+from repro.ir import (
+    ArrayAssign,
+    ArrayRef,
+    Assign,
+    Call,
+    Const,
+    Exit,
+    ExprStmt,
+    FunctionTable,
+    If,
+    Next,
+    Var,
+    WhileLoop,
+    and_,
+    eq_,
+    gt_,
+    le_,
+    lt_,
+    ne_,
+)
+
+
+class TestTerminatorClass:
+    def test_dispatcher_bound_is_ri(self):
+        info = analyze_loop(WhileLoop(
+            [Assign("i", Const(1))], le_(Var("i"), Var("n")),
+            [ArrayAssign("A", Var("i"), Const(0)),
+             Assign("i", Var("i") + 1)]))
+        assert info.terminator.klass is TermClass.RI
+
+    def test_exit_reading_written_array_is_rv(self):
+        info = analyze_loop(WhileLoop(
+            [Assign("i", Const(1))], le_(Var("i"), Var("n")),
+            [If(gt_(ArrayRef("A", Var("i")), 0), [Exit()]),
+             ArrayAssign("A", Var("i"), Var("i")),
+             Assign("i", Var("i") + 1)]))
+        assert info.terminator.is_rv
+        assert info.terminator.rv_reasons
+
+    def test_exit_reading_unwritten_array_is_ri(self):
+        info = analyze_loop(WhileLoop(
+            [Assign("i", Const(1))], le_(Var("i"), Var("n")),
+            [If(gt_(ArrayRef("ro", Var("i")), 0), [Exit()]),
+             ArrayAssign("A", Var("i"), Var("i")),
+             Assign("i", Var("i") + 1)]))
+        assert info.terminator.klass is TermClass.RI
+        assert info.terminator.n_exit_sites == 1
+
+    def test_cond_reading_recurrence_scalar_is_ri(self):
+        # The condition reads `s`, but `s` is itself a recurrence the
+        # planner selects as the dispatcher — a dispatcher-controlled
+        # terminator is RI by definition.
+        info = analyze_loop(WhileLoop(
+            [Assign("i", Const(1)), Assign("s", Const(0))],
+            lt_(Var("s"), Const(10)),
+            [Assign("s", Var("s") + 1),
+             Assign("i", Var("i") + 1)]))
+        assert info.dispatcher.var == "s"
+        assert info.terminator.klass is TermClass.RI
+
+    def test_cond_reading_computed_scalar_is_rv(self):
+        # `t` is recomputed from loop data each iteration (not a
+        # recurrence): the terminator depends on a value computed in
+        # the remainder.
+        info = analyze_loop(WhileLoop(
+            [Assign("i", Const(1))],
+            lt_(Var("t"), Const(10)),
+            [Assign("t", ArrayRef("A", Var("i"))),
+             ArrayAssign("A", Var("i"), Var("t") + 1),
+             Assign("i", Var("i") + 1)]))
+        assert info.dispatcher.var == "i"
+        assert info.terminator.is_rv
+
+    def test_dispatcher_itself_allowed(self):
+        info = analyze_loop(WhileLoop(
+            [Assign("p", Var("h"))], ne_(Var("p"), Const(-1)),
+            [ArrayAssign("B", Var("p"), Const(1)),
+             Assign("p", Next("L", Var("p")))]))
+        assert info.terminator.klass is TermClass.RI
+
+    def test_intrinsic_declared_reads_make_rv(self):
+        ft = FunctionTable()
+        ft.register("check", lambda ctx, i: 0, reads=("A",))
+        loop = WhileLoop(
+            [Assign("i", Const(1))],
+            lt_(Call("check", [Var("i")]), Const(1)),
+            [ArrayAssign("A", Var("i"), Var("i")),
+             Assign("i", Var("i") + 1)])
+        info = analyze_loop(loop, ft)
+        assert info.terminator.is_rv
+
+
+class TestCleanExit:
+    def test_exit_before_writes_is_clean(self):
+        info = analyze_loop(WhileLoop(
+            [Assign("i", Const(1))], le_(Var("i"), Var("n")),
+            [If(eq_(ArrayRef("A", Var("i")), 9), [Exit()]),
+             ArrayAssign("A", Var("i"), Var("i")),
+             Assign("i", Var("i") + 1)]))
+        assert info.terminator.clean_exit
+
+    def test_exit_after_write_not_clean(self):
+        info = analyze_loop(WhileLoop(
+            [Assign("i", Const(1))], le_(Var("i"), Var("n")),
+            [ArrayAssign("A", Var("i"), Var("i")),
+             If(eq_(ArrayRef("A", Var("i")), 9), [Exit()]),
+             Assign("i", Var("i") + 1)]))
+        assert not info.terminator.clean_exit
+
+    def test_exit_stmt_that_writes_not_clean(self):
+        info = analyze_loop(WhileLoop(
+            [Assign("i", Const(1))], le_(Var("i"), Var("n")),
+            [If(eq_(Var("i"), 9),
+                [ArrayAssign("A", Const(0), Const(1)), Exit()]),
+             Assign("i", Var("i") + 1)]))
+        assert not info.terminator.clean_exit
+
+    def test_no_exit_is_clean(self):
+        info = analyze_loop(WhileLoop(
+            [Assign("i", Const(1))], le_(Var("i"), Var("n")),
+            [ArrayAssign("A", Var("i"), Var("i")),
+             Assign("i", Var("i") + 1)]))
+        assert info.terminator.clean_exit
+
+
+class TestTaxonomy:
+    def test_monotonic_induction_threshold_ri(self):
+        info = analyze_loop(WhileLoop(
+            [Assign("i", Const(1))], le_(Var("i"), Var("n")),
+            [ArrayAssign("A", Var("i"), Const(0)),
+             Assign("i", Var("i") + 1)]))
+        c = info.taxonomy
+        assert c.dispatcher is DispatcherClass.MONOTONIC_INDUCTION
+        assert not c.overshoot
+        assert c.parallel is ParallelKind.FULL
+
+    def test_induction_without_threshold_is_nonmonotonic_column(self):
+        # RI condition tests a read-only array, not the dispatcher.
+        info = analyze_loop(WhileLoop(
+            [Assign("i", Const(1))],
+            lt_(ArrayRef("noise", Var("i")), Const(5)),
+            [ArrayAssign("A", Var("i"), Const(0)),
+             Assign("i", Var("i") + 1)]))
+        c = info.taxonomy
+        assert c.dispatcher is DispatcherClass.NONMONOTONIC_INDUCTION
+        assert c.overshoot  # no monotone-threshold exception
+
+    def test_conjunction_threshold_still_monotonic(self):
+        info = analyze_loop(WhileLoop(
+            [Assign("i", Const(1))],
+            and_(le_(Var("i"), Var("n")), lt_(Var("z"), Const(5))),
+            [ArrayAssign("A", Var("i"), Const(0)),
+             Assign("i", Var("i") + 1)]))
+        assert info.taxonomy.dispatcher \
+            is DispatcherClass.MONOTONIC_INDUCTION
+
+    def test_affine_is_associative_prefix(self):
+        info = analyze_loop(WhileLoop(
+            [Assign("r", Const(1))], lt_(Var("r"), Const(100)),
+            [ArrayAssign("A", Const(0), Var("r")),
+             Assign("r", Var("r") * 2 + 1)]))
+        assert info.taxonomy.dispatcher is DispatcherClass.ASSOCIATIVE
+        assert info.taxonomy.parallel is ParallelKind.PREFIX
+
+    def test_list_is_general_no_parallel(self):
+        info = analyze_loop(WhileLoop(
+            [Assign("p", Var("h"))], ne_(Var("p"), Const(-1)),
+            [ArrayAssign("B", Var("p"), Const(1)),
+             Assign("p", Next("L", Var("p")))]))
+        assert info.taxonomy.dispatcher is DispatcherClass.GENERAL
+        assert info.taxonomy.parallel is ParallelKind.NONE
+        assert not info.taxonomy.overshoot  # RI list traversal
+
+    def test_rv_rows_always_overshoot(self):
+        info = analyze_loop(WhileLoop(
+            [Assign("i", Const(1))], le_(Var("i"), Var("n")),
+            [If(gt_(ArrayRef("A", Var("i")), 0), [Exit()]),
+             ArrayAssign("A", Var("i"), Var("i")),
+             Assign("i", Var("i") + 1)]))
+        assert info.taxonomy.overshoot
+
+    def test_table_is_total(self):
+        from repro.analysis import TAXONOMY_TABLE
+        assert len(TAXONOMY_TABLE) == 8  # 4 columns x 2 rows

@@ -1,0 +1,115 @@
+"""Shared fixtures and loop factories for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ir import (
+    ArrayAssign,
+    ArrayRef,
+    Assign,
+    Call,
+    Const,
+    Exit,
+    ExprStmt,
+    FunctionTable,
+    If,
+    Next,
+    Store,
+    Var,
+    WhileLoop,
+    eq_,
+    le_,
+    lt_,
+    ne_,
+)
+from repro.runtime import ALLIANT_FX80, Machine
+from repro.structures import build_chain
+
+
+@pytest.fixture
+def machine8():
+    """The paper's 8-processor configuration."""
+    return Machine(8)
+
+
+@pytest.fixture
+def machine4():
+    return Machine(4)
+
+
+@pytest.fixture
+def empty_funcs():
+    return FunctionTable()
+
+
+def simple_doall_loop(name="doall"):
+    """while i <= n: A[i] = A[i] * 2; i += 1   (mono induction, RI)."""
+    return WhileLoop(
+        init=[Assign("i", Const(1))],
+        cond=le_(Var("i"), Var("n")),
+        body=[ArrayAssign("A", Var("i"), ArrayRef("A", Var("i")) * 2),
+              Assign("i", Var("i") + 1)],
+        name=name,
+    )
+
+
+def simple_doall_store(n=64):
+    return Store({"A": np.arange(n + 2, dtype=np.int64), "n": n, "i": 0})
+
+
+def rv_exit_loop(name="rv-exit"):
+    """DO loop with a point-predicate conditional exit (RV)."""
+    return WhileLoop(
+        init=[Assign("i", Const(1))],
+        cond=le_(Var("i"), Var("n")),
+        body=[If(eq_(ArrayRef("A", Var("i")), Const(999)), [Exit()]),
+              ArrayAssign("A", Var("i"), Var("i") * 10),
+              Assign("i", Var("i") + 1)],
+        name=name,
+    )
+
+
+def rv_exit_store(n=100, exit_at=61):
+    A = np.zeros(n + 2, dtype=np.int64)
+    if exit_at is not None:
+        A[exit_at] = 999
+    return Store({"A": A, "n": n, "i": 0})
+
+
+def list_loop(name="list-loop"):
+    """Linked-list traversal writing each node's slot (general, RI)."""
+    return WhileLoop(
+        init=[Assign("p", Var("head"))],
+        cond=ne_(Var("p"), Const(-1)),
+        body=[ArrayAssign("out", Var("p"), Var("p") * 3 + 1),
+              Assign("p", Next("lst", Var("p")))],
+        name=name,
+    )
+
+
+def list_store(n=40, seed=3):
+    chain = build_chain(n, scramble=True, rng=np.random.default_rng(seed))
+    return Store({"lst": chain, "head": chain.head,
+                  "out": np.zeros(n, dtype=np.int64), "p": 0})
+
+
+def affine_loop(name="affine"):
+    """r = 2r + 1 with an RI threshold terminator."""
+    return WhileLoop(
+        init=[Assign("r", Const(1))],
+        cond=lt_(Var("r"), Const(1 << 30)),
+        body=[ArrayAssign("W", BinMod(Var("r")), Var("r")),
+              Assign("r", Var("r") * 2 + 1)],
+        name=name,
+    )
+
+
+def affine_store():
+    return Store({"W": np.zeros(97, dtype=np.int64), "r": 0})
+
+
+def BinMod(e, m=97):
+    from repro.ir import BinOp
+    return BinOp("%", e, Const(m))

@@ -1,0 +1,155 @@
+"""Detail tests on the executor framework internals."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import analyze_loop
+from repro.errors import ExecutionError, PlanError
+from repro.executors import (
+    ParallelResult,
+    infer_upper_bound,
+    run_induction1,
+    run_induction2,
+)
+from repro.ir import (
+    ArrayAssign,
+    ArrayRef,
+    Assign,
+    Const,
+    FunctionTable,
+    Store,
+    Var,
+    WhileLoop,
+    and_,
+    ge_,
+    gt_,
+    le_,
+    lt_,
+    ne_,
+)
+from repro.runtime import Machine
+from repro.structures import build_chain
+
+from tests.conftest import simple_doall_loop, simple_doall_store
+
+FT = FunctionTable()
+
+
+def info_for(loop):
+    return analyze_loop(loop, FT)
+
+
+class TestInferUpperBound:
+    def bound(self, cond, init=1, step=1, store=None):
+        body = [ArrayAssign("A", Var("i"), Const(0)),
+                Assign("i", Var("i") + step)]
+        loop = WhileLoop([Assign("i", Const(init))], cond, body)
+        st = store or Store({"A": np.zeros(500), "n": 100, "i": 0})
+        return infer_upper_bound(info_for(loop), st)
+
+    def test_le_bound(self):
+        assert self.bound(le_(Var("i"), Var("n"))) == 101
+
+    def test_lt_bound(self):
+        assert self.bound(lt_(Var("i"), Var("n"))) == 100
+
+    def test_const_bound(self):
+        assert self.bound(le_(Var("i"), Const(10))) == 11
+
+    def test_flipped_comparison(self):
+        assert self.bound(ge_(Var("n"), Var("i"))) == 101
+
+    def test_step_two(self):
+        # i = 1, 3, ..., 99 <= 100: 50 live iterations + 1 test
+        assert self.bound(le_(Var("i"), Const(100)), step=2) == 51
+
+    def test_descending(self):
+        loop = WhileLoop(
+            [Assign("i", Const(100))], ge_(Var("i"), Const(1)),
+            [ArrayAssign("A", Var("i"), Const(0)),
+             Assign("i", Var("i") - 1)])
+        st = Store({"A": np.zeros(200), "i": 0})
+        assert infer_upper_bound(info_for(loop), st) == 101
+
+    def test_conjunction_uses_threshold(self):
+        assert self.bound(and_(le_(Var("i"), Var("n")),
+                               ne_(Var("i"), Const(-1)))) == 101
+
+    def test_list_uses_pool_size(self):
+        from repro.ir import Next
+        chain = build_chain(37)
+        loop = WhileLoop(
+            [Assign("p", Const(chain.head))], ne_(Var("p"), Const(-1)),
+            [ArrayAssign("B", Var("p"), Const(1)),
+             Assign("p", Next("L", Var("p")))])
+        st = Store({"L": chain, "B": np.zeros(37), "p": 0})
+        assert infer_upper_bound(info_for(loop), st) == 38
+
+    def test_default_strip_fallback(self):
+        loop = WhileLoop(
+            [Assign("i", Const(1))],
+            lt_(ArrayRef("noise", Var("i")), Const(5)),
+            [ArrayAssign("A", Var("i"), Const(0)),
+             Assign("i", Var("i") + 1)])
+        st = Store({"A": np.zeros(10), "noise": np.zeros(10), "i": 0})
+        assert infer_upper_bound(info_for(loop), st, default=32) == 32
+        with pytest.raises(PlanError):
+            infer_upper_bound(info_for(loop), st)
+
+
+class TestCanonicalFormCheck:
+    def test_read_after_update_rejected(self, machine8):
+        loop = WhileLoop(
+            [Assign("i", Const(1))], le_(Var("i"), Var("n")),
+            [Assign("i", Var("i") + 1),
+             ArrayAssign("A", Var("i"), Const(0))])
+        with pytest.raises(PlanError):
+            run_induction2(loop, Store({"A": np.zeros(50), "n": 20,
+                                        "i": 0}), machine8, FT)
+
+    def test_write_only_after_update_ok(self, machine8):
+        loop = WhileLoop(
+            [Assign("i", Const(1))], le_(Var("i"), Var("n")),
+            [ArrayAssign("A", Const(0), Const(1)),
+             Assign("i", Var("i") + 1)])
+        # no trailing reads of the dispatcher: fine (A[0] is written
+        # every iteration -> output dep, but the scheme itself runs)
+        st = Store({"A": np.zeros(4, dtype=np.int64), "n": 9, "i": 0})
+        run_induction2(loop, st, machine8, FT)
+
+
+class TestResultAccounting:
+    def test_tpar_decomposes(self, machine8):
+        from tests.conftest import rv_exit_loop, rv_exit_store
+        res = run_induction1(rv_exit_loop(), rv_exit_store(60, 31),
+                             machine8, FT)
+        assert res.t_par == res.t_before + res.makespan + res.t_after
+        assert res.t_before > 0   # checkpoint happened
+        assert res.t_after > 0    # reduction + undo happened
+
+    def test_speedup_helper(self):
+        r = ParallelResult(scheme="x", n_iters=1, exited_in_body=False,
+                           t_par=50, makespan=50)
+        assert r.speedup(100) == 2.0
+
+    def test_no_overshoot_loop_skips_protection(self, machine8):
+        res = run_induction2(simple_doall_loop(),
+                             simple_doall_store(30), machine8, FT)
+        assert res.stats["checkpoint_words"] == 0
+        assert res.stats["stamped_words"] == 0
+
+    def test_nontermination_detected(self, machine8):
+        # terminator can never fire within the explicit bound
+        loop = WhileLoop(
+            [Assign("i", Const(1))], le_(Var("i"), Const(10**6)),
+            [ArrayAssign("A", Var("i") % 7, Var("i")),
+             Assign("i", Var("i") + 1)])
+        st = Store({"A": np.zeros(7, dtype=np.int64), "i": 0})
+        with pytest.raises(ExecutionError):
+            run_induction2(loop, st, machine8, FT, u=50)
+
+    def test_spans_recorded_per_strip(self, machine8):
+        from tests.conftest import rv_exit_loop, rv_exit_store
+        res = run_induction2(rv_exit_loop(), rv_exit_store(60, 45),
+                             machine8, FT, strip=10)
+        assert len(res.stats["spans"]) >= 4  # several strips ran

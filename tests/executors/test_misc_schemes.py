@@ -1,0 +1,283 @@
+"""Tests for DOANY, the 1/(p-1) hedge, DOACROSS, windowed execution,
+run-twice internals, and the Wu-Lewis baseline's characteristics."""
+
+import numpy as np
+import pytest
+
+from repro.executors import (
+    run_general3,
+    run_induction2,
+    run_sequential,
+)
+from repro.executors.distribution import run_loop_distribution
+from repro.executors.doacross import run_doacross
+from repro.executors.doany import run_while_doany
+from repro.executors.multirec import run_distributed
+from repro.executors.oneplus import run_one_plus_p_minus_1
+from repro.executors.runtwice import run_twice
+from repro.executors.window import WindowController, run_windowed
+from repro.ir import (
+    ArrayAssign,
+    ArrayRef,
+    Assign,
+    Const,
+    Exit,
+    FunctionTable,
+    If,
+    SequentialInterp,
+    Store,
+    Var,
+    WhileLoop,
+    eq_,
+    le_,
+)
+from repro.runtime import Machine
+
+from tests.conftest import (
+    list_loop,
+    list_store,
+    rv_exit_loop,
+    rv_exit_store,
+    simple_doall_loop,
+    simple_doall_store,
+)
+
+FT = FunctionTable()
+
+
+def search_loop():
+    """Find the first flagged candidate (DOANY-style search)."""
+    return WhileLoop(
+        [Assign("k", Const(1)), Assign("found", Const(-1))],
+        le_(Var("k"), Var("n")),
+        [If(eq_(ArrayRef("flag", Var("k")), Const(1)),
+            [Assign("found", Var("k")), Exit()]),
+         Assign("k", Var("k") + 1)],
+        name="search")
+
+
+def search_store(n=100, hit=64):
+    flag = np.zeros(n + 2, dtype=np.int64)
+    flag[hit] = 1
+    return Store({"flag": flag, "n": n, "k": 0, "found": -1})
+
+
+class TestWhileDoany:
+    def test_finds_the_candidate(self, machine8):
+        st = search_store()
+        res = run_while_doany(search_loop(), st, machine8, FT)
+        assert st["found"] == 64
+        assert res.exited_in_body
+
+    def test_no_checkpoint_no_stamps(self, machine8):
+        st = search_store()
+        res = run_while_doany(search_loop(), st, machine8, FT)
+        assert res.stats["checkpoint_words"] == 0
+        assert res.stats["stamped_words"] == 0
+
+    def test_speedup_scales(self):
+        seq_t = run_sequential(search_loop(), search_store(400, 380),
+                               Machine(1), FT).t_par
+        st = search_store(400, 380)
+        res = run_while_doany(search_loop(), st, Machine(8), FT)
+        assert res.speedup(seq_t) > 2
+
+    def test_matches_sequential_result_with_inorder_issue(self, machine8):
+        ref = search_store()
+        SequentialInterp(search_loop(), FT).run(ref)
+        st = search_store()
+        run_while_doany(search_loop(), st, machine8, FT)
+        assert st["found"] == ref["found"]
+
+
+class TestOnePlusHedge:
+    def test_parallel_wins_on_big_loop(self, machine8):
+        ref = simple_doall_store(200)
+        SequentialInterp(simple_doall_loop(), FT).run(ref)
+        st = simple_doall_store(200)
+        res = run_one_plus_p_minus_1(
+            simple_doall_loop(), st, machine8, FT,
+            parallel_scheme=run_induction2)
+        assert res.stats["parallel_won"]
+        assert st.equals(ref)
+
+    def test_sequential_wins_on_tiny_loop(self, machine8):
+        ref = simple_doall_store(2)
+        SequentialInterp(simple_doall_loop(), FT).run(ref)
+        st = simple_doall_store(2)
+        res = run_one_plus_p_minus_1(
+            simple_doall_loop(), st, machine8, FT,
+            parallel_scheme=run_induction2)
+        assert not res.stats["parallel_won"]
+        assert st.equals(ref)
+
+    def test_needs_two_processors(self):
+        from repro.errors import PlanError
+        with pytest.raises(PlanError):
+            run_one_plus_p_minus_1(
+                simple_doall_loop(), simple_doall_store(5), Machine(1),
+                FT, parallel_scheme=run_induction2)
+
+    def test_cost_caps_loss(self, machine8):
+        """The hedge's total time is close to min(seq, par) + copies."""
+        st = simple_doall_store(200)
+        res = run_one_plus_p_minus_1(
+            simple_doall_loop(), st, machine8, FT,
+            parallel_scheme=run_induction2)
+        lanes = min(res.stats["t_seq_lane"], res.stats["t_par_lane"])
+        assert res.t_par == res.t_before + lanes
+
+
+class TestDoacross:
+    def _dependent_loop(self):
+        """A[i] = A[i-1] + i: fully flow-dependent remainder."""
+        return WhileLoop(
+            [Assign("i", Const(1))], le_(Var("i"), Var("n")),
+            [ArrayAssign("A", Var("i"),
+                         ArrayRef("A", Var("i") - 1) + Var("i")),
+             Assign("i", Var("i") + 1)],
+            name="chain")
+
+    def test_exact_semantics(self, machine8):
+        def mk():
+            return Store({"A": np.zeros(52, dtype=np.int64), "n": 50,
+                          "i": 0})
+        ref = mk()
+        SequentialInterp(self._dependent_loop(), FT).run(ref)
+        st = mk()
+        res = run_doacross(self._dependent_loop(), st, machine8, FT)
+        assert st.equals(ref)
+        assert res.n_iters == 50
+
+    def test_dependent_loop_no_speedup(self, machine8):
+        st = Store({"A": np.zeros(52, dtype=np.int64), "n": 50, "i": 0})
+        seq_t = run_sequential(self._dependent_loop(), st, Machine(1),
+                               FT).t_par
+        st2 = Store({"A": np.zeros(52, dtype=np.int64), "n": 50, "i": 0})
+        res = run_doacross(self._dependent_loop(), st2, machine8, FT)
+        # the whole body is one dependence chain: pipelining buys ~nothing
+        assert res.speedup(seq_t) < 1.2
+
+    def test_parallel_part_overlaps(self, machine8):
+        """A loop with a small sequential core and heavy independent
+        work per iteration pipelines well."""
+        ft = FunctionTable()
+        ft.register("heavy", lambda ctx, i: 0, cost=300)
+        from repro.ir import Call, ExprStmt
+        loop = WhileLoop(
+            [Assign("i", Const(1)), Assign("s", Const(0))],
+            le_(Var("i"), Var("n")),
+            [Assign("s", Var("s") + 1),          # carried chain (cheap)
+             ExprStmt(Call("heavy", [Var("i")])),  # independent (heavy)
+             Assign("i", Var("i") + 1)],
+            name="pipeline")
+        def mk():
+            return Store({"n": 60, "i": 0, "s": 0})
+        seq_t = run_sequential(loop, mk(), Machine(1), ft).t_par
+        st = mk()
+        res = run_doacross(loop, st, machine8, ft)
+        assert res.speedup(seq_t) > 3
+        assert st["s"] == 60
+
+
+class TestDistributedMultirec:
+    def test_semantics_preserved(self, machine8):
+        loop = WhileLoop(
+            [Assign("i", Const(1)), Assign("x", Const(1))],
+            le_(Var("i"), Var("n")),
+            [Assign("x", Var("x") * 2),
+             ArrayAssign("A", Var("i"), Var("x")),
+             ArrayAssign("B", Var("i"), Var("i") * 3),
+             Assign("i", Var("i") + 1)],
+            name="tworec")
+        def mk():
+            return Store({"A": np.zeros(34, dtype=np.int64),
+                          "B": np.zeros(34, dtype=np.int64),
+                          "n": 32, "i": 0, "x": 0})
+        ref = mk()
+        SequentialInterp(loop, FT).run(ref)
+        st = mk()
+        res = run_distributed(loop, st, machine8, FT)
+        assert st.equals(ref)
+        assert "recurrence-parallel" in res.stats["plan_modes"]
+
+    def test_speedup_on_parallel_blocks(self, machine8):
+        ft = FunctionTable()
+        ft.register("w", lambda ctx, i: 0, cost=200)
+        from repro.ir import Call, ExprStmt
+        loop = WhileLoop(
+            [Assign("i", Const(1))], le_(Var("i"), Var("n")),
+            [ExprStmt(Call("w", [Var("i")])),
+             Assign("i", Var("i") + 1)],
+            name="mostly-parallel")
+        def mk():
+            return Store({"n": 100, "i": 0})
+        seq_t = run_sequential(loop, mk(), Machine(1), ft).t_par
+        st = mk()
+        res = run_distributed(loop, st, machine8, ft)
+        assert res.speedup(seq_t) > 2
+
+
+class TestWindowedDetails:
+    def test_fixed_window_throttles(self):
+        """A tiny window on variable-duration work must not beat an
+        unconstrained run."""
+        ft = FunctionTable()
+        ft.register("vw", lambda ctx, i: ctx.charge(40 + (i % 11) * 60))
+        from repro.ir import Call, ExprStmt
+        loop = WhileLoop(
+            [Assign("i", Const(1))], le_(Var("i"), Var("n")),
+            [ExprStmt(Call("vw", [Var("i")])),
+             Assign("i", Var("i") + 1)], name="varwork")
+        def mk():
+            return Store({"n": 120, "i": 0})
+        m = Machine(8)
+        tight = run_windowed(loop, mk(), m, ft,
+                             controller=WindowController(initial=2,
+                                                         minimum=2))
+        loose = run_windowed(loop, mk(), m, ft,
+                             controller=WindowController(initial=512))
+        assert tight.t_par >= loose.t_par
+
+    def test_dynamic_window_adapts(self, machine8):
+        st = rv_exit_store(200, 160)
+        res = run_windowed(rv_exit_loop(), st, machine8,
+                           FT, controller=WindowController(
+                               initial=8, memory_budget_words=4))
+        assert len(res.stats["window_history"]) >= 1
+
+
+class TestRunTwiceDetails:
+    def test_no_stamps_either_pass(self, machine8):
+        st = rv_exit_store(60, 33)
+        res = run_twice(rv_exit_loop(), st, machine8, FT)
+        assert res.stats["pass1"]["stamped_words"] == 0
+        assert res.stats["pass2"]["stamped_words"] == 0
+
+    def test_costs_both_passes(self, machine8):
+        st = rv_exit_store(60, 33)
+        twice = run_twice(rv_exit_loop(), st, machine8, FT)
+        st2 = rv_exit_store(60, 33)
+        once = run_induction2(rv_exit_loop(), st2, machine8, FT)
+        assert twice.t_par > once.makespan
+
+
+class TestWuLewisCharacteristics:
+    def test_sequential_walk_dominates_light_bodies(self, machine8):
+        """The paper's criticism: with little remainder work, the
+        sequential dispatcher walk caps the distribution's speedup
+        below General-3's."""
+        ref_t = run_sequential(list_loop(), list_store(120), Machine(1),
+                               FT).t_par
+        wu = run_loop_distribution(list_loop(), list_store(120),
+                                   machine8, FT)
+        g3 = run_general3(list_loop(), list_store(120), machine8, FT)
+        assert wu.stats["sequential_walk_time"] > 0
+        assert wu.speedup(ref_t) <= g3.speedup(ref_t) * 1.35
+
+    def test_rv_superfluous_terms(self, machine8):
+        """With an RV terminator the walk precomputes terms past the
+        exit — the paper's 'superfluous values of the dispatcher'."""
+        res = run_loop_distribution(rv_exit_loop(),
+                                    rv_exit_store(80, 20), machine8, FT)
+        assert res.stats["superfluous_terms"] > 0

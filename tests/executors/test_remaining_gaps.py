@@ -1,0 +1,117 @@
+"""Remaining coverage gaps: error paths and less-traveled options."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PlanError
+from repro.executors.doany import run_while_doany
+from repro.executors.runtwice import run_twice
+from repro.ir import (
+    ArrayAssign,
+    Assign,
+    Const,
+    FunctionTable,
+    SequentialInterp,
+    Store,
+    Var,
+    WhileLoop,
+    le_,
+    lt_,
+    ne_,
+)
+from repro.runtime import Machine
+
+from tests.conftest import (
+    affine_loop,
+    affine_store,
+    list_loop,
+    list_store,
+    rv_exit_loop,
+    rv_exit_store,
+)
+
+FT = FunctionTable()
+
+
+class TestDoanyEdges:
+    def test_requires_dispatcher(self, machine8):
+        loop = WhileLoop([], lt_(Var("x"), Const(1)),
+                         [ArrayAssign("A", Const(0), Const(1))])
+        with pytest.raises(PlanError):
+            run_while_doany(loop, Store({"A": np.zeros(2), "x": 0}),
+                            machine8, FT)
+
+    def test_list_dispatcher_uses_private_walk(self, machine8):
+        ref = list_store(25)
+        SequentialInterp(list_loop(), FT).run(ref)
+        st = list_store(25)
+        res = run_while_doany(list_loop(), st, machine8, FT)
+        assert st.equals(ref)
+        assert res.stats["doany"]
+
+
+class TestRunTwiceEdges:
+    def test_affine_loop_uses_general_supply(self, machine8):
+        ref = affine_store()
+        SequentialInterp(affine_loop(), FT).run(ref)
+        st = affine_store()
+        res = run_twice(affine_loop(), st, machine8, FT, u=40)
+        assert st.equals(ref)
+        assert res.scheme == "run-twice"
+
+    def test_zero_iteration_loop(self, machine8):
+        loop = WhileLoop([Assign("i", Const(5))],
+                         le_(Var("i"), Const(1)),
+                         [ArrayAssign("A", Var("i"), Const(1)),
+                          Assign("i", Var("i") + 1)])
+        def mk():
+            return Store({"A": np.zeros(8, dtype=np.int64), "i": 0})
+        ref = mk()
+        SequentialInterp(loop, FT).run(ref)
+        st = mk()
+        res = run_twice(loop, st, machine8, FT)
+        assert st.equals(ref)
+        assert res.n_iters == 0
+
+
+class TestSchedulerEdgeCases:
+    def test_static_with_one_processor(self):
+        from repro.executors import run_general2
+        ref = list_store(12)
+        SequentialInterp(list_loop(), FT).run(ref)
+        st = list_store(12)
+        run_general2(list_loop(), st, Machine(1), FT)
+        assert st.equals(ref)
+
+    def test_windowed_more_procs_than_iters(self):
+        from repro.executors.window import run_windowed
+        ref = rv_exit_store(6, 4)
+        SequentialInterp(rv_exit_loop(), FT).run(ref)
+        st = rv_exit_store(6, 4)
+        run_windowed(rv_exit_loop(), st, Machine(16), FT)
+        assert st.equals(ref)
+
+    def test_doacross_zero_iterations(self, machine8):
+        from repro.executors.doacross import run_doacross
+        loop = WhileLoop([Assign("i", Const(9))],
+                         le_(Var("i"), Const(1)),
+                         [Assign("i", Var("i") + 1)])
+        st = Store({"i": 0})
+        res = run_doacross(loop, st, machine8, FT)
+        assert res.n_iters == 0
+        assert st["i"] == 9
+
+
+class TestStoreEdgeCases:
+    def test_lists_excluded_from_arrays(self):
+        from repro.structures import build_chain
+        st = Store({"L": build_chain(4), "A": np.zeros(2)})
+        assert st.lists() == ("L",)
+        assert st.arrays() == ("A",)
+
+    def test_checkpoint_skips_lists_in_partial_mode(self):
+        from repro.speculation import Checkpoint
+        from repro.structures import build_chain
+        st = Store({"L": build_chain(4), "A": np.zeros(3)})
+        ck = Checkpoint(st, arrays=["A"])
+        assert ck.words == 3  # list pool not counted as array words

@@ -1,0 +1,215 @@
+"""The framework's central invariant: every scheme == sequential.
+
+Each parallel executor, run on any loop satisfying its preconditions,
+must leave the store bit-identical to the sequential interpreter and
+report the same iteration count.  This file drives every scheme over
+the standard loop shapes (DOALL, RV-exit, list traversal, affine) and
+adds a hypothesis property over randomized RV exit points and machine
+sizes.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.executors import (
+    run_associative_prefix,
+    run_general1,
+    run_general2,
+    run_general3,
+    run_induction1,
+    run_induction2,
+    run_sequential,
+)
+from repro.executors.distribution import run_loop_distribution
+from repro.executors.runtwice import run_twice
+from repro.executors.window import run_windowed
+from repro.ir import FunctionTable, SequentialInterp
+from repro.runtime import Machine
+
+from tests.conftest import (
+    affine_loop,
+    affine_store,
+    list_loop,
+    list_store,
+    rv_exit_loop,
+    rv_exit_store,
+    simple_doall_loop,
+    simple_doall_store,
+)
+
+FT = FunctionTable()
+
+ALL_SCHEMES = [
+    ("induction-1", run_induction1),
+    ("induction-2", run_induction2),
+    ("general-1", run_general1),
+    ("general-2", run_general2),
+    ("general-3", run_general3),
+    ("wu-lewis", run_loop_distribution),
+    ("run-twice", run_twice),
+]
+
+INDUCTION_CAPABLE = ALL_SCHEMES  # all handle induction dispatchers
+GENERAL_ONLY = [s for s in ALL_SCHEMES
+                if s[0] in ("general-1", "general-2", "general-3",
+                            "wu-lewis", "run-twice")]
+
+
+def check(loop, make_store, runner, machine, **kwargs):
+    ref = make_store()
+    seq = run_sequential(loop, ref, machine, FT)
+    st_ = make_store()
+    res = runner(loop, st_, machine, FT, **kwargs)
+    assert st_.equals(ref), st_.diff(ref)
+    assert res.n_iters == seq.n_iters
+    assert res.exited_in_body == seq.exited_in_body
+    return res
+
+
+class TestDoallLoop:
+    @pytest.mark.parametrize("name,runner", INDUCTION_CAPABLE)
+    def test_matches_sequential(self, name, runner, machine8):
+        check(simple_doall_loop(), lambda: simple_doall_store(40),
+              runner, machine8)
+
+    @pytest.mark.parametrize("name,runner", INDUCTION_CAPABLE)
+    def test_single_processor(self, name, runner):
+        check(simple_doall_loop(), lambda: simple_doall_store(17),
+              runner, Machine(1))
+
+    @pytest.mark.parametrize("name,runner", INDUCTION_CAPABLE)
+    def test_more_procs_than_iters(self, name, runner):
+        check(simple_doall_loop(), lambda: simple_doall_store(3),
+              runner, Machine(16))
+
+    def test_windowed_matches(self, machine8):
+        check(simple_doall_loop(), lambda: simple_doall_store(40),
+              run_windowed, machine8)
+
+    @pytest.mark.parametrize("name,runner", [("induction-2", run_induction2)])
+    def test_zero_iterations(self, name, runner, machine8):
+        check(simple_doall_loop(), lambda: simple_doall_store(0),
+              runner, machine8)
+
+
+class TestRvExitLoop:
+    @pytest.mark.parametrize("name,runner", INDUCTION_CAPABLE)
+    def test_exit_mid_loop(self, name, runner, machine8):
+        check(rv_exit_loop(), lambda: rv_exit_store(80, 37), runner,
+              machine8)
+
+    @pytest.mark.parametrize("name,runner",
+                             [("induction-1", run_induction1),
+                              ("induction-2", run_induction2)])
+    def test_exit_first_iteration(self, name, runner, machine8):
+        check(rv_exit_loop(), lambda: rv_exit_store(50, 1), runner,
+              machine8)
+
+    @pytest.mark.parametrize("name,runner",
+                             [("induction-1", run_induction1),
+                              ("induction-2", run_induction2)])
+    def test_exit_last_iteration(self, name, runner, machine8):
+        check(rv_exit_loop(), lambda: rv_exit_store(50, 50), runner,
+              machine8)
+
+    def test_no_exit_runs_to_bound(self, machine8):
+        check(rv_exit_loop(), lambda: rv_exit_store(50, None),
+              run_induction2, machine8)
+
+    def test_overshoot_is_undone(self, machine8):
+        st_ = rv_exit_store(80, 37)
+        res = run_induction1(rv_exit_loop(), st_, machine8, FT)
+        assert res.overshot > 0
+        assert res.restored_words == res.overshot
+
+    def test_quit_limits_overshoot(self, machine8):
+        r1 = run_induction1(rv_exit_loop(), rv_exit_store(80, 37),
+                            machine8, FT)
+        r2 = run_induction2(rv_exit_loop(), rv_exit_store(80, 37),
+                            machine8, FT)
+        assert r2.overshot < r1.overshot
+
+
+class TestListLoop:
+    @pytest.mark.parametrize("name,runner", GENERAL_ONLY)
+    def test_matches_sequential(self, name, runner, machine8):
+        check(list_loop(), lambda: list_store(40), runner, machine8)
+
+    @pytest.mark.parametrize("name,runner", GENERAL_ONLY)
+    def test_tiny_list(self, name, runner, machine4):
+        check(list_loop(), lambda: list_store(2), runner, machine4)
+
+    def test_induction_scheme_rejects_list(self, machine8):
+        from repro.errors import PlanError
+        with pytest.raises(PlanError):
+            run_induction2(list_loop(), list_store(10), machine8, FT)
+
+
+class TestAffineLoop:
+    def test_prefix_matches(self, machine8):
+        check(affine_loop(), affine_store, run_associative_prefix,
+              machine8, u=40)
+
+    def test_prefix_stripmined(self, machine8):
+        res = check(affine_loop(), affine_store, run_associative_prefix,
+                    machine8, strip=8)
+        assert res.stats["terms_computed"] >= res.n_iters
+
+    def test_general3_also_works_on_affine(self, machine8):
+        check(affine_loop(), affine_store, run_general3, machine8, u=40)
+
+    def test_prefix_rejects_induction(self, machine8):
+        from repro.errors import PlanError
+        with pytest.raises(PlanError):
+            run_associative_prefix(simple_doall_loop(),
+                                   simple_doall_store(10), machine8, FT)
+
+
+class TestStripMining:
+    def test_strips_preserve_semantics(self, machine8):
+        check(simple_doall_loop(), lambda: simple_doall_store(50),
+              run_induction2, machine8, strip=7)
+
+    def test_strip_smaller_than_p(self, machine8):
+        check(simple_doall_loop(), lambda: simple_doall_store(30),
+              run_induction2, machine8, strip=3)
+
+    def test_rv_exit_across_strips(self, machine8):
+        check(rv_exit_loop(), lambda: rv_exit_store(90, 55),
+              run_induction2, machine8, strip=10)
+
+
+@given(n=st.integers(1, 60),
+       exit_at=st.integers(0, 60),
+       p=st.integers(1, 12),
+       scheme=st.sampled_from(["induction-1", "induction-2",
+                               "run-twice", "wu-lewis"]))
+@settings(max_examples=50, deadline=None)
+def test_rv_equivalence_property(n, exit_at, p, scheme):
+    """Property: for any exit point and machine size, RV-exit loops
+    produce sequential state under every induction-capable scheme."""
+    runner = dict(ALL_SCHEMES)[scheme]
+    exit_pos = exit_at if 1 <= exit_at <= n else None
+    machine = Machine(p)
+    ref = rv_exit_store(n, exit_pos)
+    SequentialInterp(rv_exit_loop(), FT).run(ref)
+    st_ = rv_exit_store(n, exit_pos)
+    runner(rv_exit_loop(), st_, machine, FT)
+    assert st_.equals(ref), st_.diff(ref)
+
+
+@given(n=st.integers(1, 50), p=st.integers(1, 10), seed=st.integers(0, 99),
+       scheme=st.sampled_from(["general-1", "general-2", "general-3"]))
+@settings(max_examples=50, deadline=None)
+def test_list_equivalence_property(n, p, seed, scheme):
+    """Property: scrambled-list traversals match sequential state under
+    all three General schemes for any list size and machine."""
+    runner = dict(ALL_SCHEMES)[scheme]
+    machine = Machine(p)
+    ref = list_store(n, seed)
+    SequentialInterp(list_loop(), FT).run(ref)
+    st_ = list_store(n, seed)
+    runner(list_loop(), st_, machine, FT)
+    assert st_.equals(ref), st_.diff(ref)

@@ -1,0 +1,194 @@
+"""Tests for the speculative driver: PD pass, fail, privatize, hazard."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.executors import run_sequential
+from repro.executors.speculative import default_test_arrays, run_speculative
+from repro.ir import (
+    ArrayAssign,
+    ArrayRef,
+    Assign,
+    Const,
+    FunctionTable,
+    SequentialInterp,
+    Store,
+    Var,
+    WhileLoop,
+    le_,
+)
+from repro.runtime import Machine
+
+FT = FunctionTable()
+
+
+def subsub_loop():
+    """A[idx[i-1]] = i — unanalyzable; parallel iff idx is injective."""
+    return WhileLoop(
+        [Assign("i", Const(1))], le_(Var("i"), Var("n")),
+        [ArrayAssign("A", ArrayRef("idx", Var("i") - 1), Var("i") * 1.0),
+         Assign("i", Var("i") + 1)],
+        name="subsub")
+
+
+def subsub_store(n=60, injective=True, seed=5):
+    rng = np.random.default_rng(seed)
+    idx = (rng.permutation(n) if injective
+           else rng.integers(0, max(2, n // 6), n)).astype(np.int64)
+    return Store({"A": np.zeros(n), "idx": idx, "n": n, "i": 0})
+
+
+def flow_loop():
+    """A[i] reads A[idx[i-1]] where idx points backwards: flow deps."""
+    return WhileLoop(
+        [Assign("i", Const(1))], le_(Var("i"), Var("n")),
+        [ArrayAssign("A", Var("i"),
+                     ArrayRef("A", ArrayRef("idx", Var("i") - 1)) + 1.0),
+         Assign("i", Var("i") + 1)],
+        name="flowy")
+
+
+class TestSpeculativePass:
+    def test_pd_passes_on_independent(self, machine8):
+        ref = subsub_store()
+        SequentialInterp(subsub_loop(), FT).run(ref)
+        st = subsub_store()
+        res = run_speculative(subsub_loop(), st, machine8, FT)
+        assert not res.fallback_sequential
+        assert res.pd.valid_as_is
+        assert st.equals(ref)
+
+    def test_default_test_arrays(self):
+        from repro.analysis import analyze_loop
+        info = analyze_loop(subsub_loop(), FT)
+        assert default_test_arrays(info) == ("A",)
+
+    def test_speedup_positive(self, machine8):
+        ref = subsub_store(200)
+        seq = run_sequential(subsub_loop(), ref, machine8, FT)
+        st = subsub_store(200)
+        res = run_speculative(subsub_loop(), st, machine8, FT)
+        assert res.speedup(seq.t_par) > 1.5
+
+    def test_sparse_shadow_variant(self, machine8):
+        # A is much larger than the touched region: the hash shadow
+        # must allocate only for touched elements.
+        n = 60
+        rng = np.random.default_rng(5)
+        idx = (rng.permutation(1000)[:n]).astype(np.int64)
+        def mk():
+            return Store({"A": np.zeros(1000), "idx": idx, "n": n,
+                          "i": 0})
+        ref = mk()
+        SequentialInterp(subsub_loop(), FT).run(ref)
+        st = mk()
+        res = run_speculative(subsub_loop(), st, machine8, FT,
+                              sparse_shadow=True)
+        assert not res.fallback_sequential
+        assert st.equals(ref)
+        assert res.stats["shadow_words"] == 4 * n  # touched elements only
+        assert res.stats["shadow_words"] < 4 * 1000
+
+
+class TestSpeculativeFail:
+    def test_pd_fails_and_falls_back(self, machine8):
+        ref = subsub_store(injective=False)
+        SequentialInterp(subsub_loop(), FT).run(ref)
+        st = subsub_store(injective=False)
+        res = run_speculative(subsub_loop(), st, machine8, FT)
+        assert res.fallback_sequential
+        assert st.equals(ref)  # sequential re-execution: exact
+
+    def test_flow_deps_fail(self, machine8):
+        n = 40
+        rng = np.random.default_rng(2)
+        idx = np.maximum(0, np.arange(n) - 1 - rng.integers(0, 3, n))
+        def mk():
+            return Store({"A": np.ones(n + 1), "idx": idx.astype(np.int64),
+                          "n": n, "i": 0})
+        ref = mk()
+        SequentialInterp(flow_loop(), FT).run(ref)
+        st = mk()
+        res = run_speculative(flow_loop(), st, machine8, FT)
+        assert res.fallback_sequential
+        assert st.equals(ref)
+
+    def test_slowdown_bounded(self, machine8):
+        """Section 7: a failed speculation costs O(T_seq/p) extra."""
+        from repro.planner import slowdown_bound
+        ref = subsub_store(300, injective=False)
+        seq = run_sequential(subsub_loop(), ref, machine8, FT)
+        st = subsub_store(300, injective=False)
+        res = run_speculative(subsub_loop(), st, machine8, FT)
+        assert res.fallback_sequential
+        assert res.t_par <= slowdown_bound(seq.t_par, machine8.nprocs) * 1.3
+
+
+class TestPrivatizedSpeculation:
+    def _loop(self):
+        # T is written then read within each iteration (privatizable);
+        # A gets the per-iteration result.
+        return WhileLoop(
+            [Assign("i", Const(1))], le_(Var("i"), Var("n")),
+            [ArrayAssign("T", ArrayRef("idx", Var("i") - 1), Var("i") * 2.0),
+             ArrayAssign("A", Var("i"),
+                         ArrayRef("T", ArrayRef("idx", Var("i") - 1))),
+             Assign("i", Var("i") + 1)],
+            name="privy")
+
+    def _store(self, n=40):
+        # idx maps many iterations to the SAME T cell: cross-iteration
+        # output deps on T that only privatization can remove.
+        idx = (np.arange(n) % 4).astype(np.int64)
+        return Store({"T": np.zeros(8), "A": np.zeros(n + 2),
+                      "idx": idx, "n": n, "i": 0})
+
+    def test_fails_without_privatization(self, machine8):
+        st = self._store()
+        res = run_speculative(self._loop(), st, machine8, FT,
+                              privatize=())
+        assert res.fallback_sequential
+
+    def test_passes_with_privatization(self, machine8):
+        ref = self._store()
+        SequentialInterp(self._loop(), FT).run(ref)
+        st = self._store()
+        res = run_speculative(self._loop(), st, machine8, FT,
+                              privatize=("T",))
+        assert not res.fallback_sequential
+        assert res.pd.valid_with_privatized(("T",))
+        assert st.equals(ref), st.diff(ref)
+
+
+class TestExceptionHazard:
+    def test_exception_falls_back_to_sequential(self, machine8):
+        # division by an array value that is zero at one iteration,
+        # but only in the *parallel* path... here it faults in both;
+        # the driver must restore and produce the sequential outcome
+        # (which also faults) — so use a loop that only faults past the
+        # sequential exit: RV exit before the poison, parallel
+        # overshoot hits it.
+        from repro.ir import Exit, If, eq_
+        loop = WhileLoop(
+            [Assign("i", Const(1))], le_(Var("i"), Var("n")),
+            [If(eq_(ArrayRef("stop", Var("i")), Const(1)), [Exit()]),
+             ArrayAssign("A", Var("i"),
+                         Const(100) / ArrayRef("den", Var("i"))),
+             Assign("i", Var("i") + 1)],
+            name="poisoned")
+        n = 40
+        def mk():
+            stop = np.zeros(n + 2, dtype=np.int64)
+            stop[20] = 1
+            den = np.ones(n + 2)
+            den[21] = 0.0  # only overshot iterations divide by zero
+            return Store({"A": np.zeros(n + 2), "stop": stop,
+                          "den": den, "n": n, "i": 0})
+        ref = mk()
+        SequentialInterp(loop, FT).run(ref)
+        st = mk()
+        res = run_speculative(loop, st, machine8, FT,
+                              test_arrays=("A",))
+        assert st.equals(ref), st.diff(ref)

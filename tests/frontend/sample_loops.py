@@ -1,0 +1,15 @@
+"""Sample Python loops used by the frontend tests (inspect-readable)."""
+
+
+def double_all(A, n):
+    i = 1
+    while i <= n:
+        A[i] = A[i] * 2
+        i = i + 1
+
+
+def device_walk(lst, out):
+    tmp = lst.head
+    while tmp != -1:
+        out[tmp] = work(tmp)   # noqa: F821  (intrinsic by convention)
+        tmp = lst.successor(tmp)

@@ -1,0 +1,259 @@
+"""Tests for the Fortran-flavoured frontend (the paper's own syntax)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import RecKind, TermClass, Verdict, analyze_loop
+from repro.errors import FrontendError
+from repro.frontend import lift_fortranish
+from repro.ir import (
+    ArrayAssign,
+    Const,
+    Exit,
+    FunctionTable,
+    If,
+    Next,
+    SequentialInterp,
+    Store,
+    Var,
+)
+
+
+class TestPaperFigures:
+    def test_figure_1e_affine(self):
+        l = lift_fortranish("""
+integer r = 1
+while (f(r) .lt. V)
+  WORK(r)
+  r = 3 * r + 1
+endwhile
+""")
+        info = analyze_loop(l.loop)
+        assert info.dispatcher.kind is RecKind.AFFINE
+        assert (info.dispatcher.mul, info.dispatcher.add) == (3, 1)
+        assert l.intrinsics == ("WORK", "f")
+
+    def test_figure_1b_list_traversal(self):
+        l = lift_fortranish("""
+tmp = head
+while (tmp .ne. null)
+  WORK(tmp)
+  tmp = next(lst, tmp)
+endwhile
+""")
+        info = analyze_loop(l.loop)
+        assert info.dispatcher.kind is RecKind.LIST
+        assert isinstance(l.loop.body[-1].expr, Next)
+
+    def test_figure_5a_do_with_exit(self):
+        l = lift_fortranish("""
+do i = 1, n
+  if (f(i) .eq. true) then exit
+  A(i) = 2 * A(i)
+enddo
+""", arrays=("A",))
+        info = analyze_loop(l.loop)
+        assert info.dispatcher.kind is RecKind.INDUCTION
+        assert info.terminator.n_exit_sites == 1
+        assert info.dependence.verdict is Verdict.INDEPENDENT
+        # DO-loop normalization appended the counter update last
+        assert l.loop.body[-1].name == "i"
+
+    def test_figure_5c_flow_dependent(self):
+        l = lift_fortranish("""
+do i = 2, n
+  if (f(i) .eq. true) then exit
+  A(i) = A(i) + A(i - 1)
+enddo
+""", arrays=("A",))
+        info = analyze_loop(l.loop)
+        assert info.dependence.verdict is Verdict.DEPENDENT
+
+
+class TestSyntax:
+    def test_operators_both_spellings(self):
+        l = lift_fortranish("""
+i = 1
+while (i <= n .and. i /= 7)
+  i = i + 1
+endwhile
+""")
+        assert l.loop.cond.op == "and"
+
+    def test_comments_stripped(self):
+        l = lift_fortranish("""
+i = 1            ! the counter
+while (i .lt. 5) ! head test
+  i = i + 1
+endwhile
+""")
+        assert len(l.loop.body) == 1
+
+    def test_dimension_declares_arrays(self):
+        l = lift_fortranish("""
+dimension A(100), B(100)
+i = 1
+while (i .le. n)
+  B(i) = A(i)
+  i = i + 1
+endwhile
+""")
+        assert set(l.arrays) == {"A", "B"}
+
+    def test_block_if_else(self):
+        l = lift_fortranish("""
+i = 1
+while (i .le. n)
+  if (A(i) .gt. 0) then
+    B(i) = 1
+  else
+    B(i) = 2
+  endif
+  i = i + 1
+endwhile
+""", arrays=("A", "B"))
+        top = l.loop.body[0]
+        assert isinstance(top, If)
+        assert top.orelse
+
+    def test_single_line_if_statement(self):
+        l = lift_fortranish("""
+i = 1
+while (i .le. n)
+  if (i .gt. 5) B(i) = 9
+  i = i + 1
+endwhile
+""", arrays=("B",))
+        assert isinstance(l.loop.body[0].then[0], ArrayAssign)
+
+    def test_power_and_unary_minus(self):
+        l = lift_fortranish("""
+x = 1
+while (x .lt. 100)
+  x = x ** 2 - -1
+endwhile
+""")
+        assert l.loop.body[0].expr.op == "-"
+
+    def test_null_literal(self):
+        l = lift_fortranish("""
+p = head
+while (p .ne. null)
+  p = next(lst, p)
+endwhile
+""")
+        assert l.loop.cond.right == Const(-1)
+
+
+class TestSemantics:
+    def test_executes_correctly(self):
+        l = lift_fortranish("""
+do i = 1, n
+  if (A(i) .gt. 90) then exit
+  A(i) = 2 * A(i)
+enddo
+""", arrays=("A",))
+        A = np.arange(60, dtype=np.int64) * 2
+        st = Store({"A": A, "n": 50, "i": 0})
+        res = SequentialInterp(l.loop, FunctionTable()).run(st)
+        assert res.exited_in_body
+        assert res.n_iters == 46  # A[46] = 92 > 90 fires the exit
+        assert st["A"][10] == 40  # 20 doubled
+
+    def test_parallelizes_end_to_end(self):
+        from repro import Machine, parallelize
+        l = lift_fortranish("""
+do i = 1, n
+  A(i) = 3 * A(i)
+enddo
+""", arrays=("A",))
+        st = Store({"A": np.arange(80, dtype=np.int64), "n": 70, "i": 0})
+        out = parallelize(l.loop, st, Machine(8))
+        assert out.verified
+        assert out.plan.scheme == "induction-2"
+
+
+class TestRejections:
+    def rejects(self, src, **kw):
+        with pytest.raises(FrontendError):
+            lift_fortranish(src, **kw)
+
+    def test_no_loop(self):
+        self.rejects("x = 1\n")
+
+    def test_missing_endwhile(self):
+        self.rejects("while (x .lt. 1)\n  x = x + 1\n")
+
+    def test_two_loops(self):
+        self.rejects("""
+while (a .lt. 1)
+  a = a + 1
+endwhile
+while (b .lt. 1)
+  b = b + 1
+endwhile
+""")
+
+    def test_statements_after_loop(self):
+        self.rejects("""
+while (a .lt. 1)
+  a = a + 1
+endwhile
+b = 2
+""")
+
+    def test_garbage_tokens(self):
+        self.rejects("while (a @ b)\n  a = 1\nendwhile\n")
+
+    def test_unbalanced_parens(self):
+        self.rejects("""
+i = 1
+while (i .le. n)
+  if (i .gt. 5 B(i) = 9
+  i = i + 1
+endwhile
+""")
+
+
+class TestNestedDo:
+    def test_nested_do_lowers_to_for(self):
+        import numpy as np
+        from repro.ir import For
+        l = lift_fortranish("""
+i = 1
+while (i .le. n)
+  do j = 0, 3
+    B(j) = B(j) + i
+  enddo
+  i = i + 1
+endwhile
+""", arrays=("B",))
+        assert isinstance(l.loop.body[0], For)
+        st = Store({"B": np.zeros(4, dtype=np.int64), "n": 3,
+                    "i": 0, "j": 0})
+        SequentialInterp(l.loop, FunctionTable()).run(st)
+        assert list(st["B"]) == [6, 6, 6, 6]
+
+    def test_nested_do_with_exit_rejected(self):
+        with pytest.raises(FrontendError):
+            lift_fortranish("""
+i = 1
+while (i .le. n)
+  do j = 0, 3
+    if (j .eq. 2) exit
+  enddo
+  i = i + 1
+endwhile
+""")
+
+    def test_nested_while_rejected(self):
+        with pytest.raises(FrontendError):
+            lift_fortranish("""
+i = 1
+while (i .le. n)
+  while (j .lt. 2)
+    j = j + 1
+  endwhile
+  i = i + 1
+endwhile
+""")

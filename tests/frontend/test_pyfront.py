@@ -1,0 +1,206 @@
+"""Tests for the Python-source frontend."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import RecKind, TermClass, Verdict, analyze_loop
+from repro.errors import FrontendError
+from repro.frontend import lift_function, lift_source
+from repro.ir import (
+    ArrayAssign,
+    Assign,
+    Exit,
+    FunctionTable,
+    If,
+    Next,
+    SequentialInterp,
+    Store,
+    Var,
+)
+
+
+class TestBasicLifting:
+    def test_counter_loop(self):
+        l = lift_source("""
+i = 1
+while i <= n:
+    A[i] = A[i] * 2
+    i = i + 1
+""")
+        assert l.arrays == ("A",)
+        assert "i" in l.scalars and "n" in l.scalars
+        info = analyze_loop(l.loop)
+        assert info.dispatcher.kind is RecKind.INDUCTION
+
+    def test_augmented_assign(self):
+        l = lift_source("""
+i = 0
+while i < n:
+    A[i] += 5
+    i += 1
+""")
+        body = l.loop.body
+        assert isinstance(body[0], ArrayAssign)
+        info = analyze_loop(l.loop)
+        assert info.dispatcher.step == 1
+
+    def test_break_becomes_exit(self):
+        l = lift_source("""
+i = 1
+while i <= n:
+    if A[i] > 100:
+        break
+    A[i] = i
+    i = i + 1
+""")
+        assert isinstance(l.loop.body[0], If)
+        assert isinstance(l.loop.body[0].then[0], Exit)
+        info = analyze_loop(l.loop)
+        assert info.terminator.klass is TermClass.RV
+
+    def test_list_traversal_sugar(self):
+        l = lift_source("""
+tmp = lst.head
+while tmp != -1:
+    out[tmp] = work(tmp)
+    tmp = lst.successor(tmp)
+""")
+        assert l.lists == ("lst",)
+        assert l.intrinsics == ("work",)
+        assert isinstance(l.loop.body[-1].expr, Next)
+        info = analyze_loop(l.loop)
+        assert info.dispatcher.kind is RecKind.LIST
+
+    def test_function_lifting_uses_name(self):
+        # defined in a real file so inspect can read it
+        import tests.frontend.sample_loops as sl
+        l = lift_function(sl.double_all)
+        assert l.loop.name == "double_all"
+
+    def test_inner_for_range(self):
+        l = lift_source("""
+i = 0
+while i < n:
+    for j in range(3):
+        B[j] = B[j] + i
+    i += 1
+""")
+        from repro.ir import For
+        assert isinstance(l.loop.body[0], For)
+
+    def test_boolop_comparison_chain(self):
+        l = lift_source("""
+i = 0
+while i < n and not done:
+    i += 1
+""")
+        assert l.loop.cond.op == "and"
+
+    def test_min_max_abs_builtins(self):
+        l = lift_source("""
+i = 0
+while i < n:
+    A[i] = max(abs(A[i]), min(i, 7))
+    i += 1
+""")
+        assert l.intrinsics == ()  # folded to IR primitives
+
+    def test_docstring_and_return_skipped(self):
+        l = lift_source('''
+def f(A, n):
+    """docstring"""
+    i = 0
+    while i < n:
+        i += 1
+    return i
+''')
+        assert l.loop.name == "f"
+
+
+class TestLiftedSemantics:
+    def test_lifted_loop_runs(self):
+        l = lift_source("""
+i = 1
+while i <= n:
+    A[i] = A[i] * 2
+    i = i + 1
+""")
+        st = Store({"A": np.arange(12, dtype=np.int64), "n": 10, "i": 0})
+        SequentialInterp(l.loop, FunctionTable()).run(st)
+        assert st["A"][10] == 20
+
+    def test_lifted_loop_parallelizes(self, machine8):
+        from repro import parallelize
+        l = lift_source("""
+i = 1
+while i <= n:
+    A[i] = A[i] + 100
+    i = i + 1
+""")
+        st = Store({"A": np.arange(60, dtype=np.int64), "n": 58, "i": 0})
+        out = parallelize(l.loop, st, machine8)
+        assert out.verified
+        assert out.plan.scheme == "induction-2"
+
+
+class TestRejections:
+    def rejects(self, src):
+        with pytest.raises(FrontendError):
+            lift_source(src)
+
+    def test_no_while(self):
+        self.rejects("x = 1\n")
+
+    def test_two_whiles(self):
+        self.rejects("""
+while a < 1:
+    a += 1
+while b < 1:
+    b += 1
+""")
+
+    def test_statement_after_loop(self):
+        self.rejects("""
+while a < 1:
+    a += 1
+b = 2
+""")
+
+    def test_chained_comparison(self):
+        self.rejects("""
+while 0 < i < n:
+    i += 1
+""")
+
+    def test_unsupported_statement(self):
+        self.rejects("""
+while i < n:
+    with open('x'):
+        pass
+""")
+
+    def test_unsupported_call_style(self):
+        self.rejects("""
+while i < n:
+    obj.method(i)
+    i += 1
+""")
+
+    def test_while_else(self):
+        self.rejects("""
+while i < n:
+    i += 1
+else:
+    pass
+""")
+
+    def test_error_mentions_line(self):
+        try:
+            lift_source("""
+while i < n:
+    import os
+""", filename="snippet.py")
+        except FrontendError as e:
+            assert "snippet.py" in str(e)
+        else:
+            pytest.fail("expected FrontendError")

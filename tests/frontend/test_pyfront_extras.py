@@ -1,0 +1,135 @@
+"""Additional frontend coverage: while-True loops, elif chains, and
+end-to-end execution of lifted loops through every relevant scheme."""
+
+import numpy as np
+import pytest
+
+from repro import Machine, parallelize
+from repro.analysis import TermClass, analyze_loop
+from repro.frontend import lift_source
+from repro.ir import Const, FunctionTable, SequentialInterp, Store
+
+FT = FunctionTable()
+
+
+class TestWhileTrue:
+    SRC = """
+i = 1
+while True:
+    if A[i] == -1:
+        break
+    A[i] = i * 10
+    i = i + 1
+"""
+
+    def test_lifts(self):
+        l = lift_source(self.SRC, name="wt")
+        assert l.loop.cond == Const(True)
+        info = analyze_loop(l.loop)
+        assert info.terminator.klass is TermClass.RV
+        assert info.terminator.n_exit_sites == 1
+
+    def test_runs_sequentially(self):
+        l = lift_source(self.SRC)
+        A = np.zeros(50, dtype=np.int64)
+        A[31] = -1
+        st = Store({"A": A, "i": 0})
+        res = SequentialInterp(l.loop, FT).run(st)
+        assert res.n_iters == 31
+        assert res.exited_in_body
+
+    def test_parallelizes_with_stripmining(self):
+        """No inferable bound: the driver must strip-mine on its own."""
+        l = lift_source(self.SRC)
+        A = np.zeros(120, dtype=np.int64)
+        A[77] = -1
+        st = Store({"A": A, "i": 0})
+        out = parallelize(l.loop, st, Machine(8))
+        assert out.verified
+        assert out.result.n_iters == 77
+
+
+class TestElifChains:
+    def test_elif_lowered_to_nested_if(self):
+        l = lift_source("""
+i = 1
+while i <= n:
+    if A[i] == 0:
+        B[i] = 1
+    elif A[i] == 1:
+        B[i] = 2
+    else:
+        B[i] = 3
+    i = i + 1
+""")
+        from repro.ir import If
+        top = l.loop.body[0]
+        assert isinstance(top, If)
+        assert isinstance(top.orelse[0], If)
+
+    def test_elif_semantics(self):
+        l = lift_source("""
+i = 0
+while i < n:
+    if A[i] == 0:
+        B[i] = 1
+    elif A[i] == 1:
+        B[i] = 2
+    else:
+        B[i] = 3
+    i = i + 1
+""")
+        A = np.array([0, 1, 2, 1, 0], dtype=np.int64)
+        st = Store({"A": A, "B": np.zeros(5, dtype=np.int64),
+                    "n": 5, "i": 0})
+        SequentialInterp(l.loop, FT).run(st)
+        assert list(st["B"]) == [1, 2, 3, 2, 1]
+
+
+class TestLiftedThroughSchemes:
+    def test_lifted_rv_loop_all_induction_schemes(self):
+        from repro.executors import run_induction1, run_induction2
+        from repro.executors.runtwice import run_twice
+        l = lift_source("""
+i = 1
+while i <= n:
+    if flags[i] > 0:
+        break
+    out[i] = i * 7
+    i = i + 1
+""")
+
+        def mk():
+            flags = np.zeros(80, dtype=np.int64)
+            flags[44] = 1
+            return Store({"flags": flags,
+                          "out": np.zeros(80, dtype=np.int64),
+                          "n": 78, "i": 0})
+        ref = mk()
+        SequentialInterp(l.loop, FT).run(ref)
+        for runner in (run_induction1, run_induction2, run_twice):
+            st = mk()
+            runner(l.loop, st, Machine(6), FT)
+            assert st.equals(ref), runner.__name__
+
+    def test_lifted_list_loop_general_schemes(self):
+        from repro.executors import run_general1, run_general3
+        from repro.structures import build_chain
+        l = lift_source("""
+p = lst.head
+while p != -1:
+    out[p] = p + 1
+    p = lst.successor(p)
+""")
+        chain = build_chain(30, scramble=True,
+                            rng=np.random.default_rng(4))
+
+        def mk():
+            return Store({"lst": chain, "lst__head": chain.head,
+                          "out": np.zeros(30, dtype=np.int64), "p": 0})
+        ref = mk()
+        SequentialInterp(l.loop, FT).run(ref)
+        for runner in (run_general1, run_general3):
+            st = mk()
+            runner(l.loop, st, Machine(4), FT)
+            assert st.equals(ref), runner.__name__

@@ -1,0 +1,102 @@
+"""Integration tests: the top-level parallelize() API end to end."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ArrayAssign,
+    ArrayRef,
+    Assign,
+    Const,
+    ExecutionError,
+    FunctionTable,
+    Machine,
+    Store,
+    Var,
+    WhileLoop,
+    le_,
+    parallelize,
+)
+
+from tests.conftest import (
+    list_loop,
+    list_store,
+    rv_exit_loop,
+    rv_exit_store,
+    simple_doall_loop,
+    simple_doall_store,
+)
+
+
+class TestParallelize:
+    def test_doall_verified(self, machine8):
+        st = simple_doall_store(80)
+        out = parallelize(simple_doall_loop(), st, machine8)
+        assert out.verified
+        assert out.plan.scheme == "induction-2"
+        assert out.speedup > 1
+
+    def test_list_loop_general3(self, machine8):
+        st = list_store(60)
+        out = parallelize(list_loop(), st, machine8)
+        assert out.verified
+        assert out.plan.scheme == "general-3"
+
+    def test_rv_exit_loop(self, machine8):
+        st = rv_exit_store(90, 47)
+        out = parallelize(rv_exit_loop(), st, machine8)
+        assert out.verified
+        assert out.result.n_iters == 47
+
+    def test_speculative_path(self, machine8):
+        loop = WhileLoop(
+            [Assign("i", Const(1))], le_(Var("i"), Var("n")),
+            [ArrayAssign("A", ArrayRef("idx", Var("i") - 1), Var("i")),
+             Assign("i", Var("i") + 1)], name="spec")
+        n = 50
+        idx = np.random.default_rng(0).permutation(n).astype(np.int64)
+        st = Store({"A": np.zeros(n, dtype=np.int64), "idx": idx,
+                    "n": n, "i": 0})
+        out = parallelize(loop, st, machine8)
+        assert out.verified
+        assert out.plan.scheme == "speculative"
+        assert not out.result.fallback_sequential
+
+    def test_speculative_fallback_still_correct(self, machine8):
+        loop = WhileLoop(
+            [Assign("i", Const(1))], le_(Var("i"), Var("n")),
+            [ArrayAssign("A", ArrayRef("idx", Var("i") - 1),
+                         ArrayRef("A", Const(0)) + Var("i")),
+             Assign("i", Var("i") + 1)], name="collides")
+        n = 40
+        idx = np.zeros(n, dtype=np.int64)  # every iteration hits A[0]
+        st = Store({"A": np.zeros(4, dtype=np.int64), "idx": idx,
+                    "n": n, "i": 0})
+        out = parallelize(loop, st, machine8)
+        assert out.verified
+        assert out.result.fallback_sequential
+
+    def test_sequential_plan_for_tiny(self, machine8):
+        st = simple_doall_store(1)
+        out = parallelize(simple_doall_loop(), st, machine8,
+                          min_speedup=1.5)
+        assert out.plan.scheme == "sequential"
+        assert out.verified
+
+    def test_verify_off_skips_check(self, machine8):
+        st = simple_doall_store(30)
+        out = parallelize(simple_doall_loop(), st, machine8,
+                          verify=False)
+        assert out.verified is None
+
+    def test_explicit_bound_and_strip(self, machine8):
+        st = simple_doall_store(40)
+        out = parallelize(simple_doall_loop(), st, machine8, strip=8)
+        assert out.verified
+
+    def test_outcome_fields(self, machine8):
+        st = simple_doall_store(40)
+        out = parallelize(simple_doall_loop(), st, machine8)
+        assert out.t_seq > 0
+        assert out.result.t_par > 0
+        assert out.plan.rationale

@@ -1,0 +1,82 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def loop_file(tmp_path):
+    f = tmp_path / "loop.py"
+    f.write_text("""
+i = 1
+while i <= n:
+    if A[i] > 100:
+        break
+    A[i] = A[i] * 2
+    i = i + 1
+""")
+    return str(f)
+
+
+class TestAnalyze:
+    def test_human_output(self, loop_file, capsys):
+        assert main(["analyze", loop_file]) == 0
+        out = capsys.readouterr().out
+        assert "dispatcher:   i (induction)" in out
+        assert "remainder-variant" in out
+        assert "plan:         induction-2" in out
+
+    def test_json_output(self, loop_file, capsys):
+        assert main(["analyze", loop_file, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["dispatcher"]["var"] == "i"
+        assert payload["taxonomy"]["overshoot"] is True
+        assert payload["dependence"] == "independent"
+        assert payload["plan"] == "induction-2"
+
+    def test_missing_file(self, capsys):
+        assert main(["analyze", "/nonexistent/loop.py"]) == 2
+
+    def test_list_loop(self, tmp_path, capsys):
+        f = tmp_path / "list.py"
+        f.write_text("""
+tmp = lst.head
+while tmp != -1:
+    out[tmp] = work(tmp)
+    tmp = lst.successor(tmp)
+""")
+        assert main(["analyze", str(f)]) == 0
+        out = capsys.readouterr().out
+        assert "(list)" in out
+        assert "general-3" in out
+
+
+class TestTaxonomy:
+    def test_prints_eight_cells(self, capsys):
+        assert main(["taxonomy"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("True") == 8
+
+
+class TestWorkload:
+    def test_spice(self, capsys):
+        assert main(["workload", "spice", "--procs", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "General-3" in out
+        assert "store_ok=True" in out
+
+    def test_mcsparse_named_input(self, capsys):
+        assert main(["workload", "mcsparse:orsreg1"]) == 0
+        out = capsys.readouterr().out
+        assert "WHILE-DOANY" in out
+
+    def test_ma28_full_spec(self, capsys):
+        assert main(["workload", "ma28:gematt12:320"]) == 0
+        out = capsys.readouterr().out
+        assert "loop 320" in out
+
+    def test_unknown_workload(self, capsys):
+        assert main(["workload", "nosuch"]) == 2

@@ -1,0 +1,139 @@
+"""Full-stack stress: every speculation mechanism engaged at once.
+
+One loop that simultaneously exercises: an RV conditional exit
+(checkpoint + time-stamps + undo), unanalyzable subscripts (PD shadow
+marking with time-stamped marks), a privatized scratch array
+(copy-in + write trail + last-valid copy-out), an opaque work intrinsic
+(declared read/write sets), strip-mining, and the hash-shadow variant —
+all validated bit-for-bit against the sequential reference.
+"""
+
+import numpy as np
+import pytest
+
+from repro.executors.speculative import run_speculative
+from repro.ir import (
+    ArrayAssign,
+    ArrayRef,
+    Assign,
+    Call,
+    Const,
+    Exit,
+    ExprStmt,
+    FunctionTable,
+    If,
+    SequentialInterp,
+    Store,
+    Var,
+    WhileLoop,
+    eq_,
+    le_,
+)
+from repro.runtime import Machine
+
+N = 150
+
+
+def make_funcs() -> FunctionTable:
+    ft = FunctionTable()
+
+    def polish(ctx, slot: int, k: int):
+        v = ctx.read("out", slot)
+        ctx.write("out", slot, v * 2 + k)
+        return 0
+    ft.register("polish", polish, cost=35, reads=("out",),
+                writes=("out",))
+    return ft
+
+
+def make_loop() -> WhileLoop:
+    return WhileLoop(
+        [Assign("i", Const(1))],
+        le_(Var("i"), Var("n")),
+        [
+            # RV exit on data the loop itself wrote earlier
+            If(eq_(ArrayRef("halt", Var("i")), Const(1)), [Exit()]),
+            # scratch through an unanalyzable map (privatized)
+            Assign("slot", ArrayRef("map", Var("i") - 1)),
+            ArrayAssign("T", Var("slot"), Var("i") * 3.0),
+            # result from the scratch, through the same map
+            ArrayAssign("out", Var("i"),
+                        ArrayRef("T", Var("slot")) + 1.0),
+            # opaque kernel touching `out` through declared sets
+            ExprStmt(Call("polish", [Var("i"), Var("i")])),
+            # mark progress (feeds nothing; exercises another array)
+            ArrayAssign("halt", Var("i"), Const(0)),
+            Assign("i", Var("i") + 1),
+        ],
+        name="full-stack")
+
+
+def make_store(exit_at=101) -> Store:
+    rng = np.random.default_rng(11)
+    halt = np.zeros(N + 2, dtype=np.int64)
+    halt[exit_at] = 1
+    return Store({
+        "map": (rng.integers(0, 12, N)).astype(np.int64),  # many-to-one!
+        "T": np.zeros(12),
+        "out": np.zeros(N + 2),
+        "halt": halt,
+        "n": N,
+        "i": 0,
+        "slot": 0,
+    })
+
+
+FT = make_funcs()
+
+
+@pytest.mark.parametrize("sparse", [False, True])
+@pytest.mark.parametrize("strip", [None, 16])
+def test_everything_at_once(sparse, strip, machine8):
+    ref = make_store()
+    SequentialInterp(make_loop(), FT).run(ref)
+
+    st = make_store()
+    res = run_speculative(
+        make_loop(), st, machine8, FT,
+        privatize=("T",),
+        sparse_shadow=sparse,
+        strip=strip,
+    )
+    assert st.equals(ref), st.diff(ref)
+    assert res.n_iters == 101
+    # T is many-to-one: without privatization this must fail...
+    st2 = make_store()
+    res2 = run_speculative(make_loop(), st2, machine8, FT,
+                           privatize=(), strip=strip,
+                           sparse_shadow=sparse)
+    assert res2.fallback_sequential
+    assert st2.equals(ref)
+
+
+def test_exit_at_first_iteration(machine8):
+    ref = make_store(exit_at=1)
+    SequentialInterp(make_loop(), FT).run(ref)
+    st = make_store(exit_at=1)
+    res = run_speculative(make_loop(), st, machine8, FT,
+                          privatize=("T",))
+    assert st.equals(ref)
+    assert res.n_iters == 1  # the exiting iteration itself
+
+
+def test_no_exit_runs_full(machine8):
+    ref = make_store(exit_at=0)   # halt[0] never read (i starts at 1)
+    SequentialInterp(make_loop(), FT).run(ref)
+    st = make_store(exit_at=0)
+    res = run_speculative(make_loop(), st, machine8, FT,
+                          privatize=("T",))
+    assert st.equals(ref)
+    assert res.n_iters == N
+
+
+@pytest.mark.parametrize("p", [1, 2, 5, 8, 13])
+def test_machine_size_sweep(p):
+    ref = make_store()
+    SequentialInterp(make_loop(), FT).run(ref)
+    st = make_store()
+    run_speculative(make_loop(), st, Machine(p), FT, privatize=("T",))
+    assert st.equals(ref), p

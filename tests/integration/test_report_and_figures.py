@@ -1,0 +1,86 @@
+"""Direct unit tests for the experiment-harness plumbing."""
+
+import pytest
+
+from repro.experiments.figures import FigureData, figure_6, figure_7
+from repro.experiments.tables import Table2Row
+
+
+class TestFigureData:
+    def test_rows_pairs_measured_with_paper(self):
+        fig = FigureData("9", "t",
+                         series={"m": {1: 1.0, 8: 4.0}},
+                         paper_at_8={"m": 4.2})
+        rows = fig.rows()
+        assert rows == [("m", 4.0, 4.2)]
+
+    def test_rows_handles_unreported(self):
+        fig = FigureData("9", "t", series={"m": {8: 3.0}})
+        assert fig.rows() == [("m", 3.0, None)]
+
+
+class TestTable2Row:
+    def test_relative_error(self):
+        r = Table2Row("B", "L", "T", "i", measured=5.5, paper=5.0,
+                      store_ok=True)
+        assert r.relative_error == pytest.approx(0.1)
+
+    def test_relative_error_unreported(self):
+        r = Table2Row("B", "L", "T", "i", measured=5.5, paper=None,
+                      store_ok=True)
+        assert r.relative_error is None
+
+
+class TestFigureBuilders:
+    def test_figure_6_custom_procs(self):
+        fig = figure_6(n_devices=150, procs=(1, 3))
+        for curve in fig.series.values():
+            assert set(curve) == {1, 3}
+        assert fig.figure == "6"
+
+    def test_figure_7_has_both_series(self):
+        fig = figure_7(n_tracks=150, procs=(2,))
+        assert set(fig.series) == {"Induction-1",
+                                   "Ideal (hand-parallel)"}
+
+
+class TestCliReport:
+    def test_report_command_prints(self, capsys, monkeypatch):
+        import repro.experiments.report as rep
+        import repro.cli as cli
+        # patch the report to something instant
+        monkeypatch.setattr(rep, "render_report",
+                            lambda: "# EXPERIMENTS stub\n")
+        import repro.experiments as exps
+        monkeypatch.setattr(exps, "render_report",
+                            lambda: "# EXPERIMENTS stub\n")
+        assert cli.main(["report"]) == 0
+        assert "EXPERIMENTS stub" in capsys.readouterr().out
+
+
+class TestMultirecUnknownMode:
+    def test_unknown_block_costed(self, machine8):
+        """A distributed plan with an UNKNOWN (PD-tested) block charges
+        shadow/analysis costs and still produces exact state."""
+        import numpy as np
+        from repro.executors.multirec import run_distributed
+        from repro.ir import (ArrayAssign, ArrayRef, Assign, Const,
+                              FunctionTable, SequentialInterp, Store,
+                              Var, WhileLoop, le_)
+        loop = WhileLoop(
+            [Assign("i", Const(1))], le_(Var("i"), Var("n")),
+            [ArrayAssign("A", ArrayRef("idx", Var("i")), Var("i")),
+             Assign("i", Var("i") + 1)],
+            name="unknown-block")
+
+        def mk():
+            idx = np.arange(30, dtype=np.int64)
+            return Store({"A": np.zeros(31, dtype=np.int64),
+                          "idx": idx, "n": 28, "i": 0})
+        ft = FunctionTable()
+        ref = mk()
+        SequentialInterp(loop, ft).run(ref)
+        st = mk()
+        res = run_distributed(loop, st, machine8, ft)
+        assert st.equals(ref)
+        assert "unknown" in res.stats["plan_modes"]

@@ -1,0 +1,66 @@
+"""Tests for the downstream-adopter verification helper."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import Machine
+from repro.testing import check_equivalence
+
+from tests.conftest import (
+    affine_loop,
+    affine_store,
+    list_loop,
+    list_store,
+    rv_exit_loop,
+    rv_exit_store,
+    simple_doall_loop,
+    simple_doall_store,
+)
+
+
+class TestCheckEquivalence:
+    def test_induction_loop_runs_many_schemes(self):
+        rep = check_equivalence(simple_doall_loop(),
+                                lambda: simple_doall_store(40))
+        assert rep.all_consistent
+        assert "induction-1" in rep.applicable_schemes
+        assert "induction-2" in rep.applicable_schemes
+        assert "run-twice" in rep.applicable_schemes
+        assert len(rep.applicable_schemes) >= 5
+
+    def test_list_loop_schemes(self):
+        rep = check_equivalence(list_loop(), lambda: list_store(30))
+        assert rep.all_consistent
+        assert "general-1" in rep.applicable_schemes
+        assert "general-3" in rep.applicable_schemes
+        # induction schemes must be reported inapplicable, not failed
+        inapp = [c for c in rep.checks if not c.applicable]
+        assert any("induction" in c.scheme for c in inapp)
+
+    def test_rv_exit_loop(self):
+        rep = check_equivalence(rv_exit_loop(),
+                                lambda: rv_exit_store(70, 33))
+        assert rep.all_consistent
+        for c in rep.checks:
+            if c.applicable:
+                assert c.n_iters == 33
+
+    def test_affine_loop_needs_bound(self):
+        rep = check_equivalence(affine_loop(), affine_store, u=40)
+        assert rep.all_consistent
+        assert "associative-prefix" in rep.applicable_schemes
+        assert "speculative" in rep.applicable_schemes
+
+    def test_summary_readable(self):
+        rep = check_equivalence(simple_doall_loop(),
+                                lambda: simple_doall_store(20))
+        text = rep.summary()
+        assert "T_seq=" in text
+        assert "induction-2" in text
+        assert "match=True" in text
+
+    def test_custom_machine(self):
+        rep = check_equivalence(simple_doall_loop(),
+                                lambda: simple_doall_store(20),
+                                machine=Machine(2))
+        assert rep.all_consistent

@@ -1,0 +1,44 @@
+"""Integration: execute every Table-1 zoo loop through the full driver.
+
+This ties the taxonomy's *predictions* to *observed* behaviour: cells
+that promise no overshoot must execute without undoing anything, and
+every cell must verify against the sequential reference.
+"""
+
+import pytest
+
+from repro import Machine, parallelize
+from repro.workloads import make_zoo
+
+ZOO = {z.name: z for z in make_zoo()}
+
+
+@pytest.mark.parametrize("name", sorted(ZOO))
+def test_zoo_loop_parallelizes_and_verifies(name):
+    z = ZOO[name]
+    out = parallelize(z.loop, z.make_store(), Machine(8), z.funcs,
+                      min_speedup=0.0)
+    assert out.verified, name
+
+
+@pytest.mark.parametrize("name", sorted(ZOO))
+def test_no_overshoot_cells_never_undo(name):
+    z = ZOO[name]
+    out = parallelize(z.loop, z.make_store(), Machine(8), z.funcs,
+                      min_speedup=0.0)
+    if not z.expect_overshoot and not out.result.fallback_sequential:
+        assert out.result.overshot == 0, name
+        assert out.result.restored_words == 0, name
+
+
+@pytest.mark.parametrize("name", sorted(ZOO))
+def test_zoo_scales_with_processors(name):
+    """t_par at 8 processors never exceeds t_par at 1 by more than the
+    fixed parallelization overheads (a weak but universal sanity law)."""
+    z = ZOO[name]
+    t = {}
+    for p in (1, 8):
+        out = parallelize(z.loop, z.make_store(), Machine(p), z.funcs,
+                          min_speedup=0.0)
+        t[p] = out.result.t_par
+    assert t[8] <= t[1] * 1.6 + 500, name

@@ -1,0 +1,271 @@
+"""Unit tests for the closure-compiling interpreter."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError, IRError, NullPointerError, OvershootLimit
+from repro.ir import (
+    ArrayAssign,
+    ArrayRef,
+    Assign,
+    Call,
+    Const,
+    EvalContext,
+    Exit,
+    ExprStmt,
+    For,
+    FunctionTable,
+    If,
+    IterationRunner,
+    IterOutcome,
+    Next,
+    SequentialInterp,
+    Store,
+    UnaryOp,
+    Var,
+    WhileLoop,
+    and_,
+    compile_expr,
+    eq_,
+    le_,
+    lt_,
+    ne_,
+    not_,
+    or_,
+)
+from repro.runtime import FREE, UNIT
+from repro.structures import build_chain
+
+from tests.conftest import simple_doall_loop, simple_doall_store
+
+
+def ev(expr, store=None, funcs=None, cost=FREE, local=None):
+    ctx = EvalContext(store or Store(), funcs or FunctionTable(), cost,
+                      local=local)
+    return compile_expr(expr, cost)(ctx)
+
+
+class TestExpressionEval:
+    def test_arithmetic(self):
+        assert ev(Const(2) + 3) == 5
+        assert ev(Const(7) - 2) == 5
+        assert ev(Const(4) * 3) == 12
+        assert ev(Const(7) / 2) == 3.5
+        assert ev(Const(7) // 2) == 3
+        assert ev(Const(7) % 3) == 1
+        assert ev(Const(2) ** 5) == 32
+
+    def test_comparisons(self):
+        assert ev(lt_(1, 2)) is True
+        assert ev(le_(2, 2)) is True
+        assert ev(eq_(3, 4)) is False
+        assert ev(ne_(3, 4)) is True
+
+    def test_unary(self):
+        assert ev(-Const(3)) == -3
+        assert ev(not_(Const(False))) is True
+        assert ev(UnaryOp("abs", Const(-4))) == 4
+
+    def test_short_circuit_and(self):
+        # right side would crash (division by zero) if evaluated
+        crash = Const(1) / Const(0)
+        assert ev(and_(Const(False), crash)) is False
+        with pytest.raises(ZeroDivisionError):
+            ev(and_(Const(True), crash))
+
+    def test_short_circuit_or(self):
+        crash = Const(1) / Const(0)
+        assert ev(or_(Const(True), crash)) is True
+
+    def test_minmax(self):
+        from repro.ir import min_, max_
+        assert ev(min_(3, 5)) == 3
+        assert ev(max_(3, 5)) == 5
+
+    def test_scalar_read(self):
+        st = Store({"x": 42})
+        assert ev(Var("x"), st) == 42
+
+    def test_local_shadows_store(self):
+        st = Store({"x": 1})
+        assert ev(Var("x"), st, local={"x": 7}) == 7
+
+    def test_array_read(self):
+        st = Store({"A": np.array([10, 20, 30])})
+        assert ev(ArrayRef("A", Const(1)), st) == 20
+
+    def test_array_bounds_checked(self):
+        st = Store({"A": np.zeros(3)})
+        with pytest.raises(ExecutionError):
+            ev(ArrayRef("A", Const(3)), st)
+        with pytest.raises(ExecutionError):
+            ev(ArrayRef("A", Const(-1)), st)
+
+    def test_next_hop(self):
+        chain = build_chain(3)
+        st = Store({"L": chain})
+        assert ev(Next("L", Const(0)), st) == 1
+        assert ev(Next("L", Const(2)), st) == -1
+
+    def test_next_from_null_raises(self):
+        st = Store({"L": build_chain(3)})
+        with pytest.raises(NullPointerError):
+            ev(Next("L", Const(-1)), st)
+
+    def test_next_on_non_list_raises(self):
+        st = Store({"L": np.zeros(3)})
+        with pytest.raises(IRError):
+            ev(Next("L", Const(0)), st)
+
+    def test_call_intrinsic(self):
+        ft = FunctionTable()
+        ft.register("twice", lambda ctx, x: 2 * x)
+        assert ev(Call("twice", [Const(21)]), funcs=ft) == 42
+
+
+class TestCycleAccounting:
+    def test_unit_cost_counts_ops(self):
+        st = Store({"x": 1})
+        ctx = EvalContext(st, FunctionTable(), UNIT)
+        compile_expr(Var("x") + Var("x") * 2, UNIT)(ctx)
+        # two scalar refs + one mul + one add = 4 unit ops
+        assert ctx.cycles == 4
+
+    def test_array_access_charges(self):
+        st = Store({"A": np.zeros(4)})
+        ctx = EvalContext(st, FunctionTable(), UNIT)
+        compile_expr(ArrayRef("A", Const(0)), UNIT)(ctx)
+        assert ctx.cycles == 1
+
+    def test_intrinsic_declared_cost(self):
+        ft = FunctionTable()
+        ft.register("k", lambda ctx: 0, cost=100)
+        ctx = EvalContext(Store(), ft, UNIT)
+        compile_expr(Call("k", []), UNIT)(ctx)
+        assert ctx.cycles == 101  # call_base 1 + declared 100
+
+    def test_callable_cost(self):
+        ft = FunctionTable()
+        ft.register("k", lambda ctx, x: x, cost=lambda x: 10 * x)
+        ctx = EvalContext(Store(), ft, UNIT)
+        compile_expr(Call("k", [Const(3)]), UNIT)(ctx)
+        assert ctx.cycles == 1 + 30
+
+
+class TestSequentialInterp:
+    def test_simple_loop_semantics(self):
+        loop = simple_doall_loop()
+        st = simple_doall_store(10)
+        res = SequentialInterp(loop, FunctionTable()).run(st)
+        assert res.n_iters == 10
+        assert not res.exited_in_body
+        assert st["i"] == 11
+        assert list(st["A"][1:11]) == [2 * k for k in range(1, 11)]
+
+    def test_exit_in_body(self):
+        loop = WhileLoop(
+            [Assign("i", Const(1))], le_(Var("i"), Const(100)),
+            [If(eq_(Var("i"), Const(5)), [Exit()]),
+             ArrayAssign("A", Var("i"), Var("i")),
+             Assign("i", Var("i") + 1)])
+        st = Store({"A": np.zeros(101, dtype=np.int64), "i": 0})
+        res = SequentialInterp(loop, FunctionTable()).run(st)
+        assert res.exited_in_body
+        assert res.n_iters == 5
+        assert st["A"][5] == 0  # exit fired before the write
+        assert st["i"] == 5     # update after exit never ran
+
+    def test_zero_iterations(self):
+        loop = simple_doall_loop()
+        st = simple_doall_store(0)
+        res = SequentialInterp(loop, FunctionTable()).run(st)
+        assert res.n_iters == 0
+        assert st["i"] == 1
+
+    def test_max_iters_guard(self):
+        loop = WhileLoop([Assign("i", Const(0))], le_(Const(0), Const(1)),
+                         [Assign("i", Var("i") + 1)])
+        st = Store({"i": 0})
+        with pytest.raises(OvershootLimit):
+            SequentialInterp(loop, FunctionTable()).run(st, max_iters=50)
+
+    def test_profile_splits_statement_cycles(self):
+        loop = simple_doall_loop()
+        st = simple_doall_store(8)
+        res = SequentialInterp(loop, FunctionTable()).run(st, profile=True)
+        assert len(res.stmt_cycles) == 2
+        assert all(c > 0 for c in res.stmt_cycles)
+        assert res.cond_cycles > 0
+
+    def test_trace_vars(self):
+        loop = simple_doall_loop()
+        st = simple_doall_store(4)
+        res = SequentialInterp(loop, FunctionTable()).run(
+            st, trace_vars=("i",))
+        assert res.trace == [(1,), (2,), (3,), (4,)]
+
+    def test_inner_for(self):
+        loop = WhileLoop(
+            [Assign("i", Const(1))], le_(Var("i"), Const(3)),
+            [For("j", 0, 4,
+                 [ArrayAssign("A", Var("j"), ArrayRef("A", Var("j"))
+                              + Var("i"))]),
+             Assign("i", Var("i") + 1)])
+        st = Store({"A": np.zeros(4, dtype=np.int64), "i": 0, "j": 0})
+        SequentialInterp(loop, FunctionTable()).run(st)
+        assert list(st["A"]) == [6, 6, 6, 6]  # 1+2+3 per slot
+
+    def test_expr_stmt_side_effect(self):
+        ft = FunctionTable()
+        ft.register("poke", lambda ctx, i: ctx.write("A", i, 7))
+        loop = WhileLoop(
+            [Assign("i", Const(0))], lt_(Var("i"), Const(3)),
+            [ExprStmt(Call("poke", [Var("i")])),
+             Assign("i", Var("i") + 1)])
+        st = Store({"A": np.zeros(3, dtype=np.int64), "i": 0})
+        SequentialInterp(loop, ft).run(st)
+        assert list(st["A"]) == [7, 7, 7]
+
+
+class TestIterationRunner:
+    def test_terminated_before_work(self):
+        loop = simple_doall_loop()
+        runner = IterationRunner(loop, FunctionTable(), FREE,
+                                 dispatcher_stmts=(1,))
+        st = simple_doall_store(5)
+        ctx = runner.make_ctx(st, local={"i": 6})
+        assert runner.run_iteration(ctx) == IterOutcome.TERMINATED
+        assert st["A"][5] == 5  # untouched
+
+    def test_done_runs_remainder_only(self):
+        loop = simple_doall_loop()
+        runner = IterationRunner(loop, FunctionTable(), FREE,
+                                 dispatcher_stmts=(1,))
+        st = simple_doall_store(5)
+        local = {"i": 3}
+        ctx = runner.make_ctx(st, local=local)
+        assert runner.run_iteration(ctx) == IterOutcome.DONE
+        assert st["A"][3] == 6
+        assert local["i"] == 3  # dispatcher update stripped
+
+    def test_advance_runs_dispatcher_only(self):
+        loop = simple_doall_loop()
+        runner = IterationRunner(loop, FunctionTable(), FREE,
+                                 dispatcher_stmts=(1,))
+        st = simple_doall_store(5)
+        local = {"i": 3}
+        ctx = runner.make_ctx(st, local=local)
+        runner.advance(ctx)
+        assert local["i"] == 4
+        assert st["A"][3] == 3  # remainder untouched
+
+    def test_exited(self):
+        loop = WhileLoop(
+            [Assign("i", Const(1))], le_(Var("i"), Const(9)),
+            [If(eq_(Var("i"), Const(4)), [Exit()]),
+             Assign("i", Var("i") + 1)])
+        runner = IterationRunner(loop, FunctionTable(), FREE,
+                                 dispatcher_stmts=(1,))
+        st = Store({"i": 0})
+        ctx = runner.make_ctx(st, local={"i": 4})
+        assert runner.run_iteration(ctx) == IterOutcome.EXITED

@@ -1,0 +1,149 @@
+"""Interpreter robustness: degenerate shapes and numeric edges."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError
+from repro.ir import (
+    ArrayAssign,
+    ArrayRef,
+    Assign,
+    Const,
+    Exit,
+    For,
+    FunctionTable,
+    If,
+    SequentialInterp,
+    Store,
+    Var,
+    WhileLoop,
+    eq_,
+    le_,
+    lt_,
+)
+
+FT = FunctionTable()
+
+
+class TestDegenerateShapes:
+    def test_empty_body(self):
+        loop = WhileLoop([Assign("i", Const(5))],
+                         lt_(Var("i"), Const(3)), [])
+        st = Store({"i": 0})
+        res = SequentialInterp(loop, FT).run(st)
+        assert res.n_iters == 0
+
+    def test_empty_init(self):
+        loop = WhileLoop([], lt_(Var("i"), Const(3)),
+                         [Assign("i", Var("i") + 1)])
+        st = Store({"i": 0})
+        res = SequentialInterp(loop, FT).run(st)
+        assert res.n_iters == 3
+
+    def test_for_with_reversed_bounds_runs_zero(self):
+        loop = WhileLoop(
+            [Assign("i", Const(0))], lt_(Var("i"), Const(1)),
+            [For("j", 5, 2, [ArrayAssign("A", Var("j"), Const(1))]),
+             Assign("i", Var("i") + 1)])
+        st = Store({"A": np.zeros(8, dtype=np.int64), "i": 0, "j": 0})
+        SequentialInterp(loop, FT).run(st)
+        assert not st["A"].any()
+
+    def test_deeply_nested_ifs(self):
+        inner = ArrayAssign("A", Const(0), Const(1))
+        stmt = inner
+        for _ in range(30):
+            stmt = If(eq_(Var("x"), Const(1)), [stmt])
+        loop = WhileLoop(
+            [Assign("i", Const(0))], lt_(Var("i"), Const(2)),
+            [stmt, Assign("i", Var("i") + 1)])
+        st = Store({"A": np.zeros(1, dtype=np.int64), "x": 1, "i": 0})
+        SequentialInterp(loop, FT).run(st)
+        assert st["A"][0] == 1
+
+    def test_exit_inside_inner_for_exits_outer_loop(self):
+        loop = WhileLoop(
+            [Assign("i", Const(0))], lt_(Var("i"), Const(100)),
+            [For("j", 0, 10,
+                 [If(eq_(Var("j"), Const(3)), [Exit()]),
+                  ArrayAssign("A", Var("j"), Var("i"))]),
+             Assign("i", Var("i") + 1)])
+        st = Store({"A": np.zeros(10, dtype=np.int64), "i": 0, "j": 0})
+        res = SequentialInterp(loop, FT).run(st)
+        assert res.exited_in_body
+        assert res.n_iters == 1
+        assert st["A"][3] == 0  # never written
+
+
+class TestNumericEdges:
+    def test_integer_division_semantics(self):
+        st = Store({"x": 0})
+        loop = WhileLoop([Assign("x", Const(-7) // Const(2))],
+                         lt_(Const(1), Const(0)), [])
+        SequentialInterp(loop, FT).run(st)
+        assert st["x"] == -4  # Python floor semantics, documented
+
+    def test_float_accumulation(self):
+        loop = WhileLoop(
+            [Assign("i", Const(0)), Assign("s", Const(0.0))],
+            lt_(Var("i"), Const(10)),
+            [Assign("s", Var("s") + Const(0.25)),
+             Assign("i", Var("i") + 1)])
+        st = Store({"i": 0, "s": 0.0})
+        SequentialInterp(loop, FT).run(st)
+        assert st["s"] == 2.5
+
+    def test_bool_stored_and_tested(self):
+        loop = WhileLoop(
+            [Assign("go", Const(True)), Assign("i", Const(0))],
+            Var("go"),
+            [Assign("i", Var("i") + 1),
+             If(eq_(Var("i"), Const(4)), [Assign("go", Const(False))])])
+        st = Store({"go": False, "i": 0})
+        res = SequentialInterp(loop, FT).run(st)
+        assert res.n_iters == 4
+
+    def test_float_index_truncates_via_int(self):
+        st = Store({"A": np.arange(5, dtype=np.int64), "i": 0})
+        loop = WhileLoop(
+            [Assign("i", Const(0))], lt_(Var("i"), Const(1)),
+            [ArrayAssign("A", Const(6) / Const(2), Const(99)),
+             Assign("i", Var("i") + 1)])
+        SequentialInterp(loop, FT).run(st)
+        assert st["A"][3] == 99
+
+    def test_zero_length_array_read_errors(self):
+        st = Store({"A": np.zeros(0), "i": 0})
+        loop = WhileLoop(
+            [Assign("i", Const(0))], lt_(Var("i"), Const(1)),
+            [Assign("x", ArrayRef("A", Const(0))),
+             Assign("i", Var("i") + 1)])
+        with pytest.raises(ExecutionError):
+            SequentialInterp(loop, FT).run(st)
+
+
+class TestIntrinsicEdges:
+    def test_intrinsic_reading_scalar_via_ctx(self):
+        ft = FunctionTable()
+        ft.register("peek", lambda ctx, _: ctx.load("limit"))
+        from repro.ir import Call
+        loop = WhileLoop(
+            [Assign("i", Const(0))], lt_(Var("i"), Const(1)),
+            [Assign("x", Call("peek", [Const(0)])),
+             Assign("i", Var("i") + 1)])
+        st = Store({"limit": 42, "i": 0, "x": 0})
+        SequentialInterp(loop, ft).run(st)
+        assert st["x"] == 42
+
+    def test_intrinsic_charge_extra(self):
+        from repro.ir import Call, ExprStmt
+        from repro.runtime import UNIT
+        ft = FunctionTable()
+        ft.register("burn", lambda ctx, n: ctx.charge(int(n)))
+        loop = WhileLoop(
+            [Assign("i", Const(0))], lt_(Var("i"), Const(3)),
+            [ExprStmt(Call("burn", [Const(100)])),
+             Assign("i", Var("i") + 1)])
+        st = Store({"i": 0})
+        res = SequentialInterp(loop, ft, UNIT).run(st)
+        assert res.cycles > 300

@@ -1,0 +1,131 @@
+"""Unit tests for IR node construction and structural equality."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import (
+    ArrayAssign,
+    ArrayRef,
+    Assign,
+    BinOp,
+    Call,
+    Const,
+    DoLoop,
+    Exit,
+    If,
+    Loop,
+    Next,
+    UnaryOp,
+    Var,
+    WhileLoop,
+    and_,
+    as_expr,
+    eq_,
+    ge_,
+    gt_,
+    le_,
+    lt_,
+    max_,
+    min_,
+    ne_,
+    not_,
+    or_,
+)
+
+
+class TestOperatorSugar:
+    def test_add_builds_binop(self):
+        e = Var("x") + 1
+        assert e == BinOp("+", Var("x"), Const(1))
+
+    def test_radd_promotes_left(self):
+        assert 2 + Var("x") == BinOp("+", Const(2), Var("x"))
+
+    def test_sub_mul_div(self):
+        assert Var("x") - Var("y") == BinOp("-", Var("x"), Var("y"))
+        assert Var("x") * 3 == BinOp("*", Var("x"), Const(3))
+        assert Var("x") / 2 == BinOp("/", Var("x"), Const(2))
+        assert Var("x") // 2 == BinOp("//", Var("x"), Const(2))
+        assert Var("x") % 5 == BinOp("%", Var("x"), Const(5))
+        assert Var("x") ** 2 == BinOp("**", Var("x"), Const(2))
+
+    def test_neg(self):
+        assert -Var("x") == UnaryOp("-", Var("x"))
+
+    def test_comparison_helpers(self):
+        assert eq_(Var("a"), 1) == BinOp("==", Var("a"), Const(1))
+        assert ne_(Var("a"), 1).op == "!="
+        assert lt_(1, 2).op == "<"
+        assert le_(1, 2).op == "<="
+        assert gt_(1, 2).op == ">"
+        assert ge_(1, 2).op == ">="
+
+    def test_bool_helpers(self):
+        e = and_(lt_(Var("a"), 1), or_(eq_(Var("b"), 2), not_(Var("c"))))
+        assert e.op == "and"
+        assert e.right.op == "or"
+
+    def test_minmax_helpers(self):
+        assert min_(1, 2).op == "min"
+        assert max_(1, 2).op == "max"
+
+
+class TestValidation:
+    def test_unknown_binop_rejected(self):
+        with pytest.raises(IRError):
+            BinOp("<>", Const(1), Const(2))
+
+    def test_unknown_unary_rejected(self):
+        with pytest.raises(IRError):
+            UnaryOp("!", Const(1))
+
+    def test_as_expr_rejects_strings(self):
+        with pytest.raises(IRError):
+            as_expr("oops")
+
+    def test_as_expr_passthrough(self):
+        v = Var("x")
+        assert as_expr(v) is v
+        assert as_expr(3) == Const(3)
+
+
+class TestStructuralEquality:
+    def test_equal_trees(self):
+        a = ArrayRef("A", Var("i") + 1)
+        b = ArrayRef("A", Var("i") + 1)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_unequal_trees(self):
+        assert ArrayRef("A", Var("i")) != ArrayRef("B", Var("i"))
+
+    def test_call_normalizes_args(self):
+        c = Call("f", [1, Var("x")])
+        assert c.args == (Const(1), Var("x"))
+
+    def test_if_normalizes_blocks(self):
+        s = If(eq_(Var("a"), 1), [Exit()])
+        assert s.then == (Exit(),)
+        assert s.orelse == ()
+
+
+class TestLoops:
+    def test_whileloop_builds_canonical(self):
+        loop = WhileLoop([Assign("i", Const(0))], lt_(Var("i"), 5),
+                         [Assign("i", Var("i") + 1)], name="w")
+        assert isinstance(loop, Loop)
+        assert loop.name == "w"
+        assert len(loop.init) == 1 and len(loop.body) == 1
+
+    def test_doloop_normalizes(self):
+        do = DoLoop("i", 1, Var("n"),
+                    [ArrayAssign("A", Var("i"), Const(0))])
+        loop = do.normalize()
+        assert loop.init == (Assign("i", Const(1)),)
+        assert loop.cond == le_(Var("i"), Var("n"))
+        # dispatcher update appended last
+        assert loop.body[-1] == Assign("i", Var("i") + 1)
+
+    def test_next_node(self):
+        n = Next("lst", Var("p"))
+        assert n.list_name == "lst" and n.ptr == Var("p")

@@ -1,0 +1,139 @@
+"""Unit tests for the pretty-printer and the visitor utilities."""
+
+from repro.ir import (
+    ArrayAssign,
+    ArrayRef,
+    Assign,
+    Call,
+    Const,
+    Exit,
+    ExprStmt,
+    For,
+    If,
+    Next,
+    Var,
+    WhileLoop,
+    and_,
+    eq_,
+    format_expr,
+    format_loop,
+    format_stmt,
+    le_,
+    lt_,
+    not_,
+)
+from repro.ir.visitor import (
+    contains_exit,
+    expr_arrays,
+    expr_calls,
+    expr_lists,
+    expr_vars,
+    map_stmts,
+    walk,
+)
+
+
+class TestPrinter:
+    def test_precedence_parens(self):
+        assert format_expr((Var("a") + Var("b")) * Var("c")) \
+            == "(a + b) * c"
+        assert format_expr(Var("a") + Var("b") * Var("c")) == "a + b * c"
+
+    def test_comparison_and_bool(self):
+        e = and_(lt_(Var("i"), Var("n")), eq_(Var("x"), 0))
+        assert format_expr(e) == "i < n and x == 0"
+
+    def test_not_and_abs(self):
+        from repro.ir import UnaryOp
+        assert format_expr(not_(Var("p"))) == "not p"
+        assert format_expr(UnaryOp("abs", Var("x"))) == "abs(x)"
+
+    def test_array_and_next_and_call(self):
+        assert format_expr(ArrayRef("A", Var("i") + 1)) == "A[i + 1]"
+        assert format_expr(Next("lst", Var("p"))) == "next(lst, p)"
+        assert format_expr(Call("f", [Var("i"), Const(2)])) == "f(i, 2)"
+
+    def test_minmax_rendered_as_calls(self):
+        from repro.ir import min_
+        assert format_expr(min_(Var("a"), 1)) == "min(a, 1)"
+
+    def test_stmt_forms(self):
+        assert format_stmt(Assign("x", Const(1))) == ["x = 1"]
+        assert format_stmt(ArrayAssign("A", Var("i"), Const(0))) \
+            == ["A[i] = 0"]
+        assert format_stmt(Exit()) == ["exit"]
+        assert format_stmt(ExprStmt(Call("w", [Var("i")]))) == ["w(i)"]
+        lines = format_stmt(If(eq_(Var("a"), 1), [Exit()], [Assign("b", Const(0))]))
+        assert lines[0].startswith("if") and "else:" in lines
+
+    def test_for_and_loop(self):
+        f = For("j", 0, Var("n"), [Assign("x", Var("j"))])
+        lines = format_stmt(f)
+        assert lines[0] == "for j in [0, n):"
+        loop = WhileLoop([Assign("i", Const(1))], le_(Var("i"), 3),
+                         [Assign("i", Var("i") + 1)], name="demo")
+        text = format_loop(loop)
+        assert "while i <= 3:" in text
+        assert text.endswith("endwhile")
+
+
+class TestVisitor:
+    def test_walk_covers_all_nodes(self):
+        e = ArrayRef("A", Var("i") + Call("f", [Var("j")]))
+        kinds = [type(n).__name__ for n in walk(e)]
+        assert "ArrayRef" in kinds and "Call" in kinds and "Var" in kinds
+
+    def test_expr_vars_excludes_targets(self):
+        s = Assign("x", Var("y") + 1)
+        assert expr_vars(s) == {"y"}
+
+    def test_expr_arrays_lists_calls(self):
+        e = ArrayRef("A", Next("L", Call("f", [Var("p")])))
+        assert expr_arrays(e) == {"A"}
+        assert expr_lists(e) == {"L"}
+        assert expr_calls(e) == {"f"}
+
+    def test_contains_exit_nested(self):
+        stmts = [If(eq_(Var("a"), 1), [If(eq_(Var("b"), 2), [Exit()])])]
+        assert contains_exit(stmts)
+        assert not contains_exit([Assign("x", Const(1))])
+
+    def test_map_stmts_rewrites_nested(self):
+        def rename(s):
+            if isinstance(s, Assign) and s.name == "x":
+                return Assign("y", s.expr)
+            return s
+        stmts = (If(eq_(Var("a"), 1), [Assign("x", Const(1))]),)
+        out = map_stmts(stmts, rename)
+        assert out[0].then[0] == Assign("y", Const(1))
+
+
+class TestFunctionTable:
+    def test_duplicate_rejected(self):
+        from repro.errors import IRError
+        from repro.ir import FunctionTable
+        import pytest
+        ft = FunctionTable()
+        ft.register("f", lambda ctx: 0)
+        with pytest.raises(IRError):
+            ft.register("f", lambda ctx: 1)
+
+    def test_of_constructor(self):
+        from repro.ir import FunctionTable
+        ft = FunctionTable.of(f=lambda ctx: 0, g=(lambda ctx: 1, 50))
+        assert ft["f"].cost_of(()) == 0
+        assert ft["g"].cost_of(()) == 50
+
+    def test_reads_writes_declared(self):
+        from repro.ir import FunctionTable
+        ft = FunctionTable()
+        intr = ft.register("k", lambda ctx: 0, reads=("A",), writes=("B",))
+        assert intr.reads == ("A",) and intr.writes == ("B",)
+
+    def test_copy_independent(self):
+        from repro.ir import FunctionTable
+        ft = FunctionTable()
+        ft.register("f", lambda ctx: 0)
+        cp = ft.copy()
+        cp.register("g", lambda ctx: 1)
+        assert "g" not in ft and "g" in cp

@@ -1,0 +1,91 @@
+"""Unit tests for the Store: bindings, copies, equality, diffs."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IRError
+from repro.ir import Store
+from repro.structures import build_chain
+
+
+class TestBinding:
+    def test_scalars_arrays_lists(self):
+        st = Store({"x": 3, "f": 2.5, "b": True,
+                    "A": np.arange(4), "L": build_chain(3)})
+        assert st["x"] == 3
+        assert st.scalars() == ("x", "f", "b")
+        assert st.arrays() == ("A",)
+        assert st.lists() == ("L",)
+
+    def test_list_coerced_to_ndarray(self):
+        st = Store({"A": [1, 2, 3]})
+        assert isinstance(st["A"], np.ndarray)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(IRError):
+            Store()["nope"]
+
+    def test_bad_value_rejected(self):
+        with pytest.raises(IRError):
+            Store({"x": object()})
+
+    def test_contains_len_iter(self):
+        st = Store({"x": 1, "y": 2})
+        assert "x" in st and "z" not in st
+        assert len(st) == 2
+        assert set(iter(st)) == {"x", "y"}
+
+
+class TestCopyRestore:
+    def test_copy_is_deep_for_arrays(self):
+        st = Store({"A": np.zeros(3)})
+        cp = st.copy()
+        st["A"][0] = 9
+        assert cp["A"][0] == 0
+
+    def test_restore_from(self):
+        st = Store({"A": np.zeros(3), "x": 1})
+        cp = st.copy()
+        st["A"][1] = 5
+        st["x"] = 99
+        st.restore_from(cp)
+        assert st["x"] == 1 and st["A"][1] == 0
+
+    def test_copy_preserves_lists(self):
+        st = Store({"L": build_chain(5)})
+        cp = st.copy()
+        assert cp["L"] == st["L"]
+        assert cp["L"] is not st["L"]
+
+
+class TestEquality:
+    def test_equal_stores(self):
+        a = Store({"A": np.arange(3), "x": 1})
+        b = Store({"A": np.arange(3), "x": 1})
+        assert a.equals(b)
+
+    def test_differing_array(self):
+        a = Store({"A": np.arange(3)})
+        b = Store({"A": np.arange(3) + 1})
+        assert not a.equals(b)
+        assert "A" in a.diff(b)
+
+    def test_differing_names(self):
+        assert not Store({"x": 1}).equals(Store({"y": 1}))
+
+    def test_tolerant_float_compare(self):
+        a = Store({"A": np.array([1.0])})
+        b = Store({"A": np.array([1.0 + 1e-12])})
+        assert not a.equals(b)
+        assert a.equals(b, rtol=1e-9)
+
+    def test_shape_mismatch(self):
+        a = Store({"A": np.zeros(3)})
+        b = Store({"A": np.zeros(4)})
+        assert not a.equals(b)
+        assert "shape" in a.diff(b)["A"]
+
+    def test_diff_reports_missing(self):
+        a = Store({"x": 1})
+        b = Store({})
+        assert "missing" in a.diff(b)["x"]

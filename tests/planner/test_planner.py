@@ -1,0 +1,232 @@
+"""Tests for the Section 7 cost model, branch stats, and plan selection."""
+
+import pytest
+
+from repro.analysis import ParallelKind
+from repro.planner import (
+    BranchStats,
+    LoopProfile,
+    Plan,
+    execute_plan,
+    ideal_parallel_time,
+    plan_loop,
+    predict,
+    profile_loop,
+    slowdown_bound,
+    stamp_threshold,
+    worst_case_fraction,
+)
+from repro.ir import (
+    ArrayAssign,
+    ArrayRef,
+    Assign,
+    Const,
+    FunctionTable,
+    SequentialInterp,
+    Var,
+    WhileLoop,
+    le_,
+    lt_,
+)
+from repro.runtime import Machine
+
+from tests.conftest import (
+    affine_loop,
+    affine_store,
+    list_loop,
+    list_store,
+    simple_doall_loop,
+    simple_doall_store,
+)
+
+FT = FunctionTable()
+
+
+def prof(t_rec, t_rem, kind=ParallelKind.FULL, a=100, n=100):
+    return LoopProfile(t_rec=t_rec, t_rem=t_rem, accesses=a, n_iters=n,
+                       dispatcher_parallel=kind)
+
+
+class TestCostModel:
+    def test_full_parallel_ideal(self):
+        p = prof(100, 900, ParallelKind.FULL)
+        assert ideal_parallel_time(p, 8) == pytest.approx(1000 / 8)
+
+    def test_sequential_dispatcher_limits(self):
+        p = prof(500, 500, ParallelKind.NONE)
+        t = ideal_parallel_time(p, 8)
+        assert t == pytest.approx(500 / 8 + 500)
+
+    def test_prefix_adds_log_term(self):
+        p_full = prof(400, 600, ParallelKind.FULL)
+        p_pp = prof(400, 600, ParallelKind.PREFIX)
+        assert ideal_parallel_time(p_pp, 8) \
+            > ideal_parallel_time(p_full, 8)
+
+    def test_no_parallelism_rejected(self):
+        """Paper: Trem < Trec with a sequential dispatcher means the
+        loop essentially consists of evaluating the dispatcher."""
+        p = prof(t_rec=900, t_rem=100, kind=ParallelKind.NONE)
+        pred = predict(p, 8)
+        assert pred.sp_id < 1.3
+        assert not pred.worthwhile
+
+    def test_good_loop_accepted(self):
+        p = prof(10, 10_000, ParallelKind.FULL, a=200)
+        pred = predict(p, 8)
+        assert pred.worthwhile
+        assert pred.sp_at <= pred.sp_id
+
+    def test_overheads_reduce_attainable(self):
+        p = prof(10, 10_000, ParallelKind.FULL, a=5000)
+        with_undo = predict(p, 8, needs_undo=True)
+        without = predict(p, 8, needs_undo=False)
+        assert with_undo.sp_at < without.sp_at
+
+    def test_pd_test_adds_analysis_term(self):
+        p = prof(10, 10_000, ParallelKind.FULL, a=5000)
+        pd = predict(p, 8, uses_pd_test=True)
+        plain = predict(p, 8, uses_pd_test=False)
+        assert pd.t_a > plain.t_a
+
+    def test_worst_case_fractions(self):
+        assert worst_case_fraction(False) == 0.25
+        assert worst_case_fraction(True) == 0.20
+
+    def test_slowdown_bound_formula(self):
+        assert slowdown_bound(800, 8) == pytest.approx(800 * 1.625)
+
+    def test_efficiency(self):
+        p = prof(10, 10_000, ParallelKind.FULL)
+        pred = predict(p, 8)
+        assert 0 < pred.efficiency <= 1.0
+
+
+class TestBranchStats:
+    def test_estimate_from_samples(self):
+        bs = BranchStats("loop")
+        for n in (100, 100, 100):
+            bs.record(n)
+        est = bs.estimate()
+        assert est.n_hat == 100
+        assert est.confidence > 0.95
+
+    def test_dispersion_lowers_confidence(self):
+        stable, wild = BranchStats("a"), BranchStats("b")
+        for n in (100, 101, 99):
+            stable.record(n)
+        for n in (10, 500, 50):
+            wild.record(n)
+        assert stable.estimate().confidence > wild.estimate().confidence
+
+    def test_no_samples(self):
+        assert BranchStats("x").estimate() is None
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            BranchStats("x").record(-1)
+
+    def test_stamp_threshold_scales_with_confidence(self):
+        bs = BranchStats("loop")
+        for n in (200, 200, 200, 200):
+            bs.record(n)
+        est = bs.estimate()
+        thr = stamp_threshold(est)
+        assert 150 <= thr <= 200  # high confidence: stamp late only
+
+    def test_stamp_threshold_low_confidence(self):
+        bs = BranchStats("loop")
+        for n in (10, 400):
+            bs.record(n)
+        thr = stamp_threshold(bs.estimate())
+        assert thr < 150
+
+
+class TestProfiling:
+    def test_splits_rec_and_rem(self, machine8):
+        from repro.analysis import analyze_loop
+        info = analyze_loop(simple_doall_loop(), FT)
+        p = profile_loop(info, simple_doall_store(50), machine8, FT)
+        assert p.t_rec > 0 and p.t_rem > 0
+        assert p.n_iters == 50
+        assert p.t_rem > p.t_rec  # array work dominates i += 1
+
+
+class TestPlanSelection:
+    def test_induction_gets_induction2(self, machine8):
+        plan = plan_loop(simple_doall_loop(), machine8, FT,
+                         sample_store=simple_doall_store(60))
+        assert plan.scheme == "induction-2"
+
+    def test_list_gets_general3(self, machine8):
+        plan = plan_loop(list_loop(), machine8, FT,
+                         sample_store=list_store(40))
+        assert plan.scheme == "general-3"
+
+    def test_affine_gets_prefix(self, machine8):
+        # Remainder must be analyzable for the static prefix plan; a
+        # write-free work kernel keeps the verdict INDEPENDENT.  (The
+        # conftest affine loop writes W[r % m], whose collisions are
+        # real — the planner correctly routes that one to speculation.)
+        from repro.ir import Call, ExprStmt, Store
+        ft = FunctionTable()
+        ft.register("sink", lambda ctx, r: 0, cost=80)
+        loop = WhileLoop(
+            [Assign("r", Const(1))], lt_(Var("r"), Const(1 << 30)),
+            [ExprStmt(Call("sink", [Var("r")])),
+             Assign("r", Var("r") * 2 + 1)], name="affine-pure")
+        plan = plan_loop(loop, machine8, ft,
+                         sample_store=Store({"r": 0}))
+        assert plan.scheme == "associative-prefix"
+
+    def test_affine_with_modular_writes_speculates(self, machine8):
+        plan = plan_loop(affine_loop(), machine8, FT,
+                         sample_store=affine_store())
+        assert plan.scheme == "speculative"
+
+    def test_unknown_gets_speculative(self, machine8):
+        loop = WhileLoop(
+            [Assign("i", Const(1))], le_(Var("i"), Var("n")),
+            [ArrayAssign("A", ArrayRef("idx", Var("i")), Var("i")),
+             Assign("i", Var("i") + 1)])
+        plan = plan_loop(loop, machine8, FT)
+        assert plan.scheme == "speculative"
+
+    def test_dependent_gets_doacross(self, machine8):
+        loop = WhileLoop(
+            [Assign("i", Const(1))], le_(Var("i"), Var("n")),
+            [ArrayAssign("A", Var("i"),
+                         ArrayRef("A", Var("i") - 1) + 1),
+             Assign("i", Var("i") + 1)])
+        plan = plan_loop(loop, machine8, FT)
+        assert plan.scheme == "doacross"
+
+    def test_no_recurrence_sequential(self, machine8):
+        loop = WhileLoop([], lt_(Var("x"), Const(1)),
+                         [ArrayAssign("A", Const(0), Const(1))])
+        plan = plan_loop(loop, machine8, FT)
+        assert plan.scheme == "sequential"
+
+    def test_tiny_loop_stays_sequential(self, machine8):
+        plan = plan_loop(simple_doall_loop(), machine8, FT,
+                         sample_store=simple_doall_store(1),
+                         min_speedup=1.5)
+        assert plan.scheme == "sequential"
+        assert plan.prediction is not None
+
+    def test_execute_plan_round_trip(self, machine8):
+        from repro.ir import SequentialInterp
+        plan = plan_loop(simple_doall_loop(), machine8, FT,
+                         sample_store=simple_doall_store(60))
+        ref = simple_doall_store(60)
+        SequentialInterp(simple_doall_loop(), FT).run(ref)
+        st = simple_doall_store(60)
+        res = execute_plan(plan, st, machine8, FT)
+        assert st.equals(ref)
+
+    def test_stats_recorded(self, machine8):
+        bs = BranchStats("doall")
+        plan_loop(simple_doall_loop(), machine8, FT,
+                  sample_store=simple_doall_store(30), stats=bs)
+        assert bs.n_runs == 1
+        assert bs.estimate().n_hat == 30

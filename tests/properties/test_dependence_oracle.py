@@ -1,0 +1,79 @@
+"""Property tests: the affine dependence test vs brute-force oracles,
+and cost-model monotonicity laws."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import AffineSubscript, ParallelKind, pair_dependence
+from repro.planner import LoopProfile, predict
+
+BOUND = 40
+
+
+def brute_force_collision(s1, s2, u=BOUND):
+    """Does a1*k1+b1 == a2*k2+b2 hold for any 1<=k1!=k2<=u?"""
+    for k1 in range(1, u + 1):
+        for k2 in range(1, u + 1):
+            if k1 != k2 and s1.a * k1 + s1.b == s2.a * k2 + s2.b:
+                return True
+    return False
+
+
+@given(a1=st.integers(-4, 4), b1=st.integers(-10, 10),
+       a2=st.integers(-4, 4), b2=st.integers(-10, 10))
+@settings(max_examples=200, deadline=None)
+def test_pair_dependence_sound_vs_bruteforce(a1, b1, a2, b2):
+    """Soundness: whenever the test says False (independent), the
+    brute force must find no collision; whenever it says True with a
+    bound, a collision must exist."""
+    s1, s2 = AffineSubscript(a1, b1), AffineSubscript(a2, b2)
+    verdict, _ = pair_dependence(s1, s2, u=BOUND)
+    actual = brute_force_collision(s1, s2)
+    if verdict is False:
+        assert not actual, (s1, s2)
+    elif verdict is True:
+        assert actual, (s1, s2)
+    # None = "possible": always sound.
+
+
+@given(a=st.integers(-4, 4).filter(lambda x: x != 0),
+       b1=st.integers(-10, 10), b2=st.integers(-10, 10))
+@settings(max_examples=100, deadline=None)
+def test_equal_coefficient_exactness(a, b1, b2):
+    """For equal coefficients the test is exact (never answers None)."""
+    verdict, _ = pair_dependence(AffineSubscript(a, b1),
+                                 AffineSubscript(a, b2), u=BOUND)
+    assert verdict is not None
+    assert verdict == brute_force_collision(AffineSubscript(a, b1),
+                                            AffineSubscript(a, b2))
+
+
+@given(t_rec=st.integers(1, 10_000), t_rem=st.integers(1, 100_000),
+       a=st.integers(0, 10_000), n=st.integers(1, 10_000),
+       p=st.integers(2, 256),
+       kind=st.sampled_from(list(ParallelKind)))
+@settings(max_examples=150, deadline=None)
+def test_costmodel_laws(t_rec, t_rem, a, n, p, kind):
+    """Cost-model invariants: Sp_at <= Sp_id; overheads only hurt;
+    the PD test never improves the prediction."""
+    prof = LoopProfile(t_rec=t_rec, t_rem=t_rem, accesses=a, n_iters=n,
+                       dispatcher_parallel=kind)
+    base = predict(prof, p, needs_undo=False, uses_pd_test=False)
+    undo = predict(prof, p, needs_undo=True, uses_pd_test=False)
+    pd = predict(prof, p, needs_undo=True, uses_pd_test=True)
+    assert base.sp_at <= base.sp_id + 1e-9
+    assert undo.sp_at <= base.sp_at + 1e-9
+    assert pd.sp_at <= undo.sp_at + 1e-9
+    assert base.sp_id <= p + 1e-9 or kind is ParallelKind.FULL
+
+
+@given(t_rem=st.integers(1, 100_000), p1=st.integers(2, 64))
+@settings(max_examples=60, deadline=None)
+def test_ideal_speedup_monotone_in_p(t_rem, p1):
+    """More processors never reduce the ideal speedup."""
+    prof = LoopProfile(t_rec=100, t_rem=t_rem, accesses=10, n_iters=10,
+                       dispatcher_parallel=ParallelKind.NONE)
+    lo = predict(prof, p1, needs_undo=False)
+    hi = predict(prof, p1 * 2, needs_undo=False)
+    assert hi.sp_id >= lo.sp_id - 1e-9

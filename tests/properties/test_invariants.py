@@ -1,0 +1,128 @@
+"""Cross-cutting property tests on the DESIGN.md invariants.
+
+These complement the per-module properties: randomized loop *shapes*
+(not just randomized data) exercised through the full pipeline.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import parallelize
+from repro.executors import run_induction2, run_sequential
+from repro.ir import (
+    ArrayAssign,
+    ArrayRef,
+    Assign,
+    Const,
+    Exit,
+    FunctionTable,
+    If,
+    SequentialInterp,
+    Store,
+    Var,
+    WhileLoop,
+    eq_,
+    gt_,
+    le_,
+    lt_,
+)
+from repro.runtime import Machine
+
+FT = FunctionTable()
+
+
+@st.composite
+def random_doall_loops(draw):
+    """Generate random independent-iteration loops.
+
+    Shape: i from init by step; per-iteration writes to A[i*c + d]
+    with non-colliding (stride >= 1, same stride) subscripts, optional
+    RV exit on a planted sentinel.
+    """
+    n = draw(st.integers(1, 40))
+    step = draw(st.sampled_from([1, 2]))
+    scale = draw(st.integers(1, 3))
+    with_exit = draw(st.booleans())
+    exit_at = draw(st.integers(1, n)) if with_exit else None
+    size = 2 + scale * (1 + step * (n + 2))
+    body = []
+    if with_exit:
+        body.append(If(eq_(ArrayRef("A", Var("i") * scale), Const(-7)),
+                       [Exit()]))
+    body.append(ArrayAssign("A", Var("i") * scale, Var("i") + 100))
+    body.append(Assign("i", Var("i") + step))
+    loop = WhileLoop(
+        [Assign("i", Const(1))],
+        le_(Var("i"), Const(1 + step * (n - 1))),
+        body, name="random-doall")
+
+    def make_store():
+        A = np.zeros(size, dtype=np.int64)
+        if exit_at is not None:
+            A[(1 + step * (exit_at - 1)) * scale] = -7
+        return Store({"A": A, "i": 0})
+
+    return loop, make_store
+
+
+@given(random_doall_loops(), st.integers(1, 12))
+@settings(max_examples=60, deadline=None)
+def test_invariant_1_semantic_equivalence(case, p):
+    """Invariant 1: parallel store == sequential store, any machine."""
+    loop, make_store = case
+    machine = Machine(p)
+    ref = make_store()
+    seq = SequentialInterp(loop, FT).run(ref)
+    st_ = make_store()
+    res = run_induction2(loop, st_, machine, FT)
+    assert st_.equals(ref), st_.diff(ref)
+    assert res.n_iters == seq.n_iters
+
+
+@given(random_doall_loops())
+@settings(max_examples=30, deadline=None)
+def test_invariant_6_attainable_below_sequential_work(case):
+    """Invariant 6 (cost sanity): t_par * p >= useful work's time and
+    speedup never exceeds p."""
+    loop, make_store = case
+    machine = Machine(8)
+    ref = make_store()
+    seq = run_sequential(loop, ref, machine, FT)
+    st_ = make_store()
+    res = run_induction2(loop, st_, machine, FT)
+    assert res.speedup(seq.t_par) <= machine.nprocs + 1e-9
+
+
+@given(st.integers(1, 30), st.integers(2, 10))
+@settings(max_examples=30, deadline=None)
+def test_invariant_4_undo_exactness(n, p):
+    """Invariant 4: after undo, overshot locations equal the
+    checkpoint; valid locations keep their new values."""
+    from repro.ir import EvalContext
+    from repro.runtime import UNIT
+    from repro.speculation import Checkpoint, WriteTimestamps, undo_overshoot
+    store = Store({"A": np.arange(n + 1, dtype=np.int64)})
+    ck = Checkpoint(store, ["A"])
+    ts = WriteTimestamps(store, ["A"])
+    lvi = n // 2
+    for k in range(1, n + 1):
+        ctx = EvalContext(store, FT, UNIT, mem=ts, iteration=k)
+        ctx.write("A", k, 1000 + k)
+    undo_overshoot(store, ck, ts, lvi)
+    for k in range(1, n + 1):
+        if k <= lvi:
+            assert store["A"][k] == 1000 + k
+        else:
+            assert store["A"][k] == k
+
+
+@given(random_doall_loops())
+@settings(max_examples=25, deadline=None)
+def test_parallelize_always_verifies(case):
+    """The full driver (analyze -> plan -> execute -> verify) holds on
+    random loop shapes."""
+    loop, make_store = case
+    out = parallelize(loop, make_store(), Machine(6))
+    assert out.verified

@@ -1,0 +1,179 @@
+"""Unit tests for the virtual-time multiprocessor."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.runtime import (
+    ALLIANT_FX80,
+    FREE,
+    QUIT,
+    STOP_PROC,
+    UNIT,
+    CostModel,
+    Machine,
+    ProcCtx,
+    SimLock,
+)
+
+
+class TestCostModel:
+    def test_binop_costs(self):
+        cm = ALLIANT_FX80
+        assert cm.binop_cost("+") == cm.alu
+        assert cm.binop_cost("*") == cm.mul
+        assert cm.binop_cost("/") == cm.div
+        assert cm.binop_cost("**") == cm.powc
+        assert cm.binop_cost("<") == cm.alu
+
+    def test_barrier_scales_with_p(self):
+        cm = ALLIANT_FX80
+        assert cm.barrier(8) > cm.barrier(2)
+
+    def test_scaled_override(self):
+        cm = ALLIANT_FX80.scaled(hop=99)
+        assert cm.hop == 99
+        assert cm.alu == ALLIANT_FX80.alu
+
+    def test_free_model_is_zero(self):
+        assert FREE.binop_cost("*") == 0
+        assert FREE.barrier(8) == 0
+
+
+class TestCollectiveFormulas:
+    def test_parallel_work_time_ceil(self):
+        m = Machine(4)
+        assert m.parallel_work_time(100) == 25
+        assert m.parallel_work_time(101) == 26
+
+    def test_reduction_time_scales(self):
+        m = Machine(8)
+        assert m.reduction_time(1000) > m.reduction_time(10)
+
+    def test_prefix_time_log_term(self):
+        # With n fixed, more processors should not increase time much
+        # beyond the log/barrier terms.
+        t2 = Machine(2).prefix_time(1000, op_cost=3)
+        t8 = Machine(8).prefix_time(1000, op_cost=3)
+        assert t8 < t2
+
+    def test_needs_processor(self):
+        with pytest.raises(ExecutionError):
+            Machine(0)
+
+
+class TestDynamicDoall:
+    def test_perfect_scaling_uniform_items(self):
+        work = 1000
+        m1 = Machine(1)
+        m8 = Machine(8)
+        r1 = m1.run_doall_dynamic(64, lambda ctx, i: ctx.charge(work))
+        r8 = m8.run_doall_dynamic(64, lambda ctx, i: ctx.charge(work))
+        assert r1.makespan / r8.makespan == pytest.approx(8, rel=0.1)
+
+    def test_items_in_index_order(self):
+        m = Machine(3)
+        r = m.run_doall_dynamic(10, lambda ctx, i: ctx.charge(10))
+        assert r.executed_indices == list(range(1, 11))
+        starts = [it.start for it in r.items]
+        assert starts == sorted(starts)
+
+    def test_quit_skips_later_items(self):
+        m = Machine(4)
+
+        def body(ctx, i):
+            ctx.charge(50)
+            if i == 5:
+                return QUIT
+        r = m.run_doall_dynamic(40, body)
+        assert r.quit_index == 5
+        assert r.skipped
+        assert max(r.executed_indices) < 40
+        # in-flight items (begun before the quit) still completed
+        assert all(i <= 5 or it.start < r.items[4].end
+                   for it in r.items for i in [it.index])
+
+    def test_quit_smallest_governs(self):
+        m = Machine(4)
+
+        def body(ctx, i):
+            ctx.charge(50)
+            if i in (3, 6):
+                return QUIT
+        r = m.run_doall_dynamic(40, body)
+        assert r.quit_index == 3
+
+    def test_quit_unaware_runs_all(self):
+        m = Machine(4)
+        r = m.run_doall_dynamic(
+            20, lambda ctx, i: QUIT if i == 2 else ctx.charge(10),
+            quit_aware=False)
+        assert len(r.items) == 20
+
+    def test_first_index_offset(self):
+        m = Machine(2)
+        r = m.run_doall_dynamic(5, lambda ctx, i: ctx.charge(1),
+                                first_index=11)
+        assert r.executed_indices == [11, 12, 13, 14, 15]
+
+    def test_span_profile_bounded_by_inflight(self):
+        m = Machine(4)
+        r = m.run_doall_dynamic(64, lambda ctx, i: ctx.charge(100))
+        assert 0 < r.span_profile() <= 2 * 4
+
+
+class TestStaticDoall:
+    def test_mod_p_assignment(self):
+        m = Machine(4)
+        r = m.run_doall_static(12, lambda ctx, i: ctx.charge(10))
+        by_proc = {}
+        for it in r.items:
+            by_proc.setdefault(it.pid, []).append(it.index)
+        for pid, idxs in by_proc.items():
+            assert all(idx % 4 == (pid + 1) % 4 for idx in idxs)
+
+    def test_stop_proc_ends_stream(self):
+        m = Machine(2)
+
+        def body(ctx, i):
+            ctx.charge(5)
+            if i >= 5:
+                return STOP_PROC
+        r = m.run_doall_static(20, body)
+        assert max(r.executed_indices) <= 6
+
+    def test_static_span_wider_than_dynamic(self):
+        """Section 3.3: static assignment keeps a wider iteration span
+        in flight than dynamic self-scheduling."""
+        m = Machine(8)
+        # variable-duration items widen the static span
+        dyn = m.run_doall_dynamic(
+            120, lambda ctx, i: ctx.charge(50 + (i % 7) * 40))
+        sta = m.run_doall_static(
+            120, lambda ctx, i: ctx.charge(50 + (i % 7) * 40))
+        assert sta.span_profile() >= dyn.span_profile()
+
+
+class TestLocks:
+    def test_contention_serializes(self):
+        m = Machine(8)
+        lock = SimLock()
+
+        def body(ctx, i):
+            ctx.acquire(lock)
+            ctx.charge(100)
+            ctx.release(lock)
+        r = m.run_doall_dynamic(16, body)
+        # 16 critical sections of >=100 cycles must serialize.
+        assert r.makespan >= 16 * 100
+        assert lock.acquisitions == 16
+        assert lock.contended > 0
+
+    def test_uncontended_lock_cheap(self):
+        m = Machine(1)
+        lock = SimLock()
+
+        def body(ctx, i):
+            ctx.acquire(lock)
+            ctx.release(lock)
+        r = m.run_doall_dynamic(4, body)
+        assert lock.contended == 0

@@ -1,0 +1,150 @@
+"""Unit + property tests for parallel prefix and reductions."""
+
+import operator
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime import (
+    AffineStep,
+    Machine,
+    parallel_argmin_stamped,
+    parallel_min,
+    parallel_prefix,
+    parallel_reduce,
+    scan_affine_recurrence,
+)
+
+
+class TestParallelPrefix:
+    def test_sum_scan(self):
+        m = Machine(4)
+        vals, t = parallel_prefix(list(range(1, 9)), operator.add, m)
+        assert vals == [1, 3, 6, 10, 15, 21, 28, 36]
+        assert t > 0
+
+    def test_empty(self):
+        m = Machine(4)
+        vals, t = parallel_prefix([], operator.add, m)
+        assert vals == [] and t == 0
+
+    def test_single(self):
+        m = Machine(4)
+        vals, _ = parallel_prefix([7], operator.add, m)
+        assert vals == [7]
+
+    def test_more_procs_than_elements(self):
+        m = Machine(16)
+        vals, _ = parallel_prefix([1, 2, 3], operator.add, m)
+        assert vals == [1, 3, 6]
+
+    def test_time_formula_matches_machine(self):
+        m = Machine(8)
+        _, t = parallel_prefix(list(range(100)), operator.add, m,
+                               op_cost=5)
+        assert t == m.prefix_time(100, 5)
+
+    def test_non_commutative_op(self):
+        """String concatenation is associative but not commutative —
+        the block decomposition must still give the sequential scan."""
+        m = Machine(4)
+        xs = list("abcdefghij")
+        vals, _ = parallel_prefix(xs, operator.add, m)
+        assert vals[-1] == "abcdefghij"
+        assert vals[3] == "abcd"
+
+
+class TestAffineScan:
+    def test_matches_sequential_recurrence(self):
+        m = Machine(8)
+        steps = [AffineStep(3.0, 1.0)] * 10
+        xs, _ = scan_affine_recurrence(1.0, steps, m)
+        ref, x = [], 1.0
+        for s in steps:
+            x = s.apply(x)
+            ref.append(x)
+        assert xs == ref
+
+    def test_heterogeneous_steps(self):
+        m = Machine(4)
+        steps = [AffineStep(2, 1), AffineStep(-1, 5), AffineStep(0.5, 0)]
+        xs, _ = scan_affine_recurrence(4, steps, m)
+        assert xs == [9, -4, -2.0]
+
+    def test_compose_law(self):
+        f = AffineStep(2, 3)   # x -> 2x+3
+        g = AffineStep(5, 1)   # x -> 5x+1
+        h = g.compose(f)       # apply f first
+        for x in (-2, 0, 7):
+            assert h.apply(x) == g.apply(f.apply(x))
+
+
+class TestReductions:
+    def test_min(self):
+        m = Machine(4)
+        v, t = parallel_min([5, 2, 9, 1, 8], m)
+        assert v == 1 and t > 0
+
+    def test_empty_reduce(self):
+        m = Machine(4)
+        v, t = parallel_reduce([], min, m)
+        assert v is None and t == 0
+
+    def test_reduce_non_commutative(self):
+        m = Machine(3)
+        v, _ = parallel_reduce(list("abcdef"), operator.add, m)
+        assert v == "abcdef"
+
+    def test_argmin_stamped_prefers_min_cost(self):
+        m = Machine(4)
+        cands = [(1, 9.0), (2, 3.0), (3, 7.0)]
+        idx, _ = parallel_argmin_stamped(cands, m)
+        assert idx == 1
+
+    def test_argmin_stamped_tie_breaks_by_stamp(self):
+        m = Machine(4)
+        cands = [(5, 3.0), (2, 3.0), (9, 3.0)]
+        idx, _ = parallel_argmin_stamped(cands, m)
+        assert cands[idx][0] == 2
+
+    def test_argmin_stamped_respects_last_valid(self):
+        m = Machine(4)
+        cands = [(1, 9.0), (50, 1.0)]
+        idx, _ = parallel_argmin_stamped(cands, m, last_valid=10)
+        assert idx == 0
+
+    def test_argmin_all_invalid(self):
+        m = Machine(4)
+        idx, _ = parallel_argmin_stamped([(9, 1.0)], m, last_valid=2)
+        assert idx is None
+
+
+@given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=200),
+       st.integers(1, 16))
+@settings(max_examples=60, deadline=None)
+def test_prefix_equals_sequential_scan(xs, p):
+    """Property: blockwise parallel prefix == sequential inclusive scan
+    for arbitrary inputs and processor counts."""
+    m = Machine(p)
+    got, _ = parallel_prefix(xs, operator.add, m)
+    acc, ref = 0, []
+    for x in xs:
+        acc += x
+        ref.append(acc)
+    assert got == ref
+
+
+@given(st.lists(st.tuples(st.floats(-1e3, 1e3), st.floats(-1e3, 1e3)),
+                min_size=1, max_size=60),
+       st.floats(-100, 100), st.integers(1, 12))
+@settings(max_examples=40, deadline=None)
+def test_affine_scan_equals_iteration(steps_raw, x0, p):
+    """Property: the affine monoid scan reproduces direct iteration."""
+    steps = [AffineStep(a, b) for a, b in steps_raw]
+    m = Machine(p)
+    got, _ = scan_affine_recurrence(x0, steps, m)
+    x = x0
+    for s, g in zip(steps, got):
+        x = s.apply(x)
+        assert g == pytest.approx(x, rel=1e-9, abs=1e-6)

@@ -1,0 +1,139 @@
+"""Tests for execution traces and the real-threads backend."""
+
+import numpy as np
+import pytest
+
+from repro.ir import FunctionTable, SequentialInterp
+from repro.runtime import (
+    Machine,
+    gantt,
+    run_threaded_doall,
+    run_threaded_general,
+    schedule_table,
+    utilization,
+)
+
+from tests.conftest import (
+    list_loop,
+    list_store,
+    rv_exit_loop,
+    rv_exit_store,
+    simple_doall_loop,
+    simple_doall_store,
+)
+
+FT = FunctionTable()
+
+
+class TestTrace:
+    def _run(self, p=4, n=12, work=100):
+        m = Machine(p)
+        return m.run_doall_dynamic(n, lambda ctx, i: ctx.charge(work))
+
+    def test_gantt_has_one_row_per_proc(self):
+        run = self._run(p=4)
+        chart = gantt(run)
+        assert chart.count("\n") == 4  # 4 proc rows + axis line
+        assert "p0 |" in chart and "p3 |" in chart
+
+    def test_gantt_shows_busy_time(self):
+        chart = gantt(self._run())
+        assert "=" in chart
+
+    def test_empty_run(self):
+        m = Machine(2)
+        run = m.run_doall_dynamic(0, lambda ctx, i: None)
+        assert gantt(run) == "(empty run)"
+
+    def test_utilization_bounds(self):
+        u = utilization(self._run(p=4, n=64))
+        assert 0.5 < u <= 1.0
+
+    def test_utilization_drops_with_starvation(self):
+        # 2 items on 8 processors: most sit idle
+        busy = utilization(self._run(p=8, n=64))
+        starved = utilization(self._run(p=8, n=2))
+        assert starved < busy
+
+    def test_schedule_table(self):
+        run = self._run(n=30)
+        table = schedule_table(run, limit=5)
+        assert "... 25 more" in table
+        assert "iter" in table
+
+    def test_schedule_table_quit_note(self):
+        from repro.runtime import QUIT
+        m = Machine(4)
+        run = m.run_doall_dynamic(
+            20, lambda ctx, i: QUIT if i == 3 else ctx.charge(10))
+        assert "QUIT issued by iteration 3" in schedule_table(run)
+
+
+class TestThreadedBackend:
+    def test_doall_matches_sequential(self):
+        loop = simple_doall_loop()
+        ref = simple_doall_store(60)
+        SequentialInterp(loop, FT).run(ref)
+        st = simple_doall_store(60)
+        res = run_threaded_doall(
+            loop, st, FT, nthreads=4, u=62,
+            dispatcher_stmts=(1,), dispatcher_var="i",
+            dispatcher_value=lambda k: k)
+        assert res.n_iters == 60
+        assert np.array_equal(st["A"], ref["A"])
+
+    def test_doall_rv_exit(self):
+        loop = rv_exit_loop()
+        st = rv_exit_store(100, 41)
+        res = run_threaded_doall(
+            loop, st, FT, nthreads=4, u=101,
+            dispatcher_stmts=(2,), dispatcher_var="i",
+            dispatcher_value=lambda k: k)
+        assert res.n_iters == 41
+        assert res.exited_in_body
+        # overshot iterations may have run; real threads have no undo
+        # machinery here, so only the count is checked.
+
+    @pytest.mark.parametrize("scheme", ["general-1", "general-3"])
+    def test_general_schemes_on_list(self, scheme):
+        loop = list_loop()
+        ref = list_store(50)
+        SequentialInterp(loop, FT).run(ref)
+        st = list_store(50)
+        res = run_threaded_general(
+            loop, st, FT, nthreads=4, u=51,
+            dispatcher_stmts=(1,), dispatcher_var="p", scheme=scheme)
+        assert res.n_iters == 50
+        assert np.array_equal(st["out"], ref["out"])
+
+    def test_single_thread_degenerate(self):
+        loop = simple_doall_loop()
+        st = simple_doall_store(10)
+        res = run_threaded_doall(
+            loop, st, FT, nthreads=1, u=12,
+            dispatcher_stmts=(1,), dispatcher_var="i",
+            dispatcher_value=lambda k: k)
+        assert res.n_iters == 10
+
+    def test_unknown_scheme_rejected(self):
+        from repro.errors import ExecutionError
+        with pytest.raises(ExecutionError):
+            run_threaded_general(
+                list_loop(), list_store(5), FT, u=6,
+                dispatcher_stmts=(1,), dispatcher_var="p",
+                scheme="general-9")
+
+    def test_worker_exception_propagates(self):
+        from repro.ir import (ArrayAssign, Assign, Const, Var, WhileLoop,
+                              le_, ArrayRef)
+        from repro.ir import Store
+        loop = WhileLoop(
+            [Assign("i", Const(1))], le_(Var("i"), Var("n")),
+            [ArrayAssign("A", Var("i") * 50, Const(1)),  # out of bounds
+             Assign("i", Var("i") + 1)])
+        st = Store({"A": np.zeros(10, dtype=np.int64), "n": 8, "i": 0})
+        with pytest.raises(Exception):
+            run_threaded_doall(loop, st, FT, nthreads=2, u=9,
+                               dispatcher_stmts=(1,),
+                               dispatcher_var="i",
+                               dispatcher_value=lambda k: k)

@@ -1,0 +1,150 @@
+"""Unit tests for checkpointing, write time-stamps, and undo."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError
+from repro.ir import EvalContext, FunctionTable, Store
+from repro.runtime import UNIT
+from repro.speculation import Checkpoint, WriteTimestamps, undo_overshoot
+from repro.structures import build_chain
+
+
+def make_store():
+    return Store({"A": np.arange(10, dtype=np.int64),
+                  "B": np.zeros(5), "x": 7})
+
+
+class TestCheckpoint:
+    def test_restore_full(self):
+        st = make_store()
+        ck = Checkpoint(st)
+        st["A"][3] = 99
+        st["x"] = -1
+        ck.restore(st)
+        assert st["A"][3] == 3 and st["x"] == 7
+
+    def test_partial_arrays(self):
+        st = make_store()
+        ck = Checkpoint(st, arrays=["A"])
+        assert ck.array_names == ("A",)
+        assert ck.words == 10
+
+    def test_restore_where(self):
+        st = make_store()
+        ck = Checkpoint(st, arrays=["A"])
+        st["A"][:] = 0
+        mask = np.zeros(10, dtype=bool)
+        mask[2:4] = True
+        n = ck.restore_where(st, "A", mask)
+        assert n == 2
+        assert st["A"][2] == 2 and st["A"][5] == 0
+
+    def test_saved_view_readonly(self):
+        ck = Checkpoint(make_store(), arrays=["A"])
+        with pytest.raises(ValueError):
+            ck.saved("A")[0] = 1
+
+    def test_lists_checkpointed(self):
+        st = Store({"L": build_chain(4)})
+        ck = Checkpoint(st)
+        st["L"] = build_chain(4, order=[3, 2, 1, 0])
+        ck.restore(st)
+        assert st["L"].to_list() == [0, 1, 2, 3]
+
+    def test_non_array_name_rejected(self):
+        with pytest.raises(ExecutionError):
+            Checkpoint(make_store(), arrays=["x"])
+
+
+def stamped_write(hooks, store, array, idx, value, iteration):
+    ctx = EvalContext(store, FunctionTable(), UNIT, mem=hooks,
+                      iteration=iteration)
+    ctx.write(array, idx, value)
+    return ctx
+
+
+class TestTimestamps:
+    def test_records_iteration(self):
+        st = make_store()
+        ts = WriteTimestamps(st, ["A"])
+        stamped_write(ts, st, "A", 4, 40, iteration=7)
+        assert ts.stamps["A"][4] == 7
+        assert ts.stamped_writes == 1
+
+    def test_untracked_array_ignored(self):
+        st = make_store()
+        ts = WriteTimestamps(st, ["A"])
+        stamped_write(ts, st, "B", 1, 1.0, iteration=3)
+        assert ts.stamped_writes == 0
+        assert ts.writes == 1
+
+    def test_conflict_detection(self):
+        st = make_store()
+        ts = WriteTimestamps(st, ["A"])
+        stamped_write(ts, st, "A", 2, 1, iteration=3)
+        stamped_write(ts, st, "A", 2, 2, iteration=5)
+        assert ("A", 2) in ts.conflicts
+
+    def test_same_iteration_rewrites_not_conflict(self):
+        st = make_store()
+        ts = WriteTimestamps(st, ["A"])
+        stamped_write(ts, st, "A", 2, 1, iteration=3)
+        stamped_write(ts, st, "A", 2, 2, iteration=3)
+        assert not ts.conflicts
+
+    def test_stamp_from_threshold(self):
+        """Section 8.1: only iterations >= n'_i are stamped."""
+        st = make_store()
+        ts = WriteTimestamps(st, ["A"], stamp_from=10)
+        stamped_write(ts, st, "A", 1, 1, iteration=5)
+        stamped_write(ts, st, "A", 2, 2, iteration=15)
+        assert ts.stamps["A"][1] == 0
+        assert ts.stamps["A"][2] == 15
+
+    def test_live_stamped(self):
+        st = make_store()
+        ts = WriteTimestamps(st, ["A"])
+        for k in (1, 2, 3, 8):
+            stamped_write(ts, st, "A", k, k, iteration=k)
+        assert ts.live_stamped(3) == 1  # only the iteration-8 stamp
+        assert ts.live_stamped(0) == 4
+
+    def test_reset(self):
+        st = make_store()
+        ts = WriteTimestamps(st, ["A"])
+        stamped_write(ts, st, "A", 1, 1, iteration=1)
+        ts.reset()
+        assert ts.high_water_stamped() == 0
+
+
+class TestUndo:
+    def test_restores_only_overshot(self):
+        st = make_store()
+        ck = Checkpoint(st, arrays=["A"])
+        ts = WriteTimestamps(st, ["A"])
+        stamped_write(ts, st, "A", 1, 100, iteration=2)   # valid
+        stamped_write(ts, st, "A", 5, 500, iteration=9)   # overshot
+        rep = undo_overshoot(st, ck, ts, last_valid=4)
+        assert rep.restored_words == 1
+        assert rep.undone_iterations == 1
+        assert st["A"][1] == 100   # kept
+        assert st["A"][5] == 5     # restored
+
+    def test_no_overshoot_noop(self):
+        st = make_store()
+        ck = Checkpoint(st, arrays=["A"])
+        ts = WriteTimestamps(st, ["A"])
+        stamped_write(ts, st, "A", 1, 100, iteration=2)
+        rep = undo_overshoot(st, ck, ts, last_valid=10)
+        assert rep.restored_words == 0
+
+    def test_multiple_arrays(self):
+        st = make_store()
+        ck = Checkpoint(st, arrays=["A", "B"])
+        ts = WriteTimestamps(st, ["A", "B"])
+        stamped_write(ts, st, "A", 0, -1, iteration=8)
+        stamped_write(ts, st, "B", 0, -1.0, iteration=9)
+        rep = undo_overshoot(st, ck, ts, last_valid=7)
+        assert rep.restored_words == 2
+        assert st["A"][0] == 0 and st["B"][0] == 0.0

@@ -1,0 +1,205 @@
+"""Unit + property tests for the PD test (shadow arrays + analysis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir import EvalContext, FunctionTable, Store
+from repro.runtime import UNIT, Machine
+from repro.speculation import HashShadowArrays, ShadowArrays, analyze_pd
+
+
+def replay(shadow, store, accesses):
+    """Drive the shadow with (iteration, op, idx) triples on array A."""
+    current = None
+    ctx = None
+    for it, op, idx in accesses:
+        if it != current:
+            shadow.begin_iteration(it)
+            current = it
+        ctx = EvalContext(store, FunctionTable(), UNIT, mem=shadow,
+                          iteration=it)
+        if op == "r":
+            ctx.read("A", idx)
+        else:
+            ctx.write("A", idx, 1)
+    return shadow
+
+
+def fresh(n=16, sparse=False):
+    store = Store({"A": np.zeros(n, dtype=np.int64)})
+    cls = HashShadowArrays if sparse else ShadowArrays
+    return store, cls(store, ["A"])
+
+
+def run_pd(accesses, *, sparse=False, last_valid=None, p=4):
+    store, shadow = fresh(sparse=sparse)
+    replay(shadow, store, accesses)
+    if sparse:
+        shadow = shadow.densify()
+    return analyze_pd(shadow, Machine(p), last_valid=last_valid)
+
+
+class TestPDVerdicts:
+    def test_disjoint_writes_pass(self):
+        res = run_pd([(1, "w", 1), (2, "w", 2), (3, "w", 3)])
+        assert res.valid_as_is and res.valid_privatized
+
+    def test_output_dependence_fails(self):
+        res = run_pd([(1, "w", 5), (2, "w", 5)])
+        assert not res.valid_as_is
+        assert res.output_dep_elements == 1
+        # privatization removes output deps
+        assert res.valid_privatized
+
+    def test_flow_dependence_fails_both(self):
+        # iteration 1 writes, iteration 3 reads (exposed)
+        res = run_pd([(1, "w", 5), (3, "r", 5)])
+        assert not res.valid_as_is
+        assert not res.valid_privatized
+
+    def test_anti_dependence_fails_as_is_but_priv_ok(self):
+        # read at iteration 1, write at iteration 3: sequential read
+        # sees the pre-loop value; privatized execution also does.
+        res = run_pd([(1, "r", 5), (3, "w", 5)])
+        assert not res.valid_as_is
+        assert res.valid_privatized
+
+    def test_covered_read_is_fine(self):
+        # same iteration: write then read -> not exposed
+        res = run_pd([(1, "w", 5), (1, "r", 5), (2, "w", 6)])
+        assert res.valid_as_is
+
+    def test_read_before_write_same_iteration_exposed(self):
+        # within one iteration, read first: exposed, but no other
+        # iteration writes it -> still valid
+        res = run_pd([(1, "r", 5), (1, "w", 5)])
+        assert res.valid_as_is
+
+    def test_read_only_sharing_fine(self):
+        res = run_pd([(1, "r", 5), (2, "r", 5), (3, "r", 5)])
+        assert res.valid_as_is
+
+    def test_three_writers(self):
+        res = run_pd([(1, "w", 5), (2, "w", 5), (3, "w", 5)])
+        assert res.output_dep_elements == 1
+
+
+class TestTimestampedMarks:
+    def test_overshot_marks_ignored(self):
+        # the conflicting write belongs to an overshot iteration
+        res = run_pd([(1, "w", 5), (9, "w", 5)], last_valid=4)
+        assert res.valid_as_is
+
+    def test_valid_conflict_still_fails(self):
+        res = run_pd([(1, "w", 5), (3, "w", 5)], last_valid=4)
+        assert not res.valid_as_is
+
+    def test_overshot_exposed_read_ignored(self):
+        res = run_pd([(1, "w", 5), (9, "r", 5)], last_valid=4)
+        assert res.valid_as_is
+
+    def test_two_smallest_tracked(self):
+        # writes at 9, 2, 5: cut at 4 keeps only iteration 2 -> valid;
+        # cut at 6 keeps 2 and 5 -> output dep.
+        acc = [(9, "w", 5), (2, "w", 5), (5, "w", 5)]
+        assert run_pd(acc, last_valid=4).valid_as_is
+        assert not run_pd(acc, last_valid=6).valid_as_is
+
+
+class TestPerArray:
+    def test_per_array_breakdown(self):
+        store = Store({"A": np.zeros(8, dtype=np.int64),
+                       "B": np.zeros(8, dtype=np.int64)})
+        sh = ShadowArrays(store, ["A", "B"])
+        ctx1 = EvalContext(store, FunctionTable(), UNIT, mem=sh, iteration=1)
+        sh.begin_iteration(1)
+        ctx1.write("A", 0, 1)
+        ctx2 = EvalContext(store, FunctionTable(), UNIT, mem=sh, iteration=2)
+        sh.begin_iteration(2)
+        ctx2.write("A", 0, 2)     # output dep on A
+        ctx2.write("B", 1, 2)     # clean on B
+        res = analyze_pd(sh, Machine(4))
+        assert not res.array("A").valid_as_is
+        assert res.array("B").valid_as_is
+        assert res.valid_with_privatized(["A"])
+        assert not res.valid_with_privatized([])
+
+    def test_unknown_array_keyerror(self):
+        store, sh = fresh()
+        res = analyze_pd(sh, Machine(2))
+        with pytest.raises(KeyError):
+            res.array("nope")
+
+
+class TestHashShadow:
+    def test_sparse_words_much_smaller(self):
+        store = Store({"A": np.zeros(10_000, dtype=np.int64)})
+        sh = HashShadowArrays(store, ["A"])
+        replay(sh, store, [(1, "w", 3), (2, "w", 500)])
+        assert sh.words == 8  # 2 touched elements x 4 stamps
+        dense = ShadowArrays(store, ["A"])
+        assert dense.words == 40_000
+
+    def test_densify_equivalent_verdict(self):
+        acc = [(1, "w", 5), (2, "w", 5), (3, "r", 7), (1, "w", 7)]
+        dense_res = run_pd(acc, sparse=False)
+        sparse_res = run_pd(acc, sparse=True)
+        assert dense_res.valid_as_is == sparse_res.valid_as_is
+        assert dense_res.valid_privatized == sparse_res.valid_privatized
+
+
+@st.composite
+def access_patterns(draw):
+    n_iters = draw(st.integers(1, 8))
+    out = []
+    for it in range(1, n_iters + 1):
+        k = draw(st.integers(0, 5))
+        for _ in range(k):
+            op = draw(st.sampled_from(["r", "w"]))
+            idx = draw(st.integers(0, 7))
+            out.append((it, op, idx))
+    return out
+
+
+def refined_oracle(accesses):
+    """Exact oracle mirroring the PD test's definition."""
+    writes = {}
+    exposed_reads = {}
+    written_now = set()
+    cur = None
+    for it, op, idx in accesses:
+        if it != cur:
+            written_now = set()
+            cur = it
+        if op == "w":
+            writes.setdefault(idx, set()).add(it)
+            written_now.add(idx)
+        elif idx not in written_now:
+            exposed_reads.setdefault(idx, set()).add(it)
+    for idx, ws in writes.items():
+        if len(ws) > 1:
+            return False
+        for r in exposed_reads.get(idx, ()):
+            if r not in ws:
+                return False
+    return True
+
+
+@given(access_patterns())
+@settings(max_examples=120, deadline=None)
+def test_pd_verdict_matches_oracle(accesses):
+    """Property: the PD test's as-is verdict equals the exact oracle."""
+    res = run_pd(accesses)
+    assert res.valid_as_is == refined_oracle(accesses)
+
+
+@given(access_patterns())
+@settings(max_examples=60, deadline=None)
+def test_sparse_and_dense_agree(accesses):
+    """Property: hash shadow and dense shadow give identical verdicts."""
+    d = run_pd(accesses, sparse=False)
+    s = run_pd(accesses, sparse=True)
+    assert (d.valid_as_is, d.valid_privatized) \
+        == (s.valid_as_is, s.valid_privatized)

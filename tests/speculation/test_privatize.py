@@ -1,0 +1,108 @@
+"""Unit tests for run-time privatization (copy-in, trail, copy-out)."""
+
+import numpy as np
+import pytest
+
+from repro.ir import EvalContext, FunctionTable, Store
+from repro.runtime import UNIT
+from repro.speculation import CompositeHooks, PrivateArrays, WriteTimestamps
+
+
+def ctx_for(store, hooks, iteration):
+    hooks.begin_iteration(iteration)
+    return EvalContext(store, FunctionTable(), UNIT, mem=hooks,
+                       iteration=iteration)
+
+
+class TestPrivateArrays:
+    def test_writes_captured_not_shared(self):
+        st = Store({"A": np.zeros(8, dtype=np.int64)})
+        priv = PrivateArrays(["A"])
+        ctx = ctx_for(st, priv, 1)
+        ctx.write("A", 3, 42)
+        assert st["A"][3] == 0      # shared untouched (backup intact)
+        assert priv.captured == 1
+
+    def test_iteration_reads_own_writes(self):
+        st = Store({"A": np.zeros(8, dtype=np.int64)})
+        priv = PrivateArrays(["A"])
+        ctx = ctx_for(st, priv, 1)
+        ctx.write("A", 3, 42)
+        assert ctx.read("A", 3) == 42
+
+    def test_copy_in_of_outside_value(self):
+        st = Store({"A": np.arange(8, dtype=np.int64)})
+        priv = PrivateArrays(["A"])
+        ctx = ctx_for(st, priv, 1)
+        assert ctx.read("A", 5) == 5  # falls through to shared
+
+    def test_iterations_do_not_see_each_other(self):
+        st = Store({"A": np.zeros(8, dtype=np.int64)})
+        priv = PrivateArrays(["A"])
+        ctx1 = ctx_for(st, priv, 1)
+        ctx1.write("A", 3, 42)
+        ctx2 = ctx_for(st, priv, 2)  # begin_iteration clears overlay
+        assert ctx2.read("A", 3) == 0
+
+    def test_non_privatized_array_passthrough(self):
+        st = Store({"A": np.zeros(4, dtype=np.int64),
+                    "B": np.zeros(4, dtype=np.int64)})
+        priv = PrivateArrays(["A"])
+        ctx = ctx_for(st, priv, 1)
+        ctx.write("B", 0, 7)
+        assert st["B"][0] == 7
+
+    def test_copy_out_last_valid_wins(self):
+        st = Store({"A": np.zeros(8, dtype=np.int64)})
+        priv = PrivateArrays(["A"])
+        ctx_for(st, priv, 2).write("A", 1, 20)
+        ctx_for(st, priv, 5).write("A", 1, 50)
+        ctx_for(st, priv, 9).write("A", 1, 90)  # overshot
+        rep = priv.copy_out(st, last_valid=6)
+        assert st["A"][1] == 50
+        assert rep.copied_words == 1
+        assert rep.dropped_writes == 1
+        assert rep.trail_length == 3
+
+    def test_copy_out_nothing_valid(self):
+        st = Store({"A": np.zeros(8, dtype=np.int64)})
+        priv = PrivateArrays(["A"])
+        ctx_for(st, priv, 9).write("A", 1, 90)
+        rep = priv.copy_out(st, last_valid=5)
+        assert st["A"][1] == 0 and rep.copied_words == 0
+
+
+class TestCompositeHooks:
+    def test_observers_all_fire(self):
+        st = Store({"A": np.zeros(8, dtype=np.int64)})
+        ts = WriteTimestamps(st, ["A"])
+        priv = PrivateArrays(["A"])
+        combo = CompositeHooks(ts, priv)
+        ctx = ctx_for(st, combo, 4)
+        ctx.write("A", 2, 9)
+        assert ts.stamps["A"][2] == 4      # observer saw it
+        assert priv.captured == 1          # privatizer captured it
+        assert st["A"][2] == 0             # shared untouched
+
+    def test_redirect_first_nonnull_wins(self):
+        st = Store({"A": np.arange(8, dtype=np.int64)})
+        priv = PrivateArrays(["A"])
+        combo = CompositeHooks(priv)
+        ctx = ctx_for(st, combo, 1)
+        ctx.write("A", 0, 99)
+        assert ctx.read("A", 0) == 99
+
+    def test_none_members_skipped(self):
+        combo = CompositeHooks(None, None)
+        assert combo.hooks == ()
+
+    def test_begin_iteration_propagates(self):
+        st = Store({"A": np.zeros(4, dtype=np.int64)})
+        priv = PrivateArrays(["A"])
+        combo = CompositeHooks(priv)
+        ctx = ctx_for(st, combo, 1)
+        ctx.write("A", 0, 5)
+        combo.begin_iteration(2)
+        ctx2 = EvalContext(st, FunctionTable(), UNIT, mem=combo,
+                           iteration=2)
+        assert ctx2.read("A", 0) == 0  # overlay cleared

@@ -1,0 +1,102 @@
+"""Unit + property tests for the index-array linked list."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import IRError, NullPointerError
+from repro.structures import LinkedList, build_chain
+
+
+class TestBuildChain:
+    def test_in_order_chain(self):
+        c = build_chain(5)
+        assert c.to_list() == [0, 1, 2, 3, 4]
+
+    def test_empty_chain(self):
+        c = build_chain(0)
+        assert c.head == -1
+        assert len(c) == 0
+
+    def test_explicit_order(self):
+        c = build_chain(4, order=[2, 0, 3, 1])
+        assert c.to_list() == [2, 0, 3, 1]
+
+    def test_scrambled_reaches_all(self):
+        c = build_chain(50, scramble=True,
+                        rng=np.random.default_rng(1))
+        assert sorted(c.to_list()) == list(range(50))
+
+    def test_bad_order_rejected(self):
+        with pytest.raises(IRError):
+            build_chain(3, order=[0, 0, 1])
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(IRError):
+            build_chain(-1)
+
+
+class TestOperations:
+    def test_successor(self):
+        c = build_chain(3)
+        assert c.successor(0) == 1
+        assert c.successor(2) == -1
+
+    def test_successor_of_null_raises(self):
+        with pytest.raises(NullPointerError):
+            build_chain(3).successor(-1)
+
+    def test_kth(self):
+        c = build_chain(5, order=[4, 3, 2, 1, 0])
+        assert c.kth(0) == 4
+        assert c.kth(4) == 0
+        assert c.kth(5) == -1
+        assert c.kth(99) == -1
+
+    def test_frozen_next_is_readonly(self):
+        c = build_chain(3)
+        with pytest.raises(ValueError):
+            c.next[0] = 2
+
+    def test_copy_is_writable_and_equal(self):
+        c = build_chain(4)
+        cp = c.copy()
+        assert cp == c
+        cp.next[0] = 2  # copies are not frozen
+        assert cp != c
+
+    def test_cycle_detected(self):
+        nxt = np.array([1, 0], dtype=np.int64)
+        cyc = LinkedList(nxt, 0)
+        with pytest.raises(IRError):
+            list(cyc)
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(build_chain(2))
+
+    def test_bad_head_rejected(self):
+        with pytest.raises(IRError):
+            LinkedList(np.array([-1]), 5)
+
+
+@given(st.integers(min_value=1, max_value=200), st.integers(0, 2**31 - 1))
+@settings(max_examples=40, deadline=None)
+def test_scrambled_chain_is_a_permutation(n, seed):
+    """Property: any scrambled chain visits every node exactly once."""
+    c = build_chain(n, scramble=True, rng=np.random.default_rng(seed))
+    walk = c.to_list()
+    assert len(walk) == n
+    assert sorted(walk) == list(range(n))
+
+
+@given(st.integers(min_value=1, max_value=100), st.integers(0, 2**31 - 1))
+@settings(max_examples=30, deadline=None)
+def test_kth_consistent_with_iteration(n, seed):
+    """Property: kth(k) equals the k-th element of the traversal."""
+    c = build_chain(n, scramble=True, rng=np.random.default_rng(seed))
+    walk = c.to_list()
+    for k in (0, n // 2, n - 1, n):
+        expected = walk[k] if k < n else -1
+        assert c.kth(k) == expected

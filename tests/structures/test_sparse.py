@@ -1,0 +1,97 @@
+"""Unit tests for the sparse-matrix substrate and HB profiles."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IRError
+from repro.structures import HB_PROFILES, SparseMatrix, generate_hb_like
+
+
+class TestProfiles:
+    def test_all_four_present(self):
+        assert set(HB_PROFILES) == {"gematt11", "gematt12", "orsreg1",
+                                    "saylr4"}
+
+    def test_published_sizes(self):
+        assert HB_PROFILES["gematt11"].n == 4929
+        assert HB_PROFILES["orsreg1"].nnz == 14133
+
+    def test_mean_row_nnz(self):
+        p = HB_PROFILES["saylr4"]
+        assert p.mean_row_nnz == pytest.approx(p.nnz / p.n)
+
+
+class TestGeneration:
+    def test_full_diagonal(self):
+        m = generate_hb_like(HB_PROFILES["orsreg1"], scale=0.05)
+        for i in range(m.n):
+            assert i in m.row(i), f"row {i} missing diagonal"
+
+    def test_scale_controls_order(self):
+        small = generate_hb_like(HB_PROFILES["gematt11"], scale=0.02)
+        large = generate_hb_like(HB_PROFILES["gematt11"], scale=0.06)
+        assert large.n > small.n
+        assert small.n == max(8, round(4929 * 0.02))
+
+    def test_density_tracks_profile(self):
+        p = HB_PROFILES["gematt11"]
+        m = generate_hb_like(p, scale=0.1,
+                             rng=np.random.default_rng(0))
+        got = m.nnz / m.n
+        assert got == pytest.approx(p.mean_row_nnz, rel=0.5)
+
+    def test_bandwidth_respected(self):
+        p = HB_PROFILES["orsreg1"]  # narrowly banded
+        m = generate_hb_like(p, scale=0.1, rng=np.random.default_rng(1))
+        half_bw = max(2, round(p.bandwidth_frac * m.n / 2))
+        for i in range(m.n):
+            cols = m.row(i)
+            assert np.all(np.abs(cols - i) <= half_bw)
+
+    def test_regular_vs_irregular_row_variance(self):
+        reg = generate_hb_like(HB_PROFILES["orsreg1"], scale=0.2,
+                               rng=np.random.default_rng(2))
+        irr = generate_hb_like(HB_PROFILES["gematt11"], scale=0.1,
+                               rng=np.random.default_rng(2))
+        cv_reg = reg.row_nnz.std() / reg.row_nnz.mean()
+        cv_irr = irr.row_nnz.std() / irr.row_nnz.mean()
+        assert cv_irr > cv_reg
+
+    def test_deterministic_default_rng(self):
+        a = generate_hb_like(HB_PROFILES["saylr4"], scale=0.03)
+        b = generate_hb_like(HB_PROFILES["saylr4"], scale=0.03)
+        assert a.nnz == b.nnz
+        assert np.array_equal(a.indices, b.indices)
+
+
+class TestSparseMatrix:
+    def _tiny(self):
+        indptr = np.array([0, 2, 3, 5])
+        indices = np.array([0, 2, 1, 0, 2])
+        data = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        return SparseMatrix(3, indptr, indices, data)
+
+    def test_row_access(self):
+        m = self._tiny()
+        assert list(m.row(0)) == [0, 2]
+        assert list(m.row_values(2)) == [4.0, 5.0]
+
+    def test_counts(self):
+        m = self._tiny()
+        assert list(m.row_nnz) == [2, 1, 2]
+        assert list(m.col_nnz) == [2, 1, 2]
+        assert m.nnz == 5
+
+    def test_to_dense(self):
+        d = self._tiny().to_dense()
+        assert d[0, 2] == 2.0 and d[1, 1] == 3.0 and d.shape == (3, 3)
+
+    def test_bad_indptr_rejected(self):
+        with pytest.raises(IRError):
+            SparseMatrix(3, np.array([0, 1]), np.array([0]),
+                         np.array([1.0]))
+
+    def test_misaligned_data_rejected(self):
+        with pytest.raises(IRError):
+            SparseMatrix(1, np.array([0, 1]), np.array([0]),
+                         np.array([1.0, 2.0]))

@@ -1,0 +1,77 @@
+"""Tests for machine presets and the MA28 analyse-phase driver."""
+
+import pytest
+
+from repro.runtime import (
+    ALLIANT_FX80,
+    PRESETS,
+    Machine,
+    alliant_fx80,
+    high_latency_memory,
+    hw_assisted,
+    mpp,
+)
+from repro.workloads import (
+    make_spice_load40,
+    measure_speedup,
+    run_ma28_analyze,
+)
+
+
+class TestPresets:
+    def test_registry_complete(self):
+        assert set(PRESETS) == {"alliant", "mpp", "hw", "numa"}
+
+    def test_default_processor_counts(self):
+        assert alliant_fx80().nprocs == 8
+        assert mpp().nprocs == 256
+        assert hw_assisted().nprocs == 8
+
+    def test_hw_assist_zeroes_speculation_costs(self):
+        cost = hw_assisted().cost
+        assert cost.timestamp_write == 0
+        assert cost.shadow_mark == 0
+        assert cost.checkpoint_word == 0
+        # compute costs untouched
+        assert cost.alu == ALLIANT_FX80.alu
+
+    def test_numa_inflates_memory(self):
+        cost = high_latency_memory().cost
+        assert cost.hop > ALLIANT_FX80.hop
+        assert cost.array_read > ALLIANT_FX80.array_read
+
+    def test_mpp_sync_costs_grow(self):
+        cost = mpp().cost
+        assert cost.fork > ALLIANT_FX80.fork
+        assert cost.lock_acquire > ALLIANT_FX80.lock_acquire
+
+    def test_presets_run_workloads_correctly(self):
+        w = make_spice_load40(200)
+        for name, factory in PRESETS.items():
+            m = factory(4)
+            sp, _, ok = measure_speedup(
+                w, w.method("General-3 (no locks)"), m)
+            assert ok, name
+            assert sp > 0.3, name
+
+
+class TestMa28AnalyzeDriver:
+    def test_consistency_and_speedup(self):
+        r = run_ma28_analyze("gematt12", n_steps=2)
+        assert r.steps == 2
+        assert r.consistent
+        assert len(r.pivots_row) == 2 and len(r.pivots_col) == 2
+        assert r.speedup > 2
+
+    def test_deterministic(self):
+        a = run_ma28_analyze("orsreg1", n_steps=2)
+        b = run_ma28_analyze("orsreg1", n_steps=2)
+        assert a.pivots_row == b.pivots_row
+        assert a.t_par == b.t_par
+
+    def test_machine_size_matters(self):
+        small = run_ma28_analyze("gematt11", n_steps=1,
+                                 machine=Machine(2))
+        big = run_ma28_analyze("gematt11", n_steps=1,
+                               machine=Machine(8))
+        assert big.speedup > small.speedup

@@ -1,0 +1,91 @@
+"""Tests for the extended workloads: SPICE LOAD phase and the
+multi-sweep MCSPARSE factorization driver."""
+
+import pytest
+
+from repro.analysis import RecKind, analyze_loop
+from repro.runtime import Machine
+from repro.workloads import (
+    DEVICE_MODELS,
+    amdahl_application_speedup,
+    load_phase_speedup,
+    make_device_loop,
+    measure_speedup,
+    run_factorization,
+)
+
+M8 = Machine(8)
+
+
+class TestDeviceLoops:
+    @pytest.mark.parametrize("kind", list(DEVICE_MODELS))
+    def test_structure_is_loop40(self, kind):
+        w = make_device_loop(kind, 100)
+        info = analyze_loop(w.loop, w.funcs)
+        assert info.dispatcher.kind is RecKind.LIST
+        assert not info.may_overshoot
+
+    @pytest.mark.parametrize("kind", list(DEVICE_MODELS))
+    def test_general3_correct(self, kind):
+        w = make_device_loop(kind, 120)
+        sp, res, ok = measure_speedup(
+            w, w.method("General-3 (no locks)"), M8)
+        assert ok
+        assert sp > 2
+
+    def test_heavier_models_scale_better(self):
+        """BJT/MOSFET bodies dominate the pointer chase, so their
+        speedups exceed the light capacitor loop's (the paper's 'if a
+        significant amount of work is performed in the loop body')."""
+        sps = {}
+        for kind in DEVICE_MODELS:
+            w = make_device_loop(kind, 150)
+            sps[kind], _, _ = measure_speedup(
+                w, w.method("General-3 (no locks)"), M8)
+        assert sps["mosfet"] > sps["capacitor"]
+        assert sps["bjt"] > sps["capacitor"]
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(KeyError):
+            make_device_loop("diode", 10)
+
+
+class TestLoadPhase:
+    def test_phase_speedup_reasonable(self):
+        phase, per_loop = load_phase_speedup(M8, n_total=600)
+        assert set(per_loop) == set(DEVICE_MODELS)
+        assert 3 < phase < 8
+        # the phase sits between its fastest and slowest loop
+        assert min(per_loop.values()) <= phase <= max(per_loop.values())
+
+    def test_amdahl_projection(self):
+        # Perfect phase speedup with 40% coverage caps at 1/0.6.
+        assert amdahl_application_speedup(float("inf")) \
+            == pytest.approx(1 / 0.6)
+        assert amdahl_application_speedup(1.0) == pytest.approx(1.0)
+        s = amdahl_application_speedup(5.0)
+        assert 1.3 < s < 1.5
+
+
+class TestFactorizationDriver:
+    def test_sweeps_complete(self):
+        r = run_factorization("orsreg1", n_sweeps=6)
+        assert len(r.pivots) == 6
+        assert len(set(r.pivots)) == 6  # pivots never repeat
+        assert r.candidates_searched >= 6
+
+    def test_aggregate_speedup_positive(self):
+        r = run_factorization("orsreg1", n_sweeps=10)
+        assert r.speedup > 1.2
+
+    def test_counts_evolve(self):
+        """Fill-in makes later sweeps see denser counts; the driver
+        must keep terminating regardless."""
+        r = run_factorization("saylr4", n_sweeps=8, scale=0.05)
+        assert len(r.pivots) == 8
+
+    def test_deterministic(self):
+        a = run_factorization("orsreg1", n_sweeps=5)
+        b = run_factorization("orsreg1", n_sweeps=5)
+        assert a.pivots == b.pivots
+        assert a.t_par == b.t_par
