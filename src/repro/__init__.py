@@ -78,6 +78,16 @@ from repro.ir import (
 )
 from repro.analysis import LoopInfo, analyze_loop
 from repro.frontend import LiftedLoop, lift_function, lift_source
+from repro.obs import (
+    JsonlSink,
+    MemorySink,
+    MetricsRegistry,
+    PerfettoSink,
+    Tracer,
+    get_tracer,
+    run_calibration,
+    tracing,
+)
 from repro.planner import Plan, execute_plan, plan_loop
 from repro.runtime import ALLIANT_FX80, CostModel, Machine
 from repro.structures import (
@@ -103,6 +113,8 @@ __all__ = [
     "min_", "ne_", "not_", "or_",
     "LoopInfo", "analyze_loop",
     "LiftedLoop", "lift_function", "lift_source",
+    "JsonlSink", "MemorySink", "MetricsRegistry", "PerfettoSink",
+    "Tracer", "get_tracer", "run_calibration", "tracing",
     "Plan", "execute_plan", "plan_loop",
     "ALLIANT_FX80", "CostModel", "Machine",
     "HB_PROFILES", "LinkedList", "SparseMatrix", "build_chain",

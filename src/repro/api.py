@@ -25,6 +25,8 @@ from repro.executors.sequential import ensure_info
 from repro.ir.functions import FunctionTable
 from repro.ir.interp import SequentialInterp
 from repro.ir.store import Store
+from repro.obs import names as _ev
+from repro.obs.tracer import get_tracer
 from repro.planner.select import Plan, execute_plan, plan_loop
 from repro.runtime.machine import Machine
 
@@ -135,5 +137,24 @@ def parallelize(
             raise ExecutionError(
                 f"parallel execution of {info.loop.name!r} diverged from "
                 f"the sequential reference: {store.diff(reference)}")
+
+    trc = get_tracer()
+    if trc.enabled:
+        trc.span(_ev.EV_PARALLELIZE, 0, result.t_par,
+                 loop=info.loop.name, scheme=result.scheme,
+                 t_par=result.t_par, t_seq=t_seq, verified=verified)
+        if plan.prediction is not None and t_seq is not None:
+            pred = plan.prediction
+            predicted_t_par = (pred.t_ipar + pred.t_b + pred.t_d
+                               + pred.t_a)
+            trc.event(
+                _ev.EV_CALIBRATION, result.t_par,
+                loop=info.loop.name, scheme=result.scheme,
+                predicted_t_par=predicted_t_par,
+                measured_t_par=result.t_par,
+                predicted_sp_at=pred.sp_at,
+                measured_sp=result.speedup(t_seq),
+                rel_error=((predicted_t_par - result.t_par)
+                           / result.t_par if result.t_par else 0.0))
     return Outcome(plan=plan, result=result, t_seq=t_seq,
                    verified=verified)

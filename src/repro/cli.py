@@ -18,7 +18,15 @@ Commands
     mcsparse:<input>, ma28:<input>:<270|320>).
 
 ``report``
-    Regenerate the full EXPERIMENTS.md content on stdout (slow).
+    Regenerate the full EXPERIMENTS.md content on stdout (slow), or
+    with ``--calibration`` print the cost-model predicted-vs-measured
+    error table for a set of workloads.
+
+``trace WORKLOAD``
+    Run a workload with the tracer attached and write the observability
+    artifacts: a JSON-lines event/span/metrics file and a
+    Chrome/Perfetto ``trace_event`` file loadable in
+    ``chrome://tracing`` or https://ui.perfetto.dev.
 """
 
 from __future__ import annotations
@@ -34,7 +42,7 @@ __all__ = ["main"]
 def _cmd_analyze(args: argparse.Namespace) -> int:
     from repro.analysis import analyze_loop
     from repro.frontend import lift_source
-    from repro.ir import format_loop
+    from repro.ir import FunctionTable, format_loop
     from repro.planner import plan_loop
     from repro.runtime import Machine
 
@@ -42,8 +50,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         source = fh.read()
     lifted = lift_source(source, filename=args.file)
     info = analyze_loop(lifted.loop)
-    plan = plan_loop(info, Machine(args.procs), __import__(
-        "repro.ir", fromlist=["FunctionTable"]).FunctionTable())
+    plan = plan_loop(info, Machine(args.procs), FunctionTable())
 
     disp = info.dispatcher
     payload = {
@@ -111,29 +118,12 @@ def _cmd_taxonomy(args: argparse.Namespace) -> int:
 
 def _cmd_workload(args: argparse.Namespace) -> int:
     from repro.runtime import Machine
-    from repro.workloads import (
-        make_ma28_loop,
-        make_mcsparse_dfact500,
-        make_spice_load40,
-        make_track_fptrak300,
-        measure_speedup,
-    )
+    from repro.workloads import measure_speedup, workload_from_spec
 
-    spec = args.name.split(":")
-    if spec[0] == "spice":
-        w = make_spice_load40()
-    elif spec[0] == "track":
-        w = make_track_fptrak300()
-    elif spec[0] == "mcsparse":
-        w = make_mcsparse_dfact500(spec[1] if len(spec) > 1
-                                   else "gematt11")
-    elif spec[0] == "ma28":
-        inp = spec[1] if len(spec) > 1 else "gematt11"
-        loop_no = int(spec[2]) if len(spec) > 2 else 270
-        w = make_ma28_loop(inp, loop_no)
-    else:
-        print(f"unknown workload {args.name!r} (spice, track, "
-              f"mcsparse:<input>, ma28:<input>:<loop>)", file=sys.stderr)
+    try:
+        w = workload_from_spec(args.name)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
     machine = Machine(args.procs)
     print(f"{w.name}: {w.description}\n")
@@ -147,8 +137,70 @@ def _cmd_workload(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    if args.calibration:
+        from repro.obs import run_calibration
+        try:
+            report = run_calibration(args.workloads or None,
+                                     procs=args.procs)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+        print(report.render())
+        return 0
     from repro.experiments import render_report
     print(render_report())
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.obs import JsonlSink, MultiSink, PerfettoSink, tracing
+    from repro.runtime import Machine
+    from repro.workloads import measure_speedup, workload_from_spec
+
+    try:
+        w = workload_from_spec(args.name)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if args.method is not None:
+        try:
+            methods = [w.method(args.method)]
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+    elif args.all_methods:
+        methods = list(w.methods)
+    else:
+        methods = [w.methods[0]]
+
+    os.makedirs(args.out, exist_ok=True)
+    base = os.path.join(args.out, w.name)
+    jsonl_path = base + ".trace.jsonl"
+    perfetto_path = base + ".perfetto.json"
+
+    machine = Machine(args.procs)
+    jsonl = JsonlSink(jsonl_path)
+    perfetto = PerfettoSink(perfetto_path)
+    print(f"{w.name}: {w.description}")
+    print(f"tracing {len(methods)} method(s) on {args.procs} "
+          f"processors\n")
+    with tracing(MultiSink(jsonl, perfetto)) as trc:
+        for m in methods:
+            sp, res, ok = measure_speedup(w, m, machine)
+            print(f"  {m.label:30s} speedup={sp:5.2f}x "
+                  f"t_par={res.t_par} store_ok={ok}")
+    jsonl.write_record({"kind": "metrics",
+                        "metrics": trc.metrics.snapshot()})
+    jsonl.close()
+    perfetto.write(nprocs=args.procs)
+
+    print(f"\nwrote {jsonl.n_records} records to {jsonl_path}")
+    print(f"wrote {len(perfetto.trace_events)} trace events to "
+          f"{perfetto_path}")
+    print("open the .perfetto.json file in chrome://tracing or "
+          "https://ui.perfetto.dev")
     return 0
 
 
@@ -173,8 +225,32 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_wl.add_argument("--procs", type=int, default=8)
     p_wl.set_defaults(fn=_cmd_workload)
 
-    p_rp = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
+    p_rp = sub.add_parser(
+        "report", help="regenerate EXPERIMENTS.md, or print the "
+        "cost-model calibration table")
+    p_rp.add_argument("--calibration", action="store_true",
+                      help="print predicted-vs-measured cost-model "
+                      "error instead of the full report")
+    p_rp.add_argument("--workloads", nargs="*", metavar="SPEC",
+                      help="workload specs to calibrate "
+                      "(default: spice track)")
+    p_rp.add_argument("--procs", type=int, default=8)
     p_rp.set_defaults(fn=_cmd_report)
+
+    p_tr = sub.add_parser(
+        "trace", help="run a workload under the tracer and write "
+        "JSON-lines + Perfetto artifacts")
+    p_tr.add_argument("name", help="workload spec (spice, track, "
+                      "mcsparse:<input>, ma28:<input>:<loop>)")
+    p_tr.add_argument("--procs", type=int, default=8)
+    p_tr.add_argument("--method", default=None,
+                      help="trace one method by label "
+                      "(default: the workload's first method)")
+    p_tr.add_argument("--all", dest="all_methods", action="store_true",
+                      help="trace every method of the workload")
+    p_tr.add_argument("--out", default=".",
+                      help="directory for the artifacts (default: .)")
+    p_tr.set_defaults(fn=_cmd_trace)
 
     args = parser.parse_args(argv)
     try:

@@ -16,6 +16,8 @@ from repro.analysis.recurrence import RecKind
 from repro.errors import PlanError
 from repro.ir.functions import FunctionTable
 from repro.ir.store import Store
+from repro.obs import names as _ev
+from repro.obs.tracer import get_tracer
 from repro.runtime.machine import Machine
 from repro.speculation.pdtest import ShadowArrays
 
@@ -54,4 +56,10 @@ def run_associative_prefix(
     result.stats["terms_computed"] = len(supply.terms)
     result.stats["superfluous_terms"] = max(
         0, len(supply.terms) - (result.n_iters + 1))
+    trc = get_tracer()
+    if trc.enabled:
+        trc.count(_ev.M_PREFIX_SCAN_TIME, supply.scan_time)
+        trc.count(_ev.M_TERMS_COMPUTED, len(supply.terms))
+        trc.count(_ev.M_SUPERFLUOUS_TERMS,
+                  result.stats["superfluous_terms"])
     return result

@@ -39,6 +39,8 @@ from repro.ir.interp import EvalContext, IterationRunner, IterOutcome, MemHooks
 from repro.ir.nodes import BinOp, Exit, Var
 from repro.ir.store import Store
 from repro.ir.visitor import walk
+from repro.obs import names as _ev
+from repro.obs.tracer import get_tracer
 from repro.runtime.costs import CostModel
 from repro.runtime.machine import QUIT, DoallRun, Machine, ProcCtx
 from repro.runtime.reduction import parallel_min
@@ -393,6 +395,7 @@ class SchemeCore:
             many iterations and skip the termination search.
         """
         machine, cost = self.machine, self.cost
+        trc = get_tracer()
         t_before = 0
 
         # Run the loop's init block once (sequentially, timed).
@@ -404,6 +407,11 @@ class SchemeCore:
             self.checkpoint = Checkpoint(self.store, self.written_arrays)
             t_before += machine.parallel_work_time(
                 self.checkpoint.words * cost.checkpoint_word)
+            if trc.enabled:
+                trc.event(_ev.EV_CHECKPOINT, t_before,
+                          scheme=self.scheme_name,
+                          words=self.checkpoint.words)
+                trc.count(_ev.M_CHECKPOINT_WORDS, self.checkpoint.words)
 
         if known_iters is not None:
             u = known_iters
@@ -443,6 +451,10 @@ class SchemeCore:
                         f"loop {self.info.loop.name!r} did not terminate "
                         f"within its inferred bound u={u}")
                 makespan += cost.barrier(machine.nprocs)
+                if trc.enabled:
+                    trc.event(_ev.EV_STRIP_BARRIER, t_before + makespan,
+                              scheme=self.scheme_name,
+                              next_first=first + strip_len)
                 first += strip_len
                 continue
 
@@ -476,6 +488,11 @@ class SchemeCore:
             restored = report.restored_words
             t_after += machine.parallel_work_time(
                 restored * cost.restore_word)
+            if trc.enabled:
+                trc.event(_ev.EV_UNDO, t_before + makespan + t_after,
+                          scheme=self.scheme_name,
+                          restored_words=restored, lvi=lvi)
+                trc.count(_ev.M_RESTORED_WORDS, restored)
 
         pd: Optional[PDResult] = None
         if self.shadows is not None:
@@ -483,6 +500,12 @@ class SchemeCore:
                             last_valid=lvi if self.info.may_overshoot
                             else None)
             t_after += pd.analysis_time
+            if trc.enabled:
+                trc.event(_ev.EV_PD_VERDICT, t_before + makespan + t_after,
+                          scheme=self.scheme_name, valid=pd.valid_as_is,
+                          arrays=sorted(pd.per_array))
+                trc.count(_ev.M_PD_VALID if pd.valid_as_is
+                          else _ev.M_PD_INVALID)
 
         self._publish_scalars(lvi, exited, exit_at)
 
@@ -510,6 +533,24 @@ class SchemeCore:
             pd=pd,
             stats=stats,
         )
+        if trc.enabled:
+            # Phase spans: T_b, the DOALL portion, T_a — laid end to
+            # end on the run's virtual timeline.
+            trc.span(_ev.EV_PHASE, 0, t_before,
+                     phase="before", scheme=self.scheme_name)
+            trc.span(_ev.EV_PHASE, t_before, t_before + makespan,
+                     phase="doall", scheme=self.scheme_name)
+            trc.span(_ev.EV_PHASE, t_before + makespan, result.t_par,
+                     phase="after", scheme=self.scheme_name)
+            trc.count(_ev.M_EXECUTED, executed)
+            trc.count(_ev.M_OVERSHOT, overshot)
+            if self.stamps is not None:
+                trc.count(_ev.M_STAMPED_WORDS, self.stamps.words)
+                trc.count(_ev.M_STAMPED_WRITES, self.stamps.stamped_writes)
+            trc.observe(_ev.M_MAKESPAN, makespan)
+            trc.observe(_ev.M_T_PAR, result.t_par)
+            trc.observe(_ev.M_T_BEFORE, t_before)
+            trc.observe(_ev.M_T_AFTER, t_after)
         return result
 
     # -- final scalar state ---------------------------------------------------

@@ -23,6 +23,8 @@ from typing import Optional
 from repro.errors import PlanError
 from repro.ir.functions import FunctionTable
 from repro.ir.store import Store
+from repro.obs import names as _ev
+from repro.obs.tracer import get_tracer
 from repro.runtime.machine import Machine
 from repro.speculation.pdtest import ShadowArrays
 
@@ -62,6 +64,12 @@ def run_general1(loop_or_info, store: Store, machine: Machine,
     return result
 
 
+def _count_hops(supply) -> None:
+    trc = get_tracer()
+    if trc.enabled:
+        trc.count(_ev.M_PRIVATE_HOPS, supply.total_hops)
+
+
 def run_general2(loop_or_info, store: Store, machine: Machine,
                  funcs: FunctionTable, *,
                  u: Optional[int] = None,
@@ -81,6 +89,7 @@ def run_general2(loop_or_info, store: Store, machine: Machine,
                       extra_hooks=tuple(extra_hooks))
     result = core.run(u=u, strip=strip)
     result.stats["private_hops"] = supply.total_hops
+    _count_hops(supply)
     return result
 
 
@@ -103,4 +112,5 @@ def run_general3(loop_or_info, store: Store, machine: Machine,
                       extra_hooks=tuple(extra_hooks))
     result = core.run(u=u, strip=strip)
     result.stats["private_hops"] = supply.total_hops
+    _count_hops(supply)
     return result

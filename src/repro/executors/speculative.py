@@ -20,6 +20,8 @@ from repro.errors import SpeculationFailed
 from repro.ir.functions import FunctionTable
 from repro.ir.interp import SequentialInterp
 from repro.ir.store import Store
+from repro.obs import names as _ev
+from repro.obs.tracer import get_tracer
 from repro.runtime.machine import Machine
 from repro.speculation.hashshadow import HashShadowArrays
 from repro.speculation.pdtest import ShadowArrays, analyze_pd
@@ -109,6 +111,12 @@ def run_speculative(
         restore_t = machine.parallel_work_time(
             sum(backup[a].size for a in backup.arrays())
             * machine.cost.restore_word)
+        trc = get_tracer()
+        if trc.enabled:
+            trc.event(_ev.EV_SPEC_FALLBACK, t_wasted, reason=reason,
+                      wasted_cycles=t_wasted, loop=info.loop.name)
+            trc.count(_ev.M_FALLBACKS)
+            trc.count(_ev.M_WASTED_CYCLES, t_wasted)
         return ParallelResult(
             scheme=f"speculative[{reason}]->sequential",
             n_iters=res.n_iters,
@@ -148,6 +156,7 @@ def run_speculative(
     if not valid:
         return sequential_fallback(result.t_par, "pd-failed")
 
+    trc = get_tracer()
     if priv_hook is not None:
         report = priv_hook.copy_out(store, result.n_iters)
         t_copy = machine.parallel_work_time(
@@ -155,9 +164,20 @@ def run_speculative(
         result.t_after += t_copy
         result.t_par += t_copy
         result.stats["copy_out"] = report
+        if trc.enabled:
+            trc.event(_ev.EV_COPY_OUT, result.t_par,
+                      words=report.copied_words,
+                      arrays=sorted(privatized))
+            trc.count(_ev.M_COPY_OUT_WORDS, report.copied_words)
 
     result.scheme = f"speculative[{result.scheme}]"
     result.stats["tested_arrays"] = tested
     result.stats["privatized_arrays"] = privatized
     result.stats["shadow_words"] = shadow_hook.words
+    if trc.enabled:
+        trc.count(_ev.M_SHADOW_WORDS, shadow_hook.words)
+        if pd is not None and pd.per_array:
+            trc.event(_ev.EV_PD_VERDICT, result.t_par,
+                      scheme=result.scheme, valid=valid,
+                      arrays=sorted(pd.per_array))
     return result

@@ -1,0 +1,59 @@
+"""Structured observability: tracing, metrics, and calibration.
+
+The ``repro.obs`` package is the system's instrumentation layer:
+
+* :mod:`repro.obs.events` — typed :class:`Event`/:class:`Span` records
+  in *virtual* time;
+* :mod:`repro.obs.metrics` — a registry of counters, gauges, and
+  histograms;
+* :mod:`repro.obs.sinks` — where records go: in-memory, JSON-lines,
+  or a Chrome/Perfetto ``trace_event`` file;
+* :mod:`repro.obs.tracer` — the zero-cost-by-default global tracer
+  every layer (machine, executors, planner, API) reports into;
+* :mod:`repro.obs.names` — the canonical event/metric name registry;
+* :mod:`repro.obs.calibration` — predicted-vs-measured cost-model
+  reports.
+
+Tracing never charges virtual cycles, so enabling it cannot change a
+makespan or a speedup; with the default null tracer the hot paths pay
+a single attribute check.  See ``docs/observability.md``.
+"""
+
+from repro.obs import names
+from repro.obs.calibration import (
+    DEFAULT_CALIBRATION_WORKLOADS,
+    CalibrationReport,
+    CalibrationRow,
+    calibrate_workload,
+    run_calibration,
+)
+from repro.obs.events import Event, Span
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.sinks import (
+    JsonlSink,
+    MemorySink,
+    MultiSink,
+    NullSink,
+    PerfettoSink,
+    Sink,
+    chrome_trace_of_run,
+    write_chrome_trace,
+)
+from repro.obs.tracer import (
+    NULL_TRACER,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    tracing,
+)
+
+__all__ = [
+    "names",
+    "Event", "Span",
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "Sink", "NullSink", "MemorySink", "JsonlSink", "PerfettoSink",
+    "MultiSink", "chrome_trace_of_run", "write_chrome_trace",
+    "Tracer", "NULL_TRACER", "get_tracer", "set_tracer", "tracing",
+    "CalibrationRow", "CalibrationReport", "calibrate_workload",
+    "run_calibration", "DEFAULT_CALIBRATION_WORKLOADS",
+]

@@ -1,0 +1,182 @@
+"""Cost-model calibration: predicted vs measured, per run.
+
+The Section 7 model earns its keep only if its predictions track the
+virtual machine's measurements.  This module runs a workload twice —
+once through the planner's *predictive* path (profile + ``predict``)
+and once for real — and reports the relative error of the predicted
+parallel time and attainable speedup.
+
+Heavy imports (planner, executors, workloads) happen inside functions:
+the runtime and executor layers import :mod:`repro.obs.tracer`, which
+initializes this package, so module-level imports here would cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = ["CalibrationRow", "CalibrationReport", "calibrate_workload",
+           "run_calibration", "DEFAULT_CALIBRATION_WORKLOADS"]
+
+#: Workload specs the calibration report covers by default (the two
+#: the paper's Figures 6 and 7 revolve around).
+DEFAULT_CALIBRATION_WORKLOADS: Tuple[str, ...] = ("spice", "track")
+
+
+@dataclass(frozen=True)
+class CalibrationRow:
+    """One workload's predicted-vs-measured comparison.
+
+    Times are virtual cycles.  ``predicted_*`` comes from the planner's
+    :class:`~repro.planner.costmodel.Prediction` (or the trivial
+    sequential prediction when the planner kept the loop sequential);
+    ``measured_*`` from actually executing the plan.
+    """
+
+    workload: str
+    scheme: str
+    procs: int
+    t_seq: int
+    predicted_t_par: float
+    measured_t_par: int
+    predicted_speedup: float
+    measured_speedup: float
+
+    @property
+    def t_par_rel_error(self) -> float:
+        """``(predicted - measured) / measured`` for the parallel time."""
+        if not self.measured_t_par:
+            return 0.0
+        return (self.predicted_t_par - self.measured_t_par) \
+            / self.measured_t_par
+
+    @property
+    def speedup_rel_error(self) -> float:
+        """``(predicted - measured) / measured`` for the speedup."""
+        if not self.measured_speedup:
+            return 0.0
+        return (self.predicted_speedup - self.measured_speedup) \
+            / self.measured_speedup
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    """All rows plus aggregate error statistics."""
+
+    procs: int
+    rows: Tuple[CalibrationRow, ...]
+
+    @property
+    def mean_abs_rel_error(self) -> float:
+        """Mean |relative error| of the predicted parallel time."""
+        if not self.rows:
+            return 0.0
+        return sum(abs(r.t_par_rel_error) for r in self.rows) \
+            / len(self.rows)
+
+    @property
+    def max_abs_rel_error(self) -> float:
+        if not self.rows:
+            return 0.0
+        return max(abs(r.t_par_rel_error) for r in self.rows)
+
+    def render(self) -> str:
+        """Human-readable table (what ``repro report --calibration``
+        prints)."""
+        head = (f"Cost-model calibration @ {self.procs} processors "
+                f"(virtual cycles)")
+        lines = [head, "=" * len(head),
+                 f"{'workload':<18s} {'scheme':<26s} {'T_par pred':>12s} "
+                 f"{'T_par meas':>12s} {'err%':>7s} {'Sp pred':>8s} "
+                 f"{'Sp meas':>8s}"]
+        for r in self.rows:
+            lines.append(
+                f"{r.workload:<18s} {r.scheme:<26s} "
+                f"{r.predicted_t_par:12.0f} {r.measured_t_par:12d} "
+                f"{100 * r.t_par_rel_error:+6.1f}% "
+                f"{r.predicted_speedup:8.2f} {r.measured_speedup:8.2f}")
+        lines.append("")
+        lines.append(f"mean |T_par error| = "
+                     f"{100 * self.mean_abs_rel_error:.1f}%   "
+                     f"max |T_par error| = "
+                     f"{100 * self.max_abs_rel_error:.1f}%")
+        return "\n".join(lines)
+
+
+def calibrate_workload(workload, machine) -> CalibrationRow:
+    """Predict, then measure, one workload on ``machine``.
+
+    The planner profiles a fresh sample store (its normal predictive
+    path); the measurement executes the chosen plan on another fresh
+    store.  When the plan is sequential the prediction degenerates to
+    ``T_seq`` (trivially exact) — the row is still reported so the
+    report shows *why* nothing was parallelized.
+    """
+    from repro.errors import PlanError
+    from repro.executors.sequential import run_sequential
+    from repro.planner.select import execute_plan, plan_loop
+
+    plan = plan_loop(workload.loop, machine, workload.funcs,
+                     sample_store=workload.make_store())
+
+    seq_store = workload.make_store()
+    t_seq = run_sequential(workload.loop, seq_store, machine,
+                           workload.funcs).t_par
+
+    run_store = workload.make_store()
+    try:
+        result = execute_plan(plan, run_store, machine, workload.funcs)
+    except PlanError as exc:
+        if "upper bound" not in str(exc):
+            raise
+        result = execute_plan(plan, run_store, machine, workload.funcs,
+                              strip=max(64, 8 * machine.nprocs))
+
+    pred = plan.prediction
+    if plan.scheme == "sequential" or pred is None:
+        predicted_t_par: float = float(t_seq)
+        predicted_sp = 1.0
+    else:
+        predicted_t_par = pred.t_ipar + pred.t_b + pred.t_d + pred.t_a
+        predicted_sp = pred.sp_at
+
+    measured_sp = result.speedup(t_seq)
+    return CalibrationRow(
+        workload=workload.name,
+        scheme=result.scheme,
+        procs=machine.nprocs,
+        t_seq=t_seq,
+        predicted_t_par=predicted_t_par,
+        measured_t_par=result.t_par,
+        predicted_speedup=predicted_sp,
+        measured_speedup=measured_sp,
+    )
+
+
+def run_calibration(specs: Optional[Sequence[str]] = None,
+                    *, procs: int = 8) -> CalibrationReport:
+    """Calibrate the cost model across a set of workload specs.
+
+    ``specs`` uses the CLI's workload syntax ("spice", "track",
+    "mcsparse:<input>", "ma28:<input>:<loop>"); defaults to
+    :data:`DEFAULT_CALIBRATION_WORKLOADS`.
+    """
+    from repro.obs import names
+    from repro.obs.tracer import get_tracer
+    from repro.runtime.machine import Machine
+    from repro.workloads import workload_from_spec
+
+    machine = Machine(procs)
+    rows: List[CalibrationRow] = []
+    for spec in (specs or DEFAULT_CALIBRATION_WORKLOADS):
+        row = calibrate_workload(workload_from_spec(spec), machine)
+        rows.append(row)
+        trc = get_tracer()
+        if trc.enabled:
+            trc.event(names.EV_CALIBRATION, row.measured_t_par,
+                      workload=row.workload, scheme=row.scheme,
+                      predicted_t_par=row.predicted_t_par,
+                      measured_t_par=row.measured_t_par,
+                      rel_error=row.t_par_rel_error)
+    return CalibrationReport(procs=procs, rows=tuple(rows))

@@ -1,0 +1,67 @@
+"""Typed trace records: instant events and spans in virtual time.
+
+Both record types are immutable, hashable, and JSON-friendly
+(:meth:`to_dict` yields plain builtins).  Timestamps are *virtual
+cycles* from the machine's clock — the tracer never reads wall-clock
+time, so identical runs produce identical traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Tuple
+
+__all__ = ["Event", "Span", "freeze_attrs"]
+
+
+def freeze_attrs(attrs: Mapping[str, Any]) -> Tuple[Tuple[str, Any], ...]:
+    """Normalize an attribute mapping into a sorted, hashable tuple."""
+    return tuple(sorted(attrs.items()))
+
+
+@dataclass(frozen=True)
+class Event:
+    """An instantaneous occurrence at one point in virtual time.
+
+    Attributes
+    ----------
+    name:
+        Canonical event name (see :mod:`repro.obs.names`).
+    ts:
+        Virtual-cycle timestamp.
+    pid:
+        Processor id, or ``-1`` when the event is not tied to one
+        (planner decisions, calibration records, ...).
+    attrs:
+        Extra key/value payload, stored as a sorted tuple of pairs.
+    """
+
+    name: str
+    ts: int
+    pid: int = -1
+    attrs: Tuple[Tuple[str, Any], ...] = field(default_factory=tuple)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-builtin representation (one JSON-lines record)."""
+        return {"kind": "event", "name": self.name, "ts": self.ts,
+                "pid": self.pid, **dict(self.attrs)}
+
+
+@dataclass(frozen=True)
+class Span:
+    """A named interval ``[start, end]`` of virtual time on a processor."""
+
+    name: str
+    start: int
+    end: int
+    pid: int = -1
+    attrs: Tuple[Tuple[str, Any], ...] = field(default_factory=tuple)
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-builtin representation (one JSON-lines record)."""
+        return {"kind": "span", "name": self.name, "ts": self.start,
+                "dur": self.duration, "pid": self.pid, **dict(self.attrs)}

@@ -1,0 +1,160 @@
+"""A small metrics registry: counters, gauges, and histograms.
+
+Names come from :mod:`repro.obs.names`; values are virtual-time
+quantities (cycles, words, counts), so snapshots of two identical runs
+are identical.  The registry is deliberately dependency-free — it is
+safe to import from any layer of the system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Union
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+Number = Union[int, float]
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing total."""
+
+    name: str
+    value: Number = 0
+
+    def inc(self, n: Number = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += n
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"type": "counter", "value": self.value}
+
+
+@dataclass
+class Gauge:
+    """A last-write-wins observed value."""
+
+    name: str
+    value: Optional[Number] = None
+
+    def set(self, v: Number) -> None:
+        self.value = v
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"type": "gauge", "value": self.value}
+
+
+@dataclass
+class Histogram:
+    """A full-fidelity sample log with summary accessors.
+
+    Runs are short (thousands of observations, not billions), so the
+    histogram keeps every sample; percentiles are exact.
+    """
+
+    name: str
+    samples: List[Number] = field(default_factory=list)
+
+    def observe(self, v: Number) -> None:
+        self.samples.append(v)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def total(self) -> Number:
+        return sum(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.samples else 0.0
+
+    @property
+    def min(self) -> Number:
+        return min(self.samples) if self.samples else 0
+
+    @property
+    def max(self) -> Number:
+        return max(self.samples) if self.samples else 0
+
+    def percentile(self, q: float) -> Number:
+        """Exact ``q``-th percentile (``0 <= q <= 100``), nearest-rank."""
+        if not self.samples:
+            return 0
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile {q} outside [0, 100]")
+        ordered = sorted(self.samples)
+        rank = max(0, min(len(ordered) - 1,
+                          round(q / 100.0 * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"type": "histogram", "count": self.count,
+                "sum": self.total, "min": self.min, "max": self.max,
+                "mean": self.mean, "p50": self.percentile(50),
+                "p99": self.percentile(99)}
+
+
+class MetricsRegistry:
+    """Named metric instruments, created on first use.
+
+    A name is bound to one instrument kind for the registry's lifetime;
+    asking for the same name with a different kind is an error (it
+    would silently fork the data otherwise).
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Union[Counter, Gauge, Histogram]] = {}
+
+    def _get(self, name: str, kind: type):
+        m = self._metrics.get(name)
+        if m is None:
+            m = kind(name)
+            self._metrics[name] = m
+        elif not isinstance(m, kind):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(m).__name__}, not {kind.__name__}")
+        return m
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def get(self, name: str) -> Optional[Union[Counter, Gauge, Histogram]]:
+        """The instrument bound to ``name``, or None."""
+        return self._metrics.get(name)
+
+    def value(self, name: str, default: Number = 0) -> Number:
+        """Scalar shortcut: counter/gauge value or histogram total."""
+        m = self._metrics.get(name)
+        if m is None:
+            return default
+        if isinstance(m, Histogram):
+            return m.total
+        return default if m.value is None else m.value
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """All instruments as plain builtins, sorted by name."""
+        return {name: self._metrics[name].to_dict()
+                for name in sorted(self._metrics)}
+
+    def clear(self) -> None:
+        self._metrics.clear()

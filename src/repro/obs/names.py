@@ -1,0 +1,161 @@
+"""Canonical event and metric names emitted by the instrumentation.
+
+Every identifier the tracer or the metrics registry emits is defined
+here, once, as a constant.  Benchmarks, EXPERIMENTS.md, and external
+dashboards reference these strings; treat them as a public, stable
+interface (additions are fine, renames are breaking).  The full
+registry, with the legacy ``result.stats`` keys each one standardizes,
+is documented in ``docs/paper_mapping.md`` and
+``docs/observability.md``.
+
+Naming convention: dot-separated, ``<layer>.<subsystem>.<quantity>``.
+
+* ``machine.*`` — the virtual-time multiprocessor (per-item issue,
+  locks, QUIT/STOP_PROC).
+* ``exec.*``    — the scheme skeleton and the individual executors
+  (phases, checkpoint/undo, speculation, PD test).
+* ``plan.*``    — the planner's decision and Section-7 prediction.
+* ``api.*``     — the one-call driver (:func:`repro.api.parallelize`).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    # events
+    "EV_ITER", "EV_QUEUE_FETCH", "EV_QUIT", "EV_STOP_PROC", "EV_SKIP",
+    "EV_LOCK_ACQUIRE", "EV_LOCK_RELEASE",
+    "EV_PHASE", "EV_CHECKPOINT", "EV_UNDO", "EV_STRIP_BARRIER",
+    "EV_PD_VERDICT", "EV_SPEC_FALLBACK", "EV_COPY_OUT",
+    "EV_PLAN_DECISION", "EV_PARALLELIZE", "EV_CALIBRATION",
+    # metrics
+    "M_ITEMS", "M_QUEUE_WAIT", "M_SKIPPED",
+    "M_LOCK_ACQUISITIONS", "M_LOCK_CONTENDED", "M_LOCK_WAIT",
+    "M_EXECUTED", "M_OVERSHOT", "M_RESTORED_WORDS",
+    "M_CHECKPOINT_WORDS", "M_STAMPED_WORDS", "M_STAMPED_WRITES",
+    "M_SHADOW_WORDS", "M_COPY_OUT_WORDS", "M_WASTED_CYCLES",
+    "M_FALLBACKS", "M_PD_VALID", "M_PD_INVALID",
+    "M_PRIVATE_HOPS", "M_PREFIX_SCAN_TIME", "M_TERMS_COMPUTED",
+    "M_SUPERFLUOUS_TERMS",
+    "M_PLAN_SP_ID", "M_PLAN_SP_AT", "M_PLAN_T_IPAR",
+    "M_MAKESPAN", "M_T_PAR", "M_T_BEFORE", "M_T_AFTER",
+]
+
+# -- event names (tracer spans / instants) -------------------------------
+
+#: Span: one work-item (iteration attempt) on a processor.
+EV_ITER = "machine.iter"
+#: Instant: a dynamic self-scheduling queue fetch.
+EV_QUEUE_FETCH = "machine.queue.fetch"
+#: Instant: an iteration issued a QUIT (RV termination observed).
+EV_QUIT = "machine.quit"
+#: Instant: a processor stopped its private stream (General-2).
+EV_STOP_PROC = "machine.stop_proc"
+#: Instant: items never begun because a QUIT governs them.
+EV_SKIP = "machine.skip"
+#: Instant: a lock acquisition (attrs: waited, contended).
+EV_LOCK_ACQUIRE = "machine.lock.acquire"
+#: Instant: a lock release.
+EV_LOCK_RELEASE = "machine.lock.release"
+
+#: Span: one scheme phase — attrs ``phase`` in {before, doall, after}.
+EV_PHASE = "exec.phase"
+#: Instant: write-set checkpoint taken (attrs: words).
+EV_CHECKPOINT = "exec.checkpoint"
+#: Instant: overshoot undo completed (attrs: restored_words, lvi).
+EV_UNDO = "exec.undo"
+#: Instant: barrier between strips of a strip-mined DOALL.
+EV_STRIP_BARRIER = "exec.strip.barrier"
+#: Instant: PD-test post-analysis verdict (attrs: valid, arrays).
+EV_PD_VERDICT = "exec.pd.verdict"
+#: Instant: speculation abandoned, sequential re-execution (attrs:
+#: reason, wasted_cycles).
+EV_SPEC_FALLBACK = "exec.speculation.fallback"
+#: Instant: privatized-array copy-out published (attrs: words).
+EV_COPY_OUT = "exec.speculation.copy_out"
+
+#: Instant: the planner chose a scheme (attrs: scheme, rationale,
+#: predicted sp_at/sp_id when a profile was available).
+EV_PLAN_DECISION = "plan.decision"
+#: Span: one full ``parallelize`` call (attrs: scheme, t_par, t_seq).
+EV_PARALLELIZE = "api.parallelize"
+#: Instant: predicted-vs-measured cost-model comparison for one run.
+EV_CALIBRATION = "plan.calibration"
+
+# -- metric names (counters / gauges / histograms) -----------------------
+# The "legacy key" notes give the loose ``result.stats`` string each
+# metric standardizes; the stats dict still carries the legacy keys for
+# backward compatibility, but new code should read the registry.
+
+#: Counter: work items begun on the machine.
+M_ITEMS = "machine.items"
+#: Histogram: virtual cycles between a processor going idle and its
+#: next item starting (scheduling fetch + any QUIT gating).
+M_QUEUE_WAIT = "machine.queue.wait_cycles"
+#: Counter: items never begun because of a QUIT.  (legacy: "skipped")
+M_SKIPPED = "machine.items.skipped"
+
+#: Counter: lock acquisitions.  (legacy: "lock_acquisitions")
+M_LOCK_ACQUISITIONS = "machine.lock.acquisitions"
+#: Counter: contended lock acquisitions.  (legacy: "lock_contended")
+M_LOCK_CONTENDED = "machine.lock.contended"
+#: Histogram: cycles spent waiting on contended locks.
+M_LOCK_WAIT = "machine.lock.wait_cycles"
+
+#: Counter: iteration bodies run to completion.
+M_EXECUTED = "exec.iters.executed"
+#: Counter: completed iterations past the last valid iteration.
+M_OVERSHOT = "exec.iters.overshot"
+#: Counter: words restored by overshoot undo.  (legacy:
+#: ``ParallelResult.restored_words``)
+M_RESTORED_WORDS = "exec.undo.restored_words"
+#: Counter: words checkpointed before the DOALL.  (legacy:
+#: "checkpoint_words")
+M_CHECKPOINT_WORDS = "exec.checkpoint.words"
+#: Counter: distinct words time-stamped.  (legacy: "stamped_words")
+M_STAMPED_WORDS = "exec.stamps.words"
+#: Counter: stamped write operations.  (legacy: "stamped_writes")
+M_STAMPED_WRITES = "exec.stamps.writes"
+#: Counter: PD-test shadow words allocated/touched.  (legacy:
+#: "shadow_words")
+M_SHADOW_WORDS = "exec.pd.shadow_words"
+#: Counter: words published by privatized copy-out.  (legacy:
+#: "copy_out" report object)
+M_COPY_OUT_WORDS = "exec.speculation.copy_out_words"
+#: Counter: cycles thrown away by failed speculative attempts.
+#: (legacy: "wasted_cycles")
+M_WASTED_CYCLES = "exec.speculation.wasted_cycles"
+#: Counter: speculative runs that fell back to sequential.
+M_FALLBACKS = "exec.speculation.fallbacks"
+#: Counter: PD verdicts that validated the parallel run.
+M_PD_VALID = "exec.pd.valid"
+#: Counter: PD verdicts that invalidated the parallel run.
+M_PD_INVALID = "exec.pd.invalid"
+
+#: Counter: private catch-up hops (General-2/3).  (legacy:
+#: "private_hops")
+M_PRIVATE_HOPS = "exec.general.private_hops"
+#: Counter: cycles in the parallel prefix scan.  (legacy:
+#: "prefix_scan_time")
+M_PREFIX_SCAN_TIME = "exec.associative.prefix_scan_cycles"
+#: Counter: dispatcher terms computed ahead.  (legacy:
+#: "terms_computed" / "terms_stored")
+M_TERMS_COMPUTED = "exec.associative.terms_computed"
+#: Counter: terms computed beyond the last valid iteration.  (legacy:
+#: "superfluous_terms")
+M_SUPERFLUOUS_TERMS = "exec.associative.superfluous_terms"
+
+#: Gauge: the planner's predicted ideal speedup ``Sp_id``.
+M_PLAN_SP_ID = "plan.predicted.sp_id"
+#: Gauge: the planner's predicted attainable speedup ``Sp_at``.
+M_PLAN_SP_AT = "plan.predicted.sp_at"
+#: Gauge: the planner's predicted ideal parallel time ``T_ipar``.
+M_PLAN_T_IPAR = "plan.predicted.t_ipar"
+
+#: Histogram: DOALL makespans observed.
+M_MAKESPAN = "exec.makespan"
+#: Histogram: total parallel times ``T_par`` observed.
+M_T_PAR = "exec.t_par"
+#: Histogram: pre-loop overheads ``T_b`` observed.
+M_T_BEFORE = "exec.t_before"
+#: Histogram: post-loop overheads ``T_a`` observed.
+M_T_AFTER = "exec.t_after"

@@ -1,0 +1,261 @@
+"""Trace sinks: where tracer records go.
+
+Four implementations:
+
+* :class:`NullSink` — drops everything; the zero-cost default.
+* :class:`MemorySink` — keeps records in lists (tests, ad-hoc digging).
+* :class:`JsonlSink` — one JSON object per line, streamed to a file.
+* :class:`PerfettoSink` — accumulates Chrome ``trace_event`` records
+  and writes a ``chrome://tracing`` / https://ui.perfetto.dev loadable
+  JSON file.
+
+Plus :func:`chrome_trace_of_run`, which converts any recorded
+``DoallRun`` schedule directly into the same ``trace_event`` format —
+a one-call way to *look* at a schedule without re-running under a
+tracer.
+
+Virtual cycles are reported as microseconds in the Chrome format
+(``ts``/``dur`` are µs there); the scale is arbitrary but consistent,
+so relative timing — all the paper cares about — is preserved.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import Any, Dict, List, Optional, Union
+
+from repro.obs.events import Event, Span
+
+__all__ = [
+    "Sink", "NullSink", "MemorySink", "JsonlSink", "PerfettoSink",
+    "MultiSink", "chrome_trace_of_run", "write_chrome_trace",
+]
+
+
+class Sink:
+    """Receiver interface for tracer records."""
+
+    def emit_event(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def emit_span(self, span: Span) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release resources (idempotent)."""
+
+
+class NullSink(Sink):
+    """Discards everything (the default; keeps tracing zero-cost)."""
+
+    def emit_event(self, event: Event) -> None:
+        pass
+
+    def emit_span(self, span: Span) -> None:
+        pass
+
+
+class MemorySink(Sink):
+    """Collects records in memory, in emission order."""
+
+    def __init__(self) -> None:
+        self.events: List[Event] = []
+        self.spans: List[Span] = []
+
+    def emit_event(self, event: Event) -> None:
+        self.events.append(event)
+
+    def emit_span(self, span: Span) -> None:
+        self.spans.append(span)
+
+    def records(self) -> List[Union[Event, Span]]:
+        """All records merged, ordered by timestamp then kind."""
+        both: List[Union[Event, Span]] = [*self.events, *self.spans]
+        both.sort(key=lambda r: (r.ts if isinstance(r, Event) else r.start))
+        return both
+
+    def by_name(self, name: str) -> List[Union[Event, Span]]:
+        return [r for r in self.records() if r.name == name]
+
+
+class JsonlSink(Sink):
+    """Streams records as JSON lines to a path or file object."""
+
+    def __init__(self, target: Union[str, io.TextIOBase]) -> None:
+        if isinstance(target, str):
+            self._fh: Any = open(target, "w", encoding="utf-8")
+            self._owns = True
+        else:
+            self._fh = target
+            self._owns = False
+        self.n_records = 0
+
+    def _write(self, payload: Dict[str, Any]) -> None:
+        self._fh.write(json.dumps(payload, default=_jsonable,
+                                  sort_keys=True))
+        self._fh.write("\n")
+        self.n_records += 1
+
+    def emit_event(self, event: Event) -> None:
+        self._write(event.to_dict())
+
+    def emit_span(self, span: Span) -> None:
+        self._write(span.to_dict())
+
+    def write_record(self, payload: Dict[str, Any]) -> None:
+        """Append an arbitrary record (e.g. a final metrics snapshot)."""
+        self._write(dict(payload))
+
+    def close(self) -> None:
+        if self._owns and not self._fh.closed:
+            self._fh.close()
+        else:
+            self._fh.flush()
+
+
+class PerfettoSink(Sink):
+    """Accumulates Chrome ``trace_event`` records.
+
+    Spans become complete ("X") events on thread ``pid`` (one trace
+    thread per virtual processor); instants become "i" events.  Call
+    :meth:`write` (or :meth:`close` after constructing with a path) to
+    produce the JSON file.
+    """
+
+    def __init__(self, path: Optional[str] = None, *,
+                 process_name: str = "repro virtual machine") -> None:
+        self.path = path
+        self.process_name = process_name
+        self.trace_events: List[Dict[str, Any]] = []
+
+    def _tid(self, pid: int) -> int:
+        # Chrome wants non-negative thread ids; fold the "no
+        # processor" pid -1 onto a dedicated control thread.
+        return pid if pid >= 0 else 10_000
+
+    def emit_span(self, span: Span) -> None:
+        self.trace_events.append({
+            "name": span.name, "ph": "X", "ts": span.start,
+            "dur": max(span.duration, 0), "pid": 0,
+            "tid": self._tid(span.pid),
+            "args": {k: _jsonable(v) for k, v in span.attrs},
+        })
+
+    def emit_event(self, event: Event) -> None:
+        self.trace_events.append({
+            "name": event.name, "ph": "i", "ts": event.ts, "pid": 0,
+            "tid": self._tid(event.pid), "s": "t",
+            "args": {k: _jsonable(v) for k, v in event.attrs},
+        })
+
+    def thread_names(self, nprocs: int) -> List[Dict[str, Any]]:
+        """Metadata records labelling the virtual processors."""
+        meta = [{"name": "process_name", "ph": "M", "pid": 0,
+                 "args": {"name": self.process_name}}]
+        for pid in range(nprocs):
+            meta.append({"name": "thread_name", "ph": "M", "pid": 0,
+                         "tid": pid, "args": {"name": f"proc {pid}"}})
+        meta.append({"name": "thread_name", "ph": "M", "pid": 0,
+                     "tid": 10_000, "args": {"name": "control"}})
+        return meta
+
+    def write(self, path: Optional[str] = None, *,
+              nprocs: Optional[int] = None) -> str:
+        """Write the accumulated trace; returns the path written."""
+        path = path or self.path
+        if path is None:
+            raise ValueError("PerfettoSink needs a path to write to")
+        n = nprocs if nprocs is not None else 1 + max(
+            (e.get("tid", 0) for e in self.trace_events
+             if e.get("tid", 0) < 10_000), default=0)
+        write_chrome_trace(path, self.thread_names(n) + self.trace_events)
+        return path
+
+    def close(self) -> None:
+        if self.path is not None:
+            self.write()
+
+
+class MultiSink(Sink):
+    """Fans every record out to several sinks."""
+
+    def __init__(self, *sinks: Sink) -> None:
+        self.sinks = tuple(sinks)
+
+    def emit_event(self, event: Event) -> None:
+        for s in self.sinks:
+            s.emit_event(event)
+
+    def emit_span(self, span: Span) -> None:
+        for s in self.sinks:
+            s.emit_span(span)
+
+    def close(self) -> None:
+        for s in self.sinks:
+            s.close()
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort plain-builtin conversion for record payloads."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return repr(value)
+
+
+def chrome_trace_of_run(run: Any, *, name: str = "doall"
+                        ) -> List[Dict[str, Any]]:
+    """Convert a recorded ``DoallRun`` into ``trace_event`` records.
+
+    ``run`` is duck-typed (``items``, ``proc_finish``, ``quit_index``)
+    so this module never imports the runtime package.  Combine with
+    :func:`write_chrome_trace` to get a loadable file::
+
+        write_chrome_trace("run.json", chrome_trace_of_run(run))
+    """
+    out: List[Dict[str, Any]] = [
+        {"name": "process_name", "ph": "M", "pid": 0,
+         "args": {"name": f"repro {name} schedule"}},
+    ]
+    for pid in range(len(run.proc_finish)):
+        out.append({"name": "thread_name", "ph": "M", "pid": 0,
+                    "tid": pid, "args": {"name": f"proc {pid}"}})
+    for item in run.items:
+        out.append({
+            "name": f"iter {item.index}", "ph": "X", "ts": item.start,
+            "dur": max(item.end - item.start, 0), "pid": 0,
+            "tid": item.pid,
+            "args": {"index": item.index,
+                     "outcome": item.outcome or "done"},
+        })
+        if item.outcome == "quit":
+            out.append({"name": "QUIT", "ph": "i", "ts": item.end,
+                        "pid": 0, "tid": item.pid, "s": "g",
+                        "args": {"index": item.index}})
+    if run.skipped:
+        out.append({"name": "skipped", "ph": "i", "ts": run.makespan,
+                    "pid": 0, "tid": 0, "s": "g",
+                    "args": {"count": len(run.skipped),
+                             "first": min(run.skipped),
+                             "last": max(run.skipped)}})
+    return out
+
+
+def write_chrome_trace(path: str, trace_events: List[Dict[str, Any]],
+                       *, metadata: Optional[Dict[str, Any]] = None) -> str:
+    """Write ``trace_events`` as a Chrome/Perfetto JSON trace file."""
+    doc: Dict[str, Any] = {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.obs",
+                      "clock": "virtual cycles (1 cycle = 1 us)"},
+    }
+    if metadata:
+        doc["otherData"].update(metadata)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, default=_jsonable)
+    return path

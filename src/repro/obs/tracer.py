@@ -1,0 +1,136 @@
+"""The tracer: the one object instrumentation sites talk to.
+
+Design constraints, in order:
+
+1. **Zero-cost by default.**  The module-level active tracer starts as
+   a disabled singleton; every instrumentation site guards itself with
+   ``if trc.enabled:`` (one attribute read) before building any record.
+2. **Determinism-preserving.**  The tracer only *observes* virtual
+   time; it never charges cycles, so makespans and speedups are
+   byte-identical with or without a sink attached.
+3. **No globals leaking between runs.**  :func:`tracing` installs a
+   tracer for the duration of a ``with`` block and always restores the
+   previous one.
+
+Typical use::
+
+    from repro.obs import MemorySink, tracing
+
+    sink = MemorySink()
+    with tracing(sink) as trc:
+        measure_speedup(workload, method, machine)
+    print(trc.metrics.snapshot())
+    print(len(sink.spans), "spans recorded")
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Iterator, Optional
+
+from repro.obs.events import Event, Span, freeze_attrs
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sinks import NullSink, Sink
+
+__all__ = ["Tracer", "NULL_TRACER", "get_tracer", "set_tracer", "tracing"]
+
+
+class Tracer:
+    """Routes spans/events to a sink and numbers to a metrics registry.
+
+    Parameters
+    ----------
+    sink:
+        Where records go; ``None`` means records are dropped (metrics
+        are still collected when the tracer is enabled).
+    metrics:
+        Registry to aggregate into; a fresh one by default.
+    enabled:
+        Master switch; defaults to True for explicitly constructed
+        tracers.  The module singleton :data:`NULL_TRACER` is the only
+        disabled-by-construction instance.
+    """
+
+    __slots__ = ("sink", "metrics", "enabled")
+
+    def __init__(self, sink: Optional[Sink] = None,
+                 metrics: Optional[MetricsRegistry] = None,
+                 *, enabled: bool = True) -> None:
+        self.sink: Sink = sink if sink is not None else NullSink()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.enabled = enabled
+
+    # -- records -----------------------------------------------------------
+    def event(self, name: str, ts: int, *, pid: int = -1,
+              **attrs: Any) -> None:
+        """Record an instantaneous event at virtual time ``ts``."""
+        if not self.enabled:
+            return
+        self.sink.emit_event(Event(name, int(ts), pid,
+                                   freeze_attrs(attrs)))
+
+    def span(self, name: str, start: int, end: int, *, pid: int = -1,
+             **attrs: Any) -> None:
+        """Record a ``[start, end]`` interval of virtual time."""
+        if not self.enabled:
+            return
+        self.sink.emit_span(Span(name, int(start), int(end), pid,
+                                 freeze_attrs(attrs)))
+
+    # -- metrics -----------------------------------------------------------
+    def count(self, name: str, n: float = 1) -> None:
+        if self.enabled:
+            self.metrics.counter(name).inc(n)
+
+    def gauge(self, name: str, value: float) -> None:
+        if self.enabled:
+            self.metrics.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        if self.enabled:
+            self.metrics.histogram(name).observe(value)
+
+    def close(self) -> None:
+        self.sink.close()
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return (f"Tracer({type(self.sink).__name__}, {state}, "
+                f"{len(self.metrics)} metrics)")
+
+
+#: The disabled singleton every hot path sees by default.
+NULL_TRACER = Tracer(enabled=False)
+
+_active: Tracer = NULL_TRACER
+
+
+def get_tracer() -> Tracer:
+    """The currently active tracer (the disabled singleton by default)."""
+    return _active
+
+
+def set_tracer(tracer: Optional[Tracer]) -> Tracer:
+    """Install ``tracer`` (or the null tracer for ``None``); returns it."""
+    global _active
+    _active = tracer if tracer is not None else NULL_TRACER
+    return _active
+
+
+@contextmanager
+def tracing(sink: Optional[Sink] = None,
+            metrics: Optional[MetricsRegistry] = None,
+            *, tracer: Optional[Tracer] = None) -> Iterator[Tracer]:
+    """Activate a tracer for the duration of a ``with`` block.
+
+    Pass an existing ``tracer``, or a ``sink`` (and optionally a
+    shared ``metrics`` registry) to build one in place.  The previous
+    active tracer is always restored, even on exceptions.
+    """
+    trc = tracer if tracer is not None else Tracer(sink, metrics)
+    previous = get_tracer()
+    set_tracer(trc)
+    try:
+        yield trc
+    finally:
+        set_tracer(previous)

@@ -32,6 +32,8 @@ from repro.errors import AnalysisError
 from repro.ir.functions import FunctionTable
 from repro.ir.interp import SequentialInterp
 from repro.ir.store import Store
+from repro.obs import names as _ev
+from repro.obs.tracer import get_tracer
 from repro.runtime.machine import Machine
 
 from repro.executors.associative import run_associative_prefix
@@ -109,6 +111,33 @@ def plan_loop(
     it the planner falls back to structural heuristics only (it still
     refuses provably-dependent remainders).
     """
+    plan = _plan_loop(loop_or_info, machine, funcs,
+                      sample_store=sample_store, stats=stats,
+                      min_speedup=min_speedup)
+    trc = get_tracer()
+    if trc.enabled:
+        attrs = {"scheme": plan.scheme, "rationale": plan.rationale,
+                 "loop": plan.info.loop.name, "procs": machine.nprocs}
+        if plan.prediction is not None:
+            attrs["sp_id"] = plan.prediction.sp_id
+            attrs["sp_at"] = plan.prediction.sp_at
+            attrs["worthwhile"] = plan.prediction.worthwhile
+            trc.gauge(_ev.M_PLAN_SP_ID, plan.prediction.sp_id)
+            trc.gauge(_ev.M_PLAN_SP_AT, plan.prediction.sp_at)
+            trc.gauge(_ev.M_PLAN_T_IPAR, plan.prediction.t_ipar)
+        trc.event(_ev.EV_PLAN_DECISION, 0, **attrs)
+    return plan
+
+
+def _plan_loop(
+    loop_or_info,
+    machine: Machine,
+    funcs: FunctionTable,
+    *,
+    sample_store: Optional[Store] = None,
+    stats: Optional[BranchStats] = None,
+    min_speedup: float = 1.2,
+) -> Plan:
     info = ensure_info(loop_or_info, funcs)
 
     # Canonicalize: sink a mid-body dispatcher update to the end so the

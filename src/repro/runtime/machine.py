@@ -40,6 +40,8 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ExecutionError
+from repro.obs import names as _ev
+from repro.obs.tracer import get_tracer
 from repro.runtime.costs import ALLIANT_FX80, CostModel
 
 __all__ = [
@@ -96,18 +98,31 @@ class ProcCtx:
     def acquire(self, lock: SimLock) -> None:
         """Block until the lock is free, then take it."""
         lock.acquisitions += 1
+        waited = 0
         if lock.free_at > self.clock:
             lock.contended += 1
+            waited = lock.free_at - self.clock
             self.clock = lock.free_at
         self.clock += self.cost.lock_acquire
         # Lock is held until release(); mark it unavailable far in the
         # future so a missing release is caught loudly.
         lock.free_at = 1 << 62
+        trc = get_tracer()
+        if trc.enabled:
+            trc.event(_ev.EV_LOCK_ACQUIRE, self.clock, pid=self.pid,
+                      waited=waited, contended=waited > 0)
+            trc.count(_ev.M_LOCK_ACQUISITIONS)
+            if waited:
+                trc.count(_ev.M_LOCK_CONTENDED)
+                trc.observe(_ev.M_LOCK_WAIT, waited)
 
     def release(self, lock: SimLock) -> None:
         """Release the lock at the current virtual time."""
         self.clock += self.cost.lock_release
         lock.free_at = self.clock
+        trc = get_tracer()
+        if trc.enabled:
+            trc.event(_ev.EV_LOCK_RELEASE, self.clock, pid=self.pid)
 
 
 @dataclass
@@ -248,6 +263,7 @@ class Machine:
         General-1/3 QUIT).
         """
         p, cost = self.nprocs, self.cost
+        trc = get_tracer()
         heap: List[Tuple[int, int]] = [(cost.fork, pid) for pid in range(p)]
         heapq.heapify(heap)
         items: List[ItemRec] = []
@@ -271,6 +287,14 @@ class Machine:
             ctx = ProcCtx(pid, start, cost)
             outcome = body(ctx, index)
             items.append(ItemRec(index, pid, start, ctx.clock, outcome))
+            if trc.enabled:
+                trc.span(_ev.EV_ITER, start, ctx.clock, pid=pid,
+                         index=index, outcome=outcome or "done",
+                         schedule="dynamic")
+                trc.count(_ev.M_ITEMS)
+                trc.observe(_ev.M_QUEUE_WAIT, start - clock)
+                if quit_aware and outcome == QUIT:
+                    trc.event(_ev.EV_QUIT, ctx.clock, pid=pid, index=index)
             if quit_aware and outcome == QUIT:
                 if quit_index is None or index < quit_index:
                     quit_index, quit_time = index, ctx.clock
@@ -278,6 +302,10 @@ class Machine:
             heapq.heappush(heap, (ctx.clock, pid))
             index += 1
         makespan = max(proc_finish)
+        if trc.enabled and skipped:
+            trc.event(_ev.EV_SKIP, makespan, count=len(skipped),
+                      first=skipped[0], last=skipped[-1])
+            trc.count(_ev.M_SKIPPED, len(skipped))
         return DoallRun(makespan, items, quit_index, skipped, proc_finish)
 
     def run_doall_static(
@@ -298,6 +326,7 @@ class Machine:
         the dynamic engine).
         """
         p, cost = self.nprocs, self.cost
+        trc = get_tracer()
         clocks = [cost.fork] * p
         pending: List[ItemRec] = []
         # Simulate processors in lockstep over their private streams,
@@ -323,6 +352,16 @@ class Machine:
             outcome = body(ctx, index)
             pending.append(ItemRec(index, pid, start, ctx.clock, outcome))
             clocks[pid] = ctx.clock
+            if trc.enabled:
+                trc.span(_ev.EV_ITER, start, ctx.clock, pid=pid,
+                         index=index, outcome=outcome or "done",
+                         schedule="static")
+                trc.count(_ev.M_ITEMS)
+                if quit_aware and outcome == QUIT:
+                    trc.event(_ev.EV_QUIT, ctx.clock, pid=pid, index=index)
+                if outcome == STOP_PROC:
+                    trc.event(_ev.EV_STOP_PROC, ctx.clock, pid=pid,
+                              index=index)
             if quit_aware and outcome == QUIT:
                 if quit_index is None or index < quit_index:
                     quit_index, quit_time = index, ctx.clock
@@ -330,7 +369,12 @@ class Machine:
                 continue
             heapq.heappush(heap, (ctx.clock, pid, index + p))
         pending.sort(key=lambda r: (r.start, r.index))
-        return DoallRun(max(clocks), pending, quit_index, skipped, clocks)
+        makespan = max(clocks)
+        if trc.enabled and skipped:
+            trc.event(_ev.EV_SKIP, makespan, count=len(skipped),
+                      first=min(skipped), last=max(skipped))
+            trc.count(_ev.M_SKIPPED, len(skipped))
+        return DoallRun(makespan, pending, quit_index, skipped, clocks)
 
     def run_sequential(self, total_cycles: int) -> int:
         """Trivial helper: sequential work takes its own time."""

@@ -53,7 +53,15 @@ def gantt(run: DoallRun, *, width: int = 72,
                 for k, ch in enumerate(tag):
                     rows[item.pid][lo + 1 + k] = ch
     lines = [f"p{pid:<2d}|{''.join(row)}" for pid, row in enumerate(rows)]
-    lines.append(f"    0{'':>{width - 12}}t={t_end}")
+    # Axis footer: "0" under the chart's first column, "t=<end>" right-
+    # aligned under its last.  The pad is clamped so narrow widths or a
+    # long t_end never produce a negative format width.
+    label = f"t={t_end}"
+    pad = width - 1 - len(label)
+    if pad >= 1:
+        lines.append(f"    0{'':>{pad}}{label}")
+    else:
+        lines.append(f"    0 {label}")
     return "\n".join(lines)
 
 

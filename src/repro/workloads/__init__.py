@@ -15,8 +15,33 @@ from repro.workloads.spice_phase import (
 from repro.workloads.track import make_track_fptrak300
 from repro.workloads.zoo import ZooLoop, make_zoo
 
+
+def workload_from_spec(spec: str) -> Workload:
+    """Resolve a workload spec string into a :class:`Workload`.
+
+    Accepted forms (the CLI's syntax): ``spice``, ``track``,
+    ``mcsparse[:<input>]``, ``ma28[:<input>[:<270|320>]]``.
+    """
+    parts = spec.split(":")
+    if parts[0] == "spice":
+        return make_spice_load40()
+    if parts[0] == "track":
+        return make_track_fptrak300()
+    if parts[0] == "mcsparse":
+        return make_mcsparse_dfact500(parts[1] if len(parts) > 1
+                                      else "gematt11")
+    if parts[0] == "ma28":
+        inp = parts[1] if len(parts) > 1 else "gematt11"
+        loop_no = int(parts[2]) if len(parts) > 2 else 270
+        return make_ma28_loop(inp, loop_no)
+    raise KeyError(
+        f"unknown workload {spec!r} (spice, track, mcsparse:<input>, "
+        f"ma28:<input>:<loop>)")
+
+
 __all__ = [
     "Method", "Workload", "measure_speedup", "speedup_curve",
+    "workload_from_spec",
     "MA28_INPUTS", "make_ma28_loop", "select_pivot",
     "AnalyzePhaseResult", "run_ma28_analyze",
     "MCSPARSE_INPUTS", "make_mcsparse_dfact500",

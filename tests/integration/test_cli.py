@@ -61,6 +61,63 @@ class TestTaxonomy:
         assert out.count("True") == 8
 
 
+class TestTrace:
+    def test_trace_spice_writes_artifacts(self, tmp_path, capsys):
+        assert main(["trace", "spice", "--procs", "4",
+                     "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "speedup=" in out
+        jsonl = tmp_path / "spice-load40.trace.jsonl"
+        perfetto = tmp_path / "spice-load40.perfetto.json"
+        assert jsonl.exists() and perfetto.exists()
+        lines = jsonl.read_text().strip().split("\n")
+        records = [json.loads(line) for line in lines]
+        assert any(r.get("name") == "machine.iter" for r in records)
+        assert records[-1]["kind"] == "metrics"
+        doc = json.loads(perfetto.read_text())
+        assert doc["traceEvents"]
+        assert any(e["ph"] == "X" for e in doc["traceEvents"])
+
+    def test_trace_specific_method(self, tmp_path, capsys):
+        assert main(["trace", "track", "--procs", "4",
+                     "--method", "Induction-2 (QUIT)",
+                     "--out", str(tmp_path)]) == 0
+        assert "Induction-2" in capsys.readouterr().out
+
+    def test_trace_unknown_workload(self, capsys):
+        assert main(["trace", "nosuch"]) == 2
+
+    def test_trace_unknown_method(self, capsys):
+        assert main(["trace", "spice", "--method", "nosuch"]) == 2
+
+    def test_trace_leaves_global_tracer_disabled(self, tmp_path):
+        from repro.obs import get_tracer
+        main(["trace", "spice", "--procs", "2", "--out", str(tmp_path)])
+        assert get_tracer().enabled is False
+
+
+class TestCalibrationReport:
+    def test_calibration_mode_prints_error_table(self, capsys):
+        assert main(["report", "--calibration", "--procs", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Cost-model calibration @ 4 processors" in out
+        assert "spice-load40" in out
+        assert "track-fptrak300" in out
+        assert "mean |T_par error|" in out
+
+    def test_calibration_custom_workloads(self, capsys):
+        assert main(["report", "--calibration", "--procs", "4",
+                     "--workloads", "track"]) == 0
+        out = capsys.readouterr().out
+        assert "track-fptrak300" in out
+        assert "spice-load40" not in out
+
+    def test_calibration_unknown_workload(self, capsys):
+        assert main(["report", "--calibration",
+                     "--workloads", "bogus"]) == 2
+        assert "unknown workload 'bogus'" in capsys.readouterr().err
+
+
 class TestWorkload:
     def test_spice(self, capsys):
         assert main(["workload", "spice", "--procs", "4"]) == 0

@@ -1,0 +1,80 @@
+"""Tests for cost-model calibration reports."""
+
+import pytest
+
+from repro.obs import (
+    CalibrationReport,
+    CalibrationRow,
+    calibrate_workload,
+    run_calibration,
+)
+from repro.runtime import Machine
+from repro.workloads import workload_from_spec
+
+
+def row(pred=900.0, meas=1000, sp_pred=4.0, sp_meas=5.0):
+    return CalibrationRow(
+        workload="w", scheme="s", procs=8, t_seq=5000,
+        predicted_t_par=pred, measured_t_par=meas,
+        predicted_speedup=sp_pred, measured_speedup=sp_meas)
+
+
+class TestRowMath:
+    def test_relative_errors(self):
+        r = row()
+        assert r.t_par_rel_error == pytest.approx(-0.1)
+        assert r.speedup_rel_error == pytest.approx(-0.2)
+
+    def test_zero_measured_guard(self):
+        r = row(meas=0, sp_meas=0.0)
+        assert r.t_par_rel_error == 0.0
+        assert r.speedup_rel_error == 0.0
+
+
+class TestReportAggregates:
+    def test_error_stats(self):
+        rep = CalibrationReport(procs=8, rows=(
+            row(pred=900.0, meas=1000), row(pred=1300.0, meas=1000)))
+        assert rep.mean_abs_rel_error == pytest.approx(0.2)
+        assert rep.max_abs_rel_error == pytest.approx(0.3)
+
+    def test_empty_report(self):
+        rep = CalibrationReport(procs=8, rows=())
+        assert rep.mean_abs_rel_error == 0.0
+        assert rep.max_abs_rel_error == 0.0
+        assert "Cost-model calibration" in rep.render()
+
+    def test_render_contains_rows_and_summary(self):
+        rep = CalibrationReport(procs=8, rows=(row(),))
+        text = rep.render()
+        assert "workload" in text and "T_par pred" in text
+        assert "mean |T_par error|" in text
+        assert "-10.0%" in text
+
+
+class TestLiveCalibration:
+    def test_calibrate_track_workload(self):
+        r = calibrate_workload(workload_from_spec("track"), Machine(8))
+        assert r.workload == "track-fptrak300"
+        assert r.measured_t_par > 0
+        assert r.predicted_t_par > 0
+        assert r.measured_speedup > 1.0
+        # The Section 7 model should land in the right ballpark:
+        # within the paper's worst-case factors, generously.
+        assert abs(r.t_par_rel_error) < 1.0
+
+    def test_run_calibration_default_covers_spice_and_track(self):
+        rep = run_calibration(procs=8)
+        names = {r.workload for r in rep.rows}
+        assert names == {"spice-load40", "track-fptrak300"}
+        text = rep.render()
+        assert "spice-load40" in text and "track-fptrak300" in text
+
+    def test_calibration_emits_events_under_tracing(self):
+        from repro.obs import MemorySink, names as ev, tracing
+        sink = MemorySink()
+        with tracing(sink):
+            run_calibration(("track",), procs=4)
+        cals = sink.by_name(ev.EV_CALIBRATION)
+        assert len(cals) == 1
+        assert dict(cals[0].attrs)["workload"] == "track-fptrak300"

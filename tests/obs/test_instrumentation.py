@@ -1,0 +1,190 @@
+"""End-to-end instrumentation tests: every layer emits, and tracing
+never changes virtual-time results (determinism preservation)."""
+
+from repro import parallelize
+from repro.executors.general import run_general1, run_general3
+from repro.executors.induction import run_induction2
+from repro.ir import FunctionTable
+from repro.obs import MemorySink, names, tracing
+from repro.planner import plan_loop
+from repro.runtime import QUIT, Machine, SimLock
+
+from tests.conftest import (
+    list_loop,
+    list_store,
+    rv_exit_loop,
+    rv_exit_store,
+    simple_doall_loop,
+    simple_doall_store,
+)
+
+FT = FunctionTable()
+
+
+class TestMachineEvents:
+    def test_dynamic_iter_spans_and_quit(self):
+        sink = MemorySink()
+        m = Machine(4)
+        with tracing(sink) as trc:
+            run = m.run_doall_dynamic(
+                20, lambda ctx, i: QUIT if i == 3 else ctx.charge(50))
+        spans = sink.by_name(names.EV_ITER)
+        assert len(spans) == len(run.items)
+        by_index = {dict(s.attrs)["index"]: s for s in spans}
+        rec = next(r for r in run.items if r.index == 2)
+        assert by_index[2].start == rec.start
+        assert by_index[2].end == rec.end
+        assert by_index[2].pid == rec.pid
+        quits = sink.by_name(names.EV_QUIT)
+        assert len(quits) == 1 and dict(quits[0].attrs)["index"] == 3
+        skips = sink.by_name(names.EV_SKIP)
+        assert len(skips) == 1
+        assert dict(skips[0].attrs)["count"] == len(run.skipped)
+        assert trc.metrics.value(names.M_SKIPPED) == len(run.skipped)
+        assert trc.metrics.value(names.M_ITEMS) == len(run.items)
+
+    def test_static_stop_proc_event(self):
+        from repro.runtime import STOP_PROC
+        sink = MemorySink()
+        with tracing(sink):
+            Machine(2).run_doall_static(
+                8, lambda ctx, i: STOP_PROC if i >= 3 else ctx.charge(10))
+        assert sink.by_name(names.EV_STOP_PROC)
+
+    def test_lock_contention_events(self):
+        sink = MemorySink()
+        lock = SimLock()
+
+        def body(ctx, i):
+            ctx.acquire(lock)
+            ctx.charge(100)
+            ctx.release(lock)
+
+        with tracing(sink) as trc:
+            Machine(4).run_doall_dynamic(8, body)
+        acqs = sink.by_name(names.EV_LOCK_ACQUIRE)
+        assert len(acqs) == 8
+        assert trc.metrics.value(names.M_LOCK_ACQUISITIONS) == 8
+        assert trc.metrics.value(names.M_LOCK_CONTENDED) > 0
+        waits = trc.metrics.histogram(names.M_LOCK_WAIT)
+        assert waits.count > 0 and waits.min > 0
+        assert len(sink.by_name(names.EV_LOCK_RELEASE)) == 8
+
+
+class TestExecutorEvents:
+    def test_phase_spans_cover_t_par(self):
+        sink = MemorySink()
+        with tracing(sink):
+            res = run_induction2(simple_doall_loop(),
+                                 simple_doall_store(40), Machine(4), FT)
+        phases = {dict(s.attrs)["phase"]: s
+                  for s in sink.by_name(names.EV_PHASE)}
+        assert set(phases) == {"before", "doall", "after"}
+        assert phases["before"].start == 0
+        assert phases["before"].end == res.t_before
+        assert phases["doall"].duration == res.makespan
+        assert phases["after"].end == res.t_par
+
+    def test_undo_and_checkpoint_events_on_overshoot(self):
+        sink = MemorySink()
+        with tracing(sink) as trc:
+            res = run_induction2(rv_exit_loop(), rv_exit_store(80, 41),
+                                 Machine(4), FT)
+        cps = sink.by_name(names.EV_CHECKPOINT)
+        assert len(cps) == 1
+        assert dict(cps[0].attrs)["words"] == res.stats["checkpoint_words"]
+        undos = sink.by_name(names.EV_UNDO)
+        assert len(undos) == 1
+        assert dict(undos[0].attrs)["restored_words"] == res.restored_words
+        assert trc.metrics.value(names.M_RESTORED_WORDS) \
+            == res.restored_words
+        assert trc.metrics.value(names.M_OVERSHOT) == res.overshot
+
+    def test_general_lock_and_hop_metrics(self):
+        with tracing(MemorySink()) as trc:
+            run_general1(list_loop(), list_store(30), Machine(4), FT)
+        assert trc.metrics.value(names.M_LOCK_ACQUISITIONS) > 0
+        with tracing(MemorySink()) as trc:
+            run_general3(list_loop(), list_store(30), Machine(4), FT)
+        assert trc.metrics.value(names.M_PRIVATE_HOPS) > 0
+
+    def test_speculative_pd_verdict_and_shadow_words(self):
+        from repro.executors.speculative import run_speculative
+        sink = MemorySink()
+        loop, store = simple_doall_loop(), simple_doall_store(40)
+        with tracing(sink) as trc:
+            run_speculative(loop, store, Machine(4), FT,
+                            test_arrays=("A",))
+        verdicts = sink.by_name(names.EV_PD_VERDICT)
+        assert verdicts and dict(verdicts[0].attrs)["valid"] is True
+        assert trc.metrics.value(names.M_PD_VALID) >= 1
+        assert trc.metrics.value(names.M_SHADOW_WORDS) > 0
+
+
+class TestPlannerAndApiEvents:
+    def test_plan_decision_event_carries_prediction(self):
+        sink = MemorySink()
+        with tracing(sink) as trc:
+            plan = plan_loop(simple_doall_loop(), Machine(8), FT,
+                             sample_store=simple_doall_store(64))
+        decisions = sink.by_name(names.EV_PLAN_DECISION)
+        assert len(decisions) == 1
+        attrs = dict(decisions[0].attrs)
+        assert attrs["scheme"] == plan.scheme
+        assert attrs["sp_at"] == plan.prediction.sp_at
+        assert trc.metrics.value(names.M_PLAN_SP_AT) \
+            == plan.prediction.sp_at
+
+    def test_parallelize_span_and_calibration_event(self):
+        sink = MemorySink()
+        with tracing(sink):
+            outcome = parallelize(simple_doall_loop(),
+                                  simple_doall_store(64), Machine(8))
+        spans = sink.by_name(names.EV_PARALLELIZE)
+        assert len(spans) == 1
+        attrs = dict(spans[0].attrs)
+        assert attrs["t_par"] == outcome.result.t_par
+        assert attrs["verified"] is True
+        cals = sink.by_name(names.EV_CALIBRATION)
+        assert len(cals) == 1
+        c = dict(cals[0].attrs)
+        assert c["measured_t_par"] == outcome.result.t_par
+        assert c["predicted_t_par"] > 0
+
+
+class TestDeterminismPreserved:
+    """The acceptance bar: tracing must never change a result."""
+
+    def _outcomes(self):
+        return parallelize(rv_exit_loop(), rv_exit_store(100, 61),
+                           Machine(8))
+
+    def test_traced_run_matches_untraced(self):
+        base = self._outcomes()
+        with tracing(MemorySink()):
+            traced = self._outcomes()
+        assert traced.result.t_par == base.result.t_par
+        assert traced.result.makespan == base.result.makespan
+        assert traced.t_seq == base.t_seq
+        assert traced.speedup == base.speedup
+        assert traced.result.stats == base.result.stats
+
+    def test_two_traced_runs_identical_traces(self):
+        a, b = MemorySink(), MemorySink()
+        with tracing(a):
+            self._outcomes()
+        with tracing(b):
+            self._outcomes()
+        assert a.events == b.events
+        assert a.spans == b.spans
+
+    def test_workload_speedup_unchanged_under_tracing(self):
+        from repro.workloads import (measure_speedup,
+                                     workload_from_spec)
+        w = workload_from_spec("track")
+        m = Machine(8)
+        method = w.methods[0]
+        sp0, res0, ok0 = measure_speedup(w, method, m)
+        with tracing(MemorySink()):
+            sp1, res1, ok1 = measure_speedup(w, method, m)
+        assert (sp0, res0.t_par, ok0) == (sp1, res1.t_par, ok1)

@@ -1,0 +1,103 @@
+"""Tests for the metrics registry."""
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("x")
+        assert c.value == 0
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+
+    def test_rejects_decrease(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        g = Gauge("x")
+        assert g.value is None
+        g.set(3)
+        g.set(7)
+        assert g.value == 7
+
+
+class TestHistogram:
+    def test_summary_stats(self):
+        h = Histogram("x")
+        for v in (1, 2, 3, 4, 100):
+            h.observe(v)
+        assert h.count == 5
+        assert h.total == 110
+        assert h.min == 1
+        assert h.max == 100
+        assert h.mean == 22.0
+
+    def test_percentiles_exact(self):
+        h = Histogram("x")
+        for v in range(1, 101):
+            h.observe(v)
+        assert h.percentile(0) == 1
+        assert h.percentile(100) == 100
+        assert abs(h.percentile(50) - 50) <= 1
+
+    def test_empty_histogram_defaults(self):
+        h = Histogram("x")
+        assert h.count == 0
+        assert h.mean == 0.0
+        assert h.percentile(99) == 0
+
+    def test_percentile_range_checked(self):
+        h = Histogram("x")
+        h.observe(1)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+
+class TestRegistry:
+    def test_create_on_first_use_and_reuse(self):
+        reg = MetricsRegistry()
+        c1 = reg.counter("a")
+        c1.inc(2)
+        assert reg.counter("a") is c1
+        assert reg.value("a") == 2
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(TypeError):
+            reg.gauge("a")
+
+    def test_value_shortcut(self):
+        reg = MetricsRegistry()
+        assert reg.value("missing", default=-1) == -1
+        reg.gauge("g").set(4)
+        reg.histogram("h").observe(10)
+        reg.histogram("h").observe(20)
+        assert reg.value("g") == 4
+        assert reg.value("h") == 30  # histogram -> total
+
+    def test_snapshot_is_plain_and_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("b").inc()
+        reg.histogram("a").observe(2)
+        snap = reg.snapshot()
+        assert list(snap) == ["a", "b"]
+        assert snap["b"] == {"type": "counter", "value": 1}
+        assert snap["a"]["type"] == "histogram"
+        assert snap["a"]["p50"] == 2
+
+    def test_contains_len_names_clear(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        reg.gauge("b")
+        assert "a" in reg and "c" not in reg
+        assert len(reg) == 2
+        assert reg.names() == ["a", "b"]
+        reg.clear()
+        assert len(reg) == 0

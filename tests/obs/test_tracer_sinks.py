@@ -1,0 +1,166 @@
+"""Tests for the tracer, the sinks, and the Perfetto exporter."""
+
+import io
+import json
+
+from repro.obs import (
+    Event,
+    JsonlSink,
+    MemorySink,
+    MultiSink,
+    NullSink,
+    PerfettoSink,
+    Span,
+    Tracer,
+    chrome_trace_of_run,
+    get_tracer,
+    names,
+    set_tracer,
+    tracing,
+    write_chrome_trace,
+)
+from repro.runtime import QUIT, Machine
+
+
+class TestTracerLifecycle:
+    def test_default_tracer_is_disabled(self):
+        assert get_tracer().enabled is False
+
+    def test_tracing_installs_and_restores(self):
+        before = get_tracer()
+        with tracing(MemorySink()) as trc:
+            assert get_tracer() is trc
+            assert trc.enabled
+        assert get_tracer() is before
+
+    def test_tracing_restores_on_exception(self):
+        before = get_tracer()
+        try:
+            with tracing(MemorySink()):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert get_tracer() is before
+
+    def test_set_tracer_none_reinstalls_null(self):
+        set_tracer(Tracer(MemorySink()))
+        assert get_tracer().enabled
+        set_tracer(None)
+        assert get_tracer().enabled is False
+
+    def test_disabled_tracer_records_nothing(self):
+        sink = MemorySink()
+        trc = Tracer(sink, enabled=False)
+        trc.event("e", 1)
+        trc.span("s", 0, 2)
+        trc.count("c")
+        assert sink.events == [] and sink.spans == []
+        assert len(trc.metrics) == 0
+
+
+class TestRecords:
+    def test_event_dict_roundtrip(self):
+        e = Event("machine.quit", 42, 3, (("index", 7),))
+        assert e.to_dict() == {"kind": "event", "name": "machine.quit",
+                               "ts": 42, "pid": 3, "index": 7}
+
+    def test_span_duration_and_dict(self):
+        s = Span("exec.phase", 10, 25, 1, (("phase", "doall"),))
+        assert s.duration == 15
+        assert s.to_dict()["dur"] == 15
+        assert s.to_dict()["phase"] == "doall"
+
+    def test_tracer_sorts_attrs(self):
+        sink = MemorySink()
+        trc = Tracer(sink)
+        trc.event("e", 1, pid=0, z=1, a=2)
+        assert sink.events[0].attrs == (("a", 2), ("z", 1))
+
+
+class TestSinks:
+    def test_null_sink_accepts_everything(self):
+        s = NullSink()
+        s.emit_event(Event("e", 1))
+        s.emit_span(Span("s", 0, 1))
+        s.close()
+
+    def test_memory_sink_merges_in_time_order(self):
+        s = MemorySink()
+        s.emit_span(Span("late", 10, 11))
+        s.emit_event(Event("early", 1))
+        recs = s.records()
+        assert [r.name for r in recs] == ["early", "late"]
+        assert [r.name for r in s.by_name("late")] == ["late"]
+
+    def test_jsonl_sink_writes_valid_lines(self):
+        buf = io.StringIO()
+        s = JsonlSink(buf)
+        s.emit_event(Event("e", 1, 0, (("k", "v"),)))
+        s.emit_span(Span("s", 2, 5, 1))
+        s.write_record({"kind": "metrics", "metrics": {}})
+        s.close()
+        lines = [json.loads(line) for line in
+                 buf.getvalue().strip().split("\n")]
+        assert len(lines) == 3 == s.n_records
+        assert lines[0]["kind"] == "event" and lines[0]["k"] == "v"
+        assert lines[1]["dur"] == 3
+        assert lines[2]["kind"] == "metrics"
+
+    def test_jsonl_sink_path(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        s = JsonlSink(path)
+        s.emit_event(Event("e", 1))
+        s.close()
+        assert json.loads(open(path).read())["name"] == "e"
+
+    def test_multi_sink_fans_out(self):
+        a, b = MemorySink(), MemorySink()
+        m = MultiSink(a, b)
+        m.emit_event(Event("e", 1))
+        m.emit_span(Span("s", 0, 1))
+        assert len(a.events) == len(b.events) == 1
+        assert len(a.spans) == len(b.spans) == 1
+
+
+class TestPerfetto:
+    def test_sink_produces_loadable_chrome_trace(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        sink = PerfettoSink(path)
+        sink.emit_span(Span("machine.iter", 0, 10, 2, (("index", 1),)))
+        sink.emit_event(Event("machine.quit", 10, 2))
+        sink.emit_event(Event("plan.decision", 0, -1))
+        out = sink.write(nprocs=4)
+        doc = json.load(open(out))
+        evs = doc["traceEvents"]
+        phases = {e["ph"] for e in evs}
+        assert phases == {"M", "X", "i"}
+        x = next(e for e in evs if e["ph"] == "X")
+        assert x["ts"] == 0 and x["dur"] == 10 and x["tid"] == 2
+        # pid -1 (no processor) folds onto the control thread
+        ctl = next(e for e in evs if e["name"] == "plan.decision")
+        assert ctl["tid"] == 10_000
+
+    def test_chrome_trace_of_run_renders_schedule(self, tmp_path):
+        m = Machine(4)
+        run = m.run_doall_dynamic(
+            20, lambda ctx, i: QUIT if i == 3 else ctx.charge(50))
+        evs = chrome_trace_of_run(run, name="demo")
+        iters = [e for e in evs if e["ph"] == "X"]
+        assert len(iters) == len(run.items)
+        assert any(e["name"] == "QUIT" for e in evs)
+        assert any(e["name"] == "skipped" for e in evs)
+        path = write_chrome_trace(str(tmp_path / "run.json"), evs)
+        doc = json.load(open(path))
+        assert doc["traceEvents"]
+
+
+class TestMetricsViaTracer:
+    def test_count_gauge_observe(self):
+        trc = Tracer(MemorySink())
+        trc.count(names.M_ITEMS, 3)
+        trc.gauge(names.M_PLAN_SP_AT, 4.5)
+        trc.observe(names.M_MAKESPAN, 100)
+        trc.observe(names.M_MAKESPAN, 200)
+        assert trc.metrics.value(names.M_ITEMS) == 3
+        assert trc.metrics.value(names.M_PLAN_SP_AT) == 4.5
+        assert trc.metrics.histogram(names.M_MAKESPAN).count == 2

@@ -1,0 +1,119 @@
+"""Coverage for :mod:`repro.runtime.trace` — gantt, utilization,
+schedule_table — including the empty-run and QUIT-truncated cases."""
+
+import pytest
+
+from repro.runtime import QUIT, STOP_PROC, Machine, gantt, schedule_table, utilization
+
+
+def uniform_run(p=4, n=12, work=100):
+    return Machine(p).run_doall_dynamic(n, lambda ctx, i: ctx.charge(work))
+
+
+def quit_run(p=4, n=40, quit_at=5, work=50):
+    """A run truncated by a QUIT: items after quit_at never begin."""
+    return Machine(p).run_doall_dynamic(
+        n, lambda ctx, i: QUIT if i == quit_at else ctx.charge(work))
+
+
+class TestGantt:
+    def test_one_row_per_proc_plus_axis(self):
+        chart = gantt(uniform_run(p=3))
+        lines = chart.split("\n")
+        assert len(lines) == 4
+        assert lines[0].startswith("p0 |")
+        assert lines[2].startswith("p2 |")
+
+    def test_rows_are_width_wide(self):
+        for width in (24, 72, 100):
+            chart = gantt(uniform_run(), width=width)
+            for line in chart.split("\n")[:-1]:
+                assert len(line) == 4 + width
+
+    def test_axis_right_aligned_to_chart_edge(self):
+        run = uniform_run()
+        for width in (30, 72):
+            axis = gantt(run, width=width).split("\n")[-1]
+            assert axis.endswith(f"t={run.makespan}")
+            assert len(axis) == 4 + width
+            assert axis[4] == "0"
+
+    @pytest.mark.parametrize("width", [1, 2, 4, 6, 8])
+    def test_narrow_width_never_raises(self, width):
+        # Regression: the old footer used a computed format width that
+        # went negative (ValueError) for narrow charts / long t_end.
+        run = uniform_run(p=2, n=64, work=10_000_000)
+        chart = gantt(run, width=width)
+        axis = chart.split("\n")[-1]
+        assert axis.endswith(f"t={run.makespan}")
+
+    def test_empty_run(self):
+        run = Machine(2).run_doall_dynamic(0, lambda ctx, i: None)
+        assert gantt(run) == "(empty run)"
+
+    def test_quit_truncated_run_renders(self):
+        run = quit_run()
+        assert run.quit_index == 5
+        assert run.skipped  # later items never began
+        chart = gantt(run)
+        assert "=" in chart
+        assert chart.split("\n")[-1].endswith(f"t={run.makespan}")
+
+    def test_item_labels_can_be_disabled(self):
+        run = uniform_run(p=1, n=2, work=5000)
+        labelled = gantt(run, width=60)
+        plain = gantt(run, width=60, label_items=False)
+        assert "1" in labelled.split("\n")[0]
+        assert "1" not in plain.split("\n")[0]
+
+
+class TestUtilization:
+    def test_empty_run_is_zero(self):
+        run = Machine(2).run_doall_dynamic(0, lambda ctx, i: None)
+        assert utilization(run) == 0.0
+
+    def test_bounds(self):
+        u = utilization(uniform_run(p=4, n=64))
+        assert 0.5 < u <= 1.0
+
+    def test_starvation_lowers_utilization(self):
+        busy = utilization(uniform_run(p=8, n=64))
+        starved = utilization(uniform_run(p=8, n=2))
+        assert starved < busy
+
+    def test_quit_truncation_lowers_utilization(self):
+        full = utilization(uniform_run(p=4, n=40, work=50))
+        cut = utilization(quit_run(p=4, n=40, quit_at=5))
+        assert cut < full
+
+
+class TestScheduleTable:
+    def test_header_and_rows(self):
+        table = schedule_table(uniform_run(n=8))
+        assert table.split("\n")[0].split() == \
+            ["iter", "proc", "start", "end", "outcome"]
+        assert len(table.split("\n")) == 9
+
+    def test_limit_truncates(self):
+        table = schedule_table(uniform_run(n=30), limit=5)
+        assert "... 25 more" in table
+
+    def test_limit_none_shows_all(self):
+        table = schedule_table(uniform_run(n=30), limit=None)
+        assert "more" not in table
+        assert len(table.split("\n")) == 31
+
+    def test_quit_note(self):
+        table = schedule_table(quit_run())
+        assert "QUIT issued by iteration 5" in table
+        assert "never begun" in table
+
+    def test_empty_run_is_header_only(self):
+        run = Machine(2).run_doall_dynamic(0, lambda ctx, i: None)
+        assert len(schedule_table(run).split("\n")) == 1
+
+    def test_stop_proc_outcome_shown(self):
+        run = Machine(2).run_doall_static(
+            6, lambda ctx, i: STOP_PROC if i >= 3 else ctx.charge(10))
+        table = schedule_table(run)
+        assert "stop_proc" in table
