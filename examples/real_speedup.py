@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Real wall-clock speedup on OS processes vs. the virtual machine.
+
+Everything else in ``examples/`` measures *virtual* cycles on the
+simulated multiprocessor.  This example runs the same pipeline on the
+``procs`` backend — real processes over ``multiprocessing.shared_memory``
+— and compares measured wall-clock speedup against the Section-7 cost
+model's attainable-speedup prediction (Sp_at).
+
+Run:  python examples/real_speedup.py [--workers P] [--work N]
+
+Table-2 commentary (Section 9): on the 8-processor Alliant FX/80 the
+paper measured 2.2x (SPICE LOAD, General-3 over a device list), 3.0x
+(TRACK, speculative DOALL), 4.1x (MCSPARSE pivot search) up to ~6.1x
+(MA28 with time-stamped reductions) — attainable, not ideal, speedup:
+dispatcher replay, PD-test shadow marking, and QUIT overshoot all eat
+into the p-processor bound, exactly as the Section-7 model predicts.
+The same effects appear here at whatever scale your machine offers:
+the measured column should land below the predicted Sp_at, and Sp_at
+below ``--workers``, for the same reasons the FX/80 never hit 8x.
+
+Two caveats the paper did not have to print:
+
+* the ``threads`` backend shares the GIL, so its "speedup" hovers near
+  (or below) 1x by construction — it exists to cross-check semantics
+  under real interleavings, not to go fast;
+* a compute-light loop body under ``procs`` is dominated by process
+  spawn + IPC, the real-world analog of the paper's T_b/T_a overhead
+  terms, so this example uses a deliberately heavy intrinsic
+  (``--work`` numpy operations per iteration).
+"""
+
+import argparse
+
+from repro.obs.calibration import compare_backends
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--workers", type=int, default=2,
+                    help="real worker count (default 2)")
+    ap.add_argument("--n", type=int, default=256,
+                    help="loop iterations (default 256)")
+    ap.add_argument("--work", type=int, default=100_000,
+                    help="numpy ops per iteration (default 100000)")
+    args = ap.parse_args()
+
+    cmp = compare_backends(workers=args.workers,
+                           backends=("threads", "procs"),
+                           n=args.n, work=args.work)
+    print(cmp.render())
+
+    best = cmp.best(cmp.rows[0].loop)
+    print(f"\nbest backend for '{best.loop}': {best.backend} at "
+          f"{best.measured_speedup:.2f}x measured "
+          f"(model predicted {best.predicted_speedup:.2f}x attainable "
+          f"on {cmp.workers} workers)")
+    if best.measured_speedup < 1.0:
+        print("measured < 1x usually means too few cores or too little "
+              "work per iteration — try a larger --work, or more "
+              "--workers if the machine has them.")
+
+
+if __name__ == "__main__":
+    main()

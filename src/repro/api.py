@@ -74,6 +74,8 @@ def parallelize(
     u: Optional[int] = None,
     strip: Optional[int] = None,
     min_speedup: float = 1.2,
+    backend: str = "sim",
+    workers: Optional[int] = None,
 ) -> Outcome:
     """Analyze, plan, execute, and (optionally) verify one loop.
 
@@ -84,7 +86,9 @@ def parallelize(
     store:
         Live state; left in the sequentially-correct final state.
     machine:
-        Virtual multiprocessor to run on.
+        Virtual multiprocessor to run on.  For real backends this
+        still drives the planner's cost model; execution uses
+        ``workers`` real workers.
     funcs:
         Intrinsic table (empty by default).
     verify:
@@ -93,6 +97,14 @@ def parallelize(
         Iteration bound / strip length forwarded to the executor.
     min_speedup:
         Cost-model threshold below which the loop stays sequential.
+    backend:
+        ``"sim"`` (virtual-time machine, default), ``"threads"`` or
+        ``"procs"`` (real workers — see ``docs/backends.md``).  With a
+        real backend, ``t_seq`` and ``result.t_par`` are wall-clock
+        **nanoseconds** instead of virtual cycles, so
+        :attr:`Outcome.speedup` is a measured wall-clock speedup.
+    workers:
+        Real-backend worker count (default: ``machine.nprocs``).
 
     Raises
     ------
@@ -103,13 +115,23 @@ def parallelize(
     """
     funcs = funcs or FunctionTable()
     info = ensure_info(loop_or_info, funcs)
+    if backend not in ("sim", "threads", "procs"):
+        raise PlanError(f"unknown backend {backend!r}; expected "
+                        f"'sim', 'threads', or 'procs'")
 
     reference: Optional[Store] = None
     t_seq: Optional[int] = None
     if verify:
         reference = store.copy()
-        seq = SequentialInterp(info.loop, funcs, machine.cost)
-        t_seq = seq.run(reference).cycles
+        if backend == "sim":
+            seq = SequentialInterp(info.loop, funcs, machine.cost)
+            t_seq = seq.run(reference).cycles
+        else:
+            # Wall-clock the reference so Outcome.speedup compares
+            # nanoseconds to nanoseconds.
+            from repro.executors.backends import run_sequential_wall
+            t_seq = run_sequential_wall(info.loop, funcs,
+                                        reference).t_par
 
     plan = plan_loop(info, machine, funcs, sample_store=store,
                      min_speedup=min_speedup)
@@ -119,8 +141,18 @@ def parallelize(
         kwargs["u"] = u
     if strip is not None and plan.scheme not in ("sequential", "doacross"):
         kwargs["strip"] = strip
+
+    def _execute() -> ParallelResult:
+        if backend == "sim":
+            return execute_plan(plan, store, machine, funcs, **kwargs)
+        from repro.executors.backends import run_plan_on_backend
+        return run_plan_on_backend(
+            plan, store, funcs, backend=backend,
+            workers=workers or machine.nprocs, machine=machine,
+            **kwargs)
+
     try:
-        result = execute_plan(plan, store, machine, funcs, **kwargs)
+        result = _execute()
     except PlanError as exc:
         if "upper bound" not in str(exc) or "strip" in kwargs:
             raise
@@ -128,7 +160,7 @@ def parallelize(
         # threshold on the dispatcher): fall back to strip-mined
         # execution, as Section 3 prescribes.
         kwargs["strip"] = max(64, 8 * machine.nprocs)
-        result = execute_plan(plan, store, machine, funcs, **kwargs)
+        result = _execute()
 
     verified: Optional[bool] = None
     if verify and reference is not None:
@@ -147,14 +179,24 @@ def parallelize(
             pred = plan.prediction
             predicted_t_par = (pred.t_ipar + pred.t_b + pred.t_d
                                + pred.t_a)
+            measured_sp = result.speedup(t_seq)
+            if backend == "sim":
+                # Times are comparable (both virtual cycles).
+                rel_error = ((predicted_t_par - result.t_par)
+                             / result.t_par if result.t_par else 0.0)
+            else:
+                # Real backends measure nanoseconds; only the
+                # *speedups* are comparable to the model.
+                rel_error = ((pred.sp_at - measured_sp) / measured_sp
+                             if measured_sp else 0.0)
             trc.event(
                 _ev.EV_CALIBRATION, result.t_par,
                 loop=info.loop.name, scheme=result.scheme,
+                backend=backend,
                 predicted_t_par=predicted_t_par,
                 measured_t_par=result.t_par,
                 predicted_sp_at=pred.sp_at,
-                measured_sp=result.speedup(t_seq),
-                rel_error=((predicted_t_par - result.t_par)
-                           / result.t_par if result.t_par else 0.0))
+                measured_sp=measured_sp,
+                rel_error=rel_error)
     return Outcome(plan=plan, result=result, t_seq=t_seq,
                    verified=verified)

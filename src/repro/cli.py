@@ -9,6 +9,17 @@ Commands
     Table-1 taxonomy cell, dependence verdict, privatization statuses,
     and the scheme the planner would choose.
 
+``run FILE [--backend sim|threads|procs] [--workers N]``
+    Actually execute the file's ``while`` loop: statements before the
+    loop build the initial store, then the loop is planned and run on
+    the chosen backend (virtual machine by default; ``procs`` for real
+    GIL-free parallelism) and verified against a sequential reference.
+
+``bench [--compare-backends] [--workers N] [--n N] [--work W]``
+    Wall-clock the real backends against a sequential run on the
+    DOALL benchmark loop and print the measured-vs-predicted speedup
+    table (``--out FILE`` also writes it to a file for CI artifacts).
+
 ``taxonomy``
     Print the paper's Table 1 with the zoo confirmation per cell.
 
@@ -103,6 +114,138 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     print(f"plan:         {payload['plan']}")
     print(f"rationale:    {payload['rationale']}")
     return 0
+
+
+def _build_store_from_source(source: str, filename: str, lifted):
+    """Execute the statements *before* the while loop to build a Store.
+
+    ``repro run`` convention: the file is plain Python — setup
+    assignments (NumPy available as ``np``/``numpy``), then one
+    top-level ``while`` loop.  Everything before the loop runs
+    normally; names the loop references become the initial store, and
+    plain functions named like called intrinsics are registered
+    (pure, unit cost) in the function table.
+    """
+    import ast
+
+    import numpy as np
+
+    from repro.errors import FrontendError
+    from repro.ir import FunctionTable
+    from repro.ir.store import Store
+    from repro.structures import LinkedList
+
+    tree = ast.parse(source, filename=filename)
+    split = next((idx for idx, node in enumerate(tree.body)
+                  if isinstance(node, ast.While)), None)
+    if split is None:
+        raise FrontendError(f"{filename}: no top-level while loop found")
+    ns = {"np": np, "numpy": np}
+    prologue = ast.Module(body=tree.body[:split], type_ignores=[])
+    exec(compile(prologue, filename, "exec"), ns)  # noqa: S102
+
+    store = Store()
+    missing = []
+    for name in (*lifted.arrays, *lifted.lists, *lifted.scalars):
+        if name in ns:
+            store[name] = ns[name]
+        elif name in lifted.scalars:
+            store[name] = 0  # loop-created scalar (e.g. the dispatcher)
+        else:
+            missing.append(name)
+    if missing:
+        raise FrontendError(
+            f"loop references {missing} but the statements before the "
+            f"while loop never defined them")
+    funcs = FunctionTable()
+    for name in lifted.intrinsics:
+        impl = ns.get(name)
+        if not callable(impl):
+            raise FrontendError(
+                f"loop calls {name}() but no function of that name is "
+                f"defined before the loop")
+        funcs.register(name, lambda ctx, *a, _f=impl: _f(*a),
+                       cost=1, pure=True)
+    _ = LinkedList  # stores may hold lists built by the prologue
+    return store, funcs
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro import parallelize
+    from repro.frontend import lift_source
+    from repro.runtime import Machine
+
+    import ast
+
+    with open(args.file, "r", encoding="utf-8") as fh:
+        source = fh.read()
+    # Lift only the while statement itself; everything before it is
+    # ordinary Python that builds the initial state.
+    tree = ast.parse(source, filename=args.file)
+    loop_node = next((n for n in tree.body
+                      if isinstance(n, ast.While)), None)
+    if loop_node is None:
+        print(f"error: {args.file}: no top-level while loop found",
+              file=sys.stderr)
+        return 2
+    lines = source.splitlines()
+    loop_src = "\n".join(lines[loop_node.lineno - 1:
+                               loop_node.end_lineno])
+    lifted = lift_source(loop_src, filename=args.file)
+    store, funcs = _build_store_from_source(source, args.file, lifted)
+
+    outcome = parallelize(
+        lifted.loop, store, Machine(args.procs), funcs,
+        backend=args.backend, workers=args.workers,
+        min_speedup=args.min_speedup)
+    res = outcome.result
+    unit = "cycles" if args.backend == "sim" else "ns (wall)"
+    payload = {
+        "loop": lifted.loop.name,
+        "backend": args.backend,
+        "plan": outcome.plan.scheme,
+        "scheme": res.scheme,
+        "n_iters": res.n_iters,
+        "t_seq": outcome.t_seq,
+        "t_par": res.t_par,
+        "unit": unit,
+        "speedup": outcome.speedup,
+        "verified": outcome.verified,
+        "wall_s": res.wall_s,
+        "final_scalars": {k: store[k] if isinstance(store[k], (int, bool))
+                          else float(store[k])
+                          for k in store.scalars()},
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(f"loop:     {payload['loop']}")
+    print(f"backend:  {args.backend}")
+    print(f"plan:     {payload['plan']}  ->  ran {payload['scheme']}")
+    print(f"iters:    {payload['n_iters']}")
+    print(f"time:     t_seq={payload['t_seq']} t_par={payload['t_par']} "
+          f"[{unit}]")
+    print(f"speedup:  {payload['speedup']:.2f}x   "
+          f"verified: {payload['verified']}")
+    if payload["final_scalars"]:
+        print(f"scalars:  {payload['final_scalars']}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.obs import compare_backends
+
+    report = compare_backends(
+        workers=args.workers, backends=tuple(args.backends),
+        n=args.n, work=args.work)
+    text = report.render()
+    print(text)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"\nwrote table to {args.out}")
+    bad = [r for r in report.rows if not r.store_ok]
+    return 1 if bad else 0
 
 
 def _cmd_taxonomy(args: argparse.Namespace) -> int:
@@ -216,6 +359,40 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_an.add_argument("--procs", type=int, default=8)
     p_an.add_argument("--json", action="store_true")
     p_an.set_defaults(fn=_cmd_analyze)
+
+    p_rn = sub.add_parser(
+        "run", help="plan and execute a Python while loop on a backend")
+    p_rn.add_argument("file")
+    p_rn.add_argument("--backend", choices=("sim", "threads", "procs"),
+                      default="sim",
+                      help="execution backend (default: sim, the "
+                      "virtual-time machine)")
+    p_rn.add_argument("--workers", type=int, default=None,
+                      help="real-backend worker count "
+                      "(default: --procs)")
+    p_rn.add_argument("--procs", type=int, default=8,
+                      help="virtual processors for the planner's "
+                      "cost model")
+    p_rn.add_argument("--min-speedup", type=float, default=1.2)
+    p_rn.add_argument("--json", action="store_true")
+    p_rn.set_defaults(fn=_cmd_run)
+
+    p_bn = sub.add_parser(
+        "bench", help="wall-clock the real backends vs sequential")
+    p_bn.add_argument("--compare-backends", action="store_true",
+                      help="compare sim-predicted vs measured speedup "
+                      "across backends (the default and only mode)")
+    p_bn.add_argument("--workers", type=int, default=2)
+    p_bn.add_argument("--backends", nargs="*",
+                      default=["threads", "procs"],
+                      choices=("threads", "procs"))
+    p_bn.add_argument("--n", type=int, default=256,
+                      help="benchmark loop iteration count")
+    p_bn.add_argument("--work", type=int, default=100_000,
+                      help="floating-point ops per iteration")
+    p_bn.add_argument("--out", default=None,
+                      help="also write the table to this file")
+    p_bn.set_defaults(fn=_cmd_bench)
 
     p_tx = sub.add_parser("taxonomy", help="print Table 1")
     p_tx.set_defaults(fn=_cmd_taxonomy)

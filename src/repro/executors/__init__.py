@@ -1,5 +1,17 @@
-"""Parallel executors: the paper's transformed loop schemes."""
+"""Parallel executors: the paper's transformed loop schemes.
 
+Each ``run_*`` entry point executes one transformed-loop scheme on the
+virtual-time machine; :mod:`repro.executors.backends` re-targets a
+planner decision at the real threads/procs backends instead.
+"""
+
+from repro.executors.backends import (
+    BACKENDS,
+    REAL_BACKENDS,
+    real_scheme_for,
+    run_plan_on_backend,
+    run_sequential_wall,
+)
 from repro.executors.base import (
     EXHAUSTED,
     DispatcherSupply,
@@ -19,6 +31,8 @@ from repro.executors.supplies import (
 )
 
 __all__ = [
+    "BACKENDS", "REAL_BACKENDS", "real_scheme_for",
+    "run_plan_on_backend", "run_sequential_wall",
     "EXHAUSTED", "DispatcherSupply", "ParallelResult", "SchemeCore",
     "infer_upper_bound",
     "run_associative_prefix",

@@ -1,0 +1,158 @@
+"""Backend selection: run a planner `Plan` on sim, threads, or procs.
+
+The planner (:mod:`repro.planner.select`) chooses *what* transformed
+loop to run — Induction-2, General-3, speculative DOALL, ... — and the
+backend chooses *where*:
+
+``sim``
+    The virtual-time multiprocessor (:mod:`repro.runtime.machine`).
+    Deterministic cycle counts, Gantt charts, cost-model calibration.
+    This is the paper's measurement instrument; it never touches a
+    real core.
+``threads``
+    The same chunked/strip-mined orchestration as ``procs`` but on
+    ``threading.Thread`` workers sharing the parent store.  GIL-bound,
+    so no wall-clock speedup — it exists as a fast semantic
+    cross-check and for the backend-equivalence suite.
+``procs``
+    Real OS processes over :mod:`multiprocessing.shared_memory`
+    (:mod:`repro.runtime.procs`) — genuine GIL-free parallelism and
+    honest wall-clock numbers.
+
+Scheme mapping for the real backends (``threads``/``procs``):
+
+=====================  =================================================
+planner scheme         real-backend execution
+=====================  =================================================
+sequential             wall-clocked :class:`SequentialInterp`
+induction-1/2          ``doall`` (closed-form supply + shared QUIT)
+associative-prefix     ``general-3`` (private replay of the affine
+                       recurrence; the prefix-scan trick is a
+                       virtual-time cost optimization, not a semantic
+                       requirement)
+general-1/general-3    ``general-3`` (dynamic chunks + catch-up walks)
+general-2              ``general-2`` (static mod-p streams)
+speculative            PD-test shadow marking + sequential fallback
+doacross               unsupported — raises :class:`PlanError`
+=====================  =================================================
+
+Units caveat: sim results carry virtual *cycles* in ``t_par``; real
+backends carry wall-clock *nanoseconds* (and set
+:attr:`ParallelResult.wall_s`).  Never compare times across backends —
+compare *speedups* (see ``docs/backends.md``).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Tuple
+
+from repro.errors import PlanError
+from repro.executors.base import ParallelResult, infer_upper_bound
+from repro.executors.speculative import default_test_arrays
+from repro.ir.functions import FunctionTable
+from repro.ir.interp import SequentialInterp
+from repro.ir.store import Store
+from repro.runtime.costs import FREE
+from repro.runtime.machine import Machine
+
+__all__ = ["BACKENDS", "REAL_BACKENDS", "real_scheme_for",
+           "run_plan_on_backend", "run_sequential_wall"]
+
+#: Every selectable backend, in documentation order.
+BACKENDS: Tuple[str, ...] = ("sim", "threads", "procs")
+#: Backends executed by :mod:`repro.runtime.procs`.
+REAL_BACKENDS: Tuple[str, ...] = ("threads", "procs")
+
+
+def real_scheme_for(plan_scheme: str, info) -> Tuple[str, bool]:
+    """Map a planner scheme to ``(real_scheme, speculative)``.
+
+    ``real_scheme`` is one of ``runtime.procs``'s three execution
+    shapes; ``speculative`` says whether PD-test shadow marking and the
+    sequential fallback are armed.
+    """
+    from repro.analysis.recurrence import RecKind
+
+    if plan_scheme in ("induction-1", "induction-2"):
+        return "doall", False
+    if plan_scheme in ("associative-prefix", "general-1", "general-3"):
+        return "general-3", False
+    if plan_scheme == "general-2":
+        return "general-2", False
+    if plan_scheme == "speculative":
+        disp = info.dispatcher
+        if (disp is not None and disp.kind is RecKind.INDUCTION
+                and disp.step):
+            return "doall", True
+        return "general-3", True
+    if plan_scheme == "doacross":
+        raise PlanError(
+            "scheme 'doacross' is only available on the sim backend; "
+            "rerun with backend='sim' or let the planner pick another "
+            "scheme")
+    raise PlanError(f"no real-backend mapping for scheme "
+                    f"{plan_scheme!r}")
+
+
+def run_sequential_wall(loop, funcs: FunctionTable,
+                        store: Store) -> ParallelResult:
+    """Wall-clocked sequential execution, reported as a ParallelResult."""
+    t0 = time.perf_counter()
+    res = SequentialInterp(loop, funcs, FREE).run(store)
+    wall = time.perf_counter() - t0
+    ns = max(1, int(wall * 1e9))
+    return ParallelResult(
+        scheme="sequential", n_iters=res.n_iters,
+        exited_in_body=res.exited_in_body,
+        t_par=ns, makespan=ns, executed=res.n_iters,
+        wall_s=wall, stats={"backend": "inline"})
+
+
+def run_plan_on_backend(
+    plan,
+    store: Store,
+    funcs: FunctionTable,
+    *,
+    backend: str,
+    workers: int = 2,
+    u: Optional[int] = None,
+    strip: Optional[int] = None,
+    chunk: Optional[int] = None,
+    machine: Optional[Machine] = None,
+) -> ParallelResult:
+    """Execute ``plan`` on a *real* backend (``threads`` or ``procs``).
+
+    The sim backend keeps its existing entry point
+    (:func:`repro.planner.select.execute_plan`); this function is the
+    real-parallel analog, sharing the planner's scheme decision and
+    the sim's reconciliation semantics.
+
+    Raises :class:`PlanError` when no iteration bound is inferable and
+    no ``strip`` was given (same contract as the sim executors, so
+    :func:`repro.api.parallelize` retries identically), or when the
+    scheme has no real-backend mapping.
+    """
+    if backend not in REAL_BACKENDS:
+        raise PlanError(
+            f"unknown real backend {backend!r}; expected one of "
+            f"{REAL_BACKENDS} (use execute_plan for 'sim')")
+    info = plan.info
+    if plan.scheme == "sequential":
+        return run_sequential_wall(info.loop, funcs, store)
+
+    real_scheme, speculative = real_scheme_for(plan.scheme, info)
+    if u is None and strip is None:
+        u = infer_upper_bound(info, store, default=None)
+
+    kwargs = {}
+    if speculative:
+        kwargs["test_arrays"] = default_test_arrays(info)
+        kwargs["privatize"] = tuple(plan.kwargs.get("privatize", ()))
+
+    from repro.runtime.procs import run_parallel_real
+    return run_parallel_real(
+        info, store, funcs,
+        mode=backend, scheme=real_scheme,
+        workers=workers, chunk=chunk, u=u, strip=strip,
+        speculative=speculative, machine=machine, **kwargs)

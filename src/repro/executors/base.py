@@ -94,6 +94,10 @@ class ParallelResult:
     stats:
         Scheme-specific extras (lock contention, hops, span, window
         sizes, memory high-water...).
+    wall_s:
+        Measured wall-clock seconds, set only by the real backends
+        (``threads``/``procs``); ``None`` for virtual-time runs, whose
+        ``t_par`` is in cycles, not nanoseconds.
     """
 
     scheme: str
@@ -109,6 +113,7 @@ class ParallelResult:
     pd: Optional[PDResult] = None
     fallback_sequential: bool = False
     stats: Dict[str, Any] = field(default_factory=dict)
+    wall_s: Optional[float] = None
 
     def speedup(self, t_seq: int) -> float:
         """Attainable speedup given the sequential time."""

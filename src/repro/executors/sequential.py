@@ -1,4 +1,15 @@
-"""Sequential executor: the baseline every speedup is measured against."""
+"""Sequential executor: the baseline every speedup is measured against.
+
+The paper's speedups (Section 9, Table 2) are all relative to a
+sequential execution on one processor of the same machine; this module
+is that denominator.  :func:`run_sequential` runs the loop through the
+reference interpreter under the machine's cost model and reports it in
+the same :class:`~repro.executors.base.ParallelResult` currency as the
+parallel schemes (``scheme="sequential"``, ``t_par`` = ``T_seq``), so
+planners and reports can treat "leave it sequential" as just another
+plan.  :func:`ensure_info` is the shared coercion helper that lets
+every executor accept either a raw loop or a prebuilt analysis.
+"""
 
 from __future__ import annotations
 

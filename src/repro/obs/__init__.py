@@ -22,9 +22,12 @@ a single attribute check.  See ``docs/observability.md``.
 from repro.obs import names
 from repro.obs.calibration import (
     DEFAULT_CALIBRATION_WORKLOADS,
+    BackendComparison,
+    BackendRow,
     CalibrationReport,
     CalibrationRow,
     calibrate_workload,
+    compare_backends,
     run_calibration,
 )
 from repro.obs.events import Event, Span
@@ -56,4 +59,5 @@ __all__ = [
     "Tracer", "NULL_TRACER", "get_tracer", "set_tracer", "tracing",
     "CalibrationRow", "CalibrationReport", "calibrate_workload",
     "run_calibration", "DEFAULT_CALIBRATION_WORKLOADS",
+    "BackendComparison", "BackendRow", "compare_backends",
 ]

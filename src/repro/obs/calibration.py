@@ -6,6 +6,14 @@ once through the planner's *predictive* path (profile + ``predict``)
 and once for real — and reports the relative error of the predicted
 parallel time and attainable speedup.
 
+Since the real backends landed there is a second axis to calibrate:
+does the virtual-time model's *attainable speedup* ``Sp_at`` track the
+**wall-clock** speedup measured on real cores?
+:func:`compare_backends` runs a loop sequentially and on each real
+backend, checks the final stores match, and reports measured wall
+speedup next to the model's prediction (``repro bench
+--compare-backends``; CI uploads the rendered table as an artifact).
+
 Heavy imports (planner, executors, workloads) happen inside functions:
 the runtime and executor layers import :mod:`repro.obs.tracer`, which
 initializes this package, so module-level imports here would cycle.
@@ -17,7 +25,8 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 __all__ = ["CalibrationRow", "CalibrationReport", "calibrate_workload",
-           "run_calibration", "DEFAULT_CALIBRATION_WORKLOADS"]
+           "run_calibration", "DEFAULT_CALIBRATION_WORKLOADS",
+           "BackendRow", "BackendComparison", "compare_backends"]
 
 #: Workload specs the calibration report covers by default (the two
 #: the paper's Figures 6 and 7 revolve around).
@@ -180,3 +189,118 @@ def run_calibration(specs: Optional[Sequence[str]] = None,
                       measured_t_par=row.measured_t_par,
                       rel_error=row.t_par_rel_error)
     return CalibrationReport(procs=procs, rows=tuple(rows))
+
+
+# ---------------------------------------------------------------------------
+# Real-backend wall-clock comparison (PR 2)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class BackendRow:
+    """One (loop, backend) wall-clock measurement.
+
+    ``wall_seq_s``/``wall_par_s`` are seconds; ``predicted_speedup`` is
+    the virtual-time model's ``Sp_at`` for the planned scheme (or 1.0
+    for a sequential plan); ``store_ok`` certifies the backend's final
+    store matched the sequential reference bit for bit.
+    """
+
+    loop: str
+    backend: str
+    scheme: str
+    workers: int
+    wall_seq_s: float
+    wall_par_s: float
+    measured_speedup: float
+    predicted_speedup: float
+    store_ok: bool
+
+
+@dataclass(frozen=True)
+class BackendComparison:
+    """All backend rows plus the rendering used by ``repro bench``."""
+
+    workers: int
+    rows: Tuple[BackendRow, ...]
+
+    def best(self, loop: str) -> Optional[BackendRow]:
+        """The fastest-backend row for one loop (None if absent)."""
+        rows = [r for r in self.rows if r.loop == loop]
+        return max(rows, key=lambda r: r.measured_speedup) if rows \
+            else None
+
+    def render(self) -> str:
+        """Human-readable predicted-vs-measured wall-clock table."""
+        head = (f"Backend comparison @ {self.workers} workers "
+                f"(wall-clock seconds)")
+        lines = [head, "=" * len(head),
+                 f"{'loop':<18s} {'backend':<8s} {'scheme':<22s} "
+                 f"{'T_seq':>8s} {'T_par':>8s} {'Sp meas':>8s} "
+                 f"{'Sp pred':>8s} ok"]
+        for r in self.rows:
+            lines.append(
+                f"{r.loop:<18s} {r.backend:<8s} {r.scheme:<22s} "
+                f"{r.wall_seq_s:8.3f} {r.wall_par_s:8.3f} "
+                f"{r.measured_speedup:7.2f}x {r.predicted_speedup:7.2f}x "
+                f"{r.store_ok}")
+        lines.append("")
+        lines.append(
+            "Sp pred is the Section-7 model's attainable speedup on the "
+            "virtual machine;\nSp meas is real wall clock.  'threads' is "
+            "GIL-bound by design — only 'procs'\ncan exceed 1x on "
+            "CPU-heavy remainders (see docs/backends.md).")
+        return "\n".join(lines)
+
+
+def compare_backends(entries=None, *, workers: int = 2,
+                     backends: Sequence[str] = ("threads", "procs"),
+                     n: int = 256, work: int = 100_000
+                     ) -> BackendComparison:
+    """Measure wall-clock speedup of the real backends.
+
+    ``entries`` is a sequence of objects with ``name``/``loop``/
+    ``funcs``/``make_store`` attributes (zoo entries and
+    :class:`~repro.workloads.bench.BenchLoop` both qualify); defaults
+    to the DOALL benchmark loop sized by ``n``/``work``.  Every run is
+    store-checked against a sequential reference.
+    """
+    import time
+
+    from repro.executors.backends import run_plan_on_backend
+    from repro.ir.interp import SequentialInterp
+    from repro.planner.select import plan_loop
+    from repro.runtime.costs import FREE
+    from repro.runtime.machine import Machine
+
+    if entries is None:
+        from repro.workloads.bench import make_doall_bench
+        entries = [make_doall_bench(n=n, work=work)]
+
+    machine = Machine(workers)
+    rows: List[BackendRow] = []
+    for entry in entries:
+        reference = entry.make_store()
+        t0 = time.perf_counter()
+        SequentialInterp(entry.loop, entry.funcs, FREE).run(reference)
+        wall_seq = time.perf_counter() - t0
+
+        plan = plan_loop(entry.loop, machine, entry.funcs,
+                         sample_store=entry.make_store(),
+                         min_speedup=0.0)
+        predicted = plan.prediction.sp_at \
+            if plan.prediction is not None else 1.0
+
+        for backend in backends:
+            store = entry.make_store()
+            result = run_plan_on_backend(
+                plan, store, entry.funcs, backend=backend,
+                workers=workers, machine=machine)
+            wall_par = result.wall_s or result.t_par / 1e9
+            rows.append(BackendRow(
+                loop=entry.name, backend=backend, scheme=result.scheme,
+                workers=workers, wall_seq_s=wall_seq,
+                wall_par_s=wall_par,
+                measured_speedup=wall_seq / wall_par if wall_par else 0.0,
+                predicted_speedup=predicted,
+                store_ok=store.equals(reference)))
+    return BackendComparison(workers=workers, rows=tuple(rows))

@@ -1,8 +1,11 @@
-"""Virtual-time multiprocessor runtime.
+"""Multiprocessor runtimes: one virtual, two real.
 
-The runtime package provides the machine model (`Machine`), cost
-models, locks, and the parallel collective operations (prefix scans,
-reductions) the executors are built on.
+The runtime package provides the virtual-time machine model
+(`Machine`), cost models, locks, and the parallel collective
+operations (prefix scans, reductions) the executors are built on —
+plus the two *real* execution backends: GIL-bound threads
+(:mod:`repro.runtime.threads`) and shared-memory OS processes
+(:mod:`repro.runtime.procs` / :mod:`repro.runtime.shm`).
 """
 
 from repro.runtime.costs import ALLIANT_FX80, FREE, UNIT, CostModel
@@ -37,19 +40,34 @@ __all__ = [
     "AffineStep", "parallel_prefix", "scan_affine_recurrence",
     "parallel_argmin_stamped", "parallel_min", "parallel_reduce",
     "ThreadedResult", "run_threaded_doall", "run_threaded_general",
+    "RealBackendError", "run_parallel_real",
+    "SharedStore", "StoreSpec", "attach_store",
     "gantt", "schedule_table", "utilization",
     "PRESETS", "alliant_fx80", "high_latency_memory", "hw_assisted", "mpp",
 ]
 
+#: Lazily-loaded real-backend names -> defining submodule.
+_LAZY = {
+    "ThreadedResult": "threads",
+    "run_threaded_doall": "threads",
+    "run_threaded_general": "threads",
+    "RealBackendError": "procs",
+    "run_parallel_real": "procs",
+    "default_chunk": "procs",
+    "SharedStore": "shm",
+    "StoreSpec": "shm",
+    "attach_store": "shm",
+}
+
 
 def __getattr__(name):
-    """Lazily expose the real-threads backend.
+    """Lazily expose the real backends (threads/procs/shm).
 
-    ``repro.runtime.threads`` imports the IR (which imports this
-    package for cost models); loading it lazily breaks that cycle.
+    Those modules import the IR and executors (which import this
+    package for cost models); loading them lazily breaks the cycle.
     """
-    if name in ("ThreadedResult", "run_threaded_doall",
-                "run_threaded_general"):
-        from repro.runtime import threads
-        return getattr(threads, name)
+    if name in _LAZY:
+        import importlib
+        mod = importlib.import_module(f"repro.runtime.{_LAZY[name]}")
+        return getattr(mod, name)
     raise AttributeError(f"module 'repro.runtime' has no attribute {name!r}")

@@ -1,0 +1,764 @@
+"""Real-parallel execution backend: OS processes over shared memory.
+
+Where :mod:`repro.runtime.machine` *simulates* the paper's schemes in
+virtual time and :mod:`repro.runtime.threads` cross-checks them under
+the GIL, this module runs them for real: loop iterations execute on
+genuine OS processes with GIL-free parallelism, NumPy stores are
+placed in :mod:`multiprocessing.shared_memory` segments
+(:mod:`repro.runtime.shm`), and work is distributed in *chunks* of
+iterations taken from a shared index counter so the IPC cost is
+amortized over many iterations.
+
+The execution model mirrors the virtual machine's scheme skeleton
+exactly (``executors/base.py``), which is what makes the
+backend-equivalence test suite possible:
+
+* **dispatcher supply** — Induction-style loops seed iteration ``k``
+  with the closed form ``d(k) = init + step*(k-1)``; every other
+  recurrence uses a per-worker *private catch-up walk* (the General-2/3
+  strategy), replaying the dispatcher-update statements from the
+  worker's previous position.
+* **ordered QUIT** — a shared minimum-termination index stops the
+  issue of later iterations as soon as any worker observes the
+  terminator; iterations already taken may still run (real overshoot,
+  just as on the Alliant).
+* **buffered writes** — each iteration's shared-array writes are
+  captured into a private write set (reads consult the iteration's own
+  writes first, then the shared segment).  After the run the parent
+  applies the write sets of iterations ``k <= LVI`` *in iteration
+  order*, which makes the final store bit-identical to the sequential
+  interpreter for every loop the planner admits (independent
+  remainders, or privatization-valid speculation), with no undo pass.
+* **ordered reconciliation** — the last valid iteration is
+  ``min(terminations)`` (minus one unless the loop exited in-body);
+  remainder scalars are merged in iteration order and the dispatcher
+  scalar is published as ``d(LVI+1)``, exactly like
+  ``SchemeCore._publish_scalars``.
+* **speculation** — in speculative mode every worker keeps PD-test
+  shadow marks (:class:`~repro.speculation.pdtest.ShadowArrays`) for
+  its iterations; the parent merges the per-worker two-smallest stamp
+  vectors and runs the standard :func:`analyze_pd`.  On an invalid
+  verdict — or any exception inside an iteration — the parent discards
+  the buffered writes, restores its pre-loop snapshot, and re-executes
+  sequentially (Section 5 fallback semantics).
+
+``mode="threads"`` runs the identical orchestration on
+``threading.Thread`` workers sharing the parent store directly — no
+wall-clock speedup under the GIL, but a fast semantic cross-check used
+by the equivalence suite.  See ``docs/backends.md`` for the selection
+guide and platform caveats (``fork`` vs ``spawn``).
+"""
+
+from __future__ import annotations
+
+import queue as _thread_queue
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ExecutionError, NullPointerError, PlanError
+from repro.executors.base import ParallelResult
+from repro.ir.functions import FunctionTable
+from repro.ir.interp import (
+    EvalContext,
+    IterationRunner,
+    IterOutcome,
+    MemHooks,
+    SequentialInterp,
+)
+from repro.ir.nodes import Exit, Loop
+from repro.ir.store import Store
+from repro.ir.visitor import walk
+from repro.runtime.costs import FREE
+from repro.runtime.machine import Machine
+from repro.runtime.shm import SharedStore, StoreSpec, attach_store
+from repro.speculation.pdtest import INF as _NO_STAMP
+from repro.speculation.pdtest import ShadowArrays, analyze_pd
+from repro.speculation.privatize import CompositeHooks
+
+__all__ = ["RealBackendError", "run_parallel_real", "default_chunk"]
+
+#: Sentinel quit index: "no termination observed yet".
+_NO_QUIT = 1 << 62
+#: Iteration outcome: skipped because a QUIT preceded it.
+_SKIPPED = "skipped"
+#: Hard ceiling on strip-mined horizons (mirrors the sequential
+#: interpreter's ``max_iters`` safety bound).
+_MAX_HORIZON = 10_000_000
+#: Barrier/queue timeouts — generous, only there so a crashed worker
+#: cannot hang a CI run forever.
+_BARRIER_TIMEOUT = 600.0
+_QUEUE_TIMEOUT = 600.0
+
+
+class RealBackendError(ExecutionError):
+    """A real-parallel worker failed; the message carries its traceback."""
+
+
+def default_chunk(u: Optional[int], workers: int) -> int:
+    """Chunk size heuristic: ~8 chunks per worker, clamped to [1, 512].
+
+    Small enough that the QUIT can cut off late iterations, large
+    enough that per-chunk IPC (one queue message, one counter bump) is
+    amortized.
+    """
+    if u is None:
+        return 64
+    return max(1, min(512, u // (8 * workers) or 1))
+
+
+# ---------------------------------------------------------------------------
+# Task description and coordination state
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _Task:
+    """Everything a worker needs (picklable only under ``spawn``;
+    under ``fork``/threads it travels by inheritance)."""
+
+    loop: Loop
+    funcs: FunctionTable
+    dispatcher_stmts: Tuple[int, ...]
+    disp_var: str
+    supply: str                      #: "closed" | "walk"
+    init_value: Any                  #: d(1) — live value after init
+    step: Any                        #: closed-form step (supply=="closed")
+    schedule: str                    #: "dynamic" | "static"
+    chunk: int
+    workers: int
+    first: int
+    shadow_arrays: Tuple[str, ...]   #: PD-tested arrays ("" = none)
+    store_spec: Optional[StoreSpec]  #: procs mode only
+
+
+class _Cell:
+    """A plain mutable value slot (thread-mode stand-in for mp.Value)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int) -> None:
+        self.value = value
+
+
+class _Coord:
+    """Shared coordination state, mode-agnostic.
+
+    ``counter`` (next unissued index), ``quit_at`` (smallest observed
+    termination), ``horizon`` (last index issuable this strip) and
+    ``done`` live in shared memory for procs mode; ``barrier`` has
+    ``workers + 1`` parties (the parent joins every strip boundary
+    twice: once to quiesce, once to release).
+    """
+
+    def __init__(self, mode: str, workers: int, first: int,
+                 horizon: int) -> None:
+        self.mode = mode
+        if mode == "procs":
+            import multiprocessing as mp
+            ctx = mp.get_context(
+                "fork" if "fork" in mp.get_all_start_methods() else None)
+            self.ctx = ctx
+            self.lock = ctx.Lock()
+            self.counter = ctx.Value("q", first, lock=False)
+            self.quit_at = ctx.Value("q", _NO_QUIT, lock=False)
+            self.horizon = ctx.Value("q", horizon, lock=False)
+            self.done = ctx.Value("b", 0, lock=False)
+            self.barrier = ctx.Barrier(workers + 1)
+            self.results = ctx.Queue()
+        else:
+            self.ctx = None
+            self.lock = threading.Lock()
+            self.counter = _Cell(first)
+            self.quit_at = _Cell(_NO_QUIT)
+            self.horizon = _Cell(horizon)
+            self.done = _Cell(0)
+            self.barrier = threading.Barrier(workers + 1)
+            self.results = _thread_queue.Queue()
+
+    def propose_quit(self, k: int) -> None:
+        """Record a termination at ``k`` (keep the minimum)."""
+        with self.lock:
+            if k < self.quit_at.value:
+                self.quit_at.value = k
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+class _WriteBuffer(MemHooks):
+    """Capture one iteration's shared-array writes privately.
+
+    Reads consult the current iteration's own writes first (so a
+    read-after-write inside one iteration sees the new value), then
+    fall through to the shared segment.  The parent applies buffered
+    writes in iteration order after the run.
+    """
+
+    def __init__(self) -> None:
+        self.writes: Dict[Tuple[str, int], Any] = {}
+
+    def begin_iteration(self, iteration: int) -> None:
+        """Start a fresh private write set for the next iteration."""
+        self.writes = {}
+
+    def redirect_read(self, ctx: EvalContext, array: str, idx: int) -> Any:
+        return self.writes.get((array, idx))
+
+    def capture_write(self, ctx: EvalContext, array: str, idx: int,
+                      value: Any) -> bool:
+        self.writes[(array, idx)] = value
+        return True
+
+
+class _Walk:
+    """Per-worker private catch-up walk (General-2/3 supply)."""
+
+    __slots__ = ("k", "value", "exhausted")
+
+    def __init__(self, initial: Any) -> None:
+        self.k = 1
+        self.value = initial
+        self.exhausted = False
+
+    def value_for(self, k: int, runner: IterationRunner, store: Store,
+                  funcs: FunctionTable, disp_var: str) -> Any:
+        """Dispatcher value for iteration ``k``, or ``None`` when the
+        recurrence ran out before reaching it."""
+        if self.exhausted:
+            return None
+        while self.k < k:
+            ctx = EvalContext(store, funcs, FREE,
+                              local={disp_var: self.value})
+            try:
+                runner.advance(ctx)
+            except NullPointerError:
+                self.exhausted = True
+                return None
+            self.value = ctx.local[disp_var]
+            self.k += 1
+        return self.value
+
+
+def _take_dynamic(coord: _Coord, chunk: int) -> Optional[range]:
+    """Atomically claim the next chunk of iteration indices."""
+    with coord.lock:
+        lo = coord.counter.value
+        limit = min(coord.horizon.value, coord.quit_at.value)
+        if lo > limit:
+            return None
+        hi = min(lo + chunk, limit + 1)
+        coord.counter.value = hi
+    return range(lo, hi)
+
+
+def _take_static(stream: _Cell, stride: int, coord: _Coord,
+                 chunk: int) -> Optional[List[int]]:
+    """Next chunk of this worker's private mod-p index stream."""
+    horizon = coord.horizon.value
+    indices: List[int] = []
+    while len(indices) < chunk and stream.value <= horizon:
+        indices.append(stream.value)
+        stream.value += stride
+    return indices or None
+
+
+def _worker_main(wid: int, task: _Task, coord: _Coord,
+                 direct_store: Optional[Store] = None) -> None:
+    """Worker entry point (process target or thread target).
+
+    Protocol: take chunks until the strip horizon is drained, then
+    meet the parent at a double barrier; the parent extends the
+    horizon or sets ``done`` between the two waits.  Every taken index
+    produces exactly one record on the results queue (executed,
+    terminated, or skipped), which is how the parent knows when a
+    strip is fully accounted for.
+    """
+    attached = None
+    failed = False
+    shadows: Optional[ShadowArrays] = None
+    try:
+        if direct_store is not None:
+            store = direct_store
+        else:
+            attached = attach_store(task.store_spec)
+            store = attached.store
+        runner = IterationRunner(task.loop, task.funcs, FREE,
+                                 dispatcher_stmts=task.dispatcher_stmts)
+        buffer = _WriteBuffer()
+        if task.shadow_arrays:
+            shadows = ShadowArrays(store, task.shadow_arrays)
+            hooks: MemHooks = CompositeHooks(shadows, buffer)
+        else:
+            hooks = buffer
+        walk_state = _Walk(task.init_value) if task.supply == "walk" else None
+        stream = _Cell(task.first + wid)  # static-schedule index stream
+
+        while True:
+            indices: Optional[Sequence[int]] = None
+            if not failed:
+                if task.schedule == "static":
+                    indices = _take_static(stream, task.workers, coord,
+                                           task.chunk)
+                else:
+                    indices = _take_dynamic(coord, task.chunk)
+            if indices is None:
+                try:
+                    coord.barrier.wait(timeout=_BARRIER_TIMEOUT)
+                    coord.barrier.wait(timeout=_BARRIER_TIMEOUT)
+                except threading.BrokenBarrierError:
+                    return
+                if coord.done.value:
+                    break
+                continue
+            try:
+                recs = _run_indices(indices, task, coord, store, runner,
+                                    buffer, hooks, walk_state)
+                coord.results.put(("chunk", wid, recs))
+            except BaseException:
+                failed = True
+                coord.propose_quit(0)   # stop issuing work everywhere
+                coord.results.put(("error", wid, traceback.format_exc()))
+        if task.shadow_arrays:
+            payload = None
+            if shadows is not None and not failed:
+                payload = ({name: (shadows.w1[name], shadows.w2[name],
+                                   shadows.r1[name], shadows.r2[name])
+                            for name in shadows.arrays}, shadows.accesses)
+            coord.results.put(("shadow", wid, payload))
+    finally:
+        if attached is not None:
+            attached.close()
+
+
+def _run_indices(indices: Sequence[int], task: _Task, coord: _Coord,
+                 store: Store, runner: IterationRunner,
+                 buffer: _WriteBuffer, hooks: MemHooks,
+                 walk_state: Optional[_Walk]) -> List[Tuple]:
+    """Execute one chunk; returns one record per index.
+
+    Record shape: ``(k, outcome, writes, locals)`` where ``writes`` is
+    the buffered ``(array, idx) -> value`` map and ``locals`` the
+    iteration-private scalars (both ``None`` for skipped indices).
+    """
+    recs: List[Tuple] = []
+    for k in indices:
+        if coord.quit_at.value < k:
+            recs.append((k, _SKIPPED, None, None))
+            continue
+        begin = getattr(hooks, "begin_iteration", None)
+        if begin is not None:
+            begin(k)
+        if walk_state is not None:
+            d = walk_state.value_for(k, runner, store, task.funcs,
+                                     task.disp_var)
+            if d is None:    # recurrence exhausted before reaching k
+                recs.append((k, IterOutcome.TERMINATED, None, None))
+                coord.propose_quit(k)
+                continue
+        else:
+            d = task.init_value + task.step * (k - 1)
+        local: Dict[str, Any] = {task.disp_var: d}
+        ctx = EvalContext(store, task.funcs, FREE, local=local,
+                          mem=hooks, iteration=k)
+        outcome = runner.run_iteration(ctx)
+        recs.append((k, outcome, dict(buffer.writes), local))
+        if outcome in (IterOutcome.TERMINATED, IterOutcome.EXITED):
+            coord.propose_quit(k)
+    return recs
+
+
+# ---------------------------------------------------------------------------
+# Parent side
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _Gather:
+    """Parent-side accumulation of worker records."""
+
+    outcomes: Dict[int, str] = field(default_factory=dict)
+    writes: Dict[int, Dict[Tuple[str, int], Any]] = field(
+        default_factory=dict)
+    locals: Dict[int, Dict[str, Any]] = field(default_factory=dict)
+    received: int = 0
+    skipped: int = 0
+    chunks: int = 0
+    error: Optional[str] = None
+    shadow_payloads: List[Optional[Tuple[Dict, int]]] = field(
+        default_factory=list)
+
+
+def _drain(coord: _Coord, gathered: _Gather, expected_total: int) -> None:
+    """Consume queue records until the strip is fully accounted for
+    (or a worker error short-circuits the run)."""
+    while gathered.received < expected_total and gathered.error is None:
+        kind, _wid, payload = coord.results.get(timeout=_QUEUE_TIMEOUT)
+        if kind == "error":
+            gathered.error = payload
+            return
+        if kind == "shadow":     # late shadow from an earlier error path
+            gathered.shadow_payloads.append(payload)
+            continue
+        gathered.chunks += 1
+        for k, outcome, writes, local in payload:
+            gathered.received += 1
+            if outcome == _SKIPPED:
+                gathered.skipped += 1
+                continue
+            gathered.outcomes[k] = outcome
+            if writes:
+                gathered.writes[k] = writes
+            if local is not None:
+                gathered.locals[k] = local
+
+
+def _collect_shadows(coord: _Coord, gathered: _Gather,
+                     workers: int) -> None:
+    """Receive the per-worker shadow payloads sent at worker exit."""
+    deadline = time.monotonic() + _QUEUE_TIMEOUT
+    while len(gathered.shadow_payloads) < workers:
+        timeout = max(0.1, deadline - time.monotonic())
+        try:
+            kind, _wid, payload = coord.results.get(timeout=timeout)
+        except _thread_queue.Empty:
+            raise RealBackendError(
+                "timed out waiting for worker shadow marks") from None
+        if kind == "shadow":
+            gathered.shadow_payloads.append(payload)
+        elif kind == "error" and gathered.error is None:
+            gathered.error = payload
+
+
+def _merge_stamp_pair(stacks: List[np.ndarray]) -> Tuple[np.ndarray,
+                                                         np.ndarray]:
+    """Merge per-worker (smallest, second-smallest) stamp vectors.
+
+    Stamps are iteration numbers; equal stamps denote the *same*
+    iteration (each iteration runs on exactly one worker), so the
+    merged pair is the two smallest **distinct** values across all
+    workers' pairs.
+    """
+    stack = np.stack(stacks)
+    m1 = stack.min(axis=0)
+    masked = np.where(stack == m1[None, :], _NO_STAMP, stack)
+    return m1, masked.min(axis=0)
+
+
+def _merged_shadows(store: Store, names: Tuple[str, ...],
+                    payloads: List[Optional[Tuple[Dict, int]]]
+                    ) -> ShadowArrays:
+    """Rebuild one global ShadowArrays from per-worker payloads."""
+    merged = ShadowArrays(store, names)
+    valid = [p for p in payloads if p is not None]
+    for name in names:
+        w1, w2 = _merge_stamp_pair(
+            [p[0][name][0] for p in valid] + [p[0][name][1] for p in valid])
+        r1, r2 = _merge_stamp_pair(
+            [p[0][name][2] for p in valid] + [p[0][name][3] for p in valid])
+        merged.w1[name], merged.w2[name] = w1, w2
+        merged.r1[name], merged.r2[name] = r1, r2
+    merged.accesses = sum(p[1] for p in valid)
+    return merged
+
+
+def _dispatcher_precedes_exits(loop: Loop,
+                               dispatcher_stmts: Sequence[int]) -> bool:
+    """Mirror of ``SchemeCore._dispatcher_precedes_exits``."""
+    if not dispatcher_stmts:
+        return False
+    exit_positions = [i for i, s in enumerate(loop.body)
+                      if any(isinstance(n, Exit) for n in walk(s))]
+    if not exit_positions:
+        return False
+    return max(dispatcher_stmts) < min(exit_positions)
+
+
+def _replay_dispatcher(runner: IterationRunner, store: Store,
+                       funcs: FunctionTable, disp_var: str,
+                       initial: Any, k: int) -> Any:
+    """Untimed reconstruction of ``d(k+1)`` on the parent store
+    (mirror of ``executors.supplies._replay``)."""
+    value = initial
+    for _ in range(k):
+        ctx = EvalContext(store, funcs, FREE, local={disp_var: value})
+        try:
+            runner.advance(ctx)
+        except NullPointerError:
+            return value
+        value = ctx.local[disp_var]
+    return value
+
+
+def run_parallel_real(
+    info,
+    store: Store,
+    funcs: FunctionTable,
+    *,
+    mode: str = "procs",
+    scheme: str = "doall",
+    workers: int = 2,
+    chunk: Optional[int] = None,
+    u: Optional[int] = None,
+    strip: Optional[int] = None,
+    speculative: bool = False,
+    test_arrays: Tuple[str, ...] = (),
+    privatize: Tuple[str, ...] = (),
+    machine: Optional[Machine] = None,
+) -> ParallelResult:
+    """Execute one analyzed loop on real workers (see module docstring).
+
+    Parameters
+    ----------
+    info:
+        The loop's static analysis (``LoopInfo``).
+    store:
+        Live program state; ends sequentially correct.
+    mode:
+        ``"procs"`` (OS processes over shared memory) or ``"threads"``
+        (same orchestration on GIL-bound threads — semantics only).
+    scheme:
+        ``"doall"`` (closed-form induction supply, Induction-2 QUIT
+        semantics), ``"general-3"`` (dynamic chunks + private walks) or
+        ``"general-2"`` (static mod-p streams + private walks).
+    workers / chunk:
+        Worker count and iteration-chunk size (auto when ``None``).
+    u / strip:
+        Iteration bound / strip length: with ``strip`` the horizon is
+        extended strip by strip (barrier-separated) until a
+        termination is observed, mirroring the virtual machine.
+    speculative / test_arrays / privatize:
+        Run under PD-test shadow marking; on an invalid verdict fall
+        back to a sequential re-execution.
+    machine:
+        Only used for the PD analysis' virtual-time accounting;
+        defaults to ``Machine(workers)``.
+    """
+    t0 = time.perf_counter()
+    if mode not in ("procs", "threads"):
+        raise PlanError(f"unknown real backend mode {mode!r}")
+    if scheme not in ("doall", "general-2", "general-3"):
+        raise PlanError(f"unknown real-backend scheme {scheme!r}")
+    if u is None and strip is None:
+        raise PlanError("run_parallel_real needs an iteration bound u "
+                        "or a strip length")
+    disp = info.dispatcher
+    if disp is None:
+        raise PlanError(f"loop {info.loop.name!r} has no dispatcher; "
+                        f"run it sequentially instead")
+    workers = max(1, int(workers))
+
+    loop = info.loop
+    runner = IterationRunner(loop, funcs, FREE,
+                             dispatcher_stmts=info.dispatcher_stmts)
+
+    backup = store.copy() if speculative else None
+
+    # Init block runs once, sequentially, on the live store.
+    init_ctx = runner.make_ctx(store)
+    runner.run_init(init_ctx)
+
+    from repro.analysis.recurrence import RecKind
+    if scheme == "doall":
+        if disp.kind is not RecKind.INDUCTION or disp.step in (None, 0):
+            raise PlanError(
+                f"doall scheme needs an induction dispatcher with a "
+                f"nonzero step; loop {loop.name!r} has {disp.kind.value}")
+        # Mirror ClosedFormSupply: analysis may report an integral step
+        # as a float; int-ify so the published dispatcher scalar keeps
+        # the sequential execution's type.
+        step = disp.step
+        supply = "closed"
+        step = int(step) if float(step).is_integer() else step
+    else:
+        supply, step = "walk", 0
+    init_value = store[disp.var]
+
+    first = 1
+    horizon0 = strip if strip is not None else u
+    if chunk is None:
+        chunk = default_chunk(u if strip is None else strip, workers)
+
+    shared: Optional[SharedStore] = None
+    spec: Optional[StoreSpec] = None
+    if mode == "procs":
+        shared = SharedStore.export(store)
+        spec = shared.spec()
+
+    task = _Task(
+        loop=loop, funcs=funcs,
+        dispatcher_stmts=tuple(info.dispatcher_stmts),
+        disp_var=disp.var, supply=supply,
+        init_value=init_value, step=step,
+        schedule="static" if scheme == "general-2" else "dynamic",
+        chunk=chunk, workers=workers, first=first,
+        shadow_arrays=tuple(test_arrays) if speculative else (),
+        store_spec=spec,
+    )
+    coord = _Coord(mode, workers, first, horizon0)
+    gathered = _Gather()
+
+    if mode == "procs":
+        procs = [coord.ctx.Process(target=_worker_main,
+                                   args=(wid, task, coord), daemon=True)
+                 for wid in range(workers)]
+    else:
+        procs = [threading.Thread(target=_worker_main,
+                                  args=(wid, task, coord, store),
+                                  daemon=True)
+                 for wid in range(workers)]
+    for p in procs:
+        p.start()
+    t_setup = time.perf_counter()
+
+    term_found = False
+    try:
+        while True:
+            coord.barrier.wait(timeout=_BARRIER_TIMEOUT)   # strip quiesced
+            if task.schedule == "static":
+                expected = coord.horizon.value - first + 1
+            else:
+                expected = coord.counter.value - first
+            _drain(coord, gathered, expected)
+            term_found = any(
+                o in (IterOutcome.TERMINATED, IterOutcome.EXITED)
+                for o in gathered.outcomes.values())
+            if gathered.error is not None or term_found or strip is None:
+                coord.done.value = 1
+                coord.barrier.wait(timeout=_BARRIER_TIMEOUT)
+                break
+            if coord.horizon.value + strip > _MAX_HORIZON:
+                coord.done.value = 1
+                coord.barrier.wait(timeout=_BARRIER_TIMEOUT)
+                raise ExecutionError(
+                    f"loop {loop.name!r} exceeded {_MAX_HORIZON} "
+                    f"iterations without terminating")
+            coord.horizon.value += strip
+            coord.barrier.wait(timeout=_BARRIER_TIMEOUT)   # next strip
+        if speculative:
+            _collect_shadows(coord, gathered, workers)
+    except threading.BrokenBarrierError:
+        raise RealBackendError(
+            "real-parallel run aborted: a worker broke the strip "
+            "barrier (see stderr for its traceback)") from None
+    finally:
+        for p in procs:
+            p.join(timeout=30.0)
+        if mode == "procs":
+            for p in procs:
+                if p.is_alive():
+                    p.terminate()
+        if shared is not None:
+            shared.close(unlink=True)
+    t_doall = time.perf_counter()
+
+    machine = machine or Machine(workers)
+    wall_total = lambda: time.perf_counter() - t0  # noqa: E731
+
+    def sequential_fallback(reason: str) -> ParallelResult:
+        """Section 5 fallback: discard, restore, re-execute sequentially."""
+        assert backup is not None
+        store.restore_from(backup)
+        res = SequentialInterp(loop, funcs, FREE).run(store)
+        wall = wall_total()
+        return ParallelResult(
+            scheme=f"speculative[{reason}]->sequential",
+            n_iters=res.n_iters,
+            exited_in_body=res.exited_in_body,
+            t_par=max(1, int(wall * 1e9)),
+            makespan=max(1, int((t_doall - t_setup) * 1e9)),
+            executed=res.n_iters,
+            fallback_sequential=True,
+            wall_s=wall,
+            stats={"backend": mode, "workers": workers, "reason": reason},
+        )
+
+    if gathered.error is not None:
+        if speculative:
+            return sequential_fallback("exception")
+        raise RealBackendError(
+            f"worker failed during real-parallel execution of "
+            f"{loop.name!r}:\n{gathered.error}")
+
+    if not term_found:
+        raise ExecutionError(
+            f"loop {loop.name!r} did not terminate within its bound "
+            f"u={horizon0}; raise the bound or strip-mine")
+
+    term_iters = [k for k, o in gathered.outcomes.items()
+                  if o in (IterOutcome.TERMINATED, IterOutcome.EXITED)]
+    exit_at = min(term_iters)
+    exited = gathered.outcomes[exit_at] == IterOutcome.EXITED
+    lvi = exit_at if exited else exit_at - 1
+
+    pd = None
+    if speculative:
+        merged = _merged_shadows(store, task.shadow_arrays,
+                                 gathered.shadow_payloads)
+        pd = analyze_pd(merged, machine,
+                        last_valid=lvi if info.may_overshoot else None)
+        valid = pd.valid_with_privatized(privatize) if pd.per_array \
+            else pd.valid_as_is
+        if not valid:
+            return sequential_fallback("pd-failed")
+
+    # -- ordered reconciliation (mirror of SchemeCore) ---------------------
+    applied_words = 0
+    for k in sorted(gathered.writes):
+        if k > lvi:
+            continue
+        for (array, idx), value in gathered.writes[k].items():
+            store[array][idx] = value
+            applied_words += 1
+
+    merged_locals: Dict[str, Any] = {}
+    for k in sorted(gathered.locals):
+        if k > lvi:
+            break
+        merged_locals.update(gathered.locals[k])
+    for name, value in merged_locals.items():
+        if name != disp.var:
+            store[name] = value
+
+    disp_before_exit = _dispatcher_precedes_exits(loop,
+                                                  info.dispatcher_stmts)
+    final_k = lvi - 1 if (exited and not disp_before_exit) else lvi
+    if supply == "closed":
+        final_d = init_value + step * final_k
+    else:
+        final_d = _replay_dispatcher(runner, store, funcs, disp.var,
+                                     init_value, final_k)
+    store[disp.var] = final_d
+
+    executed = sum(1 for o in gathered.outcomes.values()
+                   if o == IterOutcome.DONE)
+    overshot = sum(1 for k, o in gathered.outcomes.items()
+                   if o == IterOutcome.DONE and k > lvi)
+    wall = wall_total()
+    name = f"speculative[{scheme}]" if speculative else scheme
+    return ParallelResult(
+        scheme=name,
+        n_iters=lvi,
+        exited_in_body=exited,
+        t_par=max(1, int(wall * 1e9)),
+        makespan=max(1, int((t_doall - t_setup) * 1e9)),
+        t_before=int((t_setup - t0) * 1e9),
+        t_after=int((time.perf_counter() - t_doall) * 1e9),
+        executed=executed,
+        overshot=overshot,
+        pd=pd,
+        wall_s=wall,
+        stats={
+            "backend": mode,
+            "workers": workers,
+            "chunk": chunk,
+            "chunks": gathered.chunks,
+            "skipped": gathered.skipped,
+            "applied_words": applied_words,
+            "tested_arrays": task.shadow_arrays,
+            "privatized_arrays": tuple(privatize),
+        },
+    )

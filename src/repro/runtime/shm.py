@@ -1,0 +1,205 @@
+"""Shared-memory placement of :class:`~repro.ir.store.Store` contents.
+
+The real-parallel backend (:mod:`repro.runtime.procs`) runs loop
+iterations on genuine OS processes.  Worker processes must *read* the
+loop's arrays without copying them (a SPICE-sized device table pickled
+to eight workers would dwarf the loop body), so every NumPy array in
+the store — including linked-list ``next`` pools — is placed in a
+:mod:`multiprocessing.shared_memory` segment and workers attach views
+by segment name.  Scalars travel by value in the task description;
+they are tiny and iteration-private anyway.
+
+Lifecycle rules (see ``docs/backends.md``):
+
+* the **parent** creates every segment, copies the array data in, and
+  is the only party that ever calls ``unlink``;
+* **workers** attach with ``create=False`` and must ``close`` their
+  handles before exiting (done in the worker main loop);
+* the parent unlinks inside a ``finally`` block so segments never
+  outlive a crashed run — leaked segments persist in ``/dev/shm``
+  until reboot otherwise.
+
+:class:`SharedStore` is a context manager wrapping that discipline::
+
+    with SharedStore.export(store) as shared:
+        spec = shared.spec()          # picklable description
+        ... spawn workers that call attach_store(spec) ...
+    # segments closed + unlinked here
+
+Workers reconstruct a fully functional :class:`Store` with
+:func:`attach_store`; array writes made by a worker through that store
+would be visible to everyone, but the procs backend deliberately
+buffers iteration writes (see :mod:`repro.runtime.procs`), so the
+segments are effectively read-only after export.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Any, Dict, List, Tuple
+
+import numpy as np
+
+from repro.ir.store import Store
+from repro.structures.linkedlist import LinkedList
+
+__all__ = ["ArraySegment", "StoreSpec", "SharedStore", "attach_store"]
+
+
+@dataclass(frozen=True)
+class ArraySegment:
+    """Picklable description of one array living in shared memory."""
+
+    name: str           #: store binding name
+    shm_name: str       #: shared-memory segment name
+    shape: Tuple[int, ...]
+    dtype: str          #: numpy dtype string, e.g. "int64"
+
+
+@dataclass(frozen=True)
+class StoreSpec:
+    """Everything a worker needs to rebuild the store.
+
+    ``arrays`` and ``list_pools`` reference shared segments;
+    ``scalars`` and ``list_heads`` are plain values carried by pickle.
+    """
+
+    arrays: Tuple[ArraySegment, ...]
+    scalars: Tuple[Tuple[str, Any], ...]
+    list_pools: Tuple[ArraySegment, ...]     #: linked-list next arrays
+    list_heads: Tuple[Tuple[str, int], ...]  #: list name -> head index
+
+
+class SharedStore:
+    """Parent-side owner of a store's shared-memory segments."""
+
+    def __init__(self) -> None:
+        self._segments: List[shared_memory.SharedMemory] = []
+        self._array_specs: List[ArraySegment] = []
+        self._pool_specs: List[ArraySegment] = []
+        self._scalars: List[Tuple[str, Any]] = []
+        self._heads: List[Tuple[str, int]] = []
+        self._closed = False
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def export(cls, store: Store) -> "SharedStore":
+        """Copy every array binding of ``store`` into shared memory."""
+        self = cls()
+        try:
+            for name in store.names():
+                value = store[name]
+                if isinstance(value, np.ndarray):
+                    self._array_specs.append(
+                        self._export_array(name, value))
+                elif isinstance(value, LinkedList):
+                    self._pool_specs.append(
+                        self._export_array(name, value.next))
+                    self._heads.append((name, value.head))
+                else:
+                    self._scalars.append((name, value))
+        except BaseException:
+            self.close(unlink=True)
+            raise
+        return self
+
+    def _export_array(self, name: str, arr: np.ndarray) -> ArraySegment:
+        seg = shared_memory.SharedMemory(create=True,
+                                         size=max(1, arr.nbytes))
+        self._segments.append(seg)
+        view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=seg.buf)
+        view[...] = arr
+        return ArraySegment(name=name, shm_name=seg.name,
+                            shape=tuple(arr.shape), dtype=str(arr.dtype))
+
+    # -- parent-side use -----------------------------------------------------
+    def spec(self) -> StoreSpec:
+        """The picklable worker-side description."""
+        return StoreSpec(
+            arrays=tuple(self._array_specs),
+            scalars=tuple(self._scalars),
+            list_pools=tuple(self._pool_specs),
+            list_heads=tuple(self._heads),
+        )
+
+    def close(self, *, unlink: bool = True) -> None:
+        """Release the parent's handles (and destroy the segments)."""
+        if self._closed:
+            return
+        self._closed = True
+        for seg in self._segments:
+            try:
+                seg.close()
+            except OSError:
+                pass
+            if unlink:
+                try:
+                    seg.unlink()
+                except OSError:
+                    pass
+
+    def __enter__(self) -> "SharedStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close(unlink=True)
+
+
+class AttachedStore:
+    """A worker's view of the parent's store.
+
+    Holds the attached segment handles so they stay alive as long as
+    the rebuilt :class:`Store` is in use; :meth:`close` must run before
+    the worker exits (segment handles leak file descriptors otherwise).
+    """
+
+    def __init__(self, store: Store,
+                 segments: List[shared_memory.SharedMemory]) -> None:
+        self.store = store
+        self._segments = segments
+
+    def close(self) -> None:
+        """Detach from every segment (does not unlink)."""
+        for seg in self._segments:
+            try:
+                seg.close()
+            except OSError:
+                pass
+        self._segments = []
+
+
+def attach_store(spec: StoreSpec) -> AttachedStore:
+    """Rebuild a :class:`Store` from a :class:`StoreSpec` in a worker.
+
+    Array bindings are zero-copy views over the parent's shared
+    segments; scalars and list heads are plain copies.
+    """
+    segments: List[shared_memory.SharedMemory] = []
+    store = Store()
+    try:
+        for aseg in spec.arrays:
+            store[aseg.name] = _attach_array(aseg, segments)
+        pools: Dict[str, np.ndarray] = {}
+        for pseg in spec.list_pools:
+            pools[pseg.name] = _attach_array(pseg, segments)
+        for lname, head in spec.list_heads:
+            store[lname] = LinkedList(pools[lname], head)
+        for sname, value in spec.scalars:
+            store[sname] = value
+    except BaseException:
+        for seg in segments:
+            try:
+                seg.close()
+            except OSError:
+                pass
+        raise
+    return AttachedStore(store, segments)
+
+
+def _attach_array(aseg: ArraySegment,
+                  segments: List[shared_memory.SharedMemory]) -> np.ndarray:
+    """Attach one segment and return the ndarray view over it."""
+    seg = shared_memory.SharedMemory(name=aseg.shm_name, create=False)
+    segments.append(seg)
+    return np.ndarray(aseg.shape, dtype=np.dtype(aseg.dtype), buffer=seg.buf)

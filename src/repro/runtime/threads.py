@@ -1,22 +1,34 @@
-"""A real-``threading`` execution backend (semantic cross-check only).
+"""Fine-grained ``threading`` cross-check of individual scheme pieces.
 
-The virtual-time machine is the framework's measurement instrument;
-this module is its *reality check*: the same scheme structures —
-dynamic self-scheduling with in-order issue and QUIT, General-1's
-lock-serialized shared walk, General-3's private catch-up walks —
-executed by genuine OS threads with genuine locks.
+One of three thread-based execution paths in the repo — know which one
+you want:
 
-Because of CPython's GIL this backend demonstrates **correctness under
-real interleavings**, not speedup (the calibration note for this
-reproduction: "parallel eval less faithful (GIL)").  The test suite
-runs the threaded schemes against the sequential reference to confirm
-the algorithms, not just the simulation of them, are race-free where
-the paper claims they are.
+* :mod:`repro.runtime.machine` — the virtual-time simulator, the
+  measurement instrument (``backend="sim"``);
+* :mod:`repro.runtime.procs` — the *production* real backends
+  (``backend="threads"`` and ``backend="procs"``), chunked and
+  strip-mined, reached through ``parallelize(backend=...)`` and the
+  CLI;
+* **this module** — a deliberately un-chunked, lock-per-element
+  re-implementation of the scheme structures (dynamic self-scheduling
+  with in-order issue and QUIT, General-1's lock-serialized shared
+  walk, General-3's private catch-up walks) used by the test suite as
+  an *independent* implementation to cross-check against.  It shares
+  no orchestration code with ``runtime.procs``, which is exactly its
+  value: two implementations agreeing on the zoo is strong evidence
+  the semantics are right.
+
+Because of CPython's GIL, neither this module nor the procs module's
+``threads`` mode demonstrates speedup — they demonstrate **correctness
+under real interleavings**.  For wall-clock speedup use
+``backend="procs"`` (see ``docs/backends.md``).
 
 Thread-safety notes: each worker evaluates iterations through its own
 :class:`~repro.ir.interp.EvalContext` with private scalars; the shared
 store's NumPy element reads/writes are protected by a store-wide lock
-(coarse, but this backend optimizes for clarity, not throughput).
+(coarse, but this module optimizes for clarity, not throughput —
+unlike :mod:`repro.runtime.procs`, which buffers writes per iteration
+precisely so no such lock exists on the hot path).
 """
 
 from __future__ import annotations

@@ -1,6 +1,7 @@
 """Section 9 workload analogs and the Table-1 loop zoo."""
 
 from repro.workloads.base import Method, Workload, measure_speedup, speedup_curve
+from repro.workloads.bench import BenchLoop, make_doall_bench
 from repro.workloads.ma28 import MA28_INPUTS, make_ma28_loop, select_pivot
 from repro.workloads.ma28_analyze import AnalyzePhaseResult, run_ma28_analyze
 from repro.workloads.mcsparse import MCSPARSE_INPUTS, make_mcsparse_dfact500
@@ -42,6 +43,7 @@ def workload_from_spec(spec: str) -> Workload:
 __all__ = [
     "Method", "Workload", "measure_speedup", "speedup_curve",
     "workload_from_spec",
+    "BenchLoop", "make_doall_bench",
     "MA28_INPUTS", "make_ma28_loop", "select_pivot",
     "AnalyzePhaseResult", "run_ma28_analyze",
     "MCSPARSE_INPUTS", "make_mcsparse_dfact500",

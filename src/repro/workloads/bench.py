@@ -1,0 +1,88 @@
+"""DOALL-heavy benchmark loop for real wall-clock backend comparison.
+
+The taxonomy zoo's loops (:mod:`repro.workloads.zoo`) deliberately do
+almost no work per iteration — they exist to exercise classification
+and scheme *semantics*, and on a real backend their wall time is pure
+orchestration overhead.  To demonstrate genuine multi-core speedup
+(the paper's Table 2 territory) the iteration body must dominate the
+per-chunk IPC, so this module provides a mono-induction/RI DOALL loop
+whose body calls a ``crunch`` intrinsic doing ``work`` floating-point
+operations of NumPy math per iteration::
+
+    i = 1
+    while i <= n:
+        out[i] = crunch(i)      # ~`work` flops, pure
+        i = i + 1
+
+``crunch`` is a *pure* registered intrinsic, so the analyzer sees an
+independent remainder with a per-iteration write ``out[i]`` and the
+planner picks Induction-2 — the best case for every backend.  Note
+that NumPy ufuncs hold the GIL, so the ``threads`` backend shows ~1x
+here by design; only ``procs`` can convert this loop into real
+speedup (``repro bench --compare-backends`` shows them side by side).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.ir.functions import FunctionTable
+from repro.ir.nodes import (
+    ArrayAssign,
+    Assign,
+    Call,
+    Const,
+    Var,
+    WhileLoop,
+    le_,
+)
+from repro.ir.store import Store
+
+__all__ = ["BenchLoop", "make_doall_bench"]
+
+
+class BenchLoop:
+    """A benchmarkable loop bundle (name, loop, funcs, store factory)."""
+
+    def __init__(self, name: str, loop, funcs: FunctionTable,
+                 make_store: Callable[[], Store]) -> None:
+        self.name = name
+        self.loop = loop
+        self.funcs = funcs
+        self.make_store = make_store
+
+
+def make_doall_bench(n: int = 256, work: int = 100_000) -> BenchLoop:
+    """Build the DOALL benchmark loop.
+
+    Parameters
+    ----------
+    n:
+        Iteration count.
+    work:
+        Vector length ``crunch`` reduces per iteration; total
+        sequential cost scales as ``n * work``.  The default makes the
+        sequential run last on the order of a second, large enough
+        that worker startup and chunk IPC are noise on a 2-core box.
+    """
+    ft = FunctionTable()
+
+    def crunch(ctx, i):
+        x = np.arange(1.0, work + 1.0) * (float(i) * 1e-3 + 1.0)
+        return float(np.sin(x).sum())
+
+    ft.register("crunch", crunch, cost=max(1, work // 4), pure=True)
+
+    loop = WhileLoop(
+        [Assign("i", Const(1))],
+        le_(Var("i"), Var("n")),
+        [ArrayAssign("out", Var("i"), Call("crunch", (Var("i"),))),
+         Assign("i", Var("i") + 1)],
+        name="doall-bench")
+
+    def make_store() -> Store:
+        return Store({"out": np.zeros(n + 2), "n": n, "i": 0})
+
+    return BenchLoop("doall-bench", loop, ft, make_store)

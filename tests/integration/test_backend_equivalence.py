@@ -1,0 +1,128 @@
+"""Backend equivalence: sim, threads, and procs must agree.
+
+The contract documented in `docs/backends.md`: for every loop the
+planner accepts, all three backends produce the *identical* final
+store, the same number of valid iterations (QUIT reconciliation), and
+the same fallback decisions — only the time unit differs.  The Table-1
+zoo exercises every dispatcher/terminator cell, including the seeded
+speculative-failure case (associative loops whose PD test fails on
+every backend and falls back to sequential re-execution).
+"""
+
+import pytest
+
+from repro.api import parallelize
+from repro.ir.interp import SequentialInterp
+from repro.runtime.costs import FREE
+from repro.runtime.machine import Machine
+from repro.workloads.zoo import make_zoo
+
+BACKENDS = ("sim", "threads", "procs")
+ZOO = {z.name: z for z in make_zoo(48)}
+
+# associative zoo entries are planned speculatively and their PD test
+# fails (the reduction carries a flow dependence) — the seeded
+# speculative-failure cases of the equivalence contract.
+PD_FAIL = ("associative/RI", "associative/RV")
+
+
+def _run_all_backends(zl, workers=2):
+    """parallelize() the loop once per backend; return {backend: (out, store)}."""
+    results = {}
+    for backend in BACKENDS:
+        st = zl.make_store()
+        out = parallelize(zl.loop, st, Machine(workers), zl.funcs,
+                          backend=backend, workers=workers,
+                          min_speedup=0.0)
+        results[backend] = (out, st)
+    return results
+
+
+@pytest.mark.parametrize("name", sorted(ZOO))
+class TestZooEquivalence:
+    def test_identical_stores_and_iteration_counts(self, name):
+        zl = ZOO[name]
+        results = _run_all_backends(zl)
+
+        # independent sequential reference
+        ref = zl.make_store()
+        SequentialInterp(zl.loop, zl.funcs, FREE).run(ref)
+
+        sim_out, sim_store = results["sim"]
+        for backend in BACKENDS:
+            out, st = results[backend]
+            assert out.verified is True, (
+                f"{name}: {backend} failed verification")
+            assert st.equals(ref), (
+                f"{name}: {backend} final store differs from sequential")
+            # QUIT reconciliation: same last-valid-iteration everywhere
+            assert out.result.n_iters == sim_out.result.n_iters, (
+                f"{name}: {backend} n_iters {out.result.n_iters} "
+                f"!= sim {sim_out.result.n_iters}")
+            assert (out.result.exited_in_body
+                    == sim_out.result.exited_in_body)
+
+    def test_same_fallback_decision(self, name):
+        zl = ZOO[name]
+        results = _run_all_backends(zl)
+        sim_out, _ = results["sim"]
+        for backend in ("threads", "procs"):
+            out, _ = results[backend]
+            assert (out.result.fallback_sequential
+                    == sim_out.result.fallback_sequential), (
+                f"{name}: {backend} fallback decision differs from sim")
+
+
+@pytest.mark.parametrize("name", PD_FAIL)
+def test_seeded_speculative_failure_falls_back_identically(name):
+    """The PD test must fail on all backends and recover sequentially."""
+    zl = ZOO[name]
+    for backend in BACKENDS:
+        st = zl.make_store()
+        out = parallelize(zl.loop, st, Machine(2), zl.funcs,
+                          backend=backend, workers=2, min_speedup=0.0)
+        assert out.result.scheme == "speculative[pd-failed]->sequential", (
+            f"{name}: {backend} scheme {out.result.scheme!r}")
+        assert out.result.fallback_sequential is True
+        assert out.verified is True
+
+
+def test_real_backends_report_wall_time_sim_reports_cycles():
+    zl = ZOO["mono-induction/RI"]
+    for backend in BACKENDS:
+        st = zl.make_store()
+        out = parallelize(zl.loop, st, Machine(2), zl.funcs,
+                          backend=backend, workers=2, min_speedup=0.0)
+        if backend == "sim":
+            assert out.result.wall_s is None
+        else:
+            assert out.result.wall_s is not None
+            assert out.result.wall_s >= 0.0
+            assert out.result.stats["backend"] == backend
+
+
+def test_procs_leaves_no_shared_memory_leak():
+    """Every run must unlink its segments (checked via /dev/shm count)."""
+    import glob
+    before = set(glob.glob("/dev/shm/psm_*"))
+    zl = ZOO["general/RI"]
+    st = zl.make_store()
+    parallelize(zl.loop, st, Machine(2), zl.funcs,
+                backend="procs", workers=2, min_speedup=0.0)
+    after = set(glob.glob("/dev/shm/psm_*"))
+    assert after <= before, f"leaked segments: {sorted(after - before)}"
+
+
+def test_four_workers_agree_with_two():
+    """Worker count must not affect semantics (chunking independence)."""
+    zl = ZOO["nonmono-induction/RI"]
+    stores = []
+    for workers in (1, 2, 4):
+        st = zl.make_store()
+        out = parallelize(zl.loop, st, Machine(max(2, workers)), zl.funcs,
+                          backend="procs", workers=workers,
+                          min_speedup=0.0)
+        assert out.verified is True
+        stores.append(st)
+    assert stores[0].equals(stores[1])
+    assert stores[1].equals(stores[2])

@@ -1,0 +1,207 @@
+"""Unit tests for the real-parallel backend (`repro.runtime.procs`)
+and its shared-memory store plumbing (`repro.runtime.shm`).
+
+Semantics only: wall-clock speedup is a benchmark concern
+(`repro bench --compare-backends`), never a test assertion — CI
+machines make no timing promises.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.loopinfo import analyze_loop
+from repro.errors import ExecutionError
+from repro.ir.functions import FunctionTable
+from repro.ir.interp import SequentialInterp
+from repro.ir.nodes import Assign, ArrayAssign, Const, Var, WhileLoop, le_
+from repro.ir.store import Store
+from repro.runtime.costs import FREE
+from repro.runtime.procs import (
+    RealBackendError,
+    default_chunk,
+    run_parallel_real,
+)
+from repro.runtime.shm import SharedStore, attach_store
+from repro.structures.linkedlist import LinkedList
+from repro.workloads.zoo import make_zoo
+
+
+# ---------------------------------------------------------------------------
+# shared-memory store export / attach
+# ---------------------------------------------------------------------------
+
+class TestSharedStore:
+    def _store(self):
+        st = Store()
+        st["A"] = np.arange(16, dtype=np.int64)
+        st["B"] = np.linspace(0.0, 1.0, 8)
+        st["n"] = 16
+        st["x"] = 2.5
+        nxt = np.array([1, 2, 3, -1], dtype=np.int64)
+        st["lst"] = LinkedList(nxt, 0)
+        return st
+
+    def test_roundtrip_values(self):
+        st = self._store()
+        with SharedStore.export(st) as shared:
+            attached = attach_store(shared.spec())
+            try:
+                view = attached.store
+                assert np.array_equal(view["A"], st["A"])
+                assert np.array_equal(view["B"], st["B"])
+                assert view["n"] == 16 and view["x"] == 2.5
+                lst = view["lst"]
+                assert isinstance(lst, LinkedList)
+                assert lst.head == 0
+                assert np.array_equal(lst.next, st["lst"].next)
+            finally:
+                attached.close()
+
+    def test_attached_arrays_are_views_not_copies(self):
+        st = self._store()
+        with SharedStore.export(st) as shared:
+            spec = shared.spec()
+            a1 = attach_store(spec)
+            a2 = attach_store(spec)
+            try:
+                a1.store["A"][3] = 99
+                # same segment: the second attachment sees the write
+                assert a2.store["A"][3] == 99
+                # ...but the original in-process store is untouched
+                assert st["A"][3] == 3
+            finally:
+                a1.close()
+                a2.close()
+
+    def test_close_unlinks_segments(self):
+        st = self._store()
+        shared = SharedStore.export(st)
+        spec = shared.spec()
+        shared.close(unlink=True)
+        from multiprocessing import shared_memory
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=spec.arrays[0].shm_name,
+                                       create=False)
+
+    def test_close_is_idempotent(self):
+        shared = SharedStore.export(self._store())
+        shared.close(unlink=True)
+        shared.close(unlink=True)  # second close is a no-op
+
+
+class TestDefaultChunk:
+    def test_unknown_bound_uses_fixed_chunk(self):
+        assert default_chunk(None, 4) == 64
+
+    def test_scales_with_bound_and_workers(self):
+        assert default_chunk(16_000, 2) == 512     # clamped high
+        assert default_chunk(8, 8) == 1            # clamped low
+        assert default_chunk(640, 4) == 20         # ~8 chunks/worker
+
+    def test_never_zero(self):
+        for u in (1, 2, 7):
+            for p in (1, 2, 16):
+                assert default_chunk(u, p) >= 1
+
+
+# ---------------------------------------------------------------------------
+# run_parallel_real on tiny loops (both modes, 2 workers)
+# ---------------------------------------------------------------------------
+
+def _doall_loop():
+    """i = 1; while i <= n: out[i] = i * 2; i = i + 1  -- independent."""
+    loop = WhileLoop(
+        [Assign("i", Const(1))],
+        le_(Var("i"), Var("n")),
+        [ArrayAssign("out", Var("i"), Var("i") * 2),
+         Assign("i", Var("i") + 1)],
+        name="tiny-doall",
+    )
+    st = Store()
+    st["n"] = 37
+    st["out"] = np.zeros(64, dtype=np.int64)
+    return loop, FunctionTable(), st
+
+
+def _sequential_reference(loop, funcs, store):
+    ref = store.copy()
+    SequentialInterp(loop, funcs, FREE).run(ref)
+    return ref
+
+
+@pytest.mark.parametrize("mode", ["threads", "procs"])
+class TestDoallReal:
+    def test_matches_sequential(self, mode):
+        loop, funcs, st = _doall_loop()
+        ref = _sequential_reference(loop, funcs, st)
+        info = analyze_loop(loop, funcs)
+        res = run_parallel_real(info, st, funcs, mode=mode,
+                                scheme="doall", workers=2, u=200)
+        assert st.equals(ref)
+        assert res.n_iters == 37
+        assert res.t_par > 0 and res.wall_s is not None
+        assert res.stats["backend"] == mode
+        assert res.stats["workers"] == 2
+
+    def test_tiny_chunk_exercises_many_strips(self, mode):
+        loop, funcs, st = _doall_loop()
+        ref = _sequential_reference(loop, funcs, st)
+        info = analyze_loop(loop, funcs)
+        run_parallel_real(info, st, funcs, mode=mode, scheme="doall",
+                          workers=2, u=200, chunk=3)
+        assert st.equals(ref)
+
+
+@pytest.mark.parametrize("mode", ["threads", "procs"])
+@pytest.mark.parametrize("scheme", ["general-3", "general-2"])
+class TestGeneralReal:
+    def test_linked_list_walk(self, mode, scheme):
+        zl = next(z for z in make_zoo(24) if z.name == "general/RI")
+        st = zl.make_store()
+        ref = _sequential_reference(zl.loop, zl.funcs, st)
+        info = analyze_loop(zl.loop, zl.funcs)
+        res = run_parallel_real(info, st, zl.funcs, mode=mode,
+                                scheme=scheme, workers=2, u=64)
+        assert st.equals(ref)
+        assert res.scheme == scheme
+
+
+class TestErrorsAndBounds:
+    def test_unterminated_without_strip_raises(self):
+        loop, funcs, st = _doall_loop()
+        st["n"] = 10_000  # bound u=8 is far too small
+        info = analyze_loop(loop, funcs)
+        with pytest.raises(ExecutionError, match="strip-mine"):
+            run_parallel_real(info, st, funcs, mode="threads",
+                              scheme="doall", workers=2, u=8)
+
+    def test_strip_mining_recovers(self):
+        loop, funcs, st = _doall_loop()
+        ref = _sequential_reference(loop, funcs, st)
+        info = analyze_loop(loop, funcs)
+        res = run_parallel_real(info, st, funcs, mode="threads",
+                                scheme="doall", workers=2, strip=8)
+        assert st.equals(ref)
+        assert res.n_iters == 37
+
+    def test_worker_exception_surfaces(self):
+        ft = FunctionTable()
+
+        def boom(ctx, i):
+            raise ValueError("intrinsic exploded")
+
+        ft.register("boom", boom, cost=1, pure=True)
+        from repro.ir.nodes import Call
+        loop = WhileLoop(
+            [Assign("i", Const(1))],
+            le_(Var("i"), Const(10)),
+            [ArrayAssign("out", Var("i"), Call("boom", (Var("i"),))),
+             Assign("i", Var("i") + 1)],
+            name="boom-loop",
+        )
+        st = Store()
+        st["out"] = np.zeros(16, dtype=np.int64)
+        info = analyze_loop(loop, ft)
+        with pytest.raises(RealBackendError, match="intrinsic exploded"):
+            run_parallel_real(info, st, ft, mode="threads",
+                              scheme="doall", workers=2, u=16)
