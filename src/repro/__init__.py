@@ -31,14 +31,22 @@ paper-versus-measured record.
 from repro.api import Outcome, parallelize
 from repro.errors import (
     AnalysisError,
+    BarrierStalled,
     ExecutionError,
     FrontendError,
     IRError,
+    LadderExhausted,
     NullPointerError,
     OvershootLimit,
     PlanError,
+    RealBackendError,
     ReproError,
+    ResultLost,
+    ShadowCorrupt,
     SpeculationFailed,
+    WorkerCrashed,
+    WorkerFault,
+    WorkerHung,
 )
 from repro.ir import (
     NULL,
@@ -105,6 +113,9 @@ __all__ = [
     "AnalysisError", "ExecutionError", "FrontendError", "IRError",
     "NullPointerError", "OvershootLimit", "PlanError", "ReproError",
     "SpeculationFailed",
+    "BarrierStalled", "LadderExhausted", "RealBackendError",
+    "ResultLost", "ShadowCorrupt", "WorkerCrashed", "WorkerFault",
+    "WorkerHung",
     "NULL", "ArrayAssign", "ArrayRef", "Assign", "BinOp", "Call", "Const",
     "DoLoop", "Exit", "Expr", "ExprStmt", "For", "FunctionTable", "If",
     "Loop", "Next", "SequentialInterp", "Stmt", "Store", "UnaryOp", "Var",

@@ -76,6 +76,8 @@ def parallelize(
     min_speedup: float = 1.2,
     backend: str = "sim",
     workers: Optional[int] = None,
+    resilience=None,
+    fault_plan=None,
 ) -> Outcome:
     """Analyze, plan, execute, and (optionally) verify one loop.
 
@@ -105,6 +107,17 @@ def parallelize(
         :attr:`Outcome.speedup` is a measured wall-clock speedup.
     workers:
         Real-backend worker count (default: ``machine.nprocs``).
+    resilience:
+        Real backends only: run under the fault-tolerant supervisor
+        (:mod:`repro.runtime.supervisor`).  Pass ``True`` for the
+        default :class:`~repro.runtime.supervisor.ResiliencePolicy`
+        or a policy instance; worker crashes/hangs then cost a retry
+        or a degradation-ladder descent instead of an exception, and
+        ``result.stats["resilience"]`` records the recovery.
+    fault_plan:
+        Real backends only: scripted fault injection
+        (:class:`~repro.runtime.faults.FaultPlan`); implies
+        supervision unless ``resilience=False``.
 
     Raises
     ------
@@ -118,6 +131,11 @@ def parallelize(
     if backend not in ("sim", "threads", "procs"):
         raise PlanError(f"unknown backend {backend!r}; expected "
                         f"'sim', 'threads', or 'procs'")
+    if backend == "sim" and (resilience or fault_plan is not None):
+        raise PlanError(
+            "resilience/fault_plan apply to real backends only — the "
+            "sim backend has no workers to crash; rerun with "
+            "backend='threads' or backend='procs'")
 
     reference: Optional[Store] = None
     t_seq: Optional[int] = None
@@ -149,6 +167,7 @@ def parallelize(
         return run_plan_on_backend(
             plan, store, funcs, backend=backend,
             workers=workers or machine.nprocs, machine=machine,
+            resilience=resilience, fault_plan=fault_plan,
             **kwargs)
 
     try:

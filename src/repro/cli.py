@@ -14,6 +14,17 @@ Commands
     loop build the initial store, then the loop is planned and run on
     the chosen backend (virtual machine by default; ``procs`` for real
     GIL-free parallelism) and verified against a sequential reference.
+    ``--resilience`` runs real backends under the fault-tolerant
+    supervisor; ``--inject-fault SPEC`` scripts a fault (syntax:
+    ``kind:worker=1,iter=9`` — see :mod:`repro.runtime.faults`) and
+    implies supervision.
+
+``chaos [--workers N] [--mode procs|threads] [--out FILE]``
+    Run the seeded fault-injection recovery matrix over the Table-1
+    zoo: every (scheme, fault kind) cell must end in a final store
+    identical to the sequential reference, whatever rung of the
+    degradation ladder it recovered on.  Non-zero exit when any cell
+    fails — the CI chaos job gates on this.
 
 ``bench [--compare-backends] [--workers N] [--n N] [--work W]``
     Wall-clock the real backends against a sequential run on the
@@ -194,10 +205,26 @@ def _cmd_run(args: argparse.Namespace) -> int:
     lifted = lift_source(loop_src, filename=args.file)
     store, funcs = _build_store_from_source(source, args.file, lifted)
 
+    fault_plan = None
+    if args.inject_fault:
+        from repro.errors import PlanError
+        from repro.runtime.faults import FaultPlan, parse_fault_spec
+        if args.backend == "sim":
+            print("error: --inject-fault needs a real backend "
+                  "(--backend threads|procs)", file=sys.stderr)
+            return 2
+        try:
+            fault_plan = FaultPlan(specs=tuple(
+                parse_fault_spec(s) for s in args.inject_fault))
+        except PlanError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
     outcome = parallelize(
         lifted.loop, store, Machine(args.procs), funcs,
         backend=args.backend, workers=args.workers,
-        min_speedup=args.min_speedup)
+        min_speedup=args.min_speedup,
+        resilience=args.resilience or None, fault_plan=fault_plan)
     res = outcome.result
     unit = "cycles" if args.backend == "sim" else "ns (wall)"
     payload = {
@@ -216,6 +243,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
                           else float(store[k])
                           for k in store.scalars()},
     }
+    resilience = res.stats.get("resilience")
+    if resilience is not None:
+        payload["resilience"] = resilience
     if args.json:
         print(json.dumps(payload, indent=2))
         return 0
@@ -227,9 +257,30 @@ def _cmd_run(args: argparse.Namespace) -> int:
           f"[{unit}]")
     print(f"speedup:  {payload['speedup']:.2f}x   "
           f"verified: {payload['verified']}")
+    if resilience is not None:
+        kinds = [f["kind"] for f in resilience["faults"]]
+        print(f"resilience: rung={resilience['rung']} "
+              f"mode={resilience['mode']} "
+              f"attempts={resilience['attempts']} "
+              f"faults={kinds or 'none'}")
     if payload["final_scalars"]:
         print(f"scalars:  {payload['final_scalars']}")
     return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.runtime.supervisor import CHAOS_FAULTS, chaos_matrix
+
+    kinds = tuple(args.kinds) if args.kinds else CHAOS_FAULTS
+    report = chaos_matrix(mode=args.mode, workers=args.workers,
+                          kinds=kinds, deadline_s=args.deadline)
+    text = report.render()
+    print(text)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"\nwrote report to {args.out}")
+    return 0 if report.all_recovered else 1
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -374,6 +425,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                       help="virtual processors for the planner's "
                       "cost model")
     p_rn.add_argument("--min-speedup", type=float, default=1.2)
+    p_rn.add_argument("--resilience", action="store_true",
+                      help="real backends: run under the fault-"
+                      "tolerant supervisor (degradation ladder)")
+    p_rn.add_argument("--inject-fault", action="append", metavar="SPEC",
+                      default=None,
+                      help="inject a scripted fault (repeatable); "
+                      "syntax kind[:key=value,...], e.g. "
+                      "crash:worker=1,iter=9 — implies --resilience")
     p_rn.add_argument("--json", action="store_true")
     p_rn.set_defaults(fn=_cmd_run)
 
@@ -393,6 +452,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_bn.add_argument("--out", default=None,
                       help="also write the table to this file")
     p_bn.set_defaults(fn=_cmd_bench)
+
+    p_ch = sub.add_parser(
+        "chaos", help="run the seeded fault-injection recovery matrix")
+    p_ch.add_argument("--workers", type=int, default=2)
+    p_ch.add_argument("--mode", choices=("procs", "threads"),
+                      default="procs")
+    p_ch.add_argument("--kinds", nargs="*", metavar="KIND",
+                      help="fault kinds to inject (default: all)")
+    p_ch.add_argument("--deadline", type=float, default=5.0,
+                      help="per-attempt hang-detection deadline, "
+                      "seconds (default: 5.0)")
+    p_ch.add_argument("--out", default=None,
+                      help="also write the report to this file")
+    p_ch.set_defaults(fn=_cmd_chaos)
 
     p_tx = sub.add_parser("taxonomy", help="print Table 1")
     p_tx.set_defaults(fn=_cmd_taxonomy)

@@ -42,6 +42,97 @@ class SpeculationFailed(ReproError):
     """
 
 
+class RealBackendError(ExecutionError):
+    """A real-parallel backend run failed at the system level.
+
+    Raised by :mod:`repro.runtime.procs` when worker coordination
+    breaks (a barrier stall, a gather timeout, a worker traceback).
+    Carries structured context so the supervisor's degradation ladder
+    (:mod:`repro.runtime.supervisor`) can decide how to recover:
+
+    ``phase``
+        Where the parent was blocked: ``"barrier"``, ``"gather"``,
+        ``"shadow"``, or ``"run"``.
+    ``worker``
+        The offending worker id, or ``None`` when unattributable.
+    ``elapsed_s``
+        Wall seconds since the run started when the failure surfaced.
+    """
+
+    def __init__(self, message: str, *, phase: str = "run",
+                 worker: "int | None" = None,
+                 elapsed_s: float = 0.0) -> None:
+        super().__init__(message)
+        self.phase = phase
+        self.worker = worker
+        self.elapsed_s = elapsed_s
+
+
+class WorkerFault(RealBackendError):
+    """Base of the structured worker-fault taxonomy.
+
+    A *fault* is a system-level failure (the machine misbehaved), as
+    opposed to a semantic failure (the PD test failed): a worker
+    process crashed, stopped making progress, stalled a barrier, lost
+    a result message, or returned corrupted speculation metadata.  The
+    supervisor converts every fault into a degradation-ladder step;
+    without a supervisor the fault propagates to the caller.
+
+    ``kind`` is the stable taxonomy string (``crash``, ``hang``,
+    ``barrier``, ``lost-result``, ``corrupt-shadow``) used in obs
+    events (``fault.detected``) and in ``stats["resilience"]``.
+    """
+
+    kind = "fault"
+
+    def __init__(self, message: str, *, phase: str = "run",
+                 worker: "int | None" = None, elapsed_s: float = 0.0,
+                 exitcode: "int | None" = None) -> None:
+        super().__init__(message, phase=phase, worker=worker,
+                         elapsed_s=elapsed_s)
+        self.exitcode = exitcode
+
+
+class WorkerCrashed(WorkerFault):
+    """A worker process died (segfault, OOM kill, ``os._exit``)."""
+
+    kind = "crash"
+
+
+class WorkerHung(WorkerFault):
+    """A worker stopped making progress before the run deadline."""
+
+    kind = "hang"
+
+
+class BarrierStalled(WorkerFault):
+    """A strip barrier did not assemble before its deadline."""
+
+    kind = "barrier"
+
+
+class ResultLost(WorkerFault):
+    """A worker's result message never reached the parent's queue."""
+
+    kind = "lost-result"
+
+
+class ShadowCorrupt(WorkerFault):
+    """A worker returned PD-test shadow stamps that fail validation."""
+
+    kind = "corrupt-shadow"
+
+
+class LadderExhausted(RealBackendError):
+    """Every rung of the degradation ladder failed.
+
+    Carries the fault history so callers can see what was tried;
+    raised only when the resilience policy forbids the sequential rung
+    (the sequential interpreter cannot *fault* — it can only raise the
+    loop's own error, which is re-raised as itself).
+    """
+
+
 class NullPointerError(ExecutionError):
     """A linked-list hop was attempted through a NULL (-1) pointer."""
 

@@ -120,6 +120,8 @@ def run_plan_on_backend(
     strip: Optional[int] = None,
     chunk: Optional[int] = None,
     machine: Optional[Machine] = None,
+    resilience=None,
+    fault_plan=None,
 ) -> ParallelResult:
     """Execute ``plan`` on a *real* backend (``threads`` or ``procs``).
 
@@ -127,6 +129,13 @@ def run_plan_on_backend(
     (:func:`repro.planner.select.execute_plan`); this function is the
     real-parallel analog, sharing the planner's scheme decision and
     the sim's reconciliation semantics.
+
+    ``resilience`` routes the run through the supervising driver
+    (:func:`repro.runtime.supervisor.run_supervised`): pass a
+    :class:`~repro.runtime.supervisor.ResiliencePolicy`, or ``True``
+    for the default policy.  ``fault_plan`` injects scripted faults
+    (:class:`~repro.runtime.faults.FaultPlan`) and implies supervision
+    unless ``resilience`` is explicitly ``False``.
 
     Raises :class:`PlanError` when no iteration bound is inferable and
     no ``strip`` was given (same contract as the sim executors, so
@@ -150,9 +159,24 @@ def run_plan_on_backend(
         kwargs["test_arrays"] = default_test_arrays(info)
         kwargs["privatize"] = tuple(plan.kwargs.get("privatize", ()))
 
+    supervise = (resilience is not None and resilience is not False) \
+        or (fault_plan is not None and resilience is not False)
+    if supervise:
+        from repro.runtime.supervisor import (ResiliencePolicy,
+                                              run_supervised)
+        policy = (resilience if isinstance(resilience, ResiliencePolicy)
+                  else ResiliencePolicy())
+        return run_supervised(
+            info, store, funcs,
+            mode=backend, scheme=real_scheme,
+            workers=workers, chunk=chunk, u=u, strip=strip,
+            speculative=speculative, machine=machine,
+            policy=policy, fault_plan=fault_plan, **kwargs)
+
     from repro.runtime.procs import run_parallel_real
     return run_parallel_real(
         info, store, funcs,
         mode=backend, scheme=real_scheme,
         workers=workers, chunk=chunk, u=u, strip=strip,
-        speculative=speculative, machine=machine, **kwargs)
+        speculative=speculative, machine=machine,
+        fault_plan=fault_plan, **kwargs)

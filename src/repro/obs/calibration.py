@@ -202,7 +202,12 @@ class BackendRow:
     ``wall_seq_s``/``wall_par_s`` are seconds; ``predicted_speedup`` is
     the virtual-time model's ``Sp_at`` for the planned scheme (or 1.0
     for a sequential plan); ``store_ok`` certifies the backend's final
-    store matched the sequential reference bit for bit.
+    store matched the sequential reference bit for bit.  ``faults``
+    counts system faults survived by the run (non-zero only under the
+    supervisor, e.g. ``repro bench --compare-backends`` with fault
+    injection) and ``rung`` names the degradation-ladder stage the run
+    settled on (``-`` for an unsupervised run, ``initial`` for a
+    supervised run that needed no recovery).
     """
 
     loop: str
@@ -214,6 +219,8 @@ class BackendRow:
     measured_speedup: float
     predicted_speedup: float
     store_ok: bool
+    faults: int = 0
+    rung: str = "-"
 
 
 @dataclass(frozen=True)
@@ -236,13 +243,13 @@ class BackendComparison:
         lines = [head, "=" * len(head),
                  f"{'loop':<18s} {'backend':<8s} {'scheme':<22s} "
                  f"{'T_seq':>8s} {'T_par':>8s} {'Sp meas':>8s} "
-                 f"{'Sp pred':>8s} ok"]
+                 f"{'Sp pred':>8s} {'faults':>6s} {'rung':<12s} ok"]
         for r in self.rows:
             lines.append(
                 f"{r.loop:<18s} {r.backend:<8s} {r.scheme:<22s} "
                 f"{r.wall_seq_s:8.3f} {r.wall_par_s:8.3f} "
                 f"{r.measured_speedup:7.2f}x {r.predicted_speedup:7.2f}x "
-                f"{r.store_ok}")
+                f"{r.faults:6d} {r.rung:<12s} {r.store_ok}")
         lines.append("")
         lines.append(
             "Sp pred is the Section-7 model's attainable speedup on the "
@@ -254,7 +261,8 @@ class BackendComparison:
 
 def compare_backends(entries=None, *, workers: int = 2,
                      backends: Sequence[str] = ("threads", "procs"),
-                     n: int = 256, work: int = 100_000
+                     n: int = 256, work: int = 100_000,
+                     resilience=None, fault_plan=None
                      ) -> BackendComparison:
     """Measure wall-clock speedup of the real backends.
 
@@ -262,7 +270,10 @@ def compare_backends(entries=None, *, workers: int = 2,
     ``funcs``/``make_store`` attributes (zoo entries and
     :class:`~repro.workloads.bench.BenchLoop` both qualify); defaults
     to the DOALL benchmark loop sized by ``n``/``work``.  Every run is
-    store-checked against a sequential reference.
+    store-checked against a sequential reference.  ``resilience`` /
+    ``fault_plan`` route the runs through the supervisor (see
+    :func:`repro.executors.backends.run_plan_on_backend`), populating
+    the report's fault column.
     """
     import time
 
@@ -294,13 +305,17 @@ def compare_backends(entries=None, *, workers: int = 2,
             store = entry.make_store()
             result = run_plan_on_backend(
                 plan, store, entry.funcs, backend=backend,
-                workers=workers, machine=machine)
+                workers=workers, machine=machine,
+                resilience=resilience, fault_plan=fault_plan)
             wall_par = result.wall_s or result.t_par / 1e9
+            res = result.stats.get("resilience")
             rows.append(BackendRow(
                 loop=entry.name, backend=backend, scheme=result.scheme,
                 workers=workers, wall_seq_s=wall_seq,
                 wall_par_s=wall_par,
                 measured_speedup=wall_seq / wall_par if wall_par else 0.0,
                 predicted_speedup=predicted,
-                store_ok=store.equals(reference)))
+                store_ok=store.equals(reference),
+                faults=len(res["faults"]) if res else 0,
+                rung=res["rung"] if res else "-"))
     return BackendComparison(workers=workers, rows=tuple(rows))

@@ -27,6 +27,7 @@ __all__ = [
     "EV_PHASE", "EV_CHECKPOINT", "EV_UNDO", "EV_STRIP_BARRIER",
     "EV_PD_VERDICT", "EV_SPEC_FALLBACK", "EV_COPY_OUT",
     "EV_PLAN_DECISION", "EV_PARALLELIZE", "EV_CALIBRATION",
+    "EV_FAULT", "EV_RETRY", "EV_FALLBACK",
     # metrics
     "M_ITEMS", "M_QUEUE_WAIT", "M_SKIPPED",
     "M_LOCK_ACQUISITIONS", "M_LOCK_CONTENDED", "M_LOCK_WAIT",
@@ -38,6 +39,10 @@ __all__ = [
     "M_SUPERFLUOUS_TERMS",
     "M_PLAN_SP_ID", "M_PLAN_SP_AT", "M_PLAN_T_IPAR",
     "M_MAKESPAN", "M_T_PAR", "M_T_BEFORE", "M_T_AFTER",
+    "M_FAULTS", "M_FAULT_CRASH", "M_FAULT_HANG", "M_FAULT_BARRIER",
+    "M_FAULT_LOST_RESULT", "M_FAULT_CORRUPT_SHADOW",
+    "M_RETRIES", "M_RETRY_BACKOFF", "M_FALLBACKS_FAULT",
+    "M_FALLBACK_RUNG", "FAULT_KIND_METRICS",
 ]
 
 # -- event names (tracer spans / instants) -------------------------------
@@ -80,6 +85,16 @@ EV_PLAN_DECISION = "plan.decision"
 EV_PARALLELIZE = "api.parallelize"
 #: Instant: predicted-vs-measured cost-model comparison for one run.
 EV_CALIBRATION = "plan.calibration"
+
+#: Instant: a system fault detected on a real-backend run (attrs:
+#: kind, phase, worker, rung, mode, attempt, elapsed_s).
+EV_FAULT = "fault.detected"
+#: Instant: the supervisor retried after a fault (attrs: rung, mode,
+#: workers, attempt, backoff_s).
+EV_RETRY = "fault.retry"
+#: Instant: the supervised run settled on a degraded rung (attrs:
+#: reason, rung, mode, workers, attempts).
+EV_FALLBACK = "fault.fallback"
 
 # -- metric names (counters / gauges / histograms) -----------------------
 # The "legacy key" notes give the loose ``result.stats`` string each
@@ -159,3 +174,35 @@ M_T_PAR = "exec.t_par"
 M_T_BEFORE = "exec.t_before"
 #: Histogram: post-loop overheads ``T_a`` observed.
 M_T_AFTER = "exec.t_after"
+
+#: Counter: system faults detected across supervised runs.
+M_FAULTS = "fault.detected"
+#: Counter: worker-crash faults (one per taxonomy kind below).
+M_FAULT_CRASH = "fault.kind.crash"
+#: Counter: worker-hang faults.
+M_FAULT_HANG = "fault.kind.hang"
+#: Counter: barrier-stall faults.
+M_FAULT_BARRIER = "fault.kind.barrier"
+#: Counter: lost-result faults.
+M_FAULT_LOST_RESULT = "fault.kind.lost-result"
+#: Counter: corrupt-shadow faults.
+M_FAULT_CORRUPT_SHADOW = "fault.kind.corrupt-shadow"
+#: Counter: supervised retries taken (ladder descents).
+M_RETRIES = "retry.attempts"
+#: Histogram: backoff seconds slept before each retry.
+M_RETRY_BACKOFF = "retry.backoff_s"
+#: Counter: supervised runs that settled on a degraded rung.
+M_FALLBACKS_FAULT = "fallback.reason"
+#: Gauge: ladder index the last supervised run settled on (0 =
+#: initial, i.e. no fault).
+M_FALLBACK_RUNG = "fallback.rung"
+
+#: Per-kind fault counters keyed by the :class:`~repro.errors
+#: .WorkerFault` ``kind`` string.
+FAULT_KIND_METRICS = {
+    "crash": M_FAULT_CRASH,
+    "hang": M_FAULT_HANG,
+    "barrier": M_FAULT_BARRIER,
+    "lost-result": M_FAULT_LOST_RESULT,
+    "corrupt-shadow": M_FAULT_CORRUPT_SHADOW,
+}

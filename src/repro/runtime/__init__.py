@@ -42,6 +42,10 @@ __all__ = [
     "ThreadedResult", "run_threaded_doall", "run_threaded_general",
     "RealBackendError", "run_parallel_real",
     "SharedStore", "StoreSpec", "attach_store",
+    "live_shared_stores", "sweep_shared_stores",
+    "FaultPlan", "FaultSpec", "parse_fault_spec",
+    "ResiliencePolicy", "Watchdog", "run_supervised", "chaos_matrix",
+    "ChaosReport", "ChaosRow",
     "gantt", "schedule_table", "utilization",
     "PRESETS", "alliant_fx80", "high_latency_memory", "hw_assisted", "mpp",
 ]
@@ -57,6 +61,17 @@ _LAZY = {
     "SharedStore": "shm",
     "StoreSpec": "shm",
     "attach_store": "shm",
+    "live_shared_stores": "shm",
+    "sweep_shared_stores": "shm",
+    "FaultPlan": "faults",
+    "FaultSpec": "faults",
+    "parse_fault_spec": "faults",
+    "ResiliencePolicy": "supervisor",
+    "Watchdog": "supervisor",
+    "run_supervised": "supervisor",
+    "chaos_matrix": "supervisor",
+    "ChaosReport": "supervisor",
+    "ChaosRow": "supervisor",
 }
 
 

@@ -1,0 +1,243 @@
+"""Deterministic fault injection for the real-parallel backend.
+
+Recovery code that is only exercised by genuine crashes is recovery
+code that is never exercised: real segfaults are rare, flaky, and
+platform-dependent.  This module makes every system-failure path of
+:mod:`repro.runtime.procs` unit-testable by *scripting* faults — a
+:class:`FaultPlan` says "kill worker 1 at iteration 9", "hang worker
+0 at iteration 4", "stall the strip barrier by 3 s", "drop the result
+message of the chunk containing iteration 12", or "corrupt a PD-test
+shadow stamp" — and the worker main loop consults the plan at
+well-defined hook points.
+
+The plan is picklable (it rides inside the worker task description),
+deterministic (no randomness: a given plan always produces the same
+failure at the same point), and attempt-scoped: by default a spec
+fires only on attempt 0, so a supervised retry runs clean and the
+degradation ladder's *recovery* is what the test asserts.  Specs can
+opt into later attempts (``attempts=(0, 1)``) to force the ladder
+further down.
+
+Fault kinds (the taxonomy mirrors :mod:`repro.errors`):
+
+=================  ====================================================
+``crash``          worker exits hard (``os._exit`` under procs, thread
+                   death under threads) before iteration ``at_iter``
+``hang``           worker parks before ``at_iter`` until aborted
+``barrier``        worker sleeps ``delay_s`` before each barrier wait
+``drop-result``    the chunk containing ``at_iter`` is executed but its
+                   result message is never queued
+``corrupt-shadow`` one stamp of the worker's shadow payload is set to
+                   an impossible value before it is sent
+=================  ====================================================
+
+CLI syntax (``repro run --inject-fault`` / ``repro chaos``)::
+
+    kind[:key=value[,key=value...]]
+    crash                       # worker 0, iteration 1
+    crash:worker=1,iter=9
+    hang:worker=0,iter=4
+    barrier:worker=1,delay=3.0
+    drop-result:worker=1,iter=12
+    corrupt-shadow:worker=0,array=A
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import PlanError
+
+__all__ = ["FAULT_KINDS", "FaultSpec", "FaultPlan", "parse_fault_spec",
+           "InjectedCrash"]
+
+#: Every injectable fault kind, in documentation order.
+FAULT_KINDS: Tuple[str, ...] = (
+    "crash", "hang", "barrier", "drop-result", "corrupt-shadow")
+
+#: Impossible shadow stamp planted by ``corrupt-shadow`` (stamps are
+#: iteration numbers >= 1 or the INF sentinel; negatives cannot occur).
+CORRUPT_STAMP = -7
+
+
+class InjectedCrash(BaseException):
+    """Escape hatch for an injected crash in thread mode.
+
+    Derives from ``BaseException`` so the worker's per-chunk
+    ``except BaseException`` error reporting does *not* catch it — an
+    injected crash must look like sudden death, not like a worker
+    traceback on the results queue.
+    """
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scripted fault.
+
+    ``worker`` and ``at_iter`` pin the fault to a worker id and the
+    first iteration index at or after which it fires.  ``at_iter=0``
+    means *at worker startup*, before any chunk is claimed — the only
+    fully deterministic trigger under dynamic self-scheduling, where a
+    victim worker may otherwise finish without ever claiming an index
+    past ``at_iter``.  For ``drop-result``, ``worker=-1`` matches
+    *whichever* worker claims the chunk containing ``at_iter`` —
+    which worker that is is a scheduling race, so a pinned drop may
+    never fire on short loops.  ``attempts`` lists the supervised
+    attempt numbers on which the spec is armed (``(0,)`` by default —
+    first try faults, retries run clean).
+    """
+
+    kind: str
+    worker: int = 0
+    at_iter: int = 1
+    delay_s: float = 3.0        #: barrier-stall sleep
+    array: str = ""             #: corrupt-shadow target ("" = first)
+    attempts: Tuple[int, ...] = (0,)
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise PlanError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{FAULT_KINDS}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A set of scripted faults threaded through the worker hooks.
+
+    The plan travels inside the worker task (picklable), so the same
+    object drives both procs and threads modes.  ``mode`` is stamped
+    by the backend before the workers start so ``crash`` knows whether
+    to ``os._exit`` or raise :class:`InjectedCrash`.
+    """
+
+    specs: Tuple[FaultSpec, ...] = ()
+    mode: str = "procs"
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    def with_mode(self, mode: str) -> "FaultPlan":
+        """The same plan stamped for ``procs`` or ``threads`` workers."""
+        return FaultPlan(specs=self.specs, mode=mode)
+
+    def for_attempt(self, attempt: int) -> Optional["FaultPlan"]:
+        """The sub-plan armed on supervised attempt ``attempt``."""
+        armed = tuple(s for s in self.specs if attempt in s.attempts)
+        return FaultPlan(specs=armed, mode=self.mode) if armed else None
+
+    # -- worker-side hooks (called from repro.runtime.procs) -------------
+    def fire_startup(self, wid: int, abort_check=None) -> None:
+        """Fire ``at_iter=0`` crash/hang specs as worker ``wid`` boots."""
+        self._fire(wid, 0, abort_check)
+
+    def fire_pre_iteration(self, wid: int, k: int,
+                           abort_check=None) -> None:
+        """Crash or hang worker ``wid`` before it runs iteration ``k``.
+
+        ``abort_check`` is a zero-arg callable polled by an injected
+        hang so a *recovered* run does not strand a sleeping thread
+        forever (procs workers are simply terminated by the parent).
+        """
+        self._fire(wid, k, abort_check)
+
+    def _fire(self, wid: int, k: int, abort_check) -> None:
+        for s in self.specs:
+            if s.worker != wid or k < s.at_iter:
+                continue
+            if s.kind == "crash":
+                if self.mode == "procs":
+                    os._exit(17)
+                raise InjectedCrash(f"injected crash on worker {wid} "
+                                    f"at iteration {k}")
+            if s.kind == "hang":
+                while abort_check is None or not abort_check():
+                    time.sleep(0.01)
+                raise InjectedCrash(f"injected hang on worker {wid} "
+                                    f"aborted")
+
+    def barrier_delay(self, wid: int) -> float:
+        """Seconds worker ``wid`` must stall before each barrier wait."""
+        return sum(s.delay_s for s in self.specs
+                   if s.kind == "barrier" and s.worker == wid)
+
+    def drops_chunk(self, wid: int, indices) -> bool:
+        """True when the chunk's result message must be dropped.
+
+        A pinned spec drops every chunk worker ``worker`` claims from
+        ``at_iter`` on (the worker "goes silent"); the ``worker=-1``
+        wildcard drops exactly the one chunk containing ``at_iter``,
+        whichever worker claims it (deterministic exactly-once loss).
+        """
+        for s in self.specs:
+            if s.kind != "drop-result":
+                continue
+            if s.worker == -1:
+                if s.at_iter in indices:
+                    return True
+            elif s.worker == wid \
+                    and any(k >= s.at_iter for k in indices):
+                return True
+        return False
+
+    def corrupt_shadow_payload(self, wid: int, payload):
+        """Plant an impossible stamp in worker ``wid``'s shadow payload.
+
+        ``payload`` is the ``(marks, accesses)`` pair built in
+        ``_worker_main``; returns it (mutated) so the call composes
+        with the queue put.
+        """
+        if payload is None:
+            return payload
+        for s in self.specs:
+            if s.kind != "corrupt-shadow" or s.worker != wid:
+                continue
+            marks, _accesses = payload
+            name = s.array or next(iter(marks), "")
+            if name in marks:
+                w1 = marks[name][0]
+                if len(w1):
+                    w1[0] = CORRUPT_STAMP
+        return payload
+
+
+def parse_fault_spec(text: str) -> FaultSpec:
+    """Parse the CLI's ``kind:key=value,...`` fault syntax.
+
+    Keys: ``worker`` (int), ``iter`` (int), ``delay`` (float seconds),
+    ``array`` (str), ``attempts`` (``+``-separated ints, e.g.
+    ``attempts=0+1``).  Raises :class:`~repro.errors.PlanError` on any
+    malformed input so the CLI can report it cleanly.
+    """
+    kind, _, rest = text.strip().partition(":")
+    kwargs = {}
+    if rest:
+        for item in rest.split(","):
+            key, sep, value = item.partition("=")
+            key = key.strip()
+            if not sep:
+                raise PlanError(f"malformed fault option {item!r} "
+                                f"(expected key=value)")
+            try:
+                if key == "worker":
+                    kwargs["worker"] = int(value)
+                elif key == "iter":
+                    kwargs["at_iter"] = int(value)
+                elif key == "delay":
+                    kwargs["delay_s"] = float(value)
+                elif key == "array":
+                    kwargs["array"] = value.strip()
+                elif key == "attempts":
+                    kwargs["attempts"] = tuple(
+                        int(a) for a in value.split("+"))
+                else:
+                    raise PlanError(
+                        f"unknown fault option {key!r}; expected "
+                        f"worker/iter/delay/array/attempts")
+            except ValueError:
+                raise PlanError(f"bad value for fault option "
+                                f"{key!r}: {value!r}") from None
+    return FaultSpec(kind=kind, **kwargs)

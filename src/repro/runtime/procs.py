@@ -60,7 +60,16 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import ExecutionError, NullPointerError, PlanError
+from repro.errors import (
+    BarrierStalled,
+    ExecutionError,
+    NullPointerError,
+    PlanError,
+    RealBackendError,
+    ResultLost,
+    ShadowCorrupt,
+    WorkerHung,
+)
 from repro.executors.base import ParallelResult
 from repro.ir.functions import FunctionTable
 from repro.ir.interp import (
@@ -74,6 +83,7 @@ from repro.ir.nodes import Exit, Loop
 from repro.ir.store import Store
 from repro.ir.visitor import walk
 from repro.runtime.costs import FREE
+from repro.runtime.faults import FaultPlan, InjectedCrash
 from repro.runtime.machine import Machine
 from repro.runtime.shm import SharedStore, StoreSpec, attach_store
 from repro.speculation.pdtest import INF as _NO_STAMP
@@ -90,13 +100,42 @@ _SKIPPED = "skipped"
 #: interpreter's ``max_iters`` safety bound).
 _MAX_HORIZON = 10_000_000
 #: Barrier/queue timeouts — generous, only there so a crashed worker
-#: cannot hang a CI run forever.
+#: cannot hang a CI run forever.  The supervisor passes far tighter
+#: per-run deadlines through ``barrier_timeout``/``queue_timeout``.
 _BARRIER_TIMEOUT = 600.0
 _QUEUE_TIMEOUT = 600.0
+#: Poll granularity of the parent's blocking waits: every blocking
+#: queue get wakes at this period to check the liveness monitor.
+_POLL_S = 0.05
+#: How long every worker must sit parked at the strip barrier with the
+#: result queue empty (and records still missing) before the parent
+#: declares a lost result message.  Covers the mp.Queue feeder-thread
+#: window where a put is momentarily invisible to the parent.
+_LOST_RESULT_GRACE_S = 0.5
 
 
-class RealBackendError(ExecutionError):
-    """A real-parallel worker failed; the message carries its traceback."""
+class _NullMonitor:
+    """Monitor stand-in when no supervisor watches the run.
+
+    The parent-side blocking helpers consult ``monitor.fault`` and
+    publish ``monitor.phase``; this stub makes both no-ops so the
+    unsupervised path stays branch-free.
+    """
+
+    __slots__ = ("phase",)
+
+    def __init__(self) -> None:
+        self.phase = "run"
+
+    @property
+    def fault(self):
+        return None
+
+    def start(self, handles, coord, t0: float) -> None:
+        """No-op (protocol compatibility with the supervisor watchdog)."""
+
+    def stop(self) -> None:
+        """No-op (protocol compatibility with the supervisor watchdog)."""
 
 
 def default_chunk(u: Optional[int], workers: int) -> int:
@@ -133,6 +172,7 @@ class _Task:
     first: int
     shadow_arrays: Tuple[str, ...]   #: PD-tested arrays ("" = none)
     store_spec: Optional[StoreSpec]  #: procs mode only
+    fault_plan: Optional[FaultPlan] = None  #: scripted fault injection
 
 
 class _Cell:
@@ -169,6 +209,7 @@ class _Coord:
             self.done = ctx.Value("b", 0, lock=False)
             self.barrier = ctx.Barrier(workers + 1)
             self.results = ctx.Queue()
+            self.abort = ctx.Event()
         else:
             self.ctx = None
             self.lock = threading.Lock()
@@ -178,6 +219,7 @@ class _Coord:
             self.done = _Cell(0)
             self.barrier = threading.Barrier(workers + 1)
             self.results = _thread_queue.Queue()
+            self.abort = threading.Event()
 
     def propose_quit(self, k: int) -> None:
         """Record a termination at ``k`` (keep the minimum)."""
@@ -277,10 +319,19 @@ def _worker_main(wid: int, task: _Task, coord: _Coord,
     produces exactly one record on the results queue (executed,
     terminated, or skipped), which is how the parent knows when a
     strip is fully accounted for.
+
+    Fault injection (``task.fault_plan``) hooks in at three points:
+    before each iteration (crash/hang), before each barrier arrival
+    (stall), and around the result put (drop / shadow corruption).  An
+    :class:`InjectedCrash` deliberately bypasses the error reporting —
+    an injected crash must look like sudden death, not like a worker
+    traceback on the queue.
     """
     attached = None
     failed = False
     shadows: Optional[ShadowArrays] = None
+    fp = task.fault_plan
+    stall = fp.barrier_delay(wid) if fp else 0.0
     try:
         if direct_store is not None:
             store = direct_store
@@ -298,6 +349,11 @@ def _worker_main(wid: int, task: _Task, coord: _Coord,
         walk_state = _Walk(task.init_value) if task.supply == "walk" else None
         stream = _Cell(task.first + wid)  # static-schedule index stream
 
+        if fp:   # at_iter=0 specs: deterministic startup crash/hang
+            try:
+                fp.fire_startup(wid, abort_check=coord.abort.is_set)
+            except InjectedCrash:
+                return  # thread-mode sudden death before any chunk
         while True:
             indices: Optional[Sequence[int]] = None
             if not failed:
@@ -307,6 +363,8 @@ def _worker_main(wid: int, task: _Task, coord: _Coord,
                 else:
                     indices = _take_dynamic(coord, task.chunk)
             if indices is None:
+                if stall:
+                    time.sleep(stall)
                 try:
                     coord.barrier.wait(timeout=_BARRIER_TIMEOUT)
                     coord.barrier.wait(timeout=_BARRIER_TIMEOUT)
@@ -316,9 +374,13 @@ def _worker_main(wid: int, task: _Task, coord: _Coord,
                     break
                 continue
             try:
-                recs = _run_indices(indices, task, coord, store, runner,
-                                    buffer, hooks, walk_state)
+                recs = _run_indices(wid, indices, task, coord, store,
+                                    runner, buffer, hooks, walk_state)
+                if fp and fp.drops_chunk(wid, indices):
+                    continue    # injected lost-result: never queued
                 coord.results.put(("chunk", wid, recs))
+            except InjectedCrash:
+                return          # thread-mode sudden death
             except BaseException:
                 failed = True
                 coord.propose_quit(0)   # stop issuing work everywhere
@@ -329,14 +391,16 @@ def _worker_main(wid: int, task: _Task, coord: _Coord,
                 payload = ({name: (shadows.w1[name], shadows.w2[name],
                                    shadows.r1[name], shadows.r2[name])
                             for name in shadows.arrays}, shadows.accesses)
+            if fp:
+                payload = fp.corrupt_shadow_payload(wid, payload)
             coord.results.put(("shadow", wid, payload))
     finally:
         if attached is not None:
             attached.close()
 
 
-def _run_indices(indices: Sequence[int], task: _Task, coord: _Coord,
-                 store: Store, runner: IterationRunner,
+def _run_indices(wid: int, indices: Sequence[int], task: _Task,
+                 coord: _Coord, store: Store, runner: IterationRunner,
                  buffer: _WriteBuffer, hooks: MemHooks,
                  walk_state: Optional[_Walk]) -> List[Tuple]:
     """Execute one chunk; returns one record per index.
@@ -346,7 +410,10 @@ def _run_indices(indices: Sequence[int], task: _Task, coord: _Coord,
     iteration-private scalars (both ``None`` for skipped indices).
     """
     recs: List[Tuple] = []
+    fp = task.fault_plan
     for k in indices:
+        if fp:
+            fp.fire_pre_iteration(wid, k, abort_check=coord.abort.is_set)
         if coord.quit_at.value < k:
             recs.append((k, _SKIPPED, None, None))
             continue
@@ -392,45 +459,165 @@ class _Gather:
         default_factory=list)
 
 
-def _drain(coord: _Coord, gathered: _Gather, expected_total: int) -> None:
+def _check_monitor(monitor) -> None:
+    """Re-raise the liveness monitor's fault, if it has detected one."""
+    fault = monitor.fault
+    if fault is not None:
+        raise fault
+
+
+def _parent_barrier(coord: _Coord, monitor, t0: float,
+                    timeout: float) -> None:
+    """The parent's side of one strip-barrier wait, fault-hardened.
+
+    A broken barrier is never surfaced raw: it is either the liveness
+    monitor aborting on a detected fault (re-raised structured) or a
+    genuine assembly timeout (:class:`BarrierStalled` with phase and
+    elapsed-time context) — satellite fix for the raw
+    ``BrokenBarrierError`` escapes of PR 2.
+    """
+    monitor.phase = "barrier"
+    try:
+        coord.barrier.wait(timeout=timeout)
+    except threading.BrokenBarrierError:
+        _check_monitor(monitor)
+        raise BarrierStalled(
+            f"strip barrier did not assemble within {timeout:.1f}s "
+            f"({coord.barrier.n_waiting} of {coord.barrier.parties} "
+            f"parties arrived)",
+            phase="barrier",
+            elapsed_s=time.perf_counter() - t0) from None
+    finally:
+        monitor.phase = "run"
+
+
+def _drain(coord: _Coord, gathered: _Gather, expected_total: int,
+           monitor, t0: float, workers: int,
+           timeout: float = _QUEUE_TIMEOUT) -> None:
     """Consume queue records until the strip is fully accounted for
-    (or a worker error short-circuits the run)."""
-    while gathered.received < expected_total and gathered.error is None:
-        kind, _wid, payload = coord.results.get(timeout=_QUEUE_TIMEOUT)
-        if kind == "error":
-            gathered.error = payload
-            return
-        if kind == "shadow":     # late shadow from an earlier error path
-            gathered.shadow_payloads.append(payload)
-            continue
-        gathered.chunks += 1
-        for k, outcome, writes, local in payload:
-            gathered.received += 1
-            if outcome == _SKIPPED:
-                gathered.skipped += 1
+    (or a worker error / system fault short-circuits the run).
+
+    Blocking gets are chopped into :data:`_POLL_S` slices so the
+    liveness monitor's verdicts surface promptly.  Two structured
+    failure detections replace the former raw ``queue.Empty`` escape:
+
+    * every worker parked at the strip barrier while records are still
+      missing and the queue stays empty for a grace period — a result
+      message was lost in flight (:class:`ResultLost`);
+    * nothing arrives within ``timeout`` — the workers stopped making
+      progress (:class:`WorkerHung`).
+    """
+    monitor.phase = "gather"
+    deadline = time.monotonic() + timeout
+    parked_since: Optional[float] = None
+    try:
+        while gathered.received < expected_total and gathered.error is None:
+            _check_monitor(monitor)
+            try:
+                kind, wid, payload = coord.results.get(timeout=_POLL_S)
+            except _thread_queue.Empty:
+                now = time.monotonic()
+                elapsed = time.perf_counter() - t0
+                if now > deadline:
+                    raise WorkerHung(
+                        f"no worker results for {timeout:.1f}s with "
+                        f"{expected_total - gathered.received} of "
+                        f"{expected_total} records outstanding",
+                        phase="gather", elapsed_s=elapsed) from None
+                try:
+                    parked = coord.barrier.n_waiting >= workers
+                except (OSError, ValueError):
+                    parked = False
+                if parked:
+                    if parked_since is None:
+                        parked_since = now
+                    elif now - parked_since > _LOST_RESULT_GRACE_S:
+                        raise ResultLost(
+                            f"all {workers} workers are parked at the "
+                            f"strip barrier but "
+                            f"{expected_total - gathered.received} of "
+                            f"{expected_total} result records never "
+                            f"arrived",
+                            phase="gather", elapsed_s=elapsed) from None
+                else:
+                    parked_since = None
                 continue
-            gathered.outcomes[k] = outcome
-            if writes:
-                gathered.writes[k] = writes
-            if local is not None:
-                gathered.locals[k] = local
+            parked_since = None
+            if kind == "fault":      # watchdog sentinel: wake and raise
+                _check_monitor(monitor)
+                continue
+            if kind == "error":
+                gathered.error = payload
+                return
+            if kind == "shadow":     # late shadow from an earlier error path
+                gathered.shadow_payloads.append(payload)
+                continue
+            gathered.chunks += 1
+            for k, outcome, writes, local in payload:
+                gathered.received += 1
+                if outcome == _SKIPPED:
+                    gathered.skipped += 1
+                    continue
+                gathered.outcomes[k] = outcome
+                if writes:
+                    gathered.writes[k] = writes
+                if local is not None:
+                    gathered.locals[k] = local
+    finally:
+        monitor.phase = "run"
 
 
-def _collect_shadows(coord: _Coord, gathered: _Gather,
-                     workers: int) -> None:
+def _collect_shadows(coord: _Coord, gathered: _Gather, workers: int,
+                     monitor, t0: float,
+                     timeout: float = _QUEUE_TIMEOUT) -> None:
     """Receive the per-worker shadow payloads sent at worker exit."""
-    deadline = time.monotonic() + _QUEUE_TIMEOUT
-    while len(gathered.shadow_payloads) < workers:
-        timeout = max(0.1, deadline - time.monotonic())
-        try:
-            kind, _wid, payload = coord.results.get(timeout=timeout)
-        except _thread_queue.Empty:
-            raise RealBackendError(
-                "timed out waiting for worker shadow marks") from None
-        if kind == "shadow":
-            gathered.shadow_payloads.append(payload)
-        elif kind == "error" and gathered.error is None:
-            gathered.error = payload
+    monitor.phase = "shadow"
+    deadline = time.monotonic() + timeout
+    try:
+        while len(gathered.shadow_payloads) < workers:
+            _check_monitor(monitor)
+            try:
+                kind, _wid, payload = coord.results.get(timeout=_POLL_S)
+            except _thread_queue.Empty:
+                if time.monotonic() > deadline:
+                    raise ResultLost(
+                        f"timed out waiting for worker shadow marks "
+                        f"({len(gathered.shadow_payloads)} of {workers} "
+                        f"received)",
+                        phase="shadow",
+                        elapsed_s=time.perf_counter() - t0) from None
+                continue
+            if kind == "fault":
+                _check_monitor(monitor)
+            elif kind == "shadow":
+                gathered.shadow_payloads.append(payload)
+            elif kind == "error" and gathered.error is None:
+                gathered.error = payload
+    finally:
+        monitor.phase = "run"
+
+
+def _validate_shadow_payloads(gathered: _Gather, t0: float) -> None:
+    """Integrity-check the per-worker shadow stamp vectors.
+
+    Stamps are iteration numbers (>= 1) or the untouched sentinel
+    ``INF``; anything else means the payload was corrupted in flight
+    (or by fault injection) and the PD verdict built from it would be
+    garbage — fail structured instead (:class:`ShadowCorrupt`).
+    """
+    for payload in gathered.shadow_payloads:
+        if payload is None:
+            continue
+        marks, _accesses = payload
+        for name, vectors in marks.items():
+            for vec in vectors:
+                if len(vec) and bool((np.asarray(vec) < 1).any()):
+                    raise ShadowCorrupt(
+                        f"shadow stamp vector for array {name!r} "
+                        f"contains out-of-range stamps; refusing to "
+                        f"run the PD test on corrupted marks",
+                        phase="shadow",
+                        elapsed_s=time.perf_counter() - t0)
 
 
 def _merge_stamp_pair(stacks: List[np.ndarray]) -> Tuple[np.ndarray,
@@ -508,6 +695,10 @@ def run_parallel_real(
     test_arrays: Tuple[str, ...] = (),
     privatize: Tuple[str, ...] = (),
     machine: Optional[Machine] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    monitor=None,
+    barrier_timeout: float = _BARRIER_TIMEOUT,
+    queue_timeout: float = _QUEUE_TIMEOUT,
 ) -> ParallelResult:
     """Execute one analyzed loop on real workers (see module docstring).
 
@@ -536,6 +727,26 @@ def run_parallel_real(
     machine:
         Only used for the PD analysis' virtual-time accounting;
         defaults to ``Machine(workers)``.
+    fault_plan:
+        Scripted fault injection (:class:`~repro.runtime.faults
+        .FaultPlan`); ``None`` runs clean.
+    monitor:
+        A liveness monitor (the supervisor's watchdog).  Protocol:
+        ``start(handles, coord, t0)`` / ``stop()`` / readable
+        ``fault`` attribute / writable ``phase`` attribute.  ``None``
+        installs a no-op stand-in.
+    barrier_timeout / queue_timeout:
+        Parent-side deadlines for barrier assembly and result
+        gathering.  The defaults are generous CI backstops; the
+        supervisor passes per-policy deadlines so faults surface in
+        milliseconds, not minutes.
+
+    System failures (a worker crash, hang, barrier stall, lost result
+    message, or corrupted shadow payload) raise the structured
+    :class:`~repro.errors.WorkerFault` taxonomy; recovery is the
+    caller's job (see :func:`repro.runtime.supervisor.run_supervised`
+    for the degradation ladder the paper's Section-5 fallback
+    generalizes into).
     """
     t0 = time.perf_counter()
     if mode not in ("procs", "threads"):
@@ -582,75 +793,104 @@ def run_parallel_real(
     if chunk is None:
         chunk = default_chunk(u if strip is None else strip, workers)
 
+    monitor = monitor if monitor is not None else _NullMonitor()
+    fault_plan = fault_plan.with_mode(mode) if fault_plan else None
+
     shared: Optional[SharedStore] = None
     spec: Optional[StoreSpec] = None
-    if mode == "procs":
-        shared = SharedStore.export(store)
-        spec = shared.spec()
-
-    task = _Task(
-        loop=loop, funcs=funcs,
-        dispatcher_stmts=tuple(info.dispatcher_stmts),
-        disp_var=disp.var, supply=supply,
-        init_value=init_value, step=step,
-        schedule="static" if scheme == "general-2" else "dynamic",
-        chunk=chunk, workers=workers, first=first,
-        shadow_arrays=tuple(test_arrays) if speculative else (),
-        store_spec=spec,
-    )
-    coord = _Coord(mode, workers, first, horizon0)
-    gathered = _Gather()
-
-    if mode == "procs":
-        procs = [coord.ctx.Process(target=_worker_main,
-                                   args=(wid, task, coord), daemon=True)
-                 for wid in range(workers)]
-    else:
-        procs = [threading.Thread(target=_worker_main,
-                                  args=(wid, task, coord, store),
-                                  daemon=True)
-                 for wid in range(workers)]
-    for p in procs:
-        p.start()
-    t_setup = time.perf_counter()
-
+    procs: List = []
+    coord: Optional[_Coord] = None
     term_found = False
+    clean_exit = False
     try:
+        # The shm export lives inside this try so no failure between
+        # export and teardown — pickling errors, spawn failures, a
+        # detected fault — can leak a /dev/shm segment (the atexit
+        # sweep in runtime.shm is the second line of defense).
+        if mode == "procs":
+            shared = SharedStore.export(store)
+            spec = shared.spec()
+
+        task = _Task(
+            loop=loop, funcs=funcs,
+            dispatcher_stmts=tuple(info.dispatcher_stmts),
+            disp_var=disp.var, supply=supply,
+            init_value=init_value, step=step,
+            schedule="static" if scheme == "general-2" else "dynamic",
+            chunk=chunk, workers=workers, first=first,
+            shadow_arrays=tuple(test_arrays) if speculative else (),
+            store_spec=spec,
+            fault_plan=fault_plan,
+        )
+        coord = _Coord(mode, workers, first, horizon0)
+        gathered = _Gather()
+
+        if mode == "procs":
+            procs = [coord.ctx.Process(target=_worker_main,
+                                       args=(wid, task, coord),
+                                       daemon=True)
+                     for wid in range(workers)]
+        else:
+            procs = [threading.Thread(target=_worker_main,
+                                      args=(wid, task, coord, store),
+                                      daemon=True)
+                     for wid in range(workers)]
+        for p in procs:
+            p.start()
+        monitor.start(procs, coord, t0)
+        t_setup = time.perf_counter()
+
         while True:
-            coord.barrier.wait(timeout=_BARRIER_TIMEOUT)   # strip quiesced
+            _parent_barrier(coord, monitor, t0,
+                            barrier_timeout)           # strip quiesced
             if task.schedule == "static":
                 expected = coord.horizon.value - first + 1
             else:
                 expected = coord.counter.value - first
-            _drain(coord, gathered, expected)
+            _drain(coord, gathered, expected, monitor, t0, workers,
+                   queue_timeout)
             term_found = any(
                 o in (IterOutcome.TERMINATED, IterOutcome.EXITED)
                 for o in gathered.outcomes.values())
             if gathered.error is not None or term_found or strip is None:
                 coord.done.value = 1
-                coord.barrier.wait(timeout=_BARRIER_TIMEOUT)
+                _parent_barrier(coord, monitor, t0, barrier_timeout)
                 break
             if coord.horizon.value + strip > _MAX_HORIZON:
                 coord.done.value = 1
-                coord.barrier.wait(timeout=_BARRIER_TIMEOUT)
+                _parent_barrier(coord, monitor, t0, barrier_timeout)
                 raise ExecutionError(
                     f"loop {loop.name!r} exceeded {_MAX_HORIZON} "
                     f"iterations without terminating")
             coord.horizon.value += strip
-            coord.barrier.wait(timeout=_BARRIER_TIMEOUT)   # next strip
-        if speculative:
-            _collect_shadows(coord, gathered, workers)
-    except threading.BrokenBarrierError:
-        raise RealBackendError(
-            "real-parallel run aborted: a worker broke the strip "
-            "barrier (see stderr for its traceback)") from None
+            _parent_barrier(coord, monitor, t0,
+                            barrier_timeout)           # next strip
+        # Workers only send shadow payloads when there are PD-tested
+        # arrays (the worker condition is `task.shadow_arrays`); a
+        # speculative run with an empty test set must not wait for
+        # messages nobody will send.
+        if speculative and task.shadow_arrays:
+            _collect_shadows(coord, gathered, workers, monitor, t0,
+                             queue_timeout)
+            _validate_shadow_payloads(gathered, t0)
+        clean_exit = True
     finally:
+        monitor.stop()
+        if coord is not None and not clean_exit:
+            # Abnormal exit: release every worker promptly — hung
+            # injected threads poll `abort`, barrier waiters get a
+            # broken barrier, and stragglers are terminated below.
+            coord.done.value = 1
+            coord.abort.set()
+            coord.barrier.abort()
+        join_timeout = 30.0 if clean_exit else 1.0
         for p in procs:
-            p.join(timeout=30.0)
+            p.join(timeout=join_timeout)
         if mode == "procs":
             for p in procs:
                 if p.is_alive():
                     p.terminate()
+                    p.join(timeout=5.0)
         if shared is not None:
             shared.close(unlink=True)
     t_doall = time.perf_counter()

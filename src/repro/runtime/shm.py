@@ -17,7 +17,13 @@ Lifecycle rules (see ``docs/backends.md``):
   handles before exiting (done in the worker main loop);
 * the parent unlinks inside a ``finally`` block so segments never
   outlive a crashed run — leaked segments persist in ``/dev/shm``
-  until reboot otherwise.
+  until reboot otherwise;
+* every exported store is additionally tracked in a process-wide weak
+  registry swept by an :mod:`atexit` hook
+  (:func:`sweep_shared_stores`), so even a parent that dies between
+  export and unlink — the classic leak window — cleans up at
+  interpreter shutdown.  :func:`live_shared_stores` is the leak probe
+  the test suite asserts on.
 
 :class:`SharedStore` is a context manager wrapping that discipline::
 
@@ -35,6 +41,8 @@ segments are effectively read-only after export.
 
 from __future__ import annotations
 
+import atexit
+import weakref
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 from typing import Any, Dict, List, Tuple
@@ -44,7 +52,39 @@ import numpy as np
 from repro.ir.store import Store
 from repro.structures.linkedlist import LinkedList
 
-__all__ = ["ArraySegment", "StoreSpec", "SharedStore", "attach_store"]
+__all__ = ["ArraySegment", "StoreSpec", "SharedStore", "attach_store",
+           "live_shared_stores", "sweep_shared_stores"]
+
+
+#: Every not-yet-closed :class:`SharedStore` in this process.  The set
+#: is weak so ordinary garbage collection still works; the atexit
+#: sweep below is the last line of defense against segments leaking
+#: into ``/dev/shm`` when the parent dies between export and unlink.
+_LIVE: "weakref.WeakSet[SharedStore]" = weakref.WeakSet()
+
+
+def live_shared_stores() -> int:
+    """How many exported stores still hold shared segments (leak probe)."""
+    return sum(1 for s in _LIVE if not s._closed)
+
+
+def sweep_shared_stores() -> int:
+    """Close-and-unlink every still-open store; returns how many.
+
+    Registered with :mod:`atexit` so a parent that errors (or is
+    interrupted) between ``SharedStore.export`` and its ``finally``
+    unlink never leaves segments behind for the machine's lifetime.
+    Safe to call at any time: closing is idempotent.
+    """
+    swept = 0
+    for store in list(_LIVE):
+        if not store._closed:
+            store.close(unlink=True)
+            swept += 1
+    return swept
+
+
+atexit.register(sweep_shared_stores)
 
 
 @dataclass(frozen=True)
@@ -81,6 +121,7 @@ class SharedStore:
         self._scalars: List[Tuple[str, Any]] = []
         self._heads: List[Tuple[str, int]] = []
         self._closed = False
+        _LIVE.add(self)
 
     # -- construction ------------------------------------------------------
     @classmethod
@@ -128,6 +169,7 @@ class SharedStore:
         if self._closed:
             return
         self._closed = True
+        _LIVE.discard(self)
         for seg in self._segments:
             try:
                 seg.close()

@@ -1,0 +1,537 @@
+"""Fault-tolerant supervision of real-parallel runs.
+
+The paper's central safety mechanism is graceful degradation: a
+speculative run that fails the PD test restores its checkpoint and
+re-executes sequentially (Section 5).  That covers *semantic* failure
+— this module extends the same checkpoint-and-fallback idea to
+*system* failure: a worker that segfaults, is OOM-killed, hangs,
+stalls a barrier, loses a result message, or returns corrupted
+speculation metadata.
+
+Two pieces:
+
+:class:`Watchdog`
+    A parent-side liveness monitor.  A daemon thread polls worker
+    handles (``Process.exitcode`` / ``Thread.is_alive``) and the run's
+    wall-clock deadline; on a detected fault it classifies it into the
+    :class:`~repro.errors.WorkerFault` taxonomy, aborts the strip
+    barrier, and drops a sentinel on the results queue so whichever
+    blocking call the parent is in wakes immediately.
+
+:func:`run_supervised`
+    The supervising driver.  It checkpoints the store, attempts the
+    run, and on any fault walks a configurable **degradation ladder**:
+
+    1. *redistribute* — retry at ``workers - dead`` so the dead
+       worker's unclaimed chunks are redistributed over the survivors
+       by the dynamic self-scheduling counter;
+    2. *reduce* — retry with the worker count halved, with bounded
+       exponential backoff, until one worker remains;
+    3. *threads* — same orchestration on GIL-bound threads (no shm,
+       no process spawn: immune to segfaults and OOM kills);
+    4. *sequential* — restore the checkpoint and run the sequential
+       interpreter, exactly the paper's Section-5 fallback.
+
+    Every transition is recorded as obs events/metrics (``fault.*``,
+    ``retry.*``, ``fallback.reason``) and summarized in the returned
+    result's ``stats["resilience"]``.
+
+Buffered writes make retries cheap: a faulted parallel run has not
+touched the arrays (only the init block ran on the live store), so
+"restore the checkpoint" costs one scalar copy-back per attempt.
+
+See ``docs/robustness.md`` for the full taxonomy and a fault-injection
+how-to, and :func:`chaos_matrix` / ``repro chaos`` for the seeded
+recovery matrix CI runs.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import (
+    BarrierStalled,
+    LadderExhausted,
+    RealBackendError,
+    WorkerCrashed,
+    WorkerFault,
+    WorkerHung,
+)
+from repro.executors.base import ParallelResult
+from repro.ir.functions import FunctionTable
+from repro.ir.interp import SequentialInterp
+from repro.ir.store import Store
+from repro.obs import names as _ev
+from repro.obs.tracer import get_tracer
+from repro.runtime.costs import FREE
+from repro.runtime.faults import FaultPlan
+from repro.runtime.machine import Machine
+from repro.runtime.procs import run_parallel_real
+
+__all__ = ["ResiliencePolicy", "Watchdog", "Rung", "run_supervised",
+           "ChaosRow", "ChaosReport", "chaos_matrix"]
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """How hard, and how, to keep a real-parallel run alive.
+
+    ``deadline_s`` is the per-attempt wall-clock deadline — the hang
+    detector.  It also caps the barrier/gather timeouts passed to the
+    backend, so a lost result message or a stalled barrier surfaces
+    within one deadline instead of the 600 s CI backstop.
+
+    The ladder is bounded: at most ``1 (initial) + 1 (redistribute) +
+    max_reduced_retries + 1 (threads) + 1 (sequential)`` attempts.
+    """
+
+    deadline_s: float = 30.0          #: per-attempt wall deadline
+    poll_interval_s: float = 0.02     #: watchdog liveness poll period
+    redistribute: bool = True         #: rung 1: retry at workers - dead
+    max_reduced_retries: int = 2      #: rung 2: halvings to attempt
+    allow_threads: bool = True        #: rung 3: degrade procs -> threads
+    allow_sequential: bool = True     #: rung 4: Section-5 fallback
+    backoff_base_s: float = 0.0       #: exponential backoff seed
+    backoff_cap_s: float = 2.0        #: backoff ceiling
+
+    def backoff_for(self, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (bounded exponential)."""
+        if self.backoff_base_s <= 0.0:
+            return 0.0
+        return min(self.backoff_cap_s,
+                   self.backoff_base_s * (2.0 ** max(0, attempt - 1)))
+
+
+@dataclass(frozen=True)
+class Rung:
+    """One step of the degradation ladder."""
+
+    stage: str     #: "initial" | "redistribute" | "reduce" | "threads"
+    mode: str      #: "procs" | "threads" | "sequential"
+    workers: int
+
+
+class Watchdog:
+    """Liveness monitor for one real-parallel attempt.
+
+    Implements the monitor protocol :func:`run_parallel_real` expects:
+    ``start(handles, coord, t0)`` spawns the poll thread, ``stop()``
+    joins it, ``fault`` exposes the classified verdict, and ``phase``
+    is written by the parent before each blocking wait so a deadline
+    overrun is attributed to the right place (a barrier stall vs. a
+    gather hang).
+
+    Detection rules, checked every ``poll_interval_s``:
+
+    * any worker handle dead before the run completes — a **crash**
+      (:class:`WorkerCrashed`, with the exit code when available);
+    * wall clock past ``deadline_s`` — a **hang**
+      (:class:`WorkerHung`), attributed to the current parent phase.
+
+    On detection the watchdog sets the coordination abort event,
+    aborts the strip barrier (waking barrier waiters), and puts a
+    ``("fault", wid, None)`` sentinel on the results queue (waking the
+    gather loop).  It never raises from its own thread — the parent
+    re-raises :attr:`fault` from whichever wait it was blocked in.
+    """
+
+    def __init__(self, policy: Optional[ResiliencePolicy] = None) -> None:
+        self.policy = policy or ResiliencePolicy()
+        self.phase = "run"
+        self.fault: Optional[WorkerFault] = None
+        self._handles: List = []
+        self._coord = None
+        self._t0 = 0.0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # -- monitor protocol --------------------------------------------------
+    def start(self, handles, coord, t0: float) -> None:
+        """Begin polling ``handles`` (Process or Thread objects)."""
+        self._handles = list(handles)
+        self._coord = coord
+        self._t0 = t0
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._poll_loop,
+                                        name="repro-watchdog",
+                                        daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop polling (idempotent; called from the run's finally)."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    # -- internals ---------------------------------------------------------
+    def _poll_loop(self) -> None:
+        while not self._stop.wait(self.policy.poll_interval_s):
+            fault = self._classify()
+            if fault is not None:
+                self.fault = fault
+                self._wake_parent(fault)
+                return
+
+    def _classify(self) -> Optional[WorkerFault]:
+        elapsed = time.perf_counter() - self._t0
+        for wid, handle in enumerate(self._handles):
+            if not handle.is_alive():
+                if not hasattr(handle, "exitcode"):
+                    # Thread worker: death is indistinguishable from a
+                    # clean finish; thread crashes surface as
+                    # lost-result/hang via the gather path instead.
+                    continue
+                exitcode = handle.exitcode
+                if exitcode == 0:
+                    continue    # clean exit (end-of-run race)
+                return WorkerCrashed(
+                    f"worker {wid} died unexpectedly "
+                    f"(exitcode={exitcode})",
+                    phase=self.phase, worker=wid, elapsed_s=elapsed,
+                    exitcode=exitcode)
+        if elapsed > self.policy.deadline_s:
+            cls = BarrierStalled if self.phase == "barrier" else WorkerHung
+            return cls(
+                f"run exceeded its {self.policy.deadline_s:.1f}s "
+                f"deadline while the parent waited in phase "
+                f"{self.phase!r}",
+                phase=self.phase, elapsed_s=elapsed)
+        return None
+
+    def _wake_parent(self, fault: WorkerFault) -> None:
+        coord = self._coord
+        if coord is None:
+            return
+        try:
+            coord.abort.set()
+        except (OSError, ValueError):
+            pass
+        try:
+            coord.barrier.abort()
+        except (OSError, ValueError, threading.BrokenBarrierError):
+            pass
+        try:
+            coord.results.put(("fault", fault.worker, None))
+        except (OSError, ValueError):
+            pass
+
+
+def _build_ladder(mode: str, workers: int,
+                  policy: ResiliencePolicy) -> List[Rung]:
+    """The bounded attempt sequence for one supervised run."""
+    ladder = [Rung("initial", mode, workers)]
+    w = workers
+    if policy.redistribute and w > 1:
+        w -= 1
+        ladder.append(Rung("redistribute", mode, w))
+    for _ in range(policy.max_reduced_retries):
+        if w <= 1:
+            break
+        w = max(1, w // 2)
+        ladder.append(Rung("reduce", mode, w))
+    if policy.allow_threads and mode == "procs":
+        ladder.append(Rung("threads", "threads", min(workers, 2)))
+    if policy.allow_sequential:
+        ladder.append(Rung("sequential", "sequential", 1))
+    return ladder
+
+
+def _fault_summary(fault: RealBackendError) -> Dict[str, Any]:
+    """A JSON-friendly record of one detected fault."""
+    return {
+        "kind": getattr(fault, "kind", "error"),
+        "phase": getattr(fault, "phase", "run"),
+        "worker": getattr(fault, "worker", None),
+        "elapsed_s": round(getattr(fault, "elapsed_s", 0.0), 4),
+        "message": str(fault).splitlines()[0][:200],
+    }
+
+
+def run_supervised(
+    info,
+    store: Store,
+    funcs: FunctionTable,
+    *,
+    mode: str = "procs",
+    scheme: str = "doall",
+    workers: int = 2,
+    chunk: Optional[int] = None,
+    u: Optional[int] = None,
+    strip: Optional[int] = None,
+    speculative: bool = False,
+    test_arrays: Tuple[str, ...] = (),
+    privatize: Tuple[str, ...] = (),
+    machine: Optional[Machine] = None,
+    policy: Optional[ResiliencePolicy] = None,
+    fault_plan: Optional[FaultPlan] = None,
+) -> ParallelResult:
+    """Execute one loop fault-tolerantly (see module docstring).
+
+    Same contract as :func:`~repro.runtime.procs.run_parallel_real`
+    plus ``policy`` (the degradation ladder configuration) and
+    ``fault_plan`` (scripted injection; specs are re-armed per attempt
+    via :meth:`FaultPlan.for_attempt`, so a default plan faults the
+    first attempt and lets the retry prove recovery).
+
+    The returned result's ``stats["resilience"]`` records the ladder
+    walk: the winning rung's stage/mode/workers, the attempt count,
+    and one summary per detected fault.  When every parallel rung
+    faults and the policy forbids the sequential rung,
+    :class:`~repro.errors.LadderExhausted` carries the final fault as
+    its ``__cause__``.
+    """
+    policy = policy or ResiliencePolicy()
+    trc = get_tracer()
+    t0 = time.perf_counter()
+    checkpoint = store.copy()
+    ladder = _build_ladder(mode, workers, policy)
+    faults: List[Dict[str, Any]] = []
+    last_fault: Optional[RealBackendError] = None
+
+    for attempt, rung in enumerate(ladder):
+        if attempt:
+            store.restore_from(checkpoint)
+            backoff = policy.backoff_for(attempt)
+            if trc.enabled:
+                trc.event(_ev.EV_RETRY, 0, rung=rung.stage,
+                          mode=rung.mode, workers=rung.workers,
+                          attempt=attempt, backoff_s=backoff)
+                trc.count(_ev.M_RETRIES)
+                trc.observe(_ev.M_RETRY_BACKOFF, backoff)
+            if backoff:
+                time.sleep(backoff)
+
+        if rung.mode == "sequential":
+            reason = (getattr(last_fault, "kind", "fault")
+                      if last_fault is not None else "policy")
+            result = _run_sequential_rung(info, store, funcs, t0, reason)
+            _record_outcome(trc, result, rung, attempt, faults,
+                            reason=reason)
+            return result
+
+        armed = fault_plan.for_attempt(attempt) if fault_plan else None
+        watchdog = Watchdog(policy)
+        try:
+            result = run_parallel_real(
+                info, store, funcs,
+                mode=rung.mode, scheme=scheme, workers=rung.workers,
+                chunk=chunk, u=u, strip=strip,
+                speculative=speculative, test_arrays=test_arrays,
+                privatize=privatize, machine=machine,
+                fault_plan=armed, monitor=watchdog,
+                barrier_timeout=policy.deadline_s,
+                queue_timeout=policy.deadline_s)
+        except WorkerFault as fault:
+            last_fault = fault
+            faults.append(_fault_summary(fault))
+            _record_fault(trc, fault, rung, attempt)
+            continue
+        except RealBackendError as fault:
+            # A worker traceback (a genuine bug in the loop body) also
+            # walks the ladder: a deterministic error reproduces on
+            # every rung until the sequential interpreter raises it
+            # as itself, which is the honest surface for it.
+            last_fault = fault
+            faults.append(_fault_summary(fault))
+            _record_fault(trc, fault, rung, attempt)
+            continue
+        _record_outcome(trc, result, rung, attempt, faults)
+        return result
+
+    raise LadderExhausted(
+        f"every rung of the degradation ladder failed for loop "
+        f"{info.loop.name!r} ({len(faults)} faults: "
+        f"{[f['kind'] for f in faults]})") from last_fault
+
+
+def _run_sequential_rung(info, store: Store, funcs: FunctionTable,
+                         t0: float, reason: str) -> ParallelResult:
+    """The ladder's last rung: checkpoint-restored sequential run."""
+    res = SequentialInterp(info.loop, funcs, FREE).run(store)
+    wall = time.perf_counter() - t0
+    ns = max(1, int(wall * 1e9))
+    return ParallelResult(
+        scheme=f"supervised[{reason}]->sequential",
+        n_iters=res.n_iters,
+        exited_in_body=res.exited_in_body,
+        t_par=ns, makespan=ns, executed=res.n_iters,
+        fallback_sequential=True,
+        wall_s=wall,
+        stats={"backend": "sequential", "workers": 1, "reason": reason},
+    )
+
+
+def _record_fault(trc, fault: RealBackendError, rung: Rung,
+                  attempt: int) -> None:
+    """Emit the ``fault.*`` event/metrics for one detected fault."""
+    if not trc.enabled:
+        return
+    kind = getattr(fault, "kind", "error")
+    trc.event(_ev.EV_FAULT, 0, kind=kind,
+              phase=getattr(fault, "phase", "run"),
+              worker=getattr(fault, "worker", None),
+              rung=rung.stage, mode=rung.mode, attempt=attempt,
+              elapsed_s=getattr(fault, "elapsed_s", 0.0))
+    trc.count(_ev.M_FAULTS)
+    if kind in _ev.FAULT_KIND_METRICS:
+        trc.count(_ev.FAULT_KIND_METRICS[kind])
+
+
+def _record_outcome(trc, result: ParallelResult, rung: Rung,
+                    attempt: int, faults: List[Dict[str, Any]],
+                    reason: Optional[str] = None) -> None:
+    """Stamp the winning rung into stats and the obs registry."""
+    result.stats["resilience"] = {
+        "rung": rung.stage,
+        "mode": rung.mode,
+        "workers": rung.workers,
+        "attempts": attempt + 1,
+        "faults": list(faults),
+    }
+    if reason is not None:
+        result.stats["resilience"]["reason"] = reason
+    if trc.enabled:
+        trc.gauge(_ev.M_FALLBACK_RUNG, attempt)
+        if attempt or reason is not None:
+            trc.count(_ev.M_FALLBACKS_FAULT)
+            trc.event(_ev.EV_FALLBACK, 0,
+                      reason=reason or (faults[-1]["kind"] if faults
+                                        else "unknown"),
+                      rung=rung.stage, mode=rung.mode,
+                      workers=rung.workers, attempts=attempt + 1)
+
+
+# ---------------------------------------------------------------------------
+# The chaos matrix (``repro chaos`` and the CI chaos job)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ChaosRow:
+    """One (scheme, fault-kind) recovery measurement."""
+
+    loop: str
+    scheme: str
+    fault: str
+    rung: str          #: winning ladder rung ("initial" means no fault)
+    mode: str
+    attempts: int
+    n_faults: int
+    store_ok: bool
+    wall_s: float
+
+
+@dataclass(frozen=True)
+class ChaosReport:
+    """All chaos rows plus the rendering used by ``repro chaos``."""
+
+    workers: int
+    rows: Tuple[ChaosRow, ...]
+
+    @property
+    def all_recovered(self) -> bool:
+        """True when every injected fault ended in a correct store."""
+        return all(r.store_ok for r in self.rows)
+
+    def render(self) -> str:
+        """Human-readable fault-recovery matrix."""
+        head = (f"Chaos matrix @ {self.workers} workers "
+                f"(seeded fault injection)")
+        lines = [head, "=" * len(head),
+                 f"{'loop':<20s} {'scheme':<22s} {'fault':<15s} "
+                 f"{'recovered at':<14s} {'att':>3s} {'faults':>6s} "
+                 f"{'wall_s':>7s} ok"]
+        for r in self.rows:
+            lines.append(
+                f"{r.loop:<20s} {r.scheme:<22s} {r.fault:<15s} "
+                f"{r.rung + '/' + r.mode:<14s} {r.attempts:3d} "
+                f"{r.n_faults:6d} {r.wall_s:7.3f} {r.store_ok}")
+        lines.append("")
+        lines.append("Every row must end store_ok=True: an injected "
+                     "system fault may cost a retry\nor a ladder "
+                     "descent, never a wrong answer "
+                     "(docs/robustness.md).")
+        return "\n".join(lines)
+
+
+#: The (zoo loop, real scheme, speculative) cells the matrix covers —
+#: one per real-backend execution shape of Table 1.
+CHAOS_SCHEMES: Tuple[Tuple[str, str, bool], ...] = (
+    ("mono-induction/RI", "doall", False),
+    ("general/RI", "general-3", False),
+    ("general/RI", "general-2", False),
+    # The one zoo loop with a non-empty PD test set; its PD verdict is
+    # a seeded failure, so this cell exercises the *composition* of a
+    # system fault (ladder retry) with the paper's own Section-5
+    # semantic fallback on the clean re-run.
+    ("associative/RI", "general-3", True),
+)
+
+#: Fault kinds the matrix injects (corrupt-shadow only applies to the
+#: speculative cell).
+CHAOS_FAULTS: Tuple[str, ...] = ("crash", "hang", "barrier",
+                                 "drop-result", "corrupt-shadow")
+
+
+def chaos_matrix(*, mode: str = "procs", workers: int = 2,
+                 kinds: Tuple[str, ...] = CHAOS_FAULTS,
+                 deadline_s: float = 5.0) -> ChaosReport:
+    """Run the seeded fault-injection matrix over the Table-1 zoo.
+
+    For each (scheme, fault kind) cell: inject the fault mid-strip on
+    attempt 0, run supervised, and check the final store against an
+    independent sequential reference.  Returns the report; the CLI
+    (``repro chaos``) renders it and CI uploads it as an artifact.
+    """
+    from repro.analysis.loopinfo import analyze_loop
+    from repro.executors.speculative import default_test_arrays
+    from repro.runtime.faults import FaultSpec
+    from repro.workloads.zoo import make_zoo
+
+    zoo = {z.name: z for z in make_zoo(48)}
+    policy = ResiliencePolicy(deadline_s=deadline_s,
+                              poll_interval_s=0.01)
+    rows: List[ChaosRow] = []
+    for zoo_name, scheme, speculative in CHAOS_SCHEMES:
+        zl = zoo[zoo_name]
+        info = analyze_loop(zl.loop, zl.funcs)
+        test_arrays = default_test_arrays(info) if speculative else ()
+        ref = zl.make_store()
+        SequentialInterp(zl.loop, zl.funcs, FREE).run(ref)
+        for kind in kinds:
+            if kind == "corrupt-shadow" and not speculative:
+                continue
+            # at_iter=0 fires at worker startup — the deterministic
+            # trigger; drop-result needs a claimed chunk, so it uses
+            # the worker=-1 wildcard (drop the chunk containing
+            # iteration 1, whichever worker claims it).
+            if kind == "drop-result":
+                spec = FaultSpec(kind=kind, worker=-1, at_iter=1)
+            else:
+                spec = FaultSpec(kind=kind, worker=workers - 1,
+                                 at_iter=0 if kind in ("crash", "hang")
+                                 else 1,
+                                 delay_s=2 * deadline_s)
+            st = zl.make_store()
+            t0 = time.perf_counter()
+            result = run_supervised(
+                info, st, zl.funcs, mode=mode, scheme=scheme,
+                workers=workers, u=96, speculative=speculative,
+                test_arrays=test_arrays, policy=policy,
+                fault_plan=FaultPlan(specs=(spec,)))
+            res = result.stats.get("resilience", {})
+            rows.append(ChaosRow(
+                loop=zoo_name,
+                scheme=("speculative[" + scheme + "]"
+                        if speculative else scheme),
+                fault=kind,
+                rung=res.get("rung", "sequential"),
+                mode=res.get("mode", "sequential"),
+                attempts=res.get("attempts", 0),
+                n_faults=len(res.get("faults", ())),
+                store_ok=st.equals(ref),
+                wall_s=time.perf_counter() - t0))
+    return ChaosReport(workers=workers, rows=tuple(rows))

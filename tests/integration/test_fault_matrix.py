@@ -1,0 +1,197 @@
+"""Seeded fault-injection matrix over the Table-1 zoo.
+
+The robustness contract (`docs/robustness.md`): for every real-backend
+execution shape — doall, general-2, general-3, and speculative — an
+injected system fault (worker crash, hang, barrier stall, lost result,
+corrupted shadow) may cost the supervised run a retry or a descent
+down the degradation ladder, but the final store must be bit-identical
+to an independent sequential reference, and the recovery must be
+visible in ``stats["resilience"]``.
+
+Also the leak contract: no shared-memory segment and no registered
+``SharedStore`` may survive any failure path (checked against
+``/dev/shm`` and the runtime's live registry, plus a subprocess run
+asserting the interpreter exits without resource_tracker warnings).
+"""
+
+import glob
+import subprocess
+import sys
+
+import pytest
+
+from repro.analysis.loopinfo import analyze_loop
+from repro.errors import WorkerCrashed, WorkerFault
+from repro.executors.speculative import default_test_arrays
+from repro.ir.interp import SequentialInterp
+from repro.runtime.costs import FREE
+from repro.runtime.faults import FaultPlan, FaultSpec
+from repro.runtime.procs import run_parallel_real
+from repro.runtime.shm import live_shared_stores
+from repro.runtime.supervisor import (
+    CHAOS_FAULTS,
+    CHAOS_SCHEMES,
+    ResiliencePolicy,
+    chaos_matrix,
+    run_supervised,
+)
+from repro.workloads.zoo import make_zoo
+
+ZOO = {z.name: z for z in make_zoo(48)}
+
+#: Short deadline so injected hangs/stalls surface in ~2 s, not 30.
+POLICY = ResiliencePolicy(deadline_s=2.0, poll_interval_s=0.01)
+
+
+def _spec_for(kind, workers):
+    """The deterministic injection spec (mirrors chaos_matrix)."""
+    if kind == "drop-result":
+        return FaultSpec(kind=kind, worker=-1, at_iter=1)
+    return FaultSpec(kind=kind, worker=workers - 1,
+                     at_iter=0 if kind in ("crash", "hang") else 1,
+                     delay_s=2 * POLICY.deadline_s)
+
+
+def _cells():
+    for zoo_name, scheme, speculative in CHAOS_SCHEMES:
+        for kind in CHAOS_FAULTS:
+            if kind == "corrupt-shadow" and not speculative:
+                continue
+            yield zoo_name, scheme, speculative, kind
+
+
+@pytest.mark.parametrize(
+    "zoo_name,scheme,speculative,kind",
+    list(_cells()),
+    ids=[f"{s}-{k}" + ("-spec" if sp else "")
+         for _, s, sp, k in _cells()])
+def test_injected_fault_recovers_with_correct_store(
+        zoo_name, scheme, speculative, kind):
+    zl = ZOO[zoo_name]
+    info = analyze_loop(zl.loop, zl.funcs)
+    test_arrays = default_test_arrays(info) if speculative else ()
+
+    ref = zl.make_store()
+    SequentialInterp(zl.loop, zl.funcs, FREE).run(ref)
+
+    st = zl.make_store()
+    before = set(glob.glob("/dev/shm/psm_*"))
+    res = run_supervised(
+        info, st, zl.funcs, mode="procs", scheme=scheme, workers=2,
+        u=96, speculative=speculative, test_arrays=test_arrays,
+        policy=POLICY,
+        fault_plan=FaultPlan(specs=(_spec_for(kind, 2),)))
+
+    assert st.equals(ref), f"{scheme}/{kind}: wrong final store"
+    resil = res.stats["resilience"]
+    # The injection is deterministic: exactly one fault fired, and the
+    # ladder's first fallback rung recovered it.
+    assert len(resil["faults"]) == 1, resil
+    assert resil["attempts"] == 2
+    assert resil["rung"] != "initial"
+    # No shared-memory segment survived the faulted attempt.
+    after = set(glob.glob("/dev/shm/psm_*"))
+    assert after <= before, f"leaked segments: {sorted(after - before)}"
+    assert not live_shared_stores()
+
+
+def test_chaos_matrix_all_recovered():
+    """The CI gate itself: every cell recovers with a correct store."""
+    report = chaos_matrix(mode="procs", workers=2,
+                          kinds=("crash", "drop-result"),
+                          deadline_s=2.0)
+    assert report.all_recovered
+    assert all(r.n_faults == 1 for r in report.rows)
+    rendered = report.render()
+    assert "Chaos matrix @ 2 workers" in rendered
+    assert "redistribute" in rendered
+
+
+def test_unsupervised_crash_raises_worker_fault():
+    """Without a supervisor the classified fault reaches the caller."""
+    zl = ZOO["mono-induction/RI"]
+    info = analyze_loop(zl.loop, zl.funcs)
+    st = zl.make_store()
+    before = set(glob.glob("/dev/shm/psm_*"))
+    from repro.runtime.supervisor import Watchdog
+    with pytest.raises(WorkerFault):
+        run_parallel_real(
+            info, st, zl.funcs, mode="procs", scheme="doall",
+            workers=2, u=96,
+            fault_plan=FaultPlan(specs=(
+                FaultSpec(kind="crash", worker=1, at_iter=0),)),
+            monitor=Watchdog(POLICY),
+            barrier_timeout=POLICY.deadline_s,
+            queue_timeout=POLICY.deadline_s)
+    # the failure path still unlinked every segment
+    after = set(glob.glob("/dev/shm/psm_*"))
+    assert after <= before, f"leaked segments: {sorted(after - before)}"
+    assert not live_shared_stores()
+
+
+def test_crash_fault_carries_context():
+    zl = ZOO["mono-induction/RI"]
+    info = analyze_loop(zl.loop, zl.funcs)
+    st = zl.make_store()
+    from repro.runtime.supervisor import Watchdog
+    with pytest.raises(WorkerCrashed) as exc_info:
+        run_parallel_real(
+            info, st, zl.funcs, mode="procs", scheme="doall",
+            workers=2, u=96,
+            fault_plan=FaultPlan(specs=(
+                FaultSpec(kind="crash", worker=1, at_iter=0),)),
+            monitor=Watchdog(POLICY),
+            barrier_timeout=POLICY.deadline_s,
+            queue_timeout=POLICY.deadline_s)
+    fault = exc_info.value
+    assert fault.kind == "crash"
+    assert fault.worker == 1
+    assert fault.exitcode not in (None, 0)
+    assert fault.elapsed_s >= 0.0
+
+
+def test_calibration_report_shows_fault_columns():
+    """`repro bench --compare-backends` surfaces the recovery: the
+    BackendRow carries the fault count and the winning ladder rung."""
+    from repro.obs.calibration import compare_backends
+    comparison = compare_backends(
+        entries=[ZOO["mono-induction/RI"]], workers=2,
+        backends=("procs",), resilience=POLICY,
+        fault_plan=FaultPlan(specs=(
+            FaultSpec(kind="crash", worker=1, at_iter=0),)))
+    (row,) = comparison.rows
+    assert row.store_ok
+    assert row.faults == 1
+    assert row.rung == "redistribute"
+    rendered = comparison.render()
+    assert "rung" in rendered and "redistribute" in rendered
+
+
+def test_no_resource_tracker_warnings_after_injected_crash():
+    """A faulted-and-recovered run must exit with a silent stderr:
+    no "leaked shared_memory objects" resource_tracker complaints."""
+    code = """
+import numpy as np
+from repro.analysis.loopinfo import analyze_loop
+from repro.runtime.faults import FaultPlan, FaultSpec
+from repro.runtime.supervisor import ResiliencePolicy, run_supervised
+from repro.workloads.zoo import make_zoo
+
+zl = next(z for z in make_zoo(48) if z.name == "mono-induction/RI")
+st = zl.make_store()
+info = analyze_loop(zl.loop, zl.funcs)
+res = run_supervised(
+    info, st, zl.funcs, mode="procs", scheme="doall", workers=2, u=96,
+    policy=ResiliencePolicy(deadline_s=2.0, poll_interval_s=0.01),
+    fault_plan=FaultPlan(specs=(
+        FaultSpec(kind="crash", worker=1, at_iter=0),)))
+assert res.stats["resilience"]["rung"] == "redistribute"
+print("RECOVERED")
+"""
+    proc = subprocess.run(
+        [sys.executable, "-c", code], capture_output=True, text=True,
+        timeout=120)
+    assert proc.returncode == 0, proc.stderr
+    assert "RECOVERED" in proc.stdout
+    assert "resource_tracker" not in proc.stderr, proc.stderr
+    assert "leaked" not in proc.stderr, proc.stderr

@@ -1,0 +1,157 @@
+"""Unit tests for the deterministic fault-injection framework
+(`repro.runtime.faults`): spec validation, the CLI parser, attempt
+arming, and every worker-side hook — all without spawning a worker."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PlanError
+from repro.runtime.faults import (
+    CORRUPT_STAMP,
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    InjectedCrash,
+    parse_fault_spec,
+)
+
+
+class TestFaultSpec:
+    def test_defaults(self):
+        s = FaultSpec(kind="crash")
+        assert s.worker == 0 and s.at_iter == 1
+        assert s.attempts == (0,)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(PlanError, match="unknown fault kind"):
+            FaultSpec(kind="meteor-strike")
+
+    def test_every_documented_kind_accepted(self):
+        for kind in FAULT_KINDS:
+            FaultSpec(kind=kind)
+
+
+class TestParseFaultSpec:
+    def test_bare_kind(self):
+        s = parse_fault_spec("crash")
+        assert s.kind == "crash" and s.worker == 0 and s.at_iter == 1
+
+    def test_full_form(self):
+        s = parse_fault_spec("hang:worker=1,iter=9,delay=0.5")
+        assert (s.kind, s.worker, s.at_iter, s.delay_s) == \
+            ("hang", 1, 9, 0.5)
+
+    def test_array_and_attempts(self):
+        s = parse_fault_spec("corrupt-shadow:array=A,attempts=0+2")
+        assert s.array == "A" and s.attempts == (0, 2)
+
+    def test_whitespace_tolerated(self):
+        assert parse_fault_spec("  crash:worker=1  ").worker == 1
+
+    @pytest.mark.parametrize("bad", [
+        "explode",                      # unknown kind
+        "crash:worker",                 # missing =value
+        "crash:worker=one",             # non-int value
+        "crash:delay=fast",             # non-float value
+        "crash:color=red",              # unknown key
+        "crash:attempts=0+x",           # bad attempts list
+    ])
+    def test_malformed_raises_plan_error(self, bad):
+        with pytest.raises(PlanError):
+            parse_fault_spec(bad)
+
+
+class TestFaultPlan:
+    def test_empty_plan_is_falsy(self):
+        assert not FaultPlan()
+        assert FaultPlan(specs=(FaultSpec(kind="crash"),))
+
+    def test_with_mode_restamps(self):
+        plan = FaultPlan(specs=(FaultSpec(kind="crash"),), mode="procs")
+        assert plan.with_mode("threads").mode == "threads"
+        assert plan.with_mode("threads").specs == plan.specs
+
+    def test_for_attempt_arms_only_listed_attempts(self):
+        plan = FaultPlan(specs=(
+            FaultSpec(kind="crash", attempts=(0,)),
+            FaultSpec(kind="hang", attempts=(0, 1)),
+        ))
+        armed0 = plan.for_attempt(0)
+        assert {s.kind for s in armed0.specs} == {"crash", "hang"}
+        armed1 = plan.for_attempt(1)
+        assert {s.kind for s in armed1.specs} == {"hang"}
+        assert plan.for_attempt(2) is None
+
+    def test_crash_in_thread_mode_raises_injected_crash(self):
+        plan = FaultPlan(specs=(FaultSpec(kind="crash", worker=1,
+                                          at_iter=5),),
+                         mode="threads")
+        plan.fire_pre_iteration(0, 5)          # wrong worker: no-op
+        plan.fire_pre_iteration(1, 4)          # too early: no-op
+        with pytest.raises(InjectedCrash):
+            plan.fire_pre_iteration(1, 5)
+
+    def test_startup_crash_fires_only_at_iter_zero_specs(self):
+        late = FaultPlan(specs=(FaultSpec(kind="crash", at_iter=3),),
+                         mode="threads")
+        late.fire_startup(0)                   # at_iter=3: not at boot
+        boot = FaultPlan(specs=(FaultSpec(kind="crash", at_iter=0),),
+                         mode="threads")
+        with pytest.raises(InjectedCrash):
+            boot.fire_startup(0)
+
+    def test_hang_unparks_on_abort(self):
+        plan = FaultPlan(specs=(FaultSpec(kind="hang", worker=0,
+                                          at_iter=1),),
+                         mode="threads")
+        polls = []
+
+        def abort_check():
+            polls.append(True)
+            return len(polls) >= 3
+        with pytest.raises(InjectedCrash, match="aborted"):
+            plan.fire_pre_iteration(0, 1, abort_check=abort_check)
+        assert len(polls) == 3
+
+    def test_barrier_delay_sums_matching_specs(self):
+        plan = FaultPlan(specs=(
+            FaultSpec(kind="barrier", worker=1, delay_s=0.25),
+            FaultSpec(kind="barrier", worker=1, delay_s=0.5),
+            FaultSpec(kind="barrier", worker=0, delay_s=9.0),
+        ))
+        assert plan.barrier_delay(1) == pytest.approx(0.75)
+        assert plan.barrier_delay(2) == 0.0
+
+    def test_drops_chunk_pinned_goes_silent_from_at_iter(self):
+        plan = FaultPlan(specs=(FaultSpec(kind="drop-result", worker=1,
+                                          at_iter=10),))
+        assert not plan.drops_chunk(1, range(1, 10))
+        assert plan.drops_chunk(1, range(8, 16))
+        assert plan.drops_chunk(1, range(20, 24))   # silent thereafter
+        assert not plan.drops_chunk(0, range(8, 16))
+
+    def test_drops_chunk_wildcard_is_exactly_once(self):
+        plan = FaultPlan(specs=(FaultSpec(kind="drop-result", worker=-1,
+                                          at_iter=10),))
+        # any worker drops the chunk containing iteration 10...
+        assert plan.drops_chunk(0, range(8, 16))
+        assert plan.drops_chunk(1, range(8, 16))
+        # ...and no other chunk
+        assert not plan.drops_chunk(0, range(16, 24))
+
+    def test_corrupt_shadow_plants_impossible_stamp(self):
+        plan = FaultPlan(specs=(FaultSpec(kind="corrupt-shadow",
+                                          worker=0, array="A"),))
+        w1 = np.array([3, 7], dtype=np.int64)
+        payload = ({"A": (w1, w1.copy())}, {"A": 2})
+        marks, _ = plan.corrupt_shadow_payload(0, payload)
+        assert marks["A"][0][0] == CORRUPT_STAMP
+        # a non-matching worker leaves the payload untouched
+        w2 = np.array([3, 7], dtype=np.int64)
+        marks2, _ = plan.corrupt_shadow_payload(
+            1, ({"A": (w2, w2.copy())}, {"A": 2}))
+        assert marks2["A"][0][0] == 3
+
+    def test_corrupt_shadow_none_payload_passthrough(self):
+        plan = FaultPlan(specs=(FaultSpec(kind="corrupt-shadow"),))
+        assert plan.corrupt_shadow_payload(0, None) is None

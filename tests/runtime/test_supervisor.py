@@ -1,0 +1,318 @@
+"""Unit tests for the fault-tolerant supervisor
+(`repro.runtime.supervisor`): ladder construction, watchdog
+classification, and supervised recovery end to end on tiny loops."""
+
+import queue
+import threading
+
+import numpy as np
+import pytest
+
+from repro.analysis.loopinfo import analyze_loop
+from repro.errors import (
+    BarrierStalled,
+    LadderExhausted,
+    PlanError,
+    WorkerCrashed,
+    WorkerHung,
+)
+from repro.ir.functions import FunctionTable
+from repro.ir.interp import SequentialInterp
+from repro.ir.nodes import ArrayAssign, Assign, Const, Var, WhileLoop, le_
+from repro.ir.store import Store
+from repro.obs import MemorySink, names, tracing
+from repro.runtime.costs import FREE
+from repro.runtime.faults import FaultPlan, FaultSpec
+from repro.runtime.supervisor import (
+    ResiliencePolicy,
+    Watchdog,
+    _build_ladder,
+    run_supervised,
+)
+
+
+# ---------------------------------------------------------------------------
+# policy and ladder construction
+# ---------------------------------------------------------------------------
+
+class TestResiliencePolicy:
+    def test_backoff_disabled_by_default(self):
+        p = ResiliencePolicy()
+        assert p.backoff_for(1) == 0.0 and p.backoff_for(5) == 0.0
+
+    def test_backoff_exponential_and_capped(self):
+        p = ResiliencePolicy(backoff_base_s=0.1, backoff_cap_s=0.4)
+        assert p.backoff_for(1) == pytest.approx(0.1)
+        assert p.backoff_for(2) == pytest.approx(0.2)
+        assert p.backoff_for(3) == pytest.approx(0.4)
+        assert p.backoff_for(9) == pytest.approx(0.4)   # capped
+
+
+class TestBuildLadder:
+    def test_procs_four_workers_full_ladder(self):
+        rungs = _build_ladder("procs", 4, ResiliencePolicy())
+        assert [(r.stage, r.mode, r.workers) for r in rungs] == [
+            ("initial", "procs", 4),
+            ("redistribute", "procs", 3),
+            ("reduce", "procs", 1),
+            ("threads", "threads", 2),
+            ("sequential", "sequential", 1),
+        ]
+
+    def test_threads_mode_has_no_threads_rung(self):
+        rungs = _build_ladder("threads", 2, ResiliencePolicy())
+        assert [r.stage for r in rungs] == \
+            ["initial", "redistribute", "sequential"]
+        assert all(r.mode != "procs" for r in rungs)
+
+    def test_policy_can_strip_every_fallback(self):
+        policy = ResiliencePolicy(redistribute=False,
+                                  max_reduced_retries=0,
+                                  allow_threads=False,
+                                  allow_sequential=False)
+        rungs = _build_ladder("procs", 4, policy)
+        assert [r.stage for r in rungs] == ["initial"]
+
+    def test_single_worker_skips_redistribute(self):
+        rungs = _build_ladder("procs", 1, ResiliencePolicy())
+        assert [r.stage for r in rungs] == \
+            ["initial", "threads", "sequential"]
+
+
+# ---------------------------------------------------------------------------
+# watchdog classification (fake handles, no real workers)
+# ---------------------------------------------------------------------------
+
+class _FakeProc:
+    """Quacks like multiprocessing.Process for the poll loop."""
+
+    def __init__(self, alive=True, exitcode=None):
+        self._alive = alive
+        self.exitcode = exitcode
+
+    def is_alive(self):
+        return self._alive
+
+
+class _FakeThread:
+    """Quacks like threading.Thread: alive flag, no exitcode."""
+
+    def __init__(self, alive=True):
+        self._alive = alive
+
+    def is_alive(self):
+        return self._alive
+
+
+class _FakeCoord:
+    def __init__(self):
+        self.abort = threading.Event()
+        self.barrier = threading.Barrier(2)
+        self.results = queue.Queue()
+
+
+def _watchdog(deadline_s=30.0):
+    return Watchdog(ResiliencePolicy(deadline_s=deadline_s,
+                                     poll_interval_s=0.01))
+
+
+class TestWatchdogClassify:
+    def test_healthy_run_is_unclassified(self):
+        wd = _watchdog()
+        wd._handles = [_FakeProc(), _FakeThread()]
+        import time
+        wd._t0 = time.perf_counter()
+        assert wd._classify() is None
+
+    def test_dead_process_with_nonzero_exitcode_is_crash(self):
+        wd = _watchdog()
+        wd._handles = [_FakeProc(), _FakeProc(alive=False, exitcode=-11)]
+        import time
+        wd._t0 = time.perf_counter()
+        fault = wd._classify()
+        assert isinstance(fault, WorkerCrashed)
+        assert fault.worker == 1 and fault.exitcode == -11
+
+    def test_clean_exit_race_is_not_a_crash(self):
+        wd = _watchdog()
+        wd._handles = [_FakeProc(alive=False, exitcode=0)]
+        import time
+        wd._t0 = time.perf_counter()
+        assert wd._classify() is None
+
+    def test_dead_thread_is_indistinguishable_from_finish(self):
+        wd = _watchdog()
+        wd._handles = [_FakeThread(alive=False)]
+        import time
+        wd._t0 = time.perf_counter()
+        assert wd._classify() is None
+
+    def test_deadline_overrun_is_hang_or_barrier_by_phase(self):
+        import time
+        wd = _watchdog(deadline_s=0.001)
+        wd._handles = [_FakeProc()]
+        wd._t0 = time.perf_counter() - 1.0
+        wd.phase = "gather"
+        assert isinstance(wd._classify(), WorkerHung)
+        wd.phase = "barrier"
+        assert isinstance(wd._classify(), BarrierStalled)
+
+    def test_wake_parent_aborts_everything(self):
+        wd = _watchdog()
+        coord = _FakeCoord()
+        wd._coord = coord
+        fault = WorkerCrashed("boom", worker=1)
+        wd._wake_parent(fault)
+        assert coord.abort.is_set()
+        assert coord.barrier.broken
+        assert coord.results.get_nowait() == ("fault", 1, None)
+
+    def test_poll_loop_detects_and_stops(self):
+        import time
+        wd = _watchdog()
+        coord = _FakeCoord()
+        handle = _FakeProc(alive=False, exitcode=17)
+        wd.start([handle], coord, time.perf_counter())
+        try:
+            deadline = time.perf_counter() + 2.0
+            while wd.fault is None and time.perf_counter() < deadline:
+                time.sleep(0.01)
+            assert isinstance(wd.fault, WorkerCrashed)
+            assert coord.abort.is_set()
+        finally:
+            wd.stop()
+
+
+# ---------------------------------------------------------------------------
+# run_supervised end to end (tiny loop, 2 workers)
+# ---------------------------------------------------------------------------
+
+def _doall_loop():
+    loop = WhileLoop(
+        [Assign("i", Const(1))],
+        le_(Var("i"), Var("n")),
+        [ArrayAssign("out", Var("i"), Var("i") * 2),
+         Assign("i", Var("i") + 1)],
+        name="supervised-doall",
+    )
+    st = Store()
+    st["n"] = 37
+    st["out"] = np.zeros(64, dtype=np.int64)
+    return loop, FunctionTable(), st
+
+
+def _reference(loop, funcs, store):
+    ref = store.copy()
+    SequentialInterp(loop, funcs, FREE).run(ref)
+    return ref
+
+
+FAST = ResiliencePolicy(deadline_s=5.0, poll_interval_s=0.01)
+
+
+class TestRunSupervised:
+    def test_clean_run_stays_on_initial_rung(self):
+        loop, funcs, st = _doall_loop()
+        ref = _reference(loop, funcs, st)
+        info = analyze_loop(loop, funcs)
+        res = run_supervised(info, st, funcs, mode="procs",
+                             scheme="doall", workers=2, u=96,
+                             policy=FAST)
+        assert st.equals(ref)
+        resil = res.stats["resilience"]
+        assert resil["rung"] == "initial" and resil["attempts"] == 1
+        assert resil["faults"] == []
+
+    def test_startup_crash_recovers_on_redistribute(self):
+        loop, funcs, st = _doall_loop()
+        ref = _reference(loop, funcs, st)
+        info = analyze_loop(loop, funcs)
+        plan = FaultPlan(specs=(FaultSpec(kind="crash", worker=1,
+                                          at_iter=0),))
+        sink = MemorySink()
+        with tracing(sink) as trc:
+            res = run_supervised(info, st, funcs, mode="procs",
+                                 scheme="doall", workers=2, u=96,
+                                 policy=FAST, fault_plan=plan)
+        assert st.equals(ref)
+        resil = res.stats["resilience"]
+        assert resil["rung"] == "redistribute"
+        assert resil["workers"] == 1 and resil["attempts"] == 2
+        assert [f["kind"] for f in resil["faults"]] == ["crash"]
+        # obs: the fault, the retry, and the fallback are all recorded
+        assert trc.metrics.value(names.M_FAULTS) == 1
+        assert trc.metrics.value(names.M_FAULT_CRASH) == 1
+        assert trc.metrics.value(names.M_RETRIES) == 1
+        assert sink.by_name(names.EV_FAULT)
+        assert sink.by_name(names.EV_RETRY)
+        assert sink.by_name(names.EV_FALLBACK)
+
+    def test_persistent_fault_falls_to_sequential(self):
+        loop, funcs, st = _doall_loop()
+        ref = _reference(loop, funcs, st)
+        info = analyze_loop(loop, funcs)
+        # worker 0 crashes at startup on every parallel attempt, so
+        # the ladder must walk all the way down to the Section-5 rung.
+        plan = FaultPlan(specs=(FaultSpec(
+            kind="crash", worker=0, at_iter=0,
+            attempts=tuple(range(8))),))
+        policy = ResiliencePolicy(deadline_s=2.0, poll_interval_s=0.01)
+        res = run_supervised(info, st, funcs, mode="procs",
+                             scheme="doall", workers=2, u=96,
+                             policy=policy, fault_plan=plan)
+        assert st.equals(ref)
+        assert res.fallback_sequential
+        assert res.scheme.startswith("supervised[")
+        resil = res.stats["resilience"]
+        assert resil["rung"] == "sequential"
+        assert len(resil["faults"]) >= 2
+
+    def test_exhausted_ladder_raises_with_cause(self):
+        loop, funcs, st = _doall_loop()
+        info = analyze_loop(loop, funcs)
+        plan = FaultPlan(specs=(FaultSpec(kind="crash", worker=0,
+                                          at_iter=0),))
+        policy = ResiliencePolicy(deadline_s=2.0, poll_interval_s=0.01,
+                                  redistribute=False,
+                                  max_reduced_retries=0,
+                                  allow_threads=False,
+                                  allow_sequential=False)
+        with pytest.raises(LadderExhausted) as exc_info:
+            run_supervised(info, st, funcs, mode="procs",
+                           scheme="doall", workers=2, u=96,
+                           policy=policy, fault_plan=plan)
+        assert isinstance(exc_info.value.__cause__, WorkerCrashed)
+
+    def test_store_restored_between_attempts(self):
+        # The init block mutates the live store before workers start;
+        # a retry must see the checkpointed initial scalars, not the
+        # half-initialized state of the faulted attempt.
+        loop, funcs, st = _doall_loop()
+        ref = _reference(loop, funcs, st)
+        info = analyze_loop(loop, funcs)
+        plan = FaultPlan(specs=(FaultSpec(kind="crash", worker=1,
+                                          at_iter=0),))
+        run_supervised(info, st, funcs, mode="procs", scheme="doall",
+                       workers=2, u=96, policy=FAST, fault_plan=plan)
+        assert st.equals(ref)
+
+
+class TestApiGuards:
+    def test_sim_backend_rejects_resilience(self):
+        from repro import Machine, parallelize
+        loop, funcs, st = _doall_loop()
+        with pytest.raises(PlanError, match="real backends only"):
+            parallelize(loop, st, Machine(2), funcs, resilience=True)
+
+    def test_fault_plan_implies_supervision_via_api(self):
+        from repro import Machine, parallelize
+        loop, funcs, st = _doall_loop()
+        plan = FaultPlan(specs=(FaultSpec(kind="crash", worker=1,
+                                          at_iter=0),))
+        outcome = parallelize(loop, st, Machine(2), funcs,
+                              backend="procs", workers=2,
+                              min_speedup=0.0, fault_plan=plan)
+        assert outcome.verified
+        resil = outcome.result.stats["resilience"]
+        assert resil["attempts"] == 2
+        assert [f["kind"] for f in resil["faults"]] == ["crash"]
