@@ -78,6 +78,8 @@ def parallelize(
     workers: Optional[int] = None,
     resilience=None,
     fault_plan=None,
+    strict_exceptions: bool = False,
+    partial_restart: bool = True,
 ) -> Outcome:
     """Analyze, plan, execute, and (optionally) verify one loop.
 
@@ -118,6 +120,20 @@ def parallelize(
         Real backends only: scripted fault injection
         (:class:`~repro.runtime.faults.FaultPlan`); implies
         supervision unless ``resilience=False``.
+    strict_exceptions:
+        Real backends only: audit exception equivalence — when a
+        contained iteration fault's sequential replay raises a
+        different exception type (or none),
+        :class:`~repro.errors.ExceptionDivergence` surfaces instead of
+        silently trusting the replay.  By default the replay is the
+        ground truth (a divergent fault is counted as a spurious
+        parallel-only artifact in ``result.stats["spec"]``).
+    partial_restart:
+        Real backends only: on a genuine iteration fault (or a failed
+        PD prefix), transactionally commit the validated iteration
+        prefix and continue sequentially from there instead of
+        re-executing the whole loop (``False`` restores the pre-PR-4
+        full Section-5 restart).
 
     Raises
     ------
@@ -168,6 +184,8 @@ def parallelize(
             plan, store, funcs, backend=backend,
             workers=workers or machine.nprocs, machine=machine,
             resilience=resilience, fault_plan=fault_plan,
+            strict_exceptions=strict_exceptions,
+            partial_restart=partial_restart,
             **kwargs)
 
     try:

@@ -17,7 +17,10 @@ Commands
     ``--resilience`` runs real backends under the fault-tolerant
     supervisor; ``--inject-fault SPEC`` scripts a fault (syntax:
     ``kind:worker=1,iter=9`` — see :mod:`repro.runtime.faults`) and
-    implies supervision.
+    implies supervision.  ``--strict-exceptions`` audits exception
+    equivalence (a contained iteration fault must reproduce under
+    sequential replay); ``--no-partial-restart`` disables salvaging
+    the committed prefix on genuine faults.
 
 ``chaos [--workers N] [--mode procs|threads] [--out FILE]``
     Run the seeded fault-injection recovery matrix over the Table-1
@@ -220,11 +223,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 2
 
-    outcome = parallelize(
-        lifted.loop, store, Machine(args.procs), funcs,
-        backend=args.backend, workers=args.workers,
-        min_speedup=args.min_speedup,
-        resilience=args.resilience or None, fault_plan=fault_plan)
+    from repro.errors import ExceptionDivergence
+    try:
+        outcome = parallelize(
+            lifted.loop, store, Machine(args.procs), funcs,
+            backend=args.backend, workers=args.workers,
+            min_speedup=args.min_speedup,
+            resilience=args.resilience or None, fault_plan=fault_plan,
+            strict_exceptions=args.strict_exceptions,
+            partial_restart=not args.no_partial_restart)
+    except ExceptionDivergence as exc:
+        # The strict audit's verdict, not a program exception: report
+        # it as a diagnostic (program exceptions still raise as-is —
+        # the honest surface for them).
+        print(f"error: exception divergence: {exc}", file=sys.stderr)
+        return 2
     res = outcome.result
     unit = "cycles" if args.backend == "sim" else "ns (wall)"
     payload = {
@@ -246,6 +259,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
     resilience = res.stats.get("resilience")
     if resilience is not None:
         payload["resilience"] = resilience
+    spec = res.stats.get("spec")
+    if spec and (spec.get("spurious_exceptions")
+                 or spec.get("salvaged_iters")
+                 or spec.get("partial_restarts")):
+        payload["spec"] = {k: spec[k] for k in
+                           ("spurious_exceptions", "salvaged_iters",
+                            "partial_restarts") if k in spec}
     if args.json:
         print(json.dumps(payload, indent=2))
         return 0
@@ -263,6 +283,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
               f"mode={resilience['mode']} "
               f"attempts={resilience['attempts']} "
               f"faults={kinds or 'none'}")
+    if "spec" in payload:
+        sp = payload["spec"]
+        print(f"speculation: spurious_exceptions="
+              f"{sp.get('spurious_exceptions', 0)} "
+              f"salvaged_iters={sp.get('salvaged_iters', 0)} "
+              f"partial_restarts={sp.get('partial_restarts', 0)}")
     if payload["final_scalars"]:
         print(f"scalars:  {payload['final_scalars']}")
     return 0
@@ -432,7 +458,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                       default=None,
                       help="inject a scripted fault (repeatable); "
                       "syntax kind[:key=value,...], e.g. "
-                      "crash:worker=1,iter=9 — implies --resilience")
+                      "crash:worker=1,iter=9 or "
+                      "raise-at-iter:worker=-1,iter=7 — implies "
+                      "--resilience")
+    p_rn.add_argument("--strict-exceptions", action="store_true",
+                      help="real backends: raise ExceptionDivergence "
+                      "when a contained iteration fault does not "
+                      "reproduce under sequential replay")
+    p_rn.add_argument("--no-partial-restart", action="store_true",
+                      help="real backends: disable committed-prefix "
+                      "salvage; genuine faults re-execute the whole "
+                      "loop sequentially (the classic full restart)")
     p_rn.add_argument("--json", action="store_true")
     p_rn.set_defaults(fn=_cmd_run)
 

@@ -7,6 +7,9 @@ accidentally swallowing genuine Python bugs.
 
 from __future__ import annotations
 
+import traceback as _traceback
+from dataclasses import dataclass, field
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the ``repro`` library."""
@@ -81,9 +84,17 @@ class WorkerFault(RealBackendError):
     ``kind`` is the stable taxonomy string (``crash``, ``hang``,
     ``barrier``, ``lost-result``, ``corrupt-shadow``) used in obs
     events (``fault.detected``) and in ``stats["resilience"]``.
+
+    ``salvage`` (set by the procs backend when it propagates a fault
+    out of a non-speculative run) carries the contiguous committed
+    iteration prefix gathered before the fault — a
+    :class:`repro.runtime.procs.ResumeState` the supervisor's
+    partial-restart rung feeds back so the retry resumes from the last
+    committed iteration instead of iteration 1.
     """
 
     kind = "fault"
+    salvage = None
 
     def __init__(self, message: str, *, phase: str = "run",
                  worker: "int | None" = None, elapsed_s: float = 0.0,
@@ -135,6 +146,91 @@ class LadderExhausted(RealBackendError):
 
 class NullPointerError(ExecutionError):
     """A linked-list hop was attempted through a NULL (-1) pointer."""
+
+
+class OutOfBoundsWrite(ExecutionError):
+    """A write to a shared-memory store segment was out of range.
+
+    Raised by the bounds guards on :mod:`repro.runtime.shm` attached
+    arrays.  NumPy silently wraps negative indices, so a speculative
+    iteration computing a garbage index could otherwise corrupt a
+    *different* element of the shared segment — this error makes the
+    write a containable per-iteration fault instead.
+    """
+
+
+class ExceptionDivergence(ExecutionError):
+    """Strict-exceptions mode: the sequential replay of a genuinely
+    faulting iteration raised a different exception type than the one
+    the parallel worker contained.
+
+    Only raised under ``strict_exceptions=True``; by default the
+    sequential replay is the ground truth and a divergent contained
+    fault is counted as a spurious artifact.
+    """
+
+
+@dataclass
+class IterationFault:
+    """Structured, picklable record of one contained iteration fault.
+
+    Workers on the real backends wrap each iteration attempt in an
+    exception guard; instead of aborting the run, an ordinary
+    ``Exception`` becomes an :data:`IterOutcome.FAULTED
+    <repro.ir.interp.IterOutcome>` result carrying one of these.  The
+    parent reconciler then *quarantines* it: a fault past the last
+    valid iteration is spurious overshoot (discard and count), a fault
+    inside the committed range is the program's own exception
+    (re-raised at the exact sequential iteration).
+
+    Attributes
+    ----------
+    iteration:
+        1-based iteration index at which the fault fired.
+    worker:
+        Worker id that executed the iteration (``-1`` if unknown).
+    kind:
+        Stable classification string: ``"null-pointer"`` (linked-list
+        dispatcher overshoot), ``"oob-write"`` (shared-store bounds
+        guard), ``"injected"`` (deterministic fault injection), or
+        ``"exception"`` (anything else the body raised).
+    exc_type:
+        Qualified name of the exception class (e.g.
+        ``"ZeroDivisionError"``).
+    message:
+        ``str(exc)`` of the original exception.
+    traceback:
+        Formatted traceback text captured in the worker.
+    """
+
+    iteration: int
+    worker: int = -1
+    kind: str = "exception"
+    exc_type: str = "Exception"
+    message: str = ""
+    traceback: str = field(default="", repr=False)
+
+    @classmethod
+    def from_exception(cls, exc: BaseException, *, iteration: int,
+                       worker: int = -1,
+                       kind: "str | None" = None) -> "IterationFault":
+        """Classify a caught exception into a fault record."""
+        if kind is None:
+            if isinstance(exc, NullPointerError):
+                kind = "null-pointer"
+            elif isinstance(exc, OutOfBoundsWrite):
+                kind = "oob-write"
+            else:
+                kind = "exception"
+        return cls(iteration=iteration, worker=worker, kind=kind,
+                   exc_type=type(exc).__name__, message=str(exc),
+                   traceback="".join(_traceback.format_exception(exc)))
+
+    def summary(self) -> dict:
+        """Compact dict for ``ParallelResult.stats`` / obs payloads."""
+        return {"iteration": self.iteration, "worker": self.worker,
+                "kind": self.kind, "exc_type": self.exc_type,
+                "message": self.message}
 
 
 class OvershootLimit(ExecutionError):

@@ -122,6 +122,8 @@ def run_plan_on_backend(
     machine: Optional[Machine] = None,
     resilience=None,
     fault_plan=None,
+    strict_exceptions: bool = False,
+    partial_restart: bool = True,
 ) -> ParallelResult:
     """Execute ``plan`` on a *real* backend (``threads`` or ``procs``).
 
@@ -136,6 +138,14 @@ def run_plan_on_backend(
     for the default policy.  ``fault_plan`` injects scripted faults
     (:class:`~repro.runtime.faults.FaultPlan`) and implies supervision
     unless ``resilience`` is explicitly ``False``.
+
+    ``strict_exceptions`` arms the exception-equivalence audit: a
+    contained iteration fault whose sequential replay raises a
+    *different* exception type (or nothing) raises
+    :class:`~repro.errors.ExceptionDivergence` instead of trusting the
+    replay silently.  ``partial_restart=False`` disables salvaging the
+    committed prefix on a genuine fault, forcing the pre-PR-4 full
+    sequential re-execution.
 
     Raises :class:`PlanError` when no iteration bound is inferable and
     no ``strip`` was given (same contract as the sim executors, so
@@ -165,13 +175,15 @@ def run_plan_on_backend(
         from repro.runtime.supervisor import (ResiliencePolicy,
                                               run_supervised)
         policy = (resilience if isinstance(resilience, ResiliencePolicy)
-                  else ResiliencePolicy())
+                  else ResiliencePolicy(
+                      allow_partial_restart=partial_restart))
         return run_supervised(
             info, store, funcs,
             mode=backend, scheme=real_scheme,
             workers=workers, chunk=chunk, u=u, strip=strip,
             speculative=speculative, machine=machine,
-            policy=policy, fault_plan=fault_plan, **kwargs)
+            policy=policy, fault_plan=fault_plan,
+            strict_exceptions=strict_exceptions, **kwargs)
 
     from repro.runtime.procs import run_parallel_real
     return run_parallel_real(
@@ -179,4 +191,5 @@ def run_plan_on_backend(
         mode=backend, scheme=real_scheme,
         workers=workers, chunk=chunk, u=u, strip=strip,
         speculative=speculative, machine=machine,
-        fault_plan=fault_plan, **kwargs)
+        fault_plan=fault_plan, strict_exceptions=strict_exceptions,
+        partial_restart=partial_restart, **kwargs)

@@ -358,6 +358,11 @@ class IterOutcome:
     EXITED = "exited"
     #: The iteration ran its remainder to completion.
     DONE = "done"
+    #: The iteration raised an ordinary exception, contained by the
+    #: worker and recorded as an :class:`~repro.errors.IterationFault`.
+    #: The parent reconciler decides whether it was spurious overshoot
+    #: (quarantined) or the program's own exception (surfaced).
+    FAULTED = "faulted"
 
 
 class IterationRunner:
@@ -468,7 +473,8 @@ class SequentialInterp:
 
     def run(self, store: Store, *, max_iters: int = 10_000_000,
             profile: bool = False,
-            trace_vars: Sequence[str] = ()) -> SeqResult:
+            trace_vars: Sequence[str] = (),
+            run_init: bool = True) -> SeqResult:
         """Execute the loop to termination against ``store``.
 
         Parameters
@@ -484,9 +490,17 @@ class SequentialInterp:
         trace_vars:
             Scalar names whose body-entry values are recorded per
             iteration (used by tests to validate dispatcher sequences).
+        run_init:
+            Pass ``False`` to *continue* a loop from the store's
+            current state instead of starting it: the ``init`` block is
+            skipped and execution resumes at the loop-top condition.
+            Used by the exception-quarantine path, which commits a
+            validated parallel prefix and then re-executes only the
+            suffix sequentially.
         """
         ctx = EvalContext(store, self.funcs, self.cost)
-        self._init(ctx)
+        if run_init:
+            self._init(ctx)
         n_stmts = len(self._stmts)
         stmt_cycles = [0] * n_stmts if profile else None
         cond_cycles = 0

@@ -207,7 +207,10 @@ class BackendRow:
     supervisor, e.g. ``repro bench --compare-backends`` with fault
     injection) and ``rung`` names the degradation-ladder stage the run
     settled on (``-`` for an unsupervised run, ``initial`` for a
-    supervised run that needed no recovery).
+    supervised run that needed no recovery).  ``spurious`` counts
+    contained iteration faults the overshoot quarantine discarded and
+    ``salvaged`` the committed-prefix iterations a partial restart did
+    not have to re-execute (both from ``stats["spec"]``).
     """
 
     loop: str
@@ -221,6 +224,8 @@ class BackendRow:
     store_ok: bool
     faults: int = 0
     rung: str = "-"
+    spurious: int = 0
+    salvaged: int = 0
 
 
 @dataclass(frozen=True)
@@ -243,13 +248,15 @@ class BackendComparison:
         lines = [head, "=" * len(head),
                  f"{'loop':<18s} {'backend':<8s} {'scheme':<22s} "
                  f"{'T_seq':>8s} {'T_par':>8s} {'Sp meas':>8s} "
-                 f"{'Sp pred':>8s} {'faults':>6s} {'rung':<12s} ok"]
+                 f"{'Sp pred':>8s} {'faults':>6s} {'spur':>4s} "
+                 f"{'salv':>5s} {'rung':<12s} ok"]
         for r in self.rows:
             lines.append(
                 f"{r.loop:<18s} {r.backend:<8s} {r.scheme:<22s} "
                 f"{r.wall_seq_s:8.3f} {r.wall_par_s:8.3f} "
                 f"{r.measured_speedup:7.2f}x {r.predicted_speedup:7.2f}x "
-                f"{r.faults:6d} {r.rung:<12s} {r.store_ok}")
+                f"{r.faults:6d} {r.spurious:4d} {r.salvaged:5d} "
+                f"{r.rung:<12s} {r.store_ok}")
         lines.append("")
         lines.append(
             "Sp pred is the Section-7 model's attainable speedup on the "
@@ -309,6 +316,7 @@ def compare_backends(entries=None, *, workers: int = 2,
                 resilience=resilience, fault_plan=fault_plan)
             wall_par = result.wall_s or result.t_par / 1e9
             res = result.stats.get("resilience")
+            spec = result.stats.get("spec", {})
             rows.append(BackendRow(
                 loop=entry.name, backend=backend, scheme=result.scheme,
                 workers=workers, wall_seq_s=wall_seq,
@@ -317,5 +325,7 @@ def compare_backends(entries=None, *, workers: int = 2,
                 predicted_speedup=predicted,
                 store_ok=store.equals(reference),
                 faults=len(res["faults"]) if res else 0,
-                rung=res["rung"] if res else "-"))
+                rung=res["rung"] if res else "-",
+                spurious=spec.get("spurious_exceptions", 0),
+                salvaged=spec.get("salvaged_iters", 0)))
     return BackendComparison(workers=workers, rows=tuple(rows))

@@ -43,6 +43,7 @@ __all__ = [
     "M_FAULT_LOST_RESULT", "M_FAULT_CORRUPT_SHADOW",
     "M_RETRIES", "M_RETRY_BACKOFF", "M_FALLBACKS_FAULT",
     "M_FALLBACK_RUNG", "FAULT_KIND_METRICS",
+    "M_SPEC_SPURIOUS", "M_SPEC_SALVAGED", "M_SPEC_PARTIAL_RESTARTS",
 ]
 
 # -- event names (tracer spans / instants) -------------------------------
@@ -196,6 +197,19 @@ M_FALLBACKS_FAULT = "fallback.reason"
 #: Gauge: ladder index the last supervised run settled on (0 =
 #: initial, i.e. no fault).
 M_FALLBACK_RUNG = "fallback.rung"
+
+#: Counter: contained iteration faults the quarantine discarded as
+#: spurious overshoot artifacts (never user-visible by construction).
+#: (legacy: ``stats["spec"]["spurious_exceptions"]``)
+M_SPEC_SPURIOUS = "spec.spurious_exceptions"
+#: Counter: committed-prefix iterations a partial restart or a
+#: quarantined-exception continuation did *not* re-execute.  (legacy:
+#: ``stats["spec"]["salvaged_iters"]``)
+M_SPEC_SALVAGED = "spec.salvaged_iters"
+#: Counter: recoveries that resumed from a committed prefix instead of
+#: restarting at iteration 1.  (legacy:
+#: ``stats["spec"]["partial_restarts"]``)
+M_SPEC_PARTIAL_RESTARTS = "spec.partial_restarts"
 
 #: Per-kind fault counters keyed by the :class:`~repro.errors
 #: .WorkerFault` ``kind`` string.

@@ -29,6 +29,15 @@ Fault kinds (the taxonomy mirrors :mod:`repro.errors`):
                    result message is never queued
 ``corrupt-shadow`` one stamp of the worker's shadow payload is set to
                    an impossible value before it is sent
+``raise-at-iter``  the iteration body raises an ordinary exception at
+                   exactly ``at_iter`` — exercises the containment /
+                   quarantine path rather than the system-fault ladder
+``oob-write``      the iteration performs an out-of-range write on a
+                   shared segment at ``at_iter``, tripping the
+                   :class:`~repro.runtime.shm.GuardedArray` bounds
+                   guard (procs mode only; silently dropped under
+                   threads, where workers share the parent's unguarded
+                   arrays)
 =================  ====================================================
 
 CLI syntax (``repro run --inject-fault`` / ``repro chaos``)::
@@ -40,6 +49,8 @@ CLI syntax (``repro run --inject-fault`` / ``repro chaos``)::
     barrier:worker=1,delay=3.0
     drop-result:worker=1,iter=12
     corrupt-shadow:worker=0,array=A
+    raise-at-iter:worker=-1,iter=7
+    oob-write:worker=-1,iter=7,array=A
 """
 
 from __future__ import annotations
@@ -52,11 +63,12 @@ from typing import Optional, Tuple
 from repro.errors import PlanError
 
 __all__ = ["FAULT_KINDS", "FaultSpec", "FaultPlan", "parse_fault_spec",
-           "InjectedCrash"]
+           "InjectedCrash", "InjectedIterationError"]
 
 #: Every injectable fault kind, in documentation order.
 FAULT_KINDS: Tuple[str, ...] = (
-    "crash", "hang", "barrier", "drop-result", "corrupt-shadow")
+    "crash", "hang", "barrier", "drop-result", "corrupt-shadow",
+    "raise-at-iter", "oob-write")
 
 #: Impossible shadow stamp planted by ``corrupt-shadow`` (stamps are
 #: iteration numbers >= 1 or the INF sentinel; negatives cannot occur).
@@ -70,6 +82,15 @@ class InjectedCrash(BaseException):
     ``except BaseException`` error reporting does *not* catch it — an
     injected crash must look like sudden death, not like a worker
     traceback on the results queue.
+    """
+
+
+class InjectedIterationError(RuntimeError):
+    """The exception raised by a ``raise-at-iter`` fault spec.
+
+    Deliberately an *ordinary* exception (unlike :class:`InjectedCrash`)
+    so it flows through the worker's per-iteration containment guard
+    and exercises the overshoot-quarantine reconciler end to end.
     """
 
 
@@ -121,8 +142,17 @@ class FaultPlan:
         return bool(self.specs)
 
     def with_mode(self, mode: str) -> "FaultPlan":
-        """The same plan stamped for ``procs`` or ``threads`` workers."""
-        return FaultPlan(specs=self.specs, mode=mode)
+        """The same plan stamped for ``procs`` or ``threads`` workers.
+
+        ``oob-write`` specs are dropped under threads: thread workers
+        share the parent's plain (unguarded) arrays, so the injection
+        would silently corrupt the live store via NumPy's negative-
+        index wraparound instead of tripping a guard.
+        """
+        specs = self.specs
+        if mode == "threads":
+            specs = tuple(s for s in specs if s.kind != "oob-write")
+        return FaultPlan(specs=specs, mode=mode)
 
     def for_attempt(self, attempt: int) -> Optional["FaultPlan"]:
         """The sub-plan armed on supervised attempt ``attempt``."""
@@ -158,6 +188,39 @@ class FaultPlan:
                     time.sleep(0.01)
                 raise InjectedCrash(f"injected hang on worker {wid} "
                                     f"aborted")
+
+    def raises_at(self, wid: int, k: int) -> None:
+        """Raise :class:`InjectedIterationError` when a ``raise-at-iter``
+        spec matches worker ``wid`` (or the ``-1`` wildcard) at exactly
+        iteration ``k``.
+
+        Exact-match semantics (unlike the ``>=`` trigger of crash/hang):
+        the point of this kind is a *deterministic* fault at one known
+        iteration, so the quarantine reconciler's verdict — spurious
+        overshoot vs genuine program exception — is reproducible.
+        """
+        for s in self.specs:
+            if s.kind != "raise-at-iter":
+                continue
+            if (s.worker == -1 or s.worker == wid) and k == s.at_iter:
+                raise InjectedIterationError(
+                    f"injected exception at iteration {k}")
+
+    def oob_target(self, wid: int, k: int) -> Optional[str]:
+        """Array name to write out-of-range at iteration ``k``, if any.
+
+        Returns the ``array`` field of a matching ``oob-write`` spec
+        (``""`` means "first array in the store"); ``None`` when no
+        spec fires.  The caller performs the bad write so the
+        :class:`~repro.runtime.shm.GuardedArray` guard — not this
+        module — raises.
+        """
+        for s in self.specs:
+            if s.kind != "oob-write":
+                continue
+            if (s.worker == -1 or s.worker == wid) and k == s.at_iter:
+                return s.array
+        return None
 
     def barrier_delay(self, wid: int) -> float:
         """Seconds worker ``wid`` must stall before each barrier wait."""

@@ -38,9 +38,25 @@ backend-equivalence test suite possible:
   shadow marks (:class:`~repro.speculation.pdtest.ShadowArrays`) for
   its iterations; the parent merges the per-worker two-smallest stamp
   vectors and runs the standard :func:`analyze_pd`.  On an invalid
-  verdict — or any exception inside an iteration — the parent discards
-  the buffered writes, restores its pre-loop snapshot, and re-executes
-  sequentially (Section 5 fallback semantics).
+  verdict the parent salvages the longest PD-valid committed prefix
+  (:func:`~repro.speculation.pdtest.max_valid_prefix`) and resumes
+  sequentially from its end — a *partial restart* — falling back to
+  the full Section 5 restore-and-rerun only when nothing is
+  salvageable.
+* **exception containment & quarantine** — an ordinary exception
+  inside an iteration body is not a run-aborting event: the worker
+  records it as :data:`IterOutcome.FAULTED` with a structured
+  :class:`~repro.errors.IterationFault` and keeps going.  The parent
+  *quarantines* faults: one past the last valid iteration is spurious
+  overshoot (the paper's RV terminators overshoot by design) — it is
+  discarded and counted; one inside the valid range means the program
+  genuinely raises — the validated prefix is committed
+  transactionally and the loop re-executes sequentially from the
+  faulting iteration, so the user sees the exact sequential exception
+  at the exact sequential iteration (exception equivalence).
+  Out-of-range speculative writes are trapped by the
+  :class:`~repro.runtime.shm.GuardedArray` bounds guards and contained
+  the same way instead of corrupting shared memory.
 
 ``mode="threads"`` runs the identical orchestration on
 ``threading.Thread`` workers sharing the parent store directly — no
@@ -62,12 +78,15 @@ import numpy as np
 
 from repro.errors import (
     BarrierStalled,
+    ExceptionDivergence,
     ExecutionError,
+    IterationFault,
     NullPointerError,
     PlanError,
     RealBackendError,
     ResultLost,
     ShadowCorrupt,
+    WorkerFault,
     WorkerHung,
 )
 from repro.executors.base import ParallelResult
@@ -82,15 +101,27 @@ from repro.ir.interp import (
 from repro.ir.nodes import Exit, Loop
 from repro.ir.store import Store
 from repro.ir.visitor import walk
+from repro.obs import names as _ev
+from repro.obs.tracer import get_tracer
 from repro.runtime.costs import FREE
-from repro.runtime.faults import FaultPlan, InjectedCrash
+from repro.runtime.faults import (
+    FaultPlan,
+    InjectedCrash,
+    InjectedIterationError,
+)
 from repro.runtime.machine import Machine
 from repro.runtime.shm import SharedStore, StoreSpec, attach_store
+from repro.speculation.checkpoint import IntervalCheckpoint
 from repro.speculation.pdtest import INF as _NO_STAMP
-from repro.speculation.pdtest import ShadowArrays, analyze_pd
+from repro.speculation.pdtest import (
+    ShadowArrays,
+    analyze_pd,
+    max_valid_prefix,
+)
 from repro.speculation.privatize import CompositeHooks
 
-__all__ = ["RealBackendError", "run_parallel_real", "default_chunk"]
+__all__ = ["RealBackendError", "ResumeState", "run_parallel_real",
+           "default_chunk"]
 
 #: Sentinel quit index: "no termination observed yet".
 _NO_QUIT = 1 << 62
@@ -173,6 +204,36 @@ class _Task:
     shadow_arrays: Tuple[str, ...]   #: PD-tested arrays ("" = none)
     store_spec: Optional[StoreSpec]  #: procs mode only
     fault_plan: Optional[FaultPlan] = None  #: scripted fault injection
+
+
+@dataclass
+class ResumeState:
+    """A salvaged committed prefix for partial-restart recovery.
+
+    When a *system* fault (crash, hang, barrier stall, lost result)
+    kills a non-speculative run, the parent attaches one of these to
+    the propagating :class:`~repro.errors.WorkerFault` (as
+    ``fault.salvage``): the contiguous prefix of iterations already
+    gathered as DONE, with their buffered writes and merged remainder
+    scalars.  The supervisor's ``partial-restart`` rung feeds it back
+    through ``run_parallel_real(resume=...)`` so the retry starts at
+    ``next_iter`` instead of iteration 1.
+
+    A contiguous DONE prefix is always sequentially valid: iteration
+    ``lvi + 1`` evaluates its terminator deterministically, so it can
+    only ever be recorded TERMINATED/EXITED — a run of DONEs starting
+    at 1 can never extend past the last valid iteration.
+    """
+
+    next_iter: int
+    writes: Dict[int, Dict[Tuple[str, int], Any]] = field(
+        default_factory=dict)
+    locals: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def salvaged_iters(self) -> int:
+        """How many committed iterations the retry skips."""
+        return self.next_iter - 1
 
 
 class _Cell:
@@ -262,8 +323,8 @@ class _Walk:
 
     __slots__ = ("k", "value", "exhausted")
 
-    def __init__(self, initial: Any) -> None:
-        self.k = 1
+    def __init__(self, initial: Any, first: int = 1) -> None:
+        self.k = first
         self.value = initial
         self.exhausted = False
 
@@ -346,7 +407,8 @@ def _worker_main(wid: int, task: _Task, coord: _Coord,
             hooks: MemHooks = CompositeHooks(shadows, buffer)
         else:
             hooks = buffer
-        walk_state = _Walk(task.init_value) if task.supply == "walk" else None
+        walk_state = (_Walk(task.init_value, task.first)
+                      if task.supply == "walk" else None)
         stream = _Cell(task.first + wid)  # static-schedule index stream
 
         if fp:   # at_iter=0 specs: deterministic startup crash/hang
@@ -408,6 +470,15 @@ def _run_indices(wid: int, indices: Sequence[int], task: _Task,
     Record shape: ``(k, outcome, writes, locals)`` where ``writes`` is
     the buffered ``(array, idx) -> value`` map and ``locals`` the
     iteration-private scalars (both ``None`` for skipped indices).
+    For a FAULTED outcome the locals slot carries the
+    :class:`~repro.errors.IterationFault` record instead.
+
+    Containment: any ordinary ``Exception`` inside the iteration —
+    the body raising, a linked-list dispatcher walk running off the
+    end of the structure, a :class:`~repro.runtime.shm.GuardedArray`
+    bounds trap, an injected ``raise-at-iter`` — becomes a FAULTED
+    record and a QUIT proposal at ``k``; the worker keeps running.
+    Only :class:`InjectedCrash` (scripted sudden death) escapes.
     """
     recs: List[Tuple] = []
     fp = task.fault_plan
@@ -420,19 +491,37 @@ def _run_indices(wid: int, indices: Sequence[int], task: _Task,
         begin = getattr(hooks, "begin_iteration", None)
         if begin is not None:
             begin(k)
-        if walk_state is not None:
-            d = walk_state.value_for(k, runner, store, task.funcs,
-                                     task.disp_var)
-            if d is None:    # recurrence exhausted before reaching k
-                recs.append((k, IterOutcome.TERMINATED, None, None))
-                coord.propose_quit(k)
-                continue
-        else:
-            d = task.init_value + task.step * (k - 1)
-        local: Dict[str, Any] = {task.disp_var: d}
-        ctx = EvalContext(store, task.funcs, FREE, local=local,
-                          mem=hooks, iteration=k)
-        outcome = runner.run_iteration(ctx)
+        try:
+            if fp:
+                fp.raises_at(wid, k)
+            if walk_state is not None:
+                d = walk_state.value_for(k, runner, store, task.funcs,
+                                         task.disp_var)
+                if d is None:    # recurrence exhausted before reaching k
+                    raise NullPointerError(
+                        f"dispatcher walk exhausted before iteration {k}")
+            else:
+                d = task.init_value + task.step * (k - task.first)
+            if fp:
+                target = fp.oob_target(wid, k)
+                if target is not None:
+                    name = target or next(iter(store.arrays()), "")
+                    if name:    # trip the shared-segment bounds guard
+                        store[name][-1] = 0
+            local: Dict[str, Any] = {task.disp_var: d}
+            ctx = EvalContext(store, task.funcs, FREE, local=local,
+                              mem=hooks, iteration=k)
+            outcome = runner.run_iteration(ctx)
+        except InjectedCrash:
+            raise
+        except Exception as exc:
+            kind = ("injected"
+                    if isinstance(exc, InjectedIterationError) else None)
+            fault = IterationFault.from_exception(
+                exc, iteration=k, worker=wid, kind=kind)
+            recs.append((k, IterOutcome.FAULTED, None, fault))
+            coord.propose_quit(k)
+            continue
         recs.append((k, outcome, dict(buffer.writes), local))
         if outcome in (IterOutcome.TERMINATED, IterOutcome.EXITED):
             coord.propose_quit(k)
@@ -451,6 +540,7 @@ class _Gather:
     writes: Dict[int, Dict[Tuple[str, int], Any]] = field(
         default_factory=dict)
     locals: Dict[int, Dict[str, Any]] = field(default_factory=dict)
+    faults: Dict[int, IterationFault] = field(default_factory=dict)
     received: int = 0
     skipped: int = 0
     chunks: int = 0
@@ -559,6 +649,10 @@ def _drain(coord: _Coord, gathered: _Gather, expected_total: int,
                     gathered.skipped += 1
                     continue
                 gathered.outcomes[k] = outcome
+                if outcome == IterOutcome.FAULTED:
+                    # the fault record rides the locals slot
+                    gathered.faults[k] = local
+                    continue
                 if writes:
                     gathered.writes[k] = writes
                 if local is not None:
@@ -664,17 +758,39 @@ def _dispatcher_precedes_exits(loop: Loop,
     return max(dispatcher_stmts) < min(exit_positions)
 
 
+def _done_prefix(gathered: _Gather, first: int, upto: int) -> int:
+    """Largest ``m <= upto`` with every iteration in [first, m] DONE."""
+    m = first - 1
+    while m + 1 <= upto \
+            and gathered.outcomes.get(m + 1) == IterOutcome.DONE:
+        m += 1
+    return m
+
+
 def _replay_dispatcher(runner: IterationRunner, store: Store,
                        funcs: FunctionTable, disp_var: str,
-                       initial: Any, k: int) -> Any:
-    """Untimed reconstruction of ``d(k+1)`` on the parent store
-    (mirror of ``executors.supplies._replay``)."""
+                       initial: Any, k: int,
+                       faults: Optional[List[IterationFault]] = None
+                       ) -> Any:
+    """Untimed reconstruction of the dispatcher value ``k`` hops past
+    ``initial`` on the parent store (mirror of
+    ``executors.supplies._replay``).
+
+    A hop through NULL means the walk ran off the structure — the
+    standard spurious-overshoot artifact of linked-list dispatchers.
+    It is classified like every other contained fault: recorded as an
+    :class:`~repro.errors.IterationFault` on ``faults`` (when given)
+    and the last reachable value is published.
+    """
     value = initial
-    for _ in range(k):
+    for i in range(k):
         ctx = EvalContext(store, funcs, FREE, local={disp_var: value})
         try:
             runner.advance(ctx)
-        except NullPointerError:
+        except NullPointerError as exc:
+            if faults is not None:
+                faults.append(IterationFault.from_exception(
+                    exc, iteration=i + 1, worker=-1))
             return value
         value = ctx.local[disp_var]
     return value
@@ -699,6 +815,9 @@ def run_parallel_real(
     monitor=None,
     barrier_timeout: float = _BARRIER_TIMEOUT,
     queue_timeout: float = _QUEUE_TIMEOUT,
+    strict_exceptions: bool = False,
+    partial_restart: bool = True,
+    resume: Optional[ResumeState] = None,
 ) -> ParallelResult:
     """Execute one analyzed loop on real workers (see module docstring).
 
@@ -740,13 +859,34 @@ def run_parallel_real(
         gathering.  The defaults are generous CI backstops; the
         supervisor passes per-policy deadlines so faults surface in
         milliseconds, not minutes.
+    strict_exceptions:
+        When True, a contained in-range fault whose sequential replay
+        raises a *different* exception type (or none) raises
+        :class:`~repro.errors.ExceptionDivergence` instead of silently
+        trusting the replay.  Default False: the sequential replay is
+        the ground truth.
+    partial_restart:
+        When True (default), a genuine in-range fault or a PD-test
+        failure commits the validated iteration prefix and resumes
+        sequentially from its end; False restores the old full-restart
+        behavior (everything re-executes from iteration 1).
+    resume:
+        A :class:`ResumeState` salvaged from a previous faulted
+        attempt: its committed prefix is applied after init and the
+        workers start at ``resume.next_iter``.  Non-speculative runs
+        only (a speculative prefix is only validated by the PD test,
+        whose shadows die with the failed attempt).
 
     System failures (a worker crash, hang, barrier stall, lost result
     message, or corrupted shadow payload) raise the structured
-    :class:`~repro.errors.WorkerFault` taxonomy; recovery is the
+    :class:`~repro.errors.WorkerFault` taxonomy — with a
+    :class:`ResumeState` attached as ``fault.salvage`` whenever a
+    contiguous DONE prefix was already gathered — and recovery is the
     caller's job (see :func:`repro.runtime.supervisor.run_supervised`
     for the degradation ladder the paper's Section-5 fallback
-    generalizes into).
+    generalizes into).  The loop's *own* exceptions, by contrast, are
+    contained, quarantined, and re-raised exactly as the sequential
+    execution would raise them.
     """
     t0 = time.perf_counter()
     if mode not in ("procs", "threads"):
@@ -760,6 +900,10 @@ def run_parallel_real(
     if disp is None:
         raise PlanError(f"loop {info.loop.name!r} has no dispatcher; "
                         f"run it sequentially instead")
+    if resume is not None and speculative:
+        raise PlanError("partial-restart resume is only valid for "
+                        "non-speculative runs (a speculative prefix is "
+                        "only validated by the PD test)")
     workers = max(1, int(workers))
 
     loop = info.loop
@@ -771,6 +915,19 @@ def run_parallel_real(
     # Init block runs once, sequentially, on the live store.
     init_ctx = runner.make_ctx(store)
     runner.run_init(init_ctx)
+
+    first = 1
+    if resume is not None:
+        # Commit the salvaged prefix [1, first-1] before export so the
+        # workers see its array writes and the merged remainder
+        # scalars; the dispatcher scalar is advanced to d(first) below.
+        first = max(1, int(resume.next_iter))
+        for k in sorted(resume.writes):
+            for (array, idx), value in resume.writes[k].items():
+                store[array][idx] = value
+        for rname, rvalue in resume.locals.items():
+            if rname != disp.var:
+                store[rname] = rvalue
 
     from repro.analysis.recurrence import RecKind
     if scheme == "doall":
@@ -786,10 +943,17 @@ def run_parallel_real(
         step = int(step) if float(step).is_integer() else step
     else:
         supply, step = "walk", 0
-    init_value = store[disp.var]
+    init_value = store[disp.var]          # d(1)
+    if first > 1:
+        if supply == "closed":
+            init_value = init_value + step * (first - 1)
+        else:
+            init_value = _replay_dispatcher(runner, store, funcs,
+                                            disp.var, init_value,
+                                            first - 1)
+        store[disp.var] = init_value      # d(first) is live at resume
 
-    first = 1
-    horizon0 = strip if strip is not None else u
+    horizon0 = (strip if strip is not None else u) + first - 1
     if chunk is None:
         chunk = default_chunk(u if strip is None else strip, workers)
 
@@ -802,6 +966,7 @@ def run_parallel_real(
     coord: Optional[_Coord] = None
     term_found = False
     clean_exit = False
+    gathered = _Gather()
     try:
         # The shm export lives inside this try so no failure between
         # export and teardown — pickling errors, spawn failures, a
@@ -823,7 +988,6 @@ def run_parallel_real(
             fault_plan=fault_plan,
         )
         coord = _Coord(mode, workers, first, horizon0)
-        gathered = _Gather()
 
         if mode == "procs":
             procs = [coord.ctx.Process(target=_worker_main,
@@ -852,7 +1016,14 @@ def run_parallel_real(
             term_found = any(
                 o in (IterOutcome.TERMINATED, IterOutcome.EXITED)
                 for o in gathered.outcomes.values())
-            if gathered.error is not None or term_found or strip is None:
+            # A contained fault also ends the strip loop: a spurious
+            # fault is always accompanied by a termination in the same
+            # strip (the true terminator precedes every overshoot
+            # artifact and is never blocked by the fault's QUIT), so a
+            # fault-without-termination means the program genuinely
+            # raises and extending the horizon would never converge.
+            if (gathered.error is not None or term_found
+                    or gathered.faults or strip is None):
                 coord.done.value = 1
                 _parent_barrier(coord, monitor, t0, barrier_timeout)
                 break
@@ -874,6 +1045,27 @@ def run_parallel_real(
                              queue_timeout)
             _validate_shadow_payloads(gathered, t0)
         clean_exit = True
+    except WorkerFault as wf:
+        # A system fault killed the run mid-flight.  For non-speculative
+        # runs, any contiguous DONE prefix already gathered is
+        # sequentially valid (see ResumeState) — attach it so the
+        # supervisor's partial-restart rung can resume instead of
+        # re-executing from iteration 1.
+        if not speculative:
+            m = _done_prefix(gathered, first, _NO_QUIT)
+            if m >= first:
+                writes = dict(resume.writes) if resume is not None else {}
+                for k in sorted(gathered.writes):
+                    if k <= m:
+                        writes[k] = gathered.writes[k]
+                merged = dict(resume.locals) if resume is not None else {}
+                for k in sorted(gathered.locals):
+                    if k <= m:
+                        merged.update(gathered.locals[k])
+                merged.pop(disp.var, None)
+                wf.salvage = ResumeState(next_iter=m + 1, writes=writes,
+                                         locals=merged)
+        raise
     finally:
         monitor.stop()
         if coord is not None and not clean_exit:
@@ -898,12 +1090,51 @@ def run_parallel_real(
     machine = machine or Machine(workers)
     wall_total = lambda: time.perf_counter() - t0  # noqa: E731
 
+    contained: List[IterationFault] = [
+        gathered.faults[k] for k in sorted(gathered.faults)]
+    spurious = 0
+
+    def spec_stats(salvaged: int = 0, restarts: int = 0) -> Dict[str, Any]:
+        trc = get_tracer()
+        if trc.enabled:
+            if spurious:
+                trc.count(_ev.M_SPEC_SPURIOUS, spurious)
+            if salvaged:
+                trc.count(_ev.M_SPEC_SALVAGED, salvaged)
+            if restarts:
+                trc.count(_ev.M_SPEC_PARTIAL_RESTARTS, restarts)
+        return {
+            "spurious_exceptions": spurious,
+            "salvaged_iters": salvaged,
+            "partial_restarts": restarts,
+            "contained": [f.summary() for f in contained],
+        }
+
+    def base_stats() -> Dict[str, Any]:
+        return {
+            "backend": mode,
+            "workers": workers,
+            "chunk": chunk,
+            "chunks": gathered.chunks,
+            "skipped": gathered.skipped,
+            "tested_arrays": task.shadow_arrays,
+            "privatized_arrays": tuple(privatize),
+        }
+
     def sequential_fallback(reason: str) -> ParallelResult:
-        """Section 5 fallback: discard, restore, re-execute sequentially."""
+        """Section 5 fallback: discard, restore, re-execute sequentially.
+
+        Satellite fix over PR 2: the fallback result no longer rebuilds
+        its stats from scratch — the run's chunk/skip counts and the
+        contained-fault record survive into ``stats``.
+        """
         assert backup is not None
         store.restore_from(backup)
         res = SequentialInterp(loop, funcs, FREE).run(store)
         wall = wall_total()
+        stats = base_stats()
+        stats["reason"] = reason
+        stats["spec"] = spec_stats()
         return ParallelResult(
             scheme=f"speculative[{reason}]->sequential",
             n_iters=res.n_iters,
@@ -913,7 +1144,91 @@ def run_parallel_real(
             executed=res.n_iters,
             fallback_sequential=True,
             wall_s=wall,
-            stats={"backend": mode, "workers": workers, "reason": reason},
+            stats=stats,
+        )
+
+    def continue_sequentially(resume_k: int, reason: str,
+                              fault: Optional[IterationFault]
+                              ) -> ParallelResult:
+        """Partial restart: transactionally commit the validated prefix
+        ``[1, resume_k - 1]``, then run the loop sequentially from
+        iteration ``resume_k`` on the live store.
+
+        The sequential continuation is the ground truth for whatever
+        ends the loop: if the program genuinely raises, the exact
+        sequential exception propagates at the exact sequential
+        iteration with the committed prefix in place (exception
+        equivalence); if it terminates cleanly, the contained fault was
+        a parallel-only artifact and the run *self-heals*.
+        """
+        nonlocal spurious
+        guard = IntervalCheckpoint(store, next_iter=resume_k)
+        try:
+            for k in sorted(gathered.writes):
+                if k >= resume_k:
+                    continue
+                for (array, idx), value in gathered.writes[k].items():
+                    store[array][idx] = value
+            prefix_locals: Dict[str, Any] = {}
+            for k in sorted(gathered.locals):
+                if k >= resume_k:
+                    break
+                prefix_locals.update(gathered.locals[k])
+            for lname, lvalue in prefix_locals.items():
+                if lname != disp.var:
+                    store[lname] = lvalue
+            if supply == "closed":
+                store[disp.var] = init_value + step * (resume_k - first)
+            else:
+                store[disp.var] = _replay_dispatcher(
+                    runner, store, funcs, disp.var, init_value,
+                    resume_k - first, faults=contained)
+        except BaseException:
+            guard.restore(store)
+            raise
+        salvaged = resume_k - 1
+        replay_exc: Optional[BaseException] = None
+        try:
+            res = SequentialInterp(loop, funcs, FREE).run(
+                store, run_init=False)
+        except Exception as exc:
+            replay_exc = exc
+        if (strict_exceptions and fault is not None
+                and fault.kind in ("exception", "oob-write")):
+            got = ("no exception" if replay_exc is None
+                   else type(replay_exc).__name__)
+            if replay_exc is None \
+                    or type(replay_exc).__name__ != fault.exc_type:
+                raise ExceptionDivergence(
+                    f"contained fault at iteration {fault.iteration} "
+                    f"({fault.exc_type}: {fault.message}) diverges "
+                    f"from the sequential replay ({got})"
+                ) from replay_exc
+        if replay_exc is not None:
+            raise replay_exc
+        if fault is not None:
+            spurious += 1   # self-healed: the fault was parallel-only
+        wall = wall_total()
+        base = f"speculative[{scheme}]" if speculative else scheme
+        suffix = "partial" if salvaged else "sequential"
+        stats = base_stats()
+        stats["reason"] = reason
+        stats["spec"] = spec_stats(salvaged=salvaged,
+                                   restarts=1 if salvaged else 0)
+        return ParallelResult(
+            scheme=f"{base}[{reason}]->{suffix}"
+                   if not speculative
+                   else f"speculative[{reason}]->{suffix}",
+            n_iters=salvaged + res.n_iters,
+            exited_in_body=res.exited_in_body,
+            t_par=max(1, int(wall * 1e9)),
+            makespan=max(1, int((t_doall - t_setup) * 1e9)),
+            executed=res.n_iters + sum(
+                1 for o in gathered.outcomes.values()
+                if o == IterOutcome.DONE),
+            fallback_sequential=True,
+            wall_s=wall,
+            stats=stats,
         )
 
     if gathered.error is not None:
@@ -923,16 +1238,50 @@ def run_parallel_real(
             f"worker failed during real-parallel execution of "
             f"{loop.name!r}:\n{gathered.error}")
 
-    if not term_found:
+    if not term_found and not gathered.faults:
         raise ExecutionError(
             f"loop {loop.name!r} did not terminate within its bound "
             f"u={horizon0}; raise the bound or strip-mine")
 
-    term_iters = [k for k, o in gathered.outcomes.items()
-                  if o in (IterOutcome.TERMINATED, IterOutcome.EXITED)]
-    exit_at = min(term_iters)
-    exited = gathered.outcomes[exit_at] == IterOutcome.EXITED
-    lvi = exit_at if exited else exit_at - 1
+    lvi: Optional[int] = None
+    exited = False
+    if term_found:
+        term_iters = [k for k, o in gathered.outcomes.items()
+                      if o in (IterOutcome.TERMINATED, IterOutcome.EXITED)]
+        exit_at = min(term_iters)
+        exited = gathered.outcomes[exit_at] == IterOutcome.EXITED
+        lvi = exit_at if exited else exit_at - 1
+
+    # -- overshoot quarantine ----------------------------------------------
+    # A fault past the last valid iteration is spurious overshoot:
+    # discard and count.  A fault at k <= lvi (or any fault when no
+    # termination was observed — the program raises before it could
+    # terminate) is genuine: commit the prefix and re-raise
+    # sequentially.
+    genuine = {k: f for k, f in gathered.faults.items()
+               if lvi is None or k <= lvi}
+    spurious = len(gathered.faults) - len(genuine)
+
+    if genuine:
+        resume_k = min(genuine)
+        fault = genuine[resume_k]
+        # The committed prefix must be contiguous DONE records.
+        resume_k = min(resume_k,
+                       _done_prefix(gathered, first, resume_k - 1) + 1)
+        if speculative and task.shadow_arrays and resume_k > first:
+            merged = _merged_shadows(store, task.shadow_arrays,
+                                     gathered.shadow_payloads)
+            prefix_pd = analyze_pd(merged, machine,
+                                   last_valid=resume_k - 1)
+            prefix_ok = (prefix_pd.valid_with_privatized(privatize)
+                         if prefix_pd.per_array else prefix_pd.valid_as_is)
+            if not prefix_ok:
+                safe = min(max_valid_prefix(merged, privatized=privatize),
+                           resume_k - 1)
+                resume_k = max(first, safe + 1)
+        if not partial_restart:
+            resume_k = first
+        return continue_sequentially(resume_k, "exception", fault)
 
     pd = None
     if speculative:
@@ -943,6 +1292,13 @@ def run_parallel_real(
         valid = pd.valid_with_privatized(privatize) if pd.per_array \
             else pd.valid_as_is
         if not valid:
+            if partial_restart:
+                safe = min(max_valid_prefix(merged, privatized=privatize),
+                           lvi)
+                safe = min(safe, _done_prefix(gathered, first, safe))
+                if safe >= 1:
+                    return continue_sequentially(safe + 1, "pd-failed",
+                                                 None)
             return sequential_fallback("pd-failed")
 
     # -- ordered reconciliation (mirror of SchemeCore) ---------------------
@@ -967,10 +1323,11 @@ def run_parallel_real(
                                                   info.dispatcher_stmts)
     final_k = lvi - 1 if (exited and not disp_before_exit) else lvi
     if supply == "closed":
-        final_d = init_value + step * final_k
+        final_d = init_value + step * (final_k - first + 1)
     else:
         final_d = _replay_dispatcher(runner, store, funcs, disp.var,
-                                     init_value, final_k)
+                                     init_value, final_k - first + 1,
+                                     faults=contained)
     store[disp.var] = final_d
 
     executed = sum(1 for o in gathered.outcomes.values()
@@ -979,6 +1336,9 @@ def run_parallel_real(
                    if o == IterOutcome.DONE and k > lvi)
     wall = wall_total()
     name = f"speculative[{scheme}]" if speculative else scheme
+    stats = base_stats()
+    stats["applied_words"] = applied_words
+    stats["spec"] = spec_stats()
     return ParallelResult(
         scheme=name,
         n_iters=lvi,
@@ -991,14 +1351,5 @@ def run_parallel_real(
         overshot=overshot,
         pd=pd,
         wall_s=wall,
-        stats={
-            "backend": mode,
-            "workers": workers,
-            "chunk": chunk,
-            "chunks": gathered.chunks,
-            "skipped": gathered.skipped,
-            "applied_words": applied_words,
-            "tested_arrays": task.shadow_arrays,
-            "privatized_arrays": tuple(privatize),
-        },
+        stats=stats,
     )

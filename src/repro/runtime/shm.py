@@ -49,11 +49,12 @@ from typing import Any, Dict, List, Tuple
 
 import numpy as np
 
+from repro.errors import OutOfBoundsWrite
 from repro.ir.store import Store
 from repro.structures.linkedlist import LinkedList
 
-__all__ = ["ArraySegment", "StoreSpec", "SharedStore", "attach_store",
-           "live_shared_stores", "sweep_shared_stores"]
+__all__ = ["ArraySegment", "StoreSpec", "SharedStore", "GuardedArray",
+           "attach_store", "live_shared_stores", "sweep_shared_stores"]
 
 
 #: Every not-yet-closed :class:`SharedStore` in this process.  The set
@@ -239,9 +240,38 @@ def attach_store(spec: StoreSpec) -> AttachedStore:
     return AttachedStore(store, segments)
 
 
+class GuardedArray(np.ndarray):
+    """Bounds-guarded view over a shared-memory segment.
+
+    NumPy silently wraps negative scalar indices, so a speculative
+    iteration that computes a garbage index (say ``i - n`` after
+    overshooting the loop's range) would corrupt a *different* element
+    of the shared segment — invisible to the reconciler and fatal to
+    every other worker.  This subclass rejects any scalar write outside
+    ``[0, len)`` with :class:`~repro.errors.OutOfBoundsWrite`, which the
+    worker's iteration guard contains as an ordinary per-iteration
+    fault.
+
+    Reads are unguarded (a wrapped read returns a harmless wrong value
+    that speculation validation already handles) and legitimate worker
+    writes go through the iteration write buffer, never through the
+    attached view, so the guard costs nothing on the hot path.
+    """
+
+    def __setitem__(self, key, value):
+        if isinstance(key, (int, np.integer)):
+            n = self.shape[0] if self.ndim else 0
+            if not 0 <= key < n:
+                raise OutOfBoundsWrite(
+                    f"write index {int(key)} outside [0, {n}) "
+                    "on shared segment")
+        super().__setitem__(key, value)
+
+
 def _attach_array(aseg: ArraySegment,
                   segments: List[shared_memory.SharedMemory]) -> np.ndarray:
-    """Attach one segment and return the ndarray view over it."""
+    """Attach one segment and return a guarded ndarray view over it."""
     seg = shared_memory.SharedMemory(name=aseg.shm_name, create=False)
     segments.append(seg)
-    return np.ndarray(aseg.shape, dtype=np.dtype(aseg.dtype), buffer=seg.buf)
+    arr = np.ndarray(aseg.shape, dtype=np.dtype(aseg.dtype), buffer=seg.buf)
+    return arr.view(GuardedArray)

@@ -27,9 +27,13 @@ Two pieces:
        by the dynamic self-scheduling counter;
     2. *reduce* — retry with the worker count halved, with bounded
        exponential backoff, until one worker remains;
-    3. *threads* — same orchestration on GIL-bound threads (no shm,
+    3. *partial-restart* — when the propagated fault carried a
+       salvaged committed prefix (:class:`WorkerFault.salvage
+       <repro.errors.WorkerFault>`), resume the run from the first
+       uncommitted iteration instead of iteration 1;
+    4. *threads* — same orchestration on GIL-bound threads (no shm,
        no process spawn: immune to segfaults and OOM kills);
-    4. *sequential* — restore the checkpoint and run the sequential
+    5. *sequential* — restore the checkpoint and run the sequential
        interpreter, exactly the paper's Section-5 fallback.
 
     Every transition is recorded as obs events/metrics (``fault.*``,
@@ -85,15 +89,17 @@ class ResiliencePolicy:
     within one deadline instead of the 600 s CI backstop.
 
     The ladder is bounded: at most ``1 (initial) + 1 (redistribute) +
-    max_reduced_retries + 1 (threads) + 1 (sequential)`` attempts.
+    max_reduced_retries + 1 (partial-restart) + 1 (threads) +
+    1 (sequential)`` attempts.
     """
 
     deadline_s: float = 30.0          #: per-attempt wall deadline
     poll_interval_s: float = 0.02     #: watchdog liveness poll period
     redistribute: bool = True         #: rung 1: retry at workers - dead
     max_reduced_retries: int = 2      #: rung 2: halvings to attempt
-    allow_threads: bool = True        #: rung 3: degrade procs -> threads
-    allow_sequential: bool = True     #: rung 4: Section-5 fallback
+    allow_partial_restart: bool = True  #: rung 3: resume from salvage
+    allow_threads: bool = True        #: rung 4: degrade procs -> threads
+    allow_sequential: bool = True     #: rung 5: Section-5 fallback
     backoff_base_s: float = 0.0       #: exponential backoff seed
     backoff_cap_s: float = 2.0        #: backoff ceiling
 
@@ -109,7 +115,8 @@ class ResiliencePolicy:
 class Rung:
     """One step of the degradation ladder."""
 
-    stage: str     #: "initial" | "redistribute" | "reduce" | "threads"
+    stage: str     #: "initial" | "redistribute" | "reduce" |
+                   #: "partial-restart" | "threads"
     mode: str      #: "procs" | "threads" | "sequential"
     workers: int
 
@@ -233,6 +240,10 @@ def _build_ladder(mode: str, workers: int,
             break
         w = max(1, w // 2)
         ladder.append(Rung("reduce", mode, w))
+    if policy.allow_partial_restart:
+        # Only taken when the most recent fault carried a salvaged
+        # committed prefix (run_supervised skips it otherwise).
+        ladder.append(Rung("partial-restart", mode, workers))
     if policy.allow_threads and mode == "procs":
         ladder.append(Rung("threads", "threads", min(workers, 2)))
     if policy.allow_sequential:
@@ -268,6 +279,7 @@ def run_supervised(
     machine: Optional[Machine] = None,
     policy: Optional[ResiliencePolicy] = None,
     fault_plan: Optional[FaultPlan] = None,
+    strict_exceptions: bool = False,
 ) -> ParallelResult:
     """Execute one loop fault-tolerantly (see module docstring).
 
@@ -277,9 +289,17 @@ def run_supervised(
     via :meth:`FaultPlan.for_attempt`, so a default plan faults the
     first attempt and lets the retry prove recovery).
 
+    The *partial-restart* rung is conditional: it is taken only when
+    the most recent propagated fault carried a salvaged committed
+    prefix (``fault.salvage``), and is silently skipped otherwise —
+    speculative runs never salvage (uncommitted writes cannot be
+    trusted before the PD verdict), so they fall straight through to
+    the threads/sequential rungs.
+
     The returned result's ``stats["resilience"]`` records the ladder
     walk: the winning rung's stage/mode/workers, the attempt count,
-    and one summary per detected fault.  When every parallel rung
+    one summary per detected fault, and the salvaged-iteration count
+    when a partial restart contributed.  When every parallel rung
     faults and the policy forbids the sequential rung,
     :class:`~repro.errors.LadderExhausted` carries the final fault as
     its ``__cause__``.
@@ -291,8 +311,14 @@ def run_supervised(
     ladder = _build_ladder(mode, workers, policy)
     faults: List[Dict[str, Any]] = []
     last_fault: Optional[RealBackendError] = None
+    attempt = 0   # executed attempts only; skipped rungs don't count
 
-    for attempt, rung in enumerate(ladder):
+    for rung in ladder:
+        resume = None
+        if rung.stage == "partial-restart":
+            resume = getattr(last_fault, "salvage", None)
+            if resume is None or speculative:
+                continue
         if attempt:
             store.restore_from(checkpoint)
             backoff = policy.backoff_for(attempt)
@@ -324,11 +350,15 @@ def run_supervised(
                 privatize=privatize, machine=machine,
                 fault_plan=armed, monitor=watchdog,
                 barrier_timeout=policy.deadline_s,
-                queue_timeout=policy.deadline_s)
+                queue_timeout=policy.deadline_s,
+                strict_exceptions=strict_exceptions,
+                partial_restart=policy.allow_partial_restart,
+                resume=resume)
         except WorkerFault as fault:
             last_fault = fault
             faults.append(_fault_summary(fault))
             _record_fault(trc, fault, rung, attempt)
+            attempt += 1
             continue
         except RealBackendError as fault:
             # A worker traceback (a genuine bug in the loop body) also
@@ -338,7 +368,19 @@ def run_supervised(
             last_fault = fault
             faults.append(_fault_summary(fault))
             _record_fault(trc, fault, rung, attempt)
+            attempt += 1
             continue
+        if resume is not None:
+            # Credit the iterations the faulted attempt committed: the
+            # resumed run never re-executed them.  ``max`` because a
+            # resumed run that itself continued sequentially already
+            # counts the pre-resume prefix (its salvage accounting is
+            # absolute).
+            spec = result.stats.setdefault("spec", {})
+            spec["salvaged_iters"] = max(spec.get("salvaged_iters", 0),
+                                         resume.salvaged_iters)
+            spec["partial_restarts"] = spec.get("partial_restarts",
+                                                0) + 1
         _record_outcome(trc, result, rung, attempt, faults)
         return result
 
@@ -385,12 +427,14 @@ def _record_outcome(trc, result: ParallelResult, rung: Rung,
                     attempt: int, faults: List[Dict[str, Any]],
                     reason: Optional[str] = None) -> None:
     """Stamp the winning rung into stats and the obs registry."""
+    spec = result.stats.get("spec", {})
     result.stats["resilience"] = {
         "rung": rung.stage,
         "mode": rung.mode,
         "workers": rung.workers,
         "attempts": attempt + 1,
         "faults": list(faults),
+        "salvaged": spec.get("salvaged_iters", 0),
     }
     if reason is not None:
         result.stats["resilience"]["reason"] = reason
@@ -420,6 +464,7 @@ class ChaosRow:
     mode: str
     attempts: int
     n_faults: int
+    salvaged: int      #: iterations saved by partial restart / quarantine
     store_ok: bool
     wall_s: float
 
@@ -443,17 +488,21 @@ class ChaosReport:
         lines = [head, "=" * len(head),
                  f"{'loop':<20s} {'scheme':<22s} {'fault':<15s} "
                  f"{'recovered at':<14s} {'att':>3s} {'faults':>6s} "
-                 f"{'wall_s':>7s} ok"]
+                 f"{'salv':>5s} {'wall_s':>7s} ok"]
         for r in self.rows:
             lines.append(
                 f"{r.loop:<20s} {r.scheme:<22s} {r.fault:<15s} "
                 f"{r.rung + '/' + r.mode:<14s} {r.attempts:3d} "
-                f"{r.n_faults:6d} {r.wall_s:7.3f} {r.store_ok}")
+                f"{r.n_faults:6d} {r.salvaged:5d} {r.wall_s:7.3f} "
+                f"{r.store_ok}")
         lines.append("")
         lines.append("Every row must end store_ok=True: an injected "
                      "system fault may cost a retry\nor a ladder "
                      "descent, never a wrong answer "
-                     "(docs/robustness.md).")
+                     "(docs/robustness.md).  'salv' counts\n"
+                     "iterations the recovery did not have to "
+                     "re-execute (partial restart /\nquarantined "
+                     "exception continuation).")
         return "\n".join(lines)
 
 
@@ -471,9 +520,13 @@ CHAOS_SCHEMES: Tuple[Tuple[str, str, bool], ...] = (
 )
 
 #: Fault kinds the matrix injects (corrupt-shadow only applies to the
-#: speculative cell).
+#: speculative cell).  The last two are *iteration* faults: they never
+#: reach the ladder — the containment/quarantine reconciler inside the
+#: backend absorbs them and the row proves the salvaged continuation
+#: still lands on the sequential store.
 CHAOS_FAULTS: Tuple[str, ...] = ("crash", "hang", "barrier",
-                                 "drop-result", "corrupt-shadow")
+                                 "drop-result", "corrupt-shadow",
+                                 "raise-at-iter", "oob-write")
 
 
 def chaos_matrix(*, mode: str = "procs", workers: int = 2,
@@ -510,6 +563,12 @@ def chaos_matrix(*, mode: str = "procs", workers: int = 2,
             # iteration 1, whichever worker claims it).
             if kind == "drop-result":
                 spec = FaultSpec(kind=kind, worker=-1, at_iter=1)
+            elif kind in ("raise-at-iter", "oob-write"):
+                # An in-range iteration fault (the zoo runs n=48):
+                # genuine under quarantine, so the backend commits the
+                # validated prefix and continues sequentially — the
+                # containment path, not the ladder.
+                spec = FaultSpec(kind=kind, worker=-1, at_iter=7)
             else:
                 spec = FaultSpec(kind=kind, worker=workers - 1,
                                  at_iter=0 if kind in ("crash", "hang")
@@ -532,6 +591,8 @@ def chaos_matrix(*, mode: str = "procs", workers: int = 2,
                 mode=res.get("mode", "sequential"),
                 attempts=res.get("attempts", 0),
                 n_faults=len(res.get("faults", ())),
+                salvaged=result.stats.get("spec", {}).get(
+                    "salvaged_iters", 0),
                 store_ok=st.equals(ref),
                 wall_s=time.perf_counter() - t0))
     return ChaosReport(workers=workers, rows=tuple(rows))

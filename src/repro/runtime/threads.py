@@ -29,6 +29,13 @@ store's NumPy element reads/writes are protected by a store-wide lock
 (coarse, but this module optimizes for clarity, not throughput —
 unlike :mod:`repro.runtime.procs`, which buffers writes per iteration
 precisely so no such lock exists on the hot path).
+
+Exception semantics mirror the production backends: an ordinary
+exception inside an iteration is contained as an
+:data:`~repro.ir.interp.IterOutcome.FAULTED` record, and the final
+reconciliation quarantines it — spurious overshoot faults (past the
+last valid iteration) are discarded and counted, genuine in-range
+faults re-raise the program's own exception.
 """
 
 from __future__ import annotations
@@ -49,12 +56,18 @@ __all__ = ["ThreadedResult", "run_threaded_doall", "run_threaded_general"]
 
 @dataclass
 class ThreadedResult:
-    """Outcome of a threaded execution."""
+    """Outcome of a threaded execution.
+
+    ``spurious_exceptions`` counts contained per-iteration faults that
+    fell past the last valid iteration — overshoot artifacts the
+    quarantine discarded (a genuine in-range fault re-raises instead).
+    """
 
     n_iters: int
     exited_in_body: bool
     executed: Set[int] = field(default_factory=set)
     overshot: Set[int] = field(default_factory=set)
+    spurious_exceptions: int = 0
 
 
 class _InOrderIssuer:
@@ -82,15 +95,28 @@ class _InOrderIssuer:
                 self._quit_at = k
 
 
-def _terminations(outcomes: Dict[int, str]) -> Tuple[int, bool]:
+def _terminations(outcomes: Dict[int, str],
+                  faults: Optional[Dict[int, BaseException]] = None
+                  ) -> Tuple[int, bool, int]:
+    """Reconcile outcomes with quarantine: a contained fault past the
+    last valid iteration is spurious overshoot (discarded, counted); a
+    fault at ``k <= lvi`` — or any fault when no termination was
+    observed — is the program's own exception and re-raises."""
+    faults = faults or {}
     terms = [k for k, o in outcomes.items()
              if o in (IterOutcome.TERMINATED, IterOutcome.EXITED)]
     if not terms:
+        if faults:
+            raise faults[min(faults)]
         raise ExecutionError("threaded run observed no termination; "
                              "raise the bound")
     exit_at = min(terms)
     exited = outcomes[exit_at] == IterOutcome.EXITED
-    return (exit_at if exited else exit_at - 1), exited
+    lvi = exit_at if exited else exit_at - 1
+    genuine = [k for k in faults if k <= lvi]
+    if genuine:
+        raise faults[min(genuine)]
+    return lvi, exited, len(faults)
 
 
 def run_threaded_doall(
@@ -124,6 +150,7 @@ def run_threaded_doall(
     locals_by_iter: Dict[int, Dict[str, Any]] = {}
     record_lock = threading.Lock()
     errors: List[BaseException] = []
+    faults: Dict[int, BaseException] = {}
 
     def worker() -> None:
         try:
@@ -131,15 +158,22 @@ def run_threaded_doall(
                 k = issuer.take()
                 if k is None:
                     return
-                local = {dispatcher_var: dispatcher_value(k)}
-                ctx = EvalContext(store, funcs, FREE, local=local)
-                outcome = runner.run_iteration(ctx)
+                try:
+                    local = {dispatcher_var: dispatcher_value(k)}
+                    ctx = EvalContext(store, funcs, FREE, local=local)
+                    outcome = runner.run_iteration(ctx)
+                except Exception as exc:  # contained per-iteration fault
+                    with record_lock:
+                        outcomes[k] = IterOutcome.FAULTED
+                        faults[k] = exc
+                    issuer.quit_at(k)
+                    continue
                 with record_lock:
                     outcomes[k] = outcome
                     locals_by_iter[k] = local
                 if outcome in (IterOutcome.TERMINATED, IterOutcome.EXITED):
                     issuer.quit_at(k)
-        except BaseException as exc:  # surfaced to the caller
+        except BaseException as exc:  # sudden death (InjectedCrash-style)
             errors.append(exc)
             issuer.quit_at(0)
 
@@ -151,13 +185,14 @@ def run_threaded_doall(
     if errors:
         raise errors[0]
 
-    lvi, exited = _terminations(outcomes)
+    lvi, exited, spurious = _terminations(outcomes, faults)
     executed = {k for k, o in outcomes.items() if o == IterOutcome.DONE}
     return ThreadedResult(
         n_iters=lvi,
         exited_in_body=exited,
         executed=executed,
         overshot={k for k in executed if k > lvi},
+        spurious_exceptions=spurious,
     )
 
 
@@ -187,6 +222,7 @@ def run_threaded_general(
     outcomes: Dict[int, str] = {}
     record_lock = threading.Lock()
     errors: List[BaseException] = []
+    faults: Dict[int, BaseException] = {}
 
     walk_lock = threading.Lock()
     shared_walk = {"k": 1, "value": initial, "exhausted": False}
@@ -238,15 +274,24 @@ def run_threaded_general(
                 k = issuer.take()
                 if k is None:
                     return
-                d = value_for(k)
-                if d is None:
+                try:
+                    d = value_for(k)
+                    if d is None:
+                        # walk ran off the structure before reaching k:
+                        # a null-pointer overshoot artifact, contained
+                        # like every other per-iteration fault.
+                        raise NullPointerError(
+                            f"dispatcher walk exhausted before "
+                            f"iteration {k}")
+                    local = {dispatcher_var: d}
+                    ctx = EvalContext(store, funcs, FREE, local=local)
+                    outcome = runner.run_iteration(ctx)
+                except Exception as exc:  # contained per-iteration fault
                     with record_lock:
-                        outcomes[k] = IterOutcome.TERMINATED
+                        outcomes[k] = IterOutcome.FAULTED
+                        faults[k] = exc
                     issuer.quit_at(k)
                     continue
-                local = {dispatcher_var: d}
-                ctx = EvalContext(store, funcs, FREE, local=local)
-                outcome = runner.run_iteration(ctx)
                 with record_lock:
                     outcomes[k] = outcome
                 if outcome in (IterOutcome.TERMINATED, IterOutcome.EXITED):
@@ -263,8 +308,9 @@ def run_threaded_general(
     if errors:
         raise errors[0]
 
-    lvi, exited = _terminations(outcomes)
+    lvi, exited, spurious = _terminations(outcomes, faults)
     executed = {k for k, o in outcomes.items() if o == IterOutcome.DONE}
     return ThreadedResult(n_iters=lvi, exited_in_body=exited,
                           executed=executed,
-                          overshot={k for k in executed if k > lvi})
+                          overshot={k for k in executed if k > lvi},
+                          spurious_exceptions=spurious)

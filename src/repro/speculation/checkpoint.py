@@ -20,7 +20,7 @@ from repro.errors import ExecutionError
 from repro.ir.store import Store
 from repro.structures.linkedlist import LinkedList
 
-__all__ = ["Checkpoint"]
+__all__ = ["Checkpoint", "IntervalCheckpoint"]
 
 
 class Checkpoint:
@@ -92,3 +92,35 @@ class Checkpoint:
         if n:
             live[mask] = saved[mask]
         return n
+
+
+class IntervalCheckpoint(Checkpoint):
+    """A checkpoint tagged with the iteration interval it represents.
+
+    Partial-restart recovery commits a validated prefix of iterations
+    and resumes execution from the first uncommitted one; the interval
+    checkpoint records where that boundary sits so recovery can resume
+    from ``next_iter`` instead of iteration 0 (the full-restart nuclear
+    option).  It is also the transactional guard around prefix commits:
+    take the checkpoint, apply the prefix writes, and :meth:`restore`
+    on any mid-commit failure.
+
+    Parameters
+    ----------
+    store, arrays:
+        As for :class:`Checkpoint`.
+    next_iter:
+        The first iteration (1-based) *not* covered by the state being
+        snapshotted — i.e. recovery resuming from this checkpoint
+        starts at ``next_iter``.
+    """
+
+    def __init__(self, store: Store, *, next_iter: int,
+                 arrays: Optional[Iterable[str]] = None) -> None:
+        super().__init__(store, arrays)
+        self.next_iter = int(next_iter)
+
+    @property
+    def committed_upto(self) -> int:
+        """Last iteration whose effects this checkpoint's state includes."""
+        return self.next_iter - 1

@@ -43,7 +43,7 @@ from repro.ir.interp import EvalContext, MemHooks
 from repro.ir.store import Store
 from repro.runtime.machine import Machine
 
-__all__ = ["ShadowArrays", "PDResult", "analyze_pd"]
+__all__ = ["ShadowArrays", "PDResult", "analyze_pd", "max_valid_prefix"]
 
 #: Sentinel stamp: "no mark".
 INF = np.iinfo(np.int64).max
@@ -258,3 +258,51 @@ def analyze_pd(
         analysis_time=t,
         per_array=tuple(per_array),
     )
+
+
+def max_valid_prefix(shadows: ShadowArrays, *,
+                     privatized: Iterable[str] = ()) -> int:
+    """Largest cutoff ``c`` such that ``analyze_pd(..., last_valid=c)``
+    passes — i.e. the longest committed-iteration prefix salvageable
+    from a failed speculative run.
+
+    The time-stamped marks keep the two smallest distinct write/read
+    iterations per element, so every conflict predicate of
+    :func:`analyze_pd` becomes *active* exactly when the cutoff reaches
+    the larger stamp of the offending pair.  The largest valid cutoff
+    is therefore ``min(activation thresholds) - 1``; with no conflicts
+    at all it is ``INF - 1`` (every executed iteration is valid —
+    callers clamp to their own last valid iteration).
+
+    ``privatized`` arrays only fail on flow pairs (exposed read after a
+    write from an earlier iteration); unprivatized arrays fail on
+    output pairs and on any cross-iteration read/write pair, exactly
+    mirroring the predicates in :func:`analyze_pd`.
+    """
+    priv = set(privatized)
+    best = INF - 1
+    for name in shadows.arrays:
+        w1, w2 = shadows.w1[name], shadows.w2[name]
+        r1, r2 = shadows.r1[name], shadows.r2[name]
+        if name in priv:
+            # Flow-only: an exposed read r strictly after a write w.
+            # The pair activates once the cutoff reaches r (> w).
+            for r in (r1, r2):
+                for w in (w1, w2):
+                    mask = (r < INF) & (r > w)
+                    if mask.any():
+                        best = min(best, int(r[mask].min()) - 1)
+        else:
+            # Output dependence activates at the second write stamp.
+            mask = w2 < INF
+            if mask.any():
+                best = min(best, int(w2[mask].min()) - 1)
+            # Flow/anti: cross-iteration read/write pair activates at
+            # the larger of the two stamps.
+            for r in (r1, r2):
+                for w in (w1, w2):
+                    mask = (r < INF) & (w < INF) & (r != w)
+                    if mask.any():
+                        hi = np.maximum(r[mask], w[mask])
+                        best = min(best, int(hi.min()) - 1)
+    return best

@@ -75,13 +75,19 @@ class TestZooEquivalence:
 
 @pytest.mark.parametrize("name", PD_FAIL)
 def test_seeded_speculative_failure_falls_back_identically(name):
-    """The PD test must fail on all backends and recover sequentially."""
+    """The PD test must fail on all backends and recover sequentially.
+
+    The sim backend always does the full Section-5 restart
+    (``->sequential``); the real backends may salvage a validated
+    iteration prefix and continue from there (``->partial``) — either
+    way the fallback decision and the final store must match.
+    """
     zl = ZOO[name]
     for backend in BACKENDS:
         st = zl.make_store()
         out = parallelize(zl.loop, st, Machine(2), zl.funcs,
                           backend=backend, workers=2, min_speedup=0.0)
-        assert out.result.scheme == "speculative[pd-failed]->sequential", (
+        assert out.result.scheme.startswith("speculative[pd-failed]->"), (
             f"{name}: {backend} scheme {out.result.scheme!r}")
         assert out.result.fallback_sequential is True
         assert out.verified is True

@@ -1,0 +1,131 @@
+"""Property-based exception equivalence (hypothesis).
+
+The robustness contract: for any loop and any iteration at which an
+exception fires, a real-parallel run must be observationally identical
+to the sequential run — same exception type, raised after the same
+committed prefix, with the same final store.  And faults that only
+exist because of parallel overshoot must never be visible at all.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st_
+
+from repro.analysis.loopinfo import analyze_loop
+from repro.ir.functions import FunctionTable
+from repro.ir.interp import SequentialInterp
+from repro.ir.nodes import (
+    ArrayAssign,
+    Assign,
+    Call,
+    Const,
+    Var,
+    WhileLoop,
+    le_,
+)
+from repro.ir.store import Store
+from repro.runtime.costs import FREE
+from repro.runtime.faults import FaultPlan, FaultSpec
+from repro.runtime.procs import run_parallel_real
+from repro.workloads.zoo import make_zoo
+
+N = 37
+PROP = settings(max_examples=8, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+def _poison_doall(poison_at):
+    ft = FunctionTable()
+
+    def f(ctx, i):
+        if i == poison_at:
+            raise ValueError(f"poison at {i}")
+        return i * 3
+
+    ft.register("f", f, cost=1, pure=True)
+    loop = WhileLoop(
+        [Assign("i", Const(1))],
+        le_(Var("i"), Var("n")),
+        [ArrayAssign("out", Var("i"), Call("f", (Var("i"),))),
+         Assign("i", Var("i") + 1)],
+        name="prop-poison",
+    )
+    st = Store()
+    st["n"] = N
+    st["out"] = np.zeros(64, dtype=np.int64)
+    return loop, ft, st
+
+
+class TestGenuineExceptionProperty:
+    @PROP
+    @given(k=st_.integers(min_value=1, max_value=N))
+    def test_same_type_prefix_and_store_as_sequential(self, k):
+        loop, ft, st = _poison_doall(k)
+        ref = st.copy()
+        with pytest.raises(ValueError) as seq_exc:
+            SequentialInterp(loop, ft, FREE).run(ref)
+
+        info = analyze_loop(loop, ft)
+        with pytest.raises(ValueError) as par_exc:
+            run_parallel_real(info, st, ft, mode="threads",
+                              scheme="doall", workers=2, u=64)
+        assert str(par_exc.value) == str(seq_exc.value)
+        assert st.equals(ref), st.diff(ref)
+
+
+class TestInjectedFaultSalvageProperty:
+    @PROP
+    @given(k=st_.integers(min_value=1, max_value=24))
+    def test_general_scheme_salvages_exact_prefix(self, k):
+        # The linked-list walk (general/RI): a parallel-only injected
+        # exception at iteration k must self-heal with the committed
+        # prefix [1, k-1] salvaged and the store untouched by the fault.
+        zl = next(z for z in make_zoo(24) if z.name == "general/RI")
+        st = zl.make_store()
+        ref = st.copy()
+        SequentialInterp(zl.loop, zl.funcs, FREE).run(ref)
+
+        info = analyze_loop(zl.loop, zl.funcs)
+        plan = FaultPlan(specs=(FaultSpec(kind="raise-at-iter",
+                                          worker=-1, at_iter=k),))
+        res = run_parallel_real(info, st, zl.funcs, mode="threads",
+                                scheme="general-3", workers=2, u=64,
+                                fault_plan=plan)
+        assert st.equals(ref), st.diff(ref)
+        spec = res.stats["spec"]
+        assert spec["salvaged_iters"] == k - 1
+        assert spec["spurious_exceptions"] >= 1
+
+
+class TestOvershootInvisibilityProperty:
+    @PROP
+    @given(n=st_.integers(min_value=1, max_value=40))
+    def test_poison_past_n_never_surfaces(self, n):
+        # The intrinsic raises for every i > n: only overshoot can hit
+        # it, so no run may raise, whatever the worker schedule did.
+        ft = FunctionTable()
+
+        def f(ctx, i):
+            if i > n:
+                raise ValueError(f"overshoot poison: {i}")
+            return i * 3
+
+        ft.register("f", f, cost=1, pure=True)
+        loop = WhileLoop(
+            [Assign("i", Const(1))],
+            le_(Var("i"), Const(n)),
+            [ArrayAssign("out", Var("i"), Call("f", (Var("i"),))),
+             Assign("i", Var("i") + 1)],
+            name="prop-overshoot",
+        )
+        st = Store()
+        st["out"] = np.zeros(64, dtype=np.int64)
+        ref = st.copy()
+        SequentialInterp(loop, ft, FREE).run(ref)
+
+        info = analyze_loop(loop, ft)
+        res = run_parallel_real(info, st, ft, mode="threads",
+                                scheme="doall", workers=2, u=48)
+        assert st.equals(ref)
+        assert res.n_iters == n

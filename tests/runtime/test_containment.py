@@ -1,0 +1,473 @@
+"""Exception containment, overshoot quarantine, and partial restart
+(`repro.runtime.procs`, `repro.runtime.shm`, `repro.speculation`).
+
+The contract under test (docs/robustness.md, "Exception semantics"):
+
+* an ordinary exception inside one iteration never aborts the run — it
+  becomes a contained ``FAULTED`` record;
+* a contained fault past the last valid iteration is a spurious
+  overshoot artifact: discarded, counted, invisible to the caller;
+* a contained fault inside the valid range commits the validated
+  prefix and re-executes sequentially, so the user sees exactly the
+  exception a sequential run would raise (or the run self-heals when
+  the fault was parallel-only);
+* a propagated system fault carries the salvaged committed prefix so
+  the supervisor's partial-restart rung resumes instead of redoing
+  everything.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.loopinfo import analyze_loop
+from repro.errors import (
+    ExceptionDivergence,
+    OutOfBoundsWrite,
+    PlanError,
+    ResultLost,
+)
+from repro.ir.functions import FunctionTable
+from repro.ir.interp import SequentialInterp
+from repro.ir.nodes import (
+    ArrayAssign,
+    Assign,
+    Call,
+    Const,
+    Var,
+    WhileLoop,
+    le_,
+)
+from repro.ir.store import Store
+from repro.runtime.costs import FREE
+from repro.runtime.faults import FaultPlan, FaultSpec
+from repro.runtime.procs import run_parallel_real
+from repro.runtime.shm import GuardedArray
+from repro.runtime.supervisor import ResiliencePolicy, run_supervised
+from repro.speculation.checkpoint import IntervalCheckpoint
+from repro.speculation.pdtest import INF, ShadowArrays, max_valid_prefix
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+def _doall_loop(n=37, size=64):
+    loop = WhileLoop(
+        [Assign("i", Const(1))],
+        le_(Var("i"), Var("n")),
+        [ArrayAssign("out", Var("i"), Var("i") * 3),
+         Assign("i", Var("i") + 1)],
+        name="contain-doall",
+    )
+    st = Store()
+    st["n"] = n
+    st["out"] = np.zeros(size, dtype=np.int64)
+    return loop, FunctionTable(), st
+
+
+def _poison_loop(poison_at, n=37, size=64, past_only=False):
+    """A DOALL whose intrinsic raises at one iteration.
+
+    ``past_only=True`` makes it raise for every ``i > n`` instead —
+    the pure-overshoot hazard a sequential run can never trigger.
+    """
+    ft = FunctionTable()
+
+    def f(ctx, i):
+        if past_only:
+            if i > n:
+                raise ValueError(f"poison past the end: {i}")
+        elif i == poison_at:
+            raise ValueError(f"poison at {i}")
+        return i * 3
+
+    ft.register("f", f, cost=1, pure=True)
+    loop = WhileLoop(
+        [Assign("i", Const(1))],
+        le_(Var("i"), Var("n")),
+        [ArrayAssign("out", Var("i"), Call("f", (Var("i"),))),
+         Assign("i", Var("i") + 1)],
+        name="poison-doall",
+    )
+    st = Store()
+    st["n"] = n
+    st["out"] = np.zeros(size, dtype=np.int64)
+    return loop, ft, st
+
+
+def _reference(loop, funcs, store):
+    ref = store.copy()
+    SequentialInterp(loop, funcs, FREE).run(ref)
+    return ref
+
+
+def _crashed_reference(loop, funcs, store, exc_type):
+    """Sequential run up to (and including) its own raise."""
+    ref = store.copy()
+    with pytest.raises(exc_type):
+        SequentialInterp(loop, funcs, FREE).run(ref)
+    return ref
+
+
+# ---------------------------------------------------------------------------
+# bounds guard on shared segments
+# ---------------------------------------------------------------------------
+
+class TestGuardedArray:
+    def _arr(self):
+        return np.arange(8, dtype=np.int64).view(GuardedArray)
+
+    def test_in_range_write_passes(self):
+        a = self._arr()
+        a[3] = 99
+        assert a[3] == 99
+
+    def test_past_end_write_is_trapped(self):
+        a = self._arr()
+        with pytest.raises(OutOfBoundsWrite, match=r"outside \[0, 8\)"):
+            a[8] = 1
+
+    def test_negative_write_is_trapped_not_wrapped(self):
+        # NumPy would silently write element 7; the guard must refuse.
+        a = self._arr()
+        with pytest.raises(OutOfBoundsWrite):
+            a[-1] = 1
+        assert a[7] == 7
+
+    def test_reads_stay_unguarded(self):
+        a = self._arr()
+        assert a[-1] == 7  # harmless wrapped read
+
+    def test_slice_writes_unaffected(self):
+        a = self._arr()
+        a[2:4] = 0
+        assert a[2] == 0 and a[3] == 0
+
+
+# ---------------------------------------------------------------------------
+# max_valid_prefix (the salvage bound under a failed PD verdict)
+# ---------------------------------------------------------------------------
+
+class TestMaxValidPrefix:
+    def _shadows(self):
+        st = Store()
+        st["A"] = np.zeros(8, dtype=np.int64)
+        return ShadowArrays(st, ("A",))
+
+    def test_no_conflicts_is_unbounded(self):
+        sh = self._shadows()
+        sh.w1["A"][0] = 3  # single write, never re-written or read
+        assert max_valid_prefix(sh) >= INF - 1
+
+    def test_output_dependence_activates_at_second_write(self):
+        sh = self._shadows()
+        sh.w1["A"][2] = 3
+        sh.w2["A"][2] = 9  # two writes to one element: w2 poisons
+        assert max_valid_prefix(sh) == 8
+
+    def test_flow_dependence_activates_at_the_later_stamp(self):
+        sh = self._shadows()
+        sh.w1["A"][1] = 4
+        sh.r1["A"][1] = 6  # exposed read after a write
+        assert max_valid_prefix(sh) == 5
+
+    def test_min_over_all_conflicts_wins(self):
+        sh = self._shadows()
+        sh.w1["A"][1] = 4
+        sh.r1["A"][1] = 6      # activates at 6
+        sh.w1["A"][5] = 2
+        sh.w2["A"][5] = 3      # activates at 3 -> the binding one
+        assert max_valid_prefix(sh) == 2
+
+    def test_privatized_flow_only_counts_read_after_write(self):
+        sh = self._shadows()
+        sh.w1["A"][1] = 4
+        sh.r1["A"][1] = 6
+        # privatized: the anti/output hazards vanish; only an exposed
+        # read *after* a write (flow) poisons, at the read's stamp.
+        assert max_valid_prefix(sh, privatized=("A",)) == 5
+        sh2 = self._shadows()
+        sh2.r1["A"][1] = 2
+        sh2.w1["A"][1] = 4  # read-before-write: privatization fixes it
+        assert max_valid_prefix(sh2, privatized=("A",)) >= INF - 1
+
+
+# ---------------------------------------------------------------------------
+# interval checkpoints
+# ---------------------------------------------------------------------------
+
+class TestIntervalCheckpoint:
+    def test_committed_upto_and_restore(self):
+        st = Store()
+        st["x"] = 5
+        st["A"] = np.arange(4, dtype=np.int64)
+        ck = IntervalCheckpoint(st, next_iter=9)
+        assert ck.committed_upto == 8
+        st["x"] = 99
+        st["A"][0] = 77
+        ck.restore(st)
+        assert st["x"] == 5 and st["A"][0] == 0
+
+
+# ---------------------------------------------------------------------------
+# fault-plan hooks for the new kinds
+# ---------------------------------------------------------------------------
+
+class TestIterationFaultHooks:
+    def test_raises_at_is_exact_match(self):
+        plan = FaultPlan(specs=(FaultSpec(kind="raise-at-iter",
+                                          worker=1, at_iter=7),))
+        plan.raises_at(1, 6)   # no fire: wrong iteration
+        plan.raises_at(0, 7)   # no fire: wrong worker
+        from repro.runtime.faults import InjectedIterationError
+        with pytest.raises(InjectedIterationError):
+            plan.raises_at(1, 7)
+
+    def test_wildcard_worker_matches_everyone(self):
+        from repro.runtime.faults import InjectedIterationError
+        plan = FaultPlan(specs=(FaultSpec(kind="raise-at-iter",
+                                          worker=-1, at_iter=3),))
+        with pytest.raises(InjectedIterationError):
+            plan.raises_at(5, 3)
+
+    def test_oob_target_names_the_array(self):
+        plan = FaultPlan(specs=(FaultSpec(kind="oob-write", worker=-1,
+                                          at_iter=4, array="out"),))
+        assert plan.oob_target(0, 4) == "out"
+        assert plan.oob_target(0, 5) is None
+
+    def test_threads_mode_drops_oob_but_keeps_raise(self):
+        plan = FaultPlan(specs=(
+            FaultSpec(kind="oob-write", worker=-1, at_iter=4),
+            FaultSpec(kind="raise-at-iter", worker=-1, at_iter=4),
+        ))
+        threaded = plan.with_mode("threads")
+        assert [s.kind for s in threaded.specs] == ["raise-at-iter"]
+        assert [s.kind for s in plan.with_mode("procs").specs] == \
+            ["oob-write", "raise-at-iter"]
+
+
+# ---------------------------------------------------------------------------
+# overshoot quarantine: spurious faults are invisible
+# ---------------------------------------------------------------------------
+
+class TestOvershootQuarantine:
+    @pytest.mark.parametrize("mode", ["threads", "procs"])
+    def test_poison_past_the_end_never_raises(self, mode):
+        # The hazard the quarantine exists for: overshoot iterations
+        # hit an exception a sequential run can never reach.  Whether
+        # any worker actually executes past n is a scheduling race —
+        # the *guarantee* is that the caller never sees it.
+        loop, ft, st = _poison_loop(0, past_only=True)
+        ref = _reference(loop, ft, st)
+        info = analyze_loop(loop, ft)
+        res = run_parallel_real(info, st, ft, mode=mode,
+                                scheme="doall", workers=2, u=64)
+        assert st.equals(ref)
+        assert res.n_iters == 37
+        assert res.stats["spec"]["spurious_exceptions"] >= 0
+
+    def test_fault_masking_the_termination_self_heals(self):
+        # Deterministic spurious artifact: the injected fault fires at
+        # n+1 — exactly where the terminator would have been observed.
+        # The reconciler cannot prove it spurious locally (no DONE
+        # termination precedes it), so it commits [1, n] and lets the
+        # sequential continuation decide: the loop ends cleanly, the
+        # fault was parallel-only, the run self-heals.
+        loop, funcs, st = _doall_loop(n=37)
+        ref = _reference(loop, funcs, st)
+        info = analyze_loop(loop, funcs)
+        plan = FaultPlan(specs=(FaultSpec(kind="raise-at-iter",
+                                          worker=-1, at_iter=38),))
+        res = run_parallel_real(info, st, funcs, mode="threads",
+                                scheme="doall", workers=2, u=96,
+                                fault_plan=plan)
+        assert st.equals(ref)
+        assert res.n_iters == 37
+        spec = res.stats["spec"]
+        assert spec["spurious_exceptions"] == 1
+        assert spec["salvaged_iters"] == 37
+        assert res.scheme == "doall[exception]->partial"
+
+
+# ---------------------------------------------------------------------------
+# genuine exceptions: transparency with the sequential run
+# ---------------------------------------------------------------------------
+
+class TestGenuineException:
+    @pytest.mark.parametrize("mode", ["threads", "procs"])
+    def test_same_exception_and_store_as_sequential(self, mode):
+        loop, ft, st = _poison_loop(13)
+        crashed = _crashed_reference(loop, ft, st, ValueError)
+        info = analyze_loop(loop, ft)
+        with pytest.raises(ValueError, match="poison at 13"):
+            run_parallel_real(info, st, ft, mode=mode, scheme="doall",
+                              workers=2, u=64)
+        # Exception equivalence: the committed prefix, the dispatcher
+        # scalar, everything — identical to where sequential stopped.
+        assert st.equals(crashed), st.diff(crashed)
+
+    def test_injected_in_range_fault_salvages_prefix(self):
+        loop, funcs, st = _doall_loop(n=37)
+        ref = _reference(loop, funcs, st)
+        info = analyze_loop(loop, funcs)
+        plan = FaultPlan(specs=(FaultSpec(kind="raise-at-iter",
+                                          worker=-1, at_iter=7),))
+        res = run_parallel_real(info, st, funcs, mode="threads",
+                                scheme="doall", workers=2, u=96,
+                                fault_plan=plan)
+        assert st.equals(ref)
+        assert res.n_iters == 37
+        spec = res.stats["spec"]
+        assert spec["salvaged_iters"] == 6      # committed [1, 6]
+        assert spec["partial_restarts"] == 1
+        assert spec["spurious_exceptions"] == 1  # self-healed
+        assert [f["kind"] for f in spec["contained"]] == ["injected"]
+        assert res.scheme == "doall[exception]->partial"
+        assert res.fallback_sequential
+
+    def test_partial_restart_can_be_disabled(self):
+        loop, funcs, st = _doall_loop(n=37)
+        ref = _reference(loop, funcs, st)
+        info = analyze_loop(loop, funcs)
+        plan = FaultPlan(specs=(FaultSpec(kind="raise-at-iter",
+                                          worker=-1, at_iter=7),))
+        res = run_parallel_real(info, st, funcs, mode="threads",
+                                scheme="doall", workers=2, u=96,
+                                fault_plan=plan, partial_restart=False)
+        assert st.equals(ref)
+        spec = res.stats["spec"]
+        assert spec["salvaged_iters"] == 0
+        assert spec["partial_restarts"] == 0
+        assert res.scheme == "doall[exception]->sequential"
+
+    def test_oob_write_is_contained(self):
+        # procs only: thread workers share the parent's unguarded
+        # arrays, so the injection is dropped there by design.
+        loop, funcs, st = _doall_loop(n=37)
+        ref = _reference(loop, funcs, st)
+        info = analyze_loop(loop, funcs)
+        plan = FaultPlan(specs=(FaultSpec(kind="oob-write", worker=-1,
+                                          at_iter=7),))
+        res = run_parallel_real(info, st, funcs, mode="procs",
+                                scheme="doall", workers=2, u=96,
+                                fault_plan=plan)
+        assert st.equals(ref)
+        kinds = [f["kind"] for f in res.stats["spec"]["contained"]]
+        assert kinds == ["oob-write"]
+        assert res.stats["spec"]["spurious_exceptions"] == 1
+
+
+# ---------------------------------------------------------------------------
+# strict exception equivalence
+# ---------------------------------------------------------------------------
+
+class TestStrictExceptions:
+    def test_divergent_fault_is_flagged(self):
+        # The injected out-of-bounds write is parallel-only: the
+        # sequential replay runs clean, which strict mode treats as a
+        # divergence instead of silently self-healing.
+        loop, funcs, st = _doall_loop(n=37)
+        info = analyze_loop(loop, funcs)
+        plan = FaultPlan(specs=(FaultSpec(kind="oob-write", worker=-1,
+                                          at_iter=7),))
+        with pytest.raises(ExceptionDivergence, match="diverges"):
+            run_parallel_real(info, st, funcs, mode="procs",
+                              scheme="doall", workers=2, u=96,
+                              fault_plan=plan, strict_exceptions=True)
+
+    def test_injected_kind_is_exempt(self):
+        # raise-at-iter marks its fault kind "injected" — a test
+        # scaffold, not a program exception — so strict mode lets the
+        # self-heal proceed.
+        loop, funcs, st = _doall_loop(n=37)
+        ref = _reference(loop, funcs, st)
+        info = analyze_loop(loop, funcs)
+        plan = FaultPlan(specs=(FaultSpec(kind="raise-at-iter",
+                                          worker=-1, at_iter=7),))
+        res = run_parallel_real(info, st, funcs, mode="threads",
+                                scheme="doall", workers=2, u=96,
+                                fault_plan=plan, strict_exceptions=True)
+        assert st.equals(ref)
+        assert res.stats["spec"]["spurious_exceptions"] == 1
+
+    def test_genuine_matching_exception_passes_strict(self):
+        loop, ft, st = _poison_loop(13)
+        crashed = _crashed_reference(loop, ft, st, ValueError)
+        info = analyze_loop(loop, ft)
+        with pytest.raises(ValueError, match="poison at 13"):
+            run_parallel_real(info, st, ft, mode="threads",
+                              scheme="doall", workers=2, u=64,
+                              strict_exceptions=True)
+        assert st.equals(crashed)
+
+
+# ---------------------------------------------------------------------------
+# salvage + the supervisor's partial-restart rung
+# ---------------------------------------------------------------------------
+
+class TestSalvageAndPartialRestart:
+    def test_propagated_fault_carries_salvage(self):
+        loop, funcs, st = _doall_loop(n=37)
+        info = analyze_loop(loop, funcs)
+        plan = FaultPlan(specs=(FaultSpec(kind="drop-result",
+                                          worker=-1, at_iter=9),))
+        with pytest.raises(ResultLost) as exc_info:
+            run_parallel_real(info, st, funcs, mode="threads",
+                              scheme="doall", workers=2, u=96, chunk=4,
+                              fault_plan=plan, queue_timeout=2.0)
+        salvage = exc_info.value.salvage
+        assert salvage is not None
+        assert salvage.next_iter == 9        # chunk [9,12] was dropped
+        assert salvage.salvaged_iters == 8
+
+    def test_resume_rejected_for_speculative(self):
+        from repro.runtime.procs import ResumeState
+        loop, funcs, st = _doall_loop(n=37)
+        info = analyze_loop(loop, funcs)
+        with pytest.raises(PlanError, match="speculative"):
+            run_parallel_real(
+                info, st, funcs, mode="threads", scheme="doall",
+                workers=2, u=96, speculative=True,
+                test_arrays=("out",),
+                resume=ResumeState(next_iter=5, writes={}, locals={}))
+
+    def test_supervisor_recovers_on_partial_restart_rung(self):
+        loop, funcs, st = _doall_loop(n=37)
+        ref = _reference(loop, funcs, st)
+        info = analyze_loop(loop, funcs)
+        plan = FaultPlan(specs=(FaultSpec(kind="drop-result",
+                                          worker=-1, at_iter=9),))
+        # Strip the full-restart rungs so the salvage path must win.
+        policy = ResiliencePolicy(deadline_s=2.0, poll_interval_s=0.01,
+                                  redistribute=False,
+                                  max_reduced_retries=0)
+        res = run_supervised(info, st, funcs, mode="threads",
+                             scheme="doall", workers=2, u=96, chunk=4,
+                             policy=policy, fault_plan=plan)
+        assert st.equals(ref)
+        resil = res.stats["resilience"]
+        assert resil["rung"] == "partial-restart"
+        assert resil["salvaged"] == 8
+        assert [f["kind"] for f in resil["faults"]] == ["lost-result"]
+        spec = res.stats["spec"]
+        assert spec["salvaged_iters"] == 8
+        assert spec["partial_restarts"] == 1
+        assert res.n_iters == 37
+
+    def test_partial_restart_rung_skipped_without_salvage(self):
+        # A startup crash commits nothing: the rung must be skipped,
+        # not attempted with resume=None.
+        loop, funcs, st = _doall_loop(n=37)
+        ref = _reference(loop, funcs, st)
+        info = analyze_loop(loop, funcs)
+        plan = FaultPlan(specs=(FaultSpec(kind="crash", worker=1,
+                                          at_iter=0),))
+        policy = ResiliencePolicy(deadline_s=5.0, poll_interval_s=0.01,
+                                  redistribute=False,
+                                  max_reduced_retries=0)
+        res = run_supervised(info, st, funcs, mode="procs",
+                             scheme="doall", workers=2, u=96,
+                             policy=policy, fault_plan=plan)
+        assert st.equals(ref)
+        assert res.stats["resilience"]["rung"] == "threads"

@@ -185,6 +185,10 @@ class TestErrorsAndBounds:
         assert res.n_iters == 37
 
     def test_worker_exception_surfaces(self):
+        # Exception transparency: the program's own exception — not a
+        # backend wrapper — surfaces, exactly as a sequential run would
+        # raise it (the faults are contained, quarantined as genuine,
+        # and reproduced by the sequential continuation).
         ft = FunctionTable()
 
         def boom(ctx, i):
@@ -202,6 +206,6 @@ class TestErrorsAndBounds:
         st = Store()
         st["out"] = np.zeros(16, dtype=np.int64)
         info = analyze_loop(loop, ft)
-        with pytest.raises(RealBackendError, match="intrinsic exploded"):
+        with pytest.raises(ValueError, match="intrinsic exploded"):
             run_parallel_real(info, st, ft, mode="threads",
                               scheme="doall", workers=2, u=16)

@@ -55,6 +55,7 @@ class TestBuildLadder:
             ("initial", "procs", 4),
             ("redistribute", "procs", 3),
             ("reduce", "procs", 1),
+            ("partial-restart", "procs", 4),
             ("threads", "threads", 2),
             ("sequential", "sequential", 1),
         ]
@@ -62,12 +63,13 @@ class TestBuildLadder:
     def test_threads_mode_has_no_threads_rung(self):
         rungs = _build_ladder("threads", 2, ResiliencePolicy())
         assert [r.stage for r in rungs] == \
-            ["initial", "redistribute", "sequential"]
+            ["initial", "redistribute", "partial-restart", "sequential"]
         assert all(r.mode != "procs" for r in rungs)
 
     def test_policy_can_strip_every_fallback(self):
         policy = ResiliencePolicy(redistribute=False,
                                   max_reduced_retries=0,
+                                  allow_partial_restart=False,
                                   allow_threads=False,
                                   allow_sequential=False)
         rungs = _build_ladder("procs", 4, policy)
@@ -76,7 +78,7 @@ class TestBuildLadder:
     def test_single_worker_skips_redistribute(self):
         rungs = _build_ladder("procs", 1, ResiliencePolicy())
         assert [r.stage for r in rungs] == \
-            ["initial", "threads", "sequential"]
+            ["initial", "partial-restart", "threads", "sequential"]
 
 
 # ---------------------------------------------------------------------------
@@ -295,6 +297,22 @@ class TestRunSupervised:
         run_supervised(info, st, funcs, mode="procs", scheme="doall",
                        workers=2, u=96, policy=FAST, fault_plan=plan)
         assert st.equals(ref)
+
+
+class TestChaosSalvage:
+    def test_raise_at_iter_cells_contain_and_salvage(self):
+        from repro.runtime.supervisor import chaos_matrix
+        report = chaos_matrix(mode="procs", workers=2,
+                              kinds=("raise-at-iter",), deadline_s=5.0)
+        assert report.all_recovered
+        for row in report.rows:
+            # contained internally: no ladder descent at all
+            assert row.rung == "initial", row
+            if not row.scheme.startswith("speculative"):
+                # fault at iteration 7 -> committed prefix [1, 6];
+                # speculative cells may clamp further via the PD test.
+                assert row.salvaged == 6, row
+        assert "salv" in report.render()
 
 
 class TestApiGuards:
