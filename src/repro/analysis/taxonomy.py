@@ -157,4 +157,13 @@ def classify_cell(rec: Optional[Recurrence],
         # loops with exits keep their column.)
         d = DispatcherClass.NONMONOTONIC_INDUCTION
     overshoot, parallel = TAXONOMY_TABLE[(d, term.klass)]
+    if (term.klass is TermClass.RI and term.n_exit_sites
+            and not overshoot):
+        # Same reasoning as the monotonic demotion above, applied to
+        # the associative/general columns: their no-overshoot entries
+        # assume termination is decidable during the dispatcher walk,
+        # but an in-body exit guard (even over loop-invariant data)
+        # fires non-monotonically along the iteration space, so
+        # parallel iterations past the exit still run their remainder.
+        overshoot = True
     return TaxonomyCell(d, term.klass, overshoot, parallel)

@@ -309,6 +309,46 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.all_recovered else 1
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.fuzz import (FuzzConfig, load_corpus, replay_entry,
+                            run_campaign)
+
+    if args.replay is not None:
+        entries = load_corpus(args.replay)
+        if not entries:
+            print(f"no corpus entries under {args.replay!r}",
+                  file=sys.stderr)
+            return 2
+        bad = 0
+        for entry in entries:
+            verdict = replay_entry(entry)
+            status = "ok" if verdict.ok else "FAIL"
+            print(f"{status}  {entry.name}  [{entry.cell}]  "
+                  f"{entry.note or '(no note)'}")
+            for d in verdict.discrepancies:
+                print(f"      {d.kind} [{d.backend}/{d.scheme}]: "
+                      f"{d.detail}")
+            bad += 0 if verdict.ok else 1
+        print(f"replayed {len(entries)} entries, {bad} failing")
+        return 1 if bad else 0
+
+    config = FuzzConfig(
+        budget=args.budget,
+        seed=args.seed,
+        backends=tuple(args.backends),
+        workers=args.workers,
+        faults=args.faults,
+        resilience=not args.no_resilience,
+        shrink=not args.no_shrink,
+        max_real=args.max_real,
+        corpus_dir=args.corpus,
+        artifacts_dir=args.artifacts,
+    )
+    report = run_campaign(config, log=print)
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.obs import compare_backends
 
@@ -502,6 +542,40 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_ch.add_argument("--out", default=None,
                       help="also write the report to this file")
     p_ch.set_defaults(fn=_cmd_chaos)
+
+    p_fz = sub.add_parser(
+        "fuzz", help="run a differential fuzz campaign (random "
+        "WHILE-loop programs vs. the scheme × backend matrix)")
+    p_fz.add_argument("--budget", type=int, default=200,
+                      help="programs to generate (default: 200)")
+    p_fz.add_argument("--seed", type=int, default=0,
+                      help="campaign master seed (default: 0)")
+    p_fz.add_argument("--backends", nargs="+", default=["sim"],
+                      choices=("sim", "threads", "procs"),
+                      help="backends to check (default: sim)")
+    p_fz.add_argument("--workers", type=int, default=2,
+                      help="real-backend worker count (default: 2)")
+    p_fz.add_argument("--faults", action="store_true",
+                      help="inject scripted system faults on "
+                      "real-backend draws")
+    p_fz.add_argument("--no-resilience", action="store_true",
+                      help="run real backends unsupervised (with "
+                      "--faults this manufactures fault-escape "
+                      "discrepancies on purpose)")
+    p_fz.add_argument("--no-shrink", action="store_true",
+                      help="skip minimizing failing programs")
+    p_fz.add_argument("--max-real", type=int, default=48,
+                      help="max draws that run real backends "
+                      "(default: 48; the rest are sim-only)")
+    p_fz.add_argument("--corpus", default=None, metavar="DIR",
+                      help="persist shrunk findings to this corpus "
+                      "directory")
+    p_fz.add_argument("--artifacts", default=None, metavar="DIR",
+                      help="write standalone repro scripts here")
+    p_fz.add_argument("--replay", default=None, metavar="DIR",
+                      help="replay a corpus directory instead of "
+                      "generating (exit 1 on any failure)")
+    p_fz.set_defaults(fn=_cmd_fuzz)
 
     p_tx = sub.add_parser("taxonomy", help="print Table 1")
     p_tx.set_defaults(fn=_cmd_taxonomy)

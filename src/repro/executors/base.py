@@ -35,7 +35,13 @@ from repro.analysis.loopinfo import LoopInfo
 from repro.analysis.recurrence import RecKind
 from repro.errors import ExecutionError, PlanError
 from repro.ir.functions import FunctionTable
-from repro.ir.interp import EvalContext, IterationRunner, IterOutcome, MemHooks
+from repro.ir.interp import (
+    EvalContext,
+    IterationRunner,
+    IterOutcome,
+    MemHooks,
+    SequentialInterp,
+)
 from repro.ir.nodes import BinOp, Exit, Var
 from repro.ir.store import Store
 from repro.ir.visitor import walk
@@ -487,6 +493,7 @@ class SchemeCore:
                        if o == IterOutcome.DONE and k > lvi)
 
         restored = 0
+        undo_tainted = 0
         if self.stamps is not None and self.checkpoint is not None:
             report = undo_overshoot(self.store, self.checkpoint,
                                     self.stamps, lvi)
@@ -498,6 +505,31 @@ class SchemeCore:
                           scheme=self.scheme_name,
                           restored_words=restored, lvi=lvi)
                 trc.count(_ev.M_RESTORED_WORDS, restored)
+            if report.tainted_cells:
+                # An overshot iteration collided with another write on
+                # a restored cell, so the element-selective undo may
+                # have erased a *valid* iteration's value (the wrapped
+                # subscript hazard: an iteration past the RV exit
+                # revisits a location a pre-exit iteration wrote).
+                # Escalate to the paper's Section-5 recovery: restore
+                # the full checkpoint and re-execute from it
+                # sequentially.
+                undo_tainted = report.tainted_cells
+                words = self.checkpoint.restore(self.store)
+                t_after += machine.parallel_work_time(
+                    words * cost.restore_word)
+                seqres = SequentialInterp(
+                    self.info.loop, self.funcs, cost).run(
+                        self.store, run_init=False)
+                t_after += seqres.cycles
+                lvi = seqres.n_iters
+                exited = seqres.exited_in_body
+                exit_at = lvi if exited else lvi + 1
+                if trc.enabled:
+                    trc.event(_ev.EV_UNDO, t_before + makespan + t_after,
+                              scheme=self.scheme_name,
+                              tainted_cells=undo_tainted,
+                              restart=True, lvi=lvi)
 
         pd: Optional[PDResult] = None
         if self.shadows is not None:
@@ -512,10 +544,14 @@ class SchemeCore:
                 trc.count(_ev.M_PD_VALID if pd.valid_as_is
                           else _ev.M_PD_INVALID)
 
-        self._publish_scalars(lvi, exited, exit_at)
+        if not undo_tainted:
+            # (the conflict-restart path re-executed sequentially, so
+            # the store already holds the final scalar values)
+            self._publish_scalars(lvi, exited, exit_at)
 
         stats: Dict[str, Any] = {
             "u": u,
+            "undo_tainted_cells": undo_tainted,
             "spans": [r.span_profile() for r in runs],
             "skipped": sum(len(r.skipped) for r in runs),
             "stamped_words": (self.stamps.words if self.stamps else 0),
@@ -536,6 +572,7 @@ class SchemeCore:
             overshot=overshot,
             restored_words=restored,
             pd=pd,
+            fallback_sequential=bool(undo_tainted),
             stats=stats,
         )
         if trc.enabled:

@@ -1,0 +1,52 @@
+"""Generative differential fuzzing of the whole scheme × backend matrix.
+
+The paper's central claim is *semantic equivalence*: every
+dispatcher/terminator cell of Table 1 must produce the exact
+sequential store, exit iteration, and (since the exception-containment
+work) exception, under any scheme the planner picks, on any backend,
+with or without injected system faults.  The hand-written zoo covers
+each cell once; this package makes the claim *generative*:
+
+* :mod:`repro.fuzz.generator` — synthesizes random WHILE-loop IR, each
+  draw labeled with its intended Table-1 cell (monotonic /
+  non-monotonic inductions, associative recurrences, linked-list
+  pointer chases, RI/RV terminators, affine and indirect subscripts,
+  bodies that may raise);
+* :mod:`repro.fuzz.oracle` — the differential oracle: runs a program
+  through the sequential interpreter and every applicable scheme ×
+  backend (× optional fault plan) and reports every divergence as a
+  structured :class:`~repro.fuzz.oracle.Discrepancy`;
+* :mod:`repro.fuzz.shrink` — minimizes a failing program by IR-node
+  deletion and constant reduction and renders a standalone repro
+  script;
+* :mod:`repro.fuzz.corpus` — the persisted regression corpus
+  (``tests/corpus/*.json``): every previously-found failure replays
+  deterministically in tier-1 forever after;
+* :mod:`repro.fuzz.campaign` — the budgeted campaign driver behind
+  ``repro fuzz --budget N --seed S``.
+
+See ``docs/testing.md`` for the test-tier map and the triage workflow.
+"""
+
+from repro.fuzz.campaign import FuzzConfig, FuzzReport, run_campaign
+from repro.fuzz.corpus import (
+    CorpusEntry,
+    entry_from_obj,
+    entry_from_program,
+    entry_to_obj,
+    load_corpus,
+    replay_entry,
+    save_entry,
+)
+from repro.fuzz.generator import CELLS, GeneratedProgram, generate_program
+from repro.fuzz.oracle import Discrepancy, OracleVerdict, check_program
+from repro.fuzz.shrink import ShrinkResult, render_repro_script, shrink_program
+
+__all__ = [
+    "CELLS", "GeneratedProgram", "generate_program",
+    "Discrepancy", "OracleVerdict", "check_program",
+    "ShrinkResult", "shrink_program", "render_repro_script",
+    "CorpusEntry", "entry_to_obj", "entry_from_obj",
+    "entry_from_program", "save_entry", "load_corpus", "replay_entry",
+    "FuzzConfig", "FuzzReport", "run_campaign",
+]

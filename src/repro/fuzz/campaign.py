@@ -1,0 +1,276 @@
+"""Budgeted fuzz campaigns: generate → check → shrink → persist.
+
+One campaign draws ``budget`` programs from the generator (seeded, so
+a campaign is reproducible from its ``(budget, seed)`` pair alone),
+runs each through the differential oracle on the configured backends,
+and — when a draw diverges — shrinks it and freezes the minimized
+reproducer into the regression corpus plus a standalone repro script.
+
+Real backends spawn process/thread pools per program, so they are
+*sampled* rather than run on every draw (``max_real`` bounds the
+total; the sampling stride is logged — no silent coverage caps).
+Fault injection attaches a deterministic scripted fault to each
+real-backend draw; combined with ``resilience=False`` this is the
+standard way to manufacture a genuine discrepancy end-to-end
+(fault → escape → shrink → corpus), which CI exercises as a smoke
+test of the whole find-to-repro pipeline.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.obs import names as _ev
+from repro.obs.tracer import get_tracer
+from repro.runtime.faults import FaultPlan, FaultSpec
+
+from repro.fuzz.corpus import entry_from_program, entry_to_obj, save_entry
+from repro.fuzz.generator import generate_program
+from repro.fuzz.oracle import OracleVerdict, check_program
+from repro.fuzz.shrink import ShrinkResult, render_repro_script, shrink_program
+
+__all__ = ["FuzzConfig", "FuzzReport", "run_campaign"]
+
+#: Multiplier giving each draw a well-separated, reproducible seed.
+_SEED_STRIDE = 1_000_003
+
+#: Fault kinds injected under supervision.  ``crash`` at worker
+#: startup always fires and is recovered by the heartbeat monitor;
+#: ``raise-at-iter`` exercises exception containment; ``drop-result``
+#: exercises the lost-result retry.  ``hang`` / ``barrier`` cost
+#: wall-clock timeouts, so they stay in the chaos suite instead.
+_FAULT_KINDS_SUPERVISED = ("crash", "raise-at-iter", "drop-result")
+
+#: Without the supervisor only ``drop-result`` is safe to inject: the
+#: parent detects the missing result and raises ``ResultLost`` (the
+#: fault-escape discrepancy the campaign wants to manufacture),
+#: whereas an unsupervised ``crash`` deadlocks the worker barrier —
+#: there is nothing left to time it out — and ``raise-at-iter`` is
+#: already contained by the exception-containment layer, supervisor
+#: or not.
+_FAULT_KINDS_UNSUPERVISED = ("drop-result",)
+
+
+@dataclass
+class FuzzConfig:
+    """Everything one campaign run is parameterized by."""
+
+    budget: int = 200                #: programs to draw
+    seed: int = 0                    #: campaign master seed
+    backends: Tuple[str, ...] = ("sim",)
+    workers: int = 2                 #: real-backend worker count
+    faults: bool = False             #: inject scripted faults (real only)
+    resilience: bool = True          #: supervise real backends
+    strict_exceptions: bool = False
+    max_real: int = 48               #: draws that get real backends
+    shrink: bool = True              #: minimize findings
+    shrink_tries: int = 120          #: oracle runs per shrink
+    corpus_dir: Optional[str] = None     #: persist shrunk finds here
+    artifacts_dir: Optional[str] = None  #: write repro scripts here
+
+
+@dataclass
+class Finding:
+    """One flagged program, possibly shrunk and persisted."""
+
+    seed: int
+    cell: str
+    shape: str
+    kinds: Tuple[str, ...]           #: discrepancy kinds observed
+    detail: str                      #: first discrepancy's detail
+    shrink_steps: int = 0
+    corpus_path: Optional[str] = None
+    artifact_path: Optional[str] = None
+
+
+@dataclass
+class FuzzReport:
+    """Aggregate outcome of one campaign."""
+
+    config: FuzzConfig
+    programs: int = 0
+    checks: int = 0
+    raising: int = 0                 #: draws whose sequential run raises
+    real_draws: int = 0              #: draws that ran real backends
+    cells: Dict[str, int] = field(default_factory=dict)
+    findings: List[Finding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no draw diverged."""
+        return not self.findings
+
+    def summary(self) -> str:
+        """Human-readable campaign summary."""
+        lines = [
+            f"fuzz: {self.programs} programs "
+            f"(seed={self.config.seed}, budget={self.config.budget}), "
+            f"{self.checks} scheme×backend checks on "
+            f"{'/'.join(self.config.backends)}, "
+            f"{self.real_draws} real-backend draws, "
+            f"{self.raising} raising programs",
+            f"cells covered ({len(self.cells)}/8):",
+        ]
+        for cell, n in sorted(self.cells.items()):
+            lines.append(f"  {n:5d}  {cell}")
+        if self.findings:
+            lines.append(f"{len(self.findings)} DISCREPANCIES:")
+            for f in self.findings:
+                lines.append(
+                    f"  seed={f.seed} [{f.cell}] {','.join(f.kinds)}"
+                    f" ({f.shrink_steps} shrink steps)"
+                    + (f" -> {f.corpus_path}" if f.corpus_path else ""))
+                lines.append(f"    {f.detail}")
+        else:
+            lines.append("no discrepancies")
+        return "\n".join(lines)
+
+
+def _draw_fault_plan(rng: random.Random, workers: int,
+                     resilience: bool) -> FaultPlan:
+    kinds = (_FAULT_KINDS_SUPERVISED if resilience
+             else _FAULT_KINDS_UNSUPERVISED)
+    kind = rng.choice(kinds)
+    if kind == "crash":
+        spec = FaultSpec(kind="crash", worker=rng.randrange(workers),
+                         at_iter=0)
+    elif kind == "raise-at-iter":
+        spec = FaultSpec(kind="raise-at-iter", worker=-1,
+                         at_iter=rng.randint(1, 4))
+    else:
+        spec = FaultSpec(kind="drop-result", worker=-1, at_iter=1)
+    return FaultPlan(specs=(spec,))
+
+
+def run_campaign(config: FuzzConfig,
+                 log: Optional[Callable[[str], None]] = None) -> FuzzReport:
+    """Run one differential fuzz campaign; see the module docstring.
+
+    ``log`` receives progress lines (the CLI passes ``print``; tests
+    pass ``None`` for silence).
+    """
+    say = log or (lambda _msg: None)
+    trc = get_tracer()
+    report = FuzzReport(config=config)
+    cells: Counter = Counter()
+
+    real_backends = tuple(b for b in config.backends if b != "sim")
+    sim_on = "sim" in config.backends
+    stride = 1
+    if real_backends and config.budget > config.max_real:
+        stride = -(-config.budget // config.max_real)   # ceil
+        say(f"fuzz: sampling real backends every {stride} draws "
+            f"(max_real={config.max_real} of budget={config.budget}); "
+            f"the sim matrix still checks every draw")
+
+    for i in range(config.budget):
+        seed = config.seed * _SEED_STRIDE + i
+        prog = generate_program(seed)
+        report.programs += 1
+        cells[prog.cell] += 1
+        if prog.raises:
+            report.raising += 1
+
+        run_real = bool(real_backends) and i % stride == 0
+        backends: Tuple[str, ...] = ()
+        if sim_on:
+            backends += ("sim",)
+        if run_real:
+            backends += real_backends
+            report.real_draws += 1
+        if not backends:
+            continue
+
+        fault_plan = None
+        if config.faults and run_real:
+            fault_plan = _draw_fault_plan(random.Random(seed ^ 0xFA017),
+                                          config.workers,
+                                          config.resilience)
+
+        def run_oracle(p, _fp=fault_plan, _bk=backends) -> OracleVerdict:
+            return check_program(
+                p, backends=_bk, workers=config.workers,
+                fault_plan=_fp, resilience=config.resilience,
+                strict_exceptions=config.strict_exceptions)
+
+        verdict = run_oracle(prog)
+        report.checks += verdict.checks
+        trc.count(_ev.M_FUZZ_PROGRAMS)
+        trc.count(_ev.M_FUZZ_CHECKS, verdict.checks)
+        if verdict.ok:
+            continue
+
+        report.findings.append(
+            _handle_finding(prog, verdict, run_oracle, config, say,
+                            fault_plan=fault_plan))
+        trc.count(_ev.M_FUZZ_DISCREPANCIES, len(verdict.discrepancies))
+        for d in verdict.discrepancies:
+            trc.event(_ev.EV_FUZZ_DISCREPANCY, 0, kind=d.kind,
+                      backend=d.backend, scheme=d.scheme, seed=d.seed,
+                      cell=d.cell)
+
+    report.cells = dict(cells)
+    trc.gauge(_ev.M_FUZZ_CELLS, len(cells))
+    return report
+
+
+def _handle_finding(prog, verdict: OracleVerdict,
+                    run_oracle, config: FuzzConfig,
+                    say, *, fault_plan: Optional[FaultPlan]) -> Finding:
+    """Shrink, persist, and render one flagged program.
+
+    The persisted corpus entry keeps the fault plan but always stores
+    ``resilience=True``: a *fault-escape* find (manufactured by fuzzing
+    unsupervised) then replays clean against the fixed, supervised code
+    path immediately, while a genuine semantic divergence keeps failing
+    until the underlying bug is fixed — both are exactly what a
+    regression corpus wants.  The configuration that originally exposed
+    the finding is preserved in ``found_with``.
+    """
+    kinds = tuple(sorted({d.kind for d in verdict.discrepancies}))
+    first = verdict.discrepancies[0]
+    say(f"fuzz: seed={prog.seed} [{prog.cell}] diverged: "
+        f"{first.kind} on {first.backend}/{first.scheme}")
+
+    shrunk: Optional[ShrinkResult] = None
+    if config.shrink:
+        shrunk = shrink_program(prog, verdict, run_oracle,
+                                max_tries=config.shrink_tries)
+        prog, verdict = shrunk.program, shrunk.verdict
+        if shrunk.steps:
+            say(f"fuzz: seed={prog.seed} shrunk in {shrunk.steps} steps "
+                f"({shrunk.tried} oracle runs)")
+        get_tracer().count(_ev.M_FUZZ_SHRINK_STEPS, shrunk.steps)
+
+    finding = Finding(seed=prog.seed, cell=prog.cell, shape=prog.shape,
+                      kinds=kinds, detail=first.detail,
+                      shrink_steps=shrunk.steps if shrunk else 0)
+
+    if config.corpus_dir or config.artifacts_dir:
+        entry = entry_from_program(
+            prog, f"fuzz-{prog.seed}-{first.kind}",
+            backends=tuple(dict.fromkeys(d.backend
+                                         for d in verdict.discrepancies)),
+            workers=config.workers,
+            fault_plan=fault_plan,
+            resilience=True,
+            strict_exceptions=config.strict_exceptions,
+            note=f"auto-found: {first.kind} ({first.detail})",
+            found_with={"kinds": list(kinds),
+                        "resilience": config.resilience,
+                        "faults": config.faults})
+        if config.corpus_dir:
+            path = save_entry(entry, config.corpus_dir)
+            finding.corpus_path = str(path)
+            get_tracer().count(_ev.M_FUZZ_CORPUS_ENTRIES)
+        if config.artifacts_dir:
+            adir = Path(config.artifacts_dir)
+            adir.mkdir(parents=True, exist_ok=True)
+            apath = adir / f"{entry.name}.py"
+            apath.write_text(render_repro_script(entry_to_obj(entry)))
+            finding.artifact_path = str(apath)
+    return finding

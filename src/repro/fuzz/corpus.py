@@ -1,0 +1,206 @@
+"""The persisted regression corpus: found-once, replayed-forever.
+
+Every program the fuzzer ever flagged (after shrinking), plus
+hand-seeded reproductions of past wild bugs, lives as one JSON file
+under ``tests/corpus/``.  Each entry pins the *fixed* configuration it
+must replay cleanly under — tier-1 replays the whole corpus on every
+run, so a regression of any previously-found bug fails CI immediately
+and deterministically, with no random generation in the loop.
+
+The ``found_with`` blob preserves forensics (the draw's seed, the
+discrepancy kind, and — for fault-escape finds — the *failing*
+configuration, e.g. ``resilience=False``) without affecting replay.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.ir.functions import FunctionTable
+from repro.ir.serialize import loop_from_obj, loop_to_obj
+from repro.runtime.faults import FaultPlan, FaultSpec
+
+from repro.fuzz.generator import GeneratedProgram
+from repro.fuzz.oracle import OracleVerdict, check_program
+
+__all__ = [
+    "CorpusEntry", "entry_to_obj", "entry_from_obj",
+    "entry_from_program", "save_entry", "load_corpus", "replay_entry",
+]
+
+#: Default corpus location, relative to the repository root.
+DEFAULT_CORPUS = Path("tests") / "corpus"
+
+
+@dataclass
+class CorpusEntry:
+    """One persisted regression program plus its replay configuration."""
+
+    name: str                        #: filename stem (kebab-case)
+    loop_obj: Dict                   #: serialized loop (`loop_to_obj`)
+    store_obj: Dict                  #: serialized initial store
+    cell: str                        #: Table-1 cell label
+    u: int                           #: iteration upper bound
+    raises: Optional[str] = None     #: expected sequential exception
+    poisoned: bool = False           #: body can raise on overshoot
+    backends: Tuple[str, ...] = ("sim",)
+    workers: int = 2
+    fault_specs: Tuple[Dict, ...] = ()   #: serialized FaultSpec kwargs
+    resilience: bool = True
+    strict_exceptions: bool = False
+    note: str = ""                   #: what bug this entry pins
+    found_with: Dict = field(default_factory=dict)
+
+    def program(self) -> GeneratedProgram:
+        """Materialize the entry as a replayable program."""
+        return GeneratedProgram(
+            loop=loop_from_obj(self.loop_obj),
+            store_obj=self.store_obj,
+            cell=self.cell,
+            shape=f"corpus:{self.name}",
+            u=self.u,
+            seed=int(self.found_with.get("seed", -1)),
+            raises=self.raises,
+            n_iters=int(self.found_with.get("n_iters", 0)),
+            poisoned=self.poisoned,
+        )
+
+    def fault_plan(self) -> Optional[FaultPlan]:
+        """Reconstruct the entry's fault plan, if any."""
+        if not self.fault_specs:
+            return None
+        specs = tuple(
+            FaultSpec(
+                kind=s["kind"],
+                worker=int(s.get("worker", 0)),
+                at_iter=int(s.get("at_iter", 1)),
+                delay_s=float(s.get("delay_s", 3.0)),
+                array=s.get("array", ""),
+                attempts=tuple(s.get("attempts", (0,))),
+            )
+            for s in self.fault_specs)
+        return FaultPlan(specs=specs)
+
+
+def entry_to_obj(entry: CorpusEntry) -> Dict:
+    """JSON-safe dict for a corpus entry (inverse of `entry_from_obj`)."""
+    return {
+        "name": entry.name,
+        "loop": entry.loop_obj,
+        "store": entry.store_obj,
+        "cell": entry.cell,
+        "u": entry.u,
+        "raises": entry.raises,
+        "poisoned": entry.poisoned,
+        "backends": list(entry.backends),
+        "workers": entry.workers,
+        "fault_specs": [dict(s) for s in entry.fault_specs],
+        "resilience": entry.resilience,
+        "strict_exceptions": entry.strict_exceptions,
+        "note": entry.note,
+        "found_with": entry.found_with,
+    }
+
+
+def entry_from_obj(obj: Dict) -> CorpusEntry:
+    """Rebuild a corpus entry from its JSON dict."""
+    return CorpusEntry(
+        name=obj["name"],
+        loop_obj=obj["loop"],
+        store_obj=obj["store"],
+        cell=obj["cell"],
+        u=int(obj["u"]),
+        raises=obj.get("raises"),
+        poisoned=bool(obj.get("poisoned", False)),
+        backends=tuple(obj.get("backends", ("sim",))),
+        workers=int(obj.get("workers", 2)),
+        fault_specs=tuple(obj.get("fault_specs", ())),
+        resilience=bool(obj.get("resilience", True)),
+        strict_exceptions=bool(obj.get("strict_exceptions", False)),
+        note=obj.get("note", ""),
+        found_with=obj.get("found_with", {}),
+    )
+
+
+def entry_from_program(
+    prog: GeneratedProgram,
+    name: str,
+    *,
+    backends: Sequence[str] = ("sim",),
+    workers: int = 2,
+    fault_plan: Optional[FaultPlan] = None,
+    resilience: bool = True,
+    strict_exceptions: bool = False,
+    note: str = "",
+    found_with: Optional[Dict] = None,
+) -> CorpusEntry:
+    """Freeze a program (typically post-shrink) into a corpus entry."""
+    specs: Tuple[Dict, ...] = ()
+    if fault_plan is not None:
+        specs = tuple(
+            {"kind": s.kind, "worker": s.worker, "at_iter": s.at_iter,
+             "delay_s": s.delay_s, "array": s.array,
+             "attempts": list(s.attempts)}
+            for s in fault_plan.specs)
+    fw = dict(found_with or {})
+    fw.setdefault("seed", prog.seed)
+    fw.setdefault("n_iters", prog.n_iters)
+    fw.setdefault("shape", prog.shape)
+    return CorpusEntry(
+        name=name,
+        loop_obj=loop_to_obj(prog.loop),
+        store_obj=prog.store_obj,
+        cell=prog.cell,
+        u=prog.u,
+        raises=prog.raises,
+        poisoned=prog.poisoned,
+        backends=tuple(backends),
+        workers=workers,
+        fault_specs=specs,
+        resilience=resilience,
+        strict_exceptions=strict_exceptions,
+        note=note,
+        found_with=fw,
+    )
+
+
+def save_entry(entry: CorpusEntry, corpus_dir=DEFAULT_CORPUS) -> Path:
+    """Write one entry as ``<corpus_dir>/<name>.json``; return the path."""
+    corpus_dir = Path(corpus_dir)
+    corpus_dir.mkdir(parents=True, exist_ok=True)
+    path = corpus_dir / f"{entry.name}.json"
+    path.write_text(json.dumps(entry_to_obj(entry), indent=1,
+                               sort_keys=True) + "\n")
+    return path
+
+
+def load_corpus(corpus_dir=DEFAULT_CORPUS) -> List[CorpusEntry]:
+    """Load every ``*.json`` entry under ``corpus_dir``, sorted by name."""
+    corpus_dir = Path(corpus_dir)
+    entries = []
+    for path in sorted(corpus_dir.glob("*.json")):
+        entries.append(entry_from_obj(json.loads(path.read_text())))
+    return entries
+
+
+def replay_entry(entry: CorpusEntry,
+                 funcs: Optional[FunctionTable] = None) -> OracleVerdict:
+    """Re-run one corpus entry under its pinned configuration.
+
+    Every corpus entry is expected to replay *clean* — the failing
+    configuration that originally exposed the bug is recorded in
+    ``found_with`` for forensics, while the stored configuration
+    exercises the fixed code path.
+    """
+    return check_program(
+        entry.program(),
+        backends=entry.backends,
+        workers=entry.workers,
+        fault_plan=entry.fault_plan(),
+        resilience=entry.resilience,
+        strict_exceptions=entry.strict_exceptions,
+        funcs=funcs,
+    )

@@ -1,0 +1,518 @@
+"""Taxonomy-aware random WHILE-loop program generator.
+
+Each draw synthesizes a complete program — a canonical
+:class:`~repro.ir.nodes.Loop` plus a JSON-safe initial-store spec —
+labeled with the Table-1 cell it is *intended* to land in.  The four
+dispatcher families mirror the paper's taxonomy:
+
+``mono``
+    Monotonic induction ``i = i + s`` with an order-threshold (RI) or
+    data-dependent (RV) terminator — the DOALL / Induction-2 row.
+``nonmono``
+    A plain induction whose terminator reads a loop-invariant noise
+    table through a *wrapping* index, so the monotonic no-overshoot
+    refinement does not apply (iterations past the exit can see the
+    condition true again).
+``assoc``
+    Affine recurrence ``r = a*r + b`` — the associative-recurrence row
+    (parallel-prefix evaluable dispatcher).
+``general``
+    Linked-list pointer chase ``p = next(p)`` — the general-recurrence
+    row (inherently sequential dispatcher, private catch-up walks).
+
+Orthogonal mutators stack on top of every family: RV exits on the
+written array, RI exits over a read-only sentinel array, extra private
+scalar temporaries, second-array writes, conditional writes, indirect
+(permutation-table) subscripts that defeat the static dependence test
+and force the speculative/PD-test path, and *poisoned* bodies that
+raise ``ZeroDivisionError`` at a chosen iteration — before the exit
+(a genuine program exception the parallel run must reproduce exactly)
+or after it (a parallel-only overshoot artifact that must never
+surface).
+
+Programs are guaranteed terminating by construction (every family has
+a threshold or NULL backstop), and every generated draw is validated
+by one sequential ground-truth run at generation time.  Store specs
+are kept in serialized form (:mod:`repro.ir.serialize`) so a program
+found to fail can be persisted to the regression corpus byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.taxonomy import DispatcherClass
+from repro.analysis.terminator import TermClass
+from repro.ir.functions import FunctionTable
+from repro.ir.interp import SequentialInterp
+from repro.ir.nodes import (
+    ArrayAssign,
+    ArrayRef,
+    Assign,
+    BinOp,
+    Const,
+    Exit,
+    Expr,
+    If,
+    Loop,
+    Next,
+    Stmt,
+    Var,
+    eq_,
+    le_,
+    lt_,
+    ne_,
+)
+from repro.ir.serialize import store_from_obj, store_to_obj
+from repro.ir.store import Store
+from repro.runtime.costs import FREE
+from repro.structures.linkedlist import build_chain
+
+__all__ = ["CELLS", "GeneratedProgram", "generate_program"]
+
+#: Sentinel value planted for RV (data-dependent) exits.  Generated
+#: write expressions only ever produce non-negative values, so a
+#: sentinel can never be fabricated by the loop itself.
+SENTINEL = -7
+
+#: The eight Table-1 cells, as ``"<dispatcher>/<terminator>"`` labels.
+CELLS: Tuple[str, ...] = tuple(
+    f"{d.value}/{t.value}"
+    for d in (DispatcherClass.MONOTONIC_INDUCTION,
+              DispatcherClass.NONMONOTONIC_INDUCTION,
+              DispatcherClass.ASSOCIATIVE,
+              DispatcherClass.GENERAL)
+    for t in (TermClass.RI, TermClass.RV))
+
+_FAMILIES = ("mono", "nonmono", "assoc", "general")
+
+#: Safety margin applied on top of a program's declared bound ``u``
+#: when the ground-truth sequential run executes at generation time.
+_SEQ_MARGIN = 64
+
+
+@dataclass(frozen=True)
+class GeneratedProgram:
+    """One synthesized program with its intended classification.
+
+    Attributes
+    ----------
+    loop:
+        The canonical WHILE loop.
+    store_obj:
+        JSON-safe initial-store spec (:func:`repro.ir.serialize
+        .store_to_obj` format); :meth:`make_store` materializes a
+        fresh mutable copy.
+    cell:
+        Intended Table-1 cell label (``"<dispatcher>/<terminator>"``,
+        one of :data:`CELLS`).
+    shape:
+        Generator family plus active mutators (diagnostic label).
+    u:
+        A sound upper bound on the sequential exit iteration, forwarded
+        to every scheme (the paper requires one).
+    seed:
+        The draw's seed, for exact regeneration.
+    raises:
+        Exception type name the *sequential* run raises, or ``None``
+        for a clean program.  Established by the generation-time
+        ground-truth run.
+    poisoned:
+        The body contains a planted division that *can* raise — maybe
+        only on iterations past the sequential exit (``raises`` is
+        then ``None``, yet parallel overshoot can still trip it).
+        Such programs are only checked on backends with exception
+        containment (the real ones).
+    n_iters:
+        Sequential iteration count of the ground-truth run (0 for
+        raising programs, whose run never completes).
+    """
+
+    loop: Loop
+    store_obj: Dict
+    cell: str
+    shape: str
+    u: int
+    seed: int
+    raises: Optional[str] = None
+    n_iters: int = 0
+    poisoned: bool = False
+
+    def make_store(self) -> Store:
+        """Materialize a fresh store (new arrays) from the spec."""
+        return store_from_obj(self.store_obj)
+
+
+def _mod(e: Expr, m: int) -> BinOp:
+    """``e % m`` as an always-in-range array index."""
+    return BinOp("%", e, Const(m))
+
+
+def _value_expr(rng: random.Random, var: str) -> Expr:
+    """A non-negative write value derived from the dispatcher."""
+    k1 = rng.randint(1, 5)
+    k2 = rng.randint(0, 9)
+    base = Var(var) * k1 + k2
+    if rng.random() < 0.3:
+        return BinOp("min", base, Const(rng.randint(50, 500)))
+    return base
+
+
+@dataclass
+class _Draft:
+    """Mutable scaffolding a family builder fills in."""
+
+    init: List[Stmt] = field(default_factory=list)
+    cond: Optional[Expr] = None
+    body: List[Stmt] = field(default_factory=list)
+    store: Dict = field(default_factory=dict)   # name -> python value
+    cell: str = ""
+    shape: str = ""
+    u: int = 0
+    #: dispatcher values by iteration (1-based), for sentinel planting
+    seq: List[int] = field(default_factory=list)
+    #: dispatcher variable name
+    var: str = "i"
+
+
+class _IdxMap:
+    """Pairs a python index function with its IR expression builder.
+
+    The generator computes concrete slots (for sentinel/poison
+    planting) with the python side and emits the matching IR on the
+    loop side; keeping both in one object prevents the two from
+    drifting apart.
+    """
+
+    def __init__(self, py, ir) -> None:
+        self.py = py
+        self.ir = ir
+
+
+# -- family builders ------------------------------------------------------
+
+def _family_mono(rng: random.Random) -> _Draft:
+    """Monotonic induction ``i += s`` with an RI threshold."""
+    d = _Draft()
+    n = rng.randint(4, 36)
+    step = rng.choice((1, 1, 2, 3))
+    bound = 1 + step * (n - 1)
+    d.var = "i"
+    d.seq = [1 + step * (j - 1) for j in range(1, n + 1)]
+    d.init = [Assign("i", Const(1))]
+    if rng.random() < 0.5:
+        d.store["n"] = bound
+        d.cond = le_(Var("i"), Var("n"))
+    else:
+        d.cond = le_(Var("i"), Const(bound))
+    size = bound + 2
+    d.store["A"] = np.zeros(size, dtype=np.int64)
+    d.store["i"] = 0
+    d.body = [ArrayAssign("A", Var("i"), _value_expr(rng, "i")),
+              Assign("i", Var("i") + step)]
+    d.cell = f"{DispatcherClass.MONOTONIC_INDUCTION.value}/{TermClass.RI.value}"
+    d.shape = f"mono(step={step})"
+    d.u = n
+    return d
+
+
+def _family_nonmono(rng: random.Random) -> _Draft:
+    """Induction whose terminator reads a noise table via a wrap."""
+    d = _Draft()
+    n = rng.randint(4, 30)
+    step = rng.choice((1, 2, 3))
+    m = rng.choice((97, 131, 257))
+    c1 = rng.choice((1, 3, 7))
+    c0 = rng.randint(0, 9)
+    d.var = "i"
+    d.seq = [1 + step * (j - 1) for j in range(1, n + 1)]
+    noise = np.zeros(m, dtype=np.int64)
+    # plant the exit for iteration n (an earlier wrap collision only
+    # moves the exit earlier, which every backend sees identically)
+    noise[(c1 * d.seq[-1] + c0) % m] = 200
+    d.store["noise"] = noise
+    d.store["A"] = np.zeros(m, dtype=np.int64)
+    d.store["i"] = 0
+    d.init = [Assign("i", Const(1))]
+    d.cond = lt_(ArrayRef("noise", _mod(Var("i") * c1 + c0, m)),
+                 Const(100))
+    c2 = rng.choice((1, 5, 11))
+    wm = _IdxMap(lambda v: (v * c2) % m, lambda e: _mod(e * c2, m))
+    d.body = [ArrayAssign("A", wm.ir(Var("i")), _value_expr(rng, "i")),
+              Assign("i", Var("i") + step)]
+    d.cell = (f"{DispatcherClass.NONMONOTONIC_INDUCTION.value}"
+              f"/{TermClass.RI.value}")
+    d.shape = f"nonmono(step={step},m={m})"
+    d.u = n
+    return d
+
+
+def _family_assoc(rng: random.Random) -> _Draft:
+    """Affine recurrence ``r = a*r + b`` with an RI threshold."""
+    d = _Draft()
+    n = rng.randint(4, 22)
+    a = rng.choice((2, 2, 3))
+    b = rng.choice((0, 1, 3))
+    if a == 2 and b == 0:
+        b = 1   # keep the recurrence affine-with-offset (strictly growing)
+    m = rng.choice((97, 131, 257))
+    seq = [1]
+    for _ in range(n - 1):
+        seq.append(a * seq[-1] + b)
+    threshold = a * seq[-1] + b   # v_{n+1}: first value failing r < T
+    d.var = "r"
+    d.seq = seq
+    d.store["A"] = np.zeros(m, dtype=np.int64)
+    d.store["r"] = 0
+    d.init = [Assign("r", Const(1))]
+    d.cond = lt_(Var("r"), Const(threshold))
+    d.body = [ArrayAssign("A", _mod(Var("r"), m), _value_expr(rng, "r")),
+              Assign("r", Var("r") * a + b)]
+    d.cell = f"{DispatcherClass.ASSOCIATIVE.value}/{TermClass.RI.value}"
+    d.shape = f"assoc(a={a},b={b},m={m})"
+    d.u = n
+    return d
+
+
+def _family_general(rng: random.Random) -> _Draft:
+    """Linked-list pointer chase terminated by NULL."""
+    d = _Draft()
+    n = rng.randint(4, 32)
+    chain = build_chain(n, scramble=rng.random() < 0.8,
+                        rng=np.random.default_rng(rng.randrange(2**31)))
+    order = list(chain)
+    d.var = "p"
+    d.seq = order
+    d.store["lst"] = chain
+    d.store["B"] = np.zeros(n, dtype=np.int64)
+    d.store["p"] = 0
+    d.init = [Assign("p", Const(chain.head))]
+    d.cond = ne_(Var("p"), Const(-1))
+    d.body = [ArrayAssign("B", Var("p"), _value_expr(rng, "p")),
+              Assign("p", Next("lst", Var("p")))]
+    d.cell = f"{DispatcherClass.GENERAL.value}/{TermClass.RI.value}"
+    d.shape = f"general(n={n})"
+    d.u = n
+    return d
+
+
+_BUILDERS = {
+    "mono": _family_mono,
+    "nonmono": _family_nonmono,
+    "assoc": _family_assoc,
+    "general": _family_general,
+}
+
+
+def _write_idx_map(d: _Draft, rng: random.Random) -> _IdxMap:
+    """Index map matching the family's primary write subscript."""
+    if d.shape.startswith("mono"):
+        return _IdxMap(lambda v: v, lambda e: e)
+    if d.shape.startswith("general"):
+        return _IdxMap(lambda v: v, lambda e: e)
+    # wrapping families: reuse the primary array's modulus
+    arr = d.store["A"]
+    m = int(arr.shape[0])
+    return _IdxMap(lambda v: v % m, lambda e: _mod(e, m))
+
+
+# -- mutators -------------------------------------------------------------
+
+def _mut_rv(d: _Draft, rng: random.Random) -> None:
+    """RI → RV: add a data-dependent exit on the primary write array."""
+    array = "A" if "A" in d.store else "B"
+    idx = _write_idx_map(d, rng)
+    K = rng.randint(1, len(d.seq))
+    slot = idx.py(d.seq[K - 1])
+    d.store[array][slot] = SENTINEL
+    d.body.insert(0, If(eq_(ArrayRef(array, idx.ir(Var(d.var))),
+                            Const(SENTINEL)), [Exit()]))
+    disp, _ = d.cell.split("/")
+    d.cell = f"{disp}/{TermClass.RV.value}"
+    d.shape += f"+rv(K={K})"
+
+
+def _mut_ri_exit(d: _Draft, rng: random.Random) -> None:
+    """Add an in-body exit over a *read-only* sentinel array.
+
+    Unlike :func:`_mut_rv`, the guard reads an array the loop never
+    writes, so the terminator stays remainder-invariant — yet the exit
+    fires non-monotonically along the iteration space, so the parallel
+    run still overshoots.  This is exactly the shape behind the
+    ``wild-pr5-ri-exit-overshoot`` corpus entry (Table 1's associative/
+    general no-overshoot entries are void for such loops).  A monotonic
+    induction with such an exit falls into the non-monotonic column
+    (the classifier's threshold-exception demotion), so the label moves
+    with it.
+    """
+    idx = _write_idx_map(d, rng)
+    size = (int(d.store["A"].shape[0]) if "A" in d.store
+            else int(d.store["B"].shape[0]))
+    marks = np.zeros(size, dtype=np.int64)
+    K = rng.randint(1, len(d.seq))
+    marks[idx.py(d.seq[K - 1])] = SENTINEL
+    d.store["E"] = marks
+    d.body.insert(0, If(eq_(ArrayRef("E", idx.ir(Var(d.var))),
+                            Const(SENTINEL)), [Exit()]))
+    disp, term = d.cell.split("/")
+    if disp == DispatcherClass.MONOTONIC_INDUCTION.value:
+        disp = DispatcherClass.NONMONOTONIC_INDUCTION.value
+    d.cell = f"{disp}/{term}"
+    d.shape += f"+riexit(K={K})"
+
+
+def _mut_temp(d: _Draft, rng: random.Random) -> None:
+    """Add a private scalar temporary feeding the primary write."""
+    idx = _write_idx_map(d, rng)
+    k = rng.randint(1, 4)
+    read = ArrayRef("A" if "A" in d.store else "B", idx.ir(Var(d.var)))
+    d.body.insert(_first_write_pos(d), Assign("t0", read + k))
+    # rewrite the first array write to consume the temp
+    for i, s in enumerate(d.body):
+        if isinstance(s, ArrayAssign):
+            d.body[i] = ArrayAssign(s.array, s.index,
+                                    Var("t0") + rng.randint(0, 3))
+            break
+    d.store["t0"] = 0
+    d.shape += "+temp"
+
+
+def _mut_second_array(d: _Draft, rng: random.Random) -> None:
+    """Add an independent write to a second array."""
+    idx = _write_idx_map(d, rng)
+    size = (int(d.store["A"].shape[0]) if "A" in d.store
+            else int(d.store["B"].shape[0]))
+    d.store["C"] = np.zeros(size, dtype=np.int64)
+    pos = _first_write_pos(d)
+    d.body.insert(pos, ArrayAssign("C", idx.ir(Var(d.var)),
+                                   _value_expr(rng, d.var)))
+    d.shape += "+2arr"
+
+
+def _mut_conditional_write(d: _Draft, rng: random.Random) -> None:
+    """Wrap one array write in a data-dependent conditional."""
+    for i, s in enumerate(d.body):
+        if isinstance(s, ArrayAssign):
+            cond = eq_(_mod(Var(d.var), 2), Const(rng.randint(0, 1)))
+            d.body[i] = If(cond, [s])
+            d.shape += "+condw"
+            return
+
+
+def _mut_indirect(d: _Draft, rng: random.Random) -> None:
+    """Route the primary write through a permutation table.
+
+    ``A[IDX[g(i)]] = ...`` defeats the static dependence test (the
+    subscript is subscripted), forcing the PD-test / speculative path
+    while remaining collision-free (IDX is a permutation), so the
+    runtime test passes and the parallel result must stand.
+    """
+    base = "A" if "A" in d.store else "B"
+    size = int(d.store[base].shape[0])
+    perm = np.random.default_rng(rng.randrange(2**31)).permutation(size)
+    d.store["IDX"] = perm.astype(np.int64)
+    idx = _write_idx_map(d, rng)
+    for i, s in enumerate(d.body):
+        if isinstance(s, ArrayAssign) and s.array == base:
+            d.body[i] = ArrayAssign(base,
+                                    ArrayRef("IDX", idx.ir(Var(d.var))),
+                                    s.expr)
+            d.shape += "+indirect"
+            return
+
+
+def _mut_poison(d: _Draft, rng: random.Random) -> None:
+    """Plant a ``ZeroDivisionError`` at a chosen iteration.
+
+    ``t1 = 1000 // D[g(i)]`` with ``D`` all ones except a zero at the
+    slot of iteration ``K``.  With ``K`` at or before the exit
+    iteration the exception is *genuine* (the sequential run raises it
+    and every parallel run must reproduce type, store, and committed
+    prefix).  With ``K`` past the exit it is reachable only by
+    parallel overshoot and must never surface.
+    """
+    idx = _write_idx_map(d, rng)
+    size = (int(d.store["A"].shape[0]) if "A" in d.store
+            else int(d.store["B"].shape[0]))
+    D = np.ones(size, dtype=np.int64)
+    K = rng.randint(1, len(d.seq))
+    D[idx.py(d.seq[K - 1])] = 0
+    d.store["D"] = D
+    d.store["t1"] = 0
+    d.body.insert(0, Assign(
+        "t1", BinOp("//", Const(1000),
+                    ArrayRef("D", idx.ir(Var(d.var))))))
+    d.shape += f"+poison(K={K})"
+
+
+def _first_write_pos(d: _Draft) -> int:
+    """Body index of the first array write (insert point for mutators)."""
+    for i, s in enumerate(d.body):
+        if isinstance(s, ArrayAssign):
+            return i
+    return 0
+
+
+# -- the draw -------------------------------------------------------------
+
+def generate_program(seed: int, *,
+                     family: Optional[str] = None,
+                     allow_poison: bool = True) -> GeneratedProgram:
+    """Synthesize one labeled random program.
+
+    Deterministic in ``seed``.  ``family`` pins the dispatcher family
+    (one of ``mono|nonmono|assoc|general``); ``allow_poison=False``
+    suppresses raising bodies (used when fuzzing the sim backend,
+    whose executors predate exception containment).
+    """
+    rng = random.Random(seed)
+    fam = family or rng.choice(_FAMILIES)
+    d = _BUILDERS[fam](rng)
+
+    # orthogonal mutators, applied in a fixed order
+    if rng.random() < 0.5:
+        _mut_rv(d, rng)
+    elif rng.random() < 0.4:
+        _mut_ri_exit(d, rng)
+    if rng.random() < 0.35:
+        _mut_temp(d, rng)
+    if rng.random() < 0.3:
+        _mut_second_array(d, rng)
+    if rng.random() < 0.25:
+        _mut_conditional_write(d, rng)
+    if fam in ("mono", "general") and rng.random() < 0.3:
+        _mut_indirect(d, rng)
+    poisoned = allow_poison and rng.random() < 0.22
+    if poisoned:
+        _mut_poison(d, rng)
+
+    loop = Loop(d.init, d.cond, d.body, name=f"fuzz-{seed}")
+    # u must exceed the loop-top exit iteration strictly: the DOALL
+    # skeleton discovers termination by *observing* the first iteration
+    # whose terminator test fails, which is iteration n_iters + 1.
+    u = d.u + rng.randint(1, 8)
+    store_obj = store_to_obj(Store(d.store))
+
+    # ground-truth sequential run validates the draw and records
+    # whether (and what) it raises
+    probe = store_from_obj(store_obj)
+    raises = None
+    n_iters = 0
+    try:
+        res = SequentialInterp(loop, FunctionTable(), FREE).run(
+            probe, max_iters=u + _SEQ_MARGIN)
+        n_iters = res.n_iters
+    except ZeroDivisionError:
+        raises = "ZeroDivisionError"
+    return GeneratedProgram(loop=loop, store_obj=store_obj, cell=d.cell,
+                            shape=d.shape, u=u, seed=seed, raises=raises,
+                            n_iters=n_iters, poisoned=poisoned)
+
+
+def regenerate(prog: GeneratedProgram, **overrides) -> GeneratedProgram:
+    """Clone a program with field overrides (used by the shrinker)."""
+    return replace(prog, **overrides)

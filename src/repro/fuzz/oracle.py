@@ -1,0 +1,286 @@
+"""The differential oracle: one program vs. the scheme × backend matrix.
+
+The oracle establishes sequential ground truth for a generated program
+(final store, exit iteration, exit kind, and — for poisoned bodies —
+the exception type and the store at the raise point), then runs the
+program through:
+
+* every applicable simulation scheme, via
+  :func:`repro.testing.check_equivalence` (clean programs only — the
+  sim executors predate exception containment);
+* the planner-chosen scheme on each requested *real* backend
+  (``threads`` / ``procs``), via :func:`repro.api.parallelize`,
+  optionally under an injected :class:`~repro.runtime.faults.FaultPlan`
+  with or without the fault-tolerant supervisor.
+
+Every divergence from ground truth becomes a structured
+:class:`Discrepancy`; a clean verdict means the paper's equivalence
+claim held for this draw across the whole matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.api import parallelize
+from repro.errors import RealBackendError, ReproError
+from repro.ir.functions import FunctionTable
+from repro.ir.interp import SequentialInterp
+from repro.ir.store import Store
+from repro.runtime.costs import FREE
+from repro.runtime.faults import FaultPlan
+from repro.runtime.machine import Machine
+from repro.testing import check_equivalence
+
+from repro.fuzz.generator import GeneratedProgram, _SEQ_MARGIN
+
+__all__ = ["Discrepancy", "OracleVerdict", "check_program"]
+
+#: Discrepancy kinds, in rough order of severity.
+KINDS = (
+    "store-mismatch",        # final stores differ
+    "iters-mismatch",        # last-valid-iteration differs
+    "exit-mismatch",         # body-Exit vs loop-top-condition exit
+    "exception-mismatch",    # raised, but a different type
+    "exception-missing",     # sequential raises, parallel does not
+    "unexpected-exception",  # parallel raises on a clean program
+    "fault-escape",          # injected system fault surfaced to caller
+    "scheme-error",          # a sim scheme errored internally
+)
+
+
+@dataclass(frozen=True)
+class Discrepancy:
+    """One divergence between a parallel run and sequential truth."""
+
+    kind: str        #: one of :data:`KINDS`
+    backend: str     #: ``sim`` | ``threads`` | ``procs``
+    scheme: str      #: scheme name, or ``"plan"`` when unknown
+    detail: str      #: human-readable specifics (diff, types, counts)
+    seed: int        #: the failing program's seed
+    cell: str        #: the failing program's Table-1 cell label
+
+
+@dataclass
+class OracleVerdict:
+    """Everything the oracle established about one program."""
+
+    program: GeneratedProgram
+    discrepancies: List[Discrepancy] = field(default_factory=list)
+    checks: int = 0                 #: scheme×backend runs compared
+    skipped: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every comparison matched ground truth."""
+        return not self.discrepancies
+
+
+@dataclass
+class _SeqTruth:
+    """Sequential ground truth (re-derived, never trusted from the draw)."""
+
+    store: Store
+    n_iters: int
+    exited_in_body: bool
+    raises: Optional[str]
+
+
+def _seq_truth(prog: GeneratedProgram, funcs: FunctionTable) -> _SeqTruth:
+    store = prog.make_store()
+    try:
+        res = SequentialInterp(prog.loop, funcs, FREE).run(
+            store, max_iters=prog.u + _SEQ_MARGIN)
+    except Exception as exc:  # the program's own exception
+        # the interpreter mutates the store in place, so ``store`` now
+        # holds exactly the state at the raise point — the containment
+        # contract's reference
+        return _SeqTruth(store, 0, False, type(exc).__name__)
+    return _SeqTruth(store, res.n_iters, res.exited_in_body, None)
+
+
+def _check_sim(prog: GeneratedProgram, truth: _SeqTruth,
+               funcs: FunctionTable, verdict: OracleVerdict) -> None:
+    report = check_equivalence(prog.loop, prog.make_store, funcs=funcs,
+                               u=prog.u)
+    for c in report.checks:
+        if not c.applicable:
+            continue
+        verdict.checks += 1
+        if c.error is not None:
+            verdict.discrepancies.append(Discrepancy(
+                "scheme-error", "sim", c.scheme, c.error,
+                prog.seed, prog.cell))
+            continue
+        if not c.store_matches:
+            verdict.discrepancies.append(Discrepancy(
+                "store-mismatch", "sim", c.scheme,
+                "final store diverges from sequential reference",
+                prog.seed, prog.cell))
+        if c.n_iters is not None and c.n_iters != truth.n_iters:
+            verdict.discrepancies.append(Discrepancy(
+                "iters-mismatch", "sim", c.scheme,
+                f"lvi={c.n_iters} != seq={truth.n_iters}",
+                prog.seed, prog.cell))
+
+
+def _check_real(prog: GeneratedProgram, truth: _SeqTruth, backend: str,
+                funcs: FunctionTable, verdict: OracleVerdict, *,
+                workers: int, fault_plan: Optional[FaultPlan],
+                resilience, strict_exceptions: bool) -> None:
+    machine = Machine(max(2, workers), FREE)
+    store = prog.make_store()
+    scheme = "plan"
+    verdict.checks += 1
+    try:
+        out = parallelize(
+            prog.loop, store, machine, funcs,
+            verify=False, u=prog.u, min_speedup=0.0,
+            backend=backend, workers=workers,
+            resilience=resilience, fault_plan=fault_plan,
+            strict_exceptions=strict_exceptions)
+        scheme = out.plan.scheme
+    except Exception as exc:
+        _judge_exception(prog, truth, backend, scheme, exc, store, verdict)
+        return
+    if truth.raises is not None:
+        verdict.discrepancies.append(Discrepancy(
+            "exception-missing", backend, scheme,
+            f"sequential raises {truth.raises}, parallel run completed "
+            f"cleanly", prog.seed, prog.cell))
+        return
+    if not store.equals(truth.store):
+        diff = "; ".join(f"{k}: {v}"
+                         for k, v in sorted(store.diff(truth.store).items()))
+        verdict.discrepancies.append(Discrepancy(
+            "store-mismatch", backend, scheme, diff or "stores differ",
+            prog.seed, prog.cell))
+    if out.result.n_iters != truth.n_iters:
+        verdict.discrepancies.append(Discrepancy(
+            "iters-mismatch", backend, scheme,
+            f"lvi={out.result.n_iters} != seq={truth.n_iters}",
+            prog.seed, prog.cell))
+    if bool(out.result.exited_in_body) != bool(truth.exited_in_body):
+        verdict.discrepancies.append(Discrepancy(
+            "exit-mismatch", backend, scheme,
+            f"parallel exited_in_body={out.result.exited_in_body}, "
+            f"sequential={truth.exited_in_body}",
+            prog.seed, prog.cell))
+
+
+def _judge_exception(prog: GeneratedProgram, truth: _SeqTruth,
+                     backend: str, scheme: str, exc: BaseException,
+                     store: Store, verdict: OracleVerdict) -> None:
+    """Classify an exception that escaped a parallel run."""
+    name = type(exc).__name__
+    if truth.raises is not None:
+        if name != truth.raises:
+            verdict.discrepancies.append(Discrepancy(
+                "exception-mismatch", backend, scheme,
+                f"parallel raised {name}, sequential raised "
+                f"{truth.raises}: {exc}", prog.seed, prog.cell))
+            return
+        # right exception — the containment contract also pins the
+        # store at the raise point to the sequential state
+        if not store.equals(truth.store):
+            diff = "; ".join(
+                f"{k}: {v}"
+                for k, v in sorted(store.diff(truth.store).items()))
+            verdict.discrepancies.append(Discrepancy(
+                "store-mismatch", backend, scheme,
+                f"store at {name} raise point diverges: {diff}",
+                prog.seed, prog.cell))
+        return
+    if isinstance(exc, RealBackendError):
+        # a worker/system fault surfaced to the caller — the exact
+        # thing supervision exists to absorb
+        kind = "fault-escape"
+    elif isinstance(exc, ReproError):
+        # the framework itself refused or failed (PlanError, a bound
+        # violation, ...) on a program the generator guarantees valid
+        kind = "scheme-error"
+    else:
+        kind = "unexpected-exception"
+    verdict.discrepancies.append(Discrepancy(
+        kind, backend, scheme, f"{name}: {exc}", prog.seed, prog.cell))
+
+
+def check_program(
+    prog: GeneratedProgram,
+    *,
+    backends: Sequence[str] = ("sim",),
+    workers: int = 2,
+    fault_plan: Optional[FaultPlan] = None,
+    resilience=True,
+    strict_exceptions: bool = False,
+    funcs: Optional[FunctionTable] = None,
+) -> OracleVerdict:
+    """Differentially test one program across the requested matrix.
+
+    Parameters
+    ----------
+    prog:
+        A generated (or corpus-loaded) program.
+    backends:
+        Any of ``sim`` / ``threads`` / ``procs``.  ``sim`` fans out to
+        *every* applicable scheme via
+        :func:`~repro.testing.check_equivalence`; real backends run the
+        planner-chosen scheme through the full
+        :func:`~repro.api.parallelize` pipeline.
+    workers:
+        Real-backend worker count.
+    fault_plan:
+        Optional injected system faults (real backends only; ``sim``
+        is skipped when set).
+    resilience:
+        Run real backends under the fault-tolerant supervisor.  Turning
+        this off *with* a fault plan is the standard way to manufacture
+        a ``fault-escape`` discrepancy on purpose.
+    strict_exceptions:
+        Forwarded to :func:`~repro.api.parallelize`.
+    funcs:
+        Intrinsics (fuzzed programs never need any; corpus replays of
+        wild bugs might).
+
+    Returns
+    -------
+    OracleVerdict
+        ``.ok`` iff every scheme × backend comparison matched the
+        sequential ground truth exactly.
+    """
+    funcs = funcs or FunctionTable()
+    verdict = OracleVerdict(program=prog)
+    truth = _seq_truth(prog, funcs)
+    if truth.raises != prog.raises:
+        # the draw's metadata is stale/wrong — surface loudly rather
+        # than comparing against a lie
+        verdict.discrepancies.append(Discrepancy(
+            "unexpected-exception", "seq", "sequential",
+            f"ground truth raises {truth.raises}, draw metadata says "
+            f"{prog.raises}", prog.seed, prog.cell))
+        return verdict
+
+    faulted = fault_plan is not None and bool(fault_plan)
+    for backend in backends:
+        if backend == "sim":
+            if truth.raises is not None or prog.poisoned:
+                # even a program whose *sequential* run is clean can
+                # trip its planted division on overshoot iterations,
+                # and the sim executors predate exception containment
+                verdict.skipped.append(
+                    "sim: poisoned program (sim schemes predate "
+                    "exception containment)")
+                continue
+            if faulted:
+                verdict.skipped.append("sim: fault plans need real workers")
+                continue
+            _check_sim(prog, truth, funcs, verdict)
+        elif backend in ("threads", "procs"):
+            _check_real(prog, truth, backend, funcs, verdict,
+                        workers=workers, fault_plan=fault_plan,
+                        resilience=resilience,
+                        strict_exceptions=strict_exceptions)
+        else:
+            raise ValueError(f"unknown backend {backend!r}")
+    return verdict

@@ -1,0 +1,287 @@
+"""Greedy minimizer for failing fuzz programs.
+
+Given a program whose oracle verdict contains discrepancies, the
+shrinker repeatedly tries structure-reducing edits — deleting body and
+init statements, flattening ``If`` guards into their then-blocks, and
+reducing integer constants — keeping an edit only when the *same
+failure signature* (the set of ``(kind, backend)`` discrepancy pairs,
+or any subset of it) still reproduces.  Every accepted candidate is
+re-validated by a bounded sequential ground-truth run first, so a
+shrink step can never smuggle in a non-terminating loop.
+
+The result is the smallest program this greedy pass can reach, ready
+to be frozen into the regression corpus
+(:func:`repro.fuzz.corpus.entry_from_program`) and rendered as a
+standalone reproduction script (:func:`render_repro_script`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+from typing import Callable, FrozenSet, List, Optional, Tuple
+
+from repro.errors import OvershootLimit
+from repro.ir.functions import FunctionTable
+from repro.ir.interp import SequentialInterp
+from repro.ir.nodes import (
+    ArrayAssign,
+    ArrayRef,
+    Assign,
+    BinOp,
+    Call,
+    Const,
+    Expr,
+    ExprStmt,
+    For,
+    If,
+    Loop,
+    Next,
+    Stmt,
+    UnaryOp,
+)
+from repro.runtime.costs import FREE
+
+from repro.fuzz.generator import SENTINEL, GeneratedProgram
+from repro.fuzz.oracle import OracleVerdict
+
+__all__ = ["ShrinkResult", "shrink_program", "render_repro_script"]
+
+#: Constants the reducer leaves alone: collapsing them is either
+#: meaningless (0/±1 are already minimal) or changes the program's
+#: *classification* rather than its size (the RV sentinel).
+_KEEP = frozenset({0, 1, -1, SENTINEL})
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one shrink run."""
+
+    program: GeneratedProgram        #: the minimized program
+    verdict: OracleVerdict           #: its (still-failing) verdict
+    signature: Tuple[Tuple[str, str], ...]  #: preserved (kind, backend)s
+    steps: int                       #: accepted reductions
+    tried: int                       #: candidate oracle runs spent
+
+
+def _signature(v: OracleVerdict) -> FrozenSet[Tuple[str, str]]:
+    return frozenset((d.kind, d.backend) for d in v.discrepancies)
+
+
+# -- IR rewriting ---------------------------------------------------------
+
+def _map_expr(e: Expr, fc: Callable[[Const], Expr]) -> Expr:
+    if isinstance(e, Const):
+        return fc(e)
+    if isinstance(e, BinOp):
+        return BinOp(e.op, _map_expr(e.left, fc), _map_expr(e.right, fc))
+    if isinstance(e, UnaryOp):
+        return UnaryOp(e.op, _map_expr(e.operand, fc))
+    if isinstance(e, ArrayRef):
+        return ArrayRef(e.array, _map_expr(e.index, fc))
+    if isinstance(e, Next):
+        return Next(e.list_name, _map_expr(e.ptr, fc))
+    if isinstance(e, Call):
+        return Call(e.fn, tuple(_map_expr(a, fc) for a in e.args))
+    return e
+
+
+def _map_stmt(s: Stmt, fc: Callable[[Const], Expr]) -> Stmt:
+    if isinstance(s, Assign):
+        return Assign(s.name, _map_expr(s.expr, fc))
+    if isinstance(s, ArrayAssign):
+        return ArrayAssign(s.array, _map_expr(s.index, fc),
+                           _map_expr(s.expr, fc))
+    if isinstance(s, ExprStmt):
+        return ExprStmt(_map_expr(s.expr, fc))
+    if isinstance(s, If):
+        return If(_map_expr(s.cond, fc),
+                  tuple(_map_stmt(t, fc) for t in s.then),
+                  tuple(_map_stmt(t, fc) for t in s.orelse))
+    if isinstance(s, For):
+        return For(s.var, _map_expr(s.lo, fc), _map_expr(s.hi, fc),
+                   tuple(_map_stmt(t, fc) for t in s.body))
+    return s
+
+
+def _const_values(loop: Loop) -> List[int]:
+    """Integer constants at each site, in deterministic visit order."""
+    seen: List[int] = []
+
+    def record(c: Const) -> Expr:
+        if isinstance(c.value, int) and not isinstance(c.value, bool):
+            seen.append(c.value)
+        return c
+
+    _map_expr(loop.cond, record)
+    for s in (*loop.init, *loop.body):
+        _map_stmt(s, record)
+    return seen
+
+
+def _with_const(loop: Loop, site: int, value: int) -> Loop:
+    """The loop with integer-constant site ``site`` replaced."""
+    counter = {"i": -1}
+
+    def edit(c: Const) -> Expr:
+        if isinstance(c.value, int) and not isinstance(c.value, bool):
+            counter["i"] += 1
+            if counter["i"] == site:
+                return Const(value)
+        return c
+
+    cond = _map_expr(loop.cond, edit)
+    init = tuple(_map_stmt(s, edit) for s in loop.init)
+    body = tuple(_map_stmt(s, edit) for s in loop.body)
+    return Loop(init, cond, body, name=loop.name)
+
+
+def _structural_candidates(loop: Loop) -> List[Loop]:
+    """Statement deletions and If-flattenings, biggest cuts first."""
+    out: List[Loop] = []
+    body = list(loop.body)
+    for i in range(len(body)):
+        out.append(Loop(loop.init, loop.cond,
+                        body[:i] + body[i + 1:], name=loop.name))
+    for i, s in enumerate(body):
+        if isinstance(s, If):
+            flat = body[:i] + list(s.then) + body[i + 1:]
+            out.append(Loop(loop.init, loop.cond, flat, name=loop.name))
+    init = list(loop.init)
+    if len(init) > 1:
+        for i in range(len(init)):
+            out.append(Loop(init[:i] + init[i + 1:], loop.cond,
+                            loop.body, name=loop.name))
+    return out
+
+
+def _const_candidates(loop: Loop) -> List[Loop]:
+    out: List[Loop] = []
+    for site, v in enumerate(_const_values(loop)):
+        if v in _KEEP:
+            continue
+        targets = {v // 2}
+        if v > 2:
+            targets.add(2)
+        targets.discard(v)
+        for t in sorted(targets):
+            out.append(_with_const(loop, site, t))
+    return out
+
+
+def _revalidate(prog: GeneratedProgram,
+                loop: Loop) -> Optional[GeneratedProgram]:
+    """Ground-truth a candidate loop; None if it breaks the u-contract.
+
+    A candidate is only usable when it still terminates — or raises —
+    *within the program's declared bound* and, for loop-top exits,
+    strictly before it: the DOALL skeleton discovers termination by
+    observing the first failing terminator test, so an edit that
+    pushes the exit to (or past) iteration ``u`` would manufacture a
+    bound-violation artifact instead of shrinking the original
+    failure.  Ground-truthing with ``max_iters=u`` enforces the same
+    contract for raising programs: an edit that moves the faulting
+    iteration past ``u`` (where no parallel run ever executes it) now
+    trips :class:`~repro.errors.OvershootLimit` and is rejected,
+    instead of surviving shrinking only to fail replay with a
+    bound-violation error (corpus near-miss found while seeding
+    fault-injection entries).
+    """
+    store = prog.make_store()
+    try:
+        res = SequentialInterp(loop, FunctionTable(), FREE).run(
+            store, max_iters=prog.u)
+    except OvershootLimit:
+        return None
+    except Exception as exc:
+        return replace(prog, loop=loop, raises=type(exc).__name__,
+                       n_iters=0)
+    if res.n_iters >= prog.u + (1 if res.exited_in_body else 0):
+        return None
+    return replace(prog, loop=loop, raises=None, n_iters=res.n_iters)
+
+
+def shrink_program(
+    prog: GeneratedProgram,
+    verdict: OracleVerdict,
+    check: Callable[[GeneratedProgram], OracleVerdict],
+    *,
+    max_tries: int = 120,
+) -> ShrinkResult:
+    """Greedily minimize ``prog`` while its failure keeps reproducing.
+
+    Parameters
+    ----------
+    prog / verdict:
+        The failing program and the oracle verdict that flagged it.
+    check:
+        Re-runs the oracle on a candidate under the *same*
+        configuration that produced ``verdict`` (the campaign closes
+        over backends / workers / fault plan).
+    max_tries:
+        Hard cap on candidate oracle runs — each one may involve real
+        process pools, so the budget is deliberately modest.
+
+    Returns
+    -------
+    ShrinkResult
+        The smallest reproducer found (possibly the original program,
+        when nothing could be cut).
+    """
+    want = _signature(verdict)
+    best, best_verdict = prog, verdict
+    steps = tried = 0
+    progress = True
+    while progress and tried < max_tries:
+        progress = False
+        candidates = (_structural_candidates(best.loop)
+                      + _const_candidates(best.loop))
+        for loop in candidates:
+            if tried >= max_tries:
+                break
+            cand = _revalidate(best, loop)
+            if cand is None:
+                continue
+            tried += 1
+            v = check(cand)
+            if v.discrepancies and _signature(v) <= want:
+                best, best_verdict = cand, v
+                steps += 1
+                progress = True
+                break   # restart candidate enumeration on the smaller loop
+    return ShrinkResult(program=best, verdict=best_verdict,
+                        signature=tuple(sorted(want)), steps=steps,
+                        tried=tried)
+
+
+def render_repro_script(entry_obj: dict) -> str:
+    """A standalone script reproducing one corpus entry.
+
+    ``entry_obj`` is the JSON dict form of a
+    :class:`~repro.fuzz.corpus.CorpusEntry`
+    (:func:`~repro.fuzz.corpus.entry_to_obj`).  The script embeds the
+    entry verbatim, replays it under its pinned configuration, prints
+    any discrepancies, and exits nonzero on failure — suitable for
+    attaching to a bug report or CI artifact.
+    """
+    blob = json.dumps(entry_obj, indent=1, sort_keys=True)
+    return f'''#!/usr/bin/env python
+"""Standalone reproduction for fuzz finding {entry_obj["name"]!r}.
+
+Run with the repository's ``src/`` on PYTHONPATH:
+
+    PYTHONPATH=src python {entry_obj["name"]}.py
+"""
+import sys
+
+from repro.fuzz.corpus import entry_from_obj, replay_entry
+
+ENTRY = {blob}
+
+verdict = replay_entry(entry_from_obj(ENTRY))
+for d in verdict.discrepancies:
+    print(f"{{d.kind}} [{{d.backend}}/{{d.scheme}}]: {{d.detail}}")
+print(f"checks={{verdict.checks}} "
+      f"discrepancies={{len(verdict.discrepancies)}}")
+sys.exit(1 if verdict.discrepancies else 0)
+'''

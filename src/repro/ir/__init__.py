@@ -53,6 +53,16 @@ from repro.ir.nodes import (
     or_,
 )
 from repro.ir.printer import format_expr, format_loop, format_stmt
+from repro.ir.serialize import (
+    expr_from_obj,
+    expr_to_obj,
+    loop_from_obj,
+    loop_to_obj,
+    stmt_from_obj,
+    stmt_to_obj,
+    store_from_obj,
+    store_to_obj,
+)
 from repro.ir.store import Store
 
 __all__ = [
@@ -67,5 +77,7 @@ __all__ = [
     "SeqResult", "SequentialInterp",
     "compile_block", "compile_expr", "compile_stmt",
     "format_expr", "format_loop", "format_stmt",
+    "expr_to_obj", "expr_from_obj", "stmt_to_obj", "stmt_from_obj",
+    "loop_to_obj", "loop_from_obj", "store_to_obj", "store_from_obj",
     "Store",
 ]

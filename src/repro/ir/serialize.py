@@ -1,0 +1,241 @@
+"""JSON round-tripping for IR trees and stores.
+
+The fuzzing subsystem (:mod:`repro.fuzz`) persists every failing
+program it finds as a corpus entry under ``tests/corpus/`` so the
+failure replays deterministically forever after.  That requires the
+IR — and the initial :class:`~repro.ir.store.Store` the loop runs
+against — to survive a round trip through plain JSON-safe objects
+(dicts, lists, strings, numbers) with *structural equality* preserved:
+``loop_from_obj(loop_to_obj(loop)) == loop`` for every node kind.
+
+Two deliberate restrictions keep the format honest:
+
+* :class:`~repro.ir.nodes.Call` nodes serialize fine (name + args) but
+  the *intrinsic implementations* they reference are Python callables
+  and are **not** serialized — a deserialized program that calls
+  intrinsics needs a matching :class:`~repro.ir.functions
+  .FunctionTable` supplied at replay time.  The fuzzer never generates
+  ``Call`` nodes for exactly this reason.
+* NumPy arrays serialize as ``{dtype, data}`` pairs; only integer,
+  float, and bool dtypes are supported (the only dtypes the IR's
+  semantics use).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+import numpy as np
+
+from repro.errors import IRError
+from repro.ir.nodes import (
+    ArrayAssign,
+    ArrayRef,
+    Assign,
+    BinOp,
+    Call,
+    Const,
+    Exit,
+    Expr,
+    ExprStmt,
+    For,
+    If,
+    Loop,
+    Next,
+    Stmt,
+    UnaryOp,
+    Var,
+)
+from repro.ir.store import Store
+from repro.structures.linkedlist import LinkedList
+
+__all__ = [
+    "expr_to_obj", "expr_from_obj",
+    "stmt_to_obj", "stmt_from_obj",
+    "loop_to_obj", "loop_from_obj",
+    "store_to_obj", "store_from_obj",
+]
+
+
+# -- expressions ----------------------------------------------------------
+
+def expr_to_obj(e: Expr) -> Dict[str, Any]:
+    """Serialize one expression node to a JSON-safe dict."""
+    if isinstance(e, Const):
+        v = e.value
+        if isinstance(v, (np.integer,)):
+            v = int(v)
+        elif isinstance(v, (np.floating,)):
+            v = float(v)
+        elif isinstance(v, np.bool_):
+            v = bool(v)
+        return {"k": "const", "value": v}
+    if isinstance(e, Var):
+        return {"k": "var", "name": e.name}
+    if isinstance(e, BinOp):
+        return {"k": "binop", "op": e.op,
+                "left": expr_to_obj(e.left), "right": expr_to_obj(e.right)}
+    if isinstance(e, UnaryOp):
+        return {"k": "unaryop", "op": e.op,
+                "operand": expr_to_obj(e.operand)}
+    if isinstance(e, ArrayRef):
+        return {"k": "arrayref", "array": e.array,
+                "index": expr_to_obj(e.index)}
+    if isinstance(e, Next):
+        return {"k": "next", "list": e.list_name, "ptr": expr_to_obj(e.ptr)}
+    if isinstance(e, Call):
+        return {"k": "call", "fn": e.fn,
+                "args": [expr_to_obj(a) for a in e.args]}
+    raise IRError(f"cannot serialize expression node {type(e).__name__}")
+
+
+def expr_from_obj(obj: Dict[str, Any]) -> Expr:
+    """Rebuild an expression node from :func:`expr_to_obj` output."""
+    k = obj["k"]
+    if k == "const":
+        return Const(obj["value"])
+    if k == "var":
+        return Var(obj["name"])
+    if k == "binop":
+        return BinOp(obj["op"], expr_from_obj(obj["left"]),
+                     expr_from_obj(obj["right"]))
+    if k == "unaryop":
+        return UnaryOp(obj["op"], expr_from_obj(obj["operand"]))
+    if k == "arrayref":
+        return ArrayRef(obj["array"], expr_from_obj(obj["index"]))
+    if k == "next":
+        return Next(obj["list"], expr_from_obj(obj["ptr"]))
+    if k == "call":
+        return Call(obj["fn"], [expr_from_obj(a) for a in obj["args"]])
+    raise IRError(f"unknown serialized expression kind {k!r}")
+
+
+# -- statements -----------------------------------------------------------
+
+def stmt_to_obj(s: Stmt) -> Dict[str, Any]:
+    """Serialize one statement node to a JSON-safe dict."""
+    if isinstance(s, Assign):
+        return {"k": "assign", "name": s.name, "expr": expr_to_obj(s.expr)}
+    if isinstance(s, ArrayAssign):
+        return {"k": "arrayassign", "array": s.array,
+                "index": expr_to_obj(s.index), "expr": expr_to_obj(s.expr)}
+    if isinstance(s, ExprStmt):
+        return {"k": "exprstmt", "expr": expr_to_obj(s.expr)}
+    if isinstance(s, If):
+        return {"k": "if", "cond": expr_to_obj(s.cond),
+                "then": [stmt_to_obj(t) for t in s.then],
+                "orelse": [stmt_to_obj(t) for t in s.orelse]}
+    if isinstance(s, Exit):
+        return {"k": "exit"}
+    if isinstance(s, For):
+        return {"k": "for", "var": s.var, "lo": expr_to_obj(s.lo),
+                "hi": expr_to_obj(s.hi),
+                "body": [stmt_to_obj(t) for t in s.body]}
+    raise IRError(f"cannot serialize statement node {type(s).__name__}")
+
+
+def stmt_from_obj(obj: Dict[str, Any]) -> Stmt:
+    """Rebuild a statement node from :func:`stmt_to_obj` output."""
+    k = obj["k"]
+    if k == "assign":
+        return Assign(obj["name"], expr_from_obj(obj["expr"]))
+    if k == "arrayassign":
+        return ArrayAssign(obj["array"], expr_from_obj(obj["index"]),
+                           expr_from_obj(obj["expr"]))
+    if k == "exprstmt":
+        return ExprStmt(expr_from_obj(obj["expr"]))
+    if k == "if":
+        return If(expr_from_obj(obj["cond"]),
+                  [stmt_from_obj(t) for t in obj["then"]],
+                  [stmt_from_obj(t) for t in obj["orelse"]])
+    if k == "exit":
+        return Exit()
+    if k == "for":
+        return For(obj["var"], expr_from_obj(obj["lo"]),
+                   expr_from_obj(obj["hi"]),
+                   [stmt_from_obj(t) for t in obj["body"]])
+    raise IRError(f"unknown serialized statement kind {k!r}")
+
+
+# -- loops ----------------------------------------------------------------
+
+def loop_to_obj(loop: Loop) -> Dict[str, Any]:
+    """Serialize a canonical :class:`~repro.ir.nodes.Loop`."""
+    return {
+        "k": "loop",
+        "name": loop.name,
+        "init": [stmt_to_obj(s) for s in loop.init],
+        "cond": expr_to_obj(loop.cond),
+        "body": [stmt_to_obj(s) for s in loop.body],
+    }
+
+
+def loop_from_obj(obj: Dict[str, Any]) -> Loop:
+    """Rebuild a :class:`~repro.ir.nodes.Loop` from :func:`loop_to_obj`."""
+    if obj.get("k") != "loop":
+        raise IRError(f"expected a serialized loop, got kind {obj.get('k')!r}")
+    return Loop([stmt_from_obj(s) for s in obj["init"]],
+                expr_from_obj(obj["cond"]),
+                [stmt_from_obj(s) for s in obj["body"]],
+                name=obj.get("name", "loop"))
+
+
+# -- stores ---------------------------------------------------------------
+
+_SCALAR_KINDS = (bool, int, float, np.integer, np.floating, np.bool_)
+
+
+def store_to_obj(store: Store) -> Dict[str, Any]:
+    """Serialize a :class:`~repro.ir.store.Store` to a JSON-safe dict.
+
+    Insertion order is preserved (JSON objects keep key order), so the
+    round trip reproduces :meth:`Store.names` exactly.
+    """
+    out: Dict[str, Any] = {}
+    for name in store.names():
+        value = store[name]
+        if isinstance(value, LinkedList):
+            out[name] = {"k": "list", "next": value.next.tolist(),
+                         "head": int(value.head)}
+        elif isinstance(value, np.ndarray):
+            if value.ndim != 1:
+                raise IRError(
+                    f"cannot serialize {value.ndim}-d array {name!r}")
+            out[name] = {"k": "array", "dtype": str(value.dtype),
+                         "data": value.tolist()}
+        elif isinstance(value, _SCALAR_KINDS):
+            if isinstance(value, (np.integer,)):
+                value = int(value)
+            elif isinstance(value, (np.floating,)):
+                value = float(value)
+            elif isinstance(value, np.bool_):
+                value = bool(value)
+            out[name] = {"k": "scalar", "value": value}
+        else:
+            raise IRError(
+                f"cannot serialize store value {name!r} of type "
+                f"{type(value).__name__}")
+    return out
+
+
+def store_from_obj(obj: Dict[str, Any]) -> Store:
+    """Rebuild a fresh :class:`~repro.ir.store.Store` (new arrays/lists)."""
+    store = Store()
+    for name, spec in obj.items():
+        k = spec["k"]
+        if k == "list":
+            store[name] = LinkedList(np.asarray(spec["next"],
+                                                dtype=np.int64),
+                                     spec["head"])
+        elif k == "array":
+            store[name] = np.asarray(spec["data"], dtype=spec["dtype"])
+        elif k == "scalar":
+            store[name] = spec["value"]
+        else:
+            raise IRError(f"unknown serialized store kind {k!r}")
+    return store
+
+
+def _roundtrip_check(loop: Loop) -> bool:
+    """Debug helper: does ``loop`` survive the round trip structurally?"""
+    return loop_from_obj(loop_to_obj(loop)) == loop

@@ -44,6 +44,10 @@ __all__ = [
     "M_RETRIES", "M_RETRY_BACKOFF", "M_FALLBACKS_FAULT",
     "M_FALLBACK_RUNG", "FAULT_KIND_METRICS",
     "M_SPEC_SPURIOUS", "M_SPEC_SALVAGED", "M_SPEC_PARTIAL_RESTARTS",
+    "EV_FUZZ_DISCREPANCY",
+    "M_FUZZ_PROGRAMS", "M_FUZZ_CHECKS", "M_FUZZ_CELLS",
+    "M_FUZZ_DISCREPANCIES", "M_FUZZ_SHRINK_STEPS",
+    "M_FUZZ_CORPUS_ENTRIES",
 ]
 
 # -- event names (tracer spans / instants) -------------------------------
@@ -210,6 +214,23 @@ M_SPEC_SALVAGED = "spec.salvaged_iters"
 #: restarting at iteration 1.  (legacy:
 #: ``stats["spec"]["partial_restarts"]``)
 M_SPEC_PARTIAL_RESTARTS = "spec.partial_restarts"
+
+#: Instant: the differential fuzzer flagged one scheme×backend
+#: divergence (attrs: kind, backend, scheme, seed, cell).
+EV_FUZZ_DISCREPANCY = "fuzz.discrepancy"
+
+#: Counter: programs the fuzz campaign generated.
+M_FUZZ_PROGRAMS = "fuzz.programs"
+#: Counter: scheme×backend oracle comparisons run.
+M_FUZZ_CHECKS = "fuzz.checks"
+#: Gauge: distinct Table-1 cells the campaign has covered so far.
+M_FUZZ_CELLS = "fuzz.cells_covered"
+#: Counter: discrepancies flagged (pre-shrink).
+M_FUZZ_DISCREPANCIES = "fuzz.discrepancies"
+#: Counter: accepted shrink reductions across all findings.
+M_FUZZ_SHRINK_STEPS = "fuzz.shrink_steps"
+#: Counter: corpus entries written by campaigns.
+M_FUZZ_CORPUS_ENTRIES = "fuzz.corpus_entries"
 
 #: Per-kind fault counters keyed by the :class:`~repro.errors
 #: .WorkerFault` ``kind`` string.

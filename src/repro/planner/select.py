@@ -163,8 +163,21 @@ def _plan_loop(
                     "dependences; pipelining them", info)
 
     prediction: Optional[Prediction] = None
+    profile = None
     if sample_store is not None:
-        profile = profile_loop(info, sample_store.copy(), machine, funcs)
+        # The profiling run executes the user's loop on a sample copy;
+        # a loop whose body raises (or that exceeds the interpreter's
+        # safety bound) must not leak that exception out of *planning*
+        # — the program's own exception belongs to execution, where the
+        # containment/quarantine machinery reproduces it with exact
+        # sequential store semantics.  Profiling is advisory: fall back
+        # to the profile-free plan instead.
+        try:
+            profile = profile_loop(info, sample_store.copy(), machine,
+                                   funcs)
+        except Exception:
+            profile = None
+    if profile is not None:
         if stats is not None:
             stats.record(profile.n_iters)
         prediction = predict(

@@ -324,28 +324,35 @@ class Machine:
         :data:`QUIT` prevents *later-begun* items on any processor from
         starting (checked against the quit's virtual time, mirroring
         the dynamic engine).
+
+        Bodies are *executed* (their Python side effects applied) in
+        global index order, exactly like the dynamic engine, while the
+        clocks model the static per-processor streams.  The two orders
+        are interchangeable for timing — an item's start depends only
+        on its own processor's stream, and every QUIT from a smaller
+        index is known before any item it could govern is reached —
+        but index order keeps the machine's store semantics sequential
+        even when a remainder carries a cross-iteration flow
+        dependence, the same hard store contract the dynamic engine's
+        in-order issue provides.
         """
         p, cost = self.nprocs, self.cost
         trc = get_tracer()
         clocks = [cost.fork] * p
+        stopped = [False] * p
         pending: List[ItemRec] = []
-        # Simulate processors in lockstep over their private streams,
-        # ordered by virtual time so QUIT visibility is consistent.
-        heap: List[Tuple[int, int, int]] = [
-            (cost.fork, pid, first_index + pid) for pid in range(p)]
-        heapq.heapify(heap)
         last = first_index + n_items - 1
         quit_index: Optional[int] = None
         quit_time: Optional[int] = None
         skipped: List[int] = []
-        while heap:
-            clock, pid, index = heapq.heappop(heap)
-            if index > last:
+        for index in range(first_index, last + 1):
+            pid = (index - first_index) % p
+            if stopped[pid]:
                 continue
-            start = clock + cost.sched_static
-            if quit_time is not None and start >= quit_time and index > quit_index:
+            start = clocks[pid] + cost.sched_static
+            if quit_time is not None and start >= quit_time \
+                    and index > quit_index:
                 skipped.append(index)
-                heapq.heappush(heap, (start, pid, index + p))
                 clocks[pid] = start
                 continue
             ctx = ProcCtx(pid, start, cost)
@@ -366,8 +373,7 @@ class Machine:
                 if quit_index is None or index < quit_index:
                     quit_index, quit_time = index, ctx.clock
             if outcome == STOP_PROC:
-                continue
-            heapq.heappush(heap, (ctx.clock, pid, index + p))
+                stopped[pid] = True
         pending.sort(key=lambda r: (r.start, r.index))
         makespan = max(clocks)
         if trc.enabled and skipped:

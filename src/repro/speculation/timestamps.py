@@ -122,10 +122,20 @@ class UndoReport:
         Elements copied back from the checkpoint.
     undone_iterations:
         Distinct overshot iterations whose writes were reverted.
+    tainted_cells:
+        Restored cells that also carry a recorded write-write
+        *conflict* — two distinct iterations wrote them.  For such a
+        cell the checkpoint value is not necessarily the
+        sequentially-correct one: when the earlier writer was a
+        *valid* iteration (<= LVI), the element-selective restore just
+        erased its write.  A non-zero count means the caller must not
+        trust the selective undo and should fall back to a full
+        restore + sequential re-execution (the Section-5 recovery).
     """
 
     restored_words: int
     undone_iterations: int
+    tainted_cells: int = 0
 
 
 def undo_overshoot(
@@ -138,9 +148,17 @@ def undo_overshoot(
 
     The restore is element-selective (paper: "the work of iterations
     that have overshot can be undone by restoring the values that were
-    overwritten during these iterations").
+    overwritten during these iterations").  The selective restore is
+    only sound for cells written by overshot iterations *alone*: a
+    cell that was also written by an earlier iteration (a recorded
+    conflict) may legitimately hold that earlier, possibly-valid write
+    underneath the overshoot — restoring it to the checkpoint erases
+    it.  Such cells are restored anyway (the store must not keep
+    overshoot garbage) but counted in ``tainted_cells`` so the caller
+    can escalate to a full restore + re-execution.
     """
     restored = 0
+    tainted = 0
     undone: Set[int] = set()
     for name, stamp in stamps.stamps.items():
         mask = stamp > last_valid
@@ -148,4 +166,6 @@ def undo_overshoot(
             continue
         restored += checkpoint.restore_where(store, name, mask)
         undone.update(np.unique(stamp[mask]).tolist())
-    return UndoReport(restored, len(undone))
+        tainted += sum(1 for (cname, idx) in stamps.conflicts
+                       if cname == name and mask[idx])
+    return UndoReport(restored, len(undone), tainted)

@@ -67,6 +67,9 @@ class EquivalenceReport:
         for c in self.checks:
             if not c.applicable:
                 lines.append(f"  {c.scheme:22s} n/a ({c.error})")
+            elif c.error is not None:
+                # applicable but errored mid-run: no store/speedup
+                lines.append(f"  {c.scheme:22s} ERROR ({c.error})")
             else:
                 lines.append(
                     f"  {c.scheme:22s} match={c.store_matches} "

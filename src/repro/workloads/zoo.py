@@ -35,7 +35,23 @@ from repro.ir.nodes import (
 from repro.ir.store import Store
 from repro.structures.linkedlist import build_chain
 
-__all__ = ["ZooLoop", "make_zoo"]
+__all__ = ["ZooLoop", "make_zoo", "table_mod"]
+
+
+def table_mod(n: int) -> int:
+    """Modulus sizing the zoo's noise/accumulator tables for size ``n``.
+
+    The non-monotonic entries plant their exit condition at index
+    ``f(exit_iter) mod m`` and rely on the index walk being injective
+    up to the exit, so ``m`` must exceed the planted iteration and be
+    coprime with the walk's stride (3) and multiplier (7).  Keeping the
+    floor at 257 preserves the historical tables exactly for every
+    ``n <= 128``.
+    """
+    m = max(257, 2 * n + 1)
+    while m % 2 == 0 or m % 3 == 0 or m % 7 == 0:
+        m += 1
+    return m
 
 
 @dataclass(frozen=True)
@@ -61,8 +77,19 @@ def _work_funcs() -> FunctionTable:
 
 
 def make_zoo(n: int = 48) -> Tuple[ZooLoop, ...]:
-    """Build one loop per Table-1 cell (eight in total)."""
+    """Build one loop per Table-1 cell (eight in total).
+
+    ``n`` scales every entry: the induction loops run ``~n``
+    iterations over ``n``-sized arrays, the general-recurrence loops
+    chase an ``n``-node list, and the noise/accumulator tables of the
+    non-monotonic and associative entries are sized by
+    :func:`table_mod` so the planted exits stay exact for any ``n``.
+    """
     zoo = []
+    m = table_mod(n)
+
+    def mod_(e):
+        return BinOp_mod(e, m)
 
     # -- monotonic induction, RI (threshold on the dispatcher) ---------
     zoo.append(ZooLoop(
@@ -99,16 +126,16 @@ def make_zoo(n: int = 48) -> Tuple[ZooLoop, ...]:
     # apply: iterations past the exit can evaluate the condition true
     # again.
     def mk_nonmono_ri() -> Store:
-        noise = np.zeros(257, dtype=np.int64)
+        noise = np.zeros(m, dtype=np.int64)
         exit_iter = (2 * n) // 3
-        noise[(1 + 3 * (exit_iter - 1)) % 257] = 200
+        noise[(1 + 3 * (exit_iter - 1)) % m] = 200
         return Store({"noise": noise,
-                      "A": np.zeros(257, dtype=np.int64), "i": 0})
+                      "A": np.zeros(m, dtype=np.int64), "i": 0})
     zoo.append(ZooLoop(
         "nonmono-induction/RI",
         WhileLoop([Assign("i", Const(1))],
-                  lt_(ArrayRef("noise", BinOp_mod(Var("i"))), Const(100)),
-                  [ArrayAssign("A", BinOp_mod(Var("i") * 7), Var("i")),
+                  lt_(ArrayRef("noise", mod_(Var("i"))), Const(100)),
+                  [ArrayAssign("A", mod_(Var("i") * 7), Var("i")),
                    Assign("i", Var("i") + 3)], name="nonmono-ri"),
         FunctionTable(),
         mk_nonmono_ri,
@@ -117,17 +144,17 @@ def make_zoo(n: int = 48) -> Tuple[ZooLoop, ...]:
 
     # -- "non-monotonic" induction, RV -----------------------------------
     def mk_nonmono_rv() -> Store:
-        noise = np.zeros(257, dtype=np.int64)
-        A = np.zeros(257, dtype=np.int64)
-        A[(7 * ((2 * n) // 3)) % 257] = -1
+        noise = np.zeros(m, dtype=np.int64)
+        A = np.zeros(m, dtype=np.int64)
+        A[(7 * ((2 * n) // 3)) % m] = -1
         return Store({"noise": noise, "A": A, "i": 0})
     zoo.append(ZooLoop(
         "nonmono-induction/RV",
         WhileLoop([Assign("i", Const(1))],
-                  lt_(ArrayRef("noise", BinOp_mod(Var("i"))), Const(100)),
-                  [If(eq_(ArrayRef("A", BinOp_mod(Var("i") * 7)),
+                  lt_(ArrayRef("noise", mod_(Var("i"))), Const(100)),
+                  [If(eq_(ArrayRef("A", mod_(Var("i") * 7)),
                           Const(-1)), [Exit()]),
-                   ArrayAssign("A", BinOp_mod(Var("i") * 7), Var("i")),
+                   ArrayAssign("A", mod_(Var("i") * 7), Var("i")),
                    Assign("i", Var("i") + 3)], name="nonmono-rv"),
         FunctionTable(),
         mk_nonmono_rv,
@@ -138,24 +165,39 @@ def make_zoo(n: int = 48) -> Tuple[ZooLoop, ...]:
     zoo.append(ZooLoop(
         "associative/RI",
         WhileLoop([Assign("r", Const(1))], lt_(Var("r"), Const(1 << 40)),
-                  [ArrayAssign("A", BinOp_mod(Var("r")), Var("r")),
+                  [ArrayAssign("A", mod_(Var("r")), Var("r")),
                    Assign("r", Var("r") * 2 + 1)], name="assoc-ri"),
         FunctionTable(),
-        lambda: Store({"A": np.zeros(257, dtype=np.int64), "r": 0}),
+        lambda: Store({"A": np.zeros(m, dtype=np.int64), "r": 0}),
         DispatcherClass.ASSOCIATIVE, TermClass.RI,
         False, ParallelKind.PREFIX))
 
     # -- associative recurrence, RV -------------------------------------
     def mk_assoc_rv() -> Store:
-        A = np.zeros(257, dtype=np.int64)
-        A[200] = 1
+        A = np.zeros(m, dtype=np.int64)
+        # decoy sentinel: park the planted exit value on a slot the
+        # walk r -> 2r+1 never reads (its indices are (2^k - 1) mod m,
+        # at most ord_m(2) distinct slots), so it keeps the terminator
+        # RV-classified without ever firing.  The exit that actually
+        # fires is the wrap read: iteration 1 writes A[1] = 1, and
+        # iteration ord_m(2)+1 re-reads slot 1 — a cross-iteration
+        # flow dependence that is simultaneously the loop's organic
+        # exit and the seeded PD-test failure the backend-equivalence
+        # contract checks, at every table size.
+        visited = set()
+        r = 1
+        for _ in range(128):
+            visited.add(r % m)
+            r = r * 2 + 1
+        slot = next(s for s in range(m - 1, -1, -1) if s not in visited)
+        A[slot] = 1
         return Store({"A": A, "r": 0})
     zoo.append(ZooLoop(
         "associative/RV",
         WhileLoop([Assign("r", Const(1))], lt_(Var("r"), Const(1 << 40)),
-                  [If(eq_(ArrayRef("A", BinOp_mod(Var("r"))), Const(1)),
+                  [If(eq_(ArrayRef("A", mod_(Var("r"))), Const(1)),
                       [Exit()]),
-                   ArrayAssign("A", BinOp_mod(Var("r")), Var("r")),
+                   ArrayAssign("A", mod_(Var("r")), Var("r")),
                    Assign("r", Var("r") * 2 + 1)], name="assoc-rv"),
         FunctionTable(),
         mk_assoc_rv,
@@ -197,7 +239,7 @@ def make_zoo(n: int = 48) -> Tuple[ZooLoop, ...]:
     return tuple(zoo)
 
 
-def BinOp_mod(e):
-    """Helper: ``e mod 257`` as an in-range array index."""
+def BinOp_mod(e, m: int = 257):
+    """Helper: ``e mod m`` as an in-range array index."""
     from repro.ir.nodes import BinOp
-    return BinOp("%", e, Const(257))
+    return BinOp("%", e, Const(m))

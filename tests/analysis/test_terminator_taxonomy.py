@@ -183,6 +183,34 @@ class TestTaxonomy:
         assert info.taxonomy.parallel is ParallelKind.NONE
         assert not info.taxonomy.overshoot  # RI list traversal
 
+    def test_associative_ri_with_exit_site_overshoots(self):
+        # Table 1 marks associative/RI no-overshoot, but an in-body
+        # exit guard (even over a read-only array) fires
+        # non-monotonically along the iteration space, so parallel
+        # iterations past the exit still run their remainder writes
+        # (corpus: wild-pr5-ri-exit-overshoot).
+        info = analyze_loop(WhileLoop(
+            [Assign("r", Const(1))], lt_(Var("r"), Const(1 << 30)),
+            [If(eq_(ArrayRef("E", Var("r") % 5), Const(-7)), [Exit()]),
+             ArrayAssign("A", Var("r") % 5, Var("r")),
+             Assign("r", Var("r") * 2 + 1)]))
+        c = info.taxonomy
+        assert c.dispatcher is DispatcherClass.ASSOCIATIVE
+        assert c.terminator is TermClass.RI
+        assert c.overshoot
+        assert c.parallel is ParallelKind.PREFIX
+
+    def test_general_ri_with_exit_site_overshoots(self):
+        info = analyze_loop(WhileLoop(
+            [Assign("p", Var("h"))], ne_(Var("p"), Const(-1)),
+            [If(eq_(ArrayRef("E", Var("p")), Const(-7)), [Exit()]),
+             ArrayAssign("B", Var("p"), Const(1)),
+             Assign("p", Next("L", Var("p")))]))
+        c = info.taxonomy
+        assert c.dispatcher is DispatcherClass.GENERAL
+        assert c.terminator is TermClass.RI
+        assert c.overshoot
+
     def test_rv_rows_always_overshoot(self):
         info = analyze_loop(WhileLoop(
             [Assign("i", Const(1))], le_(Var("i"), Var("n")),

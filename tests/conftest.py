@@ -2,8 +2,28 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, settings
+
+# Hypothesis profiles: "ci" is derandomized and deadline-free so CI
+# runs are reproducible and immune to shared-runner jitter; "dev"
+# keeps random exploration but trims examples for a fast inner loop.
+# Select with HYPOTHESIS_PROFILE=<name>; CI runners (CI=true) default
+# to "ci", local runs keep hypothesis's stock "default" profile.
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    deadline=None,
+    max_examples=60,
+    suppress_health_check=[HealthCheck.too_slow],
+    print_blob=True,
+)
+settings.register_profile("dev", max_examples=25, deadline=None)
+settings.load_profile(os.environ.get(
+    "HYPOTHESIS_PROFILE", "ci" if os.environ.get("CI") else "default"))
 
 from repro.ir import (
     ArrayAssign,

@@ -1,0 +1,83 @@
+"""Campaign driver: determinism, reporting, and the finding pipeline."""
+
+import json
+from pathlib import Path
+
+from repro.fuzz.campaign import FuzzConfig, run_campaign
+from repro.fuzz.oracle import Discrepancy, OracleVerdict
+
+
+class TestSmoke:
+    def test_small_sim_campaign_clean(self):
+        report = run_campaign(FuzzConfig(budget=12, seed=3))
+        assert report.ok, [f.detail for f in report.findings]
+        assert report.programs == 12
+        assert report.checks > 0
+        assert sum(report.cells.values()) == 12
+        assert len(report.cells) >= 2
+
+    def test_campaign_deterministic(self):
+        a = run_campaign(FuzzConfig(budget=10, seed=5))
+        b = run_campaign(FuzzConfig(budget=10, seed=5))
+        assert (a.programs, a.checks, a.raising, a.cells) \
+            == (b.programs, b.checks, b.raising, b.cells)
+
+    def test_summary_mentions_cells(self):
+        report = run_campaign(FuzzConfig(budget=6, seed=1))
+        text = report.summary()
+        assert "cells covered" in text
+        assert "no discrepancies" in text
+
+
+class TestFindingPipeline:
+    def test_finding_is_shrunk_persisted_and_rendered(
+            self, tmp_path, monkeypatch):
+        """A diverging draw must flow through shrink → corpus → script."""
+        import repro.fuzz.campaign as campaign_mod
+
+        real_check = campaign_mod.check_program
+        target_cell = {}
+
+        def rigged_check(prog, **kwargs):
+            # report a synthetic mismatch whenever the draw still has
+            # at least one statement writing its primary array; the
+            # shrinker then has real work to do
+            v = OracleVerdict(program=prog, checks=1)
+            if prog.seed % 7 == 3:
+                target_cell.setdefault("cell", prog.cell)
+                v.discrepancies.append(Discrepancy(
+                    "store-mismatch", "sim", "general-1",
+                    "synthetic divergence", prog.seed, prog.cell))
+            return v
+
+        monkeypatch.setattr(campaign_mod, "check_program", rigged_check)
+        corpus = tmp_path / "corpus"
+        artifacts = tmp_path / "artifacts"
+        report = run_campaign(FuzzConfig(
+            budget=8, seed=1, corpus_dir=str(corpus),
+            artifacts_dir=str(artifacts), shrink_tries=20))
+        monkeypatch.setattr(campaign_mod, "check_program", real_check)
+
+        assert not report.ok
+        assert report.findings
+        f = report.findings[0]
+        assert f.kinds == ("store-mismatch",)
+        assert f.corpus_path and Path(f.corpus_path).exists()
+        assert f.artifact_path and Path(f.artifact_path).exists()
+
+        entry = json.loads(Path(f.corpus_path).read_text())
+        assert entry["found_with"]["kinds"] == ["store-mismatch"]
+        # persisted entries always replay under the supervised config
+        assert entry["resilience"] is True
+
+        script = Path(f.artifact_path).read_text()
+        compile(script, "<artifact>", "exec")
+
+    def test_real_backend_sampling_is_logged(self):
+        """Bounded real-backend coverage must be announced, not silent."""
+        lines = []
+        config = FuzzConfig(budget=6, seed=2, backends=("sim", "threads"),
+                            max_real=2)
+        report = run_campaign(config, log=lines.append)
+        assert report.real_draws <= 2
+        assert any("sampling real backends" in ln for ln in lines)

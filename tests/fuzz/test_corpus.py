@@ -1,0 +1,91 @@
+"""Corpus round-trips plus the tier-1 replay of every persisted entry."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz.corpus import (
+    entry_from_obj,
+    entry_from_program,
+    entry_to_obj,
+    load_corpus,
+    replay_entry,
+    save_entry,
+)
+from repro.fuzz.generator import generate_program
+from repro.ir.printer import format_loop
+from repro.runtime.faults import FaultPlan, FaultSpec
+
+CORPUS_DIR = Path(__file__).resolve().parent.parent / "corpus"
+
+
+class TestRoundTrip:
+    def test_obj_round_trip(self):
+        prog = generate_program(42, allow_poison=False)
+        entry = entry_from_program(prog, "rt-test", note="round trip")
+        obj = entry_to_obj(entry)
+        # must survive actual JSON, not just dict identity
+        back = entry_from_obj(json.loads(json.dumps(obj)))
+        assert back.name == entry.name
+        assert back.cell == entry.cell
+        assert back.u == entry.u
+        assert back.store_obj == entry.store_obj
+        assert (format_loop(back.program().loop)
+                == format_loop(prog.loop))
+
+    def test_fault_plan_round_trip(self):
+        prog = generate_program(43, allow_poison=False)
+        plan = FaultPlan(specs=(
+            FaultSpec(kind="drop-result", worker=-1, at_iter=1),))
+        entry = entry_from_program(prog, "rt-faults", fault_plan=plan)
+        back = entry_from_obj(json.loads(json.dumps(entry_to_obj(entry))))
+        rebuilt = back.fault_plan()
+        assert rebuilt is not None
+        assert rebuilt.specs[0].kind == "drop-result"
+        assert rebuilt.specs[0].worker == -1
+
+    def test_no_fault_plan_is_none(self):
+        prog = generate_program(44, allow_poison=False)
+        entry = entry_from_program(prog, "rt-nofaults")
+        assert entry.fault_plan() is None
+
+    def test_save_and_load(self, tmp_path):
+        prog = generate_program(45, allow_poison=False)
+        entry = entry_from_program(prog, "rt-disk")
+        path = save_entry(entry, tmp_path)
+        assert path == tmp_path / "rt-disk.json"
+        loaded = load_corpus(tmp_path)
+        assert len(loaded) == 1
+        assert loaded[0].name == "rt-disk"
+        assert loaded[0].store_obj == entry.store_obj
+
+
+def _entries():
+    entries = load_corpus(CORPUS_DIR)
+    assert entries, f"no corpus entries under {CORPUS_DIR}"
+    return entries
+
+
+@pytest.mark.parametrize("entry", _entries(), ids=lambda e: e.name)
+def test_corpus_entry_replays_clean(entry):
+    """Tier-1 contract: every persisted finding replays clean forever.
+
+    Each entry pins a previously-found (and since fixed) bug under its
+    replay configuration; a failure here means a fixed bug regressed.
+    """
+    verdict = replay_entry(entry)
+    assert verdict.ok, (
+        f"corpus entry {entry.name!r} regressed: "
+        + "; ".join(f"{d.kind} [{d.backend}/{d.scheme}]: {d.detail}"
+                    for d in verdict.discrepancies))
+
+
+def test_corpus_covers_past_wild_bugs():
+    """The seeded wild-bug reproductions must stay in the corpus."""
+    names = {e.name for e in _entries()}
+    assert "wild-pr3-empty-shadow-gather" in names
+    assert "wild-pr4-null-hop-containment" in names
+    assert "wild-pr5-undo-conflict-general1" in names
+    assert "wild-pr5-ri-exit-overshoot" in names
+    assert "wild-pr5-static-order-flowdep" in names

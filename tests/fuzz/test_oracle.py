@@ -1,0 +1,108 @@
+"""Differential-oracle behavior: clean verdicts, detection, skipping."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.fuzz.corpus import load_corpus, replay_entry
+from repro.fuzz.generator import generate_program
+from repro.fuzz.oracle import KINDS, check_program
+
+
+CORPUS = {e.name: e for e in load_corpus()}
+
+
+class TestCleanPrograms:
+    def test_mono_clean(self):
+        v = check_program(generate_program(0, family="mono",
+                                           allow_poison=False))
+        assert v.ok
+        assert v.checks > 0
+
+    def test_every_family_clean_on_sim(self):
+        for fam in ("mono", "nonmono", "assoc", "general"):
+            for seed in range(4):
+                p = generate_program(seed, family=fam, allow_poison=False)
+                v = check_program(p)
+                assert v.ok, (fam, seed,
+                              [(d.kind, d.scheme, d.detail)
+                               for d in v.discrepancies])
+
+
+class TestSkipping:
+    def test_sim_skipped_for_poisoned(self):
+        # find a poisoned draw; the sim executors predate exception
+        # containment so the oracle must refuse to judge them there
+        p = next(generate_program(s) for s in range(200)
+                 if generate_program(s).poisoned)
+        v = check_program(p, backends=("sim",))
+        assert v.checks == 0
+        assert v.skipped
+
+    def test_stale_metadata_is_loud(self):
+        p = generate_program(0, family="mono", allow_poison=False)
+        lying = replace(p, raises="ValueError")
+        v = check_program(lying)
+        assert not v.ok
+        assert v.discrepancies[0].kind == "unexpected-exception"
+
+    def test_unknown_backend_rejected(self):
+        p = generate_program(0, family="mono", allow_poison=False)
+        with pytest.raises(ValueError):
+            check_program(p, backends=("cuda",))
+
+
+class TestDetection:
+    """The oracle must flag reverted fixes on the wild-bug corpus.
+
+    These monkeypatch a past bug back into the framework and assert the
+    corresponding corpus entry stops replaying clean — i.e. the corpus
+    really locks the fix, rather than passing vacuously.
+    """
+
+    def test_detects_reverted_undo_conflict_fix(self, monkeypatch):
+        import repro.executors.base as base_mod
+        from repro.speculation.timestamps import UndoReport
+
+        orig = base_mod.undo_overshoot
+
+        def no_taint(*args, **kwargs):
+            rep = orig(*args, **kwargs)
+            return UndoReport(rep.restored_words, rep.undone_iterations, 0)
+
+        monkeypatch.setattr(base_mod, "undo_overshoot", no_taint)
+        v = replay_entry(CORPUS["wild-pr5-undo-conflict-general1"])
+        assert not v.ok
+        assert {d.kind for d in v.discrepancies} == {"store-mismatch"}
+
+    def test_detects_reverted_ri_exit_fix(self, monkeypatch):
+        import repro.analysis.loopinfo as li
+        from repro.analysis.taxonomy import (
+            TAXONOMY_TABLE,
+            DispatcherClass,
+            TaxonomyCell,
+            TermClass,
+            dispatcher_class,
+        )
+
+        def raw_table(rec, term, cond=None):
+            d = dispatcher_class(rec, cond)
+            if (d is DispatcherClass.MONOTONIC_INDUCTION
+                    and term.n_exit_sites and term.klass is TermClass.RI):
+                d = DispatcherClass.NONMONOTONIC_INDUCTION
+            overshoot, parallel = TAXONOMY_TABLE[(d, term.klass)]
+            return TaxonomyCell(d, term.klass, overshoot, parallel)
+
+        monkeypatch.setattr(li, "classify_cell", raw_table)
+        v = replay_entry(CORPUS["wild-pr5-ri-exit-overshoot"])
+        assert not v.ok
+        assert all(d.kind == "store-mismatch" for d in v.discrepancies)
+
+    def test_discrepancy_kinds_are_registered(self):
+        # every kind the oracle can emit is in the documented taxonomy
+        from repro.fuzz import oracle
+        import inspect
+
+        src = inspect.getsource(oracle)
+        for kind in KINDS:
+            assert f'"{kind}"' in src

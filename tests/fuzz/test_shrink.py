@@ -1,0 +1,184 @@
+"""Shrinker behavior: minimization, u-contract safety, repro scripts."""
+
+import numpy as np
+import pytest
+
+from repro.fuzz.corpus import entry_from_program, entry_to_obj
+from repro.fuzz.generator import GeneratedProgram
+from repro.fuzz.oracle import Discrepancy, OracleVerdict
+from repro.fuzz.shrink import _revalidate, render_repro_script, shrink_program
+from repro.ir import (
+    ArrayAssign,
+    ArrayRef,
+    Assign,
+    Const,
+    Store,
+    Var,
+    WhileLoop,
+    le_,
+    lt_,
+)
+from repro.ir.serialize import store_to_obj
+from repro.ir.visitor import walk
+
+
+def _program():
+    """A mono loop with two independent array writes and a temp."""
+    loop = WhileLoop(
+        [Assign("i", Const(1))],
+        le_(Var("i"), Const(20)),
+        [Assign("t0", Var("i") * 3),
+         ArrayAssign("A", Var("i"), Var("t0") + 5),
+         ArrayAssign("C", Var("i"), Var("i") * 7),
+         Assign("i", Var("i") + 1)],
+        name="shrinkme")
+    store = Store({"A": np.zeros(24, dtype=np.int64),
+                   "C": np.zeros(24, dtype=np.int64),
+                   "i": 0, "t0": 0})
+    return GeneratedProgram(
+        loop=loop, store_obj=store_to_obj(store),
+        cell="monotonic induction/remainder-invariant",
+        shape="mono+2arr+temp", u=24, seed=77, n_iters=20)
+
+
+def _writes_c(prog):
+    return any(
+        getattr(s, "array", None) == "C"
+        for s in walk_stmts(prog.loop))
+
+
+def walk_stmts(loop):
+    out = []
+    for s in loop.body:
+        out.extend(n for n in walk(s))
+    return out
+
+
+def _fake_check(prog):
+    """Synthetic oracle: 'fails' iff the body still writes array C."""
+    v = OracleVerdict(program=prog)
+    if _writes_c(prog):
+        v.discrepancies.append(Discrepancy(
+            "store-mismatch", "sim", "general-1", "C diverges",
+            prog.seed, prog.cell))
+    v.checks = 1
+    return v
+
+
+class TestShrink:
+    def test_minimizes_to_failing_core(self):
+        prog = _program()
+        verdict = _fake_check(prog)
+        assert not verdict.ok
+        res = shrink_program(prog, verdict, _fake_check)
+        assert res.steps > 0
+        # the C write must survive (it IS the failure) ...
+        assert _writes_c(res.program)
+        # ... while the unrelated A write and temp are gone
+        arrays = {getattr(s, "array", None)
+                  for s in walk_stmts(res.program.loop)}
+        assert "A" not in arrays
+        assert len(res.program.loop.body) < len(prog.loop.body)
+
+    def test_signature_preserved(self):
+        prog = _program()
+        verdict = _fake_check(prog)
+        res = shrink_program(prog, verdict, _fake_check)
+        assert res.signature == (("store-mismatch", "sim"),)
+        assert not res.verdict.ok
+
+    def test_noop_when_nothing_cuttable(self):
+        prog = _program()
+        verdict = _fake_check(prog)
+
+        def always_clean(p):
+            return OracleVerdict(program=p, checks=1)
+
+        res = shrink_program(prog, verdict, always_clean)
+        assert res.steps == 0
+        assert res.program is prog
+
+    def test_tries_bounded(self):
+        prog = _program()
+        verdict = _fake_check(prog)
+        res = shrink_program(prog, verdict, _fake_check, max_tries=5)
+        assert res.tried <= 5
+
+
+class TestRaisingUContract:
+    """An edit must never move a raise past the declared bound ``u``.
+
+    Found while seeding fault-injection corpus entries: reducing a
+    dispatcher step constant moved the faulting iteration from 12 to
+    34 > u=15, producing an entry that failed replay with a
+    bound-violation error instead of the original exception.
+    """
+
+    def _raising_program(self):
+        loop = WhileLoop(
+            [Assign("i", Const(1))],
+            lt_(ArrayRef("noise", Const(0)), Const(1)),
+            [Assign("t1", Const(1) // ArrayRef("D", Var("i") % 64)),
+             Assign("i", Var("i") + Const(3))],
+            name="raises-at-12")
+        D = np.ones(64, dtype=np.int64)
+        D[34] = 0          # i hits 34 on iteration 12 (step 3)
+        store = Store({"noise": np.zeros(1, dtype=np.int64), "D": D,
+                       "i": 0, "t1": 0})
+        return GeneratedProgram(
+            loop=loop, store_obj=store_to_obj(store),
+            cell="not monotonic induction/remainder-invariant",
+            shape="nonmono+poison", u=15, seed=99, n_iters=0,
+            raises="ZeroDivisionError")
+
+    def test_revalidate_accepts_raise_within_bound(self):
+        prog = self._raising_program()
+        cand = _revalidate(prog, prog.loop)
+        assert cand is not None
+        assert cand.raises == "ZeroDivisionError"
+
+    def test_revalidate_rejects_raise_past_bound(self):
+        prog = self._raising_program()
+        # the cut the shrinker would try: step 3 -> 1 moves the raise
+        # to iteration 34, past u=15 — no parallel run executes it
+        slow = WhileLoop(
+            prog.loop.init, prog.loop.cond,
+            [prog.loop.body[0],
+             Assign("i", Var("i") + Const(1))],
+            name=prog.loop.name)
+        assert _revalidate(prog, slow) is None
+
+    def test_shrink_never_outputs_unreachable_raise(self):
+        prog = self._raising_program()
+
+        def raising_check(p):
+            v = OracleVerdict(program=p, checks=1)
+            if p.raises is not None:
+                v.discrepancies.append(Discrepancy(
+                    "exception-mismatch", "procs", "plan", "synthetic",
+                    p.seed, p.cell))
+            return v
+
+        verdict = raising_check(prog)
+        res = shrink_program(prog, verdict, raising_check)
+        # whatever survived must still raise within the first u
+        # iterations of a sequential run
+        from repro.ir.functions import FunctionTable
+        from repro.ir.interp import SequentialInterp
+        from repro.runtime.costs import FREE
+
+        with pytest.raises(ZeroDivisionError):
+            SequentialInterp(res.program.loop, FunctionTable(), FREE).run(
+                res.program.make_store(), max_iters=res.program.u)
+
+
+class TestReproScript:
+    def test_script_is_standalone_python(self):
+        prog = _program()
+        entry = entry_from_program(prog, "fuzz-77-store-mismatch",
+                                   note="synthetic")
+        script = render_repro_script(entry_to_obj(entry))
+        compile(script, "<repro>", "exec")   # syntactically valid
+        assert "fuzz-77-store-mismatch" in script
+        assert "replay_entry" in script
+        assert "sys.exit" in script

@@ -1,0 +1,125 @@
+"""IR / store JSON serialization round-trips."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import IRError
+from repro.ir import (
+    ArrayAssign,
+    ArrayRef,
+    Assign,
+    BinOp,
+    Call,
+    Const,
+    Exit,
+    ExprStmt,
+    For,
+    If,
+    Next,
+    Store,
+    UnaryOp,
+    Var,
+    WhileLoop,
+    eq_,
+    le_,
+)
+from repro.ir.printer import format_loop
+from repro.ir.serialize import (
+    expr_from_obj,
+    expr_to_obj,
+    loop_from_obj,
+    loop_to_obj,
+    store_from_obj,
+    store_to_obj,
+)
+from repro.structures.linkedlist import LinkedList
+from repro.workloads.zoo import make_zoo
+
+
+class TestExprRoundTrip:
+    @pytest.mark.parametrize("expr", [
+        Const(5),
+        Const(-3),
+        Var("x"),
+        BinOp("+", Var("i"), Const(2)),
+        BinOp("min", Var("r") * 3, Const(100)),
+        UnaryOp("-", Var("y")),
+        ArrayRef("A", BinOp("%", Var("i"), Const(7))),
+        Next("lst", Var("p")),
+        Call("f", (Var("i"), Const(1))),
+    ], ids=lambda e: type(e).__name__ + str(id(e) % 97))
+    def test_round_trip(self, expr):
+        obj = json.loads(json.dumps(expr_to_obj(expr)))
+        assert expr_from_obj(obj) == expr
+
+
+class TestLoopRoundTrip:
+    def test_every_stmt_kind(self):
+        loop = WhileLoop(
+            [Assign("i", Const(1)), Assign("acc", Const(0))],
+            le_(Var("i"), Const(10)),
+            [If(eq_(ArrayRef("E", Var("i")), Const(-7)), [Exit()],
+                [Assign("acc", Var("acc") + 1)]),
+             For("j", Const(0), Const(3),
+                 [ArrayAssign("A", Var("j"), Var("i"))]),
+             ExprStmt(Call("poke", (Var("i"),))),
+             Assign("i", Var("i") + 1)],
+            name="all-kinds")
+        obj = json.loads(json.dumps(loop_to_obj(loop)))
+        back = loop_from_obj(obj)
+        assert back == loop
+        assert format_loop(back) == format_loop(loop)
+
+    def test_zoo_loops_round_trip(self):
+        """Every hand-written workload must survive serialization."""
+        for wl in make_zoo():
+            obj = json.loads(json.dumps(loop_to_obj(wl.loop)))
+            assert format_loop(loop_from_obj(obj)) == format_loop(wl.loop)
+
+    def test_non_loop_obj_rejected(self):
+        with pytest.raises(IRError):
+            loop_from_obj({"k": "var", "name": "x"})
+
+
+class TestStoreRoundTrip:
+    def test_scalars_arrays_lists(self):
+        lst = LinkedList(np.array([1, 2, -1], dtype=np.int64), head=0)
+        store = Store({
+            "i": 3,
+            "flag": True,
+            "x": 2.5,
+            "A": np.arange(5, dtype=np.int64),
+            "F": np.array([0.5, 1.5]),
+            "lst": lst,
+        })
+        obj = json.loads(json.dumps(store_to_obj(store)))
+        back = store_from_obj(obj)
+        assert list(back.names()) == list(store.names())
+        assert back["i"] == 3 and back["flag"] is True and back["x"] == 2.5
+        assert np.array_equal(back["A"], store["A"])
+        assert back["A"].dtype == np.int64
+        assert np.array_equal(back["F"], store["F"])
+        assert np.array_equal(back["lst"].next, lst.next)
+        assert back["lst"].head == lst.head
+
+    def test_rebuilt_store_is_independent(self):
+        store = Store({"A": np.zeros(3, dtype=np.int64)})
+        obj = store_to_obj(store)
+        a = store_from_obj(obj)
+        b = store_from_obj(obj)
+        a["A"][0] = 9
+        assert b["A"][0] == 0
+
+    def test_zoo_stores_round_trip(self):
+        for wl in make_zoo():
+            store = wl.make_store()
+            obj = json.loads(json.dumps(store_to_obj(store)))
+            back = store_from_obj(obj)
+            assert store.equals(back), wl.name
+
+    def test_2d_array_rejected(self):
+        store = Store({"M": np.zeros((2, 2), dtype=np.int64)})
+        with pytest.raises(IRError):
+            store_to_obj(store)

@@ -141,6 +141,39 @@ class TestStaticDoall:
         r = m.run_doall_static(20, body)
         assert max(r.executed_indices) <= 6
 
+    def test_bodies_execute_in_index_order(self):
+        """Store semantics contract: even though the static schedule
+        keeps a wide span in flight in virtual time, the machine must
+        apply body side effects in global index order — otherwise a
+        remainder with a cross-iteration flow dependence diverges from
+        the sequential reference (corpus:
+        wild-pr5-static-order-flowdep)."""
+        m = Machine(4)
+        calls = []
+
+        def body(ctx, i):
+            calls.append(i)
+            # wildly uneven durations: pop-by-virtual-time order would
+            # interleave the streams out of index order here
+            ctx.charge(10 + (i % 5) * 300)
+
+        m.run_doall_static(32, body)
+        assert calls == sorted(calls)
+
+    def test_static_timing_models_private_streams(self):
+        """Index-order execution must not change the timing model:
+        each item starts when its own processor's previous item ended
+        plus the static fetch charge."""
+        m = Machine(3)
+        r = m.run_doall_static(
+            12, lambda ctx, i: ctx.charge(10 + (i % 4) * 70))
+        by_proc = {}
+        for it in sorted(r.items, key=lambda it: it.index):
+            prev = by_proc.get(it.pid)
+            if prev is not None:
+                assert it.start == prev.end + m.cost.sched_static
+            by_proc[it.pid] = it
+
     def test_static_span_wider_than_dynamic(self):
         """Section 3.3: static assignment keeps a wider iteration span
         in flight than dynamic self-scheduling."""

@@ -7,6 +7,7 @@ from repro.errors import ExecutionError
 from repro.ir import EvalContext, FunctionTable, Store
 from repro.runtime import UNIT
 from repro.speculation import Checkpoint, WriteTimestamps, undo_overshoot
+from repro.speculation.checkpoint import IntervalCheckpoint
 from repro.structures import build_chain
 
 
@@ -148,3 +149,128 @@ class TestUndo:
         rep = undo_overshoot(st, ck, ts, last_valid=7)
         assert rep.restored_words == 2
         assert st["A"][0] == 0 and st["B"][0] == 0.0
+
+    def test_conflicted_overshot_cell_reported_tainted(self):
+        # A valid iteration writes a slot, then an overshot iteration
+        # overwrites it: selective undo restores the *checkpoint* value
+        # (erasing the valid write), so the report must flag the cell.
+        st = make_store()
+        ck = Checkpoint(st, arrays=["A"])
+        ts = WriteTimestamps(st, ["A"])
+        stamped_write(ts, st, "A", 3, 100, iteration=2)   # valid write
+        stamped_write(ts, st, "A", 3, 999, iteration=9)   # overshoot
+        rep = undo_overshoot(st, ck, ts, last_valid=4)
+        assert rep.tainted_cells == 1
+        # the selective restore itself is unsound here — slot 3 went
+        # back to the checkpoint value, not the valid iteration-2 write
+        assert st["A"][3] == 3
+
+    def test_conflict_among_overshot_iterations_only_still_tainted(self):
+        # conflicts are recorded pairwise without validity information,
+        # so even an overshoot-only collision is (conservatively)
+        # tainted — the caller escalates to a full restore either way
+        st = make_store()
+        ck = Checkpoint(st, arrays=["A"])
+        ts = WriteTimestamps(st, ["A"])
+        stamped_write(ts, st, "A", 4, 100, iteration=8)
+        stamped_write(ts, st, "A", 4, 200, iteration=9)
+        rep = undo_overshoot(st, ck, ts, last_valid=4)
+        assert rep.tainted_cells == 1
+        assert st["A"][4] == 4
+
+    def test_unconflicted_undo_not_tainted(self):
+        st = make_store()
+        ck = Checkpoint(st, arrays=["A"])
+        ts = WriteTimestamps(st, ["A"])
+        stamped_write(ts, st, "A", 5, 500, iteration=9)
+        rep = undo_overshoot(st, ck, ts, last_valid=4)
+        assert rep.tainted_cells == 0
+
+
+class TestIntervalCheckpoint:
+    """Edges of the partial-restart commit guard.
+
+    The real-parallel backend wraps every prefix commit in an
+    :class:`IntervalCheckpoint` taken *before* the first committed
+    write; these tests pin the boundary arithmetic and the
+    transactional discipline that code relies on.
+    """
+
+    def _commit(self, store, writes):
+        """Apply a prefix's gathered writes, the backend's way."""
+        for (array, idx), value in writes:
+            store[array][idx] = value
+
+    def test_zero_length_prefix(self):
+        # resume from iteration 1: nothing is committed, the guard
+        # covers "no iterations" and a restore must be a no-op
+        st = make_store()
+        guard = IntervalCheckpoint(st, next_iter=1)
+        assert guard.committed_upto == 0
+        before = st["A"].copy()
+        self._commit(st, [])           # zero-length prefix
+        guard.restore(st)
+        assert (st["A"] == before).all()
+
+    def test_commit_then_restore_rolls_back_everything(self):
+        st = make_store()
+        guard = IntervalCheckpoint(st, next_iter=4)
+        self._commit(st, [(("A", 1), 10), (("A", 2), 20)])
+        st["x"] = -5
+        guard.restore(st)
+        assert st["A"][1] == 1 and st["A"][2] == 2 and st["x"] == 7
+
+    def test_double_commit_is_idempotent(self):
+        # committing the same prefix twice (e.g. a retried commit after
+        # a transient failure) must leave the store as a single commit
+        # would: gathered writes are absolute last-writer values
+        st = make_store()
+        writes = [(("A", 1), 10), (("A", 2), 20)]
+        IntervalCheckpoint(st, next_iter=3)
+        self._commit(st, writes)
+        once = st["A"].copy()
+        self._commit(st, writes)
+        assert (st["A"] == once).all()
+
+    def test_nested_guards_restore_in_order(self):
+        # a second commit's guard snapshots the *first* commit's
+        # result; restoring the outer guard after both commits must
+        # still reach the pristine pre-commit state
+        st = make_store()
+        outer = IntervalCheckpoint(st, next_iter=3)
+        self._commit(st, [(("A", 1), 10)])
+        inner = IntervalCheckpoint(st, next_iter=6)
+        self._commit(st, [(("A", 2), 20)])
+        inner.restore(st)
+        assert st["A"][1] == 10 and st["A"][2] == 2
+        outer.restore(st)
+        assert st["A"][1] == 1
+
+    def test_mid_commit_failure_restores_pre_commit_state(self):
+        # checkpoint-after-fault ordering: the guard is taken BEFORE
+        # the commit starts, so a failure after partial application
+        # rolls back to exactly the pre-commit store
+        st = make_store()
+        guard = IntervalCheckpoint(st, next_iter=5)
+        try:
+            st["A"][1] = 10            # first write lands
+            raise RuntimeError("mid-commit fault")
+        except RuntimeError:
+            guard.restore(st)
+        assert st["A"][1] == 1
+
+    def test_guard_taken_after_fault_snapshots_corruption(self):
+        # the converse ordering bug: a guard created after the fault
+        # mutated the store can only "restore" the corrupted state —
+        # pinning this documents why the backend takes the guard first
+        st = make_store()
+        st["A"][1] = 666               # fault corrupts the store
+        late_guard = IntervalCheckpoint(st, next_iter=5)
+        st["A"][1] = 777
+        late_guard.restore(st)
+        assert st["A"][1] == 666       # corruption is all it can recover
+
+    def test_interval_arithmetic(self):
+        st = make_store()
+        assert IntervalCheckpoint(st, next_iter=7).committed_upto == 6
+        assert IntervalCheckpoint(st, next_iter=1).committed_upto == 0

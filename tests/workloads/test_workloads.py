@@ -10,6 +10,7 @@ import numpy as np
 import pytest
 
 from repro.analysis import RecKind, TermClass, analyze_loop
+from repro.analysis.taxonomy import DispatcherClass
 from repro.executors import run_sequential
 from repro.runtime import Machine
 from repro.workloads import (
@@ -22,6 +23,7 @@ from repro.workloads import (
     select_pivot,
     speedup_curve,
 )
+from repro.workloads.zoo import table_mod
 
 M8 = Machine(8)
 
@@ -185,10 +187,73 @@ class TestMa28:
 
 
 class TestZoo:
+    # The full Table-1 matrix, pinned by name: removing or re-labelling
+    # a zoo entry must fail here, not silently shrink coverage.
+    EXPECTED_CELLS = {
+        (DispatcherClass.MONOTONIC_INDUCTION, TermClass.RI):
+            "mono-induction/RI",
+        (DispatcherClass.MONOTONIC_INDUCTION, TermClass.RV):
+            "mono-induction/RV",
+        (DispatcherClass.NONMONOTONIC_INDUCTION, TermClass.RI):
+            "nonmono-induction/RI",
+        (DispatcherClass.NONMONOTONIC_INDUCTION, TermClass.RV):
+            "nonmono-induction/RV",
+        (DispatcherClass.ASSOCIATIVE, TermClass.RI): "associative/RI",
+        (DispatcherClass.ASSOCIATIVE, TermClass.RV): "associative/RV",
+        (DispatcherClass.GENERAL, TermClass.RI): "general/RI",
+        (DispatcherClass.GENERAL, TermClass.RV): "general/RV",
+    }
+
     def test_all_cells_covered(self):
         zoo = make_zoo()
         cells = {(z.expect_dispatcher, z.expect_terminator) for z in zoo}
         assert len(cells) == 8
+
+    @pytest.mark.parametrize("n", [8, 48, 300])
+    def test_cell_coverage_pinned(self, n):
+        by_cell = {(z.expect_dispatcher, z.expect_terminator): z.name
+                   for z in make_zoo(n)}
+        assert by_cell == self.EXPECTED_CELLS
+
+    @pytest.mark.parametrize("n", [8, 300])
+    def test_classification_holds_off_default_n(self, n):
+        # n resizes the stores AND the mod tables; the analyzer's
+        # verdict for each entry must not depend on the default size
+        for z in make_zoo(n):
+            info = analyze_loop(z.loop, z.funcs)
+            assert info.taxonomy.dispatcher == z.expect_dispatcher, z.name
+            assert info.taxonomy.terminator == z.expect_terminator, z.name
+
+    def test_n_is_honored(self):
+        from repro.ir import SequentialInterp
+        small = {z.name: z for z in make_zoo(8)}
+        big = {z.name: z for z in make_zoo(300)}
+        for name in ("mono-induction/RI", "general/RI",
+                     "nonmono-induction/RI", "mono-induction/RV"):
+            rs = SequentialInterp(small[name].loop, small[name].funcs).run(
+                small[name].make_store(), max_iters=50_000)
+            rb = SequentialInterp(big[name].loop, big[name].funcs).run(
+                big[name].make_store(), max_iters=50_000)
+            assert rb.n_iters > rs.n_iters, name
+        # the assoc/RV exit must keep its seeded-PD-failure design at
+        # every size: the planted sentinel is a decoy on a slot the
+        # walk never reads; the exit that actually fires is the wrap
+        # read — iteration ord_m(2)+1 re-reads the slot iteration 1
+        # wrote — so the exit is itself the cross-iteration flow
+        # dependence the speculative PD test must detect
+        for z, zn in ((small["associative/RV"], 8),
+                      (big["associative/RV"], 300)):
+            store = z.make_store()
+            m = table_mod(zn)
+            assert store["A"].shape[0] == m
+            ord2, r = 1, 2
+            while r != 1:
+                r = r * 2 % m
+                ord2 += 1
+            res = SequentialInterp(z.loop, z.funcs).run(
+                store, max_iters=50_000)
+            assert res.exited_in_body
+            assert res.n_iters == ord2 + 1
 
     def test_classification_matches(self):
         for z in make_zoo():
