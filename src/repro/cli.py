@@ -349,18 +349,72 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _emit_bench(args: argparse.Namespace, text: str, payload) -> None:
+    """Print a bench report and honor ``--out`` / ``--format json``."""
+    import json as _json
+
+    body = (_json.dumps(payload, indent=2, sort_keys=True)
+            if args.format == "json" else text)
+    print(text if args.format == "text" else body)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(body + "\n")
+        print(f"\nwrote {args.format} report to {args.out}")
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.obs import compare_backends
+    from repro.obs.bench import (
+        BenchSnapshot,
+        compare_snapshots,
+        measure_bench,
+        record_bench,
+        render_snapshot,
+    )
+
+    if args.trace:
+        from repro.obs import PerfettoSink, tracing
+        perfetto = PerfettoSink(args.trace)
+        with tracing(perfetto):
+            args.trace = None
+            rc = _cmd_bench(args)
+        perfetto.write(nprocs=args.workers)
+        print(f"wrote {len(perfetto.trace_events)} trace events to "
+              f"{perfetto.path} (chrome://tracing / ui.perfetto.dev)")
+        return rc
+
+    if args.record:
+        snap, path = record_bench(
+            pr=args.pr, n=args.n or 64, work=args.work or 20_000,
+            workers=args.workers, backends=tuple(args.backends),
+            schemes=args.schemes, repeats=args.repeats)
+        _emit_bench(args, render_snapshot(snap), snap.to_payload())
+        print(f"\nwrote snapshot to {path}")
+        return 1 if any(not r.correct for r in snap.runs) else 0
+
+    if args.against:
+        baseline = BenchSnapshot.load(args.against)
+        ref = baseline.runs[0]
+        runs = measure_bench(
+            n=args.n or ref.n or 64,
+            work=args.work or ref.work or 20_000,
+            workers=args.workers, backends=tuple(args.backends),
+            schemes=args.schemes, repeats=args.repeats)
+        comp = compare_snapshots(baseline, runs,
+                                 tolerance=args.tolerance)
+        payload = {
+            "baseline_pr": comp.baseline_pr,
+            "tolerance": comp.tolerance,
+            "ok": comp.ok,
+            "rows": [vars(r) for r in comp.rows],
+        }
+        _emit_bench(args, comp.render(), payload)
+        return 0 if comp.ok else 1
 
     report = compare_backends(
         workers=args.workers, backends=tuple(args.backends),
-        n=args.n, work=args.work)
-    text = report.render()
-    print(text)
-    if args.out:
-        with open(args.out, "w", encoding="utf-8") as fh:
-            fh.write(text + "\n")
-        print(f"\nwrote table to {args.out}")
+        n=args.n or 256, work=args.work or 100_000)
+    _emit_bench(args, report.render(), report.to_payload())
     bad = [r for r in report.rows if not r.store_ok]
     return 1 if bad else 0
 
@@ -521,12 +575,41 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_bn.add_argument("--backends", nargs="*",
                       default=["threads", "procs"],
                       choices=("threads", "procs"))
-    p_bn.add_argument("--n", type=int, default=256,
-                      help="benchmark loop iteration count")
-    p_bn.add_argument("--work", type=int, default=100_000,
-                      help="floating-point ops per iteration")
+    p_bn.add_argument("--n", type=int, default=None,
+                      help="benchmark loop iteration count "
+                      "(default: 256; 64 with --record/--against)")
+    p_bn.add_argument("--work", type=int, default=None,
+                      help="floating-point ops per iteration "
+                      "(default: 100000; 20000 with "
+                      "--record/--against)")
     p_bn.add_argument("--out", default=None,
-                      help="also write the table to this file")
+                      help="also write the report to this file")
+    p_bn.add_argument("--format", choices=("text", "json"),
+                      default="text",
+                      help="report format for stdout/--out")
+    p_bn.add_argument("--record", action="store_true",
+                      help="measure every scheme x backend cell and "
+                      "write a versioned BENCH_<pr>.json snapshot")
+    p_bn.add_argument("--pr", type=int, default=None,
+                      help="PR number for the snapshot filename "
+                      "(default: derived from CHANGES.md)")
+    p_bn.add_argument("--against", default=None, metavar="SNAPSHOT",
+                      help="re-measure and report regressions vs a "
+                      "committed BENCH_<pr>.json")
+    p_bn.add_argument("--tolerance", type=float, default=0.25,
+                      help="relative speedup-ratio tolerance for "
+                      "--against (default: 0.25)")
+    p_bn.add_argument("--trace", default=None, metavar="PATH",
+                      help="also write a Chrome/Perfetto trace of the "
+                      "bench runs (parent + worker phase spans)")
+    p_bn.add_argument("--repeats", type=int, default=3,
+                      help="repeats per cell, best-of kept "
+                      "(--record/--against; default: 3)")
+    p_bn.add_argument("--schemes", nargs="*", default=None,
+                      choices=("doall", "general-2", "general-3",
+                               "speculative"),
+                      help="schemes to measure with "
+                      "--record/--against (default: all four)")
     p_bn.set_defaults(fn=_cmd_bench)
 
     p_ch = sub.add_parser(

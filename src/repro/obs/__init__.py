@@ -11,8 +11,16 @@ The ``repro.obs`` package is the system's instrumentation layer:
 * :mod:`repro.obs.tracer` — the zero-cost-by-default global tracer
   every layer (machine, executors, planner, API) reports into;
 * :mod:`repro.obs.names` — the canonical event/metric name registry;
+* :mod:`repro.obs.phases` — the wall-clock :class:`PhaseProfiler`
+  (spawn / shm-setup / body / pd-merge / quarantine / reconcile /
+  fallback) threaded through the real backends;
 * :mod:`repro.obs.calibration` — predicted-vs-measured cost-model
-  reports.
+  reports;
+* :mod:`repro.obs.bench` — versioned ``BENCH_<pr>.json`` performance
+  snapshots and the regression comparator behind
+  ``repro bench --record`` / ``--against``;
+* :mod:`repro.obs.profiles` — per-loop profile records keyed by loop
+  signature, the substrate for adaptive scheme selection.
 
 Tracing never charges virtual cycles, so enabling it cannot change a
 makespan or a speedup; with the default null tracer the hot paths pay
@@ -20,6 +28,14 @@ a single attribute check.  See ``docs/observability.md``.
 """
 
 from repro.obs import names
+from repro.obs.bench import (
+    BenchComparison,
+    BenchRun,
+    BenchSnapshot,
+    compare_snapshots,
+    measure_bench,
+    record_bench,
+)
 from repro.obs.calibration import (
     DEFAULT_CALIBRATION_WORKLOADS,
     BackendComparison,
@@ -32,6 +48,15 @@ from repro.obs.calibration import (
 )
 from repro.obs.events import Event, Span
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.phases import (
+    NULL_PROFILER,
+    PHASES,
+    PhaseProfiler,
+    get_profiler,
+    profiling,
+    set_profiler,
+)
+from repro.obs.profiles import LoopProfileRecord, ProfileStore, loop_signature
 from repro.obs.sinks import (
     JsonlSink,
     MemorySink,
@@ -60,4 +85,9 @@ __all__ = [
     "CalibrationRow", "CalibrationReport", "calibrate_workload",
     "run_calibration", "DEFAULT_CALIBRATION_WORKLOADS",
     "BackendComparison", "BackendRow", "compare_backends",
+    "PhaseProfiler", "NULL_PROFILER", "PHASES",
+    "get_profiler", "set_profiler", "profiling",
+    "BenchRun", "BenchSnapshot", "BenchComparison",
+    "measure_bench", "record_bench", "compare_snapshots",
+    "LoopProfileRecord", "ProfileStore", "loop_signature",
 ]

@@ -1,0 +1,521 @@
+"""Versioned benchmark snapshots and regression comparison.
+
+``repro bench --record`` measures every scheme × backend combination
+of the DOALL benchmark loop and writes a schema-validated
+``BENCH_<pr>.json`` snapshot: wall time, speedup vs the sequential
+interpreter, the :class:`~repro.obs.phases.PhaseProfiler` phase
+breakdown, and the Section-7 predicted ``Sp_at`` / ``T_b`` / ``T_d`` /
+``T_a`` terms next to their measured wall-clock analogs.  A sequence
+of committed snapshots is the repo's performance trajectory —
+``repro bench --against BENCH_5.json`` replays the measurement and
+reports per-row verdicts (improvement / within tolerance /
+regression).
+
+Two design decisions worth knowing:
+
+* **Comparisons are machine-relative.**  Raw wall seconds differ
+  between a laptop and a CI runner, so the comparator judges the
+  *speedup-vs-sequential ratio* of new to old — both sides normalise
+  by the same machine's sequential run.  The default tolerance is
+  generous (25%) because small-``n`` bench loops are noisy.
+* **Predicted terms stay in virtual cycles.**  ``sp_pred`` is
+  dimensionless and compares directly against measured speedup
+  (``sp_rel_error``); the ``t_*_pred`` terms are Section-7 cycle
+  counts recorded for trend-watching, while ``t_b_meas_s`` /
+  ``t_a_meas_s`` are the wall-clock partition from
+  :func:`repro.runtime.costs.breakdown_from_phases`.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import platform
+import time
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "BENCH_VERSION", "DEFAULT_TOLERANCE", "BenchRun", "BenchSnapshot",
+    "ComparisonRow", "BenchComparison", "default_pr_number",
+    "measure_bench", "record_bench", "compare_snapshots",
+    "render_snapshot",
+]
+
+#: Snapshot schema version; bump on any incompatible payload change.
+BENCH_VERSION = 1
+
+#: Default relative tolerance on the speedup ratio before a row is a
+#: regression.  Generous on purpose: small benches are noisy.
+DEFAULT_TOLERANCE = 0.25
+
+#: scheme label -> (run_parallel_real scheme, speculative?)
+_SCHEMES: Tuple[Tuple[str, str, bool], ...] = (
+    ("doall", "doall", False),
+    ("general-2", "general-2", False),
+    ("general-3", "general-3", False),
+    ("speculative", "doall", True),
+)
+
+
+def _require_finite(name: str, value: Any, *, positive: bool = False
+                    ) -> float:
+    """Validate a numeric field: real, finite, optionally > 0."""
+    import math
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ValueError(f"bench field {name!r} must be a number, "
+                         f"got {value!r}")
+    v = float(value)
+    if not math.isfinite(v):
+        raise ValueError(f"bench field {name!r} must be finite, got {v!r}")
+    if positive and v <= 0.0:
+        raise ValueError(f"bench field {name!r} must be positive, got {v!r}")
+    return v
+
+
+@dataclass
+class BenchRun:
+    """One measured scheme × backend cell of a snapshot."""
+
+    loop: str
+    signature: str
+    scheme: str
+    backend: str
+    workers: int
+    n: int
+    work: int
+    wall_seq_s: float
+    wall_par_s: float
+    speedup: float
+    sp_pred: float
+    sp_rel_error: float
+    t_b_pred: float
+    t_d_pred: float
+    t_a_pred: float
+    t_b_meas_s: float
+    t_a_meas_s: float
+    body_s: float
+    correct: bool
+    phases: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def key(self) -> Tuple[str, str, str, int]:
+        """The identity rows are matched on across snapshots."""
+        return (self.loop, self.scheme, self.backend, self.workers)
+
+    def to_payload(self) -> Dict[str, Any]:
+        """Validated plain-builtin form for JSON."""
+        _require_finite("wall_seq_s", self.wall_seq_s, positive=True)
+        _require_finite("wall_par_s", self.wall_par_s, positive=True)
+        _require_finite("speedup", self.speedup, positive=True)
+        for nm in ("sp_pred", "sp_rel_error", "t_b_pred", "t_d_pred",
+                   "t_a_pred", "t_b_meas_s", "t_a_meas_s", "body_s"):
+            _require_finite(nm, getattr(self, nm))
+        for pname, secs in self.phases.items():
+            _require_finite(f"phases[{pname}]", secs)
+        return {
+            "loop": self.loop, "signature": self.signature,
+            "scheme": self.scheme, "backend": self.backend,
+            "workers": self.workers, "n": self.n, "work": self.work,
+            "wall_seq_s": self.wall_seq_s, "wall_par_s": self.wall_par_s,
+            "speedup": self.speedup, "sp_pred": self.sp_pred,
+            "sp_rel_error": self.sp_rel_error,
+            "t_b_pred": self.t_b_pred, "t_d_pred": self.t_d_pred,
+            "t_a_pred": self.t_a_pred,
+            "t_b_meas_s": self.t_b_meas_s, "t_a_meas_s": self.t_a_meas_s,
+            "body_s": self.body_s, "correct": self.correct,
+            "phases": dict(sorted(self.phases.items())),
+        }
+
+    @classmethod
+    def from_payload(cls, obj: Dict[str, Any]) -> "BenchRun":
+        """Rebuild + re-validate a run from :meth:`to_payload` output."""
+        for req in ("loop", "scheme", "backend", "workers",
+                    "wall_seq_s", "wall_par_s", "speedup"):
+            if req not in obj:
+                raise ValueError(f"bench run missing field {req!r}")
+        run = cls(
+            loop=str(obj["loop"]),
+            signature=str(obj.get("signature", "")),
+            scheme=str(obj["scheme"]), backend=str(obj["backend"]),
+            workers=int(obj["workers"]), n=int(obj.get("n", 0)),
+            work=int(obj.get("work", 0)),
+            wall_seq_s=_require_finite(
+                "wall_seq_s", obj["wall_seq_s"], positive=True),
+            wall_par_s=_require_finite(
+                "wall_par_s", obj["wall_par_s"], positive=True),
+            speedup=_require_finite(
+                "speedup", obj["speedup"], positive=True),
+            sp_pred=_require_finite("sp_pred", obj.get("sp_pred", 0.0)),
+            sp_rel_error=_require_finite(
+                "sp_rel_error", obj.get("sp_rel_error", 0.0)),
+            t_b_pred=_require_finite("t_b_pred", obj.get("t_b_pred", 0.0)),
+            t_d_pred=_require_finite("t_d_pred", obj.get("t_d_pred", 0.0)),
+            t_a_pred=_require_finite("t_a_pred", obj.get("t_a_pred", 0.0)),
+            t_b_meas_s=_require_finite(
+                "t_b_meas_s", obj.get("t_b_meas_s", 0.0)),
+            t_a_meas_s=_require_finite(
+                "t_a_meas_s", obj.get("t_a_meas_s", 0.0)),
+            body_s=_require_finite("body_s", obj.get("body_s", 0.0)),
+            correct=bool(obj.get("correct", True)),
+            phases={str(k): _require_finite(f"phases[{k}]", v)
+                    for k, v in obj.get("phases", {}).items()},
+        )
+        return run
+
+
+@dataclass
+class BenchSnapshot:
+    """A full ``BENCH_<pr>.json`` document."""
+
+    pr: int
+    created: str
+    machine: Dict[str, Any]
+    runs: List[BenchRun]
+    version: int = BENCH_VERSION
+
+    def to_payload(self) -> Dict[str, Any]:
+        """Validated plain-builtin form for JSON."""
+        if not self.runs:
+            raise ValueError("bench snapshot has no runs")
+        return {
+            "version": self.version,
+            "pr": int(self.pr),
+            "created": self.created,
+            "machine": dict(self.machine),
+            "runs": [r.to_payload() for r in self.runs],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "BenchSnapshot":
+        """Rebuild + validate a snapshot from JSON data."""
+        version = int(payload.get("version", -1))
+        if version != BENCH_VERSION:
+            raise ValueError(
+                f"unsupported bench snapshot version {version!r} "
+                f"(expected {BENCH_VERSION})")
+        runs = [BenchRun.from_payload(o) for o in payload.get("runs", [])]
+        if not runs:
+            raise ValueError("bench snapshot has no runs")
+        return cls(pr=int(payload.get("pr", 0)),
+                   created=str(payload.get("created", "")),
+                   machine=dict(payload.get("machine", {})),
+                   runs=runs, version=version)
+
+    def save(self, path: str) -> str:
+        """Write the snapshot as JSON; returns the path."""
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_payload(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        return path
+
+    @classmethod
+    def load(cls, path: str) -> "BenchSnapshot":
+        """Read and validate a snapshot file."""
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_payload(json.load(fh))
+
+
+def default_pr_number(repo_root: str = ".") -> int:
+    """Guess the current PR number for the snapshot filename.
+
+    Counts non-empty lines of ``CHANGES.md`` (one line per landed PR by
+    repo convention); falls back to one past the highest committed
+    ``BENCH_<k>.json``, then to 1.
+    """
+    changes = os.path.join(repo_root, "CHANGES.md")
+    if os.path.exists(changes):
+        with open(changes, "r", encoding="utf-8") as fh:
+            lines = [ln for ln in fh if ln.strip()]
+        if lines:
+            return len(lines)
+    prs = []
+    for path in glob.glob(os.path.join(repo_root, "BENCH_*.json")):
+        stem = os.path.basename(path)[len("BENCH_"):-len(".json")]
+        if stem.isdigit():
+            prs.append(int(stem))
+    return max(prs) + 1 if prs else 1
+
+
+def _machine_info() -> Dict[str, Any]:
+    """Where this snapshot was measured (context, not compared)."""
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "cpus": os.cpu_count() or 1,
+    }
+
+
+def measure_bench(
+    *,
+    n: int = 64,
+    work: int = 20_000,
+    workers: int = 2,
+    backends: Sequence[str] = ("threads", "procs"),
+    schemes: Optional[Sequence[str]] = None,
+    repeats: int = 3,
+) -> List[BenchRun]:
+    """Measure every requested scheme × backend cell.
+
+    Each cell runs the DOALL bench loop ``repeats`` times per backend
+    under a :class:`~repro.obs.phases.PhaseProfiler` and keeps the
+    fastest run (best-of-k suppresses scheduler jitter, the dominant
+    noise at bench sizes), against one shared best-of-k sequential
+    baseline, and pairs the measurement with the Section-7 prediction
+    for the same loop.  Result correctness is asserted against the
+    sequential reference store on every repeat, not just the kept one.
+    """
+    from repro.analysis.loopinfo import analyze_loop
+    from repro.ir.interp import SequentialInterp
+    from repro.obs import names
+    from repro.obs.phases import PhaseProfiler, profiling
+    from repro.obs.profiles import loop_signature
+    from repro.obs.tracer import get_tracer
+    from repro.planner.costmodel import predict
+    from repro.planner.select import profile_loop
+    from repro.runtime.costs import FREE, breakdown_from_phases
+    from repro.runtime.machine import Machine
+    from repro.runtime.procs import run_parallel_real
+    from repro.workloads.bench import make_doall_bench
+
+    wanted = tuple(schemes) if schemes else tuple(s for s, _, _ in _SCHEMES)
+    table = {label: (real, spec) for label, real, spec in _SCHEMES}
+    for label in wanted:
+        if label not in table:
+            raise ValueError(f"unknown bench scheme {label!r} "
+                             f"(known: {sorted(table)})")
+
+    repeats = max(1, int(repeats))
+    bl = make_doall_bench(n, work)
+    info = analyze_loop(bl.loop, bl.funcs)
+    sig = loop_signature(bl.loop)
+    machine = Machine(max(1, workers))
+
+    reference = bl.make_store()
+    t0 = time.perf_counter()
+    SequentialInterp(bl.loop, bl.funcs, FREE).run(reference)
+    wall_seq = time.perf_counter() - t0
+    for _ in range(repeats - 1):
+        t0 = time.perf_counter()
+        SequentialInterp(bl.loop, bl.funcs, FREE).run(bl.make_store())
+        wall_seq = min(wall_seq, time.perf_counter() - t0)
+
+    profile = profile_loop(info, bl.make_store(), machine, bl.funcs)
+    trc = get_tracer()
+
+    runs: List[BenchRun] = []
+    for label in wanted:
+        real_scheme, spec = table[label]
+        pred = predict(profile, max(1, workers),
+                       uses_pd_test=spec, needs_undo=spec,
+                       min_speedup=0.0)
+        for backend in backends:
+            wall_par = None
+            phases: Dict[str, float] = {}
+            correct = True
+            for _ in range(repeats):
+                store = bl.make_store()
+                with profiling(PhaseProfiler()):
+                    t0 = time.perf_counter()
+                    res = run_parallel_real(
+                        info, store, bl.funcs,
+                        mode=backend, scheme=real_scheme,
+                        workers=workers, u=n + 8,
+                        speculative=spec,
+                        test_arrays=("out",) if spec else ())
+                    wall = time.perf_counter() - t0
+                correct = correct and store.equals(
+                    reference, rtol=1e-9, atol=1e-12)
+                if wall_par is None or wall < wall_par:
+                    wall_par = wall
+                    phases = dict(res.stats.get("phases", {}))
+            bd = breakdown_from_phases(phases)
+            speedup = wall_seq / wall_par if wall_par > 0 else 0.0
+            sp_err = ((pred.sp_at - speedup) / speedup
+                      if speedup > 0 else 0.0)
+            run = BenchRun(
+                loop=bl.name, signature=sig, scheme=label,
+                backend=backend, workers=workers, n=n, work=work,
+                wall_seq_s=wall_seq, wall_par_s=wall_par,
+                speedup=speedup, sp_pred=pred.sp_at,
+                sp_rel_error=sp_err,
+                t_b_pred=pred.t_b, t_d_pred=pred.t_d, t_a_pred=pred.t_a,
+                t_b_meas_s=bd.t_b_s, t_a_meas_s=bd.t_a_s,
+                body_s=bd.body_s,
+                correct=correct,
+                phases=phases)
+            runs.append(run)
+            if trc.enabled:
+                trc.event(names.EV_COST_TELEMETRY, 0,
+                          loop=bl.name, backend=backend, scheme=label,
+                          sp_pred=pred.sp_at, sp_meas=speedup,
+                          sp_rel_error=sp_err, t_b_pred=pred.t_b,
+                          t_d_pred=pred.t_d, t_a_pred=pred.t_a,
+                          wall_par_s=wall_par)
+                trc.count(names.M_BENCH_RUNS)
+                trc.observe(names.M_BENCH_SP_ERROR, abs(sp_err))
+    return runs
+
+
+def record_bench(
+    path: Optional[str] = None,
+    *,
+    pr: Optional[int] = None,
+    repo_root: str = ".",
+    profiles_path: Optional[str] = None,
+    **measure_kwargs: Any,
+) -> Tuple[BenchSnapshot, str]:
+    """Measure, snapshot, and persist ``BENCH_<pr>.json``.
+
+    Also folds each run into the per-loop :class:`ProfileStore` at
+    ``profiles_path`` (default ``<repo_root>/BENCH_PROFILES.json``) —
+    the substrate future adaptive scheme selection reads.  Returns
+    ``(snapshot, path_written)``.
+    """
+    from repro.obs.profiles import ProfileStore
+
+    pr_num = pr if pr is not None else default_pr_number(repo_root)
+    runs = measure_bench(**measure_kwargs)
+    snap = BenchSnapshot(
+        pr=pr_num,
+        created=datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        machine=_machine_info(),
+        runs=runs)
+    out = path or os.path.join(repo_root, f"BENCH_{pr_num}.json")
+    snap.save(out)
+
+    ppath = profiles_path or os.path.join(repo_root, "BENCH_PROFILES.json")
+    pstore = ProfileStore.load(ppath)
+    for run in runs:
+        pstore.observe(run.signature, scheme=run.scheme,
+                       backend=run.backend, workers=run.workers,
+                       wall_s=run.wall_par_s, speedup=run.speedup,
+                       phases=run.phases)
+    pstore.save(ppath)
+    return snap, out
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One row of a snapshot-vs-snapshot comparison."""
+
+    loop: str
+    scheme: str
+    backend: str
+    workers: int
+    old_speedup: Optional[float]
+    new_speedup: Optional[float]
+    ratio: Optional[float]
+    verdict: str  #: improvement | ok | regression | missing | new
+
+
+@dataclass
+class BenchComparison:
+    """Comparison of a fresh measurement against a baseline snapshot."""
+
+    baseline_pr: int
+    tolerance: float
+    rows: List[ComparisonRow]
+
+    @property
+    def regressions(self) -> List[ComparisonRow]:
+        """Rows whose speedup ratio fell below ``1 - tolerance``."""
+        return [r for r in self.rows if r.verdict == "regression"]
+
+    @property
+    def ok(self) -> bool:
+        """True when no row regressed or went missing."""
+        return not any(r.verdict in ("regression", "missing")
+                       for r in self.rows)
+
+    def render(self) -> str:
+        """Fixed-width text report for the CLI."""
+        lines = [
+            f"bench regression report vs BENCH_{self.baseline_pr} "
+            f"(tolerance {self.tolerance:.0%})",
+            f"{'loop':<14} {'scheme':<12} {'backend':<8} "
+            f"{'old':>7} {'new':>7} {'ratio':>7}  verdict",
+        ]
+        for r in self.rows:
+            old = f"{r.old_speedup:.3f}" if r.old_speedup else "-"
+            new = f"{r.new_speedup:.3f}" if r.new_speedup else "-"
+            ratio = f"{r.ratio:.3f}" if r.ratio else "-"
+            lines.append(
+                f"{r.loop:<14} {r.scheme:<12} {r.backend:<8} "
+                f"{old:>7} {new:>7} {ratio:>7}  {r.verdict}")
+        n_reg = len(self.regressions)
+        lines.append(f"{n_reg} regression(s), "
+                     f"{sum(1 for r in self.rows if r.verdict == 'improvement')} "
+                     f"improvement(s), "
+                     f"{sum(1 for r in self.rows if r.verdict == 'ok')} "
+                     f"within tolerance")
+        return "\n".join(lines)
+
+
+def compare_snapshots(old: BenchSnapshot, new_runs: Sequence[BenchRun],
+                      *, tolerance: float = DEFAULT_TOLERANCE
+                      ) -> BenchComparison:
+    """Judge fresh runs against a baseline snapshot.
+
+    Verdicts are on the ratio ``new.speedup / old.speedup`` (both
+    sides normalised by the same machine's sequential baseline, so the
+    comparison transfers across machines): ``>= 1 + tolerance`` is an
+    improvement, ``>= 1 - tolerance`` is ok, below that a regression.
+    A baseline row absent from the fresh runs is ``missing`` (counts
+    as failure); a fresh row absent from the baseline is ``new``.
+    """
+    if not 0.0 <= tolerance < 1.0:
+        raise ValueError(f"tolerance must be in [0, 1), got {tolerance!r}")
+    new_by_key = {r.key: r for r in new_runs}
+    old_by_key = {r.key: r for r in old.runs}
+    rows: List[ComparisonRow] = []
+    for key in sorted(old_by_key):
+        o = old_by_key[key]
+        nw = new_by_key.get(key)
+        if nw is None:
+            rows.append(ComparisonRow(*key, old_speedup=o.speedup,
+                                      new_speedup=None, ratio=None,
+                                      verdict="missing"))
+            continue
+        ratio = nw.speedup / o.speedup if o.speedup > 0 else 0.0
+        if ratio >= 1.0 + tolerance:
+            verdict = "improvement"
+        elif ratio >= 1.0 - tolerance:
+            verdict = "ok"
+        else:
+            verdict = "regression"
+        rows.append(ComparisonRow(*key, old_speedup=o.speedup,
+                                  new_speedup=nw.speedup, ratio=ratio,
+                                  verdict=verdict))
+    for key in sorted(new_by_key):
+        if key not in old_by_key:
+            rows.append(ComparisonRow(*key, old_speedup=None,
+                                      new_speedup=new_by_key[key].speedup,
+                                      ratio=None, verdict="new"))
+    comp = BenchComparison(baseline_pr=old.pr, tolerance=tolerance,
+                           rows=rows)
+    from repro.obs import names
+    from repro.obs.tracer import get_tracer
+    trc = get_tracer()
+    if trc.enabled and comp.regressions:
+        trc.count(names.M_BENCH_REGRESSIONS, len(comp.regressions))
+    return comp
+
+
+def render_snapshot(snap: BenchSnapshot) -> str:
+    """Fixed-width text table of a snapshot for the CLI."""
+    lines = [
+        f"BENCH_{snap.pr} ({snap.created}) on "
+        f"{snap.machine.get('cpus', '?')} cpu(s)",
+        f"{'scheme':<12} {'backend':<8} {'wall_s':>8} {'speedup':>8} "
+        f"{'sp_pred':>8} {'err':>7} {'t_b_s':>7} {'t_a_s':>7} ok",
+    ]
+    for r in snap.runs:
+        lines.append(
+            f"{r.scheme:<12} {r.backend:<8} {r.wall_par_s:>8.3f} "
+            f"{r.speedup:>8.3f} {r.sp_pred:>8.3f} "
+            f"{r.sp_rel_error:>+7.0%} {r.t_b_meas_s:>7.3f} "
+            f"{r.t_a_meas_s:>7.3f} {'y' if r.correct else 'N'}")
+    return "\n".join(lines)

@@ -226,6 +226,22 @@ class BackendRow:
     rung: str = "-"
     spurious: int = 0
     salvaged: int = 0
+    #: Section-7 predicted overhead terms (virtual cycles) for the
+    #: planned scheme, straight from the planner's ``Prediction``.
+    t_b_pred: float = 0.0
+    t_d_pred: float = 0.0
+    t_a_pred: float = 0.0
+    #: Measured wall-clock phase totals (``stats["phases"]``), as a
+    #: sorted tuple of ``(phase, seconds)`` pairs to stay hashable.
+    phases: Tuple[Tuple[str, float], ...] = ()
+
+    @property
+    def sp_rel_error(self) -> float:
+        """``(predicted - measured) / measured`` wall-speedup error."""
+        if not self.measured_speedup:
+            return 0.0
+        return (self.predicted_speedup - self.measured_speedup) \
+            / self.measured_speedup
 
 
 @dataclass(frozen=True)
@@ -265,6 +281,54 @@ class BackendComparison:
             "CPU-heavy remainders (see docs/backends.md).")
         return "\n".join(lines)
 
+    def to_payload(self) -> dict:
+        """Machine-readable form (``repro bench --format json``).
+
+        Every timing field is validated finite — and, for wall times,
+        positive — before it is emitted, so a clock bug can never
+        write a snapshot that poisons later comparisons.
+        """
+        rows = []
+        for r in self.rows:
+            ctx = f"{r.loop}/{r.backend}"
+            _require_finite(f"{ctx}.wall_seq_s", r.wall_seq_s,
+                            positive=True)
+            _require_finite(f"{ctx}.wall_par_s", r.wall_par_s,
+                            positive=True)
+            _require_finite(f"{ctx}.measured_speedup",
+                            r.measured_speedup, positive=True)
+            _require_finite(f"{ctx}.predicted_speedup",
+                            r.predicted_speedup)
+            for phase, seconds in r.phases:
+                _require_finite(f"{ctx}.phases.{phase}", seconds)
+            rows.append({
+                "loop": r.loop, "backend": r.backend,
+                "scheme": r.scheme, "workers": r.workers,
+                "wall_seq_s": r.wall_seq_s, "wall_par_s": r.wall_par_s,
+                "measured_speedup": r.measured_speedup,
+                "predicted_speedup": r.predicted_speedup,
+                "sp_rel_error": r.sp_rel_error,
+                "t_b_pred": r.t_b_pred, "t_d_pred": r.t_d_pred,
+                "t_a_pred": r.t_a_pred,
+                "phases": dict(r.phases),
+                "store_ok": r.store_ok, "faults": r.faults,
+                "rung": r.rung, "spurious": r.spurious,
+                "salvaged": r.salvaged,
+            })
+        return {"workers": self.workers, "rows": rows}
+
+
+def _require_finite(name: str, value: float, *,
+                    positive: bool = False) -> None:
+    """Reject NaN/inf (and non-positive, when asked) timing fields."""
+    import math
+    if not isinstance(value, (int, float)) or isinstance(value, bool) \
+            or not math.isfinite(value):
+        raise ValueError(f"timing field {name} is not finite: {value!r}")
+    if positive and value <= 0:
+        raise ValueError(f"timing field {name} must be positive: "
+                         f"{value!r}")
+
 
 def compare_backends(entries=None, *, workers: int = 2,
                      backends: Sequence[str] = ("threads", "procs"),
@@ -286,6 +350,9 @@ def compare_backends(entries=None, *, workers: int = 2,
 
     from repro.executors.backends import run_plan_on_backend
     from repro.ir.interp import SequentialInterp
+    from repro.obs import names
+    from repro.obs.phases import PhaseProfiler, get_profiler, profiling
+    from repro.obs.tracer import get_tracer
     from repro.planner.select import plan_loop
     from repro.runtime.costs import FREE
     from repro.runtime.machine import Machine
@@ -305,19 +372,25 @@ def compare_backends(entries=None, *, workers: int = 2,
         plan = plan_loop(entry.loop, machine, entry.funcs,
                          sample_store=entry.make_store(),
                          min_speedup=0.0)
-        predicted = plan.prediction.sp_at \
-            if plan.prediction is not None else 1.0
+        pred = plan.prediction
+        predicted = pred.sp_at if pred is not None else 1.0
 
         for backend in backends:
             store = entry.make_store()
-            result = run_plan_on_backend(
-                plan, store, entry.funcs, backend=backend,
-                workers=workers, machine=machine,
-                resilience=resilience, fault_plan=fault_plan)
+            # Reuse an already-installed profiler (the caller's scope)
+            # or install a run-local one, so each run's stats carry
+            # the wall-clock phase breakdown either way.
+            outer = get_profiler()
+            with profiling(outer if outer.enabled else PhaseProfiler()):
+                result = run_plan_on_backend(
+                    plan, store, entry.funcs, backend=backend,
+                    workers=workers, machine=machine,
+                    resilience=resilience, fault_plan=fault_plan)
             wall_par = result.wall_s or result.t_par / 1e9
             res = result.stats.get("resilience")
             spec = result.stats.get("spec", {})
-            rows.append(BackendRow(
+            phases = result.stats.get("phases", {})
+            row = BackendRow(
                 loop=entry.name, backend=backend, scheme=result.scheme,
                 workers=workers, wall_seq_s=wall_seq,
                 wall_par_s=wall_par,
@@ -327,5 +400,27 @@ def compare_backends(entries=None, *, workers: int = 2,
                 faults=len(res["faults"]) if res else 0,
                 rung=res["rung"] if res else "-",
                 spurious=spec.get("spurious_exceptions", 0),
-                salvaged=spec.get("salvaged_iters", 0)))
+                salvaged=spec.get("salvaged_iters", 0),
+                t_b_pred=pred.t_b if pred is not None else 0.0,
+                t_d_pred=pred.t_d if pred is not None else 0.0,
+                t_a_pred=pred.t_a if pred is not None else 0.0,
+                phases=tuple(sorted(phases.items())))
+            rows.append(row)
+            trc = get_tracer()
+            if trc.enabled:
+                # Tentpole (b): the Section-7 terms next to measured
+                # reality, one telemetry record per scheme × backend.
+                trc.event(names.EV_COST_TELEMETRY, 0,
+                          loop=row.loop, backend=backend,
+                          scheme=row.scheme,
+                          sp_pred=row.predicted_speedup,
+                          sp_meas=row.measured_speedup,
+                          sp_rel_error=row.sp_rel_error,
+                          t_b_pred=row.t_b_pred,
+                          t_d_pred=row.t_d_pred,
+                          t_a_pred=row.t_a_pred,
+                          wall_par_s=row.wall_par_s)
+                trc.count(names.M_BENCH_RUNS)
+                trc.observe(names.M_BENCH_SP_ERROR,
+                            abs(row.sp_rel_error))
     return BackendComparison(workers=workers, rows=tuple(rows))

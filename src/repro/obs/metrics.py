@@ -156,5 +156,41 @@ class MetricsRegistry:
         return {name: self._metrics[name].to_dict()
                 for name in sorted(self._metrics)}
 
+    def dump(self) -> Dict[str, Dict[str, Any]]:
+        """Mergeable full-fidelity export (see :meth:`merge_dump`).
+
+        Unlike :meth:`snapshot` — whose histogram entries are summary
+        statistics that cannot be combined across registries — the dump
+        carries raw histogram samples, so a worker process can ship its
+        registry over a queue and the parent can fold it in losslessly.
+        """
+        counters: Dict[str, Any] = {}
+        gauges: Dict[str, Any] = {}
+        histograms: Dict[str, Any] = {}
+        for name in sorted(self._metrics):
+            m = self._metrics[name]
+            if isinstance(m, Counter):
+                counters[name] = m.value
+            elif isinstance(m, Gauge):
+                gauges[name] = m.value
+            else:
+                histograms[name] = list(m.samples)
+        return {"counters": counters, "gauges": gauges,
+                "histograms": histograms}
+
+    def merge_dump(self, dump: Dict[str, Dict[str, Any]]) -> None:
+        """Fold another registry's :meth:`dump` into this one.
+
+        Counters add, histogram samples concatenate, gauges
+        last-write-win (the dump's value overwrites when not None).
+        """
+        for name, value in dump.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in dump.get("gauges", {}).items():
+            if value is not None:
+                self.gauge(name).set(value)
+        for name, samples in dump.get("histograms", {}).items():
+            self.histogram(name).samples.extend(samples)
+
     def clear(self) -> None:
         self._metrics.clear()

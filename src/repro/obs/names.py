@@ -48,6 +48,10 @@ __all__ = [
     "M_FUZZ_PROGRAMS", "M_FUZZ_CHECKS", "M_FUZZ_CELLS",
     "M_FUZZ_DISCREPANCIES", "M_FUZZ_SHRINK_STEPS",
     "M_FUZZ_CORPUS_ENTRIES",
+    "PHASE_SPAN_PREFIX", "phase_metric", "M_ITER_FAULTS",
+    "M_WORKER_OBS_MERGED",
+    "EV_COST_TELEMETRY", "M_BENCH_RUNS", "M_BENCH_SP_ERROR",
+    "M_BENCH_REGRESSIONS",
 ]
 
 # -- event names (tracer spans / instants) -------------------------------
@@ -231,6 +235,40 @@ M_FUZZ_DISCREPANCIES = "fuzz.discrepancies"
 M_FUZZ_SHRINK_STEPS = "fuzz.shrink_steps"
 #: Counter: corpus entries written by campaigns.
 M_FUZZ_CORPUS_ENTRIES = "fuzz.corpus_entries"
+
+# -- wall-clock phase profiling (PhaseProfiler, PR 6) --------------------
+
+#: Span name prefix for wall-clock phase spans: a profiler phase
+#: ``spawn`` is emitted to the tracer as span ``phase.spawn`` with
+#: microsecond timestamps relative to the run's start.
+PHASE_SPAN_PREFIX = "phase."
+
+
+def phase_metric(phase: str) -> str:
+    """Histogram name for one phase's wall seconds (``phase.<p>.wall_s``)."""
+    return f"{PHASE_SPAN_PREFIX}{phase}.wall_s"
+
+
+#: Counter: per-iteration faults contained by a worker (exception,
+#: null-pointer walk, OOB-write trap, injected) — the quarantine later
+#: classifies each as spurious overshoot or a genuine program raise.
+M_ITER_FAULTS = "fault.iteration.contained"
+#: Counter: worker-side obs payloads merged into the parent registry
+#: at QUIT reconciliation (procs backend only).
+M_WORKER_OBS_MERGED = "obs.worker_payloads"
+
+# -- bench trajectory gate (``repro bench --record``) --------------------
+
+#: Instant: one bench run's cost-model telemetry — predicted Sp_at and
+#: T_b/T_d/T_a next to measured wall speedup and phase totals (attrs:
+#: loop, scheme, backend, sp_pred, sp_meas, sp_error).
+EV_COST_TELEMETRY = "bench.telemetry"
+#: Counter: scheme × backend bench runs measured.
+M_BENCH_RUNS = "bench.runs"
+#: Histogram: relative Sp_at prediction error per bench run.
+M_BENCH_SP_ERROR = "bench.sp_error"
+#: Counter: regressions the snapshot comparator flagged.
+M_BENCH_REGRESSIONS = "bench.regressions"
 
 #: Per-kind fault counters keyed by the :class:`~repro.errors
 #: .WorkerFault` ``kind`` string.

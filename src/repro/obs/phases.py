@@ -1,0 +1,263 @@
+"""Wall-clock phase profiling: where real-backend time actually goes.
+
+The virtual-time tracer (:mod:`repro.obs.tracer`) answers *semantic*
+questions — how many cycles a scheme charges, how a schedule packs —
+but the speed-and-scale arc needs the *wall-clock* complement: of the
+seconds a ``procs`` run takes, how many go to process spawn, to the
+shared-memory export, to iteration bodies, to the PD shadow merge, to
+quarantine replay, to reconciliation?  The paper's own evaluation
+(Table 2, Figures 6–14) is exactly this overhead-accounting exercise,
+in its ``T_b``/``T_d``/``T_a`` partition.
+
+:class:`PhaseProfiler` records **nestable wall-clock spans**:
+
+* **Zero-cost by default.**  The module-level active profiler is a
+  disabled singleton; :meth:`PhaseProfiler.phase` on a disabled
+  profiler returns a shared no-op context manager without reading the
+  clock or allocating a record.
+* **Nestable.**  Phases stack: a ``shm-export`` span opened inside a
+  ``shm-setup`` span records ``shm-setup`` as its parent, so traces
+  keep the containment structure.  :meth:`totals` sums leaf names
+  only (a nested child's seconds are already inside its parent's).
+* **Composable with the tracer.**  :meth:`flush_to_tracer` re-emits
+  the recorded spans as ``phase.<name>`` tracer spans (microseconds
+  since a caller-chosen origin) and observes per-phase
+  ``phase.<name>.wall_s`` histograms, so wall phases land in the same
+  Perfetto timeline as the virtual-time records.
+
+The canonical phase names the runtime emits are listed in
+:data:`PHASES`; see ``docs/observability.md`` for what each covers.
+
+Typical use::
+
+    from repro.obs import PhaseProfiler, profiling
+
+    with profiling() as prof:
+        run_parallel_real(...)
+    print(prof.totals_s())   # {"spawn": 0.004, "body": 0.31, ...}
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.obs.events import freeze_attrs
+
+__all__ = [
+    "PHASES", "PhaseSpan", "PhaseTotal", "PhaseProfiler",
+    "NULL_PROFILER", "get_profiler", "set_profiler", "profiling",
+]
+
+#: Canonical phase names the real runtime records, in execution order.
+#: ``spawn`` — worker process/thread creation and startup; ``shm-setup``
+#: — shared-memory export of the store (with a nested ``shm-export``
+#: child from :mod:`repro.runtime.shm`); ``body`` — the strip loop
+#: (workers executing iteration bodies; worker-side ``phase.body``
+#: tracer spans give the per-chunk detail); ``pd-merge`` — shadow-mark
+#: collection, merge, and the PD analysis; ``quarantine`` — committed-
+#: prefix transactional replay after a contained fault or PD failure;
+#: ``reconcile`` — ordered write application and scalar publication;
+#: ``fallback`` — the Section-5 sequential re-execution.
+PHASES: Tuple[str, ...] = ("spawn", "shm-setup", "body", "pd-merge",
+                           "quarantine", "reconcile", "fallback")
+
+
+@dataclass(frozen=True)
+class PhaseSpan:
+    """One recorded wall-clock phase interval.
+
+    ``start_ns``/``end_ns`` are :func:`time.perf_counter_ns` readings;
+    ``parent`` is the enclosing phase's name (``None`` at top level);
+    ``pid`` identifies a worker when the span was recorded on one.
+    """
+
+    name: str
+    start_ns: int
+    end_ns: int
+    pid: int = -1
+    parent: Optional[str] = None
+    attrs: Tuple[Tuple[str, Any], ...] = ()
+
+    @property
+    def wall_s(self) -> float:
+        """Span duration in seconds."""
+        return max(0, self.end_ns - self.start_ns) / 1e9
+
+
+@dataclass
+class PhaseTotal:
+    """Aggregated time for one phase name."""
+
+    name: str
+    count: int = 0
+    wall_s: float = 0.0
+
+    def add(self, span: PhaseSpan) -> None:
+        """Fold one span into the total."""
+        self.count += 1
+        self.wall_s += span.wall_s
+
+
+class _NullPhase:
+    """Shared no-op context manager for the disabled profiler."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullPhase":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        return None
+
+
+_NULL_PHASE = _NullPhase()
+
+
+class PhaseProfiler:
+    """Records nestable wall-clock phase spans (see module docstring).
+
+    Parameters
+    ----------
+    enabled:
+        Master switch; a disabled profiler's :meth:`phase` is a no-op
+        that never reads the clock.
+    clock:
+        Nanosecond clock, injectable for deterministic tests
+        (defaults to :func:`time.perf_counter_ns`).
+    """
+
+    __slots__ = ("enabled", "clock", "spans", "_stack")
+
+    def __init__(self, *, enabled: bool = True,
+                 clock: Callable[[], int] = time.perf_counter_ns) -> None:
+        self.enabled = enabled
+        self.clock = clock
+        self.spans: List[PhaseSpan] = []
+        self._stack: List[str] = []
+
+    # -- recording ----------------------------------------------------------
+    def phase(self, name: str, *, pid: int = -1, **attrs: Any):
+        """Context manager timing one phase (no-op when disabled)."""
+        if not self.enabled:
+            return _NULL_PHASE
+        return self._timed(name, pid, attrs)
+
+    @contextmanager
+    def _timed(self, name: str, pid: int,
+               attrs: Dict[str, Any]) -> Iterator[None]:
+        parent = self._stack[-1] if self._stack else None
+        self._stack.append(name)
+        start = self.clock()
+        try:
+            yield
+        finally:
+            end = self.clock()
+            self._stack.pop()
+            self.spans.append(PhaseSpan(name, start, end, pid, parent,
+                                        freeze_attrs(attrs)))
+
+    def record(self, name: str, start_ns: int, end_ns: int, *,
+               pid: int = -1, parent: Optional[str] = None,
+               **attrs: Any) -> None:
+        """Append an externally timed span (no-op when disabled)."""
+        if not self.enabled:
+            return
+        self.spans.append(PhaseSpan(name, int(start_ns), int(end_ns),
+                                    pid, parent, freeze_attrs(attrs)))
+
+    # -- reading ------------------------------------------------------------
+    def mark(self) -> int:
+        """Position marker: pass to :meth:`totals` for run-local slices."""
+        return len(self.spans)
+
+    def totals(self, since: int = 0) -> Dict[str, PhaseTotal]:
+        """Per-name aggregates over ``spans[since:]``.
+
+        Each name is summed independently — a nested child's time is
+        *also* inside its parent's span, so sum only sibling names
+        (e.g. the canonical :data:`PHASES`) when adding totals up.
+        """
+        out: Dict[str, PhaseTotal] = {}
+        for span in self.spans[since:]:
+            tot = out.get(span.name)
+            if tot is None:
+                tot = out[span.name] = PhaseTotal(span.name)
+            tot.add(span)
+        return out
+
+    def totals_s(self, since: int = 0) -> Dict[str, float]:
+        """Per-name wall seconds over ``spans[since:]`` (flat floats)."""
+        return {name: tot.wall_s
+                for name, tot in self.totals(since).items()}
+
+    # -- tracer integration -------------------------------------------------
+    def flush_to_tracer(self, tracer, *, t0_ns: int,
+                        since: int = 0) -> int:
+        """Re-emit ``spans[since:]`` into ``tracer`` as ``phase.*``.
+
+        Spans become tracer spans named ``phase.<name>`` with
+        microsecond timestamps relative to ``t0_ns`` (so wall phases
+        align with the run's other records in one Perfetto timeline),
+        and each one observes the ``phase.<name>.wall_s`` histogram.
+        Returns the number of spans flushed.
+        """
+        if not tracer.enabled:
+            return 0
+        from repro.obs import names as _n
+        flushed = 0
+        for span in self.spans[since:]:
+            attrs = dict(span.attrs)
+            if span.parent is not None:
+                attrs["parent"] = span.parent
+            tracer.span(_n.PHASE_SPAN_PREFIX + span.name,
+                        (span.start_ns - t0_ns) // 1000,
+                        (span.end_ns - t0_ns) // 1000,
+                        pid=span.pid, **attrs)
+            tracer.observe(_n.phase_metric(span.name), span.wall_s)
+            flushed += 1
+        return flushed
+
+    def clear(self) -> None:
+        """Drop every recorded span (the nesting stack is untouched)."""
+        self.spans.clear()
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return f"PhaseProfiler({state}, {len(self.spans)} spans)"
+
+
+#: The disabled singleton every hot path sees by default.
+NULL_PROFILER = PhaseProfiler(enabled=False)
+
+_active: PhaseProfiler = NULL_PROFILER
+
+
+def get_profiler() -> PhaseProfiler:
+    """The currently active profiler (disabled singleton by default)."""
+    return _active
+
+
+def set_profiler(profiler: Optional[PhaseProfiler]) -> PhaseProfiler:
+    """Install ``profiler`` (or the null profiler); returns it."""
+    global _active
+    _active = profiler if profiler is not None else NULL_PROFILER
+    return _active
+
+
+@contextmanager
+def profiling(profiler: Optional[PhaseProfiler] = None
+              ) -> Iterator[PhaseProfiler]:
+    """Activate a profiler for a ``with`` block, restoring the old one.
+
+    Builds a fresh :class:`PhaseProfiler` when none is given.
+    """
+    prof = profiler if profiler is not None else PhaseProfiler()
+    previous = get_profiler()
+    set_profiler(prof)
+    try:
+        yield prof
+    finally:
+        set_profiler(previous)

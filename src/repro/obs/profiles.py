@@ -1,0 +1,203 @@
+"""Per-loop performance profiles keyed by loop signature.
+
+The adaptive scheme selection the roadmap aims at (pick doall vs
+general-2 vs general-3 vs speculation *per loop*, from history rather
+than from the static cost model alone) needs a data substrate: which
+schemes ran this loop before, on which backend, and how fast.  This
+module provides it:
+
+* :func:`loop_signature` — a stable content hash of a loop's canonical
+  IR (via :mod:`repro.ir.serialize`), so the *same* loop maps to the
+  same key across runs, processes, and sessions, while any body edit
+  changes the key;
+* :class:`ProfileStore` — a small JSON-backed store of
+  :class:`LoopProfileRecord` aggregates (count / mean wall seconds /
+  mean speedup / mean phase split), fed by ``repro bench --record``
+  from the :class:`~repro.obs.phases.PhaseProfiler` totals.
+
+The store is an append-and-aggregate log, not a database: records
+merge by ``(signature, scheme, backend, workers)`` with running means,
+so the file stays small no matter how many benches feed it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["loop_signature", "LoopProfileRecord", "ProfileStore"]
+
+
+def loop_signature(loop) -> str:
+    """Stable 16-hex-digit content hash of a loop's canonical IR.
+
+    Hashes the sorted-key JSON of :func:`repro.ir.serialize.loop_to_obj`
+    — name excluded, so renaming a loop does not orphan its history,
+    while any structural edit (init, condition, body) changes the key.
+    """
+    from repro.ir.serialize import loop_to_obj
+    obj = loop_to_obj(loop)
+    obj.pop("name", None)
+    blob = json.dumps(obj, sort_keys=True, default=repr)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass
+class LoopProfileRecord:
+    """Aggregated history for one (loop, scheme, backend, workers).
+
+    ``wall_s`` / ``speedup`` / ``phases`` are running means over
+    ``runs`` observations (phases in wall seconds per canonical phase
+    name).
+    """
+
+    signature: str
+    loop: str
+    scheme: str
+    backend: str
+    workers: int
+    runs: int = 0
+    wall_s: float = 0.0
+    speedup: float = 0.0
+    phases: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def key(self) -> Tuple[str, str, str, int]:
+        """The merge key records aggregate under."""
+        return (self.signature, self.scheme, self.backend, self.workers)
+
+    def fold(self, wall_s: float, speedup: float,
+             phases: Dict[str, float]) -> None:
+        """Fold one new observation into the running means."""
+        n = self.runs
+        self.wall_s = (self.wall_s * n + wall_s) / (n + 1)
+        self.speedup = (self.speedup * n + speedup) / (n + 1)
+        merged = dict(self.phases)
+        for name in set(merged) | set(phases):
+            prev = merged.get(name, 0.0)
+            merged[name] = (prev * n + phases.get(name, 0.0)) / (n + 1)
+        self.phases = merged
+        self.runs = n + 1
+
+    def to_payload(self) -> Dict[str, Any]:
+        """Plain-builtin form for the JSON store."""
+        return {"signature": self.signature, "loop": self.loop,
+                "scheme": self.scheme, "backend": self.backend,
+                "workers": self.workers, "runs": self.runs,
+                "wall_s": self.wall_s, "speedup": self.speedup,
+                "phases": dict(sorted(self.phases.items()))}
+
+    @classmethod
+    def from_payload(cls, obj: Dict[str, Any]) -> "LoopProfileRecord":
+        """Rebuild a record from :meth:`to_payload` output."""
+        return cls(signature=str(obj["signature"]),
+                   loop=str(obj.get("loop", "?")),
+                   scheme=str(obj["scheme"]),
+                   backend=str(obj["backend"]),
+                   workers=int(obj["workers"]),
+                   runs=int(obj.get("runs", 1)),
+                   wall_s=float(obj.get("wall_s", 0.0)),
+                   speedup=float(obj.get("speedup", 0.0)),
+                   phases={str(k): float(v)
+                           for k, v in obj.get("phases", {}).items()})
+
+
+class ProfileStore:
+    """JSON-file-backed aggregate of :class:`LoopProfileRecord`.
+
+    Load-modify-save usage (what ``repro bench --record`` does)::
+
+        store = ProfileStore.load("BENCH_PROFILES.json")
+        store.observe(loop, scheme="doall", backend="procs",
+                      workers=2, wall_s=0.4, speedup=1.7,
+                      phases=stats["phases"])
+        store.save("BENCH_PROFILES.json")
+    """
+
+    VERSION = 1
+
+    def __init__(self) -> None:
+        self._records: Dict[Tuple[str, str, str, int],
+                            LoopProfileRecord] = {}
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def records(self) -> List[LoopProfileRecord]:
+        """All records, ordered by key."""
+        return [self._records[k] for k in sorted(self._records)]
+
+    def observe(self, loop, *, scheme: str, backend: str, workers: int,
+                wall_s: float, speedup: float,
+                phases: Optional[Dict[str, float]] = None
+                ) -> LoopProfileRecord:
+        """Fold one measured run into the loop's aggregate record.
+
+        ``loop`` is a :class:`~repro.ir.nodes.Loop` (its signature is
+        computed here) or an already-computed signature string.
+        """
+        if isinstance(loop, str):
+            sig, name = loop, "?"
+        else:
+            sig, name = loop_signature(loop), loop.name
+        key = (sig, scheme, backend, int(workers))
+        rec = self._records.get(key)
+        if rec is None:
+            rec = self._records[key] = LoopProfileRecord(
+                signature=sig, loop=name, scheme=scheme,
+                backend=backend, workers=int(workers))
+        rec.fold(float(wall_s), float(speedup), dict(phases or {}))
+        return rec
+
+    def for_loop(self, loop, backend: Optional[str] = None
+                 ) -> List[LoopProfileRecord]:
+        """Every record for one loop (optionally one backend)."""
+        sig = loop if isinstance(loop, str) else loop_signature(loop)
+        return [r for r in self.records()
+                if r.signature == sig
+                and (backend is None or r.backend == backend)]
+
+    def best_scheme(self, loop, backend: str) -> Optional[str]:
+        """The historically fastest scheme for a loop on a backend.
+
+        This is the query adaptive scheme selection will ask; ``None``
+        when the loop has no history yet (caller falls back to the
+        static cost model).
+        """
+        rows = self.for_loop(loop, backend)
+        if not rows:
+            return None
+        return max(rows, key=lambda r: r.speedup).scheme
+
+    # -- persistence --------------------------------------------------------
+    def to_payload(self) -> Dict[str, Any]:
+        """Plain-builtin form of the whole store."""
+        return {"version": self.VERSION,
+                "records": [r.to_payload() for r in self.records()]}
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "ProfileStore":
+        """Rebuild a store from :meth:`to_payload` output."""
+        store = cls()
+        for obj in payload.get("records", []):
+            rec = LoopProfileRecord.from_payload(obj)
+            store._records[rec.key] = rec
+        return store
+
+    def save(self, path: str) -> str:
+        """Write the store as JSON; returns the path."""
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_payload(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        return path
+
+    @classmethod
+    def load(cls, path: str) -> "ProfileStore":
+        """Read a store from JSON (an absent file is an empty store)."""
+        if not os.path.exists(path):
+            return cls()
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_payload(json.load(fh))

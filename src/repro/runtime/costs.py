@@ -16,8 +16,10 @@ All costs are plain integers so simulations are exactly reproducible.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Mapping
 
-__all__ = ["CostModel", "ALLIANT_FX80", "FREE", "UNIT"]
+__all__ = ["CostModel", "ALLIANT_FX80", "FREE", "UNIT",
+           "OverheadBreakdown", "breakdown_from_phases"]
 
 
 @dataclass(frozen=True)
@@ -87,6 +89,59 @@ FREE = CostModel(
     barrier_per_proc=0, fork=0, checkpoint_word=0, restore_word=0,
     timestamp_write=0, shadow_mark=0, analysis_word=0, reduction_elem=0,
 )
+
+@dataclass(frozen=True)
+class OverheadBreakdown:
+    """Wall-clock analog of the paper's ``T_b``/``T_d``/``T_a`` split.
+
+    Section 7 partitions method overhead into pre-loop (``T_b``,
+    checkpointing), during-loop (``T_d``, stamps and shadow marks) and
+    post-loop (``T_a``, undo and PD analysis) terms.  On the real
+    backends the same partition falls out of the
+    :class:`~repro.obs.phases.PhaseProfiler` totals:
+
+    * ``t_b_s`` — worker spawn plus the shared-memory export;
+    * ``t_d_s`` — during-loop overhead.  Shadow marking runs *inside*
+      the iteration bodies on real workers, so it is not separable
+      from ``body_s`` by wall clock alone; this term stays 0.0 and the
+      virtual-time model supplies the predicted ``T_d`` instead;
+    * ``t_a_s`` — everything after the strip loop: shadow merge + PD
+      analysis, quarantine replay, ordered reconciliation, and the
+      Section-5 sequential fallback when one ran;
+    * ``body_s`` — the strip loop itself (``T_ipar`` territory).
+    """
+
+    t_b_s: float
+    t_d_s: float
+    t_a_s: float
+    body_s: float
+
+    @property
+    def overhead_s(self) -> float:
+        """Total method overhead (everything that is not the body)."""
+        return self.t_b_s + self.t_d_s + self.t_a_s
+
+
+#: Which canonical profiler phases feed each overhead term.
+_T_B_PHASES = ("spawn", "shm-setup")
+_T_A_PHASES = ("pd-merge", "quarantine", "reconcile", "fallback")
+
+
+def breakdown_from_phases(phases: Mapping[str, float]
+                          ) -> OverheadBreakdown:
+    """Fold a ``stats["phases"]`` dict into the Tb/Td/Ta partition.
+
+    Only canonical top-level phase names are summed — nested children
+    (``shm-export`` inside ``shm-setup``) are already inside their
+    parent's seconds and must not double-count.
+    """
+    return OverheadBreakdown(
+        t_b_s=sum(phases.get(p, 0.0) for p in _T_B_PHASES),
+        t_d_s=0.0,
+        t_a_s=sum(phases.get(p, 0.0) for p in _T_A_PHASES),
+        body_s=phases.get("body", 0.0),
+    )
+
 
 #: Every operation costs one cycle: handy for counting operations.
 UNIT = CostModel(

@@ -102,7 +102,9 @@ from repro.ir.nodes import Exit, Loop
 from repro.ir.store import Store
 from repro.ir.visitor import walk
 from repro.obs import names as _ev
-from repro.obs.tracer import get_tracer
+from repro.obs.phases import PhaseProfiler, get_profiler
+from repro.obs.sinks import MemorySink
+from repro.obs.tracer import Tracer, get_tracer, set_tracer
 from repro.runtime.costs import FREE
 from repro.runtime.faults import (
     FaultPlan,
@@ -204,6 +206,13 @@ class _Task:
     shadow_arrays: Tuple[str, ...]   #: PD-tested arrays ("" = none)
     store_spec: Optional[StoreSpec]  #: procs mode only
     fault_plan: Optional[FaultPlan] = None  #: scripted fault injection
+    #: Tracing is active in the parent: procs workers build a private
+    #: in-memory tracer and ship its records back at exit (telemetry
+    #: survives the fork boundary); thread workers share the parent's.
+    trace: bool = False
+    #: Wall origin (``time.perf_counter_ns`` — CLOCK_MONOTONIC on
+    #: Linux, comparable across processes) worker spans rebase to.
+    trace_t0_ns: int = 0
 
 
 @dataclass
@@ -393,6 +402,16 @@ def _worker_main(wid: int, task: _Task, coord: _Coord,
     shadows: Optional[ShadowArrays] = None
     fp = task.fault_plan
     stall = fp.barrier_delay(wid) if fp else 0.0
+    local_trace = direct_store is None
+    if local_trace:
+        # A forked process inherits the parent's global tracer —
+        # possibly one holding an open file sink.  Always replace it:
+        # with a private in-memory tracer when tracing is on (records
+        # are shipped back on the results queue at exit), with the
+        # null tracer otherwise.  Thread workers instead share the
+        # parent's tracer directly.
+        set_tracer(Tracer(MemorySink()) if task.trace else None)
+    trc = get_tracer()
     try:
         if direct_store is not None:
             store = direct_store
@@ -436,8 +455,23 @@ def _worker_main(wid: int, task: _Task, coord: _Coord,
                     break
                 continue
             try:
+                c0 = time.perf_counter_ns() if trc.enabled else 0
                 recs = _run_indices(wid, indices, task, coord, store,
                                     runner, buffer, hooks, walk_state)
+                if trc.enabled:
+                    c1 = time.perf_counter_ns()
+                    trc.span(_ev.PHASE_SPAN_PREFIX + "body",
+                             (c0 - task.trace_t0_ns) // 1000,
+                             (c1 - task.trace_t0_ns) // 1000,
+                             pid=wid, first=indices[0], n=len(indices))
+                    done = sum(1 for r in recs
+                               if r[1] == IterOutcome.DONE)
+                    faulted = sum(1 for r in recs
+                                  if r[1] == IterOutcome.FAULTED)
+                    if done:
+                        trc.count(_ev.M_EXECUTED, done)
+                    if faulted:
+                        trc.count(_ev.M_ITER_FAULTS, faulted)
                 if fp and fp.drops_chunk(wid, indices):
                     continue    # injected lost-result: never queued
                 coord.results.put(("chunk", wid, recs))
@@ -456,6 +490,10 @@ def _worker_main(wid: int, task: _Task, coord: _Coord,
             if fp:
                 payload = fp.corrupt_shadow_payload(wid, payload)
             coord.results.put(("shadow", wid, payload))
+        if local_trace and trc.enabled:
+            coord.results.put(("obs", wid, (trc.metrics.dump(),
+                                            list(trc.sink.spans),
+                                            list(trc.sink.events))))
     finally:
         if attached is not None:
             attached.close()
@@ -547,6 +585,7 @@ class _Gather:
     error: Optional[str] = None
     shadow_payloads: List[Optional[Tuple[Dict, int]]] = field(
         default_factory=list)
+    obs_payloads: List[Tuple] = field(default_factory=list)
 
 
 def _check_monitor(monitor) -> None:
@@ -642,6 +681,9 @@ def _drain(coord: _Coord, gathered: _Gather, expected_total: int,
             if kind == "shadow":     # late shadow from an earlier error path
                 gathered.shadow_payloads.append(payload)
                 continue
+            if kind == "obs":        # early worker telemetry payload
+                gathered.obs_payloads.append(payload)
+                continue
             gathered.chunks += 1
             for k, outcome, writes, local in payload:
                 gathered.received += 1
@@ -685,10 +727,62 @@ def _collect_shadows(coord: _Coord, gathered: _Gather, workers: int,
                 _check_monitor(monitor)
             elif kind == "shadow":
                 gathered.shadow_payloads.append(payload)
+            elif kind == "obs":
+                gathered.obs_payloads.append(payload)
             elif kind == "error" and gathered.error is None:
                 gathered.error = payload
     finally:
         monitor.phase = "run"
+
+
+def _collect_obs(coord: _Coord, gathered: _Gather, workers: int,
+                 timeout: float = 2.0) -> None:
+    """Best-effort drain of the obs payloads workers send at exit.
+
+    Tracing is telemetry, not semantics: a payload that never arrives
+    (a crashed worker, a queue race) is simply missing from the merged
+    registry — no fault is raised and the run's result is unaffected.
+    """
+    deadline = time.monotonic() + timeout
+    while len(gathered.obs_payloads) < workers:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            return
+        try:
+            kind, _wid, payload = coord.results.get(
+                timeout=min(_POLL_S, remaining))
+        except _thread_queue.Empty:
+            continue
+        if kind == "obs":
+            gathered.obs_payloads.append(payload)
+        elif kind == "shadow":
+            gathered.shadow_payloads.append(payload)
+
+
+def _merge_worker_obs(tracer: Tracer,
+                      payloads: List[Tuple]) -> int:
+    """Fold worker-shipped obs payloads into the parent tracer.
+
+    Each payload is ``(metrics_dump, spans, events)`` as sent by
+    :func:`_worker_main`: counters add, histogram samples concatenate
+    (:meth:`~repro.obs.metrics.MetricsRegistry.merge_dump`), and the
+    records are re-emitted so worker-side ``phase.body`` spans land in
+    the parent's sink — one Perfetto timeline across the fork boundary.
+    """
+    merged = 0
+    for payload in payloads:
+        if not payload:
+            continue
+        dump, spans, events = payload
+        tracer.metrics.merge_dump(dump)
+        for sp in spans:
+            tracer.sink.emit_span(sp)
+        for evt in events:
+            tracer.sink.emit_event(evt)
+        merged += 1
+    if merged:
+        tracer.count(_ev.M_WORKER_OBS_MERGED, merged)
+    return merged
 
 
 def _validate_shadow_payloads(gathered: _Gather, t0: float) -> None:
@@ -889,6 +983,14 @@ def run_parallel_real(
     execution would raise them.
     """
     t0 = time.perf_counter()
+    trc = get_tracer()
+    prof = get_profiler()
+    if not prof.enabled and trc.enabled:
+        # No profiler installed but a tracer is live: record phases
+        # run-locally so the trace still carries the wall breakdown.
+        prof = PhaseProfiler()
+    pmark = prof.mark()
+    trace_t0_ns = time.perf_counter_ns()
     if mode not in ("procs", "threads"):
         raise PlanError(f"unknown real backend mode {mode!r}")
     if scheme not in ("doall", "general-2", "general-3"):
@@ -973,8 +1075,9 @@ def run_parallel_real(
         # detected fault — can leak a /dev/shm segment (the atexit
         # sweep in runtime.shm is the second line of defense).
         if mode == "procs":
-            shared = SharedStore.export(store)
-            spec = shared.spec()
+            with prof.phase("shm-setup", arrays=len(store.arrays())):
+                shared = SharedStore.export(store)
+                spec = shared.spec()
 
         task = _Task(
             loop=loop, funcs=funcs,
@@ -986,64 +1089,69 @@ def run_parallel_real(
             shadow_arrays=tuple(test_arrays) if speculative else (),
             store_spec=spec,
             fault_plan=fault_plan,
+            trace=trc.enabled, trace_t0_ns=trace_t0_ns,
         )
         coord = _Coord(mode, workers, first, horizon0)
 
-        if mode == "procs":
-            procs = [coord.ctx.Process(target=_worker_main,
-                                       args=(wid, task, coord),
-                                       daemon=True)
-                     for wid in range(workers)]
-        else:
-            procs = [threading.Thread(target=_worker_main,
-                                      args=(wid, task, coord, store),
-                                      daemon=True)
-                     for wid in range(workers)]
-        for p in procs:
-            p.start()
+        with prof.phase("spawn", mode=mode, workers=workers):
+            if mode == "procs":
+                procs = [coord.ctx.Process(target=_worker_main,
+                                           args=(wid, task, coord),
+                                           daemon=True)
+                         for wid in range(workers)]
+            else:
+                procs = [threading.Thread(target=_worker_main,
+                                          args=(wid, task, coord, store),
+                                          daemon=True)
+                         for wid in range(workers)]
+            for p in procs:
+                p.start()
         monitor.start(procs, coord, t0)
         t_setup = time.perf_counter()
 
-        while True:
-            _parent_barrier(coord, monitor, t0,
-                            barrier_timeout)           # strip quiesced
-            if task.schedule == "static":
-                expected = coord.horizon.value - first + 1
-            else:
-                expected = coord.counter.value - first
-            _drain(coord, gathered, expected, monitor, t0, workers,
-                   queue_timeout)
-            term_found = any(
-                o in (IterOutcome.TERMINATED, IterOutcome.EXITED)
-                for o in gathered.outcomes.values())
-            # A contained fault also ends the strip loop: a spurious
-            # fault is always accompanied by a termination in the same
-            # strip (the true terminator precedes every overshoot
-            # artifact and is never blocked by the fault's QUIT), so a
-            # fault-without-termination means the program genuinely
-            # raises and extending the horizon would never converge.
-            if (gathered.error is not None or term_found
-                    or gathered.faults or strip is None):
-                coord.done.value = 1
-                _parent_barrier(coord, monitor, t0, barrier_timeout)
-                break
-            if coord.horizon.value + strip > _MAX_HORIZON:
-                coord.done.value = 1
-                _parent_barrier(coord, monitor, t0, barrier_timeout)
-                raise ExecutionError(
-                    f"loop {loop.name!r} exceeded {_MAX_HORIZON} "
-                    f"iterations without terminating")
-            coord.horizon.value += strip
-            _parent_barrier(coord, monitor, t0,
-                            barrier_timeout)           # next strip
+        with prof.phase("body", scheme=scheme):
+            while True:
+                _parent_barrier(coord, monitor, t0,
+                                barrier_timeout)       # strip quiesced
+                if task.schedule == "static":
+                    expected = coord.horizon.value - first + 1
+                else:
+                    expected = coord.counter.value - first
+                _drain(coord, gathered, expected, monitor, t0, workers,
+                       queue_timeout)
+                term_found = any(
+                    o in (IterOutcome.TERMINATED, IterOutcome.EXITED)
+                    for o in gathered.outcomes.values())
+                # A contained fault also ends the strip loop: a spurious
+                # fault is always accompanied by a termination in the
+                # same strip (the true terminator precedes every
+                # overshoot artifact and is never blocked by the fault's
+                # QUIT), so a fault-without-termination means the
+                # program genuinely raises and extending the horizon
+                # would never converge.
+                if (gathered.error is not None or term_found
+                        or gathered.faults or strip is None):
+                    coord.done.value = 1
+                    _parent_barrier(coord, monitor, t0, barrier_timeout)
+                    break
+                if coord.horizon.value + strip > _MAX_HORIZON:
+                    coord.done.value = 1
+                    _parent_barrier(coord, monitor, t0, barrier_timeout)
+                    raise ExecutionError(
+                        f"loop {loop.name!r} exceeded {_MAX_HORIZON} "
+                        f"iterations without terminating")
+                coord.horizon.value += strip
+                _parent_barrier(coord, monitor, t0,
+                                barrier_timeout)       # next strip
         # Workers only send shadow payloads when there are PD-tested
         # arrays (the worker condition is `task.shadow_arrays`); a
         # speculative run with an empty test set must not wait for
         # messages nobody will send.
         if speculative and task.shadow_arrays:
-            _collect_shadows(coord, gathered, workers, monitor, t0,
-                             queue_timeout)
-            _validate_shadow_payloads(gathered, t0)
+            with prof.phase("pd-merge", stage="collect"):
+                _collect_shadows(coord, gathered, workers, monitor, t0,
+                                 queue_timeout)
+                _validate_shadow_payloads(gathered, t0)
         clean_exit = True
     except WorkerFault as wf:
         # A system fault killed the run mid-flight.  For non-speculative
@@ -1087,6 +1195,15 @@ def run_parallel_real(
             shared.close(unlink=True)
     t_doall = time.perf_counter()
 
+    # Satellite: merge worker-side telemetry (spans, fault.*/exec.*
+    # counters) into the parent tracer at reconciliation — in procs
+    # mode it arrives as exit-time queue payloads; thread workers
+    # already wrote into the shared tracer directly.
+    if mode == "procs" and task.trace:
+        _collect_obs(coord, gathered, workers)
+    if gathered.obs_payloads and trc.enabled:
+        _merge_worker_obs(trc, gathered.obs_payloads)
+
     machine = machine or Machine(workers)
     wall_total = lambda: time.perf_counter() - t0  # noqa: E731
 
@@ -1121,6 +1238,19 @@ def run_parallel_real(
             "privatized_arrays": tuple(privatize),
         }
 
+    def finish(stats: Dict[str, Any]) -> Dict[str, Any]:
+        """Stamp the wall-phase breakdown and flush phase spans.
+
+        Runs once per return path, after the last phase has closed, so
+        ``stats["phases"]`` covers quarantine/reconcile/fallback time
+        and the tracer timeline carries the parent-side ``phase.*``
+        spans next to the worker-side ones.
+        """
+        stats["phases"] = prof.totals_s(since=pmark)
+        if trc.enabled:
+            prof.flush_to_tracer(trc, t0_ns=trace_t0_ns, since=pmark)
+        return stats
+
     def sequential_fallback(reason: str) -> ParallelResult:
         """Section 5 fallback: discard, restore, re-execute sequentially.
 
@@ -1129,10 +1259,11 @@ def run_parallel_real(
         contained-fault record survive into ``stats``.
         """
         assert backup is not None
-        store.restore_from(backup)
-        res = SequentialInterp(loop, funcs, FREE).run(store)
+        with prof.phase("fallback", reason=reason):
+            store.restore_from(backup)
+            res = SequentialInterp(loop, funcs, FREE).run(store)
         wall = wall_total()
-        stats = base_stats()
+        stats = finish(base_stats())
         stats["reason"] = reason
         stats["spec"] = spec_stats()
         return ParallelResult(
@@ -1163,36 +1294,37 @@ def run_parallel_real(
         """
         nonlocal spurious
         guard = IntervalCheckpoint(store, next_iter=resume_k)
-        try:
-            for k in sorted(gathered.writes):
-                if k >= resume_k:
-                    continue
-                for (array, idx), value in gathered.writes[k].items():
-                    store[array][idx] = value
-            prefix_locals: Dict[str, Any] = {}
-            for k in sorted(gathered.locals):
-                if k >= resume_k:
-                    break
-                prefix_locals.update(gathered.locals[k])
-            for lname, lvalue in prefix_locals.items():
-                if lname != disp.var:
-                    store[lname] = lvalue
-            if supply == "closed":
-                store[disp.var] = init_value + step * (resume_k - first)
-            else:
-                store[disp.var] = _replay_dispatcher(
-                    runner, store, funcs, disp.var, init_value,
-                    resume_k - first, faults=contained)
-        except BaseException:
-            guard.restore(store)
-            raise
-        salvaged = resume_k - 1
-        replay_exc: Optional[BaseException] = None
-        try:
-            res = SequentialInterp(loop, funcs, FREE).run(
-                store, run_init=False)
-        except Exception as exc:
-            replay_exc = exc
+        with prof.phase("quarantine", resume_k=resume_k, reason=reason):
+            try:
+                for k in sorted(gathered.writes):
+                    if k >= resume_k:
+                        continue
+                    for (array, idx), value in gathered.writes[k].items():
+                        store[array][idx] = value
+                prefix_locals: Dict[str, Any] = {}
+                for k in sorted(gathered.locals):
+                    if k >= resume_k:
+                        break
+                    prefix_locals.update(gathered.locals[k])
+                for lname, lvalue in prefix_locals.items():
+                    if lname != disp.var:
+                        store[lname] = lvalue
+                if supply == "closed":
+                    store[disp.var] = init_value + step * (resume_k - first)
+                else:
+                    store[disp.var] = _replay_dispatcher(
+                        runner, store, funcs, disp.var, init_value,
+                        resume_k - first, faults=contained)
+            except BaseException:
+                guard.restore(store)
+                raise
+            salvaged = resume_k - 1
+            replay_exc: Optional[BaseException] = None
+            try:
+                res = SequentialInterp(loop, funcs, FREE).run(
+                    store, run_init=False)
+            except Exception as exc:
+                replay_exc = exc
         if (strict_exceptions and fault is not None
                 and fault.kind in ("exception", "oob-write")):
             got = ("no exception" if replay_exc is None
@@ -1211,7 +1343,7 @@ def run_parallel_real(
         wall = wall_total()
         base = f"speculative[{scheme}]" if speculative else scheme
         suffix = "partial" if salvaged else "sequential"
-        stats = base_stats()
+        stats = finish(base_stats())
         stats["reason"] = reason
         stats["spec"] = spec_stats(salvaged=salvaged,
                                    restarts=1 if salvaged else 0)
@@ -1269,26 +1401,30 @@ def run_parallel_real(
         resume_k = min(resume_k,
                        _done_prefix(gathered, first, resume_k - 1) + 1)
         if speculative and task.shadow_arrays and resume_k > first:
-            merged = _merged_shadows(store, task.shadow_arrays,
-                                     gathered.shadow_payloads)
-            prefix_pd = analyze_pd(merged, machine,
-                                   last_valid=resume_k - 1)
-            prefix_ok = (prefix_pd.valid_with_privatized(privatize)
-                         if prefix_pd.per_array else prefix_pd.valid_as_is)
-            if not prefix_ok:
-                safe = min(max_valid_prefix(merged, privatized=privatize),
-                           resume_k - 1)
-                resume_k = max(first, safe + 1)
+            with prof.phase("pd-merge", stage="prefix"):
+                merged = _merged_shadows(store, task.shadow_arrays,
+                                         gathered.shadow_payloads)
+                prefix_pd = analyze_pd(merged, machine,
+                                       last_valid=resume_k - 1)
+                prefix_ok = (prefix_pd.valid_with_privatized(privatize)
+                             if prefix_pd.per_array
+                             else prefix_pd.valid_as_is)
+                if not prefix_ok:
+                    safe = min(max_valid_prefix(merged,
+                                                privatized=privatize),
+                               resume_k - 1)
+                    resume_k = max(first, safe + 1)
         if not partial_restart:
             resume_k = first
         return continue_sequentially(resume_k, "exception", fault)
 
     pd = None
     if speculative:
-        merged = _merged_shadows(store, task.shadow_arrays,
-                                 gathered.shadow_payloads)
-        pd = analyze_pd(merged, machine,
-                        last_valid=lvi if info.may_overshoot else None)
+        with prof.phase("pd-merge", stage="analyze"):
+            merged = _merged_shadows(store, task.shadow_arrays,
+                                     gathered.shadow_payloads)
+            pd = analyze_pd(merged, machine,
+                            last_valid=lvi if info.may_overshoot else None)
         valid = pd.valid_with_privatized(privatize) if pd.per_array \
             else pd.valid_as_is
         if not valid:
@@ -1302,33 +1438,34 @@ def run_parallel_real(
             return sequential_fallback("pd-failed")
 
     # -- ordered reconciliation (mirror of SchemeCore) ---------------------
-    applied_words = 0
-    for k in sorted(gathered.writes):
-        if k > lvi:
-            continue
-        for (array, idx), value in gathered.writes[k].items():
-            store[array][idx] = value
-            applied_words += 1
+    with prof.phase("reconcile"):
+        applied_words = 0
+        for k in sorted(gathered.writes):
+            if k > lvi:
+                continue
+            for (array, idx), value in gathered.writes[k].items():
+                store[array][idx] = value
+                applied_words += 1
 
-    merged_locals: Dict[str, Any] = {}
-    for k in sorted(gathered.locals):
-        if k > lvi:
-            break
-        merged_locals.update(gathered.locals[k])
-    for name, value in merged_locals.items():
-        if name != disp.var:
-            store[name] = value
+        merged_locals: Dict[str, Any] = {}
+        for k in sorted(gathered.locals):
+            if k > lvi:
+                break
+            merged_locals.update(gathered.locals[k])
+        for name, value in merged_locals.items():
+            if name != disp.var:
+                store[name] = value
 
-    disp_before_exit = _dispatcher_precedes_exits(loop,
-                                                  info.dispatcher_stmts)
-    final_k = lvi - 1 if (exited and not disp_before_exit) else lvi
-    if supply == "closed":
-        final_d = init_value + step * (final_k - first + 1)
-    else:
-        final_d = _replay_dispatcher(runner, store, funcs, disp.var,
-                                     init_value, final_k - first + 1,
-                                     faults=contained)
-    store[disp.var] = final_d
+        disp_before_exit = _dispatcher_precedes_exits(
+            loop, info.dispatcher_stmts)
+        final_k = lvi - 1 if (exited and not disp_before_exit) else lvi
+        if supply == "closed":
+            final_d = init_value + step * (final_k - first + 1)
+        else:
+            final_d = _replay_dispatcher(runner, store, funcs, disp.var,
+                                         init_value, final_k - first + 1,
+                                         faults=contained)
+        store[disp.var] = final_d
 
     executed = sum(1 for o in gathered.outcomes.values()
                    if o == IterOutcome.DONE)
@@ -1336,7 +1473,7 @@ def run_parallel_real(
                    if o == IterOutcome.DONE and k > lvi)
     wall = wall_total()
     name = f"speculative[{scheme}]" if speculative else scheme
-    stats = base_stats()
+    stats = finish(base_stats())
     stats["applied_words"] = applied_words
     stats["spec"] = spec_stats()
     return ParallelResult(

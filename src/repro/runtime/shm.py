@@ -51,6 +51,7 @@ import numpy as np
 
 from repro.errors import OutOfBoundsWrite
 from repro.ir.store import Store
+from repro.obs.phases import get_profiler
 from repro.structures.linkedlist import LinkedList
 
 __all__ = ["ArraySegment", "StoreSpec", "SharedStore", "GuardedArray",
@@ -130,17 +131,18 @@ class SharedStore:
         """Copy every array binding of ``store`` into shared memory."""
         self = cls()
         try:
-            for name in store.names():
-                value = store[name]
-                if isinstance(value, np.ndarray):
-                    self._array_specs.append(
-                        self._export_array(name, value))
-                elif isinstance(value, LinkedList):
-                    self._pool_specs.append(
-                        self._export_array(name, value.next))
-                    self._heads.append((name, value.head))
-                else:
-                    self._scalars.append((name, value))
+            with get_profiler().phase("shm-export"):
+                for name in store.names():
+                    value = store[name]
+                    if isinstance(value, np.ndarray):
+                        self._array_specs.append(
+                            self._export_array(name, value))
+                    elif isinstance(value, LinkedList):
+                        self._pool_specs.append(
+                            self._export_array(name, value.next))
+                        self._heads.append((name, value.head))
+                    else:
+                        self._scalars.append((name, value))
         except BaseException:
             self.close(unlink=True)
             raise
@@ -221,15 +223,16 @@ def attach_store(spec: StoreSpec) -> AttachedStore:
     segments: List[shared_memory.SharedMemory] = []
     store = Store()
     try:
-        for aseg in spec.arrays:
-            store[aseg.name] = _attach_array(aseg, segments)
-        pools: Dict[str, np.ndarray] = {}
-        for pseg in spec.list_pools:
-            pools[pseg.name] = _attach_array(pseg, segments)
-        for lname, head in spec.list_heads:
-            store[lname] = LinkedList(pools[lname], head)
-        for sname, value in spec.scalars:
-            store[sname] = value
+        with get_profiler().phase("shm-attach"):
+            for aseg in spec.arrays:
+                store[aseg.name] = _attach_array(aseg, segments)
+            pools: Dict[str, np.ndarray] = {}
+            for pseg in spec.list_pools:
+                pools[pseg.name] = _attach_array(pseg, segments)
+            for lname, head in spec.list_heads:
+                store[lname] = LinkedList(pools[lname], head)
+            for sname, value in spec.scalars:
+                store[sname] = value
     except BaseException:
         for seg in segments:
             try:

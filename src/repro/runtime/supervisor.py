@@ -69,6 +69,7 @@ from repro.ir.functions import FunctionTable
 from repro.ir.interp import SequentialInterp
 from repro.ir.store import Store
 from repro.obs import names as _ev
+from repro.obs.phases import get_profiler
 from repro.obs.tracer import get_tracer
 from repro.runtime.costs import FREE
 from repro.runtime.faults import FaultPlan
@@ -393,7 +394,8 @@ def run_supervised(
 def _run_sequential_rung(info, store: Store, funcs: FunctionTable,
                          t0: float, reason: str) -> ParallelResult:
     """The ladder's last rung: checkpoint-restored sequential run."""
-    res = SequentialInterp(info.loop, funcs, FREE).run(store)
+    with get_profiler().phase("fallback", reason=reason, rung="sequential"):
+        res = SequentialInterp(info.loop, funcs, FREE).run(store)
     wall = time.perf_counter() - t0
     ns = max(1, int(wall * 1e9))
     return ParallelResult(

@@ -49,6 +49,7 @@ from repro.ir.functions import FunctionTable
 from repro.ir.interp import EvalContext, IterationRunner, IterOutcome
 from repro.ir.nodes import Loop
 from repro.ir.store import Store
+from repro.obs.phases import get_profiler
 from repro.runtime.costs import FREE
 
 __all__ = ["ThreadedResult", "run_threaded_doall", "run_threaded_general"]
@@ -177,15 +178,19 @@ def run_threaded_doall(
             errors.append(exc)
             issuer.quit_at(0)
 
+    prof = get_profiler()
     threads = [threading.Thread(target=worker) for _ in range(nthreads)]
-    for t in threads:
-        t.start()
-    for t in threads:
-        t.join()
+    with prof.phase("spawn", mode="threads", workers=nthreads):
+        for t in threads:
+            t.start()
+    with prof.phase("body"):
+        for t in threads:
+            t.join()
     if errors:
         raise errors[0]
 
-    lvi, exited, spurious = _terminations(outcomes, faults)
+    with prof.phase("reconcile"):
+        lvi, exited, spurious = _terminations(outcomes, faults)
     executed = {k for k, o in outcomes.items() if o == IterOutcome.DONE}
     return ThreadedResult(
         n_iters=lvi,
@@ -300,15 +305,19 @@ def run_threaded_general(
             errors.append(exc)
             issuer.quit_at(0)
 
+    prof = get_profiler()
     threads = [threading.Thread(target=worker) for _ in range(nthreads)]
-    for t in threads:
-        t.start()
-    for t in threads:
-        t.join()
+    with prof.phase("spawn", mode="threads", workers=nthreads):
+        for t in threads:
+            t.start()
+    with prof.phase("body"):
+        for t in threads:
+            t.join()
     if errors:
         raise errors[0]
 
-    lvi, exited, spurious = _terminations(outcomes, faults)
+    with prof.phase("reconcile"):
+        lvi, exited, spurious = _terminations(outcomes, faults)
     executed = {k for k, o in outcomes.items() if o == IterOutcome.DONE}
     return ThreadedResult(n_iters=lvi, exited_in_body=exited,
                           executed=executed,

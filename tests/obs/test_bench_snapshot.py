@@ -1,0 +1,220 @@
+"""Bench snapshot schema, regression comparator, and profile store."""
+
+import json
+
+import pytest
+
+from repro.obs.bench import (
+    BENCH_VERSION,
+    BenchRun,
+    BenchSnapshot,
+    compare_snapshots,
+    default_pr_number,
+    measure_bench,
+    record_bench,
+    render_snapshot,
+)
+from repro.obs.profiles import LoopProfileRecord, ProfileStore, loop_signature
+from repro.workloads.bench import make_doall_bench
+
+
+def _run(**overrides):
+    base = dict(
+        loop="doall-bench", signature="abc123", scheme="doall",
+        backend="procs", workers=2, n=64, work=1000,
+        wall_seq_s=1.0, wall_par_s=0.5, speedup=2.0,
+        sp_pred=1.9, sp_rel_error=-0.05,
+        t_b_pred=10.0, t_d_pred=0.0, t_a_pred=5.0,
+        t_b_meas_s=0.01, t_a_meas_s=0.02, body_s=0.45,
+        correct=True, phases={"spawn": 0.01, "body": 0.45})
+    base.update(overrides)
+    return BenchRun(**base)
+
+
+def _snapshot(runs=None, pr=6):
+    return BenchSnapshot(
+        pr=pr, created="2026-08-08T00:00:00+00:00",
+        machine={"cpus": 2}, runs=runs if runs is not None else [_run()])
+
+
+class TestSchema:
+    def test_round_trip(self, tmp_path):
+        snap = _snapshot()
+        path = snap.save(str(tmp_path / "BENCH_6.json"))
+        loaded = BenchSnapshot.load(path)
+        assert loaded.version == BENCH_VERSION
+        assert loaded.pr == 6
+        assert loaded.runs[0].to_payload() == snap.runs[0].to_payload()
+
+    def test_rejects_wrong_version(self):
+        payload = _snapshot().to_payload()
+        payload["version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            BenchSnapshot.from_payload(payload)
+
+    def test_rejects_empty_runs(self):
+        with pytest.raises(ValueError, match="no runs"):
+            _snapshot(runs=[]).to_payload()
+        with pytest.raises(ValueError, match="no runs"):
+            BenchSnapshot.from_payload(
+                {"version": BENCH_VERSION, "runs": []})
+
+    @pytest.mark.parametrize("field,value", [
+        ("wall_par_s", float("nan")),
+        ("wall_seq_s", float("inf")),
+        ("speedup", -1.0),
+        ("wall_par_s", 0.0),
+        ("sp_pred", float("nan")),
+        ("speedup", True),
+        ("wall_seq_s", "fast"),
+    ])
+    def test_rejects_bad_timings(self, field, value):
+        run = _run()
+        setattr(run, field, value)
+        with pytest.raises(ValueError, match=field):
+            run.to_payload()
+
+    def test_rejects_non_finite_phase(self):
+        run = _run(phases={"body": float("inf")})
+        with pytest.raises(ValueError, match="phases"):
+            run.to_payload()
+
+    def test_from_payload_requires_fields(self):
+        with pytest.raises(ValueError, match="missing"):
+            BenchRun.from_payload({"loop": "x"})
+
+    def test_json_is_plain_builtins(self, tmp_path):
+        path = _snapshot().save(str(tmp_path / "b.json"))
+        with open(path) as fh:
+            data = json.load(fh)
+        assert data["runs"][0]["phases"] == {"body": 0.45, "spawn": 0.01}
+
+
+class TestComparator:
+    def test_verdicts(self):
+        old = _snapshot(runs=[
+            _run(scheme="doall", speedup=2.0),
+            _run(scheme="general-2", speedup=1.0),
+            _run(scheme="general-3", speedup=1.0),
+            _run(scheme="speculative", speedup=1.0),
+        ])
+        new = [
+            _run(scheme="doall", speedup=2.1),        # within tolerance
+            _run(scheme="general-2", speedup=1.5),    # improvement
+            _run(scheme="general-3", speedup=0.5),    # regression
+            # speculative not re-measured -> missing
+            _run(scheme="fresh-cell", speedup=1.0),   # new
+        ]
+        comp = compare_snapshots(old, new, tolerance=0.25)
+        verdicts = {(r.scheme): r.verdict for r in comp.rows}
+        assert verdicts == {"doall": "ok", "general-2": "improvement",
+                            "general-3": "regression",
+                            "speculative": "missing",
+                            "fresh-cell": "new"}
+        assert not comp.ok
+        assert [r.scheme for r in comp.regressions] == ["general-3"]
+        text = comp.render()
+        assert "1 regression(s)" in text and "regression" in text
+
+    def test_all_ok(self):
+        old = _snapshot()
+        comp = compare_snapshots(old, old.runs, tolerance=0.25)
+        assert comp.ok
+        assert comp.rows[0].verdict == "ok"
+        assert comp.rows[0].ratio == pytest.approx(1.0)
+
+    def test_tolerance_validated(self):
+        with pytest.raises(ValueError, match="tolerance"):
+            compare_snapshots(_snapshot(), [], tolerance=1.5)
+
+    def test_boundary_is_inclusive(self):
+        old = _snapshot(runs=[_run(speedup=1.0)])
+        exactly_low = [_run(speedup=0.75)]
+        assert compare_snapshots(
+            old, exactly_low, tolerance=0.25).rows[0].verdict == "ok"
+        below = [_run(speedup=0.74)]
+        assert compare_snapshots(
+            old, below, tolerance=0.25).rows[0].verdict == "regression"
+
+
+class TestDefaultPrNumber:
+    def test_counts_changes_lines(self, tmp_path):
+        (tmp_path / "CHANGES.md").write_text("one\ntwo\n\nthree\n")
+        assert default_pr_number(str(tmp_path)) == 3
+
+    def test_falls_back_to_bench_files_then_one(self, tmp_path):
+        assert default_pr_number(str(tmp_path)) == 1
+        (tmp_path / "BENCH_4.json").write_text("{}")
+        assert default_pr_number(str(tmp_path)) == 5
+
+
+class TestProfileStore:
+    def test_signature_stable_and_body_sensitive(self):
+        a = make_doall_bench(16, 100).loop
+        b = make_doall_bench(16, 100).loop
+        assert loop_signature(a) == loop_signature(b)
+        assert len(loop_signature(a)) == 16
+        c = make_doall_bench(32, 100).loop  # same body, same signature
+        assert loop_signature(a) == loop_signature(c)
+
+    def test_observe_aggregates_and_round_trips(self, tmp_path):
+        store = ProfileStore()
+        store.observe("sig1", scheme="doall", backend="procs", workers=2,
+                      wall_s=1.0, speedup=1.0, phases={"body": 0.8})
+        store.observe("sig1", scheme="doall", backend="procs", workers=2,
+                      wall_s=3.0, speedup=2.0, phases={"body": 1.2})
+        store.observe("sig1", scheme="general-3", backend="procs",
+                      workers=2, wall_s=0.5, speedup=3.0)
+        assert len(store) == 2
+        rec = store.for_loop("sig1", "procs")[0]
+        assert rec.runs == 2
+        assert rec.wall_s == pytest.approx(2.0)
+        assert rec.phases["body"] == pytest.approx(1.0)
+        assert store.best_scheme("sig1", "procs") == "general-3"
+        assert store.best_scheme("sig1", "threads") is None
+
+        path = store.save(str(tmp_path / "profiles.json"))
+        loaded = ProfileStore.load(path)
+        assert len(loaded) == 2
+        assert loaded.records()[0].to_payload() == \
+            store.records()[0].to_payload()
+
+    def test_load_missing_file_is_empty(self, tmp_path):
+        assert len(ProfileStore.load(str(tmp_path / "nope.json"))) == 0
+
+    def test_record_payload_round_trip(self):
+        rec = LoopProfileRecord("s", "loop", "doall", "procs", 2,
+                                runs=3, wall_s=1.5, speedup=2.5,
+                                phases={"body": 1.0})
+        assert LoopProfileRecord.from_payload(
+            rec.to_payload()).to_payload() == rec.to_payload()
+
+
+class TestRecordBench:
+    def test_record_bench_smoke(self, tmp_path):
+        snap, path = record_bench(
+            repo_root=str(tmp_path), pr=6, n=8, work=200, workers=2,
+            backends=("threads",), schemes=("doall",), repeats=1)
+        assert path.endswith("BENCH_6.json")
+        loaded = BenchSnapshot.load(path)
+        assert [r.key for r in loaded.runs] == \
+            [("doall-bench", "doall", "threads", 2)]
+        run = loaded.runs[0]
+        assert run.correct
+        assert run.phases and all(v >= 0 for v in run.phases.values())
+        assert run.signature == loop_signature(
+            make_doall_bench(8, 200).loop)
+        assert "doall" in render_snapshot(loaded)
+
+        profiles = ProfileStore.load(str(tmp_path / "BENCH_PROFILES.json"))
+        assert profiles.best_scheme(run.signature, "threads") == "doall"
+
+        # the comparator sees the identical measurement as non-regressed
+        fresh = measure_bench(n=8, work=200, workers=2,
+                              backends=("threads",), schemes=("doall",),
+                              repeats=1)
+        assert compare_snapshots(loaded, fresh, tolerance=0.9).ok
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError, match="unknown bench scheme"):
+            measure_bench(schemes=("warp-drive",))

@@ -1,0 +1,239 @@
+"""PhaseProfiler unit tests plus real-backend integration checks."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.loopinfo import analyze_loop
+from repro.ir.functions import FunctionTable
+from repro.ir.nodes import ArrayAssign, Assign, Const, Var, WhileLoop, le_
+from repro.ir.store import Store
+from repro.obs import names
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.phases import (
+    NULL_PROFILER,
+    PHASES,
+    PhaseProfiler,
+    get_profiler,
+    profiling,
+    set_profiler,
+)
+from repro.obs.sinks import MemorySink
+from repro.obs.tracer import Tracer, tracing
+from repro.runtime.costs import breakdown_from_phases
+from repro.runtime.procs import run_parallel_real
+
+
+class FakeClock:
+    """Deterministic ns clock advancing a fixed step per reading."""
+
+    def __init__(self, step_ns=1_000_000):
+        self.now = 0
+        self.step = step_ns
+
+    def __call__(self):
+        self.now += self.step
+        return self.now
+
+
+def _doall_loop(n=12):
+    loop = WhileLoop(
+        [Assign("i", Const(1))],
+        le_(Var("i"), Var("n")),
+        [ArrayAssign("out", Var("i"), Var("i") * Const(3)),
+         Assign("i", Var("i") + 1)],
+        name="phases-doall")
+    store = Store({"out": np.zeros(n + 2), "n": n, "i": 0})
+    return loop, store
+
+
+class TestProfilerUnit:
+    def test_null_profiler_is_default_and_free(self):
+        prof = get_profiler()
+        assert prof is NULL_PROFILER
+        assert not prof.enabled
+        cm = prof.phase("body")
+        # the disabled path hands back one shared no-op CM: no clock
+        # read, no allocation, no recorded span
+        assert cm is prof.phase("spawn")
+        with cm:
+            pass
+        assert prof.spans == []
+        prof.record("body", 0, 10)
+        assert prof.spans == []
+
+    def test_nesting_records_parent_and_totals_skip_children(self):
+        clk = FakeClock()
+        prof = PhaseProfiler(clock=clk)
+        with prof.phase("shm-setup"):
+            with prof.phase("shm-export"):
+                pass
+        with prof.phase("body"):
+            pass
+        by_name = {s.name: s for s in prof.spans}
+        assert by_name["shm-export"].parent == "shm-setup"
+        assert by_name["shm-setup"].parent is None
+        assert by_name["body"].parent is None
+        totals = prof.totals_s()
+        # the child's time is inside the parent's span; summing only
+        # canonical names must not double-count it
+        canonical = sum(totals.get(p, 0.0) for p in PHASES)
+        assert canonical < sum(totals.values())
+        assert totals["shm-setup"] > totals["shm-export"] > 0
+
+    def test_mark_slices_run_local_totals(self):
+        prof = PhaseProfiler(clock=FakeClock())
+        with prof.phase("body"):
+            pass
+        mark = prof.mark()
+        with prof.phase("spawn"):
+            pass
+        assert set(prof.totals_s(since=mark)) == {"spawn"}
+        assert set(prof.totals_s()) == {"body", "spawn"}
+
+    def test_profiling_context_restores_previous(self):
+        assert get_profiler() is NULL_PROFILER
+        with profiling() as prof:
+            assert get_profiler() is prof
+            assert prof.enabled
+            with profiling(PhaseProfiler()) as inner:
+                assert get_profiler() is inner
+            assert get_profiler() is prof
+        assert get_profiler() is NULL_PROFILER
+
+    def test_set_profiler_none_reinstalls_null(self):
+        set_profiler(PhaseProfiler())
+        try:
+            assert get_profiler() is not NULL_PROFILER
+        finally:
+            set_profiler(None)
+        assert get_profiler() is NULL_PROFILER
+
+    def test_flush_to_tracer_emits_spans_and_histograms(self):
+        prof = PhaseProfiler(clock=FakeClock(step_ns=2_000_000))
+        with prof.phase("spawn", workers=2):
+            pass
+        tracer = Tracer(MemorySink())
+        flushed = prof.flush_to_tracer(tracer, t0_ns=0)
+        assert flushed == 1
+        (span,) = tracer.sink.spans
+        assert span.name == "phase.spawn"
+        assert span.end - span.start == 2_000  # 2ms in µs
+        assert dict(span.attrs)["workers"] == 2
+        hist = tracer.metrics.histogram(names.phase_metric("spawn"))
+        assert hist.count == 1
+        assert hist.total == pytest.approx(0.002)
+
+    def test_flush_to_disabled_tracer_is_noop(self):
+        prof = PhaseProfiler(clock=FakeClock())
+        with prof.phase("body"):
+            pass
+        from repro.obs.tracer import NULL_TRACER
+        assert prof.flush_to_tracer(NULL_TRACER, t0_ns=0) == 0
+
+    def test_exception_still_closes_span(self):
+        prof = PhaseProfiler(clock=FakeClock())
+        with pytest.raises(RuntimeError):
+            with prof.phase("quarantine"):
+                raise RuntimeError("boom")
+        assert [s.name for s in prof.spans] == ["quarantine"]
+        assert prof._stack == []
+
+
+class TestMetricsDumpMerge:
+    def test_dump_merge_round_trip(self):
+        a = MetricsRegistry()
+        a.counter("exec.iters.executed").inc(5)
+        a.gauge("g").set(7.0)
+        a.histogram("h").observe(1.0)
+        a.histogram("h").observe(3.0)
+
+        b = MetricsRegistry()
+        b.counter("exec.iters.executed").inc(2)
+        b.merge_dump(a.dump())
+        assert b.counter("exec.iters.executed").value == 7
+        assert b.gauge("g").value == 7.0
+        assert b.histogram("h").count == 2
+        assert b.histogram("h").total == pytest.approx(4.0)
+
+    def test_merge_dump_tolerates_empty(self):
+        reg = MetricsRegistry()
+        reg.merge_dump({})
+        reg.merge_dump({"counters": {}, "gauges": {}, "histograms": {}})
+        assert reg.snapshot() == {}
+
+
+class TestBreakdownFromPhases:
+    def test_partition_and_no_double_count(self):
+        bd = breakdown_from_phases({
+            "spawn": 0.1, "shm-setup": 0.2, "shm-export": 0.15,
+            "body": 1.0, "pd-merge": 0.05, "reconcile": 0.03,
+        })
+        # shm-export nests inside shm-setup and must not be added again
+        assert bd.t_b_s == pytest.approx(0.3)
+        assert bd.t_a_s == pytest.approx(0.08)
+        assert bd.t_d_s == 0.0
+        assert bd.body_s == pytest.approx(1.0)
+        assert bd.overhead_s == pytest.approx(0.38)
+
+    def test_empty_phases(self):
+        bd = breakdown_from_phases({})
+        assert bd.overhead_s == 0.0 and bd.body_s == 0.0
+
+
+@pytest.mark.parametrize("mode", ["threads", "procs"])
+class TestRealBackendPhases:
+    def test_stats_carry_phase_breakdown(self, mode):
+        loop, store = _doall_loop()
+        info = analyze_loop(loop, FunctionTable())
+        with profiling() as prof:
+            res = run_parallel_real(info, store, FunctionTable(),
+                                    mode=mode, scheme="doall",
+                                    workers=2, u=16)
+        phases = res.stats["phases"]
+        assert {"spawn", "body"} <= set(phases)
+        assert all(v >= 0.0 for v in phases.values())
+        # the run-local slice in stats matches the profiler's own tail
+        assert set(phases) <= set(prof.totals_s())
+
+    def test_disabled_profiler_means_empty_phases(self, mode):
+        loop, store = _doall_loop()
+        info = analyze_loop(loop, FunctionTable())
+        res = run_parallel_real(info, store, FunctionTable(),
+                                mode=mode, scheme="doall",
+                                workers=2, u=16)
+        assert res.stats["phases"] == {}
+
+
+class TestWorkerObsPropagation:
+    def test_procs_workers_ship_spans_and_counters(self):
+        loop, store = _doall_loop(n=16)
+        info = analyze_loop(loop, FunctionTable())
+        with tracing(MemorySink()) as trc:
+            res = run_parallel_real(info, store, FunctionTable(),
+                                    mode="procs", scheme="doall",
+                                    workers=2, u=20)
+            assert res.n_iters == 16
+            worker_bodies = [s for s in trc.sink.spans
+                             if s.name == "phase.body" and s.pid >= 0]
+            merged = trc.metrics.counter(names.M_WORKER_OBS_MERGED).value
+            executed = trc.metrics.counter(names.M_EXECUTED).value
+        assert worker_bodies, "no worker-side phase.body spans merged"
+        assert merged >= 1
+        assert executed >= 16
+        # parent-side phases land in the same trace
+        parent_names = {s.name for s in trc.sink.spans if s.pid < 0}
+        assert "phase.spawn" in parent_names
+        assert "phase.body" in parent_names
+
+    def test_threads_share_parent_tracer_directly(self):
+        loop, store = _doall_loop(n=10)
+        info = analyze_loop(loop, FunctionTable())
+        with tracing(MemorySink()) as trc:
+            run_parallel_real(info, store, FunctionTable(),
+                              mode="threads", scheme="doall",
+                              workers=2, u=14)
+            executed = trc.metrics.counter(names.M_EXECUTED).value
+            merged = trc.metrics.counter(names.M_WORKER_OBS_MERGED).value
+        assert executed >= 10
+        # no cross-process payloads on the threads backend
+        assert merged == 0
