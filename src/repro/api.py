@@ -80,6 +80,7 @@ def parallelize(
     fault_plan=None,
     strict_exceptions: bool = False,
     partial_restart: bool = True,
+    kernels: str = "auto",
 ) -> Outcome:
     """Analyze, plan, execute, and (optionally) verify one loop.
 
@@ -134,6 +135,14 @@ def parallelize(
         prefix and continue sequentially from there instead of
         re-executing the whole loop (``False`` restores the pre-PR-4
         full Section-5 restart).
+    kernels:
+        Real backends only: the vectorized kernel tier
+        (:mod:`repro.kernels`).  ``"auto"`` (default) runs vectorizable
+        loops as one NumPy batch and silently falls back to the
+        interpreted executors otherwise; ``"off"`` disables the tier;
+        ``"force"`` raises :class:`PlanError` on any fallback.  The sim
+        backend ignores ``"auto"``/``"off"`` (virtual-time runs measure
+        the interpreted schemes by design) and rejects ``"force"``.
 
     Raises
     ------
@@ -152,6 +161,14 @@ def parallelize(
             "resilience/fault_plan apply to real backends only — the "
             "sim backend has no workers to crash; rerun with "
             "backend='threads' or backend='procs'")
+    if kernels not in ("auto", "off", "force"):
+        raise PlanError(f"unknown kernels mode {kernels!r}; expected "
+                        f"'auto', 'off', or 'force'")
+    if backend == "sim" and kernels == "force":
+        raise PlanError(
+            "kernels='force' needs a real backend — the sim backend "
+            "measures the interpreted schemes in virtual time; rerun "
+            "with backend='threads' or backend='procs'")
 
     reference: Optional[Store] = None
     t_seq: Optional[int] = None
@@ -186,6 +203,7 @@ def parallelize(
             resilience=resilience, fault_plan=fault_plan,
             strict_exceptions=strict_exceptions,
             partial_restart=partial_restart,
+            kernels=kernels,
             **kwargs)
 
     try:

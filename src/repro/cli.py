@@ -58,6 +58,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -231,7 +232,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             min_speedup=args.min_speedup,
             resilience=args.resilience or None, fault_plan=fault_plan,
             strict_exceptions=args.strict_exceptions,
-            partial_restart=not args.no_partial_restart)
+            partial_restart=not args.no_partial_restart,
+            kernels=args.kernels)
     except ExceptionDivergence as exc:
         # The strict audit's verdict, not a program exception: report
         # it as a diagnostic (program exceptions still raise as-is —
@@ -343,6 +345,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         max_real=args.max_real,
         corpus_dir=args.corpus,
         artifacts_dir=args.artifacts,
+        kernels=not args.no_kernels,
     )
     report = run_campaign(config, log=print)
     print(report.summary())
@@ -360,6 +363,40 @@ def _emit_bench(args: argparse.Namespace, text: str, payload) -> None:
         with open(args.out, "w", encoding="utf-8") as fh:
             fh.write(body + "\n")
         print(f"\nwrote {args.format} report to {args.out}")
+
+
+def _bench_step_summary(comp) -> None:
+    """Append the --against verdict table to ``$GITHUB_STEP_SUMMARY``.
+
+    CI treats machine-relative bench comparisons as advisory (runner
+    wall time is too noisy to gate a merge on), so the exit code is
+    swallowed there — this makes the verdict visible in the job
+    summary instead of buried in the log.  A no-op outside Actions.
+    """
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+    lines = [
+        f"### bench vs BENCH_{comp.baseline_pr} "
+        f"({'ok' if comp.ok else 'REGRESSED'}, "
+        f"tolerance {comp.tolerance:.0%})",
+        "",
+        "| loop | scheme | backend | old | new | ratio | verdict |",
+        "| --- | --- | --- | ---: | ---: | ---: | --- |",
+    ]
+    for r in comp.rows:
+        old = f"{r.old_speedup:.3f}" if r.old_speedup else "-"
+        new = f"{r.new_speedup:.3f}" if r.new_speedup else "-"
+        ratio = f"{r.ratio:.3f}" if r.ratio else "-"
+        mark = {"regression": "❌ regression", "missing": "❌ missing",
+                "improvement": "✅ improvement"}.get(r.verdict, r.verdict)
+        lines.append(f"| {r.loop} | {r.scheme} | {r.backend} | "
+                     f"{old} | {new} | {ratio} | {mark} |")
+    try:
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write("\n".join(lines) + "\n\n")
+    except OSError:
+        pass
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -387,7 +424,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         snap, path = record_bench(
             pr=args.pr, n=args.n or 64, work=args.work or 20_000,
             workers=args.workers, backends=tuple(args.backends),
-            schemes=args.schemes, repeats=args.repeats)
+            schemes=args.schemes, repeats=args.repeats,
+            kernels=not args.no_kernels)
         _emit_bench(args, render_snapshot(snap), snap.to_payload())
         print(f"\nwrote snapshot to {path}")
         return 1 if any(not r.correct for r in snap.runs) else 0
@@ -399,7 +437,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             n=args.n or ref.n or 64,
             work=args.work or ref.work or 20_000,
             workers=args.workers, backends=tuple(args.backends),
-            schemes=args.schemes, repeats=args.repeats)
+            schemes=args.schemes, repeats=args.repeats,
+            kernels=not args.no_kernels)
         comp = compare_snapshots(baseline, runs,
                                  tolerance=args.tolerance)
         payload = {
@@ -409,6 +448,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             "rows": [vars(r) for r in comp.rows],
         }
         _emit_bench(args, comp.render(), payload)
+        _bench_step_summary(comp)
         return 0 if comp.ok else 1
 
     report = compare_backends(
@@ -563,6 +603,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                       help="real backends: disable committed-prefix "
                       "salvage; genuine faults re-execute the whole "
                       "loop sequentially (the classic full restart)")
+    p_rn.add_argument("--kernels", choices=("auto", "off", "force"),
+                      default="auto",
+                      help="vectorized kernel tier on real backends: "
+                      "auto (default) tries the NumPy batch kernel "
+                      "and falls back to the interpreted executors, "
+                      "off disables it, force errors on any fallback")
     p_rn.add_argument("--json", action="store_true")
     p_rn.set_defaults(fn=_cmd_run)
 
@@ -610,6 +656,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                                "speculative"),
                       help="schemes to measure with "
                       "--record/--against (default: all four)")
+    p_bn.add_argument("--no-kernels", action="store_true",
+                      help="skip the vectorized kernel-tier rows in "
+                      "--record/--against measurements")
     p_bn.set_defaults(fn=_cmd_bench)
 
     p_ch = sub.add_parser(
@@ -658,6 +707,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_fz.add_argument("--replay", default=None, metavar="DIR",
                       help="replay a corpus directory instead of "
                       "generating (exit 1 on any failure)")
+    p_fz.add_argument("--no-kernels", action="store_true",
+                      help="skip the vectorized kernel-tier "
+                      "differential cell")
     p_fz.set_defaults(fn=_cmd_fuzz)
 
     p_tx = sub.add_parser("taxonomy", help="print Table 1")

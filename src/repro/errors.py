@@ -35,6 +35,31 @@ class ExecutionError(ReproError):
     """A runtime executor detected an internal inconsistency."""
 
 
+class KernelFallback(ReproError):
+    """The vectorized kernel tier declined a loop (or a batch).
+
+    Raised by :mod:`repro.kernels` either at *lowering* time (the loop
+    contains a construct the tier cannot vectorize: an ``Exit`` site, a
+    remainder-variant terminator, a loop-carried scalar, an opaque
+    intrinsic without a ``vector_impl``) or at *execution* time when a
+    dynamic pre-commit check fails (an out-of-bounds subscript, a zero
+    divisor, duplicate write indices, an int64 magnitude that could
+    diverge from Python's arbitrary-precision arithmetic, a failed
+    vectorized PD verdict).
+
+    The contract is that the store is **untouched** when this raises:
+    every dynamic check runs before the batched writes are applied, so
+    the backend dispatcher can fall through to the interpreted path and
+    reproduce exact sequential semantics — including the iteration at
+    which an exception would have fired.  ``reason`` is a stable,
+    human-readable classification used in stats and tests.
+    """
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
 class SpeculationFailed(ReproError):
     """Raised internally when a speculative parallel execution must be
     abandoned (PD-test failure or a runtime exception inside an iteration).

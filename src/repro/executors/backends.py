@@ -40,6 +40,16 @@ Units caveat: sim results carry virtual *cycles* in ``t_par``; real
 backends carry wall-clock *nanoseconds* (and set
 :attr:`ParallelResult.wall_s`).  Never compare times across backends —
 compare *speedups* (see ``docs/backends.md``).
+
+On top of the backend choice sits the **kernel tier**
+(:mod:`repro.kernels`): when ``kernels="auto"`` (the default) and the
+run is a plain real-backend execution — no supervision, no fault
+injection — the tier first tries to run the whole loop as one
+vectorized NumPy batch.  On any :class:`~repro.errors.KernelFallback`
+(structural or dynamic) the store is untouched and execution falls
+through to the interpreted path below, so the tier is semantically
+invisible; ``kernels="force"`` turns a fallback into a
+:class:`PlanError` for tests, ``kernels="off"`` skips the tier.
 """
 
 from __future__ import annotations
@@ -56,13 +66,16 @@ from repro.ir.store import Store
 from repro.runtime.costs import FREE
 from repro.runtime.machine import Machine
 
-__all__ = ["BACKENDS", "REAL_BACKENDS", "real_scheme_for",
-           "run_plan_on_backend", "run_sequential_wall"]
+__all__ = ["BACKENDS", "REAL_BACKENDS", "KERNEL_MODES",
+           "real_scheme_for", "run_plan_on_backend",
+           "run_sequential_wall"]
 
 #: Every selectable backend, in documentation order.
 BACKENDS: Tuple[str, ...] = ("sim", "threads", "procs")
 #: Backends executed by :mod:`repro.runtime.procs`.
 REAL_BACKENDS: Tuple[str, ...] = ("threads", "procs")
+#: Valid ``kernels=`` arguments for the vectorized tier.
+KERNEL_MODES: Tuple[str, ...] = ("auto", "off", "force")
 
 
 def real_scheme_for(plan_scheme: str, info) -> Tuple[str, bool]:
@@ -124,6 +137,7 @@ def run_plan_on_backend(
     fault_plan=None,
     strict_exceptions: bool = False,
     partial_restart: bool = True,
+    kernels: str = "auto",
 ) -> ParallelResult:
     """Execute ``plan`` on a *real* backend (``threads`` or ``procs``).
 
@@ -147,6 +161,13 @@ def run_plan_on_backend(
     committed prefix on a genuine fault, forcing the pre-PR-4 full
     sequential re-execution.
 
+    ``kernels`` selects the vectorized tier: ``"auto"`` tries the
+    batch kernel and falls through to the interpreted path on any
+    :class:`~repro.errors.KernelFallback`; ``"off"`` skips the tier;
+    ``"force"`` raises :class:`PlanError` instead of falling back
+    (including when the run shape — supervision, fault injection —
+    makes the tier ineligible).
+
     Raises :class:`PlanError` when no iteration bound is inferable and
     no ``strip`` was given (same contract as the sim executors, so
     :func:`repro.api.parallelize` retries identically), or when the
@@ -156,8 +177,16 @@ def run_plan_on_backend(
         raise PlanError(
             f"unknown real backend {backend!r}; expected one of "
             f"{REAL_BACKENDS} (use execute_plan for 'sim')")
+    if kernels not in KERNEL_MODES:
+        raise PlanError(
+            f"unknown kernels mode {kernels!r}; expected one of "
+            f"{KERNEL_MODES}")
     info = plan.info
     if plan.scheme == "sequential":
+        if kernels == "force":
+            raise PlanError(
+                "kernels='force' but the planner chose the sequential "
+                "scheme; the kernel tier only replaces parallel plans")
         return run_sequential_wall(info.loop, funcs, store)
 
     real_scheme, speculative = real_scheme_for(plan.scheme, info)
@@ -171,6 +200,36 @@ def run_plan_on_backend(
 
     supervise = (resilience is not None and resilience is not False) \
         or (fault_plan is not None and resilience is not False)
+
+    if kernels != "off":
+        # The tier handles plain executions only: a supervised run's
+        # containment contract and an injected fault plan both demand
+        # per-iteration machinery a batch cannot honour.
+        if supervise or fault_plan is not None:
+            if kernels == "force":
+                raise PlanError(
+                    "kernels='force' is incompatible with resilience "
+                    "supervision / fault injection; the kernel tier "
+                    "runs plain executions only")
+        else:
+            from repro.errors import KernelFallback
+            from repro.kernels import run_kernel
+            from repro.obs import names as _n
+            from repro.obs.tracer import get_tracer
+            try:
+                return run_kernel(info, store, funcs, backend=backend,
+                                  workers=workers, machine=machine,
+                                  u=u, plan_scheme=plan.scheme)
+            except KernelFallback as exc:
+                trc = get_tracer()
+                trc.count(_n.M_KERNEL_FALLBACKS)
+                trc.event(_n.EV_KERNEL_FALLBACK, 0,
+                          loop=info.loop.name, reason=exc.reason)
+                if kernels == "force":
+                    raise PlanError(
+                        f"kernels='force' but the kernel tier declined "
+                        f"the loop: {exc.reason}") from exc
+
     if supervise:
         from repro.runtime.supervisor import (ResiliencePolicy,
                                               run_supervised)

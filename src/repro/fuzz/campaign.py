@@ -71,6 +71,7 @@ class FuzzConfig:
     shrink_tries: int = 120          #: oracle runs per shrink
     corpus_dir: Optional[str] = None     #: persist shrunk finds here
     artifacts_dir: Optional[str] = None  #: write repro scripts here
+    kernels: bool = True             #: also run the kernel-tier cell
 
 
 @dataclass
@@ -182,7 +183,7 @@ def run_campaign(config: FuzzConfig,
         if run_real:
             backends += real_backends
             report.real_draws += 1
-        if not backends:
+        if not backends and not config.kernels:
             continue
 
         fault_plan = None
@@ -195,7 +196,8 @@ def run_campaign(config: FuzzConfig,
             return check_program(
                 p, backends=_bk, workers=config.workers,
                 fault_plan=_fp, resilience=config.resilience,
-                strict_exceptions=config.strict_exceptions)
+                strict_exceptions=config.strict_exceptions,
+                kernels=config.kernels)
 
         verdict = run_oracle(prog)
         report.checks += verdict.checks

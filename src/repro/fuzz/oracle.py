@@ -11,7 +11,11 @@ program through:
 * the planner-chosen scheme on each requested *real* backend
   (``threads`` / ``procs``), via :func:`repro.api.parallelize`,
   optionally under an injected :class:`~repro.runtime.faults.FaultPlan`
-  with or without the fault-tolerant supervisor.
+  with or without the fault-tolerant supervisor;
+* the vectorized kernel tier (:mod:`repro.kernels`), once per program
+  — either it falls back (a skip) or its batch execution must match
+  ground truth bit for bit, and it must *never* complete a program
+  whose sequential run raises.
 
 Every divergence from ground truth becomes a structured
 :class:`Discrepancy`; a clean verdict means the paper's equivalence
@@ -21,10 +25,12 @@ claim held for this draw across the whole matrix.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from repro.api import parallelize
-from repro.errors import RealBackendError, ReproError
+from repro.errors import KernelFallback, RealBackendError, ReproError
+from repro.executors.sequential import ensure_info
+from repro.kernels import run_kernel
 from repro.ir.functions import FunctionTable
 from repro.ir.interp import SequentialInterp
 from repro.ir.store import Store
@@ -139,7 +145,7 @@ def _check_real(prog: GeneratedProgram, truth: _SeqTruth, backend: str,
             verify=False, u=prog.u, min_speedup=0.0,
             backend=backend, workers=workers,
             resilience=resilience, fault_plan=fault_plan,
-            strict_exceptions=strict_exceptions)
+            strict_exceptions=strict_exceptions, kernels="off")
         scheme = out.plan.scheme
     except Exception as exc:
         _judge_exception(prog, truth, backend, scheme, exc, store, verdict)
@@ -165,6 +171,62 @@ def _check_real(prog: GeneratedProgram, truth: _SeqTruth, backend: str,
         verdict.discrepancies.append(Discrepancy(
             "exit-mismatch", backend, scheme,
             f"parallel exited_in_body={out.result.exited_in_body}, "
+            f"sequential={truth.exited_in_body}",
+            prog.seed, prog.cell))
+
+
+def _check_kernel(prog: GeneratedProgram, truth: _SeqTruth,
+                  funcs: FunctionTable, verdict: OracleVerdict, *,
+                  workers: int) -> None:
+    """Run the vectorized kernel tier (:mod:`repro.kernels`) as its own
+    differential cell.
+
+    The tier is backend-independent (one NumPy batch in the calling
+    process), so one run per program covers it.  A
+    :class:`~repro.errors.KernelFallback` is the tier declining the
+    program — recorded as a skip, never a discrepancy — but a kernel
+    run that *completes* on a program whose sequential truth raises is
+    a containment violation: the tier's hazard pre-checks must divert
+    every raising program back to the interpreter.
+    """
+    try:
+        info = ensure_info(prog.loop, funcs)
+    except ReproError as exc:
+        verdict.skipped.append(f"kernel: analysis refused ({exc})")
+        return
+    store = prog.make_store()
+    verdict.checks += 1
+    try:
+        result = run_kernel(info, store, funcs, workers=workers, u=prog.u)
+    except KernelFallback as exc:
+        verdict.checks -= 1
+        verdict.skipped.append(f"kernel: {exc.reason}")
+        return
+    except Exception as exc:
+        _judge_exception(prog, truth, "kernel", "kernel", exc, store,
+                         verdict)
+        return
+    if truth.raises is not None:
+        verdict.discrepancies.append(Discrepancy(
+            "exception-missing", "kernel", result.scheme,
+            f"sequential raises {truth.raises}, kernel run completed "
+            f"cleanly instead of falling back", prog.seed, prog.cell))
+        return
+    if not store.equals(truth.store):
+        diff = "; ".join(f"{k}: {v}"
+                         for k, v in sorted(store.diff(truth.store).items()))
+        verdict.discrepancies.append(Discrepancy(
+            "store-mismatch", "kernel", result.scheme,
+            diff or "stores differ", prog.seed, prog.cell))
+    if result.n_iters != truth.n_iters:
+        verdict.discrepancies.append(Discrepancy(
+            "iters-mismatch", "kernel", result.scheme,
+            f"lvi={result.n_iters} != seq={truth.n_iters}",
+            prog.seed, prog.cell))
+    if bool(result.exited_in_body) != bool(truth.exited_in_body):
+        verdict.discrepancies.append(Discrepancy(
+            "exit-mismatch", "kernel", result.scheme,
+            f"kernel exited_in_body={result.exited_in_body}, "
             f"sequential={truth.exited_in_body}",
             prog.seed, prog.cell))
 
@@ -215,6 +277,7 @@ def check_program(
     resilience=True,
     strict_exceptions: bool = False,
     funcs: Optional[FunctionTable] = None,
+    kernels: bool = True,
 ) -> OracleVerdict:
     """Differentially test one program across the requested matrix.
 
@@ -242,6 +305,13 @@ def check_program(
     funcs:
         Intrinsics (fuzzed programs never need any; corpus replays of
         wild bugs might).
+    kernels:
+        Also run the vectorized kernel tier (:mod:`repro.kernels`) as
+        its own differential cell — once per program, since the tier is
+        backend-independent.  Real-backend ``parallelize`` cells always
+        pin ``kernels="off"`` so the interpreted executors stay under
+        test either way.  Skipped when a fault plan is active (the
+        tier has no workers to fault).
 
     Returns
     -------
@@ -283,4 +353,9 @@ def check_program(
                         strict_exceptions=strict_exceptions)
         else:
             raise ValueError(f"unknown backend {backend!r}")
+    if kernels:
+        if faulted:
+            verdict.skipped.append("kernel: fault plans need real workers")
+        else:
+            _check_kernel(prog, truth, funcs, verdict, workers=workers)
     return verdict

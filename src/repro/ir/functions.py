@@ -14,7 +14,7 @@ observe every memory access even inside opaque work functions.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.errors import IRError
 
@@ -53,6 +53,15 @@ class Intrinsic:
         Names of store arrays the implementation may *write* (through
         ``ctx.write``).  An undeclared write is a workload bug; the
         analyses assume the declarations are conservative.
+    vector_impl:
+        Optional batched form for the kernel tier
+        (:mod:`repro.kernels`): ``vector_impl(store, *arg_vectors) ->
+        ndarray`` evaluates the intrinsic for a whole iteration batch
+        at once, where each argument is a NumPy vector with one element
+        per iteration.  It must be read-only, raise-free wherever
+        ``impl`` is, and elementwise-equal to calling ``impl`` per
+        iteration; a ``Call`` to an intrinsic without one simply makes
+        the loop fall back to the interpreter.
     """
 
     name: str
@@ -61,6 +70,7 @@ class Intrinsic:
     pure: bool = True
     reads: Tuple[str, ...] = ()
     writes: Tuple[str, ...] = ()
+    vector_impl: Optional[Callable[..., Any]] = None
 
     def cost_of(self, args: Tuple[Any, ...]) -> int:
         """Cycle cost of one call with the given argument values."""
@@ -86,6 +96,7 @@ class FunctionTable:
         pure: bool = True,
         reads: Tuple[str, ...] = (),
         writes: Tuple[str, ...] = (),
+        vector_impl: Optional[Callable[..., Any]] = None,
     ) -> Intrinsic:
         """Register ``impl`` under ``name``; returns the entry.
 
@@ -95,7 +106,7 @@ class FunctionTable:
         if name in self._fns:
             raise IRError(f"intrinsic {name!r} already registered")
         entry = Intrinsic(name, impl, cost, pure,
-                          tuple(reads), tuple(writes))
+                          tuple(reads), tuple(writes), vector_impl)
         self._fns[name] = entry
         return entry
 

@@ -1,0 +1,42 @@
+"""``repro.kernels`` — the vectorized codegen tier for hot loop bodies.
+
+The interpreter (:mod:`repro.ir.interp`) is the framework's semantic
+ground truth, but it executes every iteration body as a walk over
+Python closures, and the real backends pay per-chunk IPC on top.  For
+the loops the paper parallelizes *best* — element-wise remainders over
+an Induction-1/2 or associative dispatcher — the whole execution is
+expressible as a handful of NumPy batch operations:
+
+* a **closed-form dispatcher vector** (``d0 + step·k`` for inductions,
+  a ``cumprod``/``cumsum`` prefix scan for affine recurrences) replaces
+  the per-iteration dispatcher walk;
+* a **batched remainder** evaluates each statement once over the whole
+  iteration range instead of once per iteration;
+* a **vectorized PD test** turns the per-access shadow walk into a few
+  ``np.minimum.at`` scatters and boolean reductions feeding the same
+  :func:`~repro.speculation.pdtest.analyze_pd` verdict.
+
+The tier is strictly opportunistic: :func:`lower_loop` classifies a
+loop as vectorizable or not, and :func:`run_kernel` re-checks every
+dynamic hazard (bounds, zero divisors, duplicate write indices, int64
+magnitude) *before* mutating the store, raising
+:class:`~repro.errors.KernelFallback` so the caller can fall through
+to the interpreted path with identical semantics.  Lowered kernels are
+cached by the IR content hash of
+:func:`~repro.obs.profiles.loop_signature`.
+
+See ``docs/kernels.md`` for the lowering rules and the tier-selection
+flow through :func:`repro.executors.backends.run_plan_on_backend`.
+"""
+
+from repro.kernels.cache import KernelCache, kernel_cache
+from repro.kernels.lowering import LoweredKernel, lower_loop
+from repro.kernels.runner import run_kernel
+from repro.kernels.vector_pd import KernelShadows, vectorized_pd_shadows
+
+__all__ = [
+    "KernelCache", "kernel_cache",
+    "LoweredKernel", "lower_loop",
+    "run_kernel",
+    "KernelShadows", "vectorized_pd_shadows",
+]

@@ -1,0 +1,124 @@
+"""Compiled-kernel cache keyed by the IR content hash.
+
+Lowering (:func:`~repro.kernels.lowering.lower_loop`) is a pure
+function of the loop's *structure* plus the intrinsic table's
+capabilities, so its outcome — a staged :class:`LoweredKernel` *or* a
+stable fallback reason — can be memoized.  The key reuses the exact
+content hash the profile store already computes
+(:func:`~repro.obs.profiles.loop_signature`), extended with a
+fingerprint of the intrinsic table (which functions carry a
+``vector_impl``, which are pure/write-free) so two tables that admit
+different loops never share an entry.
+
+Only *structural* verdicts are cached.  Dynamic fallbacks the runner
+raises per batch (bounds, zero divisors, write collisions, magnitude
+guards) depend on the store contents and are never memoized.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Tuple, Union
+
+from repro.analysis.loopinfo import LoopInfo
+from repro.errors import KernelFallback
+from repro.ir.functions import FunctionTable
+from repro.kernels.lowering import LoweredKernel, lower_loop
+
+__all__ = ["KernelCache", "kernel_cache", "reset_kernel_cache"]
+
+#: A cache entry: the staged kernel, or the stable reason lowering
+#: declined the loop (replayed as a fresh :class:`KernelFallback`).
+_Entry = Union[LoweredKernel, str]
+
+
+def _funcs_fingerprint(funcs: FunctionTable) -> Tuple:
+    """Hashable summary of the capabilities lowering consults."""
+    items = []
+    for name in sorted(funcs.names()):
+        intr = funcs[name]
+        items.append((name, intr.pure, intr.vector_impl is not None,
+                      tuple(intr.writes), tuple(intr.reads)))
+    return tuple(items)
+
+
+class KernelCache:
+    """LRU map from ``(loop hash, funcs fingerprint)`` to verdicts.
+
+    ``hits``/``misses`` count :meth:`lower` lookups; a *negative* hit
+    (a cached fallback reason) still counts as a hit — the point is
+    skipping the classification walk either way.
+    """
+
+    def __init__(self, maxsize: int = 256) -> None:
+        self.maxsize = int(maxsize)
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[Tuple, _Entry]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lower(self, info: LoopInfo, funcs: FunctionTable) -> LoweredKernel:
+        """Cached :func:`lower_loop`.
+
+        Returns the staged kernel or raises :class:`KernelFallback`,
+        exactly like the uncached pass; the verdict — positive or
+        negative — is memoized under the loop's content hash.
+        """
+        from repro.obs.profiles import loop_signature
+
+        key = (loop_signature(info.loop), _funcs_fingerprint(funcs))
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            if isinstance(entry, str):
+                raise KernelFallback(entry)
+            return entry
+        self.misses += 1
+        try:
+            kernel = lower_loop(info, funcs)
+        except KernelFallback as exc:
+            self._put(key, exc.reason)
+            raise
+        self._put(key, kernel)
+        return kernel
+
+    def _put(self, key: Tuple, entry: _Entry) -> None:
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def stats(self) -> dict:
+        """Counter snapshot for run stats and the tracer."""
+        return {"hits": self.hits, "misses": self.misses,
+                "entries": len(self._entries)}
+
+    def clear(self) -> None:
+        """Drop every entry and zero the counters."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __repr__(self) -> str:
+        return (f"KernelCache({len(self._entries)}/{self.maxsize} entries, "
+                f"{self.hits} hits, {self.misses} misses)")
+
+
+_cache: Optional[KernelCache] = None
+
+
+def kernel_cache() -> KernelCache:
+    """The process-wide cache :func:`run_kernel` consults."""
+    global _cache
+    if _cache is None:
+        _cache = KernelCache()
+    return _cache
+
+
+def reset_kernel_cache() -> None:
+    """Fresh process-wide cache (tests; after re-registering funcs)."""
+    global _cache
+    _cache = None

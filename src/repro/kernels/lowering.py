@@ -1,0 +1,286 @@
+"""Lowering pass: classify a loop body as vectorizable and stage it.
+
+The kernel tier runs a whole iteration range as NumPy batch operations,
+so it only accepts loops whose *static* structure guarantees that the
+batch is semantically an exact replay of the sequential execution:
+
+* **Dispatcher** — a single, unconditional ``INDUCTION`` (``v = v +
+  step``) or ``AFFINE`` (``v = a·v + b``) recurrence with constant
+  coefficients.  List walks and general recurrences are inherently
+  sequential and fall back.
+* **Terminator** — remainder-invariant (RI), no ``Exit`` sites, no
+  array reads, and expressible over the dispatcher plus loop-invariant
+  scalars with overflow-safe operators.  An RV terminator means the
+  iteration count depends on remainder effects, which a batch cannot
+  know up front.
+* **Remainder** — top-level ``Assign``/``ArrayAssign``/``ExprStmt``
+  statements only (no ``If``/``For``/``Exit``); scalar temporaries are
+  written before they are read (element-wise, no cross-iteration flow
+  through scalars, Table-1's independent-remainder column); at most one
+  write per array; a read of a written array uses the *same* index
+  expression as the write so within-iteration aliasing is decidable;
+  intrinsic calls are pure, write-free, and provide a
+  :attr:`~repro.ir.functions.Intrinsic.vector_impl`.
+
+Everything the pass cannot prove raises
+:class:`~repro.errors.KernelFallback` with a stable ``reason`` string —
+the classification itself, not an error.  Dynamic hazards (bounds,
+divisors, duplicate write indices, int64 magnitude) are deliberately
+*not* decided here; the runner checks them per batch before committing
+anything (see :mod:`repro.kernels.runner`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.loopinfo import LoopInfo
+from repro.analysis.recurrence import RecKind, Recurrence
+from repro.analysis.terminator import TermClass
+from repro.errors import KernelFallback
+from repro.ir.functions import FunctionTable
+from repro.ir.nodes import (
+    ArrayAssign,
+    ArrayRef,
+    Assign,
+    BinOp,
+    Call,
+    Expr,
+    ExprStmt,
+    Next,
+    Stmt,
+    Var,
+)
+from repro.ir.visitor import expr_vars, walk_exprs
+
+__all__ = ["LoweredKernel", "lower_loop"]
+
+#: Operators permitted inside the *terminator* condition.  Division and
+#: exponentiation are excluded: NumPy's integer division-by-zero and
+#: overflow semantics differ from Python's, and the condition is
+#: evaluated over candidate dispatcher values that may lie beyond the
+#: true exit point, where such hazards must not fire.
+_COND_OPS = frozenset({"+", "-", "*", "min", "max",
+                       "==", "!=", "<", "<=", ">", ">=", "and", "or"})
+
+
+@dataclass(frozen=True)
+class LoweredKernel:
+    """A loop classified as vectorizable, staged for batch execution.
+
+    Attributes
+    ----------
+    signature:
+        The IR content hash (:func:`repro.obs.profiles.loop_signature`)
+        this kernel was lowered from — the cache key.
+    dispatcher:
+        The recurrence driving the iteration space.
+    cond / update:
+        The loop-top condition and the dispatcher update's RHS — the
+        two expressions the runner replays exactly (scalar Python
+        semantics) to find the iteration count and the final
+        dispatcher value.
+    simple_bound:
+        ``(op, limit_expr)`` when the terminator is exactly a threshold
+        comparison on the dispatcher (``d OP limit`` with ``limit``
+        loop-invariant) — enables the closed-form iteration count for
+        integer inductions.  ``None`` means the runner finds the count
+        by chunked vectorized evaluation of the full condition.
+    stmts:
+        The remainder statements in original body order (dispatcher
+        update excluded), each paired with its original top-level
+        position.
+    body_scalars:
+        Scalar names assigned by the remainder, in first-assignment
+        order (published from the last iteration, like the sequential
+        interpreter's store-resident temps).
+    written_arrays:
+        ``array → (position in stmts, index expr)`` for the single
+        staged write per array.
+    needs_pd:
+        The loop's remainder parallelism is statically undecidable
+        (:attr:`LoopInfo.needs_runtime_test`): the runner must validate
+        the batch with the vectorized PD test before committing.
+    """
+
+    signature: str
+    dispatcher: Recurrence
+    cond: Expr
+    update: Expr
+    simple_bound: Optional[Tuple[str, Expr]]
+    stmts: Tuple[Tuple[int, Stmt], ...]
+    body_scalars: Tuple[str, ...]
+    written_arrays: Dict[str, Tuple[int, Expr]] = field(default_factory=dict)
+    needs_pd: bool = False
+
+
+def _fallback(reason: str) -> KernelFallback:
+    return KernelFallback(reason)
+
+
+def _check_cond(info: LoopInfo, disp_var: str) -> None:
+    """Reject terminators the batch evaluator cannot replay exactly."""
+    term = info.terminator
+    if term.klass is not TermClass.RI:
+        raise _fallback("rv-terminator")
+    if term.n_exit_sites:
+        raise _fallback("exit-sites")
+    if term.array_reads:
+        raise _fallback("cond-reads-array")
+    for node in walk_exprs(info.loop.cond):
+        if isinstance(node, (Call, Next, ArrayRef)):
+            raise _fallback("cond-opaque")
+        if isinstance(node, BinOp) and node.op not in _COND_OPS:
+            raise _fallback(f"cond-op:{node.op}")
+
+
+def _simple_bound(cond: Expr, disp_var: str) -> Optional[Tuple[str, Expr]]:
+    """``(op, limit)`` when ``cond`` is exactly ``d OP limit`` (or the
+    flipped spelling) with a dispatcher-free limit expression."""
+    if not isinstance(cond, BinOp) or cond.op not in ("<", "<=", ">", ">="):
+        return None
+    flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+    if isinstance(cond.left, Var) and cond.left.name == disp_var \
+            and disp_var not in expr_vars(cond.right):
+        return (cond.op, cond.right)
+    if isinstance(cond.right, Var) and cond.right.name == disp_var \
+            and disp_var not in expr_vars(cond.left):
+        return (flipped[cond.op], cond.left)
+    return None
+
+
+def _check_expr(e: Expr, funcs: FunctionTable, *, needs_pd: bool,
+                written: Dict[str, Tuple[int, Expr]],
+                body_scalars: set, assigned: set,
+                disp_var: str) -> None:
+    """Structural admission check for one remainder expression."""
+    for node in walk_exprs(e):
+        if isinstance(node, Next):
+            raise _fallback("list-hop")
+        if isinstance(node, BinOp) and node.op == "**":
+            raise _fallback("pow")
+        if isinstance(node, Var):
+            name = node.name
+            if name in body_scalars and name not in assigned \
+                    and name != disp_var:
+                # Sequentially this read would see the *previous*
+                # iteration's value (or the init value on iteration 1):
+                # a loop-carried scalar flow the batch cannot express.
+                raise _fallback(f"scalar-carried:{name}")
+        if isinstance(node, Call):
+            intr = funcs[node.fn]
+            if not intr.pure or intr.writes:
+                raise _fallback(f"impure-call:{node.fn}")
+            if intr.vector_impl is None:
+                raise _fallback(f"no-vector-impl:{node.fn}")
+            if intr.reads and needs_pd:
+                # The PD test must observe every read of a tested
+                # array; a vector_impl's internal gathers are opaque.
+                raise _fallback(f"call-reads-under-pd:{node.fn}")
+        if isinstance(node, ArrayRef) and node.array in written:
+            _pos, widx = written[node.array]
+            if node.index != widx:
+                raise _fallback(f"aliased-read:{node.array}")
+            # Same index expression: before (or at) the write statement
+            # the read sees the pre-loop state; after it, the runner
+            # serves the staged value vector.  Both are decidable, so
+            # nothing more to check here.
+
+
+def lower_loop(info: LoopInfo, funcs: FunctionTable) -> LoweredKernel:
+    """Classify ``info``'s loop for the kernel tier.
+
+    Returns the staged :class:`LoweredKernel` or raises
+    :class:`~repro.errors.KernelFallback` with the (stable) reason the
+    loop is not vectorizable.
+    """
+    from repro.obs.profiles import loop_signature
+
+    loop = info.loop
+    disp = info.dispatcher
+    if disp is None:
+        raise _fallback("no-dispatcher")
+    if disp.irregular:
+        raise _fallback("irregular-dispatcher")
+    if disp.kind is RecKind.INDUCTION:
+        if not disp.step:
+            raise _fallback("zero-step")
+    elif disp.kind is RecKind.AFFINE:
+        if disp.mul is None or disp.add is None:
+            raise _fallback("affine-unresolved")
+    else:
+        raise _fallback(f"dispatcher:{disp.kind.value}")
+    for rec in info.recurrences:
+        if rec.var != disp.var:
+            raise _fallback(f"extra-recurrence:{rec.var}")
+
+    _check_cond(info, disp.var)
+
+    for s in loop.init:
+        if not isinstance(s, Assign):
+            raise _fallback("init-effects")
+        for node in walk_exprs(s.expr):
+            if isinstance(node, Call):
+                intr = funcs[node.fn]
+                if not intr.pure or intr.writes:
+                    raise _fallback(f"init-impure-call:{node.fn}")
+
+    needs_pd = info.needs_runtime_test
+    remainder = [(i, loop.body[i]) for i in info.remainder_stmts]
+    last_disp_update = (max(info.dispatcher_stmts)
+                        if info.dispatcher_stmts else -1)
+
+    # First pass: statement shapes, the write map, and the body-scalar
+    # set — reads are checked against *all* writes, so the map must be
+    # complete before the admission pass runs.
+    body_scalars: set = set()
+    written: Dict[str, Tuple[int, Expr]] = {}
+    for pos, (_orig, s) in enumerate(remainder):
+        if isinstance(s, Assign):
+            body_scalars.add(s.name)
+        elif isinstance(s, ArrayAssign):
+            if s.array in written:
+                raise _fallback(f"multi-write:{s.array}")
+            written[s.array] = (pos, s.index)
+        elif not isinstance(s, ExprStmt):
+            raise _fallback(f"stmt:{type(s).__name__}")
+
+    scalars_in_order: List[str] = []
+    assigned: set = set()
+    for pos, (orig, s) in enumerate(remainder):
+        if isinstance(s, ArrayAssign):
+            exprs = (s.index, s.expr)
+        else:
+            exprs = (s.expr,)
+        if orig > last_disp_update >= 0:
+            # The interpreter's canonical-form rule: a remainder read of
+            # the dispatcher after its update sees d(k+1), but the batch
+            # dispatcher vector holds body-entry values d(k).
+            for e in exprs:
+                if disp.var in expr_vars(e):
+                    raise _fallback("dispatcher-read-after-update")
+        for e in exprs:
+            _check_expr(e, funcs, needs_pd=needs_pd, written=written,
+                        body_scalars=body_scalars, assigned=assigned,
+                        disp_var=disp.var)
+        if isinstance(s, Assign):
+            if s.name not in assigned:
+                scalars_in_order.append(s.name)
+            assigned.add(s.name)
+
+    update_stmt = loop.body[disp.stmt_index]
+    if not isinstance(update_stmt, Assign) or update_stmt.name != disp.var:
+        raise _fallback("dispatcher-stmt-shape")
+
+    return LoweredKernel(
+        signature=loop_signature(loop),
+        dispatcher=disp,
+        cond=loop.cond,
+        update=update_stmt.expr,
+        simple_bound=_simple_bound(loop.cond, disp.var),
+        stmts=tuple(remainder),
+        body_scalars=tuple(scalars_in_order),
+        written_arrays=written,
+        needs_pd=needs_pd,
+    )

@@ -1,0 +1,801 @@
+"""Batch execution of a lowered kernel: the whole loop as NumPy ops.
+
+:func:`run_kernel` replays a :class:`~repro.kernels.lowering.LoweredKernel`
+as five phases, each a ``kernel.*`` wall-clock span:
+
+``kernel.lower``
+    Cached classification (:mod:`repro.kernels.cache`).
+``kernel.dispatch``
+    Iteration count plus the dispatcher value vector — closed form
+    for integer inductions under a threshold bound, exact float
+    accumulation for float steps, a Python-exact walk cross-checked
+    against a ``cumprod``/``cumsum`` prefix scan for affine
+    recurrences, chunked vectorized condition search otherwise.
+``kernel.body``
+    Each remainder statement evaluated once over the whole iteration
+    range; array writes are *staged*, never applied in place.
+``kernel.pd``
+    When the plan is speculative: shadow stamps from the staged index
+    vectors (:mod:`repro.kernels.vector_pd`) fed to the interpreted
+    path's own :func:`~repro.speculation.pdtest.analyze_pd`.
+``kernel.commit``
+    Scatter the staged writes and publish final scalars.
+
+Exactness contract
+------------------
+The committed store must be *bit-identical* to the sequential
+interpreter's — including which exception would have been raised.  Any
+construct or value the batch cannot reproduce exactly raises
+:class:`~repro.errors.KernelFallback` **before the store is touched**:
+every dynamic hazard — out-of-bounds subscripts, zero divisors,
+duplicate write indices, int64 magnitude (Python ints are unbounded,
+``np.int64`` wraps), int→float promotion past 2**53 — is checked on
+the full batch first.  The caller then reruns the loop on the
+interpreted path, which reproduces the sequential semantics (value or
+exception) by construction.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.loopinfo import LoopInfo
+from repro.analysis.recurrence import RecKind
+from repro.errors import KernelFallback
+from repro.executors.base import ParallelResult
+from repro.ir.functions import FunctionTable
+from repro.ir.interp import EvalContext, compile_stmt
+from repro.ir.nodes import (
+    ArrayAssign,
+    ArrayRef,
+    Assign,
+    BinOp,
+    Call,
+    Const,
+    Expr,
+    ExprStmt,
+    UnaryOp,
+    Var,
+)
+from repro.ir.store import Scalar, Store
+from repro.kernels.cache import kernel_cache
+from repro.kernels.lowering import LoweredKernel
+from repro.kernels.vector_pd import vectorized_pd_shadows
+from repro.obs import names as _n
+from repro.obs.phases import get_profiler
+from repro.obs.tracer import get_tracer
+from repro.runtime.costs import FREE
+from repro.runtime.machine import Machine
+from repro.speculation.pdtest import analyze_pd
+
+__all__ = ["run_kernel", "INT_LIMIT", "FLOAT_EXACT_INT"]
+
+#: Magnitude bound for intermediate integers.  Beyond it an ``np.int64``
+#: op could wrap where Python's unbounded ints would not; the batch
+#: falls back instead of risking a silent difference.
+INT_LIMIT = 1 << 62
+
+#: Largest magnitude at which every integer is exactly representable as
+#: a float64.  Mixed int/float arithmetic (NumPy promotes to float64)
+#: is only admitted below it.
+FLOAT_EXACT_INT = 1 << 53
+
+#: Iteration-count search cap when the loop gives no usable upper
+#: bound: ~4M iterations, far past any workload in the repo.
+_DEFAULT_CAP = 1 << 22
+
+#: Chunk length for the vectorized condition search.
+_SEARCH_CHUNK = 4096
+
+#: Cap on the Python-exact affine walk (the walk is O(n) scalar work;
+#: past this the prefix-scan vector no longer pays for itself).
+_AFFINE_WALK_CAP = 1 << 16
+
+
+def _fb(reason: str) -> KernelFallback:
+    return KernelFallback(reason)
+
+
+def _is_int(v: Any) -> bool:
+    return isinstance(v, (bool, int, np.bool_, np.integer)) or (
+        isinstance(v, np.ndarray) and v.dtype.kind in "bi")
+
+
+def _is_float(v: Any) -> bool:
+    return isinstance(v, (float, np.floating)) or (
+        isinstance(v, np.ndarray) and v.dtype.kind == "f")
+
+
+def _amax(v: Any) -> int:
+    """Largest absolute value in ``v`` (exact for int64 arrays)."""
+    if isinstance(v, np.ndarray):
+        if v.size == 0:
+            return 0
+        return max(abs(int(v.max())), abs(int(v.min())))
+    return abs(int(v))
+
+
+def _fmax(v: Any) -> float:
+    if isinstance(v, np.ndarray):
+        if v.size == 0:
+            return 0.0
+        return float(np.max(np.abs(v)))
+    return abs(float(v))
+
+
+def _py_num(v: Any) -> Any:
+    """Normalize a NumPy scalar to its Python counterpart."""
+    if isinstance(v, np.generic):
+        return v.item()
+    return v
+
+
+# ---------------------------------------------------------------------------
+# Exact scalar evaluation (Python semantics) for cond / update / limits
+# ---------------------------------------------------------------------------
+
+def _eval_py(e: Expr, env: Callable[[str], Any]) -> Any:
+    """Evaluate a scalar expression with exact Python arithmetic.
+
+    ``env`` resolves variable names; only the node types the lowering
+    pass admits in conditions and init/update expressions appear here.
+    """
+    if isinstance(e, Const):
+        return e.value
+    if isinstance(e, Var):
+        return env(e.name)
+    if isinstance(e, UnaryOp):
+        v = _eval_py(e.operand, env)
+        if e.op == "-":
+            return -v
+        if e.op == "abs":
+            return abs(v)
+        if e.op == "not":
+            return not v
+        raise _fb(f"scalar-unary:{e.op}")
+    if isinstance(e, BinOp):
+        if e.op == "and":
+            return bool(_eval_py(e.left, env)) and bool(_eval_py(e.right, env))
+        if e.op == "or":
+            return bool(_eval_py(e.left, env)) or bool(_eval_py(e.right, env))
+        left = _eval_py(e.left, env)
+        right = _eval_py(e.right, env)
+        op = e.op
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            return left / right
+        if op == "//":
+            return left // right
+        if op == "%":
+            return left % right
+        if op == "**":
+            return left ** right
+        if op == "min":
+            return min(left, right)
+        if op == "max":
+            return max(left, right)
+        if op == "==":
+            return left == right
+        if op == "!=":
+            return left != right
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        if op == ">=":
+            return left >= right
+        raise _fb(f"scalar-op:{op}")
+    raise _fb(f"scalar-expr:{type(e).__name__}")
+
+
+def _literal_step(update: Expr, var: str) -> Optional[Any]:
+    """The literal constant ``c`` when ``update`` is exactly ``var + c``,
+    ``c + var``, or ``var - c`` — the only shapes whose float
+    accumulation order the batch can replay bit-exactly."""
+    if not isinstance(update, BinOp):
+        return None
+    left_is_var = isinstance(update.left, Var) and update.left.name == var
+    right_is_var = isinstance(update.right, Var) and update.right.name == var
+    if update.op == "+" and left_is_var and isinstance(update.right, Const):
+        return update.right.value
+    if update.op == "+" and right_is_var and isinstance(update.left, Const):
+        return update.left.value
+    if update.op == "-" and left_is_var and isinstance(update.right, Const):
+        return -update.right.value
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Dispatcher vector construction
+# ---------------------------------------------------------------------------
+
+class _Dispatch:
+    """Iteration count plus the body-entry dispatcher value vector."""
+
+    __slots__ = ("n", "values", "d_final", "method")
+
+    def __init__(self, n: int, values: Optional[np.ndarray],
+                 d_final: Any, method: str) -> None:
+        self.n = n
+        self.values = values
+        self.d_final = d_final
+        self.method = method
+
+
+def _closed_form_count(d0: int, step: int, op: str, limit: int) -> Optional[int]:
+    """Exact iteration count for ``d OP limit`` with int induction, or
+    ``None`` when the step direction cannot cross the threshold (the
+    loop would not terminate — let the chunked search hit its cap)."""
+    if op == "<" and step > 0:
+        return (limit - 1 - d0) // step + 1 if d0 < limit else 0
+    if op == "<=" and step > 0:
+        return (limit - d0) // step + 1 if d0 <= limit else 0
+    if op == ">" and step < 0:
+        return (limit + 1 - d0) // step + 1 if d0 > limit else 0
+    if op == ">=" and step < 0:
+        return (limit - d0) // step + 1 if d0 >= limit else 0
+    return None
+
+
+def _induction_values(d0: Any, step: Any, n: int) -> np.ndarray:
+    """Body-entry values ``d0, d0+step, …`` (n of them), exactly as the
+    sequential fold produces them."""
+    if isinstance(d0, int) and isinstance(step, int):
+        return d0 + step * np.arange(n, dtype=np.int64)
+    buf = np.empty(n, dtype=np.float64)
+    buf[0] = d0
+    if n > 1:
+        buf[1:] = step
+    return np.add.accumulate(buf)
+
+
+def _count_by_search(kernel: LoweredKernel, d0: Any, step: Any,
+                     scalar_env: Callable[[str], Any],
+                     batch_cond: Callable[[np.ndarray], np.ndarray],
+                     cap: int) -> int:
+    """First ``k`` with ``cond(d_k)`` false, by chunked vectorized
+    evaluation of the condition over candidate dispatcher values."""
+    if not bool(_eval_py(kernel.cond, _chain_env(scalar_env, {
+            kernel.dispatcher.var: d0}))):
+        return 0
+    n = 0
+    last = d0
+    int_path = isinstance(d0, int) and isinstance(step, int)
+    while n < cap:
+        chunk = min(_SEARCH_CHUNK, cap - n)
+        if int_path:
+            # Bound the chunk's extremes in exact Python arithmetic
+            # *before* building the int64 vector, which would wrap.
+            if max(abs(last + step), abs(last + step * chunk)) >= INT_LIMIT:
+                raise _fb("dispatcher-overflow")
+            cand = last + step * np.arange(1, chunk + 1, dtype=np.int64)
+        else:
+            buf = np.empty(chunk + 1, dtype=np.float64)
+            buf[0] = last
+            buf[1:] = step
+            cand = np.add.accumulate(buf)[1:]
+        alive = np.asarray(batch_cond(cand), dtype=bool)
+        stop = np.flatnonzero(~alive)
+        if stop.size:
+            return n + 1 + int(stop[0])
+        n += chunk
+        last = _py_num(cand[-1])
+        if not int_path:
+            last = float(last)
+        else:
+            last = int(last)
+    raise _fb("no-termination-in-cap")
+
+
+def _chain_env(base: Callable[[str], Any],
+               extra: Dict[str, Any]) -> Callable[[str], Any]:
+    def lookup(name: str) -> Any:
+        if name in extra:
+            return extra[name]
+        return base(name)
+    return lookup
+
+
+def _affine_dispatch(kernel: LoweredKernel, d0: Any,
+                     scalar_env: Callable[[str], Any],
+                     cap: int) -> _Dispatch:
+    """Affine recurrence ``d ← a·d + b``: Python-exact walk for the
+    count, then a ``cumprod``/``cumsum`` prefix scan for the vector,
+    cross-checked against the walked values (used only when equal, so
+    the scan never weakens exactness)."""
+    disp = kernel.dispatcher
+    var = disp.var
+    walk_cap = min(cap, _AFFINE_WALK_CAP)
+    values: List[Any] = []
+    d = d0
+    while bool(_eval_py(kernel.cond, _chain_env(scalar_env, {var: d}))):
+        values.append(d)
+        if len(values) > walk_cap:
+            raise _fb("affine-walk-cap")
+        d = _eval_py(kernel.update, _chain_env(scalar_env, {var: d}))
+        if isinstance(d, int) and abs(d) >= INT_LIMIT:
+            raise _fb("dispatcher-overflow")
+    n = len(values)
+    if n == 0:
+        return _Dispatch(0, None, d0, "affine-walk")
+    all_int = all(isinstance(v, int) for v in values)
+    walked = np.asarray(values,
+                        dtype=np.int64 if all_int else np.float64)
+    # Prefix-scan form: d_k = a^k·d0 + b·Σ_{j<k} a^j.  Computed in
+    # float64 and only trusted when it matches the walk exactly.
+    method = "affine-walk"
+    a, b = disp.mul, disp.add
+    if a is not None and b is not None and n > 1:
+        powers = np.cumprod(np.full(n - 1, float(a)))
+        apow = np.concatenate(([1.0], powers))
+        if float(a) == 1.0:
+            geo = np.arange(n, dtype=np.float64)
+        else:
+            geo = (apow - 1.0) / (float(a) - 1.0)
+        scanned = apow * float(d0) + float(b) * geo
+        if all_int:
+            if np.all(np.abs(scanned) < FLOAT_EXACT_INT) and \
+                    np.array_equal(scanned.astype(np.int64), walked):
+                walked = scanned.astype(np.int64)
+                method = "affine-scan"
+        elif np.array_equal(scanned, walked):
+            walked = scanned
+            method = "affine-scan"
+    return _Dispatch(n, walked, d, method)
+
+
+def _build_dispatch(kernel: LoweredKernel, d0: Any,
+                    scalar_env: Callable[[str], Any],
+                    batch_cond: Callable[[np.ndarray], np.ndarray],
+                    u: Optional[int]) -> _Dispatch:
+    disp = kernel.dispatcher
+    d0 = _py_num(d0)
+    if isinstance(d0, bool):
+        d0 = int(d0)
+    if not isinstance(d0, (int, float)):
+        raise _fb("dispatcher-init-type")
+    cap = max(2 * u + 64, _SEARCH_CHUNK) if u else _DEFAULT_CAP
+
+    if disp.kind is RecKind.AFFINE:
+        return _affine_dispatch(kernel, d0, scalar_env, cap)
+
+    # Induction: the true typed step is one exact update application.
+    d1 = _eval_py(kernel.update, _chain_env(scalar_env, {disp.var: d0}))
+    d1 = _py_num(d1)
+    if isinstance(d1, bool):
+        d1 = int(d1)
+    if isinstance(d0, int) and isinstance(d1, int):
+        step: Any = d1 - d0
+    elif isinstance(d1, float):
+        # Float fold order is only replayable for a literal-step
+        # update (``v ± c``): any other shape re-associates.
+        step = _literal_step(kernel.update, disp.var)
+        if step is None:
+            raise _fb("float-step-shape")
+        d0 = float(d0)
+        step = float(step)
+        if d1 != d0 + step:
+            raise _fb("float-step-shape")
+    else:
+        raise _fb("dispatcher-init-type")
+    if step == 0:
+        raise _fb("zero-step")
+
+    n: Optional[int] = None
+    method = "search"
+    if isinstance(step, int) and kernel.simple_bound is not None:
+        op, limit_expr = kernel.simple_bound
+        limit = _py_num(_eval_py(limit_expr, scalar_env))
+        if isinstance(limit, bool):
+            limit = int(limit)
+        if isinstance(limit, int):
+            n = _closed_form_count(d0, step, op, limit)
+            if n is not None:
+                method = "closed-form"
+    if n is None:
+        n = _count_by_search(kernel, d0, step, scalar_env, batch_cond, cap)
+    if n > max(cap, _DEFAULT_CAP):
+        # Exact but enormous: the value vector would not fit sanely.
+        raise _fb("iteration-cap")
+    if isinstance(step, int) and n:
+        if max(_amax(d0 + step * (n - 1)), _amax(d0)) + _amax(step) \
+                >= INT_LIMIT:
+            raise _fb("dispatcher-overflow")
+    values = _induction_values(d0, step, n) if n else None
+    if n:
+        d_final = _py_num(values[-1]) + step if isinstance(step, int) \
+            else _eval_py(kernel.update,
+                          _chain_env(scalar_env,
+                                     {disp.var: _py_num(values[-1])}))
+    else:
+        d_final = d0
+    return _Dispatch(n, values, d_final, method)
+
+
+# ---------------------------------------------------------------------------
+# Batched body evaluation
+# ---------------------------------------------------------------------------
+
+class _Batch:
+    """Evaluates remainder statements over the whole iteration range.
+
+    Array writes are staged on the instance; nothing touches the store
+    until :func:`run_kernel`'s commit phase, so a fallback raised here
+    leaves the program state untouched.
+    """
+
+    def __init__(self, n: int, disp_var: str, d: np.ndarray,
+                 scalar_env: Callable[[str], Any], store: Store,
+                 funcs: FunctionTable, kernel: LoweredKernel) -> None:
+        self.n = n
+        self.disp_var = disp_var
+        self.d = d
+        self.scalar_env = scalar_env
+        self.store = store
+        self.funcs = funcs
+        self.kernel = kernel
+        self.temps: Dict[str, Any] = {}
+        self.staged: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+        self.exposed_reads: Dict[str, List[np.ndarray]] = {}
+
+    # -- statement dispatch --------------------------------------------------
+    def run(self) -> None:
+        for _orig, stmt in self.kernel.stmts:
+            if isinstance(stmt, Assign):
+                self.temps[stmt.name] = self.eval(stmt.expr)
+            elif isinstance(stmt, ArrayAssign):
+                self._stage_write(stmt)
+            elif isinstance(stmt, ExprStmt):
+                self.eval(stmt.expr)
+            else:  # pragma: no cover - lowering rejects other shapes
+                raise _fb(f"stmt:{type(stmt).__name__}")
+
+    # -- value helpers -------------------------------------------------------
+    def _vec(self, v: Any) -> np.ndarray:
+        """Broadcast a scalar-or-vector value to the full batch."""
+        arr = np.asarray(v)
+        if arr.dtype.kind not in "bif":
+            raise _fb("value-dtype")
+        if arr.ndim == 0:
+            return np.broadcast_to(arr, (self.n,))
+        return arr
+
+    def _index_vector(self, e: Expr, array: str, size: int,
+                      what: str) -> np.ndarray:
+        iv = self._vec(self.eval(e))
+        if iv.dtype.kind == "f":
+            if not np.all(np.isfinite(iv)):
+                raise _fb(f"index-nonfinite:{array}")
+            iv = np.trunc(iv).astype(np.int64)
+        elif iv.dtype.kind == "b":
+            iv = iv.astype(np.int64)
+        elif iv.dtype.kind != "i":
+            raise _fb(f"index-type:{array}")
+        else:
+            iv = iv.astype(np.int64, copy=False)
+        if iv.size and (int(iv.min()) < 0 or int(iv.max()) >= size):
+            raise _fb(f"oob-{what}:{array}")
+        return iv
+
+    # -- reads ---------------------------------------------------------------
+    def _read_array(self, e: ArrayRef) -> Any:
+        arr = self.store[e.array]
+        if not isinstance(arr, np.ndarray):
+            raise _fb(f"non-array:{e.array}")
+        if arr.ndim != 1:
+            raise _fb(f"ndim:{e.array}")
+        idx = self._index_vector(e.index, e.array, arr.shape[0], "read")
+        staged = self.staged.get(e.array)
+        if staged is not None:
+            # Lowering guarantees the read uses the same index
+            # expression as the write, so the staged value vector *is*
+            # this read's value, position for position.
+            _sidx, sval = staged
+            return self._vec(sval).copy()
+        if e.array in self.kernel.written_arrays and self.kernel.needs_pd:
+            self.exposed_reads.setdefault(e.array, []).append(idx)
+        return arr[idx]
+
+    # -- writes --------------------------------------------------------------
+    def _stage_write(self, stmt: ArrayAssign) -> None:
+        arr = self.store[stmt.array]
+        if not isinstance(arr, np.ndarray):
+            raise _fb(f"non-array:{stmt.array}")
+        if arr.ndim != 1:
+            raise _fb(f"ndim:{stmt.array}")
+        idx = self._index_vector(stmt.index, stmt.array, arr.shape[0],
+                                 "write")
+        val = self.eval(stmt.expr)
+        if np.unique(idx).size != self.n:
+            # Two iterations hit the same element: the batch cannot
+            # order them, and an output dependence means the loop was
+            # at best privatizable — the interpreted path decides.
+            raise _fb(f"write-collision:{stmt.array}")
+        vv = self._vec(val)
+        if arr.dtype.kind in "iu":
+            if vv.dtype.kind == "f":
+                if not np.all(np.isfinite(vv)):
+                    raise _fb(f"nonfinite-write:{stmt.array}")
+                if float(np.max(np.abs(vv))) >= float(INT_LIMIT):
+                    raise _fb(f"overflow-write:{stmt.array}")
+            elif vv.dtype.kind in "bi" and vv.size and \
+                    _amax(vv) >= INT_LIMIT:
+                raise _fb(f"overflow-write:{stmt.array}")
+        self.staged[stmt.array] = (idx, vv)
+
+    # -- expression evaluation ----------------------------------------------
+    def eval(self, e: Expr) -> Any:
+        if isinstance(e, Const):
+            return e.value
+        if isinstance(e, Var):
+            if e.name == self.disp_var:
+                return self.d
+            if e.name in self.temps:
+                return self.temps[e.name]
+            v = _py_num(self.scalar_env(e.name))
+            if not isinstance(v, Scalar):
+                raise _fb(f"non-scalar-var:{e.name}")
+            return v
+        if isinstance(e, ArrayRef):
+            return self._read_array(e)
+        if isinstance(e, Call):
+            return self._call(e)
+        if isinstance(e, UnaryOp):
+            return self._unary(e)
+        if isinstance(e, BinOp):
+            return self._binop(e)
+        raise _fb(f"expr:{type(e).__name__}")
+
+    def _call(self, e: Call) -> Any:
+        intr = self.funcs[e.fn]
+        args = [self._vec(self.eval(a)) for a in e.args]
+        out = intr.vector_impl(self.store, *args)
+        out = np.asarray(out)
+        if out.shape != (self.n,):
+            raise _fb(f"vector-impl-shape:{e.fn}")
+        return out
+
+    def _unary(self, e: UnaryOp) -> Any:
+        v = self.eval(e.operand)
+        if e.op == "-":
+            if _is_int(v) and _amax(v) >= INT_LIMIT:
+                raise _fb("int-overflow")
+            return np.negative(v) if isinstance(v, np.ndarray) else -v
+        if e.op == "abs":
+            if _is_int(v) and _amax(v) >= INT_LIMIT:
+                raise _fb("int-overflow")
+            return np.abs(v) if isinstance(v, np.ndarray) else abs(v)
+        if e.op == "not":
+            return ~self._as_bool(v) if isinstance(v, np.ndarray) \
+                else (not v)
+        raise _fb(f"unary:{e.op}")
+
+    @staticmethod
+    def _as_bool(v: Any) -> Any:
+        if isinstance(v, np.ndarray):
+            return v if v.dtype.kind == "b" else v.astype(bool)
+        return bool(v)
+
+    def _guard_pair(self, op: str, left: Any, right: Any) -> None:
+        """Reject value ranges where NumPy and Python arithmetic could
+        diverge (int64 wrap, inexact int→float promotion)."""
+        li, ri = _is_int(left), _is_int(right)
+        lf, rf = _is_float(left), _is_float(right)
+        if not (li or lf) or not (ri or rf):
+            raise _fb(f"operand-type:{op}")
+        if li and ri:
+            if op in ("+", "-"):
+                if _amax(left) + _amax(right) >= INT_LIMIT:
+                    raise _fb("int-overflow")
+            elif op == "*":
+                if _amax(left) * _amax(right) >= INT_LIMIT:
+                    raise _fb("int-overflow")
+            elif op == "/":
+                if max(_amax(left), _amax(right)) >= FLOAT_EXACT_INT:
+                    raise _fb("int-div-precision")
+        elif li or ri:
+            # Mixed: NumPy promotes the int side to float64.
+            big = _amax(left) if li else _amax(right)
+            if big >= FLOAT_EXACT_INT:
+                raise _fb("int-float-precision")
+
+    def _check_divisor(self, right: Any) -> None:
+        if isinstance(right, np.ndarray):
+            if bool(np.any(right == 0)):
+                raise _fb("div-zero")
+        elif right == 0:
+            raise _fb("div-zero")
+
+    def _binop(self, e: BinOp) -> Any:
+        op = e.op
+        if op in ("and", "or"):
+            left = self._as_bool(self.eval(e.left))
+            right = self._as_bool(self.eval(e.right))
+            # Both operand sets are pure and raise-free by the time
+            # they pass the batch guards, so eager & / | matches the
+            # interpreter's short-circuit results.
+            return (left & right) if op == "and" else (left | right)
+        left = self.eval(e.left)
+        right = self.eval(e.right)
+        if op in ("//", "%", "/"):
+            self._check_divisor(right)
+        if op == "**":  # pragma: no cover - lowering rejects pow
+            raise _fb("pow")
+        self._guard_pair(op, left, right)
+        try:
+            if op == "min":
+                return np.minimum(left, right)
+            if op == "max":
+                return np.maximum(left, right)
+            return _NP_BIN[op](left, right)
+        except (OverflowError, TypeError) as exc:
+            # A Python-int constant outside int64 range (or similar):
+            # NumPy cannot represent it, the interpreter can.
+            raise _fb(f"numpy-op:{op}") from exc
+
+
+_NP_BIN: Dict[str, Callable[[Any, Any], Any]] = {
+    "+": np.add, "-": np.subtract, "*": np.multiply,
+    "/": np.true_divide, "//": np.floor_divide, "%": np.mod,
+    "==": np.equal, "!=": np.not_equal,
+    "<": np.less, "<=": np.less_equal,
+    ">": np.greater, ">=": np.greater_equal,
+}
+
+
+# ---------------------------------------------------------------------------
+# The entry point
+# ---------------------------------------------------------------------------
+
+def run_kernel(info: LoopInfo, store: Store, funcs: FunctionTable, *,
+               backend: str = "kernel", workers: int = 2,
+               machine: Optional[Machine] = None,
+               u: Optional[int] = None,
+               plan_scheme: Optional[str] = None) -> ParallelResult:
+    """Execute ``info``'s loop as one vectorized batch.
+
+    Either commits a store bit-identical to the sequential
+    interpreter's and returns a :class:`ParallelResult` with
+    ``stats["backend"] == "kernel"``, or raises
+    :class:`~repro.errors.KernelFallback` with the store untouched.
+
+    Parameters mirror the executor entry points: ``machine`` feeds the
+    PD verdict's virtual-time accounting, ``u`` (when known) bounds the
+    iteration-count search, ``plan_scheme`` labels the result scheme as
+    ``kernel[<scheme>]``.
+    """
+    prof = get_profiler()
+    tracer = get_tracer()
+    cache = kernel_cache()
+    t0 = time.perf_counter_ns()
+
+    with prof.phase("kernel.lower", loop=info.loop.name):
+        pre = cache.stats()
+        kernel = cache.lower(info, funcs)   # may raise KernelFallback
+        cache_hit = cache.stats()["hits"] > pre["hits"]
+    if cache_hit:
+        tracer.count(_n.M_KERNEL_CACHE_HITS)
+    else:
+        tracer.count(_n.M_KERNEL_CACHE_MISSES)
+
+    # Init runs with an overlay local dict: scalar assignments land
+    # there (published only on success), while reads fall through to
+    # the store with the interpreter's own semantics.
+    overlay: Dict[str, Any] = {}
+    ctx = EvalContext(store, funcs, FREE, local=overlay)
+    for stmt in info.loop.init:
+        compile_stmt(stmt, FREE)(ctx)
+
+    def scalar_env(name: str) -> Any:
+        if name in overlay:
+            return overlay[name]
+        v = store[name]
+        if not isinstance(v, Scalar):
+            raise _fb(f"non-scalar-var:{name}")
+        return v
+
+    disp = kernel.dispatcher
+    t_lower_end = time.perf_counter_ns()
+
+    with prof.phase("kernel.dispatch", loop=info.loop.name):
+        d0 = scalar_env(disp.var)
+
+        def batch_cond(cand: np.ndarray) -> np.ndarray:
+            probe = _Batch(len(cand), disp.var, cand, scalar_env,
+                           store, funcs, kernel)
+            return probe._vec(probe._as_bool(probe.eval(kernel.cond)))
+        dispatch = _build_dispatch(kernel, _py_num(d0), scalar_env,
+                                   batch_cond, u)
+    n = dispatch.n
+    t_dispatch_end = time.perf_counter_ns()
+
+    pd_result = None
+    if n:
+        with prof.phase("kernel.body", loop=info.loop.name, iters=n):
+            batch = _Batch(n, disp.var, dispatch.values, scalar_env,
+                           store, funcs, kernel)
+            batch.run()
+        t_body_end = time.perf_counter_ns()
+
+        if kernel.needs_pd:
+            with prof.phase("kernel.pd", loop=info.loop.name):
+                sizes = {name: int(store[name].shape[0])
+                         for name in kernel.written_arrays}
+                shadows = vectorized_pd_shadows(
+                    sizes,
+                    {name: batch.staged[name][0]
+                     for name in batch.staged},
+                    batch.exposed_reads)
+                mach = machine or Machine(max(2, int(workers)))
+                pd_result = analyze_pd(shadows, mach)
+            if not pd_result.valid_as_is:
+                # Cross-iteration dependence (or privatization need)
+                # detected before any mutation: the interpreted
+                # speculative path owns this loop.
+                raise _fb("pd-failed")
+
+        with prof.phase("kernel.commit", loop=info.loop.name):
+            for name, (idx, val) in batch.staged.items():
+                store[name][idx] = val
+            for name, value in overlay.items():
+                if name != disp.var:
+                    store[name] = _py_num(value)
+            for name in kernel.body_scalars:
+                v = batch.temps[name]
+                if isinstance(v, np.ndarray):
+                    store[name] = v[-1].item()
+                else:
+                    store[name] = _py_num(v)
+            store[disp.var] = _py_num(dispatch.d_final)
+    else:
+        t_body_end = t_dispatch_end
+        with prof.phase("kernel.commit", loop=info.loop.name):
+            for name, value in overlay.items():
+                if name != disp.var:
+                    store[name] = _py_num(value)
+            store[disp.var] = _py_num(dispatch.d_final)
+    t_end = time.perf_counter_ns()
+
+    tracer.count(_n.M_KERNEL_RUNS)
+    tracer.count(_n.M_KERNEL_ITERS, n)
+    tracer.event(_n.EV_KERNEL_RUN, 0, loop=info.loop.name, iters=n,
+                 method=dispatch.method,
+                 cache="hit" if cache_hit else "miss",
+                 pd=kernel.needs_pd)
+
+    scheme = f"kernel[{plan_scheme}]" if plan_scheme else "kernel"
+    stats = {
+        "backend": "kernel",
+        "requested_backend": backend,
+        "u": n,
+        "kernels": {
+            "engaged": True,
+            "method": dispatch.method,
+            "cache": "hit" if cache_hit else "miss",
+            "pd": kernel.needs_pd,
+            "signature": kernel.signature,
+        },
+    }
+    return ParallelResult(
+        scheme=scheme,
+        n_iters=n,
+        exited_in_body=False,
+        t_par=max(0, t_end - t0),
+        makespan=max(0, t_body_end - t_dispatch_end),
+        t_before=max(0, t_dispatch_end - t0),
+        t_after=max(0, t_end - t_body_end),
+        executed=n,
+        pd=pd_result,
+        stats=stats,
+        wall_s=(t_end - t0) / 1e9,
+    )

@@ -1,0 +1,128 @@
+"""Vectorized PD-test marking: shadow stamps from batch index vectors.
+
+The interpreted speculative path marks shadow arrays one access at a
+time through :class:`~repro.speculation.pdtest.ShadowArrays` — a
+per-iteration Python walk the paper charges as ``T_d``.  The kernel
+tier already holds every iteration's subscript as one NumPy vector, so
+the two-smallest-distinct stamp structure the post analysis needs can
+be built with a handful of ``np.minimum.at`` scatters instead:
+
+* first pass — ``minimum.at`` of the iteration stamps gives the
+  smallest marking iteration per element (``w1``/``r1``);
+* second pass — the same scatter over the accesses whose stamp does
+  *not* equal their element's minimum gives the second-smallest
+  distinct stamp (``w2``/``r2``).
+
+The result is duck-type compatible with
+:func:`~repro.speculation.pdtest.analyze_pd` (it reads only
+``arrays``/``w1``/``w2``/``r1``/``r2``/``accesses``), so the kernel
+tier reuses the exact verdict logic of the interpreted path — same
+dependence predicates, same analysis-time accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+import numpy as np
+
+from repro.speculation.pdtest import INF
+
+__all__ = ["KernelShadows", "vectorized_pd_shadows"]
+
+
+class KernelShadows:
+    """Batch-built shadow stamps, structurally a ``ShadowArrays``.
+
+    Carries the four per-element stamp vectors
+    :func:`~repro.speculation.pdtest.analyze_pd` reduces over; built by
+    :func:`vectorized_pd_shadows` rather than per-access hooks.
+    """
+
+    def __init__(self) -> None:
+        self.w1: Dict[str, np.ndarray] = {}
+        self.w2: Dict[str, np.ndarray] = {}
+        self.r1: Dict[str, np.ndarray] = {}
+        self.r2: Dict[str, np.ndarray] = {}
+        self.accesses = 0
+
+    @property
+    def arrays(self) -> Tuple[str, ...]:
+        """Names of the arrays under test."""
+        return tuple(self.w1)
+
+    @property
+    def words(self) -> int:
+        """Shadow words allocated (4 stamp vectors per array)."""
+        return int(sum(4 * v.size for v in self.w1.values()))
+
+
+def _two_smallest(size: int, idx: np.ndarray,
+                  stamps: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-element smallest and second-smallest *distinct* stamps.
+
+    ``idx``/``stamps`` are parallel vectors of element indices and the
+    iteration numbers that touched them.  Duplicate stamps on the same
+    element (one iteration touching it twice) collapse, exactly like
+    the interpreted marker's ``k != r1[idx]`` guards.
+    """
+    first = np.full(size, INF, dtype=np.int64)
+    np.minimum.at(first, idx, stamps)
+    rest = stamps != first[idx]
+    second = np.full(size, INF, dtype=np.int64)
+    if rest.any():
+        np.minimum.at(second, idx[rest], stamps[rest])
+    return first, second
+
+
+def vectorized_pd_shadows(
+    sizes: Dict[str, int],
+    writes: Dict[str, np.ndarray],
+    reads: Dict[str, Iterable[np.ndarray]],
+    *,
+    first_iteration: int = 1,
+) -> KernelShadows:
+    """Build shadow stamps for one committed batch.
+
+    Parameters
+    ----------
+    sizes:
+        Element count per tested array.
+    writes:
+        Per-array write index vector — position ``k`` is the element
+        iteration ``first_iteration + k`` wrote (one staged write per
+        array, the lowering invariant).
+    reads:
+        Per-array list of *exposed* read index vectors (reads served
+        from the pre-loop state; covered reads of the staged value
+        never reach the shadow, mirroring the interpreted marker's
+        ``_iter_written`` exposure rule).
+    """
+    shadows = KernelShadows()
+    for name, size in sizes.items():
+        w_idx = writes.get(name)
+        if w_idx is not None and len(w_idx):
+            w_idx = np.asarray(w_idx, dtype=np.int64)
+            stamps = np.arange(first_iteration,
+                               first_iteration + len(w_idx),
+                               dtype=np.int64)
+            shadows.w1[name], shadows.w2[name] = _two_smallest(
+                size, w_idx, stamps)
+            shadows.accesses += int(len(w_idx))
+        else:
+            shadows.w1[name] = np.full(size, INF, dtype=np.int64)
+            shadows.w2[name] = np.full(size, INF, dtype=np.int64)
+        r_sites = [np.asarray(r, dtype=np.int64)
+                   for r in reads.get(name, ()) if len(r)]
+        if r_sites:
+            r_idx = np.concatenate(r_sites)
+            r_stamps = np.concatenate([
+                np.arange(first_iteration, first_iteration + len(r),
+                          dtype=np.int64) for r in r_sites])
+            shadows.r1[name], shadows.r2[name] = _two_smallest(
+                size, r_idx, r_stamps)
+            shadows.accesses += int(len(r_idx))
+        else:
+            shadows.r1[name] = np.full(size, INF, dtype=np.int64)
+            shadows.r2[name] = np.full(size, INF, dtype=np.int64)
+    return shadows

@@ -256,6 +256,7 @@ def measure_bench(
     backends: Sequence[str] = ("threads", "procs"),
     schemes: Optional[Sequence[str]] = None,
     repeats: int = 3,
+    kernels: bool = True,
 ) -> List[BenchRun]:
     """Measure every requested scheme × backend cell.
 
@@ -266,6 +267,15 @@ def measure_bench(
     baseline, and pairs the measurement with the Section-7 prediction
     for the same loop.  Result correctness is asserted against the
     sequential reference store on every repeat, not just the kept one.
+
+    With ``kernels=True`` (default) two vectorized-tier rows ride
+    along, keyed ``scheme="kernel", backend="kernel"``: the same DOALL
+    loop through :func:`repro.kernels.run_kernel`, and the pure-IR
+    ``saxpy-bench`` loop where the batch win is structural rather than
+    intrinsic-bound.  Kernel rows carry no Section-7 prediction (the
+    cost model prices the *interpreted* schemes), so their ``sp_pred``
+    / ``t_*_pred`` fields are zero, and their phase dicts hold the
+    ``kernel.*`` family instead of the worker phases.
     """
     from repro.analysis.loopinfo import analyze_loop
     from repro.ir.interp import SequentialInterp
@@ -356,7 +366,94 @@ def measure_bench(
                           wall_par_s=wall_par)
                 trc.count(names.M_BENCH_RUNS)
                 trc.observe(names.M_BENCH_SP_ERROR, abs(sp_err))
+
+    if kernels:
+        from repro.workloads.bench import make_saxpy_bench
+        kernel_loops = [
+            (bl, info, wall_seq, reference),
+            _prep_kernel_loop(make_saxpy_bench(max(20_000, n * 1_500)),
+                              repeats),
+        ]
+        for kbl, kinfo, kseq, kref in kernel_loops:
+            krun = _measure_kernel_cell(kbl, kinfo, kseq, kref,
+                                        workers=workers, repeats=repeats)
+            if krun is not None:
+                runs.append(krun)
+                if trc.enabled:
+                    trc.event(names.EV_COST_TELEMETRY, 0,
+                              loop=krun.loop, backend="kernel",
+                              scheme="kernel", sp_pred=0.0,
+                              sp_meas=krun.speedup, sp_rel_error=0.0,
+                              t_b_pred=0.0, t_d_pred=0.0, t_a_pred=0.0,
+                              wall_par_s=krun.wall_par_s)
+                    trc.count(names.M_BENCH_RUNS)
     return runs
+
+
+def _prep_kernel_loop(bl, repeats: int):
+    """Sequential best-of-k baseline + analysis for one kernel row."""
+    from repro.analysis.loopinfo import analyze_loop
+    from repro.ir.interp import SequentialInterp
+    from repro.runtime.costs import FREE
+
+    info = analyze_loop(bl.loop, bl.funcs)
+    reference = bl.make_store()
+    t0 = time.perf_counter()
+    SequentialInterp(bl.loop, bl.funcs, FREE).run(reference)
+    wall_seq = time.perf_counter() - t0
+    for _ in range(max(1, repeats) - 1):
+        t0 = time.perf_counter()
+        SequentialInterp(bl.loop, bl.funcs, FREE).run(bl.make_store())
+        wall_seq = min(wall_seq, time.perf_counter() - t0)
+    return bl, info, wall_seq, reference
+
+
+def _measure_kernel_cell(bl, info, wall_seq: float, reference,
+                         *, workers: int, repeats: int):
+    """One best-of-k ``run_kernel`` row, or ``None`` on fallback.
+
+    A fallback here means the bench loop stopped being vectorizable —
+    worth surfacing (the row goes ``missing`` in the next baseline
+    comparison) rather than erroring the whole recording.
+    """
+    from repro.errors import KernelFallback
+    from repro.kernels import run_kernel
+    from repro.obs.phases import PhaseProfiler, profiling
+    from repro.obs.profiles import loop_signature
+
+    wall_par = None
+    phases: Dict[str, float] = {}
+    correct = True
+    for _ in range(max(1, repeats)):
+        store = bl.make_store()
+        with profiling(PhaseProfiler()) as prof:
+            t0 = time.perf_counter()
+            try:
+                run_kernel(info, store, bl.funcs, workers=workers)
+            except KernelFallback:
+                return None
+            wall = time.perf_counter() - t0
+        correct = correct and store.equals(reference, rtol=1e-9,
+                                           atol=1e-12)
+        if wall_par is None or wall < wall_par:
+            wall_par = wall
+            phases = prof.totals_s()
+    return BenchRun(
+        loop=bl.name, signature=loop_signature(bl.loop),
+        scheme="kernel", backend="kernel", workers=workers,
+        n=int(reference["n"]) if "n" in reference else 0,
+        work=0,
+        wall_seq_s=wall_seq, wall_par_s=wall_par,
+        speedup=wall_seq / wall_par if wall_par > 0 else 0.0,
+        sp_pred=0.0, sp_rel_error=0.0,
+        t_b_pred=0.0, t_d_pred=0.0, t_a_pred=0.0,
+        t_b_meas_s=phases.get("kernel.lower", 0.0)
+        + phases.get("kernel.dispatch", 0.0),
+        t_a_meas_s=phases.get("kernel.pd", 0.0)
+        + phases.get("kernel.commit", 0.0),
+        body_s=phases.get("kernel.body", 0.0),
+        correct=correct,
+        phases=phases)
 
 
 def record_bench(

@@ -52,6 +52,10 @@ __all__ = [
     "M_WORKER_OBS_MERGED",
     "EV_COST_TELEMETRY", "M_BENCH_RUNS", "M_BENCH_SP_ERROR",
     "M_BENCH_REGRESSIONS",
+    "EV_KERNEL_RUN", "EV_KERNEL_FALLBACK",
+    "M_KERNEL_RUNS", "M_KERNEL_FALLBACKS", "M_KERNEL_ITERS",
+    "M_KERNEL_CACHE_HITS", "M_KERNEL_CACHE_MISSES",
+    "KERNEL_PHASES",
 ]
 
 # -- event names (tracer spans / instants) -------------------------------
@@ -269,6 +273,41 @@ M_BENCH_RUNS = "bench.runs"
 M_BENCH_SP_ERROR = "bench.sp_error"
 #: Counter: regressions the snapshot comparator flagged.
 M_BENCH_REGRESSIONS = "bench.regressions"
+
+# -- vectorized kernel tier (``repro.kernels``) --------------------------
+
+#: Instant: one batched kernel execution committed (attrs: loop,
+#: scheme, n, cache — "hit"/"miss", pd — the vectorized PD verdict
+#: when the loop needed a runtime test).
+EV_KERNEL_RUN = "kernel.run"
+#: Instant: the kernel tier declined a loop and the interpreted path
+#: ran instead (attrs: loop, reason, stage — "lower"/"exec").
+EV_KERNEL_FALLBACK = "kernel.fallback"
+
+#: Counter: loops executed end-to-end by the vectorized kernel tier.
+M_KERNEL_RUNS = "kernel.runs"
+#: Counter: kernel attempts that fell back to the interpreter (the
+#: ``kernel.fallback`` event carries the per-fallback reason).
+M_KERNEL_FALLBACKS = "kernel.fallbacks"
+#: Counter: iterations evaluated as one batch by committed kernel runs.
+M_KERNEL_ITERS = "kernel.iters"
+#: Counter: compiled-kernel cache hits (keyed by the IR content hash of
+#: :func:`repro.obs.profiles.loop_signature`).
+M_KERNEL_CACHE_HITS = "kernel.cache.hits"
+#: Counter: compiled-kernel cache misses (a fresh lowering ran).
+M_KERNEL_CACHE_MISSES = "kernel.cache.misses"
+
+#: Wall-clock phase names the kernel tier records (emitted through the
+#: :class:`~repro.obs.phases.PhaseProfiler` as ``phase.kernel.*`` spans
+#: and ``phase.kernel.*.wall_s`` histograms): ``kernel.lower`` — cache
+#: lookup + lowering/classification; ``kernel.dispatch`` — closed-form
+#: or prefix-scan dispatcher vector and the exact iteration count;
+#: ``kernel.body`` — batched remainder evaluation with every dynamic
+#: pre-commit check; ``kernel.pd`` — the vectorized PD test;
+#: ``kernel.commit`` — scatter of the staged writes and the final
+#: scalar publication.
+KERNEL_PHASES = ("kernel.lower", "kernel.dispatch", "kernel.body",
+                 "kernel.pd", "kernel.commit")
 
 #: Per-kind fault counters keyed by the :class:`~repro.errors
 #: .WorkerFault` ``kind`` string.

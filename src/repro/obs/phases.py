@@ -60,9 +60,15 @@ __all__ = [
 #: collection, merge, and the PD analysis; ``quarantine`` — committed-
 #: prefix transactional replay after a contained fault or PD failure;
 #: ``reconcile`` — ordered write application and scalar publication;
-#: ``fallback`` — the Section-5 sequential re-execution.
+#: ``fallback`` — the Section-5 sequential re-execution.  The
+#: vectorized kernel tier (:mod:`repro.kernels`) adds its own
+#: ``kernel.*`` family — lowering, dispatcher vector, batched body,
+#: vectorized PD, commit — so the profiler attributes a kernel run's
+#: wall time the same way it attributes an interpreted run's.
 PHASES: Tuple[str, ...] = ("spawn", "shm-setup", "body", "pd-merge",
-                           "quarantine", "reconcile", "fallback")
+                           "quarantine", "reconcile", "fallback",
+                           "kernel.lower", "kernel.dispatch",
+                           "kernel.body", "kernel.pd", "kernel.commit")
 
 
 @dataclass(frozen=True)

@@ -27,13 +27,18 @@ PD_FAIL = ("associative/RI", "associative/RV")
 
 
 def _run_all_backends(zl, workers=2):
-    """parallelize() the loop once per backend; return {backend: (out, store)}."""
+    """parallelize() the loop once per backend; return {backend: (out, store)}.
+
+    The kernel tier is pinned off so the suite keeps exercising the
+    *interpreted* executors on every backend — the tier has its own
+    equivalence suite under ``tests/kernels/``.
+    """
     results = {}
     for backend in BACKENDS:
         st = zl.make_store()
         out = parallelize(zl.loop, st, Machine(workers), zl.funcs,
                           backend=backend, workers=workers,
-                          min_speedup=0.0)
+                          min_speedup=0.0, kernels="off")
         results[backend] = (out, st)
     return results
 
@@ -86,7 +91,8 @@ def test_seeded_speculative_failure_falls_back_identically(name):
     for backend in BACKENDS:
         st = zl.make_store()
         out = parallelize(zl.loop, st, Machine(2), zl.funcs,
-                          backend=backend, workers=2, min_speedup=0.0)
+                          backend=backend, workers=2, min_speedup=0.0,
+                          kernels="off")
         assert out.result.scheme.startswith("speculative[pd-failed]->"), (
             f"{name}: {backend} scheme {out.result.scheme!r}")
         assert out.result.fallback_sequential is True
@@ -98,13 +104,31 @@ def test_real_backends_report_wall_time_sim_reports_cycles():
     for backend in BACKENDS:
         st = zl.make_store()
         out = parallelize(zl.loop, st, Machine(2), zl.funcs,
-                          backend=backend, workers=2, min_speedup=0.0)
+                          backend=backend, workers=2, min_speedup=0.0,
+                          kernels="off")
         if backend == "sim":
             assert out.result.wall_s is None
         else:
             assert out.result.wall_s is not None
             assert out.result.wall_s >= 0.0
             assert out.result.stats["backend"] == backend
+
+
+def test_kernel_tier_engages_by_default_on_vectorizable_loop():
+    """kernels="auto" (the default) must take the DOALL-friendly zoo
+    loop through the vectorized tier on real backends — and produce the
+    same verified store the interpreted path does."""
+    zl = ZOO["mono-induction/RI"]
+    ref = zl.make_store()
+    SequentialInterp(zl.loop, zl.funcs, FREE).run(ref)
+    for backend in ("threads", "procs"):
+        st = zl.make_store()
+        out = parallelize(zl.loop, st, Machine(2), zl.funcs,
+                          backend=backend, workers=2, min_speedup=0.0)
+        assert out.result.stats["backend"] == "kernel"
+        assert out.result.scheme.startswith("kernel[")
+        assert out.verified is True
+        assert st.equals(ref)
 
 
 def test_procs_leaves_no_shared_memory_leak():
@@ -127,7 +151,7 @@ def test_four_workers_agree_with_two():
         st = zl.make_store()
         out = parallelize(zl.loop, st, Machine(max(2, workers)), zl.funcs,
                           backend="procs", workers=workers,
-                          min_speedup=0.0)
+                          min_speedup=0.0, kernels="off")
         assert out.verified is True
         stores.append(st)
     assert stores[0].equals(stores[1])

@@ -1,0 +1,119 @@
+"""KernelCache: memoized verdicts keyed by content hash + capabilities."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.loopinfo import analyze_loop
+from repro.errors import KernelFallback
+from repro.ir.functions import FunctionTable
+from repro.ir.nodes import (
+    ArrayAssign,
+    Assign,
+    Call,
+    Const,
+    Var,
+    WhileLoop,
+    le_,
+)
+from repro.ir.store import Store
+from repro.kernels import run_kernel
+from repro.kernels.cache import KernelCache, kernel_cache, reset_kernel_cache
+from repro.kernels.lowering import LoweredKernel
+from repro.workloads.zoo import make_zoo
+
+ZOO = {z.name: z for z in make_zoo(48)}
+
+
+@pytest.fixture(autouse=True)
+def _fresh():
+    reset_kernel_cache()
+    yield
+    reset_kernel_cache()
+
+
+def _mono_info():
+    zl = ZOO["mono-induction/RI"]
+    return analyze_loop(zl.loop, zl.funcs), zl.funcs
+
+
+def test_positive_verdict_cached():
+    cache = KernelCache()
+    info, funcs = _mono_info()
+    k1 = cache.lower(info, funcs)
+    k2 = cache.lower(info, funcs)
+    assert isinstance(k1, LoweredKernel)
+    assert k1 is k2                      # same staged object, no rework
+    assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
+
+
+def test_negative_verdict_cached_and_replayed():
+    cache = KernelCache()
+    zl = ZOO["general/RI"]
+    info = analyze_loop(zl.loop, zl.funcs)
+    for _ in range(2):
+        with pytest.raises(KernelFallback) as ei:
+            cache.lower(info, zl.funcs)
+        assert ei.value.reason == "dispatcher:list"
+    assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
+
+
+def test_funcs_fingerprint_separates_tables():
+    # the same loop must re-classify when the table's capabilities
+    # change — a vector_impl appearing flips the verdict
+    loop = WhileLoop([Assign("i", Const(1))], le_(Var("i"), Var("n")),
+                     [ArrayAssign("A", Var("i"), Call("f", (Var("i"),))),
+                      Assign("i", Var("i") + 1)], name="fp")
+
+    def make_funcs(vec):
+        ft = FunctionTable()
+        ft.register("f", lambda ctx, x: float(x), cost=1, pure=True,
+                    vector_impl=(lambda store, i: i.astype(float))
+                    if vec else None)
+        return ft
+
+    cache = KernelCache()
+    plain = make_funcs(False)
+    with pytest.raises(KernelFallback) as ei:
+        cache.lower(analyze_loop(loop, plain), plain)
+    assert ei.value.reason == "no-vector-impl:f"
+    vec = make_funcs(True)
+    k = cache.lower(analyze_loop(loop, vec), vec)
+    assert isinstance(k, LoweredKernel)
+    assert len(cache) == 2               # distinct keys, no collision
+
+
+def test_lru_eviction():
+    cache = KernelCache(maxsize=2)
+    infos = []
+    for n, name in enumerate(("a", "b", "c")):
+        loop = WhileLoop([Assign("i", Const(1))],
+                         le_(Var("i"), Const(8 + n)),
+                         [ArrayAssign(name.upper(), Var("i"), Var("i")),
+                          Assign("i", Var("i") + 1)], name=name)
+        infos.append(analyze_loop(loop, FunctionTable()))
+    ft = FunctionTable()
+    for info in infos:
+        cache.lower(info, ft)
+    assert len(cache) == 2               # "a" evicted
+    cache.lower(infos[0], ft)
+    assert cache.misses == 4             # re-lowered, not a hit
+
+
+def test_run_kernel_uses_process_cache_and_reports_it():
+    zl = ZOO["mono-induction/RI"]
+    info = analyze_loop(zl.loop, zl.funcs)
+    st1, st2 = zl.make_store(), zl.make_store()
+    r1 = run_kernel(info, st1, zl.funcs)
+    r2 = run_kernel(info, st2, zl.funcs)
+    assert r1.stats["kernels"]["cache"] == "miss"
+    assert r2.stats["kernels"]["cache"] == "hit"
+    assert kernel_cache().stats()["entries"] == 1
+    assert st1.equals(st2)
+
+
+def test_clear_resets_counters():
+    cache = KernelCache()
+    info, funcs = _mono_info()
+    cache.lower(info, funcs)
+    cache.clear()
+    assert cache.stats() == {"hits": 0, "misses": 0, "entries": 0}

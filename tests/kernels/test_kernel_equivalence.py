@@ -1,0 +1,179 @@
+"""Kernel-tier exactness: bit-identical stores or an untouched store.
+
+The tier's contract (``docs/kernels.md``): when ``run_kernel``
+completes, the committed store equals the sequential interpreter's bit
+for bit — dtypes, float rounding, final scalar values, iteration count;
+when it raises :class:`~repro.errors.KernelFallback`, the store is
+exactly as it was.  No third outcome.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.loopinfo import analyze_loop
+from repro.errors import KernelFallback
+from repro.ir.functions import FunctionTable
+from repro.ir.interp import SequentialInterp
+from repro.ir.nodes import (
+    ArrayAssign,
+    ArrayRef,
+    Assign,
+    Const,
+    Var,
+    WhileLoop,
+    le_,
+    lt_,
+)
+from repro.ir.store import Store
+from repro.kernels import run_kernel
+from repro.kernels.cache import reset_kernel_cache
+from repro.runtime.costs import FREE
+from repro.workloads.bench import make_doall_bench, make_saxpy_bench
+from repro.workloads.zoo import make_zoo
+
+ZOO = {z.name: z for z in make_zoo(48)}
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    reset_kernel_cache()
+    yield
+    reset_kernel_cache()
+
+
+def _seq(loop, funcs, store):
+    return SequentialInterp(loop, funcs, FREE).run(store)
+
+
+def _assert_kernel_matches(loop, funcs, make_store, **kw):
+    ref = make_store()
+    seq = _seq(loop, funcs, ref)
+    st = make_store()
+    res = run_kernel(analyze_loop(loop, funcs), st, funcs, **kw)
+    assert st.equals(ref), st.diff(ref)
+    assert res.n_iters == seq.n_iters
+    assert res.exited_in_body is False
+    assert res.stats["backend"] == "kernel"
+    return res
+
+
+class TestBitEquality:
+    def test_zoo_mono_ri(self):
+        zl = ZOO["mono-induction/RI"]
+        res = _assert_kernel_matches(zl.loop, zl.funcs, zl.make_store)
+        assert res.stats["kernels"]["method"] == "closed-form"
+
+    def test_saxpy_bench(self):
+        bl = make_saxpy_bench(5_000)
+        _assert_kernel_matches(bl.loop, bl.funcs, bl.make_store)
+
+    def test_doall_bench_with_vector_intrinsic(self):
+        bl = make_doall_bench(n=32, work=500)
+        _assert_kernel_matches(bl.loop, bl.funcs, bl.make_store)
+
+    def test_float_induction_rounding(self):
+        # x accumulates 0.7 — every partial sum must match Python's
+        # float arithmetic exactly, including the published scalar
+        loop = WhileLoop(
+            [Assign("x", Const(0.0))], lt_(Var("x"), Const(5.0)),
+            [ArrayAssign("y", Var("x") * 2, Var("x") + 0.5),
+             Assign("x", Var("x") + 0.7)], name="float-ind")
+        mk = lambda: Store({"y": np.zeros(16)})
+        _assert_kernel_matches(loop, FunctionTable(), mk)
+        st = mk()
+        run_kernel(analyze_loop(loop, FunctionTable()), st,
+                   FunctionTable())
+        ref = mk()
+        _seq(loop, FunctionTable(), ref)
+        assert st["x"] == ref["x"]   # bit-equal accumulated float
+
+    def test_affine_dispatcher_with_pd(self):
+        loop = WhileLoop(
+            [Assign("r", Const(1))], lt_(Var("r"), Const(10_000)),
+            [ArrayAssign("A", Var("r") % 97, Var("r")),
+             Assign("r", Var("r") * 2 + 1)], name="affine-pd")
+        mk = lambda: Store({"A": np.zeros(97)})
+        res = _assert_kernel_matches(loop, FunctionTable(), mk)
+        assert res.stats["kernels"]["method"].startswith("affine")
+        assert res.stats["kernels"]["pd"] is True
+
+    def test_read_modify_write_same_index(self):
+        loop = WhileLoop(
+            [Assign("i", Const(0))], lt_(Var("i"), Var("n")),
+            [ArrayAssign("A", Var("i"), ArrayRef("A", Var("i")) * 3 + 1),
+             Assign("i", Var("i") + 1)], name="rmw")
+        mk = lambda: Store({"A": np.arange(64, dtype=np.float64),
+                            "n": 64})
+        _assert_kernel_matches(loop, FunctionTable(), mk)
+
+    def test_scalar_temps_publish_last_iteration(self):
+        loop = WhileLoop(
+            [Assign("i", Const(1))], le_(Var("i"), Var("n")),
+            [Assign("t", Var("i") * 10),
+             ArrayAssign("A", Var("i"), Var("t")),
+             Assign("i", Var("i") + 1)], name="temps")
+        mk = lambda: Store({"A": np.zeros(50), "n": 48})
+        _assert_kernel_matches(loop, FunctionTable(), mk)
+        st = mk()
+        run_kernel(analyze_loop(loop, FunctionTable()), st,
+                   FunctionTable())
+        assert st["t"] == 480        # last iteration's value
+        assert st["i"] == 49         # final dispatcher value
+
+    def test_zero_iteration_loop(self):
+        loop = WhileLoop(
+            [Assign("i", Const(5))], lt_(Var("i"), Var("n")),
+            [ArrayAssign("A", Var("i"), Var("i")),
+             Assign("i", Var("i") + 1)], name="empty")
+        mk = lambda: Store({"A": np.zeros(8), "n": 0})
+        res = _assert_kernel_matches(loop, FunctionTable(), mk)
+        assert res.n_iters == 0
+
+
+class TestFallbackPurity:
+    """A dynamic fallback must leave the store byte-identical."""
+
+    def _expect_fallback(self, loop, funcs, store, reason_prefix):
+        snapshot = store.copy()
+        with pytest.raises(KernelFallback) as ei:
+            run_kernel(analyze_loop(loop, funcs), store, funcs)
+        assert ei.value.reason.startswith(reason_prefix), ei.value.reason
+        assert store.equals(snapshot)
+
+    def test_write_collision_leaves_store_untouched(self):
+        zl = ZOO["associative/RI"]    # reduction: every write hits A[0]
+        self._expect_fallback(zl.loop, zl.funcs, zl.make_store(),
+                              "write-collision")
+
+    def test_out_of_bounds_write(self):
+        loop = WhileLoop(
+            [Assign("i", Const(0))], lt_(Var("i"), Var("n")),
+            [ArrayAssign("A", Var("i"), Var("i")),
+             Assign("i", Var("i") + 1)], name="oob")
+        store = Store({"A": np.zeros(4), "n": 100})
+        self._expect_fallback(loop, FunctionTable(), store, "oob-write")
+
+    def test_division_hazard_diverts_to_interpreter(self):
+        # iteration i=3 divides by zero; Python raises, NumPy warns —
+        # the tier must refuse rather than mask the exception
+        loop = WhileLoop(
+            [Assign("i", Const(0))], lt_(Var("i"), Var("n")),
+            [ArrayAssign("A", Var("i"),
+                         Const(10.0) / (Var("i") - Const(3))),
+             Assign("i", Var("i") + 1)], name="divz")
+        store = Store({"A": np.zeros(8), "n": 8})
+        self._expect_fallback(loop, FunctionTable(), store, "div-zero")
+
+    def test_unbounded_search_cap(self):
+        # RI cond that never goes false within the search cap
+        loop = WhileLoop(
+            [Assign("i", Const(0))],
+            lt_(Var("i") * Const(0), Const(1)),
+            [ArrayAssign("A", Var("i"), Var("i")),
+             Assign("i", Var("i") + 1)], name="forever")
+        store = Store({"A": np.zeros(8)})
+        snapshot = store.copy()
+        with pytest.raises(KernelFallback):
+            run_kernel(analyze_loop(loop, FunctionTable()), store,
+                       FunctionTable(), u=64)
+        assert store.equals(snapshot)

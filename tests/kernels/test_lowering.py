@@ -1,0 +1,188 @@
+"""Lowering classification: what the kernel tier admits and why not.
+
+Every rejection carries a stable reason string (the documented
+vocabulary in ``docs/kernels.md``); these tests pin both the admitted
+structures and the exact reason for each rejected one.
+"""
+
+import pytest
+
+from repro.analysis.loopinfo import analyze_loop
+from repro.errors import KernelFallback
+from repro.ir.functions import FunctionTable
+from repro.ir.nodes import (
+    ArrayAssign,
+    ArrayRef,
+    Assign,
+    Call,
+    Const,
+    Exit,
+    ExprStmt,
+    If,
+    Var,
+    WhileLoop,
+    ge_,
+    le_,
+    lt_,
+)
+from repro.kernels.lowering import lower_loop
+from repro.workloads.zoo import make_zoo
+
+ZOO = {z.name: z for z in make_zoo(48)}
+
+
+def _lower(loop, funcs=None):
+    funcs = funcs or FunctionTable()
+    return lower_loop(analyze_loop(loop, funcs), funcs)
+
+
+def _reason(loop, funcs=None):
+    with pytest.raises(KernelFallback) as ei:
+        _lower(loop, funcs)
+    return ei.value.reason
+
+
+def _simple(body, cond=None, init=None, name="k"):
+    return WhileLoop(init or [Assign("i", Const(1))],
+                     cond if cond is not None else le_(Var("i"), Var("n")),
+                     body + [Assign("i", Var("i") + 1)], name=name)
+
+
+class TestAdmitted:
+    def test_mono_ri_zoo_loop_lowers(self):
+        zl = ZOO["mono-induction/RI"]
+        k = _lower(zl.loop, zl.funcs)
+        assert k.dispatcher.var == "i"
+        assert k.simple_bound is not None
+        op, limit = k.simple_bound
+        assert op == "<="
+        assert limit == Var("n")
+        assert "A" in k.written_arrays
+        assert k.needs_pd is False
+
+    def test_flipped_threshold_normalizes(self):
+        # limit on the left: ``n >= i`` must read as ``i <= n``
+        loop = WhileLoop([Assign("i", Const(1))], ge_(Var("n"), Var("i")),
+                         [ArrayAssign("A", Var("i"), Var("i")),
+                          Assign("i", Var("i") + 1)], name="flip")
+        k = _lower(loop)
+        assert k.simple_bound == ("<=", Var("n"))
+
+    def test_body_scalars_in_first_assignment_order(self):
+        loop = _simple([Assign("t", Var("i") * 2),
+                        Assign("s", Var("t") + 1),
+                        ArrayAssign("A", Var("i"), Var("s")),
+                        Assign("t", Var("s"))])
+        k = _lower(loop)
+        assert k.body_scalars == ("t", "s")
+
+    def test_affine_dispatcher_admitted(self):
+        loop = WhileLoop([Assign("r", Const(1))], lt_(Var("r"), Var("n")),
+                         [ArrayAssign("A", Var("r") % 97, Var("r")),
+                          Assign("r", Var("r") * 2 + 1)], name="affine")
+        k = _lower(loop)
+        assert k.dispatcher.var == "r"
+        # irregular subscript -> runtime PD validation required
+        assert k.needs_pd is True
+
+    def test_same_index_read_of_written_array_admitted(self):
+        loop = _simple([ArrayAssign("A", Var("i"),
+                                    ArrayRef("A", Var("i")) + 1)])
+        k = _lower(loop)
+        assert k.written_arrays["A"][1] == Var("i")
+
+
+class TestRejections:
+    def test_zoo_cells_classify_exactly(self):
+        expect = {
+            "mono-induction/RV": "rv-terminator",
+            "nonmono-induction/RV": "rv-terminator",
+            "associative/RV": "rv-terminator",
+            "nonmono-induction/RI": "cond-reads-array",
+            "general/RI": "dispatcher:list",
+            "general/RV": "dispatcher:list",
+        }
+        for name, reason in expect.items():
+            zl = ZOO[name]
+            assert _reason(zl.loop, zl.funcs) == reason, name
+
+    def test_associative_ri_lowers_statically(self):
+        # the reduction's write collision is a *dynamic* hazard: the
+        # structure is admitted (with PD required) and the runner must
+        # catch the collision per batch, never the classifier
+        zl = ZOO["associative/RI"]
+        k = _lower(zl.loop, zl.funcs)
+        assert k.needs_pd is True
+
+    def test_exit_site(self):
+        loop = _simple([If(le_(Var("i"), Const(3)), [Exit()]),
+                        ArrayAssign("A", Var("i"), Var("i"))])
+        assert _reason(loop) == "exit-sites"
+
+    def test_if_statement(self):
+        loop = _simple([If(le_(Var("i"), Const(3)),
+                           [ArrayAssign("A", Var("i"), Var("i"))])])
+        assert _reason(loop) == "stmt:If"
+
+    def test_cond_reading_array(self):
+        loop = WhileLoop([Assign("i", Const(1))],
+                         lt_(ArrayRef("A", Var("i")), Var("n")),
+                         [ArrayAssign("B", Var("i"), Var("i")),
+                          Assign("i", Var("i") + 1)], name="cra")
+        assert _reason(loop) == "cond-reads-array"
+
+    def test_cond_with_division(self):
+        loop = WhileLoop([Assign("i", Const(1))],
+                         lt_(Var("i") / Const(2), Var("n")),
+                         [ArrayAssign("A", Var("i"), Var("i")),
+                          Assign("i", Var("i") + 1)], name="cdiv")
+        assert _reason(loop) == "cond-op:/"
+
+    def test_multi_write_same_array(self):
+        loop = _simple([ArrayAssign("A", Var("i"), Var("i")),
+                        ArrayAssign("A", Var("i") + 1, Var("i"))])
+        assert _reason(loop) == "multi-write:A"
+
+    def test_aliased_read_different_index(self):
+        loop = _simple([ArrayAssign("A", Var("i"),
+                                    ArrayRef("A", Var("i") - 1))])
+        assert _reason(loop) == "aliased-read:A"
+
+    def test_loop_carried_scalar(self):
+        # ``s`` is read before its first write in the iteration, so the
+        # read sees the previous iteration's value — inherently serial
+        loop = _simple([Assign("t", Var("s") + 1),
+                        Assign("s", Var("t")),
+                        ArrayAssign("A", Var("i"), Var("t"))],
+                       init=[Assign("i", Const(1)), Assign("s", Const(0))])
+        assert _reason(loop) == "scalar-carried:s"
+
+    def test_scalar_written_then_read_is_fine(self):
+        loop = _simple([Assign("s", Var("i") * 3),
+                        ArrayAssign("A", Var("i"), Var("s"))])
+        assert _lower(loop).body_scalars == ("s",)
+
+    def test_pow(self):
+        loop = _simple([ArrayAssign("A", Var("i"), Var("i") ** 2)])
+        assert _reason(loop) == "pow"
+
+    def test_dispatcher_read_after_update(self):
+        loop = WhileLoop([Assign("i", Const(1))], le_(Var("i"), Var("n")),
+                         [Assign("i", Var("i") + 1),
+                          ArrayAssign("A", Var("i"), Var("i"))],
+                         name="after")
+        assert _reason(loop) == "dispatcher-read-after-update"
+
+    def test_call_without_vector_impl(self):
+        ft = FunctionTable()
+        ft.register("f", lambda ctx, x: float(x), cost=1, pure=True)
+        loop = _simple([ArrayAssign("A", Var("i"),
+                                    Call("f", (Var("i"),)))])
+        assert _reason(loop, ft) == "no-vector-impl:f"
+
+    def test_impure_call(self):
+        ft = FunctionTable()
+        ft.register("w", lambda ctx, x: ctx.write("B", 0, float(x)),
+                    cost=1, writes=("B",))
+        loop = _simple([ExprStmt(Call("w", (Var("i"),)))])
+        assert _reason(loop, ft) == "impure-call:w"

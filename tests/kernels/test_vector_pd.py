@@ -1,0 +1,146 @@
+"""Vectorized PD shadows vs. the interpreted per-access marker.
+
+``vectorized_pd_shadows`` must produce exactly the stamp vectors the
+interpreted :class:`~repro.speculation.pdtest.ShadowArrays` builds one
+``on_read``/``on_write`` hook at a time — same ``w1/w2/r1/r2``, hence
+the same :func:`~repro.speculation.pdtest.analyze_pd` verdict for any
+cut-off.  The interpreted marker is replayed here access by access as
+the ground truth.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ir.store import Store
+from repro.kernels.vector_pd import KernelShadows, vectorized_pd_shadows
+from repro.runtime.machine import Machine
+from repro.speculation.pdtest import INF, ShadowArrays, analyze_pd
+
+
+class _Ctx:
+    """Minimal EvalContext stand-in for driving the hooks directly."""
+
+    class _Cost:
+        shadow_mark = 0
+
+    cost = _Cost()
+
+    def __init__(self):
+        self.cycles = 0
+        self.iteration = 0
+
+
+def _interpreted(size, writes, reads, *, first_iteration=1):
+    """Replay one batch through the per-access marker.
+
+    Sequential semantics of the lowered body shape: the (single) read
+    site evaluates before the write site each iteration, and exposure
+    is tracked per iteration via ``begin_iteration``.
+    """
+    shadows = ShadowArrays(Store({"A": np.zeros(size)}), ["A"])
+    ctx = _Ctx()
+    n = max(len(writes) if writes is not None else 0,
+            len(reads) if reads is not None else 0)
+    for k in range(n):
+        it = first_iteration + k
+        shadows.begin_iteration(it)
+        ctx.iteration = it
+        if reads is not None and k < len(reads):
+            shadows.on_read(ctx, "A", int(reads[k]))
+        if writes is not None and k < len(writes):
+            shadows.on_write(ctx, "A", int(writes[k]), 0, 0)
+    return shadows
+
+
+def _vectorized(size, writes, reads, *, first_iteration=1):
+    return vectorized_pd_shadows(
+        {"A": size},
+        {"A": writes} if writes is not None else {},
+        {"A": [reads]} if reads is not None else {},
+        first_iteration=first_iteration)
+
+
+def _assert_same_stamps(a, b):
+    for slot in ("w1", "w2", "r1", "r2"):
+        av, bv = getattr(a, slot)["A"], getattr(b, slot)["A"]
+        assert np.array_equal(av, bv), (slot, av, bv)
+
+
+SIZES_SEEDS = [(8, 0), (8, 1), (32, 2), (32, 3), (97, 4), (5, 5)]
+
+
+@pytest.mark.parametrize("size,seed", SIZES_SEEDS)
+def test_random_batches_match_interpreted_marker(size, seed):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(1, 4 * size))
+    writes = rng.integers(0, size, n).astype(np.int64)
+    reads = rng.integers(0, size, n).astype(np.int64)
+    _assert_same_stamps(_interpreted(size, writes, reads),
+                        _vectorized(size, writes, reads))
+
+
+@pytest.mark.parametrize("size,seed", SIZES_SEEDS)
+def test_verdict_agrees_for_every_cutoff(size, seed):
+    rng = np.random.default_rng(100 + seed)
+    n = int(rng.integers(1, 3 * size))
+    writes = rng.integers(0, size, n).astype(np.int64)
+    reads = rng.integers(0, size, n).astype(np.int64)
+    interp = _interpreted(size, writes, reads)
+    vec = _vectorized(size, writes, reads)
+    m = Machine(2)
+    for lvi in (None, n, n // 2, 1):
+        a = analyze_pd(interp, m, last_valid=lvi)
+        b = analyze_pd(vec, m, last_valid=lvi)
+        assert a.valid_as_is == b.valid_as_is
+        assert a.valid_privatized == b.valid_privatized
+        assert a.output_dep_elements == b.output_dep_elements
+        assert a.flow_anti_elements == b.flow_anti_elements
+
+
+def test_unique_writes_no_reads_is_valid():
+    writes = np.arange(16, dtype=np.int64)
+    vec = _vectorized(16, writes, None)
+    res = analyze_pd(vec, Machine(2))
+    assert res.valid_as_is
+    assert np.all(vec.w2["A"] == INF)
+
+
+def test_duplicate_write_fails_as_output_dependence():
+    writes = np.array([0, 1, 1, 2], dtype=np.int64)
+    res = analyze_pd(_vectorized(8, writes, None), Machine(2))
+    assert not res.valid_as_is
+    assert res.output_dep_elements == 1
+
+
+def test_same_iteration_duplicate_stamps_collapse():
+    # two accesses to one element from the SAME iteration must not
+    # count as two distinct stamps (the marker's ``k != r1`` guard)
+    vec = vectorized_pd_shadows(
+        {"A": 4},
+        {},
+        {"A": [np.array([2], dtype=np.int64),
+               np.array([2], dtype=np.int64)]},
+        first_iteration=1)
+    assert vec.r1["A"][2] == 1
+    assert vec.r2["A"][2] == INF
+
+
+def test_cross_iteration_read_write_pair_detected():
+    # iteration 1 writes element 0, iteration 2 reads it (exposed)
+    vec = vectorized_pd_shadows(
+        {"A": 4},
+        {"A": np.array([0, 3], dtype=np.int64)},
+        {"A": [np.array([1, 0], dtype=np.int64)]},
+        first_iteration=1)
+    res = analyze_pd(vec, Machine(2))
+    assert not res.valid_as_is
+    assert res.flow_anti_elements >= 1
+
+
+def test_accesses_and_words_accounting():
+    writes = np.arange(10, dtype=np.int64)
+    reads = np.arange(10, dtype=np.int64)
+    vec = _vectorized(32, writes, reads)
+    assert isinstance(vec, KernelShadows)
+    assert vec.accesses == 20
+    assert vec.words == 4 * 32

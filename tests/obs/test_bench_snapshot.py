@@ -194,7 +194,8 @@ class TestRecordBench:
     def test_record_bench_smoke(self, tmp_path):
         snap, path = record_bench(
             repo_root=str(tmp_path), pr=6, n=8, work=200, workers=2,
-            backends=("threads",), schemes=("doall",), repeats=1)
+            backends=("threads",), schemes=("doall",), repeats=1,
+            kernels=False)
         assert path.endswith("BENCH_6.json")
         loaded = BenchSnapshot.load(path)
         assert [r.key for r in loaded.runs] == \
@@ -212,8 +213,17 @@ class TestRecordBench:
         # the comparator sees the identical measurement as non-regressed
         fresh = measure_bench(n=8, work=200, workers=2,
                               backends=("threads",), schemes=("doall",),
-                              repeats=1)
+                              repeats=1, kernels=False)
         assert compare_snapshots(loaded, fresh, tolerance=0.9).ok
+
+    def test_record_bench_includes_kernel_rows_by_default(self, tmp_path):
+        snap, _ = record_bench(
+            repo_root=str(tmp_path), pr=7, n=8, work=200, workers=2,
+            backends=("threads",), schemes=("doall",), repeats=1)
+        kernel_rows = [r for r in snap.runs if r.backend == "kernel"]
+        assert {r.loop for r in kernel_rows} == \
+            {"doall-bench", "saxpy-bench"}
+        assert all(r.scheme == "kernel" and r.correct for r in kernel_rows)
 
     def test_unknown_scheme_rejected(self):
         with pytest.raises(ValueError, match="unknown bench scheme"):
