@@ -103,8 +103,11 @@ def parallelize(
     min_speedup:
         Cost-model threshold below which the loop stays sequential.
     backend:
-        ``"sim"`` (virtual-time machine, default), ``"threads"`` or
-        ``"procs"`` (real workers — see ``docs/backends.md``).  With a
+        ``"sim"`` (virtual-time machine, default), ``"threads"``,
+        ``"procs"`` (real workers — see ``docs/backends.md``), or
+        ``"pool"`` (the persistent worker-pool service — pre-forked
+        workers, leased shm arena, admission control and a built-in
+        per-job degradation ladder; see ``docs/service.md``).  With a
         real backend, ``t_seq`` and ``result.t_par`` are wall-clock
         **nanoseconds** instead of virtual cycles, so
         :attr:`Outcome.speedup` is a measured wall-clock speedup.
@@ -153,9 +156,9 @@ def parallelize(
     """
     funcs = funcs or FunctionTable()
     info = ensure_info(loop_or_info, funcs)
-    if backend not in ("sim", "threads", "procs"):
+    if backend not in ("sim", "threads", "procs", "pool"):
         raise PlanError(f"unknown backend {backend!r}; expected "
-                        f"'sim', 'threads', or 'procs'")
+                        f"'sim', 'threads', 'procs', or 'pool'")
     if backend == "sim" and (resilience or fault_plan is not None):
         raise PlanError(
             "resilience/fault_plan apply to real backends only — the "

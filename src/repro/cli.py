@@ -297,11 +297,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
-    from repro.runtime.supervisor import CHAOS_FAULTS, chaos_matrix
-
-    kinds = tuple(args.kinds) if args.kinds else CHAOS_FAULTS
-    report = chaos_matrix(mode=args.mode, workers=args.workers,
-                          kinds=kinds, deadline_s=args.deadline)
+    if args.pool:
+        from repro.service.chaos import (POOL_CHAOS_FAULTS,
+                                         pool_chaos_matrix)
+        kinds = tuple(args.kinds) if args.kinds else POOL_CHAOS_FAULTS
+        report = pool_chaos_matrix(workers=args.workers, kinds=kinds,
+                                   deadline_s=args.deadline)
+    else:
+        from repro.runtime.supervisor import CHAOS_FAULTS, chaos_matrix
+        kinds = tuple(args.kinds) if args.kinds else CHAOS_FAULTS
+        report = chaos_matrix(mode=args.mode, workers=args.workers,
+                              kinds=kinds, deadline_s=args.deadline)
     text = report.render()
     print(text)
     if args.out:
@@ -309,6 +315,77 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             fh.write(text + "\n")
         print(f"\nwrote report to {args.out}")
     return 0 if report.all_recovered else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the persistent worker-pool service in the foreground.
+
+    Starts the pool, optionally drives a self-test stream of zoo jobs
+    through it (the default — a serve invocation should prove the
+    service works), and exits with the health report.  ``--forever``
+    parks the pool after the stream and serves until SIGTERM/SIGINT,
+    which triggers a graceful drain.
+    """
+    import time as _time
+
+    from repro.analysis.loopinfo import analyze_loop
+    from repro.ir.interp import SequentialInterp
+    from repro.runtime.costs import FREE
+    from repro.service.admission import AdmissionConfig
+    from repro.service.pool import PoolConfig, WorkerPool
+    from repro.workloads.zoo import make_zoo
+
+    config = PoolConfig(
+        workers=args.workers,
+        liveness_deadline_s=args.liveness,
+        job_deadline_s=args.deadline,
+        admission=AdmissionConfig(capacity=args.capacity))
+    pool = WorkerPool(config).start()
+    pool.install_signal_handlers()
+    print(f"pool serving: {args.workers} workers, "
+          f"admission capacity {args.capacity}, "
+          f"liveness deadline {args.liveness:.1f}s")
+
+    rc = 0
+    try:
+        if args.jobs:
+            zoo = {z.name: z for z in make_zoo(48)}
+            cells = [("mono-induction/RI", "doall"),
+                     ("general/RI", "general-3"),
+                     ("general/RI", "general-2")]
+            failures = 0
+            t0 = _time.perf_counter()
+            for i in range(args.jobs):
+                name, scheme = cells[i % len(cells)]
+                zl = zoo[name]
+                info = analyze_loop(zl.loop, zl.funcs)
+                ref = zl.make_store()
+                SequentialInterp(zl.loop, zl.funcs, FREE).run(ref)
+                st = zl.make_store()
+                pool.submit(info, st, zl.funcs, scheme=scheme, u=96)
+                if not st.equals(ref):
+                    failures += 1
+            wall = _time.perf_counter() - t0
+            print(f"self-test: {args.jobs} jobs in {wall:.2f}s "
+                  f"({wall / args.jobs * 1e3:.1f} ms/job), "
+                  f"{failures} store mismatches")
+            rc = 1 if failures else 0
+        if args.forever:
+            print("serving until SIGTERM/SIGINT ...")
+            while True:
+                _time.sleep(1.0)
+    except SystemExit as exc:
+        # install_signal_handlers: the pool already drained + closed.
+        print("\nreceived shutdown signal, pool drained")
+        rc = rc or (0 if exc.code in (0, 130, 143) else 1)
+    finally:
+        pool.close()
+    health = pool.health()
+    print(json.dumps(health, indent=2))
+    w = health["workers"]
+    if w["alive"] not in (0, w["configured"]):
+        rc = rc or 1
+    return rc
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
@@ -365,7 +442,7 @@ def _emit_bench(args: argparse.Namespace, text: str, payload) -> None:
         print(f"\nwrote {args.format} report to {args.out}")
 
 
-def _bench_step_summary(comp) -> None:
+def _bench_step_summary(comp, extra_lines=()) -> None:
     """Append the --against verdict table to ``$GITHUB_STEP_SUMMARY``.
 
     CI treats machine-relative bench comparisons as advisory (runner
@@ -392,6 +469,8 @@ def _bench_step_summary(comp) -> None:
                 "improvement": "✅ improvement"}.get(r.verdict, r.verdict)
         lines.append(f"| {r.loop} | {r.scheme} | {r.backend} | "
                      f"{old} | {new} | {ratio} | {mark} |")
+    for extra in extra_lines:
+        lines.extend(["", extra])
     try:
         with open(path, "a", encoding="utf-8") as fh:
             fh.write("\n".join(lines) + "\n\n")
@@ -405,7 +484,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         BenchSnapshot,
         compare_snapshots,
         measure_bench,
+        pool_amortization,
         record_bench,
+        render_pool_amortization,
         render_snapshot,
     )
 
@@ -425,8 +506,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             pr=args.pr, n=args.n or 64, work=args.work or 20_000,
             workers=args.workers, backends=tuple(args.backends),
             schemes=args.schemes, repeats=args.repeats,
-            kernels=not args.no_kernels)
+            kernels=not args.no_kernels, pool=not args.no_pool)
         _emit_bench(args, render_snapshot(snap), snap.to_payload())
+        verdict = pool_amortization(snap.runs)
+        if verdict is not None:
+            print(render_pool_amortization(verdict))
         print(f"\nwrote snapshot to {path}")
         return 1 if any(not r.correct for r in snap.runs) else 0
 
@@ -438,7 +522,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             work=args.work or ref.work or 20_000,
             workers=args.workers, backends=tuple(args.backends),
             schemes=args.schemes, repeats=args.repeats,
-            kernels=not args.no_kernels)
+            kernels=not args.no_kernels, pool=not args.no_pool)
         comp = compare_snapshots(baseline, runs,
                                  tolerance=args.tolerance)
         payload = {
@@ -447,8 +531,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             "ok": comp.ok,
             "rows": [vars(r) for r in comp.rows],
         }
+        verdict = pool_amortization(runs)
+        extra = ()
+        if verdict is not None:
+            payload["pool_amortization"] = verdict
+            extra = (render_pool_amortization(verdict),)
         _emit_bench(args, comp.render(), payload)
-        _bench_step_summary(comp)
+        if extra:
+            print(extra[0])
+        _bench_step_summary(comp, extra_lines=extra)
         return 0 if comp.ok else 1
 
     report = compare_backends(
@@ -574,7 +665,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_rn = sub.add_parser(
         "run", help="plan and execute a Python while loop on a backend")
     p_rn.add_argument("file")
-    p_rn.add_argument("--backend", choices=("sim", "threads", "procs"),
+    p_rn.add_argument("--backend",
+                      choices=("sim", "threads", "procs", "pool"),
                       default="sim",
                       help="execution backend (default: sim, the "
                       "virtual-time machine)")
@@ -659,6 +751,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_bn.add_argument("--no-kernels", action="store_true",
                       help="skip the vectorized kernel-tier rows in "
                       "--record/--against measurements")
+    p_bn.add_argument("--no-pool", action="store_true",
+                      help="skip the warm-pool amortization row in "
+                      "--record/--against measurements")
     p_bn.set_defaults(fn=_cmd_bench)
 
     p_ch = sub.add_parser(
@@ -673,7 +768,32 @@ def main(argv: Optional[List[str]] = None) -> int:
                       "seconds (default: 5.0)")
     p_ch.add_argument("--out", default=None,
                       help="also write the report to this file")
+    p_ch.add_argument("--pool", action="store_true",
+                      help="run the matrix against the persistent "
+                      "worker pool (kinds: crash, hang, lease-expiry) "
+                      "instead of the per-call backend")
     p_ch.set_defaults(fn=_cmd_chaos)
+
+    p_sv = sub.add_parser(
+        "serve", help="run the persistent worker-pool service "
+        "(self-test job stream, then optional foreground serving)")
+    p_sv.add_argument("--workers", type=int, default=2,
+                      help="pre-forked pool workers (default: 2)")
+    p_sv.add_argument("--capacity", type=int, default=8,
+                      help="admission queue capacity (default: 8)")
+    p_sv.add_argument("--liveness", type=float, default=5.0,
+                      help="worker heartbeat liveness deadline, "
+                      "seconds (default: 5.0)")
+    p_sv.add_argument("--deadline", type=float, default=60.0,
+                      help="per-job wall deadline, seconds "
+                      "(default: 60)")
+    p_sv.add_argument("--jobs", type=int, default=12,
+                      help="self-test jobs to stream through the pool "
+                      "before serving (default: 12; 0 skips)")
+    p_sv.add_argument("--forever", action="store_true",
+                      help="keep serving after the self-test until "
+                      "SIGTERM/SIGINT (graceful drain)")
+    p_sv.set_defaults(fn=_cmd_serve)
 
     p_fz = sub.add_parser(
         "fuzz", help="run a differential fuzz campaign (random "
@@ -683,7 +803,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_fz.add_argument("--seed", type=int, default=0,
                       help="campaign master seed (default: 0)")
     p_fz.add_argument("--backends", nargs="+", default=["sim"],
-                      choices=("sim", "threads", "procs"),
+                      choices=("sim", "threads", "procs", "pool"),
                       help="backends to check (default: sim)")
     p_fz.add_argument("--workers", type=int, default=2,
                       help="real-backend worker count (default: 2)")

@@ -159,6 +159,83 @@ class ShadowCorrupt(WorkerFault):
     kind = "corrupt-shadow"
 
 
+class LeaseExpired(WorkerFault):
+    """A shared-memory arena lease expired (or was revoked) mid-job.
+
+    Raised by the pool engine (:mod:`repro.service`) when the arena
+    sweeper reclaimed the job's segments before the job finished —
+    either because the pool failed to renew the lease (a stalled
+    parent) or because injection forced a zero TTL
+    (``lease-expiry`` fault specs).  Classified as a
+    :class:`WorkerFault` so the per-job ladder retries the job with a
+    fresh lease like any other system fault.
+    """
+
+    kind = "lease-expired"
+
+
+class JobCancelled(WorkerFault):
+    """The pool cancelled an in-flight job (drain or shutdown).
+
+    Carries any salvaged committed prefix (``salvage``) so the drain
+    path can finish the job degraded — threads or sequential — from
+    the last committed iteration instead of discarding the work.
+    """
+
+    kind = "cancelled"
+
+
+class PoolError(ExecutionError):
+    """Base class for persistent worker-pool service failures."""
+
+
+class PoolOverloaded(PoolError):
+    """The pool's admission controller rejected (shed) a job.
+
+    Raised *before* any execution: the bounded admission queue is
+    full, the pool is draining, or the job's predicted attainable
+    speedup (Section 7 ``Spat``) is below the shedding threshold while
+    the pool is under load.  The store is untouched; the caller may
+    run the loop sequentially or resubmit later.
+
+    ``reason``
+        Stable classification: ``"queue-full"``, ``"deadline"``,
+        ``"not-worthwhile"``, ``"draining"``, or ``"closed"``.
+    ``depth`` / ``capacity``
+        Admission-queue occupancy when the job was rejected.
+    ``sp_at``
+        The predicted attainable speedup that informed the verdict
+        (``None`` when no prediction was available).
+    """
+
+    def __init__(self, message: str, *, reason: str = "queue-full",
+                 depth: int = 0, capacity: int = 0,
+                 sp_at: "float | None" = None) -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.depth = depth
+        self.capacity = capacity
+        self.sp_at = sp_at
+
+
+class JobDeadlineExceeded(PoolOverloaded):
+    """A job's per-job deadline expired while it waited for admission.
+
+    A subclass of :class:`PoolOverloaded` (the job was *shed*, not
+    executed) so callers can treat every admission failure uniformly.
+    """
+
+    def __init__(self, message: str, *, deadline_s: float = 0.0,
+                 **kwargs) -> None:
+        kwargs.setdefault("reason", "deadline")
+        super().__init__(message, **kwargs)
+        self.deadline_s = deadline_s
+
+
+class PoolClosed(PoolError):
+    """A job was submitted to a pool that has been shut down."""
+
+
 class LadderExhausted(RealBackendError):
     """Every rung of the degradation ladder failed.
 

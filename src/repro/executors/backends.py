@@ -71,9 +71,11 @@ __all__ = ["BACKENDS", "REAL_BACKENDS", "KERNEL_MODES",
            "run_sequential_wall"]
 
 #: Every selectable backend, in documentation order.
-BACKENDS: Tuple[str, ...] = ("sim", "threads", "procs")
-#: Backends executed by :mod:`repro.runtime.procs`.
-REAL_BACKENDS: Tuple[str, ...] = ("threads", "procs")
+BACKENDS: Tuple[str, ...] = ("sim", "threads", "procs", "pool")
+#: Backends executed by :mod:`repro.runtime.procs` (``pool`` routes
+#: through the persistent service in :mod:`repro.service`, which
+#: plugs back into the same runtime via the engine seam).
+REAL_BACKENDS: Tuple[str, ...] = ("threads", "procs", "pool")
 #: Valid ``kernels=`` arguments for the vectorized tier.
 KERNEL_MODES: Tuple[str, ...] = ("auto", "off", "force")
 
@@ -197,6 +199,30 @@ def run_plan_on_backend(
     if speculative:
         kwargs["test_arrays"] = default_test_arrays(info)
         kwargs["privatize"] = tuple(plan.kwargs.get("privatize", ()))
+
+    if backend == "pool":
+        # The persistent service: pre-forked workers, leased shm
+        # arena, admission control, per-job ladder.  Supervision is
+        # built in (every job walks its pool ladder), so `resilience`
+        # only customizes the policy; the kernel tier is skipped —
+        # pool jobs exist to exercise the service runtime, and the
+        # predicted speedup instead feeds admission's load shedding.
+        if kernels == "force":
+            raise PlanError(
+                "kernels='force' is incompatible with backend='pool'; "
+                "pool jobs always run on the service workers")
+        from repro.runtime.supervisor import ResiliencePolicy
+        from repro.service.pool import get_default_pool
+        policy = (resilience
+                  if isinstance(resilience, ResiliencePolicy) else None)
+        sp_at = (plan.prediction.sp_at
+                 if plan.prediction is not None else None)
+        pool = get_default_pool(workers=workers)
+        return pool.submit(
+            info, store, funcs, scheme=real_scheme, workers=workers,
+            chunk=chunk, u=u, strip=strip, speculative=speculative,
+            fault_plan=fault_plan, policy=policy,
+            strict_exceptions=strict_exceptions, sp_at=sp_at, **kwargs)
 
     supervise = (resilience is not None and resilience is not False) \
         or (fault_plan is not None and resilience is not False)

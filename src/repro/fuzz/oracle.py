@@ -286,11 +286,12 @@ def check_program(
     prog:
         A generated (or corpus-loaded) program.
     backends:
-        Any of ``sim`` / ``threads`` / ``procs``.  ``sim`` fans out to
-        *every* applicable scheme via
+        Any of ``sim`` / ``threads`` / ``procs`` / ``pool``.  ``sim``
+        fans out to *every* applicable scheme via
         :func:`~repro.testing.check_equivalence`; real backends run the
         planner-chosen scheme through the full
-        :func:`~repro.api.parallelize` pipeline.
+        :func:`~repro.api.parallelize` pipeline (``pool`` through the
+        persistent worker-pool service).
     workers:
         Real-backend worker count.
     fault_plan:
@@ -346,7 +347,11 @@ def check_program(
                 verdict.skipped.append("sim: fault plans need real workers")
                 continue
             _check_sim(prog, truth, funcs, verdict)
-        elif backend in ("threads", "procs"):
+        elif backend in ("threads", "procs", "pool"):
+            # "pool" routes the same parallelize pipeline through the
+            # persistent worker-pool service (repro.service): same
+            # comparisons, but the run crosses the courier, the leased
+            # arena, and the pool's message-coordinated strip protocol.
             _check_real(prog, truth, backend, funcs, verdict,
                         workers=workers, fault_plan=fault_plan,
                         resilience=resilience,

@@ -41,7 +41,7 @@ __all__ = [
     "BENCH_VERSION", "DEFAULT_TOLERANCE", "BenchRun", "BenchSnapshot",
     "ComparisonRow", "BenchComparison", "default_pr_number",
     "measure_bench", "record_bench", "compare_snapshots",
-    "render_snapshot",
+    "render_snapshot", "pool_amortization", "render_pool_amortization",
 ]
 
 #: Snapshot schema version; bump on any incompatible payload change.
@@ -257,6 +257,7 @@ def measure_bench(
     schemes: Optional[Sequence[str]] = None,
     repeats: int = 3,
     kernels: bool = True,
+    pool: bool = False,
 ) -> List[BenchRun]:
     """Measure every requested scheme × backend cell.
 
@@ -276,6 +277,15 @@ def measure_bench(
     cost model prices the *interpreted* schemes), so their ``sp_pred``
     / ``t_*_pred`` fields are zero, and their phase dicts hold the
     ``kernel.*`` family instead of the worker phases.
+
+    With ``pool=True`` one warm-pool row rides along, keyed
+    ``scheme="doall", backend="pool"``: the same DOALL loop submitted
+    to a pre-warmed persistent :class:`~repro.service.pool.WorkerPool`
+    (the warmup job that forks workers and populates the arena is NOT
+    timed — amortized setup is the service's whole claim).  Paired
+    with the ``("doall", "procs")`` row — which pays spawn + export on
+    every call — it measures the amortization directly; see
+    :func:`pool_amortization` for the verdict.
     """
     from repro.analysis.loopinfo import analyze_loop
     from repro.ir.interp import SequentialInterp
@@ -387,6 +397,25 @@ def measure_bench(
                               t_b_pred=0.0, t_d_pred=0.0, t_a_pred=0.0,
                               wall_par_s=krun.wall_par_s)
                     trc.count(names.M_BENCH_RUNS)
+
+    if pool:
+        ppred = predict(profile, max(1, workers),
+                        uses_pd_test=False, needs_undo=False,
+                        min_speedup=0.0)
+        prun = _measure_pool_cell(bl, info, wall_seq, reference,
+                                  workers=workers, repeats=repeats,
+                                  n=n, work=work, pred=ppred)
+        runs.append(prun)
+        if trc.enabled:
+            trc.event(names.EV_COST_TELEMETRY, 0,
+                      loop=prun.loop, backend="pool",
+                      scheme=prun.scheme, sp_pred=prun.sp_pred,
+                      sp_meas=prun.speedup,
+                      sp_rel_error=prun.sp_rel_error,
+                      t_b_pred=prun.t_b_pred, t_d_pred=prun.t_d_pred,
+                      t_a_pred=prun.t_a_pred,
+                      wall_par_s=prun.wall_par_s)
+            trc.count(names.M_BENCH_RUNS)
     return runs
 
 
@@ -454,6 +483,99 @@ def _measure_kernel_cell(bl, info, wall_seq: float, reference,
         body_s=phases.get("kernel.body", 0.0),
         correct=correct,
         phases=phases)
+
+
+def _measure_pool_cell(bl, info, wall_seq: float, reference,
+                       *, workers: int, repeats: int, n: int, work: int,
+                       pred) -> BenchRun:
+    """One best-of-k warm-pool row on a dedicated `WorkerPool`.
+
+    The pool is started and warmed (one untimed job — fork, courier,
+    first arena lease) before measurement, so the kept wall time is
+    the marginal per-job cost a resident service pays: admission,
+    lease from the warm arena, dispatch, strips, reconcile.
+    """
+    from repro.obs.phases import PhaseProfiler, profiling
+    from repro.obs.profiles import loop_signature
+    from repro.service.pool import PoolConfig, WorkerPool
+
+    wall_par = None
+    phases: Dict[str, float] = {}
+    correct = True
+    p = WorkerPool(PoolConfig(workers=workers)).start()
+    try:
+        warm = bl.make_store()
+        p.submit(info, warm, bl.funcs, scheme="doall", u=n + 8)
+        correct = warm.equals(reference, rtol=1e-9, atol=1e-12)
+        for _ in range(max(1, repeats)):
+            store = bl.make_store()
+            with profiling(PhaseProfiler()):
+                t0 = time.perf_counter()
+                res = p.submit(info, store, bl.funcs, scheme="doall",
+                               u=n + 8)
+                wall = time.perf_counter() - t0
+            correct = correct and store.equals(reference, rtol=1e-9,
+                                               atol=1e-12)
+            if wall_par is None or wall < wall_par:
+                wall_par = wall
+                phases = dict(res.stats.get("phases", {}))
+    finally:
+        p.close()
+    from repro.runtime.costs import breakdown_from_phases
+    bd = breakdown_from_phases(phases)
+    speedup = wall_seq / wall_par if wall_par > 0 else 0.0
+    sp_err = (pred.sp_at - speedup) / speedup if speedup > 0 else 0.0
+    return BenchRun(
+        loop=bl.name, signature=loop_signature(bl.loop),
+        scheme="doall", backend="pool", workers=workers,
+        n=n, work=work,
+        wall_seq_s=wall_seq, wall_par_s=wall_par,
+        speedup=speedup, sp_pred=pred.sp_at, sp_rel_error=sp_err,
+        t_b_pred=pred.t_b, t_d_pred=pred.t_d, t_a_pred=pred.t_a,
+        t_b_meas_s=bd.t_b_s, t_a_meas_s=bd.t_a_s, body_s=bd.body_s,
+        correct=correct, phases=phases)
+
+
+def pool_amortization(runs: Sequence[BenchRun]
+                      ) -> Optional[Dict[str, Any]]:
+    """The warm-pool-vs-cold-spawn verdict from one set of runs.
+
+    Pairs the ``backend="pool"`` row with the same loop + scheme's
+    ``backend="procs"`` row (which pays worker spawn and store export
+    on every call) and reports whether the resident pool actually
+    amortized that setup away.  Returns ``None`` unless both rows are
+    present.
+    """
+    warm = next((r for r in runs if r.backend == "pool"), None)
+    if warm is None:
+        return None
+    cold = next((r for r in runs
+                 if r.backend == "procs" and r.loop == warm.loop
+                 and r.scheme == warm.scheme
+                 and r.workers == warm.workers), None)
+    if cold is None:
+        return None
+    return {
+        "loop": warm.loop, "scheme": warm.scheme,
+        "workers": warm.workers,
+        "warm_pool_s": warm.wall_par_s,
+        "cold_procs_s": cold.wall_par_s,
+        "ratio": (warm.wall_par_s / cold.wall_par_s
+                  if cold.wall_par_s > 0 else 0.0),
+        "amortized": warm.wall_par_s < cold.wall_par_s,
+    }
+
+
+def render_pool_amortization(verdict: Dict[str, Any]) -> str:
+    """One-line text form of a :func:`pool_amortization` verdict."""
+    gain = (verdict["cold_procs_s"] / verdict["warm_pool_s"]
+            if verdict["warm_pool_s"] > 0 else 0.0)
+    state = ("amortized" if verdict["amortized"]
+             else "NOT amortized")
+    return (f"pool amortization [{verdict['loop']}/{verdict['scheme']}"
+            f"/{verdict['workers']}w]: warm pool "
+            f"{verdict['warm_pool_s']:.4f}s vs cold procs "
+            f"{verdict['cold_procs_s']:.4f}s -> {gain:.2f}x ({state})")
 
 
 def record_bench(

@@ -56,6 +56,14 @@ __all__ = [
     "M_KERNEL_RUNS", "M_KERNEL_FALLBACKS", "M_KERNEL_ITERS",
     "M_KERNEL_CACHE_HITS", "M_KERNEL_CACHE_MISSES",
     "KERNEL_PHASES",
+    # persistent worker-pool service
+    "EV_POOL_JOB", "EV_POOL_SHED", "EV_POOL_BREAKER", "EV_POOL_REAP",
+    "M_POOL_JOBS", "M_POOL_JOBS_OK", "M_POOL_JOBS_FAILED",
+    "M_POOL_SHED", "M_POOL_RETRIES", "M_POOL_RESPAWNS",
+    "M_POOL_LEASES", "M_POOL_LEASE_EXPIRED", "M_POOL_ARENA_REUSE",
+    "M_POOL_QUEUE_DEPTH", "M_POOL_QUEUE_WAIT",
+    "M_FAULT_LEASE_EXPIRED", "M_FAULT_CANCELLED",
+    "POOL_PHASES",
 ]
 
 # -- event names (tracer spans / instants) -------------------------------
@@ -309,6 +317,57 @@ M_KERNEL_CACHE_MISSES = "kernel.cache.misses"
 KERNEL_PHASES = ("kernel.lower", "kernel.dispatch", "kernel.body",
                  "kernel.pd", "kernel.commit")
 
+# -- persistent worker-pool service (``repro.service``) ------------------
+
+#: Span: one pool job end-to-end — admission wait, lease, strips,
+#: reconciliation (attrs: job, loop, scheme, workers, attempts,
+#: outcome — "ok"/"fault"/"shed").
+EV_POOL_JOB = "pool.job"
+#: Instant: the admission controller shed a job (attrs: reason —
+#: PoolOverloaded.reason, depth, capacity, sp_at).
+EV_POOL_SHED = "pool.admission.shed"
+#: Instant: a per-scheme circuit breaker changed state (attrs: scheme,
+#: state — "open"/"half-open"/"closed", kind, consecutive).
+EV_POOL_BREAKER = "pool.breaker.transition"
+#: Instant: a dead or hung pool worker was reaped and respawned
+#: (attrs: worker, kind, exitcode, job).
+EV_POOL_REAP = "pool.worker.reap"
+
+#: Counter: jobs submitted to a pool (admitted or not).
+M_POOL_JOBS = "pool.jobs.submitted"
+#: Counter: pool jobs that completed successfully (any rung).
+M_POOL_JOBS_OK = "pool.jobs.ok"
+#: Counter: pool jobs that exhausted their retry budget / ladder.
+M_POOL_JOBS_FAILED = "pool.jobs.failed"
+#: Counter: jobs rejected by admission control (load shedding).
+M_POOL_SHED = "pool.jobs.shed"
+#: Counter: pool-level job retries (fresh lease + respawned workers).
+M_POOL_RETRIES = "pool.jobs.retries"
+#: Counter: pool workers reaped and respawned after a fault.
+M_POOL_RESPAWNS = "pool.workers.respawned"
+#: Counter: arena leases granted.
+M_POOL_LEASES = "pool.arena.leases"
+#: Counter: leases the arena sweeper revoked after TTL expiry.
+M_POOL_LEASE_EXPIRED = "pool.arena.leases_expired"
+#: Counter: segment allocations served from the arena free pool
+#: (vs a fresh ``shm_open`` — the amortization the service exists for).
+M_POOL_ARENA_REUSE = "pool.arena.segment_reuse"
+#: Gauge: admission-queue depth sampled at each submit.
+M_POOL_QUEUE_DEPTH = "pool.queue.depth"
+#: Histogram: seconds a job waited for admission before starting.
+M_POOL_QUEUE_WAIT = "pool.queue.wait_s"
+
+#: Counter: lease-expired faults (pool backend only).
+M_FAULT_LEASE_EXPIRED = "fault.kind.lease-expired"
+#: Counter: cancelled-job faults (pool drain/shutdown).
+M_FAULT_CANCELLED = "fault.kind.cancelled"
+
+#: Wall-clock phase names the pool service records: ``pool.queue`` —
+#: admission wait (bounded queue + job lock); ``pool.lease`` — arena
+#: lease grant and segment population; ``pool.dispatch`` — job blob
+#: courier encode + per-worker dispatch and strip coordination.
+POOL_PHASES = ("pool.queue", "pool.lease", "pool.dispatch")
+
 #: Per-kind fault counters keyed by the :class:`~repro.errors
 #: .WorkerFault` ``kind`` string.
 FAULT_KIND_METRICS = {
@@ -317,4 +376,6 @@ FAULT_KIND_METRICS = {
     "barrier": M_FAULT_BARRIER,
     "lost-result": M_FAULT_LOST_RESULT,
     "corrupt-shadow": M_FAULT_CORRUPT_SHADOW,
+    "lease-expired": M_FAULT_LEASE_EXPIRED,
+    "cancelled": M_FAULT_CANCELLED,
 }

@@ -64,11 +64,16 @@ __all__ = [
 #: vectorized kernel tier (:mod:`repro.kernels`) adds its own
 #: ``kernel.*`` family — lowering, dispatcher vector, batched body,
 #: vectorized PD, commit — so the profiler attributes a kernel run's
-#: wall time the same way it attributes an interpreted run's.
+#: wall time the same way it attributes an interpreted run's.  The
+#: persistent worker-pool service (:mod:`repro.service`) adds the
+#: ``pool.*`` family: ``pool.queue`` — admission wait; ``pool.lease``
+#: — arena lease grant + segment population; ``pool.dispatch`` — job
+#: shipping and strip coordination over the pool's message protocol.
 PHASES: Tuple[str, ...] = ("spawn", "shm-setup", "body", "pd-merge",
                            "quarantine", "reconcile", "fallback",
                            "kernel.lower", "kernel.dispatch",
-                           "kernel.body", "kernel.pd", "kernel.commit")
+                           "kernel.body", "kernel.pd", "kernel.commit",
+                           "pool.queue", "pool.lease", "pool.dispatch")
 
 
 @dataclass(frozen=True)

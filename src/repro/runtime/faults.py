@@ -38,6 +38,10 @@ Fault kinds (the taxonomy mirrors :mod:`repro.errors`):
                    guard (procs mode only; silently dropped under
                    threads, where workers share the parent's unguarded
                    arrays)
+``lease-expiry``   the job's shared-memory arena lease is granted with
+                   a zero TTL and never renewed, so the arena sweeper
+                   revokes it mid-job (pool backend only — the
+                   per-call backends have no leases and ignore it)
 =================  ====================================================
 
 CLI syntax (``repro run --inject-fault`` / ``repro chaos``)::
@@ -68,7 +72,7 @@ __all__ = ["FAULT_KINDS", "FaultSpec", "FaultPlan", "parse_fault_spec",
 #: Every injectable fault kind, in documentation order.
 FAULT_KINDS: Tuple[str, ...] = (
     "crash", "hang", "barrier", "drop-result", "corrupt-shadow",
-    "raise-at-iter", "oob-write")
+    "raise-at-iter", "oob-write", "lease-expiry")
 
 #: Impossible shadow stamp planted by ``corrupt-shadow`` (stamps are
 #: iteration numbers >= 1 or the INF sentinel; negatives cannot occur).
@@ -158,6 +162,15 @@ class FaultPlan:
         """The sub-plan armed on supervised attempt ``attempt``."""
         armed = tuple(s for s in self.specs if attempt in s.attempts)
         return FaultPlan(specs=armed, mode=self.mode) if armed else None
+
+    # -- parent-side hooks (consulted by repro.service) ------------------
+    def expires_lease(self) -> bool:
+        """True when an armed ``lease-expiry`` spec should zero the
+        job's arena-lease TTL (and suppress per-strip renewal) so the
+        sweeper revokes it mid-job.  Worker hooks ignore the kind; the
+        per-call backends run clean under it.
+        """
+        return any(s.kind == "lease-expiry" for s in self.specs)
 
     # -- worker-side hooks (called from repro.runtime.procs) -------------
     def fire_startup(self, wid: int, abort_check=None) -> None:

@@ -595,6 +595,30 @@ def _check_monitor(monitor) -> None:
         raise fault
 
 
+def _fold_records(gathered: _Gather, payload) -> None:
+    """Fold one chunk's iteration records into the gather state.
+
+    Shared by the per-call gather loop (:func:`_drain`) and the pool
+    engine's message-coordinated gather (:mod:`repro.service.pool`),
+    so both protocols account records identically.
+    """
+    gathered.chunks += 1
+    for k, outcome, writes, local in payload:
+        gathered.received += 1
+        if outcome == _SKIPPED:
+            gathered.skipped += 1
+            continue
+        gathered.outcomes[k] = outcome
+        if outcome == IterOutcome.FAULTED:
+            # the fault record rides the locals slot
+            gathered.faults[k] = local
+            continue
+        if writes:
+            gathered.writes[k] = writes
+        if local is not None:
+            gathered.locals[k] = local
+
+
 def _parent_barrier(coord: _Coord, monitor, t0: float,
                     timeout: float) -> None:
     """The parent's side of one strip-barrier wait, fault-hardened.
@@ -684,21 +708,7 @@ def _drain(coord: _Coord, gathered: _Gather, expected_total: int,
             if kind == "obs":        # early worker telemetry payload
                 gathered.obs_payloads.append(payload)
                 continue
-            gathered.chunks += 1
-            for k, outcome, writes, local in payload:
-                gathered.received += 1
-                if outcome == _SKIPPED:
-                    gathered.skipped += 1
-                    continue
-                gathered.outcomes[k] = outcome
-                if outcome == IterOutcome.FAULTED:
-                    # the fault record rides the locals slot
-                    gathered.faults[k] = local
-                    continue
-                if writes:
-                    gathered.writes[k] = writes
-                if local is not None:
-                    gathered.locals[k] = local
+            _fold_records(gathered, payload)
     finally:
         monitor.phase = "run"
 
@@ -912,6 +922,7 @@ def run_parallel_real(
     strict_exceptions: bool = False,
     partial_restart: bool = True,
     resume: Optional[ResumeState] = None,
+    engine=None,
 ) -> ParallelResult:
     """Execute one analyzed loop on real workers (see module docstring).
 
@@ -970,6 +981,20 @@ def run_parallel_real(
         workers start at ``resume.next_iter``.  Non-speculative runs
         only (a speculative prefix is only validated by the PD test,
         whose shadows die with the failed attempt).
+    engine:
+        An alternative *execution engine* replacing the spawn /
+        barrier-strip / gather middle of this function while keeping
+        everything around it — init, supply setup, salvage, overshoot
+        quarantine, PD merge, and ordered reconciliation.  Protocol:
+        ``engine.execute(task, store, gathered, monitor=..., strip=...,
+        horizon0=..., speculative=..., barrier_timeout=...,
+        queue_timeout=..., prof=..., t0=...) -> (term_found, t_setup)``
+        must fill ``gathered`` (a :class:`_Gather`, including shadow
+        and obs payloads), raise the :class:`WorkerFault` taxonomy on
+        system failure, and own its worker lifecycle/teardown.  The
+        persistent worker-pool service (:mod:`repro.service.pool`)
+        passes its message-coordinated engine here so pool jobs reuse
+        the exact per-call semantics without per-job process spawn.
 
     System failures (a worker crash, hang, barrier stall, lost result
     message, or corrupted shadow payload) raise the structured
@@ -1074,7 +1099,7 @@ def run_parallel_real(
         # export and teardown — pickling errors, spawn failures, a
         # detected fault — can leak a /dev/shm segment (the atexit
         # sweep in runtime.shm is the second line of defense).
-        if mode == "procs":
+        if engine is None and mode == "procs":
             with prof.phase("shm-setup", arrays=len(store.arrays())):
                 shared = SharedStore.export(store)
                 spec = shared.spec()
@@ -1091,68 +1116,86 @@ def run_parallel_real(
             fault_plan=fault_plan,
             trace=trc.enabled, trace_t0_ns=trace_t0_ns,
         )
-        coord = _Coord(mode, workers, first, horizon0)
+        if engine is not None:
+            # Alternative engine (the pool service): it leases the shm
+            # arena, dispatches to its persistent workers, drives the
+            # strip protocol over messages, and fills `gathered` —
+            # including shadow/obs payloads — raising the WorkerFault
+            # taxonomy on system failure.
+            term_found, t_setup = engine.execute(
+                task, store, gathered, monitor=monitor, strip=strip,
+                horizon0=horizon0, speculative=speculative,
+                barrier_timeout=barrier_timeout,
+                queue_timeout=queue_timeout, prof=prof, t0=t0)
+            clean_exit = True
+        else:
+            coord = _Coord(mode, workers, first, horizon0)
 
-        with prof.phase("spawn", mode=mode, workers=workers):
-            if mode == "procs":
-                procs = [coord.ctx.Process(target=_worker_main,
-                                           args=(wid, task, coord),
-                                           daemon=True)
-                         for wid in range(workers)]
-            else:
-                procs = [threading.Thread(target=_worker_main,
-                                          args=(wid, task, coord, store),
-                                          daemon=True)
-                         for wid in range(workers)]
-            for p in procs:
-                p.start()
-        monitor.start(procs, coord, t0)
-        t_setup = time.perf_counter()
-
-        with prof.phase("body", scheme=scheme):
-            while True:
-                _parent_barrier(coord, monitor, t0,
-                                barrier_timeout)       # strip quiesced
-                if task.schedule == "static":
-                    expected = coord.horizon.value - first + 1
+            with prof.phase("spawn", mode=mode, workers=workers):
+                if mode == "procs":
+                    procs = [coord.ctx.Process(target=_worker_main,
+                                               args=(wid, task, coord),
+                                               daemon=True)
+                             for wid in range(workers)]
                 else:
-                    expected = coord.counter.value - first
-                _drain(coord, gathered, expected, monitor, t0, workers,
-                       queue_timeout)
-                term_found = any(
-                    o in (IterOutcome.TERMINATED, IterOutcome.EXITED)
-                    for o in gathered.outcomes.values())
-                # A contained fault also ends the strip loop: a spurious
-                # fault is always accompanied by a termination in the
-                # same strip (the true terminator precedes every
-                # overshoot artifact and is never blocked by the fault's
-                # QUIT), so a fault-without-termination means the
-                # program genuinely raises and extending the horizon
-                # would never converge.
-                if (gathered.error is not None or term_found
-                        or gathered.faults or strip is None):
-                    coord.done.value = 1
-                    _parent_barrier(coord, monitor, t0, barrier_timeout)
-                    break
-                if coord.horizon.value + strip > _MAX_HORIZON:
-                    coord.done.value = 1
-                    _parent_barrier(coord, monitor, t0, barrier_timeout)
-                    raise ExecutionError(
-                        f"loop {loop.name!r} exceeded {_MAX_HORIZON} "
-                        f"iterations without terminating")
-                coord.horizon.value += strip
-                _parent_barrier(coord, monitor, t0,
-                                barrier_timeout)       # next strip
-        # Workers only send shadow payloads when there are PD-tested
-        # arrays (the worker condition is `task.shadow_arrays`); a
-        # speculative run with an empty test set must not wait for
-        # messages nobody will send.
-        if speculative and task.shadow_arrays:
-            with prof.phase("pd-merge", stage="collect"):
-                _collect_shadows(coord, gathered, workers, monitor, t0,
-                                 queue_timeout)
-                _validate_shadow_payloads(gathered, t0)
-        clean_exit = True
+                    procs = [threading.Thread(target=_worker_main,
+                                              args=(wid, task, coord,
+                                                    store),
+                                              daemon=True)
+                             for wid in range(workers)]
+                for p in procs:
+                    p.start()
+            monitor.start(procs, coord, t0)
+            t_setup = time.perf_counter()
+
+            with prof.phase("body", scheme=scheme):
+                while True:
+                    _parent_barrier(coord, monitor, t0,
+                                    barrier_timeout)   # strip quiesced
+                    if task.schedule == "static":
+                        expected = coord.horizon.value - first + 1
+                    else:
+                        expected = coord.counter.value - first
+                    _drain(coord, gathered, expected, monitor, t0,
+                           workers, queue_timeout)
+                    term_found = any(
+                        o in (IterOutcome.TERMINATED, IterOutcome.EXITED)
+                        for o in gathered.outcomes.values())
+                    # A contained fault also ends the strip loop: a
+                    # spurious fault is always accompanied by a
+                    # termination in the same strip (the true terminator
+                    # precedes every overshoot artifact and is never
+                    # blocked by the fault's QUIT), so a
+                    # fault-without-termination means the program
+                    # genuinely raises and extending the horizon would
+                    # never converge.
+                    if (gathered.error is not None or term_found
+                            or gathered.faults or strip is None):
+                        coord.done.value = 1
+                        _parent_barrier(coord, monitor, t0,
+                                        barrier_timeout)
+                        break
+                    if coord.horizon.value + strip > _MAX_HORIZON:
+                        coord.done.value = 1
+                        _parent_barrier(coord, monitor, t0,
+                                        barrier_timeout)
+                        raise ExecutionError(
+                            f"loop {loop.name!r} exceeded "
+                            f"{_MAX_HORIZON} iterations without "
+                            f"terminating")
+                    coord.horizon.value += strip
+                    _parent_barrier(coord, monitor, t0,
+                                    barrier_timeout)   # next strip
+            # Workers only send shadow payloads when there are PD-tested
+            # arrays (the worker condition is `task.shadow_arrays`); a
+            # speculative run with an empty test set must not wait for
+            # messages nobody will send.
+            if speculative and task.shadow_arrays:
+                with prof.phase("pd-merge", stage="collect"):
+                    _collect_shadows(coord, gathered, workers, monitor,
+                                     t0, queue_timeout)
+                    _validate_shadow_payloads(gathered, t0)
+            clean_exit = True
     except WorkerFault as wf:
         # A system fault killed the run mid-flight.  For non-speculative
         # runs, any contiguous DONE prefix already gathered is
@@ -1199,7 +1242,7 @@ def run_parallel_real(
     # counters) into the parent tracer at reconciliation — in procs
     # mode it arrives as exit-time queue payloads; thread workers
     # already wrote into the shared tracer directly.
-    if mode == "procs" and task.trace:
+    if mode == "procs" and task.trace and coord is not None:
         _collect_obs(coord, gathered, workers)
     if gathered.obs_payloads and trc.enabled:
         _merge_worker_obs(trc, gathered.obs_payloads)

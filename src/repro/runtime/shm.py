@@ -44,8 +44,8 @@ from __future__ import annotations
 import atexit
 import weakref
 from dataclasses import dataclass
-from multiprocessing import shared_memory
-from typing import Any, Dict, List, Tuple
+from multiprocessing import resource_tracker, shared_memory
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -55,7 +55,57 @@ from repro.obs.phases import get_profiler
 from repro.structures.linkedlist import LinkedList
 
 __all__ = ["ArraySegment", "StoreSpec", "SharedStore", "GuardedArray",
-           "attach_store", "live_shared_stores", "sweep_shared_stores"]
+           "attach_store", "live_shared_stores", "sweep_shared_stores",
+           "release_segment"]
+
+#: Signature of a segment allocator: ``alloc(nbytes) -> SharedMemory``.
+#: The default creates a fresh segment per array; the service arena
+#: (:mod:`repro.service.arenas`) hands out pooled, leased segments.
+SegmentAllocator = Callable[[int], shared_memory.SharedMemory]
+
+
+def release_segment(seg: shared_memory.SharedMemory, *,
+                    unlink: bool = True) -> None:
+    """Close (and optionally unlink) one segment, idempotently.
+
+    Safe to call twice, and safe on a segment some other party already
+    unlinked: a failed ``unlink`` still *unregisters* the name from
+    :mod:`multiprocessing.resource_tracker` — the stock
+    ``SharedMemory.unlink`` only unregisters after a successful
+    ``shm_unlink``, so a double-unlink used to leave a stale tracker
+    entry that warned about "leaked shared_memory objects" at
+    interpreter shutdown.  This helper is the shared backstop for both
+    the per-call :func:`sweep_shared_stores` hook and the arena
+    sweeper.
+    """
+    try:
+        seg.close()
+    except OSError:
+        pass
+    if not unlink:
+        return
+    try:
+        seg.unlink()
+    except FileNotFoundError:
+        # Already unlinked elsewhere (a second sweep, an arena close
+        # racing the atexit hook): drop the resource-tracker entry the
+        # failed unlink left behind so shutdown stays warning-free.
+        try:
+            resource_tracker.unregister(
+                getattr(seg, "_name", None) or "/" + seg.name,
+                "shared_memory")
+        except Exception:
+            pass
+    except OSError:
+        pass
+
+
+def _release_segments(
+        segments: List[shared_memory.SharedMemory]) -> None:
+    """Finalizer body for :class:`SharedStore` (module-level so the
+    :mod:`weakref` finalize callback cannot resurrect the store)."""
+    for seg in segments:
+        release_segment(seg, unlink=True)
 
 
 #: Every not-yet-closed :class:`SharedStore` in this process.  The set
@@ -116,20 +166,45 @@ class StoreSpec:
 class SharedStore:
     """Parent-side owner of a store's shared-memory segments."""
 
-    def __init__(self) -> None:
+    def __init__(self, *, allocator: Optional[SegmentAllocator] = None
+                 ) -> None:
         self._segments: List[shared_memory.SharedMemory] = []
         self._array_specs: List[ArraySegment] = []
         self._pool_specs: List[ArraySegment] = []
         self._scalars: List[Tuple[str, Any]] = []
         self._heads: List[Tuple[str, int]] = []
         self._closed = False
-        _LIVE.add(self)
+        #: With an external allocator the *allocator* owns the segment
+        #: lifecycle (an arena lease); this object only describes the
+        #: layout and must neither close nor unlink on its own.
+        self._owns = allocator is None
+        self._allocator = allocator
+        if self._owns:
+            _LIVE.add(self)
+            # _LIVE is weak, so a store dropped without close() would
+            # silently fall out of the sweep and leak its segments until
+            # the resource tracker's (warning) exit cleanup.  The
+            # finalizer closes that hole: GC of an unclosed store
+            # releases its segments exactly as the sweep would.  It
+            # holds the segment *list*, not self, so export() mutations
+            # are visible and no reference cycle keeps the store alive.
+            self._finalizer = weakref.finalize(
+                self, _release_segments, self._segments)
 
     # -- construction ------------------------------------------------------
     @classmethod
-    def export(cls, store: Store) -> "SharedStore":
-        """Copy every array binding of ``store`` into shared memory."""
-        self = cls()
+    def export(cls, store: Store,
+               allocator: Optional[SegmentAllocator] = None
+               ) -> "SharedStore":
+        """Copy every array binding of ``store`` into shared memory.
+
+        ``allocator`` overrides segment creation — the service arena
+        passes its pooled-lease allocator so repeated jobs reuse
+        segments instead of paying ``shm_open``/``ftruncate``/``mmap``
+        per call.  Arena-backed exports are *not* registered with the
+        atexit sweep (the arena owns and sweeps its segments).
+        """
+        self = cls(allocator=allocator)
         try:
             with get_profiler().phase("shm-export"):
                 for name in store.names():
@@ -149,8 +224,11 @@ class SharedStore:
         return self
 
     def _export_array(self, name: str, arr: np.ndarray) -> ArraySegment:
-        seg = shared_memory.SharedMemory(create=True,
-                                         size=max(1, arr.nbytes))
+        nbytes = max(1, arr.nbytes)
+        if self._allocator is not None:
+            seg = self._allocator(nbytes)
+        else:
+            seg = shared_memory.SharedMemory(create=True, size=nbytes)
         self._segments.append(seg)
         view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=seg.buf)
         view[...] = arr
@@ -168,21 +246,22 @@ class SharedStore:
         )
 
     def close(self, *, unlink: bool = True) -> None:
-        """Release the parent's handles (and destroy the segments)."""
+        """Release the parent's handles (and destroy the segments).
+
+        Idempotent, and (via :func:`release_segment`) safe even when
+        another party already unlinked a segment.  Arena-backed exports
+        (``allocator=`` given) release nothing: the arena owns the
+        segments and reclaims them through its lease sweeper.
+        """
         if self._closed:
             return
         self._closed = True
         _LIVE.discard(self)
+        if not self._owns:
+            return
+        self._finalizer.detach()
         for seg in self._segments:
-            try:
-                seg.close()
-            except OSError:
-                pass
-            if unlink:
-                try:
-                    seg.unlink()
-                except OSError:
-                    pass
+            release_segment(seg, unlink=unlink)
 
     def __enter__(self) -> "SharedStore":
         return self

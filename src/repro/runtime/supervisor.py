@@ -77,7 +77,8 @@ from repro.runtime.machine import Machine
 from repro.runtime.procs import run_parallel_real
 
 __all__ = ["ResiliencePolicy", "Watchdog", "Rung", "run_supervised",
-           "ChaosRow", "ChaosReport", "chaos_matrix"]
+           "build_pool_ladder", "ChaosRow", "ChaosReport",
+           "chaos_matrix"]
 
 
 @dataclass(frozen=True)
@@ -118,7 +119,7 @@ class Rung:
 
     stage: str     #: "initial" | "redistribute" | "reduce" |
                    #: "partial-restart" | "threads"
-    mode: str      #: "procs" | "threads" | "sequential"
+    mode: str      #: "procs" | "threads" | "sequential" | "pool"
     workers: int
 
 
@@ -246,6 +247,39 @@ def _build_ladder(mode: str, workers: int,
         # committed prefix (run_supervised skips it otherwise).
         ladder.append(Rung("partial-restart", mode, workers))
     if policy.allow_threads and mode == "procs":
+        ladder.append(Rung("threads", "threads", min(workers, 2)))
+    if policy.allow_sequential:
+        ladder.append(Rung("sequential", "sequential", 1))
+    return ladder
+
+
+def build_pool_ladder(policy: ResiliencePolicy,
+                      workers: int) -> List[Rung]:
+    """The per-job degradation ladder inside a persistent pool.
+
+    Mirrors :func:`_build_ladder` but the parallel rungs carry mode
+    ``"pool"`` — they re-run the job on the pool's persistent workers
+    (fresh lease, respawned processes) instead of forking a new crew —
+    before degrading out of the pool entirely to the submitting
+    process's ``threads`` rung and finally the Section-5 sequential
+    interpreter.  The pool's job runner walks this ladder the same way
+    :func:`run_supervised` walks its own: restore checkpoint, back
+    off, re-arm the fault plan for the attempt number, and feed the
+    most recent fault's salvaged prefix into the partial-restart rung.
+    """
+    ladder = [Rung("initial", "pool", workers)]
+    w = workers
+    if policy.redistribute and w > 1:
+        w -= 1
+        ladder.append(Rung("redistribute", "pool", w))
+    for _ in range(policy.max_reduced_retries):
+        if w <= 1:
+            break
+        w = max(1, w // 2)
+        ladder.append(Rung("reduce", "pool", w))
+    if policy.allow_partial_restart:
+        ladder.append(Rung("partial-restart", "pool", workers))
+    if policy.allow_threads:
         ladder.append(Rung("threads", "threads", min(workers, 2)))
     if policy.allow_sequential:
         ladder.append(Rung("sequential", "sequential", 1))

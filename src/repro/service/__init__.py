@@ -1,0 +1,35 @@
+"""Persistent, fault-tolerant worker-pool service (``backend="pool"``).
+
+Where the per-call ``procs`` backend forks a fresh crew of workers and
+exports a fresh set of shared-memory segments for *every*
+``parallelize`` call, this package keeps both alive across calls:
+
+* :mod:`repro.service.pool` — pre-forked workers with heartbeats, a
+  message-coordinated strip protocol, per-job retry over a
+  pool-flavoured degradation ladder, and graceful drain;
+* :mod:`repro.service.arenas` — a leased shared-memory arena: sized
+  segment pools, lease tokens with TTLs, an idempotent sweeper
+  extending the per-call atexit leak guard;
+* :mod:`repro.service.admission` — the bounded admission queue,
+  per-job deadlines, Section-7 ``Spat`` load shedding, retry budgets
+  and per-scheme circuit breakers;
+* :mod:`repro.service.courier` — function transport: jobs cross the
+  pre-fork boundary by queue, so closures and lambdas that defeat
+  standard pickling travel by value (marshalled code objects).
+
+See ``docs/service.md`` for the lifecycle and failure-mode tables.
+"""
+
+from repro.service.admission import (
+    AdmissionController,
+    CircuitBreaker,
+    RetryPolicy,
+)
+from repro.service.arenas import Arena, ArenaConfig, Lease
+from repro.service.pool import PoolConfig, WorkerPool, get_default_pool
+
+__all__ = [
+    "Arena", "ArenaConfig", "Lease",
+    "AdmissionController", "CircuitBreaker", "RetryPolicy",
+    "PoolConfig", "WorkerPool", "get_default_pool",
+]

@@ -1,0 +1,223 @@
+"""Admission control for the worker-pool service.
+
+The Section-7 cost model was built as a one-shot *planner*: predict
+the attainable speedup ``Spat`` and pick a scheme.  A service turns
+the same number into an **admission** signal: when the pool is under
+load, a job predicted to barely profit from parallel execution should
+not hold the pool while better jobs queue behind it — it is run
+degraded or shed outright (:class:`~repro.errors.PoolOverloaded`,
+store untouched, caller free to run sequentially).
+
+Three cooperating pieces:
+
+* :class:`RetryPolicy` — the per-job retry budget: exponential
+  backoff with deterministic jitter (hashed from the job id, so tests
+  replay exactly);
+* :class:`CircuitBreaker` — per-scheme: repeated ``WorkerFault``s of
+  the *same kind* trip the breaker open, and while it is open new
+  jobs for that scheme skip the pool rungs entirely and start on the
+  degradation ladder's threads rung (half-open probe after the
+  cooldown);
+* :class:`AdmissionController` — the bounded queue + deadline +
+  ``Spat`` gate that every submit passes through.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import JobDeadlineExceeded, PoolOverloaded
+
+__all__ = ["RetryPolicy", "CircuitBreaker", "AdmissionConfig",
+           "AdmissionController"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Budget and pacing for pool-level job retries.
+
+    ``backoff_for`` is bounded exponential with deterministic jitter:
+    the jitter fraction is hashed from ``(token, attempt)`` so two
+    pools replaying the same job sequence sleep identically — chaos
+    tests stay reproducible while real fleets still decorrelate.
+    """
+
+    max_retries: int = 4
+    backoff_base_s: float = 0.02
+    backoff_cap_s: float = 1.0
+    jitter_frac: float = 0.25     #: +/- fraction of the backoff
+
+    def backoff_for(self, attempt: int, token: int = 0) -> float:
+        """Seconds to sleep before retry ``attempt`` (1-based)."""
+        if self.backoff_base_s <= 0.0 or attempt <= 0:
+            return 0.0
+        base = min(self.backoff_cap_s,
+                   self.backoff_base_s * (2.0 ** (attempt - 1)))
+        digest = hashlib.sha256(
+            f"{token}:{attempt}".encode()).digest()
+        unit = int.from_bytes(digest[:8], "big") / float(1 << 64)
+        return base * (1.0 + self.jitter_frac * (2.0 * unit - 1.0))
+
+
+class CircuitBreaker:
+    """Per-scheme breaker over repeated same-kind worker faults.
+
+    States: **closed** (normal), **open** (pool rungs skipped for
+    ``cooldown_s``), **half-open** (one probe job allowed back on the
+    pool; success closes, failure re-opens).  Thread-safe.
+    """
+
+    def __init__(self, threshold: int = 3,
+                 cooldown_s: float = 5.0) -> None:
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self._lock = threading.Lock()
+        self._streak: Dict[str, int] = {}       # scheme -> consecutive
+        self._kind: Dict[str, str] = {}         # scheme -> fault kind
+        self._opened_at: Dict[str, float] = {}  # scheme -> open time
+        self._probing: Dict[str, bool] = {}
+
+    def record_fault(self, scheme: str, kind: str) -> bool:
+        """Fold one pool-rung fault in; returns True when this trips
+        (or re-trips) the breaker open."""
+        with self._lock:
+            if self._kind.get(scheme) == kind:
+                self._streak[scheme] = self._streak.get(scheme, 0) + 1
+            else:
+                self._kind[scheme] = kind
+                self._streak[scheme] = 1
+            self._probing.pop(scheme, None)
+            if self._streak[scheme] >= self.threshold:
+                self._opened_at[scheme] = time.monotonic()
+                return True
+            return False
+
+    def record_success(self, scheme: str) -> None:
+        """A pool rung finished cleanly: close the breaker."""
+        with self._lock:
+            self._streak.pop(scheme, None)
+            self._kind.pop(scheme, None)
+            self._opened_at.pop(scheme, None)
+            self._probing.pop(scheme, None)
+
+    def allows_pool(self, scheme: str) -> bool:
+        """Whether a new job for ``scheme`` may use the pool rungs.
+
+        Open → False until the cooldown lapses; then exactly one
+        half-open probe returns True (the next caller waits for its
+        verdict).
+        """
+        with self._lock:
+            opened = self._opened_at.get(scheme)
+            if opened is None:
+                return True
+            if time.monotonic() - opened < self.cooldown_s:
+                return False
+            if self._probing.get(scheme):
+                return False
+            self._probing[scheme] = True   # half-open: one probe
+            return True
+
+    def state(self, scheme: str) -> str:
+        """``"closed"`` / ``"open"`` / ``"half-open"`` for reports."""
+        with self._lock:
+            opened = self._opened_at.get(scheme)
+            if opened is None:
+                return "closed"
+            if time.monotonic() - opened < self.cooldown_s:
+                return "open"
+            return "half-open"
+
+    def snapshot(self) -> Dict[str, str]:
+        """Scheme -> state map for the pool health report."""
+        with self._lock:
+            schemes = list(self._opened_at) + [
+                s for s in self._streak if s not in self._opened_at]
+        return {s: self.state(s) for s in schemes}
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Thresholds for :class:`AdmissionController`."""
+
+    capacity: int = 8             #: max jobs queued behind the running one
+    default_deadline_s: float = 60.0
+    shed_sp_at: float = 1.05      #: below: shed when the pool is busy
+    degrade_sp_at: float = 1.5    #: below: run with half the workers
+
+
+class AdmissionController:
+    """The bounded queue + deadline + ``Spat`` gate (see module doc).
+
+    ``enter`` blocks until the job may run (it owns the pool's job
+    lock on return) or raises a :class:`~repro.errors.PoolOverloaded`
+    subclass; ``leave`` must be called when the job finishes.
+    """
+
+    def __init__(self, config: Optional[AdmissionConfig] = None) -> None:
+        self.config = config or AdmissionConfig()
+        self._job_lock = threading.Lock()
+        self._depth_lock = threading.Lock()
+        self._depth = 0               #: jobs waiting or running
+        self.shed = 0                 #: jobs rejected, by any reason
+
+    @property
+    def depth(self) -> int:
+        return self._depth
+
+    def gate_workers(self, sp_at: Optional[float],
+                     workers: int) -> int:
+        """Worker count after the ``Spat`` gate (may shed instead).
+
+        With the pool idle every admitted job gets its full worker
+        ask; under load, a marginal prediction degrades the job and a
+        not-worthwhile one is shed — exactly the planner's Section-7
+        threshold logic, applied at service scope.
+        """
+        if sp_at is None or self._depth <= 1:
+            return workers
+        cfg = self.config
+        if sp_at < cfg.shed_sp_at:
+            self.shed += 1
+            raise PoolOverloaded(
+                f"predicted attainable speedup {sp_at:.2f} below the "
+                f"shedding threshold {cfg.shed_sp_at:.2f} while the "
+                f"pool is under load",
+                reason="not-worthwhile", depth=self._depth,
+                capacity=cfg.capacity, sp_at=sp_at)
+        if sp_at < cfg.degrade_sp_at:
+            return max(1, workers // 2)
+        return workers
+
+    def enter(self, *, deadline_s: Optional[float] = None) -> None:
+        """Join the queue; returns holding the job lock."""
+        cfg = self.config
+        with self._depth_lock:
+            if self._depth >= cfg.capacity:
+                self.shed += 1
+                raise PoolOverloaded(
+                    f"admission queue full ({self._depth} of "
+                    f"{cfg.capacity} slots)",
+                    reason="queue-full", depth=self._depth,
+                    capacity=cfg.capacity)
+            self._depth += 1
+        deadline = (cfg.default_deadline_s if deadline_s is None
+                    else deadline_s)
+        if not self._job_lock.acquire(timeout=deadline):
+            with self._depth_lock:
+                self._depth -= 1
+            self.shed += 1
+            raise JobDeadlineExceeded(
+                f"job waited {deadline:.1f}s for admission without "
+                f"starting", deadline_s=deadline, depth=self._depth,
+                capacity=cfg.capacity)
+
+    def leave(self) -> None:
+        """Release the job lock after the job completes."""
+        with self._depth_lock:
+            self._depth -= 1
+        self._job_lock.release()

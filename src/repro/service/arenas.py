@@ -1,0 +1,226 @@
+"""Leased shared-memory arenas: pooled segments instead of per-call churn.
+
+The per-call backend pays ``shm_open`` + ``ftruncate`` + ``mmap`` for
+every array of every call and unlinks everything in its ``finally``.
+A service amortizes that: the :class:`Arena` keeps a free pool of
+segments bucketed by power-of-two **size class**, and hands stores out
+under a :class:`Lease` — a token with a TTL.  A well-behaved job
+renews its lease at every strip boundary and releases it at the end;
+a parent that stalls (or dies mid-job) simply stops renewing, and the
+idempotent :meth:`Arena.sweep` reclaims the expired lease's segments
+back into the free pool.  Nothing is unlinked until the arena itself
+closes, so a reclaimed segment is immediately reusable.
+
+Leak discipline extends PR 3's per-call guard rather than replacing
+it: every segment the arena ever creates is registered for an
+:mod:`atexit` backstop release through
+:func:`repro.runtime.shm.release_segment`, which is safe to run twice
+and safe against a segment some other party already unlinked — the
+same helper the per-call atexit sweep now uses.
+"""
+
+from __future__ import annotations
+
+import atexit
+import threading
+import time
+from dataclasses import dataclass, field
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional
+
+from repro.errors import PoolClosed
+from repro.ir.store import Store
+from repro.runtime.shm import SharedStore, StoreSpec, release_segment
+
+__all__ = ["ArenaConfig", "Lease", "Arena"]
+
+
+@dataclass(frozen=True)
+class ArenaConfig:
+    """Sizing and lease policy for one :class:`Arena`.
+
+    ``default_ttl_s`` is generous relative to a strip (leases renew
+    every strip boundary); ``max_segments`` bounds the free pool so a
+    burst of huge jobs cannot pin unbounded ``/dev/shm`` forever —
+    excess segments are destroyed on release instead of pooled.
+    """
+
+    default_ttl_s: float = 30.0
+    max_segments: int = 64
+    min_class_bytes: int = 4096    #: smallest size class (one page)
+
+
+def _size_class(nbytes: int, floor: int) -> int:
+    """Next power-of-two size class covering ``nbytes``."""
+    size = max(int(nbytes), 1, floor)
+    return 1 << (size - 1).bit_length()
+
+
+@dataclass
+class Lease:
+    """One job's claim on a set of arena segments.
+
+    The lease *is* the store export: ``spec`` is the picklable
+    :class:`~repro.runtime.shm.StoreSpec` workers attach, and the
+    segments behind it stay assigned to this lease until it is
+    released or its TTL lapses and the sweeper revokes it.  All
+    mutation goes through the owning :class:`Arena` (under its lock);
+    the lease object itself only carries the token state.
+    """
+
+    token: int
+    arena: "Arena"
+    spec: Optional[StoreSpec] = None
+    expires_at: float = 0.0
+    revoked: bool = False
+    released: bool = False
+    segments: List[shared_memory.SharedMemory] = field(
+        default_factory=list)
+
+    def valid(self) -> bool:
+        """Live right now: not released, not revoked, not past TTL."""
+        return not (self.released or self.revoked
+                    or time.monotonic() > self.expires_at)
+
+    def renew(self, ttl_s: Optional[float] = None) -> bool:
+        """Extend the TTL; returns False when the lease is already gone."""
+        return self.arena.renew(self, ttl_s)
+
+    def release(self) -> None:
+        """Return the segments to the arena pool (idempotent)."""
+        self.arena.release(self)
+
+
+class Arena:
+    """Size-classed shared-memory segment pool with leases.
+
+    Thread-safe; the pool parent and its heartbeat monitor may touch
+    it concurrently.  See the module docstring for the lifecycle.
+    """
+
+    def __init__(self, config: Optional[ArenaConfig] = None) -> None:
+        self.config = config or ArenaConfig()
+        self._lock = threading.RLock()
+        self._free: Dict[int, List[shared_memory.SharedMemory]] = {}
+        self._leases: Dict[int, Lease] = {}
+        self._next_token = 1
+        self._closed = False
+        self.created = 0      #: segments ever shm_open'd
+        self.reused = 0       #: allocations served from the free pool
+        self.expired = 0      #: leases the sweeper revoked
+        atexit.register(self.close)
+
+    # -- allocation --------------------------------------------------------
+    def _alloc(self, lease: Lease, nbytes: int) -> shared_memory.SharedMemory:
+        """Allocator bound to one lease (passed to ``SharedStore.export``)."""
+        cls = _size_class(nbytes, self.config.min_class_bytes)
+        with self._lock:
+            bucket = self._free.get(cls)
+            if bucket:
+                seg = bucket.pop()
+                self.reused += 1
+            else:
+                seg = shared_memory.SharedMemory(create=True, size=cls)
+                self.created += 1
+            lease.segments.append(seg)
+        return seg
+
+    def lease(self, store: Store,
+              ttl_s: Optional[float] = None) -> Lease:
+        """Export ``store`` into pooled segments under a fresh lease."""
+        with self._lock:
+            if self._closed:
+                raise PoolClosed("arena is closed")
+            token = self._next_token
+            self._next_token += 1
+            lease = Lease(token=token, arena=self)
+            self._leases[token] = lease
+        ttl = self.config.default_ttl_s if ttl_s is None else ttl_s
+        try:
+            shared = SharedStore.export(
+                store, allocator=lambda n: self._alloc(lease, n))
+        except BaseException:
+            self.release(lease)
+            raise
+        lease.spec = shared.spec()
+        lease.expires_at = time.monotonic() + ttl
+        return lease
+
+    # -- lease lifecycle ---------------------------------------------------
+    def renew(self, lease: Lease, ttl_s: Optional[float] = None) -> bool:
+        with self._lock:
+            if lease.released or lease.revoked:
+                return False
+            ttl = self.config.default_ttl_s if ttl_s is None else ttl_s
+            lease.expires_at = time.monotonic() + ttl
+            return True
+
+    def release(self, lease: Lease) -> None:
+        """Return a lease's segments to the free pool (idempotent)."""
+        with self._lock:
+            if lease.released:
+                return
+            lease.released = True
+            self._leases.pop(lease.token, None)
+            segments, lease.segments = lease.segments, []
+            for seg in segments:
+                bucket = self._free.setdefault(seg.size, [])
+                if (not self._closed
+                        and self._pooled() < self.config.max_segments):
+                    bucket.append(seg)
+                else:
+                    release_segment(seg, unlink=True)
+
+    def sweep(self) -> int:
+        """Revoke every expired lease; returns how many (idempotent).
+
+        A revoked lease's segments go straight back to the free pool —
+        any worker still attached reads garbage from a *recycled*
+        segment, which is why the pool engine checks ``lease.valid()``
+        at every strip boundary and raises
+        :class:`~repro.errors.LeaseExpired` before trusting results.
+        """
+        now = time.monotonic()
+        swept = 0
+        with self._lock:
+            expired = [l for l in self._leases.values()
+                       if not l.released and now > l.expires_at]
+        for lease in expired:
+            lease.revoked = True
+            self.release(lease)
+            self.expired += 1
+            swept += 1
+        return swept
+
+    # -- introspection / teardown -----------------------------------------
+    def _pooled(self) -> int:
+        return sum(len(b) for b in self._free.values())
+
+    def stats(self) -> Dict[str, int]:
+        """Counters for health reports and the soak test."""
+        with self._lock:
+            return {"created": self.created, "reused": self.reused,
+                    "expired": self.expired, "pooled": self._pooled(),
+                    "leases": len(self._leases)}
+
+    def close(self) -> None:
+        """Destroy every pooled and leased segment (idempotent).
+
+        Registered with :mod:`atexit` as the backstop, mirroring the
+        per-call ``sweep_shared_stores`` guard; ``release_segment``
+        makes the double-unlink of a segment the per-call sweep or a
+        second ``close`` already destroyed harmless.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            leases = list(self._leases.values())
+        for lease in leases:
+            lease.revoked = True
+            self.release(lease)
+        with self._lock:
+            buckets, self._free = self._free, {}
+        for bucket in buckets.values():
+            for seg in bucket:
+                release_segment(seg, unlink=True)

@@ -1,0 +1,176 @@
+"""The pool chaos matrix: seeded faults against the *persistent* pool.
+
+Where :func:`repro.runtime.supervisor.chaos_matrix` proves the
+per-call backend recovers from injected faults, this matrix proves
+the **service** does — and that the service *survives*: each cell
+injects one fault kind into one scheme cell of the Table-1 zoo,
+checks the final store bit-identically against an independent
+sequential run, and then (the part a per-call matrix cannot test)
+submits a clean probe job to the same pool to prove the generation
+healed — dead workers reaped and respawned, no stale messages, no
+leaked leases.
+
+Fault kinds:
+
+* ``crash`` — a worker ``os._exit``\\ s mid-job: the heartbeat
+  monitor classifies the dead process, the attempt is cancelled, the
+  dead slot is reaped/respawned (or the generation recycled), and the
+  job retries on the next ladder rung;
+* ``hang`` — a worker stalls past the liveness deadline: same
+  recovery, released by the abort flag;
+* ``lease-expiry`` — the job's arena lease is granted with TTL 0, so
+  the sweeper revokes it at the first strip boundary
+  (:class:`~repro.errors.LeaseExpired`): the strip's results are
+  distrusted and the attempt retried under a fresh lease.
+
+``repro chaos --pool`` renders the report; CI runs it in the
+``pool-soak`` job.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.ir.interp import SequentialInterp
+from repro.runtime.costs import FREE
+from repro.runtime.faults import FaultPlan, FaultSpec
+from repro.runtime.supervisor import (
+    CHAOS_SCHEMES,
+    ChaosRow,
+    ResiliencePolicy,
+)
+from repro.service.pool import PoolConfig, WorkerPool
+
+__all__ = ["POOL_CHAOS_FAULTS", "PoolChaosReport", "pool_chaos_matrix"]
+
+#: The pool-specific fault kinds (the remaining kinds of the per-call
+#: matrix — barrier stalls, iteration faults — exercise machinery the
+#: pool engine shares with the per-call backend, already covered by
+#: ``repro chaos``).
+POOL_CHAOS_FAULTS: Tuple[str, ...] = ("crash", "hang", "lease-expiry")
+
+
+@dataclass(frozen=True)
+class PoolChaosReport:
+    """All pool chaos rows plus the service-health verdicts."""
+
+    workers: int
+    rows: Tuple[ChaosRow, ...]
+    probe_ok: bool          #: clean post-matrix job succeeded
+    pool_healthy: bool      #: full worker complement alive afterwards
+    health: Dict           #: the final ``WorkerPool.health()`` report
+
+    @property
+    def all_recovered(self) -> bool:
+        """Every fault recovered to a correct store *and* the pool
+        itself came out of the matrix alive and serving."""
+        return (all(r.store_ok for r in self.rows)
+                and self.probe_ok and self.pool_healthy)
+
+    def render(self) -> str:
+        """Human-readable matrix (same shape as ``repro chaos``)."""
+        head = (f"Pool chaos matrix @ {self.workers} workers "
+                f"(persistent pool, seeded fault injection)")
+        lines = [head, "=" * len(head),
+                 f"{'loop':<20s} {'scheme':<22s} {'fault':<15s} "
+                 f"{'recovered at':<16s} {'att':>3s} {'faults':>6s} "
+                 f"{'wall_s':>7s} ok"]
+        for r in self.rows:
+            lines.append(
+                f"{r.loop:<20s} {r.scheme:<22s} {r.fault:<15s} "
+                f"{r.rung + '/' + r.mode:<16s} {r.attempts:3d} "
+                f"{r.n_faults:6d} {r.wall_s:7.3f} {r.store_ok}")
+        w = self.health.get("workers", {})
+        lines.append("")
+        lines.append(
+            f"post-matrix probe job: {'ok' if self.probe_ok else 'FAILED'}"
+            f"; pool: {w.get('alive', '?')}/{w.get('configured', '?')} "
+            f"workers alive, {w.get('respawns', 0)} respawns, "
+            f"{w.get('recycles', 0)} recycles")
+        lines.append(
+            "Every row must end store_ok=True and the pool must keep "
+            "serving afterwards:\nan injected worker death, hang, or "
+            "lease revocation may cost a retry or a\nladder descent, "
+            "never a wrong answer and never the pool "
+            "(docs/service.md).")
+        return "\n".join(lines)
+
+
+def pool_chaos_matrix(*, workers: int = 2,
+                      kinds: Tuple[str, ...] = POOL_CHAOS_FAULTS,
+                      deadline_s: float = 5.0) -> PoolChaosReport:
+    """Run the seeded pool fault matrix over the Table-1 zoo.
+
+    One :class:`~repro.service.pool.WorkerPool` serves the *entire*
+    matrix — that is the point: every recovery must leave the pool
+    able to run the next cell.  For each (scheme, fault kind) cell the
+    fault is armed for attempt 0 only, so the ladder's first retry
+    runs clean.
+    """
+    from repro.analysis.loopinfo import analyze_loop
+    from repro.executors.speculative import default_test_arrays
+    from repro.workloads.zoo import make_zoo
+
+    zoo = {z.name: z for z in make_zoo(48)}
+    policy = ResiliencePolicy(deadline_s=deadline_s,
+                              poll_interval_s=0.01)
+    pool = WorkerPool(PoolConfig(
+        workers=workers,
+        liveness_deadline_s=max(1.0, deadline_s / 2),
+        job_deadline_s=4 * deadline_s)).start()
+    rows: List[ChaosRow] = []
+    try:
+        for zoo_name, scheme, speculative in CHAOS_SCHEMES:
+            zl = zoo[zoo_name]
+            info = analyze_loop(zl.loop, zl.funcs)
+            test_arrays = (default_test_arrays(info)
+                           if speculative else ())
+            ref = zl.make_store()
+            SequentialInterp(zl.loop, zl.funcs, FREE).run(ref)
+            for kind in kinds:
+                # crash/hang fire deterministically at worker startup
+                # (at_iter=0) on the last slot; lease-expiry is a
+                # parent-side fault — worker placement is irrelevant.
+                spec = FaultSpec(kind=kind, worker=workers - 1,
+                                 at_iter=0, delay_s=2 * deadline_s)
+                st = zl.make_store()
+                t0 = time.perf_counter()
+                result = pool.submit(
+                    info, st, zl.funcs, scheme=scheme,
+                    workers=workers, u=96, speculative=speculative,
+                    test_arrays=test_arrays, policy=policy,
+                    fault_plan=FaultPlan(specs=(spec,)))
+                res = result.stats.get("resilience", {})
+                rows.append(ChaosRow(
+                    loop=zoo_name,
+                    scheme=("speculative[" + scheme + "]"
+                            if speculative else scheme),
+                    fault=kind,
+                    rung=res.get("rung", "sequential"),
+                    mode=res.get("mode", "sequential"),
+                    attempts=res.get("attempts", 0),
+                    n_faults=len(res.get("faults", ())),
+                    salvaged=result.stats.get("spec", {}).get(
+                        "salvaged_iters", 0),
+                    store_ok=st.equals(ref),
+                    wall_s=time.perf_counter() - t0))
+        # The service-level assertion: the pool that absorbed every
+        # fault above still serves a clean job correctly.
+        zl = zoo["general/RI"]
+        info = analyze_loop(zl.loop, zl.funcs)
+        ref = zl.make_store()
+        SequentialInterp(zl.loop, zl.funcs, FREE).run(ref)
+        st = zl.make_store()
+        pool.submit(info, st, zl.funcs, scheme="general-3",
+                    workers=workers, u=96, policy=policy)
+        probe_ok = st.equals(ref)
+        health = pool.health()
+        pool_healthy = (health["workers"]["alive"]
+                        == health["workers"]["configured"])
+    finally:
+        pool.close()
+    return PoolChaosReport(
+        workers=workers, rows=tuple(rows), probe_ok=probe_ok,
+        pool_healthy=pool_healthy, health=health)

@@ -1,0 +1,119 @@
+"""Job transport across the pre-fork boundary.
+
+Per-call workers are forked *after* the task is built, so closures,
+lambdas and locally defined functions travel for free by address-space
+inheritance.  Pool workers are forked once, at pool start — every job
+reaches them over a queue, which means ``pickle``.  Standard pickle
+serializes functions *by reference* (module + qualname) and therefore
+refuses exactly the functions real workloads are full of: the zoo's
+``lambda ctx, i: ...`` intrinsics, bench kernels defined inside maker
+functions, closures over loop parameters.
+
+:func:`dumps`/:func:`loads` keep pickle's behaviour for everything
+else but override function reduction:
+
+* a function whose qualname resolves back to itself in its module is
+  shipped **by reference** (cheap, and the worker gets the same object
+  its module defines);
+* anything else — lambdas, nested defs, decorated wrappers — is
+  shipped **by value**: the code object via :mod:`marshal`, plus
+  module name, defaults and closure cell contents (recursively
+  courier-pickled), rebuilt with :func:`types.FunctionType` against
+  the live module globals on the worker.  Fork inheritance guarantees
+  the defining module is importable (it is already in
+  ``sys.modules``), so by-value functions keep working even for
+  ``__main__``/test-local definitions.
+
+Marshal ties the payload to the interpreter version — fine here, the
+pool parent forks its own workers — and cannot carry a code object's
+*globals*, which is why the module's live dict is reattached on
+rebuild rather than serialized.
+"""
+
+from __future__ import annotations
+
+import io
+import marshal
+import pickle
+import sys
+import types
+from typing import Any
+
+__all__ = ["dumps", "loads"]
+
+#: Payload tag for by-value functions (must survive pickle memoization).
+_TAG = "repro-courier-function"
+
+
+class _EmptyCell:
+    """Sentinel for a closure cell that is still unbound."""
+
+    __slots__ = ()
+
+
+def _make_cell(value: Any) -> types.CellType:
+    if isinstance(value, _EmptyCell):
+        return types.CellType()
+    return types.CellType(value)
+
+
+def _rebuild_function(code_bytes: bytes, module: str, qualname: str,
+                      defaults, kwdefaults, cell_values) -> types.FunctionType:
+    """Worker-side reconstruction of a by-value function."""
+    code = marshal.loads(code_bytes)
+    mod = sys.modules.get(module)
+    globalns = mod.__dict__ if mod is not None else {"__builtins__": __builtins__}
+    fn = types.FunctionType(
+        code, globalns, code.co_name, defaults,
+        tuple(_make_cell(v) for v in cell_values) or None)
+    fn.__qualname__ = qualname
+    if kwdefaults:
+        fn.__kwdefaults__ = dict(kwdefaults)
+    return fn
+
+
+def _resolves_by_reference(fn: types.FunctionType) -> bool:
+    """Whether plain pickle-by-reference would find ``fn`` again."""
+    mod = sys.modules.get(getattr(fn, "__module__", None) or "")
+    if mod is None:
+        return False
+    obj = mod
+    for part in fn.__qualname__.split("."):
+        if part == "<locals>":
+            return False
+        obj = getattr(obj, part, None)
+        if obj is None:
+            return False
+    return obj is fn
+
+
+class _Pickler(pickle.Pickler):
+    """Pickler that ships unresolvable functions by value."""
+
+    def reducer_override(self, obj):
+        if isinstance(obj, types.FunctionType) \
+                and not _resolves_by_reference(obj):
+            cells = []
+            for cell in obj.__closure__ or ():
+                try:
+                    cells.append(cell.cell_contents)
+                except ValueError:
+                    cells.append(_EmptyCell())
+            return (_rebuild_function,
+                    (marshal.dumps(obj.__code__), obj.__module__ or "",
+                     obj.__qualname__, obj.__defaults__,
+                     obj.__kwdefaults__, tuple(cells)))
+        return NotImplemented
+
+
+def dumps(obj: Any) -> bytes:
+    """Serialize ``obj`` for the pool job queue (see module docstring)."""
+    buf = io.BytesIO()
+    _Pickler(buf, protocol=pickle.HIGHEST_PROTOCOL).dump(obj)
+    return buf.getvalue()
+
+
+def loads(blob: bytes) -> Any:
+    """Inverse of :func:`dumps` (plain unpickle; the reducer embeds
+    :func:`_rebuild_function` calls by reference)."""
+    return pickle.loads(blob)

@@ -1,0 +1,1168 @@
+"""The persistent worker pool: pre-forked workers, message-coordinated
+strips, heartbeats, per-job degradation ladder, graceful drain.
+
+Relationship to the per-call backend
+------------------------------------
+:func:`~repro.runtime.procs.run_parallel_real` owns everything
+correctness-critical — dispatcher supply, overshoot quarantine, PD
+merge, ordered reconciliation — and exposes an ``engine`` seam for the
+middle it does *not* need to own: spawning workers, driving strips,
+gathering records.  :class:`_PoolEngine` fills that seam with a
+protocol that works on **pre-forked** workers:
+
+* coordination state (take-lock, index counter, QUIT minimum, strip
+  horizon, abort event, heartbeat array, per-worker job queues, one
+  results queue) is created once per pool *generation* and inherited
+  by every worker at fork time;
+* a job travels to each participating worker as a courier-encoded
+  blob over its job queue (pre-forked workers cannot inherit the
+  task, and real tasks contain lambdas — see
+  :mod:`repro.service.courier`);
+* the per-call strip barrier becomes messages: a worker that drains
+  the strip sends ``sdone`` and waits for ``go`` (horizon extended)
+  or ``end``; mp queues are FIFO per producer, so when the parent has
+  a worker's ``sdone`` it already has all of that worker's chunks —
+  which is what makes a dropped result message *deterministically*
+  detectable as ``received < expected``;
+* workers heartbeat into a shared array (per chunk and per wait
+  tick); the :class:`_HeartbeatMonitor` classifies a dead process as
+  :class:`~repro.errors.WorkerCrashed`, a stale heartbeat or job
+  deadline overrun as :class:`~repro.errors.WorkerHung`;
+* every worker→parent message carries the job id, so records from a
+  cancelled attempt can never contaminate a retry.
+
+Recovery is two-tier: polite cancellation (abort flag → workers ack
+and return to idle; dead slots are reaped, their queues drained, and
+fresh processes forked onto the *same* inherited state — legal under
+``fork`` at any time) and, when cancellation cannot quiesce within
+its deadline, a full **recycle** (kill the generation, rebuild the
+shared state, respawn everyone).  Either way the pool keeps accepting
+jobs; the interrupted job is retried on the next rung of its
+:func:`~repro.runtime.supervisor.build_pool_ladder` ladder.
+"""
+
+from __future__ import annotations
+
+import queue as _thread_queue
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import (
+    ExecutionError,
+    JobCancelled,
+    LadderExhausted,
+    LeaseExpired,
+    PoolClosed,
+    PoolOverloaded,
+    RealBackendError,
+    ResultLost,
+    WorkerCrashed,
+    WorkerFault,
+    WorkerHung,
+)
+from repro.executors.base import ParallelResult
+from repro.ir.functions import FunctionTable
+from repro.ir.interp import IterOutcome
+from repro.ir.store import Store
+from repro.obs import names as _ev
+from repro.obs.phases import get_profiler
+from repro.obs.tracer import get_tracer, set_tracer
+from repro.runtime.faults import FaultPlan, InjectedCrash
+from repro.runtime.procs import (
+    _NO_QUIT,
+    _POLL_S,
+    _Cell,
+    _fold_records,
+    _run_indices,
+    _take_dynamic,
+    _take_static,
+    _validate_shadow_payloads,
+    _Walk,
+    _WriteBuffer,
+    run_parallel_real,
+)
+from repro.runtime.shm import attach_store
+from repro.runtime.supervisor import (
+    ResiliencePolicy,
+    _fault_summary,
+    _record_fault,
+    _record_outcome,
+    _run_sequential_rung,
+    build_pool_ladder,
+)
+from repro.service.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    CircuitBreaker,
+    RetryPolicy,
+)
+from repro.service.arenas import Arena, ArenaConfig
+from repro.service.courier import dumps as _courier_dumps
+from repro.service.courier import loads as _courier_loads
+from repro.speculation.privatize import CompositeHooks
+
+try:
+    from repro.speculation.pdtest import ShadowArrays
+except ImportError:          # pragma: no cover - pdtest always present
+    ShadowArrays = None
+
+__all__ = ["PoolConfig", "WorkerPool", "get_default_pool",
+           "close_default_pool"]
+
+#: How long polite cancellation waits for live workers to ack before
+#: escalating to a full pool recycle.
+_CANCEL_TIMEOUT_S = 5.0
+
+
+@dataclass(frozen=True)
+class PoolConfig:
+    """Sizing, liveness, and policy knobs for one :class:`WorkerPool`."""
+
+    workers: int = 2                   #: pre-forked worker count
+    liveness_deadline_s: float = 5.0   #: stale-heartbeat threshold
+    job_deadline_s: float = 60.0       #: per-attempt wall ceiling
+    lease_ttl_s: float = 30.0          #: arena lease TTL (renewed/strip)
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    resilience: ResiliencePolicy = field(
+        default_factory=lambda: ResiliencePolicy(backoff_base_s=0.0))
+    admission: AdmissionConfig = field(default_factory=AdmissionConfig)
+    breaker_threshold: int = 3
+    breaker_cooldown_s: float = 5.0
+    arena: ArenaConfig = field(default_factory=ArenaConfig)
+
+
+# ---------------------------------------------------------------------------
+# Shared state (one per pool generation, inherited by workers at fork)
+# ---------------------------------------------------------------------------
+
+class _PoolShared:
+    """Fork-inherited coordination state for one pool generation."""
+
+    def __init__(self, workers: int) -> None:
+        import multiprocessing as mp
+        ctx = mp.get_context(
+            "fork" if "fork" in mp.get_all_start_methods() else None)
+        self.ctx = ctx
+        self.workers = workers
+        self.lock = ctx.Lock()
+        self.counter = ctx.Value("q", 1, lock=False)
+        self.quit_at = ctx.Value("q", _NO_QUIT, lock=False)
+        self.horizon = ctx.Value("q", 0, lock=False)
+        self.abort = ctx.Event()
+        self.beats = ctx.Array("d", workers, lock=False)
+        self.results = ctx.Queue()
+        self.jobqs = [ctx.Queue() for _ in range(workers)]
+
+    def reset_job(self, first: int, horizon: int) -> None:
+        """Re-arm the strip coordination for the next job (parent only,
+        called while every participating worker is idle)."""
+        self.counter.value = first
+        self.quit_at.value = _NO_QUIT
+        self.horizon.value = horizon
+
+    def close_queues(self) -> None:
+        """Release queue fds at generation teardown (parent side)."""
+        for q in [self.results, *self.jobqs]:
+            try:
+                q.close()
+                q.join_thread()
+            except (OSError, AssertionError):
+                pass
+
+
+class _JobCoord:
+    """The worker-side coordination view (duck-types ``_Coord`` for
+    :func:`~repro.runtime.procs._take_dynamic` /
+    :func:`~repro.runtime.procs._run_indices`)."""
+
+    __slots__ = ("lock", "counter", "quit_at", "horizon", "abort")
+
+    def __init__(self, shared: _PoolShared) -> None:
+        self.lock = shared.lock
+        self.counter = shared.counter
+        self.quit_at = shared.quit_at
+        self.horizon = shared.horizon
+        self.abort = shared.abort
+
+    def propose_quit(self, k: int) -> None:
+        with self.lock:
+            if k < self.quit_at.value:
+                self.quit_at.value = k
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+def _pool_worker_main(slot: int, shared: _PoolShared) -> None:
+    """Pool worker entry point: idle on the job queue forever.
+
+    Messages: ``("job", jid, nworkers, blob)`` starts a job on this
+    slot, ``("stop",)`` exits; anything else (a ``go``/``end`` left
+    over from a cancelled job) is ignored — job-scoped messages only
+    have meaning inside :func:`_run_pool_job`, which filters by jid.
+    """
+    set_tracer(None)    # never inherit the parent's file-backed sinks
+    while True:
+        shared.beats[slot] = time.monotonic()
+        try:
+            msg = shared.jobqs[slot].get(timeout=0.2)
+        except _thread_queue.Empty:
+            continue
+        if msg[0] == "stop":
+            return
+        if msg[0] != "job":
+            continue
+        _, jid, nworkers, blob = msg
+        _run_pool_job(slot, jid, nworkers, blob, shared)
+
+
+def _run_pool_job(slot: int, jid: int, nworkers: int, blob: bytes,
+                  shared: _PoolShared) -> None:
+    """Execute one job on this worker (see the module-docstring
+    protocol).  Mirrors ``_worker_main``'s containment discipline:
+    iteration faults are contained records, a worker-level error stops
+    this worker's take loop but keeps it in the protocol, and an
+    injected crash looks like sudden death (``os._exit`` under the
+    fork start method)."""
+    coord = _JobCoord(shared)
+    attached = None
+    failed = False
+    shadows = None
+    try:
+        try:
+            task = _courier_loads(blob)
+            attached = attach_store(task.store_spec)
+            store = attached.store
+        except BaseException:
+            # Setup failure (courier decode, store attach): report the
+            # error but keep the full quiesce protocol, so the parent
+            # sees jobdone strictly after it sent "end".
+            shared.results.put(
+                ("error", slot, (jid, traceback.format_exc())))
+            while True:
+                shared.results.put(("sdone", slot, (jid, None)))
+                verdict = _await_go_or_end(slot, jid, shared)
+                if verdict == "go":
+                    continue
+                if verdict == "cancel":
+                    shared.results.put(("cancelled", slot, (jid, None)))
+                    return
+                break
+            _finish_job(slot, jid, shared, None, True)
+            return
+        from repro.ir.interp import IterationRunner
+        from repro.runtime.costs import FREE
+        runner = IterationRunner(task.loop, task.funcs, FREE,
+                                 dispatcher_stmts=task.dispatcher_stmts)
+        buffer = _WriteBuffer()
+        if task.shadow_arrays:
+            shadows = ShadowArrays(store, task.shadow_arrays)
+            hooks = CompositeHooks(shadows, buffer)
+        else:
+            hooks = buffer
+        walk_state = (_Walk(task.init_value, task.first)
+                      if task.supply == "walk" else None)
+        stream = _Cell(task.first + slot)
+        fp = task.fault_plan
+        if fp:
+            try:
+                fp.fire_startup(slot, abort_check=coord.abort.is_set)
+            except InjectedCrash:
+                # An injected startup hang released by the abort flag:
+                # ack the cancellation so the parent's recovery doesn't
+                # wait out its deadline (and recycle) for a worker that
+                # is in fact alive and back to idling.
+                shared.results.put(("cancelled", slot, (jid, None)))
+                return
+        while True:
+            if shared.abort.is_set():
+                shared.results.put(("cancelled", slot, (jid, None)))
+                return
+            shared.beats[slot] = time.monotonic()
+            indices = None
+            if not failed:
+                if task.schedule == "static":
+                    indices = _take_static(stream, nworkers, coord,
+                                           task.chunk)
+                else:
+                    indices = _take_dynamic(coord, task.chunk)
+            if indices is None:
+                shared.results.put(("sdone", slot, (jid, None)))
+                verdict = _await_go_or_end(slot, jid, shared)
+                if verdict == "go":
+                    continue
+                if verdict == "cancel":
+                    shared.results.put(("cancelled", slot, (jid, None)))
+                    return
+                break    # "end" (or "stop" — finish then re-idle)
+            try:
+                recs = _run_indices(slot, indices, task, coord, store,
+                                    runner, buffer, hooks, walk_state)
+                if fp and fp.drops_chunk(slot, indices):
+                    continue    # injected lost-result: never queued
+                shared.results.put(("chunk", slot, (jid, recs)))
+            except InjectedCrash:
+                # An injected hang released by the abort flag: the
+                # pool worker survives (unlike a per-call worker) and
+                # acks the cancellation on its way back to idle.
+                shared.results.put(("cancelled", slot, (jid, None)))
+                return
+            except BaseException:
+                failed = True
+                coord.propose_quit(0)
+                shared.results.put(
+                    ("error", slot, (jid, traceback.format_exc())))
+        payload = None
+        if task.shadow_arrays and shadows is not None and not failed:
+            payload = ({name: (shadows.w1[name], shadows.w2[name],
+                               shadows.r1[name], shadows.r2[name])
+                        for name in shadows.arrays}, shadows.accesses)
+        if fp:
+            payload = fp.corrupt_shadow_payload(slot, payload)
+        _finish_job(slot, jid, shared, payload, False)
+    finally:
+        if attached is not None:
+            attached.close()
+
+
+def _await_go_or_end(slot: int, jid: int, shared: _PoolShared) -> str:
+    """Strip-quiesced wait: the pool's replacement for the double
+    barrier.  Returns ``"go"``, ``"end"``, or ``"cancel"``."""
+    while True:
+        shared.beats[slot] = time.monotonic()
+        if shared.abort.is_set():
+            return "cancel"
+        try:
+            msg = shared.jobqs[slot].get(timeout=0.05)
+        except _thread_queue.Empty:
+            continue
+        if msg[0] == "go" and msg[1] == jid:
+            return "go"
+        if msg[0] == "end" and msg[1] == jid:
+            return "end"
+        if msg[0] == "stop":
+            shared.jobqs[slot].put(msg)   # re-queue for the idle loop
+            return "end"
+        # stale message from a previous job: ignore
+
+
+def _finish_job(slot: int, jid: int, shared: _PoolShared,
+                shadow_payload, errored: bool) -> None:
+    """Send the end-of-job ack (with any shadow payload)."""
+    shared.results.put(("jobdone", slot, (jid, shadow_payload, errored)))
+
+
+# ---------------------------------------------------------------------------
+# Parent side: heartbeat monitor
+# ---------------------------------------------------------------------------
+
+class _HeartbeatMonitor:
+    """Liveness monitor for one pool job attempt.
+
+    Implements the same monitor protocol as the supervisor's
+    :class:`~repro.runtime.supervisor.Watchdog` (``start``/``stop``/
+    ``fault``/``phase``) but classifies from the pool's heartbeat
+    array instead of barrier phases: a dead participant process is a
+    **crash**; a participant whose heartbeat goes stale past the
+    liveness deadline, or a job running past its deadline, is a
+    **hang**.  On detection it sets the generation abort flag (so
+    injected hangs and take loops release) and wakes the parent's
+    gather wait with a ``("fault", slot, (jid, None))`` sentinel.
+    """
+
+    def __init__(self, pool: "WorkerPool", jid: int,
+                 liveness_deadline_s: float, job_deadline_s: float,
+                 poll_interval_s: float = 0.02) -> None:
+        self.pool = pool
+        self.jid = jid
+        self.liveness_deadline_s = liveness_deadline_s
+        self.job_deadline_s = job_deadline_s
+        self.poll_interval_s = poll_interval_s
+        self.phase = "run"
+        self.fault: Optional[WorkerFault] = None
+        self._participants: List[int] = []
+        self._shared: Optional[_PoolShared] = None
+        self._t0 = 0.0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self, participants, shared, t0: float) -> None:
+        self._participants = list(participants)
+        self._shared = shared
+        self._t0 = t0
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._poll_loop,
+                                        name="repro-pool-heartbeat",
+                                        daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Idempotent (called by both the engine and the run's finally)."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def _poll_loop(self) -> None:
+        while not self._stop.wait(self.poll_interval_s):
+            fault = self._classify()
+            if fault is not None:
+                self.fault = fault
+                self._wake_parent(fault)
+                return
+
+    def _classify(self) -> Optional[WorkerFault]:
+        now = time.monotonic()
+        elapsed = time.perf_counter() - self._t0
+        shared = self._shared
+        for slot in self._participants:
+            proc = self.pool._proc_for(slot)
+            if proc is not None and not proc.is_alive():
+                exitcode = proc.exitcode
+                return WorkerCrashed(
+                    f"pool worker {slot} died mid-job "
+                    f"(exitcode={exitcode})",
+                    phase=self.phase, worker=slot, elapsed_s=elapsed,
+                    exitcode=exitcode)
+            beat = shared.beats[slot] if shared is not None else now
+            if now - beat > self.liveness_deadline_s:
+                return WorkerHung(
+                    f"pool worker {slot} heartbeat stale for "
+                    f"{now - beat:.1f}s (deadline "
+                    f"{self.liveness_deadline_s:.1f}s)",
+                    phase=self.phase, worker=slot, elapsed_s=elapsed)
+        if elapsed > self.job_deadline_s:
+            return WorkerHung(
+                f"pool job exceeded its {self.job_deadline_s:.1f}s "
+                f"deadline in phase {self.phase!r}",
+                phase=self.phase, elapsed_s=elapsed)
+        return None
+
+    def _wake_parent(self, fault: WorkerFault) -> None:
+        shared = self._shared
+        if shared is None:
+            return
+        try:
+            shared.abort.set()
+        except (OSError, ValueError):
+            pass
+        try:
+            shared.results.put(("fault", fault.worker, (self.jid, None)))
+        except (OSError, ValueError):
+            pass
+
+
+def _check_monitor(monitor) -> None:
+    fault = monitor.fault
+    if fault is not None:
+        raise fault
+
+
+# ---------------------------------------------------------------------------
+# Parent side: the engine (plugs into run_parallel_real's seam)
+# ---------------------------------------------------------------------------
+
+class _PoolEngine:
+    """One job attempt's engine: lease, dispatch, strips, gather."""
+
+    def __init__(self, pool: "WorkerPool", workers: int) -> None:
+        self.pool = pool
+        self.workers = workers
+        self.jid = pool._next_jid()
+
+    # run_parallel_real's engine protocol
+    def execute(self, task, store, gathered, *, monitor, strip,
+                horizon0, speculative, barrier_timeout, queue_timeout,
+                prof, t0):
+        pool = self.pool
+        shared = pool._shared
+        jid = self.jid
+        n = max(1, min(self.workers, shared.workers))
+        fp = task.fault_plan
+        expire_lease = bool(fp and fp.expires_lease())
+        with prof.phase("pool.lease", arrays=len(store.arrays())):
+            lease = pool.arena.lease(
+                store, ttl_s=0.0 if expire_lease else None)
+        trc = get_tracer()
+        if trc.enabled:
+            trc.count(_ev.M_POOL_LEASES)
+        task.store_spec = lease.spec
+        task.workers = n
+        shared.reset_job(task.first, horizon0)
+        now = time.monotonic()
+        for slot in range(n):
+            shared.beats[slot] = now   # fresh grace for the new job
+        with prof.phase("pool.dispatch", workers=n):
+            blob = _courier_dumps(task)
+            for slot in range(n):
+                shared.jobqs[slot].put(("job", jid, n, blob))
+        monitor.start(range(n), shared, t0)
+        t_setup = time.perf_counter()
+        term_found = False
+        try:
+            with prof.phase("body", scheme="pool"):
+                while True:
+                    self._await_strip(jid, n, gathered, monitor,
+                                      queue_timeout, t0, shared)
+                    pool.arena.sweep()
+                    if not lease.valid():
+                        raise LeaseExpired(
+                            f"arena lease {lease.token} for job {jid} "
+                            f"expired mid-job (sweeper revoked the "
+                            f"segments)",
+                            phase="gather",
+                            elapsed_s=time.perf_counter() - t0)
+                    if not expire_lease:
+                        lease.renew()
+                    if pool._draining:
+                        raise JobCancelled(
+                            f"pool drain cancelled job {jid} at a "
+                            f"strip boundary",
+                            phase="gather",
+                            elapsed_s=time.perf_counter() - t0)
+                    if gathered.error is None:
+                        if task.schedule == "static":
+                            expected = (shared.horizon.value
+                                        - task.first + 1)
+                        else:
+                            expected = shared.counter.value - task.first
+                        if gathered.received < expected:
+                            raise ResultLost(
+                                f"all {n} pool workers quiesced but "
+                                f"{expected - gathered.received} of "
+                                f"{expected} result records never "
+                                f"arrived",
+                                phase="gather",
+                                elapsed_s=time.perf_counter() - t0)
+                    term_found = any(
+                        o in (IterOutcome.TERMINATED, IterOutcome.EXITED)
+                        for o in gathered.outcomes.values())
+                    if (gathered.error is not None or term_found
+                            or gathered.faults or strip is None):
+                        break
+                    from repro.runtime.procs import _MAX_HORIZON
+                    if shared.horizon.value + strip > _MAX_HORIZON:
+                        raise ExecutionError(
+                            f"loop {task.loop.name!r} exceeded "
+                            f"{_MAX_HORIZON} iterations without "
+                            f"terminating")
+                    shared.horizon.value += strip
+                    for slot in range(n):
+                        shared.jobqs[slot].put(("go", jid))
+            for slot in range(n):
+                shared.jobqs[slot].put(("end", jid))
+            self._await_jobdone(jid, n, gathered, monitor,
+                                queue_timeout, t0, task)
+            if speculative and task.shadow_arrays:
+                with prof.phase("pd-merge", stage="collect"):
+                    _validate_shadow_payloads(gathered, t0)
+            return term_found, t_setup
+        except BaseException:
+            pool._recover(jid, n)
+            raise
+        finally:
+            monitor.stop()
+            lease.release()
+
+    def _await_strip(self, jid, n, gathered, monitor, timeout, t0,
+                     shared) -> None:
+        """Consume results until all ``n`` participants sent ``sdone``.
+
+        Per-producer FIFO means a worker's chunks always precede its
+        ``sdone``, so returning here implies every queued record of
+        this strip has been folded."""
+        monitor.phase = "gather"
+        deadline = time.monotonic() + timeout
+        quiesced = set()
+        try:
+            while len(quiesced) < n:
+                _check_monitor(monitor)
+                try:
+                    kind, slot, (mjid, payload) = shared.results.get(
+                        timeout=_POLL_S)
+                except _thread_queue.Empty:
+                    if time.monotonic() > deadline:
+                        raise WorkerHung(
+                            f"pool strip did not quiesce within "
+                            f"{timeout:.1f}s ({len(quiesced)} of {n} "
+                            f"workers reported)",
+                            phase="gather",
+                            elapsed_s=time.perf_counter() - t0) \
+                            from None
+                    continue
+                if kind == "fault":
+                    _check_monitor(monitor)
+                    continue
+                if mjid != jid:
+                    continue            # stale: a cancelled attempt
+                if kind == "chunk":
+                    _fold_records(gathered, payload)
+                elif kind == "sdone":
+                    quiesced.add(slot)
+                elif kind == "error":
+                    gathered.error = payload
+                # "cancelled"/"jobdone" for this jid cannot occur here
+        finally:
+            monitor.phase = "run"
+
+    def _await_jobdone(self, jid, n, gathered, monitor, timeout, t0,
+                       task) -> None:
+        """Collect each participant's end-of-job ack (and shadows)."""
+        monitor.phase = "shadow"
+        deadline = time.monotonic() + timeout
+        done = set()
+        try:
+            while len(done) < n:
+                _check_monitor(monitor)
+                try:
+                    kind, slot, (mjid, *rest) = \
+                        self.pool._shared.results.get(timeout=_POLL_S)
+                except _thread_queue.Empty:
+                    if time.monotonic() > deadline:
+                        raise ResultLost(
+                            f"timed out waiting for pool job acks "
+                            f"({len(done)} of {n} received)",
+                            phase="shadow",
+                            elapsed_s=time.perf_counter() - t0) \
+                            from None
+                    continue
+                if kind == "fault":
+                    _check_monitor(monitor)
+                    continue
+                if mjid != jid:
+                    continue
+                if kind == "jobdone":
+                    done.add(slot)
+                    shadow_payload = rest[0]
+                    if task.shadow_arrays:
+                        gathered.shadow_payloads.append(shadow_payload)
+                elif kind == "error" and gathered.error is None:
+                    gathered.error = rest[0]
+        finally:
+            monitor.phase = "run"
+
+
+# ---------------------------------------------------------------------------
+# The pool itself
+# ---------------------------------------------------------------------------
+
+class WorkerPool:
+    """A persistent, fault-tolerant parallelization service.
+
+    One instance owns one generation of pre-forked workers, a leased
+    shm :class:`~repro.service.arenas.Arena`, an
+    :class:`~repro.service.admission.AdmissionController` and a
+    per-scheme :class:`~repro.service.admission.CircuitBreaker`.
+    Jobs run one at a time (the admission queue provides the
+    backpressure surface); every job walks its own
+    :func:`~repro.runtime.supervisor.build_pool_ladder` ladder, so a
+    faulting job degrades without poisoning the pool.
+    """
+
+    def __init__(self, config: Optional[PoolConfig] = None) -> None:
+        self.config = config or PoolConfig()
+        self.arena = Arena(self.config.arena)
+        self.admission = AdmissionController(self.config.admission)
+        self.breaker = CircuitBreaker(self.config.breaker_threshold,
+                                      self.config.breaker_cooldown_s)
+        self._shared: Optional[_PoolShared] = None
+        self._procs: List = []
+        self._lifecycle = threading.RLock()
+        self._draining = False
+        self._closed = False
+        self._jid_lock = threading.Lock()
+        self._jid = 0
+        # health counters
+        self.jobs_submitted = 0
+        self.jobs_ok = 0
+        self.jobs_failed = 0
+        self.retries = 0
+        self.respawns = 0
+        self.recycles = 0
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> "WorkerPool":
+        """Fork the worker generation (idempotent)."""
+        with self._lifecycle:
+            if self._closed:
+                raise PoolClosed("pool has been shut down")
+            if self._shared is None:
+                self._spawn_generation()
+        return self
+
+    def _spawn_generation(self) -> None:
+        # Start the shm resource tracker *before* forking: workers
+        # must inherit the parent's tracker, or each worker's first
+        # segment attach forks a private tracker that warns about
+        # "leaked" segments (the parent unlinked them) at exit.
+        from multiprocessing import resource_tracker
+        resource_tracker.ensure_running()
+        shared = _PoolShared(self.config.workers)
+        now = time.monotonic()
+        procs = []
+        for slot in range(self.config.workers):
+            shared.beats[slot] = now
+            procs.append(self._fork_worker(shared, slot))
+        self._shared = shared
+        self._procs = procs
+
+    def _fork_worker(self, shared: _PoolShared, slot: int):
+        proc = shared.ctx.Process(target=_pool_worker_main,
+                                  args=(slot, shared), daemon=True)
+        proc.start()
+        return proc
+
+    def _proc_for(self, slot: int):
+        procs = self._procs
+        return procs[slot] if slot < len(procs) else None
+
+    def _next_jid(self) -> int:
+        with self._jid_lock:
+            self._jid += 1
+            return self._jid
+
+    # -- recovery ----------------------------------------------------------
+    def _recover(self, jid: int, participants: int) -> None:
+        """Quiesce after a failed/cancelled attempt: cancel live
+        workers, reap + respawn dead ones, escalate to a recycle if
+        the generation will not settle."""
+        shared = self._shared
+        if shared is None:
+            return
+        shared.abort.set()
+        trc = get_tracer()
+        need_ack = set()
+        for slot in range(participants):
+            proc = self._proc_for(slot)
+            if proc is not None and proc.is_alive():
+                need_ack.add(slot)
+        deadline = time.monotonic() + _CANCEL_TIMEOUT_S
+        acked: set = set()
+        while acked < need_ack and time.monotonic() < deadline:
+            try:
+                kind, slot, (mjid, *_rest) = shared.results.get(
+                    timeout=_POLL_S)
+            except _thread_queue.Empty:
+                # a worker may have died *during* cancellation
+                for slot in list(need_ack - acked):
+                    proc = self._proc_for(slot)
+                    if proc is not None and not proc.is_alive():
+                        need_ack.discard(slot)
+                continue
+            if mjid != jid:
+                continue
+            if kind in ("cancelled", "jobdone", "sdone") \
+                    and slot in need_ack:
+                if kind in ("cancelled", "jobdone"):
+                    acked.add(slot)
+            # chunks/errors of the doomed attempt: drop
+        if acked < need_ack:
+            self._recycle()
+            return
+        # reap + respawn dead participants onto the same generation
+        for slot in range(participants):
+            proc = self._proc_for(slot)
+            if proc is None or proc.is_alive():
+                continue
+            proc.join(timeout=1.0)
+            self._drain_jobq(shared, slot)
+            self._procs[slot] = self._fork_worker(shared, slot)
+            self.respawns += 1
+            if trc.enabled:
+                trc.count(_ev.M_POOL_RESPAWNS)
+                trc.event(_ev.EV_POOL_REAP, 0, worker=slot,
+                          exitcode=proc.exitcode, job=jid)
+        shared.abort.clear()
+
+    @staticmethod
+    def _drain_jobq(shared: _PoolShared, slot: int) -> None:
+        """Empty a dead worker's job queue so its replacement cannot
+        consume a stale job (whose lease is already released)."""
+        while True:
+            try:
+                shared.jobqs[slot].get_nowait()
+            except _thread_queue.Empty:
+                return
+
+    def _recycle(self) -> None:
+        """The big hammer: kill the generation and refork everything.
+
+        Used when polite cancellation cannot quiesce (e.g. a worker
+        died holding the take lock).  Fresh queues mean stale messages
+        are structurally impossible afterwards."""
+        with self._lifecycle:
+            shared, procs = self._shared, self._procs
+            self._shared, self._procs = None, []
+            for proc in procs:
+                if proc.is_alive():
+                    proc.terminate()
+            for proc in procs:
+                proc.join(timeout=5.0)
+            if shared is not None:
+                shared.close_queues()
+            self.recycles += 1
+            self.respawns += len(procs)
+            if not self._closed:
+                self._spawn_generation()
+
+    # -- submission --------------------------------------------------------
+    def submit(
+        self,
+        info,
+        store: Store,
+        funcs: FunctionTable,
+        *,
+        scheme: str = "doall",
+        workers: Optional[int] = None,
+        chunk: Optional[int] = None,
+        u: Optional[int] = None,
+        strip: Optional[int] = None,
+        speculative: bool = False,
+        test_arrays: Tuple[str, ...] = (),
+        privatize: Tuple[str, ...] = (),
+        fault_plan: Optional[FaultPlan] = None,
+        policy: Optional[ResiliencePolicy] = None,
+        strict_exceptions: bool = False,
+        sp_at: Optional[float] = None,
+        deadline_s: Optional[float] = None,
+    ) -> ParallelResult:
+        """Run one job through the pool (see class docstring).
+
+        Raises :class:`~repro.errors.PoolOverloaded` (or its deadline
+        subclass) when admission sheds the job — the store is
+        untouched — and :class:`~repro.errors.PoolClosed` after
+        :meth:`close`.  System faults inside the job never escape raw:
+        the per-job ladder either recovers or raises the structured
+        taxonomy (:class:`~repro.errors.LadderExhausted` at worst).
+        """
+        trc = get_tracer()
+        if trc.enabled:
+            trc.count(_ev.M_POOL_JOBS)
+            trc.gauge(_ev.M_POOL_QUEUE_DEPTH, self.admission.depth)
+        self.jobs_submitted += 1
+        if self._closed:
+            raise PoolClosed("pool has been shut down")
+        if self._draining:
+            raise PoolOverloaded("pool is draining", reason="draining",
+                                 depth=self.admission.depth,
+                                 capacity=self.admission.config.capacity)
+        w_asked = workers if workers is not None else self.config.workers
+        try:
+            w_eff = self.admission.gate_workers(sp_at, w_asked)
+        except PoolOverloaded as ov:
+            if trc.enabled:
+                trc.count(_ev.M_POOL_SHED)
+                trc.event(_ev.EV_POOL_SHED, 0, reason=ov.reason,
+                          depth=ov.depth, capacity=ov.capacity,
+                          sp_at=ov.sp_at)
+            raise
+        prof = get_profiler()
+        tq0 = time.perf_counter()
+        try:
+            with prof.phase("pool.queue", depth=self.admission.depth):
+                self.admission.enter(deadline_s=deadline_s)
+        except PoolOverloaded as ov:
+            if trc.enabled:
+                trc.count(_ev.M_POOL_SHED)
+                trc.event(_ev.EV_POOL_SHED, 0, reason=ov.reason,
+                          depth=ov.depth, capacity=ov.capacity)
+            raise
+        if trc.enabled:
+            trc.observe(_ev.M_POOL_QUEUE_WAIT,
+                        time.perf_counter() - tq0)
+        try:
+            self.start()
+            return self._run_job(
+                info, store, funcs, scheme=scheme, workers=w_eff,
+                chunk=chunk, u=u, strip=strip, speculative=speculative,
+                test_arrays=test_arrays, privatize=privatize,
+                fault_plan=fault_plan, policy=policy,
+                strict_exceptions=strict_exceptions)
+        finally:
+            self.admission.leave()
+
+    def _run_job(self, info, store, funcs, *, scheme, workers, chunk,
+                 u, strip, speculative, test_arrays, privatize,
+                 fault_plan, policy, strict_exceptions
+                 ) -> ParallelResult:
+        """Walk the pool ladder for one admitted job (mirrors
+        :func:`~repro.runtime.supervisor.run_supervised`)."""
+        policy = policy or self.config.resilience
+        trc = get_tracer()
+        t0 = time.perf_counter()
+        checkpoint = store.copy()
+        use_pool = self.breaker.allows_pool(scheme)
+        if trc.enabled and not use_pool:
+            trc.event(_ev.EV_POOL_BREAKER, 0, scheme=scheme,
+                      state=self.breaker.state(scheme))
+        ladder = build_pool_ladder(policy, workers)
+        if not use_pool:
+            ladder = [r for r in ladder if r.mode != "pool"]
+        faults: List[Dict[str, Any]] = []
+        last_fault: Optional[RealBackendError] = None
+        attempt = 0
+        pool_attempts = 0
+        outcome = "fault"
+        jid_token = self._jid + 1   # stable jitter seed for this job
+        try:
+            for rung in ladder:
+                if rung.mode == "pool" \
+                        and pool_attempts > self.config.retry.max_retries:
+                    continue    # retry budget spent: degrade out
+                if rung.mode == "pool" and self._draining:
+                    continue    # drain: finish degraded, not on the pool
+                resume = None
+                if rung.stage == "partial-restart":
+                    resume = getattr(last_fault, "salvage", None)
+                    if resume is None or speculative:
+                        continue
+                if self._draining and rung.mode == "threads":
+                    # Drain checkpoint-finish: resume the cancelled
+                    # job from its salvaged committed prefix.
+                    salvage = getattr(last_fault, "salvage", None)
+                    if salvage is not None and not speculative:
+                        resume = salvage
+                if attempt:
+                    store.restore_from(checkpoint)
+                    if rung.mode == "pool":
+                        backoff = self.config.retry.backoff_for(
+                            attempt, token=jid_token)
+                    else:
+                        backoff = policy.backoff_for(attempt)
+                    if trc.enabled:
+                        trc.event(_ev.EV_RETRY, 0, rung=rung.stage,
+                                  mode=rung.mode, workers=rung.workers,
+                                  attempt=attempt, backoff_s=backoff)
+                        trc.count(_ev.M_RETRIES)
+                        if rung.mode == "pool":
+                            trc.count(_ev.M_POOL_RETRIES)
+                        trc.observe(_ev.M_RETRY_BACKOFF, backoff)
+                    if backoff:
+                        time.sleep(backoff)
+                    self.retries += 1 if rung.mode == "pool" else 0
+
+                if rung.mode == "sequential":
+                    reason = (getattr(last_fault, "kind", "fault")
+                              if last_fault is not None else "policy")
+                    result = _run_sequential_rung(info, store, funcs,
+                                                  t0, reason)
+                    _record_outcome(trc, result, rung, attempt, faults,
+                                    reason=reason)
+                    outcome = "ok"
+                    self.jobs_ok += 1
+                    if trc.enabled:
+                        trc.count(_ev.M_POOL_JOBS_OK)
+                    return result
+
+                armed = (fault_plan.for_attempt(attempt)
+                         if fault_plan else None)
+                if rung.mode == "pool":
+                    pool_attempts += 1
+                    engine = _PoolEngine(self, rung.workers)
+                    monitor = _HeartbeatMonitor(
+                        self, engine.jid,
+                        self.config.liveness_deadline_s,
+                        self.config.job_deadline_s)
+                    run_kwargs = dict(mode="procs", engine=engine,
+                                      monitor=monitor)
+                else:
+                    from repro.runtime.supervisor import Watchdog
+                    run_kwargs = dict(mode="threads",
+                                      monitor=Watchdog(policy))
+                try:
+                    result = run_parallel_real(
+                        info, store, funcs,
+                        scheme=scheme, workers=rung.workers,
+                        chunk=chunk, u=u, strip=strip,
+                        speculative=speculative,
+                        test_arrays=test_arrays, privatize=privatize,
+                        fault_plan=armed,
+                        barrier_timeout=policy.deadline_s,
+                        queue_timeout=policy.deadline_s,
+                        strict_exceptions=strict_exceptions,
+                        partial_restart=policy.allow_partial_restart,
+                        resume=resume, **run_kwargs)
+                except WorkerFault as fault:
+                    last_fault = fault
+                    faults.append(_fault_summary(fault))
+                    _record_fault(trc, fault, rung, attempt)
+                    if rung.mode == "pool":
+                        tripped = self.breaker.record_fault(
+                            scheme, fault.kind)
+                        if tripped:
+                            if trc.enabled:
+                                trc.event(_ev.EV_POOL_BREAKER, 0,
+                                          scheme=scheme, state="open",
+                                          kind=fault.kind)
+                            use_pool = False
+                            ladder = [r for r in ladder
+                                      if r.mode != "pool"
+                                      or r.stage == "partial-restart"]
+                    attempt += 1
+                    continue
+                except RealBackendError as fault:
+                    last_fault = fault
+                    faults.append(_fault_summary(fault))
+                    _record_fault(trc, fault, rung, attempt)
+                    attempt += 1
+                    continue
+                if rung.mode == "pool":
+                    self.breaker.record_success(scheme)
+                if resume is not None:
+                    spec = result.stats.setdefault("spec", {})
+                    spec["salvaged_iters"] = max(
+                        spec.get("salvaged_iters", 0),
+                        resume.salvaged_iters)
+                    spec["partial_restarts"] = \
+                        spec.get("partial_restarts", 0) + 1
+                _record_outcome(trc, result, rung, attempt, faults)
+                result.stats.setdefault("pool", {}).update({
+                    "pool_attempts": pool_attempts,
+                    "breaker": self.breaker.state(scheme),
+                })
+                outcome = "ok"
+                self.jobs_ok += 1
+                if trc.enabled:
+                    trc.count(_ev.M_POOL_JOBS_OK)
+                return result
+            raise LadderExhausted(
+                f"every rung of the pool ladder failed for loop "
+                f"{info.loop.name!r} ({len(faults)} faults: "
+                f"{[f['kind'] for f in faults]})") from last_fault
+        except BaseException:
+            if outcome != "ok":
+                self.jobs_failed += 1
+                if trc.enabled:
+                    trc.count(_ev.M_POOL_JOBS_FAILED)
+            raise
+        finally:
+            if trc.enabled:
+                wall = time.perf_counter() - t0
+                trc.span(_ev.EV_POOL_JOB, 0, max(1, int(wall * 1e9)),
+                         loop=info.loop.name, scheme=scheme,
+                         workers=workers, attempts=attempt + 1,
+                         outcome=outcome)
+
+    # -- drain / shutdown --------------------------------------------------
+    def drain(self, timeout_s: float = 30.0) -> bool:
+        """Stop admitting, finish/checkpoint in-flight work, park.
+
+        In-flight jobs are cancelled at their next strip boundary and
+        finish degraded from their salvaged committed prefix (the
+        ``IntervalCheckpoint`` path); new submits are shed with
+        ``reason="draining"``.  Returns True when the pool quiesced
+        within ``timeout_s``.  The pool may be :meth:`close`\\ d (or
+        re-opened by clearing nothing — drain is terminal here; use
+        ``close`` afterwards).
+        """
+        self._draining = True
+        deadline = time.monotonic() + timeout_s
+        quiesced = False
+        while time.monotonic() < deadline:
+            if self.admission.depth == 0:
+                quiesced = True
+                break
+            time.sleep(0.02)
+        return quiesced
+
+    def close(self, timeout_s: float = 10.0) -> None:
+        """Drain, stop the workers, release the arena (idempotent)."""
+        with self._lifecycle:
+            if self._closed:
+                return
+            self._draining = True
+            self.drain(timeout_s)
+            self._closed = True
+            shared, procs = self._shared, self._procs
+            self._shared, self._procs = None, []
+        if shared is not None:
+            for slot in range(len(procs)):
+                try:
+                    shared.jobqs[slot].put(("stop",))
+                except (OSError, ValueError):
+                    pass
+            for proc in procs:
+                proc.join(timeout=5.0)
+            for proc in procs:
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=2.0)
+            shared.close_queues()
+        self.arena.close()
+
+    def install_signal_handlers(self) -> None:
+        """Route SIGTERM/SIGINT to a graceful drain-and-close."""
+        import signal
+
+        def _handler(signum, frame):
+            self.close()
+            raise SystemExit(128 + signum)
+
+        signal.signal(signal.SIGTERM, _handler)
+        signal.signal(signal.SIGINT, _handler)
+
+    # -- health ------------------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        """Structured health report (the chaos/soak/CI artifact)."""
+        alive = sum(1 for p in self._procs if p.is_alive())
+        return {
+            "closed": self._closed,
+            "draining": self._draining,
+            "workers": {"configured": self.config.workers,
+                        "alive": alive,
+                        "respawns": self.respawns,
+                        "recycles": self.recycles},
+            "jobs": {"submitted": self.jobs_submitted,
+                     "ok": self.jobs_ok,
+                     "failed": self.jobs_failed,
+                     "shed": self.admission.shed,
+                     "retries": self.retries,
+                     "queue_depth": self.admission.depth},
+            "arena": self.arena.stats(),
+            "breakers": self.breaker.snapshot(),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Module-level default pool (what ``backend="pool"`` routes through)
+# ---------------------------------------------------------------------------
+
+_default_pool: Optional[WorkerPool] = None
+_default_lock = threading.Lock()
+
+
+def get_default_pool(workers: Optional[int] = None,
+                     config: Optional[PoolConfig] = None) -> WorkerPool:
+    """The process-wide pool ``parallelize(backend="pool")`` uses.
+
+    Created lazily on first use; a ``workers`` ask larger than the
+    current pool recreates it (jobs are degraded, never upgraded,
+    silently).  Closed automatically at interpreter exit.
+    """
+    global _default_pool
+    with _default_lock:
+        if _default_pool is not None and _default_pool._closed:
+            _default_pool = None
+        if _default_pool is not None and workers is not None \
+                and workers > _default_pool.config.workers:
+            _default_pool.close()
+            _default_pool = None
+        if _default_pool is None:
+            cfg = config or PoolConfig(workers=workers or 2)
+            _default_pool = WorkerPool(cfg)
+            import atexit
+            atexit.register(close_default_pool)
+        return _default_pool
+
+
+def close_default_pool() -> None:
+    """Close and forget the default pool (idempotent)."""
+    global _default_pool
+    with _default_lock:
+        pool, _default_pool = _default_pool, None
+    if pool is not None:
+        pool.close()

@@ -1,0 +1,99 @@
+"""Regression tests for idempotent shared-memory segment release.
+
+The per-call atexit guard (PR 3) and the service arena (PR 8) can both
+end up releasing the *same* segment — e.g. an arena segment the
+pool already unlinked when the per-call sweep fires at exit.  Before
+:func:`repro.runtime.shm.release_segment`, the second unlink raised
+``FileNotFoundError`` inside ``SharedMemory.unlink`` *before* the
+resource-tracker unregister, leaving a stale registration that warned
+about "leaked shared_memory objects" at interpreter shutdown.
+"""
+
+from __future__ import annotations
+
+import gc
+import subprocess
+import sys
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.ir.store import Store
+from repro.runtime.shm import (
+    SharedStore,
+    live_shared_stores,
+    release_segment,
+    sweep_shared_stores,
+)
+
+
+def test_release_segment_twice_is_safe():
+    seg = shared_memory.SharedMemory(create=True, size=4096)
+    release_segment(seg, unlink=True)
+    # The second release must neither raise nor warn — the segment is
+    # gone and its tracker registration already cleared.
+    release_segment(seg, unlink=True)
+
+
+def test_release_segment_after_external_unlink():
+    # Somebody else (another sweeper, another process) unlinked the
+    # segment first: release_segment must swallow the FileNotFoundError
+    # *and* clear the stale resource-tracker registration.
+    seg = shared_memory.SharedMemory(create=True, size=4096)
+    other = shared_memory.SharedMemory(name=seg.name)
+    other.close()
+    other.unlink()
+    release_segment(seg, unlink=True)
+
+
+def test_sweep_shared_stores_idempotent():
+    store = Store()
+    store["a"] = np.arange(16, dtype=np.int64)
+    shared = SharedStore.export(store)
+    assert live_shared_stores() >= 1
+    assert sweep_shared_stores() >= 1
+    assert live_shared_stores() == 0
+    # Second sweep finds nothing and — critically — does not trip over
+    # the segments the first sweep already unlinked.
+    assert sweep_shared_stores() == 0
+    shared.close(unlink=True)   # triple-release of the same segments
+
+
+def test_dropped_unclosed_store_releases_its_segments():
+    # A SharedStore that is garbage-collected without close() must not
+    # leak: _LIVE is weak (the sweep can no longer see the store), so a
+    # per-store finalizer releases the segments at collection time.
+    store = Store()
+    store["a"] = np.arange(16, dtype=np.int64)
+    spec = SharedStore.export(store).spec()   # export dropped here
+    gc.collect()
+    assert live_shared_stores() == 0
+    name = spec.arrays[0].shm_name
+    try:
+        seg = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        pass   # segment was unlinked by the finalizer
+    else:
+        release_segment(seg, unlink=True)
+        raise AssertionError("dropped store leaked segment %s" % name)
+
+
+def test_double_sweep_emits_no_tracker_warnings():
+    # The observable symptom of the historical bug was a
+    # resource_tracker warning at interpreter exit — assert its absence
+    # end-to-end in a fresh interpreter.
+    code = (
+        "import numpy as np\n"
+        "from repro.ir.store import Store\n"
+        "from repro.runtime.shm import SharedStore, sweep_shared_stores\n"
+        "store = Store()\n"
+        "store['a'] = np.arange(64, dtype=np.int64)\n"
+        "shared = SharedStore.export(store)\n"
+        "assert sweep_shared_stores() == 1\n"
+        "assert sweep_shared_stores() == 0\n"
+        "shared.close(unlink=True)\n"
+    )
+    proc = subprocess.run([sys.executable, "-c", code],
+                          capture_output=True, text=True, timeout=60)
+    assert proc.returncode == 0, proc.stderr
+    assert "leaked shared_memory" not in proc.stderr

@@ -1,0 +1,135 @@
+"""Admission control: retry pacing, breakers, the bounded queue."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import JobDeadlineExceeded, PoolOverloaded
+from repro.service.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    CircuitBreaker,
+    RetryPolicy,
+)
+
+
+# -- RetryPolicy -------------------------------------------------------------
+
+def test_backoff_is_deterministic_per_token():
+    p = RetryPolicy(backoff_base_s=0.1, backoff_cap_s=10.0)
+    assert p.backoff_for(2, token=7) == p.backoff_for(2, token=7)
+    assert p.backoff_for(2, token=7) != p.backoff_for(2, token=8)
+
+
+def test_backoff_grows_and_caps():
+    p = RetryPolicy(backoff_base_s=0.1, backoff_cap_s=0.5,
+                    jitter_frac=0.0)
+    waits = [p.backoff_for(a) for a in range(1, 6)]
+    assert waits == sorted(waits)
+    assert waits[-1] == 0.5
+
+
+def test_backoff_jitter_stays_in_band():
+    p = RetryPolicy(backoff_base_s=0.1, backoff_cap_s=10.0,
+                    jitter_frac=0.25)
+    for token in range(50):
+        w = p.backoff_for(1, token=token)
+        assert 0.075 <= w <= 0.125
+
+
+def test_zero_base_disables_backoff():
+    assert RetryPolicy(backoff_base_s=0.0).backoff_for(3) == 0.0
+
+
+# -- CircuitBreaker ----------------------------------------------------------
+
+def test_breaker_trips_on_same_kind_streak():
+    b = CircuitBreaker(threshold=3, cooldown_s=60.0)
+    assert not b.record_fault("doall", "crash")
+    assert not b.record_fault("doall", "crash")
+    assert b.record_fault("doall", "crash")
+    assert b.state("doall") == "open"
+    assert not b.allows_pool("doall")
+    # other schemes are unaffected
+    assert b.allows_pool("general-3")
+
+
+def test_kind_change_resets_the_streak():
+    b = CircuitBreaker(threshold=2, cooldown_s=60.0)
+    assert not b.record_fault("doall", "crash")
+    assert not b.record_fault("doall", "hang")   # new kind: streak = 1
+    assert b.record_fault("doall", "hang")
+
+
+def test_half_open_allows_exactly_one_probe():
+    b = CircuitBreaker(threshold=1, cooldown_s=0.0)
+    assert b.record_fault("doall", "crash")
+    assert b.state("doall") == "half-open"       # cooldown lapsed
+    assert b.allows_pool("doall")                # the probe
+    assert not b.allows_pool("doall")            # probe outstanding
+    b.record_success("doall")
+    assert b.state("doall") == "closed"
+    assert b.allows_pool("doall")
+
+
+def test_snapshot_reports_tracked_schemes():
+    b = CircuitBreaker(threshold=1, cooldown_s=60.0)
+    b.record_fault("doall", "crash")
+    assert b.snapshot() == {"doall": "open"}
+
+
+# -- AdmissionController -----------------------------------------------------
+
+def test_enter_leave_tracks_depth():
+    adm = AdmissionController()
+    adm.enter()
+    assert adm.depth == 1
+    adm.leave()
+    assert adm.depth == 0
+
+
+def test_queue_full_sheds():
+    adm = AdmissionController(AdmissionConfig(capacity=1))
+    adm.enter()
+    with pytest.raises(PoolOverloaded) as exc:
+        adm.enter()
+    assert exc.value.reason == "queue-full"
+    assert adm.shed == 1
+    adm.leave()
+
+
+def test_deadline_exceeded_while_queued():
+    adm = AdmissionController(AdmissionConfig(capacity=4))
+    adm.enter()   # holds the job lock
+    with pytest.raises(JobDeadlineExceeded):
+        adm.enter(deadline_s=0.05)
+    assert adm.depth == 1   # the shed job left the queue
+    adm.leave()
+
+
+def test_gate_workers_passes_when_idle():
+    adm = AdmissionController()
+    # depth <= 1: the Spat gate is bypassed entirely
+    assert adm.gate_workers(1.01, 4) == 4
+    assert adm.gate_workers(None, 4) == 4
+
+
+def test_gate_workers_sheds_not_worthwhile_under_load():
+    adm = AdmissionController(AdmissionConfig(capacity=8))
+    adm.enter()
+    adm._depth = 3   # simulate queued jobs behind the running one
+    with pytest.raises(PoolOverloaded) as exc:
+        adm.gate_workers(1.01, 4)
+    assert exc.value.reason == "not-worthwhile"
+    adm._depth = 1
+    adm.leave()
+
+
+def test_gate_workers_degrades_marginal_jobs_under_load():
+    adm = AdmissionController(AdmissionConfig(capacity=8))
+    adm.enter()
+    adm._depth = 3
+    assert adm.gate_workers(1.2, 4) == 2     # marginal: halved
+    assert adm.gate_workers(2.0, 4) == 4     # healthy: untouched
+    adm._depth = 1
+    adm.leave()

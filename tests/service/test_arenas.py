@@ -1,0 +1,115 @@
+"""Arena lease lifecycle: reuse, TTL revocation, idempotent teardown."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PoolClosed
+from repro.ir.store import Store
+from repro.runtime.shm import attach_store
+from repro.service.arenas import Arena, ArenaConfig, _size_class
+
+
+def _store(n=64):
+    st = Store()
+    st["a"] = np.arange(n, dtype=np.int64)
+    st["x"] = 7
+    return st
+
+
+def test_size_class_is_next_power_of_two():
+    assert _size_class(1, 4096) == 4096
+    assert _size_class(4096, 4096) == 4096
+    assert _size_class(4097, 4096) == 8192
+    assert _size_class(100_000, 4096) == 131072
+
+
+def test_lease_export_attach_roundtrip():
+    arena = Arena()
+    try:
+        lease = arena.lease(_store())
+        assert lease.valid()
+        attached = attach_store(lease.spec)
+        assert list(attached.store["a"][:4]) == [0, 1, 2, 3]
+        attached.close()
+        lease.release()
+        assert not lease.valid()
+    finally:
+        arena.close()
+
+
+def test_segments_are_reused_across_leases():
+    arena = Arena()
+    try:
+        lease1 = arena.lease(_store())
+        lease1.release()
+        lease2 = arena.lease(_store())
+        lease2.release()
+        stats = arena.stats()
+        assert stats["reused"] >= 1
+        # a released lease's segments are pooled, not destroyed
+        assert stats["pooled"] >= 1
+    finally:
+        arena.close()
+
+
+def test_sweep_revokes_expired_leases_idempotently():
+    arena = Arena()
+    try:
+        lease = arena.lease(_store(), ttl_s=0.0)
+        assert arena.sweep() == 1
+        assert lease.revoked and not lease.valid()
+        assert arena.sweep() == 0        # idempotent
+        assert arena.stats()["expired"] == 1
+    finally:
+        arena.close()
+
+
+def test_renew_extends_ttl():
+    arena = Arena()
+    try:
+        lease = arena.lease(_store(), ttl_s=0.0)
+        assert lease.renew(ttl_s=60.0)
+        assert arena.sweep() == 0
+        assert lease.valid()
+        lease.release()
+        assert not lease.renew()         # gone leases stay gone
+    finally:
+        arena.close()
+
+
+def test_release_is_idempotent():
+    arena = Arena()
+    try:
+        lease = arena.lease(_store())
+        lease.release()
+        lease.release()
+        assert arena.stats()["leases"] == 0
+    finally:
+        arena.close()
+
+
+def test_max_segments_bounds_the_free_pool():
+    arena = Arena(ArenaConfig(max_segments=1))
+    try:
+        lease = arena.lease(_store())
+        n_segments = len(lease.segments)
+        assert n_segments >= 1
+        lease.release()
+        assert arena.stats()["pooled"] <= 1
+    finally:
+        arena.close()
+
+
+def test_close_is_idempotent_and_closes_new_leases():
+    arena = Arena()
+    lease = arena.lease(_store())
+    arena.close()
+    arena.close()
+    assert lease.revoked
+    try:
+        arena.lease(_store())
+    except PoolClosed:
+        pass
+    else:
+        raise AssertionError("lease after close must raise PoolClosed")

@@ -1,0 +1,69 @@
+"""The ``backend="pool"`` route: parallelize → backends → service."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import parallelize
+from repro.errors import PlanError
+from repro.executors.backends import BACKENDS, REAL_BACKENDS
+from repro.runtime.machine import Machine
+from repro.service.pool import close_default_pool, get_default_pool
+from repro.workloads.zoo import make_zoo
+
+_ZOO = {z.name: z for z in make_zoo(48)}
+
+
+@pytest.fixture(autouse=True)
+def _fresh_default_pool():
+    yield
+    close_default_pool()
+
+
+def test_pool_is_a_selectable_backend():
+    assert "pool" in BACKENDS
+    assert "pool" in REAL_BACKENDS
+
+
+def test_parallelize_backend_pool_verifies():
+    zl = _ZOO["mono-induction/RI"]
+    st = zl.make_store()
+    out = parallelize(zl.loop, st, Machine(2), zl.funcs,
+                      backend="pool", u=96, min_speedup=0.0)
+    assert out.verified is True
+    assert out.result.n_iters == 48
+    assert out.result.stats["resilience"]["mode"] in ("pool",
+                                                      "sequential")
+
+
+def test_default_pool_persists_across_calls():
+    zl = _ZOO["general/RI"]
+    for _ in range(2):
+        st = zl.make_store()
+        parallelize(zl.loop, st, Machine(2), zl.funcs,
+                    backend="pool", u=96, min_speedup=0.0)
+    pool = get_default_pool()
+    assert pool.jobs_submitted >= 2
+    assert pool.health()["workers"]["alive"] == pool.config.workers
+
+
+def test_kernels_force_is_rejected_on_pool():
+    zl = _ZOO["mono-induction/RI"]
+    with pytest.raises(PlanError):
+        parallelize(zl.loop, zl.make_store(), Machine(2), zl.funcs,
+                    backend="pool", u=96, min_speedup=0.0,
+                    kernels="force")
+
+
+def test_fuzz_oracle_pool_cell():
+    from repro.fuzz.generator import generate_program
+    from repro.fuzz.oracle import check_program
+
+    checked = 0
+    for seed in range(6):
+        prog = generate_program(seed)
+        verdict = check_program(prog, backends=("pool",), workers=2,
+                                kernels=False)
+        assert verdict.ok, verdict.discrepancies
+        checked += verdict.checks
+    assert checked >= 1

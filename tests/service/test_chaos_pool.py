@@ -1,0 +1,31 @@
+"""Tier-1 subset of the pool chaos matrix.
+
+The full matrix (every scheme × every kind, including the slow hang
+cells) runs in CI's ``pool-soak`` job via ``repro chaos --pool``; here
+the fast kinds sweep every scheme so tier-1 still proves scheme
+coverage, and a single hang cell covers the heartbeat path.
+"""
+
+from __future__ import annotations
+
+from repro.service.chaos import pool_chaos_matrix
+
+
+def test_fast_kinds_across_all_schemes():
+    report = pool_chaos_matrix(workers=2,
+                               kinds=("crash", "lease-expiry"),
+                               deadline_s=5.0)
+    assert len(report.rows) == 8    # 4 scheme cells x 2 kinds
+    for row in report.rows:
+        assert row.store_ok, (row.loop, row.scheme, row.fault)
+        assert row.attempts >= 2    # the fault cost at least a retry
+    assert report.probe_ok
+    assert report.pool_healthy
+    assert report.all_recovered
+
+
+def test_hang_cell_heartbeat_detection():
+    report = pool_chaos_matrix(workers=2, kinds=("hang",),
+                               deadline_s=3.0)
+    assert all(r.store_ok for r in report.rows)
+    assert report.all_recovered

@@ -1,0 +1,79 @@
+"""Courier round-trips: the function shapes real jobs actually carry."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.service.courier import dumps, loads
+
+
+def module_level_fn(x):
+    return x * 2
+
+
+def test_module_level_function_ships_by_reference():
+    fn = loads(dumps(module_level_fn))
+    assert fn is module_level_fn
+
+
+def test_lambda_ships_by_value():
+    fn = lambda x: x + 41  # noqa: E731
+    with pytest.raises(Exception):
+        pickle.dumps(fn)    # stock pickle refuses the local lambda
+    out = loads(dumps(fn))
+    assert out is not fn
+    assert out(1) == 42
+
+
+def test_closure_cells_travel():
+    base = 100
+
+    def shifted(i):
+        return base + i
+
+    out = loads(dumps(shifted))
+    assert out(7) == 107
+
+
+def test_defaults_and_kwdefaults_travel():
+    def f(a, b=10, *, c=20):
+        return a + b + c
+
+    out = loads(dumps(f))
+    assert out(1) == 31
+    assert out(1, b=2, c=3) == 6
+
+
+def test_nested_structures_with_lambdas():
+    table = {"double": lambda x: 2 * x,
+             "triple": lambda x: 3 * x,
+             "plain": [1, 2, 3]}
+    out = loads(dumps(table))
+    assert out["double"](5) == 10
+    assert out["triple"](5) == 15
+    assert out["plain"] == [1, 2, 3]
+
+
+def test_recursive_closure_over_mutable_cell():
+    acc = []
+
+    def record(v):
+        acc.append(v)
+        return len(acc)
+
+    out = loads(dumps(record))
+    # The rebuilt closure captured a *copy* of the cell contents —
+    # workers mutate their own copy, not the parent's.
+    assert out(1) == 1
+    assert acc == []
+
+
+def test_function_table_with_lambda_intrinsics_roundtrips():
+    from repro.ir.functions import FunctionTable
+
+    funcs = FunctionTable()
+    funcs.register("twice", lambda ctx, x: 2 * x, cost=1, pure=True)
+    out = loads(dumps(funcs))
+    assert out["twice"].impl(None, 21) == 42

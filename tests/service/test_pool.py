@@ -1,0 +1,219 @@
+"""WorkerPool behaviour: correctness, recovery, drain, and the soak.
+
+These tests fork real processes; they use small worker counts and
+tight deadlines to stay inside tier-1 time budgets.  The exhaustive
+fault matrix lives in :mod:`repro.service.chaos` (CI's ``pool-soak``
+job); here each recovery path gets one representative cell.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis.loopinfo import analyze_loop
+from repro.errors import PoolClosed, PoolOverloaded
+from repro.ir.interp import SequentialInterp
+from repro.runtime.costs import FREE
+from repro.runtime.faults import FaultPlan, FaultSpec
+from repro.runtime.shm import live_shared_stores
+from repro.runtime.supervisor import ResiliencePolicy
+from repro.service.admission import AdmissionConfig, RetryPolicy
+from repro.service.pool import PoolConfig, WorkerPool
+from repro.workloads.zoo import make_zoo
+
+_ZOO = {z.name: z for z in make_zoo(48)}
+
+_FAST_POLICY = ResiliencePolicy(deadline_s=5.0, poll_interval_s=0.01)
+
+
+def _cell(name):
+    zl = _ZOO[name]
+    info = analyze_loop(zl.loop, zl.funcs)
+    ref = zl.make_store()
+    SequentialInterp(zl.loop, zl.funcs, FREE).run(ref)
+    return zl, info, ref
+
+
+@pytest.fixture()
+def pool():
+    p = WorkerPool(PoolConfig(workers=2, liveness_deadline_s=2.0,
+                              job_deadline_s=20.0)).start()
+    yield p
+    p.close()
+
+
+@pytest.mark.parametrize("name,scheme", [
+    ("mono-induction/RI", "doall"),
+    ("general/RI", "general-3"),
+    ("general/RI", "general-2"),
+])
+def test_pool_job_matches_sequential(pool, name, scheme):
+    zl, info, ref = _cell(name)
+    st = zl.make_store()
+    result = pool.submit(info, st, zl.funcs, scheme=scheme, u=96,
+                         policy=_FAST_POLICY)
+    assert st.equals(ref)
+    assert result.n_iters == 48
+    assert result.stats["resilience"]["rung"] == "initial"
+    assert result.stats["pool"]["pool_attempts"] == 1
+
+
+def test_jobs_reuse_the_same_workers_and_segments(pool):
+    zl, info, ref = _cell("general/RI")
+    pids_before = [p.pid for p in pool._procs]
+    for _ in range(4):
+        st = zl.make_store()
+        pool.submit(info, st, zl.funcs, scheme="general-3", u=96,
+                    policy=_FAST_POLICY)
+        assert st.equals(ref)
+    assert [p.pid for p in pool._procs] == pids_before
+    assert pool.arena.stats()["reused"] >= 1
+
+
+def test_worker_crash_recovers_and_pool_heals(pool):
+    zl, info, ref = _cell("general/RI")
+    st = zl.make_store()
+    plan = FaultPlan(specs=(FaultSpec(kind="crash", worker=1,
+                                      at_iter=0),))
+    result = pool.submit(info, st, zl.funcs, scheme="general-3", u=96,
+                         fault_plan=plan, policy=_FAST_POLICY)
+    assert st.equals(ref)
+    res = result.stats["resilience"]
+    assert res["attempts"] == 2
+    assert res["faults"][0]["kind"] == "crash"
+    # the dead slot was reaped and respawned; pool serves again
+    health = pool.health()
+    assert health["workers"]["alive"] == 2
+    assert health["workers"]["respawns"] >= 1
+    st2 = zl.make_store()
+    pool.submit(info, st2, zl.funcs, scheme="general-3", u=96,
+                policy=_FAST_POLICY)
+    assert st2.equals(ref)
+
+
+def test_lease_expiry_mid_job_retries_under_fresh_lease(pool):
+    zl, info, ref = _cell("mono-induction/RI")
+    st = zl.make_store()
+    plan = FaultPlan(specs=(FaultSpec(kind="lease-expiry"),))
+    result = pool.submit(info, st, zl.funcs, scheme="doall", u=96,
+                         fault_plan=plan, policy=_FAST_POLICY)
+    assert st.equals(ref)
+    res = result.stats["resilience"]
+    assert res["faults"][0]["kind"] == "lease-expired"
+    assert pool.arena.stats()["expired"] >= 1
+
+
+def test_iteration_faults_are_contained_not_retried(pool):
+    # An in-range *iteration* fault is quarantined inside the backend
+    # (exactly like the per-call path) — the job completes on its
+    # first attempt with the fault recorded, no ladder descent.
+    zl, info, _ref = _cell("general/RI")
+    st = zl.make_store()
+    plan = FaultPlan(specs=(FaultSpec(kind="raise-at-iter", worker=-1,
+                                      at_iter=7),))
+    result = pool.submit(info, st, zl.funcs, scheme="general-3", u=96,
+                         fault_plan=plan, policy=_FAST_POLICY)
+    assert result.stats["spec"]["contained"]
+    assert result.stats["resilience"]["attempts"] == 1
+    assert pool.health()["jobs"]["ok"] == 1
+
+
+def test_submit_after_close_raises():
+    p = WorkerPool(PoolConfig(workers=1)).start()
+    p.close()
+    zl, info, _ref = _cell("general/RI")
+    with pytest.raises(PoolClosed):
+        p.submit(info, zl.make_store(), zl.funcs, scheme="general-3",
+                 u=96)
+
+
+def test_draining_pool_sheds_new_jobs(pool):
+    pool._draining = True
+    zl, info, _ref = _cell("general/RI")
+    with pytest.raises(PoolOverloaded) as exc:
+        pool.submit(info, zl.make_store(), zl.funcs, scheme="general-3",
+                    u=96)
+    assert exc.value.reason == "draining"
+    assert pool.drain(timeout_s=1.0)
+
+
+def test_breaker_routes_repeated_faults_off_the_pool():
+    p = WorkerPool(PoolConfig(
+        workers=2, liveness_deadline_s=2.0, job_deadline_s=20.0,
+        breaker_threshold=2, breaker_cooldown_s=300.0,
+        retry=RetryPolicy(max_retries=0, backoff_base_s=0.0))).start()
+    try:
+        zl, info, ref = _cell("general/RI")
+        # Two jobs whose every pool attempt crashes: each descends the
+        # ladder (retry budget 0 -> one pool rung each) and lands on
+        # threads; the same-kind streak trips the breaker.
+        plan = FaultPlan(specs=(
+            FaultSpec(kind="crash", worker=0, at_iter=0,
+                      attempts=(0,)),))
+        for _ in range(2):
+            st = zl.make_store()
+            p.submit(info, st, zl.funcs, scheme="general-3", u=96,
+                     fault_plan=plan, policy=_FAST_POLICY)
+            assert st.equals(ref)
+        assert p.breaker.state("general-3") == "open"
+        # Next job skips the pool rungs entirely: no new pool attempt.
+        st = zl.make_store()
+        result = p.submit(info, st, zl.funcs, scheme="general-3", u=96,
+                          policy=_FAST_POLICY)
+        assert st.equals(ref)
+        assert result.stats["resilience"]["mode"] in ("threads",
+                                                      "sequential")
+    finally:
+        p.close()
+
+
+def test_soak_no_resource_growth():
+    """200 jobs through one pool: fds, shm segments, and the worker
+    set must all come out exactly as they went in."""
+    p = WorkerPool(PoolConfig(
+        workers=2, liveness_deadline_s=5.0, job_deadline_s=30.0,
+        admission=AdmissionConfig(capacity=4))).start()
+    try:
+        zl, info, ref = _cell("general/RI")
+        cells = [("mono-induction/RI", "doall"),
+                 ("general/RI", "general-3"),
+                 ("general/RI", "general-2")]
+        prepared = {name: _cell(name) for name, _ in cells}
+
+        # Warmup: let the arena pool and queue feeders reach steady
+        # state before snapshotting.
+        for i in range(20):
+            name, scheme = cells[i % len(cells)]
+            zl_i, info_i, ref_i = prepared[name]
+            st = zl_i.make_store()
+            p.submit(info_i, st, zl_i.funcs, scheme=scheme, u=96)
+            assert st.equals(ref_i)
+
+        fds_before = len(os.listdir("/proc/self/fd"))
+        pids_before = [q.pid for q in p._procs]
+
+        for i in range(180):
+            name, scheme = cells[i % len(cells)]
+            zl_i, info_i, ref_i = prepared[name]
+            st = zl_i.make_store()
+            p.submit(info_i, st, zl_i.funcs, scheme=scheme, u=96)
+            assert st.equals(ref_i)
+
+        health = p.health()
+        assert health["jobs"]["ok"] == 200
+        assert health["jobs"]["failed"] == 0
+        # worker set: same processes, none respawned
+        assert [q.pid for q in p._procs] == pids_before
+        assert health["workers"]["respawns"] == 0
+        # shm: every lease returned, free pool bounded by config
+        assert health["arena"]["leases"] == 0
+        assert health["arena"]["pooled"] <= p.arena.config.max_segments
+        assert live_shared_stores() == 0
+        # fds: zero growth after warmup (downward drift is fine —
+        # lazily-opened warmup fds may be reclaimed by GC)
+        fds_after = len(os.listdir("/proc/self/fd"))
+        assert fds_after <= fds_before
+    finally:
+        p.close()
