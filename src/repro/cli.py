@@ -297,7 +297,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
-    if args.pool:
+    if args.kill_pool:
+        from repro.service.chaos import kill_pool_chaos
+        report = kill_pool_chaos(workers=args.workers)
+    elif args.pool:
         from repro.service.chaos import (POOL_CHAOS_FAULTS,
                                          pool_chaos_matrix)
         kinds = tuple(args.kinds) if args.kinds else POOL_CHAOS_FAULTS
@@ -335,19 +338,40 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.pool import PoolConfig, WorkerPool
     from repro.workloads.zoo import make_zoo
 
+    journal = None
+    if args.journal:
+        from repro.service.journal import JobJournal
+        journal = JobJournal(args.journal)
+    elif args.resume:
+        print("--resume needs --journal DIR", file=sys.stderr)
+        return 2
+
     config = PoolConfig(
         workers=args.workers,
         liveness_deadline_s=args.liveness,
         job_deadline_s=args.deadline,
         admission=AdmissionConfig(capacity=args.capacity))
-    pool = WorkerPool(config).start()
+    pool = WorkerPool(config, journal=journal).start()
     pool.install_signal_handlers()
     print(f"pool serving: {args.workers} workers, "
           f"admission capacity {args.capacity}, "
-          f"liveness deadline {args.liveness:.1f}s")
+          f"liveness deadline {args.liveness:.1f}s"
+          + (f", journal at {journal.path}" if journal else ""))
 
     rc = 0
     try:
+        if args.resume:
+            from repro.obs.phases import get_profiler
+            from repro.service.journal import resume_jobs
+
+            with get_profiler().phase("pool.recovered_jobs"):
+                outcomes = resume_jobs(journal, pool)
+            for o in outcomes:
+                print(f"recovered: {o.key} [{o.scheme}] "
+                      f"mode={o.mode} resumed_from={o.resumed_from} "
+                      f"wall={o.wall_s:.2f}s")
+            print(f"resume: {len(outcomes)} incomplete jobs replayed "
+                  f"from {journal.path}")
         if args.jobs:
             zoo = {z.name: z for z in make_zoo(48)}
             cells = [("mono-induction/RI", "doall"),
@@ -362,7 +386,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 ref = zl.make_store()
                 SequentialInterp(zl.loop, zl.funcs, FREE).run(ref)
                 st = zl.make_store()
-                pool.submit(info, st, zl.funcs, scheme=scheme, u=96)
+                pool.submit(info, st, zl.funcs, scheme=scheme, u=96,
+                            job_key=(f"selftest-{i}" if journal
+                                     else None))
                 if not st.equals(ref):
                     failures += 1
             wall = _time.perf_counter() - t0
@@ -380,6 +406,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         rc = rc or (0 if exc.code in (0, 130, 143) else 1)
     finally:
         pool.close()
+        if journal is not None:
+            journal.close()
     health = pool.health()
     print(json.dumps(health, indent=2))
     w = health["workers"]
@@ -772,6 +800,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                       help="run the matrix against the persistent "
                       "worker pool (kinds: crash, hang, lease-expiry) "
                       "instead of the per-call backend")
+    p_ch.add_argument("--kill-pool", action="store_true",
+                      help="SIGKILL an entire journaled pool mid-strip "
+                      "with >=4 in-flight jobs, then prove --resume "
+                      "recovers every one bit-identically (implies "
+                      "--pool)")
     p_ch.set_defaults(fn=_cmd_chaos)
 
     p_sv = sub.add_parser(
@@ -793,6 +826,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_sv.add_argument("--forever", action="store_true",
                       help="keep serving after the self-test until "
                       "SIGTERM/SIGINT (graceful drain)")
+    p_sv.add_argument("--journal", default=None, metavar="DIR",
+                      help="write-ahead job journal directory "
+                      "(durability: admitted/checkpoint/terminal "
+                      "records per job)")
+    p_sv.add_argument("--resume", action="store_true",
+                      help="replay incomplete journaled jobs from "
+                      "their last committed checkpoint before "
+                      "serving (requires --journal)")
     p_sv.set_defaults(fn=_cmd_serve)
 
     p_fz = sub.add_parser(

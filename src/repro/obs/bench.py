@@ -286,6 +286,17 @@ def measure_bench(
     with the ``("doall", "procs")`` row — which pays spawn + export on
     every call — it measures the amortization directly; see
     :func:`pool_amortization` for the verdict.
+
+    ``pool=True`` also adds a recovery-latency row, keyed
+    ``scheme="doall", backend="pool-recovery"``: the same loop is run
+    journaled, its terminal record is dropped (simulating a SIGKILL
+    after the last strip checkpoint), and the *timed* quantity is what
+    ``repro serve --resume`` pays to complete it — journal scan, stale
+    shm sweep, and checkpoint replay.  ``wall_seq_s`` stays the full
+    sequential run, so the row's ``speedup`` reads as "recovery cost
+    relative to redoing the job from scratch sequentially" (> 1 means
+    resuming the committed prefix beat a rerun).  Prediction fields
+    are zero — the Section-7 model prices execution, not recovery.
     """
     from repro.analysis.loopinfo import analyze_loop
     from repro.ir.interp import SequentialInterp
@@ -416,6 +427,19 @@ def measure_bench(
                       t_a_pred=prun.t_a_pred,
                       wall_par_s=prun.wall_par_s)
             trc.count(names.M_BENCH_RUNS)
+        rrun = _measure_recovery_cell(bl, info, wall_seq, reference,
+                                      workers=workers, repeats=repeats,
+                                      n=n, work=work)
+        if rrun is not None:
+            runs.append(rrun)
+            if trc.enabled:
+                trc.event(names.EV_COST_TELEMETRY, 0,
+                          loop=rrun.loop, backend="pool-recovery",
+                          scheme=rrun.scheme, sp_pred=0.0,
+                          sp_meas=rrun.speedup, sp_rel_error=0.0,
+                          t_b_pred=0.0, t_d_pred=0.0, t_a_pred=0.0,
+                          wall_par_s=rrun.wall_par_s)
+                trc.count(names.M_BENCH_RUNS)
     return runs
 
 
@@ -534,6 +558,79 @@ def _measure_pool_cell(bl, info, wall_seq: float, reference,
         t_b_pred=pred.t_b, t_d_pred=pred.t_d, t_a_pred=pred.t_a,
         t_b_meas_s=bd.t_b_s, t_a_meas_s=bd.t_a_s, body_s=bd.body_s,
         correct=correct, phases=phases)
+
+
+def _measure_recovery_cell(bl, info, wall_seq: float, reference, *,
+                           workers: int, repeats: int, n: int,
+                           work: int) -> Optional[BenchRun]:
+    """One best-of-k pool-recovery-latency row.
+
+    Crash-sim per repeat: the DOALL bench job runs journaled and
+    speculative (so strip checkpoints commit), then its terminal
+    ``done`` record is dropped — the journal now ends exactly as a
+    SIGKILL between the last checkpoint and completion would leave
+    it.  The timed quantity is the full ``--resume`` path on a fresh
+    journal handle and pool: scan, stale-segment sweep, and replay
+    from the committed prefix, verified bit-comparable against the
+    sequential reference.
+    """
+    import tempfile
+
+    from repro.obs.profiles import loop_signature
+    from repro.service.journal import JobJournal, resume_jobs
+    from repro.service.pool import PoolConfig, WorkerPool
+
+    wall_par = None
+    correct = True
+    resumed_from = 0
+    for _ in range(max(1, repeats)):
+        with tempfile.TemporaryDirectory() as d:
+            journal = JobJournal(d)
+            p = WorkerPool(PoolConfig(workers=workers), journal=journal)
+            try:
+                st = bl.make_store()
+                p.submit(info, st, bl.funcs, scheme="doall",
+                         workers=workers, u=n + 8,
+                         strip=max(8, n // 8), speculative=True,
+                         test_arrays=("out",),
+                         job_key="recovery-bench")
+            finally:
+                p.close()
+            journal.close()
+            with open(journal.path, "r", encoding="utf-8") as fh:
+                lines = [ln for ln in fh if '"t":"done"' not in ln]
+            with open(journal.path, "w", encoding="utf-8") as fh:
+                fh.writelines(lines)
+
+            j2 = JobJournal(d)
+            p2 = WorkerPool(PoolConfig(workers=workers), journal=j2)
+            try:
+                t0 = time.perf_counter()
+                outs = resume_jobs(j2, p2,
+                                   funcs_for=lambda job: bl.funcs)
+                wall = time.perf_counter() - t0
+            finally:
+                p2.close()
+            j2.close()
+            if len(outs) != 1:
+                return None         # crash-sim failed to arm
+            correct = correct and outs[0].store.equals(
+                reference, rtol=1e-9, atol=1e-12)
+            if wall_par is None or wall < wall_par:
+                wall_par = wall
+                resumed_from = outs[0].resumed_from
+    speedup = wall_seq / wall_par if wall_par > 0 else 0.0
+    return BenchRun(
+        loop=bl.name, signature=loop_signature(bl.loop),
+        scheme="doall", backend="pool-recovery", workers=workers,
+        n=n, work=work,
+        wall_seq_s=wall_seq, wall_par_s=wall_par,
+        speedup=speedup, sp_pred=0.0, sp_rel_error=0.0,
+        t_b_pred=0.0, t_d_pred=0.0, t_a_pred=0.0,
+        t_b_meas_s=0.0, t_a_meas_s=0.0, body_s=0.0,
+        correct=correct,
+        phases={"pool.recovered_jobs": wall_par,
+                "journal.resumed_from": float(resumed_from)})
 
 
 def pool_amortization(runs: Sequence[BenchRun]

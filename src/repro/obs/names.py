@@ -64,6 +64,13 @@ __all__ = [
     "M_POOL_QUEUE_DEPTH", "M_POOL_QUEUE_WAIT",
     "M_FAULT_LEASE_EXPIRED", "M_FAULT_CANCELLED",
     "POOL_PHASES",
+    # durability: write-ahead job journal + resilient client
+    "EV_JOURNAL_RECORD", "EV_JOURNAL_REPLAY",
+    "EV_CLIENT_RETRY", "EV_CLIENT_HEDGE",
+    "M_JOURNAL_RECORDS", "M_JOURNAL_CHECKPOINTS", "M_JOURNAL_TORN",
+    "M_JOURNAL_SWEPT", "M_JOURNAL_SALVAGED", "M_POOL_RECOVERED",
+    "M_CLIENT_SUBMITS", "M_CLIENT_RETRIES", "M_CLIENT_DEDUP",
+    "M_CLIENT_HEDGES",
 ]
 
 # -- event names (tracer spans / instants) -------------------------------
@@ -362,11 +369,49 @@ M_FAULT_LEASE_EXPIRED = "fault.kind.lease-expired"
 #: Counter: cancelled-job faults (pool drain/shutdown).
 M_FAULT_CANCELLED = "fault.kind.cancelled"
 
+#: Instant: one journal record appended (attrs: kind, job).
+EV_JOURNAL_RECORD = "journal.record"
+#: Instant: one incomplete journaled job replayed after a crash
+#: (attrs: job, mode, resumed_from).
+EV_JOURNAL_REPLAY = "journal.replay"
+#: Instant: the client retried a submission after a pool failure
+#: (attrs: job, attempt, backoff_s).
+EV_CLIENT_RETRY = "client.retry"
+#: Instant: the client fell back to the sequential hedge because the
+#: pool stayed unreachable inside the deadline (attrs: job, reason).
+EV_CLIENT_HEDGE = "client.hedge"
+
+#: Counter: journal records appended (all kinds).
+M_JOURNAL_RECORDS = "journal.records"
+#: Counter: strip-boundary checkpoint records appended.
+M_JOURNAL_CHECKPOINTS = "journal.checkpoints"
+#: Counter: torn (undecodable) journal lines skipped by a scan.
+M_JOURNAL_TORN = "journal.records.torn"
+#: Counter: crashed-generation shm segments reclaimed at resume.
+M_JOURNAL_SWEPT = "journal.segments.swept"
+#: Counter: iterations replay did *not* re-execute thanks to a
+#: committed checkpoint prefix.
+M_JOURNAL_SALVAGED = "journal.salvaged_iters"
+#: Counter: incomplete jobs completed by ``--resume`` replay.
+M_POOL_RECOVERED = "pool.recovered_jobs"
+#: Counter: client submissions (before dedup/retries).
+M_CLIENT_SUBMITS = "client.submits"
+#: Counter: client retry attempts across reconnects.
+M_CLIENT_RETRIES = "client.retries"
+#: Counter: submissions answered from the journal's terminal record
+#: (idempotent resubmission; zero re-execution).
+M_CLIENT_DEDUP = "client.dedup_hits"
+#: Counter: sequential-hedge fallbacks (pool unreachable).
+M_CLIENT_HEDGES = "client.hedges"
+
 #: Wall-clock phase names the pool service records: ``pool.queue`` —
 #: admission wait (bounded queue + job lock); ``pool.lease`` — arena
 #: lease grant and segment population; ``pool.dispatch`` — job blob
-#: courier encode + per-worker dispatch and strip coordination.
-POOL_PHASES = ("pool.queue", "pool.lease", "pool.dispatch")
+#: courier encode + per-worker dispatch and strip coordination;
+#: ``pool.recovered_jobs`` — journal replay of incomplete jobs at
+#: ``--resume`` startup (scan + shm sweep + per-job completion).
+POOL_PHASES = ("pool.queue", "pool.lease", "pool.dispatch",
+               "pool.recovered_jobs")
 
 #: Per-kind fault counters keyed by the :class:`~repro.errors
 #: .WorkerFault` ``kind`` string.

@@ -213,6 +213,11 @@ class _Task:
     #: Wall origin (``time.perf_counter_ns`` — CLOCK_MONOTONIC on
     #: Linux, comparable across processes) worker spans rebase to.
     trace_t0_ns: int = 0
+    #: Ship a cumulative shadow-mark snapshot with each strip-quiesce
+    #: ``sdone`` (pool engine only): lets the parent PD-test the
+    #: committed prefix at every strip boundary, so a write-ahead
+    #: journal can checkpoint speculative jobs mid-flight.
+    strip_shadows: bool = False
 
 
 @dataclass

@@ -43,7 +43,15 @@ from repro.runtime.supervisor import (
 )
 from repro.service.pool import PoolConfig, WorkerPool
 
-__all__ = ["POOL_CHAOS_FAULTS", "PoolChaosReport", "pool_chaos_matrix"]
+__all__ = [
+    "POOL_CHAOS_FAULTS",
+    "KillPoolReport",
+    "PoolChaosReport",
+    "crash_resume_soak",
+    "kill_pool_chaos",
+    "pool_chaos_matrix",
+    "torn_journal_chaos",
+]
 
 #: The pool-specific fault kinds (the remaining kinds of the per-call
 #: matrix — barrier stalls, iteration faults — exercise machinery the
@@ -174,3 +182,358 @@ def pool_chaos_matrix(*, workers: int = 2,
     return PoolChaosReport(
         workers=workers, rows=tuple(rows), probe_ok=probe_ok,
         pool_healthy=pool_healthy, health=health)
+
+
+# ---------------------------------------------------------------------------
+# Whole-pool SIGKILL + journal recovery (docs/service.md, Durability)
+# ---------------------------------------------------------------------------
+
+#: The kill-pool victim's workload shape.  Job 0 is the speculative
+#: in-flight job (big enough to be killed between strip checkpoints);
+#: jobs 1..N-1 are non-speculative and queued behind it when the kill
+#: lands.  All are the ``doall-bench`` loop, whose ``crunch``
+#: intrinsic is deterministic — the resume-side resolver rebuilds the
+#: same :class:`~repro.ir.functions.FunctionTable` from these
+#: constants, so replayed results are bit-comparable to the oracle.
+_KILL_N0, _KILL_WORK0 = 96, 300_000     # in-flight speculative job
+_KILL_N, _KILL_WORK = 32, 50_000        # queued jobs
+_KILL_STRIP = 16
+_KILL_JOBS = 4
+
+
+def _kill_job_params(i: int) -> Tuple[int, int]:
+    return (_KILL_N0, _KILL_WORK0) if i == 0 else (_KILL_N, _KILL_WORK)
+
+
+def _kill_job_funcs(i: int):
+    from repro.workloads.bench import make_doall_bench
+    n, work = _kill_job_params(i)
+    return make_doall_bench(n, work)
+
+
+def _kill_pool_victim(journal_dir: str, workers: int = 2) -> None:
+    """The process that gets SIGKILLed (run via ``python -c``).
+
+    Opens a journaled pool, submits :data:`_KILL_JOBS` jobs — the
+    speculative one first, then the queued non-speculative ones from
+    background threads so they block inside admission — and then
+    spins.  The parent watches the journal for the first checkpoint
+    record and kills this whole process group mid-strip.
+    """
+    import threading
+
+    from repro.analysis.loopinfo import analyze_loop
+    from repro.service.admission import AdmissionConfig
+    from repro.service.journal import JobJournal
+
+    journal = JobJournal(journal_dir)
+    pool = WorkerPool(PoolConfig(
+        workers=workers, job_deadline_s=600.0,
+        admission=AdmissionConfig(capacity=2 * _KILL_JOBS,
+                                  default_deadline_s=600.0)),
+        journal=journal)
+
+    def submit(i: int) -> None:
+        bench = _kill_job_funcs(i)
+        info = analyze_loop(bench.loop, bench.funcs)
+        store = bench.make_store()
+        pool.submit(info, store, bench.funcs, scheme="doall",
+                    workers=workers, strip=_KILL_STRIP,
+                    speculative=(i == 0),
+                    test_arrays=("out",) if i == 0 else (),
+                    job_key=f"kill-pool-{i}")
+
+    threads = [threading.Thread(target=submit, args=(i,), daemon=True)
+               for i in range(_KILL_JOBS)]
+    threads[0].start()
+    time.sleep(0.3)             # job 0 must own the run lock first
+    for t in threads[1:]:
+        t.start()
+    for t in threads:
+        t.join()
+    pool.close()                # unreachable when the kill lands
+
+
+@dataclass(frozen=True)
+class KillPoolRow:
+    """One journaled job's fate through the kill + resume cycle."""
+
+    key: str
+    speculative: bool
+    mode: str           #: replay mode (resume_jobs) or "lost"
+    resumed_from: int   #: 1 = from scratch
+    store_ok: bool      #: bit-identical to the sequential oracle
+
+
+@dataclass(frozen=True)
+class KillPoolReport:
+    """Outcome of one whole-pool SIGKILL + ``--resume`` cycle."""
+
+    workers: int
+    in_flight: int          #: journaled-incomplete jobs at the kill
+    rows: Tuple[KillPoolRow, ...]
+    swept_segments: int     #: crashed generation's shm reclaimed
+    leaked_segments: int    #: still attachable after resume + close
+    torn_records: int       #: undecodable journal lines tolerated
+    dedup_ok: bool          #: client resubmission re-executed nothing
+    duplicate_executions: int
+    wall_kill_s: float      #: submit -> SIGKILL
+    wall_resume_s: float    #: scan -> all jobs complete
+
+    @property
+    def all_recovered(self) -> bool:
+        """Every in-flight job completed bit-identically, at least one
+        speculative job resumed from a committed prefix, resubmission
+        deduped, and no shm segment outlived the recovery."""
+        return (self.in_flight >= _KILL_JOBS
+                and len(self.rows) == self.in_flight
+                and all(r.store_ok for r in self.rows)
+                and any(r.speculative and r.resumed_from > 1
+                        for r in self.rows)
+                and self.dedup_ok
+                and self.duplicate_executions == 0
+                and self.leaked_segments == 0)
+
+    def render(self) -> str:
+        """Human-readable report (the CI artifact)."""
+        head = (f"Kill-pool chaos @ {self.workers} workers "
+                f"(SIGKILL the whole pool mid-strip, then resume)")
+        lines = [head, "=" * len(head),
+                 f"{'job':<14s} {'spec':<5s} {'replay mode':<20s} "
+                 f"{'resumed@':>8s} ok"]
+        for r in self.rows:
+            lines.append(f"{r.key:<14s} {str(r.speculative):<5s} "
+                         f"{r.mode:<20s} {r.resumed_from:8d} "
+                         f"{r.store_ok}")
+        lines.append("")
+        lines.append(
+            f"in-flight at kill: {self.in_flight}; swept shm: "
+            f"{self.swept_segments}; leaked shm: {self.leaked_segments}; "
+            f"torn records: {self.torn_records}")
+        lines.append(
+            f"client resubmission: "
+            f"{'all dedup hits' if self.dedup_ok else 'RE-EXECUTED'} "
+            f"({self.duplicate_executions} duplicate executions)")
+        lines.append(
+            f"wall: {self.wall_kill_s:.2f}s to kill, "
+            f"{self.wall_resume_s:.2f}s to recover")
+        lines.append(
+            "A SIGKILL of the entire pool may cost a resume pass, "
+            "never a lost job, a wrong\nanswer, a double execution, "
+            "or a leaked segment (docs/service.md).")
+        return "\n".join(lines)
+
+
+def _spawn_victim(journal_dir: str, workers: int):
+    """Start the victim in its own session (so ``killpg`` reaps the
+    daemonized pool workers with it)."""
+    import os
+    import subprocess
+    import sys
+
+    import repro
+
+    src_root = os.path.dirname(os.path.dirname(
+        os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+    code = (f"from repro.service.chaos import _kill_pool_victim; "
+            f"_kill_pool_victim({journal_dir!r}, {workers})")
+    return subprocess.Popen([sys.executable, "-c", code], env=env,
+                            start_new_session=True,
+                            stdout=subprocess.DEVNULL,
+                            stderr=subprocess.DEVNULL)
+
+
+def kill_pool_chaos(*, workers: int = 2,
+                    timeout_s: float = 120.0) -> KillPoolReport:
+    """SIGKILL an entire journaled pool mid-strip, then recover it.
+
+    The acceptance drill for the durability layer: a victim process
+    opens a journaled pool with :data:`_KILL_JOBS` in-flight jobs (one
+    speculative and running, the rest queued), the whole process group
+    is SIGKILLed as soon as the running job commits a strip
+    checkpoint, and recovery then (1) sweeps the crashed generation's
+    shm segments, (2) replays every incomplete job to a final store
+    bit-identical to a fresh sequential oracle — the speculative one
+    from its committed prefix, not iteration 0 — (3) proves client
+    resubmission of every key dedups with zero re-execution, and (4)
+    leaves no shm segment behind.
+    """
+    import json
+    import os
+    import signal
+    import tempfile
+
+    from repro.analysis.loopinfo import analyze_loop
+    from repro.service.client import PoolClient
+    from repro.service.journal import JobJournal, resume_jobs
+
+    with tempfile.TemporaryDirectory() as journal_dir:
+        t0 = time.perf_counter()
+        victim = _spawn_victim(journal_dir, workers)
+        path = os.path.join(journal_dir, JobJournal.FILENAME)
+        deadline = time.monotonic() + timeout_s
+        armed = False
+        try:
+            # Kill as soon as job 0 has a committed checkpoint AND all
+            # jobs are journaled-admitted: mid-strip by construction.
+            while time.monotonic() < deadline:
+                if victim.poll() is not None:
+                    raise RuntimeError(
+                        "kill-pool victim exited before the kill "
+                        f"(rc={victim.returncode})")
+                admitted, ckpt0 = 0, False
+                if os.path.exists(path):
+                    for line in open(path, encoding="utf-8"):
+                        try:
+                            rec = json.loads(line)
+                        except ValueError:
+                            continue
+                        if rec.get("t") == "admitted":
+                            admitted += 1
+                        if (rec.get("t") == "checkpoint"
+                                and rec.get("job") == "kill-pool-0"):
+                            ckpt0 = True
+                if admitted >= _KILL_JOBS and ckpt0:
+                    armed = True
+                    break
+                time.sleep(0.005)
+            if not armed:
+                raise RuntimeError(
+                    f"victim never reached kill state within "
+                    f"{timeout_s:.0f}s (admitted={admitted})")
+        finally:
+            try:
+                os.killpg(os.getpgid(victim.pid), signal.SIGKILL)
+            except (ProcessLookupError, PermissionError):
+                pass
+            victim.wait()
+        wall_kill = time.perf_counter() - t0
+
+        # -- recovery ---------------------------------------------------
+        t1 = time.perf_counter()
+        journal = JobJournal(journal_dir)
+        scan = journal.scan()
+        incomplete = scan.incomplete()
+        swept = journal.sweep_stale_segments(scan)
+        pool = WorkerPool(PoolConfig(workers=workers), journal=journal)
+        try:
+            outcomes = resume_jobs(
+                journal, pool,
+                funcs_for=lambda job: _kill_job_funcs(
+                    int(job.key.rsplit("-", 1)[1])).funcs,
+                sweep=False)
+            by_key = {o.key: o for o in outcomes}
+            rows = []
+            for job in incomplete:
+                i = int(job.key.rsplit("-", 1)[1])
+                bench = _kill_job_funcs(i)
+                ref = bench.make_store()
+                SequentialInterp(bench.loop, bench.funcs, FREE).run(ref)
+                o = by_key.get(job.key)
+                rows.append(KillPoolRow(
+                    key=job.key,
+                    speculative=bool(job.spec.get("speculative")),
+                    mode=o.mode if o else "lost",
+                    resumed_from=o.resumed_from if o else 0,
+                    store_ok=bool(o and o.store.equals(ref))))
+            wall_resume = time.perf_counter() - t1
+
+            # -- idempotent resubmission: zero duplicate executions ----
+            executed_before = pool.jobs_submitted
+            client = PoolClient(lambda: pool, journal=journal)
+            dedup_ok = True
+            for i in range(_KILL_JOBS):
+                bench = _kill_job_funcs(i)
+                info = analyze_loop(bench.loop, bench.funcs)
+                st = bench.make_store()
+                res = client.submit(info, st, bench.funcs,
+                                    scheme="doall",
+                                    key=f"kill-pool-{i}")
+                mode = res.stats.get("client", {}).get("mode")
+                dedup_ok = dedup_ok and mode == "dedup"
+            duplicates = pool.jobs_submitted - executed_before
+        finally:
+            pool.close()
+
+        # -- leak check: every journaled segment must be gone ----------
+        from multiprocessing import shared_memory
+        leaked = 0
+        for job in journal.scan().jobs.values():
+            for name in job.segments:
+                try:
+                    seg = shared_memory.SharedMemory(name=name,
+                                                     create=False)
+                except FileNotFoundError:
+                    continue
+                seg.close()
+                leaked += 1
+        journal.close()
+
+    return KillPoolReport(
+        workers=workers, in_flight=len(incomplete), rows=tuple(rows),
+        swept_segments=swept, leaked_segments=leaked,
+        torn_records=scan.torn, dedup_ok=dedup_ok,
+        duplicate_executions=duplicates, wall_kill_s=wall_kill,
+        wall_resume_s=wall_resume)
+
+
+def torn_journal_chaos(*, workers: int = 2) -> bool:
+    """A journal whose tail was severed mid-append must still recover.
+
+    Journals one complete and one incomplete job, then appends the
+    three classic torn shapes — a truncated JSON object, binary
+    garbage, and a record missing its mandatory fields — and asserts
+    the scan skips (and counts) all three while replay still completes
+    the incomplete job bit-identically.
+    """
+    import tempfile
+
+    from repro.analysis.loopinfo import analyze_loop
+    from repro.service.journal import JobJournal, resume_jobs
+    from repro.workloads.zoo import make_zoo
+
+    zoo = {z.name: z for z in make_zoo(48)}
+    zl = zoo["mono-induction/RI"]
+    info = analyze_loop(zl.loop, zl.funcs)
+    ref = zl.make_store()
+    SequentialInterp(zl.loop, zl.funcs, FREE).run(ref)
+    with tempfile.TemporaryDirectory() as d:
+        journal = JobJournal(d)
+        done_store = zl.make_store()
+        journal.record_admitted("torn-done", loop=zl.loop,
+                                store=done_store, scheme="doall", u=96)
+        journal.record_done("torn-done", ref)
+        journal.record_admitted("torn-open", loop=zl.loop,
+                                store=zl.make_store(), scheme="doall",
+                                u=96)
+        journal.close()
+        with open(journal.path, "a", encoding="utf-8") as fh:
+            fh.write('{"t": "checkpoint", "job": "torn-open", "ck\n')
+            fh.write("\x00\x01garbage not json\n")
+            fh.write('{"no": "type field"}\n')
+        scan = journal.scan()
+        if scan.torn != 3 or len(scan.incomplete()) != 1:
+            return False
+        pool = WorkerPool(PoolConfig(workers=workers), journal=journal)
+        try:
+            outcomes = resume_jobs(journal, pool,
+                                   funcs_for=lambda job: zl.funcs)
+        finally:
+            pool.close()
+        journal.close()
+        return (len(outcomes) == 1
+                and outcomes[0].store.equals(ref)
+                and not journal.scan().jobs["torn-open"].incomplete)
+
+
+def crash_resume_soak(*, rounds: int = 3,
+                      workers: int = 2) -> List[KillPoolReport]:
+    """The multi-job crash/resume soak: repeated whole-pool SIGKILLs.
+
+    Each round is a full :func:`kill_pool_chaos` cycle against a fresh
+    journal; every round must fully recover.  CI runs this in the
+    ``pool-durability`` job.
+    """
+    return [kill_pool_chaos(workers=workers) for _ in range(rounds)]

@@ -1,0 +1,221 @@
+"""A resilient client for the worker-pool service.
+
+The pool's own ladder recovers *worker* faults; the journal
+(:mod:`repro.service.journal`) recovers a killed *pool*.  What is
+still missing is the caller's side of the contract: a submitter that
+survives the pool going away between its request and its answer.
+:class:`PoolClient` closes that gap with four mechanisms, each one a
+standard reliable-RPC discipline applied to the paper's loop jobs:
+
+* **deadline propagation** — the client's end-to-end budget shrinks
+  by time already burned before each attempt, so a retried job never
+  gets more total time than the caller asked for;
+* **retry budgets with deterministic-jitter backoff** — transient
+  failures (pool draining, closed, shed) retry against a freshly
+  provided pool, sleeping
+  :meth:`~repro.service.admission.RetryPolicy.backoff_for` with the
+  job key as jitter token (reproducible, but de-synchronized across
+  jobs);
+* **idempotent resubmission** — jobs are keyed by their journal id;
+  before any execution the client asks the journal for a terminal
+  record and, on a hit, copies the journaled final store out instead
+  of running anything.  A reconnect therefore cannot double-execute
+  a job the crashed pool already finished;
+* **sequential hedge** — when every retry is spent and the pool is
+  still unreachable, the client (optionally) runs the job on the
+  in-process sequential interpreter: the answer arrives late and
+  slow, never not at all.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import JobDeadlineExceeded, PoolError
+from repro.executors.base import ParallelResult
+from repro.ir.functions import FunctionTable
+from repro.ir.interp import SequentialInterp
+from repro.ir.store import Store
+from repro.obs import names as _ev
+from repro.obs.tracer import get_tracer
+from repro.runtime.costs import FREE
+from repro.service.admission import RetryPolicy
+from repro.service.journal import JobJournal, default_job_key
+
+__all__ = ["ClientConfig", "PoolClient"]
+
+
+@dataclass(frozen=True)
+class ClientConfig:
+    """Client-side resilience knobs (see module docstring)."""
+
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: End-to-end budget per :meth:`PoolClient.submit` (None = no cap);
+    #: the *remaining* budget is what each pool attempt sees.
+    deadline_s: Optional[float] = None
+    #: Run the job sequentially in-process when the pool stays
+    #: unreachable within the budget, instead of raising.
+    hedge_sequential: bool = True
+
+
+def _copy_into(store: Store, result: Store) -> None:
+    """Overwrite ``store``'s values with ``result``'s (same layout)."""
+    for name in result.arrays():
+        store[name][...] = result[name]
+    for name in result.scalars():
+        store[name] = result[name]
+    for name in result.lists():
+        store[name] = result[name].copy()
+
+
+class PoolClient:
+    """Deadline-aware, retrying, idempotent front end to a pool.
+
+    Parameters
+    ----------
+    pool_provider:
+        Zero-argument callable returning a live
+        :class:`~repro.service.pool.WorkerPool`.  Called once per
+        attempt — after a failure the next call is the "reconnect",
+        and may hand back a brand-new pool (e.g. one restarted from
+        the journal).  It may also raise; that counts as an
+        unreachable pool and consumes a retry.
+    journal:
+        Optional :class:`~repro.service.journal.JobJournal` shared
+        with the pool: enables dedup of completed keys and write-ahead
+        admission of new ones.
+    config:
+        :class:`ClientConfig`; defaults are modest (4 retries,
+        no deadline, hedge on).
+    """
+
+    def __init__(self, pool_provider: Callable[[], object],
+                 journal: Optional[JobJournal] = None,
+                 config: Optional[ClientConfig] = None) -> None:
+        self.pool_provider = pool_provider
+        self.journal = journal
+        self.config = config or ClientConfig()
+
+    # -- the one verb ----------------------------------------------------
+    def submit(self, info, store: Store, funcs: FunctionTable, *,
+               scheme: str = "doall", key: Optional[str] = None,
+               deadline_s: Optional[float] = None,
+               **submit_kwargs) -> ParallelResult:
+        """Run one job reliably; returns the pool's result (or a
+        dedup/hedge stand-in with ``stats["client"]`` describing how
+        the answer was obtained).
+
+        ``key`` defaults to the content hash of (loop, store, scheme)
+        — identical submissions are the *same* job and dedup against
+        the journal.  Remaining ``submit_kwargs`` pass through to
+        :meth:`~repro.service.pool.WorkerPool.submit`.
+        """
+        trc = get_tracer()
+        if trc.enabled:
+            trc.count(_ev.M_CLIENT_SUBMITS)
+        if key is None:
+            key = default_job_key(info.loop, store, scheme)
+        budget = (deadline_s if deadline_s is not None
+                  else self.config.deadline_s)
+        t0 = time.perf_counter()
+        attempt = 0
+        last_exc: Optional[BaseException] = None
+        while attempt <= self.config.retry.max_retries:
+            hit = self._dedup(key, store, t0)
+            if hit is not None:
+                return hit
+            remaining = None
+            if budget is not None:
+                remaining = budget - (time.perf_counter() - t0)
+                if remaining <= 0:
+                    break           # budget gone: hedge or give up
+            try:
+                pool = self.pool_provider()
+                return pool.submit(info, store, funcs, scheme=scheme,
+                                   deadline_s=remaining, job_key=key,
+                                   **submit_kwargs)
+            except (PoolError, OSError, EOFError) as exc:
+                last_exc = exc
+                attempt += 1
+                if attempt > self.config.retry.max_retries:
+                    break
+                backoff = self.config.retry.backoff_for(
+                    attempt, token=hash(key))
+                if trc.enabled:
+                    trc.count(_ev.M_CLIENT_RETRIES)
+                    trc.event(_ev.EV_CLIENT_RETRY, 0, job=key,
+                              attempt=attempt, backoff_s=backoff,
+                              error=type(exc).__name__)
+                if backoff:
+                    if remaining is not None \
+                            and backoff >= max(0.0, remaining):
+                        break       # sleeping would bust the budget
+                    time.sleep(backoff)
+        # Retries spent (or budget exhausted): one last dedup look —
+        # a pool that died *after* finishing may have journaled done.
+        hit = self._dedup(key, store, t0)
+        if hit is not None:
+            return hit
+        if self.config.hedge_sequential:
+            return self._hedge(info, store, funcs, key, t0, last_exc)
+        if budget is not None and last_exc is None:
+            raise JobDeadlineExceeded(
+                f"client budget {budget:.3f}s exhausted before job "
+                f"{key} could be submitted",
+                reason="deadline", depth=0, capacity=0)
+        raise last_exc if last_exc is not None else PoolError(
+            f"pool unreachable for job {key}")
+
+    # -- internals -------------------------------------------------------
+    def _dedup(self, key: str, store: Store,
+               t0: float) -> Optional[ParallelResult]:
+        """Answer from the journal's terminal record, if one exists."""
+        if self.journal is None:
+            return None
+        done = self.journal.result_for(key)
+        if done is None:
+            return None
+        _copy_into(store, done)
+        trc = get_tracer()
+        if trc.enabled:
+            trc.count(_ev.M_CLIENT_DEDUP)
+        wall = time.perf_counter() - t0
+        ns = max(1, int(wall * 1e9))
+        return ParallelResult(
+            scheme="client[dedup]->journal", n_iters=0,
+            exited_in_body=False,
+            t_par=ns, makespan=ns, wall_s=wall,
+            stats={"backend": "journal", "workers": 0,
+                   "client": {"mode": "dedup", "key": key}})
+
+    def _hedge(self, info, store: Store, funcs: FunctionTable,
+               key: str, t0: float,
+               last_exc: Optional[BaseException]) -> ParallelResult:
+        """In-process sequential fallback: slow, local, always there."""
+        trc = get_tracer()
+        reason = (type(last_exc).__name__ if last_exc is not None
+                  else "deadline")
+        if trc.enabled:
+            trc.count(_ev.M_CLIENT_HEDGES)
+            trc.event(_ev.EV_CLIENT_HEDGE, 0, job=key, reason=reason)
+        if self.journal is not None:
+            try:        # write-ahead, with the still-pristine store
+                self.journal.record_admitted(
+                    key, loop=info.loop, store=store, scheme="sequential")
+            except Exception:
+                pass    # unserializable job: hedge runs un-journaled
+        res = SequentialInterp(info.loop, funcs, FREE).run(store)
+        if self.journal is not None:
+            self.journal.record_done(key, store)
+        wall = time.perf_counter() - t0
+        ns = max(1, int(wall * 1e9))
+        return ParallelResult(
+            scheme="client[hedge]->sequential", n_iters=res.n_iters,
+            exited_in_body=res.exited_in_body,
+            t_par=ns, makespan=ns, executed=res.n_iters,
+            fallback_sequential=True, wall_s=wall,
+            stats={"backend": "sequential", "workers": 1,
+                   "client": {"mode": "hedge", "key": key,
+                              "reason": reason}})

@@ -1,0 +1,465 @@
+"""Write-ahead job journal: durability for the worker-pool service.
+
+PR 8's :class:`~repro.service.pool.WorkerPool` recovers *worker*
+faults, but the pool process itself is a single point of failure —
+SIGKILL the parent mid-strip and every queued and in-flight job
+vanishes, along with the committed speculative prefix the PD test
+already validated.  This module persists exactly the state the
+paper's strip-mined execution (Sections 4/8) makes recoverable:
+
+* an ``admitted`` record per job — the loop and store via
+  :mod:`repro.ir.serialize`, scheme, deadline, and an idempotency
+  key — appended (and fsync'd) *before* dispatch;
+* a ``lease`` record naming the shm segments the job's arena lease
+  pinned, so ``--resume`` can sweep the crashed generation's
+  segments without double-releasing live ones;
+* ``checkpoint`` records at strip boundaries — a serialized
+  :class:`~repro.speculation.checkpoint.IntervalCheckpoint` of the
+  committed prefix (PD-validated for speculative jobs), so replay
+  restarts from ``next_iter``, not iteration 0;
+* a terminal ``done`` (with the final store, for client-side
+  idempotent resubmission) or ``failed`` record.
+
+The journal is JSONL: one self-contained JSON object per line, so a
+crash mid-append can tear at most the final line.  :meth:`scan`
+tolerates torn records by skipping (and counting) undecodable lines.
+
+Replay (:func:`resume_jobs`) completes every incomplete job and
+verifies nothing twice: jobs whose checkpoint covers a committed
+prefix resume from it — non-speculative jobs back on the pool via a
+:class:`~repro.runtime.procs.ResumeState`, speculative jobs by the
+sequential-continuation rule (a speculative prefix is only *valid*
+up to the PD test's verdict, and the resume path refuses speculative
+``ResumeState``\\ s for that reason, mirroring
+``run_parallel_real``); jobs with no checkpoint rerun from scratch.
+
+Intrinsic implementations are **not** serialized (the corpus-replay
+restriction of :mod:`repro.ir.serialize`), so replaying a job whose
+loop calls intrinsics needs a ``funcs_for`` resolver supplying the
+matching :class:`~repro.ir.functions.FunctionTable`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from multiprocessing import shared_memory
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.loopinfo import analyze_loop
+from repro.errors import IRError, PoolError
+from repro.ir.functions import FunctionTable
+from repro.ir.interp import IterationRunner, SequentialInterp
+from repro.ir.serialize import (
+    loop_from_obj,
+    loop_to_obj,
+    store_from_obj,
+    store_to_obj,
+)
+from repro.ir.store import Store
+from repro.obs import names as _ev
+from repro.obs.tracer import get_tracer
+from repro.runtime.costs import FREE
+from repro.runtime.shm import release_segment
+from repro.speculation.checkpoint import IntervalCheckpoint
+
+__all__ = [
+    "JobJournal",
+    "JournalJob",
+    "JournalScan",
+    "ReplayOutcome",
+    "default_job_key",
+    "resume_jobs",
+]
+
+
+def default_job_key(loop, store: Store, scheme: str, *,
+                    salt: str = "") -> str:
+    """Deterministic idempotency key: content hash of (loop, store,
+    scheme, salt).
+
+    Identical submissions hash to the same key — that *is* the
+    idempotency contract: a client resubmitting the same job after a
+    reconnect dedups against the journal instead of executing twice.
+    Pass a distinct ``salt`` to run intentionally identical jobs as
+    separate journal entries.
+    """
+    blob = json.dumps(
+        {"loop": loop_to_obj(loop), "store": store_to_obj(store),
+         "scheme": scheme, "salt": salt},
+        sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()[:24]
+
+
+@dataclass
+class JournalJob:
+    """One job's folded journal state after a :meth:`JobJournal.scan`."""
+
+    key: str
+    spec: Dict                      #: the ``admitted`` record
+    checkpoint: Optional[Dict] = None   #: latest checkpoint payload
+    n_checkpoints: int = 0
+    segments: Tuple[str, ...] = ()  #: shm names from ``lease`` records
+    outcome: Optional[str] = None   #: ``done`` / ``failed`` / None
+    result: Optional[Dict] = None   #: final store obj when done
+    error: Optional[str] = None
+
+    @property
+    def incomplete(self) -> bool:
+        """Admitted but never reached a terminal record."""
+        return self.outcome is None
+
+
+@dataclass
+class JournalScan:
+    """Every job keyed by id (admitted order) plus scan diagnostics."""
+
+    jobs: Dict[str, JournalJob] = field(default_factory=dict)
+    torn: int = 0                   #: undecodable lines skipped
+
+    def incomplete(self) -> List[JournalJob]:
+        """Jobs a crash left without a terminal record, admitted order."""
+        return [j for j in self.jobs.values() if j.incomplete]
+
+
+class JobJournal:
+    """Append-only JSONL write-ahead log under one directory.
+
+    Appends hold a lock, write one full line, flush, and ``fsync`` (by
+    default), so a record is durable before the action it covers runs
+    — the write-ahead discipline.  All record types carry ``t`` (type),
+    ``job`` (idempotency key) and ``ts`` (wall clock).
+    """
+
+    FILENAME = "journal.jsonl"
+
+    def __init__(self, directory: str, *, fsync: bool = True) -> None:
+        self.directory = str(directory)
+        os.makedirs(self.directory, exist_ok=True)
+        self.path = os.path.join(self.directory, self.FILENAME)
+        self._fsync = bool(fsync)
+        self._lock = threading.Lock()
+        self._fh: Optional[io.TextIOWrapper] = None
+        #: keys this handle has admitted (idempotency fast path); seeded
+        #: from disk so reopening after a crash stays idempotent.
+        self._admitted = {job.key for job in self.scan().jobs.values()}
+
+    # -- low-level append ------------------------------------------------
+    def _append(self, record: Dict) -> None:
+        line = json.dumps(record, separators=(",", ":"))
+        with self._lock:
+            if self._fh is None:
+                self._fh = open(self.path, "a", encoding="utf-8")
+            self._fh.write(line + "\n")
+            self._fh.flush()
+            if self._fsync:
+                os.fsync(self._fh.fileno())
+        trc = get_tracer()
+        if trc.enabled:
+            trc.count(_ev.M_JOURNAL_RECORDS)
+            trc.event(_ev.EV_JOURNAL_RECORD, 0,
+                      kind=record["t"], job=record["job"])
+
+    def close(self) -> None:
+        """Close the append handle (reopened lazily on next append)."""
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+    # -- record writers --------------------------------------------------
+    def record_admitted(self, key: str, *, loop, store: Store,
+                        scheme: str = "doall",
+                        speculative: bool = False,
+                        workers: Optional[int] = None,
+                        u: Optional[int] = None,
+                        strip: Optional[int] = None,
+                        chunk: Optional[int] = None,
+                        test_arrays: Tuple[str, ...] = (),
+                        privatize: Tuple[str, ...] = (),
+                        deadline_s: Optional[float] = None) -> bool:
+        """Journal one admitted job before dispatch; returns ``False``
+        (and writes nothing) when ``key`` was already admitted —
+        resubmission is idempotent by construction."""
+        with self._lock:
+            if key in self._admitted:
+                return False
+            self._admitted.add(key)
+        self._append({
+            "t": "admitted", "job": key, "ts": time.time(),
+            "loop": loop_to_obj(loop), "store": store_to_obj(store),
+            "scheme": scheme, "speculative": bool(speculative),
+            "workers": workers, "u": u, "strip": strip, "chunk": chunk,
+            "test_arrays": list(test_arrays),
+            "privatize": list(privatize),
+            "deadline_s": deadline_s,
+        })
+        return True
+
+    def record_lease(self, key: str, segments) -> None:
+        """Name the shm segments a job's arena lease pinned, so the
+        resume sweep can reclaim a crashed generation's segments."""
+        self._append({"t": "lease", "job": key, "ts": time.time(),
+                      "segments": [str(s) for s in segments]})
+
+    def record_checkpoint(self, key: str,
+                          ckpt: IntervalCheckpoint) -> None:
+        """Persist a strip-boundary committed prefix."""
+        self._append({"t": "checkpoint", "job": key, "ts": time.time(),
+                      "ckpt": ckpt.to_obj()})
+        trc = get_tracer()
+        if trc.enabled:
+            trc.count(_ev.M_JOURNAL_CHECKPOINTS)
+
+    def record_done(self, key: str, store: Store) -> None:
+        """Terminal success, with the final store for dedup replies."""
+        self._append({"t": "done", "job": key, "ts": time.time(),
+                      "store": store_to_obj(store)})
+
+    def record_failed(self, key: str, error: str) -> None:
+        """Terminal failure (the job will not be replayed)."""
+        self._append({"t": "failed", "job": key, "ts": time.time(),
+                      "error": str(error)})
+
+    # -- scanning --------------------------------------------------------
+    def scan(self) -> JournalScan:
+        """Fold the log into per-job state, tolerating torn records.
+
+        A SIGKILL can sever the final line mid-write; any line that
+        fails to decode (or lacks the mandatory fields) is counted in
+        ``torn`` and skipped — every *earlier* record was fsync'd
+        whole, so this loses at most the last append.
+        """
+        out = JournalScan()
+        if not os.path.exists(self.path):
+            return out
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rec = json.loads(line)
+                    kind = rec["t"]
+                    key = rec["job"]
+                except (ValueError, TypeError, KeyError):
+                    out.torn += 1
+                    continue
+                job = out.jobs.get(key)
+                if kind == "admitted":
+                    if job is None:
+                        out.jobs[key] = JournalJob(key=key, spec=rec)
+                    continue
+                if job is None:        # torn away its admitted record
+                    out.torn += 1
+                    continue
+                if kind == "lease":
+                    job.segments = tuple(
+                        dict.fromkeys(job.segments
+                                      + tuple(rec.get("segments", ()))))
+                elif kind == "checkpoint":
+                    job.checkpoint = rec["ckpt"]
+                    job.n_checkpoints += 1
+                elif kind == "done":
+                    job.outcome = "done"
+                    job.result = rec.get("store")
+                elif kind == "failed":
+                    job.outcome = "failed"
+                    job.error = rec.get("error")
+                else:
+                    out.torn += 1
+        if out.torn:
+            trc = get_tracer()
+            if trc.enabled:
+                trc.count(_ev.M_JOURNAL_TORN, out.torn)
+        return out
+
+    def result_for(self, key: str) -> Optional[Store]:
+        """Final store of a ``done`` job, or ``None`` — the client's
+        dedup lookup (no re-execution for a completed key)."""
+        job = self.scan().jobs.get(key)
+        if job is None or job.outcome != "done" or job.result is None:
+            return None
+        return store_from_obj(job.result)
+
+    # -- crashed-generation shm sweep ------------------------------------
+    def sweep_stale_segments(self,
+                             scan: Optional[JournalScan] = None) -> int:
+        """Unlink shm segments leased to incomplete jobs; returns the
+        count reclaimed.
+
+        Runs at ``--resume`` startup, *before* any new pool spawns.
+        Release is idempotent (:func:`~repro.runtime.shm.release_segment`
+        unregisters gone segments instead of raising), so a segment the
+        dying pool already released — or one swept by an earlier resume
+        attempt — is skipped silently rather than double-released.
+        """
+        state = scan if scan is not None else self.scan()
+        swept = 0
+        for job in state.incomplete():
+            for name in job.segments:
+                try:
+                    seg = shared_memory.SharedMemory(name=name,
+                                                     create=False)
+                except FileNotFoundError:
+                    continue            # already gone: idempotent no-op
+                release_segment(seg, unlink=True)
+                swept += 1
+        trc = get_tracer()
+        if trc.enabled and swept:
+            trc.count(_ev.M_JOURNAL_SWEPT, swept)
+        return swept
+
+
+# -- replay ---------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ReplayOutcome:
+    """One replayed job: how it resumed and what it produced."""
+
+    key: str
+    loop: str
+    scheme: str
+    speculative: bool
+    mode: str           #: pool-resume / sequential-continue / pool-fresh
+    resumed_from: int   #: first re-executed iteration (1 = from scratch)
+    store: Store        #: final store (also journaled as ``done``)
+    wall_s: float
+
+
+def _rebuild(job: JournalJob, funcs: FunctionTable):
+    """Loop, analysis info, and pristine store from an admitted record."""
+    loop = loop_from_obj(job.spec["loop"])
+    store = store_from_obj(job.spec["store"])
+    info = analyze_loop(loop, funcs)
+    return loop, info, store
+
+
+def _resume_state_from_checkpoint(ckpt: IntervalCheckpoint,
+                                  post_init: Store, disp_var: str):
+    """Diff the checkpoint boundary against the post-init store into
+    the pseudo write-set / locals a pool ``ResumeState`` carries.
+
+    ``run_parallel_real``'s resume path applies writes and locals to
+    the freshly init'd store and re-derives the dispatcher value
+    itself (closed form or replay walk), so the dispatcher scalar is
+    deliberately excluded here.
+    """
+    from repro.runtime.procs import ResumeState
+
+    boundary = post_init.copy()
+    ckpt.restore(boundary)
+    writes: Dict[Tuple[str, int], object] = {}
+    for name in post_init.arrays():
+        base = post_init[name]
+        after = boundary[name]
+        for idx in np.nonzero(after != base)[0]:
+            writes[(name, int(idx))] = after[int(idx)]
+    locals_ = {name: boundary[name] for name in boundary.scalars()
+               if name != disp_var}
+    return ResumeState(next_iter=ckpt.next_iter,
+                       writes={1: writes} if writes else {},
+                       locals=locals_)
+
+
+def resume_jobs(journal: JobJournal, pool, *,
+                funcs_for: Optional[Callable[[JournalJob],
+                                             FunctionTable]] = None,
+                sweep: bool = True) -> List[ReplayOutcome]:
+    """Complete every incomplete journaled job after a crash.
+
+    For each job admitted but not terminal, in admitted order:
+
+    * with a committed checkpoint, **non-speculative** jobs resubmit
+      to ``pool`` with a :class:`ResumeState` diffed from the
+      checkpoint (the partial-restart rung's own mechanism), and
+      **speculative** jobs restore the checkpoint and continue
+      sequentially — their prefix is exactly as far as the PD test
+      validated, and re-speculating past it cannot be resumed into
+      (``run_parallel_real`` rejects speculative resumes);
+    * with no checkpoint, the job reruns from scratch on the pool
+      under its original scheme/speculation settings.
+
+    Every completion is journaled ``done`` (or ``failed``), so a
+    second ``--resume`` — or a client resubmitting the same key — is
+    a no-op.  Returns one :class:`ReplayOutcome` per replayed job.
+    """
+    state = journal.scan()
+    if sweep:
+        journal.sweep_stale_segments(state)
+    trc = get_tracer()
+    outcomes: List[ReplayOutcome] = []
+    for job in state.incomplete():
+        funcs = funcs_for(job) if funcs_for is not None else FunctionTable()
+        t0 = time.perf_counter()
+        try:
+            loop, info, store = _rebuild(job, funcs)
+        except (IRError, KeyError, TypeError) as exc:
+            journal.record_failed(job.key, f"rebuild: {exc}")
+            continue
+        spec = job.spec
+        scheme = spec.get("scheme", "doall")
+        speculative = bool(spec.get("speculative"))
+        ckpt = (IntervalCheckpoint.from_obj(job.checkpoint)
+                if job.checkpoint is not None else None)
+        resumed_from = 1
+        try:
+            if ckpt is not None and ckpt.next_iter > 1 and speculative:
+                # Sequential continuation from the PD-validated prefix:
+                # run init, restore the boundary, finish exactly.
+                runner = IterationRunner(
+                    loop, funcs, FREE,
+                    dispatcher_stmts=info.dispatcher_stmts)
+                runner.run_init(runner.make_ctx(store))
+                ckpt.restore(store)
+                SequentialInterp(loop, funcs, FREE).run(
+                    store, run_init=False)
+                mode = "sequential-continue"
+                resumed_from = ckpt.next_iter
+            else:
+                resume = None
+                if ckpt is not None and ckpt.next_iter > 1:
+                    post_init = store.copy()
+                    runner = IterationRunner(
+                        loop, funcs, FREE,
+                        dispatcher_stmts=info.dispatcher_stmts)
+                    runner.run_init(runner.make_ctx(post_init))
+                    resume = _resume_state_from_checkpoint(
+                        ckpt, post_init, info.dispatcher.var)
+                    resumed_from = ckpt.next_iter
+                mode = "pool-resume" if resume is not None else "pool-fresh"
+                pool.submit(
+                    info, store, funcs, scheme=scheme,
+                    workers=spec.get("workers"),
+                    chunk=spec.get("chunk"), u=spec.get("u"),
+                    strip=spec.get("strip"),
+                    speculative=speculative and resume is None,
+                    test_arrays=tuple(spec.get("test_arrays", ())),
+                    privatize=tuple(spec.get("privatize", ())),
+                    deadline_s=spec.get("deadline_s"),
+                    resume=resume, job_key=job.key)
+        except (PoolError, IRError) as exc:
+            journal.record_failed(job.key, f"replay: {exc}")
+            continue
+        wall = time.perf_counter() - t0
+        # Pool submissions with job_key journal their own terminal
+        # record; the sequential continuation journals here.
+        if mode == "sequential-continue":
+            journal.record_done(job.key, store)
+        if trc.enabled:
+            trc.count(_ev.M_POOL_RECOVERED)
+            trc.count(_ev.M_JOURNAL_SALVAGED, resumed_from - 1)
+            trc.event(_ev.EV_JOURNAL_REPLAY, 0, job=job.key,
+                      mode=mode, resumed_from=resumed_from)
+        outcomes.append(ReplayOutcome(
+            key=job.key, loop=loop.name or "?", scheme=scheme,
+            speculative=speculative, mode=mode,
+            resumed_from=resumed_from, store=store, wall_s=wall))
+    return outcomes

@@ -52,10 +52,12 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import (
     ExecutionError,
+    IRError,
     JobCancelled,
     LadderExhausted,
     LeaseExpired,
     PoolClosed,
+    PoolError,
     PoolOverloaded,
     RealBackendError,
     ResultLost,
@@ -291,7 +293,19 @@ def _run_pool_job(slot: int, jid: int, nworkers: int, blob: bytes,
                 else:
                     indices = _take_dynamic(coord, task.chunk)
             if indices is None:
-                shared.results.put(("sdone", slot, (jid, None)))
+                spayload = None
+                if (task.strip_shadows and shadows is not None
+                        and not failed):
+                    # Cumulative mark snapshot at the strip boundary:
+                    # the parent PD-tests it to bound the committed
+                    # prefix a durability checkpoint may persist.
+                    spayload = ({name: (shadows.w1[name].copy(),
+                                        shadows.w2[name].copy(),
+                                        shadows.r1[name].copy(),
+                                        shadows.r2[name].copy())
+                                 for name in shadows.arrays},
+                                shadows.accesses)
+                shared.results.put(("sdone", slot, (jid, spayload)))
                 verdict = _await_go_or_end(slot, jid, shared)
                 if verdict == "go":
                     continue
@@ -466,13 +480,109 @@ def _check_monitor(monitor) -> None:
 # Parent side: the engine (plugs into run_parallel_real's seam)
 # ---------------------------------------------------------------------------
 
+class _JournalBinding:
+    """Glue between one journaled job and the engine's strip loop.
+
+    Holds the journal handle plus the job's idempotency key, appends
+    the ``lease`` record when the arena lease is granted, and turns
+    each committed strip boundary into a persisted
+    :class:`~repro.speculation.checkpoint.IntervalCheckpoint`: the
+    contiguous DONE prefix — intersected with the PD-valid prefix for
+    speculative jobs, so a journaled speculative state is never ahead
+    of what the PD test vouches for — applied (writes, then merged
+    remainder scalars, then the re-derived dispatcher value) to a
+    scratch copy of the parent store.  Journaling is best-effort: a
+    failed append must never fail the job it was protecting, so
+    errors are swallowed into a tracer event.
+    """
+
+    def __init__(self, journal, key: str, *, speculative: bool,
+                 privatize: Tuple[str, ...] = ()) -> None:
+        self.journal = journal
+        self.key = key
+        self.speculative = bool(speculative)
+        self.privatize = tuple(privatize)
+        self._last_prefix = 0
+
+    def on_lease(self, spec) -> None:
+        names = [seg.shm_name for seg in spec.arrays]
+        names += [seg.shm_name for seg in spec.list_pools]
+        try:
+            self.journal.record_lease(self.key, names)
+        except OSError:
+            pass
+
+    def on_strip(self, task, store, gathered, strip_payloads) -> None:
+        try:
+            self._checkpoint(task, store, gathered, strip_payloads)
+        except Exception:
+            trc = get_tracer()
+            if trc.enabled:
+                trc.event(_ev.EV_JOURNAL_RECORD, 0, kind="checkpoint",
+                          job=self.key, error=traceback.format_exc(
+                              limit=2))
+
+    def _checkpoint(self, task, store, gathered, strip_payloads) -> None:
+        from repro.ir.interp import IterationRunner
+        from repro.runtime.costs import FREE
+        from repro.runtime.procs import (
+            _done_prefix,
+            _merged_shadows,
+            _replay_dispatcher,
+        )
+        from repro.speculation.checkpoint import IntervalCheckpoint
+        from repro.speculation.pdtest import max_valid_prefix
+
+        prefix = _done_prefix(gathered, task.first, _NO_QUIT)
+        if self.speculative and task.shadow_arrays:
+            if not strip_payloads:
+                return
+            merged = _merged_shadows(store, task.shadow_arrays,
+                                     strip_payloads)
+            prefix = min(prefix, max_valid_prefix(
+                merged, privatized=self.privatize))
+        if prefix < task.first or prefix <= self._last_prefix:
+            return
+        # Commit the prefix exactly the way reconciliation would:
+        # writes in iteration order, then the merged remainder
+        # scalars, then the dispatcher advanced to d(prefix+1).
+        scratch = store.copy()
+        for k in sorted(gathered.writes):
+            if k > prefix:
+                continue
+            for (array, idx), value in gathered.writes[k].items():
+                scratch[array][idx] = value
+        merged_locals: Dict[str, Any] = {}
+        for k in sorted(gathered.locals):
+            if k <= prefix:
+                merged_locals.update(gathered.locals[k])
+        for name, value in merged_locals.items():
+            if name != task.disp_var:
+                scratch[name] = value
+        if task.supply == "closed":
+            d = task.init_value + task.step * (prefix + 1 - task.first)
+        else:
+            runner = IterationRunner(
+                task.loop, task.funcs, FREE,
+                dispatcher_stmts=task.dispatcher_stmts)
+            d = _replay_dispatcher(runner, scratch, task.funcs,
+                                   task.disp_var, task.init_value,
+                                   prefix + 1 - task.first)
+        scratch[task.disp_var] = d
+        self.journal.record_checkpoint(
+            self.key, IntervalCheckpoint(scratch, next_iter=prefix + 1))
+        self._last_prefix = prefix
+
+
 class _PoolEngine:
     """One job attempt's engine: lease, dispatch, strips, gather."""
 
-    def __init__(self, pool: "WorkerPool", workers: int) -> None:
+    def __init__(self, pool: "WorkerPool", workers: int,
+                 binding: Optional[_JournalBinding] = None) -> None:
         self.pool = pool
         self.workers = workers
         self.jid = pool._next_jid()
+        self.binding = binding
 
     # run_parallel_real's engine protocol
     def execute(self, task, store, gathered, *, monitor, strip,
@@ -492,6 +602,10 @@ class _PoolEngine:
             trc.count(_ev.M_POOL_LEASES)
         task.store_spec = lease.spec
         task.workers = n
+        if self.binding is not None:
+            self.binding.on_lease(lease.spec)
+            if speculative and task.shadow_arrays:
+                task.strip_shadows = True
         shared.reset_job(task.first, horizon0)
         now = time.monotonic()
         for slot in range(n):
@@ -506,8 +620,10 @@ class _PoolEngine:
         try:
             with prof.phase("body", scheme="pool"):
                 while True:
+                    strip_payloads: List = []
                     self._await_strip(jid, n, gathered, monitor,
-                                      queue_timeout, t0, shared)
+                                      queue_timeout, t0, shared,
+                                      strip_payloads)
                     pool.arena.sweep()
                     if not lease.valid():
                         raise LeaseExpired(
@@ -541,6 +657,10 @@ class _PoolEngine:
                     term_found = any(
                         o in (IterOutcome.TERMINATED, IterOutcome.EXITED)
                         for o in gathered.outcomes.values())
+                    if self.binding is not None \
+                            and gathered.error is None:
+                        self.binding.on_strip(task, store, gathered,
+                                              strip_payloads)
                     if (gathered.error is not None or term_found
                             or gathered.faults or strip is None):
                         break
@@ -569,12 +689,15 @@ class _PoolEngine:
             lease.release()
 
     def _await_strip(self, jid, n, gathered, monitor, timeout, t0,
-                     shared) -> None:
+                     shared, strip_payloads=None) -> None:
         """Consume results until all ``n`` participants sent ``sdone``.
 
         Per-producer FIFO means a worker's chunks always precede its
         ``sdone``, so returning here implies every queued record of
-        this strip has been folded."""
+        this strip has been folded.  When a journaled speculative job
+        ships cumulative shadow snapshots with its ``sdone``\\ s
+        (``task.strip_shadows``), they are collected into
+        ``strip_payloads`` for the boundary checkpoint's PD test."""
         monitor.phase = "gather"
         deadline = time.monotonic() + timeout
         quiesced = set()
@@ -603,6 +726,8 @@ class _PoolEngine:
                     _fold_records(gathered, payload)
                 elif kind == "sdone":
                     quiesced.add(slot)
+                    if payload is not None and strip_payloads is not None:
+                        strip_payloads.append(payload)
                 elif kind == "error":
                     gathered.error = payload
                 # "cancelled"/"jobdone" for this jid cannot occur here
@@ -663,17 +788,23 @@ class WorkerPool:
     faulting job degrades without poisoning the pool.
     """
 
-    def __init__(self, config: Optional[PoolConfig] = None) -> None:
+    def __init__(self, config: Optional[PoolConfig] = None, *,
+                 journal=None) -> None:
         self.config = config or PoolConfig()
         self.arena = Arena(self.config.arena)
         self.admission = AdmissionController(self.config.admission)
         self.breaker = CircuitBreaker(self.config.breaker_threshold,
                                       self.config.breaker_cooldown_s)
+        #: Optional :class:`~repro.service.journal.JobJournal`: jobs
+        #: submitted with a ``job_key`` are write-ahead journaled
+        #: (admitted/lease/checkpoint/terminal) for crash recovery.
+        self.journal = journal
         self._shared: Optional[_PoolShared] = None
         self._procs: List = []
         self._lifecycle = threading.RLock()
         self._draining = False
         self._closed = False
+        self._prev_handlers: Optional[Dict] = None
         self._jid_lock = threading.Lock()
         self._jid = 0
         # health counters
@@ -829,6 +960,8 @@ class WorkerPool:
         strict_exceptions: bool = False,
         sp_at: Optional[float] = None,
         deadline_s: Optional[float] = None,
+        resume=None,
+        job_key: Optional[str] = None,
     ) -> ParallelResult:
         """Run one job through the pool (see class docstring).
 
@@ -838,6 +971,15 @@ class WorkerPool:
         :meth:`close`.  System faults inside the job never escape raw:
         the per-job ladder either recovers or raises the structured
         taxonomy (:class:`~repro.errors.LadderExhausted` at worst).
+
+        ``job_key`` names the job in the pool's attached journal (if
+        any): admitted/lease/checkpoint records are written ahead of
+        the work they cover and a terminal done/failed record follows
+        the outcome.  Jobs the serialization layer cannot persist
+        (e.g. multi-dimensional arrays) run un-journaled rather than
+        failing.  ``resume`` (a :class:`~repro.runtime.procs
+        .ResumeState`) starts the non-speculative ladder rungs from a
+        previously committed prefix — the journal replay path.
         """
         trc = get_tracer()
         if trc.enabled:
@@ -860,6 +1002,20 @@ class WorkerPool:
                           depth=ov.depth, capacity=ov.capacity,
                           sp_at=ov.sp_at)
             raise
+        # Write-ahead: the job is journaled the moment it joins the
+        # queue, so a pool killed while this job *waits* still replays
+        # it at --resume (the queued jobs are the ones a crash loses
+        # silently otherwise).
+        if self.journal is not None and job_key is not None:
+            try:
+                self.journal.record_admitted(
+                    job_key, loop=info.loop, store=store,
+                    scheme=scheme, speculative=speculative,
+                    workers=workers, u=u, strip=strip, chunk=chunk,
+                    test_arrays=tuple(test_arrays),
+                    privatize=tuple(privatize), deadline_s=deadline_s)
+            except IRError:
+                job_key = None      # unserializable: run un-journaled
         prof = get_profiler()
         tq0 = time.perf_counter()
         try:
@@ -870,24 +1026,39 @@ class WorkerPool:
                 trc.count(_ev.M_POOL_SHED)
                 trc.event(_ev.EV_POOL_SHED, 0, reason=ov.reason,
                           depth=ov.depth, capacity=ov.capacity)
+            if self.journal is not None and job_key is not None:
+                # A clean shed is terminal: the caller was told, the
+                # store is untouched, and replay must not run it.
+                self.journal.record_failed(job_key, f"shed: {ov.reason}")
             raise
         if trc.enabled:
             trc.observe(_ev.M_POOL_QUEUE_WAIT,
                         time.perf_counter() - tq0)
         try:
             self.start()
-            return self._run_job(
+            result = self._run_job(
                 info, store, funcs, scheme=scheme, workers=w_eff,
                 chunk=chunk, u=u, strip=strip, speculative=speculative,
                 test_arrays=test_arrays, privatize=privatize,
                 fault_plan=fault_plan, policy=policy,
-                strict_exceptions=strict_exceptions)
+                strict_exceptions=strict_exceptions,
+                base_resume=resume, job_key=job_key)
+        except PoolError:
+            raise               # shed/cancelled: the job may rerun
+        except BaseException as exc:
+            if self.journal is not None and job_key is not None:
+                self.journal.record_failed(job_key, repr(exc))
+            raise
         finally:
             self.admission.leave()
+        if self.journal is not None and job_key is not None:
+            self.journal.record_done(job_key, store)
+        return result
 
     def _run_job(self, info, store, funcs, *, scheme, workers, chunk,
                  u, strip, speculative, test_arrays, privatize,
-                 fault_plan, policy, strict_exceptions
+                 fault_plan, policy, strict_exceptions,
+                 base_resume=None, job_key=None
                  ) -> ParallelResult:
         """Walk the pool ladder for one admitted job (mirrors
         :func:`~repro.runtime.supervisor.run_supervised`)."""
@@ -908,6 +1079,13 @@ class WorkerPool:
         pool_attempts = 0
         outcome = "fault"
         jid_token = self._jid + 1   # stable jitter seed for this job
+        binding = None
+        if self.journal is not None and job_key is not None:
+            # One binding for the whole ladder, so the journaled
+            # committed prefix only ever advances across attempts.
+            binding = _JournalBinding(self.journal, job_key,
+                                      speculative=speculative,
+                                      privatize=tuple(privatize))
         try:
             for rung in ladder:
                 if rung.mode == "pool" \
@@ -926,6 +1104,11 @@ class WorkerPool:
                     salvage = getattr(last_fault, "salvage", None)
                     if salvage is not None and not speculative:
                         resume = salvage
+                if resume is None and base_resume is not None \
+                        and not speculative:
+                    # Journal replay: every parallel rung starts from
+                    # the persisted committed prefix, not iteration 0.
+                    resume = base_resume
                 if attempt:
                     store.restore_from(checkpoint)
                     if rung.mode == "pool":
@@ -962,7 +1145,7 @@ class WorkerPool:
                          if fault_plan else None)
                 if rung.mode == "pool":
                     pool_attempts += 1
-                    engine = _PoolEngine(self, rung.workers)
+                    engine = _PoolEngine(self, rung.workers, binding)
                     monitor = _HeartbeatMonitor(
                         self, engine.jid,
                         self.config.liveness_deadline_s,
@@ -1070,7 +1253,11 @@ class WorkerPool:
         return quiesced
 
     def close(self, timeout_s: float = 10.0) -> None:
-        """Drain, stop the workers, release the arena (idempotent)."""
+        """Drain, stop the workers, release the arena (idempotent).
+
+        Also restores any SIGTERM/SIGINT handlers displaced by
+        :meth:`install_signal_handlers` — the pool's disposition must
+        not outlive the pool."""
         with self._lifecycle:
             if self._closed:
                 return
@@ -1079,6 +1266,14 @@ class WorkerPool:
             self._closed = True
             shared, procs = self._shared, self._procs
             self._shared, self._procs = None, []
+            prev, self._prev_handlers = self._prev_handlers, None
+        if prev is not None:
+            import signal
+            for signum, handler in prev.items():
+                try:
+                    signal.signal(signum, handler)
+                except (ValueError, TypeError, OSError):
+                    pass    # not the main thread / handler not settable
         if shared is not None:
             for slot in range(len(procs)):
                 try:
@@ -1095,15 +1290,23 @@ class WorkerPool:
         self.arena.close()
 
     def install_signal_handlers(self) -> None:
-        """Route SIGTERM/SIGINT to a graceful drain-and-close."""
+        """Route SIGTERM/SIGINT to a graceful drain-and-close.
+
+        The handlers being replaced are saved and reinstated by
+        :meth:`close`, so a pool that shuts down cleanly leaves the
+        process's signal disposition exactly as it found it."""
         import signal
 
         def _handler(signum, frame):
             self.close()
             raise SystemExit(128 + signum)
 
-        signal.signal(signal.SIGTERM, _handler)
-        signal.signal(signal.SIGINT, _handler)
+        prev = {
+            signal.SIGTERM: signal.signal(signal.SIGTERM, _handler),
+            signal.SIGINT: signal.signal(signal.SIGINT, _handler),
+        }
+        if self._prev_handlers is None:     # keep the oldest originals
+            self._prev_handlers = prev
 
     # -- health ------------------------------------------------------------
     def health(self) -> Dict[str, Any]:

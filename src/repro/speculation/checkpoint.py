@@ -16,11 +16,23 @@ from typing import Dict, Iterable, Optional, Tuple
 
 import numpy as np
 
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, IRError
 from repro.ir.store import Store
 from repro.structures.linkedlist import LinkedList
 
 __all__ = ["Checkpoint", "IntervalCheckpoint"]
+
+
+def _scalar_to_obj(value: object) -> object:
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if isinstance(value, (bool, int, float)):
+        return value
+    raise IRError(f"cannot serialize checkpoint scalar {value!r}")
 
 
 class Checkpoint:
@@ -93,6 +105,53 @@ class Checkpoint:
             live[mask] = saved[mask]
         return n
 
+    def to_obj(self) -> dict:
+        """JSON-safe dict capturing the saved state (see :meth:`from_obj`).
+
+        The encoding mirrors :func:`repro.ir.serialize.store_to_obj`:
+        arrays carry an explicit dtype string so integer/bool/float
+        width survives the ``tolist`` round trip, lists persist their
+        ``next`` pool plus head cursor.  Only 1-d arrays are supported,
+        matching the serialization layer's store restriction.
+        """
+        arrays = {}
+        for name, arr in self._arrays.items():
+            if arr.ndim != 1:
+                raise IRError(
+                    f"cannot serialize {arr.ndim}-d checkpoint array "
+                    f"{name!r}")
+            arrays[name] = {"dtype": str(arr.dtype), "data": arr.tolist()}
+        return {
+            "k": "checkpoint",
+            "arrays": arrays,
+            "scalars": {name: _scalar_to_obj(value)
+                        for name, value in self._scalars.items()},
+            "lists": {name: {"next": lst.next.tolist(),
+                             "head": int(lst.head)}
+                      for name, lst in self._lists.items()},
+        }
+
+    @classmethod
+    def from_obj(cls, obj: dict) -> "Checkpoint":
+        """Rebuild a checkpoint from :meth:`to_obj` output.
+
+        No live store is involved: the instance is materialised
+        directly from the serialized arrays/scalars/lists, ready for
+        :meth:`restore` into a store rebuilt from the same program.
+        """
+        if obj.get("k") != "checkpoint":
+            raise IRError(f"not a checkpoint object: {obj.get('k')!r}")
+        ck = object.__new__(cls)
+        ck._arrays = {
+            name: np.asarray(spec["data"], dtype=spec["dtype"])
+            for name, spec in obj.get("arrays", {}).items()}
+        ck._scalars = dict(obj.get("scalars", {}))
+        ck._lists = {
+            name: LinkedList(np.asarray(spec["next"], dtype=np.int64),
+                             int(spec["head"]))
+            for name, spec in obj.get("lists", {}).items()}
+        return ck
+
 
 class IntervalCheckpoint(Checkpoint):
     """A checkpoint tagged with the iteration interval it represents.
@@ -124,3 +183,22 @@ class IntervalCheckpoint(Checkpoint):
     def committed_upto(self) -> int:
         """Last iteration whose effects this checkpoint's state includes."""
         return self.next_iter - 1
+
+    def to_obj(self) -> dict:
+        """JSON-safe dict; adds the resume boundary to the base state."""
+        obj = super().to_obj()
+        obj["k"] = "interval-checkpoint"
+        obj["next_iter"] = int(self.next_iter)
+        return obj
+
+    @classmethod
+    def from_obj(cls, obj: dict) -> "IntervalCheckpoint":
+        """Rebuild an interval checkpoint from :meth:`to_obj` output."""
+        if obj.get("k") != "interval-checkpoint":
+            raise IRError(
+                f"not an interval-checkpoint object: {obj.get('k')!r}")
+        base = dict(obj)
+        base["k"] = "checkpoint"
+        ck = super().from_obj(base)
+        ck.next_iter = int(obj["next_iter"])
+        return ck

@@ -97,3 +97,68 @@ def test_double_sweep_emits_no_tracker_warnings():
                           capture_output=True, text=True, timeout=60)
     assert proc.returncode == 0, proc.stderr
     assert "leaked shared_memory" not in proc.stderr
+
+
+# -- journal lease sweep (PR 9): crashed-generation reclamation -----------
+
+def _leased_journal(tmp_path, n_segments=2):
+    """A journal naming live segments leased to an incomplete job."""
+    from repro.service.journal import JobJournal
+    from repro.workloads.zoo import make_zoo
+
+    zl = next(iter(make_zoo(48)))
+    journal = JobJournal(tmp_path)
+    journal.record_admitted("crashed", loop=zl.loop,
+                            store=zl.make_store())
+    segs = [shared_memory.SharedMemory(create=True, size=4096)
+            for _ in range(n_segments)]
+    journal.record_lease("crashed", [s.name for s in segs])
+    for s in segs:
+        s.close()       # only the (dead) pool held these open
+    return journal, [s.name for s in segs]
+
+
+def test_journal_sweep_reclaims_crashed_generation(tmp_path):
+    journal, names = _leased_journal(tmp_path)
+    assert journal.sweep_stale_segments() == len(names)
+    for name in names:
+        try:
+            seg = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:
+            continue
+        release_segment(seg, unlink=True)
+        raise AssertionError(f"journal sweep leaked segment {name}")
+    journal.close()
+
+
+def test_journal_sweep_is_idempotent_across_resume_attempts(tmp_path):
+    # A second --resume (or a sweep racing the dying pool's own
+    # release) must find nothing and must not double-unlink.
+    journal, names = _leased_journal(tmp_path)
+    assert journal.sweep_stale_segments() == len(names)
+    assert journal.sweep_stale_segments() == 0
+    journal.close()
+
+
+def test_journal_sweep_skips_completed_jobs_segments(tmp_path):
+    # Terminal jobs' leases belong to a generation that shut down
+    # cleanly — their names must not be touched even if a live segment
+    # happens to carry the same name.
+    from repro.service.journal import JobJournal
+    from repro.workloads.zoo import make_zoo
+
+    zl = next(iter(make_zoo(48)))
+    journal = JobJournal(tmp_path)
+    journal.record_admitted("clean", loop=zl.loop,
+                            store=zl.make_store())
+    seg = shared_memory.SharedMemory(create=True, size=4096)
+    try:
+        journal.record_lease("clean", [seg.name])
+        journal.record_done("clean", zl.make_store())
+        assert journal.sweep_stale_segments() == 0
+        # Still attachable: the sweep left the completed job's segment.
+        probe = shared_memory.SharedMemory(name=seg.name)
+        probe.close()
+    finally:
+        release_segment(seg, unlink=True)
+        journal.close()

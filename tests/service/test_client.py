@@ -1,0 +1,211 @@
+"""The resilient pool client: dedup, retries, deadlines, the hedge.
+
+Each test isolates one of the client's four disciplines (module
+docstring of :mod:`repro.service.client`); the flaky pool is modelled
+by a provider whose first N calls raise :class:`PoolError` — exactly
+what a client reconnecting to a restarting service observes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.loopinfo import analyze_loop
+from repro.errors import JobDeadlineExceeded, PoolError
+from repro.ir.interp import SequentialInterp
+from repro.runtime.costs import FREE
+from repro.service.admission import RetryPolicy
+from repro.service.client import ClientConfig, PoolClient
+from repro.service.journal import JobJournal
+from repro.service.pool import PoolConfig, WorkerPool
+from repro.workloads.zoo import make_zoo
+
+
+@pytest.fixture(scope="module")
+def zl():
+    return {z.name: z for z in make_zoo(48)}["mono-induction/RI"]
+
+
+@pytest.fixture(scope="module")
+def oracle(zl):
+    ref = zl.make_store()
+    SequentialInterp(zl.loop, zl.funcs, FREE).run(ref)
+    return ref
+
+
+def _fast_retry(n: int = 4) -> ClientConfig:
+    return ClientConfig(retry=RetryPolicy(max_retries=n,
+                                          backoff_base_s=0.0))
+
+
+def test_submit_through_live_pool(tmp_path, zl, oracle):
+    info = analyze_loop(zl.loop, zl.funcs)
+    j = JobJournal(tmp_path)
+    pool = WorkerPool(PoolConfig(workers=2), journal=j)
+    try:
+        client = PoolClient(lambda: pool, journal=j,
+                            config=_fast_retry())
+        st = zl.make_store()
+        res = client.submit(info, st, zl.funcs, scheme="doall", u=96,
+                            key="job-1")
+        assert st.equals(oracle)
+        assert "client" not in res.stats    # the pool answered directly
+    finally:
+        pool.close()
+    j.close()
+
+
+def test_resubmission_dedups_against_journal(tmp_path, zl, oracle):
+    info = analyze_loop(zl.loop, zl.funcs)
+    j = JobJournal(tmp_path)
+    pool = WorkerPool(PoolConfig(workers=2), journal=j)
+    try:
+        client = PoolClient(lambda: pool, journal=j,
+                            config=_fast_retry())
+        st = zl.make_store()
+        client.submit(info, st, zl.funcs, scheme="doall", u=96,
+                      key="dup")
+        executed = pool.jobs_submitted
+        # Same key again: answered from the journal, zero execution.
+        st2 = zl.make_store()
+        res = client.submit(info, st2, zl.funcs, scheme="doall", u=96,
+                            key="dup")
+        assert pool.jobs_submitted == executed
+        assert res.stats["client"]["mode"] == "dedup"
+        assert res.scheme == "client[dedup]->journal"
+        assert st2.equals(oracle)           # store still filled in
+    finally:
+        pool.close()
+    j.close()
+
+
+def test_default_key_dedups_identical_submissions(tmp_path, zl, oracle):
+    info = analyze_loop(zl.loop, zl.funcs)
+    j = JobJournal(tmp_path)
+    pool = WorkerPool(PoolConfig(workers=2), journal=j)
+    try:
+        client = PoolClient(lambda: pool, journal=j,
+                            config=_fast_retry())
+        client.submit(info, zl.make_store(), zl.funcs, u=96)
+        res = client.submit(info, zl.make_store(), zl.funcs, u=96)
+        assert res.stats["client"]["mode"] == "dedup"
+    finally:
+        pool.close()
+    j.close()
+
+
+def test_retries_reconnect_to_a_recovered_pool(tmp_path, zl, oracle):
+    """Provider fails twice, then hands back a live pool: the retry
+    budget absorbs the outage and the job still runs exactly once."""
+    info = analyze_loop(zl.loop, zl.funcs)
+    j = JobJournal(tmp_path)
+    pool = WorkerPool(PoolConfig(workers=2), journal=j)
+    calls = []
+
+    def provider():
+        calls.append(1)
+        if len(calls) <= 2:
+            raise PoolError("pool restarting")
+        return pool
+
+    try:
+        client = PoolClient(provider, journal=j, config=_fast_retry())
+        st = zl.make_store()
+        res = client.submit(info, st, zl.funcs, scheme="doall", u=96,
+                            key="flaky")
+        assert len(calls) == 3              # 2 failures + 1 success
+        assert st.equals(oracle)
+        assert not res.fallback_sequential
+    finally:
+        pool.close()
+    j.close()
+
+
+def test_retries_exhausted_hedges_sequentially(zl, oracle):
+    info = analyze_loop(zl.loop, zl.funcs)
+
+    def provider():
+        raise PoolError("pool is gone")
+
+    client = PoolClient(provider, config=_fast_retry(2))
+    st = zl.make_store()
+    res = client.submit(info, st, zl.funcs, scheme="doall", key="h")
+    assert res.fallback_sequential
+    assert res.scheme == "client[hedge]->sequential"
+    assert res.stats["client"]["mode"] == "hedge"
+    assert res.stats["client"]["reason"] == "PoolError"
+    assert st.equals(oracle)                # late and slow, never wrong
+
+
+def test_hedge_journals_its_result_for_later_dedup(tmp_path, zl, oracle):
+    info = analyze_loop(zl.loop, zl.funcs)
+    j = JobJournal(tmp_path)
+
+    def provider():
+        raise PoolError("still gone")
+
+    client = PoolClient(provider, journal=j, config=_fast_retry(1))
+    st = zl.make_store()
+    client.submit(info, st, zl.funcs, scheme="doall", key="hj")
+    # The hedge reached a terminal record: the next submission of the
+    # same key dedups without even touching the (dead) provider.
+    res = client.submit(info, zl.make_store(), zl.funcs,
+                        scheme="doall", key="hj")
+    assert res.stats["client"]["mode"] == "dedup"
+    assert j.result_for("hj").equals(oracle)
+    j.close()
+
+
+def test_hedge_disabled_reraises_last_error(zl):
+    info = analyze_loop(zl.loop, zl.funcs)
+
+    def provider():
+        raise PoolError("gone for good")
+
+    client = PoolClient(provider, config=ClientConfig(
+        retry=RetryPolicy(max_retries=1, backoff_base_s=0.0),
+        hedge_sequential=False))
+    with pytest.raises(PoolError, match="gone for good"):
+        client.submit(info, zl.make_store(), zl.funcs, key="nohedge")
+
+
+def test_deadline_budget_shrinks_across_attempts(zl):
+    """Each pool attempt sees the *remaining* end-to-end budget."""
+    info = analyze_loop(zl.loop, zl.funcs)
+    seen = []
+
+    class Probe:
+        def submit(self, info, store, funcs, **kw):
+            seen.append(kw["deadline_s"])
+            raise PoolError("probe")
+
+    client = PoolClient(Probe, config=ClientConfig(
+        retry=RetryPolicy(max_retries=2, backoff_base_s=0.01),
+        deadline_s=30.0, hedge_sequential=True))
+    res = client.submit(info, zl.make_store(), zl.funcs, key="budget")
+    assert res.fallback_sequential
+    assert len(seen) == 3
+    assert all(d is not None and d <= 30.0 for d in seen)
+    assert seen == sorted(seen, reverse=True)   # monotone shrinking
+
+
+def test_exhausted_budget_without_error_raises_deadline(zl):
+    info = analyze_loop(zl.loop, zl.funcs)
+
+    class Slow:
+        def submit(self, *a, **kw):          # pragma: no cover
+            raise AssertionError("must not be reached")
+
+    client = PoolClient(Slow, config=ClientConfig(
+        deadline_s=-1.0, hedge_sequential=False))
+    with pytest.raises(JobDeadlineExceeded):
+        client.submit(info, zl.make_store(), zl.funcs, key="late")
+
+
+def test_backoff_is_deterministic_per_key():
+    policy = RetryPolicy(max_retries=4)
+    a = [policy.backoff_for(i, token=hash("key-a")) for i in (1, 2, 3)]
+    b = [policy.backoff_for(i, token=hash("key-a")) for i in (1, 2, 3)]
+    c = [policy.backoff_for(i, token=hash("key-b")) for i in (1, 2, 3)]
+    assert a == b                       # reproducible for one job
+    assert a != c                       # de-synchronized across jobs

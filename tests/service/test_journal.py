@@ -1,0 +1,286 @@
+"""The write-ahead job journal: records, scanning, sweep, replay.
+
+The durability contract under test (docs/service.md, "Durability &
+failover"): every admitted job either reaches a terminal record or is
+replayed by ``resume_jobs`` to a final store bit-identical to what an
+uninterrupted run would have produced — resuming from the last
+committed strip checkpoint, not iteration 0, whenever one was
+journaled before the crash.
+
+Crashes are simulated by truncating the journal's tail (dropping the
+terminal ``done`` record a completed run appended), which leaves the
+log byte-identical to what a SIGKILL between the last checkpoint and
+completion leaves behind; the *whole-process* SIGKILL version of the
+same drill lives in ``test_durability.py``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.loopinfo import analyze_loop
+from repro.executors.speculative import default_test_arrays
+from repro.ir.interp import SequentialInterp
+from repro.runtime.costs import FREE
+from repro.service.journal import (
+    JobJournal,
+    default_job_key,
+    resume_jobs,
+)
+from repro.service.pool import PoolConfig, WorkerPool
+from repro.workloads.zoo import make_zoo
+
+
+@pytest.fixture(scope="module")
+def zoo():
+    return {z.name: z for z in make_zoo(48)}
+
+
+def _oracle(zl):
+    ref = zl.make_store()
+    SequentialInterp(zl.loop, zl.funcs, FREE).run(ref)
+    return ref
+
+
+def _drop_done(journal: JobJournal, key: str) -> None:
+    """Crash-sim: sever the job's terminal record from the log."""
+    journal.close()
+    with open(journal.path, "r", encoding="utf-8") as fh:
+        lines = [ln for ln in fh
+                 if not (json.loads(ln).get("t") == "done"
+                         and json.loads(ln).get("job") == key)]
+    with open(journal.path, "w", encoding="utf-8") as fh:
+        fh.writelines(lines)
+
+
+# -- record writers / scan ------------------------------------------------
+
+def test_admitted_is_idempotent_per_key(tmp_path, zoo):
+    zl = zoo["mono-induction/RI"]
+    j = JobJournal(tmp_path)
+    assert j.record_admitted("k", loop=zl.loop, store=zl.make_store())
+    assert not j.record_admitted("k", loop=zl.loop,
+                                 store=zl.make_store())
+    # One admitted record on disk, not two.
+    kinds = [json.loads(ln)["t"] for ln in open(j.path)]
+    assert kinds == ["admitted"]
+    j.close()
+
+
+def test_admitted_idempotency_survives_reopen(tmp_path, zoo):
+    zl = zoo["mono-induction/RI"]
+    j = JobJournal(tmp_path)
+    j.record_admitted("k", loop=zl.loop, store=zl.make_store())
+    j.close()
+    # A fresh handle (the post-crash reopen) seeds its dedup set from
+    # disk — resubmission stays a no-op across process lifetimes.
+    j2 = JobJournal(tmp_path)
+    assert not j2.record_admitted("k", loop=zl.loop,
+                                  store=zl.make_store())
+    j2.close()
+
+
+def test_scan_folds_lifecycle_and_result_roundtrip(tmp_path, zoo):
+    zl = zoo["mono-induction/RI"]
+    ref = _oracle(zl)
+    j = JobJournal(tmp_path)
+    j.record_admitted("a", loop=zl.loop, store=zl.make_store(),
+                      scheme="doall", u=96)
+    j.record_lease("a", ["seg-1", "seg-2"])
+    j.record_lease("a", ["seg-2", "seg-3"])     # dedup, keep order
+    j.record_done("a", ref)
+    j.record_admitted("b", loop=zl.loop, store=zl.make_store())
+    scan = j.scan()
+    assert scan.torn == 0
+    a, b = scan.jobs["a"], scan.jobs["b"]
+    assert a.outcome == "done" and not a.incomplete
+    assert a.segments == ("seg-1", "seg-2", "seg-3")
+    assert b.incomplete
+    assert [x.key for x in scan.incomplete()] == ["b"]
+    # result_for round-trips the journaled final store bit-exactly.
+    assert j.result_for("a").equals(ref)
+    assert j.result_for("b") is None
+    j.close()
+
+
+def test_scan_tolerates_torn_tail_and_garbage(tmp_path, zoo):
+    zl = zoo["mono-induction/RI"]
+    j = JobJournal(tmp_path)
+    j.record_admitted("a", loop=zl.loop, store=zl.make_store())
+    j.close()
+    with open(j.path, "a", encoding="utf-8") as fh:
+        fh.write('{"t": "done", "job": "a", "store": {"trunc\n')
+        fh.write("not json at all\n")
+        fh.write('{"missing": "mandatory fields"}\n')
+    scan = j.scan()
+    assert scan.torn == 3
+    # The torn terminal record must NOT complete the job.
+    assert scan.jobs["a"].incomplete
+
+
+def test_records_without_admitted_count_torn(tmp_path):
+    j = JobJournal(tmp_path)
+    with open(j.path, "a", encoding="utf-8") as fh:
+        fh.write('{"t": "lease", "job": "ghost", "segments": []}\n')
+    scan = j.scan()
+    assert scan.torn == 1 and not scan.jobs
+
+
+def test_default_job_key_is_content_addressed(zoo):
+    zl = zoo["mono-induction/RI"]
+    k1 = default_job_key(zl.loop, zl.make_store(), "doall")
+    k2 = default_job_key(zl.loop, zl.make_store(), "doall")
+    assert k1 == k2                     # same job, same key
+    assert k1 != default_job_key(zl.loop, zl.make_store(), "general-3")
+    assert k1 != default_job_key(zl.loop, zl.make_store(), "doall",
+                                 salt="run-2")
+
+
+# -- pool integration: write-ahead + checkpoints --------------------------
+
+def test_pool_journals_admitted_checkpoints_and_done(tmp_path, zoo):
+    zl = zoo["mono-induction/RI"]
+    info = analyze_loop(zl.loop, zl.funcs)
+    ref = _oracle(zl)
+    j = JobJournal(tmp_path)
+    pool = WorkerPool(PoolConfig(workers=2), journal=j)
+    try:
+        st = zl.make_store()
+        pool.submit(info, st, zl.funcs, scheme="doall", u=96,
+                    strip=16, job_key="jk")
+        assert st.equals(ref)
+    finally:
+        pool.close()
+    job = j.scan().jobs["jk"]
+    assert job.outcome == "done"
+    assert job.n_checkpoints >= 2       # strip boundaries committed
+    assert job.segments                 # the lease was journaled
+    # The admitted record precedes every checkpoint (write-ahead).
+    kinds = [json.loads(ln)["t"] for ln in open(j.path)]
+    assert kinds.index("admitted") < kinds.index("checkpoint")
+    j.close()
+
+
+def test_pool_without_job_key_runs_unjournaled(tmp_path, zoo):
+    zl = zoo["mono-induction/RI"]
+    info = analyze_loop(zl.loop, zl.funcs)
+    j = JobJournal(tmp_path)
+    pool = WorkerPool(PoolConfig(workers=2), journal=j)
+    try:
+        st = zl.make_store()
+        pool.submit(info, st, zl.funcs, scheme="doall", u=96)
+        assert st.equals(_oracle(zl))
+    finally:
+        pool.close()
+    assert not j.scan().jobs
+    j.close()
+
+
+# -- crash-sim replay: both resume modes ----------------------------------
+
+def test_resume_nonspeculative_from_checkpoint(tmp_path, zoo):
+    zl = zoo["mono-induction/RI"]
+    info = analyze_loop(zl.loop, zl.funcs)
+    ref = _oracle(zl)
+    j = JobJournal(tmp_path)
+    pool = WorkerPool(PoolConfig(workers=2), journal=j)
+    try:
+        pool.submit(info, zl.make_store(), zl.funcs, scheme="doall",
+                    u=96, strip=16, job_key="crash")
+    finally:
+        pool.close()
+    _drop_done(j, "crash")
+
+    j2 = JobJournal(tmp_path)
+    assert [x.key for x in j2.scan().incomplete()] == ["crash"]
+    pool2 = WorkerPool(PoolConfig(workers=2), journal=j2)
+    try:
+        outs = resume_jobs(j2, pool2, funcs_for=lambda job: zl.funcs)
+    finally:
+        pool2.close()
+    (out,) = outs
+    assert out.mode == "pool-resume"
+    assert out.resumed_from > 1         # committed prefix, not iter 0
+    assert out.store.equals(ref)        # bit-identical to the oracle
+    # The replay reached a terminal record: a second resume is a no-op.
+    assert not j2.scan().incomplete()
+    pool3 = WorkerPool(PoolConfig(workers=2), journal=j2)
+    try:
+        assert resume_jobs(j2, pool3) == []
+    finally:
+        pool3.close()
+    j2.close()
+
+
+def test_resume_speculative_continues_sequentially(tmp_path, zoo):
+    zl = zoo["mono-induction/RV"]
+    info = analyze_loop(zl.loop, zl.funcs)
+    ref = _oracle(zl)
+    j = JobJournal(tmp_path)
+    pool = WorkerPool(PoolConfig(workers=2), journal=j)
+    try:
+        pool.submit(info, zl.make_store(), zl.funcs, scheme="doall",
+                    u=96, strip=16, speculative=True,
+                    test_arrays=default_test_arrays(info),
+                    job_key="spec")
+    finally:
+        pool.close()
+    _drop_done(j, "spec")
+
+    j2 = JobJournal(tmp_path)
+    pool2 = WorkerPool(PoolConfig(workers=2), journal=j2)
+    try:
+        outs = resume_jobs(j2, pool2, funcs_for=lambda job: zl.funcs)
+    finally:
+        pool2.close()
+    (out,) = outs
+    # Speculative prefixes cannot be resumed *into* the pool
+    # (run_parallel_real rejects speculative ResumeStates), so replay
+    # restores the PD-validated checkpoint and finishes sequentially.
+    assert out.mode == "sequential-continue"
+    assert out.resumed_from > 1
+    assert out.store.equals(ref)
+    assert not j2.scan().incomplete()
+    j2.close()
+
+
+def test_resume_without_checkpoint_reruns_from_scratch(tmp_path, zoo):
+    zl = zoo["general/RI"]
+    ref = _oracle(zl)
+    j = JobJournal(tmp_path)
+    j.record_admitted("fresh", loop=zl.loop, store=zl.make_store(),
+                      scheme="general-3", u=96)
+    pool = WorkerPool(PoolConfig(workers=2), journal=j)
+    try:
+        outs = resume_jobs(j, pool, funcs_for=lambda job: zl.funcs)
+    finally:
+        pool.close()
+    (out,) = outs
+    assert out.mode == "pool-fresh" and out.resumed_from == 1
+    assert out.scheme == "general-3"    # original scheme honored
+    assert out.store.equals(ref)
+    j.close()
+
+
+def test_resume_journals_unresolvable_jobs_as_failed(tmp_path):
+    from repro.workloads.bench import make_doall_bench
+
+    bench = make_doall_bench(16, 1_000)
+    j = JobJournal(tmp_path)
+    j.record_admitted("needs-funcs", loop=bench.loop,
+                      store=bench.make_store(), u=24)
+    pool = WorkerPool(PoolConfig(workers=2), journal=j)
+    try:
+        # No funcs_for: the loop's `crunch` intrinsic is unresolvable
+        # — the job must fail *terminally* (journaled), not crash the
+        # resume pass or stay incomplete forever.
+        outs = resume_jobs(j, pool)
+    finally:
+        pool.close()
+    assert outs == []
+    job = j.scan().jobs["needs-funcs"]
+    assert job.outcome == "failed"
+    assert "crunch" in job.error
+    j.close()

@@ -217,3 +217,59 @@ def test_soak_no_resource_growth():
         assert fds_after <= fds_before
     finally:
         p.close()
+
+
+# -- signal-handler hygiene (PR 9) ----------------------------------------
+
+def test_close_restores_previous_signal_handlers():
+    """install_signal_handlers must be a guest, not a squatter: after
+    close(), whatever handlers the host application had installed for
+    SIGTERM/SIGINT are back in place."""
+    import signal as _signal
+
+    def sentinel(signum, frame):        # pragma: no cover
+        pass
+
+    prev_term = _signal.signal(_signal.SIGTERM, sentinel)
+    prev_int = _signal.signal(_signal.SIGINT, sentinel)
+    try:
+        p = WorkerPool(PoolConfig(workers=1))
+        p.install_signal_handlers()
+        # The pool's drain handler is now installed...
+        assert _signal.getsignal(_signal.SIGTERM) is not sentinel
+        assert _signal.getsignal(_signal.SIGINT) is not sentinel
+        p.close()
+        # ...and close() put the sentinels back.
+        assert _signal.getsignal(_signal.SIGTERM) is sentinel
+        assert _signal.getsignal(_signal.SIGINT) is sentinel
+    finally:
+        _signal.signal(_signal.SIGTERM, prev_term)
+        _signal.signal(_signal.SIGINT, prev_int)
+
+
+def test_double_install_keeps_oldest_handlers():
+    """Two install calls (serve retry paths) must not save the pool's
+    own handler as "previous" — close() restores the original."""
+    import signal as _signal
+
+    def sentinel(signum, frame):        # pragma: no cover
+        pass
+
+    prev_term = _signal.signal(_signal.SIGTERM, sentinel)
+    try:
+        p = WorkerPool(PoolConfig(workers=1))
+        p.install_signal_handlers()
+        p.install_signal_handlers()
+        p.close()
+        assert _signal.getsignal(_signal.SIGTERM) is sentinel
+    finally:
+        _signal.signal(_signal.SIGTERM, prev_term)
+
+
+def test_close_without_install_leaves_handlers_alone():
+    import signal as _signal
+
+    before = _signal.getsignal(_signal.SIGTERM)
+    p = WorkerPool(PoolConfig(workers=1))
+    p.close()
+    assert _signal.getsignal(_signal.SIGTERM) is before

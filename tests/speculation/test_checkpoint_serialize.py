@@ -1,0 +1,158 @@
+"""Disk round-trip of (interval) checkpoints: the journal's payload.
+
+The write-ahead journal persists :class:`IntervalCheckpoint`\\ s as
+JSON at strip boundaries and rebuilds them at ``--resume``; these are
+the edge cases a crash can journal — a zero-committed prefix, masked
+selective restores on the rebuilt instance, and every dtype the store
+layer admits surviving ``tolist``/JSON intact.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import IRError
+from repro.ir.store import Store
+from repro.speculation.checkpoint import Checkpoint, IntervalCheckpoint
+from repro.structures.linkedlist import LinkedList, build_chain
+
+
+def _store() -> Store:
+    return Store({
+        "out": np.arange(8, dtype=np.float64),
+        "flags": np.array([True, False, True, False]),
+        "counts": np.arange(4, dtype=np.int32),
+        "i": 3,
+        "acc": 2.5,
+        "go": True,
+        "lst": build_chain(3),
+    })
+
+
+def _json_round_trip(obj: dict) -> dict:
+    # Through an actual encode/decode, exactly as the journal does —
+    # tuples become lists, ints may widen, nothing numpy survives.
+    return json.loads(json.dumps(obj))
+
+
+def test_full_round_trip_restores_bit_identical():
+    src = _store()
+    ck = IntervalCheckpoint(src, next_iter=5)
+    obj = _json_round_trip(ck.to_obj())
+    rebuilt = IntervalCheckpoint.from_obj(obj)
+    assert rebuilt.next_iter == 5
+    assert rebuilt.committed_upto == 4
+
+    target = _store()
+    target["out"][...] = -1.0
+    target["counts"][...] = 0
+    target["i"] = 99
+    target["lst"] = LinkedList(np.full(3, -1, dtype=np.int64), -1)
+    rebuilt.restore(target)
+    assert target.equals(src)
+
+
+def test_zero_committed_prefix_round_trips():
+    """A crash right after admission journals ``next_iter=1`` — the
+    degenerate checkpoint must rebuild and mean "nothing committed"."""
+    ck = IntervalCheckpoint(_store(), next_iter=1)
+    rebuilt = IntervalCheckpoint.from_obj(_json_round_trip(ck.to_obj()))
+    assert rebuilt.next_iter == 1
+    assert rebuilt.committed_upto == 0
+    target = _store()
+    target["out"][...] = 7.0
+    rebuilt.restore(target)
+    assert np.array_equal(target["out"], _store()["out"])
+
+
+def test_restore_where_with_noncontiguous_mask_after_round_trip():
+    src = _store()
+    ck = IntervalCheckpoint(src, next_iter=3)
+    rebuilt = IntervalCheckpoint.from_obj(_json_round_trip(ck.to_obj()))
+
+    target = _store()
+    target["out"][...] = 100.0
+    # Non-contiguous overshoot pattern: revert only elements 1, 4, 6.
+    mask = np.zeros(8, dtype=bool)
+    mask[[1, 4, 6]] = True
+    n = rebuilt.restore_where(target, "out", mask)
+    assert n == 3
+    assert np.array_equal(target["out"][[1, 4, 6]],
+                          src["out"][[1, 4, 6]])
+    assert np.all(target["out"][[0, 2, 3, 5, 7]] == 100.0)
+
+
+def test_restore_where_empty_mask_is_a_no_op():
+    rebuilt = IntervalCheckpoint.from_obj(_json_round_trip(
+        IntervalCheckpoint(_store(), next_iter=2).to_obj()))
+    target = _store()
+    target["out"][...] = -3.0
+    assert rebuilt.restore_where(target, "out",
+                                 np.zeros(8, dtype=bool)) == 0
+    assert np.all(target["out"] == -3.0)
+
+
+@pytest.mark.parametrize("dtype", ["int32", "int64", "float32",
+                                   "float64", "bool"])
+def test_dtype_survives_json(dtype):
+    """``tolist`` erases numpy types; the explicit dtype string in the
+    payload must bring every supported width back exactly."""
+    arr = (np.array([1, 0, 1, 1]).astype(dtype)
+           if dtype == "bool" else np.arange(4).astype(dtype))
+    st = Store({"a": arr, "i": 0})
+    rebuilt = Checkpoint.from_obj(_json_round_trip(
+        Checkpoint(st).to_obj()))
+    target = Store({"a": np.zeros(4, dtype=dtype), "i": 9})
+    rebuilt.restore(target)
+    assert target["a"].dtype == np.dtype(dtype)
+    assert np.array_equal(target["a"], arr)
+
+
+def test_scalar_types_survive_json():
+    st = Store({"a": np.zeros(2), "n": np.int64(7),
+                "x": np.float64(1.5), "b": np.bool_(True)})
+    rebuilt = Checkpoint.from_obj(_json_round_trip(
+        Checkpoint(st).to_obj()))
+    target = Store({"a": np.zeros(2), "n": 0, "x": 0.0, "b": False})
+    rebuilt.restore(target)
+    assert target["n"] == 7 and isinstance(target["n"], int)
+    assert target["x"] == 1.5
+    assert target["b"] is True
+
+
+def test_linkedlist_round_trips_with_head_cursor():
+    # A chain 0 -> 1 -> 2 whose head cursor already advanced to 1:
+    # the serialized form must keep both the pool and the cursor.
+    lst = LinkedList(np.array([1, 2, -1], dtype=np.int64), 1)
+    st = Store({"a": np.zeros(2), "i": 0, "lst": lst})
+    ck = Checkpoint(st)
+    rebuilt = Checkpoint.from_obj(_json_round_trip(ck.to_obj()))
+    target = Store({"a": np.zeros(2), "i": 0,
+                    "lst": LinkedList(np.full(3, -1, dtype=np.int64),
+                                      -1)})
+    rebuilt.restore(target)
+    assert target["lst"].head == lst.head
+    assert np.array_equal(target["lst"].next, lst.next)
+
+
+def test_kind_discriminators_are_checked():
+    ck_obj = Checkpoint(Store({"a": np.zeros(2), "i": 0})).to_obj()
+    ick_obj = IntervalCheckpoint(Store({"a": np.zeros(2), "i": 0}),
+                                 next_iter=4).to_obj()
+    with pytest.raises(IRError):
+        Checkpoint.from_obj(ick_obj)        # wrong kind tag
+    with pytest.raises(IRError):
+        IntervalCheckpoint.from_obj(ck_obj)
+    with pytest.raises(IRError):
+        IntervalCheckpoint.from_obj({"k": "something-else"})
+
+
+def test_multidimensional_arrays_are_rejected():
+    st = Store({"a": np.zeros(4), "i": 0})
+    ck = Checkpoint(st)
+    ck._arrays["a"] = np.zeros((2, 2))      # force the invalid shape
+    with pytest.raises(IRError, match="2-d"):
+        ck.to_obj()
