@@ -12,6 +12,24 @@ Section 7 cost model, picks the scheme the paper would pick, executes
 it on the virtual machine, and *verifies* the final store against a
 reference sequential execution (the verification can be switched off
 for large runs).
+
+The same name doubles as the **decorator surface** for real Python
+functions (see :mod:`repro.frontend.decorator` and
+``docs/frontend.md``)::
+
+    @parallelize(backend="procs", workers=4)
+    def sweep(A, n):
+        i = 0
+        while i < n:
+            A[i] = A[i] * 2
+            i = i + 1
+
+Calling ``parallelize`` without a store selects the decorator surface:
+bare ``@parallelize`` on a function, or ``@parallelize(**options)`` as
+a factory.  The decorated function is lifted through the Python-source
+frontend, its arguments are captured per call, and results are written
+back into the caller's arrays — with a transparent fallback to the
+original function when the loop is outside the liftable subset.
 """
 
 from __future__ import annotations
@@ -24,6 +42,7 @@ from repro.executors.base import ParallelResult
 from repro.executors.sequential import ensure_info
 from repro.ir.functions import FunctionTable
 from repro.ir.interp import SequentialInterp
+from repro.ir.nodes import Loop
 from repro.ir.store import Store
 from repro.obs import names as _ev
 from repro.obs.tracer import get_tracer
@@ -65,29 +84,40 @@ class Outcome:
 
 
 def parallelize(
-    loop_or_info,
-    store: Store,
-    machine: Machine,
+    loop_or_info=None,
+    store: Optional[Store] = None,
+    machine: Optional[Machine] = None,
     funcs: Optional[FunctionTable] = None,
     *,
+    scheme: Optional[str] = None,
     verify: bool = True,
     u: Optional[int] = None,
     strip: Optional[int] = None,
-    min_speedup: float = 1.2,
+    min_speedup: Optional[float] = None,
     backend: str = "sim",
     workers: Optional[int] = None,
+    nprocs: int = 8,
     resilience=None,
     fault_plan=None,
     strict_exceptions: bool = False,
     partial_restart: bool = True,
     kernels: str = "auto",
-) -> Outcome:
+    fallback: bool = True,
+):
     """Analyze, plan, execute, and (optionally) verify one loop.
+
+    Called without a ``store`` this is the **decorator surface** (see
+    the module docstring): ``parallelize(fn)`` wraps a plain Python
+    function, ``parallelize(**options)`` returns the configured
+    decorator.  ``scheme`` / ``nprocs`` / ``fallback`` belong to that
+    surface (:func:`repro.frontend.decorator.make_parallel`); ``scheme``
+    also pins the planner on the loop path.
 
     Parameters
     ----------
     loop_or_info:
-        The loop (or its prebuilt analysis).
+        The loop (or its prebuilt analysis) — or, on the decorator
+        surface, the Python function to wrap.
     store:
         Live state; left in the sequentially-correct final state.
     machine:
@@ -154,6 +184,29 @@ def parallelize(
         sequential reference (this indicates a framework bug or a
         violated DOANY-style contract, never silent corruption).
     """
+    if store is None:
+        # Decorator surface: @parallelize / @parallelize(**options).
+        from repro.frontend.decorator import make_parallel
+        deco_kwargs = dict(
+            scheme=scheme or "auto", backend=backend, machine=machine,
+            nprocs=nprocs, workers=workers, kernels=kernels,
+            verify=verify,
+            min_speedup=0.0 if min_speedup is None else min_speedup,
+            u=u, strip=strip, resilience=resilience,
+            fault_plan=fault_plan, strict_exceptions=strict_exceptions,
+            partial_restart=partial_restart, fallback=fallback)
+        if loop_or_info is None:
+            return lambda fn: make_parallel(fn, **deco_kwargs)
+        if callable(loop_or_info) and not isinstance(loop_or_info, Loop):
+            return make_parallel(loop_or_info, **deco_kwargs)
+        raise PlanError(
+            "parallelize(loop, ...) needs a Store as its second "
+            "argument (the decorator surface applies to plain Python "
+            "functions only)")
+    if machine is None:
+        machine = Machine(nprocs)
+    if min_speedup is None:
+        min_speedup = 1.2
     funcs = funcs or FunctionTable()
     info = ensure_info(loop_or_info, funcs)
     if backend not in ("sim", "threads", "procs", "pool"):
@@ -188,10 +241,14 @@ def parallelize(
                                         reference).t_par
 
     plan = plan_loop(info, machine, funcs, sample_store=store,
-                     min_speedup=min_speedup)
+                     min_speedup=min_speedup, force_scheme=scheme,
+                     backend=backend)
 
     kwargs = {}
-    if u is not None:
+    # The sequential and DOACROSS runners take no iteration bound /
+    # strip length (they discover termination exactly); forwarding
+    # them would be a TypeError, not a hint.
+    if u is not None and plan.scheme not in ("sequential", "doacross"):
         kwargs["u"] = u
     if strip is not None and plan.scheme not in ("sequential", "doacross"):
         kwargs["strip"] = strip

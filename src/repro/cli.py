@@ -9,6 +9,13 @@ Commands
     Table-1 taxonomy cell, dependence verdict, privatization statuses,
     and the scheme the planner would choose.
 
+``lift FILE [--scheme S] [--backend B] [--json]``
+    Lift FILE through the Python-source frontend (the ``@parallelize``
+    path) and print the IR, the discovered symbol roles (arrays,
+    lists, scalars, ``len()`` bounds, the returned result), the
+    Table-1 taxonomy cell, and the scheme the planner would choose —
+    optionally pinned with ``--scheme`` as the decorator would.
+
 ``run FILE [--backend sim|threads|procs] [--workers N]``
     Actually execute the file's ``while`` loop: statements before the
     loop build the initial store, then the loop is planned and run on
@@ -131,6 +138,66 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lift(args: argparse.Namespace) -> int:
+    from repro.analysis import analyze_loop
+    from repro.errors import FrontendError
+    from repro.frontend import lift_source
+    from repro.ir import FunctionTable, format_loop
+    from repro.planner import plan_loop
+    from repro.runtime import Machine
+
+    with open(args.file, "r", encoding="utf-8") as fh:
+        source = fh.read()
+    try:
+        lifted = lift_source(source, filename=args.file)
+    except FrontendError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    info = analyze_loop(lifted.loop)
+    plan = plan_loop(info, Machine(args.procs), FunctionTable(),
+                     force_scheme=args.scheme, backend=args.backend)
+
+    payload = {
+        "loop": lifted.loop.name,
+        "arrays": list(lifted.arrays),
+        "lists": list(lifted.lists),
+        "scalars": list(lifted.scalars),
+        "intrinsics": list(lifted.intrinsics),
+        "lengths": list(lifted.lengths),
+        "result": lifted.result,
+        "ir": format_loop(lifted.loop),
+        "taxonomy": {
+            "dispatcher": info.taxonomy.dispatcher.value,
+            "terminator": info.terminator.klass.value,
+            "overshoot": info.taxonomy.overshoot,
+            "parallel": info.taxonomy.parallel.value,
+        },
+        "scheme": plan.scheme,
+        "rationale": plan.rationale,
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(format_loop(lifted.loop))
+    print()
+    print(f"arrays:       {', '.join(lifted.arrays) or '(none)'}")
+    if lifted.lists:
+        print(f"lists:        {', '.join(lifted.lists)}")
+    print(f"scalars:      {', '.join(lifted.scalars) or '(none)'}")
+    if lifted.intrinsics:
+        print(f"intrinsics:   {', '.join(lifted.intrinsics)}")
+    if lifted.lengths:
+        print(f"len() bounds: {', '.join(lifted.lengths)}")
+    if lifted.result:
+        print(f"result:       {lifted.result}")
+    print(f"taxonomy:     {payload['taxonomy']['dispatcher']} / "
+          f"{payload['taxonomy']['terminator']} -> "
+          f"dispatcher-parallel={payload['taxonomy']['parallel']}")
+    print(f"scheme:       {plan.scheme}")
+    print(f"rationale:    {plan.rationale}")
+    return 0
+
+
 def _build_store_from_source(source: str, filename: str, lifted):
     """Execute the statements *before* the while loop to build a Store.
 
@@ -164,6 +231,12 @@ def _build_store_from_source(source: str, filename: str, lifted):
     for name in (*lifted.arrays, *lifted.lists, *lifted.scalars):
         if name in ns:
             store[name] = ns[name]
+        elif name.endswith("__len") and name[:-len("__len")] in ns:
+            # frontend convention for `len(A)` bounds
+            store[name] = int(len(ns[name[:-len("__len")]]))
+        elif name.endswith("__head") and name[:-len("__head")] in ns:
+            # frontend convention for `lst.head`
+            store[name] = int(ns[name[:-len("__head")]].head)
         elif name in lifted.scalars:
             store[name] = 0  # loop-created scalar (e.g. the dispatcher)
         else:
@@ -417,18 +490,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
-    from repro.fuzz import (FuzzConfig, load_corpus, replay_entry,
-                            run_campaign)
+    from repro.fuzz import (FuzzConfig, load_corpus, load_source_corpus,
+                            replay_entry, replay_source_entry,
+                            run_campaign, run_frontend_campaign)
 
     if args.replay is not None:
-        entries = load_corpus(args.replay)
+        if args.frontend:
+            entries = load_source_corpus(args.replay)
+            replay = replay_source_entry
+        else:
+            entries = load_corpus(args.replay)
+            replay = replay_entry
         if not entries:
             print(f"no corpus entries under {args.replay!r}",
                   file=sys.stderr)
             return 2
         bad = 0
         for entry in entries:
-            verdict = replay_entry(entry)
+            verdict = replay(entry)
             status = "ok" if verdict.ok else "FAIL"
             print(f"{status}  {entry.name}  [{entry.cell}]  "
                   f"{entry.note or '(no note)'}")
@@ -452,7 +531,8 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         artifacts_dir=args.artifacts,
         kernels=not args.no_kernels,
     )
-    report = run_campaign(config, log=print)
+    campaign = run_frontend_campaign if args.frontend else run_campaign
+    report = campaign(config, log=print)
     print(report.summary())
     return 0 if report.ok else 1
 
@@ -690,6 +770,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_an.add_argument("--json", action="store_true")
     p_an.set_defaults(fn=_cmd_analyze)
 
+    p_lf = sub.add_parser(
+        "lift", help="lift a Python while loop and print the IR, "
+        "symbol roles, taxonomy cell, and chosen scheme")
+    p_lf.add_argument("file")
+    p_lf.add_argument("--procs", type=int, default=8,
+                      help="virtual processors for the planner's "
+                      "cost model")
+    p_lf.add_argument("--scheme", default=None,
+                      help="pin the scheme instead of letting the "
+                      "planner choose (as @parallelize(scheme=...))")
+    p_lf.add_argument("--backend",
+                      choices=("sim", "threads", "procs", "pool"),
+                      default="sim",
+                      help="backend the plan would execute on "
+                      "(affects DOACROSS demotion)")
+    p_lf.add_argument("--json", action="store_true")
+    p_lf.set_defaults(fn=_cmd_lift)
+
     p_rn = sub.add_parser(
         "run", help="plan and execute a Python while loop on a backend")
     p_rn.add_argument("file")
@@ -871,6 +969,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_fz.add_argument("--no-kernels", action="store_true",
                       help="skip the vectorized kernel-tier "
                       "differential cell")
+    p_fz.add_argument("--frontend", action="store_true",
+                      help="fuzz the Python-source frontend instead: "
+                      "random source in the @parallelize subset, "
+                      "differentially checked against exec of the "
+                      "same source (--replay then replays a pysource "
+                      "corpus directory)")
     p_fz.set_defaults(fn=_cmd_fuzz)
 
     p_tx = sub.add_parser("taxonomy", help="print Table 1")

@@ -1,6 +1,16 @@
-"""Frontends: lift Python while loops or Fortran-style text into the IR."""
+"""Frontends: lift Python while loops or Fortran-style text into the IR.
 
+The package also hosts the end-to-end ``@parallelize`` decorator path
+(:mod:`repro.frontend.decorator`) and its argument capture/write-back
+layer (:mod:`repro.frontend.argbind`); see ``docs/frontend.md``.
+"""
+
+from repro.frontend.argbind import BoundCall, bind_call, write_back
+from repro.frontend.decorator import make_parallel
 from repro.frontend.fortranish import lift_fortranish
 from repro.frontend.pyfront import LiftedLoop, lift_function, lift_source
 
-__all__ = ["LiftedLoop", "lift_function", "lift_source", "lift_fortranish"]
+__all__ = [
+    "LiftedLoop", "lift_function", "lift_source", "lift_fortranish",
+    "BoundCall", "bind_call", "write_back", "make_parallel",
+]

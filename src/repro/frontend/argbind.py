@@ -1,0 +1,168 @@
+"""Argument capture and write-back for the ``@parallelize`` decorator.
+
+The decorator path needs two mappings the IR world does not have:
+
+* **capture** — a decorated function is called with live Python
+  objects (NumPy arrays, Python lists, scalars,
+  :class:`~repro.structures.linkedlist.LinkedList` chains, intrinsic
+  callables); the lifted loop needs a
+  :class:`~repro.ir.store.Store` binding every name the loop
+  references, including the frontend's conventional synthetics
+  (``"<lst>__head"`` for ``lst.head``, ``"<A>__len"`` for ``len(A)``);
+* **write-back** — after the parallel run the final array contents
+  must land back in the *caller's* objects.
+
+Capture always binds **private copies** of mutable arguments: the
+parallel run (and its verification reference) executes against the
+copies, and only a successful run is copied back — a refused plan, a
+contained exception, or a transparent fallback can never leave the
+caller's arrays half-written.
+
+Every capture failure raises :class:`~repro.errors.FrontendError`, the
+signal the decorator's transparent-fallback contract keys on.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import FrontendError
+from repro.frontend.pyfront import LiftedLoop
+from repro.ir.functions import FunctionTable
+from repro.ir.store import Scalar, Store
+from repro.structures.linkedlist import LinkedList
+
+__all__ = ["BoundCall", "bind_call", "write_back"]
+
+
+@dataclass
+class BoundCall:
+    """One call's captured state, ready to execute and write back."""
+
+    store: Store                     #: private copies of all bindings
+    funcs: FunctionTable             #: resolved intrinsics
+    #: caller's original array objects (ndarray or list), by name
+    originals: Dict[str, Any] = field(default_factory=dict)
+
+
+def _resolve(name: str, namespace: Dict[str, Any], fn) -> Any:
+    """Look a referenced name up: call arguments, then closure/globals."""
+    if name in namespace:
+        return namespace[name]
+    closure = getattr(fn, "__closure__", None) or ()
+    freevars = getattr(getattr(fn, "__code__", None), "co_freevars", ())
+    for var, cell in zip(freevars, closure):
+        if var == name:
+            return cell.cell_contents
+    return getattr(fn, "__globals__", {}).get(name, _MISSING)
+
+
+class _Missing:
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return "<missing>"
+
+
+_MISSING = _Missing()
+
+
+def bind_call(lifted: LiftedLoop, fn: Callable, args: Tuple,
+              kwargs: Dict[str, Any],
+              funcs: Optional[FunctionTable] = None) -> BoundCall:
+    """Capture one call of ``fn`` into a Store the lifted loop can run on.
+
+    Array and list arguments are copied (see the module docstring);
+    scalars are bound by value; loop-created scalars (counters,
+    accumulators, the ``__pt<k>`` tuple-assignment temporaries) default
+    to ``0``; the ``"<lst>__head"`` / ``"<A>__len"`` synthetics are
+    derived from the live objects.  Intrinsic names resolve from the
+    call arguments first, then the function's closure and globals.
+    """
+    fn = inspect.unwrap(fn)
+    try:
+        sig = inspect.signature(fn)
+        bound = sig.bind(*args, **kwargs)
+    except TypeError as exc:
+        raise FrontendError(
+            f"cannot bind arguments for {fn.__name__}(): {exc}") from exc
+    bound.apply_defaults()
+    namespace = dict(bound.arguments)
+
+    store = Store()
+    originals: Dict[str, Any] = {}
+
+    for name in lifted.lists:
+        value = _resolve(name, namespace, fn)
+        if not isinstance(value, LinkedList):
+            raise FrontendError(
+                f"{fn.__name__}() uses {name!r} as a linked list but got "
+                f"{type(value).__name__}")
+        store[name] = value          # Next/head reads only: safe to share
+
+    for name in lifted.arrays:
+        value = _resolve(name, namespace, fn)
+        if value is _MISSING:
+            raise FrontendError(
+                f"{fn.__name__}() subscripts {name!r} but no such "
+                f"argument (or global) exists")
+        if isinstance(value, np.ndarray):
+            store[name] = np.array(value)        # private copy
+        elif isinstance(value, (list, tuple)):
+            arr = np.asarray(value)
+            if arr.dtype.kind not in "iufb":
+                raise FrontendError(
+                    f"array argument {name!r} holds non-numeric values")
+            store[name] = arr                    # asarray copied the list
+        else:
+            raise FrontendError(
+                f"{fn.__name__}() subscripts {name!r} but got "
+                f"{type(value).__name__}, not an array")
+        originals[name] = value
+
+    for name in lifted.scalars:
+        if name.endswith("__head") and name[:-6] in lifted.lists:
+            store[name] = int(store[name[:-6]].head)
+            continue
+        if name.endswith("__len") and name[:-5] in lifted.arrays:
+            store[name] = int(len(store[name[:-5]]))
+            continue
+        value = _resolve(name, namespace, fn)
+        if value is _MISSING or callable(value):
+            # loop-created scalar (counter, accumulator, temporary)
+            store[name] = 0
+            continue
+        if not isinstance(value, Scalar):
+            raise FrontendError(
+                f"{fn.__name__}() reads {name!r} as a scalar but got "
+                f"{type(value).__name__}")
+        store[name] = value
+
+    table = funcs if funcs is not None else FunctionTable()
+    for name in lifted.intrinsics:
+        if name in table:
+            continue
+        impl = _resolve(name, namespace, fn)
+        if not callable(impl):
+            raise FrontendError(
+                f"{fn.__name__}() calls {name}() but no callable of "
+                f"that name is reachable from its arguments, closure, "
+                f"or globals")
+        table.register(name, lambda ctx, *a, _f=impl: _f(*a),
+                       cost=1, pure=True)
+
+    return BoundCall(store=store, funcs=table, originals=originals)
+
+
+def write_back(bound: BoundCall) -> None:
+    """Copy final array contents back into the caller's objects."""
+    for name, target in bound.originals.items():
+        final = bound.store[name]
+        if isinstance(target, np.ndarray):
+            np.copyto(target, final, casting="unsafe")
+        elif isinstance(target, list):
+            target[:] = final.tolist()
+        # tuples are immutable: the caller keeps the input values, the
+        # final contents stay readable via the store

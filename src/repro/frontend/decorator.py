@@ -1,0 +1,165 @@
+"""The ``@parallelize`` decorator: real Python while-loops, one line.
+
+The end-to-end path the paper's Section 9 user wants::
+
+    from repro import parallelize
+
+    @parallelize(backend="procs", workers=4)
+    def jacobi(A, new, n, eps):
+        maxdelta = eps + 1.0
+        while maxdelta > eps:
+            maxdelta = 0.0
+            for i in range(1, n - 1):
+                new[i] = 0.5 * (A[i - 1] + A[i + 1])
+                delta = abs(new[i] - A[i])
+                maxdelta = max(maxdelta, delta)
+            for i in range(1, n - 1):
+                A[i] = new[i]
+
+    jacobi(A, new, len(A), 1e-6)        # runs in parallel, writes A back
+
+At decoration time the function is lifted
+(:func:`~repro.frontend.pyfront.lift_function`); at call time the
+arguments are captured into a private store
+(:mod:`~repro.frontend.argbind`), the Table-1 classifier and Section-7
+planner pick a scheme (or honor ``scheme=...``), the loop executes on
+the chosen backend (``sim`` | ``threads`` | ``procs`` | ``pool``), and
+the final arrays are copied back into the caller's objects.
+
+**Fallback contract:** any :class:`~repro.errors.FrontendError` (the
+function is outside the liftable subset, or an argument cannot be
+captured) — and any :class:`~repro.errors.AnalysisError` at decoration
+time — makes the wrapper transparently run the *original* function
+instead.  Parallelization is an optimization, never a behavior change;
+the fallback reason is recorded on ``wrapper.fallback_reason`` and as
+an ``frontend.fallback`` obs event.
+
+The wrapper exposes forensics for tests and triage:
+
+* ``wrapper.lifted`` — the :class:`~repro.frontend.pyfront.LiftedLoop`
+  (``None`` in permanent-fallback mode);
+* ``wrapper.fallback_reason`` — why decoration fell back (``None``
+  when lifted);
+* ``wrapper.last_outcome`` — the :class:`~repro.api.Outcome` of the
+  most recent parallel call (``None`` before the first, or when the
+  call fell back);
+* ``wrapper.__wrapped__`` — the original function, always callable.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Callable, Optional
+
+from repro.errors import AnalysisError, FrontendError
+from repro.frontend.argbind import bind_call, write_back
+from repro.frontend.pyfront import lift_function
+from repro.obs import names as _ev
+from repro.obs.tracer import get_tracer
+from repro.runtime.machine import Machine
+
+__all__ = ["make_parallel"]
+
+
+def make_parallel(
+    fn: Callable,
+    *,
+    scheme: str = "auto",
+    backend: str = "sim",
+    machine: Optional[Machine] = None,
+    nprocs: int = 8,
+    workers: Optional[int] = None,
+    kernels: str = "auto",
+    verify: bool = True,
+    min_speedup: float = 0.0,
+    u: Optional[int] = None,
+    strip: Optional[int] = None,
+    resilience=None,
+    fault_plan=None,
+    strict_exceptions: bool = False,
+    partial_restart: bool = True,
+    fallback: bool = True,
+) -> Callable:
+    """Wrap ``fn`` so its while loop runs through the parallel pipeline.
+
+    This is the implementation behind the decorator form of
+    :func:`repro.api.parallelize`; see that docstring for the
+    parameters shared with the one-call API.  Decorator-specific knobs:
+
+    scheme:
+        ``"auto"`` (default) lets the planner choose; any scheme name
+        accepted by the planner's pinning table (``sequential``,
+        ``induction-2``, ``associative-prefix``, ``general-3``,
+        ``speculative``, ``doacross``) forces it.
+    machine / nprocs:
+        The virtual machine driving the cost model (default
+        ``Machine(nprocs)``).
+    min_speedup:
+        Defaults to ``0.0`` here (the user explicitly asked for the
+        parallel path), unlike the one-call API's ``1.2``.
+    fallback:
+        ``False`` turns the transparent fallback off: lifting or
+        binding failures raise their ``FrontendError`` instead of
+        silently running the original function.  Useful in tests and
+        when the decorated function *must* go parallel.
+    """
+    trc = get_tracer()
+    mach = machine or Machine(nprocs)
+    pinned = None if scheme in (None, "auto") else scheme
+
+    lifted = None
+    fallback_reason: Optional[str] = None
+    try:
+        lifted = lift_function(fn)
+    except (FrontendError, AnalysisError) as exc:
+        if not fallback:
+            raise
+        fallback_reason = str(exc)
+        if trc.enabled:
+            trc.event(_ev.EV_FRONTEND_FALLBACK, 0, fn=fn.__name__,
+                      stage="decorate", reason=fallback_reason)
+        trc.count(_ev.M_FRONTEND_FALLBACKS)
+    else:
+        if trc.enabled:
+            trc.event(_ev.EV_FRONTEND_LIFT, 0, fn=fn.__name__,
+                      loop=lifted.loop.name,
+                      arrays=list(lifted.arrays),
+                      lists=list(lifted.lists),
+                      intrinsics=list(lifted.intrinsics))
+        trc.count(_ev.M_FRONTEND_LIFTS)
+
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        if lifted is None:
+            return fn(*args, **kwargs)
+        try:
+            bound = bind_call(lifted, fn, args, kwargs)
+        except FrontendError as exc:
+            if not fallback:
+                raise
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.event(_ev.EV_FRONTEND_FALLBACK, 0,
+                             fn=fn.__name__, stage="bind",
+                             reason=str(exc))
+            tracer.count(_ev.M_FRONTEND_FALLBACKS)
+            return fn(*args, **kwargs)
+        from repro.api import parallelize
+        outcome = parallelize(
+            lifted.loop, bound.store, mach, bound.funcs,
+            scheme=pinned, verify=verify, u=u, strip=strip,
+            min_speedup=min_speedup, backend=backend, workers=workers,
+            resilience=resilience, fault_plan=fault_plan,
+            strict_exceptions=strict_exceptions,
+            partial_restart=partial_restart, kernels=kernels)
+        write_back(bound)
+        wrapper.last_outcome = outcome
+        get_tracer().count(_ev.M_FRONTEND_CALLS)
+        if lifted.result is not None:
+            return bound.store[lifted.result]
+        return None
+
+    wrapper.lifted = lifted
+    wrapper.fallback_reason = fallback_reason
+    wrapper.last_outcome = None
+    return wrapper

@@ -15,19 +15,29 @@ planning, simulated parallel execution — on the loop it contains::
     info = analyze_loop(lifted.loop, funcs)
 
 Supported subset (anything else raises :class:`FrontendError` with a
-precise location):
+precise ``file:line:col`` location — never a raw ``SyntaxError``):
 
 * leading simple assignments (the loop's ``init`` block);
-* exactly one ``while`` loop;
-* assignments to names and single-subscript stores ``A[e] = ...``;
+* exactly one ``while`` loop, including ``while True:`` terminated by
+  ``break`` (an RV exit);
+* assignments to names and single-subscript stores ``A[e] = ...``,
+  including tuple assignment ``a, b = b, a + b`` (desugared through
+  temporaries in Python's evaluate-right-then-assign-left order);
 * augmented assignments (desugared);
 * ``if``/``elif``/``else`` and ``break`` (→ ``Exit``);
 * ``for v in range(lo, hi)`` inner loops;
-* arithmetic/comparison/boolean expressions, ``abs``/``min``/``max``;
+* arithmetic/comparison/boolean expressions, chained comparisons
+  (``0 <= i < n`` desugars to ``and`` — sound because the subset's
+  expressions are pure), ``abs``/``min``/``max``;
+* ``len(A)`` bounds (→ the conventional scalar ``"<A>__len"``, bound
+  automatically by :mod:`repro.frontend.argbind` and ``repro run``);
 * intrinsic calls ``f(args)`` (resolved by the execution-time
   :class:`~repro.ir.functions.FunctionTable`);
 * linked-list hops spelled ``lst.successor(p)`` (→ ``Next``) and heads
-  spelled ``lst.head``.
+  spelled ``lst.head``;
+* a trailing ``return <name>`` after the loop (recorded as
+  :attr:`LiftedLoop.result` so the ``@parallelize`` decorator can
+  return the final value transparently).
 """
 
 from __future__ import annotations
@@ -62,6 +72,8 @@ class LiftedLoop:
     lists: Tuple[str, ...]       #: names used as linked lists
     scalars: Tuple[str, ...]     #: other referenced names
     intrinsics: Tuple[str, ...]  #: called function names to register
+    lengths: Tuple[str, ...] = ()    #: arrays whose len() the loop reads
+    result: Optional[str] = None     #: name returned after the loop
 
 
 class _Lifter:
@@ -73,10 +85,19 @@ class _Lifter:
         self.lists: set = set()
         self.scalars: set = set()
         self.intrinsics: set = set()
+        self.lengths: set = set()
+        self._n_tmps = 0
 
     def fail(self, node: ast.AST, message: str) -> FrontendError:
         line = getattr(node, "lineno", "?")
-        return FrontendError(f"{self.filename}:{line}: {message}")
+        col = getattr(node, "col_offset", "?")
+        return FrontendError(f"{self.filename}:{line}:{col}: {message}")
+
+    def _fresh_tmp(self) -> str:
+        self._n_tmps += 1
+        name = f"__pt{self._n_tmps}"
+        self.scalars.add(name)
+        return name
 
     # -- expressions ---------------------------------------------------------
     def expr(self, node: ast.expr) -> ir.Expr:
@@ -100,13 +121,21 @@ class _Lifter:
                 return ir.UnaryOp("not", self.expr(node.operand))
             raise self.fail(node, "unsupported unary operator")
         if isinstance(node, ast.Compare):
-            if len(node.ops) != 1:
-                raise self.fail(node, "chained comparisons not supported")
-            op = _CMPOPS.get(type(node.ops[0]))
-            if op is None:
-                raise self.fail(node, "unsupported comparison")
-            return ir.BinOp(op, self.expr(node.left),
-                            self.expr(node.comparators[0]))
+            # A chained comparison ``a < b <= c`` desugars to
+            # ``a < b and b <= c``; duplicating ``b`` is sound because
+            # the supported expression subset is pure.
+            out: Optional[ir.Expr] = None
+            left = self.expr(node.left)
+            for cmp_op, comparator in zip(node.ops, node.comparators):
+                op = _CMPOPS.get(type(cmp_op))
+                if op is None:
+                    raise self.fail(node, "unsupported comparison")
+                right = self.expr(comparator)
+                pair = ir.BinOp(op, left, right)
+                out = pair if out is None else ir.BinOp("and", out, pair)
+                left = right
+            assert out is not None  # ast.Compare has >= 1 op
+            return out
         if isinstance(node, ast.BoolOp):
             op = "and" if isinstance(node.op, ast.And) else "or"
             out = self.expr(node.values[0])
@@ -150,6 +179,18 @@ class _Lifter:
         if not isinstance(node.func, ast.Name):
             raise self.fail(node, "unsupported callee")
         name = node.func.id
+        if name == "len" and len(node.args) == 1 \
+                and isinstance(node.args[0], ast.Name):
+            # ``len(A)``: runtime bound; model as a scalar read of the
+            # conventional name "<A>__len" (argbind / `repro run` bind
+            # it automatically from the live object).
+            base = node.args[0].id
+            self.arrays.add(base)
+            self.scalars.discard(base)
+            self.lengths.add(base)
+            length = f"{base}__len"
+            self.scalars.add(length)
+            return ir.Var(length)
         args = [self.expr(a) for a in node.args]
         if name == "abs" and len(args) == 1:
             return ir.UnaryOp("abs", args[0])
@@ -165,6 +206,9 @@ class _Lifter:
         if isinstance(node, ast.Assign):
             if len(node.targets) != 1:
                 raise self.fail(node, "multiple targets not supported")
+            if isinstance(node.targets[0], ast.Tuple):
+                return self._tuple_assign(node.targets[0], node.value,
+                                          node)
             return [self._assign(node.targets[0], node.value, node)]
         if isinstance(node, ast.AnnAssign):
             if node.value is None:
@@ -217,6 +261,30 @@ class _Lifter:
                                   self.expr(target.slice), rhs)
         raise self.fail(node, "unsupported assignment target")
 
+    def _tuple_assign(self, target: ast.Tuple, value: ast.expr,
+                      node: ast.stmt) -> List[ir.Stmt]:
+        """Desugar ``a, b = b, a + b`` through fresh temporaries.
+
+        Python evaluates the whole right-hand tuple before assigning
+        left to right; materializing every component into a reserved
+        ``__pt<k>`` scalar reproduces that order (the temporaries are
+        ordinary privatizable scalars to the analysis).
+        """
+        if not (isinstance(value, ast.Tuple)
+                and len(value.elts) == len(target.elts)):
+            raise self.fail(node, "tuple assignment needs a matching "
+                                  "tuple of expressions on the right")
+        out: List[ir.Stmt] = []
+        temps: List[str] = []
+        for elt in value.elts:
+            tmp = self._fresh_tmp()
+            temps.append(tmp)
+            out.append(ir.Assign(tmp, self.expr(elt)))
+        for tgt, tmp in zip(target.elts, temps):
+            out.append(self._assign(tgt, ast.Name(id=tmp, ctx=ast.Load()),
+                                    node))
+        return out
+
     def _for(self, node: ast.For) -> ir.Stmt:
         if node.orelse:
             raise self.fail(node, "for-else not supported")
@@ -247,7 +315,14 @@ class _Lifter:
 def lift_source(source: str, *, name: str = "lifted",
                 filename: str = "<string>") -> LiftedLoop:
     """Lift a source fragment containing assignments + one while loop."""
-    tree = ast.parse(textwrap.dedent(source), filename=filename)
+    try:
+        tree = ast.parse(textwrap.dedent(source), filename=filename)
+    except SyntaxError as exc:
+        # Totality contract: the frontend either lifts or raises a
+        # located FrontendError — a raw SyntaxError never escapes.
+        raise FrontendError(
+            f"{filename}:{exc.lineno or '?'}:{exc.offset or '?'}: "
+            f"invalid Python syntax: {exc.msg}") from exc
     body = tree.body
     if len(body) == 1 and isinstance(body[0], (ast.FunctionDef,
                                                ast.AsyncFunctionDef)):
@@ -256,6 +331,7 @@ def lift_source(source: str, *, name: str = "lifted",
     lifter = _Lifter(filename)
     init: List[ir.Stmt] = []
     loop_node: Optional[ast.While] = None
+    result: Optional[str] = None
     for s in body:
         if isinstance(s, ast.While):
             if loop_node is not None:
@@ -265,11 +341,19 @@ def lift_source(source: str, *, name: str = "lifted",
             if isinstance(s, ast.Expr) and isinstance(s.value, ast.Constant):
                 continue  # docstring
             if isinstance(s, ast.Return):
-                continue
+                continue  # unreachable-before-the-loop; ignore
             init.extend(lifter.stmt(s))
         else:
             if isinstance(s, ast.Return):
-                continue
+                if s.value is None or (isinstance(s.value, ast.Constant)
+                                       and s.value.value is None):
+                    continue
+                if isinstance(s.value, ast.Name):
+                    result = s.value.id
+                    lifter.scalars.add(result)
+                    continue
+                raise lifter.fail(s, "only `return <name>` is supported "
+                                     "after the loop")
             raise lifter.fail(s, "statements after the while loop are "
                                  "not supported")
     if loop_node is None:
@@ -286,14 +370,42 @@ def lift_source(source: str, *, name: str = "lifted",
         lists=tuple(sorted(lifter.lists)),
         scalars=tuple(sorted(scalars)),
         intrinsics=tuple(sorted(lifter.intrinsics)),
+        lengths=tuple(sorted(lifter.lengths)),
+        result=result,
     )
 
 
+def _strip_decorators(source: str) -> str:
+    """Drop decorator lines preceding the ``def``.
+
+    ``inspect.getsource`` includes ``@decorator`` lines, and a
+    multi-line decorator whose continuation lines are indented less
+    than the ``def`` (legal inside parentheses) defeats
+    ``textwrap.dedent`` — ``ast.parse`` then dies with an
+    ``IndentationError`` instead of the loop being lifted.  The
+    decorator expression carries no loop semantics, so it is stripped
+    textually before parsing.
+    """
+    lines = source.splitlines(keepends=True)
+    for idx, line in enumerate(lines):
+        stripped = line.lstrip()
+        if stripped.startswith("def ") or stripped.startswith("async def "):
+            return "".join(lines[idx:])
+    return source
+
+
 def lift_function(fn) -> LiftedLoop:
-    """Lift a Python function's while loop (via ``inspect.getsource``)."""
+    """Lift a Python function's while loop (via ``inspect.getsource``).
+
+    Works on already-decorated functions: ``functools.wraps``-style
+    wrappers are unwrapped via ``__wrapped__``, and any ``@decorator``
+    lines in the retrieved source are stripped before parsing.
+    """
+    fn = inspect.unwrap(fn)
     try:
         source = inspect.getsource(fn)
     except (OSError, TypeError) as exc:
         raise FrontendError(f"cannot read source of {fn!r}: {exc}") from exc
-    return lift_source(source, name=getattr(fn, "__name__", "lifted"),
+    return lift_source(_strip_decorators(source),
+                       name=getattr(fn, "__name__", "lifted"),
                        filename=inspect.getsourcefile(fn) or "<string>")

@@ -23,7 +23,13 @@ each cell once; this package makes the claim *generative*:
   (``tests/corpus/*.json``): every previously-found failure replays
   deterministically in tier-1 forever after;
 * :mod:`repro.fuzz.campaign` — the budgeted campaign driver behind
-  ``repro fuzz --budget N --seed S``.
+  ``repro fuzz --budget N --seed S``;
+* :mod:`repro.fuzz.pysource` — the third fuzzer cell: random *Python
+  source* in the frontend subset, differentially checked against a
+  bounded ``exec`` of the very same source across the lift, every sim
+  scheme, every real backend, and the kernel tier (``repro fuzz
+  --frontend``), with source-level shrinking and its own corpus under
+  ``tests/corpus/pysource/``.
 
 See ``docs/testing.md`` for the test-tier map and the triage workflow.
 """
@@ -40,6 +46,18 @@ from repro.fuzz.corpus import (
 )
 from repro.fuzz.generator import CELLS, GeneratedProgram, generate_program
 from repro.fuzz.oracle import Discrepancy, OracleVerdict, check_program
+from repro.fuzz.pysource import (
+    SHAPES,
+    PySourceProgram,
+    SourceCorpusEntry,
+    check_source_program,
+    generate_source_program,
+    load_source_corpus,
+    replay_source_entry,
+    run_frontend_campaign,
+    save_source_entry,
+    shrink_source,
+)
 from repro.fuzz.shrink import ShrinkResult, render_repro_script, shrink_program
 
 __all__ = [
@@ -49,4 +67,8 @@ __all__ = [
     "CorpusEntry", "entry_to_obj", "entry_from_obj",
     "entry_from_program", "save_entry", "load_corpus", "replay_entry",
     "FuzzConfig", "FuzzReport", "run_campaign",
+    "SHAPES", "PySourceProgram", "generate_source_program",
+    "check_source_program", "shrink_source", "SourceCorpusEntry",
+    "save_source_entry", "load_source_corpus", "replay_source_entry",
+    "run_frontend_campaign",
 ]

@@ -1,0 +1,1101 @@
+"""Source-level differential fuzzing of the Python frontend.
+
+The third fuzzer cell.  Where :mod:`repro.fuzz.generator` draws random
+IR, this module draws random *Python source* — real ``while`` loops in
+the frontend's supported subset — and differentially checks the whole
+``@parallelize`` path against the one oracle that cannot be wrong about
+Python semantics: ``exec`` of the very same source.
+
+For every draw:
+
+1. the source is lifted (:func:`~repro.frontend.pyfront.lift_source`);
+   a :class:`~repro.errors.FrontendError` on a generated in-subset
+   program is itself a finding;
+2. a bounded ``exec`` of the source against fresh bindings establishes
+   ground truth (a step budget makes a non-terminating edit impossible
+   to smuggle in — see :func:`bounded_exec`);
+3. the lifted IR's sequential interpretation must reproduce the
+   ``exec`` store exactly (*frontend fidelity* — the lift itself under
+   test);
+4. every applicable sim scheme
+   (:func:`~repro.testing.check_equivalence`), the planner-chosen
+   scheme on each requested real backend
+   (:func:`~repro.api.parallelize`), and the vectorized kernel tier
+   must all agree with that same ground truth.
+
+Failing draws are shrunk *at the source level* (statement deletion and
+integer-constant reduction via ``ast``, re-validated by a bounded
+ground-truth run) and frozen as JSON entries — storing the Python
+source text itself — under ``tests/corpus/pysource/``, which tier-1
+replays deterministically forever after.
+
+Shapes cover the frontend features PR 10 added on top of the classic
+taxonomy: ``while True`` + ``break``, chained comparisons, ``len()``
+bounds, tuple-assignment swaps, accumulator reductions, linked-list
+chases, RV sentinel scans, affine dispatchers, and float stencils.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import random
+import sys
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.dependence import Verdict
+from repro.errors import (
+    FrontendError,
+    KernelFallback,
+    RealBackendError,
+    ReproError,
+)
+from repro.executors.sequential import ensure_info
+from repro.ir.functions import FunctionTable
+from repro.ir.interp import SequentialInterp
+from repro.ir.serialize import store_from_obj, store_to_obj
+from repro.ir.store import Store
+from repro.kernels import run_kernel
+from repro.obs import names as _ev
+from repro.obs.tracer import get_tracer
+from repro.runtime.costs import FREE
+from repro.runtime.machine import Machine
+from repro.structures.linkedlist import build_chain
+
+from repro.fuzz.campaign import _SEED_STRIDE, Finding, FuzzConfig, FuzzReport
+from repro.fuzz.oracle import Discrepancy, OracleVerdict
+
+__all__ = [
+    "SHAPES", "PySourceProgram", "generate_source_program",
+    "bounded_exec", "check_source_program",
+    "SourceShrinkResult", "shrink_source",
+    "SourceCorpusEntry", "source_entry_to_obj", "source_entry_from_obj",
+    "save_source_entry", "load_source_corpus", "replay_source_entry",
+    "render_source_repro", "run_frontend_campaign",
+    "DEFAULT_SOURCE_CORPUS",
+]
+
+#: Default pysource corpus location, relative to the repository root.
+DEFAULT_SOURCE_CORPUS = Path("tests") / "corpus" / "pysource"
+
+#: Sentinel planted for RV (data-dependent) exits; generated write
+#: values are non-negative, so the loop can never fabricate it.
+SENTINEL = -7
+
+#: Execution-step budget multiplier for :func:`bounded_exec`; each
+#: generated iteration costs a handful of traced line events.
+_STEPS_PER_ITER = 32
+
+#: Builtins exposed to ``exec`` ground truth — exactly the intrinsics
+#: the frontend subset knows about, nothing else.
+_EXEC_BUILTINS = {"abs": abs, "min": min, "max": max, "len": len,
+                  "range": range, "True": True, "False": False}
+
+
+@dataclass(frozen=True)
+class PySourceProgram:
+    """One synthesized Python-source program with its bindings.
+
+    Attributes
+    ----------
+    source:
+        A bare statement fragment (init assignments + one ``while``
+        loop) in the frontend subset; both ``lift_source`` and ``exec``
+        consume it verbatim.
+    store_obj:
+        JSON-safe initial bindings (:func:`repro.ir.serialize
+        .store_to_obj` format) — materialized fresh for every run, on
+        both sides of the differential.
+    cell:
+        Shape label ``"pysource/<shape>"`` (one of :data:`SHAPES`,
+        prefixed).
+    shape:
+        Generator shape plus active mutators (diagnostic label).
+    u:
+        A sound upper bound on the exit iteration, forwarded to every
+        scheme.
+    seed:
+        The draw's seed, for exact regeneration.
+    n_iters:
+        Sequential iteration count established at generation time.
+    """
+
+    source: str
+    store_obj: Dict
+    cell: str
+    shape: str
+    u: int
+    seed: int
+    n_iters: int = 0
+    #: kept for :class:`~repro.fuzz.campaign.FuzzReport` compatibility —
+    #: the source generator only emits clean (non-raising) programs.
+    raises: Optional[str] = None
+    poisoned: bool = False
+
+    def make_store(self) -> Store:
+        """Materialize fresh bindings as a :class:`Store`."""
+        return store_from_obj(self.store_obj)
+
+    def make_namespace(self) -> Dict:
+        """Materialize fresh bindings as an ``exec`` namespace."""
+        store = self.make_store()
+        return {name: store[name] for name in store.names()}
+
+
+# -- bounded exec ground truth ---------------------------------------------
+
+class StepBudgetExceeded(RuntimeError):
+    """A :func:`bounded_exec` run outlived its step budget."""
+
+
+def bounded_exec(source: str, namespace: Dict, *,
+                 max_steps: int = 100_000,
+                 filename: str = "<pysource>") -> None:
+    """``exec`` one source fragment under a hard line-event budget.
+
+    Ground truth must never hang the fuzzer: a shrinking edit (or a
+    generator bug) that produces a non-terminating loop trips
+    :class:`StepBudgetExceeded` after ``max_steps`` traced line events
+    instead of spinning forever.  The budget only meters the frame the
+    ``exec`` creates; the caller's frame runs untraced.
+    """
+    code = compile(source, filename, "exec")
+    steps = 0
+
+    def tracer(frame, event, arg):
+        nonlocal steps
+        if event == "line":
+            steps += 1
+            if steps > max_steps:
+                raise StepBudgetExceeded(
+                    f"exec of {filename} exceeded {max_steps} steps")
+        return tracer
+
+    old = sys.gettrace()
+    sys.settrace(tracer)
+    try:
+        exec(code, {"__builtins__": dict(_EXEC_BUILTINS)}, namespace)
+    finally:
+        sys.settrace(old)
+
+
+# -- shape builders ---------------------------------------------------------
+
+@dataclass
+class _SrcDraft:
+    """Mutable scaffolding a shape builder fills in."""
+
+    lines: List[str] = field(default_factory=list)
+    store: Dict = field(default_factory=dict)   # name -> python value
+    u: int = 0
+    shape: str = ""
+
+
+def _int_array(rng: random.Random, n: int, lo: int = 0,
+               hi: int = 40) -> np.ndarray:
+    return np.asarray([rng.randint(lo, hi) for _ in range(n)],
+                      dtype=np.int64)
+
+
+def _shape_counter(rng: random.Random) -> _SrcDraft:
+    """Monotonic counter scan with an elementwise write (DOALL row)."""
+    n = rng.randint(6, 20)
+    s = rng.choice((1, 1, 2))
+    k, c = rng.randint(1, 5), rng.randint(0, 9)
+    d = _SrcDraft(shape="counter", u=-(-n // s) + 1)
+    d.lines = ["i = 0",
+               f"while i < {n}:"]
+    if rng.random() < 0.3:
+        d.lines += [f"    t = A[i] * {k} + {c}",
+                    "    A[i] = t"]
+        d.store["t"] = 0
+        d.shape += "+temp"
+    elif rng.random() < 0.3:
+        d.lines += ["    if A[i] % 2 == 0:",
+                    f"        A[i] = A[i] * {k} + {c}",
+                    "    else:",
+                    f"        A[i] = A[i] + {c}"]
+        d.shape += "+cond"
+    else:
+        d.lines += [f"    A[i] = A[i] * {k} + {c}"]
+    d.lines += [f"    i = i + {s}"]
+    d.store["i"] = 0
+    d.store["A"] = _int_array(rng, n + 2)
+    return d
+
+
+def _shape_while_true(rng: random.Random) -> _SrcDraft:
+    """``while True`` with a ``break`` threshold (RV exit)."""
+    n = rng.randint(5, 18)
+    c = rng.randint(1, 9)
+    d = _SrcDraft(shape="while_true", u=n + 2)
+    d.lines = ["i = 0",
+               "while True:",
+               f"    if i >= {n}:",
+               "        break",
+               f"    A[i] = A[i] + {c}",
+               "    i = i + 1"]
+    d.store["i"] = 0
+    d.store["A"] = _int_array(rng, n + 2)
+    return d
+
+
+def _shape_chained(rng: random.Random) -> _SrcDraft:
+    """Chained-comparison bound ``0 <= i < n``."""
+    n = rng.randint(6, 20)
+    s = rng.choice((1, 2))
+    k, c = rng.randint(1, 4), rng.randint(0, 9)
+    d = _SrcDraft(shape="chained", u=-(-n // s) + 1)
+    d.lines = ["i = 0",
+               f"while 0 <= i < {n}:",
+               f"    A[i] = i * {k} + {c}",
+               f"    i = i + {s}"]
+    d.store["i"] = 0
+    d.store["A"] = _int_array(rng, n + 2)
+    return d
+
+
+def _shape_len_bound(rng: random.Random) -> _SrcDraft:
+    """``len(A)`` as the loop bound (runtime-bound synthetic scalar)."""
+    n = rng.randint(6, 20)
+    s = rng.choice((1, 2))
+    k = rng.randint(1, 5)
+    d = _SrcDraft(shape="len_bound", u=-(-n // s) + 1)
+    d.lines = ["i = 0",
+               "while i < len(A):",
+               f"    A[i] = A[i] + i * {k}",
+               f"    i = i + {s}"]
+    d.store["i"] = 0
+    d.store["A"] = _int_array(rng, n)
+    return d
+
+
+def _shape_tuple_swap(rng: random.Random) -> _SrcDraft:
+    """Fibonacci-style tuple swap feeding an elementwise write."""
+    n = rng.randint(5, 16)
+    m = rng.randint(10, 99)
+    d = _SrcDraft(shape="tuple_swap", u=n + 1)
+    d.lines = [f"a = {rng.randint(0, 3)}",
+               f"b = {rng.randint(1, 3)}",
+               "i = 0",
+               f"while i < {n}:",
+               f"    A[i] = b % {m}",
+               "    a, b = b, a + b",
+               "    i = i + 1"]
+    d.store["a"] = 0
+    d.store["b"] = 0
+    d.store["i"] = 0
+    d.store["A"] = _int_array(rng, n + 1)
+    return d
+
+
+def _shape_assoc(rng: random.Random) -> _SrcDraft:
+    """Affine dispatcher ``r = a*r + b`` (associative-recurrence row)."""
+    a = rng.choice((2, 3))
+    b = rng.randint(1, 4)
+    r0 = rng.randint(1, 5)
+    limit = rng.choice((10_000, 100_000))
+    m = rng.randint(8, 16)
+    w = rng.randint(10, 60)
+    # r grows at least geometrically, so iterations <= log_a(limit).
+    d = _SrcDraft(shape="assoc", u=40)
+    d.lines = [f"r = {r0}",
+               f"while r < {limit}:",
+               f"    A[r % {m}] = r % {w}",
+               f"    r = r * {a} + {b}"]
+    d.store["r"] = r0
+    d.store["A"] = _int_array(rng, m)
+    return d
+
+
+def _shape_list_chase(rng: random.Random) -> _SrcDraft:
+    """Linked-list pointer chase (general-recurrence row)."""
+    n = rng.randint(5, 16)
+    k, c = rng.randint(1, 5), rng.randint(0, 9)
+    lst = build_chain(n, scramble=True,
+                      rng=np.random.default_rng(rng.randrange(2**31)))
+    d = _SrcDraft(shape="list_chase", u=n + 1)
+    d.lines = ["p = lst.head",
+               "while p != -1:",
+               f"    out[p] = p * {k} + {c}",
+               "    p = lst.successor(p)"]
+    d.store["p"] = 0
+    d.store["lst"] = lst
+    d.store["out"] = np.zeros(n, dtype=np.int64)
+    return d
+
+
+def _shape_sentinel(rng: random.Random) -> _SrcDraft:
+    """RV sentinel scan over a read-only array."""
+    q = rng.randint(4, 14)
+    margin = 8
+    c = rng.randint(1, 9)
+    B = _int_array(rng, q + margin)
+    B[q] = SENTINEL
+    d = _SrcDraft(shape="sentinel", u=q + 2)
+    d.lines = ["i = 0",
+               f"while B[i] != {SENTINEL}:",
+               f"    A[i] = B[i] + {c}",
+               "    i = i + 1"]
+    d.store["i"] = 0
+    d.store["B"] = B
+    d.store["A"] = np.zeros(q + margin, dtype=np.int64)
+    return d
+
+
+def _shape_sum_reduce(rng: random.Random) -> _SrcDraft:
+    """Accumulator reduction (dependent remainder → sequential demotion
+    on real backends — exactly the planner path PR 10 added)."""
+    n = rng.randint(5, 18)
+    d = _SrcDraft(shape="sum_reduce", u=n + 1)
+    d.lines = ["i = 0",
+               f"s = {rng.randint(0, 5)}",
+               f"while i < {n}:",
+               "    s = s + A[i]",
+               "    i = i + 1"]
+    d.store["i"] = 0
+    d.store["s"] = 0
+    d.store["A"] = _int_array(rng, n + 1)
+    return d
+
+
+def _shape_stencil(rng: random.Random) -> _SrcDraft:
+    """Float Jacobi-style stencil: per-slot deterministic, so bit-exact
+    across every scheme (no reduction reassociation)."""
+    n = rng.randint(6, 18)
+    d = _SrcDraft(shape="stencil", u=n + 1)
+    d.lines = ["i = 1",
+               f"while i < {n}:",
+               "    B[i] = 0.5 * (A[i - 1] + A[i + 1])",
+               "    i = i + 1"]
+    rs = np.random.default_rng(rng.randrange(2**31))
+    d.store["i"] = 1
+    d.store["A"] = rs.uniform(-4.0, 4.0, size=n + 2)
+    d.store["B"] = np.zeros(n + 2, dtype=np.float64)
+    return d
+
+
+_SHAPE_BUILDERS: Tuple[Callable[[random.Random], _SrcDraft], ...] = (
+    _shape_counter, _shape_while_true, _shape_chained, _shape_len_bound,
+    _shape_tuple_swap, _shape_assoc, _shape_list_chase, _shape_sentinel,
+    _shape_sum_reduce, _shape_stencil,
+)
+
+#: The source-shape cells this generator covers.
+SHAPES: Tuple[str, ...] = tuple(
+    b.__name__.replace("_shape_", "") for b in _SHAPE_BUILDERS)
+
+
+def generate_source_program(seed: int) -> PySourceProgram:
+    """Draw one Python-source program (deterministic in ``seed``).
+
+    The draw is validated by one bounded ``exec`` ground-truth run at
+    generation time, mirroring the IR generator's contract: every
+    emitted program terminates within its declared bound.
+    """
+    rng = random.Random(seed)
+    draft = _SHAPE_BUILDERS[rng.randrange(len(_SHAPE_BUILDERS))](rng)
+    source = "\n".join(draft.lines) + "\n"
+    store = Store()
+    for name, value in draft.store.items():
+        store[name] = value
+    store_obj = store_to_obj(store)
+
+    prog = PySourceProgram(
+        source=source, store_obj=store_obj,
+        cell=f"pysource/{draft.shape.split('+')[0]}",
+        shape=draft.shape, u=draft.u, seed=seed)
+    # generation-time ground truth: terminates, and count iterations
+    ns = prog.make_namespace()
+    bounded_exec(source, ns, max_steps=_STEPS_PER_ITER * (draft.u + 64))
+    n_iters = _count_iters(prog)
+    return replace(prog, n_iters=n_iters)
+
+
+def _count_iters(prog: PySourceProgram) -> int:
+    """Sequential iteration count (via the lifted IR when liftable)."""
+    from repro.frontend.pyfront import lift_source
+    try:
+        lifted = lift_source(prog.source)
+        store = _bind_store(prog, lifted)
+        res = SequentialInterp(lifted.loop, FunctionTable(), FREE).run(
+            store, max_iters=prog.u + 64)
+        return res.n_iters
+    except Exception:
+        return 0
+
+
+# -- the exec-differential oracle -------------------------------------------
+
+def _bind_store(prog: PySourceProgram, lifted) -> Store:
+    """Fresh bindings plus the frontend's synthetic scalars.
+
+    Mirrors what :mod:`repro.frontend.argbind` does for the decorator:
+    ``<A>__len`` from the live array, ``<lst>__head`` from the live
+    list, and a zero default for loop-created scalars.
+    """
+    store = prog.make_store()
+    present = set(store.names())
+    for arr in lifted.lengths:
+        name = f"{arr}__len"
+        if name not in present:
+            store[name] = int(len(store[arr]))
+            present.add(name)
+    for lst in lifted.lists:
+        name = f"{lst}__head"
+        if name not in present:
+            store[name] = int(store[lst].head)
+            present.add(name)
+    for scalar in lifted.scalars:
+        if scalar not in present:
+            store[scalar] = 0
+            present.add(scalar)
+    return store
+
+
+def _diff_vs_exec(namespace: Dict, store: Store,
+                  store_obj: Dict) -> Optional[str]:
+    """Compare a pipeline-final store against the exec ground truth.
+
+    Only the program's own bindings are compared — the frontend's
+    synthetic scalars (``__len`` / ``__head`` / ``__pt*`` temporaries)
+    have no ``exec``-side counterpart by construction.
+    """
+    problems: List[str] = []
+    for name, spec in store_obj.items():
+        if spec["k"] == "list":
+            continue   # linked lists are read-only in the subset
+        want = namespace.get(name)
+        got = store[name]
+        if spec["k"] == "array":
+            want_a = np.asarray(want)
+            if want_a.shape != got.shape or not np.array_equal(
+                    want_a, got):
+                problems.append(f"{name}: exec={want_a!r} != {got!r}")
+        else:
+            same = type(want)(got) == want if want is not None else False
+            if not same:
+                problems.append(f"{name}: exec={want!r} != {got!r}")
+    return "; ".join(problems) or None
+
+
+def _flag(verdict: OracleVerdict, prog: PySourceProgram, kind: str,
+          backend: str, scheme: str, detail: str) -> None:
+    verdict.discrepancies.append(Discrepancy(
+        kind, backend, scheme, detail, prog.seed, prog.cell))
+
+
+def check_source_program(
+    prog: PySourceProgram,
+    *,
+    backends: Sequence[str] = ("sim",),
+    workers: int = 2,
+    kernels: bool = True,
+    **_ignored,
+) -> OracleVerdict:
+    """Differentially test one source program against ``exec``.
+
+    Cells, in order (see the module docstring): lift, bounded-exec
+    ground truth, lifted-IR sequential fidelity, the full sim scheme
+    matrix, the planner-chosen scheme per real backend, and the kernel
+    tier.  Fault injection has no frontend-specific surface, so — unlike
+    :func:`repro.fuzz.oracle.check_program` — this oracle takes no
+    fault plan (extra keywords are accepted and ignored so the two
+    oracles stay call-compatible for the campaign driver).
+    """
+    from repro.api import parallelize
+    from repro.frontend.pyfront import lift_source
+    from repro.testing import check_equivalence
+
+    funcs = FunctionTable()
+    verdict = OracleVerdict(program=prog)
+
+    # 1. lift — a FrontendError on a generated in-subset program is a
+    # frontend bug, the very thing this fuzzer hunts
+    verdict.checks += 1
+    try:
+        lifted = lift_source(prog.source)
+    except FrontendError as exc:
+        _flag(verdict, prog, "scheme-error", "frontend", "lift", str(exc))
+        return verdict
+    except Exception as exc:   # totality violation: raw SyntaxError etc.
+        _flag(verdict, prog, "unexpected-exception", "frontend", "lift",
+              f"{type(exc).__name__}: {exc}")
+        return verdict
+
+    # 2. exec ground truth
+    truth_ns = prog.make_namespace()
+    try:
+        bounded_exec(prog.source, truth_ns,
+                     max_steps=_STEPS_PER_ITER * (prog.u + 64))
+    except Exception as exc:
+        _flag(verdict, prog, "unexpected-exception", "exec", "exec",
+              f"ground-truth exec raised {type(exc).__name__}: {exc}")
+        return verdict
+
+    # 3. lifted-IR sequential fidelity — the lift itself under test
+    seq_store = _bind_store(prog, lifted)
+    verdict.checks += 1
+    try:
+        seq_res = SequentialInterp(lifted.loop, funcs, FREE).run(
+            seq_store, max_iters=prog.u + 64)
+    except Exception as exc:
+        _flag(verdict, prog, "unexpected-exception", "frontend",
+              "lifted-seq", f"{type(exc).__name__}: {exc}")
+        return verdict
+    detail = _diff_vs_exec(truth_ns, seq_store, prog.store_obj)
+    if detail is not None:
+        _flag(verdict, prog, "store-mismatch", "frontend", "lifted-seq",
+              detail)
+        return verdict   # downstream cells would re-report the same lie
+    seq_iters = seq_res.n_iters
+
+    # A provably-dependent remainder (accumulators, tuple-swap
+    # recurrences) makes the all-scheme sim fan-out unsound — running
+    # Induction-2 on it *must* corrupt the store; only the planner's
+    # choice (DOACROSS on sim, sequential demotion on real backends)
+    # carries the paper's equivalence claim there.
+    try:
+        dependent = (ensure_info(lifted.loop, funcs)
+                     .dependence.verdict is Verdict.DEPENDENT)
+    except ReproError:
+        dependent = False
+
+    for backend in backends:
+        if backend == "sim" and dependent:
+            store = _bind_store(prog, lifted)
+            scheme = "plan"
+            verdict.checks += 1
+            try:
+                out = parallelize(
+                    lifted.loop, store, Machine(max(2, workers), FREE),
+                    funcs, verify=False, u=prog.u, min_speedup=0.0,
+                    backend="sim")
+                scheme = out.plan.scheme
+            except ReproError as exc:
+                _flag(verdict, prog, "scheme-error", "sim", scheme,
+                      f"{type(exc).__name__}: {exc}")
+                continue
+            except Exception as exc:
+                _flag(verdict, prog, "unexpected-exception", "sim",
+                      scheme, f"{type(exc).__name__}: {exc}")
+                continue
+            detail = _diff_vs_exec(truth_ns, store, prog.store_obj)
+            if detail is not None:
+                _flag(verdict, prog, "store-mismatch", "sim", scheme,
+                      detail)
+            if out.result.n_iters != seq_iters:
+                _flag(verdict, prog, "iters-mismatch", "sim", scheme,
+                      f"lvi={out.result.n_iters} != seq={seq_iters}")
+        elif backend == "sim":
+            report = check_equivalence(
+                lifted.loop, lambda: _bind_store(prog, lifted),
+                funcs=funcs, u=prog.u)
+            for c in report.checks:
+                if not c.applicable:
+                    continue
+                verdict.checks += 1
+                if c.error is not None:
+                    _flag(verdict, prog, "scheme-error", "sim", c.scheme,
+                          c.error)
+                    continue
+                if not c.store_matches:
+                    _flag(verdict, prog, "store-mismatch", "sim",
+                          c.scheme, "final store diverges from the "
+                          "lifted sequential reference")
+                if c.n_iters is not None and c.n_iters != seq_iters:
+                    _flag(verdict, prog, "iters-mismatch", "sim",
+                          c.scheme, f"lvi={c.n_iters} != seq={seq_iters}")
+        elif backend in ("threads", "procs", "pool"):
+            store = _bind_store(prog, lifted)
+            scheme = "plan"
+            verdict.checks += 1
+            try:
+                out = parallelize(
+                    lifted.loop, store, Machine(max(2, workers), FREE),
+                    funcs, verify=False, u=prog.u, min_speedup=0.0,
+                    backend=backend, workers=workers, kernels="off")
+                scheme = out.plan.scheme
+            except RealBackendError as exc:
+                _flag(verdict, prog, "fault-escape", backend, scheme,
+                      f"{type(exc).__name__}: {exc}")
+                continue
+            except ReproError as exc:
+                _flag(verdict, prog, "scheme-error", backend, scheme,
+                      f"{type(exc).__name__}: {exc}")
+                continue
+            except Exception as exc:
+                _flag(verdict, prog, "unexpected-exception", backend,
+                      scheme, f"{type(exc).__name__}: {exc}")
+                continue
+            detail = _diff_vs_exec(truth_ns, store, prog.store_obj)
+            if detail is not None:
+                _flag(verdict, prog, "store-mismatch", backend, scheme,
+                      detail)
+            if out.result.n_iters != seq_iters:
+                _flag(verdict, prog, "iters-mismatch", backend, scheme,
+                      f"lvi={out.result.n_iters} != seq={seq_iters}")
+        else:
+            raise ValueError(f"unknown backend {backend!r}")
+
+    if kernels:
+        _check_kernel_cell(prog, lifted, truth_ns, seq_iters, funcs,
+                           verdict, workers=workers)
+    return verdict
+
+
+def _check_kernel_cell(prog: PySourceProgram, lifted, truth_ns: Dict,
+                       seq_iters: int, funcs: FunctionTable,
+                       verdict: OracleVerdict, *, workers: int) -> None:
+    """The vectorized kernel tier as its own differential cell."""
+    try:
+        info = ensure_info(lifted.loop, funcs)
+    except ReproError as exc:
+        verdict.skipped.append(f"kernel: analysis refused ({exc})")
+        return
+    store = _bind_store(prog, lifted)
+    verdict.checks += 1
+    try:
+        result = run_kernel(info, store, funcs, workers=workers, u=prog.u)
+    except KernelFallback as exc:
+        verdict.checks -= 1
+        verdict.skipped.append(f"kernel: {exc.reason}")
+        return
+    except Exception as exc:
+        _flag(verdict, prog, "unexpected-exception", "kernel", "kernel",
+              f"{type(exc).__name__}: {exc}")
+        return
+    detail = _diff_vs_exec(truth_ns, store, prog.store_obj)
+    if detail is not None:
+        _flag(verdict, prog, "store-mismatch", "kernel", result.scheme,
+              detail)
+    if result.n_iters != seq_iters:
+        _flag(verdict, prog, "iters-mismatch", "kernel", result.scheme,
+              f"lvi={result.n_iters} != seq={seq_iters}")
+
+
+# -- source-level shrinking --------------------------------------------------
+
+@dataclass
+class SourceShrinkResult:
+    """Outcome of one source-level shrink run."""
+
+    program: PySourceProgram         #: the minimized program
+    verdict: OracleVerdict           #: its (still-failing) verdict
+    signature: Tuple[Tuple[str, str], ...]
+    steps: int
+    tried: int
+
+
+def _signature(v: OracleVerdict) -> frozenset:
+    return frozenset((d.kind, d.backend) for d in v.discrepancies)
+
+
+class _ConstShrinker(ast.NodeTransformer):
+    """Replace the ``site``-th eligible integer constant with ``value``."""
+
+    def __init__(self, site: int, value: int) -> None:
+        self.site = site
+        self.value = value
+        self._seen = -1
+
+    def visit_Constant(self, node: ast.Constant):
+        if isinstance(node.value, int) and not isinstance(node.value, bool):
+            self._seen += 1
+            if self._seen == self.site:
+                return ast.copy_location(ast.Constant(self.value), node)
+        return node
+
+
+def _const_sites(tree: ast.Module) -> List[int]:
+    out: List[int] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Constant) and isinstance(node.value, int) \
+                and not isinstance(node.value, bool):
+            out.append(node.value)
+    return out
+
+
+def _source_candidates(source: str) -> List[str]:
+    """Smaller variants of ``source``, biggest cuts first.
+
+    Statement deletions (never the while loop itself), If-flattenings,
+    and integer-constant reductions — all through ``ast`` so every
+    candidate is syntactically valid by construction.
+    """
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        return []
+    out: List[str] = []
+
+    def emit(t: ast.Module) -> None:
+        try:
+            out.append(ast.unparse(ast.fix_missing_locations(t)) + "\n")
+        except Exception:
+            pass
+
+    # top-level deletions (keep the while loop)
+    for i, node in enumerate(tree.body):
+        if isinstance(node, ast.While):
+            continue
+        t = ast.parse(source)
+        del t.body[i]
+        emit(t)
+    # loop-body statement deletions and If-flattenings
+    for i, node in enumerate(tree.body):
+        if not isinstance(node, ast.While):
+            continue
+        for j in range(len(node.body)):
+            if len(node.body) == 1:
+                break
+            t = ast.parse(source)
+            del t.body[i].body[j]
+            emit(t)
+        for j, inner in enumerate(node.body):
+            if isinstance(inner, ast.If) and inner.body:
+                t = ast.parse(source)
+                t.body[i].body[j:j + 1] = ast.parse(source).body[i] \
+                    .body[j].body
+                emit(t)
+    # integer-constant reductions
+    for site, value in enumerate(_const_sites(tree)):
+        if value in (0, 1, -1, SENTINEL):
+            continue
+        targets = {value // 2}
+        if value > 2:
+            targets.add(2)
+        targets.discard(value)
+        for target in sorted(targets):
+            t = _ConstShrinker(site, target).visit(ast.parse(source))
+            emit(t)
+    return out
+
+
+def _revalidate_source(prog: PySourceProgram,
+                       source: str) -> Optional[PySourceProgram]:
+    """Ground-truth a candidate source; None when it breaks the
+    termination contract (budget trip or a new exception)."""
+    cand = replace(prog, source=source)
+    ns = cand.make_namespace()
+    try:
+        bounded_exec(source, ns,
+                     max_steps=_STEPS_PER_ITER * (prog.u + 64))
+    except Exception:
+        return None
+    return cand
+
+
+def shrink_source(
+    prog: PySourceProgram,
+    verdict: OracleVerdict,
+    check: Callable[[PySourceProgram], OracleVerdict],
+    *,
+    max_tries: int = 120,
+) -> SourceShrinkResult:
+    """Greedily minimize a failing source program.
+
+    Same contract as :func:`repro.fuzz.shrink.shrink_program`: an edit
+    is kept only when the same failure signature (a subset of the
+    original ``(kind, backend)`` set) still reproduces, and every
+    candidate is re-validated by a bounded ground-truth run first.
+    """
+    want = _signature(verdict)
+    best, best_verdict = prog, verdict
+    steps = tried = 0
+    progress = True
+    while progress and tried < max_tries:
+        progress = False
+        for source in _source_candidates(best.source):
+            if tried >= max_tries:
+                break
+            cand = _revalidate_source(best, source)
+            if cand is None:
+                continue
+            tried += 1
+            v = check(cand)
+            if v.discrepancies and _signature(v) <= want:
+                best, best_verdict = cand, v
+                steps += 1
+                progress = True
+                break
+    return SourceShrinkResult(program=best, verdict=best_verdict,
+                              signature=tuple(sorted(want)), steps=steps,
+                              tried=tried)
+
+
+# -- the pysource corpus -----------------------------------------------------
+
+@dataclass
+class SourceCorpusEntry:
+    """One persisted source-level regression plus replay configuration.
+
+    Unlike :class:`~repro.fuzz.corpus.CorpusEntry`, the program is
+    stored as the *Python source text itself* — the corpus pins the
+    frontend's behavior on exact source bytes, not just on the IR it
+    happened to produce at find time.
+    """
+
+    name: str                        #: filename stem (kebab-case)
+    source: str                      #: the Python source fragment
+    store_obj: Dict                  #: serialized initial bindings
+    cell: str                        #: "pysource/<shape>" label
+    u: int                           #: iteration upper bound
+    backends: Tuple[str, ...] = ("sim",)
+    workers: int = 2
+    kernels: bool = True
+    note: str = ""                   #: what bug this entry pins
+    found_with: Dict = field(default_factory=dict)
+
+    def program(self) -> PySourceProgram:
+        """Materialize the entry as a replayable program."""
+        return PySourceProgram(
+            source=self.source,
+            store_obj=self.store_obj,
+            cell=self.cell,
+            shape=f"corpus:{self.name}",
+            u=self.u,
+            seed=int(self.found_with.get("seed", -1)),
+            n_iters=int(self.found_with.get("n_iters", 0)),
+        )
+
+
+def source_entry_to_obj(entry: SourceCorpusEntry) -> Dict:
+    """JSON-safe dict (inverse of :func:`source_entry_from_obj`)."""
+    return {
+        "name": entry.name,
+        "source": entry.source,
+        "store": entry.store_obj,
+        "cell": entry.cell,
+        "u": entry.u,
+        "backends": list(entry.backends),
+        "workers": entry.workers,
+        "kernels": entry.kernels,
+        "note": entry.note,
+        "found_with": entry.found_with,
+    }
+
+
+def source_entry_from_obj(obj: Dict) -> SourceCorpusEntry:
+    """Rebuild a pysource corpus entry from its JSON dict."""
+    return SourceCorpusEntry(
+        name=obj["name"],
+        source=obj["source"],
+        store_obj=obj["store"],
+        cell=obj["cell"],
+        u=int(obj["u"]),
+        backends=tuple(obj.get("backends", ("sim",))),
+        workers=int(obj.get("workers", 2)),
+        kernels=bool(obj.get("kernels", True)),
+        note=obj.get("note", ""),
+        found_with=obj.get("found_with", {}),
+    )
+
+
+def save_source_entry(entry: SourceCorpusEntry,
+                      corpus_dir=DEFAULT_SOURCE_CORPUS) -> Path:
+    """Write ``<corpus_dir>/<name>.json``; return the path."""
+    corpus_dir = Path(corpus_dir)
+    corpus_dir.mkdir(parents=True, exist_ok=True)
+    path = corpus_dir / f"{entry.name}.json"
+    path.write_text(json.dumps(source_entry_to_obj(entry), indent=1,
+                               sort_keys=True) + "\n")
+    return path
+
+
+def load_source_corpus(
+        corpus_dir=DEFAULT_SOURCE_CORPUS) -> List[SourceCorpusEntry]:
+    """Load every ``*.json`` entry under ``corpus_dir``, by name."""
+    corpus_dir = Path(corpus_dir)
+    return [source_entry_from_obj(json.loads(p.read_text()))
+            for p in sorted(corpus_dir.glob("*.json"))]
+
+
+def replay_source_entry(entry: SourceCorpusEntry) -> OracleVerdict:
+    """Re-run one pysource entry under its pinned configuration."""
+    return check_source_program(
+        entry.program(),
+        backends=entry.backends,
+        workers=entry.workers,
+        kernels=entry.kernels,
+    )
+
+
+def render_source_repro(entry_obj: Dict) -> str:
+    """A standalone script reproducing one pysource corpus entry."""
+    blob = json.dumps(entry_obj, indent=1, sort_keys=True)
+    return f'''#!/usr/bin/env python
+"""Standalone reproduction for frontend-fuzz finding {entry_obj["name"]!r}.
+
+Run with the repository's ``src/`` on PYTHONPATH:
+
+    PYTHONPATH=src python {entry_obj["name"]}.py
+"""
+import sys
+
+from repro.fuzz.pysource import replay_source_entry, source_entry_from_obj
+
+ENTRY = {blob}
+
+verdict = replay_source_entry(source_entry_from_obj(ENTRY))
+for d in verdict.discrepancies:
+    print(f"{{d.kind}} [{{d.backend}}/{{d.scheme}}]: {{d.detail}}")
+print(f"checks={{verdict.checks}} "
+      f"discrepancies={{len(verdict.discrepancies)}}")
+sys.exit(1 if verdict.discrepancies else 0)
+'''
+
+
+# -- the campaign driver ------------------------------------------------------
+
+class FrontendFuzzReport(FuzzReport):
+    """A campaign report whose summary speaks in source shapes."""
+
+    def summary(self) -> str:
+        lines = [
+            f"frontend-fuzz: {self.programs} source programs "
+            f"(seed={self.config.seed}, budget={self.config.budget}), "
+            f"{self.checks} lift/exec/scheme×backend checks on "
+            f"{'/'.join(self.config.backends)}, "
+            f"{self.real_draws} real-backend draws",
+            f"shapes covered ({len(self.cells)}/{len(SHAPES)}):",
+        ]
+        for cell, n in sorted(self.cells.items()):
+            lines.append(f"  {n:5d}  {cell}")
+        if self.findings:
+            lines.append(f"{len(self.findings)} DISCREPANCIES:")
+            for f in self.findings:
+                lines.append(
+                    f"  seed={f.seed} [{f.cell}] {','.join(f.kinds)}"
+                    f" ({f.shrink_steps} shrink steps)"
+                    + (f" -> {f.corpus_path}" if f.corpus_path else ""))
+                lines.append(f"    {f.detail}")
+        else:
+            lines.append("no discrepancies")
+        return "\n".join(lines)
+
+
+def run_frontend_campaign(
+        config: FuzzConfig,
+        log: Optional[Callable[[str], None]] = None) -> FrontendFuzzReport:
+    """Run one source-level differential campaign.
+
+    The driver mirrors :func:`repro.fuzz.campaign.run_campaign`: seeded
+    draws (reproducible from ``(budget, seed)`` alone), real backends
+    sampled on a logged stride (``max_real``), findings shrunk at the
+    source level and frozen into the pysource corpus plus a standalone
+    repro script.  ``config.faults`` has no frontend surface and is
+    ignored (with a log line, never silently).
+    """
+    say = log or (lambda _msg: None)
+    trc = get_tracer()
+    report = FrontendFuzzReport(config=config)
+    cells: Dict[str, int] = {}
+
+    if config.faults:
+        say("frontend-fuzz: fault injection has no frontend surface; "
+            "ignoring --faults for this campaign")
+
+    real_backends = tuple(b for b in config.backends if b != "sim")
+    sim_on = "sim" in config.backends
+    stride = 1
+    if real_backends and config.budget > config.max_real:
+        stride = -(-config.budget // config.max_real)   # ceil
+        say(f"frontend-fuzz: sampling real backends every {stride} "
+            f"draws (max_real={config.max_real} of "
+            f"budget={config.budget}); lift/exec/sim still check "
+            f"every draw")
+
+    for i in range(config.budget):
+        seed = config.seed * _SEED_STRIDE + i
+        prog = generate_source_program(seed)
+        report.programs += 1
+        cells[prog.cell] = cells.get(prog.cell, 0) + 1
+
+        run_real = bool(real_backends) and i % stride == 0
+        backends: Tuple[str, ...] = ("sim",) if sim_on else ()
+        if run_real:
+            backends += real_backends
+            report.real_draws += 1
+
+        def run_oracle(p, _bk=backends) -> OracleVerdict:
+            return check_source_program(
+                p, backends=_bk, workers=config.workers,
+                kernels=config.kernels)
+
+        verdict = run_oracle(prog)
+        report.checks += verdict.checks
+        trc.count(_ev.M_FUZZ_PROGRAMS)
+        trc.count(_ev.M_FUZZ_CHECKS, verdict.checks)
+        if verdict.ok:
+            continue
+
+        report.findings.append(
+            _handle_source_finding(prog, verdict, run_oracle, config,
+                                   say))
+        trc.count(_ev.M_FUZZ_DISCREPANCIES, len(verdict.discrepancies))
+        for d in verdict.discrepancies:
+            trc.event(_ev.EV_FUZZ_DISCREPANCY, 0, kind=d.kind,
+                      backend=d.backend, scheme=d.scheme, seed=d.seed,
+                      cell=d.cell)
+
+    report.cells = dict(cells)
+    trc.gauge(_ev.M_FUZZ_CELLS, len(cells))
+    return report
+
+
+def _handle_source_finding(prog: PySourceProgram, verdict: OracleVerdict,
+                           run_oracle, config: FuzzConfig,
+                           say) -> Finding:
+    """Shrink, persist, and render one flagged source program."""
+    kinds = tuple(sorted({d.kind for d in verdict.discrepancies}))
+    first = verdict.discrepancies[0]
+    say(f"frontend-fuzz: seed={prog.seed} [{prog.cell}] diverged: "
+        f"{first.kind} on {first.backend}/{first.scheme}")
+
+    shrunk: Optional[SourceShrinkResult] = None
+    if config.shrink:
+        shrunk = shrink_source(prog, verdict, run_oracle,
+                               max_tries=config.shrink_tries)
+        prog, verdict = shrunk.program, shrunk.verdict
+        if shrunk.steps:
+            say(f"frontend-fuzz: seed={prog.seed} shrunk in "
+                f"{shrunk.steps} steps ({shrunk.tried} oracle runs)")
+        get_tracer().count(_ev.M_FUZZ_SHRINK_STEPS, shrunk.steps)
+
+    finding = Finding(seed=prog.seed, cell=prog.cell, shape=prog.shape,
+                      kinds=kinds, detail=first.detail,
+                      shrink_steps=shrunk.steps if shrunk else 0)
+
+    if config.corpus_dir or config.artifacts_dir:
+        entry = SourceCorpusEntry(
+            name=f"pyfuzz-{prog.seed}-{first.kind}",
+            source=prog.source,
+            store_obj=prog.store_obj,
+            cell=prog.cell,
+            u=prog.u,
+            backends=tuple(dict.fromkeys(
+                d.backend for d in verdict.discrepancies
+                if d.backend in ("sim", "threads", "procs", "pool"))
+                or ("sim",)),
+            workers=config.workers,
+            kernels=config.kernels,
+            note=f"auto-found: {first.kind} ({first.detail})",
+            found_with={"seed": prog.seed, "n_iters": prog.n_iters,
+                        "shape": prog.shape, "kinds": list(kinds)})
+        if config.corpus_dir:
+            path = save_source_entry(entry, config.corpus_dir)
+            finding.corpus_path = str(path)
+            get_tracer().count(_ev.M_FUZZ_CORPUS_ENTRIES)
+        if config.artifacts_dir:
+            adir = Path(config.artifacts_dir)
+            adir.mkdir(parents=True, exist_ok=True)
+            apath = adir / f"{entry.name}.py"
+            apath.write_text(render_source_repro(
+                source_entry_to_obj(entry)))
+            finding.artifact_path = str(apath)
+    return finding

@@ -48,6 +48,8 @@ __all__ = [
     "M_FUZZ_PROGRAMS", "M_FUZZ_CHECKS", "M_FUZZ_CELLS",
     "M_FUZZ_DISCREPANCIES", "M_FUZZ_SHRINK_STEPS",
     "M_FUZZ_CORPUS_ENTRIES",
+    "EV_FRONTEND_LIFT", "EV_FRONTEND_FALLBACK",
+    "M_FRONTEND_LIFTS", "M_FRONTEND_CALLS", "M_FRONTEND_FALLBACKS",
     "PHASE_SPAN_PREFIX", "phase_metric", "M_ITER_FAULTS",
     "M_WORKER_OBS_MERGED",
     "EV_COST_TELEMETRY", "M_BENCH_RUNS", "M_BENCH_SP_ERROR",
@@ -254,6 +256,22 @@ M_FUZZ_DISCREPANCIES = "fuzz.discrepancies"
 M_FUZZ_SHRINK_STEPS = "fuzz.shrink_steps"
 #: Counter: corpus entries written by campaigns.
 M_FUZZ_CORPUS_ENTRIES = "fuzz.corpus_entries"
+
+# -- Python-source frontend (@parallelize decorator, PR 10) --------------
+
+#: Instant: a user function was lifted into the IR (attrs: fn, loop,
+#: arrays, lists, intrinsics).
+EV_FRONTEND_LIFT = "frontend.lift"
+#: Instant: the decorator fell back to the original Python function
+#: (attrs: fn, stage = decorate|bind, reason).
+EV_FRONTEND_FALLBACK = "frontend.fallback"
+#: Counter: functions successfully lifted by the decorator.
+M_FRONTEND_LIFTS = "frontend.lifts"
+#: Counter: decorated calls executed through the parallel pipeline.
+M_FRONTEND_CALLS = "frontend.calls"
+#: Counter: decorated calls (or decorations) that fell back to plain
+#: Python.
+M_FRONTEND_FALLBACKS = "frontend.fallbacks"
 
 # -- wall-clock phase profiling (PhaseProfiler, PR 6) --------------------
 

@@ -104,16 +104,40 @@ def plan_loop(
     sample_store: Optional[Store] = None,
     stats: Optional[BranchStats] = None,
     min_speedup: float = 1.2,
+    force_scheme: Optional[str] = None,
+    backend: str = "sim",
 ) -> Plan:
     """Choose a strategy for the loop (see module table).
 
     ``sample_store`` enables the profiling-based cost model; without
     it the planner falls back to structural heuristics only (it still
     refuses provably-dependent remainders).
+
+    ``force_scheme`` pins the scheme instead of letting the cost model
+    decide (the ``@parallelize(scheme=...)`` decorator surface).  The
+    pinned plan keeps the analysis-derived kwargs — notably the
+    speculative privatization set — and the cost model's prediction
+    stays attached for observability.  Unknown scheme names raise
+    :class:`~repro.errors.PlanError`.
+
+    ``backend`` tells the planner where the plan will execute: the
+    DOACROSS pipeline is a virtual-time construct with no real-backend
+    mapping, so a provably-dependent remainder plans *sequential* on
+    ``threads`` / ``procs`` / ``pool`` instead of handing the executor
+    a scheme it must refuse.
     """
     plan = _plan_loop(loop_or_info, machine, funcs,
                       sample_store=sample_store, stats=stats,
                       min_speedup=min_speedup)
+    if plan.scheme == "doacross" and backend != "sim" \
+            and force_scheme is None:
+        plan = Plan("sequential", run_sequential, {}, plan.prediction,
+                    "remainder carries proven cross-iteration "
+                    "dependences and the DOACROSS pipeline is sim-only; "
+                    f"staying sequential on backend {backend!r}",
+                    plan.info)
+    if force_scheme is not None and force_scheme != plan.scheme:
+        plan = _pin_plan(plan, force_scheme)
     trc = get_tracer()
     if trc.enabled:
         attrs = {"scheme": plan.scheme, "rationale": plan.rationale,
@@ -127,6 +151,58 @@ def plan_loop(
             trc.gauge(_ev.M_PLAN_T_IPAR, plan.prediction.t_ipar)
         trc.event(_ev.EV_PLAN_DECISION, 0, **attrs)
     return plan
+
+
+#: Schemes a user may pin via ``force_scheme`` / ``@parallelize(scheme=...)``.
+_PINNABLE = {
+    "sequential": run_sequential,
+    "induction-2": run_induction2,
+    "associative-prefix": run_associative_prefix,
+    "general-3": run_general3,
+    "speculative": run_speculative,
+    "doacross": run_doacross,
+}
+
+
+def _pin_plan(plan: Plan, scheme: str) -> Plan:
+    """Rebuild ``plan`` with a user-pinned scheme (see ``plan_loop``)."""
+    runner = _PINNABLE.get(scheme)
+    if runner is None:
+        raise AnalysisError(
+            f"cannot pin unknown scheme {scheme!r}; expected one of "
+            f"{sorted(_PINNABLE)}")
+    info = plan.info
+    kwargs: Dict[str, Any] = {}
+    if scheme == "speculative":
+        kwargs["privatize"] = tuple(sorted(
+            name for name, st in info.privatization.arrays.items()
+            if st is PrivStatus.PRIVATIZABLE
+            and name in info.effects.array_writes
+            and name in info.effects.array_reads))
+    return Plan(scheme, runner, kwargs, plan.prediction,
+                f"user-pinned scheme {scheme!r} "
+                f"(planner preferred {plan.scheme!r})", info)
+
+
+def _canonical(info: LoopInfo, funcs: FunctionTable) -> bool:
+    """Is the dispatcher update effectively last (no later reads)?
+
+    Mirrors the executors' ``SchemeCore._check_canonical_form``: the
+    schemes seed parallel iteration ``k`` with the dispatcher value at
+    the *top* of the iteration, which is only sound when no remainder
+    statement after the update reads the dispatcher.
+    """
+    from repro.analysis.defuse import stmt_effects
+    disp = info.dispatcher
+    if disp is None or not info.dispatcher_stmts:
+        return True
+    last_update = max(info.dispatcher_stmts)
+    for i in info.remainder_stmts:
+        if i > last_update:
+            eff = stmt_effects(info.loop.body[i], funcs)
+            if disp.var in eff.scalar_reads:
+                return False
+    return True
 
 
 def _plan_loop(
@@ -161,6 +237,20 @@ def _plan_loop(
         return Plan("doacross", run_doacross, {}, None,
                     "remainder carries proven cross-iteration "
                     "dependences; pipelining them", info)
+
+    if not _canonical(info, funcs):
+        # Every seeded-dispatcher scheme (and the speculative wrapper
+        # around them) seeds iteration k with d(k) from the top of the
+        # iteration; a remainder statement that sequentially reads
+        # d(k+1) after the update makes that seeding wrong, and the
+        # normalization pass above already failed to sink the update.
+        # The executors would refuse the plan — refuse it here, with
+        # the cheaper answer.
+        return Plan("sequential", run_sequential, {}, None,
+                    "dispatcher is read after its update and the "
+                    "update cannot be sunk to the end of the body; "
+                    "the seeded-dispatcher schemes would change "
+                    "semantics", info)
 
     prediction: Optional[Prediction] = None
     profile = None

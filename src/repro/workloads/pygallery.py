@@ -1,0 +1,225 @@
+"""Real-Python paper workloads for the ``@parallelize`` decorator.
+
+The Section-9 workloads exist twice in this repository: as hand-built
+IR (:mod:`repro.workloads.zoo` and friends) and — here — as the plain
+Python functions a paper reader would actually write.  Every function
+in the gallery is in the frontend's liftable subset, so
+
+    make_parallel(fn, backend=...)(*args)
+
+must be **bit-identical** to calling ``fn`` directly, on every backend
+(``tests/frontend/test_paper_workloads.py`` pins exactly that, across
+``sim`` | ``threads`` | ``procs`` | ``pool``).
+
+The shapes deliberately cover the paper's taxonomy end to end:
+
+==================  ====================================================
+workload             paper feature
+==================  ====================================================
+``jacobi``           RV convergence test on a reduction (``maxdelta >
+                     EPS`` — the paper's canonical "WHILE loop that is
+                     not a DO loop")
+``list_chase``       general recurrence: linked-list pointer chase
+                     (SPICE's device walk)
+``ma28_pivot``       MA28-style sparse elimination step: indirect
+                     permutation subscripts force the speculative /
+                     PD-test path
+``text_scan``        RV sentinel scan with an accumulator (string
+                     search over a terminator-delimited buffer)
+``running_sum``      associative accumulator feeding ``return`` —
+                     provably-dependent remainder (DOACROSS on sim,
+                     sequential demotion on real backends)
+``bounded_double``   ``len()``-bound monotonic induction (DOALL row)
+``scan_until``       ``while True`` + ``break`` (RV exit spelled the
+                     way Python programmers actually spell it)
+``fib_table``        tuple-assignment swap recurrence filling a table
+==================  ====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+import numpy as np
+
+from repro.structures.linkedlist import build_chain
+
+__all__ = ["PyWorkload", "GALLERY", "gallery_by_name"]
+
+EPS = 1e-3
+
+
+# -- the functions (each one liftable, each one plain Python) ---------------
+
+def jacobi(A, new, n, eps):
+    """1-D Jacobi smoothing until the sweep's max delta converges."""
+    maxdelta = eps + 1.0
+    while maxdelta > eps:
+        maxdelta = 0.0
+        for i in range(1, n - 1):
+            new[i] = 0.5 * (A[i - 1] + A[i + 1])
+            delta = abs(new[i] - A[i])
+            maxdelta = max(maxdelta, delta)
+        for i in range(1, n - 1):
+            A[i] = new[i]
+    return maxdelta
+
+
+def list_chase(lst, out, scale):
+    """Linked-list walk writing a per-node value (SPICE device walk)."""
+    p = lst.head
+    while p != -1:
+        out[p] = p * scale + 1
+        p = lst.successor(p)
+
+
+def ma28_pivot(A, B, piv, n):
+    """MA28-style elimination step through a pivot permutation.
+
+    The subscript ``piv[i]`` defeats static dependence analysis, so
+    the planner speculates with the PD test — which passes, because
+    ``piv`` is a permutation.
+    """
+    i = 0
+    while i < n:
+        A[piv[i]] = A[piv[i]] + B[i]
+        i = i + 1
+
+
+def text_scan(text, target):
+    """Count occurrences of ``target`` up to the 0 terminator."""
+    i = 0
+    count = 0
+    while text[i] != 0:
+        if text[i] == target:
+            count = count + 1
+        i = i + 1
+    return count
+
+
+def running_sum(A, n):
+    """Accumulate ``A[0:n]`` — the dependent-remainder reduction."""
+    i = 0
+    s = 0
+    while i < n:
+        s = s + A[i]
+        i = i + 1
+    return s
+
+
+def bounded_double(A):
+    """Double every element, bounded by ``len(A)`` at run time."""
+    i = 0
+    while i < len(A):
+        A[i] = A[i] * 2
+        i = i + 1
+
+
+def scan_until(A, limit, c):
+    """``while True`` + ``break``: add ``c`` to the first ``limit``."""
+    i = 0
+    while True:
+        if i >= limit:
+            break
+        A[i] = A[i] + c
+        i = i + 1
+    return i
+
+
+def fib_table(A, n, m):
+    """Fill a table from a tuple-swap Fibonacci recurrence."""
+    a = 0
+    b = 1
+    i = 0
+    while i < n:
+        A[i] = b % m
+        a, b = b, a + b
+        i = i + 1
+    return b
+
+
+# -- the gallery -------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PyWorkload:
+    """One gallery entry: a liftable function plus fresh-args factory."""
+
+    name: str
+    fn: Callable
+    make_args: Callable[[], Tuple]   #: fresh, deterministic arguments
+    feature: str                     #: the paper feature it exercises
+
+
+def _jacobi_args() -> Tuple:
+    rng = np.random.default_rng(11)
+    n = 18
+    A = rng.uniform(0.0, 8.0, size=n)
+    return A, np.zeros(n), n, EPS
+
+
+def _list_chase_args() -> Tuple:
+    lst = build_chain(20, scramble=True, rng=np.random.default_rng(5))
+    return lst, np.zeros(20, dtype=np.int64), 3
+
+
+def _ma28_args() -> Tuple:
+    rng = np.random.default_rng(17)
+    n = 24
+    A = rng.integers(0, 50, size=n).astype(np.int64)
+    B = rng.integers(1, 9, size=n).astype(np.int64)
+    piv = rng.permutation(n).astype(np.int64)
+    return A, B, piv, n
+
+
+def _text_scan_args() -> Tuple:
+    rng = np.random.default_rng(23)
+    text = rng.integers(1, 6, size=40).astype(np.int64)
+    text[33] = 0   # terminator; slots past it stay readable
+    return text, 4
+
+
+def _running_sum_args() -> Tuple:
+    rng = np.random.default_rng(29)
+    return rng.integers(0, 40, size=26).astype(np.int64), 25
+
+
+def _bounded_double_args() -> Tuple:
+    return (np.arange(22, dtype=np.int64),)
+
+
+def _scan_until_args() -> Tuple:
+    rng = np.random.default_rng(31)
+    return rng.integers(0, 30, size=24).astype(np.int64), 19, 7
+
+
+def _fib_table_args() -> Tuple:
+    return np.zeros(18, dtype=np.int64), 17, 97
+
+
+GALLERY: Tuple[PyWorkload, ...] = (
+    PyWorkload("jacobi", jacobi, _jacobi_args,
+               "RV convergence test (maxdelta > EPS)"),
+    PyWorkload("list_chase", list_chase, _list_chase_args,
+               "general recurrence: linked-list chase"),
+    PyWorkload("ma28_pivot", ma28_pivot, _ma28_args,
+               "indirect permutation subscripts -> speculative + PD"),
+    PyWorkload("text_scan", text_scan, _text_scan_args,
+               "RV sentinel scan with an accumulator"),
+    PyWorkload("running_sum", running_sum, _running_sum_args,
+               "dependent-remainder reduction feeding return"),
+    PyWorkload("bounded_double", bounded_double, _bounded_double_args,
+               "len()-bound monotonic induction (DOALL)"),
+    PyWorkload("scan_until", scan_until, _scan_until_args,
+               "while True + break RV exit"),
+    PyWorkload("fib_table", fib_table, _fib_table_args,
+               "tuple-assignment swap recurrence"),
+)
+
+
+def gallery_by_name(name: str) -> PyWorkload:
+    """Look up one gallery workload; raises ``KeyError`` when unknown."""
+    for w in GALLERY:
+        if w.name == name:
+            return w
+    raise KeyError(name)

@@ -1,0 +1,150 @@
+"""Argument capture and write-back behind the decorator surface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import FrontendError
+from repro.frontend.argbind import bind_call, write_back
+from repro.frontend.pyfront import lift_function
+from repro.structures.linkedlist import build_chain
+
+SCALE = 10   # module global: resolvable without being an argument
+
+
+def _sweep(A, n, c):
+    i = 0
+    while i < n:
+        A[i] = A[i] + c
+        i = i + 1
+
+
+def _bounded(A):
+    i = 0
+    while i < len(A):
+        A[i] = A[i] * 2
+        i = i + 1
+
+
+def _chase(lst, out):
+    p = lst.head
+    while p != -1:
+        out[p] = p + 1
+        p = lst.successor(p)
+
+
+def _with_intrinsic(A, n):
+    i = 0
+    while i < n:
+        A[i] = clamp(A[i])
+        i = i + 1
+
+
+def clamp(x):
+    return min(x, 5)
+
+
+class TestCapture:
+    def test_arrays_are_private_copies(self):
+        lifted = lift_function(_sweep)
+        A = np.arange(6, dtype=np.int64)
+        bound = bind_call(lifted, _sweep, (A, 6, 1), {})
+        assert bound.store["A"] is not A
+        bound.store["A"][0] = 999
+        assert A[0] == 0                      # caller untouched
+        assert bound.originals["A"] is A      # write-back target kept
+
+    def test_scalars_bound_by_value_and_counters_default_zero(self):
+        lifted = lift_function(_sweep)
+        bound = bind_call(lifted, _sweep,
+                          (np.zeros(3, dtype=np.int64), 3, 7), {})
+        assert bound.store["n"] == 3
+        assert bound.store["c"] == 7
+        assert bound.store["i"] == 0          # loop-created counter
+
+    def test_len_synthetic_derived_from_live_array(self):
+        lifted = lift_function(_bounded)
+        assert "A__len" in lifted.scalars
+        bound = bind_call(lifted, _bounded,
+                          (np.zeros(9, dtype=np.int64),), {})
+        assert bound.store["A__len"] == 9
+
+    def test_head_synthetic_derived_from_live_list(self):
+        lifted = lift_function(_chase)
+        lst = build_chain(5)
+        bound = bind_call(lifted, _chase,
+                          (lst, np.zeros(5, dtype=np.int64)), {})
+        assert bound.store["lst__head"] == lst.head
+        assert bound.store["lst"] is lst      # Next reads only: shared
+
+    def test_python_list_arguments_become_arrays(self):
+        lifted = lift_function(_sweep)
+        bound = bind_call(lifted, _sweep, ([1, 2, 3], 3, 1), {})
+        assert isinstance(bound.store["A"], np.ndarray)
+
+    def test_intrinsics_resolve_from_globals(self):
+        lifted = lift_function(_with_intrinsic)
+        assert "clamp" in lifted.intrinsics
+        bound = bind_call(lifted, _with_intrinsic,
+                          (np.array([3, 8, 4], dtype=np.int64), 3), {})
+        assert "clamp" in bound.funcs
+
+
+class TestCaptureFailures:
+    def test_non_array_where_array_expected(self):
+        lifted = lift_function(_sweep)
+        with pytest.raises(FrontendError):
+            bind_call(lifted, _sweep, ("oops", 3, 1), {})
+
+    def test_non_numeric_list(self):
+        lifted = lift_function(_sweep)
+        with pytest.raises(FrontendError):
+            bind_call(lifted, _sweep, (["a", "b"], 2, 1), {})
+
+    def test_non_list_where_linked_list_expected(self):
+        lifted = lift_function(_chase)
+        with pytest.raises(FrontendError):
+            bind_call(lifted, _chase,
+                      (42, np.zeros(3, dtype=np.int64)), {})
+
+    def test_non_scalar_where_scalar_expected(self):
+        lifted = lift_function(_sweep)
+        with pytest.raises(FrontendError):
+            bind_call(lifted, _sweep,
+                      (np.zeros(3, dtype=np.int64), [3], 1), {})
+
+    def test_arity_mismatch(self):
+        lifted = lift_function(_sweep)
+        with pytest.raises(FrontendError):
+            bind_call(lifted, _sweep, (np.zeros(3, dtype=np.int64),), {})
+
+
+class TestWriteBack:
+    def test_ndarray_write_back_in_place(self):
+        lifted = lift_function(_sweep)
+        A = np.arange(4, dtype=np.int64)
+        bound = bind_call(lifted, _sweep, (A, 4, 1), {})
+        bound.store["A"][:] = [9, 9, 9, 9]
+        write_back(bound)
+        assert np.array_equal(A, np.array([9, 9, 9, 9]))
+
+    def test_python_list_write_back_in_place(self):
+        lifted = lift_function(_sweep)
+        data = [1, 2, 3]
+        bound = bind_call(lifted, _sweep, (data, 3, 1), {})
+        bound.store["A"][:] = [7, 8, 9]
+        write_back(bound)
+        assert data == [7, 8, 9]
+
+    def test_decorated_functions_unwrap_for_binding(self):
+        import functools
+
+        @functools.wraps(_sweep)
+        def veneer(*args, **kwargs):
+            return _sweep(*args, **kwargs)
+
+        lifted = lift_function(_sweep)
+        A = np.arange(3, dtype=np.int64)
+        bound = bind_call(lifted, veneer, (A, 3, 2), {})
+        assert bound.store["c"] == 2

@@ -1,0 +1,178 @@
+"""The ``@parallelize`` decorator surface and its fallback contract."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import parallelize
+from repro.errors import FrontendError
+from repro.frontend import make_parallel
+from repro.frontend.pyfront import lift_function
+
+
+def _double(A, n):
+    i = 0
+    while i < n:
+        A[i] = A[i] * 2
+        i = i + 1
+
+
+class TestSurfaces:
+    def test_bare_decorator(self):
+        @parallelize
+        def sweep(A, n):
+            i = 0
+            while i < n:
+                A[i] = A[i] + 1
+                i = i + 1
+
+        A = np.arange(12, dtype=np.int64)
+        sweep(A, 12)
+        assert np.array_equal(A, np.arange(12) + 1)
+        assert sweep.lifted is not None
+        assert sweep.fallback_reason is None
+
+    def test_factory_form_with_options(self):
+        @parallelize(backend="threads", workers=2, nprocs=4)
+        def sweep(A, n):
+            i = 0
+            while i < n:
+                A[i] = A[i] * 3
+                i = i + 1
+
+        A = np.arange(10, dtype=np.int64)
+        sweep(A, 10)
+        assert np.array_equal(A, np.arange(10) * 3)
+        assert sweep.last_outcome.verified is True
+
+    def test_loop_path_still_needs_a_store(self):
+        from repro.errors import PlanError
+        from repro.frontend.pyfront import lift_function
+        loop = lift_function(_double).loop
+        with pytest.raises(PlanError):
+            parallelize(loop)   # a Loop without a Store is a misuse
+
+    def test_wrapped_preserves_identity(self):
+        wrapped = make_parallel(_double)
+        assert wrapped.__name__ == "_double"
+        assert wrapped.__wrapped__ is _double
+
+
+class TestMultiLineDecorator:
+    def test_ragged_decorator_lines_still_lift(self):
+        # Regression: inspect.getsource returns the decorator lines
+        # too; a multi-line decorator call used to break the dedent +
+        # parse of the function source.
+        @parallelize(
+            backend="sim",
+            nprocs=4,
+        )
+        def sweep(A, n):
+            i = 0
+            while i < n:
+                A[i] = A[i] + 5
+                i = i + 1
+
+        assert sweep.lifted is not None
+        A = np.zeros(8, dtype=np.int64)
+        sweep(A, 8)
+        assert np.array_equal(A, np.full(8, 5))
+
+    def test_lift_function_on_already_decorated_function(self):
+        wrapped = make_parallel(_double)
+        lifted = lift_function(wrapped)   # unwraps via __wrapped__
+        assert lifted.loop is not None
+        assert "A" in lifted.arrays
+
+
+class TestFallback:
+    def test_unliftable_function_falls_back_transparently(self):
+        @parallelize
+        def outside(A, n):
+            i = 0
+            while i < n:
+                A[i] = A[i] ** 2 if A[i] > 0 else 0   # ternary: unliftable
+                i = i + 1
+            return "done"
+
+        assert outside.lifted is None
+        assert outside.fallback_reason is not None
+        A = np.array([1, -2, 3], dtype=np.int64)
+        assert outside(A, 3) == "done"
+        assert np.array_equal(A, np.array([1, 0, 9]))
+
+    def test_fallback_false_raises_at_decoration(self):
+        def outside(A, n):
+            return {x: n for x in A}    # no while loop at all
+
+        with pytest.raises(FrontendError):
+            make_parallel(outside, fallback=False)
+
+    def test_bind_failure_falls_back_per_call(self):
+        wrapped = make_parallel(_double)   # liftable
+        assert wrapped.lifted is not None
+        # str is not an array: binding fails, the original runs — and
+        # the original's own TypeError is the caller's to see.
+        with pytest.raises(TypeError):
+            wrapped("not-an-array", 3)
+        assert wrapped.last_outcome is None
+
+    def test_bind_failure_raises_with_fallback_off(self):
+        wrapped = make_parallel(_double, fallback=False)
+        with pytest.raises(FrontendError):
+            wrapped("not-an-array", 3)
+
+    def test_caller_arrays_untouched_until_success(self):
+        # The store holds private copies: a refused plan can't leave
+        # the caller's array half-written.
+        wrapped = make_parallel(_double, scheme="no-such-scheme")
+        A = np.arange(6, dtype=np.int64)
+        from repro.errors import AnalysisError
+        with pytest.raises(AnalysisError):
+            wrapped(A, 6)
+        assert np.array_equal(A, np.arange(6))   # untouched
+
+
+class TestSchemePinning:
+    def test_pinned_scheme_is_used(self):
+        wrapped = make_parallel(_double, scheme="speculative",
+                                fallback=False)
+        A = np.arange(9, dtype=np.int64)
+        wrapped(A, 9)
+        out = wrapped.last_outcome
+        assert out.plan.scheme == "speculative"
+        assert "user-pinned" in out.plan.rationale
+        assert np.array_equal(A, np.arange(9) * 2)
+
+    def test_auto_lets_the_planner_choose(self):
+        wrapped = make_parallel(_double, scheme="auto", fallback=False)
+        A = np.arange(9, dtype=np.int64)
+        wrapped(A, 9)
+        assert wrapped.last_outcome.plan.scheme == "induction-2"
+
+
+class TestReturnValues:
+    def test_return_scalar_comes_from_the_store(self):
+        @parallelize
+        def count_upto(A, limit):
+            i = 0
+            while i < limit:
+                A[i] = A[i] + 1
+                i = i + 1
+            return i
+
+        A = np.zeros(10, dtype=np.int64)
+        assert count_upto(A, 7) == 7
+
+    def test_kwargs_bind_like_positional(self):
+        wrapped = make_parallel(_double, fallback=False)
+        A = np.arange(5, dtype=np.int64)
+        wrapped(n=5, A=A)
+        assert np.array_equal(A, np.arange(5) * 2)
+
+    def test_python_list_argument_written_back(self):
+        wrapped = make_parallel(_double, fallback=False)
+        data = [1, 2, 3, 4]
+        wrapped(data, 4)
+        assert data == [2, 4, 6, 8]

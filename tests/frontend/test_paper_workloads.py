@@ -1,0 +1,118 @@
+"""Decorated paper workloads, bit-identical on every backend.
+
+This is the PR-10 acceptance suite: every Section-9 workload in
+:mod:`repro.workloads.pygallery` — written as the plain Python a paper
+reader would write — must produce the exact arrays and return value of
+a direct call, through ``@parallelize``, on ``sim`` | ``threads`` |
+``procs`` | ``pool``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.frontend import make_parallel
+from repro.service.pool import close_default_pool
+from repro.workloads.pygallery import GALLERY, gallery_by_name
+
+BACKENDS = ("sim", "threads", "procs", "pool")
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _pool_teardown():
+    yield
+    close_default_pool()
+
+
+def _assert_bit_identical(workload, backend):
+    wrapped = make_parallel(workload.fn, backend=backend, workers=2,
+                            fallback=False)
+    args_par = workload.make_args()
+    args_seq = workload.make_args()
+    ret_par = wrapped(*args_par)
+    ret_seq = workload.fn(*args_seq)
+    for a_par, a_seq in zip(args_par, args_seq):
+        if isinstance(a_par, np.ndarray):
+            assert a_par.dtype == a_seq.dtype
+            assert np.array_equal(a_par, a_seq), (
+                f"{workload.name} on {backend}: arrays diverge")
+    assert ret_par == ret_seq, (
+        f"{workload.name} on {backend}: return {ret_par!r} != {ret_seq!r}")
+    return wrapped
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("workload", GALLERY, ids=lambda w: w.name)
+def test_workload_bit_identical_to_direct_call(workload, backend):
+    wrapped = _assert_bit_identical(workload, backend)
+    out = wrapped.last_outcome
+    assert out is not None, "the call must have gone through the pipeline"
+    assert out.verified is True       # checked against sequential ref
+    assert wrapped.fallback_reason is None
+
+
+class TestPlannedSchemes:
+    """The gallery covers the taxonomy: pin the sim-planner choices."""
+
+    @pytest.mark.parametrize("name,scheme", [
+        ("list_chase", "general-3"),
+        ("ma28_pivot", "speculative"),
+        ("bounded_double", "induction-2"),
+        ("scan_until", "induction-2"),
+        ("running_sum", "doacross"),
+        ("fib_table", "doacross"),
+        ("text_scan", "doacross"),
+        ("jacobi", "sequential"),
+    ])
+    def test_sim_scheme(self, name, scheme):
+        w = gallery_by_name(name)
+        wrapped = make_parallel(w.fn, backend="sim", fallback=False)
+        wrapped(*w.make_args())
+        assert wrapped.last_outcome.plan.scheme == scheme
+
+    def test_dependent_remainders_demote_on_real_backends(self):
+        # DOACROSS is a virtual-time construct: the same workloads
+        # plan sequential on a real backend instead of handing the
+        # executor a scheme it must refuse.
+        w = gallery_by_name("running_sum")
+        wrapped = make_parallel(w.fn, backend="threads", workers=2,
+                                fallback=False)
+        wrapped(*w.make_args())
+        assert wrapped.last_outcome.plan.scheme == "sequential"
+
+    def test_jacobi_noncanonical_dispatcher_plans_sequential(self):
+        # jacobi reads maxdelta after its in-body update; the planner
+        # must refuse the seeded-dispatcher schemes up front (PR-10
+        # planner fix) rather than let the executor raise PlanError.
+        w = gallery_by_name("jacobi")
+        wrapped = make_parallel(w.fn, backend="sim", fallback=False)
+        wrapped(*w.make_args())
+        out = wrapped.last_outcome
+        assert out.plan.scheme == "sequential"
+        assert "dispatcher is read after its update" in out.plan.rationale
+
+
+class TestGalleryRegistry:
+    def test_gallery_spans_the_taxonomy(self):
+        assert len(GALLERY) >= 6     # ISSUE floor: >=6 workloads
+        features = " ".join(w.feature for w in GALLERY)
+        for marker in ("RV", "linked-list", "speculative", "DOALL"):
+            assert marker in features
+
+    def test_every_workload_lifts(self):
+        from repro.frontend.pyfront import lift_function
+        for w in GALLERY:
+            lifted = lift_function(w.fn)
+            assert lifted.loop is not None, w.name
+
+    def test_fresh_args_are_deterministic(self):
+        for w in GALLERY:
+            a, b = w.make_args(), w.make_args()
+            for x, y in zip(a, b):
+                if isinstance(x, np.ndarray):
+                    assert np.array_equal(x, y)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            gallery_by_name("no-such-workload")

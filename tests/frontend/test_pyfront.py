@@ -96,6 +96,19 @@ while i < n and not done:
 """)
         assert l.loop.cond.op == "and"
 
+    def test_chained_comparison_desugars_to_and(self):
+        l = lift_source("""
+i = 1
+while 0 < i < n:
+    i += 1
+""")
+        cond = l.loop.cond
+        assert cond.op == "and"
+        assert cond.left.op == "<" and cond.right.op == "<"
+        st = Store({"n": 6, "i": 0})
+        SequentialInterp(l.loop, FunctionTable()).run(st)
+        assert st["i"] == 6
+
     def test_min_max_abs_builtins(self):
         l = lift_source("""
 i = 0
@@ -164,12 +177,6 @@ while b < 1:
 while a < 1:
     a += 1
 b = 2
-""")
-
-    def test_chained_comparison(self):
-        self.rejects("""
-while 0 < i < n:
-    i += 1
 """)
 
     def test_unsupported_statement(self):

@@ -1,0 +1,181 @@
+"""The frontend fuzzer: generator, exec oracle, and source shrinker."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.frontend.pyfront import lift_source
+from repro.fuzz.pysource import (
+    SHAPES,
+    FrontendFuzzReport,
+    PySourceProgram,
+    StepBudgetExceeded,
+    bounded_exec,
+    check_source_program,
+    generate_source_program,
+    run_frontend_campaign,
+    shrink_source,
+)
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        for seed in (0, 7, 91, 1234):
+            a = generate_source_program(seed)
+            b = generate_source_program(seed)
+            assert a.source == b.source
+            assert a.store_obj == b.store_obj
+            assert a.cell == b.cell
+            assert a.u == b.u
+
+    def test_all_shapes_reachable_and_liftable(self):
+        seen = {}
+        for seed in range(300):
+            prog = generate_source_program(seed)
+            seen.setdefault(prog.shape, prog)
+            if len(seen) == len(SHAPES):
+                break
+        assert set(seen) == set(SHAPES), (
+            f"shapes never drawn in 300 seeds: {set(SHAPES) - set(seen)}")
+        for shape, prog in sorted(seen.items()):
+            lifted = lift_source(prog.source)
+            assert lifted.loop is not None, shape
+
+    def test_generated_programs_terminate_under_exec(self):
+        for seed in range(20):
+            prog = generate_source_program(seed)
+            ns = prog.make_namespace()
+            bounded_exec(prog.source, ns)   # must not trip the budget
+
+    def test_cell_labels_name_the_shape(self):
+        prog = generate_source_program(3)
+        assert prog.cell == f"pysource/{prog.shape}"
+
+
+class TestBoundedExec:
+    def test_budget_trips_on_nontermination(self):
+        with pytest.raises(StepBudgetExceeded):
+            bounded_exec("i = 0\nwhile True:\n    i = i + 1\n", {},
+                         max_steps=500)
+
+    def test_restricted_builtins(self):
+        ns = {}
+        bounded_exec("x = max(3, min(9, 7))\n", ns)
+        assert ns["x"] == 7
+        with pytest.raises(NameError):
+            bounded_exec("x = open('/etc/hostname')\n", {})
+
+    def test_namespace_is_the_result_channel(self):
+        ns = {"A": np.arange(4, dtype=np.int64), "i": 0}
+        bounded_exec(
+            "while i < 4:\n    A[i] = A[i] * 2\n    i = i + 1\n", ns)
+        assert ns["i"] == 4
+        assert np.array_equal(ns["A"], np.array([0, 2, 4, 6]))
+
+
+class TestOracle:
+    @pytest.mark.parametrize("seed", range(30))
+    def test_sim_matrix_clean(self, seed):
+        prog = generate_source_program(seed)
+        verdict = check_source_program(prog, backends=("sim",),
+                                       workers=2, kernels=True)
+        assert not verdict.discrepancies, (
+            prog.shape, [(d.kind, d.backend, d.scheme, d.detail)
+                         for d in verdict.discrepancies])
+        assert verdict.checks >= 3   # lift + lifted-seq + >=1 scheme
+
+    @pytest.mark.parametrize("seed", (2, 11, 23))
+    def test_real_backend_cell_clean(self, seed):
+        prog = generate_source_program(seed)
+        verdict = check_source_program(
+            prog, backends=("sim", "threads"), workers=2, kernels=False)
+        assert not verdict.discrepancies, (
+            prog.shape, [(d.kind, d.backend, d.scheme, d.detail)
+                         for d in verdict.discrepancies])
+
+    def test_unliftable_source_is_a_lift_finding(self):
+        # A ternary is execable Python but outside the liftable subset:
+        # the oracle must report a structured lift discrepancy, never
+        # crash.
+        prog = PySourceProgram(
+            source=("i = 0\n"
+                    "while i < 4:\n"
+                    "    i = i + 1 if i < 9 else i\n"),
+            store_obj={"i": {"k": "scalar", "value": 0}},
+            cell="pysource/manufactured", shape="manufactured",
+            u=8, seed=-1)
+        verdict = check_source_program(prog, backends=("sim",))
+        assert len(verdict.discrepancies) == 1
+        d = verdict.discrepancies[0]
+        assert d.backend == "frontend"
+        assert d.scheme == "lift"
+
+
+class TestShrink:
+    def test_shrinker_deletes_unrelated_statements(self):
+        # Manufactured finding: the ternary makes the lift fail; the
+        # surrounding junk statements are all deletable without
+        # changing the (kind, backend) signature.
+        prog = PySourceProgram(
+            source=("junk1 = 100\n"
+                    "junk2 = junk1 + 200\n"
+                    "i = 0\n"
+                    "s = 0\n"
+                    "while i < 6:\n"
+                    "    s = s + 2\n"
+                    "    i = i + 1 if i < 9 else i\n"),
+            store_obj={"i": {"k": "scalar", "value": 0},
+                       "s": {"k": "scalar", "value": 0}},
+            cell="pysource/manufactured", shape="manufactured",
+            u=12, seed=-1)
+        verdict = check_source_program(prog, backends=("sim",))
+        assert verdict.discrepancies
+        res = shrink_source(prog, verdict, check_source_program)
+        assert res.steps > 0
+        assert len(res.program.source) < len(prog.source)
+        assert "junk1" not in res.program.source
+        assert "while" in res.program.source       # loop survives
+        assert res.verdict.discrepancies           # still reproduces
+
+    def test_shrinker_never_breaks_termination(self):
+        # Every kept candidate re-validates under bounded_exec, so the
+        # shrunk program still terminates.
+        prog = PySourceProgram(
+            source=("i = 0\n"
+                    "while i < 20:\n"
+                    "    i = i + 1 if i < 99 else i\n"),
+            store_obj={"i": {"k": "scalar", "value": 0}},
+            cell="pysource/manufactured", shape="manufactured",
+            u=24, seed=-1)
+        verdict = check_source_program(prog, backends=("sim",))
+        assert verdict.discrepancies
+        res = shrink_source(prog, verdict, check_source_program)
+        bounded_exec(res.program.source, res.program.make_namespace())
+
+
+class TestCampaign:
+    def test_small_campaign_runs_clean(self, tmp_path):
+        from repro.fuzz.campaign import FuzzConfig
+        cfg = FuzzConfig(budget=12, seed=5, backends=("sim",),
+                         workers=2, max_real=4,
+                         corpus_dir=tmp_path / "corpus",
+                         artifacts_dir=tmp_path / "repros")
+        log = []
+        report = run_frontend_campaign(cfg, log=log.append)
+        assert isinstance(report, FrontendFuzzReport)
+        assert report.programs == 12
+        assert not report.findings
+        assert report.checks > 12
+        corpus = tmp_path / "corpus"
+        assert not corpus.exists() or not list(corpus.glob("*.json"))
+
+    def test_campaign_ignores_fault_config_with_a_note(self, tmp_path):
+        from repro.fuzz.campaign import FuzzConfig
+        cfg = FuzzConfig(budget=3, seed=1, backends=("sim",),
+                         workers=2, max_real=2, faults=True,
+                         corpus_dir=tmp_path / "corpus",
+                         artifacts_dir=tmp_path / "repros")
+        log = []
+        run_frontend_campaign(cfg, log=log.append)
+        assert any("fault" in line for line in log)

@@ -1,0 +1,88 @@
+"""Pysource corpus round-trips plus the tier-1 replay of every entry."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.fuzz.pysource import (
+    SourceCorpusEntry,
+    load_source_corpus,
+    render_source_repro,
+    replay_source_entry,
+    save_source_entry,
+    source_entry_from_obj,
+    source_entry_to_obj,
+)
+
+CORPUS_DIR = Path(__file__).resolve().parent.parent / "corpus" / "pysource"
+
+
+def _entry() -> SourceCorpusEntry:
+    return SourceCorpusEntry(
+        name="rt-src",
+        source="i = 0\nwhile i < 4:\n    A[i] = i\n    i = i + 1\n",
+        store_obj={"A": {"k": "array", "dtype": "int64",
+                         "data": [0, 0, 0, 0]},
+                   "i": {"k": "scalar", "value": 0}},
+        cell="pysource/counter", u=8, backends=("sim",),
+        note="round trip", found_with={"seed": 42})
+
+
+class TestRoundTrip:
+    def test_obj_round_trip_through_json(self):
+        entry = _entry()
+        back = source_entry_from_obj(
+            json.loads(json.dumps(source_entry_to_obj(entry))))
+        assert back.name == entry.name
+        assert back.source == entry.source
+        assert back.store_obj == entry.store_obj
+        assert back.u == entry.u
+        assert back.backends == entry.backends
+        assert back.found_with == entry.found_with
+
+    def test_save_and_load(self, tmp_path):
+        entry = _entry()
+        path = save_source_entry(entry, tmp_path)
+        assert path == tmp_path / "rt-src.json"
+        loaded = load_source_corpus(tmp_path)
+        assert len(loaded) == 1
+        assert loaded[0].source == entry.source
+
+    def test_program_materializes_a_runnable_store(self):
+        prog = _entry().program()
+        store = prog.make_store()
+        assert isinstance(store["A"], np.ndarray)
+        assert prog.seed == 42
+        assert prog.cell == "pysource/counter"
+
+    def test_render_repro_embeds_the_source(self):
+        obj = source_entry_to_obj(_entry())
+        script = render_source_repro(obj)
+        assert "while i < 4" in script
+        assert "replay_source_entry" in script
+
+
+def _entries():
+    entries = load_source_corpus(CORPUS_DIR)
+    assert entries, f"no pysource corpus entries under {CORPUS_DIR}"
+    return entries
+
+
+@pytest.mark.parametrize("entry", _entries(), ids=lambda e: e.name)
+def test_pysource_corpus_entry_replays_clean(entry):
+    """Tier-1 contract: every persisted frontend finding replays clean.
+
+    Each entry pins a previously-found (and since fixed) frontend or
+    planner bug on exact source bytes; a failure here means a fixed
+    bug regressed.
+    """
+    verdict = replay_source_entry(entry)
+    assert not verdict.discrepancies, (
+        f"pysource corpus entry {entry.name!r} regressed: "
+        + "; ".join(f"{d.kind} [{d.backend}/{d.scheme}]: {d.detail}"
+                    for d in verdict.discrepancies)
+        + (f" — pins: {entry.note}" if entry.note else ""))

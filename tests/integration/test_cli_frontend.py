@@ -1,0 +1,90 @@
+"""CLI coverage for the PR-10 frontend surface: lift + fuzz --frontend."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+CORPUS_DIR = (Path(__file__).resolve().parent.parent
+              / "corpus" / "pysource")
+
+
+@pytest.fixture
+def fn_file(tmp_path):
+    f = tmp_path / "sweep.py"
+    f.write_text("""\
+def sweep(A, n):
+    i = 0
+    while i < n:
+        A[i] = A[i] * 2
+        i = i + 1
+    return i
+""")
+    return str(f)
+
+
+@pytest.fixture
+def fragment_file(tmp_path):
+    f = tmp_path / "frag.py"
+    f.write_text("""\
+i = 0
+while i < len(A):
+    A[i] = A[i] + 1
+    i = i + 1
+""")
+    return str(f)
+
+
+class TestLift:
+    def test_function_def_human_output(self, fn_file, capsys):
+        assert main(["lift", fn_file]) == 0
+        out = capsys.readouterr().out
+        assert "arrays:       A" in out
+        assert "result:       i" in out
+        assert "scheme:       induction-2" in out
+
+    def test_bare_fragment_with_len_bound(self, fragment_file, capsys):
+        assert main(["lift", fragment_file]) == 0
+        out = capsys.readouterr().out
+        assert "len() bounds: A" in out
+        assert "scheme:       induction-2" in out
+
+    def test_json_payload(self, fn_file, capsys):
+        assert main(["lift", fn_file, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["loop"] == "sweep"
+        assert payload["arrays"] == ["A"]
+        assert payload["result"] == "i"
+        assert payload["scheme"] == "induction-2"
+        assert "while" in payload["ir"]
+
+    def test_pinned_scheme(self, fn_file, capsys):
+        assert main(["lift", fn_file, "--scheme", "speculative"]) == 0
+        out = capsys.readouterr().out
+        assert "scheme:       speculative" in out
+        assert "user-pinned" in out
+
+    def test_unliftable_file_exits_2(self, tmp_path, capsys):
+        f = tmp_path / "bad.py"
+        f.write_text("x = {1: 2}\nwhile x:\n    pass\n")
+        assert main(["lift", str(f)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestFrontendFuzz:
+    def test_small_campaign_exits_clean(self, capsys):
+        assert main(["fuzz", "--frontend", "--budget", "8",
+                     "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "frontend-fuzz: 8 source programs" in out
+        assert "no discrepancies" in out
+
+    def test_replay_of_the_persisted_corpus(self, capsys):
+        assert main(["fuzz", "--frontend", "--replay",
+                     str(CORPUS_DIR)]) == 0
+        out = capsys.readouterr().out
+        assert "0 failing" in out

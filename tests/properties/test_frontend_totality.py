@@ -1,0 +1,87 @@
+"""Totality of the Python-source frontend.
+
+The contract under test: for *any* source text — well-formed frontend
+subset, execable-but-unliftable Python, or outright garbage —
+``lift_source`` either returns a :class:`LiftedLoop` or raises a
+located :class:`~repro.errors.FrontendError`.  It never leaks a raw
+``SyntaxError``, ``KeyError``, ``AttributeError``, or any other
+implementation exception to the caller (the decorator's transparent
+fallback keys on exactly ``FrontendError``).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FrontendError
+from repro.frontend.pyfront import LiftedLoop, lift_source
+from repro.fuzz.pysource import generate_source_program
+
+
+def _lift_is_total(source: str) -> None:
+    try:
+        lifted = lift_source(source)
+    except FrontendError as exc:
+        assert str(exc), "FrontendError must carry a message"
+    else:
+        assert isinstance(lifted, LiftedLoop)
+        assert lifted.loop is not None
+
+
+@st.composite
+def mutated_subset_sources(draw):
+    """A generated in-subset program, possibly damaged at random."""
+    seed = draw(st.integers(0, 50_000))
+    source = generate_source_program(seed).source
+    lines = source.splitlines()
+    mutation = draw(st.sampled_from(
+        ("identity", "drop-line", "truncate", "dup-line", "mangle")))
+    if mutation == "drop-line" and len(lines) > 1:
+        del lines[draw(st.integers(0, len(lines) - 1))]
+    elif mutation == "truncate":
+        cut = draw(st.integers(1, max(1, len(source) - 1)))
+        return source[:cut]
+    elif mutation == "dup-line":
+        k = draw(st.integers(0, len(lines) - 1))
+        lines.insert(k, lines[k])
+    elif mutation == "mangle":
+        k = draw(st.integers(0, len(lines) - 1))
+        junk = draw(st.sampled_from((":", ")", "==", "@", "lambda x:")))
+        lines[k] = lines[k] + " " + junk
+    return "\n".join(lines) + "\n"
+
+
+class TestTotality:
+    @settings(max_examples=120, deadline=None)
+    @given(mutated_subset_sources())
+    def test_lift_or_located_frontend_error(self, source):
+        _lift_is_total(source)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.text(max_size=120))
+    def test_arbitrary_text_never_leaks_raw_exceptions(self, text):
+        _lift_is_total(text)
+
+    @pytest.mark.parametrize("source", [
+        "while x <",                      # truncated: raw SyntaxError bait
+        "i = 0\nwhile i < 3:\n    i += 1\nprint(i)\n",   # trailing stmt
+        "def f(:\n    pass",              # malformed def
+        "i = 0\nwhile i < 3:\n    x = {1: 2}\n    i += 1\n",  # dict
+        "\x00\x01",                       # not even text
+        "",                               # empty
+    ])
+    def test_known_nasty_inputs(self, source):
+        with pytest.raises(FrontendError):
+            lift_source(source)
+
+    def test_frontend_error_is_located(self):
+        # The error must point the user at the offending line.
+        src = ("i = 0\n"
+               "while i < 3:\n"
+               "    x = {1: 2}\n"
+               "    i = i + 1\n")
+        with pytest.raises(FrontendError) as exc:
+            lift_source(src)
+        assert ":3:" in str(exc.value)   # file:line:col prefix
